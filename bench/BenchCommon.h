@@ -1,0 +1,61 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers -------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_BENCH_BENCHCOMMON_H
+#define SIMTVEC_BENCH_BENCHCOMMON_H
+
+#include "simtvec/workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace simtvec {
+
+/// The scalar baseline: the serializing translator/scheduler of [16].
+inline LaunchOptions scalarBaseline() {
+  LaunchOptions O;
+  O.MaxWarpSize = 1;
+  return O;
+}
+
+/// Dynamic warp formation at the machine vector width (paper default).
+inline LaunchOptions dynamicFormation(uint32_t MaxWarp = 4) {
+  LaunchOptions O;
+  O.MaxWarpSize = MaxWarp;
+  return O;
+}
+
+/// Static warp formation with thread-invariant elimination (paper §6.2).
+inline LaunchOptions staticTie(uint32_t MaxWarp = 4) {
+  LaunchOptions O;
+  O.MaxWarpSize = MaxWarp;
+  O.Formation = WarpFormation::Static;
+  O.ThreadInvariantElim = true;
+  return O;
+}
+
+/// Runs one workload, aborting with a message on any error (benches must
+/// never report unvalidated numbers).
+inline LaunchStats runOrDie(const Workload &W, uint32_t Scale,
+                            const LaunchOptions &Options,
+                            const MachineModel &Machine = {}) {
+  auto StatsOrErr = runWorkload(W, Scale, Options, Machine);
+  if (!StatsOrErr) {
+    std::fprintf(stderr, "bench error (%s): %s\n", W.Name,
+                 StatsOrErr.status().message().c_str());
+    std::exit(1);
+  }
+  return StatsOrErr.take();
+}
+
+/// Modeled runtime used for speedups (the slowest worker's cycles).
+inline double modeledCycles(const LaunchStats &S) {
+  return S.MaxWorkerCycles;
+}
+
+} // namespace simtvec
+
+#endif // SIMTVEC_BENCH_BENCHCOMMON_H

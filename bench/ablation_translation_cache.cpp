@@ -1,0 +1,92 @@
+//===- bench/ablation_translation_cache.cpp - Cache behaviour -------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Ablation B: dynamic translation cache behaviour (paper §5.1). Reports
+/// per-workload specialization counts, hit rates over a launch, and the
+/// host-side compile time of cold vs warm launches (google-benchmark wall
+/// clock). The paper compiles lazily per (kernel, warp size) and leaves
+/// concurrent compilation as future work; this bench quantifies how much
+/// the cache amortizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace simtvec;
+
+namespace {
+
+void BM_ColdLaunch(benchmark::State &State) {
+  const Workload &W = *findWorkload("Mandelbrot");
+  for (auto _ : State) {
+    // Fresh program: every specialization recompiles.
+    std::unique_ptr<Program> Prog = compileWorkload(W);
+    auto Inst = W.Make(1);
+    auto S = Prog->launch(*Inst->Dev, W.KernelName, Inst->Grid, Inst->Block,
+                          Inst->Params, dynamicFormation(4));
+    if (!S) {
+      State.SkipWithError(S.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(S->WarpEntries);
+  }
+}
+BENCHMARK(BM_ColdLaunch)->Unit(benchmark::kMillisecond);
+
+void BM_WarmLaunch(benchmark::State &State) {
+  const Workload &W = *findWorkload("Mandelbrot");
+  std::unique_ptr<Program> Prog = compileWorkload(W);
+  {
+    auto Inst = W.Make(1);
+    (void)Prog->launch(*Inst->Dev, W.KernelName, Inst->Grid, Inst->Block,
+                       Inst->Params, dynamicFormation(4));
+  }
+  for (auto _ : State) {
+    auto Inst = W.Make(1);
+    auto S = Prog->launch(*Inst->Dev, W.KernelName, Inst->Grid, Inst->Block,
+                          Inst->Params, dynamicFormation(4));
+    if (!S) {
+      State.SkipWithError(S.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(S->WarpEntries);
+  }
+}
+BENCHMARK(BM_WarmLaunch)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::printf("Ablation: dynamic translation cache (paper section 5.1)\n");
+  std::printf("%-20s %8s %8s %10s %12s\n", "application", "hits", "misses",
+              "hit rate", "compile ms");
+  for (const Workload &W : allWorkloads()) {
+    std::unique_ptr<Program> Prog = compileWorkload(W);
+    auto Inst = W.Make(1);
+    auto S = Prog->launch(*Inst->Dev, W.KernelName, Inst->Grid, Inst->Block,
+                          Inst->Params, dynamicFormation(4));
+    if (!S) {
+      std::fprintf(stderr, "%s: %s\n", W.Name, S.status().message().c_str());
+      return 1;
+    }
+    TranslationCache::Stats CS = Prog->translationCache().stats();
+    double Rate = CS.Hits + CS.Misses
+                      ? 100.0 * static_cast<double>(CS.Hits) /
+                            static_cast<double>(CS.Hits + CS.Misses)
+                      : 0;
+    std::printf("%-20s %8llu %8llu %9.1f%% %12.3f\n", W.Name,
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.Misses), Rate,
+                CS.CompileSeconds * 1e3);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- bench/fig9_cycles.cpp - Figure 9: cycle breakdown ------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Regenerates Figure 9: the fraction of cycles spent in the execution
+/// manager (EM), in yields to and from the EM (scheduler dispatch plus live
+/// state save/restore), and executing the vectorized subkernel, under
+/// dynamic warp formation at max warp size 4.
+///
+/// Paper shape: synchronization-intensive applications (BinomialOptions,
+/// MatrixMul) spend a large fraction in the EM; compute-bound kernels
+/// (Nbody, cp, MersenneTwister subkernels) spend nearly all cycles in the
+/// vectorized subkernel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace simtvec;
+
+int main() {
+  std::printf("Figure 9: fraction of cycles in EM / yield handling / "
+              "subkernel (ws<=4, dynamic)\n");
+  std::printf("%-20s %8s %8s %10s %12s\n", "application", "EM", "yield",
+              "subkernel", "total Mcyc");
+  for (const Workload &W : allWorkloads()) {
+    LaunchStats S = runOrDie(W, 1, dynamicFormation(4));
+    std::printf("%-20s %7.1f%% %7.1f%% %9.1f%% %12.3f\n", W.Name,
+                100 * S.emFraction(), 100 * S.yieldFraction(),
+                100 * S.subkernelFraction(),
+                S.Counters.totalCycles() / 1e6);
+  }
+  std::printf("\npaper: BinomialOptions/MatrixMul EM-heavy; "
+              "Nbody/cp/MersenneTwister nearly all subkernel\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- examples/divergence_explorer.cpp - Divergence sensitivity study ----===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sweeps the branch-divergence probability of a synthetic kernel and
+/// reports, for each probability, the speedup of dynamic vectorization
+/// over scalar execution, the average warp size, and the cycle breakdown.
+/// This makes the paper's central trade-off tangible: yield-on-diverge
+/// keeps vector units busy on convergent code, while heavily divergent
+/// code pays context-switch round-trips ("This observation motivates
+/// future work to detect cases when diverging branches are so frequent
+/// that scalar execution is optimal", §6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/support/Format.h"
+#include "simtvec/support/RNG.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace simtvec;
+
+// Each thread walks a per-thread random sequence; when the draw is below
+// the threshold it takes a heavy path, otherwise a light one. The taken
+// path is data-dependent and uncorrelated across threads, so the fraction
+// of divergent branches tracks the threshold.
+static const char *KernelSrc = R"(
+.kernel diverge (.param .u64 seeds, .param .u64 out, .param .u32 rounds,
+                 .param .u32 threshold)
+{
+  .reg .u32 %gid, %state, %acc, %i, %nr, %np, %thr, %draw;
+  .reg .u64 %addr, %base, %off;
+  .reg .pred %pheavy, %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %np, [rounds];
+  mov.u32 %nr, %np;
+  ld.param.u32 %np, [threshold];
+  mov.u32 %thr, %np;
+  ld.param.u64 %base, [seeds];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.u32 %state, [%addr];
+  mov.u32 %acc, 0;
+  mov.u32 %i, 0;
+  bra loop;
+
+loop:
+  mul.u32 %state, %state, 1664525;
+  add.u32 %state, %state, 1013904223;
+  shr.u32 %draw, %state, 16;
+  and.u32 %draw, %draw, 0xFFFF;
+  setp.lt.u32 %pheavy, %draw, %thr;
+  @%pheavy bra heavy, light;
+heavy:
+  xor.u32 %acc, %acc, %state;
+  shl.u32 %draw, %acc, 3;
+  add.u32 %acc, %acc, %draw;
+  shr.u32 %draw, %acc, 7;
+  xor.u32 %acc, %acc, %draw;
+  bra join;
+light:
+  add.u32 %acc, %acc, %state;
+  bra join;
+join:
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %nr;
+  @%p bra loop, store;
+
+store:
+  ld.param.u64 %base, [out];
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %acc;
+  ret;
+}
+)";
+
+int main() {
+  auto Prog = Program::compile(KernelSrc).take();
+  const uint32_t Threads = 2048, Rounds = 32;
+
+  std::printf("Divergence sweep: dynamic vectorization (ws<=4) vs scalar\n");
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "P(divergent)",
+              "speedup", "avg warp", "subkernel", "yield", "EM");
+
+  for (int Percent : {0, 5, 10, 25, 50, 75, 100}) {
+    uint32_t Threshold =
+        static_cast<uint32_t>(65536.0 * (Percent / 100.0) + 0.5);
+
+    auto RunConfig = [&](uint32_t MaxWarp) {
+      Device Dev;
+      RNG Rng(0xd1f);
+      std::vector<uint32_t> Seeds(Threads);
+      for (auto &S : Seeds)
+        S = static_cast<uint32_t>(Rng.next());
+      uint64_t DSeeds = Dev.allocArray<uint32_t>(Threads);
+      uint64_t DOut = Dev.allocArray<uint32_t>(Threads);
+      Dev.upload(DSeeds, Seeds);
+      ParamBuilder Params;
+      Params.addU64(DSeeds).addU64(DOut).addU32(Rounds).addU32(Threshold);
+      LaunchOptions Options;
+      Options.MaxWarpSize = MaxWarp;
+      return Prog
+          ->launch(Dev, "diverge", {Threads / 64, 1, 1}, {64, 1, 1},
+                   Params, Options)
+          .take();
+    };
+
+    LaunchStats Scalar = RunConfig(1);
+    LaunchStats Vector = RunConfig(4);
+    std::printf("%10d%% %9.2fx %10.2f %9.1f%% %9.1f%% %9.1f%%\n", Percent,
+                Scalar.MaxWorkerCycles / Vector.MaxWorkerCycles,
+                Vector.avgWarpSize(), 100 * Vector.subkernelFraction(),
+                100 * Vector.yieldFraction(), 100 * Vector.emFraction());
+  }
+  std::printf("\nAt low divergence warps stay wide and vectorization wins; "
+              "past the crossover the\nyield round-trips dominate and "
+              "scalar execution is optimal, as §6.1 observes.\n");
+  return 0;
+}

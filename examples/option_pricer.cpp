@@ -1,0 +1,72 @@
+//===- examples/option_pricer.cpp - Domain example: option pricing --------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// A small financial-pricing application built on the suite's
+/// BlackScholes kernel: prices a book of European options under every
+/// execution configuration and compares modeled throughput, demonstrating
+/// how a downstream user evaluates warp sizes and formation policies for
+/// their own kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace simtvec;
+
+int main() {
+  const Workload &W = *findWorkload("BlackScholes");
+
+  struct Config {
+    const char *Name;
+    LaunchOptions Options;
+  };
+  std::vector<Config> Configs;
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 1;
+    Configs.push_back({"scalar baseline", O});
+  }
+  for (uint32_t WS : {2u, 4u}) {
+    LaunchOptions O;
+    O.MaxWarpSize = WS;
+    Configs.push_back({WS == 2 ? "dynamic, warps of 2" : "dynamic, warps of 4",
+                       O});
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    O.Formation = WarpFormation::Static;
+    O.ThreadInvariantElim = true;
+    Configs.push_back({"static + TIE, warps of 4", O});
+  }
+
+  std::printf("Pricing a book of 8192 European options (Black-Scholes)\n\n");
+  std::printf("%-26s %14s %14s %12s\n", "configuration", "modeled us",
+              "options/ms", "GFLOP/s");
+
+  double Baseline = 0;
+  for (const Config &C : Configs) {
+    auto StatsOrErr = runWorkload(W, /*Scale=*/1, C.Options);
+    if (!StatsOrErr) {
+      std::fprintf(stderr, "%s failed: %s\n", C.Name,
+                   StatsOrErr.status().message().c_str());
+      return 1;
+    }
+    const LaunchStats &S = *StatsOrErr;
+    double Us = S.ModeledSeconds * 1e6;
+    if (Baseline == 0)
+      Baseline = Us;
+    std::printf("%-26s %14.1f %14.0f %12.1f   (%.2fx)\n", C.Name, Us,
+                8192.0 / (S.ModeledSeconds * 1e3), S.gflops(),
+                Baseline / Us);
+  }
+  std::printf("\nEvery configuration validated against the host reference; "
+              "the kernel is written\nonce in SVIR and specialized per warp "
+              "size by the translation cache at launch.\n");
+  return 0;
+}

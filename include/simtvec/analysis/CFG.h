@@ -1,0 +1,51 @@
+//===- simtvec/analysis/CFG.h - Control-flow graph utilities ----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor lists, reachability and traversal orders over a kernel's CFG.
+/// Block 0 is the function entry; specialized kernels may have extra entry
+/// points (the scheduler handles those, so the graph is still rooted at 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_ANALYSIS_CFG_H
+#define SIMTVEC_ANALYSIS_CFG_H
+
+#include "simtvec/ir/Kernel.h"
+
+#include <vector>
+
+namespace simtvec {
+
+/// Successor/predecessor adjacency of a kernel's CFG.
+class CFG {
+public:
+  explicit CFG(const Kernel &K);
+
+  size_t numBlocks() const { return Succs.size(); }
+  const std::vector<uint32_t> &successors(uint32_t Block) const {
+    return Succs[Block];
+  }
+  const std::vector<uint32_t> &predecessors(uint32_t Block) const {
+    return Preds[Block];
+  }
+
+  /// Reverse post-order from block 0 (unreachable blocks appended at the
+  /// end so dataflow still covers them).
+  const std::vector<uint32_t> &reversePostOrder() const { return RPO; }
+
+  /// True when \p Block is reachable from the entry.
+  bool isReachable(uint32_t Block) const { return Reachable[Block]; }
+
+private:
+  std::vector<std::vector<uint32_t>> Succs, Preds;
+  std::vector<uint32_t> RPO;
+  std::vector<bool> Reachable;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_ANALYSIS_CFG_H

@@ -1,0 +1,40 @@
+//===- simtvec/analysis/Dominators.h - Dominator tree -----------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominators via the Cooper-Harvey-Kennedy iterative algorithm.
+/// Used by local CSE (dominance-scoped value reuse) and by tests of the CFG
+/// substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_ANALYSIS_DOMINATORS_H
+#define SIMTVEC_ANALYSIS_DOMINATORS_H
+
+#include "simtvec/analysis/CFG.h"
+
+namespace simtvec {
+
+/// Dominator tree over a kernel CFG rooted at block 0.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFG &G);
+
+  /// Immediate dominator of \p Block; the entry's idom is itself.
+  /// Unreachable blocks report InvalidBlock.
+  uint32_t idom(uint32_t Block) const { return IDom[Block]; }
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> IDom;
+  std::vector<uint32_t> RPONumber;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,54 @@
+//===- simtvec/analysis/Liveness.h - Backward liveness ----------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward may-liveness over virtual registers. The yield-on-diverge
+/// lowering consumes this to decide which values the exit handlers must
+/// spill (live-out at divergence sites) and which values the entry handlers
+/// must restore (live-in at resume blocks) — paper Algorithms 3 and 4.
+///
+/// The IR is not SSA: a guarded definition does not kill (the prior value
+/// may flow through when the guard is false).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_ANALYSIS_LIVENESS_H
+#define SIMTVEC_ANALYSIS_LIVENESS_H
+
+#include "simtvec/analysis/CFG.h"
+#include "simtvec/support/BitSet.h"
+
+#include <functional>
+
+namespace simtvec {
+
+/// Per-block live-in / live-out register sets.
+class Liveness {
+public:
+  Liveness(const Kernel &K, const CFG &G);
+
+  const BitSet &liveIn(uint32_t Block) const { return In[Block]; }
+  const BitSet &liveOut(uint32_t Block) const { return Out[Block]; }
+
+  /// Live registers immediately before instruction \p InstIdx of \p Block
+  /// (computed by a backward scan from the block's live-out).
+  BitSet liveBefore(const Kernel &K, uint32_t Block, size_t InstIdx) const;
+
+  /// Maximum number of simultaneously live registers anywhere in \p Block,
+  /// weighted by \p RegCost(K, RegId) — the register-pressure input to the
+  /// machine model.
+  unsigned
+  maxPressure(const Kernel &K, uint32_t Block,
+              const std::function<unsigned(const Kernel &, RegId)> &RegCost)
+      const;
+
+private:
+  std::vector<BitSet> In, Out;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_ANALYSIS_LIVENESS_H

@@ -1,0 +1,51 @@
+//===- simtvec/analysis/LoopInfo.h - Natural-loop detection -----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops via dominator-based back-edge detection. Used by the
+/// statistics tooling (loop-heavy kernels drive the divergence behaviour of
+/// Figures 6/7) and available to future transforms (the paper's envisioned
+/// loop-aware pack hoisting).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_ANALYSIS_LOOPINFO_H
+#define SIMTVEC_ANALYSIS_LOOPINFO_H
+
+#include "simtvec/analysis/Dominators.h"
+
+namespace simtvec {
+
+/// One natural loop: a header and the set of blocks on paths from the
+/// back-edge sources to the header.
+struct Loop {
+  uint32_t Header = InvalidBlock;
+  std::vector<uint32_t> BackEdgeSources; ///< latch blocks
+  std::vector<uint32_t> Blocks;          ///< includes the header; sorted
+};
+
+/// Natural loops of a kernel CFG (loops sharing a header are merged).
+class LoopInfo {
+public:
+  LoopInfo(const CFG &G, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// True when \p Block belongs to any loop.
+  bool isInLoop(uint32_t Block) const { return InAnyLoop[Block]; }
+
+  /// The innermost... this analysis does not nest loops; returns the loop
+  /// whose header is \p Block, or null.
+  const Loop *loopWithHeader(uint32_t Block) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<bool> InAnyLoop;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_ANALYSIS_LOOPINFO_H

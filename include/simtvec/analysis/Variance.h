@@ -1,0 +1,71 @@
+//===- simtvec/analysis/Variance.h - Thread-variance analysis ---*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative thread-variance analysis (paper §6.2 and [12]): a register
+/// is *thread-invariant* when every value it can hold is identical across
+/// the threads of a warp executing the same block. Roots of variance are the
+/// thread-index special registers (%tid.*, %laneid) and all memory loads
+/// except .param loads; everything data-dependent on a variant value is
+/// variant. Because warps only ever co-execute threads waiting at the same
+/// entry point, control flow does not break per-warp uniformity, so the
+/// fixed point is flow-insensitive over all reaching definitions.
+///
+/// Thread-invariant expression elimination (static warp formation) and the
+/// uniform-branch ablation both consume this analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_ANALYSIS_VARIANCE_H
+#define SIMTVEC_ANALYSIS_VARIANCE_H
+
+#include "simtvec/ir/Kernel.h"
+#include "simtvec/support/BitSet.h"
+
+namespace simtvec {
+
+/// Variance-analysis assumptions.
+struct VarianceOptions {
+  /// Under static warp formation with the CTA's x-extent a multiple of the
+  /// warp size, a warp never crosses an x-row, so %tid.y and %tid.z are
+  /// warp-uniform. %tid.x and %laneid stay variant.
+  bool TidYZUniform = false;
+
+  /// Additional variance roots. The vectorizer seeds this with every
+  /// register live-in at a planned entry point: threads re-grouped at an
+  /// entry may come from different control-flow "phases" (e.g. different
+  /// loop trip counts), so restored state is never warp-uniform even when
+  /// its dataflow only touches uniform inputs.
+  const BitSet *ExtraRoots = nullptr;
+};
+
+/// Thread-variance of each virtual register of a kernel.
+class VarianceAnalysis {
+public:
+  explicit VarianceAnalysis(const Kernel &K, VarianceOptions Opts = {});
+
+  /// True when \p R may hold different values in different threads of a
+  /// warp.
+  bool isVariant(RegId R) const { return Variant.test(R.Index); }
+
+  /// True when every register operand of \p I is invariant and the
+  /// instruction itself introduces no variance (it would compute the same
+  /// value in every lane).
+  bool isInvariantInstruction(const Instruction &I) const;
+
+  /// Number of variant registers (for statistics).
+  size_t variantCount() const { return Variant.count(); }
+
+private:
+  bool introducesVariance(const Instruction &I) const;
+
+  VarianceOptions Opts;
+  BitSet Variant;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_ANALYSIS_VARIANCE_H

@@ -1,0 +1,134 @@
+//===- simtvec/core/ExecutionManager.h - Dynamic execution manager -*- C++ -*-//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic execution manager and kernel launch orchestration (paper §3
+/// and §5.2). A launch spawns worker threads; the grid of CTAs is
+/// statically partitioned across them. Each worker's execution manager owns
+/// the thread contexts of its current CTA, forms warps from ready threads
+/// waiting at the same entry point (round-robin pick, then the largest warp
+/// the translation cache has a specialization for), runs them on the VM,
+/// and processes yields: divergent branches return threads to the ready
+/// pool, barriers move them to a wait queue released when the whole CTA has
+/// arrived, and terminated contexts are discarded.
+///
+/// Warp formation policies (paper §6.2):
+///  - Dynamic: any ready threads of the CTA with the same entry ID.
+///  - Static: only threads of the same aligned group of MaxWarpSize
+///    consecutive linear thread IDs (the precondition for thread-invariant
+///    elimination).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_CORE_EXECUTIONMANAGER_H
+#define SIMTVEC_CORE_EXECUTIONMANAGER_H
+
+#include "simtvec/core/TranslationCache.h"
+#include "simtvec/vm/Counters.h"
+#include "simtvec/vm/ThreadContext.h"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+/// How warps are formed from ready threads.
+enum class WarpFormation : uint8_t { Dynamic, Static };
+
+/// Launch-wide configuration.
+struct LaunchConfig {
+  MachineModel Machine;
+
+  /// Largest warp specialization used (the paper evaluates 4 = SSE lanes).
+  uint32_t MaxWarpSize = 4;
+
+  WarpFormation Formation = WarpFormation::Dynamic;
+
+  /// Thread-invariant expression elimination; requires Static formation.
+  bool ThreadInvariantElim = false;
+
+  /// Lower provably-uniform branches directly (ablation).
+  bool UniformBranchOpt = false;
+
+  /// Collapse provably warp-uniform computations (constant-memory loads)
+  /// to one scalar copy (ablation of the paper's future-work uniform/affine
+  /// analysis).
+  bool UniformLoadOpt = false;
+
+  /// Worker threads; 0 uses Machine.Cores.
+  unsigned Workers = 0;
+
+  /// Run workers on OS threads (true, as in the paper) or sequentially in
+  /// the caller (false; deterministic debugging).
+  bool UseOsThreads = true;
+};
+
+/// Aggregated results of one kernel launch.
+struct LaunchStats {
+  CycleCounters Counters; ///< summed over all workers
+
+  /// Modeled wall time: slowest worker's cycles over the modeled clock.
+  double MaxWorkerCycles = 0;
+  double ModeledSeconds = 0;
+
+  /// Kernel-entry histogram by warp size (paper Fig. 7).
+  std::map<uint32_t, uint64_t> EntriesByWidth;
+  uint64_t WarpEntries = 0;   ///< total warp-level kernel entries
+  uint64_t ThreadEntries = 0; ///< sum of warp sizes over entries
+
+  uint64_t BranchYields = 0;
+  uint64_t BarrierYields = 0;
+  uint64_t ExitYields = 0;
+
+  /// Average threads per kernel entry (paper Fig. 7).
+  double avgWarpSize() const {
+    return WarpEntries ? static_cast<double>(ThreadEntries) /
+                             static_cast<double>(WarpEntries)
+                       : 0;
+  }
+  /// Average values restored per thread per entry (paper Fig. 8).
+  double restoredPerThreadEntry() const {
+    return ThreadEntries ? static_cast<double>(Counters.RestoredValues) /
+                               static_cast<double>(ThreadEntries)
+                         : 0;
+  }
+  /// Cycle fractions (paper Fig. 9).
+  double emFraction() const {
+    double T = Counters.totalCycles();
+    return T > 0 ? Counters.EMCycles / T : 0;
+  }
+  double yieldFraction() const {
+    double T = Counters.totalCycles();
+    return T > 0 ? Counters.YieldCycles / T : 0;
+  }
+  double subkernelFraction() const {
+    double T = Counters.totalCycles();
+    return T > 0 ? Counters.SubkernelCycles / T : 0;
+  }
+  /// Modeled floating-point throughput (paper Table 1).
+  double gflops() const {
+    return ModeledSeconds > 0
+               ? static_cast<double>(Counters.Flops) / ModeledSeconds / 1e9
+               : 0;
+  }
+};
+
+/// Launches \p KernelName over \p Grid x \p Block with the serialized
+/// parameter buffer \p ParamBuf against the global-memory arena
+/// [\p Global, \p Global + \p GlobalSize). Returns the launch statistics or
+/// the first error (unknown kernel, VM trap, barrier deadlock, invalid
+/// configuration).
+Expected<LaunchStats>
+launchKernel(TranslationCache &TC, const std::string &KernelName, Dim3 Grid,
+             Dim3 Block, const std::vector<std::byte> &ParamBuf,
+             std::byte *Global, size_t GlobalSize, std::mutex &AtomicMutex,
+             const LaunchConfig &Config);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_CORE_EXECUTIONMANAGER_H

@@ -1,0 +1,100 @@
+//===- simtvec/core/TranslationCache.h - Dynamic translation cache -*- C++ -*-//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic translation cache (paper §5.1): kernels registered with the
+/// runtime are lazily specialized per (warp size, formation policy) on the
+/// first query from an execution manager, passed through the classical
+/// optimization pipeline, verified, and prepared for the VM. Queries are
+/// serialized by a lock, as in the paper ("execution managers block while
+/// contending for a lock on the dynamic translation cache").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_CORE_TRANSLATIONCACHE_H
+#define SIMTVEC_CORE_TRANSLATIONCACHE_H
+
+#include "simtvec/core/Vectorizer.h"
+#include "simtvec/support/Status.h"
+#include "simtvec/vm/Executable.h"
+
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace simtvec {
+
+class Module;
+
+/// Lazily specializes kernels per warp size and policy.
+class TranslationCache {
+public:
+  /// \p M must outlive the cache. \p RunCleanup applies the classical
+  /// optimization pipeline (constant folding, CSE, DCE) after
+  /// vectorization, as the paper's cache does with LLVM passes.
+  TranslationCache(const Module &M, const MachineModel &Machine,
+                   bool RunCleanup = true)
+      : M(M), Machine(Machine), RunCleanup(RunCleanup) {}
+
+  /// Key of one specialization.
+  struct Key {
+    std::string KernelName;
+    uint32_t WarpSize = 1;
+    bool ThreadInvariantElim = false;
+    bool UniformBranchOpt = false;
+    bool UniformLoadOpt = false;
+
+    bool operator<(const Key &R) const {
+      return std::tie(KernelName, WarpSize, ThreadInvariantElim,
+                      UniformBranchOpt, UniformLoadOpt) <
+             std::tie(R.KernelName, R.WarpSize, R.ThreadInvariantElim,
+                      R.UniformBranchOpt, R.UniformLoadOpt);
+    }
+  };
+
+  /// Returns the specialization for \p K, compiling it on the first query.
+  Expected<std::shared_ptr<const KernelExec>> get(const Key &K);
+
+  /// Memory footprint the execution manager must provision per kernel.
+  struct KernelLayout {
+    uint32_t LocalBytes = 0;  ///< per thread: user .local plus spill area
+    uint32_t SharedBytes = 0; ///< per CTA
+    uint32_t ParamBytes = 0;
+  };
+
+  /// Layout of \p KernelName (prepares the scalar form if necessary).
+  Expected<KernelLayout> layoutFor(const std::string &KernelName);
+
+  /// Cache behaviour counters.
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    double CompileSeconds = 0; ///< host wall time spent specializing
+  };
+  Stats stats() const;
+
+private:
+  /// Prepared scalar form shared by all specializations of a kernel.
+  struct PreparedKernel {
+    Kernel Scalar; ///< after PredicateToSelect + BarrierSplit
+    SpecializationPlan Plan;
+  };
+
+  Expected<const PreparedKernel *> prepare(const std::string &KernelName);
+
+  const Module &M;
+  MachineModel Machine;
+  bool RunCleanup;
+
+  mutable std::mutex Lock;
+  std::map<std::string, PreparedKernel> Prepared;
+  std::map<Key, std::shared_ptr<const KernelExec>> Cache;
+  Stats Counters;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_CORE_TRANSLATIONCACHE_H

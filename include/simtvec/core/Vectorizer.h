@@ -1,0 +1,97 @@
+//===- simtvec/core/Vectorizer.h - Kernel vectorization ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's primary contribution: the program transformation that maps a
+/// kernel of data-parallel scalar threads onto a vector unit.
+///
+///  - Algorithm 1 (Vectorize): each scalar instruction is replicated for the
+///    `ws` threads of a warp; vectorizable bundles are promoted to a single
+///    vector-typed instruction. Loads/stores stay scalar per lane, with
+///    explicit pack (insertelement) and unpack (extractelement) at the
+///    boundaries.
+///  - Algorithm 2: conditional branches become a predicate-sum switch:
+///    sum==0 jumps to the fall-through, sum==ws to the taken target (both
+///    stay inside the vectorized region), anything else enters an exit
+///    handler.
+///  - Algorithm 3 (CreateScheduler): a trampoline block switches on the
+///    warp's entry ID and jumps to entry handlers that restore live-in
+///    values from thread-local spill slots.
+///  - Algorithm 4 (CreateExits): exit handlers spill live-out values, write
+///    per-thread resume points via `selp`, set the resume status and yield
+///    to the execution manager.
+///
+/// Thread-invariant expression elimination (§6.2): under static warp
+/// formation, instructions whose values are provably identical across the
+/// warp are emitted once as scalars and broadcast on demand.
+///
+/// Entry IDs and spill-slot offsets come from a SpecializationPlan derived
+/// from the *scalar* kernel, so every warp-size specialization of a kernel
+/// agrees on both — a thread may yield from the width-4 binary and resume
+/// in the width-2 binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_CORE_VECTORIZER_H
+#define SIMTVEC_CORE_VECTORIZER_H
+
+#include "simtvec/ir/Kernel.h"
+
+#include <memory>
+#include <vector>
+
+namespace simtvec {
+
+/// Vectorization options.
+struct VectorizeOptions {
+  /// Threads per warp (1 = the scalar baseline specialization).
+  uint32_t WarpSize = 1;
+
+  /// Thread-invariant expression elimination. Only valid under static warp
+  /// formation with row-aligned warps (the execution manager enforces
+  /// both).
+  bool ThreadInvariantElim = false;
+
+  /// Lower branches whose condition is provably warp-uniform as direct
+  /// branches instead of predicate-sum switches (ablation of the paper's
+  /// "divergence analysis" future work).
+  bool UniformBranchOpt = false;
+
+  /// Collapse provably warp-uniform computations — notably .param
+  /// (constant-memory) loads and the expressions over them — to one scalar
+  /// copy even under dynamic warp formation (the paper's §4 "divergence
+  /// analysis [11] and affine analysis [12]" future work, restricted to
+  /// the uniform case; %tid.y/z stay variant since warps are arbitrary).
+  bool UniformLoadOpt = false;
+};
+
+/// Warp-size-independent specialization metadata shared by all widths of
+/// one kernel: the entry-point table and the spill-slot layout.
+struct SpecializationPlan {
+  /// entry id -> scalar block index; entry 0 is the kernel entry.
+  std::vector<uint32_t> EntryScalarBlocks;
+  /// scalar block index -> entry id (or ~0u when the block is no entry).
+  std::vector<uint32_t> EntryIdOf;
+  /// register index -> spill slot byte offset (every register has one).
+  std::vector<uint32_t> SlotOf;
+  /// total spill area per thread.
+  uint32_t SpillBytes = 0;
+
+  /// Derives the plan from a prepared scalar kernel (predicate-to-select
+  /// and barrier splitting must already have run).
+  static SpecializationPlan build(const Kernel &ScalarKernel);
+};
+
+/// Produces the warp-size-\p Opts.WarpSize specialization of
+/// \p ScalarKernel. The input must verify, have no vector instructions, and
+/// have barriers only in BarrierSplit position.
+std::unique_ptr<Kernel> vectorizeKernel(const Kernel &ScalarKernel,
+                                        const SpecializationPlan &Plan,
+                                        const VectorizeOptions &Opts);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_CORE_VECTORIZER_H

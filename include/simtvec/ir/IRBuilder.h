@@ -1,0 +1,194 @@
+//===- simtvec/ir/IRBuilder.h - Convenience kernel builder ------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small helper for constructing kernels programmatically (used by the
+/// transforms, the tests and the random kernel generator). Appends
+/// instructions to a current insertion block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_IRBUILDER_H
+#define SIMTVEC_IR_IRBUILDER_H
+
+#include "simtvec/ir/Kernel.h"
+
+namespace simtvec {
+
+/// Appends instructions to a kernel block by block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Kernel &K) : K(K) {}
+
+  Kernel &kernel() { return K; }
+
+  /// Sets the insertion block.
+  void setBlock(uint32_t BlockIdx) {
+    assert(BlockIdx < K.Blocks.size() && "block index out of range");
+    Block = BlockIdx;
+  }
+  uint32_t block() const { return Block; }
+
+  /// Creates a block and makes it the insertion point.
+  uint32_t startBlock(std::string Name, BlockKind Kind = BlockKind::Body) {
+    Block = K.addBlock(std::move(Name), Kind);
+    return Block;
+  }
+
+  /// Appends \p I to the insertion block and returns a reference to it.
+  Instruction &append(Instruction I) {
+    assert(Block < K.Blocks.size() && "no insertion block");
+    BasicBlock &B = K.Blocks[Block];
+    assert(!B.hasTerminator() && "appending past a terminator");
+    B.Insts.push_back(std::move(I));
+    return B.Insts.back();
+  }
+
+  //===--------------------------------------------------------------------===
+  // Generic emitters
+  //===--------------------------------------------------------------------===
+
+  /// op.Ty Dst, Srcs...
+  Instruction &emit(Opcode Op, Type Ty, RegId Dst,
+                    std::vector<Operand> Srcs) {
+    Instruction I(Op, Ty);
+    I.Dst = Dst;
+    I.Srcs = std::move(Srcs);
+    return append(std::move(I));
+  }
+
+  Instruction &mov(RegId Dst, Operand Src) {
+    return emit(Opcode::Mov, K.regType(Dst), Dst, {Src});
+  }
+  Instruction &binary(Opcode Op, Type Ty, RegId Dst, Operand A, Operand B) {
+    return emit(Op, Ty, Dst, {A, B});
+  }
+  Instruction &add(Type Ty, RegId Dst, Operand A, Operand B) {
+    return binary(Opcode::Add, Ty, Dst, A, B);
+  }
+  Instruction &sub(Type Ty, RegId Dst, Operand A, Operand B) {
+    return binary(Opcode::Sub, Ty, Dst, A, B);
+  }
+  Instruction &mul(Type Ty, RegId Dst, Operand A, Operand B) {
+    return binary(Opcode::Mul, Ty, Dst, A, B);
+  }
+  Instruction &mad(Type Ty, RegId Dst, Operand A, Operand B, Operand C) {
+    return emit(Opcode::Mad, Ty, Dst, {A, B, C});
+  }
+  Instruction &setp(CmpOp Cmp, Type Ty, RegId Dst, Operand A, Operand B) {
+    Instruction &I = emit(Opcode::Setp, Ty, Dst, {A, B});
+    I.Cmp = Cmp;
+    return I;
+  }
+  Instruction &selp(Type Ty, RegId Dst, Operand A, Operand B, Operand Pred) {
+    return emit(Opcode::Selp, Ty, Dst, {A, B, Pred});
+  }
+  Instruction &cvt(Type DstTy, RegId Dst, Operand Src) {
+    return emit(Opcode::Cvt, DstTy, Dst, {Src});
+  }
+
+  Instruction &ld(AddressSpace Space, Type Ty, RegId Dst, Operand Addr,
+                  int64_t Offset = 0) {
+    Instruction &I = emit(Opcode::Ld, Ty, Dst, {Addr});
+    I.Space = Space;
+    I.MemOffset = Offset;
+    return I;
+  }
+  Instruction &st(AddressSpace Space, Type Ty, Operand Addr, Operand Value,
+                  int64_t Offset = 0) {
+    Instruction I(Opcode::St, Ty);
+    I.Space = Space;
+    I.Srcs = {Addr, Value};
+    I.MemOffset = Offset;
+    return append(std::move(I));
+  }
+
+  Instruction &barSync() { return append(Instruction(Opcode::BarSync)); }
+
+  Instruction &bra(uint32_t Target) {
+    Instruction I(Opcode::Bra);
+    I.Target = Target;
+    return append(std::move(I));
+  }
+  Instruction &braCond(RegId Pred, bool Negated, uint32_t Taken,
+                       uint32_t FallThrough) {
+    Instruction I(Opcode::Bra);
+    I.Guard = Pred;
+    I.GuardNegated = Negated;
+    I.Target = Taken;
+    I.FalseTarget = FallThrough;
+    return append(std::move(I));
+  }
+  Instruction &ret() { return append(Instruction(Opcode::Ret)); }
+
+  //===--------------------------------------------------------------------===
+  // Vector / runtime emitters (used by the vectorizer and divergence
+  // lowering)
+  //===--------------------------------------------------------------------===
+
+  Instruction &broadcast(RegId Dst, Operand Scalar) {
+    return emit(Opcode::Broadcast, K.regType(Dst), Dst, {Scalar});
+  }
+  Instruction &iota(RegId Dst) {
+    return emit(Opcode::Iota, K.regType(Dst), Dst, {});
+  }
+  Instruction &insertElement(RegId Dst, Operand Vec, Operand Scalar,
+                             uint32_t LaneIdx) {
+    return emit(Opcode::InsertElement, K.regType(Dst), Dst,
+                {Vec, Scalar, Operand::immInt(Type::u32(), LaneIdx)});
+  }
+  Instruction &extractElement(RegId Dst, Operand Vec, uint32_t LaneIdx) {
+    return emit(Opcode::ExtractElement, K.regType(Dst), Dst,
+                {Vec, Operand::immInt(Type::u32(), LaneIdx)});
+  }
+  Instruction &voteSum(RegId Dst, Operand PredVec) {
+    return emit(Opcode::VoteSum, Type::u32(), Dst, {PredVec});
+  }
+  Instruction &spill(Operand Value, Type Ty, int64_t SlotOffset) {
+    Instruction I(Opcode::Spill, Ty);
+    I.Srcs = {Value};
+    I.MemOffset = SlotOffset;
+    return append(std::move(I));
+  }
+  Instruction &restore(RegId Dst, int64_t SlotOffset) {
+    Instruction I(Opcode::Restore, K.regType(Dst));
+    I.Dst = Dst;
+    I.MemOffset = SlotOffset;
+    return append(std::move(I));
+  }
+  Instruction &setRPoint(Operand EntryIds) {
+    Instruction I(Opcode::SetRPoint, Type::u32());
+    I.Srcs = {EntryIds};
+    return append(std::move(I));
+  }
+  Instruction &setRStatus(ResumeStatus Status) {
+    Instruction I(Opcode::SetRStatus, Type::u32());
+    I.Srcs = {Operand::immInt(Type::u32(), static_cast<int64_t>(Status))};
+    return append(std::move(I));
+  }
+  Instruction &yield() { return append(Instruction(Opcode::Yield)); }
+
+  Instruction &makeSwitch(Operand Value, std::vector<int64_t> CaseValues,
+                          std::vector<uint32_t> CaseTargets,
+                          uint32_t DefaultTarget) {
+    assert(CaseValues.size() == CaseTargets.size() &&
+           "switch case arrays must be parallel");
+    Instruction I(Opcode::Switch, Type::u32());
+    I.Srcs = {Value};
+    I.SwitchValues = std::move(CaseValues);
+    I.SwitchTargets = std::move(CaseTargets);
+    I.SwitchDefault = DefaultTarget;
+    return append(std::move(I));
+  }
+
+private:
+  Kernel &K;
+  uint32_t Block = InvalidBlock;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_IRBUILDER_H

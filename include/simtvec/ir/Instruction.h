@@ -1,0 +1,99 @@
+//===- simtvec/ir/Instruction.h - SVIR instructions -------------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SVIR instructions are plain values held by their basic block. The IR is
+/// register-based (PTX-like, not SSA): virtual registers are typed and may
+/// be assigned multiple times, so no phi nodes exist and the vectorizer's
+/// replication (paper Algorithm 1) is a straightforward register remapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_INSTRUCTION_H
+#define SIMTVEC_IR_INSTRUCTION_H
+
+#include "simtvec/ir/Opcode.h"
+#include "simtvec/ir/Operand.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simtvec {
+
+/// Sentinel for "no block target".
+inline constexpr uint32_t InvalidBlock = ~0u;
+
+/// One SVIR instruction.
+class Instruction {
+public:
+  Opcode Op = Opcode::Trap;
+
+  /// Operation type: the lane type the operation computes in. For Setp this
+  /// is the *compared* type (the result register is .pred). For Ld/St it is
+  /// the memory element type.
+  Type Ty;
+
+  /// Comparison operator; meaningful for Setp only.
+  CmpOp Cmp = CmpOp::Eq;
+
+  /// Address space; meaningful for Ld/St/AtomAdd.
+  AddressSpace Space = AddressSpace::Global;
+
+  /// Destination register; invalid when the opcode has no result.
+  RegId Dst;
+
+  /// Source operands. For Ld/AtomAdd the first operand is the address; for
+  /// St the first operand is the address and the second the stored value.
+  std::vector<Operand> Srcs;
+
+  /// Byte offset added to the address operand of Ld/St/AtomAdd, and the slot
+  /// offset of Spill/Restore.
+  int64_t MemOffset = 0;
+
+  /// Guard predicate (PTX `@%p` / `@!%p`); invalid when unguarded. For Bra
+  /// the guard is the branch condition.
+  RegId Guard;
+  bool GuardNegated = false;
+
+  /// Lane index this instruction executes for. Meaningful for replicated
+  /// scalar instructions inside a vectorized kernel: per-thread state
+  /// (special registers, .local addresses, guards) is resolved against lane
+  /// `Lane` of the executing warp.
+  uint16_t Lane = 0;
+
+  /// Bra: taken target; unconditional branches use only this.
+  uint32_t Target = InvalidBlock;
+  /// Bra: fall-through target of a guarded (conditional) branch.
+  uint32_t FalseTarget = InvalidBlock;
+
+  /// Switch: case values and targets (parallel arrays) plus default target.
+  std::vector<int64_t> SwitchValues;
+  std::vector<uint32_t> SwitchTargets;
+  uint32_t SwitchDefault = InvalidBlock;
+
+  Instruction() = default;
+  explicit Instruction(Opcode Op, Type Ty = Type()) : Op(Op), Ty(Ty) {}
+
+  bool isTerminator() const { return simtvec::isTerminator(Op); }
+  bool isConditionalBranch() const {
+    return Op == Opcode::Bra && Guard.isValid();
+  }
+  bool hasResult() const { return simtvec::hasResult(Op) && Dst.isValid(); }
+
+  /// Invokes \p Fn on every register this instruction reads (sources and
+  /// guard).
+  template <typename Fn> void forEachUse(Fn &&F) const {
+    for (const Operand &O : Srcs)
+      if (O.isReg())
+        F(O.regId());
+    if (Guard.isValid())
+      F(Guard);
+  }
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_INSTRUCTION_H

@@ -1,0 +1,159 @@
+//===- simtvec/ir/Kernel.h - SVIR kernels and basic blocks ------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A kernel is a scalar function launched over a hierarchical collection of
+/// threads (paper Figure 1). After specialization by the translation cache
+/// it additionally carries warp-size metadata, the entry-point table used by
+/// the scheduler block, and the spill-slot area appended to thread-local
+/// memory (paper Algorithms 2-4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_KERNEL_H
+#define SIMTVEC_IR_KERNEL_H
+
+#include "simtvec/ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+/// Role of a block inside a specialized kernel; used to attribute modeled
+/// cycles to the paper's Figure 9 buckets (subkernel vs yield handling).
+enum class BlockKind : uint8_t {
+  Body,         ///< vectorized kernel body
+  Scheduler,    ///< compiler-inserted trampoline (Algorithm 3)
+  EntryHandler, ///< restores live state on entry (Algorithm 3)
+  ExitHandler,  ///< spills live state and yields (Algorithm 4)
+};
+
+/// A basic block: a label, a run of non-terminators, and one terminator.
+class BasicBlock {
+public:
+  std::string Name;
+  BlockKind Kind = BlockKind::Body;
+  std::vector<Instruction> Insts;
+
+  BasicBlock() = default;
+  explicit BasicBlock(std::string Name, BlockKind Kind = BlockKind::Body)
+      : Name(std::move(Name)), Kind(Kind) {}
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+  const Instruction &terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back();
+  }
+  Instruction &terminator() {
+    assert(hasTerminator() && "block has no terminator");
+    return Insts.back();
+  }
+};
+
+/// A kernel parameter (uniform across all threads of a launch).
+struct Param {
+  std::string Name;
+  Type Ty;
+  uint32_t Offset = 0; ///< byte offset in the parameter buffer
+};
+
+/// A named array in the .shared or .local space.
+struct MemVar {
+  std::string Name;
+  uint32_t Bytes = 0;
+  uint32_t Offset = 0; ///< byte offset within its space
+};
+
+/// A typed virtual register.
+struct VirtualRegister {
+  std::string Name;
+  Type Ty;
+};
+
+/// A data-parallel kernel.
+class Kernel {
+public:
+  std::string Name;
+
+  std::vector<Param> Params;
+  uint32_t ParamBytes = 0;
+
+  std::vector<MemVar> SharedVars;
+  uint32_t SharedBytes = 0; ///< per-CTA
+
+  std::vector<MemVar> LocalVars;
+  uint32_t LocalBytes = 0; ///< per-thread, user-declared portion
+
+  std::vector<VirtualRegister> Regs;
+  std::vector<BasicBlock> Blocks; ///< Blocks[0] is the function entry
+
+  //===--------------------------------------------------------------------===
+  // Specialization metadata (filled in by the core transforms).
+  //===--------------------------------------------------------------------===
+
+  /// Warp size this kernel was specialized for; 0 for unspecialized input.
+  uint32_t WarpSize = 0;
+
+  /// Entry-point table: entry ID -> block index. Entry 0 is the kernel
+  /// entry; further entries are successors of divergence and barrier sites
+  /// (paper Algorithm 3). Empty for unspecialized input.
+  std::vector<uint32_t> EntryBlocks;
+
+  /// Bytes of spill area appended to each thread's local memory by the
+  /// yield-on-diverge lowering.
+  uint32_t SpillBytes = 0;
+
+  //===--------------------------------------------------------------------===
+
+  /// Adds a register and returns its id.
+  RegId addReg(std::string Name, Type Ty) {
+    Regs.push_back({std::move(Name), Ty});
+    return RegId(static_cast<uint32_t>(Regs.size() - 1));
+  }
+
+  /// Adds a block and returns its index.
+  uint32_t addBlock(std::string Name, BlockKind Kind = BlockKind::Body) {
+    Blocks.emplace_back(std::move(Name), Kind);
+    return static_cast<uint32_t>(Blocks.size() - 1);
+  }
+
+  const VirtualRegister &reg(RegId Id) const {
+    assert(Id.Index < Regs.size() && "register id out of range");
+    return Regs[Id.Index];
+  }
+  Type regType(RegId Id) const { return reg(Id).Ty; }
+
+  /// Finds a register by name; returns an invalid id when absent.
+  RegId findReg(const std::string &Name) const;
+
+  /// Finds a block by label; returns InvalidBlock when absent.
+  uint32_t findBlock(const std::string &Name) const;
+
+  /// Finds a parameter index by name; returns ~0u when absent.
+  uint32_t findParam(const std::string &Name) const;
+
+  /// Appends a parameter, assigning its buffer offset (naturally aligned).
+  uint32_t addParam(std::string Name, Type Ty);
+
+  /// Appends a shared (or local) array, assigning its offset. Alignment is
+  /// 16 bytes, enough for any element type.
+  uint32_t addSharedVar(std::string Name, uint32_t Bytes);
+  uint32_t addLocalVar(std::string Name, uint32_t Bytes);
+
+  /// Successor block indices of block \p BlockIdx, derived from its
+  /// terminator.
+  std::vector<uint32_t> successors(uint32_t BlockIdx) const;
+
+  /// Total dynamic instruction count (static, over all blocks).
+  size_t instructionCount() const;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_KERNEL_H

@@ -1,0 +1,48 @@
+//===- simtvec/ir/Module.h - SVIR modules -----------------------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A module is a named collection of kernels, mirroring a registered PTX
+/// module in the paper's runtime (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_MODULE_H
+#define SIMTVEC_IR_MODULE_H
+
+#include "simtvec/ir/Kernel.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+/// A collection of kernels.
+class Module {
+public:
+  /// Adds an empty kernel named \p Name and returns it.
+  Kernel &addKernel(std::string Name) {
+    Kernels.push_back(std::make_unique<Kernel>());
+    Kernels.back()->Name = std::move(Name);
+    return *Kernels.back();
+  }
+
+  /// Finds a kernel by name; returns null when absent.
+  Kernel *findKernel(const std::string &Name);
+  const Kernel *findKernel(const std::string &Name) const;
+
+  const std::vector<std::unique_ptr<Kernel>> &kernels() const {
+    return Kernels;
+  }
+
+private:
+  std::vector<std::unique_ptr<Kernel>> Kernels;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_MODULE_H

@@ -1,0 +1,130 @@
+//===- simtvec/ir/Opcode.h - SVIR opcodes and properties --------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SVIR instruction opcodes. The set mirrors the PTX subset the paper's
+/// pipeline consumes (arithmetic, transcendental, memory, control, barrier),
+/// plus the lane/vector operators and runtime intrinsics that the
+/// vectorization and yield-on-diverge transformations introduce (paper §4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_OPCODE_H
+#define SIMTVEC_IR_OPCODE_H
+
+#include <cstdint>
+
+namespace simtvec {
+
+enum class Opcode : uint8_t {
+  // Data movement and arithmetic (vectorizable).
+  Mov,
+  Add,
+  Sub,
+  Mul,
+  Mad, ///< d = a * b + c
+  Div,
+  Rem,
+  Min,
+  Max,
+  Neg,
+  Abs,
+  And,
+  Or,
+  Xor,
+  Not,
+  Shl,
+  Shr,
+  Setp, ///< compare, writes a predicate
+  Selp, ///< d = p ? a : b
+  Cvt,  ///< convert between scalar kinds
+
+  // Transcendentals (vectorizable; the paper vectorizes calls to
+  // transcendental built-ins).
+  Rcp,
+  Sqrt,
+  Rsqrt,
+  Sin,
+  Cos,
+  Lg2,
+  Ex2,
+
+  // Memory (not vectorizable: replicated per thread; paper §4,
+  // "Non-vectorizable Instructions").
+  Ld,
+  St,
+  AtomAdd, ///< d = old; [addr] += src (global space only)
+
+  // Control flow and synchronization.
+  Bra,     ///< conditional (guarded, two targets) or unconditional
+  Ret,     ///< thread termination
+  BarSync, ///< CTA-wide barrier
+
+  // Lane and vector operators (introduced by vectorization).
+  InsertElement,  ///< d = vec with lane k replaced by scalar
+  ExtractElement, ///< d = vec[k]
+  Broadcast,      ///< d = splat(scalar)
+  Iota,           ///< d = {0, 1, ..., w-1} (u32 vector)
+  VoteSum,        ///< d = sum over lanes of a predicate vector (u32 scalar)
+
+  // Runtime intrinsics (introduced by yield-on-diverge lowering, §4.1).
+  Switch,     ///< multiway branch on a u32 scalar
+  Spill,      ///< store each lane's element to that thread's spill slot
+  Restore,    ///< load each lane's element from that thread's spill slot
+  SetRPoint,  ///< write per-thread resume entry IDs to the contexts
+  SetRStatus, ///< write the warp's resume status
+  Yield,      ///< terminator: return control to the execution manager
+  Membar,     ///< memory fence (modeled as a no-op with issue cost)
+
+  Trap, ///< terminator: unreachable / abort
+};
+
+/// Comparison operators for Setp.
+enum class CmpOp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Memory address spaces (paper Figure 1: .global, .shared, .local, .param).
+enum class AddressSpace : uint8_t { Global, Shared, Local, Param };
+
+/// Why a warp returned to the execution manager (paper §4.1: "three classes
+/// of kernel yields").
+enum class ResumeStatus : uint8_t {
+  Branch = 0,  ///< divergent (or uniform-exit) branch: threads re-enter ready
+  Barrier = 1, ///< CTA-wide barrier: threads wait until all arrive
+  Exit = 2,    ///< thread termination: contexts are discarded
+};
+
+/// Printable mnemonic, e.g. "mad" or "vote.sum".
+const char *opcodeName(Opcode Op);
+
+/// Printable comparison name, e.g. "lt".
+const char *cmpOpName(CmpOp Cmp);
+
+/// Printable space name, e.g. "global".
+const char *addressSpaceName(AddressSpace Space);
+
+/// True for opcodes that replicate-then-promote to a single vector operation
+/// (Algorithm 1's "is vectorizable" predicate).
+bool isVectorizable(Opcode Op);
+
+/// True for Ld/St/AtomAdd.
+bool isMemoryOp(Opcode Op);
+
+/// True for opcodes that end a basic block.
+bool isTerminator(Opcode Op);
+
+/// True for the transcendental group (distinct issue cost in the machine
+/// model).
+bool isTranscendental(Opcode Op);
+
+/// True when the opcode writes a destination register.
+bool hasResult(Opcode Op);
+
+/// True for instructions with side effects that DCE must preserve.
+bool hasSideEffects(Opcode Op);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_OPCODE_H

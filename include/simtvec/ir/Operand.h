@@ -1,0 +1,169 @@
+//===- simtvec/ir/Operand.h - SVIR instruction operands ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operands of SVIR instructions: virtual registers, immediates, special
+/// registers (the thread-context accessors of the paper's context object:
+/// grid/block dimensions, block ID, thread ID), and address symbols for the
+/// .param/.shared/.local spaces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_OPERAND_H
+#define SIMTVEC_IR_OPERAND_H
+
+#include "simtvec/ir/Type.h"
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// Index of a virtual register within its kernel's register table.
+struct RegId {
+  uint32_t Index = ~0u;
+
+  RegId() = default;
+  explicit RegId(uint32_t Index) : Index(Index) {}
+
+  bool isValid() const { return Index != ~0u; }
+  bool operator==(const RegId &RHS) const { return Index == RHS.Index; }
+  bool operator!=(const RegId &RHS) const { return Index != RHS.Index; }
+};
+
+/// Special (context) registers. TidX..NCTAIdZ are the PTX %tid/%ntid/%ctaid/
+/// %nctaid accessors; the last three are introduced by the vectorizer:
+/// LaneId is the lane's position in the warp, WarpBaseTid is lane 0's
+/// linearized thread index (uniform; the basis of thread-invariant
+/// elimination with static warp formation, paper §6.2), WarpWidth is the
+/// specialization's warp size.
+enum class SReg : uint8_t {
+  TidX,
+  TidY,
+  TidZ,
+  NTidX,
+  NTidY,
+  NTidZ,
+  CTAIdX,
+  CTAIdY,
+  CTAIdZ,
+  NCTAIdX,
+  NCTAIdY,
+  NCTAIdZ,
+  LaneId,
+  WarpBaseTid,
+  WarpWidth,
+  EntryId, ///< the warp's entry point ID (scheduler dispatch, Algorithm 3)
+};
+
+/// Printable name for a special register, e.g. "%tid.x".
+const char *sregName(SReg S);
+
+/// True for special registers whose value differs between the threads of a
+/// warp (the roots of thread-variance, paper §6.2).
+bool isThreadVariant(SReg S);
+
+/// Kinds of address symbols.
+enum class SymKind : uint8_t { Param, Shared, Local };
+
+/// A single instruction operand.
+class Operand {
+public:
+  enum class Kind : uint8_t { None, Reg, Imm, Special, Symbol };
+
+  Operand() = default;
+
+  static Operand reg(RegId Reg) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.Reg = Reg;
+    return O;
+  }
+
+  /// An integer immediate of type \p Ty holding \p Value (sign-agnostic raw
+  /// bits in the low `bitWidth` bits).
+  static Operand immInt(Type Ty, int64_t Value) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.ImmTy = Ty;
+    O.ImmBits = static_cast<uint64_t>(Value);
+    return O;
+  }
+
+  static Operand immF32(float Value);
+  static Operand immF64(double Value);
+
+  /// An immediate with explicit raw bits.
+  static Operand immBits(Type Ty, uint64_t Bits) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.ImmTy = Ty;
+    O.ImmBits = Bits;
+    return O;
+  }
+
+  static Operand special(SReg S) {
+    Operand O;
+    O.K = Kind::Special;
+    O.Special = S;
+    return O;
+  }
+
+  static Operand symbol(SymKind SK, uint32_t Index) {
+    Operand O;
+    O.K = Kind::Symbol;
+    O.Sym = SK;
+    O.SymIndex = Index;
+    return O;
+  }
+
+  Kind kind() const { return K; }
+  bool isReg() const { return K == Kind::Reg; }
+  bool isImm() const { return K == Kind::Imm; }
+  bool isSpecial() const { return K == Kind::Special; }
+  bool isSymbol() const { return K == Kind::Symbol; }
+
+  RegId regId() const {
+    assert(isReg() && "not a register operand");
+    return Reg;
+  }
+  uint64_t immBits() const {
+    assert(isImm() && "not an immediate operand");
+    return ImmBits;
+  }
+  Type immType() const {
+    assert(isImm() && "not an immediate operand");
+    return ImmTy;
+  }
+  int64_t immInt() const;
+  float immF32() const;
+  double immF64() const;
+
+  SReg specialReg() const {
+    assert(isSpecial() && "not a special-register operand");
+    return Special;
+  }
+  SymKind symKind() const {
+    assert(isSymbol() && "not a symbol operand");
+    return Sym;
+  }
+  uint32_t symIndex() const {
+    assert(isSymbol() && "not a symbol operand");
+    return SymIndex;
+  }
+
+private:
+  Kind K = Kind::None;
+  RegId Reg;
+  Type ImmTy;
+  uint64_t ImmBits = 0;
+  SReg Special = SReg::TidX;
+  SymKind Sym = SymKind::Param;
+  uint32_t SymIndex = 0;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_OPERAND_H

@@ -1,0 +1,37 @@
+//===- simtvec/ir/Printer.h - SVIR textual printer --------------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules, kernels and instructions in the SVIR textual dialect.
+/// The printer and parser round-trip: parse(print(M)) is structurally equal
+/// to M, including specialization metadata.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_PRINTER_H
+#define SIMTVEC_IR_PRINTER_H
+
+#include <string>
+
+namespace simtvec {
+
+class Module;
+class Kernel;
+class Instruction;
+
+/// Renders \p M as SVIR text.
+std::string printModule(const Module &M);
+
+/// Renders \p K as SVIR text.
+std::string printKernel(const Kernel &K);
+
+/// Renders one instruction (no trailing newline). \p K supplies register and
+/// block names.
+std::string printInstruction(const Kernel &K, const Instruction &I);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_PRINTER_H

@@ -1,0 +1,46 @@
+//===- simtvec/ir/ScalarOps.h - Scalar operation semantics ------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane-level semantics of SVIR operations over raw 64-bit words:
+/// integers are zero-extended bit patterns, f32 occupies the low 32 bits,
+/// predicates are 0/1. Shared by the VM interpreter and the constant
+/// folder so folding is bit-exact with execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_SCALAROPS_H
+#define SIMTVEC_IR_SCALAROPS_H
+
+#include "simtvec/ir/Opcode.h"
+#include "simtvec/ir/Type.h"
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// d = A op B for a two-operand opcode; sets \p Bad when the opcode/kind
+/// combination is invalid (e.g. shl on f32).
+uint64_t evalBinary(Opcode Op, ScalarKind K, uint64_t A, uint64_t B,
+                    bool &Bad);
+
+/// d = A * B + C.
+uint64_t evalMad(ScalarKind K, uint64_t A, uint64_t B, uint64_t C, bool &Bad);
+
+/// d = op A for a one-operand opcode (neg/abs/not/transcendentals).
+uint64_t evalUnary(Opcode Op, ScalarKind K, uint64_t A, bool &Bad);
+
+/// Comparison of A and B interpreted as kind \p K (NaN compares false
+/// except under Ne).
+bool evalCmp(CmpOp Cmp, ScalarKind K, uint64_t A, uint64_t B);
+
+/// Conversion with well-defined float->int behaviour (NaN -> 0, saturating
+/// at the destination's range).
+uint64_t evalConvert(ScalarKind DstK, ScalarKind SrcK, uint64_t Bits);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_SCALAROPS_H

@@ -1,0 +1,94 @@
+//===- simtvec/ir/Type.h - SVIR type system ---------------------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SVIR value types. A type is a scalar kind plus a lane count; lane count 1
+/// is a scalar, lane count `w` is the vector form produced by the
+/// vectorization transformation for a warp of `w` threads (paper §4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_TYPE_H
+#define SIMTVEC_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace simtvec {
+
+/// Scalar element kinds, a PTX-flavoured subset.
+enum class ScalarKind : uint8_t {
+  Pred, ///< 1-bit predicate (stored as 0/1)
+  U8,   ///< unsigned byte
+  S32,
+  U32,
+  S64,
+  U64,
+  F32,
+  F64,
+};
+
+/// A value type: scalar kind x lane count.
+class Type {
+public:
+  constexpr Type() : Kind(ScalarKind::U32), NumLanes(1) {}
+  constexpr Type(ScalarKind Kind, uint16_t Lanes = 1)
+      : Kind(Kind), NumLanes(Lanes) {}
+
+  static constexpr Type pred() { return Type(ScalarKind::Pred); }
+  static constexpr Type u8() { return Type(ScalarKind::U8); }
+  static constexpr Type s32() { return Type(ScalarKind::S32); }
+  static constexpr Type u32() { return Type(ScalarKind::U32); }
+  static constexpr Type s64() { return Type(ScalarKind::S64); }
+  static constexpr Type u64() { return Type(ScalarKind::U64); }
+  static constexpr Type f32() { return Type(ScalarKind::F32); }
+  static constexpr Type f64() { return Type(ScalarKind::F64); }
+
+  ScalarKind kind() const { return Kind; }
+  uint16_t lanes() const { return NumLanes; }
+  bool isVector() const { return NumLanes > 1; }
+  bool isPred() const { return Kind == ScalarKind::Pred; }
+  bool isFloat() const {
+    return Kind == ScalarKind::F32 || Kind == ScalarKind::F64;
+  }
+  bool isInteger() const { return !isFloat() && !isPred(); }
+  bool isSigned() const {
+    return Kind == ScalarKind::S32 || Kind == ScalarKind::S64;
+  }
+
+  /// Bit width of one lane (predicates report 1).
+  unsigned bitWidth() const;
+
+  /// Byte size of one lane as stored in memory (predicates are not
+  /// addressable; asserts).
+  unsigned byteSize() const;
+
+  /// The scalar form of this type.
+  Type scalar() const { return Type(Kind, 1); }
+
+  /// This type widened (or narrowed) to \p Lanes lanes.
+  Type withLanes(uint16_t Lanes) const { return Type(Kind, Lanes); }
+
+  bool operator==(const Type &RHS) const {
+    return Kind == RHS.Kind && NumLanes == RHS.NumLanes;
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  /// Textual form, e.g. ".f32" or "<4 x .f32>".
+  std::string str() const;
+
+  /// Name of a scalar kind without the vector wrapper, e.g. "f32".
+  static const char *kindName(ScalarKind Kind);
+
+private:
+  ScalarKind Kind;
+  uint16_t NumLanes;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_TYPE_H

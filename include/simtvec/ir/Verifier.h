@@ -1,0 +1,32 @@
+//===- simtvec/ir/Verifier.h - SVIR structural verifier ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural and type invariants of kernels. Run after parsing
+/// and after every transformation in debug flows; the translation cache
+/// verifies each specialization before handing it to the VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_VERIFIER_H
+#define SIMTVEC_IR_VERIFIER_H
+
+#include "simtvec/support/Status.h"
+
+namespace simtvec {
+
+class Kernel;
+class Module;
+
+/// Verifies \p K; returns an error describing the first violation found.
+Status verifyKernel(const Kernel &K);
+
+/// Verifies every kernel of \p M.
+Status verifyModule(const Module &M);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_VERIFIER_H

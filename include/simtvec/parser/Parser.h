@@ -1,0 +1,35 @@
+//===- simtvec/parser/Parser.h - SVIR textual parser ------------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the SVIR textual dialect produced by the printer (and written by
+/// hand for the workload suite). Diagnostics carry line:column positions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_PARSER_PARSER_H
+#define SIMTVEC_PARSER_PARSER_H
+
+#include "simtvec/ir/Module.h"
+#include "simtvec/support/Status.h"
+
+#include <memory>
+#include <string>
+
+namespace simtvec {
+
+/// Parses \p Text into a module. On failure the status message contains a
+/// "line:col: ..." diagnostic.
+Expected<std::unique_ptr<Module>> parseModule(const std::string &Text);
+
+/// Convenience wrapper for inputs containing exactly one kernel; parses and
+/// verifies, asserting success (for tests and workload tables whose sources
+/// are compiled in).
+std::unique_ptr<Module> parseModuleOrDie(const std::string &Text);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_PARSER_PARSER_H

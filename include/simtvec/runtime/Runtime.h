@@ -1,0 +1,139 @@
+//===- simtvec/runtime/Runtime.h - Host-side API ----------------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host-facing API, playing the role of the CUDA Runtime front-end in
+/// the paper (§3): register a module, allocate device memory, copy data,
+/// launch kernels, read back statistics.
+///
+/// \code
+///   Device Dev;
+///   auto Prog = Program::compile(SvirText);
+///   uint64_t A = Dev.alloc(N * 4);
+///   Dev.copyToDevice(A, Host.data(), N * 4);
+///   ParamBuilder Params;
+///   Params.addU64(A).addU32(N);
+///   auto Stats = Prog->launch(Dev, "vecadd", {Blocks}, {256}, Params);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_RUNTIME_RUNTIME_H
+#define SIMTVEC_RUNTIME_RUNTIME_H
+
+#include "simtvec/core/ExecutionManager.h"
+#include "simtvec/ir/Module.h"
+
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace simtvec {
+
+/// A device: a flat, bounds-checked global-memory arena. "Device pointers"
+/// are byte offsets into the arena and are passed to kernels as .u64
+/// parameters.
+class Device {
+public:
+  /// Creates a device with \p GlobalBytes of global memory.
+  explicit Device(size_t GlobalBytes = 64ull << 20);
+
+  /// Allocates \p Bytes (16-byte aligned); returns the device address.
+  /// Address 0 is never returned (it backs null-pointer checks).
+  uint64_t alloc(size_t Bytes);
+
+  void copyToDevice(uint64_t Dst, const void *Src, size_t Bytes);
+  void copyFromDevice(void *Dst, uint64_t Src, size_t Bytes) const;
+  void memset(uint64_t Dst, int Value, size_t Bytes);
+
+  /// Typed helpers.
+  template <typename T> uint64_t allocArray(size_t Count) {
+    return alloc(Count * sizeof(T));
+  }
+  template <typename T>
+  void upload(uint64_t Dst, const std::vector<T> &Host) {
+    copyToDevice(Dst, Host.data(), Host.size() * sizeof(T));
+  }
+  template <typename T>
+  std::vector<T> download(uint64_t Src, size_t Count) const {
+    std::vector<T> Host(Count);
+    copyFromDevice(Host.data(), Src, Count * sizeof(T));
+    return Host;
+  }
+
+  std::byte *data() { return Arena.data(); }
+  size_t size() const { return Arena.size(); }
+  std::mutex &atomicMutex() { return AtomicMutex; }
+
+private:
+  std::vector<std::byte> Arena;
+  size_t Break = 16; // address 0..15 reserved
+  std::mutex AtomicMutex;
+};
+
+/// Serializes kernel parameters with the same natural-alignment layout the
+/// kernel's .param declarations use.
+class ParamBuilder {
+public:
+  ParamBuilder &addU32(uint32_t V) { return add(&V, sizeof(V)); }
+  ParamBuilder &addS32(int32_t V) { return add(&V, sizeof(V)); }
+  ParamBuilder &addU64(uint64_t V) { return add(&V, sizeof(V)); }
+  ParamBuilder &addF32(float V) { return add(&V, sizeof(V)); }
+  ParamBuilder &addF64(double V) { return add(&V, sizeof(V)); }
+
+  const std::vector<std::byte> &bytes() const { return Buffer; }
+
+private:
+  ParamBuilder &add(const void *Src, size_t Bytes) {
+    size_t Offset = (Buffer.size() + Bytes - 1) / Bytes * Bytes;
+    Buffer.resize(Offset + Bytes);
+    std::memcpy(Buffer.data() + Offset, Src, Bytes);
+    return *this;
+  }
+  std::vector<std::byte> Buffer;
+};
+
+/// Launch-time options (the machine model lives in the Program).
+struct LaunchOptions {
+  uint32_t MaxWarpSize = 4;
+  WarpFormation Formation = WarpFormation::Dynamic;
+  bool ThreadInvariantElim = false;
+  bool UniformBranchOpt = false;
+  bool UniformLoadOpt = false;
+  unsigned Workers = 0;
+  bool UseOsThreads = true;
+};
+
+/// A compiled SVIR module plus its translation cache.
+class Program {
+public:
+  /// Parses and verifies \p SvirText; specializations are produced lazily
+  /// at launch time by the translation cache.
+  static Expected<std::unique_ptr<Program>>
+  compile(const std::string &SvirText, const MachineModel &Machine = {});
+
+  /// Launches a kernel; blocks until all CTAs complete.
+  Expected<LaunchStats> launch(Device &Dev, const std::string &KernelName,
+                               Dim3 Grid, Dim3 Block,
+                               const ParamBuilder &Params,
+                               const LaunchOptions &Options = {});
+
+  TranslationCache &translationCache() { return *TC; }
+  const Module &module() const { return *M; }
+  const MachineModel &machine() const { return Machine; }
+
+private:
+  Program() = default;
+
+  MachineModel Machine;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<TranslationCache> TC;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_RUNTIME_RUNTIME_H

@@ -1,0 +1,99 @@
+//===- simtvec/support/BitSet.h - Dense dynamic bit set ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense fixed-capacity bit set used by the dataflow analyses (liveness,
+/// variance). Word-parallel union/intersection keep the fixed points cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_BITSET_H
+#define SIMTVEC_SUPPORT_BITSET_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simtvec {
+
+/// Dense bit set over [0, size).
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(size_t Size) : NumBits(Size), Words((Size + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits && "bit index out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+  void set(size_t Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[Bit / 64] |= 1ull << (Bit % 64);
+  }
+  void reset(size_t Bit) {
+    assert(Bit < NumBits && "bit index out of range");
+    Words[Bit / 64] &= ~(1ull << (Bit % 64));
+  }
+
+  /// Union-in; returns true when this set changed.
+  bool unionWith(const BitSet &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Merged = Words[W] | RHS.Words[W];
+      Changed |= Merged != Words[W];
+      Words[W] = Merged;
+    }
+    return Changed;
+  }
+
+  /// this |= (RHS minus Kill).
+  bool unionWithMinus(const BitSet &RHS, const BitSet &Kill) {
+    assert(NumBits == RHS.NumBits && NumBits == Kill.NumBits &&
+           "size mismatch");
+    bool Changed = false;
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Merged = Words[W] | (RHS.Words[W] & ~Kill.Words[W]);
+      Changed |= Merged != Words[W];
+      Words[W] = Merged;
+    }
+    return Changed;
+  }
+
+  size_t count() const {
+    size_t Total = 0;
+    for (uint64_t W : Words)
+      Total += static_cast<size_t>(__builtin_popcountll(W));
+    return Total;
+  }
+
+  bool operator==(const BitSet &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+
+  /// Invokes \p F for each set bit in ascending order.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned Tz = static_cast<unsigned>(__builtin_ctzll(Bits));
+        F(W * 64 + Tz);
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_BITSET_H

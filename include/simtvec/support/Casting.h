@@ -1,0 +1,49 @@
+//===- simtvec/support/Casting.h - LLVM-style isa/cast/dyn_cast -*- C++ -*-===//
+//
+// Part of SIMTVec, a reproduction of "Dynamic Compilation of Data-Parallel
+// Kernels for Vector Processors" (Kerr, Diamos, Yalamanchili; CGO 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in RTTI templates in the style of llvm/Support/Casting.h. A class
+/// hierarchy participates by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_CASTING_H
+#define SIMTVEC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace simtvec {
+
+/// Returns true if \p Val is an instance of \p To (checked via classof).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_CASTING_H

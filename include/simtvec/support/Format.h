@@ -1,0 +1,30 @@
+//===- simtvec/support/Format.h - printf-style string formatting -*- C++ -*-=//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `formatString` renders a printf-style format into a std::string. Used for
+/// diagnostics and for the bench harness tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_FORMAT_H
+#define SIMTVEC_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace simtvec {
+
+/// Renders \p Fmt with printf semantics into a string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_FORMAT_H

@@ -1,0 +1,64 @@
+//===- simtvec/support/RNG.h - Deterministic random numbers -----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 generator used to synthesize workload inputs deterministically.
+/// Every experiment seeds its own RNG so results are reproducible bit-for-bit
+/// across runs and hosts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_RNG_H
+#define SIMTVEC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace simtvec {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Uniform float in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [Lo, Hi).
+  float nextFloat(float Lo, float Hi) { return Lo + (Hi - Lo) * nextFloat(); }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_RNG_H

@@ -1,0 +1,97 @@
+//===- simtvec/support/Status.h - Recoverable error handling ----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exception-free recoverable error types. `Status` carries success or an
+/// error message; `Expected<T>` carries a value or an error message. Both
+/// follow the spirit of llvm::Error / llvm::Expected, without the
+/// checked-flag machinery (the library compiles with -fno-exceptions
+/// semantics: programmatic errors are asserts, recoverable errors are these).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_STATUS_H
+#define SIMTVEC_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace simtvec {
+
+/// Success or an error described by a message.
+class Status {
+public:
+  /// Creates a success value.
+  static Status success() { return Status(); }
+
+  /// Creates a failure value carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Message = std::move(Message);
+    assert(!S.Message->empty() && "error status requires a message");
+    return S;
+  }
+
+  /// True when this is an error.
+  explicit operator bool() const { return Message.has_value(); }
+
+  bool isError() const { return Message.has_value(); }
+
+  /// The error message; only valid when isError().
+  const std::string &message() const {
+    assert(isError() && "no message on a success Status");
+    return *Message;
+  }
+
+private:
+  Status() = default;
+  std::optional<std::string> Message;
+};
+
+/// A value of type \p T or an error message.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Status Err) : Err(std::move(Err)) {
+    assert(this->Err.isError() && "Expected built from a success Status");
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an errored Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an errored Expected");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The error; only valid on failure.
+  const Status &status() const {
+    assert(!Value && "no error on a successful Expected");
+    return Err;
+  }
+
+  /// Moves the contained value out; only valid on success.
+  T take() {
+    assert(Value && "taking from an errored Expected");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Status Err = Status::success();
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_STATUS_H

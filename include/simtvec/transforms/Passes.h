@@ -1,0 +1,53 @@
+//===- simtvec/transforms/Passes.h - Classical IR passes --------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical-optimization substrate the translation cache applies around
+/// vectorization (paper §5.1: predicate-to-select conversion and barrier
+/// block splitting before translation; "traditional compiler optimizations
+/// such as basic block fusion and common subexpression elimination" after).
+/// Every pass returns true when it changed the kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_TRANSFORMS_PASSES_H
+#define SIMTVEC_TRANSFORMS_PASSES_H
+
+#include "simtvec/ir/Kernel.h"
+
+namespace simtvec {
+
+/// Replaces guarded pure instructions with an unguarded compute into a
+/// fresh register followed by `selp` (paper §5.1). Guarded memory
+/// operations keep their guards (a select cannot express a suppressed side
+/// effect).
+bool runPredicateToSelect(Kernel &K);
+
+/// Splits basic blocks so every `bar.sync` ends its block, followed by an
+/// unconditional branch to the continuation (the yield lowering turns these
+/// sites into exits, paper §3: "kernel partitioning at barriers").
+bool runBarrierSplit(Kernel &K);
+
+/// Removes pure instructions whose results are dead (liveness-based).
+bool runDeadCodeElim(Kernel &K);
+
+/// Folds instructions with all-immediate operands into `mov` of an
+/// immediate, using the VM's bit-exact scalar semantics.
+bool runConstantFold(Kernel &K);
+
+/// Block-local common-subexpression elimination with copy propagation:
+/// recomputations of pure expressions over unmodified operands are
+/// forwarded to the earlier result. This is the pass that harvests the
+/// redundancy exposed by thread-invariant-aware vectorization (paper §6.2).
+bool runLocalCSE(Kernel &K);
+
+/// The post-vectorization cleanup pipeline: constant folding, CSE and DCE
+/// to a fixed point (bounded).
+bool runCleanupPipeline(Kernel &K);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_TRANSFORMS_PASSES_H

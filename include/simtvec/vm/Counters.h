@@ -1,0 +1,59 @@
+//===- simtvec/vm/Counters.h - Modeled cycle accounting ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic modeled-cycle and event counters. The buckets mirror the
+/// paper's Figure 9: time executing the vectorized subkernel, time in yield
+/// entry/exit handlers (save/restore of live state), and time in the
+/// execution manager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_COUNTERS_H
+#define SIMTVEC_VM_COUNTERS_H
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// Cycle and event counters accumulated by one worker.
+struct CycleCounters {
+  double SubkernelCycles = 0; ///< BlockKind::Body instructions
+  double YieldCycles = 0;     ///< scheduler / entry / exit handler blocks
+  double EMCycles = 0;        ///< execution-manager bookkeeping
+
+  uint64_t Flops = 0;
+  uint64_t InstsExecuted = 0;
+  uint64_t VectorInsts = 0; ///< executed instructions with vector type
+
+  uint64_t RestoredValues = 0; ///< executions of Restore (per warp, Fig. 8)
+  uint64_t SpilledValues = 0;  ///< executions of Spill (per warp)
+
+  uint64_t GlobalAccesses = 0; ///< global-space loads/stores/atomics
+  uint64_t GlobalMisses = 0;   ///< ... that missed the modeled L1
+
+  double totalCycles() const {
+    return SubkernelCycles + YieldCycles + EMCycles;
+  }
+
+  CycleCounters &operator+=(const CycleCounters &R) {
+    SubkernelCycles += R.SubkernelCycles;
+    YieldCycles += R.YieldCycles;
+    EMCycles += R.EMCycles;
+    Flops += R.Flops;
+    InstsExecuted += R.InstsExecuted;
+    VectorInsts += R.VectorInsts;
+    RestoredValues += R.RestoredValues;
+    SpilledValues += R.SpilledValues;
+    GlobalAccesses += R.GlobalAccesses;
+    GlobalMisses += R.GlobalMisses;
+    return *this;
+  }
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_COUNTERS_H

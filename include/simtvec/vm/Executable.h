@@ -1,0 +1,61 @@
+//===- simtvec/vm/Executable.h - Prepared kernel for the VM -----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A KernelExec is the VM-side artifact the translation cache produces: the
+/// (specialized) kernel plus precomputed register-file layout and per-block
+/// register-pressure penalties. It stands in for the paper's JIT-compiled
+/// native binary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_EXECUTABLE_H
+#define SIMTVEC_VM_EXECUTABLE_H
+
+#include "simtvec/ir/Kernel.h"
+#include "simtvec/vm/MachineModel.h"
+
+#include <memory>
+#include <vector>
+
+namespace simtvec {
+
+/// A kernel prepared for execution.
+class KernelExec {
+public:
+  /// Prepares \p K (which must verify) for execution under \p Machine.
+  /// Takes ownership of the kernel.
+  static std::shared_ptr<const KernelExec> build(std::unique_ptr<Kernel> K,
+                                                 const MachineModel &Machine);
+
+  const Kernel &kernel() const { return *K; }
+
+  /// First register-file slot of register \p R (one slot per lane).
+  uint32_t regSlot(RegId R) const { return RegOffset[R.Index]; }
+
+  /// Total register-file slots.
+  uint32_t totalSlots() const { return TotalSlots; }
+
+  /// Extra cycles added to every instruction executed in \p Block due to
+  /// register pressure beyond the machine's register file.
+  double pressurePenalty(uint32_t Block) const {
+    return BlockPenalty[Block];
+  }
+
+  /// Maximum modeled physical-register demand over all blocks (statistic).
+  unsigned maxPressure() const { return MaxPressure; }
+
+private:
+  std::unique_ptr<Kernel> K;
+  std::vector<uint32_t> RegOffset;
+  uint32_t TotalSlots = 0;
+  std::vector<double> BlockPenalty;
+  unsigned MaxPressure = 0;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_EXECUTABLE_H

@@ -1,0 +1,63 @@
+//===- simtvec/vm/Interpreter.h - The vector virtual machine ----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes (scalar or vectorized) SVIR directly, with vector-typed
+/// registers, per-lane replicated memory operations, and the runtime
+/// intrinsics inserted by yield-on-diverge lowering. It substitutes for the
+/// paper's LLVM JIT + native SSE execution: the transformed IR really runs,
+/// and the MachineModel attributes deterministic modeled cycles to each
+/// executed instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_INTERPRETER_H
+#define SIMTVEC_VM_INTERPRETER_H
+
+#include "simtvec/vm/Counters.h"
+#include "simtvec/vm/Executable.h"
+#include "simtvec/vm/ThreadContext.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+/// Executes kernels one warp-entry at a time.
+class Interpreter {
+public:
+  explicit Interpreter(const MachineModel &Machine) : Machine(Machine) {}
+
+  /// Outcome of one warp execution (entry to yield).
+  struct Result {
+    ResumeStatus Status = ResumeStatus::Exit;
+    /// Set when execution faulted (out-of-bounds access, invalid
+    /// operation); the kernel state is then unspecified.
+    std::optional<std::string> Trap;
+  };
+
+  /// Runs \p Exec for warp \p W from its current resume point until the
+  /// next yield (or ret). All lanes must share the same resume point.
+  /// Modeled cycles and events accumulate into \p Counters.
+  Result run(const KernelExec &Exec, const Warp &W, ExecMemory &Mem,
+             CycleCounters &Counters);
+
+private:
+  const MachineModel &Machine;
+  std::vector<uint64_t> RegFile;
+  std::vector<uint64_t> Scratch; // lane staging buffer
+
+  /// Modeled per-core L1 for the global space (set-associative tag array
+  /// with FIFO replacement); persists across warps and CTAs of this
+  /// worker.
+  std::vector<uint64_t> L1Tags;      // L1Sets * L1Ways entries
+  std::vector<uint8_t> L1NextWay;    // per-set FIFO cursor
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_INTERPRETER_H

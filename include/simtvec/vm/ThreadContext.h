@@ -1,0 +1,79 @@
+//===- simtvec/vm/ThreadContext.h - Thread contexts and warps ---*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread context object of the paper (§4): grid dimensions, block
+/// dimensions, block ID, thread ID and the thread-local memory base, plus
+/// the resume point / resume status fields written by the yield-on-diverge
+/// exit handlers (Algorithm 4). A warp is an ordered collection of contexts
+/// passed to a vectorized kernel; lane i of every vector register holds
+/// thread i's value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_THREADCONTEXT_H
+#define SIMTVEC_VM_THREADCONTEXT_H
+
+#include "simtvec/ir/Opcode.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace simtvec {
+
+/// Launch geometry.
+struct Dim3 {
+  uint32_t X = 1, Y = 1, Z = 1;
+  uint64_t count() const {
+    return static_cast<uint64_t>(X) * Y * Z;
+  }
+};
+
+/// One logical (light-weight) thread.
+struct ThreadContext {
+  uint32_t TidX = 0, TidY = 0, TidZ = 0;
+  uint32_t LinearTid = 0; ///< tid.x + tid.y*ntid.x + tid.z*ntid.x*ntid.y
+  Dim3 CtaId;
+  Dim3 GridDim;
+  Dim3 BlockDim;
+
+  /// Thread-local memory (user .local vars followed by the spill area).
+  std::byte *LocalMem = nullptr;
+
+  /// Entry ID at which this thread resumes (0 = kernel entry).
+  uint32_t ResumePoint = 0;
+  /// Why the last yield happened.
+  ResumeStatus Status = ResumeStatus::Branch;
+};
+
+/// An ordered collection of thread contexts executing in lock step.
+struct Warp {
+  ThreadContext *const *Threads = nullptr;
+  uint32_t Size = 0;
+
+  ThreadContext &lane(uint32_t L) const {
+    assert(L < Size && "lane out of range");
+    return *Threads[L];
+  }
+};
+
+/// The memory spaces visible to one warp execution.
+struct ExecMemory {
+  std::byte *Global = nullptr;
+  size_t GlobalSize = 0;
+  std::byte *Shared = nullptr; ///< the executing CTA's shared memory
+  size_t SharedSize = 0;
+  const std::byte *ParamBuf = nullptr;
+  size_t ParamSize = 0;
+  size_t LocalSize = 0; ///< per-thread local bytes (user + spill)
+  std::mutex *AtomicMutex = nullptr; ///< serializes AtomAdd across workers
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_THREADCONTEXT_H

@@ -1,0 +1,88 @@
+//===- simtvec/workloads/Workloads.h - Benchmark kernel suite ---*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application suite standing in for the paper's CUDA SDK / Parboil
+/// workloads (§6). Each workload bundles an SVIR kernel, a host-side
+/// problem setup, and a golden-reference checker. The suite spans the
+/// behaviour classes the evaluation aggregates:
+///
+///   compute-uniform   uniform control flow, flop-dominated (Throughput,
+///                     CP, Nbody, BlackScholes, MonteCarlo, MriQ)
+///   barrier-heavy     frequent CTA-wide synchronization (BinomialOptions,
+///                     MatrixMul, Reduction, Scan, FastWalsh, Bitonic)
+///   memory-bound      load/store dominated (BoxFilter, ScalarProd,
+///                     SobolQRNG, Transpose, Histogram64, VectorAdd)
+///   divergent         data-dependent, thread-uncorrelated control flow
+///                     (MersenneTwister, Mandelbrot)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_WORKLOADS_WORKLOADS_H
+#define SIMTVEC_WORKLOADS_WORKLOADS_H
+
+#include "simtvec/runtime/Runtime.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+/// One prepared problem: device buffers uploaded, parameters serialized,
+/// geometry chosen, checker bound.
+struct WorkloadInstance {
+  std::unique_ptr<Device> Dev;
+  Dim3 Grid, Block;
+  ParamBuilder Params;
+  /// Validates device results against the golden reference; fills \p Error
+  /// on mismatch.
+  std::function<bool(Device &, std::string &Error)> Check;
+};
+
+/// Behaviour classes used for reporting.
+enum class WorkloadClass : uint8_t {
+  ComputeUniform,
+  BarrierHeavy,
+  MemoryBound,
+  Divergent,
+};
+
+const char *workloadClassName(WorkloadClass C);
+
+/// A benchmark application.
+struct Workload {
+  const char *Name;
+  const char *KernelName;
+  WorkloadClass Class;
+  const char *Source; ///< SVIR text
+
+  /// Builds an instance at problem scale \p Scale (1 = the default size
+  /// used by the figure benches; tests use smaller scales).
+  std::function<std::unique_ptr<WorkloadInstance>(uint32_t Scale)> Make;
+};
+
+/// The full suite, in the order the figures report.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by name; null when absent.
+const Workload *findWorkload(const std::string &Name);
+
+/// Convenience: compile a workload's program (aborts on error; sources are
+/// compiled into the binary and must be valid).
+std::unique_ptr<Program> compileWorkload(const Workload &W,
+                                         const MachineModel &Machine = {});
+
+/// Convenience: run one workload end to end and validate; returns the
+/// stats or an error (including "validation failed: ...").
+Expected<LaunchStats> runWorkload(const Workload &W, uint32_t Scale,
+                                  const LaunchOptions &Options,
+                                  const MachineModel &Machine = {});
+
+} // namespace simtvec
+
+#endif // SIMTVEC_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,57 @@
+//===- analysis/CFG.cpp - Control-flow graph utilities --------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace simtvec;
+
+CFG::CFG(const Kernel &K) {
+  size_t N = K.Blocks.size();
+  Succs.resize(N);
+  Preds.resize(N);
+  Reachable.assign(N, false);
+
+  for (uint32_t B = 0; B < N; ++B) {
+    Succs[B] = K.successors(B);
+    for (uint32_t S : Succs[B])
+      Preds[S].push_back(B);
+  }
+
+  // Iterative post-order DFS from the entry. Extra entry points of
+  // specialized kernels are reachable through the scheduler block, which is
+  // the function entry, so rooting at 0 covers them.
+  std::vector<uint32_t> PostOrder;
+  PostOrder.reserve(N);
+  std::vector<uint8_t> State(N, 0); // 0 = unvisited, 1 = on stack, 2 = done
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  if (N > 0) {
+    Stack.emplace_back(0, 0);
+    State[0] = 1;
+    Reachable[0] = true;
+  }
+  while (!Stack.empty()) {
+    auto &[Block, NextSucc] = Stack.back();
+    if (NextSucc < Succs[Block].size()) {
+      uint32_t S = Succs[Block][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Reachable[S] = true;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[Block] = 2;
+    PostOrder.push_back(Block);
+    Stack.pop_back();
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (uint32_t B = 0; B < N; ++B)
+    if (!Reachable[B])
+      RPO.push_back(B);
+}

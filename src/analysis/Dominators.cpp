@@ -1,0 +1,67 @@
+//===- analysis/Dominators.cpp - Dominator tree ---------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/Dominators.h"
+
+using namespace simtvec;
+
+DominatorTree::DominatorTree(const CFG &G) {
+  size_t N = G.numBlocks();
+  IDom.assign(N, InvalidBlock);
+  RPONumber.assign(N, ~0u);
+
+  const std::vector<uint32_t> &RPO = G.reversePostOrder();
+  for (uint32_t I = 0; I < RPO.size(); ++I)
+    RPONumber[RPO[I]] = I;
+
+  if (N == 0)
+    return;
+  IDom[0] = 0;
+
+  auto intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RPONumber[A] > RPONumber[B])
+        A = IDom[A];
+      while (RPONumber[B] > RPONumber[A])
+        B = IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Block : RPO) {
+      if (Block == 0 || !G.isReachable(Block))
+        continue;
+      uint32_t NewIDom = InvalidBlock;
+      for (uint32_t P : G.predecessors(Block)) {
+        if (IDom[P] == InvalidBlock)
+          continue; // predecessor not processed yet or unreachable
+        NewIDom = NewIDom == InvalidBlock ? P : intersect(P, NewIDom);
+      }
+      if (NewIDom != InvalidBlock && IDom[Block] != NewIDom) {
+        IDom[Block] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (IDom[B] == InvalidBlock || IDom[A] == InvalidBlock)
+    return false; // unreachable blocks dominate nothing
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0)
+      return false;
+    uint32_t Next = IDom[B];
+    if (Next == B)
+      return false;
+    B = Next;
+  }
+}

@@ -1,0 +1,99 @@
+//===- analysis/Liveness.cpp - Backward liveness --------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/Liveness.h"
+
+using namespace simtvec;
+
+namespace {
+
+/// Per-block use (upward-exposed) and kill (unconditional def) sets.
+struct UseDef {
+  BitSet Use, Def;
+};
+
+UseDef computeUseDef(const Kernel &K, const BasicBlock &B) {
+  size_t NumRegs = K.Regs.size();
+  UseDef UD{BitSet(NumRegs), BitSet(NumRegs)};
+  for (const Instruction &I : B.Insts) {
+    I.forEachUse([&](RegId R) {
+      if (!UD.Def.test(R.Index))
+        UD.Use.set(R.Index);
+    });
+    if (I.hasResult() && !I.Guard.isValid())
+      UD.Def.set(I.Dst.Index);
+  }
+  return UD;
+}
+
+} // namespace
+
+Liveness::Liveness(const Kernel &K, const CFG &G) {
+  size_t N = K.Blocks.size();
+  size_t NumRegs = K.Regs.size();
+  In.assign(N, BitSet(NumRegs));
+  Out.assign(N, BitSet(NumRegs));
+
+  std::vector<UseDef> UD;
+  UD.reserve(N);
+  for (const BasicBlock &B : K.Blocks)
+    UD.push_back(computeUseDef(K, B));
+
+  // Backward fixed point, iterating blocks in post order (reverse of RPO)
+  // for fast convergence.
+  const std::vector<uint32_t> &RPO = G.reversePostOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = RPO.rbegin(); It != RPO.rend(); ++It) {
+      uint32_t B = *It;
+      for (uint32_t S : G.successors(B))
+        Changed |= Out[B].unionWith(In[S]);
+      // In = Use | (Out - Def)
+      Changed |= In[B].unionWith(UD[B].Use);
+      Changed |= In[B].unionWithMinus(Out[B], UD[B].Def);
+    }
+  }
+}
+
+BitSet Liveness::liveBefore(const Kernel &K, uint32_t Block,
+                            size_t InstIdx) const {
+  const BasicBlock &B = K.Blocks[Block];
+  assert(InstIdx <= B.Insts.size() && "instruction index out of range");
+  BitSet Live = Out[Block];
+  for (size_t I = B.Insts.size(); I-- > InstIdx;) {
+    const Instruction &Inst = B.Insts[I];
+    if (Inst.hasResult() && !Inst.Guard.isValid())
+      Live.reset(Inst.Dst.Index);
+    Inst.forEachUse([&](RegId R) { Live.set(R.Index); });
+  }
+  return Live;
+}
+
+unsigned Liveness::maxPressure(
+    const Kernel &K, uint32_t Block,
+    const std::function<unsigned(const Kernel &, RegId)> &RegCost) const {
+  const BasicBlock &B = K.Blocks[Block];
+  BitSet Live = Out[Block];
+  auto weigh = [&](const BitSet &S) {
+    unsigned Total = 0;
+    S.forEach([&](size_t R) {
+      Total += RegCost(K, RegId(static_cast<uint32_t>(R)));
+    });
+    return Total;
+  };
+  unsigned Max = weigh(Live);
+  for (size_t I = B.Insts.size(); I-- > 0;) {
+    const Instruction &Inst = B.Insts[I];
+    if (Inst.hasResult() && !Inst.Guard.isValid())
+      Live.reset(Inst.Dst.Index);
+    Inst.forEachUse([&](RegId R) { Live.set(R.Index); });
+    unsigned Here = weigh(Live);
+    if (Here > Max)
+      Max = Here;
+  }
+  return Max;
+}

@@ -1,0 +1,67 @@
+//===- analysis/LoopInfo.cpp - Natural-loop detection ---------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace simtvec;
+
+LoopInfo::LoopInfo(const CFG &G, const DominatorTree &DT) {
+  size_t N = G.numBlocks();
+  InAnyLoop.assign(N, false);
+
+  // Back edge: B -> H where H dominates B. Loops with the same header
+  // merge.
+  std::map<uint32_t, Loop> ByHeader;
+  for (uint32_t B = 0; B < N; ++B) {
+    if (!G.isReachable(B))
+      continue;
+    for (uint32_t H : G.successors(B)) {
+      if (!DT.dominates(H, B))
+        continue;
+      Loop &L = ByHeader[H];
+      L.Header = H;
+      L.BackEdgeSources.push_back(B);
+    }
+  }
+
+  // Loop body: backward reachability from each latch, stopping at the
+  // header.
+  for (auto &[Header, L] : ByHeader) {
+    std::vector<bool> InLoop(N, false);
+    InLoop[Header] = true;
+    std::vector<uint32_t> Stack = L.BackEdgeSources;
+    for (uint32_t B : Stack)
+      InLoop[B] = true;
+    while (!Stack.empty()) {
+      uint32_t B = Stack.back();
+      Stack.pop_back();
+      if (B == Header)
+        continue;
+      for (uint32_t P : G.predecessors(B))
+        if (!InLoop[P]) {
+          InLoop[P] = true;
+          Stack.push_back(P);
+        }
+    }
+    for (uint32_t B = 0; B < N; ++B)
+      if (InLoop[B]) {
+        L.Blocks.push_back(B);
+        InAnyLoop[B] = true;
+      }
+    std::sort(L.Blocks.begin(), L.Blocks.end());
+    Loops.push_back(std::move(L));
+  }
+}
+
+const Loop *LoopInfo::loopWithHeader(uint32_t Block) const {
+  for (const Loop &L : Loops)
+    if (L.Header == Block)
+      return &L;
+  return nullptr;
+}

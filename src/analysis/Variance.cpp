@@ -1,0 +1,70 @@
+//===- analysis/Variance.cpp - Thread-variance analysis -------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/Variance.h"
+
+using namespace simtvec;
+
+bool VarianceAnalysis::introducesVariance(const Instruction &I) const {
+  switch (I.Op) {
+  case Opcode::Ld:
+    // Loads may observe thread-dependent memory (the affine/uniform-load
+    // refinement is the paper's future work), except parameter loads, which
+    // read launch-uniform state.
+    if (I.Space != AddressSpace::Param)
+      return true;
+    break;
+  case Opcode::AtomAdd: // returned old value depends on arrival order
+  case Opcode::Restore: // restores per-thread state
+  case Opcode::Iota:    // per-lane by construction
+    return true;
+  default:
+    break;
+  }
+  for (const Operand &O : I.Srcs) {
+    if (!O.isSpecial())
+      continue;
+    SReg S = O.specialReg();
+    if (Opts.TidYZUniform && (S == SReg::TidY || S == SReg::TidZ))
+      continue;
+    if (isThreadVariant(S))
+      return true;
+  }
+  return false;
+}
+
+VarianceAnalysis::VarianceAnalysis(const Kernel &K, VarianceOptions Opts)
+    : Opts(Opts), Variant(K.Regs.size()) {
+  if (Opts.ExtraRoots)
+    Variant.unionWith(*Opts.ExtraRoots);
+  // Flow-insensitive fixed point: a register is variant if any definition
+  // of it is variant.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock &B : K.Blocks) {
+      for (const Instruction &I : B.Insts) {
+        if (!I.hasResult() || Variant.test(I.Dst.Index))
+          continue;
+        bool IsVariant = introducesVariance(I);
+        if (!IsVariant)
+          I.forEachUse([&](RegId R) { IsVariant |= Variant.test(R.Index); });
+        if (IsVariant) {
+          Variant.set(I.Dst.Index);
+          Changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool VarianceAnalysis::isInvariantInstruction(const Instruction &I) const {
+  if (introducesVariance(I))
+    return false;
+  bool AnyVariant = false;
+  I.forEachUse([&](RegId R) { AnyVariant |= Variant.test(R.Index); });
+  return !AnyVariant;
+}

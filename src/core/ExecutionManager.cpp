@@ -1,0 +1,338 @@
+//===- core/ExecutionManager.cpp - Dynamic execution manager --------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/ExecutionManager.h"
+
+#include "simtvec/support/Format.h"
+#include "simtvec/vm/Interpreter.h"
+
+#include <deque>
+#include <optional>
+#include <thread>
+
+using namespace simtvec;
+
+namespace {
+
+/// Largest power of two <= N (N >= 1).
+uint32_t floorPow2(uint32_t N) {
+  uint32_t P = 1;
+  while (P * 2 <= N)
+    P *= 2;
+  return P;
+}
+
+/// Per-worker accumulation.
+struct WorkerResult {
+  CycleCounters Counters;
+  std::map<uint32_t, uint64_t> EntriesByWidth;
+  uint64_t WarpEntries = 0;
+  uint64_t ThreadEntries = 0;
+  uint64_t BranchYields = 0;
+  uint64_t BarrierYields = 0;
+  uint64_t ExitYields = 0;
+  std::optional<std::string> Error;
+};
+
+/// One worker thread's execution manager (paper §5.2). Executes its
+/// assigned CTAs to completion, one at a time.
+class ExecutionManager {
+public:
+  ExecutionManager(TranslationCache &TC, const std::string &KernelName,
+                   const LaunchConfig &Config,
+                   const TranslationCache::KernelLayout &Layout, Dim3 Grid,
+                   Dim3 Block, const std::vector<std::byte> &ParamBuf,
+                   std::byte *Global, size_t GlobalSize,
+                   std::mutex &AtomicMutex)
+      : TC(TC), KernelName(KernelName), Config(Config), Layout(Layout),
+        Grid(Grid), Block(Block), ParamBuf(ParamBuf), Global(Global),
+        GlobalSize(GlobalSize), AtomicMutex(AtomicMutex),
+        Interp(Config.Machine) {}
+
+  /// Runs CTAs [first, first+stride, ...) to completion.
+  WorkerResult run(uint64_t FirstCta, uint64_t Stride);
+
+private:
+  enum class ThreadState : uint8_t { Ready, Running, Barrier, Exited };
+
+  bool runCta(uint64_t LinearCta, WorkerResult &R);
+
+  uint64_t bucketKey(const ThreadContext &Ctx) const {
+    uint64_t Key = Ctx.ResumePoint;
+    if (Config.Formation == WarpFormation::Static)
+      Key = (Key << 32) | (Ctx.LinearTid / Config.MaxWarpSize);
+    return Key;
+  }
+
+  TranslationCache &TC;
+  const std::string &KernelName;
+  const LaunchConfig &Config;
+  TranslationCache::KernelLayout Layout;
+  Dim3 Grid, Block;
+  const std::vector<std::byte> &ParamBuf;
+  std::byte *Global;
+  size_t GlobalSize;
+  std::mutex &AtomicMutex;
+  Interpreter Interp;
+};
+
+bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
+  const uint32_t NumThreads = static_cast<uint32_t>(Block.count());
+  const MachineModel &Machine = Config.Machine;
+
+  // Per-CTA memory structures (paper §5.2): shared memory and a contiguous
+  // block partitioned into per-thread local memories.
+  std::vector<std::byte> Shared(Layout.SharedBytes);
+  std::vector<std::byte> LocalArena(static_cast<size_t>(NumThreads) *
+                                    Layout.LocalBytes);
+
+  std::vector<ThreadContext> Ctxs(NumThreads);
+  Dim3 CtaId;
+  CtaId.X = static_cast<uint32_t>(LinearCta % Grid.X);
+  CtaId.Y = static_cast<uint32_t>((LinearCta / Grid.X) % Grid.Y);
+  CtaId.Z = static_cast<uint32_t>(LinearCta / (static_cast<uint64_t>(Grid.X) *
+                                               Grid.Y));
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    ThreadContext &Ctx = Ctxs[T];
+    Ctx.TidX = T % Block.X;
+    Ctx.TidY = (T / Block.X) % Block.Y;
+    Ctx.TidZ = T / (Block.X * Block.Y);
+    Ctx.LinearTid = T;
+    Ctx.CtaId = CtaId;
+    Ctx.GridDim = Grid;
+    Ctx.BlockDim = Block;
+    Ctx.LocalMem = LocalArena.data() +
+                   static_cast<size_t>(T) * Layout.LocalBytes;
+    Ctx.ResumePoint = 0;
+    Ctx.Status = ResumeStatus::Branch;
+  }
+
+  ExecMemory Mem;
+  Mem.Global = Global;
+  Mem.GlobalSize = GlobalSize;
+  Mem.Shared = Shared.data();
+  Mem.SharedSize = Shared.size();
+  Mem.ParamBuf = ParamBuf.data();
+  Mem.ParamSize = ParamBuf.size();
+  Mem.LocalSize = Layout.LocalBytes;
+  Mem.AtomicMutex = &AtomicMutex;
+
+  // Ready pool: a round-robin order queue plus same-entry buckets.
+  // Sequence numbers invalidate stale queue entries of threads that were
+  // swept into another thread's warp.
+  std::vector<ThreadState> State(NumThreads, ThreadState::Ready);
+  std::vector<uint32_t> Seq(NumThreads, 0);
+  std::deque<std::pair<uint32_t, uint32_t>> Order;
+  std::map<uint64_t, std::deque<std::pair<uint32_t, uint32_t>>> Buckets;
+
+  auto makeReady = [&](uint32_t T) {
+    State[T] = ThreadState::Ready;
+    ++Seq[T];
+    Order.emplace_back(T, Seq[T]);
+    Buckets[bucketKey(Ctxs[T])].emplace_back(T, Seq[T]);
+  };
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    makeReady(T);
+
+  uint32_t Alive = NumThreads;
+  uint32_t AtBarrier = 0;
+  std::vector<ThreadContext *> WarpPtrs(Config.MaxWarpSize);
+
+  while (Alive > 0) {
+    if (Order.empty()) {
+      if (AtBarrier == Alive && AtBarrier > 0) {
+        // All live threads arrived: release the barrier (paper §4.1).
+        for (uint32_t T = 0; T < NumThreads; ++T)
+          if (State[T] == ThreadState::Barrier)
+            makeReady(T);
+        R.Counters.EMCycles += Machine.EMBarrierRelease * AtBarrier;
+        AtBarrier = 0;
+        continue;
+      }
+      R.Error = formatString(
+          "barrier deadlock in kernel '%s': %u of %u live threads waiting",
+          KernelName.c_str(), AtBarrier, Alive);
+      return false;
+    }
+
+    auto [Pick, PickSeq] = Order.front();
+    Order.pop_front();
+    if (State[Pick] != ThreadState::Ready || Seq[Pick] != PickSeq)
+      continue; // stale entry
+
+    // Gather the largest same-entry warp (paper §5.2): round-robin pick,
+    // then sweep the bucket.
+    auto &Bucket = Buckets[bucketKey(Ctxs[Pick])];
+    uint32_t Valid = 0;
+    for (size_t Idx = 0; Idx < Bucket.size() && Valid < Config.MaxWarpSize;) {
+      auto [T, TSeq] = Bucket[Idx];
+      if (State[T] != ThreadState::Ready || Seq[T] != TSeq) {
+        Bucket.erase(Bucket.begin() + static_cast<ptrdiff_t>(Idx));
+        continue;
+      }
+      WarpPtrs[Valid++] = &Ctxs[T];
+      ++Idx;
+    }
+    assert(Valid > 0 && "picked thread must be in its bucket");
+    uint32_t Width = std::min(floorPow2(Valid), Config.MaxWarpSize);
+    // Consume the first Width valid entries.
+    uint32_t Taken = 0;
+    while (Taken < Width) {
+      auto [T, TSeq] = Bucket.front();
+      Bucket.pop_front();
+      if (State[T] != ThreadState::Ready || Seq[T] != TSeq)
+        continue;
+      State[T] = ThreadState::Running;
+      ++Taken;
+    }
+
+    // Warp formation scans the same-entry pool up to a bounded window
+    // (paper 5.2: "inserting thread contexts into warps" is a major EM
+    // cost; large ready pools make formation expensive). The width-1
+    // baseline scheduler is a plain round-robin pick and does not gather.
+    uint32_t Scanned =
+        Config.MaxWarpSize == 1
+            ? 1
+            : static_cast<uint32_t>(std::min<size_t>(
+                  Bucket.size() + Width, Machine.EMScanWindow));
+    R.Counters.EMCycles +=
+        Machine.EMWarpFormBase + Machine.EMPerThreadScan * Scanned;
+
+    // Query the translation cache for this width's binary (paper §5.1).
+    TranslationCache::Key Key{KernelName, Width,
+                              Config.ThreadInvariantElim,
+                              Config.UniformBranchOpt,
+                              Config.UniformLoadOpt};
+    auto ExecOrErr = TC.get(Key);
+    if (!ExecOrErr) {
+      R.Error = ExecOrErr.status().message();
+      return false;
+    }
+
+    Warp W;
+    W.Threads = WarpPtrs.data();
+    W.Size = Width;
+    Interpreter::Result Run = Interp.run(**ExecOrErr, W, Mem, R.Counters);
+    if (Run.Trap) {
+      R.Error = formatString("kernel '%s' trapped: %s", KernelName.c_str(),
+                             Run.Trap->c_str());
+      return false;
+    }
+
+    ++R.WarpEntries;
+    R.ThreadEntries += Width;
+    ++R.EntriesByWidth[Width];
+    R.Counters.EMCycles += Machine.EMYieldUpdatePerThread * Width;
+
+    switch (Run.Status) {
+    case ResumeStatus::Branch:
+      ++R.BranchYields;
+      for (uint32_t L = 0; L < Width; ++L)
+        makeReady(static_cast<uint32_t>(WarpPtrs[L] - Ctxs.data()));
+      break;
+    case ResumeStatus::Barrier:
+      ++R.BarrierYields;
+      for (uint32_t L = 0; L < Width; ++L)
+        State[static_cast<uint32_t>(WarpPtrs[L] - Ctxs.data())] =
+            ThreadState::Barrier;
+      AtBarrier += Width;
+      break;
+    case ResumeStatus::Exit:
+      ++R.ExitYields;
+      for (uint32_t L = 0; L < Width; ++L)
+        State[static_cast<uint32_t>(WarpPtrs[L] - Ctxs.data())] =
+            ThreadState::Exited;
+      Alive -= Width;
+      break;
+    }
+  }
+  return true;
+}
+
+WorkerResult ExecutionManager::run(uint64_t FirstCta, uint64_t Stride) {
+  WorkerResult R;
+  uint64_t NumCtas = Grid.count();
+  for (uint64_t Cta = FirstCta; Cta < NumCtas; Cta += Stride)
+    if (!runCta(Cta, R))
+      break;
+  return R;
+}
+
+} // namespace
+
+Expected<LaunchStats>
+simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
+                      Dim3 Grid, Dim3 Block,
+                      const std::vector<std::byte> &ParamBuf,
+                      std::byte *Global, size_t GlobalSize,
+                      std::mutex &AtomicMutex, const LaunchConfig &Config) {
+  if (Grid.count() == 0 || Block.count() == 0)
+    return Status::error("empty launch geometry");
+  if (Config.MaxWarpSize == 0 ||
+      (Config.MaxWarpSize & (Config.MaxWarpSize - 1)) != 0)
+    return Status::error("MaxWarpSize must be a power of two");
+  if (Config.ThreadInvariantElim &&
+      Config.Formation != WarpFormation::Static)
+    return Status::error(
+        "thread-invariant elimination requires static warp formation");
+  if (Config.ThreadInvariantElim && Block.Y * Block.Z > 1 &&
+      Block.X % Config.MaxWarpSize != 0)
+    return Status::error("thread-invariant elimination requires the CTA "
+                         "x-extent to be a multiple of the warp size");
+  if (Block.count() > (1u << 20))
+    return Status::error("CTA too large");
+
+  auto LayoutOrErr = TC.layoutFor(KernelName);
+  if (!LayoutOrErr)
+    return LayoutOrErr.status();
+  if (LayoutOrErr->ParamBytes > ParamBuf.size())
+    return Status::error(formatString(
+        "kernel '%s' expects %u parameter bytes, launch provided %zu",
+        KernelName.c_str(), LayoutOrErr->ParamBytes, ParamBuf.size()));
+
+  unsigned Workers = Config.Workers ? Config.Workers : Config.Machine.Cores;
+  Workers = static_cast<unsigned>(
+      std::min<uint64_t>(Workers, Grid.count()));
+
+  // Kernel launches spawn a set of worker threads, each running a dynamic
+  // execution manager over its statically assigned CTAs (paper §3).
+  std::vector<WorkerResult> Results(Workers);
+  auto Body = [&](unsigned WorkerId) {
+    ExecutionManager EM(TC, KernelName, Config, *LayoutOrErr, Grid, Block,
+                        ParamBuf, Global, GlobalSize, AtomicMutex);
+    Results[WorkerId] = EM.run(WorkerId, Workers);
+  };
+  if (Config.UseOsThreads && Workers > 1) {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (unsigned WId = 0; WId < Workers; ++WId)
+      Threads.emplace_back(Body, WId);
+    for (std::thread &T : Threads)
+      T.join();
+  } else {
+    for (unsigned WId = 0; WId < Workers; ++WId)
+      Body(WId);
+  }
+
+  LaunchStats Stats;
+  for (const WorkerResult &R : Results) {
+    if (R.Error)
+      return Status::error(*R.Error);
+    Stats.Counters += R.Counters;
+    Stats.MaxWorkerCycles =
+        std::max(Stats.MaxWorkerCycles, R.Counters.totalCycles());
+    for (const auto &[Width, Count] : R.EntriesByWidth)
+      Stats.EntriesByWidth[Width] += Count;
+    Stats.WarpEntries += R.WarpEntries;
+    Stats.ThreadEntries += R.ThreadEntries;
+    Stats.BranchYields += R.BranchYields;
+    Stats.BarrierYields += R.BarrierYields;
+    Stats.ExitYields += R.ExitYields;
+  }
+  Stats.ModeledSeconds =
+      Stats.MaxWorkerCycles / (Config.Machine.ClockGHz * 1e9);
+  return Stats;
+}

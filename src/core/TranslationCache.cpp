@@ -1,0 +1,103 @@
+//===- core/TranslationCache.cpp - Dynamic translation cache --------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/TranslationCache.h"
+
+#include "simtvec/ir/Module.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/support/Format.h"
+#include "simtvec/transforms/Passes.h"
+
+#include <chrono>
+
+using namespace simtvec;
+
+Expected<const TranslationCache::PreparedKernel *>
+TranslationCache::prepare(const std::string &KernelName) {
+  auto It = Prepared.find(KernelName);
+  if (It != Prepared.end())
+    return &It->second;
+
+  const Kernel *Source = M.findKernel(KernelName);
+  if (!Source)
+    return Status::error(
+        formatString("kernel '%s' is not registered", KernelName.c_str()));
+  if (Status E = verifyKernel(*Source))
+    return Status::error("invalid kernel: " + E.message());
+  if (Source->WarpSize != 0)
+    return Status::error(formatString(
+        "kernel '%s' is already specialized", KernelName.c_str()));
+
+  PreparedKernel P;
+  P.Scalar = *Source; // deep copy
+  // PTX-to-PTX preparation (paper §5.1): replace non-branch predicated
+  // instructions with selects and split blocks at barriers.
+  runPredicateToSelect(P.Scalar);
+  runBarrierSplit(P.Scalar);
+  if (Status E = verifyKernel(P.Scalar))
+    return Status::error("preparation broke the kernel: " + E.message());
+  P.Plan = SpecializationPlan::build(P.Scalar);
+
+  auto [Inserted, _] = Prepared.emplace(KernelName, std::move(P));
+  return &Inserted->second;
+}
+
+Expected<std::shared_ptr<const KernelExec>>
+TranslationCache::get(const Key &K) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = Cache.find(K);
+  if (It != Cache.end()) {
+    ++Counters.Hits;
+    return It->second;
+  }
+  ++Counters.Misses;
+  auto Start = std::chrono::steady_clock::now();
+
+  auto POrErr = prepare(K.KernelName);
+  if (!POrErr)
+    return POrErr.status();
+  const PreparedKernel *P = *POrErr;
+
+  VectorizeOptions Opts;
+  Opts.WarpSize = K.WarpSize;
+  Opts.ThreadInvariantElim = K.ThreadInvariantElim;
+  Opts.UniformBranchOpt = K.UniformBranchOpt;
+  Opts.UniformLoadOpt = K.UniformLoadOpt;
+  std::unique_ptr<Kernel> Specialized =
+      vectorizeKernel(P->Scalar, P->Plan, Opts);
+  if (RunCleanup)
+    runCleanupPipeline(*Specialized);
+  if (Status E = verifyKernel(*Specialized))
+    return Status::error("specialization failed verification: " +
+                         E.message());
+
+  auto Exec = KernelExec::build(std::move(Specialized), Machine);
+  Cache.emplace(K, Exec);
+
+  Counters.CompileSeconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Exec;
+}
+
+Expected<TranslationCache::KernelLayout>
+TranslationCache::layoutFor(const std::string &KernelName) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto POrErr = prepare(KernelName);
+  if (!POrErr)
+    return POrErr.status();
+  const PreparedKernel *P = *POrErr;
+  KernelLayout Layout;
+  Layout.LocalBytes = P->Scalar.LocalBytes + P->Plan.SpillBytes;
+  Layout.SharedBytes = P->Scalar.SharedBytes;
+  Layout.ParamBytes = P->Scalar.ParamBytes;
+  return Layout;
+}
+
+TranslationCache::Stats TranslationCache::stats() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Counters;
+}

@@ -1,0 +1,732 @@
+//===- core/Vectorizer.cpp - Kernel vectorization -------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/Vectorizer.h"
+
+#include "simtvec/analysis/CFG.h"
+#include "simtvec/analysis/Liveness.h"
+#include "simtvec/analysis/Variance.h"
+#include "simtvec/ir/IRBuilder.h"
+#include "simtvec/support/Format.h"
+
+#include <map>
+#include <optional>
+
+using namespace simtvec;
+
+SpecializationPlan SpecializationPlan::build(const Kernel &S) {
+  SpecializationPlan Plan;
+  Plan.EntryIdOf.assign(S.Blocks.size(), ~0u);
+  Plan.EntryScalarBlocks.push_back(0); // entry 0: the initial kernel entry
+
+  auto addEntry = [&](uint32_t Block) {
+    if (Plan.EntryIdOf[Block] != ~0u)
+      return;
+    Plan.EntryIdOf[Block] =
+        static_cast<uint32_t>(Plan.EntryScalarBlocks.size());
+    Plan.EntryScalarBlocks.push_back(Block);
+  };
+
+  for (uint32_t B = 0; B < S.Blocks.size(); ++B) {
+    const BasicBlock &Blk = S.Blocks[B];
+    if (!Blk.hasTerminator())
+      continue;
+    const Instruction &T = Blk.terminator();
+    if (T.Op == Opcode::Bra && T.Guard.isValid()) {
+      // Divergence site: both successors are resume points (Algorithm 2).
+      addEntry(T.Target);
+      addEntry(T.FalseTarget);
+    } else if (T.Op == Opcode::Bra && Blk.Insts.size() >= 2 &&
+               Blk.Insts[Blk.Insts.size() - 2].Op == Opcode::BarSync) {
+      // Barrier site: the continuation is a resume point.
+      addEntry(T.Target);
+    }
+  }
+
+  // Spill-slot layout: one slot per register, deterministic across warp
+  // sizes (a thread may yield from one width and resume in another).
+  Plan.SlotOf.assign(S.Regs.size(), 0);
+  uint32_t Offset = 0;
+  for (uint32_t R = 0; R < S.Regs.size(); ++R) {
+    Type Ty = S.Regs[R].Ty;
+    uint32_t Bytes = Ty.isPred() ? 1 : Ty.byteSize();
+    Offset = (Offset + Bytes - 1) / Bytes * Bytes;
+    Plan.SlotOf[R] = Offset;
+    Offset += Bytes;
+  }
+  Plan.SpillBytes = (Offset + 15) / 16 * 16;
+  return Plan;
+}
+
+namespace {
+
+/// How a scalar register is represented in the specialized kernel.
+enum class Rep : uint8_t {
+  Vector,     ///< one vector register, lane i = thread i
+  Replicated, ///< ws scalar registers (defined by non-vectorizable ops)
+  Uniform,    ///< one scalar register (thread-invariant, TIE only)
+};
+
+class VectorizerImpl {
+public:
+  VectorizerImpl(const Kernel &S, const SpecializationPlan &Plan,
+                 const VectorizeOptions &Opts)
+      : S(S), Plan(Plan), Opts(Opts), WS(Opts.WarpSize), G(S), Live(S, G) {}
+
+  std::unique_ptr<Kernel> run();
+
+private:
+  // --- Register representation -------------------------------------------
+  void classifyRegisters();
+  void createRegisters();
+  Type vecTy(Type Scalar) const {
+    return Scalar.withLanes(static_cast<uint16_t>(WS));
+  }
+
+  RegId newTemp(Type Ty, const char *Hint) {
+    return V->addReg(formatString("$t%u_%s", TempCounter++, Hint), Ty);
+  }
+
+  void invalidate(uint32_t Reg) {
+    PackCache.erase(Reg);
+    for (uint32_t L = 0; L < WS; ++L)
+      LaneCache.erase({Reg, L});
+  }
+
+  /// The warp-wide (vector) form of scalar register \p R, packing or
+  /// broadcasting as needed (memoized per block).
+  Operand vectorValue(RegId R);
+  /// Lane \p L's scalar form of register \p R, unpacking as needed.
+  RegId laneValue(RegId R, uint32_t L);
+
+  // --- Instruction emission ----------------------------------------------
+  void emitInstruction(const Instruction &I);
+  void emitVector(const Instruction &I);
+  void emitReplicated(const Instruction &I);
+  void emitUniformScalar(const Instruction &I);
+
+  void spillReg(RegId R);
+  void restoreReg(RegId R);
+  void spillLiveOut(uint32_t ScalarBlock);
+
+  // --- Control flow (Algorithms 2-4) ---------------------------------------
+  void emitBlockBody(uint32_t ScalarBlock);
+  void emitTerminator(uint32_t ScalarBlock, bool HasBarrier);
+  uint32_t createBranchExit(uint32_t ScalarBlock, RegId PredScalarReg,
+                            const Operand &PredVec, uint32_t Taken,
+                            uint32_t FallThrough);
+  void createEntryHandlers();
+  void createScheduler();
+
+  const Kernel &S;
+  const SpecializationPlan &Plan;
+  VectorizeOptions Opts;
+  uint32_t WS;
+  CFG G;
+  Liveness Live;
+  std::optional<VarianceAnalysis> Var;
+
+  std::unique_ptr<Kernel> V;
+  std::optional<IRBuilder> B;
+
+  std::vector<Rep> RepOf;
+  std::vector<RegId> VecRegs;                // Rep::Vector storage
+  std::vector<std::vector<RegId>> RepRegs;   // Rep::Replicated storage
+  std::vector<RegId> UniRegs;                // Rep::Uniform storage
+  std::vector<uint32_t> BodyBlock;           // scalar block -> V block
+  std::vector<uint32_t> SchedulerCases;      // entry id -> V block
+  std::map<uint32_t, RegId> PackCache;
+  std::map<std::pair<uint32_t, uint32_t>, RegId> LaneCache;
+  unsigned TempCounter = 0;
+};
+
+void VectorizerImpl::classifyRegisters() {
+  RepOf.assign(S.Regs.size(), Rep::Vector);
+
+  if (Opts.ThreadInvariantElim || Opts.UniformLoadOpt) {
+    // Invariant registers collapse to one scalar copy (paper §6.2 for
+    // static formation; the UniformLoadOpt extension applies the same
+    // collapse under dynamic formation, where %tid.y/z remain variant).
+    for (uint32_t R = 0; R < S.Regs.size(); ++R)
+      if (!Var->isVariant(RegId(R)))
+        RepOf[R] = Rep::Uniform;
+  }
+
+  // Use kinds: a register consumed by a promoted (vector) instruction needs
+  // a packed form; one consumed only by replicated scalar instructions
+  // (addresses, stored values, guards) is cheaper to keep per lane.
+  std::vector<uint8_t> VectorUse(S.Regs.size(), 0);
+  std::vector<uint8_t> LaneUse(S.Regs.size(), 0);
+  for (const BasicBlock &Blk : S.Blocks)
+    for (const Instruction &I : Blk.Insts) {
+      if (I.Op == Opcode::Bra) {
+        // Divergence lowering sums the predicate vector (Algorithm 2).
+        if (I.Guard.isValid())
+          VectorUse[I.Guard.Index] = 1;
+        continue;
+      }
+      bool Promoted = isVectorizable(I.Op) && !I.Guard.isValid();
+      I.forEachUse([&](RegId R) {
+        (Promoted ? VectorUse : LaneUse)[R.Index] = 1;
+      });
+    }
+
+  // Registers with any non-vectorizable or guarded definition stay
+  // replicated; so do registers with only lane consumers.
+  for (const BasicBlock &Blk : S.Blocks)
+    for (const Instruction &I : Blk.Insts) {
+      if (!I.hasResult())
+        continue;
+      if (!isVectorizable(I.Op) && RepOf[I.Dst.Index] != Rep::Uniform)
+        RepOf[I.Dst.Index] = Rep::Replicated;
+      // Guarded defs are lane-conditional and replicate as well.
+      if (I.Guard.isValid() && RepOf[I.Dst.Index] != Rep::Uniform)
+        RepOf[I.Dst.Index] = Rep::Replicated;
+    }
+  for (uint32_t R = 0; R < S.Regs.size(); ++R)
+    if (RepOf[R] == Rep::Vector && LaneUse[R] && !VectorUse[R])
+      RepOf[R] = Rep::Replicated;
+
+  if (WS == 1) {
+    // The scalar specialization: every representation collapses to one
+    // scalar register; use Vector as the canonical tag except where TIE
+    // kept Uniform semantics (identical at width 1).
+    for (uint32_t R = 0; R < S.Regs.size(); ++R)
+      if (RepOf[R] == Rep::Replicated)
+        RepOf[R] = Rep::Vector;
+  }
+}
+
+void VectorizerImpl::createRegisters() {
+  VecRegs.assign(S.Regs.size(), RegId());
+  RepRegs.assign(S.Regs.size(), {});
+  UniRegs.assign(S.Regs.size(), RegId());
+  for (uint32_t R = 0; R < S.Regs.size(); ++R) {
+    const VirtualRegister &SR = S.Regs[R];
+    switch (RepOf[R]) {
+    case Rep::Vector:
+      VecRegs[R] = V->addReg(SR.Name, WS == 1 ? SR.Ty : vecTy(SR.Ty));
+      break;
+    case Rep::Replicated:
+      for (uint32_t L = 0; L < WS; ++L)
+        RepRegs[R].push_back(
+            V->addReg(formatString("%s_t%u", SR.Name.c_str(), L), SR.Ty));
+      break;
+    case Rep::Uniform:
+      UniRegs[R] = V->addReg(SR.Name + "_u", SR.Ty);
+      break;
+    }
+  }
+}
+
+Operand VectorizerImpl::vectorValue(RegId R) {
+  switch (RepOf[R.Index]) {
+  case Rep::Vector:
+    return Operand::reg(VecRegs[R.Index]);
+  case Rep::Uniform: {
+    if (WS == 1)
+      return Operand::reg(UniRegs[R.Index]);
+    auto It = PackCache.find(R.Index);
+    if (It != PackCache.end())
+      return Operand::reg(It->second);
+    RegId Temp = newTemp(vecTy(S.Regs[R.Index].Ty), "bcast");
+    B->broadcast(Temp, Operand::reg(UniRegs[R.Index]));
+    PackCache[R.Index] = Temp;
+    return Operand::reg(Temp);
+  }
+  case Rep::Replicated: {
+    assert(WS > 1 && "width-1 kernels have no replicated registers");
+    auto It = PackCache.find(R.Index);
+    if (It != PackCache.end())
+      return Operand::reg(It->second);
+    // Explicit packing of a non-vectorizable producer's lanes (paper §4,
+    // "Non-vectorizable Instructions"); memoized per block.
+    RegId Temp = newTemp(vecTy(S.Regs[R.Index].Ty), "pack");
+    for (uint32_t L = 0; L < WS; ++L)
+      B->insertElement(Temp, Operand::reg(Temp),
+                       Operand::reg(RepRegs[R.Index][L]), L);
+    PackCache[R.Index] = Temp;
+    return Operand::reg(Temp);
+  }
+  }
+  assert(false && "unknown representation");
+  return Operand();
+}
+
+RegId VectorizerImpl::laneValue(RegId R, uint32_t L) {
+  switch (RepOf[R.Index]) {
+  case Rep::Replicated:
+    return RepRegs[R.Index][L];
+  case Rep::Uniform:
+    return UniRegs[R.Index];
+  case Rep::Vector: {
+    if (WS == 1)
+      return VecRegs[R.Index];
+    auto It = LaneCache.find({R.Index, L});
+    if (It != LaneCache.end())
+      return It->second;
+    // Explicit unpacking at a non-vectorizable consumer (paper §4).
+    RegId Temp = newTemp(S.Regs[R.Index].Ty, "lane");
+    B->extractElement(Temp, Operand::reg(VecRegs[R.Index]), L);
+    LaneCache[{R.Index, L}] = Temp;
+    return Temp;
+  }
+  }
+  assert(false && "unknown representation");
+  return RegId();
+}
+
+void VectorizerImpl::emitInstruction(const Instruction &I) {
+  assert(I.Op != Opcode::BarSync && !I.isTerminator() &&
+         "handled by emitTerminator");
+  if ((Opts.ThreadInvariantElim || Opts.UniformLoadOpt) && I.hasResult() &&
+      !I.Guard.isValid() && Var->isInvariantInstruction(I) &&
+      !Var->isVariant(I.Dst)) {
+    emitUniformScalar(I);
+    return;
+  }
+  // A vectorizable instruction whose destination and register operands are
+  // all in per-lane scalar form is cheaper replicated than packed,
+  // promoted and unpacked again ("memoize the resulting instruction or
+  // bundle", Algorithm 1 — the bundle stays scalar when packing would cost
+  // more than it saves).
+  if (isVectorizable(I.Op) && !I.Guard.isValid() && WS > 1 &&
+      I.hasResult() && RepOf[I.Dst.Index] == Rep::Replicated) {
+    bool AnyVectorOperand = false;
+    I.forEachUse([&](RegId R) {
+      AnyVectorOperand |= RepOf[R.Index] == Rep::Vector;
+    });
+    if (!AnyVectorOperand) {
+      emitReplicated(I);
+      return;
+    }
+  }
+  if (isVectorizable(I.Op) && !I.Guard.isValid())
+    emitVector(I);
+  else
+    emitReplicated(I);
+}
+
+void VectorizerImpl::emitVector(const Instruction &I) {
+  Instruction VI(I.Op, WS == 1 ? I.Ty : vecTy(I.Ty));
+  VI.Cmp = I.Cmp;
+  for (const Operand &O : I.Srcs) {
+    if (O.isReg()) {
+      VI.Srcs.push_back(vectorValue(O.regId()));
+      continue;
+    }
+    if (I.Op == Opcode::Cvt && O.isImm() && WS > 1) {
+      // cvt requires matching lane counts; materialize the immediate as a
+      // vector first.
+      RegId Temp = newTemp(vecTy(O.immType()), "cimm");
+      B->broadcast(Temp, O);
+      VI.Srcs.push_back(Operand::reg(Temp));
+      continue;
+    }
+    VI.Srcs.push_back(O); // immediates broadcast; specials are per-lane
+  }
+
+  RegId Dst = I.Dst;
+  switch (RepOf[Dst.Index]) {
+  case Rep::Vector:
+    VI.Dst = VecRegs[Dst.Index];
+    B->append(std::move(VI));
+    break;
+  case Rep::Replicated: {
+    // Unpack the vector result into the replicated lanes.
+    Type ResultTy = I.Op == Opcode::Setp ? Type::pred() : I.Ty;
+    (void)ResultTy;
+    Type TempTy = I.Op == Opcode::Setp ? vecTy(Type::pred()) : vecTy(I.Ty);
+    RegId Temp = newTemp(TempTy, "vres");
+    VI.Dst = Temp;
+    B->append(std::move(VI));
+    for (uint32_t L = 0; L < WS; ++L)
+      B->extractElement(RepRegs[Dst.Index][L], Operand::reg(Temp), L);
+    break;
+  }
+  case Rep::Uniform:
+    assert(false && "variant instruction writing a uniform register");
+    break;
+  }
+  invalidate(Dst.Index);
+}
+
+void VectorizerImpl::emitReplicated(const Instruction &I) {
+  // Static interleaving of the warp's threads (Algorithm 1, Figure 3).
+  for (uint32_t L = 0; L < WS; ++L) {
+    Instruction RI(I.Op, I.Ty);
+    RI.Cmp = I.Cmp;
+    RI.Space = I.Space;
+    RI.MemOffset = I.MemOffset;
+    RI.Lane = static_cast<uint16_t>(L);
+    for (const Operand &O : I.Srcs)
+      RI.Srcs.push_back(O.isReg() ? Operand::reg(laneValue(O.regId(), L))
+                                  : O);
+    if (I.Guard.isValid()) {
+      RI.Guard = laneValue(I.Guard, L);
+      RI.GuardNegated = I.GuardNegated;
+    }
+    if (I.hasResult()) {
+      RegId Dst = I.Dst;
+      switch (RepOf[Dst.Index]) {
+      case Rep::Replicated:
+        RI.Dst = RepRegs[Dst.Index][L];
+        B->append(std::move(RI));
+        break;
+      case Rep::Vector: {
+        if (WS == 1) {
+          RI.Dst = VecRegs[Dst.Index];
+          B->append(std::move(RI));
+          break;
+        }
+        // Lane-wise def of a vector-represented register: compute into a
+        // scalar temp, then insert.
+        Type ResultTy = I.Op == Opcode::Setp ? Type::pred() : I.Ty;
+        RegId Temp = newTemp(ResultTy, "ldef");
+        RI.Dst = Temp;
+        B->append(std::move(RI));
+        B->insertElement(VecRegs[Dst.Index],
+                         Operand::reg(VecRegs[Dst.Index]),
+                         Operand::reg(Temp), L);
+        break;
+      }
+      case Rep::Uniform:
+        assert(false &&
+               "non-vectorizable instruction writing a uniform register");
+        break;
+      }
+    } else {
+      B->append(std::move(RI));
+    }
+  }
+  if (I.hasResult())
+    invalidate(I.Dst.Index);
+
+  // Side-effecting memory operations invalidate nothing register-wise.
+  if (I.Op == Opcode::Membar)
+    return;
+}
+
+void VectorizerImpl::emitUniformScalar(const Instruction &I) {
+  // Thread-invariant elimination: one scalar instruction computes the value
+  // for the whole warp (paper §6.2).
+  Instruction UI(I.Op, I.Ty);
+  UI.Cmp = I.Cmp;
+  UI.Space = I.Space;
+  UI.MemOffset = I.MemOffset;
+  UI.Lane = 0;
+  for (const Operand &O : I.Srcs) {
+    if (O.isReg()) {
+      assert(RepOf[O.regId().Index] == Rep::Uniform &&
+             "invariant instruction uses a variant register");
+      UI.Srcs.push_back(Operand::reg(UniRegs[O.regId().Index]));
+    } else {
+      UI.Srcs.push_back(O);
+    }
+  }
+  assert(RepOf[I.Dst.Index] == Rep::Uniform &&
+         "uniform emission into a variant register");
+  UI.Dst = UniRegs[I.Dst.Index];
+  B->append(std::move(UI));
+  invalidate(I.Dst.Index);
+}
+
+void VectorizerImpl::spillReg(RegId R) {
+  Type ScalarTy = S.Regs[R.Index].Ty;
+  int64_t Slot = Plan.SlotOf[R.Index];
+  switch (RepOf[R.Index]) {
+  case Rep::Vector:
+    B->spill(Operand::reg(VecRegs[R.Index]),
+             WS == 1 ? ScalarTy : vecTy(ScalarTy), Slot);
+    break;
+  case Rep::Replicated:
+    for (uint32_t L = 0; L < WS; ++L) {
+      Instruction SI(Opcode::Spill, ScalarTy);
+      SI.Srcs = {Operand::reg(RepRegs[R.Index][L])};
+      SI.MemOffset = Slot;
+      SI.Lane = static_cast<uint16_t>(L);
+      B->append(std::move(SI));
+    }
+    break;
+  case Rep::Uniform: {
+    if (WS == 1) {
+      B->spill(Operand::reg(UniRegs[R.Index]), ScalarTy, Slot);
+      break;
+    }
+    // Every thread needs the value in its own slot so any regrouped warp
+    // can restore it.
+    RegId Temp = newTemp(vecTy(ScalarTy), "uspill");
+    B->broadcast(Temp, Operand::reg(UniRegs[R.Index]));
+    B->spill(Operand::reg(Temp), vecTy(ScalarTy), Slot);
+    break;
+  }
+  }
+}
+
+void VectorizerImpl::restoreReg(RegId R) {
+  Type ScalarTy = S.Regs[R.Index].Ty;
+  int64_t Slot = Plan.SlotOf[R.Index];
+  switch (RepOf[R.Index]) {
+  case Rep::Vector:
+    B->restore(VecRegs[R.Index], Slot);
+    break;
+  case Rep::Replicated:
+    for (uint32_t L = 0; L < WS; ++L) {
+      Instruction RI(Opcode::Restore, ScalarTy);
+      RI.Dst = RepRegs[R.Index][L];
+      RI.MemOffset = Slot;
+      RI.Lane = static_cast<uint16_t>(L);
+      B->append(std::move(RI));
+    }
+    break;
+  case Rep::Uniform: {
+    if (WS == 1) {
+      B->restore(UniRegs[R.Index], Slot);
+      break;
+    }
+    RegId Temp = newTemp(vecTy(ScalarTy), "urest");
+    B->restore(Temp, Slot);
+    B->extractElement(UniRegs[R.Index], Operand::reg(Temp), 0);
+    break;
+  }
+  }
+}
+
+void VectorizerImpl::spillLiveOut(uint32_t ScalarBlock) {
+  Live.liveOut(ScalarBlock).forEach([&](size_t R) {
+    spillReg(RegId(static_cast<uint32_t>(R)));
+  });
+}
+
+uint32_t VectorizerImpl::createBranchExit(uint32_t ScalarBlock,
+                                          RegId PredScalarReg,
+                                          const Operand &PredVec,
+                                          uint32_t Taken,
+                                          uint32_t FallThrough) {
+  (void)PredScalarReg;
+  uint32_t SavedBlock = B->block();
+  uint32_t ExitBlk = B->startBlock(
+      formatString("%s_exit", S.Blocks[ScalarBlock].Name.c_str()),
+      BlockKind::ExitHandler);
+
+  // Algorithm 4: spill live-outs, select per-thread resume points, set the
+  // status and yield.
+  spillLiveOut(ScalarBlock);
+  uint32_t TakenEntry = Plan.EntryIdOf[Taken];
+  uint32_t FallEntry = Plan.EntryIdOf[FallThrough];
+  assert(TakenEntry != ~0u && FallEntry != ~0u &&
+         "divergent successors must be planned entries");
+  RegId Eids = newTemp(vecTy(Type::u32()), "eids");
+  B->selp(vecTy(Type::u32()), Eids,
+          Operand::immInt(Type::u32(), TakenEntry),
+          Operand::immInt(Type::u32(), FallEntry), PredVec);
+  B->setRPoint(Operand::reg(Eids));
+  B->setRStatus(ResumeStatus::Branch);
+  B->yield();
+
+  B->setBlock(SavedBlock);
+  return ExitBlk;
+}
+
+void VectorizerImpl::emitTerminator(uint32_t ScalarBlock, bool HasBarrier) {
+  const Instruction &T = S.Blocks[ScalarBlock].terminator();
+  switch (T.Op) {
+  case Opcode::Bra: {
+    if (!T.Guard.isValid()) {
+      if (!HasBarrier) {
+        B->bra(BodyBlock[T.Target]);
+        return;
+      }
+      // Barrier yield: spill, set the continuation entry, wait.
+      uint32_t SavedBlock = B->block();
+      uint32_t ExitBlk = B->startBlock(
+          formatString("%s_bar", S.Blocks[ScalarBlock].Name.c_str()),
+          BlockKind::ExitHandler);
+      spillLiveOut(ScalarBlock);
+      uint32_t Entry = Plan.EntryIdOf[T.Target];
+      assert(Entry != ~0u && "barrier continuation must be a planned entry");
+      B->setRPoint(Operand::immInt(Type::u32(), Entry));
+      B->setRStatus(ResumeStatus::Barrier);
+      B->yield();
+      B->setBlock(SavedBlock);
+      B->bra(ExitBlk);
+      return;
+    }
+
+    assert(!HasBarrier && "barrier blocks end in unconditional branches");
+    RegId Pred = T.Guard;
+
+    // Uniform lowerings keep control inside the vectorized region.
+    bool ProvablyUniform =
+        RepOf[Pred.Index] == Rep::Uniform ||
+        (Opts.UniformBranchOpt && Var && !Var->isVariant(Pred));
+    if (WS == 1 || ProvablyUniform) {
+      Instruction BI(Opcode::Bra);
+      BI.Guard = laneValue(Pred, 0);
+      BI.GuardNegated = T.GuardNegated;
+      BI.Target = BodyBlock[T.Target];
+      BI.FalseTarget = BodyBlock[T.FalseTarget];
+      B->append(std::move(BI));
+      return;
+    }
+
+    // Algorithm 2: sum the per-thread predicates; 0 and ws stay uniform,
+    // anything else yields on divergence.
+    Operand PredVec = vectorValue(Pred);
+    uint32_t Taken = T.Target, Fall = T.FalseTarget;
+    if (T.GuardNegated)
+      std::swap(Taken, Fall);
+    RegId Sum = newTemp(Type::u32(), "psum");
+    B->voteSum(Sum, PredVec);
+    uint32_t ExitBlk =
+        createBranchExit(ScalarBlock, Pred, PredVec, Taken, Fall);
+    B->makeSwitch(Operand::reg(Sum), {0, static_cast<int64_t>(WS)},
+                  {BodyBlock[Fall], BodyBlock[Taken]}, ExitBlk);
+    return;
+  }
+  case Opcode::Ret: {
+    // Thread termination: context objects are discarded (§4.1).
+    B->setRStatus(ResumeStatus::Exit);
+    B->yield();
+    return;
+  }
+  case Opcode::Trap:
+    B->append(Instruction(Opcode::Trap));
+    return;
+  default:
+    assert(false && "unexpected terminator in a scalar kernel");
+  }
+}
+
+void VectorizerImpl::emitBlockBody(uint32_t ScalarBlock) {
+  PackCache.clear();
+  LaneCache.clear();
+  B->setBlock(BodyBlock[ScalarBlock]);
+
+  const BasicBlock &Blk = S.Blocks[ScalarBlock];
+  bool HasBarrier = false;
+  for (size_t Idx = 0; Idx + 1 < Blk.Insts.size(); ++Idx) {
+    const Instruction &I = Blk.Insts[Idx];
+    if (I.Op == Opcode::BarSync) {
+      assert(Idx + 2 == Blk.Insts.size() &&
+             "run BarrierSplit before vectorization");
+      HasBarrier = true;
+      continue;
+    }
+    emitInstruction(I);
+  }
+  emitTerminator(ScalarBlock, HasBarrier);
+}
+
+void VectorizerImpl::createEntryHandlers() {
+  // Algorithm 3: one handler per non-initial entry restores the live-in
+  // values of its resume block.
+  SchedulerCases.assign(Plan.EntryScalarBlocks.size(), InvalidBlock);
+  SchedulerCases[0] = BodyBlock[Plan.EntryScalarBlocks[0]];
+  for (uint32_t E = 1; E < Plan.EntryScalarBlocks.size(); ++E) {
+    uint32_t Target = Plan.EntryScalarBlocks[E];
+    uint32_t Handler = B->startBlock(
+        formatString("%s_entry", S.Blocks[Target].Name.c_str()),
+        BlockKind::EntryHandler);
+    PackCache.clear();
+    LaneCache.clear();
+    Live.liveIn(Target).forEach([&](size_t R) {
+      restoreReg(RegId(static_cast<uint32_t>(R)));
+    });
+    B->bra(BodyBlock[Target]);
+    SchedulerCases[E] = Handler;
+  }
+}
+
+void VectorizerImpl::createScheduler() {
+  B->setBlock(0);
+  std::vector<int64_t> Values;
+  std::vector<uint32_t> Targets;
+  for (uint32_t E = 1; E < SchedulerCases.size(); ++E) {
+    Values.push_back(E);
+    Targets.push_back(SchedulerCases[E]);
+  }
+  B->makeSwitch(Operand::special(SReg::EntryId), std::move(Values),
+                std::move(Targets), SchedulerCases[0]);
+}
+
+std::unique_ptr<Kernel> VectorizerImpl::run() {
+  assert(WS >= 1 && WS <= 64 && "unsupported warp size");
+  BitSet EntryLiveRoots(S.Regs.size());
+  if (Opts.ThreadInvariantElim || Opts.UniformBranchOpt ||
+      Opts.UniformLoadOpt) {
+    // Registers live across a *divergent* yield entry are restored per
+    // lane and may differ across the re-formed warp (threads can arrive at
+    // the same entry from different loop phases): they are variance roots.
+    // Which branches are divergent depends on variance, so iterate to a
+    // fixed point (roots grow monotonically). Barrier continuations are
+    // exempt: the barrier equalizes phases, and an invariant value is then
+    // CTA-uniform, so every thread restores the same bits.
+    VarianceOptions VO;
+    VO.TidYZUniform = Opts.ThreadInvariantElim;
+    VO.ExtraRoots = &EntryLiveRoots;
+    bool RootsChanged = true;
+    while (RootsChanged) {
+      Var.emplace(S, VO);
+      RootsChanged = false;
+      for (const BasicBlock &Blk : S.Blocks) {
+        if (!Blk.hasTerminator())
+          continue;
+        const Instruction &T = Blk.terminator();
+        if (T.Op != Opcode::Bra || !T.Guard.isValid() ||
+            !Var->isVariant(T.Guard))
+          continue;
+        for (uint32_t Succ : {T.Target, T.FalseTarget})
+          if (Plan.EntryIdOf[Succ] != ~0u)
+            RootsChanged |= EntryLiveRoots.unionWith(Live.liveIn(Succ));
+      }
+    }
+  }
+
+  V = std::make_unique<Kernel>();
+  V->Name = formatString("%s$w%u%s", S.Name.c_str(), WS,
+                         Opts.ThreadInvariantElim ? "t" : "");
+  V->Params = S.Params;
+  V->ParamBytes = S.ParamBytes;
+  V->SharedVars = S.SharedVars;
+  V->SharedBytes = S.SharedBytes;
+  V->LocalVars = S.LocalVars;
+  V->LocalBytes = S.LocalBytes;
+  V->WarpSize = WS;
+  V->SpillBytes = Plan.SpillBytes;
+
+  B.emplace(*V);
+  classifyRegisters();
+  createRegisters();
+
+  // Block 0 is the scheduler trampoline; body blocks follow in the scalar
+  // kernel's order, handlers are appended as they are created.
+  uint32_t Scheduler = V->addBlock("$scheduler", BlockKind::Scheduler);
+  (void)Scheduler;
+  BodyBlock.resize(S.Blocks.size());
+  for (uint32_t Blk = 0; Blk < S.Blocks.size(); ++Blk)
+    BodyBlock[Blk] = V->addBlock("v_" + S.Blocks[Blk].Name);
+
+  for (uint32_t Blk = 0; Blk < S.Blocks.size(); ++Blk)
+    emitBlockBody(Blk);
+
+  createEntryHandlers();
+  createScheduler();
+
+  // Publish the entry table.
+  V->EntryBlocks = SchedulerCases;
+  return std::move(V);
+}
+
+} // namespace
+
+std::unique_ptr<Kernel>
+simtvec::vectorizeKernel(const Kernel &ScalarKernel,
+                         const SpecializationPlan &Plan,
+                         const VectorizeOptions &Opts) {
+  assert(ScalarKernel.WarpSize == 0 && "input must be an unspecialized kernel");
+  return VectorizerImpl(ScalarKernel, Plan, Opts).run();
+}

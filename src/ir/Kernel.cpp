@@ -1,0 +1,106 @@
+//===- ir/Kernel.cpp - SVIR kernels ---------------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Kernel.h"
+
+#include "simtvec/ir/Module.h"
+
+using namespace simtvec;
+
+static uint32_t alignTo(uint32_t Value, uint32_t Align) {
+  return (Value + Align - 1) / Align * Align;
+}
+
+RegId Kernel::findReg(const std::string &Name) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Regs.size()); I != E; ++I)
+    if (Regs[I].Name == Name)
+      return RegId(I);
+  return RegId();
+}
+
+uint32_t Kernel::findBlock(const std::string &Name) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Blocks.size()); I != E; ++I)
+    if (Blocks[I].Name == Name)
+      return I;
+  return InvalidBlock;
+}
+
+uint32_t Kernel::findParam(const std::string &Name) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Params.size()); I != E; ++I)
+    if (Params[I].Name == Name)
+      return I;
+  return ~0u;
+}
+
+uint32_t Kernel::addParam(std::string Name, Type Ty) {
+  uint32_t Offset = alignTo(ParamBytes, Ty.byteSize());
+  Params.push_back({std::move(Name), Ty, Offset});
+  ParamBytes = Offset + Ty.byteSize();
+  return static_cast<uint32_t>(Params.size() - 1);
+}
+
+uint32_t Kernel::addSharedVar(std::string Name, uint32_t Bytes) {
+  uint32_t Offset = alignTo(SharedBytes, 16);
+  SharedVars.push_back({std::move(Name), Bytes, Offset});
+  SharedBytes = Offset + Bytes;
+  return static_cast<uint32_t>(SharedVars.size() - 1);
+}
+
+uint32_t Kernel::addLocalVar(std::string Name, uint32_t Bytes) {
+  uint32_t Offset = alignTo(LocalBytes, 16);
+  LocalVars.push_back({std::move(Name), Bytes, Offset});
+  LocalBytes = Offset + Bytes;
+  return static_cast<uint32_t>(LocalVars.size() - 1);
+}
+
+std::vector<uint32_t> Kernel::successors(uint32_t BlockIdx) const {
+  assert(BlockIdx < Blocks.size() && "block index out of range");
+  const BasicBlock &B = Blocks[BlockIdx];
+  std::vector<uint32_t> Result;
+  if (!B.hasTerminator())
+    return Result;
+  const Instruction &T = B.terminator();
+  switch (T.Op) {
+  case Opcode::Bra:
+    Result.push_back(T.Target);
+    if (T.Guard.isValid())
+      Result.push_back(T.FalseTarget);
+    break;
+  case Opcode::Switch:
+    for (uint32_t Tgt : T.SwitchTargets)
+      Result.push_back(Tgt);
+    Result.push_back(T.SwitchDefault);
+    break;
+  case Opcode::Ret:
+  case Opcode::Yield:
+  case Opcode::Trap:
+    break;
+  default:
+    assert(false && "unexpected terminator opcode");
+  }
+  return Result;
+}
+
+size_t Kernel::instructionCount() const {
+  size_t Count = 0;
+  for (const BasicBlock &B : Blocks)
+    Count += B.Insts.size();
+  return Count;
+}
+
+Kernel *Module::findKernel(const std::string &Name) {
+  for (auto &K : Kernels)
+    if (K->Name == Name)
+      return K.get();
+  return nullptr;
+}
+
+const Kernel *Module::findKernel(const std::string &Name) const {
+  for (const auto &K : Kernels)
+    if (K->Name == Name)
+      return K.get();
+  return nullptr;
+}

@@ -1,0 +1,245 @@
+//===- ir/Opcode.cpp - SVIR opcode properties -----------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Opcode.h"
+
+#include <cassert>
+
+using namespace simtvec;
+
+const char *simtvec::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Mad:
+    return "mad";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Abs:
+    return "abs";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Setp:
+    return "setp";
+  case Opcode::Selp:
+    return "selp";
+  case Opcode::Cvt:
+    return "cvt";
+  case Opcode::Rcp:
+    return "rcp";
+  case Opcode::Sqrt:
+    return "sqrt";
+  case Opcode::Rsqrt:
+    return "rsqrt";
+  case Opcode::Sin:
+    return "sin";
+  case Opcode::Cos:
+    return "cos";
+  case Opcode::Lg2:
+    return "lg2";
+  case Opcode::Ex2:
+    return "ex2";
+  case Opcode::Ld:
+    return "ld";
+  case Opcode::St:
+    return "st";
+  case Opcode::AtomAdd:
+    return "atom.add";
+  case Opcode::Bra:
+    return "bra";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::BarSync:
+    return "bar.sync";
+  case Opcode::InsertElement:
+    return "insertelement";
+  case Opcode::ExtractElement:
+    return "extractelement";
+  case Opcode::Broadcast:
+    return "broadcast";
+  case Opcode::Iota:
+    return "iota";
+  case Opcode::VoteSum:
+    return "vote.sum";
+  case Opcode::Switch:
+    return "switch";
+  case Opcode::Spill:
+    return "spill";
+  case Opcode::Restore:
+    return "restore";
+  case Opcode::SetRPoint:
+    return "set.rpoint";
+  case Opcode::SetRStatus:
+    return "set.rstatus";
+  case Opcode::Yield:
+    return "yield";
+  case Opcode::Membar:
+    return "membar";
+  case Opcode::Trap:
+    return "trap";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+const char *simtvec::cmpOpName(CmpOp Cmp) {
+  switch (Cmp) {
+  case CmpOp::Eq:
+    return "eq";
+  case CmpOp::Ne:
+    return "ne";
+  case CmpOp::Lt:
+    return "lt";
+  case CmpOp::Le:
+    return "le";
+  case CmpOp::Gt:
+    return "gt";
+  case CmpOp::Ge:
+    return "ge";
+  }
+  assert(false && "unknown cmp op");
+  return "?";
+}
+
+const char *simtvec::addressSpaceName(AddressSpace Space) {
+  switch (Space) {
+  case AddressSpace::Global:
+    return "global";
+  case AddressSpace::Shared:
+    return "shared";
+  case AddressSpace::Local:
+    return "local";
+  case AddressSpace::Param:
+    return "param";
+  }
+  assert(false && "unknown address space");
+  return "?";
+}
+
+bool simtvec::isVectorizable(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Mad:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Neg:
+  case Opcode::Abs:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Not:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Setp:
+  case Opcode::Selp:
+  case Opcode::Cvt:
+  case Opcode::Rcp:
+  case Opcode::Sqrt:
+  case Opcode::Rsqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Lg2:
+  case Opcode::Ex2:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool simtvec::isMemoryOp(Opcode Op) {
+  return Op == Opcode::Ld || Op == Opcode::St || Op == Opcode::AtomAdd;
+}
+
+bool simtvec::isTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Bra:
+  case Opcode::Ret:
+  case Opcode::Switch:
+  case Opcode::Yield:
+  case Opcode::Trap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool simtvec::isTranscendental(Opcode Op) {
+  switch (Op) {
+  case Opcode::Rcp:
+  case Opcode::Sqrt:
+  case Opcode::Rsqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Lg2:
+  case Opcode::Ex2:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool simtvec::hasResult(Opcode Op) {
+  switch (Op) {
+  case Opcode::St:
+  case Opcode::Bra:
+  case Opcode::Ret:
+  case Opcode::BarSync:
+  case Opcode::Switch:
+  case Opcode::Spill:
+  case Opcode::SetRPoint:
+  case Opcode::SetRStatus:
+  case Opcode::Yield:
+  case Opcode::Membar:
+  case Opcode::Trap:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool simtvec::hasSideEffects(Opcode Op) {
+  switch (Op) {
+  case Opcode::St:
+  case Opcode::AtomAdd:
+  case Opcode::BarSync:
+  case Opcode::Spill:
+  case Opcode::SetRPoint:
+  case Opcode::SetRStatus:
+  case Opcode::Membar:
+    return true;
+  default:
+    return isTerminator(Op);
+  }
+}

@@ -1,0 +1,102 @@
+//===- ir/Operand.cpp - SVIR operands -------------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Operand.h"
+
+#include <cstring>
+
+using namespace simtvec;
+
+const char *simtvec::sregName(SReg S) {
+  switch (S) {
+  case SReg::TidX:
+    return "%tid.x";
+  case SReg::TidY:
+    return "%tid.y";
+  case SReg::TidZ:
+    return "%tid.z";
+  case SReg::NTidX:
+    return "%ntid.x";
+  case SReg::NTidY:
+    return "%ntid.y";
+  case SReg::NTidZ:
+    return "%ntid.z";
+  case SReg::CTAIdX:
+    return "%ctaid.x";
+  case SReg::CTAIdY:
+    return "%ctaid.y";
+  case SReg::CTAIdZ:
+    return "%ctaid.z";
+  case SReg::NCTAIdX:
+    return "%nctaid.x";
+  case SReg::NCTAIdY:
+    return "%nctaid.y";
+  case SReg::NCTAIdZ:
+    return "%nctaid.z";
+  case SReg::LaneId:
+    return "%laneid";
+  case SReg::WarpBaseTid:
+    return "%warpbase";
+  case SReg::WarpWidth:
+    return "%warpwidth";
+  case SReg::EntryId:
+    return "%entryid";
+  }
+  assert(false && "unknown special register");
+  return "?";
+}
+
+bool simtvec::isThreadVariant(SReg S) {
+  switch (S) {
+  case SReg::TidX:
+  case SReg::TidY:
+  case SReg::TidZ:
+  case SReg::LaneId:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Operand Operand::immF32(float Value) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return immBits(Type::f32(), Bits);
+}
+
+Operand Operand::immF64(double Value) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  return immBits(Type::f64(), Bits);
+}
+
+int64_t Operand::immInt() const {
+  assert(isImm() && "not an immediate operand");
+  // Sign-extend from the type's width.
+  unsigned Width = ImmTy.bitWidth();
+  if (Width >= 64)
+    return static_cast<int64_t>(ImmBits);
+  uint64_t Mask = (1ull << Width) - 1;
+  uint64_t Value = ImmBits & Mask;
+  if (ImmTy.isSigned() && (Value >> (Width - 1)))
+    Value |= ~Mask;
+  return static_cast<int64_t>(Value);
+}
+
+float Operand::immF32() const {
+  assert(isImm() && "not an immediate operand");
+  float Value;
+  uint32_t Bits = static_cast<uint32_t>(ImmBits);
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return Value;
+}
+
+double Operand::immF64() const {
+  assert(isImm() && "not an immediate operand");
+  double Value;
+  std::memcpy(&Value, &ImmBits, sizeof(Value));
+  return Value;
+}

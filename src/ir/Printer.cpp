@@ -1,0 +1,253 @@
+//===- ir/Printer.cpp - SVIR textual printer ------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Printer.h"
+
+#include "simtvec/ir/Module.h"
+#include "simtvec/support/Format.h"
+
+#include <cmath>
+
+using namespace simtvec;
+
+namespace {
+
+/// Type suffix in mnemonics: ".v4.f32" for vectors, ".f32" for scalars.
+std::string typeSuffix(Type Ty) {
+  if (Ty.isVector())
+    return formatString(".v%u.%s", static_cast<unsigned>(Ty.lanes()),
+                        Type::kindName(Ty.kind()));
+  return formatString(".%s", Type::kindName(Ty.kind()));
+}
+
+std::string immString(const Operand &O) {
+  Type Ty = O.immType();
+  if (Ty.kind() == ScalarKind::F32) {
+    // Hex float form guarantees exact round-trips.
+    return formatString("0f%08X", static_cast<unsigned>(O.immBits()));
+  }
+  if (Ty.kind() == ScalarKind::F64)
+    return formatString("0d%016llX",
+                        static_cast<unsigned long long>(O.immBits()));
+  return formatString("%lld", static_cast<long long>(O.immInt()));
+}
+
+} // namespace
+
+static std::string operandString(const Kernel &K, const Operand &O) {
+  switch (O.kind()) {
+  case Operand::Kind::None:
+    return "<none>";
+  case Operand::Kind::Reg:
+    return "%" + K.reg(O.regId()).Name;
+  case Operand::Kind::Imm:
+    return immString(O);
+  case Operand::Kind::Special:
+    return sregName(O.specialReg());
+  case Operand::Kind::Symbol:
+    switch (O.symKind()) {
+    case SymKind::Param:
+      return K.Params[O.symIndex()].Name;
+    case SymKind::Shared:
+      return K.SharedVars[O.symIndex()].Name;
+    case SymKind::Local:
+      return K.LocalVars[O.symIndex()].Name;
+    }
+  }
+  assert(false && "unknown operand kind");
+  return "?";
+}
+
+static std::string addressString(const Kernel &K, const Instruction &I) {
+  assert(!I.Srcs.empty() && "memory instruction without an address operand");
+  std::string Base = operandString(K, I.Srcs[0]);
+  if (I.MemOffset == 0)
+    return formatString("[%s]", Base.c_str());
+  return formatString("[%s%+lld]", Base.c_str(),
+                      static_cast<long long>(I.MemOffset));
+}
+
+std::string simtvec::printInstruction(const Kernel &K, const Instruction &I) {
+  std::string S;
+  if (I.Guard.isValid() && I.Op != Opcode::Bra)
+    S += formatString("@%s%%%s ", I.GuardNegated ? "!" : "",
+                      K.reg(I.Guard).Name.c_str());
+
+  // Tolerate invalid targets: the verifier prints instructions it is about
+  // to reject.
+  auto blockName = [&](uint32_t Idx) -> std::string {
+    if (Idx >= K.Blocks.size())
+      return formatString("<invalid:%u>", Idx);
+    return K.Blocks[Idx].Name;
+  };
+
+  switch (I.Op) {
+  case Opcode::Bra:
+    if (I.Guard.isValid()) {
+      S += formatString("@%s%%%s bra %s, %s", I.GuardNegated ? "!" : "",
+                        K.reg(I.Guard).Name.c_str(),
+                        blockName(I.Target).c_str(),
+                        blockName(I.FalseTarget).c_str());
+    } else {
+      S += formatString("bra %s", blockName(I.Target).c_str());
+    }
+    break;
+  case Opcode::Ret:
+    S += "ret";
+    break;
+  case Opcode::Yield:
+    S += "yield";
+    break;
+  case Opcode::Trap:
+    S += "trap";
+    break;
+  case Opcode::BarSync:
+    S += "bar.sync";
+    break;
+  case Opcode::Membar:
+    S += "membar";
+    break;
+  case Opcode::Switch: {
+    S += formatString("switch.u32 %s, [", operandString(K, I.Srcs[0]).c_str());
+    for (size_t C = 0; C < I.SwitchValues.size(); ++C) {
+      if (C)
+        S += ",";
+      S += formatString(" %lld: %s",
+                        static_cast<long long>(I.SwitchValues[C]),
+                        blockName(I.SwitchTargets[C]).c_str());
+    }
+    S += formatString(" ], default: %s", blockName(I.SwitchDefault).c_str());
+    break;
+  }
+  case Opcode::Ld:
+    S += formatString("ld.%s%s %%%s, %s", addressSpaceName(I.Space),
+                      typeSuffix(I.Ty).c_str(), K.reg(I.Dst).Name.c_str(),
+                      addressString(K, I).c_str());
+    break;
+  case Opcode::St:
+    S += formatString("st.%s%s %s, %s", addressSpaceName(I.Space),
+                      typeSuffix(I.Ty).c_str(), addressString(K, I).c_str(),
+                      operandString(K, I.Srcs[1]).c_str());
+    break;
+  case Opcode::AtomAdd:
+    S += formatString("atom.%s.add%s %%%s, %s, %s", addressSpaceName(I.Space),
+                      typeSuffix(I.Ty).c_str(), K.reg(I.Dst).Name.c_str(),
+                      addressString(K, I).c_str(),
+                      operandString(K, I.Srcs[1]).c_str());
+    break;
+  case Opcode::Setp:
+    S += formatString("setp.%s%s %%%s", cmpOpName(I.Cmp),
+                      typeSuffix(I.Ty).c_str(), K.reg(I.Dst).Name.c_str());
+    for (const Operand &O : I.Srcs)
+      S += ", " + operandString(K, O);
+    break;
+  case Opcode::Cvt: {
+    // cvt.DST.SRC: the source kind is recorded by the source register type.
+    Type SrcTy = I.Srcs[0].isReg() ? K.regType(I.Srcs[0].regId()).scalar()
+                                   : I.Srcs[0].immType();
+    S += formatString("cvt%s.%s %%%s, %s", typeSuffix(I.Ty).c_str(),
+                      Type::kindName(SrcTy.kind()), K.reg(I.Dst).Name.c_str(),
+                      operandString(K, I.Srcs[0]).c_str());
+    break;
+  }
+  case Opcode::Spill:
+    S += formatString("spill%s %s, %lld", typeSuffix(I.Ty).c_str(),
+                      operandString(K, I.Srcs[0]).c_str(),
+                      static_cast<long long>(I.MemOffset));
+    break;
+  case Opcode::Restore:
+    S += formatString("restore%s %%%s, %lld", typeSuffix(I.Ty).c_str(),
+                      K.reg(I.Dst).Name.c_str(),
+                      static_cast<long long>(I.MemOffset));
+    break;
+  case Opcode::SetRPoint:
+    S += formatString("set.rpoint %s", operandString(K, I.Srcs[0]).c_str());
+    break;
+  case Opcode::SetRStatus: {
+    static const char *Names[] = {"branch", "barrier", "exit"};
+    S += formatString("set.rstatus %s",
+                      Names[static_cast<unsigned>(I.Srcs[0].immInt())]);
+    break;
+  }
+  default: {
+    // Generic form: mnemonic[.cmp].type dst?, srcs...
+    S += opcodeName(I.Op);
+    S += typeSuffix(I.Ty);
+    bool First = true;
+    auto append = [&](const std::string &Text) {
+      S += First ? " " : ", ";
+      S += Text;
+      First = false;
+    };
+    if (I.hasResult())
+      append("%" + K.reg(I.Dst).Name);
+    for (const Operand &O : I.Srcs)
+      append(operandString(K, O));
+    break;
+  }
+  }
+
+  if (I.Lane != 0)
+    S += formatString(" !lane %u", static_cast<unsigned>(I.Lane));
+  S += ";";
+  return S;
+}
+
+std::string simtvec::printKernel(const Kernel &K) {
+  std::string S = formatString(".kernel %s (", K.Name.c_str());
+  for (size_t P = 0; P < K.Params.size(); ++P) {
+    if (P)
+      S += ", ";
+    S += formatString(".param %s %s", K.Params[P].Ty.str().c_str(),
+                      K.Params[P].Name.c_str());
+  }
+  S += ")\n{\n";
+
+  for (const MemVar &V : K.SharedVars)
+    S += formatString("  .shared .b8 %s[%u];\n", V.Name.c_str(), V.Bytes);
+  for (const MemVar &V : K.LocalVars)
+    S += formatString("  .local .b8 %s[%u];\n", V.Name.c_str(), V.Bytes);
+  for (const VirtualRegister &R : K.Regs)
+    S += formatString("  .reg %s %%%s;\n", R.Ty.str().c_str(),
+                      R.Name.c_str());
+
+  if (K.WarpSize != 0)
+    S += formatString("  .warpsize %u;\n", K.WarpSize);
+  if (K.SpillBytes != 0)
+    S += formatString("  .spillbytes %u;\n", K.SpillBytes);
+  for (size_t E = 0; E < K.EntryBlocks.size(); ++E)
+    S += formatString("  .entry %zu %s;\n", E,
+                      K.Blocks[K.EntryBlocks[E]].Name.c_str());
+
+  for (const BasicBlock &B : K.Blocks) {
+    S += B.Name + ":";
+    switch (B.Kind) {
+    case BlockKind::Body:
+      break;
+    case BlockKind::Scheduler:
+      S += " !scheduler";
+      break;
+    case BlockKind::EntryHandler:
+      S += " !entry";
+      break;
+    case BlockKind::ExitHandler:
+      S += " !exit";
+      break;
+    }
+    S += "\n";
+    for (const Instruction &I : B.Insts)
+      S += "  " + printInstruction(K, I) + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string simtvec::printModule(const Module &M) {
+  std::string S = ".version 1.0\n\n";
+  for (const auto &K : M.kernels())
+    S += printKernel(*K) + "\n";
+  return S;
+}

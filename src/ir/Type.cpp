@@ -1,0 +1,65 @@
+//===- ir/Type.cpp - SVIR type system -------------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Type.h"
+
+#include "simtvec/support/Format.h"
+
+using namespace simtvec;
+
+unsigned Type::bitWidth() const {
+  switch (Kind) {
+  case ScalarKind::Pred:
+    return 1;
+  case ScalarKind::U8:
+    return 8;
+  case ScalarKind::S32:
+  case ScalarKind::U32:
+  case ScalarKind::F32:
+    return 32;
+  case ScalarKind::S64:
+  case ScalarKind::U64:
+  case ScalarKind::F64:
+    return 64;
+  }
+  assert(false && "unknown scalar kind");
+  return 0;
+}
+
+unsigned Type::byteSize() const {
+  assert(!isPred() && "predicates are not addressable");
+  return bitWidth() / 8;
+}
+
+const char *Type::kindName(ScalarKind Kind) {
+  switch (Kind) {
+  case ScalarKind::Pred:
+    return "pred";
+  case ScalarKind::U8:
+    return "u8";
+  case ScalarKind::S32:
+    return "s32";
+  case ScalarKind::U32:
+    return "u32";
+  case ScalarKind::S64:
+    return "s64";
+  case ScalarKind::U64:
+    return "u64";
+  case ScalarKind::F32:
+    return "f32";
+  case ScalarKind::F64:
+    return "f64";
+  }
+  assert(false && "unknown scalar kind");
+  return "?";
+}
+
+std::string Type::str() const {
+  if (!isVector())
+    return formatString(".%s", kindName(Kind));
+  return formatString("<%u x .%s>", static_cast<unsigned>(NumLanes),
+                      kindName(Kind));
+}

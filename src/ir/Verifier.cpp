@@ -1,0 +1,443 @@
+//===- ir/Verifier.cpp - SVIR structural verifier -------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Verifier.h"
+
+#include "simtvec/ir/Module.h"
+#include "simtvec/ir/Printer.h"
+#include "simtvec/support/Format.h"
+
+using namespace simtvec;
+
+namespace {
+
+/// Verification context for one kernel.
+class KernelVerifier {
+public:
+  explicit KernelVerifier(const Kernel &K) : K(K) {}
+
+  Status run();
+
+private:
+  Status fail(const Instruction *I, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  Status checkBlock(uint32_t BlockIdx);
+  Status checkInstruction(const Instruction &I);
+  Status checkOperandType(const Instruction &I, const Operand &O,
+                          Type Expected);
+  Status checkTarget(const Instruction &I, uint32_t Target);
+
+  /// Type of an operand as seen by the executing instruction.
+  Expected<Type> operandType(const Instruction &I, const Operand &O);
+
+  const Kernel &K;
+  uint32_t CurrentBlock = 0;
+};
+
+} // namespace
+
+Status KernelVerifier::fail(const Instruction *I, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Detail = formatStringV(Fmt, Args);
+  va_end(Args);
+  std::string Where =
+      formatString("kernel '%s', block '%s'", K.Name.c_str(),
+                   K.Blocks[CurrentBlock].Name.c_str());
+  if (I)
+    Where += ": " + printInstruction(K, *I);
+  return Status::error(Where + ": " + Detail);
+}
+
+Expected<Type> KernelVerifier::operandType(const Instruction &I,
+                                           const Operand &O) {
+  switch (O.kind()) {
+  case Operand::Kind::None:
+    return Status::error("empty operand");
+  case Operand::Kind::Reg:
+    if (O.regId().Index >= K.Regs.size())
+      return Status::error("register index out of range");
+    return K.regType(O.regId());
+  case Operand::Kind::Imm:
+    return O.immType();
+  case Operand::Kind::Special:
+    return Type::u32();
+  case Operand::Kind::Symbol: {
+    size_t Count = 0;
+    switch (O.symKind()) {
+    case SymKind::Param:
+      Count = K.Params.size();
+      break;
+    case SymKind::Shared:
+      Count = K.SharedVars.size();
+      break;
+    case SymKind::Local:
+      Count = K.LocalVars.size();
+      break;
+    }
+    if (O.symIndex() >= Count)
+      return Status::error("symbol index out of range");
+    // Symbols evaluate to a byte offset within their space.
+    return Type::u64();
+  }
+  }
+  (void)I;
+  return Status::error("unknown operand kind");
+}
+
+Status KernelVerifier::checkOperandType(const Instruction &I, const Operand &O,
+                                        Type Expected) {
+  auto TyOrErr = operandType(I, O);
+  if (!TyOrErr)
+    return fail(&I, "%s", TyOrErr.status().message().c_str());
+  Type Ty = *TyOrErr;
+  // Immediates and symbols coerce freely among same-width integer kinds;
+  // register operands must match width and lane count exactly, and kind
+  // except for signedness (PTX arithmetic is sign-agnostic at the register
+  // level).
+  if (O.isImm() || O.isSymbol() || O.isSpecial()) {
+    // Immediates and symbols broadcast across lanes; special registers
+    // evaluate per lane in vector instructions ("update thread ID
+    // operands", Algorithm 1).
+    if (Expected.isPred() != Ty.isPred())
+      return fail(&I, "operand kind mismatch: predicate vs non-predicate");
+    return Status::success();
+  }
+  if (Ty.lanes() != Expected.lanes())
+    return fail(&I, "operand lane count %u, expected %u",
+                static_cast<unsigned>(Ty.lanes()),
+                static_cast<unsigned>(Expected.lanes()));
+  if (Ty.isPred() != Expected.isPred())
+    return fail(&I, "operand kind mismatch: predicate vs non-predicate");
+  if (!Ty.isPred() && Ty.bitWidth() != Expected.bitWidth())
+    return fail(&I, "operand bit width %u, expected %u",
+                Ty.scalar().bitWidth(), Expected.scalar().bitWidth());
+  if (Ty.isFloat() != Expected.isFloat())
+    return fail(&I, "operand kind mismatch: float vs integer");
+  return Status::success();
+}
+
+Status KernelVerifier::checkTarget(const Instruction &I, uint32_t Target) {
+  if (Target >= K.Blocks.size())
+    return fail(&I, "branch target out of range");
+  return Status::success();
+}
+
+Status KernelVerifier::checkInstruction(const Instruction &I) {
+  // Destination checks.
+  if (simtvec::hasResult(I.Op)) {
+    if (!I.Dst.isValid())
+      return fail(&I, "missing destination register");
+    if (I.Dst.Index >= K.Regs.size())
+      return fail(&I, "destination register out of range");
+  } else if (I.Dst.isValid()) {
+    return fail(&I, "opcode cannot write a destination");
+  }
+
+  // Guard checks.
+  if (I.Guard.isValid()) {
+    if (I.Guard.Index >= K.Regs.size())
+      return fail(&I, "guard register out of range");
+    Type GTy = K.regType(I.Guard);
+    if (!GTy.isPred() || GTy.isVector())
+      return fail(&I, "guard must be a scalar predicate");
+    if (I.Ty.isVector() && I.Op != Opcode::Bra)
+      return fail(&I, "vector instructions may not be guarded");
+  }
+
+  Type Dst = I.hasResult() ? K.regType(I.Dst) : Type();
+  auto expectSrcs = [&](size_t N) -> Status {
+    if (I.Srcs.size() != N)
+      return fail(&I, "expected %zu source operands, found %zu", N,
+                  I.Srcs.size());
+    return Status::success();
+  };
+
+  switch (I.Op) {
+  case Opcode::Mov: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "mov destination type differs from operation type");
+    return checkOperandType(I, I.Srcs[0], I.Ty);
+  }
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr: {
+    if (auto E = expectSrcs(2))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "destination type differs from operation type");
+    for (const Operand &O : I.Srcs)
+      if (auto E = checkOperandType(I, O, I.Ty))
+        return E;
+    return Status::success();
+  }
+  case Opcode::Mad: {
+    if (auto E = expectSrcs(3))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "destination type differs from operation type");
+    for (const Operand &O : I.Srcs)
+      if (auto E = checkOperandType(I, O, I.Ty))
+        return E;
+    return Status::success();
+  }
+  case Opcode::Neg:
+  case Opcode::Abs:
+  case Opcode::Not:
+  case Opcode::Rcp:
+  case Opcode::Sqrt:
+  case Opcode::Rsqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Lg2:
+  case Opcode::Ex2: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "destination type differs from operation type");
+    return checkOperandType(I, I.Srcs[0], I.Ty);
+  }
+  case Opcode::Setp: {
+    if (auto E = expectSrcs(2))
+      return E;
+    if (!Dst.isPred() || Dst.lanes() != I.Ty.lanes())
+      return fail(&I, "setp must write a predicate of matching lane count");
+    for (const Operand &O : I.Srcs)
+      if (auto E = checkOperandType(I, O, I.Ty))
+        return E;
+    return Status::success();
+  }
+  case Opcode::Selp: {
+    if (auto E = expectSrcs(3))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "destination type differs from operation type");
+    if (auto E = checkOperandType(I, I.Srcs[0], I.Ty))
+      return E;
+    if (auto E = checkOperandType(I, I.Srcs[1], I.Ty))
+      return E;
+    return checkOperandType(I, I.Srcs[2],
+                            Type::pred().withLanes(I.Ty.lanes()));
+  }
+  case Opcode::Cvt: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "destination type differs from operation type");
+    auto SrcTy = operandType(I, I.Srcs[0]);
+    if (!SrcTy)
+      return fail(&I, "%s", SrcTy.status().message().c_str());
+    // Register sources must match lane-for-lane; immediates broadcast and
+    // special registers evaluate per lane.
+    if (I.Srcs[0].isReg() && SrcTy->lanes() != I.Ty.lanes())
+      return fail(&I, "cvt source lane count differs from destination");
+    if (SrcTy->isPred())
+      return fail(&I, "cvt cannot convert predicates");
+    return Status::success();
+  }
+  case Opcode::Ld: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (I.Ty.isVector())
+      return fail(&I, "loads are not vectorizable and must stay scalar");
+    if (Dst.isVector() || Dst.isPred())
+      return fail(&I, "load destination must be a scalar non-predicate");
+    if (Dst.bitWidth() != I.Ty.bitWidth() && Dst.bitWidth() < I.Ty.bitWidth())
+      return fail(&I, "load destination narrower than the element type");
+    return Status::success();
+  }
+  case Opcode::St: {
+    if (auto E = expectSrcs(2))
+      return E;
+    if (I.Ty.isVector())
+      return fail(&I, "stores are not vectorizable and must stay scalar");
+    auto ValTy = operandType(I, I.Srcs[1]);
+    if (!ValTy)
+      return fail(&I, "%s", ValTy.status().message().c_str());
+    if (ValTy->isVector() || ValTy->isPred())
+      return fail(&I, "stored value must be a scalar non-predicate");
+    if (ValTy->isFloat() != I.Ty.isFloat())
+      return fail(&I, "stored value kind mismatch: float vs integer");
+    // Integer stores may truncate from a wider register (st.global.u8 from
+    // a .u32, as in PTX).
+    if (ValTy->bitWidth() < I.Ty.bitWidth())
+      return fail(&I, "stored value narrower than the element type");
+    return Status::success();
+  }
+  case Opcode::AtomAdd: {
+    if (auto E = expectSrcs(2))
+      return E;
+    if (I.Space != AddressSpace::Global && I.Space != AddressSpace::Shared)
+      return fail(&I, "atomics require the global or shared space");
+    if (I.Ty.isVector())
+      return fail(&I, "atomics must stay scalar");
+    return checkOperandType(I, I.Srcs[1], I.Ty);
+  }
+  case Opcode::Bra: {
+    if (auto E = checkTarget(I, I.Target))
+      return E;
+    if (I.Guard.isValid())
+      return checkTarget(I, I.FalseTarget);
+    return Status::success();
+  }
+  case Opcode::Ret:
+  case Opcode::Yield:
+  case Opcode::Trap:
+  case Opcode::BarSync:
+  case Opcode::Membar:
+    return expectSrcs(0);
+  case Opcode::Switch: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (I.SwitchValues.size() != I.SwitchTargets.size())
+      return fail(&I, "switch case arrays are not parallel");
+    for (uint32_t T : I.SwitchTargets)
+      if (auto E = checkTarget(I, T))
+        return E;
+    return checkTarget(I, I.SwitchDefault);
+  }
+  case Opcode::InsertElement: {
+    if (auto E = expectSrcs(3))
+      return E;
+    if (!I.Ty.isVector() || Dst != I.Ty)
+      return fail(&I, "insertelement must produce the vector type");
+    if (auto E = checkOperandType(I, I.Srcs[0], I.Ty))
+      return E;
+    if (auto E = checkOperandType(I, I.Srcs[1], I.Ty.scalar()))
+      return E;
+    if (!I.Srcs[2].isImm())
+      return fail(&I, "insertelement lane must be an immediate");
+    if (I.Srcs[2].immInt() < 0 || I.Srcs[2].immInt() >= I.Ty.lanes())
+      return fail(&I, "insertelement lane out of range");
+    return Status::success();
+  }
+  case Opcode::ExtractElement: {
+    if (auto E = expectSrcs(2))
+      return E;
+    if (I.Ty.isVector() || Dst != I.Ty)
+      return fail(&I, "extractelement must produce the element type");
+    auto SrcTy = operandType(I, I.Srcs[0]);
+    if (!SrcTy)
+      return fail(&I, "%s", SrcTy.status().message().c_str());
+    if (!SrcTy->isVector() || SrcTy->scalar() != I.Ty)
+      return fail(&I, "extractelement source must be a matching vector");
+    if (!I.Srcs[1].isImm())
+      return fail(&I, "extractelement lane must be an immediate");
+    if (I.Srcs[1].immInt() < 0 || I.Srcs[1].immInt() >= SrcTy->lanes())
+      return fail(&I, "extractelement lane out of range");
+    return Status::success();
+  }
+  case Opcode::Broadcast: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (!I.Ty.isVector() || Dst != I.Ty)
+      return fail(&I, "broadcast must produce the vector type");
+    return checkOperandType(I, I.Srcs[0], I.Ty.scalar());
+  }
+  case Opcode::Iota: {
+    if (auto E = expectSrcs(0))
+      return E;
+    if (!I.Ty.isVector() || Dst != I.Ty || I.Ty.isPred() || I.Ty.isFloat())
+      return fail(&I, "iota must produce an integer vector");
+    return Status::success();
+  }
+  case Opcode::VoteSum: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (Dst.isVector() || Dst.isPred())
+      return fail(&I, "vote.sum must write a scalar integer");
+    auto SrcTy = operandType(I, I.Srcs[0]);
+    if (!SrcTy)
+      return fail(&I, "%s", SrcTy.status().message().c_str());
+    if (!SrcTy->isPred())
+      return fail(&I, "vote.sum source must be a predicate");
+    return Status::success();
+  }
+  case Opcode::Spill: {
+    if (auto E = expectSrcs(1))
+      return E;
+    return checkOperandType(I, I.Srcs[0], I.Ty);
+  }
+  case Opcode::Restore: {
+    if (auto E = expectSrcs(0))
+      return E;
+    if (Dst != I.Ty)
+      return fail(&I, "restore destination type differs from operation type");
+    return Status::success();
+  }
+  case Opcode::SetRPoint:
+    return expectSrcs(1);
+  case Opcode::SetRStatus: {
+    if (auto E = expectSrcs(1))
+      return E;
+    if (!I.Srcs[0].isImm() || I.Srcs[0].immInt() < 0 || I.Srcs[0].immInt() > 2)
+      return fail(&I, "set.rstatus requires a status immediate");
+    return Status::success();
+  }
+  }
+  return fail(&I, "unknown opcode");
+}
+
+Status KernelVerifier::checkBlock(uint32_t BlockIdx) {
+  CurrentBlock = BlockIdx;
+  const BasicBlock &B = K.Blocks[BlockIdx];
+  if (B.Insts.empty())
+    return fail(nullptr, "empty basic block");
+  if (!B.hasTerminator())
+    return fail(nullptr, "block does not end with a terminator");
+  for (size_t Idx = 0; Idx + 1 < B.Insts.size(); ++Idx)
+    if (B.Insts[Idx].isTerminator())
+      return fail(&B.Insts[Idx], "terminator in the middle of a block");
+  for (const Instruction &I : B.Insts)
+    if (auto E = checkInstruction(I))
+      return E;
+  return Status::success();
+}
+
+Status KernelVerifier::run() {
+  if (K.Blocks.empty())
+    return Status::error(
+        formatString("kernel '%s' has no basic blocks", K.Name.c_str()));
+  for (uint32_t B = 0; B < K.Blocks.size(); ++B)
+    if (auto E = checkBlock(B))
+      return E;
+  for (uint32_t EntryBlock : K.EntryBlocks)
+    if (EntryBlock >= K.Blocks.size())
+      return Status::error(formatString(
+          "kernel '%s': entry table references a missing block",
+          K.Name.c_str()));
+  if (K.WarpSize > 0) {
+    for (const VirtualRegister &R : K.Regs)
+      if (R.Ty.isVector() && R.Ty.lanes() != K.WarpSize)
+        return Status::error(formatString(
+            "kernel '%s': vector register '%s' width differs from warp size",
+            K.Name.c_str(), R.Name.c_str()));
+  }
+  return Status::success();
+}
+
+Status simtvec::verifyKernel(const Kernel &K) {
+  return KernelVerifier(K).run();
+}
+
+Status simtvec::verifyModule(const Module &M) {
+  for (const auto &K : M.kernels())
+    if (auto E = verifyKernel(*K))
+      return E;
+  return Status::success();
+}

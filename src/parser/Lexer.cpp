@@ -1,0 +1,237 @@
+//===- parser/Lexer.cpp - SVIR token stream -------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Lexer.h"
+
+#include "simtvec/support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace simtvec;
+
+Lexer::Lexer(const std::string &Text) : Text(Text) {}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+static bool isIdentChar(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+bool Lexer::lexNumber(std::string &ErrorMessage) {
+  Token T;
+  T.Line = Line;
+  T.Col = Col;
+  size_t Start = Pos;
+
+  auto takeWhile = [&](auto Pred) {
+    while (Pos < Text.size() && Pred(Text[Pos])) {
+      ++Pos;
+      ++Col;
+    }
+  };
+  auto isHex = [](char C) {
+    return std::isxdigit(static_cast<unsigned char>(C));
+  };
+  auto isDigit = [](char C) {
+    return std::isdigit(static_cast<unsigned char>(C));
+  };
+
+  // PTX-style hex float immediates: 0fXXXXXXXX / 0dXXXXXXXXXXXXXXXX.
+  if (Text[Pos] == '0' && Pos + 1 < Text.size() &&
+      (Text[Pos + 1] == 'f' || Text[Pos + 1] == 'd') &&
+      Pos + 2 < Text.size() && isHex(Text[Pos + 2])) {
+    bool IsF32 = Text[Pos + 1] == 'f';
+    Pos += 2;
+    Col += 2;
+    size_t DigitsStart = Pos;
+    takeWhile(isHex);
+    size_t Digits = Pos - DigitsStart;
+    if ((IsF32 && Digits != 8) || (!IsF32 && Digits != 16)) {
+      ErrorMessage = formatString("%u:%u: malformed hex float literal", T.Line,
+                                  T.Col);
+      return false;
+    }
+    T.Kind = IsF32 ? TokKind::HexF32 : TokKind::HexF64;
+    T.IntBits = std::strtoull(Text.substr(DigitsStart, Digits).c_str(),
+                              nullptr, 16);
+    Tokens.push_back(std::move(T));
+    return true;
+  }
+
+  // 0x hex integer.
+  if (Text[Pos] == '0' && Pos + 1 < Text.size() &&
+      (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
+    Pos += 2;
+    Col += 2;
+    size_t DigitsStart = Pos;
+    takeWhile(isHex);
+    if (Pos == DigitsStart) {
+      ErrorMessage =
+          formatString("%u:%u: malformed hex integer", T.Line, T.Col);
+      return false;
+    }
+    T.Kind = TokKind::Int;
+    T.IntBits = std::strtoull(Text.substr(DigitsStart, Pos - DigitsStart)
+                                  .c_str(),
+                              nullptr, 16);
+    Tokens.push_back(std::move(T));
+    return true;
+  }
+
+  // Decimal integer or float.
+  takeWhile(isDigit);
+  bool IsFloat = false;
+  if (Pos < Text.size() && Text[Pos] == '.' && Pos + 1 < Text.size() &&
+      isDigit(Text[Pos + 1])) {
+    IsFloat = true;
+    ++Pos;
+    ++Col;
+    takeWhile(isDigit);
+  }
+  if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+    size_t Save = Pos;
+    unsigned SaveCol = Col;
+    ++Pos;
+    ++Col;
+    if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-')) {
+      ++Pos;
+      ++Col;
+    }
+    if (Pos < Text.size() && isDigit(Text[Pos])) {
+      IsFloat = true;
+      takeWhile(isDigit);
+    } else {
+      Pos = Save;
+      Col = SaveCol;
+    }
+  }
+
+  std::string Spelling = Text.substr(Start, Pos - Start);
+  if (IsFloat) {
+    T.Kind = TokKind::Float;
+    T.FloatValue = std::strtod(Spelling.c_str(), nullptr);
+  } else {
+    T.Kind = TokKind::Int;
+    T.IntBits = std::strtoull(Spelling.c_str(), nullptr, 10);
+  }
+  Tokens.push_back(std::move(T));
+  return true;
+}
+
+bool Lexer::run(std::string &ErrorMessage) {
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '\n') {
+      ++Pos;
+      ++Line;
+      Col = 1;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      ++Col;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Text.size() && Text[Pos + 1] == '/') {
+      while (Pos < Text.size() && Text[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      if (!lexNumber(ErrorMessage))
+        return false;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      Token T;
+      T.Kind = TokKind::Ident;
+      T.Line = Line;
+      T.Col = Col;
+      size_t Start = Pos;
+      while (Pos < Text.size() && isIdentChar(Text[Pos])) {
+        ++Pos;
+        ++Col;
+      }
+      T.Text = Text.substr(Start, Pos - Start);
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    TokKind Kind;
+    switch (C) {
+    case '.':
+      Kind = TokKind::Dot;
+      break;
+    case '%':
+      Kind = TokKind::Percent;
+      break;
+    case '@':
+      Kind = TokKind::At;
+      break;
+    case '!':
+      Kind = TokKind::Bang;
+      break;
+    case ',':
+      Kind = TokKind::Comma;
+      break;
+    case ';':
+      Kind = TokKind::Semi;
+      break;
+    case ':':
+      Kind = TokKind::Colon;
+      break;
+    case '(':
+      Kind = TokKind::LParen;
+      break;
+    case ')':
+      Kind = TokKind::RParen;
+      break;
+    case '{':
+      Kind = TokKind::LBrace;
+      break;
+    case '}':
+      Kind = TokKind::RBrace;
+      break;
+    case '[':
+      Kind = TokKind::LBracket;
+      break;
+    case ']':
+      Kind = TokKind::RBracket;
+      break;
+    case '+':
+      Kind = TokKind::Plus;
+      break;
+    case '-':
+      Kind = TokKind::Minus;
+      break;
+    case '<':
+      Kind = TokKind::Less;
+      break;
+    case '>':
+      Kind = TokKind::Greater;
+      break;
+    default:
+      ErrorMessage =
+          formatString("%u:%u: unexpected character '%c'", Line, Col, C);
+      return false;
+    }
+    Token T;
+    T.Kind = Kind;
+    T.Line = Line;
+    T.Col = Col;
+    Tokens.push_back(std::move(T));
+    ++Pos;
+    ++Col;
+  }
+  Token End;
+  End.Kind = TokKind::End;
+  End.Line = Line;
+  End.Col = Col;
+  Tokens.push_back(std::move(End));
+  return true;
+}

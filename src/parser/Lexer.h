@@ -1,0 +1,72 @@
+//===- parser/Lexer.h - SVIR token stream (private header) ------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_LIB_PARSER_LEXER_H
+#define SIMTVEC_LIB_PARSER_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+enum class TokKind : uint8_t {
+  End,
+  Ident,    ///< [A-Za-z_$][A-Za-z0-9_$]*
+  Int,      ///< decimal or 0x hex integer
+  Float,    ///< decimal literal with '.' or exponent
+  HexF32,   ///< 0fXXXXXXXX
+  HexF64,   ///< 0dXXXXXXXXXXXXXXXX
+  Dot,
+  Percent,
+  At,
+  Bang,
+  Comma,
+  Semi,
+  Colon,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Plus,
+  Minus,
+  Less,
+  Greater,
+};
+
+struct Token {
+  TokKind Kind = TokKind::End;
+  std::string Text;    ///< identifier spelling
+  uint64_t IntBits = 0; ///< Int / HexF32 / HexF64 raw bits
+  double FloatValue = 0;
+  unsigned Line = 0, Col = 0;
+};
+
+/// Tokenizes SVIR text. Lexical errors surface as a diagnostic string.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text);
+
+  /// Tokenizes the whole input; returns false and sets \p ErrorMessage on a
+  /// lexical error.
+  bool run(std::string &ErrorMessage);
+
+  const std::vector<Token> &tokens() const { return Tokens; }
+
+private:
+  bool lexNumber(std::string &ErrorMessage);
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+  std::vector<Token> Tokens;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_LIB_PARSER_LEXER_H

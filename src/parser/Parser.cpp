@@ -1,0 +1,1050 @@
+//===- parser/Parser.cpp - SVIR textual parser ----------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/parser/Parser.h"
+
+#include "Lexer.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace simtvec;
+
+namespace {
+
+/// Opcodes parsed by the generic "mnemonic.type dst, srcs..." rule.
+struct GenericOp {
+  Opcode Op;
+  unsigned Arity; ///< number of source operands
+};
+
+const std::map<std::string, GenericOp> &genericOps() {
+  static const std::map<std::string, GenericOp> Map = {
+      {"mov", {Opcode::Mov, 1}},
+      {"add", {Opcode::Add, 2}},
+      {"sub", {Opcode::Sub, 2}},
+      {"mul", {Opcode::Mul, 2}},
+      {"mad", {Opcode::Mad, 3}},
+      {"div", {Opcode::Div, 2}},
+      {"rem", {Opcode::Rem, 2}},
+      {"min", {Opcode::Min, 2}},
+      {"max", {Opcode::Max, 2}},
+      {"neg", {Opcode::Neg, 1}},
+      {"abs", {Opcode::Abs, 1}},
+      {"and", {Opcode::And, 2}},
+      {"or", {Opcode::Or, 2}},
+      {"xor", {Opcode::Xor, 2}},
+      {"not", {Opcode::Not, 1}},
+      {"shl", {Opcode::Shl, 2}},
+      {"shr", {Opcode::Shr, 2}},
+      {"selp", {Opcode::Selp, 3}},
+      {"rcp", {Opcode::Rcp, 1}},
+      {"sqrt", {Opcode::Sqrt, 1}},
+      {"rsqrt", {Opcode::Rsqrt, 1}},
+      {"sin", {Opcode::Sin, 1}},
+      {"cos", {Opcode::Cos, 1}},
+      {"lg2", {Opcode::Lg2, 1}},
+      {"ex2", {Opcode::Ex2, 1}},
+      {"broadcast", {Opcode::Broadcast, 1}},
+      {"iota", {Opcode::Iota, 0}},
+      {"insertelement", {Opcode::InsertElement, 3}},
+      {"extractelement", {Opcode::ExtractElement, 2}},
+  };
+  return Map;
+}
+
+bool parseScalarKind(const std::string &Name, ScalarKind &Kind) {
+  if (Name == "pred")
+    Kind = ScalarKind::Pred;
+  else if (Name == "u8" || Name == "b8")
+    Kind = ScalarKind::U8;
+  else if (Name == "s32")
+    Kind = ScalarKind::S32;
+  else if (Name == "u32" || Name == "b32")
+    Kind = ScalarKind::U32;
+  else if (Name == "s64")
+    Kind = ScalarKind::S64;
+  else if (Name == "u64" || Name == "b64")
+    Kind = ScalarKind::U64;
+  else if (Name == "f32")
+    Kind = ScalarKind::F32;
+  else if (Name == "f64")
+    Kind = ScalarKind::F64;
+  else
+    return false;
+  return true;
+}
+
+bool parseCmpName(const std::string &Name, CmpOp &Cmp) {
+  if (Name == "eq")
+    Cmp = CmpOp::Eq;
+  else if (Name == "ne")
+    Cmp = CmpOp::Ne;
+  else if (Name == "lt")
+    Cmp = CmpOp::Lt;
+  else if (Name == "le")
+    Cmp = CmpOp::Le;
+  else if (Name == "gt")
+    Cmp = CmpOp::Gt;
+  else if (Name == "ge")
+    Cmp = CmpOp::Ge;
+  else
+    return false;
+  return true;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  Parser(const std::vector<Token> &Toks, Module &M) : Toks(Toks), M(M) {}
+
+  bool run();
+  const std::string &error() const { return Err; }
+
+private:
+  // Token stream helpers -------------------------------------------------
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Idx + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  const Token &take() { return Toks[Idx < Toks.size() - 1 ? Idx++ : Idx]; }
+  bool at(TokKind Kind) const { return peek().Kind == Kind; }
+  bool accept(TokKind Kind) {
+    if (!at(Kind))
+      return false;
+    take();
+    return true;
+  }
+  bool fail(const char *Fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list Args;
+    va_start(Args, Fmt);
+    std::string Detail = formatStringV(Fmt, Args);
+    va_end(Args);
+    Err = formatString("%u:%u: %s", peek().Line, peek().Col, Detail.c_str());
+    return false;
+  }
+  bool expect(TokKind Kind, const char *What) {
+    if (accept(Kind))
+      return true;
+    return fail("expected %s", What);
+  }
+  bool expectIdent(std::string &Out) {
+    if (!at(TokKind::Ident))
+      return fail("expected an identifier");
+    Out = take().Text;
+    return true;
+  }
+  bool expectInt(uint64_t &Out) {
+    bool Negative = accept(TokKind::Minus);
+    if (!at(TokKind::Int))
+      return fail("expected an integer");
+    Out = take().IntBits;
+    if (Negative)
+      Out = static_cast<uint64_t>(-static_cast<int64_t>(Out));
+    return true;
+  }
+
+  // Grammar --------------------------------------------------------------
+  bool parseKernel();
+  bool parseType(Type &Ty);
+  bool parseDirective();
+  bool parseLabel(const std::string &Name);
+  bool parseInstruction();
+  bool parseMnemonicParts(std::vector<std::string> &Parts);
+  bool parseTypeSuffix(const std::vector<std::string> &Parts, size_t &Cursor,
+                       Type &Ty);
+  bool parseOperand(Type ExpectedTy, Operand &Out);
+  bool parseRegOperand(RegId &Out);
+  bool parseAddress(Operand &Base, int64_t &Offset);
+  bool parseLaneSuffixAndSemi(Instruction &I);
+  bool resolveFixups();
+
+  uint32_t currentBlock();
+  Instruction &append(Instruction I) {
+    BasicBlock &B = K->Blocks[currentBlock()];
+    B.Insts.push_back(std::move(I));
+    return B.Insts.back();
+  }
+
+  // Branch-target fixups: targets may reference labels defined later.
+  enum class Slot { Taken, FalseTaken, SwitchCase, SwitchDefault };
+  struct Fixup {
+    uint32_t Block, Inst;
+    Slot Which;
+    size_t CaseIdx = 0;
+    std::string Label;
+    unsigned Line = 0, Col = 0;
+    bool FallThroughNext = false; ///< resolve to the next block in layout
+  };
+
+  const std::vector<Token> &Toks;
+  size_t Idx = 0;
+  Module &M;
+  Kernel *K = nullptr;
+  uint32_t Block = InvalidBlock;
+  std::string Err;
+  std::vector<Fixup> Fixups;
+  std::vector<std::pair<uint64_t, std::string>> PendingEntries;
+};
+
+} // namespace
+
+uint32_t Parser::currentBlock() {
+  if (Block == InvalidBlock)
+    Block = K->addBlock("$B0");
+  return Block;
+}
+
+bool Parser::parseType(Type &Ty) {
+  if (accept(TokKind::Less)) {
+    uint64_t Lanes = 0;
+    if (!expectInt(Lanes))
+      return false;
+    std::string X;
+    if (!expectIdent(X) || X != "x")
+      return fail("expected 'x' in vector type");
+    if (!expect(TokKind::Dot, "'.' before the element kind"))
+      return false;
+    std::string KindName;
+    if (!expectIdent(KindName))
+      return false;
+    ScalarKind Kind;
+    if (!parseScalarKind(KindName, Kind))
+      return fail("unknown scalar kind '%s'", KindName.c_str());
+    if (!expect(TokKind::Greater, "'>' closing the vector type"))
+      return false;
+    if (Lanes < 2 || Lanes > 64)
+      return fail("vector lane count out of range");
+    Ty = Type(Kind, static_cast<uint16_t>(Lanes));
+    return true;
+  }
+  if (!expect(TokKind::Dot, "a type"))
+    return false;
+  std::string KindName;
+  if (!expectIdent(KindName))
+    return false;
+  ScalarKind Kind;
+  if (!parseScalarKind(KindName, Kind))
+    return fail("unknown scalar kind '%s'", KindName.c_str());
+  Ty = Type(Kind);
+  return true;
+}
+
+bool Parser::parseDirective() {
+  // The '.' has been consumed by the caller.
+  std::string Name;
+  if (!expectIdent(Name))
+    return false;
+
+  if (Name == "reg") {
+    Type Ty;
+    if (!parseType(Ty))
+      return false;
+    do {
+      if (!expect(TokKind::Percent, "'%' beginning a register name"))
+        return false;
+      std::string RegName;
+      if (!expectIdent(RegName))
+        return false;
+      if (accept(TokKind::Less)) {
+        uint64_t Count = 0;
+        if (!expectInt(Count) ||
+            !expect(TokKind::Greater, "'>' closing a register range"))
+          return false;
+        for (uint64_t N = 0; N < Count; ++N)
+          K->addReg(RegName + std::to_string(N), Ty);
+      } else {
+        if (K->findReg(RegName).isValid())
+          return fail("register '%%%s' redeclared", RegName.c_str());
+        K->addReg(RegName, Ty);
+      }
+    } while (accept(TokKind::Comma));
+    return expect(TokKind::Semi, "';'");
+  }
+
+  if (Name == "shared" || Name == "local") {
+    Type Ty;
+    if (!parseType(Ty)) // element type; only used for documentation
+      return false;
+    (void)Ty;
+    std::string VarName;
+    if (!expectIdent(VarName))
+      return false;
+    if (!expect(TokKind::LBracket, "'['"))
+      return false;
+    uint64_t Bytes = 0;
+    if (!expectInt(Bytes))
+      return false;
+    if (!expect(TokKind::RBracket, "']'") || !expect(TokKind::Semi, "';'"))
+      return false;
+    if (Name == "shared")
+      K->addSharedVar(VarName, static_cast<uint32_t>(Bytes));
+    else
+      K->addLocalVar(VarName, static_cast<uint32_t>(Bytes));
+    return true;
+  }
+
+  if (Name == "warpsize") {
+    uint64_t WS = 0;
+    if (!expectInt(WS) || !expect(TokKind::Semi, "';'"))
+      return false;
+    K->WarpSize = static_cast<uint32_t>(WS);
+    return true;
+  }
+  if (Name == "spillbytes") {
+    uint64_t Bytes = 0;
+    if (!expectInt(Bytes) || !expect(TokKind::Semi, "';'"))
+      return false;
+    K->SpillBytes = static_cast<uint32_t>(Bytes);
+    return true;
+  }
+  if (Name == "entry") {
+    uint64_t Id = 0;
+    std::string Label;
+    if (!expectInt(Id) || !expectIdent(Label) ||
+        !expect(TokKind::Semi, "';'"))
+      return false;
+    PendingEntries.emplace_back(Id, Label);
+    return true;
+  }
+  return fail("unknown directive '.%s'", Name.c_str());
+}
+
+bool Parser::parseLabel(const std::string &Name) {
+  // The identifier and ':' have been consumed by the caller.
+  if (K->findBlock(Name) != InvalidBlock)
+    return fail("duplicate label '%s'", Name.c_str());
+
+  // Implicit fall-through from an unterminated predecessor block.
+  bool NeedFallThrough =
+      Block != InvalidBlock && !K->Blocks[Block].hasTerminator() &&
+      !K->Blocks[Block].Insts.empty();
+  if (Block != InvalidBlock && K->Blocks[Block].Insts.empty())
+    NeedFallThrough = true; // empty block falls through too
+
+  uint32_t NewBlock = K->addBlock(Name);
+  if (NeedFallThrough) {
+    Instruction Bra(Opcode::Bra);
+    Bra.Target = NewBlock;
+    K->Blocks[Block].Insts.push_back(std::move(Bra));
+  }
+  Block = NewBlock;
+
+  if (accept(TokKind::Bang)) {
+    std::string Kind;
+    if (!expectIdent(Kind))
+      return false;
+    if (Kind == "scheduler")
+      K->Blocks[Block].Kind = BlockKind::Scheduler;
+    else if (Kind == "entry")
+      K->Blocks[Block].Kind = BlockKind::EntryHandler;
+    else if (Kind == "exit")
+      K->Blocks[Block].Kind = BlockKind::ExitHandler;
+    else if (Kind == "body")
+      K->Blocks[Block].Kind = BlockKind::Body;
+    else
+      return fail("unknown block kind '!%s'", Kind.c_str());
+  }
+  return true;
+}
+
+bool Parser::parseMnemonicParts(std::vector<std::string> &Parts) {
+  std::string First;
+  if (!expectIdent(First))
+    return false;
+  Parts.push_back(std::move(First));
+  while (at(TokKind::Dot) && peek(1).Kind == TokKind::Ident) {
+    take(); // '.'
+    Parts.push_back(take().Text);
+  }
+  return true;
+}
+
+bool Parser::parseTypeSuffix(const std::vector<std::string> &Parts,
+                             size_t &Cursor, Type &Ty) {
+  if (Cursor >= Parts.size())
+    return fail("missing type suffix in mnemonic");
+  uint16_t Lanes = 1;
+  const std::string &P = Parts[Cursor];
+  if (P.size() >= 2 && P[0] == 'v' &&
+      std::isdigit(static_cast<unsigned char>(P[1]))) {
+    Lanes = static_cast<uint16_t>(std::strtoul(P.c_str() + 1, nullptr, 10));
+    ++Cursor;
+    if (Cursor >= Parts.size())
+      return fail("missing element kind after vector width");
+  }
+  ScalarKind Kind;
+  if (!parseScalarKind(Parts[Cursor], Kind))
+    return fail("unknown type suffix '.%s'", Parts[Cursor].c_str());
+  ++Cursor;
+  Ty = Type(Kind, Lanes);
+  return true;
+}
+
+bool Parser::parseRegOperand(RegId &Out) {
+  if (!expect(TokKind::Percent, "'%' beginning a register"))
+    return false;
+  std::string Name;
+  if (!expectIdent(Name))
+    return false;
+  Out = K->findReg(Name);
+  if (!Out.isValid())
+    return fail("unknown register '%%%s'", Name.c_str());
+  return true;
+}
+
+bool Parser::parseOperand(Type ExpectedTy, Operand &Out) {
+  if (at(TokKind::Percent)) {
+    take();
+    std::string Name;
+    if (!expectIdent(Name))
+      return false;
+    // Special registers: %tid.x etc.
+    auto axisSpecial = [&](SReg X, SReg Y, SReg Z, bool &Matched) -> bool {
+      Matched = true;
+      if (!expect(TokKind::Dot, "'.' in a special register") )
+        return false;
+      std::string Axis;
+      if (!expectIdent(Axis))
+        return false;
+      if (Axis == "x")
+        Out = Operand::special(X);
+      else if (Axis == "y")
+        Out = Operand::special(Y);
+      else if (Axis == "z")
+        Out = Operand::special(Z);
+      else
+        return fail("unknown special register axis '%s'", Axis.c_str());
+      return true;
+    };
+    bool Matched = false;
+    if (Name == "tid")
+      return axisSpecial(SReg::TidX, SReg::TidY, SReg::TidZ, Matched);
+    if (Name == "ntid")
+      return axisSpecial(SReg::NTidX, SReg::NTidY, SReg::NTidZ, Matched);
+    if (Name == "ctaid")
+      return axisSpecial(SReg::CTAIdX, SReg::CTAIdY, SReg::CTAIdZ, Matched);
+    if (Name == "nctaid")
+      return axisSpecial(SReg::NCTAIdX, SReg::NCTAIdY, SReg::NCTAIdZ,
+                         Matched);
+    if (Name == "laneid") {
+      Out = Operand::special(SReg::LaneId);
+      return true;
+    }
+    if (Name == "warpbase") {
+      Out = Operand::special(SReg::WarpBaseTid);
+      return true;
+    }
+    if (Name == "warpwidth") {
+      Out = Operand::special(SReg::WarpWidth);
+      return true;
+    }
+    if (Name == "entryid") {
+      Out = Operand::special(SReg::EntryId);
+      return true;
+    }
+    RegId Reg = K->findReg(Name);
+    if (!Reg.isValid())
+      return fail("unknown register '%%%s'", Name.c_str());
+    Out = Operand::reg(Reg);
+    return true;
+  }
+
+  // Immediates.
+  bool Negative = accept(TokKind::Minus);
+  if (at(TokKind::Int)) {
+    uint64_t Bits = take().IntBits;
+    int64_t Value = static_cast<int64_t>(Bits);
+    if (Negative)
+      Value = -Value;
+    Type ImmTy = ExpectedTy.scalar();
+    if (ImmTy.isFloat()) {
+      if (ImmTy.kind() == ScalarKind::F32)
+        Out = Operand::immF32(static_cast<float>(Value));
+      else
+        Out = Operand::immF64(static_cast<double>(Value));
+    } else if (ImmTy.isPred()) {
+      Out = Operand::immInt(Type::pred(), Value != 0);
+    } else {
+      Out = Operand::immInt(ImmTy, Value);
+    }
+    return true;
+  }
+  if (at(TokKind::Float)) {
+    double Value = take().FloatValue;
+    if (Negative)
+      Value = -Value;
+    if (ExpectedTy.kind() == ScalarKind::F64)
+      Out = Operand::immF64(Value);
+    else
+      Out = Operand::immF32(static_cast<float>(Value));
+    return true;
+  }
+  if (at(TokKind::HexF32)) {
+    Out = Operand::immBits(Type::f32(), take().IntBits);
+    if (Negative)
+      return fail("negative sign on a hex float literal");
+    return true;
+  }
+  if (at(TokKind::HexF64)) {
+    Out = Operand::immBits(Type::f64(), take().IntBits);
+    if (Negative)
+      return fail("negative sign on a hex float literal");
+    return true;
+  }
+  if (Negative)
+    return fail("expected a numeric literal after '-'");
+
+  // Bare identifier: a param/shared/local symbol.
+  if (at(TokKind::Ident)) {
+    std::string Name = take().Text;
+    uint32_t PIdx = K->findParam(Name);
+    if (PIdx != ~0u) {
+      Out = Operand::symbol(SymKind::Param, PIdx);
+      return true;
+    }
+    for (uint32_t I = 0; I < K->SharedVars.size(); ++I)
+      if (K->SharedVars[I].Name == Name) {
+        Out = Operand::symbol(SymKind::Shared, I);
+        return true;
+      }
+    for (uint32_t I = 0; I < K->LocalVars.size(); ++I)
+      if (K->LocalVars[I].Name == Name) {
+        Out = Operand::symbol(SymKind::Local, I);
+        return true;
+      }
+    return fail("unknown symbol '%s'", Name.c_str());
+  }
+  return fail("expected an operand");
+}
+
+bool Parser::parseAddress(Operand &Base, int64_t &Offset) {
+  if (!expect(TokKind::LBracket, "'[' beginning an address"))
+    return false;
+  if (!parseOperand(Type::u64(), Base))
+    return false;
+  Offset = 0;
+  if (at(TokKind::Plus) || at(TokKind::Minus)) {
+    bool Negative = take().Kind == TokKind::Minus;
+    if (!at(TokKind::Int))
+      return fail("expected an address offset");
+    Offset = static_cast<int64_t>(take().IntBits);
+    if (Negative)
+      Offset = -Offset;
+  }
+  return expect(TokKind::RBracket, "']' closing an address");
+}
+
+bool Parser::parseLaneSuffixAndSemi(Instruction &I) {
+  if (accept(TokKind::Bang)) {
+    std::string Word;
+    if (!expectIdent(Word) || Word != "lane")
+      return fail("expected '!lane N'");
+    uint64_t Lane = 0;
+    if (!expectInt(Lane))
+      return false;
+    I.Lane = static_cast<uint16_t>(Lane);
+  }
+  return expect(TokKind::Semi, "';'");
+}
+
+bool Parser::parseInstruction() {
+  // Optional guard.
+  RegId Guard;
+  bool GuardNegated = false;
+  if (accept(TokKind::At)) {
+    GuardNegated = accept(TokKind::Bang);
+    if (!parseRegOperand(Guard))
+      return false;
+  }
+
+  std::vector<std::string> Parts;
+  unsigned Line = peek().Line, Col = peek().Col;
+  if (!parseMnemonicParts(Parts))
+    return false;
+  const std::string &Head = Parts[0];
+
+  // Control flow -----------------------------------------------------------
+  if (Head == "bra") {
+    std::string Taken;
+    if (!expectIdent(Taken))
+      return false;
+    Instruction I(Opcode::Bra);
+    I.Guard = Guard;
+    I.GuardNegated = GuardNegated;
+    uint32_t B = currentBlock();
+    bool HasFalse = false;
+    std::string FalseLabel;
+    if (accept(TokKind::Comma)) {
+      if (!expectIdent(FalseLabel))
+        return false;
+      HasFalse = true;
+    }
+    if (!Guard.isValid() && HasFalse)
+      return fail("unconditional branch with two targets");
+    Instruction &Placed = append(std::move(I));
+    (void)Placed;
+    uint32_t InstIdx = static_cast<uint32_t>(K->Blocks[B].Insts.size() - 1);
+    Fixups.push_back({B, InstIdx, Slot::Taken, 0, Taken, Line, Col, false});
+    if (Guard.isValid()) {
+      Fixup F{B, InstIdx, Slot::FalseTaken, 0, FalseLabel, Line, Col,
+              !HasFalse};
+      Fixups.push_back(std::move(F));
+    }
+    return parseLaneSuffixAndSemi(K->Blocks[B].Insts[InstIdx]);
+  }
+
+  if (Head == "switch") {
+    Instruction I(Opcode::Switch, Type::u32());
+    Operand Value;
+    if (!parseOperand(Type::u32(), Value))
+      return false;
+    I.Srcs = {Value};
+    if (!expect(TokKind::Comma, "','") ||
+        !expect(TokKind::LBracket, "'[' beginning switch cases"))
+      return false;
+    std::vector<std::string> CaseLabels;
+    if (!at(TokKind::RBracket)) {
+      do {
+        bool Negative = accept(TokKind::Minus);
+        if (!at(TokKind::Int))
+          return fail("expected a switch case value");
+        int64_t CaseValue = static_cast<int64_t>(take().IntBits);
+        if (Negative)
+          CaseValue = -CaseValue;
+        if (!expect(TokKind::Colon, "':' after a case value"))
+          return false;
+        std::string Label;
+        if (!expectIdent(Label))
+          return false;
+        I.SwitchValues.push_back(CaseValue);
+        I.SwitchTargets.push_back(InvalidBlock);
+        CaseLabels.push_back(std::move(Label));
+      } while (accept(TokKind::Comma));
+    }
+    if (!expect(TokKind::RBracket, "']' closing switch cases") ||
+        !expect(TokKind::Comma, "','"))
+      return false;
+    std::string DefaultWord;
+    if (!expectIdent(DefaultWord) || DefaultWord != "default")
+      return fail("expected 'default'");
+    if (!expect(TokKind::Colon, "':' after 'default'"))
+      return false;
+    std::string DefaultLabel;
+    if (!expectIdent(DefaultLabel))
+      return false;
+    uint32_t B = currentBlock();
+    append(std::move(I));
+    uint32_t InstIdx = static_cast<uint32_t>(K->Blocks[B].Insts.size() - 1);
+    for (size_t C = 0; C < CaseLabels.size(); ++C)
+      Fixups.push_back(
+          {B, InstIdx, Slot::SwitchCase, C, CaseLabels[C], Line, Col, false});
+    Fixups.push_back({B, InstIdx, Slot::SwitchDefault, 0, DefaultLabel, Line,
+                      Col, false});
+    return parseLaneSuffixAndSemi(K->Blocks[B].Insts[InstIdx]);
+  }
+
+  Instruction I;
+  I.Guard = Guard;
+  I.GuardNegated = GuardNegated;
+
+  if (Head == "ret" || Head == "yield" || Head == "trap" ||
+      Head == "membar") {
+    I.Op = Head == "ret"      ? Opcode::Ret
+           : Head == "yield"  ? Opcode::Yield
+           : Head == "trap"   ? Opcode::Trap
+                              : Opcode::Membar;
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "bar") {
+    if (Parts.size() != 2 || Parts[1] != "sync")
+      return fail("expected 'bar.sync'");
+    I.Op = Opcode::BarSync;
+    if (at(TokKind::Int))
+      take(); // optional PTX barrier id, always 0
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "vote") {
+    if (Parts.size() < 3 || Parts[1] != "sum")
+      return fail("expected 'vote.sum.u32'");
+    I.Op = Opcode::VoteSum;
+    size_t Cursor = 2;
+    if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+      return false;
+    if (!parseRegOperand(I.Dst) || !expect(TokKind::Comma, "','"))
+      return false;
+    Operand Src;
+    if (!parseOperand(Type::pred(), Src))
+      return false;
+    I.Srcs = {Src};
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "set") {
+    if (Parts.size() != 2)
+      return fail("expected 'set.rpoint' or 'set.rstatus'");
+    if (Parts[1] == "rpoint") {
+      I.Op = Opcode::SetRPoint;
+      I.Ty = Type::u32();
+      Operand Src;
+      if (!parseOperand(Type::u32(), Src))
+        return false;
+      I.Srcs = {Src};
+      return parseLaneSuffixAndSemi(append(std::move(I)));
+    }
+    if (Parts[1] == "rstatus") {
+      I.Op = Opcode::SetRStatus;
+      I.Ty = Type::u32();
+      std::string StatusName;
+      if (!expectIdent(StatusName))
+        return false;
+      int64_t Status;
+      if (StatusName == "branch")
+        Status = static_cast<int64_t>(ResumeStatus::Branch);
+      else if (StatusName == "barrier")
+        Status = static_cast<int64_t>(ResumeStatus::Barrier);
+      else if (StatusName == "exit")
+        Status = static_cast<int64_t>(ResumeStatus::Exit);
+      else
+        return fail("unknown resume status '%s'", StatusName.c_str());
+      I.Srcs = {Operand::immInt(Type::u32(), Status)};
+      return parseLaneSuffixAndSemi(append(std::move(I)));
+    }
+    return fail("unknown 'set.%s'", Parts[1].c_str());
+  }
+
+  if (Head == "spill" || Head == "restore") {
+    I.Op = Head == "spill" ? Opcode::Spill : Opcode::Restore;
+    size_t Cursor = 1;
+    if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+      return false;
+    if (I.Op == Opcode::Spill) {
+      Operand Src;
+      if (!parseOperand(I.Ty, Src))
+        return false;
+      I.Srcs = {Src};
+    } else {
+      if (!parseRegOperand(I.Dst))
+        return false;
+    }
+    if (!expect(TokKind::Comma, "','"))
+      return false;
+    uint64_t Slot = 0;
+    if (!expectInt(Slot))
+      return false;
+    I.MemOffset = static_cast<int64_t>(Slot);
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "ld" || Head == "st") {
+    if (Parts.size() < 3)
+      return fail("expected '%s.space.type'", Head.c_str());
+    I.Op = Head == "ld" ? Opcode::Ld : Opcode::St;
+    const std::string &SpaceName = Parts[1];
+    if (SpaceName == "global")
+      I.Space = AddressSpace::Global;
+    else if (SpaceName == "shared")
+      I.Space = AddressSpace::Shared;
+    else if (SpaceName == "local")
+      I.Space = AddressSpace::Local;
+    else if (SpaceName == "param")
+      I.Space = AddressSpace::Param;
+    else
+      return fail("unknown address space '%s'", SpaceName.c_str());
+    size_t Cursor = 2;
+    if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+      return false;
+    Operand Addr;
+    int64_t Offset;
+    if (I.Op == Opcode::Ld) {
+      if (!parseRegOperand(I.Dst) || !expect(TokKind::Comma, "','"))
+        return false;
+      if (!parseAddress(Addr, Offset))
+        return false;
+      I.Srcs = {Addr};
+    } else {
+      if (!parseAddress(Addr, Offset) || !expect(TokKind::Comma, "','"))
+        return false;
+      Operand Value;
+      if (!parseOperand(I.Ty, Value))
+        return false;
+      I.Srcs = {Addr, Value};
+    }
+    I.MemOffset = Offset;
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "atom") {
+    if (Parts.size() < 4 || Parts[2] != "add")
+      return fail("expected 'atom.space.add.type'");
+    I.Op = Opcode::AtomAdd;
+    if (Parts[1] == "global")
+      I.Space = AddressSpace::Global;
+    else if (Parts[1] == "shared")
+      I.Space = AddressSpace::Shared;
+    else
+      return fail("atomics require the global or shared space");
+    size_t Cursor = 3;
+    if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+      return false;
+    if (!parseRegOperand(I.Dst) || !expect(TokKind::Comma, "','"))
+      return false;
+    Operand Addr;
+    int64_t Offset;
+    if (!parseAddress(Addr, Offset) || !expect(TokKind::Comma, "','"))
+      return false;
+    Operand Value;
+    if (!parseOperand(I.Ty, Value))
+      return false;
+    I.Srcs = {Addr, Value};
+    I.MemOffset = Offset;
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "setp") {
+    if (Parts.size() < 3)
+      return fail("expected 'setp.cmp.type'");
+    I.Op = Opcode::Setp;
+    if (!parseCmpName(Parts[1], I.Cmp))
+      return fail("unknown comparison '%s'", Parts[1].c_str());
+    size_t Cursor = 2;
+    if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+      return false;
+    if (!parseRegOperand(I.Dst) || !expect(TokKind::Comma, "','"))
+      return false;
+    Operand A, B;
+    if (!parseOperand(I.Ty, A) || !expect(TokKind::Comma, "','") ||
+        !parseOperand(I.Ty, B))
+      return false;
+    I.Srcs = {A, B};
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  if (Head == "cvt") {
+    I.Op = Opcode::Cvt;
+    size_t Cursor = 1;
+    if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+      return false;
+    // Trailing source kind (informational; the source register's type is
+    // authoritative).
+    if (Cursor < Parts.size()) {
+      ScalarKind SrcKind;
+      if (!parseScalarKind(Parts[Cursor], SrcKind))
+        return fail("unknown cvt source kind '.%s'", Parts[Cursor].c_str());
+      ++Cursor;
+    }
+    if (!parseRegOperand(I.Dst) || !expect(TokKind::Comma, "','"))
+      return false;
+    Operand Src;
+    if (!parseOperand(I.Ty, Src))
+      return false;
+    I.Srcs = {Src};
+    return parseLaneSuffixAndSemi(append(std::move(I)));
+  }
+
+  // Generic arithmetic / vector ops.
+  auto It = genericOps().find(Head);
+  if (It == genericOps().end())
+    return fail("unknown instruction '%s'", Head.c_str());
+  I.Op = It->second.Op;
+  size_t Cursor = 1;
+  if (!parseTypeSuffix(Parts, Cursor, I.Ty))
+    return false;
+  if (Cursor != Parts.size())
+    return fail("trailing mnemonic parts after the type suffix");
+
+  if (simtvec::hasResult(I.Op) && !parseRegOperand(I.Dst))
+    return false;
+
+  unsigned Arity = It->second.Arity;
+  for (unsigned OpIdx = 0; OpIdx < Arity; ++OpIdx) {
+    if (!expect(TokKind::Comma, "','"))
+      return false;
+    Type Expected = I.Ty;
+    if (I.Op == Opcode::Selp && OpIdx == 2)
+      Expected = Type::pred().withLanes(I.Ty.lanes());
+    if (I.Op == Opcode::InsertElement) {
+      if (OpIdx == 1)
+        Expected = I.Ty.scalar();
+      else if (OpIdx == 2)
+        Expected = Type::u32();
+    }
+    if (I.Op == Opcode::ExtractElement && OpIdx == 1)
+      Expected = Type::u32();
+    if (I.Op == Opcode::Broadcast)
+      Expected = I.Ty.scalar();
+    Operand O;
+    if (!parseOperand(Expected, O))
+      return false;
+    I.Srcs.push_back(O);
+  }
+  return parseLaneSuffixAndSemi(append(std::move(I)));
+}
+
+bool Parser::resolveFixups() {
+  for (const Fixup &F : Fixups) {
+    uint32_t Target;
+    if (F.FallThroughNext) {
+      Target = F.Block + 1;
+      if (Target >= K->Blocks.size()) {
+        Err = formatString(
+            "%u:%u: conditional branch falls through past the last block",
+            F.Line, F.Col);
+        return false;
+      }
+    } else {
+      Target = K->findBlock(F.Label);
+      if (Target == InvalidBlock) {
+        Err = formatString("%u:%u: undefined label '%s'", F.Line, F.Col,
+                           F.Label.c_str());
+        return false;
+      }
+    }
+    Instruction &I = K->Blocks[F.Block].Insts[F.Inst];
+    switch (F.Which) {
+    case Slot::Taken:
+      I.Target = Target;
+      break;
+    case Slot::FalseTaken:
+      I.FalseTarget = Target;
+      break;
+    case Slot::SwitchCase:
+      I.SwitchTargets[F.CaseIdx] = Target;
+      break;
+    case Slot::SwitchDefault:
+      I.SwitchDefault = Target;
+      break;
+    }
+  }
+  Fixups.clear();
+
+  if (!PendingEntries.empty()) {
+    uint64_t MaxId = 0;
+    for (const auto &[Id, Label] : PendingEntries)
+      MaxId = std::max(MaxId, Id);
+    K->EntryBlocks.assign(MaxId + 1, InvalidBlock);
+    for (const auto &[Id, Label] : PendingEntries) {
+      uint32_t Target = K->findBlock(Label);
+      if (Target == InvalidBlock) {
+        Err = formatString("undefined entry label '%s'", Label.c_str());
+        return false;
+      }
+      K->EntryBlocks[Id] = Target;
+    }
+    for (uint32_t Entry : K->EntryBlocks)
+      if (Entry == InvalidBlock) {
+        Err = "entry table has holes";
+        return false;
+      }
+    PendingEntries.clear();
+  }
+  return true;
+}
+
+bool Parser::parseKernel() {
+  // '.kernel' has been recognized by the caller; 'kernel' consumed.
+  std::string Name;
+  if (!expectIdent(Name))
+    return false;
+  K = &M.addKernel(Name);
+  Block = InvalidBlock;
+
+  if (!expect(TokKind::LParen, "'(' beginning the parameter list"))
+    return false;
+  if (!at(TokKind::RParen)) {
+    do {
+      if (!expect(TokKind::Dot, "'.param'"))
+        return false;
+      std::string ParamWord;
+      if (!expectIdent(ParamWord) || ParamWord != "param")
+        return fail("expected '.param'");
+      Type Ty;
+      if (!parseType(Ty))
+        return false;
+      std::string ParamName;
+      if (!expectIdent(ParamName))
+        return false;
+      K->addParam(ParamName, Ty);
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "')' closing the parameter list") ||
+      !expect(TokKind::LBrace, "'{' beginning the kernel body"))
+    return false;
+
+  while (!at(TokKind::RBrace)) {
+    if (at(TokKind::End))
+      return fail("unexpected end of input inside a kernel");
+    if (accept(TokKind::Dot)) {
+      if (!parseDirective())
+        return false;
+      continue;
+    }
+    if (at(TokKind::Ident) && peek(1).Kind == TokKind::Colon) {
+      std::string Label = take().Text;
+      take(); // ':'
+      if (!parseLabel(Label))
+        return false;
+      continue;
+    }
+    if (!parseInstruction())
+      return false;
+  }
+  take(); // '}'
+  return resolveFixups();
+}
+
+bool Parser::run() {
+  while (!at(TokKind::End)) {
+    if (!expect(TokKind::Dot, "'.kernel'"))
+      return false;
+    std::string Word;
+    if (!expectIdent(Word))
+      return false;
+    if (Word == "version") {
+      if (at(TokKind::Float) || at(TokKind::Int))
+        take();
+      continue;
+    }
+    if (Word != "kernel")
+      return fail("expected '.kernel', found '.%s'", Word.c_str());
+    if (!parseKernel())
+      return false;
+  }
+  return true;
+}
+
+Expected<std::unique_ptr<Module>>
+simtvec::parseModule(const std::string &Text) {
+  Lexer Lex(Text);
+  std::string LexError;
+  if (!Lex.run(LexError))
+    return Status::error(LexError);
+  auto M = std::make_unique<Module>();
+  Parser P(Lex.tokens(), *M);
+  if (!P.run())
+    return Status::error(P.error());
+  return M;
+}
+
+std::unique_ptr<Module> simtvec::parseModuleOrDie(const std::string &Text) {
+  auto MOrErr = parseModule(Text);
+  if (!MOrErr) {
+    std::fprintf(stderr, "SVIR parse error: %s\n",
+                 MOrErr.status().message().c_str());
+    std::abort();
+  }
+  std::unique_ptr<Module> M = MOrErr.take();
+  if (Status E = verifyModule(*M)) {
+    std::fprintf(stderr, "SVIR verifier error: %s\n", E.message().c_str());
+    std::abort();
+  }
+  return M;
+}

@@ -1,0 +1,71 @@
+//===- runtime/Runtime.cpp - Host-side API --------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Runtime.h"
+
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/parser/Parser.h"
+#include "simtvec/support/Format.h"
+
+using namespace simtvec;
+
+Device::Device(size_t GlobalBytes) : Arena(GlobalBytes) {}
+
+uint64_t Device::alloc(size_t Bytes) {
+  size_t Offset = (Break + 15) / 16 * 16;
+  assert(Offset + Bytes <= Arena.size() && "device out of memory");
+  Break = Offset + Bytes;
+  return Offset;
+}
+
+void Device::copyToDevice(uint64_t Dst, const void *Src, size_t Bytes) {
+  assert(Dst + Bytes <= Arena.size() && "copyToDevice out of range");
+  std::memcpy(Arena.data() + Dst, Src, Bytes);
+}
+
+void Device::copyFromDevice(void *Dst, uint64_t Src, size_t Bytes) const {
+  assert(Src + Bytes <= Arena.size() && "copyFromDevice out of range");
+  std::memcpy(Dst, Arena.data() + Src, Bytes);
+}
+
+void Device::memset(uint64_t Dst, int Value, size_t Bytes) {
+  assert(Dst + Bytes <= Arena.size() && "memset out of range");
+  std::memset(Arena.data() + Dst, Value, Bytes);
+}
+
+Expected<std::unique_ptr<Program>>
+Program::compile(const std::string &SvirText, const MachineModel &Machine) {
+  auto MOrErr = parseModule(SvirText);
+  if (!MOrErr)
+    return MOrErr.status();
+  std::unique_ptr<Module> M = MOrErr.take();
+  if (Status E = verifyModule(*M))
+    return E;
+
+  auto P = std::unique_ptr<Program>(new Program());
+  P->Machine = Machine;
+  P->M = std::move(M);
+  P->TC = std::make_unique<TranslationCache>(*P->M, Machine);
+  return P;
+}
+
+Expected<LaunchStats> Program::launch(Device &Dev,
+                                      const std::string &KernelName,
+                                      Dim3 Grid, Dim3 Block,
+                                      const ParamBuilder &Params,
+                                      const LaunchOptions &Options) {
+  LaunchConfig Config;
+  Config.Machine = Machine;
+  Config.MaxWarpSize = Options.MaxWarpSize;
+  Config.Formation = Options.Formation;
+  Config.ThreadInvariantElim = Options.ThreadInvariantElim;
+  Config.UniformBranchOpt = Options.UniformBranchOpt;
+  Config.UniformLoadOpt = Options.UniformLoadOpt;
+  Config.Workers = Options.Workers;
+  Config.UseOsThreads = Options.UseOsThreads;
+  return launchKernel(*TC, KernelName, Grid, Block, Params.bytes(),
+                      Dev.data(), Dev.size(), Dev.atomicMutex(), Config);
+}

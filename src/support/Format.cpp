@@ -1,0 +1,32 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace simtvec;
+
+std::string simtvec::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::vector<char> Buffer(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buffer.data(), Buffer.size(), Fmt, Args);
+  return std::string(Buffer.data(), static_cast<size_t>(Needed));
+}
+
+std::string simtvec::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}

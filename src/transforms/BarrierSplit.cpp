@@ -1,0 +1,58 @@
+//===- transforms/BarrierSplit.cpp - Split blocks at barriers -------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/transforms/Passes.h"
+
+#include <cstddef>
+#include <iterator>
+
+using namespace simtvec;
+
+namespace {
+
+/// Finds the first bar.sync of \p B that is not already the last
+/// non-terminator; returns its index or SIZE_MAX.
+size_t findSplittableBarrier(const BasicBlock &B) {
+  assert(B.hasTerminator() && "block must be terminated");
+  size_t LastNonTerm = B.Insts.size() - 1; // index of the terminator
+  for (size_t Idx = 0; Idx < B.Insts.size(); ++Idx)
+    if (B.Insts[Idx].Op == Opcode::BarSync &&
+        !(Idx + 1 == LastNonTerm && B.Insts.back().Op == Opcode::Bra &&
+          !B.Insts.back().Guard.isValid()))
+      return Idx;
+  return SIZE_MAX;
+}
+
+} // namespace
+
+bool simtvec::runBarrierSplit(Kernel &K) {
+  bool Changed = false;
+  // Appending blocks never invalidates indices, so iterate by index and
+  // revisit new blocks too.
+  for (uint32_t BIdx = 0; BIdx < K.Blocks.size(); ++BIdx) {
+    size_t BarIdx = findSplittableBarrier(K.Blocks[BIdx]);
+    if (BarIdx == SIZE_MAX)
+      continue;
+
+    uint32_t ContIdx = K.addBlock(K.Blocks[BIdx].Name + "_postbar");
+    BasicBlock &B = K.Blocks[BIdx]; // re-fetch: addBlock may reallocate
+    BasicBlock &Cont = K.Blocks[ContIdx];
+
+    // Move everything after the barrier into the continuation.
+    Cont.Insts.assign(
+        std::make_move_iterator(B.Insts.begin() +
+                                static_cast<ptrdiff_t>(BarIdx) + 1),
+        std::make_move_iterator(B.Insts.end()));
+    B.Insts.resize(BarIdx + 1);
+    Instruction Bra(Opcode::Bra);
+    Bra.Target = ContIdx;
+    B.Insts.push_back(std::move(Bra));
+    Changed = true;
+    // Revisit this block in case it held several barriers: the remaining
+    // ones moved into Cont and will be found when BIdx reaches it.
+  }
+  return Changed;
+}

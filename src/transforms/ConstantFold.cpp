@@ -1,0 +1,88 @@
+//===- transforms/ConstantFold.cpp - Immediate folding --------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/ScalarOps.h"
+#include "simtvec/transforms/Passes.h"
+
+using namespace simtvec;
+
+namespace {
+
+bool allImmediates(const Instruction &I) {
+  if (I.Srcs.empty())
+    return false;
+  for (const Operand &O : I.Srcs)
+    if (!O.isImm())
+      return false;
+  return true;
+}
+
+/// Folds \p I into an immediate when possible.
+bool foldInstruction(Instruction &I) {
+  if (I.Ty.isVector() || I.Guard.isValid() || !allImmediates(I))
+    return false;
+
+  ScalarKind K = I.Ty.kind();
+  bool Bad = false;
+  uint64_t Result;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    Result = evalBinary(I.Op, K, I.Srcs[0].immBits(), I.Srcs[1].immBits(),
+                        Bad);
+    break;
+  case Opcode::Mad:
+    Result = evalMad(K, I.Srcs[0].immBits(), I.Srcs[1].immBits(),
+                     I.Srcs[2].immBits(), Bad);
+    break;
+  case Opcode::Neg:
+  case Opcode::Abs:
+  case Opcode::Not:
+    Result = evalUnary(I.Op, K, I.Srcs[0].immBits(), Bad);
+    break;
+  case Opcode::Setp:
+    Result = evalCmp(I.Cmp, K, I.Srcs[0].immBits(), I.Srcs[1].immBits());
+    break;
+  case Opcode::Selp:
+    Result = (I.Srcs[2].immBits() & 1) ? I.Srcs[0].immBits()
+                                       : I.Srcs[1].immBits();
+    break;
+  case Opcode::Cvt:
+    Result = evalConvert(K, I.Srcs[0].immType().kind(), I.Srcs[0].immBits());
+    break;
+  default:
+    return false;
+  }
+  if (Bad)
+    return false;
+
+  Type ResultTy = I.Op == Opcode::Setp ? Type::pred() : I.Ty;
+  I.Op = Opcode::Mov;
+  I.Ty = ResultTy;
+  I.Cmp = CmpOp::Eq;
+  I.Srcs = {Operand::immBits(ResultTy, Result)};
+  return true;
+}
+
+} // namespace
+
+bool simtvec::runConstantFold(Kernel &K) {
+  bool Changed = false;
+  for (BasicBlock &B : K.Blocks)
+    for (Instruction &I : B.Insts)
+      Changed |= foldInstruction(I);
+  return Changed;
+}

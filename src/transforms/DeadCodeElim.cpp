@@ -1,0 +1,44 @@
+//===- transforms/DeadCodeElim.cpp - Liveness-based DCE -------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/CFG.h"
+#include "simtvec/analysis/Liveness.h"
+#include "simtvec/transforms/Passes.h"
+
+#include <cstddef>
+
+using namespace simtvec;
+
+bool simtvec::runDeadCodeElim(Kernel &K) {
+  bool Changed = false;
+  bool Iterate = true;
+  // Removing one dead instruction can make its operands dead; iterate to a
+  // fixed point (bounded by the instruction count).
+  while (Iterate) {
+    Iterate = false;
+    CFG G(K);
+    Liveness Live(K, G);
+    for (uint32_t BIdx = 0; BIdx < K.Blocks.size(); ++BIdx) {
+      BasicBlock &B = K.Blocks[BIdx];
+      BitSet LiveNow = Live.liveOut(BIdx);
+      // Backward scan deleting dead pure instructions.
+      for (size_t Idx = B.Insts.size(); Idx-- > 0;) {
+        Instruction &I = B.Insts[Idx];
+        bool Dead = I.hasResult() && !hasSideEffects(I.Op) &&
+                    !LiveNow.test(I.Dst.Index);
+        if (Dead) {
+          B.Insts.erase(B.Insts.begin() + static_cast<ptrdiff_t>(Idx));
+          Changed = Iterate = true;
+          continue;
+        }
+        if (I.hasResult() && !I.Guard.isValid())
+          LiveNow.reset(I.Dst.Index);
+        I.forEachUse([&](RegId R) { LiveNow.set(R.Index); });
+      }
+    }
+  }
+  return Changed;
+}

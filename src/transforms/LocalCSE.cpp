@@ -1,0 +1,202 @@
+//===- transforms/LocalCSE.cpp - Block-local CSE + copy propagation -------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Value numbering within a basic block over a non-SSA register IR:
+/// registers carry version numbers (bumped at each definition); an
+/// expression is available while the versions of all its register operands
+/// are unchanged. Recomputations become copies, copies are propagated, and
+/// self-copies are deleted (DCE sweeps the rest).
+///
+/// This is the "common subexpression elimination" stage of the paper's
+/// translation cache (§5.1) and the harvester of thread-invariant redundancy
+/// under static warp formation (§6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Format.h"
+#include "simtvec/transforms/Passes.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace simtvec;
+
+namespace {
+
+/// True for instructions safe to value-number.
+bool isPureComputation(const Instruction &I) {
+  if (!I.hasResult() || I.Guard.isValid() || hasSideEffects(I.Op))
+    return false;
+  switch (I.Op) {
+  case Opcode::Ld:       // memory may change between the two executions
+  case Opcode::AtomAdd:
+  case Opcode::Restore:
+    return false;
+  default:
+    return true;
+  }
+}
+
+class BlockCSE {
+public:
+  BlockCSE(Kernel &K, BasicBlock &B) : K(K), B(B) {}
+
+  bool run() {
+    Version.assign(K.Regs.size(), 0);
+    bool Changed = false;
+    std::vector<Instruction> Kept;
+    Kept.reserve(B.Insts.size());
+
+    for (Instruction &I : B.Insts) {
+      // 1. Forward copies into the operands.
+      for (Operand &O : I.Srcs)
+        forwardCopy(O);
+
+      // 2. Value-number pure computations.
+      if (isPureComputation(I)) {
+        std::string Key = expressionKey(I);
+        auto It = Available.find(Key);
+        if (It != Available.end() &&
+            Version[It->second.Reg.Index] == It->second.Ver &&
+            K.regType(It->second.Reg) == K.regType(I.Dst)) {
+          RegId Prior = It->second.Reg;
+          Changed = true;
+          if (Prior == I.Dst)
+            continue; // exact recomputation into the same register: drop
+          // Rewrite into a copy; downstream uses get forwarded.
+          I.Op = Opcode::Mov;
+          I.Ty = K.regType(I.Dst);
+          I.Srcs = {Operand::reg(Prior)};
+          I.SwitchValues.clear();
+          I.SwitchTargets.clear();
+        }
+      }
+
+      // 3. Update versions and maps. The availability key must capture the
+      // operand versions *before* the definition (x = x + 1 must not claim
+      // the new x holds "new x + 1").
+      if (I.hasResult()) {
+        std::string InsertKey;
+        if (isPureComputation(I))
+          InsertKey = expressionKey(I);
+        bumpVersion(I.Dst);
+        if (!InsertKey.empty()) {
+          Available[InsertKey] = {I.Dst, Version[I.Dst.Index]};
+          if (I.Op == Opcode::Mov && I.Srcs[0].isReg() &&
+              I.Srcs[0].regId() != I.Dst &&
+              K.regType(I.Srcs[0].regId()) == K.regType(I.Dst))
+            Copies[I.Dst.Index] = {I.Srcs[0].regId(),
+                                   Version[I.Srcs[0].regId().Index]};
+          else if (I.Op == Opcode::Mov && I.Srcs[0].isImm() &&
+                   !I.Ty.isVector())
+            Constants[I.Dst.Index] = {I.Srcs[0], Version[I.Dst.Index]};
+        }
+      }
+      Kept.push_back(std::move(I));
+    }
+    Changed |= Kept.size() != B.Insts.size();
+    B.Insts = std::move(Kept);
+    return Changed;
+  }
+
+private:
+  struct ValueAt {
+    RegId Reg;
+    uint32_t Ver;
+  };
+  struct ConstAt {
+    Operand Imm;
+    uint32_t Ver; ///< version of the *destination* when recorded
+  };
+
+  void bumpVersion(RegId R) {
+    ++Version[R.Index];
+    Copies.erase(R.Index);
+    Constants.erase(R.Index);
+  }
+
+  /// Rewrites a register operand through the copy and constant maps when
+  /// still valid (copy and constant propagation).
+  void forwardCopy(Operand &O) {
+    if (!O.isReg())
+      return;
+    auto CIt = Constants.find(O.regId().Index);
+    if (CIt != Constants.end() &&
+        Version[O.regId().Index] == CIt->second.Ver) {
+      O = CIt->second.Imm;
+      return;
+    }
+    auto It = Copies.find(O.regId().Index);
+    if (It == Copies.end())
+      return;
+    if (Version[It->second.Reg.Index] != It->second.Ver)
+      return;
+    O = Operand::reg(It->second.Reg);
+  }
+
+  std::string operandKey(const Operand &O) const {
+    switch (O.kind()) {
+    case Operand::Kind::Reg:
+      return formatString("r%u@%u", O.regId().Index,
+                          Version[O.regId().Index]);
+    case Operand::Kind::Imm:
+      return formatString("i%u:%llx", static_cast<unsigned>(
+                                          O.immType().kind()),
+                          static_cast<unsigned long long>(O.immBits()));
+    case Operand::Kind::Special:
+      return formatString("s%u", static_cast<unsigned>(O.specialReg()));
+    case Operand::Kind::Symbol:
+      return formatString("y%u:%u", static_cast<unsigned>(O.symKind()),
+                          O.symIndex());
+    case Operand::Kind::None:
+      break;
+    }
+    return "?";
+  }
+
+  std::string expressionKey(const Instruction &I) const {
+    std::string Key = formatString(
+        "%u|%u.%u|%u|%u|%lld", static_cast<unsigned>(I.Op),
+        static_cast<unsigned>(I.Ty.kind()),
+        static_cast<unsigned>(I.Ty.lanes()), static_cast<unsigned>(I.Cmp),
+        static_cast<unsigned>(I.Lane),
+        static_cast<long long>(I.MemOffset));
+    for (const Operand &O : I.Srcs)
+      Key += "|" + operandKey(O);
+    return Key;
+  }
+
+  Kernel &K;
+  BasicBlock &B;
+  std::vector<uint32_t> Version;
+  std::map<std::string, ValueAt> Available;
+  std::map<uint32_t, ValueAt> Copies;
+  std::map<uint32_t, ConstAt> Constants;
+};
+
+} // namespace
+
+bool simtvec::runLocalCSE(Kernel &K) {
+  bool Changed = false;
+  for (BasicBlock &B : K.Blocks)
+    Changed |= BlockCSE(K, B).run();
+  return Changed;
+}
+
+bool simtvec::runCleanupPipeline(Kernel &K) {
+  bool Changed = false;
+  for (int Round = 0; Round < 4; ++Round) {
+    bool RoundChanged = false;
+    RoundChanged |= runConstantFold(K);
+    RoundChanged |= runLocalCSE(K);
+    RoundChanged |= runDeadCodeElim(K);
+    Changed |= RoundChanged;
+    if (!RoundChanged)
+      break;
+  }
+  return Changed;
+}

@@ -1,0 +1,49 @@
+//===- transforms/PredicateToSelect.cpp - @p ops -> selp ------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/transforms/Passes.h"
+
+#include <cstddef>
+
+using namespace simtvec;
+
+bool simtvec::runPredicateToSelect(Kernel &K) {
+  bool Changed = false;
+  for (BasicBlock &B : K.Blocks) {
+    for (size_t Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      Instruction &I = B.Insts[Idx];
+      if (!I.Guard.isValid() || I.Op == Opcode::Bra)
+        continue;
+      // Side-effecting or result-less guarded instructions must keep their
+      // guards; a select cannot suppress a store.
+      if (hasSideEffects(I.Op) || !I.hasResult())
+        continue;
+      // d = @p op(...)   becomes   t = op(...); d = selp(t, d, p)
+      Type DstTy = K.regType(I.Dst);
+      RegId OldDst = I.Dst;
+      RegId Temp = K.addReg(K.reg(I.Dst).Name + "_p2s", DstTy);
+      RegId Pred = I.Guard;
+      bool Negated = I.GuardNegated;
+      I.Dst = Temp;
+      I.Guard = RegId();
+      I.GuardNegated = false;
+
+      Instruction Sel(Opcode::Selp, DstTy);
+      Sel.Dst = OldDst;
+      if (Negated)
+        Sel.Srcs = {Operand::reg(OldDst), Operand::reg(Temp),
+                    Operand::reg(Pred)};
+      else
+        Sel.Srcs = {Operand::reg(Temp), Operand::reg(OldDst),
+                    Operand::reg(Pred)};
+      B.Insts.insert(B.Insts.begin() + static_cast<ptrdiff_t>(Idx) + 1,
+                     std::move(Sel));
+      ++Idx; // skip the inserted selp
+      Changed = true;
+    }
+  }
+  return Changed;
+}

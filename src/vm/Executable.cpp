@@ -1,0 +1,46 @@
+//===- vm/Executable.cpp - Prepared kernel for the VM ---------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/vm/Executable.h"
+
+#include "simtvec/analysis/CFG.h"
+#include "simtvec/analysis/Liveness.h"
+
+using namespace simtvec;
+
+std::shared_ptr<const KernelExec>
+KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine) {
+  auto Exec = std::make_shared<KernelExec>();
+
+  // Register-file layout: one 64-bit slot per lane.
+  Exec->RegOffset.reserve(K->Regs.size());
+  uint32_t Slot = 0;
+  for (const VirtualRegister &R : K->Regs) {
+    Exec->RegOffset.push_back(Slot);
+    Slot += std::max<uint16_t>(1, R.Ty.lanes());
+  }
+  Exec->TotalSlots = Slot;
+
+  // Per-block register-pressure penalty (paper Table 1: exceeding the
+  // machine vector width "increases register pressure and extends the live
+  // ranges of values", degrading warp-size-8 throughput).
+  CFG G(*K);
+  Liveness Live(*K, G);
+  Exec->BlockPenalty.resize(K->Blocks.size());
+  auto RegCost = [&Machine](const Kernel &Kern, RegId R) {
+    return Machine.physRegsFor(Kern.regType(R));
+  };
+  for (uint32_t B = 0; B < K->Blocks.size(); ++B) {
+    unsigned Pressure = Live.maxPressure(*K, B, RegCost);
+    Exec->MaxPressure = std::max(Exec->MaxPressure, Pressure);
+    unsigned Budget = Machine.NumVecRegs + Machine.PressureSlackRegs;
+    unsigned Excess = Pressure > Budget ? Pressure - Budget : 0;
+    Exec->BlockPenalty[B] = Excess * Machine.SpillPenaltyPerExcessReg;
+  }
+
+  Exec->K = std::move(K);
+  return Exec;
+}

@@ -1,0 +1,498 @@
+//===- vm/Interpreter.cpp - The vector virtual machine --------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/vm/Interpreter.h"
+
+#include "simtvec/ir/ScalarOps.h"
+#include "simtvec/support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace simtvec;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Raw-bits <-> typed value helpers. Lane values are stored as 64-bit words:
+// integers zero-extended from their bit pattern, f32 in the low 32 bits,
+// predicates as 0/1.
+//===----------------------------------------------------------------------===
+
+uint64_t evalSpecial(SReg S, const Warp &W, uint32_t Lane) {
+  const ThreadContext &Ctx = W.lane(Lane);
+  switch (S) {
+  case SReg::TidX:
+    return Ctx.TidX;
+  case SReg::TidY:
+    return Ctx.TidY;
+  case SReg::TidZ:
+    return Ctx.TidZ;
+  case SReg::NTidX:
+    return Ctx.BlockDim.X;
+  case SReg::NTidY:
+    return Ctx.BlockDim.Y;
+  case SReg::NTidZ:
+    return Ctx.BlockDim.Z;
+  case SReg::CTAIdX:
+    return Ctx.CtaId.X;
+  case SReg::CTAIdY:
+    return Ctx.CtaId.Y;
+  case SReg::CTAIdZ:
+    return Ctx.CtaId.Z;
+  case SReg::NCTAIdX:
+    return Ctx.GridDim.X;
+  case SReg::NCTAIdY:
+    return Ctx.GridDim.Y;
+  case SReg::NCTAIdZ:
+    return Ctx.GridDim.Z;
+  case SReg::LaneId:
+    return Lane;
+  case SReg::WarpBaseTid:
+    return W.lane(0).LinearTid;
+  case SReg::WarpWidth:
+    return W.Size;
+  case SReg::EntryId:
+    return W.lane(0).ResumePoint;
+  }
+  assert(false && "unknown special register");
+  return 0;
+}
+
+/// Byte size of a spill slot element for one lane.
+unsigned spillElemBytes(Type Ty) {
+  return Ty.isPred() ? 1 : Ty.scalar().byteSize();
+}
+
+} // namespace
+
+Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
+                                     ExecMemory &Mem,
+                                     CycleCounters &Counters) {
+  const Kernel &K = Exec.kernel();
+  const uint32_t Width = K.WarpSize ? K.WarpSize : 1;
+  assert(W.Size == Width && "warp size must match the specialization");
+#ifdef NDEBUG
+  (void)Width;
+#endif
+  for (uint32_t L = 1; L < W.Size; ++L)
+    assert(W.lane(L).ResumePoint == W.lane(0).ResumePoint &&
+           "warp lanes must share one entry point");
+
+  RegFile.assign(Exec.totalSlots(), 0);
+  Result R;
+  ResumeStatus PendingStatus = ResumeStatus::Exit;
+
+  auto trap = [&](std::string Message) {
+    R.Trap = std::move(Message);
+    R.Status = ResumeStatus::Exit;
+  };
+
+  // --- Operand evaluation --------------------------------------------------
+  auto lanesOf = [&](Type Ty) -> uint32_t {
+    return std::max<uint16_t>(1, Ty.lanes());
+  };
+
+  auto regLanePtr = [&](RegId Reg) -> uint64_t * {
+    return RegFile.data() + Exec.regSlot(Reg);
+  };
+
+  // Evaluates operand O lane L. For scalar operands, L selects the context
+  // used by special registers (the replicated instruction's lane).
+  auto evalLane = [&](const Operand &O, uint32_t L) -> uint64_t {
+    switch (O.kind()) {
+    case Operand::Kind::Reg: {
+      const uint64_t *P = regLanePtr(O.regId());
+      Type Ty = K.regType(O.regId());
+      return Ty.isVector() ? P[L] : P[0];
+    }
+    case Operand::Kind::Imm:
+      return O.immBits();
+    case Operand::Kind::Special:
+      return evalSpecial(O.specialReg(), W, L);
+    case Operand::Kind::Symbol:
+      switch (O.symKind()) {
+      case SymKind::Param:
+        return K.Params[O.symIndex()].Offset;
+      case SymKind::Shared:
+        return K.SharedVars[O.symIndex()].Offset;
+      case SymKind::Local:
+        return K.LocalVars[O.symIndex()].Offset;
+      }
+      return 0;
+    case Operand::Kind::None:
+      break;
+    }
+    assert(false && "bad operand");
+    return 0;
+  };
+
+  // --- Memory access -------------------------------------------------------
+  // Resolves (space, address, size, lane) to a host pointer; null on fault.
+  auto resolve = [&](AddressSpace Space, uint64_t Addr, size_t Size,
+                     uint32_t Lane, bool Write) -> std::byte * {
+    switch (Space) {
+    case AddressSpace::Global:
+      if (Addr + Size > Mem.GlobalSize) {
+        trap(formatString("out-of-bounds global access at 0x%llx (+%zu)",
+                          static_cast<unsigned long long>(Addr), Size));
+        return nullptr;
+      }
+      return Mem.Global + Addr;
+    case AddressSpace::Shared:
+      if (Addr + Size > Mem.SharedSize) {
+        trap(formatString("out-of-bounds shared access at 0x%llx",
+                          static_cast<unsigned long long>(Addr)));
+        return nullptr;
+      }
+      return Mem.Shared + Addr;
+    case AddressSpace::Local:
+      if (Addr + Size > Mem.LocalSize) {
+        trap(formatString("out-of-bounds local access at 0x%llx",
+                          static_cast<unsigned long long>(Addr)));
+        return nullptr;
+      }
+      return W.lane(Lane).LocalMem + Addr;
+    case AddressSpace::Param:
+      if (Write) {
+        trap("store to the read-only parameter space");
+        return nullptr;
+      }
+      if (Addr + Size > Mem.ParamSize) {
+        trap(formatString("out-of-bounds param access at 0x%llx",
+                          static_cast<unsigned long long>(Addr)));
+        return nullptr;
+      }
+      return const_cast<std::byte *>(Mem.ParamBuf) + Addr;
+    }
+    return nullptr;
+  };
+
+  // Modeled L1 lookup for global accesses; returns the extra miss cycles.
+  if (L1Tags.empty()) {
+    L1Tags.assign(static_cast<size_t>(Machine.L1Sets) * Machine.L1Ways,
+                  ~0ull);
+    L1NextWay.assign(Machine.L1Sets, 0);
+  }
+  auto globalAccessExtra = [&](uint64_t Addr) -> double {
+    uint64_t Line = Addr / Machine.L1LineBytes;
+    size_t Set = static_cast<size_t>(Line % Machine.L1Sets);
+    uint64_t *Ways = L1Tags.data() + Set * Machine.L1Ways;
+    ++Counters.GlobalAccesses;
+    for (unsigned Way = 0; Way < Machine.L1Ways; ++Way)
+      if (Ways[Way] == Line)
+        return 0;
+    Ways[L1NextWay[Set]] = Line;
+    L1NextWay[Set] =
+        static_cast<uint8_t>((L1NextWay[Set] + 1) % Machine.L1Ways);
+    ++Counters.GlobalMisses;
+    return Machine.MemMissExtra;
+  };
+
+  auto loadBytes = [](const std::byte *P, unsigned Bytes) -> uint64_t {
+    uint64_t V = 0;
+    std::memcpy(&V, P, Bytes);
+    return V;
+  };
+  auto storeBytes = [](std::byte *P, uint64_t V, unsigned Bytes) {
+    std::memcpy(P, &V, Bytes);
+  };
+
+  // --- Main loop -----------------------------------------------------------
+  uint32_t Block = 0;
+  for (;;) {
+    const BasicBlock &B = K.Blocks[Block];
+    double *Bucket = B.Kind == BlockKind::Body ? &Counters.SubkernelCycles
+                                               : &Counters.YieldCycles;
+    const double Penalty = Exec.pressurePenalty(Block);
+    uint32_t NextBlock = InvalidBlock;
+
+    for (const Instruction &I : B.Insts) {
+      *Bucket += Machine.issueCost(I) + Penalty;
+      ++Counters.InstsExecuted;
+      if (I.Ty.isVector())
+        ++Counters.VectorInsts;
+      Counters.Flops += Machine.flopsFor(I);
+
+      // Guard check (non-branch): skip the architectural effect; the issue
+      // slot is still consumed.
+      if (I.Guard.isValid() && I.Op != Opcode::Bra) {
+        bool G = (regLanePtr(I.Guard)[0] & 1) != 0;
+        if (I.GuardNegated)
+          G = !G;
+        if (!G)
+          continue;
+      }
+
+      const uint32_t N = lanesOf(I.Ty);
+      switch (I.Op) {
+      case Opcode::Mov:
+      case Opcode::Broadcast: {
+        uint64_t *D = regLanePtr(I.Dst);
+        for (uint32_t L = 0; L < N; ++L)
+          D[L] = evalLane(I.Srcs[0], I.Op == Opcode::Broadcast ? L
+                          : I.Ty.isVector() ? L
+                                            : I.Lane);
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr: {
+        uint64_t *D = regLanePtr(I.Dst);
+        bool Bad = false;
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t CtxLane = I.Ty.isVector() ? L : I.Lane;
+          D[L] = evalBinary(I.Op, I.Ty.kind(), evalLane(I.Srcs[0], CtxLane),
+                            evalLane(I.Srcs[1], CtxLane), Bad);
+        }
+        if (Bad)
+          trap(formatString("invalid %s on %s", opcodeName(I.Op),
+                            I.Ty.str().c_str()));
+        break;
+      }
+      case Opcode::Mad: {
+        uint64_t *D = regLanePtr(I.Dst);
+        bool Bad = false;
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t CtxLane = I.Ty.isVector() ? L : I.Lane;
+          D[L] = evalMad(I.Ty.kind(), evalLane(I.Srcs[0], CtxLane),
+                         evalLane(I.Srcs[1], CtxLane),
+                         evalLane(I.Srcs[2], CtxLane), Bad);
+        }
+        if (Bad)
+          trap("invalid mad type");
+        break;
+      }
+      case Opcode::Neg:
+      case Opcode::Abs:
+      case Opcode::Not:
+      case Opcode::Rcp:
+      case Opcode::Sqrt:
+      case Opcode::Rsqrt:
+      case Opcode::Sin:
+      case Opcode::Cos:
+      case Opcode::Lg2:
+      case Opcode::Ex2: {
+        uint64_t *D = regLanePtr(I.Dst);
+        bool Bad = false;
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t CtxLane = I.Ty.isVector() ? L : I.Lane;
+          D[L] = evalUnary(I.Op, I.Ty.kind(), evalLane(I.Srcs[0], CtxLane),
+                           Bad);
+        }
+        if (Bad)
+          trap(formatString("invalid %s on %s", opcodeName(I.Op),
+                            I.Ty.str().c_str()));
+        break;
+      }
+      case Opcode::Setp: {
+        uint64_t *D = regLanePtr(I.Dst);
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t CtxLane = I.Ty.isVector() ? L : I.Lane;
+          D[L] = evalCmp(I.Cmp, I.Ty.kind(), evalLane(I.Srcs[0], CtxLane),
+                         evalLane(I.Srcs[1], CtxLane));
+        }
+        break;
+      }
+      case Opcode::Selp: {
+        uint64_t *D = regLanePtr(I.Dst);
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t CtxLane = I.Ty.isVector() ? L : I.Lane;
+          bool P = (evalLane(I.Srcs[2], CtxLane) & 1) != 0;
+          D[L] = evalLane(I.Srcs[P ? 0 : 1], CtxLane);
+        }
+        break;
+      }
+      case Opcode::Cvt: {
+        uint64_t *D = regLanePtr(I.Dst);
+        ScalarKind SrcK = I.Srcs[0].isReg()
+                              ? K.regType(I.Srcs[0].regId()).kind()
+                              : I.Srcs[0].isImm() ? I.Srcs[0].immType().kind()
+                                                  : ScalarKind::U32;
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t CtxLane = I.Ty.isVector() ? L : I.Lane;
+          D[L] = evalConvert(I.Ty.kind(), SrcK, evalLane(I.Srcs[0], CtxLane));
+        }
+        break;
+      }
+      case Opcode::Ld: {
+        uint64_t Addr = evalLane(I.Srcs[0], I.Lane) +
+                        static_cast<uint64_t>(I.MemOffset);
+        unsigned Bytes = I.Ty.byteSize();
+        std::byte *P = resolve(I.Space, Addr, Bytes, I.Lane, false);
+        if (!P)
+          return R;
+        if (I.Space == AddressSpace::Global)
+          *Bucket += globalAccessExtra(Addr);
+        regLanePtr(I.Dst)[0] = loadBytes(P, Bytes);
+        break;
+      }
+      case Opcode::St: {
+        uint64_t Addr = evalLane(I.Srcs[0], I.Lane) +
+                        static_cast<uint64_t>(I.MemOffset);
+        unsigned Bytes = I.Ty.byteSize();
+        std::byte *P = resolve(I.Space, Addr, Bytes, I.Lane, true);
+        if (!P)
+          return R;
+        if (I.Space == AddressSpace::Global)
+          *Bucket += globalAccessExtra(Addr);
+        storeBytes(P, evalLane(I.Srcs[1], I.Lane), Bytes);
+        break;
+      }
+      case Opcode::AtomAdd: {
+        uint64_t Addr = evalLane(I.Srcs[0], I.Lane) +
+                        static_cast<uint64_t>(I.MemOffset);
+        unsigned Bytes = I.Ty.byteSize();
+        std::byte *P = resolve(I.Space, Addr, Bytes, I.Lane, true);
+        if (!P)
+          return R;
+        if (I.Space == AddressSpace::Global)
+          *Bucket += globalAccessExtra(Addr);
+        std::unique_lock<std::mutex> Lock;
+        if (Mem.AtomicMutex)
+          Lock = std::unique_lock<std::mutex>(*Mem.AtomicMutex);
+        uint64_t Old = loadBytes(P, Bytes);
+        bool Bad = false;
+        uint64_t New = evalBinary(Opcode::Add, I.Ty.kind(), Old,
+                                  evalLane(I.Srcs[1], I.Lane), Bad);
+        storeBytes(P, New, Bytes);
+        if (I.Dst.isValid())
+          regLanePtr(I.Dst)[0] = Old;
+        break;
+      }
+      case Opcode::InsertElement: {
+        uint64_t *D = regLanePtr(I.Dst);
+        Scratch.assign(N, 0);
+        for (uint32_t L = 0; L < N; ++L)
+          Scratch[L] = evalLane(I.Srcs[0], L);
+        Scratch[static_cast<uint32_t>(I.Srcs[2].immInt())] =
+            evalLane(I.Srcs[1], I.Lane);
+        for (uint32_t L = 0; L < N; ++L)
+          D[L] = Scratch[L];
+        break;
+      }
+      case Opcode::ExtractElement: {
+        uint32_t SrcLane = static_cast<uint32_t>(I.Srcs[1].immInt());
+        regLanePtr(I.Dst)[0] = evalLane(I.Srcs[0], SrcLane);
+        break;
+      }
+      case Opcode::Iota: {
+        uint64_t *D = regLanePtr(I.Dst);
+        for (uint32_t L = 0; L < N; ++L)
+          D[L] = L;
+        break;
+      }
+      case Opcode::VoteSum: {
+        const Operand &Src = I.Srcs[0];
+        uint32_t SrcLanes =
+            Src.isReg() ? lanesOf(K.regType(Src.regId())) : 1;
+        uint64_t Sum = 0;
+        for (uint32_t L = 0; L < SrcLanes; ++L)
+          Sum += evalLane(Src, L) & 1;
+        regLanePtr(I.Dst)[0] = Sum;
+        break;
+      }
+      case Opcode::Spill: {
+        // Scalar spills serve one replicated lane (I.Lane); vector spills
+        // scatter each lane's element to that thread's slot.
+        unsigned Bytes = spillElemBytes(I.Ty);
+        uint64_t Addr = K.LocalBytes + static_cast<uint64_t>(I.MemOffset);
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t ThreadLane = I.Ty.isVector() ? L : I.Lane;
+          std::byte *P =
+              resolve(AddressSpace::Local, Addr, Bytes, ThreadLane, true);
+          if (!P)
+            return R;
+          storeBytes(P, evalLane(I.Srcs[0], ThreadLane), Bytes);
+        }
+        Counters.SpilledValues += N; // lane-values spilled
+        break;
+      }
+      case Opcode::Restore: {
+        unsigned Bytes = spillElemBytes(I.Ty);
+        uint64_t *D = regLanePtr(I.Dst);
+        uint64_t Addr = K.LocalBytes + static_cast<uint64_t>(I.MemOffset);
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t ThreadLane = I.Ty.isVector() ? L : I.Lane;
+          std::byte *P =
+              resolve(AddressSpace::Local, Addr, Bytes, ThreadLane, false);
+          if (!P)
+            return R;
+          D[L] = loadBytes(P, Bytes);
+        }
+        Counters.RestoredValues += N; // lane-values restored
+        break;
+      }
+      case Opcode::SetRPoint: {
+        for (uint32_t L = 0; L < W.Size; ++L)
+          W.lane(L).ResumePoint =
+              static_cast<uint32_t>(evalLane(I.Srcs[0], L));
+        break;
+      }
+      case Opcode::SetRStatus:
+        PendingStatus = static_cast<ResumeStatus>(I.Srcs[0].immInt());
+        break;
+      case Opcode::Membar:
+        break;
+      case Opcode::BarSync:
+        trap("bar.sync executed directly; barriers must be lowered to "
+             "yields before execution");
+        return R;
+
+      // Terminators.
+      case Opcode::Bra:
+        if (I.Guard.isValid()) {
+          bool G = (regLanePtr(I.Guard)[0] & 1) != 0;
+          if (I.GuardNegated)
+            G = !G;
+          NextBlock = G ? I.Target : I.FalseTarget;
+        } else {
+          NextBlock = I.Target;
+        }
+        break;
+      case Opcode::Switch: {
+        uint64_t V = evalLane(I.Srcs[0], 0);
+        NextBlock = I.SwitchDefault;
+        for (size_t Case = 0; Case < I.SwitchValues.size(); ++Case)
+          if (static_cast<uint64_t>(I.SwitchValues[Case]) == V) {
+            NextBlock = I.SwitchTargets[Case];
+            break;
+          }
+        break;
+      }
+      case Opcode::Ret:
+        for (uint32_t L = 0; L < W.Size; ++L)
+          W.lane(L).Status = ResumeStatus::Exit;
+        R.Status = ResumeStatus::Exit;
+        return R;
+      case Opcode::Yield:
+        for (uint32_t L = 0; L < W.Size; ++L)
+          W.lane(L).Status = PendingStatus;
+        R.Status = PendingStatus;
+        return R;
+      case Opcode::Trap:
+        trap("trap instruction executed");
+        return R;
+      }
+      if (R.Trap)
+        return R;
+    }
+
+    assert(NextBlock != InvalidBlock && "block fell through its terminator");
+    Block = NextBlock;
+  }
+}

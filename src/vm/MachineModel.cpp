@@ -1,0 +1,72 @@
+//===- vm/MachineModel.cpp - Modeled vector machine -----------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/vm/MachineModel.h"
+
+#include <algorithm>
+
+using namespace simtvec;
+
+double MachineModel::issueCost(const Instruction &I) const {
+  switch (I.Op) {
+  case Opcode::Ld:
+  case Opcode::St:
+    return I.Space == AddressSpace::Param ? ParamMemCost : MemCost;
+  case Opcode::AtomAdd:
+    return AtomCost;
+  case Opcode::InsertElement:
+  case Opcode::ExtractElement:
+  case Opcode::Broadcast:
+  case Opcode::Iota:
+    return PackCost;
+  case Opcode::Spill:
+  case Opcode::Restore:
+    return SpillRestorePerLane * std::max<unsigned>(1, I.Ty.lanes());
+  case Opcode::Bra:
+  case Opcode::Switch:
+  case Opcode::Ret:
+  case Opcode::Yield:
+  case Opcode::BarSync:
+  case Opcode::Membar:
+  case Opcode::VoteSum:
+  case Opcode::SetRPoint:
+  case Opcode::SetRStatus:
+  case Opcode::Trap:
+    return ControlCost;
+  default:
+    break;
+  }
+  double PerChunk = isTranscendental(I.Op) ? TranscCost : ArithCost;
+  return PerChunk * issueChunks(I.Ty);
+}
+
+unsigned MachineModel::flopsFor(const Instruction &I) const {
+  if (!I.Ty.isFloat())
+    return 0;
+  unsigned Lanes = std::max<unsigned>(1, I.Ty.lanes());
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Neg:
+  case Opcode::Abs:
+  case Opcode::Rcp:
+  case Opcode::Sqrt:
+  case Opcode::Rsqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Lg2:
+  case Opcode::Ex2:
+    return Lanes;
+  case Opcode::Mad:
+    return 2 * Lanes;
+  default:
+    return 0;
+  }
+}

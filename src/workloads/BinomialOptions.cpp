@@ -1,0 +1,206 @@
+//===- workloads/BinomialOptions.cpp - Binomial tree pricing --------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// One CTA prices one option by backward induction over a 127-step binomial
+/// tree; each thread carries four adjacent nodes in registers (as the SDK
+/// kernel caches nodes per thread) and exchanges only its left boundary
+/// through a double-buffered shared slot, synchronizing once per step.
+/// Uniform control flow with very frequent synchronization — the
+/// barrier-heavy profile with a large execution-manager fraction (Fig. 9).
+///
+/// Values past the shrinking valid front are computed from stale
+/// neighbours, but node k at induction step i is only read when k <= i, so
+/// the garbage never reaches node 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+constexpr uint32_t Steps = 127;            // leaves = Steps + 1 = 128
+constexpr uint32_t NodesPerThread = 4;
+constexpr uint32_t CtaSize = 32;           // 32 threads x 4 nodes
+
+const char *Source = R"(
+.kernel binomial (.param .u64 spots, .param .u64 strikes, .param .u64 out,
+                  .param .f32 tyears, .param .f32 rrate, .param .f32 vol)
+{
+  .shared .b8 edges[272];   // two 33-float boundary buffers
+  .reg .u32 %j, %i, %node;
+  .reg .s32 %twoj;
+  .reg .u64 %addr, %base, %off, %sa, %sa0, %sa1, %saswap, %rda;
+  .reg .f32 %s, %x, %t, %r, %v, %dt, %vsdt, %a, %u, %d;
+  .reg .f32 %pu, %pd, %pudf, %pddf, %leaf, %nb, %tmp;
+  .reg .f32 %v0, %v1, %v2, %v3;
+  .reg .pred %ploop, %pzero;
+
+entry:
+  mov.u32 %j, %tid.x;
+  cvt.u64.u32 %off, %ctaid.x;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base, [spots];
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %s, [%addr];
+  ld.param.u64 %base, [strikes];
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  ld.param.f32 %t, [tyears];
+  ld.param.f32 %r, [rrate];
+  ld.param.f32 %v, [vol];
+
+  // dt = t/steps; u = exp(v sqrt(dt)); d = 1/u; a = exp(r dt)
+  mul.f32 %dt, %t, 0.007874016;
+  sqrt.f32 %vsdt, %dt;
+  mul.f32 %vsdt, %vsdt, %v;
+  mul.f32 %tmp, %vsdt, 1.44269504;
+  ex2.f32 %u, %tmp;
+  rcp.f32 %d, %u;
+  mul.f32 %tmp, %r, %dt;
+  mul.f32 %tmp, %tmp, 1.44269504;
+  ex2.f32 %a, %tmp;
+  sub.f32 %pu, %a, %d;
+  sub.f32 %tmp, %u, %d;
+  div.f32 %pu, %pu, %tmp;
+  sub.f32 %pd, 1.0, %pu;
+  rcp.f32 %tmp, %a;
+  mul.f32 %pudf, %pu, %tmp;
+  mul.f32 %pddf, %pd, %tmp;
+
+  // Register-carried leaves: nodes 4j .. 4j+3.
+  shl.u32 %node, %j, 2;
+  cvt.s32.u32 %twoj, %node;
+  shl.s32 %twoj, %twoj, 1;
+  sub.s32 %twoj, %twoj, 127;
+  cvt.f32.s32 %leaf, %twoj;
+  mul.f32 %leaf, %leaf, %vsdt;
+  mul.f32 %leaf, %leaf, 1.44269504;
+  ex2.f32 %leaf, %leaf;
+  mul.f32 %tmp, %vsdt, 2.88539008;  // exp(2 vsdt) per node step
+  ex2.f32 %tmp, %tmp;
+  mul.f32 %v0, %leaf, %s;
+  mul.f32 %v1, %v0, %tmp;
+  mul.f32 %v2, %v1, %tmp;
+  mul.f32 %v3, %v2, %tmp;
+  sub.f32 %v0, %v0, %x;
+  max.f32 %v0, %v0, 0.0;
+  sub.f32 %v1, %v1, %x;
+  max.f32 %v1, %v1, 0.0;
+  sub.f32 %v2, %v2, %x;
+  max.f32 %v2, %v2, 0.0;
+  sub.f32 %v3, %v3, %x;
+  max.f32 %v3, %v3, 0.0;
+
+  // Double-buffered boundary exchange: sa alternates between the buffers.
+  cvt.u64.u32 %sa0, %j;
+  shl.u64 %sa0, %sa0, 2;
+  add.u64 %sa1, %sa0, 136;
+  xor.u64 %saswap, %sa0, %sa1;
+  mov.u64 %sa, %sa0;
+  mov.u32 %i, 127;
+  bra loop;
+
+loop:
+  // Publish the left boundary, sync once, read the right neighbour's.
+  st.shared.f32 [%sa], %v0;
+  bar.sync;
+  add.u64 %rda, %sa, 4;
+  ld.shared.f32 %nb, [%rda];
+  mul.f32 %tmp, %pddf, %v0;
+  mad.f32 %v0, %pudf, %v1, %tmp;
+  mul.f32 %tmp, %pddf, %v1;
+  mad.f32 %v1, %pudf, %v2, %tmp;
+  mul.f32 %tmp, %pddf, %v2;
+  mad.f32 %v2, %pudf, %v3, %tmp;
+  mul.f32 %tmp, %pddf, %v3;
+  mad.f32 %v3, %pudf, %nb, %tmp;
+  xor.u64 %sa, %sa, %saswap;
+  sub.u32 %i, %i, 1;
+  setp.gt.u32 %ploop, %i, 0;
+  @%ploop bra loop, fin;
+
+fin:
+  setp.eq.u32 %pzero, %tid.x, 0;
+  @!%pzero bra done, writeout;
+writeout:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %ctaid.x;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %v0;
+  bra done;
+done:
+  ret;
+}
+)";
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t Options = 16 * Scale;
+  const float T = 2.0f, R = 0.02f, V = 0.30f;
+  Inst->Dev = std::make_unique<Device>(1 << 20);
+  Inst->Block = {CtaSize, 1, 1};
+  Inst->Grid = {Options, 1, 1};
+
+  RNG Rng(0x5eed03);
+  std::vector<float> S(Options), X(Options);
+  for (uint32_t I = 0; I < Options; ++I) {
+    S[I] = Rng.nextFloat(5.0f, 30.0f);
+    X[I] = Rng.nextFloat(1.0f, 100.0f);
+  }
+  uint64_t DS = Inst->Dev->allocArray<float>(Options);
+  uint64_t DX = Inst->Dev->allocArray<float>(Options);
+  uint64_t DOut = Inst->Dev->allocArray<float>(Options);
+  Inst->Dev->upload(DS, S);
+  Inst->Dev->upload(DX, X);
+  Inst->Params.addU64(DS).addU64(DX).addU64(DOut).addF32(T).addF32(R)
+      .addF32(V);
+
+  Inst->Check = [=, S = std::move(S),
+                 X = std::move(X)](Device &Dev, std::string &Error) {
+    const uint32_t Leaves = CtaSize * NodesPerThread;
+    std::vector<float> Ref(Options);
+    for (uint32_t O = 0; O < Options; ++O) {
+      float Dt = T * 0.007874016f;
+      float Vsdt = std::sqrt(Dt) * V;
+      float U = std::exp2(Vsdt * 1.44269504f);
+      float D = 1.0f / U;
+      float A = std::exp2(R * Dt * 1.44269504f);
+      float Pu = (A - D) / (U - D);
+      float Pd = 1.0f - Pu;
+      float InvA = 1.0f / A;
+      float PuDf = Pu * InvA, PdDf = Pd * InvA;
+      std::vector<float> Vals(Leaves);
+      float Step = std::exp2(Vsdt * 2.88539008f);
+      for (uint32_t J = 0; J < CtaSize; ++J) {
+        uint32_t Node = J * 4;
+        float Leaf =
+            std::exp2(static_cast<float>(2 * static_cast<int>(Node) - 127) *
+                      Vsdt * 1.44269504f) *
+            S[O];
+        for (uint32_t K = 0; K < 4; ++K) {
+          Vals[Node + K] = std::max(Leaf - X[O], 0.0f);
+          Leaf = Leaf * Step;
+        }
+      }
+      for (uint32_t I = Steps; I >= 1; --I)
+        for (uint32_t K = 0; K < I; ++K)
+          Vals[K] = PuDf * Vals[K + 1] + PdDf * Vals[K];
+      Ref[O] = Vals[0];
+    }
+    return checkF32Buffer(Dev, DOut, Ref, 5e-3f, 5e-3f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getBinomialOptionsWorkload() {
+  static const Workload W{"BinomialOptions", "binomial",
+                          WorkloadClass::BarrierHeavy, Source, make};
+  return W;
+}

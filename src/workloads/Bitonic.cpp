@@ -1,0 +1,122 @@
+//===- workloads/Bitonic.cpp - Per-CTA bitonic sort -----------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Bitonic sort of 128 keys in shared memory. The compare-exchange is
+/// guarded twice: structurally (only the lower partner of each pair works —
+/// divergent for small strides) and by the data-dependent swap condition,
+/// exercising guarded-store replication. One barrier per network stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include <algorithm>
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel bitonic (.param .u64 data, .param .u32 n)
+{
+  .shared .b8 keys[512];   // 128 u32
+  .reg .u32 %tid0, %gid, %k, %j, %ixj, %a, %b, %dirbit, %t;
+  .reg .u64 %addr, %base, %off, %sa, %sb;
+  .reg .pred %pwork, %pdir, %pgt, %pswap, %p;
+
+entry:
+  mov.u32 %tid0, %tid.x;
+  mov.u32 %gid, %tid0;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u64 %base, [data];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.u32 %a, [%addr];
+  cvt.u64.u32 %sa, %tid0;
+  shl.u64 %sa, %sa, 2;
+  st.shared.u32 [%sa], %a;
+  bar.sync;
+  mov.u32 %k, 2;
+  bra kloop;
+
+kloop:
+  shr.u32 %j, %k, 1;
+  bra jloop;
+jloop:
+  xor.u32 %ixj, %tid0, %j;
+  setp.gt.u32 %pwork, %ixj, %tid0;
+  @%pwork bra work, joinj;
+work:
+  cvt.u64.u32 %sb, %ixj;
+  shl.u64 %sb, %sb, 2;
+  ld.shared.u32 %a, [%sa];
+  ld.shared.u32 %b, [%sb];
+  and.u32 %dirbit, %tid0, %k;
+  setp.eq.u32 %pdir, %dirbit, 0;   // ascending when (tid & k) == 0
+  setp.gt.u32 %pgt, %a, %b;
+  // Swap when (a > b) == ascending.
+  and.pred %pswap, %pgt, %pdir;
+  not.pred %pgt, %pgt;
+  not.pred %pdir, %pdir;
+  and.pred %pgt, %pgt, %pdir;
+  or.pred %pswap, %pswap, %pgt;
+  @%pswap bra doswap, joinj;
+doswap:
+  st.shared.u32 [%sa], %b;
+  st.shared.u32 [%sb], %a;
+  bra joinj;
+joinj:
+  bar.sync;
+  shr.u32 %j, %j, 1;
+  setp.gt.u32 %p, %j, 0;
+  @%p bra jloop, nextk;
+nextk:
+  shl.u32 %k, %k, 1;
+  setp.le.u32 %p, %k, %ntid.x;
+  @%p bra kloop, fin;
+
+fin:
+  ld.shared.u32 %a, [%sa];
+  st.global.u32 [%addr], %a;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t CtaSize = 128;
+  const uint32_t Ctas = 8 * Scale;
+  const uint32_t N = CtaSize * Ctas;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 4 + 4096);
+  Inst->Block = {CtaSize, 1, 1};
+  Inst->Grid = {Ctas, 1, 1};
+
+  RNG Rng(0x5eed0f);
+  std::vector<uint32_t> Data(N);
+  for (auto &V : Data)
+    V = static_cast<uint32_t>(Rng.next());
+  uint64_t DData = Inst->Dev->allocArray<uint32_t>(N);
+  Inst->Dev->upload(DData, Data);
+  Inst->Params.addU64(DData).addU32(N);
+
+  Inst->Check = [=, Data = std::move(Data)](Device &Dev,
+                                            std::string &Error) {
+    std::vector<uint32_t> Ref = Data;
+    for (uint32_t C = 0; C < Ctas; ++C)
+      std::sort(Ref.begin() + C * CtaSize, Ref.begin() + (C + 1) * CtaSize);
+    return checkU32Buffer(Dev, DData, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getBitonicWorkload() {
+  static const Workload W{"Bitonic", "bitonic", WorkloadClass::Divergent,
+                          Source, make};
+  return W;
+}

@@ -1,0 +1,198 @@
+//===- workloads/BlackScholes.cpp - Option pricing ------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// European option pricing with the Abramowitz-Stegun cumulative-normal
+/// polynomial: branchless (selp), flop-dense, uniform control flow — the
+/// compute-bound profile that vectorizes near-linearly in Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel blackscholes (.param .u64 spot, .param .u64 strike, .param .u64 years,
+                      .param .u64 call, .param .u64 put, .param .u32 n,
+                      .param .f32 rrate, .param .f32 vol)
+{
+  .reg .u32 %i, %np, %n;
+  .reg .u64 %off, %addr, %b0;
+  .reg .f32 %s, %x, %t, %r, %v, %rp, %vp;
+  .reg .f32 %sqrtt, %d1, %d2, %k1, %k2, %cnd1, %cnd2, %expr, %tmp, %tmp2;
+  .reg .f32 %poly1, %poly2, %absd, %callv, %putv;
+  .reg .pred %p, %neg;
+
+entry:
+  mov.u32 %i, %tid.x;
+  mad.u32 %i, %ntid.x, %ctaid.x, %i;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  setp.ge.u32 %p, %i, %n;
+  @%p bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %b0, [spot];
+  add.u64 %addr, %b0, %off;
+  ld.global.f32 %s, [%addr];
+  ld.param.u64 %b0, [strike];
+  add.u64 %addr, %b0, %off;
+  ld.global.f32 %x, [%addr];
+  ld.param.u64 %b0, [years];
+  add.u64 %addr, %b0, %off;
+  ld.global.f32 %t, [%addr];
+  ld.param.f32 %rp, [rrate];
+  ld.param.f32 %vp, [vol];
+  mov.f32 %r, %rp;
+  mov.f32 %v, %vp;
+
+  // d1 = (ln(S/X) + (r + v^2/2) t) / (v sqrt(t)); d2 = d1 - v sqrt(t)
+  sqrt.f32 %sqrtt, %t;
+  div.f32 %d1, %s, %x;
+  lg2.f32 %d1, %d1;
+  mul.f32 %d1, %d1, 0.69314718;
+  mul.f32 %tmp, %v, %v;
+  mul.f32 %tmp, %tmp, 0.5;
+  add.f32 %tmp, %tmp, %r;
+  mad.f32 %d1, %tmp, %t, %d1;
+  mul.f32 %tmp, %v, %sqrtt;
+  div.f32 %d1, %d1, %tmp;
+  sub.f32 %d2, %d1, %tmp;
+
+  // cnd(d) via the A&S 5-term polynomial, branchless.
+  abs.f32 %absd, %d1;
+  mad.f32 %k1, %absd, 0.2316419, 1.0;
+  rcp.f32 %k1, %k1;
+  mov.f32 %poly1, 1.330274429;
+  mad.f32 %poly1, %poly1, %k1, -1.821255978;
+  mad.f32 %poly1, %poly1, %k1, 1.781477937;
+  mad.f32 %poly1, %poly1, %k1, -0.356563782;
+  mad.f32 %poly1, %poly1, %k1, 0.319381530;
+  mul.f32 %poly1, %poly1, %k1;
+  mul.f32 %tmp, %d1, %d1;
+  mul.f32 %tmp, %tmp, -0.72134752;
+  ex2.f32 %tmp, %tmp;
+  mul.f32 %tmp, %tmp, 0.39894228;
+  mul.f32 %poly1, %poly1, %tmp;
+  sub.f32 %cnd1, 1.0, %poly1;
+  setp.lt.f32 %neg, %d1, 0.0;
+  sub.f32 %tmp, 1.0, %cnd1;
+  selp.f32 %cnd1, %tmp, %cnd1, %neg;
+
+  abs.f32 %absd, %d2;
+  mad.f32 %k2, %absd, 0.2316419, 1.0;
+  rcp.f32 %k2, %k2;
+  mov.f32 %poly2, 1.330274429;
+  mad.f32 %poly2, %poly2, %k2, -1.821255978;
+  mad.f32 %poly2, %poly2, %k2, 1.781477937;
+  mad.f32 %poly2, %poly2, %k2, -0.356563782;
+  mad.f32 %poly2, %poly2, %k2, 0.319381530;
+  mul.f32 %poly2, %poly2, %k2;
+  mul.f32 %tmp, %d2, %d2;
+  mul.f32 %tmp, %tmp, -0.72134752;
+  ex2.f32 %tmp, %tmp;
+  mul.f32 %tmp, %tmp, 0.39894228;
+  mul.f32 %poly2, %poly2, %tmp;
+  sub.f32 %cnd2, 1.0, %poly2;
+  setp.lt.f32 %neg, %d2, 0.0;
+  sub.f32 %tmp, 1.0, %cnd2;
+  selp.f32 %cnd2, %tmp, %cnd2, %neg;
+
+  // expr = exp(-r t); call = S cnd1 - X expr cnd2; put = call - S + X expr
+  mul.f32 %expr, %r, %t;
+  neg.f32 %expr, %expr;
+  mul.f32 %expr, %expr, 1.44269504;
+  ex2.f32 %expr, %expr;
+  mul.f32 %tmp, %x, %expr;
+  mul.f32 %tmp2, %tmp, %cnd2;
+  mul.f32 %callv, %s, %cnd1;
+  sub.f32 %callv, %callv, %tmp2;
+  sub.f32 %putv, %callv, %s;
+  add.f32 %putv, %putv, %tmp;
+
+  ld.param.u64 %b0, [call];
+  add.u64 %addr, %b0, %off;
+  st.global.f32 [%addr], %callv;
+  ld.param.u64 %b0, [put];
+  add.u64 %addr, %b0, %off;
+  st.global.f32 [%addr], %putv;
+  bra done;
+done:
+  ret;
+}
+)";
+
+float hostCnd(float D) {
+  // Horner evaluation matching the kernel exactly.
+  float AbsD = std::fabs(D);
+  float K = 1.0f / (AbsD * 0.2316419f + 1.0f);
+  float Poly = 1.330274429f;
+  Poly = Poly * K + -1.821255978f;
+  Poly = Poly * K + 1.781477937f;
+  Poly = Poly * K + -0.356563782f;
+  Poly = Poly * K + 0.319381530f;
+  Poly = Poly * K;
+  float T = std::exp2(D * D * -0.72134752f) * 0.39894228f;
+  float Cnd = 1.0f - Poly * T;
+  return D < 0 ? 1.0f - Cnd : Cnd;
+}
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 8192 * Scale;
+  const float R = 0.02f, V = 0.30f;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 20 + 4096);
+  Inst->Block = {128, 1, 1};
+  Inst->Grid = {(N + 127) / 128, 1, 1};
+
+  RNG Rng(0x5eed02);
+  std::vector<float> S(N), X(N), T(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    S[I] = Rng.nextFloat(5.0f, 30.0f);
+    X[I] = Rng.nextFloat(1.0f, 100.0f);
+    T[I] = Rng.nextFloat(0.25f, 10.0f);
+  }
+  uint64_t DS = Inst->Dev->allocArray<float>(N);
+  uint64_t DX = Inst->Dev->allocArray<float>(N);
+  uint64_t DT = Inst->Dev->allocArray<float>(N);
+  uint64_t DCall = Inst->Dev->allocArray<float>(N);
+  uint64_t DPut = Inst->Dev->allocArray<float>(N);
+  Inst->Dev->upload(DS, S);
+  Inst->Dev->upload(DX, X);
+  Inst->Dev->upload(DT, T);
+  Inst->Params.addU64(DS).addU64(DX).addU64(DT).addU64(DCall).addU64(DPut)
+      .addU32(N).addF32(R).addF32(V);
+
+  Inst->Check = [=, S = std::move(S), X = std::move(X),
+                 T = std::move(T)](Device &Dev, std::string &Error) {
+    std::vector<float> Call(N), Put(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      float SqrtT = std::sqrt(T[I]);
+      float D1 = std::log2(S[I] / X[I]) * 0.69314718f;
+      D1 = (V * V * 0.5f + R) * T[I] + D1;
+      D1 = D1 / (V * SqrtT);
+      float D2 = D1 - V * SqrtT;
+      float Cnd1 = hostCnd(D1), Cnd2 = hostCnd(D2);
+      float ExpR = std::exp2(-(R * T[I]) * 1.44269504f);
+      Call[I] = S[I] * Cnd1 - X[I] * ExpR * Cnd2;
+      Put[I] = Call[I] - S[I] + X[I] * ExpR;
+    }
+    return checkF32Buffer(Dev, DCall, Call, 2e-3f, 2e-3f, Error) &&
+           checkF32Buffer(Dev, DPut, Put, 2e-3f, 2e-3f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getBlackScholesWorkload() {
+  static const Workload W{"BlackScholes", "blackscholes",
+                          WorkloadClass::ComputeUniform, Source, make};
+  return W;
+}

@@ -1,0 +1,176 @@
+//===- workloads/ConvolutionSeparable.cpp - Separable row convolution -----===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The row pass of the SDK's separable convolution: each CTA stages a row
+/// tile plus halo in shared memory, synchronizes, and convolves with a
+/// 9-tap kernel held in the constant (.param) space. Shared-load heavy with
+/// a barrier per tile but a denser multiply-accumulate core than BoxFilter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+constexpr int Radius = 4; // 9 taps
+
+const char *Source = R"(
+.kernel convrow (.param .u64 in, .param .u64 out, .param .u32 width,
+                 .param .u64 taps)
+{
+  .shared .b8 tile[544];   // 128 + 2*4 floats
+  .reg .u32 %tid0, %gid, %wp, %w, %idx, %halo, %k;
+  .reg .s32 %sidx;
+  .reg .u64 %addr, %base, %off, %saddr, %toff;
+  .reg .f32 %x, %acc, %tap;
+  .reg .pred %p, %phl, %phr;
+
+entry:
+  mov.u32 %tid0, %tid.x;
+  mov.u32 %gid, %tid0;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %wp, [width];
+  mov.u32 %w, %wp;
+  ld.param.u64 %base, [in];
+
+  // Center element.
+  sub.u32 %halo, %w, 1;
+  min.u32 %idx, %gid, %halo;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  add.u32 %halo, %tid0, 4;
+  cvt.u64.u32 %saddr, %halo;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %x;
+
+  // Left halo.
+  setp.lt.u32 %phl, %tid0, 4;
+  @%phl bra lhalo, afterlh;
+lhalo:
+  cvt.s32.u32 %sidx, %gid;
+  sub.s32 %sidx, %sidx, 4;
+  max.s32 %sidx, %sidx, 0;
+  cvt.u64.s32 %off, %sidx;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  cvt.u64.u32 %saddr, %tid0;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %x;
+  bra afterlh;
+afterlh:
+  // Right halo.
+  mov.u32 %idx, %ntid.x;
+  sub.u32 %idx, %idx, 4;
+  setp.ge.u32 %phr, %tid0, %idx;
+  @%phr bra rhalo, afterrh;
+rhalo:
+  add.u32 %idx, %gid, 4;
+  sub.u32 %halo, %w, 1;
+  min.u32 %idx, %idx, %halo;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  add.u32 %halo, %tid0, 8;
+  cvt.u64.u32 %saddr, %halo;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %x;
+  bra afterrh;
+afterrh:
+  bar.sync;
+
+  // 9-tap convolution from shared, taps from the constant space.
+  setp.ge.u32 %p, %gid, %w;
+  @%p bra done, compute;
+compute:
+  cvt.u64.u32 %saddr, %tid0;
+  shl.u64 %saddr, %saddr, 2;
+  ld.param.u64 %toff, [taps];
+  mov.f32 %acc, 0.0;
+  mov.u32 %k, 0;
+  bra taploop;
+taploop:
+  ld.shared.f32 %x, [%saddr];
+  ld.param.f32 %tap, [%toff];
+  mad.f32 %acc, %x, %tap, %acc;
+  add.u64 %saddr, %saddr, 4;
+  add.u64 %toff, %toff, 4;
+  add.u32 %k, %k, 1;
+  setp.lt.u32 %p, %k, 9;
+  @%p bra taploop, writeback;
+writeback:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %acc;
+  bra done;
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 8192 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 8 + 4096);
+  Inst->Block = {128, 1, 1};
+  Inst->Grid = {(N + 127) / 128, 1, 1};
+
+  RNG Rng(0x5eed11);
+  std::vector<float> In(N), Taps(9);
+  for (auto &V : In)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  float Sum = 0;
+  for (auto &T : Taps) {
+    T = Rng.nextFloat(0.0f, 1.0f);
+    Sum += T;
+  }
+  for (auto &T : Taps)
+    T /= Sum;
+
+  uint64_t DIn = Inst->Dev->allocArray<float>(N);
+  uint64_t DOut = Inst->Dev->allocArray<float>(N);
+  Inst->Dev->upload(DIn, In);
+  // Taps ride in the parameter buffer (constant memory): scalars occupy
+  // 8+8+4 bytes; the u64 below lands at 24, the taps at 32.
+  Inst->Params.addU64(DIn).addU64(DOut).addU32(N);
+  Inst->Params.addU64(32);
+  for (float T : Taps)
+    Inst->Params.addF32(T);
+
+  Inst->Check = [=, In = std::move(In),
+                 Taps = std::move(Taps)](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      float Acc = 0;
+      for (int D = -Radius; D <= Radius; ++D) {
+        int J = static_cast<int>(I) + D;
+        J = std::max(J, 0);
+        J = std::min(J, static_cast<int>(N) - 1);
+        Acc = In[static_cast<uint32_t>(J)] *
+                  Taps[static_cast<size_t>(D + Radius)] +
+              Acc;
+      }
+      Ref[I] = Acc;
+    }
+    return checkF32Buffer(Dev, DOut, Ref, 1e-4f, 1e-5f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getConvolutionSeparableWorkload() {
+  static const Workload W{"ConvolutionSeparable", "convrow",
+                          WorkloadClass::MemoryBound, Source, make};
+  return W;
+}

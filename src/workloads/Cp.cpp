@@ -1,0 +1,135 @@
+//===- workloads/Cp.cpp - Coulombic potential (Parboil cp) ----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Parboil's cp: a 2D grid of lattice points accumulates the Coulombic
+/// potential of a set of atoms. Atoms live in the .param (constant) space,
+/// exactly as Parboil keeps them in CUDA constant memory, so the inner loop
+/// is almost pure arithmetic — the best speedup of Figure 6 (paper: 3.9x).
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel cp (.param .u64 grid, .param .u32 width, .param .u32 natoms,
+            .param .u64 atomtab)
+{
+  .reg .u32 %gid, %wp, %w, %nap, %na, %j, %xi, %yi;
+  .reg .u64 %addr, %bgrid, %off, %atoff;
+  .reg .f32 %px, %py, %ax, %ay, %aq, %dx, %dy, %r2, %inv, %pot;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %wp, [width];
+  mov.u32 %w, %wp;
+  ld.param.u32 %nap, [natoms];
+  mov.u32 %na, %nap;
+
+  // 2D lattice point (0.25 A spacing).
+  rem.u32 %xi, %gid, %w;
+  div.u32 %yi, %gid, %w;
+  cvt.f32.u32 %px, %xi;
+  mul.f32 %px, %px, 0.25;
+  cvt.f32.u32 %py, %yi;
+  mul.f32 %py, %py, 0.25;
+
+  mov.f32 %pot, 0.0;
+  mov.u32 %j, 0;
+  // atomtab is a byte offset into the .param space: [x, y, q] per atom.
+  ld.param.u64 %atoff, [atomtab];
+  bra loop;
+
+loop:
+  add.u64 %addr, %atoff, 0;
+  ld.param.f32 %ax, [%addr+0];
+  ld.param.f32 %ay, [%addr+4];
+  ld.param.f32 %aq, [%addr+8];
+  add.u64 %atoff, %atoff, 12;
+  sub.f32 %dx, %ax, %px;
+  sub.f32 %dy, %ay, %py;
+  mul.f32 %r2, %dx, %dx;
+  mad.f32 %r2, %dy, %dy, %r2;
+  add.f32 %r2, %r2, 0.05;
+  rsqrt.f32 %inv, %r2;
+  mad.f32 %pot, %aq, %inv, %pot;
+  add.u32 %j, %j, 1;
+  setp.lt.u32 %p, %j, %na;
+  @%p bra loop, writeback;
+
+writeback:
+  ld.param.u64 %bgrid, [grid];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %bgrid, %off;
+  st.global.f32 [%addr], %pot;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t Width = 64, Height = 32;
+  const uint32_t Points = Width * Height;
+  const uint32_t Atoms = 24 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(Points) * 4 +
+                                       4096);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {Points / 64, 1, 1};
+
+  RNG Rng(0x5eed09);
+  std::vector<float> AtomTab(Atoms * 3);
+  for (uint32_t A = 0; A < Atoms; ++A) {
+    AtomTab[A * 3 + 0] = Rng.nextFloat(0.0f, Width * 0.25f);
+    AtomTab[A * 3 + 1] = Rng.nextFloat(0.0f, Height * 0.25f);
+    AtomTab[A * 3 + 2] = Rng.nextFloat(-1.0f, 1.0f);
+  }
+  uint64_t DGrid = Inst->Dev->allocArray<float>(Points);
+
+  // The atom table rides in the parameter buffer after the declared
+  // scalars, mirroring CUDA constant memory.
+  Inst->Params.addU64(DGrid).addU32(Width).addU32(Atoms);
+  // Placeholder for the table offset: the scalar params occupy 16 bytes so
+  // far; the u64 below lands at offset 16, the table at 24.
+  Inst->Params.addU64(24);
+  for (float V : AtomTab)
+    Inst->Params.addF32(V);
+
+  Inst->Check = [=, AtomTab = std::move(AtomTab)](Device &Dev,
+                                                  std::string &Error) {
+    std::vector<float> Ref(Points);
+    for (uint32_t G = 0; G < Points; ++G) {
+      float Px = static_cast<float>(G % Width) * 0.25f;
+      float Py = static_cast<float>(G / Width) * 0.25f;
+      float Pot = 0;
+      for (uint32_t A = 0; A < Atoms; ++A) {
+        float Dx = AtomTab[A * 3] - Px;
+        float Dy = AtomTab[A * 3 + 1] - Py;
+        float R2 = Dx * Dx;
+        R2 = Dy * Dy + R2;
+        R2 += 0.05f;
+        float Inv = 1.0f / std::sqrt(R2);
+        Pot = AtomTab[A * 3 + 2] * Inv + Pot;
+      }
+      Ref[G] = Pot;
+    }
+    return checkF32Buffer(Dev, DGrid, Ref, 1e-3f, 1e-3f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getCpWorkload() {
+  static const Workload W{"cp", "cp", WorkloadClass::ComputeUniform, Source,
+                          make};
+  return W;
+}

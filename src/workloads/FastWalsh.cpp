@@ -1,0 +1,115 @@
+//===- workloads/FastWalsh.cpp - Fast Walsh-Hadamard transform ------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per-CTA Walsh-Hadamard butterfly over 128 floats in shared memory:
+/// log2(CTA) stages, two barriers each, branchless pairing via selp.
+/// Add/sub only — synchronization-bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel fastwalsh (.param .u64 data, .param .u32 n)
+{
+  .shared .b8 buf[512];   // 128 floats
+  .reg .u32 %tid0, %gid, %h, %peer, %bit;
+  .reg .u64 %addr, %base, %off, %sa, %sb;
+  .reg .f32 %x, %y, %sum, %diff, %nv;
+  .reg .pred %p, %phigh;
+
+entry:
+  mov.u32 %tid0, %tid.x;
+  mov.u32 %gid, %tid0;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u64 %base, [data];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  cvt.u64.u32 %sa, %tid0;
+  shl.u64 %sa, %sa, 2;
+  st.shared.f32 [%sa], %x;
+  bar.sync;
+  mov.u32 %h, 1;
+  bra stage;
+
+stage:
+  xor.u32 %peer, %tid0, %h;
+  cvt.u64.u32 %sb, %peer;
+  shl.u64 %sb, %sb, 2;
+  ld.shared.f32 %x, [%sa];
+  ld.shared.f32 %y, [%sb];
+  add.f32 %sum, %x, %y;
+  sub.f32 %diff, %x, %y;
+  and.u32 %bit, %tid0, %h;
+  setp.eq.u32 %phigh, %bit, 0;
+  // Low partner keeps x+y; high partner keeps peer - own = -(diff).
+  neg.f32 %nv, %diff;
+  selp.f32 %nv, %sum, %nv, %phigh;
+  bar.sync;
+  st.shared.f32 [%sa], %nv;
+  bar.sync;
+  shl.u32 %h, %h, 1;
+  setp.lt.u32 %p, %h, %ntid.x;
+  @%p bra stage, fin;
+
+fin:
+  ld.shared.f32 %x, [%sa];
+  st.global.f32 [%addr], %x;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t CtaSize = 128;
+  const uint32_t Ctas = 8 * Scale;
+  const uint32_t N = CtaSize * Ctas;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 4 + 4096);
+  Inst->Block = {CtaSize, 1, 1};
+  Inst->Grid = {Ctas, 1, 1};
+
+  RNG Rng(0x5eed10);
+  std::vector<float> Data(N);
+  for (auto &V : Data)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  uint64_t DData = Inst->Dev->allocArray<float>(N);
+  Inst->Dev->upload(DData, Data);
+  Inst->Params.addU64(DData).addU32(N);
+
+  Inst->Check = [=, Data = std::move(Data)](Device &Dev,
+                                            std::string &Error) {
+    std::vector<float> Ref = Data;
+    for (uint32_t C = 0; C < Ctas; ++C) {
+      float *Buf = Ref.data() + C * CtaSize;
+      for (uint32_t H = 1; H < CtaSize; H <<= 1) {
+        std::vector<float> Next(CtaSize);
+        for (uint32_t T = 0; T < CtaSize; ++T) {
+          uint32_t Peer = T ^ H;
+          float X = Buf[T], Y = Buf[Peer];
+          Next[T] = (T & H) == 0 ? X + Y : -(X - Y);
+        }
+        for (uint32_t T = 0; T < CtaSize; ++T)
+          Buf[T] = Next[T];
+      }
+    }
+    return checkF32Buffer(Dev, DData, Ref, 1e-5f, 1e-6f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getFastWalshWorkload() {
+  static const Workload W{"FastWalshTransform", "fastwalsh",
+                          WorkloadClass::BarrierHeavy, Source, make};
+  return W;
+}

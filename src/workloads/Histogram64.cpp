@@ -1,0 +1,90 @@
+//===- workloads/Histogram64.cpp - 64-bin byte histogram ------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// 64-bin histogram of a byte stream: grid-stride loop, one global atomic
+/// add per element. Uniform control flow but atomic-serialized memory
+/// traffic — no benefit from vectorization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel histogram (.param .u64 data, .param .u64 bins, .param .u32 n)
+{
+  .reg .u32 %gid, %stride, %np, %n, %i, %byte, %bin, %old;
+  .reg .u64 %addr, %bdata, %bbins, %off;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  mov.u32 %stride, %ntid.x;
+  mul.u32 %stride, %stride, %nctaid.x;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  ld.param.u64 %bdata, [data];
+  ld.param.u64 %bbins, [bins];
+  mov.u32 %i, %gid;
+  bra loopcheck;
+
+loopcheck:
+  setp.lt.u32 %p, %i, %n;
+  @%p bra loopbody, done;
+loopbody:
+  cvt.u64.u32 %off, %i;
+  add.u64 %addr, %bdata, %off;
+  ld.global.u8 %byte, [%addr];
+  shr.u32 %bin, %byte, 2;
+  cvt.u64.u32 %off, %bin;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %bbins, %off;
+  atom.global.add.u32 %old, [%addr], 1;
+  add.u32 %i, %i, %stride;
+  bra loopcheck;
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 16384 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) + 4096);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {8, 1, 1};
+
+  RNG Rng(0x5eed0d);
+  std::vector<uint8_t> Data(N);
+  for (auto &V : Data)
+    V = static_cast<uint8_t>(Rng.next());
+  uint64_t DData = Inst->Dev->allocArray<uint8_t>(N);
+  uint64_t DBins = Inst->Dev->allocArray<uint32_t>(64);
+  Inst->Dev->upload(DData, Data);
+  Inst->Dev->memset(DBins, 0, 64 * 4);
+  Inst->Params.addU64(DData).addU64(DBins).addU32(N);
+
+  Inst->Check = [=, Data = std::move(Data)](Device &Dev,
+                                            std::string &Error) {
+    std::vector<uint32_t> Ref(64, 0);
+    for (uint8_t B : Data)
+      ++Ref[B >> 2];
+    return checkU32Buffer(Dev, DBins, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getHistogram64Workload() {
+  static const Workload W{"Histogram64", "histogram",
+                          WorkloadClass::MemoryBound, Source, make};
+  return W;
+}

@@ -1,0 +1,117 @@
+//===- workloads/Mandelbrot.cpp - Escape-time iteration -------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Mandelbrot escape-time: neighbouring pixels need similar but unequal
+/// iteration counts, so warps leak threads as lanes escape — spatially
+/// correlated divergence with reconvergence pressure on the warp-formation
+/// machinery (contrast with MersenneTwister's uncorrelated shattering).
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+constexpr uint32_t MaxIter = 64;
+
+const char *Source = R"(
+.kernel mandelbrot (.param .u64 out, .param .u32 width, .param .u32 height)
+{
+  .reg .u32 %gid, %wp, %w, %hp, %xi, %yi, %iter;
+  .reg .u64 %addr, %base, %off;
+  .reg .f32 %cx, %cy, %zx, %zy, %zx2, %zy2, %mag, %t;
+  .reg .pred %p, %pesc;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %wp, [width];
+  mov.u32 %w, %wp;
+  rem.u32 %xi, %gid, %w;
+  div.u32 %yi, %gid, %w;
+
+  // c = (-2.2 + x * 3/w, -1.2 + y * 2.4/h)
+  cvt.f32.u32 %cx, %xi;
+  mul.f32 %cx, %cx, 0.046875;
+  add.f32 %cx, %cx, -2.2;
+  cvt.f32.u32 %cy, %yi;
+  mul.f32 %cy, %cy, 0.075;
+  add.f32 %cy, %cy, -1.2;
+
+  mov.f32 %zx, 0.0;
+  mov.f32 %zy, 0.0;
+  mov.u32 %iter, 0;
+  bra loop;
+
+loop:
+  mul.f32 %zx2, %zx, %zx;
+  mul.f32 %zy2, %zy, %zy;
+  add.f32 %mag, %zx2, %zy2;
+  setp.gt.f32 %pesc, %mag, 4.0;
+  @%pesc bra store, continue;
+continue:
+  mul.f32 %t, %zx, %zy;
+  sub.f32 %zx, %zx2, %zy2;
+  add.f32 %zx, %zx, %cx;
+  mad.f32 %zy, %t, 2.0, %cy;
+  add.u32 %iter, %iter, 1;
+  setp.lt.u32 %p, %iter, 64;
+  @%p bra loop, store;
+
+store:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %iter;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t Width = 64, Height = 32 * Scale;
+  const uint32_t N = Width * Height;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 4 + 4096);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {N / 64, 1, 1};
+  uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
+  Inst->Params.addU64(DOut).addU32(Width).addU32(Height);
+
+  Inst->Check = [=](Device &Dev, std::string &Error) {
+    std::vector<uint32_t> Ref(N);
+    for (uint32_t G = 0; G < N; ++G) {
+      float Cx = static_cast<float>(G % Width) * 0.046875f + -2.2f;
+      float Cy = static_cast<float>(G / Width) * 0.075f + -1.2f;
+      float Zx = 0, Zy = 0;
+      uint32_t Iter = 0;
+      while (true) {
+        float Zx2 = Zx * Zx, Zy2 = Zy * Zy;
+        if (Zx2 + Zy2 > 4.0f)
+          break;
+        float T = Zx * Zy;
+        Zx = Zx2 - Zy2 + Cx;
+        Zy = T * 2.0f + Cy;
+        ++Iter;
+        if (Iter >= MaxIter)
+          break;
+      }
+      Ref[G] = Iter;
+    }
+    return checkU32Buffer(Dev, DOut, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getMandelbrotWorkload() {
+  static const Workload W{"Mandelbrot", "mandelbrot",
+                          WorkloadClass::Divergent, Source, make};
+  return W;
+}

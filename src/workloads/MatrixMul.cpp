@@ -1,0 +1,162 @@
+//===- workloads/MatrixMul.cpp - Tiled shared-memory matmul ---------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// C = A x B with 16x16 shared-memory tiles and two barriers per k-tile.
+/// 2D thread blocks; uniform control flow; shared-load dominated with heavy
+/// synchronization — limited speedup with a large execution-manager
+/// fraction (paper Fig. 9: "Synchronization-intensive applications such as
+/// BinomialOptions and MatrixMul spend more time within the execution
+/// manager").
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+constexpr uint32_t Tile = 16;
+
+const char *Source = R"(
+.kernel matmul (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n)
+{
+  .shared .b8 tileA[1024];   // 16x16 f32
+  .shared .b8 tileB[1024];
+  .reg .u32 %tx, %ty, %row, %col, %np, %n, %kt, %ktiles, %k, %idx;
+  .reg .u64 %addr, %base, %off, %sa, %sb;
+  .reg .f32 %x, %y, %acc;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %tx, %tid.x;
+  mov.u32 %ty, %tid.y;
+  mov.u32 %col, %tx;
+  mad.u32 %col, %ntid.x, %ctaid.x, %col;
+  mov.u32 %row, %ty;
+  mad.u32 %row, %ntid.y, %ctaid.y, %row;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  shr.u32 %ktiles, %n, 4;
+  mov.f32 %acc, 0.0;
+  mov.u32 %kt, 0;
+  bra ktile;
+
+ktile:
+  // Stage A[row][kt*16 + tx] and B[kt*16 + ty][col].
+  mov.u32 %idx, %kt;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %tx;
+  mad.u32 %idx, %row, %n, %idx;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base, [a];
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  mov.u32 %idx, %ty;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %tx;
+  cvt.u64.u32 %sa, %idx;
+  shl.u64 %sa, %sa, 2;
+  st.shared.f32 [%sa], %x;
+
+  mov.u32 %idx, %kt;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %ty;
+  mad.u32 %idx, %idx, %n, %col;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base, [b];
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %y, [%addr];
+  mov.u32 %idx, %ty;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %tx;
+  cvt.u64.u32 %sb, %idx;
+  shl.u64 %sb, %sb, 2;
+  st.shared.f32 [%sb+1024], %y;
+  bar.sync;
+
+  // Inner product over the staged tile.
+  mov.u32 %k, 0;
+  bra inner;
+inner:
+  mov.u32 %idx, %ty;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %k;
+  cvt.u64.u32 %sa, %idx;
+  shl.u64 %sa, %sa, 2;
+  ld.shared.f32 %x, [%sa];
+  mov.u32 %idx, %k;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %tx;
+  cvt.u64.u32 %sb, %idx;
+  shl.u64 %sb, %sb, 2;
+  ld.shared.f32 %y, [%sb+1024];
+  mad.f32 %acc, %x, %y, %acc;
+  add.u32 %k, %k, 1;
+  setp.lt.u32 %p, %k, 16;
+  @%p bra inner, innerdone;
+innerdone:
+  bar.sync;
+  add.u32 %kt, %kt, 1;
+  setp.lt.u32 %p, %kt, %ktiles;
+  @%p bra ktile, writeback;
+
+writeback:
+  mad.u32 %idx, %row, %n, %col;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base, [c];
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %acc;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 32 * Scale; // multiple of Tile
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * N * 12 +
+                                       4096);
+  Inst->Block = {Tile, Tile, 1};
+  Inst->Grid = {N / Tile, N / Tile, 1};
+
+  RNG Rng(0x5eed07);
+  std::vector<float> A(N * N), B(N * N);
+  for (auto &V : A)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  for (auto &V : B)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  uint64_t DA = Inst->Dev->allocArray<float>(N * N);
+  uint64_t DB = Inst->Dev->allocArray<float>(N * N);
+  uint64_t DC = Inst->Dev->allocArray<float>(N * N);
+  Inst->Dev->upload(DA, A);
+  Inst->Dev->upload(DB, B);
+  Inst->Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+
+  Inst->Check = [=, A = std::move(A),
+                 B = std::move(B)](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(N * N);
+    for (uint32_t Row = 0; Row < N; ++Row)
+      for (uint32_t Col = 0; Col < N; ++Col) {
+        float Acc = 0;
+        for (uint32_t K = 0; K < N; ++K)
+          Acc = A[Row * N + K] * B[K * N + Col] + Acc;
+        Ref[Row * N + Col] = Acc;
+      }
+    return checkF32Buffer(Dev, DC, Ref, 1e-4f, 1e-5f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getMatrixMulWorkload() {
+  static const Workload W{"MatrixMul", "matmul",
+                          WorkloadClass::BarrierHeavy, Source, make};
+  return W;
+}

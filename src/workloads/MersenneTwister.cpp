@@ -1,0 +1,122 @@
+//===- workloads/MersenneTwister.cpp - Irregular per-thread RNG -----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// A Mersenne-Twister-style generator whose update path branches on the low
+/// state bit — uncorrelated across threads, so warps shatter at nearly
+/// every iteration. This is the pathological case of Figure 6: dynamic warp
+/// formation keeps re-merging threads that immediately re-diverge, paying a
+/// yield round-trip each time, while the scalar baseline (and static warp
+/// formation, Figure 10) runs the branches natively.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel mtwister (.param .u64 seeds, .param .u64 out, .param .u32 rounds)
+{
+  .reg .u32 %gid, %state, %acc, %i, %nr, %np, %t;
+  .reg .u64 %addr, %base, %off;
+  .reg .pred %podd, %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %np, [rounds];
+  mov.u32 %nr, %np;
+  ld.param.u64 %base, [seeds];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.u32 %state, [%addr];
+  mov.u32 %acc, 0;
+  mov.u32 %i, 0;
+  bra loop;
+
+loop:
+  and.u32 %t, %state, 1;
+  setp.eq.u32 %podd, %t, 1;
+  @%podd bra odd, even;
+odd:
+  // Twist with the MT19937 matrix constant plus tempering.
+  shr.u32 %state, %state, 1;
+  xor.u32 %state, %state, 0x9908B0DF;
+  shr.u32 %t, %state, 11;
+  xor.u32 %state, %state, %t;
+  shl.u32 %t, %state, 7;
+  and.u32 %t, %t, 0x9D2C5680;
+  xor.u32 %state, %state, %t;
+  bra join;
+even:
+  shr.u32 %state, %state, 1;
+  xor.u32 %state, %state, 0x6C078965;
+  bra join;
+join:
+  add.u32 %acc, %acc, %state;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %nr;
+  @%p bra loop, store;
+
+store:
+  ld.param.u64 %base, [out];
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %acc;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 2048;
+  const uint32_t Rounds = 48 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 8 + 4096);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {N / 64, 1, 1};
+
+  RNG Rng(0x5eed06);
+  std::vector<uint32_t> Seeds(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Seeds[I] = static_cast<uint32_t>(Rng.next()) | 1u;
+  uint64_t DSeeds = Inst->Dev->allocArray<uint32_t>(N);
+  uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
+  Inst->Dev->upload(DSeeds, Seeds);
+  Inst->Params.addU64(DSeeds).addU64(DOut).addU32(Rounds);
+
+  Inst->Check = [=, Seeds = std::move(Seeds)](Device &Dev,
+                                              std::string &Error) {
+    std::vector<uint32_t> Ref(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      uint32_t State = Seeds[I], Acc = 0;
+      for (uint32_t R = 0; R < Rounds; ++R) {
+        if (State & 1) {
+          State >>= 1;
+          State ^= 0x9908B0DFu;
+          State ^= State >> 11;
+          State ^= (State << 7) & 0x9D2C5680u;
+        } else {
+          State >>= 1;
+          State ^= 0x6C078965u;
+        }
+        Acc += State;
+      }
+      Ref[I] = Acc;
+    }
+    return checkU32Buffer(Dev, DOut, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getMersenneTwisterWorkload() {
+  static const Workload W{"MersenneTwister", "mtwister",
+                          WorkloadClass::Divergent, Source, make};
+  return W;
+}

@@ -1,0 +1,136 @@
+//===- workloads/MonteCarlo.cpp - Monte Carlo option pricing --------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Monte Carlo European-call estimation: each thread simulates paths with a
+/// branchless LCG and an Irwin-Hall approximate normal, accumulating
+/// discounted payoffs. Uniform control flow, flop-dense — vectorizes
+/// near-linearly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel montecarlo (.param .u64 out, .param .u32 paths, .param .f32 s0,
+                    .param .f32 strike, .param .f32 drift, .param .f32 volsq)
+{
+  .reg .u32 %gid, %pp, %np, %i, %state, %u;
+  .reg .f32 %z, %uf, %s, %payoff, %acc, %sp, %xp, %dp, %vp, %tmp;
+  .reg .u64 %addr, %base, %off;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %pp, [paths];
+  mov.u32 %np, %pp;
+  ld.param.f32 %sp, [s0];
+  mov.f32 %s, %sp;
+  ld.param.f32 %xp, [strike];
+  ld.param.f32 %dp, [drift];
+  ld.param.f32 %vp, [volsq];
+  mul.u32 %state, %gid, 747796405;
+  add.u32 %state, %state, 2891336453;
+  mov.f32 %acc, 0.0;
+  mov.u32 %i, 0;
+  bra loop;
+
+loop:
+  // Irwin-Hall: z = (u1 + u2 + u3 + u4) - 2, u_k uniform in [0,1).
+  mov.f32 %z, -2.0;
+  mul.u32 %state, %state, 1664525;
+  add.u32 %state, %state, 1013904223;
+  shr.u32 %u, %state, 8;
+  cvt.f32.u32 %uf, %u;
+  mad.f32 %z, %uf, 0.000000059604645, %z;
+  mul.u32 %state, %state, 1664525;
+  add.u32 %state, %state, 1013904223;
+  shr.u32 %u, %state, 8;
+  cvt.f32.u32 %uf, %u;
+  mad.f32 %z, %uf, 0.000000059604645, %z;
+  mul.u32 %state, %state, 1664525;
+  add.u32 %state, %state, 1013904223;
+  shr.u32 %u, %state, 8;
+  cvt.f32.u32 %uf, %u;
+  mad.f32 %z, %uf, 0.000000059604645, %z;
+  mul.u32 %state, %state, 1664525;
+  add.u32 %state, %state, 1013904223;
+  shr.u32 %u, %state, 8;
+  cvt.f32.u32 %uf, %u;
+  mad.f32 %z, %uf, 0.000000059604645, %z;
+
+  // S_T = s0 * exp(drift + sqrt(volsq) * z); payoff = max(S_T - X, 0)
+  sqrt.f32 %tmp, %vp;
+  mul.f32 %tmp, %tmp, %z;
+  add.f32 %tmp, %tmp, %dp;
+  mul.f32 %tmp, %tmp, 1.44269504;
+  ex2.f32 %tmp, %tmp;
+  mul.f32 %s, %sp, %tmp;
+  sub.f32 %payoff, %s, %xp;
+  max.f32 %payoff, %payoff, 0.0;
+  add.f32 %acc, %acc, %payoff;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %np;
+  @%p bra loop, writeback;
+
+writeback:
+  cvt.f32.u32 %tmp, %np;
+  div.f32 %acc, %acc, %tmp;
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %acc;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t Threads = 512;
+  const uint32_t Paths = 16 * Scale;
+  const float S0 = 20.0f, Strike = 22.0f, Drift = 0.01f, VolSq = 0.09f;
+  Inst->Dev = std::make_unique<Device>(1 << 20);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {Threads / 64, 1, 1};
+  uint64_t DOut = Inst->Dev->allocArray<float>(Threads);
+  Inst->Params.addU64(DOut).addU32(Paths).addF32(S0).addF32(Strike)
+      .addF32(Drift).addF32(VolSq);
+
+  Inst->Check = [=](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(Threads);
+    for (uint32_t T = 0; T < Threads; ++T) {
+      uint32_t State = T * 747796405u + 2891336453u;
+      float Acc = 0;
+      for (uint32_t I = 0; I < Paths; ++I) {
+        float Z = -2.0f;
+        for (int K = 0; K < 4; ++K) {
+          State = State * 1664525u + 1013904223u;
+          Z = static_cast<float>(State >> 8) * 0.000000059604645f + Z;
+        }
+        float Tmp =
+            std::exp2((std::sqrt(VolSq) * Z + Drift) * 1.44269504f);
+        float Payoff = std::max(S0 * Tmp - Strike, 0.0f);
+        Acc += Payoff;
+      }
+      Ref[T] = Acc / static_cast<float>(Paths);
+    }
+    return checkF32Buffer(Dev, DOut, Ref, 2e-3f, 2e-3f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getMonteCarloWorkload() {
+  static const Workload W{"MonteCarlo", "montecarlo",
+                          WorkloadClass::ComputeUniform, Source, make};
+  return W;
+}

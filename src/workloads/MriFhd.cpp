@@ -1,0 +1,154 @@
+//===- workloads/MriFhd.cpp - MRI FhD computation -------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Parboil's mri-fhd shape: like mri-q but accumulating the complex FhD
+/// product (four mads per sample over real/imaginary rho terms). The same
+/// thread-local phase test gives the uncorrelated divergence the paper
+/// cites for its slowdown under dynamic warp formation ("applications such
+/// as MersenneTwister, mri-fhd, and mri-q run slower with dynamic warp
+/// formation").
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel mrifhd (.param .u64 xcoord, .param .u64 ktab, .param .u64 rfhd,
+                .param .u64 ifhd, .param .u32 nvox, .param .u32 nk)
+{
+  .reg .u32 %gid, %nvp, %nv, %nkp, %nk1, %j;
+  .reg .s32 %fi;
+  .reg .u64 %addr, %base, %off, %koff;
+  .reg .f32 %x, %kx, %rrho, %irho, %phi, %frac, %s, %c, %re, %im;
+  .reg .pred %p, %pskip;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %nvp, [nvox];
+  mov.u32 %nv, %nvp;
+  ld.param.u32 %nkp, [nk];
+  mov.u32 %nk1, %nkp;
+  setp.ge.u32 %p, %gid, %nv;
+  @%p bra done, body;
+body:
+  ld.param.u64 %base, [xcoord];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  ld.param.u64 %base, [ktab];
+  mov.u64 %koff, %base;
+  mov.f32 %re, 0.0;
+  mov.f32 %im, 0.0;
+  mov.u32 %j, 0;
+  bra loop;
+
+loop:
+  ld.global.f32 %kx, [%koff+0];
+  ld.global.f32 %rrho, [%koff+4];
+  ld.global.f32 %irho, [%koff+8];
+  add.u64 %koff, %koff, 12;
+  mul.f32 %phi, %kx, %x;
+  mul.f32 %phi, %phi, 6.2831853;
+  // Thread-local phase gate: lanes disagree (paper: "threads with
+  // uncorrelated control-flow properties may diverge at every branch").
+  mul.f32 %frac, %phi, 0.15915494;
+  cvt.s32.f32 %fi, %frac;
+  cvt.f32.s32 %s, %fi;
+  sub.f32 %frac, %frac, %s;
+  setp.lt.f32 %pskip, %frac, 0.4;
+  @%pskip bra next, accum;
+accum:
+  sin.f32 %s, %phi;
+  cos.f32 %c, %phi;
+  mad.f32 %re, %rrho, %c, %re;
+  mad.f32 %re, %irho, %s, %re;
+  mad.f32 %im, %irho, %c, %im;
+  mul.f32 %s, %rrho, %s;
+  sub.f32 %im, %im, %s;
+  bra next;
+next:
+  add.u32 %j, %j, 1;
+  setp.lt.u32 %p, %j, %nk1;
+  @%p bra loop, writeback;
+
+writeback:
+  ld.param.u64 %base, [rfhd];
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %re;
+  ld.param.u64 %base, [ifhd];
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %im;
+  bra done;
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t NVox = 1024;
+  const uint32_t NK = 20 * Scale;
+  Inst->Dev = std::make_unique<Device>(1 << 20);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {NVox / 64, 1, 1};
+
+  RNG Rng(0x5eed12);
+  std::vector<float> X(NVox), KTab(NK * 3);
+  for (auto &V : X)
+    V = Rng.nextFloat(0.0f, 4.0f);
+  for (uint32_t J = 0; J < NK; ++J) {
+    KTab[J * 3 + 0] = Rng.nextFloat(0.1f, 3.0f);   // kx
+    KTab[J * 3 + 1] = Rng.nextFloat(-1.0f, 1.0f);  // rRho
+    KTab[J * 3 + 2] = Rng.nextFloat(-1.0f, 1.0f);  // iRho
+  }
+  uint64_t DX = Inst->Dev->allocArray<float>(NVox);
+  uint64_t DK = Inst->Dev->allocArray<float>(NK * 3);
+  uint64_t DRe = Inst->Dev->allocArray<float>(NVox);
+  uint64_t DIm = Inst->Dev->allocArray<float>(NVox);
+  Inst->Dev->upload(DX, X);
+  Inst->Dev->upload(DK, KTab);
+  Inst->Params.addU64(DX).addU64(DK).addU64(DRe).addU64(DIm).addU32(NVox)
+      .addU32(NK);
+
+  Inst->Check = [=, X = std::move(X),
+                 KTab = std::move(KTab)](Device &Dev, std::string &Error) {
+    std::vector<float> Re(NVox), Im(NVox);
+    for (uint32_t V = 0; V < NVox; ++V) {
+      float AccRe = 0, AccIm = 0;
+      for (uint32_t J = 0; J < NK; ++J) {
+        float Phi = KTab[J * 3] * X[V] * 6.2831853f;
+        float Frac = Phi * 0.15915494f;
+        Frac = Frac - static_cast<float>(static_cast<int>(Frac));
+        if (Frac < 0.4f)
+          continue;
+        float S = std::sin(Phi), C = std::cos(Phi);
+        AccRe = KTab[J * 3 + 1] * C + AccRe;
+        AccRe = KTab[J * 3 + 2] * S + AccRe;
+        AccIm = KTab[J * 3 + 2] * C + AccIm;
+        AccIm = AccIm - KTab[J * 3 + 1] * S;
+      }
+      Re[V] = AccRe;
+      Im[V] = AccIm;
+    }
+    return checkF32Buffer(Dev, DRe, Re, 2e-3f, 2e-3f, Error) &&
+           checkF32Buffer(Dev, DIm, Im, 2e-3f, 2e-3f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getMriFhdWorkload() {
+  static const Workload W{"mri-fhd", "mrifhd", WorkloadClass::Divergent,
+                          Source, make};
+  return W;
+}

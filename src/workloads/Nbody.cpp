@@ -1,0 +1,149 @@
+//===- workloads/Nbody.cpp - All-pairs gravitational forces ---------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// All-pairs N-body acceleration: each thread owns a body and loops over
+/// every other body (softened inverse-square law, rsqrt-heavy). Uniform
+/// control flow, no barriers — nearly all cycles in the vectorized
+/// subkernel, one of the best speedups of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel nbody (.param .u64 pos, .param .u64 accel, .param .u32 n)
+{
+  .reg .u32 %gid, %np, %n, %j;
+  .reg .u64 %addr, %bpos, %bacc, %off;
+  .reg .f32 %px, %py, %pz, %qx, %qy, %qz, %qw;
+  .reg .f32 %dx, %dy, %dz, %r2, %inv, %inv3, %f, %ax, %ay, %az;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  ld.param.u64 %bpos, [pos];
+
+  // Own position (xyzw layout, 16 bytes per body).
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 4;
+  add.u64 %addr, %bpos, %off;
+  ld.global.f32 %px, [%addr+0];
+  ld.global.f32 %py, [%addr+4];
+  ld.global.f32 %pz, [%addr+8];
+
+  mov.f32 %ax, 0.0;
+  mov.f32 %ay, 0.0;
+  mov.f32 %az, 0.0;
+  mov.u32 %j, 0;
+  bra loop;
+
+loop:
+  cvt.u64.u32 %off, %j;
+  shl.u64 %off, %off, 4;
+  add.u64 %addr, %bpos, %off;
+  ld.global.f32 %qx, [%addr+0];
+  ld.global.f32 %qy, [%addr+4];
+  ld.global.f32 %qz, [%addr+8];
+  ld.global.f32 %qw, [%addr+12];
+  sub.f32 %dx, %qx, %px;
+  sub.f32 %dy, %qy, %py;
+  sub.f32 %dz, %qz, %pz;
+  mul.f32 %r2, %dx, %dx;
+  mad.f32 %r2, %dy, %dy, %r2;
+  mad.f32 %r2, %dz, %dz, %r2;
+  add.f32 %r2, %r2, 0.01;
+  rsqrt.f32 %inv, %r2;
+  mul.f32 %inv3, %inv, %inv;
+  mul.f32 %inv3, %inv3, %inv;
+  mul.f32 %f, %qw, %inv3;
+  mad.f32 %ax, %f, %dx, %ax;
+  mad.f32 %ay, %f, %dy, %ay;
+  mad.f32 %az, %f, %dz, %az;
+  add.u32 %j, %j, 1;
+  setp.lt.u32 %p, %j, %n;
+  @%p bra loop, writeback;
+
+writeback:
+  ld.param.u64 %bacc, [accel];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 4;
+  add.u64 %addr, %bacc, %off;
+  st.global.f32 [%addr+0], %ax;
+  st.global.f32 [%addr+4], %ay;
+  st.global.f32 [%addr+8], %az;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 256 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 32 + 4096);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {N / 64, 1, 1};
+
+  RNG Rng(0x5eed08);
+  std::vector<float> Pos(N * 4);
+  for (uint32_t I = 0; I < N; ++I) {
+    Pos[I * 4 + 0] = Rng.nextFloat(-10.0f, 10.0f);
+    Pos[I * 4 + 1] = Rng.nextFloat(-10.0f, 10.0f);
+    Pos[I * 4 + 2] = Rng.nextFloat(-10.0f, 10.0f);
+    Pos[I * 4 + 3] = Rng.nextFloat(0.1f, 2.0f); // mass
+  }
+  uint64_t DPos = Inst->Dev->allocArray<float>(N * 4);
+  uint64_t DAcc = Inst->Dev->allocArray<float>(N * 4);
+  Inst->Dev->upload(DPos, Pos);
+  Inst->Params.addU64(DPos).addU64(DAcc).addU32(N);
+
+  Inst->Check = [=, Pos = std::move(Pos)](Device &Dev, std::string &Error) {
+    std::vector<float> Got = Dev.download<float>(DAcc, N * 4);
+    for (uint32_t I = 0; I < N; ++I) {
+      float Ax = 0, Ay = 0, Az = 0;
+      float Px = Pos[I * 4], Py = Pos[I * 4 + 1], Pz = Pos[I * 4 + 2];
+      for (uint32_t J = 0; J < N; ++J) {
+        float Dx = Pos[J * 4] - Px;
+        float Dy = Pos[J * 4 + 1] - Py;
+        float Dz = Pos[J * 4 + 2] - Pz;
+        float R2 = Dx * Dx;
+        R2 = Dy * Dy + R2;
+        R2 = Dz * Dz + R2;
+        R2 += 0.01f;
+        float Inv = 1.0f / std::sqrt(R2);
+        float F = Pos[J * 4 + 3] * (Inv * Inv * Inv);
+        Ax = F * Dx + Ax;
+        Ay = F * Dy + Ay;
+        Az = F * Dz + Az;
+      }
+      float TolBase = 1e-3f;
+      auto Close = [&](float Got1, float Want) {
+        return std::fabs(Got1 - Want) <=
+               TolBase + 1e-3f * std::fabs(Want);
+      };
+      if (!Close(Got[I * 4], Ax) || !Close(Got[I * 4 + 1], Ay) ||
+          !Close(Got[I * 4 + 2], Az)) {
+        Error = formatString("body %u acceleration mismatch", I);
+        return false;
+      }
+    }
+    return true;
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getNbodyWorkload() {
+  static const Workload W{"Nbody", "nbody", WorkloadClass::ComputeUniform,
+                          Source, make};
+  return W;
+}

@@ -1,0 +1,143 @@
+//===- workloads/Reduction.cpp - Shared-memory tree reduction -------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sum reduction: each thread accumulates a contiguous chunk, then a
+/// log2(CTA) shared-memory tree with a barrier per level and a shrinking
+/// active front (divergent once the front is narrower than a warp) writes
+/// one partial per CTA.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel reduction (.param .u64 in, .param .u64 partials, .param .u32 n)
+{
+  .shared .b8 sums[512];   // 128 floats
+  .reg .u32 %tid0, %gid, %stride, %np, %n, %i, %s;
+  .reg .u64 %addr, %bin, %off, %saddr, %saddr2;
+  .reg .f32 %x, %acc, %other;
+  .reg .pred %p, %pact;
+
+entry:
+  mov.u32 %tid0, %tid.x;
+  mov.u32 %gid, %tid0;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  ld.param.u64 %bin, [in];
+  mov.u32 %stride, %ntid.x;
+  mul.u32 %stride, %stride, %nctaid.x;
+  div.u32 %stride, %n, %stride;
+  mul.u32 %i, %gid, %stride;
+  add.u32 %n, %i, %stride;
+  mov.f32 %acc, 0.0;
+  bra loopcheck;
+
+loopcheck:
+  setp.lt.u32 %p, %i, %n;
+  @%p bra loopbody, reduce;
+loopbody:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %bin, %off;
+  ld.global.f32 %x, [%addr];
+  add.f32 %acc, %acc, %x;
+  add.u32 %i, %i, 1;
+  bra loopcheck;
+
+reduce:
+  cvt.u64.u32 %saddr, %tid0;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %acc;
+  bar.sync;
+  mov.u32 %s, 64;
+  bra redloop;
+
+redloop:
+  setp.lt.u32 %pact, %tid0, %s;
+  @%pact bra redbody, redjoin;
+redbody:
+  add.u32 %i, %tid0, %s;
+  cvt.u64.u32 %saddr2, %i;
+  shl.u64 %saddr2, %saddr2, 2;
+  ld.shared.f32 %other, [%saddr2];
+  ld.shared.f32 %x, [%saddr];
+  add.f32 %x, %x, %other;
+  st.shared.f32 [%saddr], %x;
+  bra redjoin;
+redjoin:
+  bar.sync;
+  shr.u32 %s, %s, 1;
+  setp.gt.u32 %p, %s, 0;
+  @%p bra redloop, fin;
+
+fin:
+  setp.eq.u32 %p, %tid0, 0;
+  @!%p bra done, writeout;
+writeout:
+  ld.shared.f32 %x, [0];
+  ld.param.u64 %bin, [partials];
+  cvt.u64.u32 %off, %ctaid.x;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %bin, %off;
+  st.global.f32 [%addr], %x;
+  bra done;
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 32768 * Scale;
+  const uint32_t CtaSize = 128, Ctas = 8;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 4 + 4096);
+  Inst->Block = {CtaSize, 1, 1};
+  Inst->Grid = {Ctas, 1, 1};
+
+  RNG Rng(0x5eed0b);
+  std::vector<float> In(N);
+  for (auto &V : In)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  uint64_t DIn = Inst->Dev->allocArray<float>(N);
+  uint64_t DP = Inst->Dev->allocArray<float>(Ctas);
+  Inst->Dev->upload(DIn, In);
+  Inst->Params.addU64(DIn).addU64(DP).addU32(N);
+
+  Inst->Check = [=, In = std::move(In)](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(Ctas);
+    const uint32_t Chunk = N / (CtaSize * Ctas);
+    for (uint32_t C = 0; C < Ctas; ++C) {
+      std::vector<float> Sums(CtaSize);
+      for (uint32_t T = 0; T < CtaSize; ++T) {
+        float Acc = 0;
+        uint32_t Gid = C * CtaSize + T;
+        for (uint32_t I = Gid * Chunk; I < (Gid + 1) * Chunk; ++I)
+          Acc += In[I];
+        Sums[T] = Acc;
+      }
+      for (uint32_t S = CtaSize / 2; S > 0; S >>= 1)
+        for (uint32_t T = 0; T < S; ++T)
+          Sums[T] += Sums[T + S];
+      Ref[C] = Sums[0];
+    }
+    return checkF32Buffer(Dev, DP, Ref, 1e-5f, 1e-6f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getReductionWorkload() {
+  static const Workload W{"Reduction", "reduction",
+                          WorkloadClass::BarrierHeavy, Source, make};
+  return W;
+}

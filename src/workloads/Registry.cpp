@@ -1,0 +1,78 @@
+//===- workloads/Registry.cpp - Suite registry ----------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace simtvec;
+
+const char *simtvec::workloadClassName(WorkloadClass C) {
+  switch (C) {
+  case WorkloadClass::ComputeUniform:
+    return "compute-uniform";
+  case WorkloadClass::BarrierHeavy:
+    return "barrier-heavy";
+  case WorkloadClass::MemoryBound:
+    return "memory-bound";
+  case WorkloadClass::Divergent:
+    return "divergent";
+  }
+  return "?";
+}
+
+const std::vector<Workload> &simtvec::allWorkloads() {
+  static const std::vector<Workload> All = {
+      getVectorAddWorkload(),     getBlackScholesWorkload(),
+      getBinomialOptionsWorkload(), getBoxFilterWorkload(),
+      getScalarProdWorkload(),    getSobolQRNGWorkload(),
+      getMersenneTwisterWorkload(), getMatrixMulWorkload(),
+      getNbodyWorkload(),         getCpWorkload(),
+      getMriQWorkload(),          getMriFhdWorkload(),
+      getReductionWorkload(),
+      getScanWorkload(),          getHistogram64Workload(),
+      getTransposeWorkload(),     getBitonicWorkload(),
+      getFastWalshWorkload(),     getMonteCarloWorkload(),
+      getMandelbrotWorkload(),    getConvolutionSeparableWorkload(),
+      getThroughputWorkload(),
+  };
+  return All;
+}
+
+const Workload *simtvec::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (Name == W.Name)
+      return &W;
+  return nullptr;
+}
+
+std::unique_ptr<Program> simtvec::compileWorkload(const Workload &W,
+                                                  const MachineModel &M) {
+  auto POrErr = Program::compile(W.Source, M);
+  if (!POrErr) {
+    std::fprintf(stderr, "workload '%s' failed to compile: %s\n", W.Name,
+                 POrErr.status().message().c_str());
+    std::abort();
+  }
+  return POrErr.take();
+}
+
+Expected<LaunchStats> simtvec::runWorkload(const Workload &W, uint32_t Scale,
+                                           const LaunchOptions &Options,
+                                           const MachineModel &Machine) {
+  std::unique_ptr<Program> Prog = compileWorkload(W, Machine);
+  std::unique_ptr<WorkloadInstance> Inst = W.Make(Scale);
+  auto StatsOrErr = Prog->launch(*Inst->Dev, W.KernelName, Inst->Grid,
+                                 Inst->Block, Inst->Params, Options);
+  if (!StatsOrErr)
+    return StatsOrErr.status();
+  std::string Error;
+  if (!Inst->Check(*Inst->Dev, Error))
+    return Status::error(
+        formatString("%s validation failed: %s", W.Name, Error.c_str()));
+  return StatsOrErr;
+}

@@ -1,0 +1,155 @@
+//===- workloads/ScalarProd.cpp - Dot product with tree reduction ---------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dot product: each thread accumulates a[i]*b[i] over a contiguous chunk,
+/// then a shared-memory tree reduction (log2(CTA) barriers with a
+/// shrinking, eventually sub-warp active set) produces one partial per
+/// CTA. Streaming-bandwidth-bound with frequent synchronization — ~1.0x in
+/// Fig. 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel scalarprod (.param .u64 a, .param .u64 b, .param .u64 partials,
+                    .param .u32 n)
+{
+  .shared .b8 sums[256];   // 64 floats
+  .reg .u32 %tid0, %gid, %stride, %np, %n, %i, %s;
+  .reg .u64 %addr, %ba, %bb, %off, %saddr, %saddr2;
+  .reg .f32 %x, %y, %acc, %other;
+  .reg .pred %p, %pact;
+
+entry:
+  mov.u32 %tid0, %tid.x;
+  mov.u32 %gid, %tid0;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  ld.param.u64 %ba, [a];
+  ld.param.u64 %bb, [b];
+  // Contiguous chunk [gid*K, (gid+1)*K), K = n / total threads.
+  mov.u32 %stride, %ntid.x;
+  mul.u32 %stride, %stride, %nctaid.x;
+  div.u32 %stride, %n, %stride;
+  mul.u32 %i, %gid, %stride;
+  add.u32 %n, %i, %stride;
+  mov.f32 %acc, 0.0;
+  bra loopcheck;
+
+loopcheck:
+  setp.lt.u32 %p, %i, %n;
+  @%p bra loopbody, reduce;
+loopbody:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %ba, %off;
+  ld.global.f32 %x, [%addr];
+  add.u64 %addr, %bb, %off;
+  ld.global.f32 %y, [%addr];
+  mad.f32 %acc, %x, %y, %acc;
+  add.u32 %i, %i, 1;
+  bra loopcheck;
+
+reduce:
+  cvt.u64.u32 %saddr, %tid0;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %acc;
+  bar.sync;
+  mov.u32 %s, 32;
+  bra redloop;
+
+redloop:
+  setp.lt.u32 %pact, %tid0, %s;
+  @%pact bra redbody, redjoin;
+redbody:
+  add.u32 %i, %tid0, %s;
+  cvt.u64.u32 %saddr2, %i;
+  shl.u64 %saddr2, %saddr2, 2;
+  ld.shared.f32 %other, [%saddr2];
+  ld.shared.f32 %x, [%saddr];
+  add.f32 %x, %x, %other;
+  st.shared.f32 [%saddr], %x;
+  bra redjoin;
+redjoin:
+  bar.sync;
+  shr.u32 %s, %s, 1;
+  setp.gt.u32 %p, %s, 0;
+  @%p bra redloop, fin;
+
+fin:
+  setp.eq.u32 %p, %tid0, 0;
+  @!%p bra done, writeout;
+writeout:
+  ld.shared.f32 %x, [0];
+  ld.param.u64 %ba, [partials];
+  cvt.u64.u32 %off, %ctaid.x;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %ba, %off;
+  st.global.f32 [%addr], %x;
+  bra done;
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 16384 * Scale;
+  const uint32_t CtaSize = 64, Ctas = 16;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 8 + 4096);
+  Inst->Block = {CtaSize, 1, 1};
+  Inst->Grid = {Ctas, 1, 1};
+
+  RNG Rng(0x5eed05);
+  std::vector<float> A(N), B(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    A[I] = Rng.nextFloat(-1.0f, 1.0f);
+    B[I] = Rng.nextFloat(-1.0f, 1.0f);
+  }
+  uint64_t DA = Inst->Dev->allocArray<float>(N);
+  uint64_t DB = Inst->Dev->allocArray<float>(N);
+  uint64_t DP = Inst->Dev->allocArray<float>(Ctas);
+  Inst->Dev->upload(DA, A);
+  Inst->Dev->upload(DB, B);
+  Inst->Params.addU64(DA).addU64(DB).addU64(DP).addU32(N);
+
+  Inst->Check = [=, A = std::move(A),
+                 B = std::move(B)](Device &Dev, std::string &Error) {
+    // Mirror the kernel's accumulation and reduction order exactly.
+    std::vector<float> Ref(Ctas);
+    const uint32_t Chunk = N / (CtaSize * Ctas);
+    for (uint32_t C = 0; C < Ctas; ++C) {
+      float Sums[CtaSize];
+      for (uint32_t T = 0; T < CtaSize; ++T) {
+        float Acc = 0;
+        uint32_t Gid = C * CtaSize + T;
+        for (uint32_t I = Gid * Chunk; I < (Gid + 1) * Chunk; ++I)
+          Acc = A[I] * B[I] + Acc;
+        Sums[T] = Acc;
+      }
+      for (uint32_t S = CtaSize / 2; S > 0; S >>= 1)
+        for (uint32_t T = 0; T < S; ++T)
+          Sums[T] = Sums[T] + Sums[T + S];
+      Ref[C] = Sums[0];
+    }
+    return checkF32Buffer(Dev, DP, Ref, 1e-5f, 1e-6f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getScalarProdWorkload() {
+  static const Workload W{"ScalarProd", "scalarprod",
+                          WorkloadClass::MemoryBound, Source, make};
+  return W;
+}

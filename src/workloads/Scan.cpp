@@ -1,0 +1,120 @@
+//===- workloads/Scan.cpp - Hillis-Steele inclusive scan ------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per-CTA inclusive prefix sum: log2(CTA) passes; each pass gates its work
+/// on tid >= offset (divergent at the moving boundary) and synchronizes
+/// twice (read phase / write phase).
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel scan (.param .u64 in, .param .u64 out, .param .u32 n)
+{
+  .shared .b8 buf[512];   // 128 floats
+  .reg .u32 %tid0, %gid, %offt, %i;
+  .reg .u64 %addr, %base, %off, %saddr, %saddr2;
+  .reg .f32 %x, %t;
+  .reg .pred %p, %pact;
+
+entry:
+  mov.u32 %tid0, %tid.x;
+  mov.u32 %gid, %tid0;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u64 %base, [in];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %x, [%addr];
+  cvt.u64.u32 %saddr, %tid0;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %x;
+  bar.sync;
+  mov.u32 %offt, 1;
+  bra pass;
+
+pass:
+  setp.ge.u32 %pact, %tid0, %offt;
+  @%pact bra readphase, readjoin;
+readphase:
+  sub.u32 %i, %tid0, %offt;
+  cvt.u64.u32 %saddr2, %i;
+  shl.u64 %saddr2, %saddr2, 2;
+  ld.shared.f32 %t, [%saddr2];
+  bra readjoin;
+readjoin:
+  bar.sync;
+  @%pact bra writephase, writejoin;
+writephase:
+  ld.shared.f32 %x, [%saddr];
+  add.f32 %x, %x, %t;
+  st.shared.f32 [%saddr], %x;
+  bra writejoin;
+writejoin:
+  bar.sync;
+  shl.u32 %offt, %offt, 1;
+  setp.lt.u32 %p, %offt, %ntid.x;
+  @%p bra pass, fin;
+
+fin:
+  ld.shared.f32 %x, [%saddr];
+  ld.param.u64 %base, [out];
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %x;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t CtaSize = 128;
+  const uint32_t Ctas = 16 * Scale;
+  const uint32_t N = CtaSize * Ctas;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 8 + 4096);
+  Inst->Block = {CtaSize, 1, 1};
+  Inst->Grid = {Ctas, 1, 1};
+
+  RNG Rng(0x5eed0c);
+  std::vector<float> In(N);
+  for (auto &V : In)
+    V = Rng.nextFloat(-1.0f, 1.0f);
+  uint64_t DIn = Inst->Dev->allocArray<float>(N);
+  uint64_t DOut = Inst->Dev->allocArray<float>(N);
+  Inst->Dev->upload(DIn, In);
+  Inst->Params.addU64(DIn).addU64(DOut).addU32(N);
+
+  Inst->Check = [=, In = std::move(In)](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(N);
+    for (uint32_t C = 0; C < Ctas; ++C) {
+      std::vector<float> Buf(In.begin() + C * CtaSize,
+                             In.begin() + (C + 1) * CtaSize);
+      for (uint32_t Off = 1; Off < CtaSize; Off <<= 1) {
+        std::vector<float> T(CtaSize);
+        for (uint32_t I = Off; I < CtaSize; ++I)
+          T[I] = Buf[I - Off];
+        for (uint32_t I = Off; I < CtaSize; ++I)
+          Buf[I] += T[I];
+      }
+      for (uint32_t I = 0; I < CtaSize; ++I)
+        Ref[C * CtaSize + I] = Buf[I];
+    }
+    return checkF32Buffer(Dev, DOut, Ref, 1e-5f, 1e-6f, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getScanWorkload() {
+  static const Workload W{"Scan", "scan", WorkloadClass::BarrierHeavy,
+                          Source, make};
+  return W;
+}

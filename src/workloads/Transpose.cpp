@@ -1,0 +1,106 @@
+//===- workloads/Transpose.cpp - Tiled matrix transpose -------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// 16x16 tiled transpose through shared memory with one barrier per tile:
+/// pure data movement, the floor case of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel transpose (.param .u64 in, .param .u64 out, .param .u32 n)
+{
+  .shared .b8 tile[1024];   // 16x16 f32
+  .reg .u32 %tx, %ty, %xi, %yi, %xo, %yo, %np, %n, %idx;
+  .reg .u64 %addr, %base, %off, %saddr;
+  .reg .f32 %v;
+
+entry:
+  mov.u32 %tx, %tid.x;
+  mov.u32 %ty, %tid.y;
+  mov.u32 %xi, %tx;
+  mad.u32 %xi, %ntid.x, %ctaid.x, %xi;
+  mov.u32 %yi, %ty;
+  mad.u32 %yi, %ntid.y, %ctaid.y, %yi;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+
+  // tile[ty][tx] = in[yi][xi]
+  mad.u32 %idx, %yi, %n, %xi;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base, [in];
+  add.u64 %addr, %base, %off;
+  ld.global.f32 %v, [%addr];
+  mov.u32 %idx, %ty;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %tx;
+  cvt.u64.u32 %saddr, %idx;
+  shl.u64 %saddr, %saddr, 2;
+  st.shared.f32 [%saddr], %v;
+  bar.sync;
+
+  // out[xo..][yo..] with transposed block coordinates: the thread writes
+  // out[(ctaid.x*16 + ty)][(ctaid.y*16 + tx)] = tile[tx][ty].
+  mov.u32 %xo, %tx;
+  mad.u32 %xo, %ntid.y, %ctaid.y, %xo;
+  mov.u32 %yo, %ty;
+  mad.u32 %yo, %ntid.x, %ctaid.x, %yo;
+  mov.u32 %idx, %tx;
+  shl.u32 %idx, %idx, 4;
+  add.u32 %idx, %idx, %ty;
+  cvt.u64.u32 %saddr, %idx;
+  shl.u64 %saddr, %saddr, 2;
+  ld.shared.f32 %v, [%saddr];
+  mad.u32 %idx, %yo, %n, %xo;
+  cvt.u64.u32 %off, %idx;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base, [out];
+  add.u64 %addr, %base, %off;
+  st.global.f32 [%addr], %v;
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 64 * Scale; // multiple of 16
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * N * 8 +
+                                       4096);
+  Inst->Block = {16, 16, 1};
+  Inst->Grid = {N / 16, N / 16, 1};
+
+  RNG Rng(0x5eed0e);
+  std::vector<float> In(N * N);
+  for (auto &V : In)
+    V = Rng.nextFloat(-100.0f, 100.0f);
+  uint64_t DIn = Inst->Dev->allocArray<float>(N * N);
+  uint64_t DOut = Inst->Dev->allocArray<float>(N * N);
+  Inst->Dev->upload(DIn, In);
+  Inst->Params.addU64(DIn).addU64(DOut).addU32(N);
+
+  Inst->Check = [=, In = std::move(In)](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(N * N);
+    for (uint32_t Y = 0; Y < N; ++Y)
+      for (uint32_t X = 0; X < N; ++X)
+        Ref[X * N + Y] = In[Y * N + X];
+    return checkF32Buffer(Dev, DOut, Ref, 0, 0, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getTransposeWorkload() {
+  static const Workload W{"Transpose", "transpose",
+                          WorkloadClass::MemoryBound, Source, make};
+  return W;
+}

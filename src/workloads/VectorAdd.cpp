@@ -1,0 +1,89 @@
+//===- workloads/VectorAdd.cpp - Memory-bound streaming add ---------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The quickstart workload: c[i] = a[i] + b[i]. Two loads and a store per
+/// thread dwarf the single add; vectorization cannot speed the replicated
+/// memory operations, so this anchors the ~1.0x end of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n)
+{
+  .reg .u32 %i, %np, %n;
+  .reg .u64 %off, %pa, %pb, %pc, %ba, %bb, %bc;
+  .reg .f32 %x, %y, %z;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %i, %tid.x;
+  mad.u32 %i, %ntid.x, %ctaid.x, %i;
+  ld.param.u32 %np, [n];
+  mov.u32 %n, %np;
+  setp.ge.u32 %p, %i, %n;
+  @%p bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %ba, [a];
+  ld.param.u64 %bb, [b];
+  ld.param.u64 %bc, [c];
+  add.u64 %pa, %ba, %off;
+  add.u64 %pb, %bb, %off;
+  add.u64 %pc, %bc, %off;
+  ld.global.f32 %x, [%pa];
+  ld.global.f32 %y, [%pb];
+  add.f32 %z, %x, %y;
+  st.global.f32 [%pc], %z;
+  bra done;
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 16384 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 12 + 4096);
+  Inst->Block = {128, 1, 1};
+  Inst->Grid = {(N + 127) / 128, 1, 1};
+
+  RNG Rng(0x5eed01);
+  std::vector<float> A(N), B(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    A[I] = Rng.nextFloat(-100.0f, 100.0f);
+    B[I] = Rng.nextFloat(-100.0f, 100.0f);
+  }
+  uint64_t DA = Inst->Dev->allocArray<float>(N);
+  uint64_t DB = Inst->Dev->allocArray<float>(N);
+  uint64_t DC = Inst->Dev->allocArray<float>(N);
+  Inst->Dev->upload(DA, A);
+  Inst->Dev->upload(DB, B);
+  Inst->Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+
+  Inst->Check = [=, A = std::move(A),
+                 B = std::move(B)](Device &Dev, std::string &Error) {
+    std::vector<float> Ref(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Ref[I] = A[I] + B[I];
+    return checkF32Buffer(Dev, DC, Ref, 0, 0, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getVectorAddWorkload() {
+  static const Workload W{"VectorAdd", "vecadd", WorkloadClass::MemoryBound,
+                          Source, make};
+  return W;
+}

@@ -1,0 +1,77 @@
+//===- workloads/WorkloadsInternal.h - Suite internals ----------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_LIB_WORKLOADS_WORKLOADSINTERNAL_H
+#define SIMTVEC_LIB_WORKLOADS_WORKLOADSINTERNAL_H
+
+#include "simtvec/support/Format.h"
+#include "simtvec/support/RNG.h"
+#include "simtvec/workloads/Workloads.h"
+
+#include <cmath>
+
+namespace simtvec {
+
+// One accessor per workload translation unit.
+const Workload &getThroughputWorkload();
+const Workload &getVectorAddWorkload();
+const Workload &getBlackScholesWorkload();
+const Workload &getBinomialOptionsWorkload();
+const Workload &getBoxFilterWorkload();
+const Workload &getScalarProdWorkload();
+const Workload &getSobolQRNGWorkload();
+const Workload &getMersenneTwisterWorkload();
+const Workload &getMatrixMulWorkload();
+const Workload &getNbodyWorkload();
+const Workload &getCpWorkload();
+const Workload &getMriQWorkload();
+const Workload &getMriFhdWorkload();
+const Workload &getReductionWorkload();
+const Workload &getScanWorkload();
+const Workload &getHistogram64Workload();
+const Workload &getTransposeWorkload();
+const Workload &getBitonicWorkload();
+const Workload &getFastWalshWorkload();
+const Workload &getMonteCarloWorkload();
+const Workload &getMandelbrotWorkload();
+const Workload &getConvolutionSeparableWorkload();
+
+/// Compares a device f32 buffer against \p Ref with mixed tolerance.
+inline bool checkF32Buffer(Device &Dev, uint64_t Addr,
+                           const std::vector<float> &Ref, float RelTol,
+                           float AbsTol, std::string &Error) {
+  std::vector<float> Got = Dev.download<float>(Addr, Ref.size());
+  for (size_t I = 0; I < Ref.size(); ++I) {
+    float Diff = std::fabs(Got[I] - Ref[I]);
+    float Bound = AbsTol + RelTol * std::fabs(Ref[I]);
+    if (!(Diff <= Bound)) { // catches NaN as well
+      Error = formatString("element %zu: got %g, expected %g", I,
+                           static_cast<double>(Got[I]),
+                           static_cast<double>(Ref[I]));
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Compares a device u32 buffer exactly.
+inline bool checkU32Buffer(Device &Dev, uint64_t Addr,
+                           const std::vector<uint32_t> &Ref,
+                           std::string &Error) {
+  std::vector<uint32_t> Got = Dev.download<uint32_t>(Addr, Ref.size());
+  for (size_t I = 0; I < Ref.size(); ++I) {
+    if (Got[I] != Ref[I]) {
+      Error = formatString("element %zu: got %u, expected %u", I, Got[I],
+                           Ref[I]);
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace simtvec
+
+#endif // SIMTVEC_LIB_WORKLOADS_WORKLOADSINTERNAL_H

@@ -1,0 +1,359 @@
+//===- tests/analysis_test.cpp - CFG/dominators/liveness/variance tests ---===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/CFG.h"
+#include "simtvec/analysis/Dominators.h"
+#include "simtvec/analysis/Liveness.h"
+#include "simtvec/analysis/LoopInfo.h"
+#include "simtvec/analysis/Variance.h"
+#include "simtvec/parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+/// Parses a single-kernel module and returns the kernel.
+const Kernel &parseK(std::unique_ptr<Module> &Keep, const char *Src) {
+  Keep = parseModuleOrDie(Src);
+  return *Keep->kernels().front();
+}
+
+const char *DiamondSrc = R"(
+.kernel diamond (.param .u64 p)
+{
+  .reg .u32 %a, %b;
+  .reg .u64 %addr;
+  .reg .pred %c;
+entry:
+  mov.u32 %a, %tid.x;
+  setp.eq.u32 %c, %a, 0;
+  @%c bra left, right;
+left:
+  mov.u32 %b, 1;
+  bra join;
+right:
+  mov.u32 %b, 2;
+  bra join;
+join:
+  ld.param.u64 %addr, [p];
+  st.global.u32 [%addr], %b;
+  ret;
+}
+)";
+
+TEST(CFGTest, DiamondStructure) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, DiamondSrc);
+  CFG G(K);
+  uint32_t Entry = K.findBlock("entry"), Left = K.findBlock("left"),
+           Right = K.findBlock("right"), Join = K.findBlock("join");
+  EXPECT_EQ(G.successors(Entry).size(), 2u);
+  EXPECT_EQ(G.predecessors(Join),
+            (std::vector<uint32_t>{Left, Right}));
+  EXPECT_TRUE(G.isReachable(Join));
+  // RPO starts at the entry and visits every reachable block once.
+  EXPECT_EQ(G.reversePostOrder().front(), Entry);
+  EXPECT_EQ(G.reversePostOrder().size(), K.Blocks.size());
+}
+
+TEST(CFGTest, UnreachableBlockAppended) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel u ()
+{
+entry:
+  ret;
+dead:
+  ret;
+}
+)");
+  CFG G(K);
+  EXPECT_FALSE(G.isReachable(K.findBlock("dead")));
+  EXPECT_EQ(G.reversePostOrder().size(), 2u);
+}
+
+TEST(DominatorsTest, Diamond) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, DiamondSrc);
+  CFG G(K);
+  DominatorTree DT(G);
+  uint32_t Entry = K.findBlock("entry"), Left = K.findBlock("left"),
+           Right = K.findBlock("right"), Join = K.findBlock("join");
+  EXPECT_EQ(DT.idom(Left), Entry);
+  EXPECT_EQ(DT.idom(Right), Entry);
+  EXPECT_EQ(DT.idom(Join), Entry); // neither branch side dominates the join
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join));
+}
+
+TEST(DominatorsTest, LoopHeader) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel loopy ()
+{
+  .reg .u32 %i;
+  .reg .pred %p;
+entry:
+  mov.u32 %i, 0;
+  bra head;
+head:
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, 10;
+  @%p bra head, exit;
+exit:
+  ret;
+}
+)");
+  CFG G(K);
+  DominatorTree DT(G);
+  uint32_t Entry = K.findBlock("entry"), Head = K.findBlock("head"),
+           Exit = K.findBlock("exit");
+  EXPECT_EQ(DT.idom(Head), Entry);
+  EXPECT_EQ(DT.idom(Exit), Head);
+  EXPECT_TRUE(DT.dominates(Head, Exit));
+}
+
+TEST(LoopInfoTest, SimpleLoop) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel loopy ()
+{
+  .reg .u32 %i;
+  .reg .pred %p;
+entry:
+  mov.u32 %i, 0;
+  bra head;
+head:
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, 10;
+  @%p bra head, exit;
+exit:
+  ret;
+}
+)");
+  CFG G(K);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  uint32_t Head = K.findBlock("head");
+  const Loop *L = LI.loopWithHeader(Head);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Blocks, (std::vector<uint32_t>{Head}));
+  EXPECT_EQ(L->BackEdgeSources, (std::vector<uint32_t>{Head}));
+  EXPECT_TRUE(LI.isInLoop(Head));
+  EXPECT_FALSE(LI.isInLoop(K.findBlock("entry")));
+  EXPECT_FALSE(LI.isInLoop(K.findBlock("exit")));
+}
+
+TEST(LoopInfoTest, LoopWithBody) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel loopy ()
+{
+  .reg .u32 %i, %x;
+  .reg .pred %p, %q;
+entry:
+  mov.u32 %i, 0;
+  bra head;
+head:
+  and.u32 %x, %i, 1;
+  setp.eq.u32 %q, %x, 0;
+  @%q bra even, odd;
+even:
+  add.u32 %i, %i, 1;
+  bra latch;
+odd:
+  add.u32 %i, %i, 3;
+  bra latch;
+latch:
+  setp.lt.u32 %p, %i, 50;
+  @%p bra head, exit;
+exit:
+  ret;
+}
+)");
+  CFG G(K);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, K.findBlock("head"));
+  EXPECT_EQ(L.Blocks.size(), 4u); // head, even, odd, latch
+  EXPECT_FALSE(LI.isInLoop(K.findBlock("exit")));
+}
+
+TEST(LoopInfoTest, NoLoops) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, DiamondSrc);
+  CFG G(K);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  EXPECT_TRUE(LI.loops().empty());
+}
+
+TEST(LivenessTest, AcrossBranch) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, DiamondSrc);
+  CFG G(K);
+  Liveness Live(K, G);
+  RegId B = K.findReg("b");
+  RegId A = K.findReg("a");
+  uint32_t Join = K.findBlock("join");
+  // %b is written on both sides and read at the join.
+  EXPECT_TRUE(Live.liveIn(Join).test(B.Index));
+  EXPECT_TRUE(Live.liveOut(K.findBlock("left")).test(B.Index));
+  // %a is dead after the entry block.
+  EXPECT_FALSE(Live.liveIn(Join).test(A.Index));
+  // Nothing is live out of the exit block.
+  EXPECT_EQ(Live.liveOut(Join).count(), 0u);
+}
+
+TEST(LivenessTest, GuardedDefDoesNotKill) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel g (.param .u64 p)
+{
+  .reg .u32 %x, %t;
+  .reg .u64 %addr;
+  .reg .pred %c;
+entry:
+  mov.u32 %x, 7;
+  mov.u32 %t, %tid.x;
+  setp.eq.u32 %c, %t, 0;
+  bra mid;
+mid:
+  @%c mov.u32 %x, 9;
+  bra out;
+out:
+  ld.param.u64 %addr, [p];
+  st.global.u32 [%addr], %x;
+  ret;
+}
+)");
+  CFG G(K);
+  Liveness Live(K, G);
+  RegId X = K.findReg("x");
+  // The guarded def in 'mid' may not execute, so the entry def of %x must
+  // remain live into 'mid'.
+  EXPECT_TRUE(Live.liveIn(K.findBlock("mid")).test(X.Index));
+}
+
+TEST(LivenessTest, LiveBeforeScansBackwards) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, DiamondSrc);
+  CFG G(K);
+  Liveness Live(K, G);
+  RegId A = K.findReg("a");
+  // Before instruction 1 (setp) of the entry block, %a is live; before
+  // instruction 0 (its def), it is not.
+  EXPECT_TRUE(Live.liveBefore(K, 0, 1).test(A.Index));
+  EXPECT_FALSE(Live.liveBefore(K, 0, 0).test(A.Index));
+}
+
+TEST(VarianceTest, TidRootsPropagate) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel v (.param .u64 p, .param .u32 n)
+{
+  .reg .u32 %t, %derived, %uniform, %alsou;
+entry:
+  mov.u32 %t, %tid.x;
+  add.u32 %derived, %t, 1;
+  ld.param.u32 %uniform, [n];
+  mul.u32 %alsou, %uniform, 3;
+  ret;
+}
+)");
+  VarianceAnalysis VA(K);
+  EXPECT_TRUE(VA.isVariant(K.findReg("t")));
+  EXPECT_TRUE(VA.isVariant(K.findReg("derived")));
+  EXPECT_FALSE(VA.isVariant(K.findReg("uniform")));
+  EXPECT_FALSE(VA.isVariant(K.findReg("alsou")));
+}
+
+TEST(VarianceTest, GlobalLoadIsVariant) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel v (.param .u64 p)
+{
+  .reg .u32 %fromglobal;
+  .reg .u64 %addr;
+entry:
+  ld.param.u64 %addr, [p];
+  ld.global.u32 %fromglobal, [%addr];
+  ret;
+}
+)");
+  VarianceAnalysis VA(K);
+  EXPECT_FALSE(VA.isVariant(K.findReg("addr")));     // param load: uniform
+  EXPECT_TRUE(VA.isVariant(K.findReg("fromglobal"))); // global load: variant
+}
+
+TEST(VarianceTest, TidYZUniformOption) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel v ()
+{
+  .reg .u32 %y, %x;
+entry:
+  mov.u32 %y, %tid.y;
+  mov.u32 %x, %tid.x;
+  ret;
+}
+)");
+  VarianceAnalysis Plain(K);
+  EXPECT_TRUE(Plain.isVariant(K.findReg("y")));
+  VarianceOptions VO;
+  VO.TidYZUniform = true;
+  VarianceAnalysis RowAligned(K, VO);
+  EXPECT_FALSE(RowAligned.isVariant(K.findReg("y")));
+  EXPECT_TRUE(RowAligned.isVariant(K.findReg("x"))); // x always variant
+}
+
+TEST(VarianceTest, ExtraRootsSeedTheFixedPoint) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel v ()
+{
+  .reg .u32 %i, %dep;
+entry:
+  mov.u32 %i, 0;
+  add.u32 %dep, %i, 1;
+  ret;
+}
+)");
+  BitSet Roots(K.Regs.size());
+  Roots.set(K.findReg("i").Index);
+  VarianceOptions VO;
+  VO.ExtraRoots = &Roots;
+  VarianceAnalysis VA(K, VO);
+  EXPECT_TRUE(VA.isVariant(K.findReg("i")));
+  EXPECT_TRUE(VA.isVariant(K.findReg("dep")));
+}
+
+TEST(VarianceTest, InvariantInstructionPredicate) {
+  std::unique_ptr<Module> M;
+  const Kernel &K = parseK(M, R"(
+.kernel v (.param .u32 n)
+{
+  .reg .u32 %u, %t;
+entry:
+  ld.param.u32 %u, [n];
+  mov.u32 %t, %tid.x;
+  ret;
+}
+)");
+  VarianceAnalysis VA(K);
+  const Instruction &ParamLd = K.Blocks[0].Insts[0];
+  const Instruction &TidMov = K.Blocks[0].Insts[1];
+  EXPECT_TRUE(VA.isInvariantInstruction(ParamLd));
+  EXPECT_FALSE(VA.isInvariantInstruction(TidMov));
+}
+
+} // namespace

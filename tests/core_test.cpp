@@ -1,0 +1,427 @@
+//===- tests/core_test.cpp - Vectorizer / EM / cache unit tests -----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/Vectorizer.h"
+#include "simtvec/ir/Printer.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/parser/Parser.h"
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+const char *DivergentSrc = R"(
+.kernel dk (.param .u64 p)
+{
+  .reg .u32 %t, %x;
+  .reg .u64 %a, %off;
+  .reg .pred %c;
+entry:
+  mov.u32 %t, %tid.x;
+  and.u32 %x, %t, 1;
+  setp.eq.u32 %c, %x, 1;
+  @%c bra odd, even;
+odd:
+  mul.u32 %x, %t, 3;
+  bra join;
+even:
+  mul.u32 %x, %t, 5;
+  bra join;
+join:
+  ld.param.u64 %a, [p];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %x;
+  ret;
+}
+)";
+
+const char *BarrierSrc = R"(
+.kernel bk (.param .u64 p)
+{
+  .shared .b8 s[256];
+  .reg .u32 %t, %x;
+  .reg .u64 %sa;
+entry:
+  mov.u32 %t, %tid.x;
+  cvt.u64.u32 %sa, %t;
+  shl.u64 %sa, %sa, 2;
+  st.shared.u32 [%sa], %t;
+  bar.sync;
+  ld.shared.u32 %x, [%sa];
+  ret;
+}
+)";
+
+/// Prepares a scalar kernel the way the translation cache does.
+struct Prepared {
+  std::unique_ptr<Module> M;
+  Kernel *K = nullptr;
+  SpecializationPlan Plan;
+};
+
+Prepared prepare(const char *Src) {
+  Prepared P;
+  P.M = parseModuleOrDie(Src);
+  P.K = P.M->kernels().front().get();
+  runPredicateToSelect(*P.K);
+  runBarrierSplit(*P.K);
+  P.Plan = SpecializationPlan::build(*P.K);
+  return P;
+}
+
+size_t countOp(const Kernel &K, Opcode Op) {
+  size_t N = 0;
+  for (const BasicBlock &B : K.Blocks)
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Op;
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// SpecializationPlan
+//===----------------------------------------------------------------------===
+
+TEST(SpecializationPlanTest, DivergentBranchTargetsBecomeEntries) {
+  Prepared P = prepare(DivergentSrc);
+  // Entries: initial + odd + even (join is also a branch-successor? No:
+  // join is reached by unconditional branches only).
+  EXPECT_EQ(P.Plan.EntryScalarBlocks.size(), 3u);
+  EXPECT_NE(P.Plan.EntryIdOf[P.K->findBlock("odd")], ~0u);
+  EXPECT_NE(P.Plan.EntryIdOf[P.K->findBlock("even")], ~0u);
+  EXPECT_EQ(P.Plan.EntryIdOf[P.K->findBlock("join")], ~0u);
+}
+
+TEST(SpecializationPlanTest, BarrierContinuationBecomesEntry) {
+  Prepared P = prepare(BarrierSrc);
+  // BarrierSplit created a continuation block that must be an entry.
+  ASSERT_EQ(P.Plan.EntryScalarBlocks.size(), 2u);
+  uint32_t Cont = P.Plan.EntryScalarBlocks[1];
+  // The continuation holds the post-barrier load.
+  bool HasLoad = false;
+  for (const Instruction &I : P.K->Blocks[Cont].Insts)
+    HasLoad |= I.Op == Opcode::Ld && I.Space == AddressSpace::Shared;
+  EXPECT_TRUE(HasLoad);
+}
+
+TEST(SpecializationPlanTest, SlotsCoverEveryRegisterDisjointly) {
+  Prepared P = prepare(DivergentSrc);
+  // Slots must be disjoint byte ranges within SpillBytes.
+  std::vector<std::pair<uint32_t, uint32_t>> Ranges;
+  for (uint32_t R = 0; R < P.K->Regs.size(); ++R) {
+    Type Ty = P.K->Regs[R].Ty;
+    uint32_t Bytes = Ty.isPred() ? 1 : Ty.byteSize();
+    Ranges.emplace_back(P.Plan.SlotOf[R], P.Plan.SlotOf[R] + Bytes);
+    EXPECT_LE(P.Plan.SlotOf[R] + Bytes, P.Plan.SpillBytes);
+  }
+  std::sort(Ranges.begin(), Ranges.end());
+  for (size_t I = 1; I < Ranges.size(); ++I)
+    EXPECT_LE(Ranges[I - 1].second, Ranges[I].first);
+}
+
+//===----------------------------------------------------------------------===
+// Vectorizer structure
+//===----------------------------------------------------------------------===
+
+TEST(VectorizerTest, SchedulerIsBlockZero) {
+  Prepared P = prepare(DivergentSrc);
+  VectorizeOptions Opts;
+  Opts.WarpSize = 4;
+  auto V = vectorizeKernel(*P.K, P.Plan, Opts);
+  ASSERT_FALSE(verifyKernel(*V).isError()) << verifyKernel(*V).message();
+  EXPECT_EQ(V->Blocks[0].Kind, BlockKind::Scheduler);
+  EXPECT_EQ(V->Blocks[0].terminator().Op, Opcode::Switch);
+  EXPECT_EQ(V->WarpSize, 4u);
+  EXPECT_EQ(V->EntryBlocks.size(), P.Plan.EntryScalarBlocks.size());
+}
+
+TEST(VectorizerTest, DivergentBranchLowersToVoteSwitch) {
+  Prepared P = prepare(DivergentSrc);
+  VectorizeOptions Opts;
+  Opts.WarpSize = 4;
+  auto V = vectorizeKernel(*P.K, P.Plan, Opts);
+  EXPECT_EQ(countOp(*V, Opcode::VoteSum), 1u);
+  // Scheduler switch + divergence switch.
+  EXPECT_EQ(countOp(*V, Opcode::Switch), 2u);
+  // Exit handler: spills, per-lane resume points, status, yield.
+  EXPECT_GE(countOp(*V, Opcode::Spill), 1u);
+  // Only the divergent exit selects per-lane resume points; termination
+  // exits discard the contexts.
+  EXPECT_EQ(countOp(*V, Opcode::SetRPoint), 1u);
+  bool HasExitHandler = false, HasEntryHandler = false;
+  for (const BasicBlock &B : V->Blocks) {
+    HasExitHandler |= B.Kind == BlockKind::ExitHandler;
+    HasEntryHandler |= B.Kind == BlockKind::EntryHandler;
+  }
+  EXPECT_TRUE(HasExitHandler);
+  EXPECT_TRUE(HasEntryHandler);
+}
+
+TEST(VectorizerTest, ScalarSpecializationKeepsDirectBranches) {
+  Prepared P = prepare(DivergentSrc);
+  VectorizeOptions Opts;
+  Opts.WarpSize = 1;
+  auto V = vectorizeKernel(*P.K, P.Plan, Opts);
+  ASSERT_FALSE(verifyKernel(*V).isError());
+  EXPECT_EQ(countOp(*V, Opcode::VoteSum), 0u);
+  // Only the scheduler switch remains; the conditional branch is direct.
+  EXPECT_EQ(countOp(*V, Opcode::Switch), 1u);
+  bool HasCondBra = false;
+  for (const BasicBlock &B : V->Blocks)
+    for (const Instruction &I : B.Insts)
+      HasCondBra |= I.Op == Opcode::Bra && I.Guard.isValid();
+  EXPECT_TRUE(HasCondBra);
+}
+
+TEST(VectorizerTest, BarrierLowersToBarrierYield) {
+  Prepared P = prepare(BarrierSrc);
+  VectorizeOptions Opts;
+  Opts.WarpSize = 4;
+  auto V = vectorizeKernel(*P.K, P.Plan, Opts);
+  ASSERT_FALSE(verifyKernel(*V).isError());
+  EXPECT_EQ(countOp(*V, Opcode::BarSync), 0u); // no raw barriers remain
+  // One barrier yield (status Barrier) and one exit yield (status Exit).
+  size_t BarrierStatus = 0, ExitStatus = 0;
+  for (const BasicBlock &B : V->Blocks)
+    for (const Instruction &I : B.Insts)
+      if (I.Op == Opcode::SetRStatus) {
+        auto St = static_cast<ResumeStatus>(I.Srcs[0].immInt());
+        BarrierStatus += St == ResumeStatus::Barrier;
+        ExitStatus += St == ResumeStatus::Exit;
+      }
+  EXPECT_EQ(BarrierStatus, 1u);
+  EXPECT_EQ(ExitStatus, 1u);
+}
+
+TEST(VectorizerTest, VectorRegistersMatchWarpSize) {
+  Prepared P = prepare(DivergentSrc);
+  for (uint32_t WS : {2u, 4u, 8u}) {
+    VectorizeOptions Opts;
+    Opts.WarpSize = WS;
+    auto V = vectorizeKernel(*P.K, P.Plan, Opts);
+    ASSERT_FALSE(verifyKernel(*V).isError());
+    for (const VirtualRegister &R : V->Regs)
+      if (R.Ty.isVector()) {
+        EXPECT_EQ(R.Ty.lanes(), WS);
+      }
+  }
+}
+
+TEST(VectorizerTest, TieEmitsUniformScalars) {
+  // gid-independent address arithmetic becomes scalar under TIE.
+  Prepared P = prepare(R"(
+.kernel tk (.param .u64 p, .param .u32 n)
+{
+  .reg .u32 %t, %u, %v;
+  .reg .u64 %a;
+entry:
+  mov.u32 %t, %tid.x;
+  ld.param.u32 %u, [n];
+  mul.u32 %v, %u, 4;     // thread-invariant
+  add.u32 %v, %v, %u;    // thread-invariant
+  add.u32 %t, %t, %v;    // variant
+  ld.param.u64 %a, [p];
+  st.global.u32 [%a], %t;
+  ret;
+}
+)");
+  VectorizeOptions Plain;
+  Plain.WarpSize = 4;
+  auto VPlain = vectorizeKernel(*P.K, P.Plan, Plain);
+  VectorizeOptions Tie = Plain;
+  Tie.ThreadInvariantElim = true;
+  auto VTie = vectorizeKernel(*P.K, P.Plan, Tie);
+  runCleanupPipeline(*VPlain);
+  runCleanupPipeline(*VTie);
+  ASSERT_FALSE(verifyKernel(*VTie).isError());
+  EXPECT_LT(VTie->instructionCount(), VPlain->instructionCount());
+}
+
+TEST(VectorizerTest, PackAndUnpackAroundLoads) {
+  // A value computed by vector arithmetic and consumed by a vector op after
+  // flowing through a load gets explicit insert/extract handling.
+  Prepared P = prepare(R"(
+.kernel pk (.param .u64 p)
+{
+  .reg .u32 %t, %x, %y;
+  .reg .u64 %a, %off;
+entry:
+  mov.u32 %t, %tid.x;
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %a, [p];
+  add.u64 %a, %a, %off;
+  ld.global.u32 %x, [%a];
+  add.u32 %y, %x, %t;     // vector consumer of a replicated producer
+  st.global.u32 [%a], %y;
+  ret;
+}
+)");
+  VectorizeOptions Opts;
+  Opts.WarpSize = 4;
+  auto V = vectorizeKernel(*P.K, P.Plan, Opts);
+  ASSERT_FALSE(verifyKernel(*V).isError());
+  // The loaded lanes are packed for the vector add; the result is unpacked
+  // for the stores.
+  EXPECT_GE(countOp(*V, Opcode::InsertElement), 4u);
+  EXPECT_GE(countOp(*V, Opcode::ExtractElement), 4u);
+  // Loads stay scalar and lane-tagged.
+  for (const BasicBlock &B : V->Blocks)
+    for (const Instruction &I : B.Insts)
+      if (I.Op == Opcode::Ld && I.Space == AddressSpace::Global) {
+        EXPECT_FALSE(I.Ty.isVector());
+      }
+}
+
+//===----------------------------------------------------------------------===
+// Launch configuration validation and EM behaviour
+//===----------------------------------------------------------------------===
+
+TEST(LaunchTest, RejectsBadConfigurations) {
+  auto Prog = Program::compile(DivergentSrc).take();
+  Device Dev(1 << 16);
+  ParamBuilder Params;
+  Params.addU64(Dev.allocArray<uint32_t>(64));
+
+  LaunchOptions BadWarp;
+  BadWarp.MaxWarpSize = 3;
+  auto R1 = Prog->launch(Dev, "dk", {1, 1, 1}, {64, 1, 1}, Params, BadWarp);
+  ASSERT_FALSE(static_cast<bool>(R1));
+  EXPECT_NE(R1.status().message().find("power of two"), std::string::npos);
+
+  LaunchOptions TieNoStatic;
+  TieNoStatic.ThreadInvariantElim = true;
+  auto R2 =
+      Prog->launch(Dev, "dk", {1, 1, 1}, {64, 1, 1}, Params, TieNoStatic);
+  ASSERT_FALSE(static_cast<bool>(R2));
+  EXPECT_NE(R2.status().message().find("static warp formation"),
+            std::string::npos);
+
+  auto R3 = Prog->launch(Dev, "missing", {1, 1, 1}, {64, 1, 1}, Params, {});
+  ASSERT_FALSE(static_cast<bool>(R3));
+  EXPECT_NE(R3.status().message().find("not registered"), std::string::npos);
+
+  ParamBuilder TooFew;
+  auto R4 = Prog->launch(Dev, "dk", {1, 1, 1}, {64, 1, 1}, TooFew, {});
+  ASSERT_FALSE(static_cast<bool>(R4));
+  EXPECT_NE(R4.status().message().find("parameter bytes"),
+            std::string::npos);
+}
+
+TEST(LaunchTest, StatsAreConsistent) {
+  auto Prog = Program::compile(DivergentSrc).take();
+  Device Dev(1 << 16);
+  ParamBuilder Params;
+  Params.addU64(Dev.allocArray<uint32_t>(256));
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  auto S = Prog->launch(Dev, "dk", {4, 1, 1}, {64, 1, 1}, Params, O).take();
+  uint64_t FromHistogram = 0, Threads = 0;
+  for (const auto &[Width, Count] : S.EntriesByWidth) {
+    FromHistogram += Count;
+    Threads += Width * Count;
+  }
+  EXPECT_EQ(FromHistogram, S.WarpEntries);
+  EXPECT_EQ(Threads, S.ThreadEntries);
+  EXPECT_EQ(S.BranchYields + S.BarrierYields + S.ExitYields, S.WarpEntries);
+  EXPECT_GT(S.Counters.EMCycles, 0.0);
+}
+
+TEST(LaunchTest, TranslationCacheHitsAfterFirstCta) {
+  auto Prog = Program::compile(DivergentSrc).take();
+  Device Dev(1 << 16);
+  ParamBuilder Params;
+  Params.addU64(Dev.allocArray<uint32_t>(1024));
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  (void)Prog->launch(Dev, "dk", {16, 1, 1}, {64, 1, 1}, Params, O).take();
+  TranslationCache::Stats CS = Prog->translationCache().stats();
+  // At most one miss per warp size (1, 2, 4 possible).
+  EXPECT_LE(CS.Misses, 3u);
+  EXPECT_GT(CS.Hits, CS.Misses);
+}
+
+TEST(LaunchTest, BarrierReleasesWhenAllLiveThreadsArrive) {
+  // Only even threads reach the barrier; the odd threads exit. Kernels
+  // with partial barrier participation are UB in CUDA; this runtime
+  // defines the barrier to release once every *live* thread of the CTA
+  // has arrived, so the launch completes instead of hanging.
+  const char *Src = R"(
+.kernel dead ()
+{
+  .reg .u32 %t, %b;
+  .reg .pred %c;
+entry:
+  mov.u32 %t, %tid.x;
+  and.u32 %b, %t, 1;
+  setp.eq.u32 %c, %b, 0;
+  @%c bra wait, skip;
+wait:
+  bar.sync;
+  bra skip;
+skip:
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  ParamBuilder Params;
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  auto S = Prog->launch(Dev, "dead", {1, 1, 1}, {8, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  EXPECT_EQ(S->BarrierYields, 1u);
+  EXPECT_GT(S->ExitYields, 0u);
+}
+
+TEST(LaunchTest, WorkerCountDoesNotChangeResults) {
+  // Same kernel, 1 worker vs 4 workers: identical memory and identical
+  // per-CTA modeled totals (workers partition CTAs deterministically).
+  auto RunWith = [&](unsigned Workers) {
+    auto Prog = Program::compile(DivergentSrc).take();
+    Device Dev(1 << 16);
+    uint64_t Out = Dev.allocArray<uint32_t>(256);
+    ParamBuilder Params;
+    Params.addU64(Out);
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    O.Workers = Workers;
+    auto S = Prog->launch(Dev, "dk", {4, 1, 1}, {64, 1, 1}, Params, O);
+    EXPECT_TRUE(static_cast<bool>(S));
+    return Dev.download<uint32_t>(Out, 256);
+  };
+  EXPECT_EQ(RunWith(1), RunWith(4));
+}
+
+TEST(LaunchTest, CrossWidthResume) {
+  // Threads yield from a width-4 binary and may resume in width-2 or
+  // width-1 binaries; spill slots and entry IDs must agree. The divergent
+  // kernel exercises odd/even splits (2+2) whose subsets re-enter at
+  // smaller widths when the pool is nearly drained.
+  auto Prog = Program::compile(DivergentSrc).take();
+  Device Dev(1 << 16);
+  uint64_t Out = Dev.allocArray<uint32_t>(64);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Workers = 1;
+  auto S = Prog->launch(Dev, "dk", {1, 1, 1}, {6, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  // Width histogram must include entries below 4 (6 threads cannot split
+  // 3/3 into pure 4-warps after divergence).
+  EXPECT_GT(S->EntriesByWidth.count(1) + S->EntriesByWidth.count(2), 0u);
+  auto R = Dev.download<uint32_t>(Out, 6);
+  for (uint32_t T = 0; T < 6; ++T)
+    EXPECT_EQ(R[T], (T & 1) ? T * 3 : T * 5);
+}
+
+} // namespace

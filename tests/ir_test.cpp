@@ -1,0 +1,436 @@
+//===- tests/ir_test.cpp - SVIR data structure unit tests -----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/IRBuilder.h"
+#include "simtvec/ir/Module.h"
+#include "simtvec/ir/Printer.h"
+#include "simtvec/ir/ScalarOps.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+using namespace simtvec;
+
+namespace {
+
+TEST(TypeTest, Properties) {
+  EXPECT_TRUE(Type::pred().isPred());
+  EXPECT_TRUE(Type::f32().isFloat());
+  EXPECT_TRUE(Type::f64().isFloat());
+  EXPECT_TRUE(Type::s32().isInteger());
+  EXPECT_TRUE(Type::s32().isSigned());
+  EXPECT_FALSE(Type::u32().isSigned());
+  EXPECT_EQ(Type::u8().bitWidth(), 8u);
+  EXPECT_EQ(Type::f64().byteSize(), 8u);
+  EXPECT_EQ(Type::pred().bitWidth(), 1u);
+}
+
+TEST(TypeTest, VectorForms) {
+  Type V = Type::f32().withLanes(4);
+  EXPECT_TRUE(V.isVector());
+  EXPECT_EQ(V.lanes(), 4u);
+  EXPECT_EQ(V.scalar(), Type::f32());
+  EXPECT_EQ(V.str(), "<4 x .f32>");
+  EXPECT_EQ(Type::u64().str(), ".u64");
+  EXPECT_NE(V, Type::f32());
+  EXPECT_EQ(V, Type(ScalarKind::F32, 4));
+}
+
+TEST(OpcodeTest, Properties) {
+  EXPECT_TRUE(isVectorizable(Opcode::Mad));
+  EXPECT_TRUE(isVectorizable(Opcode::Setp));
+  EXPECT_FALSE(isVectorizable(Opcode::Ld));
+  EXPECT_FALSE(isVectorizable(Opcode::AtomAdd));
+  EXPECT_TRUE(isMemoryOp(Opcode::St));
+  EXPECT_FALSE(isMemoryOp(Opcode::Add));
+  EXPECT_TRUE(isTerminator(Opcode::Bra));
+  EXPECT_TRUE(isTerminator(Opcode::Yield));
+  EXPECT_FALSE(isTerminator(Opcode::BarSync));
+  EXPECT_TRUE(isTranscendental(Opcode::Rsqrt));
+  EXPECT_FALSE(isTranscendental(Opcode::Div));
+  EXPECT_TRUE(hasResult(Opcode::Ld));
+  EXPECT_FALSE(hasResult(Opcode::St));
+  EXPECT_TRUE(hasSideEffects(Opcode::AtomAdd));
+  EXPECT_FALSE(hasSideEffects(Opcode::Mul));
+  EXPECT_STREQ(opcodeName(Opcode::VoteSum), "vote.sum");
+}
+
+TEST(OperandTest, IntegerImmediates) {
+  Operand O = Operand::immInt(Type::s32(), -5);
+  EXPECT_EQ(O.immInt(), -5);
+  Operand U = Operand::immInt(Type::u32(), 0xFFFFFFFFu);
+  EXPECT_EQ(U.immInt(), 0xFFFFFFFFll);
+  Operand P = Operand::immInt(Type::pred(), 1);
+  EXPECT_EQ(P.immInt(), 1);
+}
+
+TEST(OperandTest, FloatImmediates) {
+  Operand F = Operand::immF32(1.5f);
+  EXPECT_EQ(F.immF32(), 1.5f);
+  Operand D = Operand::immF64(-2.25);
+  EXPECT_EQ(D.immF64(), -2.25);
+}
+
+TEST(OperandTest, SpecialVariance) {
+  EXPECT_TRUE(isThreadVariant(SReg::TidX));
+  EXPECT_TRUE(isThreadVariant(SReg::LaneId));
+  EXPECT_FALSE(isThreadVariant(SReg::CTAIdX));
+  EXPECT_FALSE(isThreadVariant(SReg::NTidX));
+  EXPECT_FALSE(isThreadVariant(SReg::WarpBaseTid));
+  EXPECT_STREQ(sregName(SReg::NCTAIdZ), "%nctaid.z");
+}
+
+TEST(KernelTest, ParamLayoutNaturalAlignment) {
+  Kernel K;
+  K.addParam("p64", Type::u64()); // offset 0
+  K.addParam("p32", Type::u32()); // offset 8
+  K.addParam("q64", Type::u64()); // offset 16 (aligned up from 12)
+  EXPECT_EQ(K.Params[0].Offset, 0u);
+  EXPECT_EQ(K.Params[1].Offset, 8u);
+  EXPECT_EQ(K.Params[2].Offset, 16u);
+  EXPECT_EQ(K.ParamBytes, 24u);
+  EXPECT_EQ(K.findParam("p32"), 1u);
+  EXPECT_EQ(K.findParam("missing"), ~0u);
+}
+
+TEST(KernelTest, SharedVarLayout) {
+  Kernel K;
+  K.addSharedVar("a", 10);
+  K.addSharedVar("b", 4);
+  EXPECT_EQ(K.SharedVars[0].Offset, 0u);
+  EXPECT_EQ(K.SharedVars[1].Offset, 16u); // 16-aligned
+  EXPECT_EQ(K.SharedBytes, 20u);
+}
+
+TEST(KernelTest, Successors) {
+  Kernel K;
+  RegId P = K.addReg("p", Type::pred());
+  uint32_t B0 = K.addBlock("b0");
+  uint32_t B1 = K.addBlock("b1");
+  uint32_t B2 = K.addBlock("b2");
+  IRBuilder B(K);
+  B.setBlock(B0);
+  B.braCond(P, false, B2, B1);
+  B.setBlock(B1);
+  B.bra(B2);
+  B.setBlock(B2);
+  B.ret();
+  EXPECT_EQ(K.successors(B0), (std::vector<uint32_t>{B2, B1}));
+  EXPECT_EQ(K.successors(B1), (std::vector<uint32_t>{B2}));
+  EXPECT_TRUE(K.successors(B2).empty());
+}
+
+TEST(KernelTest, FindHelpers) {
+  Kernel K;
+  RegId R = K.addReg("acc", Type::f32());
+  K.addBlock("entry");
+  EXPECT_EQ(K.findReg("acc"), R);
+  EXPECT_FALSE(K.findReg("nope").isValid());
+  EXPECT_EQ(K.findBlock("entry"), 0u);
+  EXPECT_EQ(K.findBlock("nope"), InvalidBlock);
+}
+
+TEST(ModuleTest, FindKernel) {
+  Module M;
+  M.addKernel("a");
+  M.addKernel("b");
+  EXPECT_NE(M.findKernel("a"), nullptr);
+  EXPECT_EQ(M.findKernel("c"), nullptr);
+  EXPECT_EQ(M.kernels().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// Printer <-> parser round trip
+//===----------------------------------------------------------------------===
+
+/// A kernel exercising every printable construct.
+const char *RoundTripSrc = R"(
+.kernel everything (.param .u64 buf, .param .u32 n, .param .f32 scale)
+{
+  .shared .b8 smem[64];
+  .local .b8 lmem[32];
+  .reg .u32 %a, %b, %c;
+  .reg .u64 %addr;
+  .reg .f32 %f, %g;
+  .reg .f64 %d;
+  .reg .pred %p, %q;
+
+entry:
+  mov.u32 %a, %tid.x;
+  mad.u32 %a, %ntid.y, %ctaid.z, %a;
+  ld.param.u32 %b, [n];
+  setp.lt.u32 %p, %a, %b;
+  and.pred %q, %p, %p;
+  @!%q bra out, work;
+work:
+  cvt.u64.u32 %addr, %a;
+  shl.u64 %addr, %addr, 2;
+  ld.global.f32 %f, [%addr+16];
+  ld.param.f32 %g, [scale];
+  mad.f32 %f, %f, %g, 0f3F800000;
+  sqrt.f32 %f, %f;
+  cvt.f64.f32 %d, %f;
+  cvt.f32.f64 %g, %d;
+  selp.f32 %f, %f, %g, %p;
+  st.shared.f32 [smem+8], %f;
+  bar.sync;
+  ld.shared.f32 %g, [smem+8];
+  st.local.f32 [lmem], %g;
+  ld.local.f32 %g, [lmem];
+  atom.global.add.u32 %c, [%addr], 1;
+  st.global.f32 [%addr+16], %g;
+  bra out;
+out:
+  ret;
+}
+)";
+
+TEST(PrinterTest, RoundTripIsStable) {
+  auto M1 = parseModuleOrDie(RoundTripSrc);
+  std::string P1 = printModule(*M1);
+  auto M2OrErr = parseModule(P1);
+  ASSERT_TRUE(static_cast<bool>(M2OrErr)) << M2OrErr.status().message();
+  EXPECT_FALSE(verifyModule(**M2OrErr).isError());
+  std::string P2 = printModule(**M2OrErr);
+  EXPECT_EQ(P1, P2);
+}
+
+TEST(PrinterTest, SpecializedConstructsRoundTrip) {
+  // Hand-build a kernel with vector ops, runtime intrinsics and metadata.
+  Module M;
+  Kernel &K = M.addKernel("spec");
+  K.WarpSize = 4;
+  K.SpillBytes = 32;
+  Type V4F = Type::f32().withLanes(4);
+  Type V4P = Type::pred().withLanes(4);
+  RegId V = K.addReg("v", V4F);
+  RegId S = K.addReg("s", Type::f32());
+  RegId PV = K.addReg("pv", V4P);
+  RegId Sum = K.addReg("sum", Type::u32());
+  RegId Eids = K.addReg("eids", Type::u32().withLanes(4));
+
+  uint32_t Sched = K.addBlock("sched", BlockKind::Scheduler);
+  uint32_t Body = K.addBlock("body");
+  uint32_t Exit = K.addBlock("bexit", BlockKind::ExitHandler);
+  uint32_t Entry1 = K.addBlock("e1", BlockKind::EntryHandler);
+  K.EntryBlocks = {Body, Entry1};
+
+  IRBuilder B(K);
+  B.setBlock(Sched);
+  B.makeSwitch(Operand::special(SReg::EntryId), {1}, {Entry1}, Body);
+  B.setBlock(Body);
+  B.broadcast(V, Operand::immF32(2.0f));
+  B.extractElement(S, Operand::reg(V), 2);
+  B.insertElement(V, Operand::reg(V), Operand::reg(S), 1);
+  B.setp(CmpOp::Gt, V4F, PV, Operand::reg(V), Operand::immF32(1.0f));
+  B.voteSum(Sum, Operand::reg(PV));
+  B.selp(Type::u32().withLanes(4), Eids, Operand::immInt(Type::u32(), 1),
+         Operand::immInt(Type::u32(), 0), Operand::reg(PV));
+  B.bra(Exit);
+  B.setBlock(Exit);
+  B.spill(Operand::reg(V), V4F, 0);
+  B.setRPoint(Operand::reg(Eids));
+  B.setRStatus(ResumeStatus::Branch);
+  B.yield();
+  B.setBlock(Entry1);
+  B.restore(V, 0);
+  B.bra(Body);
+
+  ASSERT_FALSE(verifyKernel(K).isError()) << verifyKernel(K).message();
+  std::string P1 = printKernel(K);
+  auto M2OrErr = parseModule(P1);
+  ASSERT_TRUE(static_cast<bool>(M2OrErr)) << M2OrErr.status().message();
+  const Kernel *K2 = (*M2OrErr)->findKernel("spec");
+  ASSERT_NE(K2, nullptr);
+  EXPECT_EQ(K2->WarpSize, 4u);
+  EXPECT_EQ(K2->SpillBytes, 32u);
+  EXPECT_EQ(K2->EntryBlocks.size(), 2u);
+  EXPECT_EQ(K2->Blocks[0].Kind, BlockKind::Scheduler);
+  EXPECT_EQ(printKernel(*K2), P1);
+}
+
+//===----------------------------------------------------------------------===
+// Verifier negative cases
+//===----------------------------------------------------------------------===
+
+struct BadKernelCase {
+  const char *Name;
+  std::function<void(Kernel &)> Build;
+  const char *ExpectSubstring;
+};
+
+class VerifierNegative : public ::testing::TestWithParam<BadKernelCase> {};
+
+TEST_P(VerifierNegative, RejectsInvalidKernel) {
+  Kernel K;
+  K.Name = "bad";
+  GetParam().Build(K);
+  Status E = verifyKernel(K);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find(GetParam().ExpectSubstring), std::string::npos)
+      << E.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Verifier, VerifierNegative,
+    ::testing::Values(
+        BadKernelCase{"NoBlocks", [](Kernel &) {}, "no basic blocks"},
+        BadKernelCase{"EmptyBlock",
+                      [](Kernel &K) { K.addBlock("b"); },
+                      "empty basic block"},
+        BadKernelCase{"NoTerminator",
+                      [](Kernel &K) {
+                        RegId R = K.addReg("r", Type::u32());
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        B.mov(R, Operand::immInt(Type::u32(), 1));
+                      },
+                      "does not end with a terminator"},
+        BadKernelCase{"TypeMismatch",
+                      [](Kernel &K) {
+                        RegId F = K.addReg("f", Type::f32());
+                        RegId U = K.addReg("u", Type::u32());
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        B.add(Type::f32(), F, Operand::reg(U),
+                              Operand::reg(U));
+                        B.ret();
+                      },
+                      "float vs integer"},
+        BadKernelCase{"BadBranchTarget",
+                      [](Kernel &K) {
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        B.bra(99);
+                      },
+                      "out of range"},
+        BadKernelCase{"GuardNotPred",
+                      [](Kernel &K) {
+                        RegId U = K.addReg("u", Type::u32());
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        Instruction I(Opcode::Mov, Type::u32());
+                        I.Dst = U;
+                        I.Srcs = {Operand::immInt(Type::u32(), 0)};
+                        I.Guard = U;
+                        B.append(std::move(I));
+                        B.ret();
+                      },
+                      "guard must be a scalar predicate"},
+        BadKernelCase{"VectorLoad",
+                      [](Kernel &K) {
+                        RegId V = K.addReg("v", Type::f32().withLanes(4));
+                        RegId A = K.addReg("a", Type::u64());
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        Instruction I(Opcode::Ld, Type::f32().withLanes(4));
+                        I.Dst = V;
+                        I.Srcs = {Operand::reg(A)};
+                        B.append(std::move(I));
+                        B.ret();
+                      },
+                      "not vectorizable"},
+        BadKernelCase{"SetpWrongDst",
+                      [](Kernel &K) {
+                        RegId U = K.addReg("u", Type::u32());
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        B.setp(CmpOp::Eq, Type::u32(), U,
+                               Operand::immInt(Type::u32(), 1),
+                               Operand::immInt(Type::u32(), 2));
+                        B.ret();
+                      },
+                      "setp must write a predicate"},
+        BadKernelCase{"MidBlockTerminator",
+                      [](Kernel &K) {
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        B.ret();
+                        // Force a second terminator behind the first.
+                        K.Blocks[0].Insts.push_back(
+                            Instruction(Opcode::Ret));
+                      },
+                      "terminator in the middle"},
+        BadKernelCase{"VectorWidthMismatch",
+                      [](Kernel &K) {
+                        K.WarpSize = 4;
+                        K.addReg("v", Type::f32().withLanes(2));
+                        K.addBlock("b");
+                        IRBuilder B(K);
+                        B.setBlock(0);
+                        B.ret();
+                      },
+                      "width differs from warp size"}),
+    [](const ::testing::TestParamInfo<BadKernelCase> &Info) {
+      return Info.param.Name;
+    });
+
+//===----------------------------------------------------------------------===
+// Scalar operation semantics (shared by VM and constant folder)
+//===----------------------------------------------------------------------===
+
+TEST(ScalarOpsTest, IntegerDivRemByZero) {
+  bool Bad = false;
+  EXPECT_EQ(evalBinary(Opcode::Div, ScalarKind::S32, 100, 0, Bad), 0u);
+  EXPECT_EQ(evalBinary(Opcode::Rem, ScalarKind::U32, 100, 0, Bad), 0u);
+  EXPECT_FALSE(Bad);
+}
+
+TEST(ScalarOpsTest, ShiftMasking) {
+  bool Bad = false;
+  // Shift counts mask to the type width (x86 semantics).
+  EXPECT_EQ(evalBinary(Opcode::Shl, ScalarKind::U32, 1, 33, Bad),
+            1ull << 1);
+  EXPECT_EQ(evalBinary(Opcode::Shr, ScalarKind::S32,
+                       static_cast<uint32_t>(-8), 1, Bad),
+            static_cast<uint32_t>(-4)); // arithmetic for signed
+  EXPECT_FALSE(Bad);
+}
+
+TEST(ScalarOpsTest, InvalidCombinationsFlagged) {
+  bool Bad = false;
+  evalBinary(Opcode::Shl, ScalarKind::F32, 0, 0, Bad);
+  EXPECT_TRUE(Bad);
+  Bad = false;
+  evalUnary(Opcode::Sin, ScalarKind::U32, 0, Bad);
+  EXPECT_TRUE(Bad);
+}
+
+TEST(ScalarOpsTest, FloatToIntSaturates) {
+  float Big = 1e20f;
+  uint64_t Bits;
+  static_assert(sizeof(float) == 4, "");
+  uint32_t B32;
+  std::memcpy(&B32, &Big, 4);
+  Bits = B32;
+  EXPECT_EQ(evalConvert(ScalarKind::S32, ScalarKind::F32, Bits),
+            static_cast<uint32_t>(INT32_MAX));
+  float Nan = std::nanf("");
+  std::memcpy(&B32, &Nan, 4);
+  EXPECT_EQ(evalConvert(ScalarKind::S32, ScalarKind::F32, B32), 0u);
+}
+
+TEST(ScalarOpsTest, CmpNaNBehaviour) {
+  float Nan = std::nanf("");
+  uint32_t B32;
+  std::memcpy(&B32, &Nan, 4);
+  EXPECT_FALSE(evalCmp(CmpOp::Lt, ScalarKind::F32, B32, B32));
+  EXPECT_FALSE(evalCmp(CmpOp::Eq, ScalarKind::F32, B32, B32));
+  EXPECT_TRUE(evalCmp(CmpOp::Ne, ScalarKind::F32, B32, B32));
+}
+
+} // namespace

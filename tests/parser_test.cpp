@@ -1,0 +1,219 @@
+//===- tests/parser_test.cpp - SVIR parser unit tests ---------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/Printer.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+std::string wrap(const std::string &Body) {
+  return ".kernel k (.param .u64 p, .param .u32 n)\n{\n" + Body + "\n}\n";
+}
+
+TEST(ParserTest, RegisterRanges) {
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .f32 %f<3>;
+  .reg .u32 %single;
+entry:
+  mov.f32 %f0, 0.0;
+  mov.f32 %f1, 1.0;
+  mov.f32 %f2, 2.0;
+  ret;)"));
+  const Kernel *K = M->findKernel("k");
+  EXPECT_TRUE(K->findReg("f0").isValid());
+  EXPECT_TRUE(K->findReg("f2").isValid());
+  EXPECT_FALSE(K->findReg("f3").isValid());
+  EXPECT_TRUE(K->findReg("single").isValid());
+}
+
+TEST(ParserTest, ImmediateForms) {
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .f32 %f;
+  .reg .u32 %u;
+  .reg .s32 %s;
+  .reg .f64 %d;
+entry:
+  mov.f32 %f, 1.5;
+  mov.f32 %f, 0f40490FDB;
+  mov.f64 %d, 0d400921FB54442D18;
+  mov.u32 %u, 0x1F;
+  mov.s32 %s, -42;
+  mov.f32 %f, -2.5e3;
+  ret;)"));
+  const Kernel *K = M->findKernel("k");
+  const auto &Insts = K->Blocks[0].Insts;
+  EXPECT_FLOAT_EQ(Insts[1].Srcs[0].immF32(), 3.14159274f);
+  EXPECT_DOUBLE_EQ(Insts[2].Srcs[0].immF64(), 3.141592653589793);
+  EXPECT_EQ(Insts[3].Srcs[0].immInt(), 0x1F);
+  EXPECT_EQ(Insts[4].Srcs[0].immInt(), -42);
+  EXPECT_FLOAT_EQ(Insts[5].Srcs[0].immF32(), -2500.0f);
+}
+
+TEST(ParserTest, ImplicitFallThrough) {
+  // A label following an unterminated block inserts "bra next".
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .u32 %a;
+entry:
+  mov.u32 %a, 1;
+next:
+  ret;)"));
+  const Kernel *K = M->findKernel("k");
+  ASSERT_EQ(K->Blocks.size(), 2u);
+  const Instruction &T = K->Blocks[0].terminator();
+  EXPECT_EQ(T.Op, Opcode::Bra);
+  EXPECT_EQ(T.Target, 1u);
+}
+
+TEST(ParserTest, ConditionalBranchImplicitFallThrough) {
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .pred %p;
+  .reg .u32 %a;
+entry:
+  mov.u32 %a, %tid.x;
+  setp.eq.u32 %p, %a, 0;
+  @%p bra target;
+middle:
+  ret;
+target:
+  ret;)"));
+  const Kernel *K = M->findKernel("k");
+  const Instruction &T = K->Blocks[0].terminator();
+  EXPECT_EQ(T.Target, K->findBlock("target"));
+  EXPECT_EQ(T.FalseTarget, K->findBlock("middle"));
+}
+
+TEST(ParserTest, ForwardReferences) {
+  auto M = parseModuleOrDie(wrap(R"(
+entry:
+  bra later;
+later:
+  ret;)"));
+  EXPECT_EQ(M->findKernel("k")->Blocks[0].terminator().Target, 1u);
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  auto M = parseModuleOrDie(wrap(R"(
+  // a comment
+  .reg .u32 %a;   // trailing comment
+entry:
+  mov.u32 %a, 1; // another
+  ret;)"));
+  EXPECT_EQ(M->findKernel("k")->Blocks[0].Insts.size(), 2u);
+}
+
+TEST(ParserTest, MultipleKernels) {
+  auto MOrErr = parseModule(R"(
+.version 1.0
+.kernel first () { entry: ret; }
+.kernel second () { entry: ret; }
+)");
+  ASSERT_TRUE(static_cast<bool>(MOrErr)) << MOrErr.status().message();
+  EXPECT_NE((*MOrErr)->findKernel("first"), nullptr);
+  EXPECT_NE((*MOrErr)->findKernel("second"), nullptr);
+}
+
+TEST(ParserTest, NegativeAddressOffset) {
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .u64 %a;
+  .reg .f32 %f;
+entry:
+  mov.u64 %a, 64;
+  ld.global.f32 %f, [%a-4];
+  ret;)"));
+  EXPECT_EQ(M->findKernel("k")->Blocks[0].Insts[1].MemOffset, -4);
+}
+
+struct ParseErrorCase {
+  const char *Name;
+  const char *Source;
+  const char *ExpectSubstring;
+};
+
+class ParserErrors : public ::testing::TestWithParam<ParseErrorCase> {};
+
+TEST_P(ParserErrors, ProducesDiagnostic) {
+  auto MOrErr = parseModule(GetParam().Source);
+  ASSERT_FALSE(static_cast<bool>(MOrErr));
+  EXPECT_NE(MOrErr.status().message().find(GetParam().ExpectSubstring),
+            std::string::npos)
+      << MOrErr.status().message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parser, ParserErrors,
+    ::testing::Values(
+        ParseErrorCase{"UnknownRegister",
+                       ".kernel k () { entry: mov.u32 %r, 1; ret; }",
+                       "unknown register"},
+        ParseErrorCase{"UnknownInstruction",
+                       ".kernel k () { entry: frobnicate.u32 %r; ret; }",
+                       "unknown instruction"},
+        ParseErrorCase{"UndefinedLabel",
+                       ".kernel k () { entry: bra nowhere; }",
+                       "undefined label"},
+        ParseErrorCase{"DuplicateLabel",
+                       ".kernel k () { a: ret; a: ret; }",
+                       "duplicate label"},
+        ParseErrorCase{"RedeclaredRegister",
+                       ".kernel k () { .reg .u32 %r; .reg .f32 %r; "
+                       "entry: ret; }",
+                       "redeclared"},
+        ParseErrorCase{"BadType",
+                       ".kernel k () { .reg .q17 %r; entry: ret; }",
+                       "unknown scalar kind"},
+        ParseErrorCase{"MissingSemicolon",
+                       ".kernel k () { .reg .u32 %r; entry: mov.u32 %r, 1 "
+                       "ret; }",
+                       "expected"},
+        ParseErrorCase{"UnknownSymbol",
+                       ".kernel k () { .reg .u32 %r; entry: "
+                       "ld.param.u32 %r, [missing]; ret; }",
+                       "unknown symbol"},
+        ParseErrorCase{"UnknownDirective",
+                       ".kernel k () { .frob 3; entry: ret; }",
+                       "unknown directive"},
+        ParseErrorCase{"MalformedHexFloat",
+                       ".kernel k () { .reg .f32 %f; entry: "
+                       "mov.f32 %f, 0f3F80; ret; }",
+                       "malformed hex float"},
+        ParseErrorCase{"EofInsideKernel", ".kernel k () { entry: ret;",
+                       "unexpected end of input"},
+        ParseErrorCase{"TwoTargetsUnconditional",
+                       ".kernel k () { a: bra b, c; b: ret; c: ret; }",
+                       "unconditional branch with two targets"}),
+    [](const ::testing::TestParamInfo<ParseErrorCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(ParserTest, DiagnosticsCarryLineAndColumn) {
+  auto MOrErr = parseModule(".kernel k ()\n{\nentry:\n  bogus.u32 %r;\n}\n");
+  ASSERT_FALSE(static_cast<bool>(MOrErr));
+  // The error is on line 4.
+  EXPECT_EQ(MOrErr.status().message().substr(0, 2), "4:");
+}
+
+TEST(ParserTest, GuardForms) {
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .pred %p;
+  .reg .u32 %a;
+entry:
+  mov.u32 %a, %tid.x;
+  setp.eq.u32 %p, %a, 0;
+  @%p st.global.u32 [p], %a;
+  @!%p st.global.u32 [p+4], %a;
+  ret;)" ));
+  const Kernel *K = M->findKernel("k");
+  EXPECT_FALSE(K->Blocks[0].Insts[2].GuardNegated);
+  EXPECT_TRUE(K->Blocks[0].Insts[3].GuardNegated);
+  EXPECT_TRUE(K->Blocks[0].Insts[2].Guard.isValid());
+}
+
+} // namespace

@@ -1,0 +1,446 @@
+//===- tests/property_test.cpp - Randomized equivalence properties --------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's core claim (§4): "Execution of a single vectorized kernel is
+/// computationally equivalent to the serial execution of a scalar version
+/// of the kernel over a collection of threads." This property is checked
+/// over randomly generated kernels: arbitrary arithmetic over u32/f32
+/// register pools, data-dependent diamonds (divergence), data-dependent
+/// loop trip counts (warp decay and re-formation at mixed phases), and
+/// shared-memory exchanges across barriers. Every execution configuration
+/// must produce bit-identical global memory to the scalar baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/ExecutionManager.h"
+#include "simtvec/ir/IRBuilder.h"
+#include "simtvec/ir/Module.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace simtvec;
+
+namespace {
+
+/// Builds a random kernel into \p M and returns its name.
+///
+/// Shape: entry loads one u32 and one f32 per thread, seeds two register
+/// pools, then emits a random sequence of segments:
+///   - arithmetic runs over the pools,
+///   - if/else diamonds on data-dependent predicates,
+///   - bounded loops whose trip count is data-dependent (1..8),
+///   - shared-memory neighbour exchanges across a barrier.
+/// The epilogue stores one u32 and one f32 per thread.
+class RandomKernelBuilder {
+public:
+  RandomKernelBuilder(Module &M, uint64_t Seed) : Rng(Seed) {
+    K = &M.addKernel("random");
+    build();
+  }
+
+private:
+  static constexpr unsigned PoolSize = 4;
+
+  Operand u32Imm() {
+    return Operand::immInt(Type::u32(), static_cast<int64_t>(
+                                            Rng.nextBelow(1000) + 1));
+  }
+  Operand f32Imm() { return Operand::immF32(Rng.nextFloat(-4.0f, 4.0f)); }
+
+  RegId pickU() { return UPool[Rng.nextBelow(PoolSize)]; }
+  RegId pickF() { return FPool[Rng.nextBelow(PoolSize)]; }
+
+  void emitRandomOp(IRBuilder &B) {
+    if (Rng.nextBool(0.5)) {
+      // u32 op
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                   Opcode::Min, Opcode::Max, Opcode::And,
+                                   Opcode::Or,  Opcode::Xor};
+      Opcode Op = Ops[Rng.nextBelow(std::size(Ops))];
+      Operand Src2 = Rng.nextBool(0.3) ? u32Imm() : Operand::reg(pickU());
+      B.binary(Op, Type::u32(), pickU(), Operand::reg(pickU()), Src2);
+      if (Rng.nextBool(0.2)) {
+        // shift by a small immediate
+        B.binary(Rng.nextBool(0.5) ? Opcode::Shl : Opcode::Shr, Type::u32(),
+                 pickU(), Operand::reg(pickU()),
+                 Operand::immInt(Type::u32(),
+                                 static_cast<int64_t>(Rng.nextBelow(8))));
+      }
+    } else {
+      // f32 op
+      if (Rng.nextBool(0.25)) {
+        B.mad(Type::f32(), pickF(), Operand::reg(pickF()),
+              Operand::reg(pickF()), Operand::reg(pickF()));
+      } else if (Rng.nextBool(0.15)) {
+        RegId D = pickF();
+        B.emit(Rng.nextBool(0.5) ? Opcode::Abs : Opcode::Neg, Type::f32(),
+               D, {Operand::reg(pickF())});
+      } else {
+        static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                     Opcode::Min, Opcode::Max};
+        Opcode Op = Ops[Rng.nextBelow(std::size(Ops))];
+        Operand Src2 = Rng.nextBool(0.3) ? f32Imm() : Operand::reg(pickF());
+        B.binary(Op, Type::f32(), pickF(), Operand::reg(pickF()), Src2);
+      }
+    }
+  }
+
+  void emitArithRun(IRBuilder &B, unsigned Count) {
+    for (unsigned I = 0; I < Count; ++I)
+      emitRandomOp(B);
+  }
+
+  /// if (u % k == r) { ops } else { ops }  — data-dependent divergence.
+  void emitDiamond(IRBuilder &B) {
+    unsigned Mod = static_cast<unsigned>(Rng.nextBelow(3)) + 2;
+    RegId T = K->addReg(fresh("dt"), Type::u32());
+    RegId P = K->addReg(fresh("dp"), Type::pred());
+    B.binary(Opcode::Rem, Type::u32(), T, Operand::reg(pickU()),
+             Operand::immInt(Type::u32(), Mod));
+    B.setp(CmpOp::Eq, Type::u32(), P, Operand::reg(T),
+           Operand::immInt(Type::u32(),
+                           static_cast<int64_t>(Rng.nextBelow(Mod))));
+    uint32_t Then = K->addBlock(fresh("then"));
+    uint32_t Else = K->addBlock(fresh("else"));
+    uint32_t Join = K->addBlock(fresh("join"));
+    B.braCond(P, false, Then, Else);
+    B.setBlock(Then);
+    emitArithRun(B, 1 + static_cast<unsigned>(Rng.nextBelow(4)));
+    B.bra(Join);
+    B.setBlock(Else);
+    emitArithRun(B, 1 + static_cast<unsigned>(Rng.nextBelow(4)));
+    B.bra(Join);
+    B.setBlock(Join);
+  }
+
+  /// for (i = 0; i < 1 + (u & 7); ++i) { ops [diamond] } — threads exit at
+  /// different trip counts, decaying warps and re-merging mixed phases.
+  void emitLoop(IRBuilder &B) {
+    RegId I = K->addReg(fresh("li"), Type::u32());
+    RegId N = K->addReg(fresh("ln"), Type::u32());
+    RegId P = K->addReg(fresh("lp"), Type::pred());
+    B.binary(Opcode::And, Type::u32(), N, Operand::reg(pickU()),
+             Operand::immInt(Type::u32(), 7));
+    B.add(Type::u32(), N, Operand::reg(N), Operand::immInt(Type::u32(), 1));
+    B.mov(I, Operand::immInt(Type::u32(), 0));
+    uint32_t Head = K->addBlock(fresh("head"));
+    uint32_t Exit = K->addBlock(fresh("lexit"));
+    B.bra(Head);
+    B.setBlock(Head);
+    emitArithRun(B, 1 + static_cast<unsigned>(Rng.nextBelow(3)));
+    if (Rng.nextBool(0.5))
+      emitDiamond(B);
+    B.add(Type::u32(), I, Operand::reg(I), Operand::immInt(Type::u32(), 1));
+    B.setp(CmpOp::Lt, Type::u32(), P, Operand::reg(I), Operand::reg(N));
+    B.braCond(P, false, Head, Exit);
+    B.setBlock(Exit);
+  }
+
+  /// Shared-memory neighbour exchange across a barrier (threads tid and
+  /// tid^1 swap a u32).
+  void emitExchange(IRBuilder &B) {
+    RegId SA = K->addReg(fresh("sa"), Type::u64());
+    RegId Peer = K->addReg(fresh("peer"), Type::u32());
+    B.cvt(Type::u64(), SA, Operand::special(SReg::TidX));
+    B.binary(Opcode::Shl, Type::u64(), SA, Operand::reg(SA),
+             Operand::immInt(Type::u64(), 2));
+    B.st(AddressSpace::Shared, Type::u32(), Operand::reg(SA),
+         Operand::reg(pickU()));
+    B.barSync();
+    // bar must be block-terminal for the pipeline; BarrierSplit handles
+    // splitting, so a plain append here is fine.
+    B.binary(Opcode::Xor, Type::u32(), Peer, Operand::special(SReg::TidX),
+             Operand::immInt(Type::u32(), 1));
+    RegId PA = K->addReg(fresh("pa"), Type::u64());
+    B.cvt(Type::u64(), PA, Operand::reg(Peer));
+    B.binary(Opcode::Shl, Type::u64(), PA, Operand::reg(PA),
+             Operand::immInt(Type::u64(), 2));
+    B.ld(AddressSpace::Shared, Type::u32(), pickU(), Operand::reg(PA));
+  }
+
+  std::string fresh(const char *Hint) {
+    return std::string(Hint) + std::to_string(Fresh++);
+  }
+
+  void build() {
+    K->addParam("uin", Type::u64());
+    K->addParam("fin", Type::u64());
+    K->addParam("uout", Type::u64());
+    K->addParam("fout", Type::u64());
+    K->addSharedVar("exch", 4 * 64);
+
+    for (unsigned I = 0; I < PoolSize; ++I)
+      UPool[I] = K->addReg("u" + std::to_string(I), Type::u32());
+    for (unsigned I = 0; I < PoolSize; ++I)
+      FPool[I] = K->addReg("f" + std::to_string(I), Type::f32());
+    RegId Gid = K->addReg("gid", Type::u32());
+    RegId Off = K->addReg("off", Type::u64());
+    RegId Addr = K->addReg("addr", Type::u64());
+    RegId Base = K->addReg("base", Type::u64());
+
+    uint32_t Entry = K->addBlock("entry");
+    IRBuilder B(*K);
+    B.setBlock(Entry);
+    B.mov(Gid, Operand::special(SReg::TidX));
+    {
+      Instruction &I = B.emit(Opcode::Mad, Type::u32(), Gid,
+                              {Operand::special(SReg::NTidX),
+                               Operand::special(SReg::CTAIdX),
+                               Operand::reg(Gid)});
+      (void)I;
+    }
+    B.cvt(Type::u64(), Off, Operand::reg(Gid));
+    B.binary(Opcode::Shl, Type::u64(), Off, Operand::reg(Off),
+             Operand::immInt(Type::u64(), 2));
+
+    // Seed the pools.
+    B.ld(AddressSpace::Param, Type::u64(), Base,
+         Operand::symbol(SymKind::Param, 0));
+    B.add(Type::u64(), Addr, Operand::reg(Base), Operand::reg(Off));
+    B.ld(AddressSpace::Global, Type::u32(), UPool[0], Operand::reg(Addr));
+    B.ld(AddressSpace::Param, Type::u64(), Base,
+         Operand::symbol(SymKind::Param, 1));
+    B.add(Type::u64(), Addr, Operand::reg(Base), Operand::reg(Off));
+    B.ld(AddressSpace::Global, Type::f32(), FPool[0], Operand::reg(Addr));
+    B.mov(UPool[1], Operand::reg(Gid));
+    B.binary(Opcode::Xor, Type::u32(), UPool[2], Operand::reg(UPool[0]),
+             Operand::immInt(Type::u32(), 0x5a5a));
+    B.mov(UPool[3], Operand::immInt(Type::u32(), 7));
+    B.cvt(Type::f32(), FPool[1], Operand::reg(Gid));
+    B.binary(Opcode::Mul, Type::f32(), FPool[2], Operand::reg(FPool[0]),
+             Operand::immF32(0.5f));
+    B.mov(FPool[3], Operand::immF32(1.25f));
+
+    // Random segments.
+    unsigned Segments = 2 + static_cast<unsigned>(Rng.nextBelow(4));
+    for (unsigned S = 0; S < Segments; ++S) {
+      emitArithRun(B, 1 + static_cast<unsigned>(Rng.nextBelow(5)));
+      double Roll = Rng.nextDouble();
+      if (Roll < 0.4)
+        emitDiamond(B);
+      else if (Roll < 0.65)
+        emitLoop(B);
+      else if (Roll < 0.8)
+        emitExchange(B);
+    }
+
+    // Epilogue: store one value of each kind.
+    B.ld(AddressSpace::Param, Type::u64(), Base,
+         Operand::symbol(SymKind::Param, 2));
+    B.add(Type::u64(), Addr, Operand::reg(Base), Operand::reg(Off));
+    B.st(AddressSpace::Global, Type::u32(), Operand::reg(Addr),
+         Operand::reg(pickU()));
+    B.ld(AddressSpace::Param, Type::u64(), Base,
+         Operand::symbol(SymKind::Param, 3));
+    B.add(Type::u64(), Addr, Operand::reg(Base), Operand::reg(Off));
+    B.st(AddressSpace::Global, Type::f32(), Operand::reg(Addr),
+         Operand::reg(pickF()));
+    B.ret();
+  }
+
+  RNG Rng;
+  Kernel *K = nullptr;
+  RegId UPool[PoolSize];
+  RegId FPool[PoolSize];
+  unsigned Fresh = 0;
+};
+
+/// Runs the random kernel under \p Config; returns the two output arrays.
+struct RunOutput {
+  std::vector<uint32_t> U;
+  std::vector<uint32_t> FBits;
+};
+
+RunOutput runUnder(const Module &M, const LaunchConfig &Config,
+                   uint64_t DataSeed, uint32_t Threads) {
+  TranslationCache TC(M, Config.Machine);
+  std::vector<std::byte> Global(1 << 20);
+  std::mutex AtomicMutex;
+
+  RNG Data(DataSeed);
+  std::vector<uint32_t> UIn(Threads);
+  std::vector<float> FIn(Threads);
+  for (uint32_t I = 0; I < Threads; ++I) {
+    UIn[I] = static_cast<uint32_t>(Data.next());
+    FIn[I] = Data.nextFloat(-8.0f, 8.0f);
+  }
+  uint64_t AU = 64, AF = AU + Threads * 4, OU = AF + Threads * 4,
+           OF = OU + Threads * 4;
+  std::memcpy(Global.data() + AU, UIn.data(), Threads * 4);
+  std::memcpy(Global.data() + AF, FIn.data(), Threads * 4);
+
+  ParamBuilder Params;
+  Params.addU64(AU).addU64(AF).addU64(OU).addU64(OF);
+
+  Dim3 Grid{Threads / 64, 1, 1};
+  Dim3 Block{64, 1, 1};
+  auto S = launchKernel(TC, "random", Grid, Block, Params.bytes(),
+                        Global.data(), Global.size(), AtomicMutex, Config);
+  EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();
+
+  RunOutput Out;
+  Out.U.resize(Threads);
+  Out.FBits.resize(Threads);
+  std::memcpy(Out.U.data(), Global.data() + OU, Threads * 4);
+  std::memcpy(Out.FBits.data(), Global.data() + OF, Threads * 4);
+  return Out;
+}
+
+class RandomKernelEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomKernelEquivalence, AllConfigsMatchScalar) {
+  uint64_t Seed = GetParam();
+  Module M;
+  RandomKernelBuilder Builder(M, Seed);
+  ASSERT_FALSE(verifyModule(M).isError()) << verifyModule(M).message();
+
+  const uint32_t Threads = 128;
+  LaunchConfig Scalar;
+  Scalar.MaxWarpSize = 1;
+  Scalar.UseOsThreads = false;
+  RunOutput Ref = runUnder(M, Scalar, Seed * 33 + 1, Threads);
+
+  struct Cfg {
+    const char *Name;
+    uint32_t WS;
+    WarpFormation Formation;
+    bool Tie, Ubo, Ulo;
+  };
+  const Cfg Cfgs[] = {
+      {"dyn2", 2, WarpFormation::Dynamic, false, false, false},
+      {"dyn4", 4, WarpFormation::Dynamic, false, false, false},
+      {"static4", 4, WarpFormation::Static, false, false, false},
+      {"tie4", 4, WarpFormation::Static, true, false, false},
+      {"ubo4", 4, WarpFormation::Dynamic, false, true, false},
+      {"ulo4", 4, WarpFormation::Dynamic, false, false, true},
+      {"all4", 4, WarpFormation::Static, true, true, true},
+  };
+  for (const Cfg &C : Cfgs) {
+    LaunchConfig Config;
+    Config.MaxWarpSize = C.WS;
+    Config.Formation = C.Formation;
+    Config.ThreadInvariantElim = C.Tie;
+    Config.UniformBranchOpt = C.Ubo;
+    Config.UniformLoadOpt = C.Ulo;
+    Config.UseOsThreads = false;
+    RunOutput Got = runUnder(M, Config, Seed * 33 + 1, Threads);
+    EXPECT_EQ(Got.U, Ref.U) << "u32 outputs differ under " << C.Name
+                            << " (seed " << Seed << ")";
+    EXPECT_EQ(Got.FBits, Ref.FBits)
+        << "f32 outputs differ under " << C.Name << " (seed " << Seed
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, RandomKernelEquivalence,
+                         ::testing::Range<uint64_t>(1, 33));
+
+
+//===----------------------------------------------------------------------===
+// Divergence-probability sweep: correctness at every divergence rate
+//===----------------------------------------------------------------------===
+
+/// The divergence_explorer kernel: a data-dependent heavy/light branch per
+/// round whose taken-probability is a launch parameter. Sweeping it pushes
+/// the execution manager through every regime — fully convergent, mixed,
+/// and fully divergent — while the u32 outputs stay bit-checkable.
+class DivergenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivergenceSweep, VectorMatchesScalarAtEveryRate) {
+  const char *Src = R"(
+.kernel diverge (.param .u64 seeds, .param .u64 out, .param .u32 rounds,
+                 .param .u32 threshold)
+{
+  .reg .u32 %gid, %state, %acc, %i, %nr, %np, %thr, %draw;
+  .reg .u64 %addr, %base, %off;
+  .reg .pred %pheavy, %p;
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %np, [rounds];
+  mov.u32 %nr, %np;
+  ld.param.u32 %np, [threshold];
+  mov.u32 %thr, %np;
+  ld.param.u64 %base, [seeds];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  ld.global.u32 %state, [%addr];
+  mov.u32 %acc, 0;
+  mov.u32 %i, 0;
+  bra loop;
+loop:
+  mul.u32 %state, %state, 1664525;
+  add.u32 %state, %state, 1013904223;
+  shr.u32 %draw, %state, 16;
+  and.u32 %draw, %draw, 0xFFFF;
+  setp.lt.u32 %pheavy, %draw, %thr;
+  @%pheavy bra heavy, light;
+heavy:
+  xor.u32 %acc, %acc, %state;
+  shl.u32 %draw, %acc, 3;
+  add.u32 %acc, %acc, %draw;
+  bra join;
+light:
+  add.u32 %acc, %acc, %state;
+  bra join;
+join:
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %nr;
+  @%p bra loop, store;
+store:
+  ld.param.u64 %base, [out];
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %acc;
+  ret;
+}
+)";
+  const int Percent = GetParam();
+  const uint32_t Threads = 256, Rounds = 16;
+  uint32_t Threshold = static_cast<uint32_t>(65536.0 * Percent / 100.0);
+
+  auto Prog = Program::compile(Src).take();
+  auto RunConfig = [&](const LaunchOptions &Options) {
+    Device Dev(1 << 16);
+    RNG Rng(991);
+    std::vector<uint32_t> Seeds(Threads);
+    for (auto &S : Seeds)
+      S = static_cast<uint32_t>(Rng.next());
+    uint64_t DSeeds = Dev.allocArray<uint32_t>(Threads);
+    uint64_t DOut = Dev.allocArray<uint32_t>(Threads);
+    Dev.upload(DSeeds, Seeds);
+    ParamBuilder Params;
+    Params.addU64(DSeeds).addU64(DOut).addU32(Rounds).addU32(Threshold);
+    auto S = Prog->launch(Dev, "diverge", {Threads / 64, 1, 1}, {64, 1, 1},
+                          Params, Options);
+    EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();
+    return Dev.download<uint32_t>(DOut, Threads);
+  };
+
+  LaunchOptions Scalar;
+  Scalar.MaxWarpSize = 1;
+  auto Ref = RunConfig(Scalar);
+  for (uint32_t WS : {2u, 4u}) {
+    LaunchOptions O;
+    O.MaxWarpSize = WS;
+    EXPECT_EQ(RunConfig(O), Ref) << "ws" << WS << " @ " << Percent << "%";
+  }
+  LaunchOptions StaticTie;
+  StaticTie.MaxWarpSize = 4;
+  StaticTie.Formation = WarpFormation::Static;
+  StaticTie.ThreadInvariantElim = true;
+  EXPECT_EQ(RunConfig(StaticTie), Ref) << "tie @ " << Percent << "%";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DivergenceSweep,
+                         ::testing::Values(0, 5, 10, 25, 50, 75, 90, 100));
+
+} // namespace

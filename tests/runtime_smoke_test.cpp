@@ -1,0 +1,141 @@
+//===- tests/runtime_smoke_test.cpp - End-to-end launch smoke tests -------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+const char *VecAddSrc = R"(
+.kernel vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n)
+{
+  .reg .u32 %i, %n;
+  .reg .u64 %off, %pa, %pb, %pc, %base_a, %base_b, %base_c;
+  .reg .f32 %x, %y, %z;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %i, %tid.x;
+  mov.u32 %n, %ntid.x;
+  mul.u32 %n, %n, %ctaid.x;
+  add.u32 %i, %i, %n;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %p, %i, %n;
+  @%p bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %base_a, [a];
+  ld.param.u64 %base_b, [b];
+  ld.param.u64 %base_c, [c];
+  add.u64 %pa, %base_a, %off;
+  add.u64 %pb, %base_b, %off;
+  add.u64 %pc, %base_c, %off;
+  ld.global.f32 %x, [%pa];
+  ld.global.f32 %y, [%pb];
+  add.f32 %z, %x, %y;
+  st.global.f32 [%pc], %z;
+  bra done;
+done:
+  ret;
+}
+)";
+
+/// Launch vecadd under one configuration and validate every element.
+void runVecAdd(const LaunchOptions &Options, uint32_t N) {
+  Device Dev;
+  auto ProgOrErr = Program::compile(VecAddSrc);
+  ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  auto &Prog = *ProgOrErr;
+
+  std::vector<float> A(N), B(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    A[I] = static_cast<float>(I) * 0.5f;
+    B[I] = static_cast<float>(N - I);
+  }
+  uint64_t DA = Dev.allocArray<float>(N);
+  uint64_t DB = Dev.allocArray<float>(N);
+  uint64_t DC = Dev.allocArray<float>(N);
+  Dev.upload(DA, A);
+  Dev.upload(DB, B);
+
+  ParamBuilder Params;
+  Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+
+  Dim3 Block{64, 1, 1};
+  Dim3 Grid{(N + 63) / 64, 1, 1};
+  auto StatsOrErr = Prog->launch(Dev, "vecadd", Grid, Block, Params, Options);
+  ASSERT_TRUE(static_cast<bool>(StatsOrErr))
+      << StatsOrErr.status().message();
+
+  std::vector<float> C = Dev.download<float>(DC, N);
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(C[I], A[I] + B[I]) << "element " << I;
+
+  EXPECT_GT(StatsOrErr->WarpEntries, 0u);
+  EXPECT_GT(StatsOrErr->Counters.totalCycles(), 0.0);
+}
+
+TEST(RuntimeSmoke, VecAddScalar) {
+  LaunchOptions Options;
+  Options.MaxWarpSize = 1;
+  runVecAdd(Options, 1000);
+}
+
+TEST(RuntimeSmoke, VecAddWarp4Dynamic) {
+  LaunchOptions Options;
+  Options.MaxWarpSize = 4;
+  runVecAdd(Options, 1000);
+}
+
+TEST(RuntimeSmoke, VecAddWarp2Dynamic) {
+  LaunchOptions Options;
+  Options.MaxWarpSize = 2;
+  runVecAdd(Options, 333);
+}
+
+TEST(RuntimeSmoke, VecAddStaticTie) {
+  LaunchOptions Options;
+  Options.MaxWarpSize = 4;
+  Options.Formation = WarpFormation::Static;
+  Options.ThreadInvariantElim = true;
+  runVecAdd(Options, 1000);
+}
+
+TEST(RuntimeSmoke, VecAddSequentialWorkers) {
+  LaunchOptions Options;
+  Options.MaxWarpSize = 4;
+  Options.UseOsThreads = false;
+  runVecAdd(Options, 257);
+}
+
+TEST(RuntimeSmoke, ModeledMetricsAreDeterministic) {
+  // Two identical launches must produce bit-identical modeled results
+  // regardless of host scheduling.
+  auto RunOnce = [] {
+    Device Dev;
+    auto Prog = Program::compile(VecAddSrc).take();
+    uint32_t N = 512;
+    std::vector<float> A(N, 1.0f), B(N, 2.0f);
+    uint64_t DA = Dev.allocArray<float>(N), DB = Dev.allocArray<float>(N),
+             DC = Dev.allocArray<float>(N);
+    Dev.upload(DA, A);
+    Dev.upload(DB, B);
+    ParamBuilder Params;
+    Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+    return Prog->launch(Dev, "vecadd", {8, 1, 1}, {64, 1, 1}, Params).take();
+  };
+  LaunchStats S1 = RunOnce(), S2 = RunOnce();
+  EXPECT_EQ(S1.Counters.totalCycles(), S2.Counters.totalCycles());
+  EXPECT_EQ(S1.Counters.InstsExecuted, S2.Counters.InstsExecuted);
+  EXPECT_EQ(S1.WarpEntries, S2.WarpEntries);
+  EXPECT_EQ(S1.MaxWorkerCycles, S2.MaxWorkerCycles);
+}
+
+} // namespace

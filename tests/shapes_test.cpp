@@ -1,0 +1,209 @@
+//===- tests/shapes_test.cpp - Evaluation-shape regression tests ----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Locks the reproduced evaluation shapes (EXPERIMENTS.md) into the test
+/// suite: Table 1's throughput curve, Figure 6's per-class ordering and
+/// slowdowns, Figure 7's warp-size dominance, Figure 8's liveness range,
+/// Figure 9's cycle-breakdown classes and Figure 10's static+TIE gains.
+/// These are deliberately loose bands — they must survive cost-model
+/// retuning — but they fail if a change destroys a paper-level conclusion.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+LaunchStats run(const char *Name, const LaunchOptions &O) {
+  const Workload *W = findWorkload(Name);
+  EXPECT_NE(W, nullptr);
+  auto S = runWorkload(*W, 1, O);
+  EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();
+  return S.take();
+}
+
+LaunchOptions ws(uint32_t MaxWarp) {
+  LaunchOptions O;
+  O.MaxWarpSize = MaxWarp;
+  return O;
+}
+
+LaunchOptions staticTie() {
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Formation = WarpFormation::Static;
+  O.ThreadInvariantElim = true;
+  return O;
+}
+
+double speedup(const LaunchStats &Base, const LaunchStats &Opt) {
+  return Base.MaxWorkerCycles / Opt.MaxWorkerCycles;
+}
+
+//===----------------------------------------------------------------------===
+// Table 1
+//===----------------------------------------------------------------------===
+
+TEST(ShapeTable1, ThroughputCurve) {
+  double G1 = run("Throughput", ws(1)).gflops();
+  double G2 = run("Throughput", ws(2)).gflops();
+  double G4 = run("Throughput", ws(4)).gflops();
+  double G8 = run("Throughput", ws(8)).gflops();
+  // Paper: 25.0 / 47.9 / 97.1 / 37.0 on a ~108 GFLOP/s machine.
+  EXPECT_NEAR(G1, 25.0, 5.0);
+  EXPECT_NEAR(G2, 48.0, 8.0);
+  EXPECT_GT(G4, 85.0); // ~90% of the 108.8 peak
+  EXPECT_LT(G4, 108.8);
+  // The warp-size-8 register-pressure collapse: well below ws4, and below
+  // 2x scalar.
+  EXPECT_LT(G8, 0.5 * G4);
+  EXPECT_LT(G8, 2.0 * G1);
+  EXPECT_GT(G8, G1); // but still above scalar, as in the paper
+}
+
+//===----------------------------------------------------------------------===
+// Figure 6
+//===----------------------------------------------------------------------===
+
+TEST(ShapeFig6, ComputeUniformKernelsSpeedUpStrongly) {
+  for (const char *Name : {"BlackScholes", "MonteCarlo", "Nbody", "cp"}) {
+    LaunchStats Scalar = run(Name, ws(1));
+    LaunchStats Vec = run(Name, ws(4));
+    EXPECT_GT(speedup(Scalar, Vec), 1.6) << Name;
+  }
+}
+
+TEST(ShapeFig6, UncorrelatedDivergenceSlowsDown) {
+  // Paper: MersenneTwister and mri-q run slower with dynamic warp
+  // formation.
+  for (const char *Name : {"MersenneTwister", "mri-q", "mri-fhd"}) {
+    LaunchStats Scalar = run(Name, ws(1));
+    LaunchStats Vec = run(Name, ws(4));
+    EXPECT_LT(speedup(Scalar, Vec), 1.0) << Name;
+  }
+}
+
+TEST(ShapeFig6, MemoryBoundKernelsGainLittle) {
+  for (const char *Name : {"VectorAdd", "Histogram64", "ScalarProd"}) {
+    LaunchStats Scalar = run(Name, ws(1));
+    LaunchStats Vec = run(Name, ws(4));
+    double S = speedup(Scalar, Vec);
+    EXPECT_GT(S, 0.9) << Name;
+    EXPECT_LT(S, 1.7) << Name; // clearly below the compute-uniform tier
+  }
+}
+
+TEST(ShapeFig6, WiderWarpsHelpConvergentKernels) {
+  LaunchStats W1 = run("BlackScholes", ws(1));
+  LaunchStats W2 = run("BlackScholes", ws(2));
+  LaunchStats W4 = run("BlackScholes", ws(4));
+  EXPECT_GT(speedup(W1, W2), 1.1);
+  EXPECT_GT(speedup(W2, W4), 1.1);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 7
+//===----------------------------------------------------------------------===
+
+TEST(ShapeFig7, FullWarpsDominateConvergentKernels) {
+  LaunchStats S = run("BlackScholes", ws(4));
+  EXPECT_DOUBLE_EQ(S.avgWarpSize(), 4.0);
+}
+
+TEST(ShapeFig7, DivergentKernelsMixSmallerWarps) {
+  LaunchStats S = run("Mandelbrot", ws(4));
+  EXPECT_LT(S.avgWarpSize(), 4.0);
+  EXPECT_GT(S.avgWarpSize(), 3.0); // still mostly full, as in the paper
+  EXPECT_GT(S.EntriesByWidth.at(1) + S.EntriesByWidth.at(2), 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 8
+//===----------------------------------------------------------------------===
+
+TEST(ShapeFig8, RestoredValuesStayBelowRegisterFile) {
+  // Paper: 4.54 values on average, fewer than architectural registers.
+  double Weighted = 0;
+  uint64_t Entries = 0;
+  for (const Workload &W : allWorkloads()) {
+    LaunchStats S = run(W.Name, ws(4));
+    Weighted += static_cast<double>(S.Counters.RestoredValues);
+    Entries += S.ThreadEntries;
+  }
+  double Avg = Weighted / static_cast<double>(Entries);
+  EXPECT_GT(Avg, 2.0);
+  EXPECT_LT(Avg, 10.0);
+}
+
+//===----------------------------------------------------------------------===
+// Figure 9
+//===----------------------------------------------------------------------===
+
+TEST(ShapeFig9, ComputeKernelsAreSubkernelBound) {
+  for (const char *Name : {"Nbody", "cp", "Throughput"}) {
+    LaunchStats S = run(Name, ws(4));
+    EXPECT_GT(S.subkernelFraction(), 0.9) << Name;
+  }
+}
+
+TEST(ShapeFig9, SynchronizationKernelsAreManagerBound) {
+  for (const char *Name : {"BinomialOptions", "Scan", "FastWalshTransform"}) {
+    LaunchStats S = run(Name, ws(4));
+    EXPECT_GT(S.emFraction() + S.yieldFraction(), 0.5) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Figure 10 / §6.2
+//===----------------------------------------------------------------------===
+
+TEST(ShapeFig10, StaticTieHelpsTheIrregularCase) {
+  // Paper: MersenneTwister gains most from constrained warp formation.
+  LaunchStats Dyn = run("MersenneTwister", ws(4));
+  LaunchStats Static = run("MersenneTwister", staticTie());
+  EXPECT_GT(speedup(Dyn, Static), 1.05);
+}
+
+TEST(ShapeSec62, TieReducesStaticInstructionCount) {
+  const Workload &W = *findWorkload("BlackScholes");
+  auto Prog = compileWorkload(W);
+  auto Plain =
+      Prog->translationCache().get({W.KernelName, 4, false, false, false});
+  auto Tie =
+      Prog->translationCache().get({W.KernelName, 4, true, false, false});
+  ASSERT_TRUE(static_cast<bool>(Plain));
+  ASSERT_TRUE(static_cast<bool>(Tie));
+  EXPECT_LT((*Tie)->kernel().instructionCount(),
+            (*Plain)->kernel().instructionCount());
+}
+
+//===----------------------------------------------------------------------===
+// Static warp formation groups stay aligned
+//===----------------------------------------------------------------------===
+
+TEST(ShapeStaticFormation, GroupsNeverSpanAlignmentBoundaries) {
+  // A 6-thread CTA under static formation must enter as one warp of 4
+  // (group 0) and one warp of 2 (group 1) — never as a warp mixing the
+  // groups, which dynamic formation would happily build.
+  const Workload &W = *findWorkload("VectorAdd");
+  auto Prog = compileWorkload(W);
+  auto Inst = W.Make(1);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Formation = WarpFormation::Static;
+  O.Workers = 1;
+  auto S = Prog->launch(*Inst->Dev, W.KernelName, {1, 1, 1}, {6, 1, 1},
+                        Inst->Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  EXPECT_EQ(S->EntriesByWidth.at(4), 1u);
+  EXPECT_EQ(S->EntriesByWidth.at(2), 1u);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/BitSet.h"
+#include "simtvec/support/Casting.h"
+#include "simtvec/support/Format.h"
+#include "simtvec/support/RNG.h"
+#include "simtvec/support/Status.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+TEST(BitSetTest, SetResetTest) {
+  BitSet S(130);
+  EXPECT_EQ(S.size(), 130u);
+  EXPECT_EQ(S.count(), 0u);
+  S.set(0);
+  S.set(64);
+  S.set(129);
+  EXPECT_TRUE(S.test(0));
+  EXPECT_TRUE(S.test(64));
+  EXPECT_TRUE(S.test(129));
+  EXPECT_FALSE(S.test(1));
+  EXPECT_EQ(S.count(), 3u);
+  S.reset(64);
+  EXPECT_FALSE(S.test(64));
+  EXPECT_EQ(S.count(), 2u);
+}
+
+TEST(BitSetTest, UnionWith) {
+  BitSet A(100), B(100);
+  A.set(3);
+  B.set(3);
+  B.set(77);
+  EXPECT_TRUE(A.unionWith(B));  // changed: bit 77 added
+  EXPECT_FALSE(A.unionWith(B)); // no further change
+  EXPECT_TRUE(A.test(77));
+  EXPECT_EQ(A.count(), 2u);
+}
+
+TEST(BitSetTest, UnionWithMinus) {
+  BitSet A(70), B(70), Kill(70);
+  B.set(10);
+  B.set(20);
+  Kill.set(20);
+  EXPECT_TRUE(A.unionWithMinus(B, Kill));
+  EXPECT_TRUE(A.test(10));
+  EXPECT_FALSE(A.test(20));
+}
+
+TEST(BitSetTest, ForEachAscending) {
+  BitSet S(200);
+  S.set(5);
+  S.set(63);
+  S.set(64);
+  S.set(199);
+  std::vector<size_t> Seen;
+  S.forEach([&](size_t B) { Seen.push_back(B); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{5, 63, 64, 199}));
+}
+
+TEST(BitSetTest, Equality) {
+  BitSet A(40), B(40);
+  A.set(12);
+  EXPECT_FALSE(A == B);
+  B.set(12);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(FormatTest, BasicFormatting) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(formatString("%05u", 7u), "00007");
+  EXPECT_EQ(formatString("plain"), "plain");
+}
+
+TEST(FormatTest, LongStrings) {
+  std::string Long(5000, 'a');
+  EXPECT_EQ(formatString("%s!", Long.c_str()).size(), 5001u);
+}
+
+TEST(StatusTest, SuccessAndError) {
+  Status Ok = Status::success();
+  EXPECT_FALSE(Ok.isError());
+  Status Err = Status::error("boom");
+  EXPECT_TRUE(Err.isError());
+  EXPECT_EQ(Err.message(), "boom");
+}
+
+TEST(StatusTest, ExpectedValue) {
+  Expected<int> V(7);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 7);
+  EXPECT_EQ(V.take(), 7);
+}
+
+TEST(StatusTest, ExpectedError) {
+  Expected<int> E(Status::error("nope"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.status().message(), "nope");
+}
+
+TEST(RNGTest, Deterministic) {
+  RNG A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNGTest, FloatRanges) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    float F = R.nextFloat();
+    EXPECT_GE(F, 0.0f);
+    EXPECT_LT(F, 1.0f);
+    float G = R.nextFloat(-3.0f, 5.0f);
+    EXPECT_GE(G, -3.0f);
+    EXPECT_LT(G, 5.0f);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNGTest, NextBelow) {
+  RNG R(9);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+// LLVM-style casting over a tiny hierarchy.
+struct Animal {
+  enum class Kind { Cat, Dog } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Cat; }
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Dog; }
+};
+
+TEST(CastingTest, IsaCastDynCast) {
+  Cat C;
+  Animal *A = &C;
+  EXPECT_TRUE(isa<Cat>(A));
+  EXPECT_FALSE(isa<Dog>(A));
+  EXPECT_EQ(cast<Cat>(A), &C);
+  EXPECT_EQ(dyn_cast<Dog>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Cat>(A), &C);
+  const Animal *CA = &C;
+  EXPECT_TRUE(isa<Cat>(CA));
+  EXPECT_NE(cast<Cat>(CA), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,418 @@
+//===- tests/vm_test.cpp - Vector virtual machine unit tests --------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/support/Format.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+using namespace simtvec;
+
+namespace {
+
+/// Runs a one-thread kernel whose first parameter is an output pointer;
+/// returns the first 32-bit word written there. Aborts on launch error.
+uint32_t run1(const std::string &Body, const std::string &Decls) {
+  std::string Src = ".kernel t (.param .u64 out)\n{\n" + Decls +
+                    "\nentry:\n" + Body + "\n  ret;\n}\n";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(4);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  LaunchOptions O;
+  O.MaxWarpSize = 1;
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, O);
+  EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();
+  return Dev.download<uint32_t>(Out, 1)[0];
+}
+
+float run1f(const std::string &Body, const std::string &Decls) {
+  uint32_t Bits = run1(Body, Decls);
+  float F;
+  std::memcpy(&F, &Bits, 4);
+  return F;
+}
+
+std::string storeR(const char *Ty = "u32") {
+  return formatString("  ld.param.u64 %%a, [out];\n  st.global.%s [%%a], "
+                      "%%r;\n",
+                      Ty);
+}
+
+TEST(VMSemantics, IntegerArithmetic) {
+  std::string D = "  .reg .u32 %r;\n  .reg .u64 %a;";
+  EXPECT_EQ(run1("  add.u32 %r, 40, 2;\n" + storeR(), D), 42u);
+  EXPECT_EQ(run1("  sub.u32 %r, 2, 3;\n" + storeR(), D), 0xFFFFFFFFu);
+  EXPECT_EQ(run1("  mul.u32 %r, 0x10000, 0x10000;\n" + storeR(), D), 0u);
+  EXPECT_EQ(run1("  div.u32 %r, 7, 2;\n" + storeR(), D), 3u);
+  EXPECT_EQ(run1("  rem.u32 %r, 7, 2;\n" + storeR(), D), 1u);
+  EXPECT_EQ(run1("  not.u32 %r, 0;\n" + storeR(), D), 0xFFFFFFFFu);
+}
+
+TEST(VMSemantics, SignedArithmetic) {
+  std::string D = "  .reg .s32 %r;\n  .reg .u64 %a;";
+  EXPECT_EQ(run1("  div.s32 %r, -7, 2;\n" + storeR("s32"), D),
+            static_cast<uint32_t>(-3));
+  EXPECT_EQ(run1("  min.s32 %r, -5, 3;\n" + storeR("s32"), D),
+            static_cast<uint32_t>(-5));
+  EXPECT_EQ(run1("  max.s32 %r, -5, 3;\n" + storeR("s32"), D), 3u);
+  EXPECT_EQ(run1("  abs.s32 %r, -9;\n" + storeR("s32"), D), 9u);
+  EXPECT_EQ(run1("  neg.s32 %r, 4;\n" + storeR("s32"), D),
+            static_cast<uint32_t>(-4));
+  EXPECT_EQ(run1("  shr.s32 %r, -16, 2;\n" + storeR("s32"), D),
+            static_cast<uint32_t>(-4));
+}
+
+TEST(VMSemantics, FloatArithmetic) {
+  std::string D = "  .reg .f32 %r;\n  .reg .u64 %a;";
+  EXPECT_FLOAT_EQ(run1f("  mad.f32 %r, 2.0, 3.0, 4.0;\n" + storeR("f32"), D),
+                  10.0f);
+  EXPECT_FLOAT_EQ(run1f("  div.f32 %r, 1.0, 4.0;\n" + storeR("f32"), D),
+                  0.25f);
+  EXPECT_FLOAT_EQ(run1f("  sqrt.f32 %r, 9.0;\n" + storeR("f32"), D), 3.0f);
+  EXPECT_FLOAT_EQ(run1f("  rsqrt.f32 %r, 4.0;\n" + storeR("f32"), D), 0.5f);
+  EXPECT_FLOAT_EQ(run1f("  rcp.f32 %r, 8.0;\n" + storeR("f32"), D), 0.125f);
+  EXPECT_FLOAT_EQ(run1f("  ex2.f32 %r, 3.0;\n" + storeR("f32"), D), 8.0f);
+  EXPECT_FLOAT_EQ(run1f("  lg2.f32 %r, 8.0;\n" + storeR("f32"), D), 3.0f);
+  EXPECT_NEAR(run1f("  sin.f32 %r, 0.5;\n" + storeR("f32"), D),
+              std::sin(0.5f), 1e-6f);
+  EXPECT_NEAR(run1f("  cos.f32 %r, 0.5;\n" + storeR("f32"), D),
+              std::cos(0.5f), 1e-6f);
+}
+
+TEST(VMSemantics, CompareAndSelect) {
+  std::string D =
+      "  .reg .u32 %r;\n  .reg .pred %p;\n  .reg .u64 %a;";
+  EXPECT_EQ(run1("  setp.le.u32 %p, 3, 3;\n  selp.u32 %r, 7, 8, %p;\n" +
+                     storeR(),
+                 D),
+            7u);
+  EXPECT_EQ(run1("  setp.gt.s32 %p, -1, 0;\n  selp.u32 %r, 7, 8, %p;\n" +
+                     storeR(),
+                 D),
+            8u);
+  // Unsigned comparison: -1 as u32 is huge.
+  EXPECT_EQ(run1("  setp.gt.u32 %p, 0xFFFFFFFF, 0;\n  selp.u32 %r, 7, 8, "
+                 "%p;\n" +
+                     storeR(),
+                 D),
+            7u);
+}
+
+TEST(VMSemantics, PredicateLogic) {
+  std::string D = "  .reg .u32 %r;\n  .reg .pred %p, %q;\n  .reg .u64 %a;";
+  EXPECT_EQ(run1("  setp.eq.u32 %p, 1, 1;\n  setp.eq.u32 %q, 1, 2;\n"
+                 "  or.pred %p, %p, %q;\n  selp.u32 %r, 1, 0, %p;\n" +
+                     storeR(),
+                 D),
+            1u);
+  EXPECT_EQ(run1("  setp.eq.u32 %p, 1, 1;\n  not.pred %p, %p;\n"
+                 "  selp.u32 %r, 1, 0, %p;\n" +
+                     storeR(),
+                 D),
+            0u);
+}
+
+TEST(VMSemantics, Conversions) {
+  std::string D = "  .reg .u32 %r;\n  .reg .s32 %s;\n  .reg .f32 %f;\n"
+                  "  .reg .f64 %d;\n  .reg .u64 %a;";
+  // f32 -> s32 truncation.
+  EXPECT_EQ(run1("  mov.f32 %f, 3.7;\n  cvt.s32.f32 %s, %f;\n"
+                 "  cvt.u32.s32 %r, %s;\n" +
+                     storeR(),
+                 D),
+            3u);
+  // negative truncation toward zero
+  EXPECT_EQ(run1("  mov.f32 %f, -3.7;\n  cvt.s32.f32 %s, %f;\n"
+                 "  cvt.u32.s32 %r, %s;\n" +
+                     storeR(),
+                 D),
+            static_cast<uint32_t>(-3));
+  // u32 -> f32 -> u32 round trip for exact values
+  EXPECT_EQ(run1("  cvt.f32.u32 %f, 1000000;\n  cvt.u32.f32 %r, %f;\n" +
+                     storeR(),
+                 D),
+            1000000u);
+  // f32 <-> f64
+  EXPECT_EQ(run1("  mov.f32 %f, 0.5;\n  cvt.f64.f32 %d, %f;\n"
+                 "  cvt.f32.f64 %f, %d;\n  cvt.u32.f32 %r, %f;\n" +
+                     storeR(),
+                 D),
+            0u);
+}
+
+TEST(VMSemantics, U8LoadsAndStores) {
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .reg .u32 %r, %b;
+  .reg .u64 %a;
+entry:
+  ld.param.u64 %a, [out];
+  mov.u32 %b, 0x1FF;       // truncates to 0xFF in memory
+  st.global.u8 [%a+8], %b;
+  ld.global.u8 %r, [%a+8];
+  st.global.u32 [%a], %r;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(4);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  EXPECT_EQ(Dev.download<uint32_t>(Out, 1)[0], 0xFFu);
+}
+
+TEST(VMSemantics, SharedAndLocalSpacesAreDisjoint) {
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .shared .b8 smem[16];
+  .local .b8 lmem[16];
+  .reg .u32 %x, %y, %r;
+  .reg .u64 %a;
+entry:
+  mov.u32 %x, 11;
+  st.shared.u32 [smem], %x;
+  mov.u32 %y, 22;
+  st.local.u32 [lmem], %y;
+  ld.shared.u32 %x, [smem];
+  ld.local.u32 %y, [lmem];
+  shl.u32 %r, %x, 8;
+  or.u32 %r, %r, %y;
+  ld.param.u64 %a, [out];
+  st.global.u32 [%a], %r;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(1);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  EXPECT_EQ(Dev.download<uint32_t>(Out, 1)[0], (11u << 8) | 22u);
+}
+
+TEST(VMSemantics, LocalMemoryIsPerThread) {
+  // Two threads write their tid to the same .local address; each must read
+  // back its own value.
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .local .b8 lmem[4];
+  .reg .u32 %t, %r;
+  .reg .u64 %a, %off;
+entry:
+  mov.u32 %t, %tid.x;
+  st.local.u32 [lmem], %t;
+  bar.sync;
+  ld.local.u32 %r, [lmem];
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %r;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(8);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {8, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  auto R = Dev.download<uint32_t>(Out, 8);
+  for (uint32_t T = 0; T < 8; ++T)
+    EXPECT_EQ(R[T], T);
+}
+
+TEST(VMSemantics, OutOfBoundsGlobalTraps) {
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .reg .u32 %r;
+  .reg .u64 %a, %o;
+entry:
+  mov.u64 %a, 0xFFFFFFFF0;
+  ld.global.u32 %r, [%a];
+  // Keep %r live so DCE cannot delete the faulting load.
+  ld.param.u64 %o, [out];
+  st.global.u32 [%o], %r;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  ParamBuilder Params;
+  Params.addU64(16);
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.status().message().find("out-of-bounds"), std::string::npos);
+}
+
+TEST(VMSemantics, StoreToParamTraps) {
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .reg .u32 %r;
+entry:
+  mov.u32 %r, 1;
+  st.param.u32 [out], %r;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  ParamBuilder Params;
+  Params.addU64(0);
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.status().message().find("read-only"), std::string::npos);
+}
+
+TEST(VMSemantics, AtomicsAccumulateAcrossThreads) {
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .reg .u32 %old, %one;
+  .reg .u64 %a;
+entry:
+  ld.param.u64 %a, [out];
+  mov.u32 %one, 1;
+  atom.global.add.u32 %old, [%a], %one;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(1);
+  Dev.memset(Out, 0, 4);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  auto S = Prog->launch(Dev, "t", {4, 1, 1}, {64, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  EXPECT_EQ(Dev.download<uint32_t>(Out, 1)[0], 256u);
+}
+
+TEST(VMSemantics, SpecialRegistersReflectGeometry) {
+  const char *Src = R"(
+.kernel t (.param .u64 out)
+{
+  .reg .u32 %v, %idx;
+  .reg .u64 %a, %off;
+entry:
+  // Store ntid.x*1000 + nctaid.x*100 + ctaid.y*10 + tid.z  once per thread
+  mov.u32 %v, %ntid.x;
+  mul.u32 %v, %v, 1000;
+  mov.u32 %idx, %nctaid.x;
+  mad.u32 %v, %idx, 100, %v;
+  mov.u32 %idx, %ctaid.y;
+  mad.u32 %v, %idx, 10, %v;
+  add.u32 %v, %v, %tid.z;
+  ld.param.u64 %a, [out];
+  st.global.u32 [%a], %v;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(1);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  LaunchOptions O;
+  O.Workers = 1;
+  auto S = Prog->launch(Dev, "t", {3, 2, 1}, {5, 1, 2}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  // Last writer wins; all values share ntid/nctaid, ctaid.y in {0,1},
+  // tid.z in {0,1}.
+  uint32_t V = Dev.download<uint32_t>(Out, 1)[0];
+  EXPECT_EQ(V / 1000, 5u);
+  EXPECT_EQ((V / 100) % 10, 3u);
+  EXPECT_LE((V / 10) % 10, 1u);
+  EXPECT_LE(V % 10, 1u);
+}
+
+TEST(VMCostModel, FlopsCounted) {
+  std::string D = "  .reg .f32 %r;\n  .reg .u64 %a;";
+  // Use a thread-dependent operand so the folder cannot remove the mad.
+  std::string Src = ".kernel t (.param .u64 out)\n{\n" + D +
+                    "  .reg .u32 %t;\n"
+                    "\nentry:\n  mov.u32 %t, %tid.x;\n"
+                    "  cvt.f32.u32 %r, %t;\n"
+                    "  mad.f32 %r, %r, 3.0, 4.0;\n" +
+                    storeR("f32") + "  ret;\n}\n";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(4096);
+  uint64_t Out = Dev.allocArray<uint32_t>(1);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S->Counters.Flops, 2u); // one executed mad = 2 flops
+}
+
+TEST(VMCostModel, CacheCountersTrackMisses) {
+  // 64 threads load 64 consecutive floats: 4 lines -> 4 misses, 60 hits.
+  const char *Src = R"(
+.kernel t (.param .u64 buf)
+{
+  .reg .u32 %i;
+  .reg .u64 %a, %off;
+  .reg .f32 %x;
+entry:
+  mov.u32 %i, %tid.x;
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %a, [buf];
+  add.u64 %a, %a, %off;
+  ld.global.f32 %x, [%a];
+  st.global.f32 [%a], %x;
+  ret;
+}
+)";
+  auto Prog = Program::compile(Src).take();
+  Device Dev(8192);
+  uint64_t Buf = Dev.allocArray<float>(64);
+  ParamBuilder Params;
+  Params.addU64(Buf);
+  LaunchOptions O;
+  O.Workers = 1;
+  auto S = Prog->launch(Dev, "t", {1, 1, 1}, {64, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S->Counters.GlobalAccesses, 128u);
+  // 256 bytes starting at a 16-byte-aligned (not line-aligned) address
+  // span 5 lines; the stores hit the freshly loaded lines.
+  EXPECT_EQ(S->Counters.GlobalMisses, 5u);
+}
+
+TEST(VMCostModel, DoublePumpingCostsMore) {
+  // The same kernel at ws8 must model more issue cycles per warp-lane than
+  // at ws4 for f32 vector work (width 8 needs two SSE ops).
+  MachineModel M;
+  Instruction I(Opcode::Add, Type::f32().withLanes(4));
+  Instruction I8(Opcode::Add, Type::f32().withLanes(8));
+  EXPECT_EQ(M.issueCost(I), 1.0);
+  EXPECT_EQ(M.issueCost(I8), 2.0);
+  EXPECT_EQ(M.physRegsFor(Type::f32().withLanes(8)), 2u);
+  EXPECT_EQ(M.physRegsFor(Type::f64().withLanes(4)), 2u);
+  EXPECT_EQ(M.physRegsFor(Type::f32()), 0u);
+}
+
+} // namespace

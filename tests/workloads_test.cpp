@@ -1,0 +1,124 @@
+//===- tests/workloads_test.cpp - Suite integration tests -----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Every workload must validate against its golden reference under every
+/// execution configuration: the scalar baseline, dynamic warp formation at
+/// widths 2 and 4, and static formation with thread-invariant elimination.
+/// This is the end-to-end proof that vectorization, yield-on-diverge and
+/// TIE preserve kernel semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+struct SuiteCase {
+  std::string WorkloadName;
+  std::string ConfigName;
+  LaunchOptions Options;
+};
+
+std::vector<SuiteCase> makeCases() {
+  std::vector<std::pair<std::string, LaunchOptions>> Configs;
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 1;
+    Configs.emplace_back("scalar", O);
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 2;
+    Configs.emplace_back("dyn2", O);
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    Configs.emplace_back("dyn4", O);
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    O.Formation = WarpFormation::Static;
+    Configs.emplace_back("static4", O);
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    O.Formation = WarpFormation::Static;
+    O.ThreadInvariantElim = true;
+    Configs.emplace_back("tie4", O);
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    O.UniformBranchOpt = true;
+    Configs.emplace_back("ubo4", O);
+  }
+  {
+    LaunchOptions O;
+    O.MaxWarpSize = 4;
+    O.UniformLoadOpt = true;
+    Configs.emplace_back("ulo4", O);
+  }
+
+  std::vector<SuiteCase> Cases;
+  for (const Workload &W : allWorkloads())
+    for (const auto &[Name, Options] : Configs)
+      Cases.push_back({W.Name, Name, Options});
+  return Cases;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<SuiteCase> {};
+
+TEST_P(WorkloadSuite, ValidatesAgainstReference) {
+  const SuiteCase &C = GetParam();
+  const Workload *W = findWorkload(C.WorkloadName);
+  ASSERT_NE(W, nullptr);
+  auto StatsOrErr = runWorkload(*W, /*Scale=*/1, C.Options);
+  ASSERT_TRUE(static_cast<bool>(StatsOrErr))
+      << StatsOrErr.status().message();
+  EXPECT_GT(StatsOrErr->WarpEntries, 0u);
+  EXPECT_GT(StatsOrErr->Counters.InstsExecuted, 0u);
+  // Every launch must fully retire its threads.
+  EXPECT_GT(StatsOrErr->ExitYields, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite, ::testing::ValuesIn(makeCases()),
+    [](const ::testing::TestParamInfo<SuiteCase> &Info) {
+      std::string Name =
+          Info.param.WorkloadName + "_" + Info.param.ConfigName;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(WorkloadRegistry, AllWorkloadsRegistered) {
+  EXPECT_EQ(allWorkloads().size(), 22u);
+}
+
+TEST(WorkloadRegistry, NamesAreUnique) {
+  const auto &All = allWorkloads();
+  for (size_t I = 0; I < All.size(); ++I)
+    for (size_t J = I + 1; J < All.size(); ++J)
+      EXPECT_STRNE(All[I].Name, All[J].Name);
+}
+
+TEST(WorkloadRegistry, EveryClassRepresented) {
+  bool Seen[4] = {};
+  for (const Workload &W : allWorkloads())
+    Seen[static_cast<int>(W.Class)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+} // namespace

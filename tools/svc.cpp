@@ -1,0 +1,135 @@
+//===- tools/svc.cpp - SVIR compiler driver -------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command-line driver over the library: parse/verify an SVIR module, dump
+/// specializations at chosen warp sizes, and report per-kernel analyses.
+///
+///   svc FILE                         parse + verify, print the module
+///   svc --emit-ws N [--tie] FILE     print the width-N specialization
+///   svc --analyze FILE               entry table, liveness, variance stats
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/analysis/CFG.h"
+#include "simtvec/analysis/Liveness.h"
+#include "simtvec/analysis/Variance.h"
+#include "simtvec/core/TranslationCache.h"
+#include "simtvec/ir/Printer.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/parser/Parser.h"
+#include "simtvec/transforms/Passes.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace simtvec;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: svc [--emit-ws N] [--tie] [--analyze] FILE.svir\n");
+  return 2;
+}
+
+void analyzeKernel(const Kernel &Source) {
+  // Run the same preparation pipeline the translation cache uses.
+  Kernel K = Source;
+  runPredicateToSelect(K);
+  runBarrierSplit(K);
+  SpecializationPlan Plan = SpecializationPlan::build(K);
+  CFG G(K);
+  Liveness Live(K, G);
+  VarianceAnalysis Var(K);
+
+  std::printf("kernel %s:\n", K.Name.c_str());
+  std::printf("  blocks: %zu, registers: %zu, instructions: %zu\n",
+              K.Blocks.size(), K.Regs.size(), K.instructionCount());
+  std::printf("  entry points: %zu, spill bytes/thread: %u\n",
+              Plan.EntryScalarBlocks.size(), Plan.SpillBytes);
+  size_t Variant = Var.variantCount();
+  std::printf("  thread-variant registers: %zu of %zu (%.0f%%)\n", Variant,
+              K.Regs.size(),
+              K.Regs.empty() ? 0.0 : 100.0 * Variant / K.Regs.size());
+  for (uint32_t E = 0; E < Plan.EntryScalarBlocks.size(); ++E) {
+    uint32_t B = Plan.EntryScalarBlocks[E];
+    std::printf("  entry %u -> %s (restores %zu values)\n", E,
+                K.Blocks[B].Name.c_str(),
+                E == 0 ? 0 : Live.liveIn(B).count());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint32_t EmitWs = 0;
+  bool Tie = false, Analyze = false;
+  const char *Path = nullptr;
+
+  for (int A = 1; A < argc; ++A) {
+    if (std::strcmp(argv[A], "--emit-ws") == 0 && A + 1 < argc) {
+      EmitWs = static_cast<uint32_t>(std::atoi(argv[++A]));
+    } else if (std::strcmp(argv[A], "--tie") == 0) {
+      Tie = true;
+    } else if (std::strcmp(argv[A], "--analyze") == 0) {
+      Analyze = true;
+    } else if (argv[A][0] == '-') {
+      return usage();
+    } else {
+      Path = argv[A];
+    }
+  }
+  if (!Path)
+    return usage();
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "svc: cannot open '%s'\n", Path);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  auto MOrErr = parseModule(Buffer.str());
+  if (!MOrErr) {
+    std::fprintf(stderr, "%s:%s\n", Path, MOrErr.status().message().c_str());
+    return 1;
+  }
+  Module &M = **MOrErr;
+  if (Status E = verifyModule(M)) {
+    std::fprintf(stderr, "%s: verifier: %s\n", Path, E.message().c_str());
+    return 1;
+  }
+
+  if (Analyze) {
+    for (const auto &K : M.kernels())
+      analyzeKernel(*K);
+    return 0;
+  }
+
+  if (EmitWs == 0) {
+    std::fputs(printModule(M).c_str(), stdout);
+    return 0;
+  }
+
+  MachineModel Machine;
+  TranslationCache TC(M, Machine);
+  for (const auto &K : M.kernels()) {
+    auto ExecOrErr =
+        TC.get({K->Name, EmitWs, Tie, /*UniformBranchOpt=*/false,
+                /*UniformLoadOpt=*/false});
+    if (!ExecOrErr) {
+      std::fprintf(stderr, "%s: %s\n", K->Name.c_str(),
+                   ExecOrErr.status().message().c_str());
+      return 1;
+    }
+    std::fputs(printKernel((*ExecOrErr)->kernel()).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}
