@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_translation_cache.dir/ablation_translation_cache.cpp.o"
+  "CMakeFiles/ablation_translation_cache.dir/ablation_translation_cache.cpp.o.d"
+  "ablation_translation_cache"
+  "ablation_translation_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_translation_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

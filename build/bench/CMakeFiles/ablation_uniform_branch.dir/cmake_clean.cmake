@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uniform_branch.dir/ablation_uniform_branch.cpp.o"
+  "CMakeFiles/ablation_uniform_branch.dir/ablation_uniform_branch.cpp.o.d"
+  "ablation_uniform_branch"
+  "ablation_uniform_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uniform_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_static_tie.dir/fig10_static_tie.cpp.o"
+  "CMakeFiles/fig10_static_tie.dir/fig10_static_tie.cpp.o.d"
+  "fig10_static_tie"
+  "fig10_static_tie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_static_tie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_speedup.cpp" "bench/CMakeFiles/fig6_speedup.dir/fig6_speedup.cpp.o" "gcc" "bench/CMakeFiles/fig6_speedup.dir/fig6_speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtvec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_liveness.dir/fig8_liveness.cpp.o"
+  "CMakeFiles/fig8_liveness.dir/fig8_liveness.cpp.o.d"
+  "fig8_liveness"
+  "fig8_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_tie_reduction.dir/sec62_tie_reduction.cpp.o"
+  "CMakeFiles/sec62_tie_reduction.dir/sec62_tie_reduction.cpp.o.d"
+  "sec62_tie_reduction"
+  "sec62_tie_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_tie_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

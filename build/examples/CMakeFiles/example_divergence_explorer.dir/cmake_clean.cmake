@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_divergence_explorer.dir/divergence_explorer.cpp.o"
+  "CMakeFiles/example_divergence_explorer.dir/divergence_explorer.cpp.o.d"
+  "example_divergence_explorer"
+  "example_divergence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_divergence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

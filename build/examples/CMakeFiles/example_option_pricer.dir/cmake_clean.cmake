@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_option_pricer.dir/option_pricer.cpp.o"
+  "CMakeFiles/example_option_pricer.dir/option_pricer.cpp.o.d"
+  "example_option_pricer"
+  "example_option_pricer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_option_pricer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

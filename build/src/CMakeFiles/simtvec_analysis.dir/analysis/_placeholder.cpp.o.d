@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_analysis.dir/analysis/_placeholder.cpp.o: \
+ /root/repo/src/analysis/_placeholder.cpp /usr/include/stdc-predef.h

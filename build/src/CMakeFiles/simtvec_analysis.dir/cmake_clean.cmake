@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_analysis.dir/analysis/CFG.cpp.o"
+  "CMakeFiles/simtvec_analysis.dir/analysis/CFG.cpp.o.d"
+  "CMakeFiles/simtvec_analysis.dir/analysis/Dominators.cpp.o"
+  "CMakeFiles/simtvec_analysis.dir/analysis/Dominators.cpp.o.d"
+  "CMakeFiles/simtvec_analysis.dir/analysis/Liveness.cpp.o"
+  "CMakeFiles/simtvec_analysis.dir/analysis/Liveness.cpp.o.d"
+  "CMakeFiles/simtvec_analysis.dir/analysis/LoopInfo.cpp.o"
+  "CMakeFiles/simtvec_analysis.dir/analysis/LoopInfo.cpp.o.d"
+  "CMakeFiles/simtvec_analysis.dir/analysis/Variance.cpp.o"
+  "CMakeFiles/simtvec_analysis.dir/analysis/Variance.cpp.o.d"
+  "CMakeFiles/simtvec_analysis.dir/analysis/_placeholder.cpp.o"
+  "CMakeFiles/simtvec_analysis.dir/analysis/_placeholder.cpp.o.d"
+  "libsimtvec_analysis.a"
+  "libsimtvec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_core.dir/core/ExecutionManager.cpp.o"
+  "CMakeFiles/simtvec_core.dir/core/ExecutionManager.cpp.o.d"
+  "CMakeFiles/simtvec_core.dir/core/TranslationCache.cpp.o"
+  "CMakeFiles/simtvec_core.dir/core/TranslationCache.cpp.o.d"
+  "CMakeFiles/simtvec_core.dir/core/Vectorizer.cpp.o"
+  "CMakeFiles/simtvec_core.dir/core/Vectorizer.cpp.o.d"
+  "CMakeFiles/simtvec_core.dir/core/_placeholder.cpp.o"
+  "CMakeFiles/simtvec_core.dir/core/_placeholder.cpp.o.d"
+  "libsimtvec_core.a"
+  "libsimtvec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

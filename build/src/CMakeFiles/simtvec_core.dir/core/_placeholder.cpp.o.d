@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_core.dir/core/_placeholder.cpp.o: \
+ /root/repo/src/core/_placeholder.cpp /usr/include/stdc-predef.h

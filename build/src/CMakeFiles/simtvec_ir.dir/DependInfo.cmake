@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Kernel.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/Kernel.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/Kernel.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/Opcode.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Operand.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/Operand.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/Operand.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/Printer.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/Printer.cpp.o.d"
+  "/root/repo/src/ir/ScalarOps.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/ScalarOps.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/ScalarOps.cpp.o.d"
+  "/root/repo/src/ir/Type.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/Type.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/Type.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/simtvec_ir.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/simtvec_ir.dir/ir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

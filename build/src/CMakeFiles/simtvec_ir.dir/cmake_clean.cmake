@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_ir.dir/ir/Kernel.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/Kernel.cpp.o.d"
+  "CMakeFiles/simtvec_ir.dir/ir/Opcode.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/Opcode.cpp.o.d"
+  "CMakeFiles/simtvec_ir.dir/ir/Operand.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/Operand.cpp.o.d"
+  "CMakeFiles/simtvec_ir.dir/ir/Printer.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/Printer.cpp.o.d"
+  "CMakeFiles/simtvec_ir.dir/ir/ScalarOps.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/ScalarOps.cpp.o.d"
+  "CMakeFiles/simtvec_ir.dir/ir/Type.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/Type.cpp.o.d"
+  "CMakeFiles/simtvec_ir.dir/ir/Verifier.cpp.o"
+  "CMakeFiles/simtvec_ir.dir/ir/Verifier.cpp.o.d"
+  "libsimtvec_ir.a"
+  "libsimtvec_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimtvec_ir.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/Lexer.cpp" "src/CMakeFiles/simtvec_parser.dir/parser/Lexer.cpp.o" "gcc" "src/CMakeFiles/simtvec_parser.dir/parser/Lexer.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/simtvec_parser.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/simtvec_parser.dir/parser/Parser.cpp.o.d"
+  "/root/repo/src/parser/_placeholder.cpp" "src/CMakeFiles/simtvec_parser.dir/parser/_placeholder.cpp.o" "gcc" "src/CMakeFiles/simtvec_parser.dir/parser/_placeholder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_parser.dir/parser/Lexer.cpp.o"
+  "CMakeFiles/simtvec_parser.dir/parser/Lexer.cpp.o.d"
+  "CMakeFiles/simtvec_parser.dir/parser/Parser.cpp.o"
+  "CMakeFiles/simtvec_parser.dir/parser/Parser.cpp.o.d"
+  "CMakeFiles/simtvec_parser.dir/parser/_placeholder.cpp.o"
+  "CMakeFiles/simtvec_parser.dir/parser/_placeholder.cpp.o.d"
+  "libsimtvec_parser.a"
+  "libsimtvec_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

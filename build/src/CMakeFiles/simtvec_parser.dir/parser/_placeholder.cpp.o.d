@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_parser.dir/parser/_placeholder.cpp.o: \
+ /root/repo/src/parser/_placeholder.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_runtime.dir/runtime/Runtime.cpp.o"
+  "CMakeFiles/simtvec_runtime.dir/runtime/Runtime.cpp.o.d"
+  "CMakeFiles/simtvec_runtime.dir/runtime/_placeholder.cpp.o"
+  "CMakeFiles/simtvec_runtime.dir/runtime/_placeholder.cpp.o.d"
+  "libsimtvec_runtime.a"
+  "libsimtvec_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

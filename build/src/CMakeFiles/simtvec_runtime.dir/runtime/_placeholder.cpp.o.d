@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_runtime.dir/runtime/_placeholder.cpp.o: \
+ /root/repo/src/runtime/_placeholder.cpp /usr/include/stdc-predef.h

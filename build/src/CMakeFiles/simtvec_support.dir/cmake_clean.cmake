@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_support.dir/support/Format.cpp.o"
+  "CMakeFiles/simtvec_support.dir/support/Format.cpp.o.d"
+  "libsimtvec_support.a"
+  "libsimtvec_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_transforms.dir/transforms/BarrierSplit.cpp.o"
+  "CMakeFiles/simtvec_transforms.dir/transforms/BarrierSplit.cpp.o.d"
+  "CMakeFiles/simtvec_transforms.dir/transforms/ConstantFold.cpp.o"
+  "CMakeFiles/simtvec_transforms.dir/transforms/ConstantFold.cpp.o.d"
+  "CMakeFiles/simtvec_transforms.dir/transforms/DeadCodeElim.cpp.o"
+  "CMakeFiles/simtvec_transforms.dir/transforms/DeadCodeElim.cpp.o.d"
+  "CMakeFiles/simtvec_transforms.dir/transforms/LocalCSE.cpp.o"
+  "CMakeFiles/simtvec_transforms.dir/transforms/LocalCSE.cpp.o.d"
+  "CMakeFiles/simtvec_transforms.dir/transforms/PredicateToSelect.cpp.o"
+  "CMakeFiles/simtvec_transforms.dir/transforms/PredicateToSelect.cpp.o.d"
+  "CMakeFiles/simtvec_transforms.dir/transforms/_placeholder.cpp.o"
+  "CMakeFiles/simtvec_transforms.dir/transforms/_placeholder.cpp.o.d"
+  "libsimtvec_transforms.a"
+  "libsimtvec_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

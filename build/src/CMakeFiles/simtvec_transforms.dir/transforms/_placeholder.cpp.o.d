@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_transforms.dir/transforms/_placeholder.cpp.o: \
+ /root/repo/src/transforms/_placeholder.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_vm.dir/vm/Executable.cpp.o"
+  "CMakeFiles/simtvec_vm.dir/vm/Executable.cpp.o.d"
+  "CMakeFiles/simtvec_vm.dir/vm/Interpreter.cpp.o"
+  "CMakeFiles/simtvec_vm.dir/vm/Interpreter.cpp.o.d"
+  "CMakeFiles/simtvec_vm.dir/vm/MachineModel.cpp.o"
+  "CMakeFiles/simtvec_vm.dir/vm/MachineModel.cpp.o.d"
+  "CMakeFiles/simtvec_vm.dir/vm/_placeholder.cpp.o"
+  "CMakeFiles/simtvec_vm.dir/vm/_placeholder.cpp.o.d"
+  "libsimtvec_vm.a"
+  "libsimtvec_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

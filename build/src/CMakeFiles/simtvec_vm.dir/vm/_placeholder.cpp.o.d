@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_vm.dir/vm/_placeholder.cpp.o: \
+ /root/repo/src/vm/_placeholder.cpp /usr/include/stdc-predef.h

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BinomialOptions.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/BinomialOptions.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/BinomialOptions.cpp.o.d"
+  "/root/repo/src/workloads/Bitonic.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Bitonic.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Bitonic.cpp.o.d"
+  "/root/repo/src/workloads/BlackScholes.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/BlackScholes.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/BlackScholes.cpp.o.d"
+  "/root/repo/src/workloads/BoxFilter.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/BoxFilter.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/BoxFilter.cpp.o.d"
+  "/root/repo/src/workloads/ConvolutionSeparable.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/ConvolutionSeparable.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/ConvolutionSeparable.cpp.o.d"
+  "/root/repo/src/workloads/Cp.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Cp.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Cp.cpp.o.d"
+  "/root/repo/src/workloads/FastWalsh.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/FastWalsh.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/FastWalsh.cpp.o.d"
+  "/root/repo/src/workloads/Histogram64.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Histogram64.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Histogram64.cpp.o.d"
+  "/root/repo/src/workloads/Mandelbrot.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Mandelbrot.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Mandelbrot.cpp.o.d"
+  "/root/repo/src/workloads/MatrixMul.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/MatrixMul.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/MatrixMul.cpp.o.d"
+  "/root/repo/src/workloads/MersenneTwister.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/MersenneTwister.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/MersenneTwister.cpp.o.d"
+  "/root/repo/src/workloads/MonteCarlo.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/MonteCarlo.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/MonteCarlo.cpp.o.d"
+  "/root/repo/src/workloads/MriFhd.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/MriFhd.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/MriFhd.cpp.o.d"
+  "/root/repo/src/workloads/MriQ.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/MriQ.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/MriQ.cpp.o.d"
+  "/root/repo/src/workloads/Nbody.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Nbody.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Nbody.cpp.o.d"
+  "/root/repo/src/workloads/Reduction.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Reduction.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Reduction.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Registry.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Registry.cpp.o.d"
+  "/root/repo/src/workloads/ScalarProd.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/ScalarProd.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/ScalarProd.cpp.o.d"
+  "/root/repo/src/workloads/Scan.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Scan.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Scan.cpp.o.d"
+  "/root/repo/src/workloads/SobolQRNG.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/SobolQRNG.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/SobolQRNG.cpp.o.d"
+  "/root/repo/src/workloads/Throughput.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Throughput.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Throughput.cpp.o.d"
+  "/root/repo/src/workloads/Transpose.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/Transpose.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/Transpose.cpp.o.d"
+  "/root/repo/src/workloads/VectorAdd.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/VectorAdd.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/VectorAdd.cpp.o.d"
+  "/root/repo/src/workloads/_placeholder.cpp" "src/CMakeFiles/simtvec_workloads.dir/workloads/_placeholder.cpp.o" "gcc" "src/CMakeFiles/simtvec_workloads.dir/workloads/_placeholder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtvec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

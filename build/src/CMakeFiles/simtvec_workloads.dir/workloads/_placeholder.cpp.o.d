@@ -1,0 +1,2 @@
+src/CMakeFiles/simtvec_workloads.dir/workloads/_placeholder.cpp.o: \
+ /root/repo/src/workloads/_placeholder.cpp /usr/include/stdc-predef.h

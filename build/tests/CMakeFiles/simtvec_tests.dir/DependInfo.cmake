@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/parser_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/parser_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/runtime_smoke_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/runtime_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/runtime_smoke_test.cpp.o.d"
+  "/root/repo/tests/shapes_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/shapes_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/shapes_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/transforms_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/transforms_test.cpp.o.d"
+  "/root/repo/tests/vm_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/vm_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/vm_test.cpp.o.d"
+  "/root/repo/tests/workload_roundtrip_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/workload_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/workload_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/simtvec_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/simtvec_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simtvec_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/simtvec_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simtvec_tests.dir/analysis_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/analysis_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/core_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/core_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/ir_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/ir_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/parser_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/parser_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/property_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/property_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/runtime_smoke_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/runtime_smoke_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/shapes_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/shapes_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/support_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/support_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/transforms_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/transforms_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/vm_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/vm_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/workload_roundtrip_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/workload_roundtrip_test.cpp.o.d"
+  "CMakeFiles/simtvec_tests.dir/workloads_test.cpp.o"
+  "CMakeFiles/simtvec_tests.dir/workloads_test.cpp.o.d"
+  "simtvec_tests"
+  "simtvec_tests.pdb"
+  "simtvec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simtvec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svc.dir/svc.cpp.o"
+  "CMakeFiles/svc.dir/svc.cpp.o.d"
+  "svc"
+  "svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
