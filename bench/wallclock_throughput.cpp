@@ -1,0 +1,126 @@
+//===- bench/wallclock_throughput.cpp - Host wall-clock trajectory --------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Host-side wall-clock throughput harness. Unlike the figure benches,
+/// which report *modeled* cycles, this measures how fast the runtime itself
+/// executes: warm launches of representative workloads across warp widths
+/// {1,2,4} x workers {1,N}, reported as threads/second and emitted as
+/// machine-readable `BENCH_wallclock.json` so future PRs have a host-perf
+/// trajectory to regress against.
+///
+/// Usage: wallclock_throughput [output.json] [scale] [reps]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace simtvec;
+
+namespace {
+
+struct Sample {
+  const char *Workload;
+  uint32_t Width;
+  unsigned Workers;
+  double Seconds;       // best-of-reps wall time of one warm launch
+  uint64_t Threads;     // logical threads per launch
+  double ThreadsPerSec;
+};
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *OutPath = argc > 1 ? argv[1] : "BENCH_wallclock.json";
+  const uint32_t Scale =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 1;
+  const int Reps = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
+                         "BinomialOptions"};
+  const uint32_t Widths[] = {1, 2, 4};
+  MachineModel Machine;
+  const unsigned WorkerCounts[] = {1, Machine.Cores};
+
+  std::vector<Sample> Samples;
+  for (const char *Name : Names) {
+    const Workload *W = findWorkload(Name);
+    if (!W) {
+      std::fprintf(stderr, "unknown workload '%s'\n", Name);
+      return 1;
+    }
+    // Validate once at this scale before timing anything.
+    if (auto Checked = runWorkload(*W, Scale, dynamicFormation(4)); !Checked) {
+      std::fprintf(stderr, "%s failed validation: %s\n", Name,
+                   Checked.status().message().c_str());
+      return 1;
+    }
+    for (uint32_t Width : Widths) {
+      for (unsigned Workers : WorkerCounts) {
+        std::unique_ptr<Program> Prog = compileWorkload(*W);
+        auto Inst = W->Make(Scale);
+        LaunchOptions O = dynamicFormation(Width);
+        O.Workers = Workers;
+        auto Launch = [&]() {
+          auto S = Prog->launch(*Inst->Dev, W->KernelName, Inst->Grid,
+                                Inst->Block, Inst->Params, O);
+          if (!S) {
+            std::fprintf(stderr, "%s (w=%u, workers=%u): %s\n", Name, Width,
+                         Workers, S.status().message().c_str());
+            std::exit(1);
+          }
+        };
+        Launch(); // warm the translation cache
+        double Best = 1e100;
+        for (int Rep = 0; Rep < Reps; ++Rep) {
+          double T0 = now();
+          Launch();
+          Best = std::min(Best, now() - T0);
+        }
+        uint64_t Threads = Inst->Grid.count() * Inst->Block.count();
+        Samples.push_back({W->Name, Width, Workers, Best, Threads,
+                           static_cast<double>(Threads) / Best});
+        std::printf("%-16s width=%u workers=%u  %9.3f ms  %12.0f threads/s\n",
+                    W->Name, Width, Workers, Best * 1e3,
+                    static_cast<double>(Threads) / Best);
+      }
+    }
+  }
+
+  FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", OutPath);
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"wallclock_throughput\",\n"
+                    "  \"scale\": %u,\n  \"reps\": %d,\n  \"results\": [\n",
+               Scale, Reps);
+  for (size_t I = 0; I < Samples.size(); ++I) {
+    const Sample &S = Samples[I];
+    std::fprintf(Out,
+                 "    {\"workload\": \"%s\", \"width\": %u, \"workers\": %u, "
+                 "\"seconds\": %.6e, \"threads\": %llu, "
+                 "\"threads_per_sec\": %.6e}%s\n",
+                 S.Workload, S.Width, S.Workers, S.Seconds,
+                 static_cast<unsigned long long>(S.Threads), S.ThreadsPerSec,
+                 I + 1 < Samples.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

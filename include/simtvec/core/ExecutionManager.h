@@ -66,6 +66,11 @@ struct LaunchConfig {
   /// Run workers on OS threads (true, as in the paper) or sequentially in
   /// the caller (false; deterministic debugging).
   bool UseOsThreads = true;
+
+  /// Execute warps on the reference (direct IR-walking) engine instead of
+  /// the pre-decoded fast path. Differential testing only: both engines
+  /// must produce bit-identical outputs and modeled counters.
+  bool UseReferenceInterp = false;
 };
 
 /// Aggregated results of one kernel launch.
@@ -126,7 +131,7 @@ struct LaunchStats {
 Expected<LaunchStats>
 launchKernel(TranslationCache &TC, const std::string &KernelName, Dim3 Grid,
              Dim3 Block, const std::vector<std::byte> &ParamBuf,
-             std::byte *Global, size_t GlobalSize, std::mutex &AtomicMutex,
+             std::byte *Global, size_t GlobalSize, AtomicStripes &Atomics,
              const LaunchConfig &Config);
 
 } // namespace simtvec

@@ -8,9 +8,17 @@
 /// The dynamic translation cache (paper §5.1): kernels registered with the
 /// runtime are lazily specialized per (warp size, formation policy) on the
 /// first query from an execution manager, passed through the classical
-/// optimization pipeline, verified, and prepared for the VM. Queries are
-/// serialized by a lock, as in the paper ("execution managers block while
-/// contending for a lock on the dynamic translation cache").
+/// optimization pipeline, verified, and prepared for the VM.
+///
+/// The paper observes that "execution managers block while contending for a
+/// lock on the dynamic translation cache". This implementation removes that
+/// contention: lookups take a sharded reader lock (warm queries from any
+/// number of execution managers proceed concurrently and block only against
+/// an insert into the same shard), and compilation happens outside every
+/// cache lock under a per-key in-flight guard — exactly one thread compiles
+/// a given specialization while concurrent requesters for the *same* key
+/// wait on its slot and requesters for *different* keys (e.g. other warp
+/// widths) compile in parallel.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,8 +29,12 @@
 #include "simtvec/support/Status.h"
 #include "simtvec/vm/Executable.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 namespace simtvec {
@@ -56,6 +68,7 @@ public:
   };
 
   /// Returns the specialization for \p K, compiling it on the first query.
+  /// Thread-safe; warm queries take only a shared (reader) lock.
   Expected<std::shared_ptr<const KernelExec>> get(const Key &K);
 
   /// Memory footprint the execution manager must provision per kernel.
@@ -76,6 +89,13 @@ public:
   };
   Stats stats() const;
 
+  /// Accounts \p N warm lookups served from an execution manager's local
+  /// memo of a previously returned executable (the memo is a cache-hit fast
+  /// path layered above this cache; its hits are still cache hits).
+  void noteWarmHits(uint64_t N) {
+    Hits.fetch_add(N, std::memory_order_relaxed);
+  }
+
 private:
   /// Prepared scalar form shared by all specializations of a kernel.
   struct PreparedKernel {
@@ -83,16 +103,40 @@ private:
     SpecializationPlan Plan;
   };
 
+  /// One in-progress compilation; requesters of the same key block on CV.
+  struct CompileSlot {
+    std::mutex Lock;
+    std::condition_variable Ready;
+    bool Done = false;
+    Status Err = Status::success();
+    std::shared_ptr<const KernelExec> Value;
+  };
+
+  static constexpr size_t NumShards = 8;
+  struct Shard {
+    mutable std::shared_mutex Lock;
+    std::map<Key, std::shared_ptr<const KernelExec>> Cache;
+  };
+
+  Shard &shardFor(const Key &K);
   Expected<const PreparedKernel *> prepare(const std::string &KernelName);
 
   const Module &M;
   MachineModel Machine;
   bool RunCleanup;
 
-  mutable std::mutex Lock;
+  Shard Shards[NumShards];
+
+  std::mutex PrepareLock; ///< guards Prepared
   std::map<std::string, PreparedKernel> Prepared;
-  std::map<Key, std::shared_ptr<const KernelExec>> Cache;
-  Stats Counters;
+
+  std::mutex InFlightLock; ///< guards InFlight
+  std::map<Key, std::shared_ptr<CompileSlot>> InFlight;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  mutable std::mutex StatsLock; ///< guards CompileSeconds
+  double CompileSeconds = 0;
 };
 
 } // namespace simtvec

@@ -41,6 +41,26 @@ bool evalCmp(CmpOp Cmp, ScalarKind K, uint64_t A, uint64_t B);
 /// at the destination's range).
 uint64_t evalConvert(ScalarKind DstK, ScalarKind SrcK, uint64_t Bits);
 
+//===----------------------------------------------------------------------===
+// Decode-time resolution. Each resolver returns a direct function computing
+// the corresponding eval* with the opcode/kind switches folded away (the
+// functions are instantiations of the generic code, so results are
+// bit-identical), or null when the combination is invalid — validity
+// depends only on (opcode, kind), never on the data.
+//===----------------------------------------------------------------------===
+
+using BinaryFn = uint64_t (*)(uint64_t A, uint64_t B);
+using UnaryFn = uint64_t (*)(uint64_t A);
+using MadFn = uint64_t (*)(uint64_t A, uint64_t B, uint64_t C);
+using CmpFn = bool (*)(uint64_t A, uint64_t B);
+using ConvertFn = uint64_t (*)(uint64_t Bits);
+
+BinaryFn resolveBinary(Opcode Op, ScalarKind K);
+UnaryFn resolveUnary(Opcode Op, ScalarKind K);
+MadFn resolveMad(ScalarKind K);
+CmpFn resolveCmp(CmpOp Cmp, ScalarKind K);
+ConvertFn resolveConvert(ScalarKind DstK, ScalarKind SrcK);
+
 } // namespace simtvec
 
 #endif // SIMTVEC_IR_SCALAROPS_H

@@ -67,12 +67,12 @@ public:
 
   std::byte *data() { return Arena.data(); }
   size_t size() const { return Arena.size(); }
-  std::mutex &atomicMutex() { return AtomicMutex; }
+  AtomicStripes &atomics() { return Atomics; }
 
 private:
   std::vector<std::byte> Arena;
   size_t Break = 16; // address 0..15 reserved
-  std::mutex AtomicMutex;
+  AtomicStripes Atomics;
 };
 
 /// Serializes kernel parameters with the same natural-alignment layout the
@@ -106,6 +106,8 @@ struct LaunchOptions {
   bool UniformLoadOpt = false;
   unsigned Workers = 0;
   bool UseOsThreads = true;
+  /// Run on the reference IR-walking engine (differential testing).
+  bool UseReferenceInterp = false;
 };
 
 /// A compiled SVIR module plus its translation cache.

@@ -6,9 +6,13 @@
 ///
 /// \file
 /// A KernelExec is the VM-side artifact the translation cache produces: the
-/// (specialized) kernel plus precomputed register-file layout and per-block
-/// register-pressure penalties. It stands in for the paper's JIT-compiled
-/// native binary.
+/// (specialized) kernel plus precomputed register-file layout, per-block
+/// register-pressure penalties, and a pre-decoded instruction stream. It
+/// stands in for the paper's JIT-compiled native binary: all per-instruction
+/// decisions that do not depend on runtime state — operand register-file
+/// slots, immediate bits, address-symbol offsets, issue costs, flop counts,
+/// dispatch shapes — are resolved once at translation time so warp entries
+/// pay only for architectural effects.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,12 +20,119 @@
 #define SIMTVEC_VM_EXECUTABLE_H
 
 #include "simtvec/ir/Kernel.h"
+#include "simtvec/ir/ScalarOps.h"
 #include "simtvec/vm/MachineModel.h"
 
 #include <memory>
 #include <vector>
 
 namespace simtvec {
+
+/// One pre-decoded operand. Register operands carry their resolved
+/// register-file slot; immediates and address symbols are folded to raw
+/// bits; only special (context) registers still require per-lane runtime
+/// evaluation.
+struct DecodedOp {
+  enum class Kind : uint8_t {
+    None,
+    RegVec,  ///< vector register: lane L reads slot Slot + L
+    RegScal, ///< scalar register: every lane reads slot Slot
+    Imm,     ///< immediate or address-symbol offset, folded to bits
+    Special, ///< special register, evaluated against the lane's context
+  };
+  Kind K = Kind::None;
+  SReg S = SReg::TidX; ///< valid when K == Special
+  uint32_t Slot = 0;   ///< valid when K == RegVec / RegScal
+  uint64_t Imm = 0;    ///< valid when K == Imm
+};
+
+/// Dense dispatch index: opcodes sharing one execution shape collapse to a
+/// single case of the interpreter's dispatch switch (the original Opcode is
+/// retained for the scalar-semantics callbacks and diagnostics).
+enum class ExecShape : uint8_t {
+  Mov, ///< Mov and Broadcast
+  Binary,
+  Mad,
+  Unary,
+  Setp,
+  Selp,
+  Cvt,
+  Ld,
+  St,
+  AtomAdd,
+  InsertElement,
+  ExtractElement,
+  Iota,
+  VoteSum,
+  Spill,
+  Restore,
+  SetRPoint,
+  SetRStatus,
+  Nop, ///< Membar
+  BarSync,
+  Bra,
+  Switch,
+  Ret,
+  Yield,
+  Trap,
+};
+
+/// Sentinel slot for "no register".
+inline constexpr uint32_t InvalidSlot = ~0u;
+
+/// One pre-decoded instruction: a fixed-size, cache-friendly record the
+/// interpreter executes without consulting the IR.
+struct DecodedInst {
+  ExecShape Shape = ExecShape::Trap;
+  Opcode Op = Opcode::Trap; ///< original opcode (Binary/Unary sub-operation)
+  ScalarKind Kind = ScalarKind::U32;    ///< Ty.kind()
+  ScalarKind CvtSrcKind = ScalarKind::U32; ///< Cvt source kind
+  CmpOp Cmp = CmpOp::Eq; ///< Setp comparison
+  AddressSpace Space = AddressSpace::Global;
+  bool IsVector = false;
+  bool GuardNegated = false;
+  uint8_t MemBytes = 0;  ///< Ld/St/AtomAdd/Spill/Restore element bytes
+  uint16_t N = 1;        ///< max(1, Ty.lanes())
+  uint16_t Lane = 0;     ///< replicated-instruction lane tag
+  uint16_t SrcN = 1;     ///< VoteSum: lanes of the source operand
+  uint32_t AuxLane = 0;  ///< ExtractElement src lane / InsertElement index
+  uint32_t DstSlot = InvalidSlot;
+  uint32_t GuardSlot = InvalidSlot;
+  double Cost = 0;   ///< issue cost + the block's pressure penalty
+  uint32_t Flops = 0;
+  DecodedOp Src[3];
+  int64_t MemOffset = 0;   ///< Ld/St/AtomAdd address offset
+  uint64_t SpillAddr = 0;  ///< Spill/Restore: LocalBytes + slot offset
+  uint32_t Target = InvalidBlock;      ///< Bra taken target
+  uint32_t FalseTarget = InvalidBlock; ///< Bra fall-through target
+  uint32_t SwitchId = ~0u; ///< index into KernelExec's switch tables
+  Type Ty; ///< operation type (diagnostics only on the hot path)
+  /// Decode-time-resolved lane operation (ScalarOps.h resolvers); the member
+  /// matching Shape is set. Null when the opcode/kind combination is invalid
+  /// — the interpreter then raises the same trap the generic path would.
+  union {
+    BinaryFn Bin;  ///< Binary
+    UnaryFn Un;    ///< Unary
+    MadFn MadF;    ///< Mad
+    CmpFn CmpF;    ///< Setp
+    ConvertFn Cvt; ///< Cvt
+  } Fn = {nullptr};
+};
+
+/// Switch side table (case values/targets are too variable for the fixed
+/// DecodedInst record).
+struct DecodedSwitch {
+  std::vector<int64_t> Values;
+  std::vector<uint32_t> Targets;
+  uint32_t Default = InvalidBlock;
+};
+
+/// Per-block view into the flat decoded stream.
+struct DecodedBlock {
+  uint32_t First = 0; ///< index of the block's first DecodedInst
+  uint32_t Count = 0;
+  bool IsBody = false; ///< BlockKind::Body (Figure 9 cycle attribution)
+};
 
 /// A kernel prepared for execution.
 class KernelExec {
@@ -48,12 +159,37 @@ public:
   /// Maximum modeled physical-register demand over all blocks (statistic).
   unsigned maxPressure() const { return MaxPressure; }
 
+  //===--------------------------------------------------------------------===
+  // Pre-decoded stream.
+  //===--------------------------------------------------------------------===
+
+  const std::vector<DecodedInst> &code() const { return Code; }
+  const std::vector<DecodedBlock> &decodedBlocks() const { return DBlocks; }
+  const DecodedSwitch &switchTable(uint32_t Id) const {
+    return Switches[Id];
+  }
+
+  /// Register-file slot ranges (offset, length) that must be zeroed on warp
+  /// entry: the slots of registers live-in at the kernel's entry block
+  /// (i.e. possibly read before written). All other slots are proven
+  /// written-before-read on every path and need no initialization.
+  const std::vector<std::pair<uint32_t, uint32_t>> &zeroRanges() const {
+    return ZeroRanges;
+  }
+
 private:
+  friend struct KernelExecBuilder;
+
   std::unique_ptr<Kernel> K;
   std::vector<uint32_t> RegOffset;
   uint32_t TotalSlots = 0;
   std::vector<double> BlockPenalty;
   unsigned MaxPressure = 0;
+
+  std::vector<DecodedInst> Code;
+  std::vector<DecodedBlock> DBlocks;
+  std::vector<DecodedSwitch> Switches;
+  std::vector<std::pair<uint32_t, uint32_t>> ZeroRanges;
 };
 
 } // namespace simtvec

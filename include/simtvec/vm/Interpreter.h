@@ -12,6 +12,14 @@
 /// and the MachineModel attributes deterministic modeled cycles to each
 /// executed instruction.
 ///
+/// Two execution engines share one semantics:
+///  - run() executes the pre-decoded stream built by KernelExec (the fast
+///    path: operands resolved to register-file slots at translation time,
+///    issue costs precomputed, register file zeroed selectively);
+///  - runReference() walks the IR instruction objects directly (the
+///    original engine, kept as the differential-testing oracle).
+/// Both produce bit-identical memory effects and modeled cycle counters.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIMTVEC_VM_INTERPRETER_H
@@ -41,12 +49,20 @@ public:
   };
 
   /// Runs \p Exec for warp \p W from its current resume point until the
-  /// next yield (or ret). All lanes must share the same resume point.
-  /// Modeled cycles and events accumulate into \p Counters.
+  /// next yield (or ret), executing the pre-decoded stream. All lanes must
+  /// share the same resume point. Modeled cycles and events accumulate into
+  /// \p Counters.
   Result run(const KernelExec &Exec, const Warp &W, ExecMemory &Mem,
              CycleCounters &Counters);
 
+  /// Reference engine: same contract as run(), interpreting the IR
+  /// instruction objects directly. Kept for differential testing.
+  Result runReference(const KernelExec &Exec, const Warp &W, ExecMemory &Mem,
+                      CycleCounters &Counters);
+
 private:
+  void ensureL1();
+
   const MachineModel &Machine;
   std::vector<uint64_t> RegFile;
   std::vector<uint64_t> Scratch; // lane staging buffer
@@ -56,6 +72,12 @@ private:
   /// worker.
   std::vector<uint64_t> L1Tags;      // L1Sets * L1Ways entries
   std::vector<uint8_t> L1NextWay;    // per-set FIFO cursor
+
+  /// Shift/mask forms of the L1 line/set computation, valid when both
+  /// geometry parameters are powers of two (L1Pow2).
+  bool L1Pow2 = false;
+  unsigned L1LineShift = 0;
+  uint64_t L1SetMask = 0;
 };
 
 } // namespace simtvec

@@ -19,6 +19,7 @@
 
 #include "simtvec/ir/Opcode.h"
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -62,6 +63,25 @@ struct Warp {
   }
 };
 
+/// Address-striped locks serializing read-modify-write atomics. Atomics to
+/// the same (naturally aligned) location always hash to the same stripe, so
+/// per-address atomicity is preserved while atomics to different addresses
+/// proceed concurrently — one process-wide mutex would serialize every
+/// AtomAdd across all workers and sink Histogram64-style workloads.
+class AtomicStripes {
+public:
+  static constexpr size_t NumStripes = 64;
+
+  /// Lock covering the 8-byte granule containing \p Addr (4- and 8-byte
+  /// naturally aligned atomics to one location share a granule).
+  std::mutex &lockFor(uint64_t Addr) {
+    return Locks[(Addr >> 3) & (NumStripes - 1)];
+  }
+
+private:
+  std::array<std::mutex, NumStripes> Locks;
+};
+
 /// The memory spaces visible to one warp execution.
 struct ExecMemory {
   std::byte *Global = nullptr;
@@ -71,7 +91,7 @@ struct ExecMemory {
   const std::byte *ParamBuf = nullptr;
   size_t ParamSize = 0;
   size_t LocalSize = 0; ///< per-thread local bytes (user + spill)
-  std::mutex *AtomicMutex = nullptr; ///< serializes AtomAdd across workers
+  AtomicStripes *Atomics = nullptr; ///< striped AtomAdd serialization
 };
 
 } // namespace simtvec

@@ -9,7 +9,7 @@
 #include "simtvec/support/Format.h"
 #include "simtvec/vm/Interpreter.h"
 
-#include <deque>
+#include <bit>
 #include <optional>
 #include <thread>
 
@@ -18,17 +18,22 @@ using namespace simtvec;
 namespace {
 
 /// Largest power of two <= N (N >= 1).
-uint32_t floorPow2(uint32_t N) {
-  uint32_t P = 1;
-  while (P * 2 <= N)
-    P *= 2;
-  return P;
+uint32_t floorPow2(uint32_t N) { return std::bit_floor(N); }
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
 }
 
-/// Per-worker accumulation.
+/// Per-worker accumulation. Warp widths are powers of two, so the per-width
+/// entry histogram is a flat array indexed by log2(width) — the per-entry
+/// increment stays off the std::map (it is folded into the LaunchStats map
+/// once per worker).
 struct WorkerResult {
   CycleCounters Counters;
-  std::map<uint32_t, uint64_t> EntriesByWidth;
+  uint64_t EntriesByWidthLog2[32] = {};
   uint64_t WarpEntries = 0;
   uint64_t ThreadEntries = 0;
   uint64_t BranchYields = 0;
@@ -37,8 +42,13 @@ struct WorkerResult {
   std::optional<std::string> Error;
 };
 
+constexpr uint32_t InvalidThread = ~0u;
+
 /// One worker thread's execution manager (paper §5.2). Executes its
-/// assigned CTAs to completion, one at a time.
+/// assigned CTAs to completion, one at a time. All per-CTA structures
+/// (shared memory, the local-memory arena, thread contexts, the ready pool)
+/// are worker-owned buffers reinitialized — not reallocated — between CTAs,
+/// so the steady state performs no heap allocation per CTA.
 class ExecutionManager {
 public:
   ExecutionManager(TranslationCache &TC, const std::string &KernelName,
@@ -46,17 +56,32 @@ public:
                    const TranslationCache::KernelLayout &Layout, Dim3 Grid,
                    Dim3 Block, const std::vector<std::byte> &ParamBuf,
                    std::byte *Global, size_t GlobalSize,
-                   std::mutex &AtomicMutex)
+                   AtomicStripes &Atomics)
       : TC(TC), KernelName(KernelName), Config(Config), Layout(Layout),
         Grid(Grid), Block(Block), ParamBuf(ParamBuf), Global(Global),
-        GlobalSize(GlobalSize), AtomicMutex(AtomicMutex),
-        Interp(Config.Machine) {}
+        GlobalSize(GlobalSize), Atomics(Atomics), Interp(Config.Machine) {
+    ExecMemo.resize(
+        static_cast<size_t>(std::countr_zero(Config.MaxWarpSize)) + 1);
+    Table.resize(64);
+  }
 
   /// Runs CTAs [first, first+stride, ...) to completion.
   WorkerResult run(uint64_t FirstCta, uint64_t Stride);
 
 private:
   enum class ThreadState : uint8_t { Ready, Running, Barrier, Exited };
+
+  /// One same-entry ready bucket: an intrusive singly-linked list through
+  /// NextIdx, in insertion order. Every linked thread is Ready (threads only
+  /// leave a bucket by being consumed into a warp), so membership is exact
+  /// and Len is the bucket's true size.
+  struct BucketRec {
+    uint64_t Key = 0;
+    uint64_t Epoch = 0; ///< a record is empty unless Epoch == current
+    uint32_t Head = InvalidThread;
+    uint32_t Tail = InvalidThread;
+    uint32_t Len = 0;
+  };
 
   bool runCta(uint64_t LinearCta, WorkerResult &R);
 
@@ -67,6 +92,41 @@ private:
     return Key;
   }
 
+  /// Finds or inserts the bucket for \p Key in the open-addressed table.
+  /// Records from earlier CTAs (stale Epoch) count as empty, so the table
+  /// is reset by bumping Epoch instead of clearing.
+  BucketRec &bucketFor(uint64_t Key) {
+    if ((TableUsed + 1) * 2 > Table.size())
+      growTable();
+    size_t Mask = Table.size() - 1;
+    size_t I = splitmix64(Key) & Mask;
+    for (;;) {
+      BucketRec &R = Table[I];
+      if (R.Epoch != Epoch) {
+        R = BucketRec{Key, Epoch, InvalidThread, InvalidThread, 0};
+        ++TableUsed;
+        return R;
+      }
+      if (R.Key == Key)
+        return R;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  void growTable() {
+    std::vector<BucketRec> Old(Table.size() * 2);
+    Old.swap(Table);
+    size_t Mask = Table.size() - 1;
+    for (const BucketRec &R : Old) {
+      if (R.Epoch != Epoch)
+        continue;
+      size_t I = splitmix64(R.Key) & Mask;
+      while (Table[I].Epoch == Epoch)
+        I = (I + 1) & Mask;
+      Table[I] = R;
+    }
+  }
+
   TranslationCache &TC;
   const std::string &KernelName;
   const LaunchConfig &Config;
@@ -75,8 +135,30 @@ private:
   const std::vector<std::byte> &ParamBuf;
   std::byte *Global;
   size_t GlobalSize;
-  std::mutex &AtomicMutex;
+  AtomicStripes &Atomics;
   Interpreter Interp;
+
+  // Worker-lifetime buffers reused across CTAs.
+  std::vector<std::byte> Shared;
+  std::vector<std::byte> LocalArena;
+  std::byte *LocalBase = nullptr; ///< arena base the Ctx slices point into
+  std::vector<ThreadContext> Ctxs;
+  std::vector<ThreadState> State;
+  std::vector<uint32_t> Seq;
+  std::vector<uint32_t> NextIdx; ///< intrusive bucket links
+  std::vector<std::pair<uint32_t, uint32_t>> Order; ///< (thread, seq)
+  size_t OrderHead = 0;
+  std::vector<BucketRec> Table;
+  uint64_t Epoch = 0;
+  size_t TableUsed = 0;
+  std::vector<ThreadContext *> WarpPtrs;
+
+  /// This worker's memo of the translation cache's answer per width
+  /// (indexed by log2(width)). Kernel name and options are fixed for the
+  /// launch, so a steady-state warp entry touches no cache lock at all.
+  /// Memo hits are reported back to the cache via noteWarmHits.
+  std::vector<std::shared_ptr<const KernelExec>> ExecMemo;
+  uint64_t MemoHits = 0;
 };
 
 bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
@@ -84,28 +166,37 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
   const MachineModel &Machine = Config.Machine;
 
   // Per-CTA memory structures (paper §5.2): shared memory and a contiguous
-  // block partitioned into per-thread local memories.
-  std::vector<std::byte> Shared(Layout.SharedBytes);
-  std::vector<std::byte> LocalArena(static_cast<size_t>(NumThreads) *
-                                    Layout.LocalBytes);
+  // block partitioned into per-thread local memories. assign() zeroes the
+  // contents (matching freshly allocated arenas) while keeping capacity.
+  Shared.assign(Layout.SharedBytes, std::byte{0});
+  LocalArena.assign(static_cast<size_t>(NumThreads) * Layout.LocalBytes,
+                    std::byte{0});
 
-  std::vector<ThreadContext> Ctxs(NumThreads);
   Dim3 CtaId;
   CtaId.X = static_cast<uint32_t>(LinearCta % Grid.X);
   CtaId.Y = static_cast<uint32_t>((LinearCta / Grid.X) % Grid.Y);
   CtaId.Z = static_cast<uint32_t>(LinearCta / (static_cast<uint64_t>(Grid.X) *
                                                Grid.Y));
+  // Thread ids, dimensions, and local-memory slices are identical for every
+  // CTA of the launch; they are computed once and only refreshed if the
+  // arena moved. Per-CTA reinit touches just the varying fields.
+  if (Ctxs.size() != NumThreads || LocalBase != LocalArena.data()) {
+    Ctxs.resize(NumThreads);
+    LocalBase = LocalArena.data();
+    for (uint32_t T = 0; T < NumThreads; ++T) {
+      ThreadContext &Ctx = Ctxs[T];
+      Ctx.TidX = T % Block.X;
+      Ctx.TidY = (T / Block.X) % Block.Y;
+      Ctx.TidZ = T / (Block.X * Block.Y);
+      Ctx.LinearTid = T;
+      Ctx.GridDim = Grid;
+      Ctx.BlockDim = Block;
+      Ctx.LocalMem = LocalBase + static_cast<size_t>(T) * Layout.LocalBytes;
+    }
+  }
   for (uint32_t T = 0; T < NumThreads; ++T) {
     ThreadContext &Ctx = Ctxs[T];
-    Ctx.TidX = T % Block.X;
-    Ctx.TidY = (T / Block.X) % Block.Y;
-    Ctx.TidZ = T / (Block.X * Block.Y);
-    Ctx.LinearTid = T;
     Ctx.CtaId = CtaId;
-    Ctx.GridDim = Grid;
-    Ctx.BlockDim = Block;
-    Ctx.LocalMem = LocalArena.data() +
-                   static_cast<size_t>(T) * Layout.LocalBytes;
     Ctx.ResumePoint = 0;
     Ctx.Status = ResumeStatus::Branch;
   }
@@ -118,31 +209,43 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
   Mem.ParamBuf = ParamBuf.data();
   Mem.ParamSize = ParamBuf.size();
   Mem.LocalSize = Layout.LocalBytes;
-  Mem.AtomicMutex = &AtomicMutex;
+  Mem.Atomics = &Atomics;
 
   // Ready pool: a round-robin order queue plus same-entry buckets.
   // Sequence numbers invalidate stale queue entries of threads that were
-  // swept into another thread's warp.
-  std::vector<ThreadState> State(NumThreads, ThreadState::Ready);
-  std::vector<uint32_t> Seq(NumThreads, 0);
-  std::deque<std::pair<uint32_t, uint32_t>> Order;
-  std::map<uint64_t, std::deque<std::pair<uint32_t, uint32_t>>> Buckets;
+  // swept into another thread's warp; bucket membership is exact (intrusive
+  // lists, threads leave only by consumption), so buckets need no
+  // invalidation.
+  State.assign(NumThreads, ThreadState::Ready);
+  Seq.assign(NumThreads, 0);
+  NextIdx.assign(NumThreads, InvalidThread);
+  Order.clear();
+  OrderHead = 0;
+  ++Epoch;
+  TableUsed = 0;
 
   auto makeReady = [&](uint32_t T) {
     State[T] = ThreadState::Ready;
     ++Seq[T];
     Order.emplace_back(T, Seq[T]);
-    Buckets[bucketKey(Ctxs[T])].emplace_back(T, Seq[T]);
+    BucketRec &B = bucketFor(bucketKey(Ctxs[T]));
+    NextIdx[T] = InvalidThread;
+    if (B.Len == 0)
+      B.Head = T;
+    else
+      NextIdx[B.Tail] = T;
+    B.Tail = T;
+    ++B.Len;
   };
   for (uint32_t T = 0; T < NumThreads; ++T)
     makeReady(T);
 
   uint32_t Alive = NumThreads;
   uint32_t AtBarrier = 0;
-  std::vector<ThreadContext *> WarpPtrs(Config.MaxWarpSize);
+  WarpPtrs.resize(Config.MaxWarpSize);
 
   while (Alive > 0) {
-    if (Order.empty()) {
+    if (OrderHead == Order.size()) {
       if (AtBarrier == Alive && AtBarrier > 0) {
         // All live threads arrived: release the barrier (paper §4.1).
         for (uint32_t T = 0; T < NumThreads; ++T)
@@ -158,35 +261,34 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
       return false;
     }
 
-    auto [Pick, PickSeq] = Order.front();
-    Order.pop_front();
+    auto [Pick, PickSeq] = Order[OrderHead++];
     if (State[Pick] != ThreadState::Ready || Seq[Pick] != PickSeq)
       continue; // stale entry
 
     // Gather the largest same-entry warp (paper §5.2): round-robin pick,
-    // then sweep the bucket.
-    auto &Bucket = Buckets[bucketKey(Ctxs[Pick])];
-    uint32_t Valid = 0;
-    for (size_t Idx = 0; Idx < Bucket.size() && Valid < Config.MaxWarpSize;) {
-      auto [T, TSeq] = Bucket[Idx];
-      if (State[T] != ThreadState::Ready || Seq[T] != TSeq) {
-        Bucket.erase(Bucket.begin() + static_cast<ptrdiff_t>(Idx));
-        continue;
+    // then sweep the bucket in insertion order.
+    BucketRec &Bucket = bucketFor(bucketKey(Ctxs[Pick]));
+    assert(Bucket.Len > 0 && "picked thread must be in its bucket");
+    uint32_t Valid = std::min(Bucket.Len, Config.MaxWarpSize);
+    {
+      uint32_t T = Bucket.Head;
+      for (uint32_t Idx = 0; Idx < Valid; ++Idx) {
+        WarpPtrs[Idx] = &Ctxs[T];
+        T = NextIdx[T];
       }
-      WarpPtrs[Valid++] = &Ctxs[T];
-      ++Idx;
     }
-    assert(Valid > 0 && "picked thread must be in its bucket");
     uint32_t Width = std::min(floorPow2(Valid), Config.MaxWarpSize);
-    // Consume the first Width valid entries.
-    uint32_t Taken = 0;
-    while (Taken < Width) {
-      auto [T, TSeq] = Bucket.front();
-      Bucket.pop_front();
-      if (State[T] != ThreadState::Ready || Seq[T] != TSeq)
-        continue;
-      State[T] = ThreadState::Running;
-      ++Taken;
+    // Consume the first Width entries (== WarpPtrs[0..Width)).
+    {
+      uint32_t T = Bucket.Head;
+      for (uint32_t Idx = 0; Idx < Width; ++Idx) {
+        State[T] = ThreadState::Running;
+        T = NextIdx[T];
+      }
+      Bucket.Head = T;
+      Bucket.Len -= Width;
+      if (Bucket.Len == 0)
+        Bucket.Tail = InvalidThread;
     }
 
     // Warp formation scans the same-entry pool up to a bounded window
@@ -197,25 +299,39 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
         Config.MaxWarpSize == 1
             ? 1
             : static_cast<uint32_t>(std::min<size_t>(
-                  Bucket.size() + Width, Machine.EMScanWindow));
+                  static_cast<size_t>(Bucket.Len) + Width,
+                  Machine.EMScanWindow));
     R.Counters.EMCycles +=
         Machine.EMWarpFormBase + Machine.EMPerThreadScan * Scanned;
 
-    // Query the translation cache for this width's binary (paper §5.1).
-    TranslationCache::Key Key{KernelName, Width,
-                              Config.ThreadInvariantElim,
-                              Config.UniformBranchOpt,
-                              Config.UniformLoadOpt};
-    auto ExecOrErr = TC.get(Key);
-    if (!ExecOrErr) {
-      R.Error = ExecOrErr.status().message();
-      return false;
+    // This width's binary: the worker's memo answers steady-state entries
+    // without touching the translation cache (paper §5.1 notes managers
+    // "block while contending for a lock on the dynamic translation
+    // cache"; the memo removes even the lock-free lookup).
+    const size_t WIdx = static_cast<size_t>(std::countr_zero(Width));
+    std::shared_ptr<const KernelExec> &Exec = ExecMemo[WIdx];
+    if (!Exec) {
+      TranslationCache::Key Key{KernelName, Width,
+                                Config.ThreadInvariantElim,
+                                Config.UniformBranchOpt,
+                                Config.UniformLoadOpt};
+      auto ExecOrErr = TC.get(Key);
+      if (!ExecOrErr) {
+        R.Error = ExecOrErr.status().message();
+        return false;
+      }
+      Exec = *ExecOrErr;
+    } else {
+      ++MemoHits;
     }
 
     Warp W;
     W.Threads = WarpPtrs.data();
     W.Size = Width;
-    Interpreter::Result Run = Interp.run(**ExecOrErr, W, Mem, R.Counters);
+    Interpreter::Result Run =
+        Config.UseReferenceInterp
+            ? Interp.runReference(*Exec, W, Mem, R.Counters)
+            : Interp.run(*Exec, W, Mem, R.Counters);
     if (Run.Trap) {
       R.Error = formatString("kernel '%s' trapped: %s", KernelName.c_str(),
                              Run.Trap->c_str());
@@ -224,7 +340,7 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
 
     ++R.WarpEntries;
     R.ThreadEntries += Width;
-    ++R.EntriesByWidth[Width];
+    ++R.EntriesByWidthLog2[std::countr_zero(Width)];
     R.Counters.EMCycles += Machine.EMYieldUpdatePerThread * Width;
 
     switch (Run.Status) {
@@ -258,6 +374,10 @@ WorkerResult ExecutionManager::run(uint64_t FirstCta, uint64_t Stride) {
   for (uint64_t Cta = FirstCta; Cta < NumCtas; Cta += Stride)
     if (!runCta(Cta, R))
       break;
+  if (MemoHits) {
+    TC.noteWarmHits(MemoHits);
+    MemoHits = 0;
+  }
   return R;
 }
 
@@ -268,7 +388,7 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
                       Dim3 Grid, Dim3 Block,
                       const std::vector<std::byte> &ParamBuf,
                       std::byte *Global, size_t GlobalSize,
-                      std::mutex &AtomicMutex, const LaunchConfig &Config) {
+                      AtomicStripes &Atomics, const LaunchConfig &Config) {
   if (Grid.count() == 0 || Block.count() == 0)
     return Status::error("empty launch geometry");
   if (Config.MaxWarpSize == 0 ||
@@ -302,7 +422,7 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
   std::vector<WorkerResult> Results(Workers);
   auto Body = [&](unsigned WorkerId) {
     ExecutionManager EM(TC, KernelName, Config, *LayoutOrErr, Grid, Block,
-                        ParamBuf, Global, GlobalSize, AtomicMutex);
+                        ParamBuf, Global, GlobalSize, Atomics);
     Results[WorkerId] = EM.run(WorkerId, Workers);
   };
   if (Config.UseOsThreads && Workers > 1) {
@@ -324,8 +444,9 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
     Stats.Counters += R.Counters;
     Stats.MaxWorkerCycles =
         std::max(Stats.MaxWorkerCycles, R.Counters.totalCycles());
-    for (const auto &[Width, Count] : R.EntriesByWidth)
-      Stats.EntriesByWidth[Width] += Count;
+    for (unsigned I = 0; I < 32; ++I)
+      if (R.EntriesByWidthLog2[I])
+        Stats.EntriesByWidth[1u << I] += R.EntriesByWidthLog2[I];
     Stats.WarpEntries += R.WarpEntries;
     Stats.ThreadEntries += R.ThreadEntries;
     Stats.BranchYields += R.BranchYields;

@@ -15,8 +15,17 @@
 
 using namespace simtvec;
 
+TranslationCache::Shard &TranslationCache::shardFor(const Key &K) {
+  // Kernel name dominates the distribution; mix in the width so the
+  // specializations of one kernel spread over shards too.
+  size_t H = std::hash<std::string>{}(K.KernelName);
+  H ^= (H >> 17) ^ (static_cast<size_t>(K.WarpSize) * 0x9e3779b97f4a7c15ull);
+  return Shards[H % NumShards];
+}
+
 Expected<const TranslationCache::PreparedKernel *>
 TranslationCache::prepare(const std::string &KernelName) {
+  std::lock_guard<std::mutex> Guard(PrepareLock);
   auto It = Prepared.find(KernelName);
   if (It != Prepared.end())
     return &It->second;
@@ -41,24 +50,86 @@ TranslationCache::prepare(const std::string &KernelName) {
     return Status::error("preparation broke the kernel: " + E.message());
   P.Plan = SpecializationPlan::build(P.Scalar);
 
+  // std::map nodes are stable: the pointer survives later insertions.
   auto [Inserted, _] = Prepared.emplace(KernelName, std::move(P));
   return &Inserted->second;
 }
 
 Expected<std::shared_ptr<const KernelExec>>
 TranslationCache::get(const Key &K) {
-  std::lock_guard<std::mutex> Guard(Lock);
-  auto It = Cache.find(K);
-  if (It != Cache.end()) {
-    ++Counters.Hits;
-    return It->second;
+  Shard &S = shardFor(K);
+
+  // Warm path: sharded reader lock only. Concurrent warm queries never
+  // serialize against each other; they block only against an insert into
+  // this same shard (once per specialization, ever).
+  {
+    std::shared_lock<std::shared_mutex> Guard(S.Lock);
+    auto It = S.Cache.find(K);
+    if (It != S.Cache.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
   }
-  ++Counters.Misses;
+
+  // Cold path: claim or join the in-flight compilation for this key.
+  std::shared_ptr<CompileSlot> Slot;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Guard(InFlightLock);
+    // Re-check the cache: the previous owner may have published between our
+    // miss above and acquiring InFlightLock.
+    {
+      std::shared_lock<std::shared_mutex> CacheGuard(S.Lock);
+      auto It = S.Cache.find(K);
+      if (It != S.Cache.end()) {
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        return It->second;
+      }
+    }
+    auto It = InFlight.find(K);
+    if (It != InFlight.end()) {
+      Slot = It->second;
+    } else {
+      Slot = std::make_shared<CompileSlot>();
+      InFlight.emplace(K, Slot);
+      Owner = true;
+    }
+  }
+
+  if (!Owner) {
+    // Another execution manager is compiling this exact specialization;
+    // wait for its result rather than duplicating the work.
+    std::unique_lock<std::mutex> Guard(Slot->Lock);
+    Slot->Ready.wait(Guard, [&] { return Slot->Done; });
+    if (Slot->Err.isError())
+      return Slot->Err;
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return Slot->Value;
+  }
+
+  // We own the compile. No cache lock is held while specializing, so other
+  // keys (other kernels, other widths) compile and hit concurrently.
+  Misses.fetch_add(1, std::memory_order_relaxed);
   auto Start = std::chrono::steady_clock::now();
 
+  auto Publish = [&](Status Err,
+                     std::shared_ptr<const KernelExec> Value) {
+    {
+      std::lock_guard<std::mutex> Guard(Slot->Lock);
+      Slot->Err = std::move(Err);
+      Slot->Value = std::move(Value);
+      Slot->Done = true;
+    }
+    Slot->Ready.notify_all();
+    std::lock_guard<std::mutex> Guard(InFlightLock);
+    InFlight.erase(K);
+  };
+
   auto POrErr = prepare(K.KernelName);
-  if (!POrErr)
+  if (!POrErr) {
+    Publish(POrErr.status(), nullptr);
     return POrErr.status();
+  }
   const PreparedKernel *P = *POrErr;
 
   VectorizeOptions Opts;
@@ -70,22 +141,32 @@ TranslationCache::get(const Key &K) {
       vectorizeKernel(P->Scalar, P->Plan, Opts);
   if (RunCleanup)
     runCleanupPipeline(*Specialized);
-  if (Status E = verifyKernel(*Specialized))
-    return Status::error("specialization failed verification: " +
-                         E.message());
+  if (Status E = verifyKernel(*Specialized)) {
+    Status Err = Status::error("specialization failed verification: " +
+                               E.message());
+    Publish(Err, nullptr);
+    return Err;
+  }
 
   auto Exec = KernelExec::build(std::move(Specialized), Machine);
-  Cache.emplace(K, Exec);
+  {
+    std::unique_lock<std::shared_mutex> Guard(S.Lock);
+    S.Cache.emplace(K, Exec);
+  }
+  Publish(Status::success(), Exec);
 
-  Counters.CompileSeconds +=
+  double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  {
+    std::lock_guard<std::mutex> Guard(StatsLock);
+    CompileSeconds += Seconds;
+  }
   return Exec;
 }
 
 Expected<TranslationCache::KernelLayout>
 TranslationCache::layoutFor(const std::string &KernelName) {
-  std::lock_guard<std::mutex> Guard(Lock);
   auto POrErr = prepare(KernelName);
   if (!POrErr)
     return POrErr.status();
@@ -98,6 +179,10 @@ TranslationCache::layoutFor(const std::string &KernelName) {
 }
 
 TranslationCache::Stats TranslationCache::stats() const {
-  std::lock_guard<std::mutex> Guard(Lock);
-  return Counters;
+  Stats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  S.CompileSeconds = CompileSeconds;
+  return S;
 }

@@ -387,3 +387,193 @@ uint64_t simtvec::evalConvert(ScalarKind DstK, ScalarKind SrcK, uint64_t Bits) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===
+// Decode-time resolution
+//===----------------------------------------------------------------------===
+//
+// The thunks below re-instantiate the generic eval* code with the opcode and
+// kind as compile-time constants: being in the same translation unit, the
+// optimizer folds the dispatch switches away, and because it is the *same*
+// code the results are bit-identical to the generic path. Each resolver
+// probes the generic path once to learn whether the combination is valid
+// (Bad never depends on the data — division by zero is defined as 0).
+
+namespace {
+
+template <Opcode Op, ScalarKind K> uint64_t binThunk(uint64_t A, uint64_t B) {
+  bool Bad = false;
+  return simtvec::evalBinary(Op, K, A, B, Bad);
+}
+
+template <ScalarKind K> BinaryFn binForKind(Opcode Op) {
+  switch (Op) {
+#define SIMTVEC_BIN_CASE(OP)                                                   \
+  case Opcode::OP:                                                             \
+    return binThunk<Opcode::OP, K>;
+    SIMTVEC_BIN_CASE(Add)
+    SIMTVEC_BIN_CASE(Sub)
+    SIMTVEC_BIN_CASE(Mul)
+    SIMTVEC_BIN_CASE(Div)
+    SIMTVEC_BIN_CASE(Rem)
+    SIMTVEC_BIN_CASE(Min)
+    SIMTVEC_BIN_CASE(Max)
+    SIMTVEC_BIN_CASE(And)
+    SIMTVEC_BIN_CASE(Or)
+    SIMTVEC_BIN_CASE(Xor)
+    SIMTVEC_BIN_CASE(Shl)
+    SIMTVEC_BIN_CASE(Shr)
+#undef SIMTVEC_BIN_CASE
+  default:
+    return nullptr;
+  }
+}
+
+template <Opcode Op, ScalarKind K> uint64_t unThunk(uint64_t A) {
+  bool Bad = false;
+  return simtvec::evalUnary(Op, K, A, Bad);
+}
+
+template <ScalarKind K> UnaryFn unForKind(Opcode Op) {
+  switch (Op) {
+#define SIMTVEC_UN_CASE(OP)                                                    \
+  case Opcode::OP:                                                             \
+    return unThunk<Opcode::OP, K>;
+    SIMTVEC_UN_CASE(Neg)
+    SIMTVEC_UN_CASE(Abs)
+    SIMTVEC_UN_CASE(Not)
+    SIMTVEC_UN_CASE(Rcp)
+    SIMTVEC_UN_CASE(Sqrt)
+    SIMTVEC_UN_CASE(Rsqrt)
+    SIMTVEC_UN_CASE(Sin)
+    SIMTVEC_UN_CASE(Cos)
+    SIMTVEC_UN_CASE(Lg2)
+    SIMTVEC_UN_CASE(Ex2)
+#undef SIMTVEC_UN_CASE
+  default:
+    return nullptr;
+  }
+}
+
+template <ScalarKind K>
+uint64_t madThunk(uint64_t A, uint64_t B, uint64_t C) {
+  bool Bad = false;
+  return simtvec::evalMad(K, A, B, C, Bad);
+}
+
+template <CmpOp Cmp, ScalarKind K> bool cmpThunk(uint64_t A, uint64_t B) {
+  return simtvec::evalCmp(Cmp, K, A, B);
+}
+
+template <ScalarKind K> CmpFn cmpForKind(CmpOp Cmp) {
+  switch (Cmp) {
+  case CmpOp::Eq:
+    return cmpThunk<CmpOp::Eq, K>;
+  case CmpOp::Ne:
+    return cmpThunk<CmpOp::Ne, K>;
+  case CmpOp::Lt:
+    return cmpThunk<CmpOp::Lt, K>;
+  case CmpOp::Le:
+    return cmpThunk<CmpOp::Le, K>;
+  case CmpOp::Gt:
+    return cmpThunk<CmpOp::Gt, K>;
+  case CmpOp::Ge:
+    return cmpThunk<CmpOp::Ge, K>;
+  }
+  return nullptr;
+}
+
+template <ScalarKind DstK, ScalarKind SrcK> uint64_t cvtThunk(uint64_t Bits) {
+  return simtvec::evalConvert(DstK, SrcK, Bits);
+}
+
+template <ScalarKind DstK> ConvertFn cvtForDst(ScalarKind SrcK) {
+  switch (SrcK) {
+#define SIMTVEC_CVT_CASE(SK)                                                   \
+  case ScalarKind::SK:                                                         \
+    return cvtThunk<DstK, ScalarKind::SK>;
+    SIMTVEC_CVT_CASE(Pred)
+    SIMTVEC_CVT_CASE(U8)
+    SIMTVEC_CVT_CASE(S32)
+    SIMTVEC_CVT_CASE(U32)
+    SIMTVEC_CVT_CASE(S64)
+    SIMTVEC_CVT_CASE(U64)
+    SIMTVEC_CVT_CASE(F32)
+    SIMTVEC_CVT_CASE(F64)
+#undef SIMTVEC_CVT_CASE
+  }
+  return nullptr;
+}
+
+/// Expands a switch over every ScalarKind forwarding to FN<Kind>(ARG).
+#define SIMTVEC_DISPATCH_KIND(K, FN, ARG)                                      \
+  switch (K) {                                                                 \
+  case ScalarKind::Pred:                                                       \
+    return FN<ScalarKind::Pred>(ARG);                                          \
+  case ScalarKind::U8:                                                         \
+    return FN<ScalarKind::U8>(ARG);                                            \
+  case ScalarKind::S32:                                                        \
+    return FN<ScalarKind::S32>(ARG);                                           \
+  case ScalarKind::U32:                                                        \
+    return FN<ScalarKind::U32>(ARG);                                           \
+  case ScalarKind::S64:                                                        \
+    return FN<ScalarKind::S64>(ARG);                                           \
+  case ScalarKind::U64:                                                        \
+    return FN<ScalarKind::U64>(ARG);                                           \
+  case ScalarKind::F32:                                                        \
+    return FN<ScalarKind::F32>(ARG);                                           \
+  case ScalarKind::F64:                                                        \
+    return FN<ScalarKind::F64>(ARG);                                           \
+  }                                                                            \
+  return nullptr;
+
+} // namespace
+
+BinaryFn simtvec::resolveBinary(Opcode Op, ScalarKind K) {
+  bool Bad = false;
+  evalBinary(Op, K, 1, 1, Bad);
+  if (Bad)
+    return nullptr;
+  SIMTVEC_DISPATCH_KIND(K, binForKind, Op)
+}
+
+UnaryFn simtvec::resolveUnary(Opcode Op, ScalarKind K) {
+  bool Bad = false;
+  evalUnary(Op, K, 1, Bad);
+  if (Bad)
+    return nullptr;
+  SIMTVEC_DISPATCH_KIND(K, unForKind, Op)
+}
+
+MadFn simtvec::resolveMad(ScalarKind K) {
+  bool Bad = false;
+  evalMad(K, 1, 1, 1, Bad);
+  if (Bad)
+    return nullptr;
+  switch (K) {
+  case ScalarKind::F32:
+    return madThunk<ScalarKind::F32>;
+  case ScalarKind::F64:
+    return madThunk<ScalarKind::F64>;
+  case ScalarKind::S32:
+    return madThunk<ScalarKind::S32>;
+  case ScalarKind::U32:
+    return madThunk<ScalarKind::U32>;
+  case ScalarKind::S64:
+    return madThunk<ScalarKind::S64>;
+  case ScalarKind::U64:
+    return madThunk<ScalarKind::U64>;
+  default:
+    return nullptr;
+  }
+}
+
+CmpFn simtvec::resolveCmp(CmpOp Cmp, ScalarKind K) {
+  SIMTVEC_DISPATCH_KIND(K, cmpForKind, Cmp)
+}
+
+ConvertFn simtvec::resolveConvert(ScalarKind DstK, ScalarKind SrcK) {
+  SIMTVEC_DISPATCH_KIND(DstK, cvtForDst, SrcK)
+}
+
+#undef SIMTVEC_DISPATCH_KIND
+

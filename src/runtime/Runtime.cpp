@@ -66,6 +66,7 @@ Expected<LaunchStats> Program::launch(Device &Dev,
   Config.UniformLoadOpt = Options.UniformLoadOpt;
   Config.Workers = Options.Workers;
   Config.UseOsThreads = Options.UseOsThreads;
+  Config.UseReferenceInterp = Options.UseReferenceInterp;
   return launchKernel(*TC, KernelName, Grid, Block, Params.bytes(),
-                      Dev.data(), Dev.size(), Dev.atomicMutex(), Config);
+                      Dev.data(), Dev.size(), Dev.atomics(), Config);
 }

@@ -9,7 +9,231 @@
 #include "simtvec/analysis/CFG.h"
 #include "simtvec/analysis/Liveness.h"
 
+#include <algorithm>
+
 using namespace simtvec;
+
+namespace {
+
+ExecShape shapeOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+  case Opcode::Broadcast:
+    return ExecShape::Mov;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return ExecShape::Binary;
+  case Opcode::Mad:
+    return ExecShape::Mad;
+  case Opcode::Neg:
+  case Opcode::Abs:
+  case Opcode::Not:
+  case Opcode::Rcp:
+  case Opcode::Sqrt:
+  case Opcode::Rsqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Lg2:
+  case Opcode::Ex2:
+    return ExecShape::Unary;
+  case Opcode::Setp:
+    return ExecShape::Setp;
+  case Opcode::Selp:
+    return ExecShape::Selp;
+  case Opcode::Cvt:
+    return ExecShape::Cvt;
+  case Opcode::Ld:
+    return ExecShape::Ld;
+  case Opcode::St:
+    return ExecShape::St;
+  case Opcode::AtomAdd:
+    return ExecShape::AtomAdd;
+  case Opcode::InsertElement:
+    return ExecShape::InsertElement;
+  case Opcode::ExtractElement:
+    return ExecShape::ExtractElement;
+  case Opcode::Iota:
+    return ExecShape::Iota;
+  case Opcode::VoteSum:
+    return ExecShape::VoteSum;
+  case Opcode::Spill:
+    return ExecShape::Spill;
+  case Opcode::Restore:
+    return ExecShape::Restore;
+  case Opcode::SetRPoint:
+    return ExecShape::SetRPoint;
+  case Opcode::SetRStatus:
+    return ExecShape::SetRStatus;
+  case Opcode::Membar:
+    return ExecShape::Nop;
+  case Opcode::BarSync:
+    return ExecShape::BarSync;
+  case Opcode::Bra:
+    return ExecShape::Bra;
+  case Opcode::Switch:
+    return ExecShape::Switch;
+  case Opcode::Ret:
+    return ExecShape::Ret;
+  case Opcode::Yield:
+    return ExecShape::Yield;
+  case Opcode::Trap:
+    return ExecShape::Trap;
+  }
+  return ExecShape::Trap;
+}
+
+/// Byte size of a spill slot element for one lane (predicates spill as one
+/// byte).
+unsigned spillElemBytes(Type Ty) {
+  return Ty.isPred() ? 1 : Ty.scalar().byteSize();
+}
+
+} // namespace
+
+namespace simtvec {
+
+/// Decode helper with access to KernelExec internals.
+struct KernelExecBuilder {
+  KernelExec &E;
+  const Kernel &K;
+  const MachineModel &Machine;
+
+  DecodedOp decodeOperand(const Operand &O) const {
+    DecodedOp D;
+    switch (O.kind()) {
+    case Operand::Kind::Reg:
+      D.K = K.regType(O.regId()).isVector() ? DecodedOp::Kind::RegVec
+                                            : DecodedOp::Kind::RegScal;
+      D.Slot = E.RegOffset[O.regId().Index];
+      break;
+    case Operand::Kind::Imm:
+      D.K = DecodedOp::Kind::Imm;
+      D.Imm = O.immBits();
+      break;
+    case Operand::Kind::Special:
+      D.K = DecodedOp::Kind::Special;
+      D.S = O.specialReg();
+      break;
+    case Operand::Kind::Symbol:
+      // Address symbols resolve to their space offsets at translation time.
+      D.K = DecodedOp::Kind::Imm;
+      switch (O.symKind()) {
+      case SymKind::Param:
+        D.Imm = K.Params[O.symIndex()].Offset;
+        break;
+      case SymKind::Shared:
+        D.Imm = K.SharedVars[O.symIndex()].Offset;
+        break;
+      case SymKind::Local:
+        D.Imm = K.LocalVars[O.symIndex()].Offset;
+        break;
+      }
+      break;
+    case Operand::Kind::None:
+      break;
+    }
+    return D;
+  }
+
+  DecodedInst decode(const Instruction &I, double BlockPenalty) const {
+    DecodedInst D;
+    D.Shape = shapeOf(I.Op);
+    D.Op = I.Op;
+    D.Ty = I.Ty;
+    D.Kind = I.Ty.kind();
+    D.Space = I.Space;
+    D.IsVector = I.Ty.isVector();
+    D.N = std::max<uint16_t>(1, I.Ty.lanes());
+    D.Lane = I.Lane;
+    D.Cmp = I.Cmp;
+    D.Cost = Machine.issueCost(I) + BlockPenalty;
+    D.Flops = Machine.flopsFor(I);
+    if (I.Dst.isValid())
+      D.DstSlot = E.RegOffset[I.Dst.Index];
+    if (I.Guard.isValid()) {
+      D.GuardSlot = E.RegOffset[I.Guard.Index];
+      D.GuardNegated = I.GuardNegated;
+    }
+    for (size_t S = 0; S < I.Srcs.size() && S < 3; ++S)
+      D.Src[S] = decodeOperand(I.Srcs[S]);
+
+    switch (D.Shape) {
+    case ExecShape::Binary:
+      D.Fn.Bin = resolveBinary(I.Op, D.Kind);
+      break;
+    case ExecShape::Unary:
+      D.Fn.Un = resolveUnary(I.Op, D.Kind);
+      break;
+    case ExecShape::Mad:
+      D.Fn.MadF = resolveMad(D.Kind);
+      break;
+    case ExecShape::Setp:
+      D.Fn.CmpF = resolveCmp(I.Cmp, D.Kind);
+      break;
+    default:
+      break;
+    }
+
+    switch (I.Op) {
+    case Opcode::Cvt:
+      D.CvtSrcKind = I.Srcs[0].isReg() ? K.regType(I.Srcs[0].regId()).kind()
+                     : I.Srcs[0].isImm() ? I.Srcs[0].immType().kind()
+                                         : ScalarKind::U32;
+      D.Fn.Cvt = resolveConvert(D.Kind, D.CvtSrcKind);
+      break;
+    case Opcode::Ld:
+    case Opcode::St:
+    case Opcode::AtomAdd:
+      D.MemBytes = static_cast<uint8_t>(I.Ty.byteSize());
+      D.MemOffset = I.MemOffset;
+      break;
+    case Opcode::Spill:
+    case Opcode::Restore:
+      D.MemBytes = static_cast<uint8_t>(spillElemBytes(I.Ty));
+      D.SpillAddr = K.LocalBytes + static_cast<uint64_t>(I.MemOffset);
+      break;
+    case Opcode::InsertElement:
+      D.AuxLane = static_cast<uint32_t>(I.Srcs[2].immInt());
+      break;
+    case Opcode::ExtractElement:
+      D.AuxLane = static_cast<uint32_t>(I.Srcs[1].immInt());
+      break;
+    case Opcode::VoteSum:
+      D.SrcN = I.Srcs[0].isReg()
+                   ? std::max<uint16_t>(1, K.regType(I.Srcs[0].regId()).lanes())
+                   : 1;
+      break;
+    case Opcode::Bra:
+      D.Target = I.Target;
+      D.FalseTarget = I.FalseTarget;
+      break;
+    case Opcode::Switch: {
+      DecodedSwitch SW;
+      SW.Values = I.SwitchValues;
+      SW.Targets = I.SwitchTargets;
+      SW.Default = I.SwitchDefault;
+      D.SwitchId = static_cast<uint32_t>(E.Switches.size());
+      E.Switches.push_back(std::move(SW));
+      break;
+    }
+    default:
+      break;
+    }
+    return D;
+  }
+};
+
+} // namespace simtvec
 
 std::shared_ptr<const KernelExec>
 KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine) {
@@ -40,6 +264,39 @@ KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine) {
     unsigned Excess = Pressure > Budget ? Pressure - Budget : 0;
     Exec->BlockPenalty[B] = Excess * Machine.SpillPenaltyPerExcessReg;
   }
+
+  // Lower every instruction into the flat pre-decoded stream. The per-block
+  // pressure penalty folds into each record's issue cost (the interpreter
+  // adds Cost exactly as the IR walk added issueCost(I) + Penalty).
+  KernelExecBuilder B{*Exec, *K, Machine};
+  Exec->DBlocks.resize(K->Blocks.size());
+  for (uint32_t Blk = 0; Blk < K->Blocks.size(); ++Blk) {
+    const BasicBlock &Block = K->Blocks[Blk];
+    DecodedBlock &DB = Exec->DBlocks[Blk];
+    DB.First = static_cast<uint32_t>(Exec->Code.size());
+    DB.Count = static_cast<uint32_t>(Block.Insts.size());
+    DB.IsBody = Block.Kind == BlockKind::Body;
+    for (const Instruction &I : Block.Insts)
+      Exec->Code.push_back(B.decode(I, Exec->BlockPenalty[Blk]));
+  }
+
+  // Slots that may be read before written: the registers live-in at the
+  // entry block (block 0; the scheduler reaches every resume point from
+  // there). Only these need zeroing on warp entry — every other register is
+  // fully defined before any use on all paths, so its slots never expose
+  // stale state. Ranges of adjacent registers are merged.
+  const BitSet &LiveIn = Live.liveIn(0);
+  std::vector<std::pair<uint32_t, uint32_t>> Ranges;
+  LiveIn.forEach([&](size_t R) {
+    uint32_t First = Exec->RegOffset[R];
+    uint32_t Len =
+        std::max<uint16_t>(1, K->Regs[R].Ty.lanes());
+    if (!Ranges.empty() && Ranges.back().first + Ranges.back().second == First)
+      Ranges.back().second += Len;
+    else
+      Ranges.emplace_back(First, Len);
+  });
+  Exec->ZeroRanges = std::move(Ranges);
 
   Exec->K = std::move(K);
   return Exec;

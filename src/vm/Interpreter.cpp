@@ -10,6 +10,7 @@
 #include "simtvec/support/Format.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -69,11 +70,567 @@ unsigned spillElemBytes(Type Ty) {
   return Ty.isPred() ? 1 : Ty.scalar().byteSize();
 }
 
+/// Resolves (space, address, size, lane) to a host pointer. Returns null on
+/// fault and fills \p Err with the trap message. The bounds checks are
+/// written overflow-proof: `Addr + Size > Limit` wraps for addresses near
+/// UINT64_MAX and would bypass the check, so each space tests
+/// `Size > Limit || Addr > Limit - Size` instead.
+std::byte *resolveAddr(ExecMemory &Mem, const Warp &W, AddressSpace Space,
+                       uint64_t Addr, size_t Size, uint32_t Lane, bool Write,
+                       std::string &Err) {
+  switch (Space) {
+  case AddressSpace::Global:
+    if (Size > Mem.GlobalSize || Addr > Mem.GlobalSize - Size) {
+      Err = formatString("out-of-bounds global access at 0x%llx (+%zu)",
+                         static_cast<unsigned long long>(Addr), Size);
+      return nullptr;
+    }
+    return Mem.Global + Addr;
+  case AddressSpace::Shared:
+    if (Size > Mem.SharedSize || Addr > Mem.SharedSize - Size) {
+      Err = formatString("out-of-bounds shared access at 0x%llx",
+                         static_cast<unsigned long long>(Addr));
+      return nullptr;
+    }
+    return Mem.Shared + Addr;
+  case AddressSpace::Local:
+    if (Size > Mem.LocalSize || Addr > Mem.LocalSize - Size) {
+      Err = formatString("out-of-bounds local access at 0x%llx",
+                         static_cast<unsigned long long>(Addr));
+      return nullptr;
+    }
+    return W.lane(Lane).LocalMem + Addr;
+  case AddressSpace::Param:
+    if (Write) {
+      Err = "store to the read-only parameter space";
+      return nullptr;
+    }
+    if (Size > Mem.ParamSize || Addr > Mem.ParamSize - Size) {
+      Err = formatString("out-of-bounds param access at 0x%llx",
+                         static_cast<unsigned long long>(Addr));
+      return nullptr;
+    }
+    return const_cast<std::byte *>(Mem.ParamBuf) + Addr;
+  }
+  return nullptr;
+}
+
+// Element sizes are 1/2/4/8; dispatching to fixed-size copies lets each
+// compile to a single move instead of a variable-length memcpy call.
+uint64_t loadBytes(const std::byte *P, unsigned Bytes) {
+  switch (Bytes) {
+  case 1: {
+    uint8_t V;
+    std::memcpy(&V, P, sizeof(V));
+    return V;
+  }
+  case 2: {
+    uint16_t V;
+    std::memcpy(&V, P, sizeof(V));
+    return V;
+  }
+  case 4: {
+    uint32_t V;
+    std::memcpy(&V, P, sizeof(V));
+    return V;
+  }
+  case 8: {
+    uint64_t V;
+    std::memcpy(&V, P, sizeof(V));
+    return V;
+  }
+  default: {
+    uint64_t V = 0;
+    std::memcpy(&V, P, Bytes);
+    return V;
+  }
+  }
+}
+
+void storeBytes(std::byte *P, uint64_t V, unsigned Bytes) {
+  switch (Bytes) {
+  case 1: {
+    uint8_t T = static_cast<uint8_t>(V);
+    std::memcpy(P, &T, sizeof(T));
+    break;
+  }
+  case 2: {
+    uint16_t T = static_cast<uint16_t>(V);
+    std::memcpy(P, &T, sizeof(T));
+    break;
+  }
+  case 4: {
+    uint32_t T = static_cast<uint32_t>(V);
+    std::memcpy(P, &T, sizeof(T));
+    break;
+  }
+  case 8:
+    std::memcpy(P, &V, sizeof(V));
+    break;
+  default:
+    std::memcpy(P, &V, Bytes);
+    break;
+  }
+}
+
 } // namespace
+
+void Interpreter::ensureL1() {
+  if (L1Tags.empty()) {
+    L1Tags.assign(static_cast<size_t>(Machine.L1Sets) * Machine.L1Ways,
+                  ~0ull);
+    L1NextWay.assign(Machine.L1Sets, 0);
+    // Power-of-two geometry (the default) turns the per-access line/set
+    // division and modulo into a shift and mask.
+    L1Pow2 = std::has_single_bit(Machine.L1LineBytes) &&
+             std::has_single_bit(Machine.L1Sets);
+    L1LineShift = static_cast<unsigned>(std::countr_zero(Machine.L1LineBytes));
+    L1SetMask = Machine.L1Sets - 1;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Fast path: the pre-decoded execution engine.
+//===----------------------------------------------------------------------===
 
 Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
                                      ExecMemory &Mem,
                                      CycleCounters &Counters) {
+#ifndef NDEBUG
+  const uint32_t Width =
+      Exec.kernel().WarpSize ? Exec.kernel().WarpSize : 1;
+  assert(W.Size == Width && "warp size must match the specialization");
+  for (uint32_t L = 1; L < W.Size; ++L)
+    assert(W.lane(L).ResumePoint == W.lane(0).ResumePoint &&
+           "warp lanes must share one entry point");
+#endif
+
+  // Selective register-file preparation: only slots that may be read before
+  // written (the entry block's live-in registers) are zeroed; every other
+  // slot is proven written-before-read and may keep stale bits that are
+  // never observed.
+  if (RegFile.size() < Exec.totalSlots())
+    RegFile.resize(Exec.totalSlots(), 0);
+  uint64_t *RF = RegFile.data();
+  for (const auto &[First, Len] : Exec.zeroRanges())
+    std::memset(RF + First, 0, static_cast<size_t>(Len) * sizeof(uint64_t));
+
+  Result R;
+  ResumeStatus PendingStatus = ResumeStatus::Exit;
+  std::string Err;
+
+  auto trap = [&](std::string Message) {
+    R.Trap = std::move(Message);
+    R.Status = ResumeStatus::Exit;
+  };
+
+  auto opVal = [&](const DecodedOp &O, uint32_t L) -> uint64_t {
+    switch (O.K) {
+    case DecodedOp::Kind::RegVec:
+      return RF[O.Slot + L];
+    case DecodedOp::Kind::RegScal:
+      return RF[O.Slot];
+    case DecodedOp::Kind::Imm:
+      return O.Imm;
+    case DecodedOp::Kind::Special:
+      return evalSpecial(O.S, W, L);
+    case DecodedOp::Kind::None:
+      break;
+    }
+    assert(false && "bad operand");
+    return 0;
+  };
+
+  // Modeled L1 lookup for global accesses; returns the extra miss cycles.
+  // The shift/mask form computes the same line/set as the reference
+  // engine's division/modulo when the geometry is a power of two.
+  ensureL1();
+  auto globalAccessExtra = [&](uint64_t Addr) -> double {
+    uint64_t Line = L1Pow2 ? Addr >> L1LineShift : Addr / Machine.L1LineBytes;
+    size_t Set = static_cast<size_t>(L1Pow2 ? Line & L1SetMask
+                                            : Line % Machine.L1Sets);
+    uint64_t *Ways = L1Tags.data() + Set * Machine.L1Ways;
+    ++Counters.GlobalAccesses;
+    for (unsigned Way = 0; Way < Machine.L1Ways; ++Way)
+      if (Ways[Way] == Line)
+        return 0;
+    Ways[L1NextWay[Set]] = Line;
+    L1NextWay[Set] =
+        static_cast<uint8_t>((L1NextWay[Set] + 1) % Machine.L1Ways);
+    ++Counters.GlobalMisses;
+    return Machine.MemMissExtra;
+  };
+
+  // Hoisted vector-operand access: a base pointer plus a 0/1 lane stride,
+  // so the per-lane loops index directly instead of re-dispatching on the
+  // operand kind. Special registers are materialized once into \p Buf.
+  // Lane counts beyond SpecialBufLanes fall back to the generic opVal path.
+  struct SrcRef {
+    const uint64_t *P;
+    uintptr_t Stride;
+  };
+  constexpr uint32_t SpecialBufLanes = 64;
+  uint64_t SpecialBuf[3][SpecialBufLanes];
+  auto srcRef = [&](const DecodedOp &O, uint32_t N, uint64_t *Buf) -> SrcRef {
+    switch (O.K) {
+    case DecodedOp::Kind::RegVec:
+      return {RF + O.Slot, 1};
+    case DecodedOp::Kind::RegScal:
+      return {RF + O.Slot, 0};
+    case DecodedOp::Kind::Imm:
+      return {&O.Imm, 0};
+    case DecodedOp::Kind::Special:
+      for (uint32_t L = 0; L < N; ++L)
+        Buf[L] = evalSpecial(O.S, W, L);
+      return {Buf, 1};
+    case DecodedOp::Kind::None:
+      break;
+    }
+    assert(false && "bad operand");
+    Buf[0] = 0;
+    return {Buf, 0};
+  };
+
+  const DecodedInst *Code = Exec.code().data();
+  const DecodedBlock *Blocks = Exec.decodedBlocks().data();
+
+  uint32_t Block = 0;
+  for (;;) {
+    const DecodedBlock &B = Blocks[Block];
+    double *Bucket =
+        B.IsBody ? &Counters.SubkernelCycles : &Counters.YieldCycles;
+    uint32_t NextBlock = InvalidBlock;
+
+    const DecodedInst *Inst = Code + B.First;
+    const DecodedInst *End = Inst + B.Count;
+    for (; Inst != End; ++Inst) {
+      const DecodedInst &D = *Inst;
+      *Bucket += D.Cost;
+      ++Counters.InstsExecuted;
+      Counters.VectorInsts += D.IsVector;
+      Counters.Flops += D.Flops;
+
+      // Guard check (non-branch): skip the architectural effect; the issue
+      // slot is still consumed.
+      if (D.GuardSlot != InvalidSlot && D.Shape != ExecShape::Bra) {
+        bool G = (RF[D.GuardSlot] & 1) != 0;
+        if (D.GuardNegated)
+          G = !G;
+        if (!G)
+          continue;
+      }
+
+      const uint32_t N = D.N;
+      switch (D.Shape) {
+      case ExecShape::Mov: {
+        uint64_t *Dst = RF + D.DstSlot;
+        const bool PerLane = D.Op == Opcode::Broadcast || D.IsVector;
+        if (PerLane && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = S0.P[L * S0.Stride];
+        } else {
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = opVal(D.Src[0], PerLane ? L : D.Lane);
+        }
+        break;
+      }
+      case ExecShape::Binary: {
+        uint64_t *Dst = RF + D.DstSlot;
+        const BinaryFn Fn = D.Fn.Bin;
+        if (!Fn) {
+          // The generic path writes zero to every lane before trapping.
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = 0;
+          trap(formatString("invalid %s on %s", opcodeName(D.Op),
+                            D.Ty.str().c_str()));
+          break;
+        }
+        if (D.IsVector && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          SrcRef S1 = srcRef(D.Src[1], N, SpecialBuf[1]);
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = Fn(S0.P[L * S0.Stride], S1.P[L * S1.Stride]);
+        } else {
+          for (uint32_t L = 0; L < N; ++L) {
+            uint32_t CtxLane = D.IsVector ? L : D.Lane;
+            Dst[L] = Fn(opVal(D.Src[0], CtxLane), opVal(D.Src[1], CtxLane));
+          }
+        }
+        break;
+      }
+      case ExecShape::Mad: {
+        uint64_t *Dst = RF + D.DstSlot;
+        const MadFn Fn = D.Fn.MadF;
+        if (!Fn) {
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = 0;
+          trap("invalid mad type");
+          break;
+        }
+        if (D.IsVector && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          SrcRef S1 = srcRef(D.Src[1], N, SpecialBuf[1]);
+          SrcRef S2 = srcRef(D.Src[2], N, SpecialBuf[2]);
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = Fn(S0.P[L * S0.Stride], S1.P[L * S1.Stride],
+                        S2.P[L * S2.Stride]);
+        } else {
+          for (uint32_t L = 0; L < N; ++L) {
+            uint32_t CtxLane = D.IsVector ? L : D.Lane;
+            Dst[L] = Fn(opVal(D.Src[0], CtxLane), opVal(D.Src[1], CtxLane),
+                        opVal(D.Src[2], CtxLane));
+          }
+        }
+        break;
+      }
+      case ExecShape::Unary: {
+        uint64_t *Dst = RF + D.DstSlot;
+        const UnaryFn Fn = D.Fn.Un;
+        if (!Fn) {
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = 0;
+          trap(formatString("invalid %s on %s", opcodeName(D.Op),
+                            D.Ty.str().c_str()));
+          break;
+        }
+        if (D.IsVector && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = Fn(S0.P[L * S0.Stride]);
+        } else {
+          for (uint32_t L = 0; L < N; ++L) {
+            uint32_t CtxLane = D.IsVector ? L : D.Lane;
+            Dst[L] = Fn(opVal(D.Src[0], CtxLane));
+          }
+        }
+        break;
+      }
+      case ExecShape::Setp: {
+        uint64_t *Dst = RF + D.DstSlot;
+        const CmpFn Fn = D.Fn.CmpF;
+        if (D.IsVector && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          SrcRef S1 = srcRef(D.Src[1], N, SpecialBuf[1]);
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = Fn(S0.P[L * S0.Stride], S1.P[L * S1.Stride]);
+        } else {
+          for (uint32_t L = 0; L < N; ++L) {
+            uint32_t CtxLane = D.IsVector ? L : D.Lane;
+            Dst[L] = Fn(opVal(D.Src[0], CtxLane), opVal(D.Src[1], CtxLane));
+          }
+        }
+        break;
+      }
+      case ExecShape::Selp: {
+        uint64_t *Dst = RF + D.DstSlot;
+        if (D.IsVector && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          SrcRef S1 = srcRef(D.Src[1], N, SpecialBuf[1]);
+          SrcRef S2 = srcRef(D.Src[2], N, SpecialBuf[2]);
+          for (uint32_t L = 0; L < N; ++L) {
+            bool P = (S2.P[L * S2.Stride] & 1) != 0;
+            Dst[L] = P ? S0.P[L * S0.Stride] : S1.P[L * S1.Stride];
+          }
+        } else {
+          for (uint32_t L = 0; L < N; ++L) {
+            uint32_t CtxLane = D.IsVector ? L : D.Lane;
+            bool P = (opVal(D.Src[2], CtxLane) & 1) != 0;
+            Dst[L] = opVal(D.Src[P ? 0 : 1], CtxLane);
+          }
+        }
+        break;
+      }
+      case ExecShape::Cvt: {
+        uint64_t *Dst = RF + D.DstSlot;
+        const ConvertFn Fn = D.Fn.Cvt;
+        if (D.IsVector && N <= SpecialBufLanes) {
+          SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
+          for (uint32_t L = 0; L < N; ++L)
+            Dst[L] = Fn(S0.P[L * S0.Stride]);
+        } else {
+          for (uint32_t L = 0; L < N; ++L) {
+            uint32_t CtxLane = D.IsVector ? L : D.Lane;
+            Dst[L] = Fn(opVal(D.Src[0], CtxLane));
+          }
+        }
+        break;
+      }
+      case ExecShape::Ld: {
+        uint64_t Addr =
+            opVal(D.Src[0], D.Lane) + static_cast<uint64_t>(D.MemOffset);
+        std::byte *P = resolveAddr(Mem, W, D.Space, Addr, D.MemBytes, D.Lane,
+                                   false, Err);
+        if (!P) {
+          trap(std::move(Err));
+          return R;
+        }
+        if (D.Space == AddressSpace::Global)
+          *Bucket += globalAccessExtra(Addr);
+        RF[D.DstSlot] = loadBytes(P, D.MemBytes);
+        break;
+      }
+      case ExecShape::St: {
+        uint64_t Addr =
+            opVal(D.Src[0], D.Lane) + static_cast<uint64_t>(D.MemOffset);
+        std::byte *P = resolveAddr(Mem, W, D.Space, Addr, D.MemBytes, D.Lane,
+                                   true, Err);
+        if (!P) {
+          trap(std::move(Err));
+          return R;
+        }
+        if (D.Space == AddressSpace::Global)
+          *Bucket += globalAccessExtra(Addr);
+        storeBytes(P, opVal(D.Src[1], D.Lane), D.MemBytes);
+        break;
+      }
+      case ExecShape::AtomAdd: {
+        uint64_t Addr =
+            opVal(D.Src[0], D.Lane) + static_cast<uint64_t>(D.MemOffset);
+        std::byte *P = resolveAddr(Mem, W, D.Space, Addr, D.MemBytes, D.Lane,
+                                   true, Err);
+        if (!P) {
+          trap(std::move(Err));
+          return R;
+        }
+        if (D.Space == AddressSpace::Global)
+          *Bucket += globalAccessExtra(Addr);
+        std::unique_lock<std::mutex> Lock;
+        if (Mem.Atomics)
+          Lock = std::unique_lock<std::mutex>(Mem.Atomics->lockFor(Addr));
+        uint64_t Old = loadBytes(P, D.MemBytes);
+        bool Bad = false;
+        uint64_t New = evalBinary(Opcode::Add, D.Kind, Old,
+                                  opVal(D.Src[1], D.Lane), Bad);
+        storeBytes(P, New, D.MemBytes);
+        if (D.DstSlot != InvalidSlot)
+          RF[D.DstSlot] = Old;
+        break;
+      }
+      case ExecShape::InsertElement: {
+        uint64_t *Dst = RF + D.DstSlot;
+        Scratch.assign(N, 0);
+        for (uint32_t L = 0; L < N; ++L)
+          Scratch[L] = opVal(D.Src[0], L);
+        Scratch[D.AuxLane] = opVal(D.Src[1], D.Lane);
+        for (uint32_t L = 0; L < N; ++L)
+          Dst[L] = Scratch[L];
+        break;
+      }
+      case ExecShape::ExtractElement:
+        RF[D.DstSlot] = opVal(D.Src[0], D.AuxLane);
+        break;
+      case ExecShape::Iota: {
+        uint64_t *Dst = RF + D.DstSlot;
+        for (uint32_t L = 0; L < N; ++L)
+          Dst[L] = L;
+        break;
+      }
+      case ExecShape::VoteSum: {
+        uint64_t Sum = 0;
+        for (uint32_t L = 0; L < D.SrcN; ++L)
+          Sum += opVal(D.Src[0], L) & 1;
+        RF[D.DstSlot] = Sum;
+        break;
+      }
+      case ExecShape::Spill: {
+        // Scalar spills serve one replicated lane (D.Lane); vector spills
+        // scatter each lane's element to that thread's slot.
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t ThreadLane = D.IsVector ? L : D.Lane;
+          std::byte *P = resolveAddr(Mem, W, AddressSpace::Local, D.SpillAddr,
+                                     D.MemBytes, ThreadLane, true, Err);
+          if (!P) {
+            trap(std::move(Err));
+            return R;
+          }
+          storeBytes(P, opVal(D.Src[0], ThreadLane), D.MemBytes);
+        }
+        Counters.SpilledValues += N; // lane-values spilled
+        break;
+      }
+      case ExecShape::Restore: {
+        uint64_t *Dst = RF + D.DstSlot;
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t ThreadLane = D.IsVector ? L : D.Lane;
+          std::byte *P = resolveAddr(Mem, W, AddressSpace::Local, D.SpillAddr,
+                                     D.MemBytes, ThreadLane, false, Err);
+          if (!P) {
+            trap(std::move(Err));
+            return R;
+          }
+          Dst[L] = loadBytes(P, D.MemBytes);
+        }
+        Counters.RestoredValues += N; // lane-values restored
+        break;
+      }
+      case ExecShape::SetRPoint:
+        for (uint32_t L = 0; L < W.Size; ++L)
+          W.lane(L).ResumePoint = static_cast<uint32_t>(opVal(D.Src[0], L));
+        break;
+      case ExecShape::SetRStatus:
+        PendingStatus = static_cast<ResumeStatus>(D.Src[0].Imm);
+        break;
+      case ExecShape::Nop:
+        break;
+      case ExecShape::BarSync:
+        trap("bar.sync executed directly; barriers must be lowered to "
+             "yields before execution");
+        return R;
+
+      // Terminators.
+      case ExecShape::Bra:
+        if (D.GuardSlot != InvalidSlot) {
+          bool G = (RF[D.GuardSlot] & 1) != 0;
+          if (D.GuardNegated)
+            G = !G;
+          NextBlock = G ? D.Target : D.FalseTarget;
+        } else {
+          NextBlock = D.Target;
+        }
+        break;
+      case ExecShape::Switch: {
+        uint64_t V = opVal(D.Src[0], 0);
+        const DecodedSwitch &SW = Exec.switchTable(D.SwitchId);
+        NextBlock = SW.Default;
+        for (size_t Case = 0; Case < SW.Values.size(); ++Case)
+          if (static_cast<uint64_t>(SW.Values[Case]) == V) {
+            NextBlock = SW.Targets[Case];
+            break;
+          }
+        break;
+      }
+      case ExecShape::Ret:
+        for (uint32_t L = 0; L < W.Size; ++L)
+          W.lane(L).Status = ResumeStatus::Exit;
+        R.Status = ResumeStatus::Exit;
+        return R;
+      case ExecShape::Yield:
+        for (uint32_t L = 0; L < W.Size; ++L)
+          W.lane(L).Status = PendingStatus;
+        R.Status = PendingStatus;
+        return R;
+      case ExecShape::Trap:
+        trap("trap instruction executed");
+        return R;
+      }
+      if (R.Trap)
+        return R;
+    }
+
+    assert(NextBlock != InvalidBlock && "block fell through its terminator");
+    Block = NextBlock;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Reference engine: direct IR walk (the original implementation), kept as
+// the differential-testing oracle for the decoded path.
+//===----------------------------------------------------------------------===
+
+Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
+                                              const Warp &W, ExecMemory &Mem,
+                                              CycleCounters &Counters) {
   const Kernel &K = Exec.kernel();
   const uint32_t Width = K.WarpSize ? K.WarpSize : 1;
   assert(W.Size == Width && "warp size must match the specialization");
@@ -87,6 +644,7 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
   RegFile.assign(Exec.totalSlots(), 0);
   Result R;
   ResumeStatus PendingStatus = ResumeStatus::Exit;
+  std::string Err;
 
   auto trap = [&](std::string Message) {
     R.Trap = std::move(Message);
@@ -136,49 +694,14 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
   // Resolves (space, address, size, lane) to a host pointer; null on fault.
   auto resolve = [&](AddressSpace Space, uint64_t Addr, size_t Size,
                      uint32_t Lane, bool Write) -> std::byte * {
-    switch (Space) {
-    case AddressSpace::Global:
-      if (Addr + Size > Mem.GlobalSize) {
-        trap(formatString("out-of-bounds global access at 0x%llx (+%zu)",
-                          static_cast<unsigned long long>(Addr), Size));
-        return nullptr;
-      }
-      return Mem.Global + Addr;
-    case AddressSpace::Shared:
-      if (Addr + Size > Mem.SharedSize) {
-        trap(formatString("out-of-bounds shared access at 0x%llx",
-                          static_cast<unsigned long long>(Addr)));
-        return nullptr;
-      }
-      return Mem.Shared + Addr;
-    case AddressSpace::Local:
-      if (Addr + Size > Mem.LocalSize) {
-        trap(formatString("out-of-bounds local access at 0x%llx",
-                          static_cast<unsigned long long>(Addr)));
-        return nullptr;
-      }
-      return W.lane(Lane).LocalMem + Addr;
-    case AddressSpace::Param:
-      if (Write) {
-        trap("store to the read-only parameter space");
-        return nullptr;
-      }
-      if (Addr + Size > Mem.ParamSize) {
-        trap(formatString("out-of-bounds param access at 0x%llx",
-                          static_cast<unsigned long long>(Addr)));
-        return nullptr;
-      }
-      return const_cast<std::byte *>(Mem.ParamBuf) + Addr;
-    }
-    return nullptr;
+    std::byte *P = resolveAddr(Mem, W, Space, Addr, Size, Lane, Write, Err);
+    if (!P)
+      trap(std::move(Err));
+    return P;
   };
 
   // Modeled L1 lookup for global accesses; returns the extra miss cycles.
-  if (L1Tags.empty()) {
-    L1Tags.assign(static_cast<size_t>(Machine.L1Sets) * Machine.L1Ways,
-                  ~0ull);
-    L1NextWay.assign(Machine.L1Sets, 0);
-  }
+  ensureL1();
   auto globalAccessExtra = [&](uint64_t Addr) -> double {
     uint64_t Line = Addr / Machine.L1LineBytes;
     size_t Set = static_cast<size_t>(Line % Machine.L1Sets);
@@ -192,15 +715,6 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         static_cast<uint8_t>((L1NextWay[Set] + 1) % Machine.L1Ways);
     ++Counters.GlobalMisses;
     return Machine.MemMissExtra;
-  };
-
-  auto loadBytes = [](const std::byte *P, unsigned Bytes) -> uint64_t {
-    uint64_t V = 0;
-    std::memcpy(&V, P, Bytes);
-    return V;
-  };
-  auto storeBytes = [](std::byte *P, uint64_t V, unsigned Bytes) {
-    std::memcpy(P, &V, Bytes);
   };
 
   // --- Main loop -----------------------------------------------------------
@@ -363,8 +877,8 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         if (I.Space == AddressSpace::Global)
           *Bucket += globalAccessExtra(Addr);
         std::unique_lock<std::mutex> Lock;
-        if (Mem.AtomicMutex)
-          Lock = std::unique_lock<std::mutex>(*Mem.AtomicMutex);
+        if (Mem.Atomics)
+          Lock = std::unique_lock<std::mutex>(Mem.Atomics->lockFor(Addr));
         uint64_t Old = loadBytes(P, Bytes);
         bool Bad = false;
         uint64_t New = evalBinary(Opcode::Add, I.Ty.kind(), Old,

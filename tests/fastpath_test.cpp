@@ -1,0 +1,265 @@
+//===- tests/fastpath_test.cpp - Fast-path engine and cache tests ---------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the pre-decoded execution engine and the contention-free
+// translation cache:
+//  - concurrency: many OS threads hammering TranslationCache::get() cold and
+//    warm must observe exactly one compile per key and identical executables;
+//  - differential: the decoded engine must match the reference IR-walking
+//    engine bit-for-bit — outputs, modeled cycle counters, entry histograms;
+//  - address-overflow regression: accesses whose address + size wraps past
+//    UINT64_MAX must trap, not slip past the bounds check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/TranslationCache.h"
+#include "simtvec/parser/Parser.h"
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <thread>
+
+using namespace simtvec;
+
+namespace {
+
+const char *DivergentSrc = R"(
+.kernel dk (.param .u64 p)
+{
+  .reg .u32 %t, %x;
+  .reg .u64 %a, %off;
+  .reg .pred %c;
+entry:
+  mov.u32 %t, %tid.x;
+  and.u32 %x, %t, 1;
+  setp.eq.u32 %c, %x, 1;
+  @%c bra odd, even;
+odd:
+  mul.u32 %x, %t, 3;
+  bra join;
+even:
+  mul.u32 %x, %t, 5;
+  bra join;
+join:
+  ld.param.u64 %a, [p];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %x;
+  ret;
+}
+)";
+
+//===----------------------------------------------------------------------===
+// Translation-cache concurrency
+//===----------------------------------------------------------------------===
+
+TEST(FastPathTest, CacheConcurrentGetCompilesEachKeyOnce) {
+  auto M = parseModuleOrDie(DivergentSrc);
+  MachineModel Machine;
+  TranslationCache TC(*M, Machine);
+
+  const uint32_t Widths[] = {1, 2, 4, 8};
+  constexpr unsigned NumThreads = 16;
+  constexpr unsigned RoundsPerThread = 50;
+
+  // Each thread records the executable pointer it saw per width.
+  std::vector<std::array<const KernelExec *, 4>> Seen(NumThreads);
+  std::vector<bool> Failed(NumThreads, false);
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      for (unsigned Round = 0; Round < RoundsPerThread; ++Round) {
+        for (size_t WI = 0; WI < 4; ++WI) {
+          TranslationCache::Key Key{"dk", Widths[WI], false, false, false};
+          auto ExecOrErr = TC.get(Key);
+          if (!ExecOrErr) {
+            Failed[T] = true;
+            return;
+          }
+          const KernelExec *P = ExecOrErr->get();
+          if (Round == 0) {
+            Seen[T][WI] = P;
+          } else if (Seen[T][WI] != P) {
+            Failed[T] = true; // cache returned a different executable
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned T = 0; T < NumThreads; ++T)
+    EXPECT_FALSE(Failed[T]) << "thread " << T;
+
+  // Every thread must have resolved each width to the same executable.
+  for (size_t WI = 0; WI < 4; ++WI)
+    for (unsigned T = 1; T < NumThreads; ++T)
+      EXPECT_EQ(Seen[0][WI], Seen[T][WI]) << "width " << Widths[WI];
+
+  // Exactly one compile per key, everything else a hit.
+  auto S = TC.stats();
+  EXPECT_EQ(S.Misses, 4u);
+  EXPECT_EQ(S.Hits + S.Misses,
+            static_cast<uint64_t>(NumThreads) * RoundsPerThread * 4);
+}
+
+//===----------------------------------------------------------------------===
+// Decoded engine vs. reference engine
+//===----------------------------------------------------------------------===
+
+struct EngineRun {
+  LaunchStats Stats;
+  std::vector<std::byte> Arena;
+};
+
+EngineRun runEngine(const Workload &W, uint32_t Scale, uint32_t MaxWarpSize,
+                    bool Reference) {
+  auto Prog = compileWorkload(W);
+  auto Inst = W.Make(Scale);
+  LaunchOptions Options;
+  Options.MaxWarpSize = MaxWarpSize;
+  Options.Workers = 1;
+  Options.UseOsThreads = false;
+  Options.UseReferenceInterp = Reference;
+  auto StatsOrErr = Prog->launch(*Inst->Dev, W.KernelName, Inst->Grid,
+                                 Inst->Block, Inst->Params, Options);
+  EXPECT_TRUE(static_cast<bool>(StatsOrErr))
+      << W.Name << ": " << StatsOrErr.status().message();
+  EngineRun R;
+  if (StatsOrErr)
+    R.Stats = *StatsOrErr;
+  std::string Error;
+  EXPECT_TRUE(Inst->Check(*Inst->Dev, Error)) << W.Name << ": " << Error;
+  R.Arena.assign(Inst->Dev->data(), Inst->Dev->data() + Inst->Dev->size());
+  return R;
+}
+
+TEST(FastPathTest, DecodedEngineMatchesReferenceBitForBit) {
+  const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
+                         "BinomialOptions", "Reduction", "Scan"};
+  for (const char *Name : Names) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    for (uint32_t Width : {1u, 4u}) {
+      SCOPED_TRACE(std::string(Name) + " width " + std::to_string(Width));
+      EngineRun Fast = runEngine(*W, 1, Width, false);
+      EngineRun Ref = runEngine(*W, 1, Width, true);
+
+      // Memory effects: the whole device arena must match byte for byte.
+      ASSERT_EQ(Fast.Arena.size(), Ref.Arena.size());
+      EXPECT_EQ(0, std::memcmp(Fast.Arena.data(), Ref.Arena.data(),
+                               Fast.Arena.size()));
+
+      // Modeled counters are part of the semantics: exact FP equality.
+      EXPECT_EQ(Fast.Stats.Counters.SubkernelCycles,
+                Ref.Stats.Counters.SubkernelCycles);
+      EXPECT_EQ(Fast.Stats.Counters.YieldCycles,
+                Ref.Stats.Counters.YieldCycles);
+      EXPECT_EQ(Fast.Stats.Counters.EMCycles, Ref.Stats.Counters.EMCycles);
+      EXPECT_EQ(Fast.Stats.Counters.Flops, Ref.Stats.Counters.Flops);
+      EXPECT_EQ(Fast.Stats.Counters.InstsExecuted,
+                Ref.Stats.Counters.InstsExecuted);
+      EXPECT_EQ(Fast.Stats.Counters.VectorInsts,
+                Ref.Stats.Counters.VectorInsts);
+      EXPECT_EQ(Fast.Stats.Counters.SpilledValues,
+                Ref.Stats.Counters.SpilledValues);
+      EXPECT_EQ(Fast.Stats.Counters.RestoredValues,
+                Ref.Stats.Counters.RestoredValues);
+      EXPECT_EQ(Fast.Stats.Counters.GlobalAccesses,
+                Ref.Stats.Counters.GlobalAccesses);
+      EXPECT_EQ(Fast.Stats.Counters.GlobalMisses,
+                Ref.Stats.Counters.GlobalMisses);
+      EXPECT_EQ(Fast.Stats.EntriesByWidth, Ref.Stats.EntriesByWidth);
+      EXPECT_EQ(Fast.Stats.WarpEntries, Ref.Stats.WarpEntries);
+      EXPECT_EQ(Fast.Stats.ThreadEntries, Ref.Stats.ThreadEntries);
+      EXPECT_EQ(Fast.Stats.BranchYields, Ref.Stats.BranchYields);
+      EXPECT_EQ(Fast.Stats.BarrierYields, Ref.Stats.BarrierYields);
+      EXPECT_EQ(Fast.Stats.ExitYields, Ref.Stats.ExitYields);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Address-overflow regression
+//===----------------------------------------------------------------------===
+
+const char *OobLoadSrc = R"(
+.kernel oob (.param .u64 p)
+{
+  .reg .u64 %a;
+  .reg .u32 %x;
+entry:
+  ld.param.u64 %a, [p];
+  ld.global.u32 %x, [%a];
+  st.global.u32 [%a], %x;
+  ret;
+}
+)";
+
+const char *OobSharedSrc = R"(
+.kernel oobs (.param .u64 p)
+{
+  .shared .b8 s[64];
+  .reg .u64 %a;
+  .reg .u32 %x;
+entry:
+  ld.param.u64 %a, [p];
+  mov.u32 %x, 7;
+  st.shared.u32 [%a], %x;
+  ret;
+}
+)";
+
+TEST(FastPathTest, NearMaxAddressTrapsInsteadOfWrapping) {
+  // Addr + 4 wraps to 0, which a naive `Addr + Size > Limit` check accepts.
+  const uint64_t NearMax = ~0ull - 3;
+  for (bool Reference : {false, true}) {
+    SCOPED_TRACE(Reference ? "reference" : "decoded");
+    auto ProgOrErr = Program::compile(OobLoadSrc);
+    ASSERT_TRUE(static_cast<bool>(ProgOrErr))
+        << ProgOrErr.status().message();
+    Device Dev(1 << 16);
+    ParamBuilder Params;
+    Params.addU64(NearMax);
+    LaunchOptions Options;
+    Options.UseOsThreads = false;
+    Options.UseReferenceInterp = Reference;
+    auto Stats = (*ProgOrErr)->launch(Dev, "oob", {1, 1, 1}, {1, 1, 1},
+                                      Params, Options);
+    ASSERT_FALSE(static_cast<bool>(Stats));
+    EXPECT_NE(Stats.status().message().find("out-of-bounds global access"),
+              std::string::npos)
+        << Stats.status().message();
+  }
+}
+
+TEST(FastPathTest, NearMaxSharedAddressTraps) {
+  const uint64_t NearMax = ~0ull - 3;
+  auto ProgOrErr = Program::compile(OobSharedSrc);
+  ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  Device Dev(1 << 16);
+  ParamBuilder Params;
+  Params.addU64(NearMax);
+  LaunchOptions Options;
+  Options.UseOsThreads = false;
+  auto Stats = (*ProgOrErr)->launch(Dev, "oobs", {1, 1, 1}, {1, 1, 1},
+                                    Params, Options);
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.status().message().find("out-of-bounds shared access"),
+            std::string::npos)
+      << Stats.status().message();
+}
+
+} // namespace

@@ -263,7 +263,7 @@ RunOutput runUnder(const Module &M, const LaunchConfig &Config,
                    uint64_t DataSeed, uint32_t Threads) {
   TranslationCache TC(M, Config.Machine);
   std::vector<std::byte> Global(1 << 20);
-  std::mutex AtomicMutex;
+  AtomicStripes Atomics;
 
   RNG Data(DataSeed);
   std::vector<uint32_t> UIn(Threads);
@@ -283,7 +283,7 @@ RunOutput runUnder(const Module &M, const LaunchConfig &Config,
   Dim3 Grid{Threads / 64, 1, 1};
   Dim3 Block{64, 1, 1};
   auto S = launchKernel(TC, "random", Grid, Block, Params.bytes(),
-                        Global.data(), Global.size(), AtomicMutex, Config);
+                        Global.data(), Global.size(), Atomics, Config);
   EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();
 
   RunOutput Out;
