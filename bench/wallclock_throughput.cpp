@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace simtvec;
@@ -40,6 +41,32 @@ double now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Host/build provenance for the JSON header, so a committed trajectory
+/// file identifies the configuration it was measured under.
+void printHostHeader(FILE *Out) {
+#if defined(__clang__)
+  std::fprintf(Out, "  \"compiler\": \"clang %d.%d.%d\",\n", __clang_major__,
+               __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  std::fprintf(Out, "  \"compiler\": \"gcc %d.%d.%d\",\n", __GNUC__,
+               __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  std::fprintf(Out, "  \"compiler\": \"unknown\",\n");
+#endif
+#ifdef SIMTVEC_BENCH_FLAGS
+  std::fprintf(Out, "  \"flags\": \"%s\",\n", SIMTVEC_BENCH_FLAGS);
+#else
+  std::fprintf(Out, "  \"flags\": \"\",\n");
+#endif
+#ifdef SIMTVEC_NATIVE_BUILD
+  std::fprintf(Out, "  \"native\": true,\n");
+#else
+  std::fprintf(Out, "  \"native\": false,\n");
+#endif
+  std::fprintf(Out, "  \"nproc\": %u,\n",
+               std::thread::hardware_concurrency());
 }
 
 } // namespace
@@ -106,8 +133,9 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cannot open %s\n", OutPath);
     return 1;
   }
-  std::fprintf(Out, "{\n  \"bench\": \"wallclock_throughput\",\n"
-                    "  \"scale\": %u,\n  \"reps\": %d,\n  \"results\": [\n",
+  std::fprintf(Out, "{\n  \"bench\": \"wallclock_throughput\",\n");
+  printHostHeader(Out);
+  std::fprintf(Out, "  \"scale\": %u,\n  \"reps\": %d,\n  \"results\": [\n",
                Scale, Reps);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const Sample &S = Samples[I];

@@ -60,6 +60,10 @@ struct LaunchConfig {
   /// analysis).
   bool UniformLoadOpt = false;
 
+  /// Decode-time superinstruction fusion (setp+selp, iota+binary,
+  /// spill/restore runs) in the prepared executable.
+  bool Superinstructions = true;
+
   /// Worker threads; 0 uses Machine.Cores.
   unsigned Workers = 0;
 

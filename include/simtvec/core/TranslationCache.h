@@ -58,12 +58,14 @@ public:
     bool ThreadInvariantElim = false;
     bool UniformBranchOpt = false;
     bool UniformLoadOpt = false;
+    bool Superinstructions = true; ///< decode-time superinstruction fusion
 
     bool operator<(const Key &R) const {
       return std::tie(KernelName, WarpSize, ThreadInvariantElim,
-                      UniformBranchOpt, UniformLoadOpt) <
+                      UniformBranchOpt, UniformLoadOpt, Superinstructions) <
              std::tie(R.KernelName, R.WarpSize, R.ThreadInvariantElim,
-                      R.UniformBranchOpt, R.UniformLoadOpt);
+                      R.UniformBranchOpt, R.UniformLoadOpt,
+                      R.Superinstructions);
     }
   };
 

@@ -1,0 +1,424 @@
+//===- simtvec/ir/ScalarOpsImpl.h - Inline scalar semantics -----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for lane-level operation semantics, as inline
+/// templates. Two translation units instantiate this code: ScalarOps.cpp
+/// (the generic eval* entry points and the decode-time thunk resolvers) and
+/// vm/ExecKernels.cpp (the specialized fixed-width lane kernels). Keeping
+/// one definition compiled under identical flags is what makes the two
+/// paths bit-identical — the dispatch switches below fold away when the
+/// opcode/kind arguments are compile-time constants, but the arithmetic
+/// that remains is the very same expression either way.
+///
+/// Bit-identity caveat: these expressions must compile without FP
+/// contraction differences between the including TUs. The build never
+/// enables -ffast-math, and SIMTVEC_NATIVE explicitly pins
+/// -ffp-contract=off, so a*b+c in evalMadImpl is two rounded operations
+/// everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_IR_SCALAROPSIMPL_H
+#define SIMTVEC_IR_SCALAROPSIMPL_H
+
+#include "simtvec/ir/Opcode.h"
+#include "simtvec/ir/Type.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+namespace simtvec {
+namespace scalarops {
+
+//===----------------------------------------------------------------------===
+// Raw-bits <-> typed value. Lane values are stored as 64-bit words:
+// integers zero-extended from their bit pattern, f32 in the low 32 bits,
+// predicates as 0/1.
+//===----------------------------------------------------------------------===
+
+template <typename T> T fromBits(uint64_t Bits);
+template <> inline int32_t fromBits(uint64_t Bits) {
+  return static_cast<int32_t>(static_cast<uint32_t>(Bits));
+}
+template <> inline uint32_t fromBits(uint64_t Bits) {
+  return static_cast<uint32_t>(Bits);
+}
+template <> inline int64_t fromBits(uint64_t Bits) {
+  return static_cast<int64_t>(Bits);
+}
+template <> inline uint64_t fromBits(uint64_t Bits) { return Bits; }
+template <> inline uint8_t fromBits(uint64_t Bits) {
+  return static_cast<uint8_t>(Bits);
+}
+template <> inline float fromBits(uint64_t Bits) {
+  float V;
+  uint32_t B = static_cast<uint32_t>(Bits);
+  std::memcpy(&V, &B, sizeof(V));
+  return V;
+}
+template <> inline double fromBits(uint64_t Bits) {
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+template <typename T> uint64_t toBits(T Value);
+template <> inline uint64_t toBits(int32_t V) {
+  return static_cast<uint32_t>(V);
+}
+template <> inline uint64_t toBits(uint32_t V) { return V; }
+template <> inline uint64_t toBits(int64_t V) {
+  return static_cast<uint64_t>(V);
+}
+template <> inline uint64_t toBits(uint64_t V) { return V; }
+template <> inline uint64_t toBits(uint8_t V) { return V; }
+template <> inline uint64_t toBits(float V) {
+  uint32_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+template <> inline uint64_t toBits(double V) {
+  uint64_t B;
+  std::memcpy(&B, &V, sizeof(B));
+  return B;
+}
+
+//===----------------------------------------------------------------------===
+// Scalar operation semantics
+//===----------------------------------------------------------------------===
+
+template <typename T>
+inline uint64_t intBinary(Opcode Op, uint64_t A, uint64_t B, bool &Bad) {
+  T X = fromBits<T>(A), Y = fromBits<T>(B);
+  using U = std::make_unsigned_t<T>;
+  switch (Op) {
+  case Opcode::Add:
+    return toBits<T>(static_cast<T>(static_cast<U>(X) + static_cast<U>(Y)));
+  case Opcode::Sub:
+    return toBits<T>(static_cast<T>(static_cast<U>(X) - static_cast<U>(Y)));
+  case Opcode::Mul:
+    return toBits<T>(static_cast<T>(static_cast<U>(X) * static_cast<U>(Y)));
+  case Opcode::Div:
+    return toBits<T>(Y == 0 ? T(0) : static_cast<T>(X / Y));
+  case Opcode::Rem:
+    return toBits<T>(Y == 0 ? T(0) : static_cast<T>(X % Y));
+  case Opcode::Min:
+    return toBits<T>(X < Y ? X : Y);
+  case Opcode::Max:
+    return toBits<T>(X > Y ? X : Y);
+  case Opcode::And:
+    return toBits<T>(static_cast<T>(X & Y));
+  case Opcode::Or:
+    return toBits<T>(static_cast<T>(X | Y));
+  case Opcode::Xor:
+    return toBits<T>(static_cast<T>(X ^ Y));
+  case Opcode::Shl: {
+    unsigned Count = static_cast<unsigned>(Y) & (sizeof(T) * 8 - 1);
+    return toBits<T>(static_cast<T>(static_cast<U>(X) << Count));
+  }
+  case Opcode::Shr: {
+    unsigned Count = static_cast<unsigned>(Y) & (sizeof(T) * 8 - 1);
+    return toBits<T>(static_cast<T>(X >> Count)); // arithmetic iff signed T
+  }
+  default:
+    Bad = true;
+    return 0;
+  }
+}
+
+template <typename T>
+inline uint64_t floatBinary(Opcode Op, uint64_t A, uint64_t B, bool &Bad) {
+  T X = fromBits<T>(A), Y = fromBits<T>(B);
+  switch (Op) {
+  case Opcode::Add:
+    return toBits<T>(X + Y);
+  case Opcode::Sub:
+    return toBits<T>(X - Y);
+  case Opcode::Mul:
+    return toBits<T>(X * Y);
+  case Opcode::Div:
+    return toBits<T>(X / Y);
+  case Opcode::Min:
+    return toBits<T>(X < Y ? X : Y);
+  case Opcode::Max:
+    return toBits<T>(X > Y ? X : Y);
+  default:
+    Bad = true;
+    return 0;
+  }
+}
+
+inline uint64_t evalBinaryImpl(Opcode Op, ScalarKind K, uint64_t A,
+                               uint64_t B, bool &Bad) {
+  switch (K) {
+  case ScalarKind::Pred:
+    switch (Op) {
+    case Opcode::And:
+      return (A & B) & 1;
+    case Opcode::Or:
+      return (A | B) & 1;
+    case Opcode::Xor:
+      return (A ^ B) & 1;
+    default:
+      Bad = true;
+      return 0;
+    }
+  case ScalarKind::U8:
+    return intBinary<uint8_t>(Op, A, B, Bad);
+  case ScalarKind::S32:
+    return intBinary<int32_t>(Op, A, B, Bad);
+  case ScalarKind::U32:
+    return intBinary<uint32_t>(Op, A, B, Bad);
+  case ScalarKind::S64:
+    return intBinary<int64_t>(Op, A, B, Bad);
+  case ScalarKind::U64:
+    return intBinary<uint64_t>(Op, A, B, Bad);
+  case ScalarKind::F32:
+    return floatBinary<float>(Op, A, B, Bad);
+  case ScalarKind::F64:
+    return floatBinary<double>(Op, A, B, Bad);
+  }
+  Bad = true;
+  return 0;
+}
+
+inline uint64_t evalMadImpl(ScalarKind K, uint64_t A, uint64_t B, uint64_t C,
+                            bool &Bad) {
+  switch (K) {
+  case ScalarKind::F32:
+    return toBits<float>(fromBits<float>(A) * fromBits<float>(B) +
+                         fromBits<float>(C));
+  case ScalarKind::F64:
+    return toBits<double>(fromBits<double>(A) * fromBits<double>(B) +
+                          fromBits<double>(C));
+  case ScalarKind::S32:
+  case ScalarKind::U32:
+    return toBits<uint32_t>(fromBits<uint32_t>(A) * fromBits<uint32_t>(B) +
+                            fromBits<uint32_t>(C));
+  case ScalarKind::S64:
+  case ScalarKind::U64:
+    return fromBits<uint64_t>(A) * fromBits<uint64_t>(B) +
+           fromBits<uint64_t>(C);
+  default:
+    Bad = true;
+    return 0;
+  }
+}
+
+template <typename T>
+inline uint64_t floatUnary(Opcode Op, uint64_t A, bool &Bad) {
+  T X = fromBits<T>(A);
+  switch (Op) {
+  case Opcode::Neg:
+    return toBits<T>(-X);
+  case Opcode::Abs:
+    return toBits<T>(std::fabs(X));
+  case Opcode::Rcp:
+    return toBits<T>(T(1) / X);
+  case Opcode::Sqrt:
+    return toBits<T>(std::sqrt(X));
+  case Opcode::Rsqrt:
+    return toBits<T>(T(1) / std::sqrt(X));
+  case Opcode::Sin:
+    return toBits<T>(std::sin(X));
+  case Opcode::Cos:
+    return toBits<T>(std::cos(X));
+  case Opcode::Lg2:
+    return toBits<T>(std::log2(X));
+  case Opcode::Ex2:
+    return toBits<T>(std::exp2(X));
+  default:
+    Bad = true;
+    return 0;
+  }
+}
+
+template <typename T>
+inline uint64_t intUnary(Opcode Op, uint64_t A, bool &Bad) {
+  T X = fromBits<T>(A);
+  switch (Op) {
+  case Opcode::Neg:
+    return toBits<T>(static_cast<T>(0 - std::make_unsigned_t<T>(X)));
+  case Opcode::Abs:
+    return toBits<T>(X < 0 ? static_cast<T>(-X) : X);
+  case Opcode::Not:
+    return toBits<T>(static_cast<T>(~X));
+  default:
+    Bad = true;
+    return 0;
+  }
+}
+
+inline uint64_t evalUnaryImpl(Opcode Op, ScalarKind K, uint64_t A,
+                              bool &Bad) {
+  switch (K) {
+  case ScalarKind::Pred:
+    if (Op == Opcode::Not)
+      return (~A) & 1;
+    Bad = true;
+    return 0;
+  case ScalarKind::U8:
+    return intUnary<uint8_t>(Op, A, Bad);
+  case ScalarKind::S32:
+    return intUnary<int32_t>(Op, A, Bad);
+  case ScalarKind::U32:
+    return intUnary<uint32_t>(Op, A, Bad);
+  case ScalarKind::S64:
+    return intUnary<int64_t>(Op, A, Bad);
+  case ScalarKind::U64:
+    return intUnary<uint64_t>(Op, A, Bad);
+  case ScalarKind::F32:
+    return floatUnary<float>(Op, A, Bad);
+  case ScalarKind::F64:
+    return floatUnary<double>(Op, A, Bad);
+  }
+  Bad = true;
+  return 0;
+}
+
+template <typename T> inline bool cmpTyped(CmpOp Cmp, T A, T B) {
+  switch (Cmp) {
+  case CmpOp::Eq:
+    return A == B;
+  case CmpOp::Ne:
+    return A != B;
+  case CmpOp::Lt:
+    return A < B;
+  case CmpOp::Le:
+    return A <= B;
+  case CmpOp::Gt:
+    return A > B;
+  case CmpOp::Ge:
+    return A >= B;
+  }
+  return false;
+}
+
+inline bool evalCmpImpl(CmpOp Cmp, ScalarKind K, uint64_t A, uint64_t B) {
+  switch (K) {
+  case ScalarKind::Pred:
+    return cmpTyped<uint64_t>(Cmp, A & 1, B & 1);
+  case ScalarKind::U8:
+    return cmpTyped(Cmp, fromBits<uint8_t>(A), fromBits<uint8_t>(B));
+  case ScalarKind::S32:
+    return cmpTyped(Cmp, fromBits<int32_t>(A), fromBits<int32_t>(B));
+  case ScalarKind::U32:
+    return cmpTyped(Cmp, fromBits<uint32_t>(A), fromBits<uint32_t>(B));
+  case ScalarKind::S64:
+    return cmpTyped(Cmp, fromBits<int64_t>(A), fromBits<int64_t>(B));
+  case ScalarKind::U64:
+    return cmpTyped(Cmp, fromBits<uint64_t>(A), fromBits<uint64_t>(B));
+  case ScalarKind::F32:
+    return cmpTyped(Cmp, fromBits<float>(A), fromBits<float>(B));
+  case ScalarKind::F64:
+    return cmpTyped(Cmp, fromBits<double>(A), fromBits<double>(B));
+  }
+  return false;
+}
+
+/// Widest-range intermediate conversion with well-defined float->int
+/// behaviour (NaN -> 0, saturation at the type bounds).
+template <typename To> inline To floatToInt(double V) {
+  if (std::isnan(V))
+    return To(0);
+  constexpr double Lo = static_cast<double>(std::numeric_limits<To>::min());
+  constexpr double Hi = static_cast<double>(std::numeric_limits<To>::max());
+  if (V <= Lo)
+    return std::numeric_limits<To>::min();
+  if (V >= Hi)
+    return std::numeric_limits<To>::max();
+  return static_cast<To>(V);
+}
+
+inline uint64_t evalConvertImpl(ScalarKind DstK, ScalarKind SrcK,
+                                uint64_t Bits) {
+  // Load the source as the widest lossless representation.
+  bool SrcFloat = SrcK == ScalarKind::F32 || SrcK == ScalarKind::F64;
+  double FloatVal = 0;
+  int64_t IntVal = 0;
+  uint64_t UIntVal = 0;
+  bool SrcSigned = SrcK == ScalarKind::S32 || SrcK == ScalarKind::S64;
+  switch (SrcK) {
+  case ScalarKind::F32:
+    FloatVal = fromBits<float>(Bits);
+    break;
+  case ScalarKind::F64:
+    FloatVal = fromBits<double>(Bits);
+    break;
+  case ScalarKind::S32:
+    IntVal = fromBits<int32_t>(Bits);
+    break;
+  case ScalarKind::S64:
+    IntVal = fromBits<int64_t>(Bits);
+    break;
+  case ScalarKind::U8:
+    UIntVal = fromBits<uint8_t>(Bits);
+    break;
+  case ScalarKind::U32:
+    UIntVal = fromBits<uint32_t>(Bits);
+    break;
+  case ScalarKind::U64:
+    UIntVal = Bits;
+    break;
+  case ScalarKind::Pred:
+    UIntVal = Bits & 1;
+    break;
+  }
+
+  auto asDouble = [&]() -> double {
+    if (SrcFloat)
+      return FloatVal;
+    if (SrcSigned)
+      return static_cast<double>(IntVal);
+    return static_cast<double>(UIntVal);
+  };
+  auto asU64 = [&]() -> uint64_t {
+    if (SrcFloat)
+      return static_cast<uint64_t>(floatToInt<int64_t>(FloatVal));
+    if (SrcSigned)
+      return static_cast<uint64_t>(IntVal);
+    return UIntVal;
+  };
+
+  switch (DstK) {
+  case ScalarKind::F32:
+    return toBits<float>(static_cast<float>(asDouble()));
+  case ScalarKind::F64:
+    return toBits<double>(asDouble());
+  case ScalarKind::S32:
+    if (SrcFloat)
+      return toBits<int32_t>(floatToInt<int32_t>(FloatVal));
+    return toBits<int32_t>(static_cast<int32_t>(asU64()));
+  case ScalarKind::U8:
+    if (SrcFloat)
+      return toBits<uint8_t>(static_cast<uint8_t>(floatToInt<int64_t>(
+          FloatVal)));
+    return toBits<uint8_t>(static_cast<uint8_t>(asU64()));
+  case ScalarKind::U32:
+    if (SrcFloat)
+      return toBits<uint32_t>(static_cast<uint32_t>(floatToInt<int64_t>(
+          FloatVal)));
+    return toBits<uint32_t>(static_cast<uint32_t>(asU64()));
+  case ScalarKind::S64:
+    if (SrcFloat)
+      return toBits<int64_t>(floatToInt<int64_t>(FloatVal));
+    return asU64();
+  case ScalarKind::U64:
+    return asU64();
+  case ScalarKind::Pred:
+    return asU64() != 0;
+  }
+  return 0;
+}
+
+} // namespace scalarops
+} // namespace simtvec
+
+#endif // SIMTVEC_IR_SCALAROPSIMPL_H

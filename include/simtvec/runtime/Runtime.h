@@ -104,6 +104,8 @@ struct LaunchOptions {
   bool ThreadInvariantElim = false;
   bool UniformBranchOpt = false;
   bool UniformLoadOpt = false;
+  /// Decode-time superinstruction fusion in the prepared executable.
+  bool Superinstructions = true;
   unsigned Workers = 0;
   bool UseOsThreads = true;
   /// Run on the reference IR-walking engine (differential testing).

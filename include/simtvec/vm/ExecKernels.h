@@ -1,0 +1,69 @@
+//===- simtvec/vm/ExecKernels.h - Specialized execution kernels -*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decode-time-selected specialized execution kernels: for each (operation,
+/// scalar kind, warp width in {1,2,4,8}) a dedicated function executes the
+/// whole lane loop as a fixed trip count over typed values, with the opcode
+/// and kind folded at compile time. This is the stand-in for the paper's
+/// JIT emitting native SSE: the host compiler sees a constant-length loop
+/// of inlined arithmetic (no per-lane indirect calls on boxed words) and
+/// auto-vectorizes it — under the SIMTVEC_NATIVE build, to the full host
+/// SIMD width.
+///
+/// Contract shared by every kernel:
+///  - all operand arrays are stride-1 and hold exactly W lane words; the
+///    interpreter materializes scalar/immediate/special operands into
+///    stack buffers (splat / per-lane evaluation) before the call;
+///  - inputs are fully read before any output is written, so a destination
+///    may alias any source array exactly (register slots either coincide
+///    or are disjoint — partial overlap cannot occur);
+///  - results are bit-identical to the generic eval* path: both instantiate
+///    the same ScalarOpsImpl.h expressions.
+///
+/// Resolvers return null when the combination is invalid or the width is
+/// not specialized; the interpreter then uses the generic path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_EXECKERNELS_H
+#define SIMTVEC_VM_EXECKERNELS_H
+
+#include "simtvec/ir/Opcode.h"
+#include "simtvec/ir/Type.h"
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// Fixed-width lane kernel: Dst[0..W) = op(S0[.], S1[.], S2[.]). Unused
+/// source pointers may be null (mov/unary/cvt ignore S1/S2, binary/setp
+/// ignore S2).
+using LaneKernelFn = void (*)(uint64_t *Dst, const uint64_t *S0,
+                              const uint64_t *S1, const uint64_t *S2);
+
+/// Fused compare-select superinstruction (setp feeding selp):
+///   Pred[L] = cmp(A[L], B[L]);  Sel[L] = Pred[L] ? C[L] : E[L]
+/// Pred is written before Sel (matching the unfused record order when the
+/// two destinations coincide); C/E must not alias Pred (the fusion pass
+/// rejects that shape).
+using CmpSelKernelFn = void (*)(uint64_t *Pred, uint64_t *Sel,
+                                const uint64_t *A, const uint64_t *B,
+                                const uint64_t *C, const uint64_t *E);
+
+LaneKernelFn resolveBinaryLanes(Opcode Op, ScalarKind K, unsigned W);
+LaneKernelFn resolveUnaryLanes(Opcode Op, ScalarKind K, unsigned W);
+LaneKernelFn resolveMadLanes(ScalarKind K, unsigned W);
+LaneKernelFn resolveSetpLanes(CmpOp Cmp, ScalarKind K, unsigned W);
+LaneKernelFn resolveSelpLanes(unsigned W);
+LaneKernelFn resolveMovLanes(unsigned W);
+LaneKernelFn resolveConvertLanes(ScalarKind DstK, ScalarKind SrcK,
+                                 unsigned W);
+CmpSelKernelFn resolveCmpSelLanes(CmpOp Cmp, ScalarKind K, unsigned W);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_EXECKERNELS_H

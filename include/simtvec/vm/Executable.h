@@ -21,6 +21,7 @@
 
 #include "simtvec/ir/Kernel.h"
 #include "simtvec/ir/ScalarOps.h"
+#include "simtvec/vm/ExecKernels.h"
 #include "simtvec/vm/MachineModel.h"
 
 #include <memory>
@@ -75,6 +76,20 @@ enum class ExecShape : uint8_t {
   Ret,
   Yield,
   Trap,
+  // Superinstructions (decode-time fusion; only present when the
+  // translation was built with Superinstructions enabled). The fused head
+  // record absorbs FuseLen - 1 following member records, which stay in the
+  // stream untouched (block bounds and counter sums are unchanged); the
+  // interpreter advances past them with Inst += FuseLen.
+  FusedCmpSel,     ///< setp + selp on the same guard/widths
+  FusedIotaBin,    ///< iota + binary consuming it (affine tid-address compute)
+  FusedSpillRun,   ///< contiguous run of Spill records → one bulk block move
+  FusedRestoreRun, ///< contiguous run of Restore records → bulk block move
+  FusedKernelRun,  ///< strip of kernel-bearing records under one dispatch;
+                   ///< each member runs its own pre-resolved lane kernel
+  FusedLdRun,      ///< strip of scalar Ld records under one dispatch (the
+                   ///< vectorizer replicates a warp load into WS of them)
+  FusedStRun,      ///< strip of scalar St records under one dispatch
 };
 
 /// Sentinel slot for "no register".
@@ -95,6 +110,11 @@ struct DecodedInst {
   uint16_t N = 1;        ///< max(1, Ty.lanes())
   uint16_t Lane = 0;     ///< replicated-instruction lane tag
   uint16_t SrcN = 1;     ///< VoteSum: lanes of the source operand
+  /// Superinstruction length: number of stream records this head absorbs
+  /// (head included). 0 for ordinary records; >= 2 for Fused* heads. Member
+  /// records keep their original decoding — the interpreter reads their
+  /// operands but never dispatches on them (it advances by FuseLen).
+  uint16_t FuseLen = 0;
   uint32_t AuxLane = 0;  ///< ExtractElement src lane / InsertElement index
   uint32_t DstSlot = InvalidSlot;
   uint32_t GuardSlot = InvalidSlot;
@@ -117,6 +137,14 @@ struct DecodedInst {
     CmpFn CmpF;    ///< Setp
     ConvertFn Cvt; ///< Cvt
   } Fn = {nullptr};
+  /// Decode-time-selected specialized lane kernel for this record's exact
+  /// (shape, opcode, kind, width). Null when the combination or width is not
+  /// specialized — the interpreter then falls back to the generic per-lane
+  /// path above (results are bit-identical either way).
+  union {
+    LaneKernelFn Lanes;   ///< Mov/Binary/Mad/Unary/Setp/Selp/Cvt/FusedIotaBin
+    CmpSelKernelFn CmpSel; ///< FusedCmpSel
+  } Kern = {nullptr};
 };
 
 /// Switch side table (case values/targets are too variable for the fixed
@@ -132,15 +160,29 @@ struct DecodedBlock {
   uint32_t First = 0; ///< index of the block's first DecodedInst
   uint32_t Count = 0;
   bool IsBody = false; ///< BlockKind::Body (Figure 9 cycle attribution)
+  /// Block-batched counter sums: straight-line blocks charge cost/instruction
+  /// counts unconditionally (cost is charged before guard checks), so both
+  /// engines add these precomputed whole-block sums once per block entry
+  /// instead of per record. CostSum is folded left-to-right from 0.0 in
+  /// stream order — the trap path subtracts an identically ordered tail fold
+  /// so settled totals stay bit-identical between engines.
+  double CostSum = 0;       ///< Σ Cost over the block's records
+  uint64_t FlopsSum = 0;    ///< Σ Flops
+  uint64_t InstsSum = 0;    ///< records in the block (fused members included)
+  uint64_t VectorSum = 0;   ///< records with IsVector
 };
 
 /// A kernel prepared for execution.
 class KernelExec {
 public:
   /// Prepares \p K (which must verify) for execution under \p Machine.
-  /// Takes ownership of the kernel.
+  /// Takes ownership of the kernel. \p Superinstructions enables the
+  /// decode-time fusion pass (setp+selp, iota+binary, spill/restore runs);
+  /// disabling it yields a stream with no Fused* shapes but identical
+  /// semantics and counters.
   static std::shared_ptr<const KernelExec> build(std::unique_ptr<Kernel> K,
-                                                 const MachineModel &Machine);
+                                                 const MachineModel &Machine,
+                                                 bool Superinstructions = true);
 
   const Kernel &kernel() const { return *K; }
 

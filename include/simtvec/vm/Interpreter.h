@@ -72,6 +72,7 @@ private:
   /// worker.
   std::vector<uint64_t> L1Tags;      // L1Sets * L1Ways entries
   std::vector<uint8_t> L1NextWay;    // per-set FIFO cursor
+  std::vector<uint8_t> L1MRU;        // per-set last-hit way, probed first
 
   /// Shift/mask forms of the L1 line/set computation, valid when both
   /// geometry parameters are powers of two (L1Pow2).

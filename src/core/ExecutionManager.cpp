@@ -314,7 +314,8 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
       TranslationCache::Key Key{KernelName, Width,
                                 Config.ThreadInvariantElim,
                                 Config.UniformBranchOpt,
-                                Config.UniformLoadOpt};
+                                Config.UniformLoadOpt,
+                                Config.Superinstructions};
       auto ExecOrErr = TC.get(Key);
       if (!ExecOrErr) {
         R.Error = ExecOrErr.status().message();

@@ -148,7 +148,8 @@ TranslationCache::get(const Key &K) {
     return Err;
   }
 
-  auto Exec = KernelExec::build(std::move(Specialized), Machine);
+  auto Exec =
+      KernelExec::build(std::move(Specialized), Machine, K.Superinstructions);
   {
     std::unique_lock<std::shared_mutex> Guard(S.Lock);
     S.Cache.emplace(K, Exec);

@@ -6,385 +6,38 @@
 
 #include "simtvec/ir/ScalarOps.h"
 
-#include <cassert>
-#include <cmath>
-#include <cstring>
-#include <limits>
-#include <type_traits>
+#include "simtvec/ir/ScalarOpsImpl.h"
 
 using namespace simtvec;
-
-namespace {
-
-template <typename T> T fromBits(uint64_t Bits);
-template <> int32_t fromBits(uint64_t Bits) {
-  return static_cast<int32_t>(static_cast<uint32_t>(Bits));
-}
-template <> uint32_t fromBits(uint64_t Bits) {
-  return static_cast<uint32_t>(Bits);
-}
-template <> int64_t fromBits(uint64_t Bits) {
-  return static_cast<int64_t>(Bits);
-}
-template <> uint64_t fromBits(uint64_t Bits) { return Bits; }
-template <> uint8_t fromBits(uint64_t Bits) {
-  return static_cast<uint8_t>(Bits);
-}
-template <> float fromBits(uint64_t Bits) {
-  float V;
-  uint32_t B = static_cast<uint32_t>(Bits);
-  std::memcpy(&V, &B, sizeof(V));
-  return V;
-}
-template <> double fromBits(uint64_t Bits) {
-  double V;
-  std::memcpy(&V, &Bits, sizeof(V));
-  return V;
-}
-
-template <typename T> uint64_t toBits(T Value);
-template <> uint64_t toBits(int32_t V) {
-  return static_cast<uint32_t>(V);
-}
-template <> uint64_t toBits(uint32_t V) { return V; }
-template <> uint64_t toBits(int64_t V) { return static_cast<uint64_t>(V); }
-template <> uint64_t toBits(uint64_t V) { return V; }
-template <> uint64_t toBits(uint8_t V) { return V; }
-template <> uint64_t toBits(float V) {
-  uint32_t B;
-  std::memcpy(&B, &V, sizeof(B));
-  return B;
-}
-template <> uint64_t toBits(double V) {
-  uint64_t B;
-  std::memcpy(&B, &V, sizeof(B));
-  return B;
-}
+using namespace simtvec::scalarops;
 
 //===----------------------------------------------------------------------===
-// Scalar operation semantics
+// Generic entry points: the semantics live in ScalarOpsImpl.h so that the
+// specialized lane kernels (vm/ExecKernels.cpp) instantiate the very same
+// expressions and stay bit-identical to this path.
 //===----------------------------------------------------------------------===
-
-template <typename T>
-uint64_t intBinary(Opcode Op, uint64_t A, uint64_t B, bool &Bad) {
-  T X = fromBits<T>(A), Y = fromBits<T>(B);
-  using U = std::make_unsigned_t<T>;
-  switch (Op) {
-  case Opcode::Add:
-    return toBits<T>(static_cast<T>(static_cast<U>(X) + static_cast<U>(Y)));
-  case Opcode::Sub:
-    return toBits<T>(static_cast<T>(static_cast<U>(X) - static_cast<U>(Y)));
-  case Opcode::Mul:
-    return toBits<T>(static_cast<T>(static_cast<U>(X) * static_cast<U>(Y)));
-  case Opcode::Div:
-    return toBits<T>(Y == 0 ? T(0) : static_cast<T>(X / Y));
-  case Opcode::Rem:
-    return toBits<T>(Y == 0 ? T(0) : static_cast<T>(X % Y));
-  case Opcode::Min:
-    return toBits<T>(X < Y ? X : Y);
-  case Opcode::Max:
-    return toBits<T>(X > Y ? X : Y);
-  case Opcode::And:
-    return toBits<T>(static_cast<T>(X & Y));
-  case Opcode::Or:
-    return toBits<T>(static_cast<T>(X | Y));
-  case Opcode::Xor:
-    return toBits<T>(static_cast<T>(X ^ Y));
-  case Opcode::Shl: {
-    unsigned Count = static_cast<unsigned>(Y) & (sizeof(T) * 8 - 1);
-    return toBits<T>(static_cast<T>(static_cast<U>(X) << Count));
-  }
-  case Opcode::Shr: {
-    unsigned Count = static_cast<unsigned>(Y) & (sizeof(T) * 8 - 1);
-    return toBits<T>(static_cast<T>(X >> Count)); // arithmetic iff signed T
-  }
-  default:
-    Bad = true;
-    return 0;
-  }
-}
-
-template <typename T>
-uint64_t floatBinary(Opcode Op, uint64_t A, uint64_t B, bool &Bad) {
-  T X = fromBits<T>(A), Y = fromBits<T>(B);
-  switch (Op) {
-  case Opcode::Add:
-    return toBits<T>(X + Y);
-  case Opcode::Sub:
-    return toBits<T>(X - Y);
-  case Opcode::Mul:
-    return toBits<T>(X * Y);
-  case Opcode::Div:
-    return toBits<T>(X / Y);
-  case Opcode::Min:
-    return toBits<T>(X < Y ? X : Y);
-  case Opcode::Max:
-    return toBits<T>(X > Y ? X : Y);
-  default:
-    Bad = true;
-    return 0;
-  }
-}
-
-} // namespace
 
 uint64_t simtvec::evalBinary(Opcode Op, ScalarKind K, uint64_t A, uint64_t B,
-                    bool &Bad) {
-  switch (K) {
-  case ScalarKind::Pred:
-    switch (Op) {
-    case Opcode::And:
-      return (A & B) & 1;
-    case Opcode::Or:
-      return (A | B) & 1;
-    case Opcode::Xor:
-      return (A ^ B) & 1;
-    default:
-      Bad = true;
-      return 0;
-    }
-  case ScalarKind::U8:
-    return intBinary<uint8_t>(Op, A, B, Bad);
-  case ScalarKind::S32:
-    return intBinary<int32_t>(Op, A, B, Bad);
-  case ScalarKind::U32:
-    return intBinary<uint32_t>(Op, A, B, Bad);
-  case ScalarKind::S64:
-    return intBinary<int64_t>(Op, A, B, Bad);
-  case ScalarKind::U64:
-    return intBinary<uint64_t>(Op, A, B, Bad);
-  case ScalarKind::F32:
-    return floatBinary<float>(Op, A, B, Bad);
-  case ScalarKind::F64:
-    return floatBinary<double>(Op, A, B, Bad);
-  }
-  Bad = true;
-  return 0;
+                             bool &Bad) {
+  return evalBinaryImpl(Op, K, A, B, Bad);
 }
 
 uint64_t simtvec::evalMad(ScalarKind K, uint64_t A, uint64_t B, uint64_t C,
-                 bool &Bad) {
-  switch (K) {
-  case ScalarKind::F32:
-    return toBits<float>(fromBits<float>(A) * fromBits<float>(B) +
-                         fromBits<float>(C));
-  case ScalarKind::F64:
-    return toBits<double>(fromBits<double>(A) * fromBits<double>(B) +
-                          fromBits<double>(C));
-  case ScalarKind::S32:
-  case ScalarKind::U32:
-    return toBits<uint32_t>(fromBits<uint32_t>(A) * fromBits<uint32_t>(B) +
-                            fromBits<uint32_t>(C));
-  case ScalarKind::S64:
-  case ScalarKind::U64:
-    return fromBits<uint64_t>(A) * fromBits<uint64_t>(B) +
-           fromBits<uint64_t>(C);
-  default:
-    Bad = true;
-    return 0;
-  }
-}
-
-template <typename T> uint64_t floatUnary(Opcode Op, uint64_t A, bool &Bad) {
-  T X = fromBits<T>(A);
-  switch (Op) {
-  case Opcode::Neg:
-    return toBits<T>(-X);
-  case Opcode::Abs:
-    return toBits<T>(std::fabs(X));
-  case Opcode::Rcp:
-    return toBits<T>(T(1) / X);
-  case Opcode::Sqrt:
-    return toBits<T>(std::sqrt(X));
-  case Opcode::Rsqrt:
-    return toBits<T>(T(1) / std::sqrt(X));
-  case Opcode::Sin:
-    return toBits<T>(std::sin(X));
-  case Opcode::Cos:
-    return toBits<T>(std::cos(X));
-  case Opcode::Lg2:
-    return toBits<T>(std::log2(X));
-  case Opcode::Ex2:
-    return toBits<T>(std::exp2(X));
-  default:
-    Bad = true;
-    return 0;
-  }
-}
-
-template <typename T> uint64_t intUnary(Opcode Op, uint64_t A, bool &Bad) {
-  T X = fromBits<T>(A);
-  switch (Op) {
-  case Opcode::Neg:
-    return toBits<T>(static_cast<T>(0 - std::make_unsigned_t<T>(X)));
-  case Opcode::Abs:
-    return toBits<T>(X < 0 ? static_cast<T>(-X) : X);
-  case Opcode::Not:
-    return toBits<T>(static_cast<T>(~X));
-  default:
-    Bad = true;
-    return 0;
-  }
+                          bool &Bad) {
+  return evalMadImpl(K, A, B, C, Bad);
 }
 
 uint64_t simtvec::evalUnary(Opcode Op, ScalarKind K, uint64_t A, bool &Bad) {
-  switch (K) {
-  case ScalarKind::Pred:
-    if (Op == Opcode::Not)
-      return (~A) & 1;
-    Bad = true;
-    return 0;
-  case ScalarKind::U8:
-    return intUnary<uint8_t>(Op, A, Bad);
-  case ScalarKind::S32:
-    return intUnary<int32_t>(Op, A, Bad);
-  case ScalarKind::U32:
-    return intUnary<uint32_t>(Op, A, Bad);
-  case ScalarKind::S64:
-    return intUnary<int64_t>(Op, A, Bad);
-  case ScalarKind::U64:
-    return intUnary<uint64_t>(Op, A, Bad);
-  case ScalarKind::F32:
-    return floatUnary<float>(Op, A, Bad);
-  case ScalarKind::F64:
-    return floatUnary<double>(Op, A, Bad);
-  }
-  Bad = true;
-  return 0;
-}
-
-template <typename T> bool cmpTyped(CmpOp Cmp, T A, T B) {
-  switch (Cmp) {
-  case CmpOp::Eq:
-    return A == B;
-  case CmpOp::Ne:
-    return A != B;
-  case CmpOp::Lt:
-    return A < B;
-  case CmpOp::Le:
-    return A <= B;
-  case CmpOp::Gt:
-    return A > B;
-  case CmpOp::Ge:
-    return A >= B;
-  }
-  return false;
+  return evalUnaryImpl(Op, K, A, Bad);
 }
 
 bool simtvec::evalCmp(CmpOp Cmp, ScalarKind K, uint64_t A, uint64_t B) {
-  switch (K) {
-  case ScalarKind::Pred:
-    return cmpTyped<uint64_t>(Cmp, A & 1, B & 1);
-  case ScalarKind::U8:
-    return cmpTyped(Cmp, fromBits<uint8_t>(A), fromBits<uint8_t>(B));
-  case ScalarKind::S32:
-    return cmpTyped(Cmp, fromBits<int32_t>(A), fromBits<int32_t>(B));
-  case ScalarKind::U32:
-    return cmpTyped(Cmp, fromBits<uint32_t>(A), fromBits<uint32_t>(B));
-  case ScalarKind::S64:
-    return cmpTyped(Cmp, fromBits<int64_t>(A), fromBits<int64_t>(B));
-  case ScalarKind::U64:
-    return cmpTyped(Cmp, fromBits<uint64_t>(A), fromBits<uint64_t>(B));
-  case ScalarKind::F32:
-    return cmpTyped(Cmp, fromBits<float>(A), fromBits<float>(B));
-  case ScalarKind::F64:
-    return cmpTyped(Cmp, fromBits<double>(A), fromBits<double>(B));
-  }
-  return false;
+  return evalCmpImpl(Cmp, K, A, B);
 }
 
-/// Widest-range intermediate conversion with well-defined float->int
-/// behaviour (NaN -> 0, saturation at the type bounds).
-template <typename To> To floatToInt(double V) {
-  if (std::isnan(V))
-    return To(0);
-  constexpr double Lo = static_cast<double>(std::numeric_limits<To>::min());
-  constexpr double Hi = static_cast<double>(std::numeric_limits<To>::max());
-  if (V <= Lo)
-    return std::numeric_limits<To>::min();
-  if (V >= Hi)
-    return std::numeric_limits<To>::max();
-  return static_cast<To>(V);
-}
-
-uint64_t simtvec::evalConvert(ScalarKind DstK, ScalarKind SrcK, uint64_t Bits) {
-  // Load the source as the widest lossless representation.
-  bool SrcFloat = SrcK == ScalarKind::F32 || SrcK == ScalarKind::F64;
-  double FloatVal = 0;
-  int64_t IntVal = 0;
-  uint64_t UIntVal = 0;
-  bool SrcSigned = SrcK == ScalarKind::S32 || SrcK == ScalarKind::S64;
-  switch (SrcK) {
-  case ScalarKind::F32:
-    FloatVal = fromBits<float>(Bits);
-    break;
-  case ScalarKind::F64:
-    FloatVal = fromBits<double>(Bits);
-    break;
-  case ScalarKind::S32:
-    IntVal = fromBits<int32_t>(Bits);
-    break;
-  case ScalarKind::S64:
-    IntVal = fromBits<int64_t>(Bits);
-    break;
-  case ScalarKind::U8:
-    UIntVal = fromBits<uint8_t>(Bits);
-    break;
-  case ScalarKind::U32:
-    UIntVal = fromBits<uint32_t>(Bits);
-    break;
-  case ScalarKind::U64:
-    UIntVal = Bits;
-    break;
-  case ScalarKind::Pred:
-    UIntVal = Bits & 1;
-    break;
-  }
-
-  auto asDouble = [&]() -> double {
-    if (SrcFloat)
-      return FloatVal;
-    if (SrcSigned)
-      return static_cast<double>(IntVal);
-    return static_cast<double>(UIntVal);
-  };
-  auto asU64 = [&]() -> uint64_t {
-    if (SrcFloat)
-      return static_cast<uint64_t>(floatToInt<int64_t>(FloatVal));
-    if (SrcSigned)
-      return static_cast<uint64_t>(IntVal);
-    return UIntVal;
-  };
-
-  switch (DstK) {
-  case ScalarKind::F32:
-    return toBits<float>(static_cast<float>(asDouble()));
-  case ScalarKind::F64:
-    return toBits<double>(asDouble());
-  case ScalarKind::S32:
-    if (SrcFloat)
-      return toBits<int32_t>(floatToInt<int32_t>(FloatVal));
-    return toBits<int32_t>(static_cast<int32_t>(asU64()));
-  case ScalarKind::U8:
-    if (SrcFloat)
-      return toBits<uint8_t>(static_cast<uint8_t>(floatToInt<int64_t>(
-          FloatVal)));
-    return toBits<uint8_t>(static_cast<uint8_t>(asU64()));
-  case ScalarKind::U32:
-    if (SrcFloat)
-      return toBits<uint32_t>(static_cast<uint32_t>(floatToInt<int64_t>(
-          FloatVal)));
-    return toBits<uint32_t>(static_cast<uint32_t>(asU64()));
-  case ScalarKind::S64:
-    if (SrcFloat)
-      return toBits<int64_t>(floatToInt<int64_t>(FloatVal));
-    return asU64();
-  case ScalarKind::U64:
-    return asU64();
-  case ScalarKind::Pred:
-    return asU64() != 0;
-  }
-  return 0;
+uint64_t simtvec::evalConvert(ScalarKind DstK, ScalarKind SrcK,
+                              uint64_t Bits) {
+  return evalConvertImpl(DstK, SrcK, Bits);
 }
 
 //===----------------------------------------------------------------------===
@@ -392,17 +45,17 @@ uint64_t simtvec::evalConvert(ScalarKind DstK, ScalarKind SrcK, uint64_t Bits) {
 //===----------------------------------------------------------------------===
 //
 // The thunks below re-instantiate the generic eval* code with the opcode and
-// kind as compile-time constants: being in the same translation unit, the
-// optimizer folds the dispatch switches away, and because it is the *same*
-// code the results are bit-identical to the generic path. Each resolver
-// probes the generic path once to learn whether the combination is valid
-// (Bad never depends on the data — division by zero is defined as 0).
+// kind as compile-time constants: the optimizer folds the dispatch switches
+// away, and because it is the *same* code (ScalarOpsImpl.h) the results are
+// bit-identical to the generic path. Each resolver probes the generic path
+// once to learn whether the combination is valid (Bad never depends on the
+// data — division by zero is defined as 0).
 
 namespace {
 
 template <Opcode Op, ScalarKind K> uint64_t binThunk(uint64_t A, uint64_t B) {
   bool Bad = false;
-  return simtvec::evalBinary(Op, K, A, B, Bad);
+  return evalBinaryImpl(Op, K, A, B, Bad);
 }
 
 template <ScalarKind K> BinaryFn binForKind(Opcode Op) {
@@ -430,7 +83,7 @@ template <ScalarKind K> BinaryFn binForKind(Opcode Op) {
 
 template <Opcode Op, ScalarKind K> uint64_t unThunk(uint64_t A) {
   bool Bad = false;
-  return simtvec::evalUnary(Op, K, A, Bad);
+  return evalUnaryImpl(Op, K, A, Bad);
 }
 
 template <ScalarKind K> UnaryFn unForKind(Opcode Op) {
@@ -457,11 +110,11 @@ template <ScalarKind K> UnaryFn unForKind(Opcode Op) {
 template <ScalarKind K>
 uint64_t madThunk(uint64_t A, uint64_t B, uint64_t C) {
   bool Bad = false;
-  return simtvec::evalMad(K, A, B, C, Bad);
+  return evalMadImpl(K, A, B, C, Bad);
 }
 
 template <CmpOp Cmp, ScalarKind K> bool cmpThunk(uint64_t A, uint64_t B) {
-  return simtvec::evalCmp(Cmp, K, A, B);
+  return evalCmpImpl(Cmp, K, A, B);
 }
 
 template <ScalarKind K> CmpFn cmpForKind(CmpOp Cmp) {
@@ -483,7 +136,7 @@ template <ScalarKind K> CmpFn cmpForKind(CmpOp Cmp) {
 }
 
 template <ScalarKind DstK, ScalarKind SrcK> uint64_t cvtThunk(uint64_t Bits) {
-  return simtvec::evalConvert(DstK, SrcK, Bits);
+  return evalConvertImpl(DstK, SrcK, Bits);
 }
 
 template <ScalarKind DstK> ConvertFn cvtForDst(ScalarKind SrcK) {
@@ -576,4 +229,3 @@ ConvertFn simtvec::resolveConvert(ScalarKind DstK, ScalarKind SrcK) {
 }
 
 #undef SIMTVEC_DISPATCH_KIND
-

@@ -64,6 +64,7 @@ Expected<LaunchStats> Program::launch(Device &Dev,
   Config.ThreadInvariantElim = Options.ThreadInvariantElim;
   Config.UniformBranchOpt = Options.UniformBranchOpt;
   Config.UniformLoadOpt = Options.UniformLoadOpt;
+  Config.Superinstructions = Options.Superinstructions;
   Config.Workers = Options.Workers;
   Config.UseOsThreads = Options.UseOsThreads;
   Config.UseReferenceInterp = Options.UseReferenceInterp;

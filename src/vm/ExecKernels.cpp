@@ -1,0 +1,372 @@
+//===- vm/ExecKernels.cpp - Specialized execution kernels -----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Instantiates the fixed-width lane kernels over ScalarOpsImpl.h. Each
+// kernel stages all W results in locals before storing, which (a) makes the
+// exact-overlap destination alias safe and (b) presents the compiler with a
+// load-compute-store block of constant trip count it can vectorize.
+//
+// The resolvers mirror the ScalarOps.cpp thunk resolvers one level deeper
+// (width added as a template parameter) and reuse the generic resolvers as
+// the validity gate, so a combination has a lane kernel exactly when it has
+// a scalar thunk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/vm/ExecKernels.h"
+
+#include "simtvec/ir/ScalarOps.h"
+#include "simtvec/ir/ScalarOpsImpl.h"
+
+using namespace simtvec;
+using namespace simtvec::scalarops;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Kernel templates
+//===----------------------------------------------------------------------===
+
+template <Opcode Op, ScalarKind K, unsigned W>
+void binKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
+               const uint64_t *) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L) {
+    bool Bad = false;
+    R[L] = evalBinaryImpl(Op, K, S0[L], S1[L], Bad);
+  }
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <Opcode Op, ScalarKind K, unsigned W>
+void unKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *,
+              const uint64_t *) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L) {
+    bool Bad = false;
+    R[L] = evalUnaryImpl(Op, K, S0[L], Bad);
+  }
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <ScalarKind K, unsigned W>
+void madKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
+               const uint64_t *S2) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L) {
+    bool Bad = false;
+    R[L] = evalMadImpl(K, S0[L], S1[L], S2[L], Bad);
+  }
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <CmpOp Cmp, ScalarKind K, unsigned W>
+void setpKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
+                const uint64_t *) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L)
+    R[L] = evalCmpImpl(Cmp, K, S0[L], S1[L]) ? 1 : 0;
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <unsigned W>
+void selpKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
+                const uint64_t *S2) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L)
+    R[L] = (S2[L] & 1) != 0 ? S0[L] : S1[L];
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <unsigned W>
+void movKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *,
+               const uint64_t *) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L)
+    R[L] = S0[L];
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <ScalarKind DstK, ScalarKind SrcK, unsigned W>
+void cvtKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *,
+               const uint64_t *) {
+  uint64_t R[W];
+  for (unsigned L = 0; L < W; ++L)
+    R[L] = evalConvertImpl(DstK, SrcK, S0[L]);
+  for (unsigned L = 0; L < W; ++L)
+    Dst[L] = R[L];
+}
+
+template <CmpOp Cmp, ScalarKind K, unsigned W>
+void cmpSelKernel(uint64_t *Pred, uint64_t *Sel, const uint64_t *A,
+                  const uint64_t *B, const uint64_t *C, const uint64_t *E) {
+  uint64_t P[W], R[W];
+  for (unsigned L = 0; L < W; ++L)
+    P[L] = evalCmpImpl(Cmp, K, A[L], B[L]) ? 1 : 0;
+  for (unsigned L = 0; L < W; ++L)
+    R[L] = P[L] != 0 ? C[L] : E[L];
+  for (unsigned L = 0; L < W; ++L)
+    Pred[L] = P[L];
+  for (unsigned L = 0; L < W; ++L)
+    Sel[L] = R[L];
+}
+
+//===----------------------------------------------------------------------===
+// Dispatch: kind and operation layers mirror ScalarOps.cpp, with the width
+// folded in as the innermost template parameter.
+//===----------------------------------------------------------------------===
+
+template <ScalarKind K, unsigned W> LaneKernelFn binForKind(Opcode Op) {
+  switch (Op) {
+#define SIMTVEC_BIN_CASE(OP)                                                   \
+  case Opcode::OP:                                                             \
+    return binKernel<Opcode::OP, K, W>;
+    SIMTVEC_BIN_CASE(Add)
+    SIMTVEC_BIN_CASE(Sub)
+    SIMTVEC_BIN_CASE(Mul)
+    SIMTVEC_BIN_CASE(Div)
+    SIMTVEC_BIN_CASE(Rem)
+    SIMTVEC_BIN_CASE(Min)
+    SIMTVEC_BIN_CASE(Max)
+    SIMTVEC_BIN_CASE(And)
+    SIMTVEC_BIN_CASE(Or)
+    SIMTVEC_BIN_CASE(Xor)
+    SIMTVEC_BIN_CASE(Shl)
+    SIMTVEC_BIN_CASE(Shr)
+#undef SIMTVEC_BIN_CASE
+  default:
+    return nullptr;
+  }
+}
+
+template <ScalarKind K, unsigned W> LaneKernelFn unForKind(Opcode Op) {
+  switch (Op) {
+#define SIMTVEC_UN_CASE(OP)                                                    \
+  case Opcode::OP:                                                             \
+    return unKernel<Opcode::OP, K, W>;
+    SIMTVEC_UN_CASE(Neg)
+    SIMTVEC_UN_CASE(Abs)
+    SIMTVEC_UN_CASE(Not)
+    SIMTVEC_UN_CASE(Rcp)
+    SIMTVEC_UN_CASE(Sqrt)
+    SIMTVEC_UN_CASE(Rsqrt)
+    SIMTVEC_UN_CASE(Sin)
+    SIMTVEC_UN_CASE(Cos)
+    SIMTVEC_UN_CASE(Lg2)
+    SIMTVEC_UN_CASE(Ex2)
+#undef SIMTVEC_UN_CASE
+  default:
+    return nullptr;
+  }
+}
+
+template <ScalarKind K, unsigned W> LaneKernelFn setpForKind(CmpOp Cmp) {
+  switch (Cmp) {
+  case CmpOp::Eq:
+    return setpKernel<CmpOp::Eq, K, W>;
+  case CmpOp::Ne:
+    return setpKernel<CmpOp::Ne, K, W>;
+  case CmpOp::Lt:
+    return setpKernel<CmpOp::Lt, K, W>;
+  case CmpOp::Le:
+    return setpKernel<CmpOp::Le, K, W>;
+  case CmpOp::Gt:
+    return setpKernel<CmpOp::Gt, K, W>;
+  case CmpOp::Ge:
+    return setpKernel<CmpOp::Ge, K, W>;
+  }
+  return nullptr;
+}
+
+template <ScalarKind K, unsigned W> CmpSelKernelFn cmpSelForKind(CmpOp Cmp) {
+  switch (Cmp) {
+  case CmpOp::Eq:
+    return cmpSelKernel<CmpOp::Eq, K, W>;
+  case CmpOp::Ne:
+    return cmpSelKernel<CmpOp::Ne, K, W>;
+  case CmpOp::Lt:
+    return cmpSelKernel<CmpOp::Lt, K, W>;
+  case CmpOp::Le:
+    return cmpSelKernel<CmpOp::Le, K, W>;
+  case CmpOp::Gt:
+    return cmpSelKernel<CmpOp::Gt, K, W>;
+  case CmpOp::Ge:
+    return cmpSelKernel<CmpOp::Ge, K, W>;
+  }
+  return nullptr;
+}
+
+template <ScalarKind DstK, unsigned W> LaneKernelFn cvtForDst(ScalarKind SrcK) {
+  switch (SrcK) {
+#define SIMTVEC_CVT_CASE(SK)                                                   \
+  case ScalarKind::SK:                                                         \
+    return cvtKernel<DstK, ScalarKind::SK, W>;
+    SIMTVEC_CVT_CASE(Pred)
+    SIMTVEC_CVT_CASE(U8)
+    SIMTVEC_CVT_CASE(S32)
+    SIMTVEC_CVT_CASE(U32)
+    SIMTVEC_CVT_CASE(S64)
+    SIMTVEC_CVT_CASE(U64)
+    SIMTVEC_CVT_CASE(F32)
+    SIMTVEC_CVT_CASE(F64)
+#undef SIMTVEC_CVT_CASE
+  }
+  return nullptr;
+}
+
+/// Expands a switch over every ScalarKind forwarding to FN<Kind, W>(ARG).
+#define SIMTVEC_DISPATCH_KIND_W(K, FN, ARG)                                    \
+  switch (K) {                                                                 \
+  case ScalarKind::Pred:                                                       \
+    return FN<ScalarKind::Pred, W>(ARG);                                       \
+  case ScalarKind::U8:                                                         \
+    return FN<ScalarKind::U8, W>(ARG);                                         \
+  case ScalarKind::S32:                                                        \
+    return FN<ScalarKind::S32, W>(ARG);                                        \
+  case ScalarKind::U32:                                                        \
+    return FN<ScalarKind::U32, W>(ARG);                                        \
+  case ScalarKind::S64:                                                        \
+    return FN<ScalarKind::S64, W>(ARG);                                        \
+  case ScalarKind::U64:                                                        \
+    return FN<ScalarKind::U64, W>(ARG);                                        \
+  case ScalarKind::F32:                                                        \
+    return FN<ScalarKind::F32, W>(ARG);                                        \
+  case ScalarKind::F64:                                                        \
+    return FN<ScalarKind::F64, W>(ARG);                                        \
+  }                                                                            \
+  return nullptr;
+
+template <unsigned W> LaneKernelFn binForWidth(Opcode Op, ScalarKind K) {
+  SIMTVEC_DISPATCH_KIND_W(K, binForKind, Op)
+}
+template <unsigned W> LaneKernelFn unForWidth(Opcode Op, ScalarKind K) {
+  SIMTVEC_DISPATCH_KIND_W(K, unForKind, Op)
+}
+template <unsigned W> LaneKernelFn setpForWidth(CmpOp Cmp, ScalarKind K) {
+  SIMTVEC_DISPATCH_KIND_W(K, setpForKind, Cmp)
+}
+template <unsigned W> CmpSelKernelFn cmpSelForWidth(CmpOp Cmp, ScalarKind K) {
+  SIMTVEC_DISPATCH_KIND_W(K, cmpSelForKind, Cmp)
+}
+template <unsigned W> LaneKernelFn cvtForWidth(ScalarKind DstK,
+                                               ScalarKind SrcK) {
+  SIMTVEC_DISPATCH_KIND_W(DstK, cvtForDst, SrcK)
+}
+
+#undef SIMTVEC_DISPATCH_KIND_W
+
+template <unsigned W> LaneKernelFn madForWidth(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F32:
+    return madKernel<ScalarKind::F32, W>;
+  case ScalarKind::F64:
+    return madKernel<ScalarKind::F64, W>;
+  case ScalarKind::S32:
+    return madKernel<ScalarKind::S32, W>;
+  case ScalarKind::U32:
+    return madKernel<ScalarKind::U32, W>;
+  case ScalarKind::S64:
+    return madKernel<ScalarKind::S64, W>;
+  case ScalarKind::U64:
+    return madKernel<ScalarKind::U64, W>;
+  default:
+    return nullptr;
+  }
+}
+
+/// Expands a switch over the specialized widths forwarding to FN<W>(...).
+#define SIMTVEC_DISPATCH_WIDTH(W, FN, ...)                                     \
+  switch (W) {                                                                 \
+  case 1:                                                                      \
+    return FN<1>(__VA_ARGS__);                                                 \
+  case 2:                                                                      \
+    return FN<2>(__VA_ARGS__);                                                 \
+  case 4:                                                                      \
+    return FN<4>(__VA_ARGS__);                                                 \
+  case 8:                                                                      \
+    return FN<8>(__VA_ARGS__);                                                 \
+  default:                                                                     \
+    return nullptr;                                                            \
+  }
+
+} // namespace
+
+LaneKernelFn simtvec::resolveBinaryLanes(Opcode Op, ScalarKind K,
+                                         unsigned W) {
+  if (!resolveBinary(Op, K))
+    return nullptr;
+  SIMTVEC_DISPATCH_WIDTH(W, binForWidth, Op, K)
+}
+
+LaneKernelFn simtvec::resolveUnaryLanes(Opcode Op, ScalarKind K, unsigned W) {
+  if (!resolveUnary(Op, K))
+    return nullptr;
+  SIMTVEC_DISPATCH_WIDTH(W, unForWidth, Op, K)
+}
+
+LaneKernelFn simtvec::resolveMadLanes(ScalarKind K, unsigned W) {
+  if (!resolveMad(K))
+    return nullptr;
+  SIMTVEC_DISPATCH_WIDTH(W, madForWidth, K)
+}
+
+LaneKernelFn simtvec::resolveSetpLanes(CmpOp Cmp, ScalarKind K, unsigned W) {
+  if (!resolveCmp(Cmp, K))
+    return nullptr;
+  SIMTVEC_DISPATCH_WIDTH(W, setpForWidth, Cmp, K)
+}
+
+LaneKernelFn simtvec::resolveSelpLanes(unsigned W) {
+  switch (W) {
+  case 1:
+    return selpKernel<1>;
+  case 2:
+    return selpKernel<2>;
+  case 4:
+    return selpKernel<4>;
+  case 8:
+    return selpKernel<8>;
+  default:
+    return nullptr;
+  }
+}
+
+LaneKernelFn simtvec::resolveMovLanes(unsigned W) {
+  switch (W) {
+  case 1:
+    return movKernel<1>;
+  case 2:
+    return movKernel<2>;
+  case 4:
+    return movKernel<4>;
+  case 8:
+    return movKernel<8>;
+  default:
+    return nullptr;
+  }
+}
+
+LaneKernelFn simtvec::resolveConvertLanes(ScalarKind DstK, ScalarKind SrcK,
+                                          unsigned W) {
+  if (!resolveConvert(DstK, SrcK))
+    return nullptr;
+  SIMTVEC_DISPATCH_WIDTH(W, cvtForWidth, DstK, SrcK)
+}
+
+CmpSelKernelFn simtvec::resolveCmpSelLanes(CmpOp Cmp, ScalarKind K,
+                                           unsigned W) {
+  if (!resolveCmp(Cmp, K))
+    return nullptr;
+  SIMTVEC_DISPATCH_WIDTH(W, cmpSelForWidth, Cmp, K)
+}
+
+#undef SIMTVEC_DISPATCH_WIDTH

@@ -229,14 +229,310 @@ struct KernelExecBuilder {
     default:
       break;
     }
+
+    // Specialized lane kernels (vm/ExecKernels.h): fold the operation, kind
+    // and width into one fixed-trip-count handler where a specialization
+    // exists; null keeps the generic per-lane path (bit-identical results
+    // either way). Scalar records execute as width-1 kernels over operands
+    // materialized at the record's replicated lane — except scalar
+    // Broadcast, whose per-lane semantics read lane L, not D.Lane. Kernels
+    // are resolved at every width here so the fusion pass can chain them;
+    // build() clears them again on solo single-lane records, where one
+    // direct call is measurably cheaper than the kernel indirection.
+    switch (D.Shape) {
+    case ExecShape::Binary:
+      if (D.Fn.Bin)
+        D.Kern.Lanes = resolveBinaryLanes(I.Op, D.Kind, D.N);
+      break;
+    case ExecShape::Unary:
+      if (D.Fn.Un)
+        D.Kern.Lanes = resolveUnaryLanes(I.Op, D.Kind, D.N);
+      break;
+    case ExecShape::Mad:
+      if (D.Fn.MadF)
+        D.Kern.Lanes = resolveMadLanes(D.Kind, D.N);
+      break;
+    case ExecShape::Setp:
+      if (D.Fn.CmpF)
+        D.Kern.Lanes = resolveSetpLanes(I.Cmp, D.Kind, D.N);
+      break;
+    case ExecShape::Selp:
+      D.Kern.Lanes = resolveSelpLanes(D.N);
+      break;
+    case ExecShape::Cvt:
+      if (D.Fn.Cvt)
+        D.Kern.Lanes = resolveConvertLanes(D.Kind, D.CvtSrcKind, D.N);
+      break;
+    case ExecShape::Mov:
+      if (D.IsVector || I.Op == Opcode::Mov)
+        D.Kern.Lanes = resolveMovLanes(D.N);
+      break;
+    default:
+      break;
+    }
     return D;
   }
 };
 
 } // namespace simtvec
 
+//===----------------------------------------------------------------------===
+// Superinstruction fusion: a peephole pass over each block's records. The
+// fused head record is rewritten in place (Shape + FuseLen + Kern); member
+// records stay in the stream untouched — the interpreter reads their
+// operands through the head but advances past them with Inst += FuseLen, so
+// block bounds and the batched counter sums are unchanged by fusion.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Slot range a register operand of \p D reads: vector operands read one
+/// slot per lane, scalar reads are a single slot (at the record's
+/// replicated lane for vector registers).
+bool readsSlotRange(const DecodedInst &D, const DecodedOp &O, uint32_t First,
+                    uint32_t Len) {
+  uint32_t RFirst, RLen;
+  switch (O.K) {
+  case DecodedOp::Kind::RegVec:
+    if (D.IsVector) {
+      RFirst = O.Slot;
+      RLen = D.N;
+    } else {
+      RFirst = O.Slot + D.Lane;
+      RLen = 1;
+    }
+    break;
+  case DecodedOp::Kind::RegScal:
+    RFirst = O.Slot;
+    RLen = 1;
+    break;
+  default:
+    return false;
+  }
+  return RFirst < First + Len && First < RFirst + RLen;
+}
+
+/// setp + selp consuming its predicate -> one fused compare-select.
+bool tryFuseCmpSel(DecodedInst &Head, const DecodedInst &Next) {
+  if (Head.Shape != ExecShape::Setp || Next.Shape != ExecShape::Selp)
+    return false;
+  if (Head.GuardSlot != InvalidSlot || Next.GuardSlot != InvalidSlot)
+    return false;
+  if (Head.N != Next.N || Head.IsVector != Next.IsVector)
+    return false;
+  // The selp's predicate operand must be exactly the setp's destination.
+  const DecodedOp &P = Next.Src[2];
+  if (Head.IsVector) {
+    if (P.K != DecodedOp::Kind::RegVec || P.Slot != Head.DstSlot)
+      return false;
+  } else {
+    if (P.K != DecodedOp::Kind::RegScal || P.Slot != Head.DstSlot)
+      return false;
+  }
+  // The selp's value operands must not read the freshly written predicate
+  // (the kernel reads them before the predicate store; unfused order reads
+  // them after).
+  if (readsSlotRange(Next, Next.Src[0], Head.DstSlot, Head.N) ||
+      readsSlotRange(Next, Next.Src[1], Head.DstSlot, Head.N))
+    return false;
+  CmpSelKernelFn Kern = resolveCmpSelLanes(Head.Cmp, Head.Kind, Head.N);
+  if (!Kern)
+    return false;
+  Head.Shape = ExecShape::FusedCmpSel;
+  Head.FuseLen = 2;
+  Head.Kern.CmpSel = Kern;
+  return true;
+}
+
+/// iota + binary consuming it -> fused affine tid-address compute: the
+/// interpreter writes the iota and runs the binary's lane kernel in one
+/// dispatch.
+bool tryFuseIotaBin(DecodedInst &Head, const DecodedInst &Next) {
+  if (Head.Shape != ExecShape::Iota || Next.Shape != ExecShape::Binary ||
+      !Next.Kern.Lanes)
+    return false;
+  if (Head.GuardSlot != InvalidSlot || Next.GuardSlot != InvalidSlot)
+    return false;
+  if (!Head.IsVector || !Next.IsVector || Head.N != Next.N)
+    return false;
+  const auto ConsumesIota = [&](const DecodedOp &O) {
+    return O.K == DecodedOp::Kind::RegVec && O.Slot == Head.DstSlot;
+  };
+  if (!ConsumesIota(Next.Src[0]) && !ConsumesIota(Next.Src[1]))
+    return false;
+  Head.Shape = ExecShape::FusedIotaBin;
+  Head.FuseLen = 2;
+  Head.Kern.Lanes = Next.Kern.Lanes;
+  return true;
+}
+
+/// Length of the contiguous spill/restore run starting at \p I: records of
+/// the same shape, guard, width and replicated lane whose spill slots form
+/// one contiguous byte range. Guarded restore runs stop before any member
+/// that overwrites the guard register (later members would re-evaluate it).
+uint32_t spillRunLength(const std::vector<DecodedInst> &Code, uint32_t I,
+                        uint32_t End, uint32_t &TotalBytes) {
+  const DecodedInst &H = Code[I];
+  uint64_t NextAddr = H.SpillAddr + H.MemBytes;
+  TotalBytes = H.MemBytes;
+  uint32_t Len = 1;
+  while (I + Len < End) {
+    const DecodedInst &M = Code[I + Len];
+    if (M.Shape != H.Shape || M.GuardSlot != H.GuardSlot ||
+        M.GuardNegated != H.GuardNegated || M.IsVector != H.IsVector ||
+        M.N != H.N || M.Lane != H.Lane || M.SpillAddr != NextAddr)
+      break;
+    if (H.Shape == ExecShape::Restore && H.GuardSlot != InvalidSlot &&
+        H.GuardSlot >= M.DstSlot && H.GuardSlot < M.DstSlot + M.N)
+      break;
+    NextAddr += M.MemBytes;
+    TotalBytes += M.MemBytes;
+    ++Len;
+  }
+  return Len;
+}
+
+/// A record the kernel-run pass may chain: it executes entirely through its
+/// pre-resolved lane kernel (the interpreter's run loop calls Kern.Lanes
+/// with up to three kernSrc operands and nothing else).
+bool isSoloKernelRecord(const DecodedInst &D) {
+  if (D.FuseLen != 0 || !D.Kern.Lanes)
+    return false;
+  switch (D.Shape) {
+  case ExecShape::Mov:
+  case ExecShape::Binary:
+  case ExecShape::Mad:
+  case ExecShape::Unary:
+  case ExecShape::Setp:
+  case ExecShape::Selp:
+  case ExecShape::Cvt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Does \p D write the register slot \p Slot? Kernel records write exactly
+/// [DstSlot, DstSlot + N).
+bool writesSlot(const DecodedInst &D, uint32_t Slot) {
+  return Slot >= D.DstSlot && Slot < D.DstSlot + D.N;
+}
+
+void fuseBlock(std::vector<DecodedInst> &Code, uint32_t First,
+               uint32_t Count) {
+  const uint32_t End = First + Count;
+
+  // Pass 1: targeted pairs. These beat the generic kernel run below (one
+  // fused handler instead of two chained calls), so they claim their
+  // records first.
+  for (uint32_t I = First; I + 1 < End;) {
+    DecodedInst &D = Code[I];
+    if (tryFuseCmpSel(D, Code[I + 1]) || tryFuseIotaBin(D, Code[I + 1]))
+      I += 2;
+    else
+      ++I;
+  }
+
+  // Pass 2: maximal strips of kernel-bearing records under one guard become
+  // a single dispatch (the run loop invokes each member's own kernel).
+  // Guarded strips must not extend past a member that writes the shared
+  // guard register: the unfused stream re-reads the guard at every record,
+  // while the fused head reads it once.
+  for (uint32_t I = First; I < End;) {
+    DecodedInst &D = Code[I];
+    if (D.FuseLen) {
+      I += D.FuseLen;
+      continue;
+    }
+    if (!isSoloKernelRecord(D)) {
+      ++I;
+      continue;
+    }
+    const bool Guarded = D.GuardSlot != InvalidSlot;
+    bool GuardWritten = Guarded && writesSlot(D, D.GuardSlot);
+    uint32_t Len = 1;
+    while (I + Len < End) {
+      const DecodedInst &M = Code[I + Len];
+      if (!isSoloKernelRecord(M) || M.GuardSlot != D.GuardSlot ||
+          M.GuardNegated != D.GuardNegated || GuardWritten)
+        break;
+      if (Guarded)
+        GuardWritten = writesSlot(M, D.GuardSlot);
+      ++Len;
+    }
+    if (Len >= 2) {
+      D.Shape = ExecShape::FusedKernelRun;
+      D.FuseLen = static_cast<uint16_t>(Len);
+    }
+    I += Len;
+  }
+
+  // Pass 3: contiguous spill/restore runs -> bulk block moves.
+  for (uint32_t I = First; I < End;) {
+    DecodedInst &D = Code[I];
+    if (D.FuseLen) {
+      I += D.FuseLen;
+      continue;
+    }
+    if ((D.Shape == ExecShape::Spill || D.Shape == ExecShape::Restore) &&
+        D.N <= 64) {
+      uint32_t TotalBytes = 0;
+      uint32_t Len = spillRunLength(Code, I, End, TotalBytes);
+      if (Len >= 2) {
+        D.FuseLen = static_cast<uint16_t>(Len);
+        D.AuxLane = TotalBytes; // unused by Spill/Restore records
+        D.Shape = D.Shape == ExecShape::Spill ? ExecShape::FusedSpillRun
+                                              : ExecShape::FusedRestoreRun;
+        I += Len;
+        continue;
+      }
+    }
+    ++I;
+  }
+
+  // Pass 4: adjacent scalar Ld (or St) records under one guard become a
+  // single dispatch. The vectorizer replicates a warp memory access into WS
+  // consecutive scalar records, so these runs are the memory analogue of the
+  // kernel strips above. The fused handler executes members strictly in
+  // stream order, reading each member's operands at its own turn, so address
+  // dependencies between members are preserved; guarded runs stop past a
+  // member that writes the shared guard register, as above.
+  for (uint32_t I = First; I < End;) {
+    DecodedInst &D = Code[I];
+    if (D.FuseLen) {
+      I += D.FuseLen;
+      continue;
+    }
+    if (D.Shape != ExecShape::Ld && D.Shape != ExecShape::St) {
+      ++I;
+      continue;
+    }
+    const bool Guarded = D.GuardSlot != InvalidSlot;
+    bool GuardWritten = Guarded && writesSlot(D, D.GuardSlot);
+    uint32_t Len = 1;
+    while (I + Len < End) {
+      const DecodedInst &M = Code[I + Len];
+      if (M.Shape != D.Shape || M.GuardSlot != D.GuardSlot ||
+          M.GuardNegated != D.GuardNegated || GuardWritten)
+        break;
+      if (Guarded)
+        GuardWritten = writesSlot(M, D.GuardSlot);
+      ++Len;
+    }
+    if (Len >= 2) {
+      D.Shape = D.Shape == ExecShape::Ld ? ExecShape::FusedLdRun
+                                         : ExecShape::FusedStRun;
+      D.FuseLen = static_cast<uint16_t>(Len);
+    }
+    I += Len;
+  }
+}
+
+} // namespace
+
 std::shared_ptr<const KernelExec>
-KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine) {
+KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine,
+                  bool Superinstructions) {
   auto Exec = std::make_shared<KernelExec>();
 
   // Register-file layout: one 64-bit slot per lane.
@@ -278,6 +574,37 @@ KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine) {
     DB.IsBody = Block.Kind == BlockKind::Body;
     for (const Instruction &I : Block.Insts)
       Exec->Code.push_back(B.decode(I, Exec->BlockPenalty[Blk]));
+    if (Superinstructions)
+      fuseBlock(Exec->Code, DB.First, DB.Count);
+
+    // Solo single-lane records go back to the generic direct path: measured
+    // on the wallclock suite, operand materialization plus the indirect
+    // kernel call costs more than one direct evaluation when a lone lane
+    // cannot amortize it. Members of fused groups keep their kernels — the
+    // run loop invokes them without per-record dispatch, which is exactly
+    // what makes width-1 kernels pay off.
+    for (uint32_t J = DB.First; J < DB.First + DB.Count;) {
+      DecodedInst &D = Exec->Code[J];
+      if (D.FuseLen >= 2) {
+        J += D.FuseLen;
+        continue;
+      }
+      if (D.N == 1)
+        D.Kern.Lanes = nullptr;
+      ++J;
+    }
+
+    // Block-batched counter sums: blocks are straight-line and charge every
+    // record's cost before guard checks, so both engines add these once per
+    // block entry. CostSum folds left-to-right from 0.0 in stream order;
+    // the engines' trap paths subtract an identically ordered tail fold.
+    DB.InstsSum = DB.Count;
+    for (uint32_t J = 0; J < DB.Count; ++J) {
+      const DecodedInst &D = Exec->Code[DB.First + J];
+      DB.CostSum += D.Cost;
+      DB.FlopsSum += D.Flops;
+      DB.VectorSum += D.IsVector ? 1 : 0;
+    }
   }
 
   // Slots that may be read before written: the registers live-in at the

@@ -70,46 +70,63 @@ unsigned spillElemBytes(Type Ty) {
   return Ty.isPred() ? 1 : Ty.scalar().byteSize();
 }
 
+/// Cold half of resolveAddr: builds the trap message for a failed access.
+/// Only reached when the fast-path check already failed, so the message
+/// precedence (Param writes fail before bounds) matches the check order.
+[[gnu::cold, gnu::noinline]] std::byte *
+failAddr(AddressSpace Space, uint64_t Addr, size_t Size, bool Write,
+         std::string &Err) {
+  switch (Space) {
+  case AddressSpace::Global:
+    Err = formatString("out-of-bounds global access at 0x%llx (+%zu)",
+                       static_cast<unsigned long long>(Addr), Size);
+    break;
+  case AddressSpace::Shared:
+    Err = formatString("out-of-bounds shared access at 0x%llx",
+                       static_cast<unsigned long long>(Addr));
+    break;
+  case AddressSpace::Local:
+    Err = formatString("out-of-bounds local access at 0x%llx",
+                       static_cast<unsigned long long>(Addr));
+    break;
+  case AddressSpace::Param:
+    if (Write)
+      Err = "store to the read-only parameter space";
+    else
+      Err = formatString("out-of-bounds param access at 0x%llx",
+                         static_cast<unsigned long long>(Addr));
+    break;
+  }
+  return nullptr;
+}
+
 /// Resolves (space, address, size, lane) to a host pointer. Returns null on
 /// fault and fills \p Err with the trap message. The bounds checks are
 /// written overflow-proof: `Addr + Size > Limit` wraps for addresses near
 /// UINT64_MAX and would bypass the check, so each space tests
-/// `Size > Limit || Addr > Limit - Size` instead.
-std::byte *resolveAddr(ExecMemory &Mem, const Warp &W, AddressSpace Space,
-                       uint64_t Addr, size_t Size, uint32_t Lane, bool Write,
-                       std::string &Err) {
+/// `Size > Limit || Addr > Limit - Size` instead. Force-inlined: the happy
+/// path is two compares and an add, and it sits on every modeled memory
+/// access; the message formatting lives out of line in failAddr.
+[[gnu::always_inline]] inline std::byte *
+resolveAddr(ExecMemory &Mem, const Warp &W, AddressSpace Space, uint64_t Addr,
+            size_t Size, uint32_t Lane, bool Write, std::string &Err) {
   switch (Space) {
   case AddressSpace::Global:
-    if (Size > Mem.GlobalSize || Addr > Mem.GlobalSize - Size) {
-      Err = formatString("out-of-bounds global access at 0x%llx (+%zu)",
-                         static_cast<unsigned long long>(Addr), Size);
-      return nullptr;
-    }
+    if (Size > Mem.GlobalSize || Addr > Mem.GlobalSize - Size) [[unlikely]]
+      return failAddr(Space, Addr, Size, Write, Err);
     return Mem.Global + Addr;
   case AddressSpace::Shared:
-    if (Size > Mem.SharedSize || Addr > Mem.SharedSize - Size) {
-      Err = formatString("out-of-bounds shared access at 0x%llx",
-                         static_cast<unsigned long long>(Addr));
-      return nullptr;
-    }
+    if (Size > Mem.SharedSize || Addr > Mem.SharedSize - Size) [[unlikely]]
+      return failAddr(Space, Addr, Size, Write, Err);
     return Mem.Shared + Addr;
   case AddressSpace::Local:
-    if (Size > Mem.LocalSize || Addr > Mem.LocalSize - Size) {
-      Err = formatString("out-of-bounds local access at 0x%llx",
-                         static_cast<unsigned long long>(Addr));
-      return nullptr;
-    }
+    if (Size > Mem.LocalSize || Addr > Mem.LocalSize - Size) [[unlikely]]
+      return failAddr(Space, Addr, Size, Write, Err);
     return W.lane(Lane).LocalMem + Addr;
   case AddressSpace::Param:
-    if (Write) {
-      Err = "store to the read-only parameter space";
-      return nullptr;
-    }
-    if (Size > Mem.ParamSize || Addr > Mem.ParamSize - Size) {
-      Err = formatString("out-of-bounds param access at 0x%llx",
-                         static_cast<unsigned long long>(Addr));
-      return nullptr;
-    }
+    if (Write || Size > Mem.ParamSize || Addr > Mem.ParamSize - Size)
+        [[unlikely]]
+      return failAddr(Space, Addr, Size, Write, Err);
     return const_cast<std::byte *>(Mem.ParamBuf) + Addr;
   }
   return nullptr;
@@ -180,6 +197,7 @@ void Interpreter::ensureL1() {
     L1Tags.assign(static_cast<size_t>(Machine.L1Sets) * Machine.L1Ways,
                   ~0ull);
     L1NextWay.assign(Machine.L1Sets, 0);
+    L1MRU.assign(Machine.L1Sets, 0);
     // Power-of-two geometry (the default) turns the per-access line/set
     // division and modulo into a shift and mask.
     L1Pow2 = std::has_single_bit(Machine.L1LineBytes) &&
@@ -191,6 +209,14 @@ void Interpreter::ensureL1() {
 
 //===----------------------------------------------------------------------===
 // Fast path: the pre-decoded execution engine.
+//
+// Counter accounting is block-batched: the whole block's Cost/Flops/
+// InstsExecuted/VectorInsts sums (precomputed at decode time) are added once
+// on block entry — valid because blocks are straight-line and every record
+// charges its issue slot before its guard check. A trap mid-block settles
+// by subtracting the tail (the records strictly after the trapping one),
+// folded in stream order from 0.0; runReference performs the identical
+// entry-add and tail-fold, so settled counters stay bit-identical.
 //===----------------------------------------------------------------------===
 
 Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
@@ -224,7 +250,8 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
     R.Status = ResumeStatus::Exit;
   };
 
-  auto opVal = [&](const DecodedOp &O, uint32_t L) -> uint64_t {
+  auto opVal = [&](const DecodedOp &O,
+                   uint32_t L) __attribute__((always_inline)) -> uint64_t {
     switch (O.K) {
     case DecodedOp::Kind::RegVec:
       return RF[O.Slot + L];
@@ -245,18 +272,29 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
   // The shift/mask form computes the same line/set as the reference
   // engine's division/modulo when the geometry is a power of two.
   ensureL1();
-  auto globalAccessExtra = [&](uint64_t Addr) -> double {
+  auto globalAccessExtra = [&](uint64_t Addr)
+      __attribute__((always_inline)) -> double {
     uint64_t Line = L1Pow2 ? Addr >> L1LineShift : Addr / Machine.L1LineBytes;
     size_t Set = static_cast<size_t>(L1Pow2 ? Line & L1SetMask
                                             : Line % Machine.L1Sets);
     uint64_t *Ways = L1Tags.data() + Set * Machine.L1Ways;
     ++Counters.GlobalAccesses;
+    // Probe the set's last-hit way before scanning: streaming access
+    // patterns hit the same line repeatedly, so this resolves most lookups
+    // in one compare. Search order cannot change hit/miss outcomes (the
+    // scan is a membership test), so counters stay identical to the
+    // reference engine's plain scan.
+    if (Ways[L1MRU[Set]] == Line)
+      return 0;
     for (unsigned Way = 0; Way < Machine.L1Ways; ++Way)
-      if (Ways[Way] == Line)
+      if (Ways[Way] == Line) {
+        L1MRU[Set] = static_cast<uint8_t>(Way);
         return 0;
-    Ways[L1NextWay[Set]] = Line;
-    L1NextWay[Set] =
-        static_cast<uint8_t>((L1NextWay[Set] + 1) % Machine.L1Ways);
+      }
+    const uint8_t Victim = L1NextWay[Set];
+    Ways[Victim] = Line;
+    L1MRU[Set] = Victim;
+    L1NextWay[Set] = static_cast<uint8_t>((Victim + 1) % Machine.L1Ways);
     ++Counters.GlobalMisses;
     return Machine.MemMissExtra;
   };
@@ -270,7 +308,7 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
     uintptr_t Stride;
   };
   constexpr uint32_t SpecialBufLanes = 64;
-  uint64_t SpecialBuf[3][SpecialBufLanes];
+  uint64_t SpecialBuf[4][SpecialBufLanes];
   auto srcRef = [&](const DecodedOp &O, uint32_t N, uint64_t *Buf) -> SrcRef {
     switch (O.K) {
     case DecodedOp::Kind::RegVec:
@@ -291,6 +329,41 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
     return {Buf, 0};
   };
 
+  // Specialized-kernel operand materialization: every operand becomes a
+  // stride-1 array of exactly D.N words (ExecKernels.h contract). Vector
+  // register operands are passed in place; everything else is splat /
+  // evaluated into \p Buf. Scalar records (N == 1) evaluate at the record's
+  // replicated lane, matching the generic path's CtxLane.
+  auto kernSrc = [&](const DecodedInst &D, const DecodedOp &O,
+                     uint64_t *Buf)
+      __attribute__((always_inline)) -> const uint64_t * {
+    switch (O.K) {
+    case DecodedOp::Kind::RegVec:
+      return D.IsVector ? RF + O.Slot : RF + O.Slot + D.Lane;
+    case DecodedOp::Kind::RegScal:
+      if (D.N == 1) // single lane: read the slot in place, no splat
+        return RF + O.Slot;
+      for (uint32_t L = 0; L < D.N; ++L)
+        Buf[L] = RF[O.Slot];
+      return Buf;
+    case DecodedOp::Kind::Imm:
+      if (D.N == 1) // the decoded stream is immutable during the run
+        return &O.Imm;
+      for (uint32_t L = 0; L < D.N; ++L)
+        Buf[L] = O.Imm;
+      return Buf;
+    case DecodedOp::Kind::Special:
+      for (uint32_t L = 0; L < D.N; ++L)
+        Buf[L] = evalSpecial(O.S, W, D.IsVector ? L : D.Lane);
+      return Buf;
+    case DecodedOp::Kind::None:
+      break;
+    }
+    assert(false && "bad operand");
+    Buf[0] = 0;
+    return Buf;
+  };
+
   const DecodedInst *Code = Exec.code().data();
   const DecodedBlock *Blocks = Exec.decodedBlocks().data();
 
@@ -301,28 +374,59 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         B.IsBody ? &Counters.SubkernelCycles : &Counters.YieldCycles;
     uint32_t NextBlock = InvalidBlock;
 
-    const DecodedInst *Inst = Code + B.First;
-    const DecodedInst *End = Inst + B.Count;
-    for (; Inst != End; ++Inst) {
+    const DecodedInst *First = Code + B.First;
+    const DecodedInst *End = First + B.Count;
+
+    // Block-batched counters (see the engine comment above).
+    *Bucket += B.CostSum;
+    Counters.InstsExecuted += B.InstsSum;
+    Counters.VectorInsts += B.VectorSum;
+    Counters.Flops += B.FlopsSum;
+
+    // A trap at record T refunds the records strictly after it. Outlined
+    // cold: it is referenced from every trap exit, and inlining it at each
+    // one bloats the dispatch loop past the icache sweet spot.
+    auto settleTrap = [&](const DecodedInst *T)
+        __attribute__((noinline, cold)) {
+      double TailCost = 0;
+      uint64_t TailInsts = 0, TailVec = 0, TailFlops = 0;
+      for (const DecodedInst *P = T + 1; P != End; ++P) {
+        TailCost += P->Cost;
+        ++TailInsts;
+        TailVec += P->IsVector ? 1 : 0;
+        TailFlops += P->Flops;
+      }
+      *Bucket -= TailCost;
+      Counters.InstsExecuted -= TailInsts;
+      Counters.VectorInsts -= TailVec;
+      Counters.Flops -= TailFlops;
+    };
+
+    for (const DecodedInst *Inst = First; Inst != End; ++Inst) {
       const DecodedInst &D = *Inst;
-      *Bucket += D.Cost;
-      ++Counters.InstsExecuted;
-      Counters.VectorInsts += D.IsVector;
-      Counters.Flops += D.Flops;
 
       // Guard check (non-branch): skip the architectural effect; the issue
-      // slot is still consumed.
+      // slot is still consumed. Fused members carry the head's guard, so a
+      // skipped head skips the whole group.
       if (D.GuardSlot != InvalidSlot && D.Shape != ExecShape::Bra) {
         bool G = (RF[D.GuardSlot] & 1) != 0;
         if (D.GuardNegated)
           G = !G;
-        if (!G)
+        if (!G) {
+          if (D.FuseLen > 1)
+            Inst += D.FuseLen - 1;
           continue;
+        }
       }
 
       const uint32_t N = D.N;
       switch (D.Shape) {
       case ExecShape::Mov: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       nullptr, nullptr);
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         const bool PerLane = D.Op == Opcode::Broadcast || D.IsVector;
         if (PerLane && N <= SpecialBufLanes) {
@@ -336,15 +440,21 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         break;
       }
       case ExecShape::Binary: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       kernSrc(D, D.Src[1], SpecialBuf[1]), nullptr);
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         const BinaryFn Fn = D.Fn.Bin;
-        if (!Fn) {
+        if (!Fn) [[unlikely]] {
           // The generic path writes zero to every lane before trapping.
           for (uint32_t L = 0; L < N; ++L)
             Dst[L] = 0;
           trap(formatString("invalid %s on %s", opcodeName(D.Op),
                             D.Ty.str().c_str()));
-          break;
+          settleTrap(Inst);
+          return R;
         }
         if (D.IsVector && N <= SpecialBufLanes) {
           SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
@@ -360,13 +470,20 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         break;
       }
       case ExecShape::Mad: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       kernSrc(D, D.Src[1], SpecialBuf[1]),
+                       kernSrc(D, D.Src[2], SpecialBuf[2]));
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         const MadFn Fn = D.Fn.MadF;
-        if (!Fn) {
+        if (!Fn) [[unlikely]] {
           for (uint32_t L = 0; L < N; ++L)
             Dst[L] = 0;
           trap("invalid mad type");
-          break;
+          settleTrap(Inst);
+          return R;
         }
         if (D.IsVector && N <= SpecialBufLanes) {
           SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
@@ -385,14 +502,20 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         break;
       }
       case ExecShape::Unary: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       nullptr, nullptr);
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         const UnaryFn Fn = D.Fn.Un;
-        if (!Fn) {
+        if (!Fn) [[unlikely]] {
           for (uint32_t L = 0; L < N; ++L)
             Dst[L] = 0;
           trap(formatString("invalid %s on %s", opcodeName(D.Op),
                             D.Ty.str().c_str()));
-          break;
+          settleTrap(Inst);
+          return R;
         }
         if (D.IsVector && N <= SpecialBufLanes) {
           SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
@@ -407,6 +530,11 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         break;
       }
       case ExecShape::Setp: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       kernSrc(D, D.Src[1], SpecialBuf[1]), nullptr);
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         const CmpFn Fn = D.Fn.CmpF;
         if (D.IsVector && N <= SpecialBufLanes) {
@@ -423,6 +551,12 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         break;
       }
       case ExecShape::Selp: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       kernSrc(D, D.Src[1], SpecialBuf[1]),
+                       kernSrc(D, D.Src[2], SpecialBuf[2]));
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         if (D.IsVector && N <= SpecialBufLanes) {
           SrcRef S0 = srcRef(D.Src[0], N, SpecialBuf[0]);
@@ -442,6 +576,11 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         break;
       }
       case ExecShape::Cvt: {
+        if (D.Kern.Lanes) {
+          D.Kern.Lanes(RF + D.DstSlot, kernSrc(D, D.Src[0], SpecialBuf[0]),
+                       nullptr, nullptr);
+          break;
+        }
         uint64_t *Dst = RF + D.DstSlot;
         const ConvertFn Fn = D.Fn.Cvt;
         if (D.IsVector && N <= SpecialBufLanes) {
@@ -456,13 +595,162 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         }
         break;
       }
+
+      // Superinstructions. The member records following the head are
+      // consumed here (Inst advances past them); their counters were
+      // already included in the block sums.
+      case ExecShape::FusedCmpSel: {
+        const DecodedInst &Sel = Inst[1];
+        const uint64_t *A = kernSrc(D, D.Src[0], SpecialBuf[0]);
+        const uint64_t *Bv = kernSrc(D, D.Src[1], SpecialBuf[1]);
+        const uint64_t *C = kernSrc(Sel, Sel.Src[0], SpecialBuf[2]);
+        const uint64_t *E = kernSrc(Sel, Sel.Src[1], SpecialBuf[3]);
+        D.Kern.CmpSel(RF + D.DstSlot, RF + Sel.DstSlot, A, Bv, C, E);
+        ++Inst;
+        break;
+      }
+      case ExecShape::FusedIotaBin: {
+        // The iota result may be live past the binary, so it is still
+        // written; the binary's lane kernel then reads it in place.
+        uint64_t *IDst = RF + D.DstSlot;
+        for (uint32_t L = 0; L < N; ++L)
+          IDst[L] = L;
+        const DecodedInst &Bin = Inst[1];
+        D.Kern.Lanes(RF + Bin.DstSlot, kernSrc(Bin, Bin.Src[0], SpecialBuf[0]),
+                     kernSrc(Bin, Bin.Src[1], SpecialBuf[1]), nullptr);
+        ++Inst;
+        break;
+      }
+      case ExecShape::FusedKernelRun: {
+        // A strip of kernel-bearing records under one dispatch: each member
+        // runs its own pre-resolved lane kernel over its own operands, in
+        // stream order, so the architectural effects are exactly those of
+        // the unfused records.
+        const uint32_t Len = D.FuseLen;
+        for (uint32_t J = 0; J < Len; ++J) {
+          const DecodedInst &M = Inst[J];
+          const uint64_t *S0 = kernSrc(M, M.Src[0], SpecialBuf[0]);
+          const uint64_t *S1 = M.Src[1].K == DecodedOp::Kind::None
+                                   ? nullptr
+                                   : kernSrc(M, M.Src[1], SpecialBuf[1]);
+          const uint64_t *S2 = M.Src[2].K == DecodedOp::Kind::None
+                                   ? nullptr
+                                   : kernSrc(M, M.Src[2], SpecialBuf[2]);
+          M.Kern.Lanes(RF + M.DstSlot, S0, S1, S2);
+        }
+        Inst += Len - 1;
+        break;
+      }
+      case ExecShape::FusedLdRun: {
+        // A strip of scalar loads under one dispatch; each member resolves
+        // its own address and traps at its own record, exactly as unfused.
+        const uint32_t Len = D.FuseLen;
+        for (uint32_t J = 0; J < Len; ++J) {
+          const DecodedInst &M = Inst[J];
+          uint64_t Addr =
+              opVal(M.Src[0], M.Lane) + static_cast<uint64_t>(M.MemOffset);
+          std::byte *P = resolveAddr(Mem, W, M.Space, Addr, M.MemBytes,
+                                     M.Lane, false, Err);
+          if (!P) [[unlikely]] {
+            trap(std::move(Err));
+            settleTrap(Inst + J);
+            return R;
+          }
+          if (M.Space == AddressSpace::Global)
+            *Bucket += globalAccessExtra(Addr);
+          RF[M.DstSlot] = loadBytes(P, M.MemBytes);
+        }
+        Inst += Len - 1;
+        break;
+      }
+      case ExecShape::FusedStRun: {
+        const uint32_t Len = D.FuseLen;
+        for (uint32_t J = 0; J < Len; ++J) {
+          const DecodedInst &M = Inst[J];
+          uint64_t Addr =
+              opVal(M.Src[0], M.Lane) + static_cast<uint64_t>(M.MemOffset);
+          std::byte *P = resolveAddr(Mem, W, M.Space, Addr, M.MemBytes,
+                                     M.Lane, true, Err);
+          if (!P) [[unlikely]] {
+            trap(std::move(Err));
+            settleTrap(Inst + J);
+            return R;
+          }
+          if (M.Space == AddressSpace::Global)
+            *Bucket += globalAccessExtra(Addr);
+          storeBytes(P, opVal(M.Src[1], M.Lane), M.MemBytes);
+        }
+        Inst += Len - 1;
+        break;
+      }
+      case ExecShape::FusedSpillRun:
+      case ExecShape::FusedRestoreRun: {
+        const bool IsSpill = D.Shape == ExecShape::FusedSpillRun;
+        const uint32_t Len = D.FuseLen;
+        const uint64_t Base = D.SpillAddr;
+        // One whole-range bounds check covers every member element (local
+        // bounds do not depend on the lane). AuxLane holds the run's total
+        // byte length.
+        if (D.AuxLane > Mem.LocalSize || Base > Mem.LocalSize - D.AuxLane) {
+          // Replay the members one element at a time so the trap lands on
+          // the exact record/lane the unfused stream would fault at, with
+          // identical partial effects. The bulk check failing implies some
+          // element check fails, so the replay always traps.
+          for (uint32_t J = 0; J < Len; ++J) {
+            const DecodedInst &M = Inst[J];
+            uint64_t *Dst = RF + M.DstSlot;
+            for (uint32_t L = 0; L < M.N; ++L) {
+              uint32_t T = M.IsVector ? L : M.Lane;
+              std::byte *P =
+                  resolveAddr(Mem, W, AddressSpace::Local, M.SpillAddr,
+                              M.MemBytes, T, IsSpill, Err);
+              if (!P) [[unlikely]] {
+                trap(std::move(Err));
+                settleTrap(Inst + J);
+                return R;
+              }
+              if (IsSpill)
+                storeBytes(P, opVal(M.Src[0], T), M.MemBytes);
+              else
+                Dst[L] = loadBytes(P, M.MemBytes);
+            }
+            (IsSpill ? Counters.SpilledValues : Counters.RestoredValues) +=
+                M.N;
+          }
+          Inst += Len - 1;
+          break;
+        }
+        for (uint32_t L = 0; L < N; ++L) {
+          uint32_t T = D.IsVector ? L : D.Lane;
+          std::byte *P = W.lane(T).LocalMem + Base;
+          if (IsSpill) {
+            for (uint32_t J = 0; J < Len; ++J) {
+              const DecodedInst &M = Inst[J];
+              storeBytes(P + (M.SpillAddr - Base), opVal(M.Src[0], T),
+                         M.MemBytes);
+            }
+          } else {
+            for (uint32_t J = 0; J < Len; ++J) {
+              const DecodedInst &M = Inst[J];
+              RF[M.DstSlot + L] =
+                  loadBytes(P + (M.SpillAddr - Base), M.MemBytes);
+            }
+          }
+        }
+        (IsSpill ? Counters.SpilledValues : Counters.RestoredValues) +=
+            static_cast<uint64_t>(Len) * N;
+        Inst += Len - 1;
+        break;
+      }
+
       case ExecShape::Ld: {
         uint64_t Addr =
             opVal(D.Src[0], D.Lane) + static_cast<uint64_t>(D.MemOffset);
         std::byte *P = resolveAddr(Mem, W, D.Space, Addr, D.MemBytes, D.Lane,
                                    false, Err);
-        if (!P) {
+        if (!P) [[unlikely]] {
           trap(std::move(Err));
+          settleTrap(Inst);
           return R;
         }
         if (D.Space == AddressSpace::Global)
@@ -475,8 +763,9 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
             opVal(D.Src[0], D.Lane) + static_cast<uint64_t>(D.MemOffset);
         std::byte *P = resolveAddr(Mem, W, D.Space, Addr, D.MemBytes, D.Lane,
                                    true, Err);
-        if (!P) {
+        if (!P) [[unlikely]] {
           trap(std::move(Err));
+          settleTrap(Inst);
           return R;
         }
         if (D.Space == AddressSpace::Global)
@@ -489,8 +778,9 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
             opVal(D.Src[0], D.Lane) + static_cast<uint64_t>(D.MemOffset);
         std::byte *P = resolveAddr(Mem, W, D.Space, Addr, D.MemBytes, D.Lane,
                                    true, Err);
-        if (!P) {
+        if (!P) [[unlikely]] {
           trap(std::move(Err));
+          settleTrap(Inst);
           return R;
         }
         if (D.Space == AddressSpace::Global)
@@ -540,8 +830,9 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
           uint32_t ThreadLane = D.IsVector ? L : D.Lane;
           std::byte *P = resolveAddr(Mem, W, AddressSpace::Local, D.SpillAddr,
                                      D.MemBytes, ThreadLane, true, Err);
-          if (!P) {
+          if (!P) [[unlikely]] {
             trap(std::move(Err));
+            settleTrap(Inst);
             return R;
           }
           storeBytes(P, opVal(D.Src[0], ThreadLane), D.MemBytes);
@@ -555,8 +846,9 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
           uint32_t ThreadLane = D.IsVector ? L : D.Lane;
           std::byte *P = resolveAddr(Mem, W, AddressSpace::Local, D.SpillAddr,
                                      D.MemBytes, ThreadLane, false, Err);
-          if (!P) {
+          if (!P) [[unlikely]] {
             trap(std::move(Err));
+            settleTrap(Inst);
             return R;
           }
           Dst[L] = loadBytes(P, D.MemBytes);
@@ -576,6 +868,7 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
       case ExecShape::BarSync:
         trap("bar.sync executed directly; barriers must be lowered to "
              "yields before execution");
+        settleTrap(Inst);
         return R;
 
       // Terminators.
@@ -612,10 +905,11 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         return R;
       case ExecShape::Trap:
         trap("trap instruction executed");
+        settleTrap(Inst);
         return R;
       }
-      if (R.Trap)
-        return R;
+      // No per-record trap recheck: every handler that can trap settles and
+      // returns at its own site, keeping the dispatch backedge branch-free.
     }
 
     assert(NextBlock != InvalidBlock && "block fell through its terminator");
@@ -625,7 +919,12 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
 
 //===----------------------------------------------------------------------===
 // Reference engine: direct IR walk (the original implementation), kept as
-// the differential-testing oracle for the decoded path.
+// the differential-testing oracle for the decoded path. Counter accounting
+// mirrors the fast engine's block batching exactly: the same precomputed
+// DecodedBlock sums are added on block entry, and traps settle with the
+// identically ordered tail fold (Machine.issueCost(I) + Penalty produces the
+// same doubles the decoder stored in DecodedInst::Cost), so totals stay
+// bit-identical through the floating-point accumulation.
 //===----------------------------------------------------------------------===
 
 Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
@@ -726,12 +1025,35 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
     const double Penalty = Exec.pressurePenalty(Block);
     uint32_t NextBlock = InvalidBlock;
 
-    for (const Instruction &I : B.Insts) {
-      *Bucket += Machine.issueCost(I) + Penalty;
-      ++Counters.InstsExecuted;
-      if (I.Ty.isVector())
-        ++Counters.VectorInsts;
-      Counters.Flops += Machine.flopsFor(I);
+    // Block-batched counters: the same precomputed sums the fast engine
+    // adds (decode lowers instructions 1:1 in order, so the block views
+    // agree record-for-record).
+    const DecodedBlock &DB = Exec.decodedBlocks()[Block];
+    *Bucket += DB.CostSum;
+    Counters.InstsExecuted += DB.InstsSum;
+    Counters.VectorInsts += DB.VectorSum;
+    Counters.Flops += DB.FlopsSum;
+
+    // A trap at instruction TrapIdx refunds the instructions strictly after
+    // it; issueCost(TI) + Penalty reproduces DecodedInst::Cost exactly.
+    auto settleTrap = [&](size_t TrapIdx) {
+      double TailCost = 0;
+      uint64_t TailInsts = 0, TailVec = 0, TailFlops = 0;
+      for (size_t J = TrapIdx + 1; J < B.Insts.size(); ++J) {
+        const Instruction &TI = B.Insts[J];
+        TailCost += Machine.issueCost(TI) + Penalty;
+        ++TailInsts;
+        TailVec += TI.Ty.isVector() ? 1 : 0;
+        TailFlops += Machine.flopsFor(TI);
+      }
+      *Bucket -= TailCost;
+      Counters.InstsExecuted -= TailInsts;
+      Counters.VectorInsts -= TailVec;
+      Counters.Flops -= TailFlops;
+    };
+
+    for (size_t Idx = 0; Idx < B.Insts.size(); ++Idx) {
+      const Instruction &I = B.Insts[Idx];
 
       // Guard check (non-branch): skip the architectural effect; the issue
       // slot is still consumed.
@@ -848,8 +1170,10 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
                         static_cast<uint64_t>(I.MemOffset);
         unsigned Bytes = I.Ty.byteSize();
         std::byte *P = resolve(I.Space, Addr, Bytes, I.Lane, false);
-        if (!P)
+        if (!P) [[unlikely]] {
+          settleTrap(Idx);
           return R;
+        }
         if (I.Space == AddressSpace::Global)
           *Bucket += globalAccessExtra(Addr);
         regLanePtr(I.Dst)[0] = loadBytes(P, Bytes);
@@ -860,8 +1184,10 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
                         static_cast<uint64_t>(I.MemOffset);
         unsigned Bytes = I.Ty.byteSize();
         std::byte *P = resolve(I.Space, Addr, Bytes, I.Lane, true);
-        if (!P)
+        if (!P) [[unlikely]] {
+          settleTrap(Idx);
           return R;
+        }
         if (I.Space == AddressSpace::Global)
           *Bucket += globalAccessExtra(Addr);
         storeBytes(P, evalLane(I.Srcs[1], I.Lane), Bytes);
@@ -872,8 +1198,10 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
                         static_cast<uint64_t>(I.MemOffset);
         unsigned Bytes = I.Ty.byteSize();
         std::byte *P = resolve(I.Space, Addr, Bytes, I.Lane, true);
-        if (!P)
+        if (!P) [[unlikely]] {
+          settleTrap(Idx);
           return R;
+        }
         if (I.Space == AddressSpace::Global)
           *Bucket += globalAccessExtra(Addr);
         std::unique_lock<std::mutex> Lock;
@@ -929,8 +1257,10 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
           uint32_t ThreadLane = I.Ty.isVector() ? L : I.Lane;
           std::byte *P =
               resolve(AddressSpace::Local, Addr, Bytes, ThreadLane, true);
-          if (!P)
+          if (!P) [[unlikely]] {
+            settleTrap(Idx);
             return R;
+          }
           storeBytes(P, evalLane(I.Srcs[0], ThreadLane), Bytes);
         }
         Counters.SpilledValues += N; // lane-values spilled
@@ -944,8 +1274,10 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
           uint32_t ThreadLane = I.Ty.isVector() ? L : I.Lane;
           std::byte *P =
               resolve(AddressSpace::Local, Addr, Bytes, ThreadLane, false);
-          if (!P)
+          if (!P) [[unlikely]] {
+            settleTrap(Idx);
             return R;
+          }
           D[L] = loadBytes(P, Bytes);
         }
         Counters.RestoredValues += N; // lane-values restored
@@ -965,6 +1297,7 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
       case Opcode::BarSync:
         trap("bar.sync executed directly; barriers must be lowered to "
              "yields before execution");
+        settleTrap(Idx);
         return R;
 
       // Terminators.
@@ -1000,10 +1333,13 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
         return R;
       case Opcode::Trap:
         trap("trap instruction executed");
+        settleTrap(Idx);
         return R;
       }
-      if (R.Trap)
+      if (R.Trap) [[unlikely]] {
+        settleTrap(Idx);
         return R;
+      }
     }
 
     assert(NextBlock != InvalidBlock && "block fell through its terminator");

@@ -1,0 +1,15 @@
+# Smoke-checks the wall-clock bench harness: runs it at the smallest scale
+# with one rep, then feeds the emitted JSON to bench_diff (diffed against
+# itself), which both validates the JSON and must report a 1.000x geomean.
+execute_process(COMMAND ${WALLCLOCK} ${OUT} 1 1 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wallclock_throughput exited with ${rc}")
+endif()
+execute_process(COMMAND ${BENCH_DIFF} ${OUT} ${OUT}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff exited with ${rc}")
+endif()
+if(NOT out MATCHES "geomean speedup over [0-9]+ cells: 1\\.000x")
+  message(FATAL_ERROR "bench_diff self-diff geomean is not 1.000x:\n${out}")
+endif()

@@ -317,6 +317,7 @@ TEST_P(RandomKernelEquivalence, AllConfigsMatchScalar) {
   const Cfg Cfgs[] = {
       {"dyn2", 2, WarpFormation::Dynamic, false, false, false},
       {"dyn4", 4, WarpFormation::Dynamic, false, false, false},
+      {"dyn8", 8, WarpFormation::Dynamic, false, false, false},
       {"static4", 4, WarpFormation::Static, false, false, false},
       {"tie4", 4, WarpFormation::Static, true, false, false},
       {"ubo4", 4, WarpFormation::Dynamic, false, true, false},
@@ -337,6 +338,27 @@ TEST_P(RandomKernelEquivalence, AllConfigsMatchScalar) {
     EXPECT_EQ(Got.FBits, Ref.FBits)
         << "f32 outputs differ under " << C.Name << " (seed " << Seed
         << ")";
+
+    // Differential across execution engines at the same configuration: the
+    // fused/specialized decoded engine above, the decoded engine with
+    // superinstruction fusion off, and the IR-walking reference engine must
+    // all agree bit-for-bit.
+    LaunchConfig Plain = Config;
+    Plain.Superinstructions = false;
+    RunOutput GotPlain = runUnder(M, Plain, Seed * 33 + 1, Threads);
+    EXPECT_EQ(GotPlain.U, Got.U) << "unfused u32 outputs differ under "
+                                 << C.Name << " (seed " << Seed << ")";
+    EXPECT_EQ(GotPlain.FBits, Got.FBits)
+        << "unfused f32 outputs differ under " << C.Name << " (seed " << Seed
+        << ")";
+    LaunchConfig RefEngine = Config;
+    RefEngine.UseReferenceInterp = true;
+    RunOutput GotRef = runUnder(M, RefEngine, Seed * 33 + 1, Threads);
+    EXPECT_EQ(GotRef.U, Got.U) << "reference-engine u32 outputs differ under "
+                               << C.Name << " (seed " << Seed << ")";
+    EXPECT_EQ(GotRef.FBits, Got.FBits)
+        << "reference-engine f32 outputs differ under " << C.Name << " (seed "
+        << Seed << ")";
   }
 }
 

@@ -13,9 +13,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "simtvec/runtime/Runtime.h"
 #include "simtvec/workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 using namespace simtvec;
 
@@ -204,6 +207,199 @@ TEST(ShapeStaticFormation, GroupsNeverSpanAlignmentBoundaries) {
   ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
   EXPECT_EQ(S->EntriesByWidth.at(4), 1u);
   EXPECT_EQ(S->EntriesByWidth.at(2), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// ExecShape differential coverage: guarded forms at widths 1/2/4/8
+//===----------------------------------------------------------------------===
+
+// One kernel with a guarded (@%p / @!%p) form of every source-expressible
+// execution shape: Mov, Binary, Mad, Unary, Setp, Selp, Cvt, Ld, St,
+// AtomAdd (global and shared), Membar, BarSync, Bra, Ret. The vector-only
+// shapes (Iota, Broadcast, Insert/ExtractElement, VoteSum), the Switch
+// dispatchers and the yield intrinsics (Spill, Restore, SetRPoint,
+// SetRStatus, Yield) are introduced by vectorization and yield-on-diverge
+// lowering — the divergent guarded branches below force them. Adjacent
+// same-guard arithmetic, load and store records additionally exercise the
+// fused superinstruction forms (FusedCmpSel, FusedKernelRun, FusedLdRun,
+// FusedStRun, spill/restore runs) when Superinstructions is on.
+const char *ShapeCoverageSrc = R"(
+.kernel shapes (.param .u64 out, .param .u64 acc)
+{
+  .shared .b8 sm[256];
+  .reg .u32 %t, %v, %w, %x, %y, %z, %old, %sel;
+  .reg .u64 %a, %b, %off, %sa;
+  .reg .f32 %f, %g;
+  .reg .s32 %si;
+  .reg .pred %p, %q, %np;
+entry:
+  mov.u32 %t, %tid.x;
+  and.u32 %x, %t, 3;
+  setp.lt.u32 %p, %x, 2;
+  @%p setp.eq.u32 %q, %x, 0;
+  @!%p setp.eq.u32 %q, %x, 3;
+  mov.u32 %v, 7;
+  @%p add.u32 %v, %v, %t;
+  @!%p sub.u32 %v, %v, 1;
+  @%p mad.u32 %w, %v, 3, %t;
+  @!%p mov.u32 %w, 11;
+  @%p min.u32 %y, %v, %w;
+  @!%p max.u32 %y, %v, %w;
+  not.pred %np, %q;
+  @%p selp.u32 %z, %v, %w, %q;
+  @!%p selp.u32 %z, %w, %y, %np;
+  cvt.u64.u32 %off, %t;
+  @%p cvt.f32.u32 %f, %v;
+  @!%p cvt.f32.u32 %f, %w;
+  sqrt.f32 %g, %f;
+  @%q abs.f32 %g, %g;
+  cvt.s32.f32 %si, %g;
+  ld.param.u64 %a, [out];
+  ld.param.u64 %b, [acc];
+  @%p ld.global.u32 %x, [%a];
+  @%p ld.global.u32 %y, [%a+4];
+  @%p atom.global.add.u32 %old, [%b], 1;
+  @!%p atom.global.add.u32 %old, [%b+4], 2;
+  membar;
+  shl.u64 %sa, %off, 2;
+  @%p st.shared.u32 [%sa], %v;
+  @!%p st.shared.u32 [%sa], %w;
+  bar.sync;
+  ld.shared.u32 %sel, [%sa];
+  atom.shared.add.u32 %old, [%sa], 1;
+  and.u32 %z, %t, 3;
+  setp.eq.u32 %np, %z, 0;
+  @%np bra c0, n0;
+c0:
+  mul.u32 %v, %v, 2;
+  bra join;
+n0:
+  setp.eq.u32 %np, %z, 1;
+  @%np bra c1, c2;
+c1:
+  mul.u32 %v, %v, 3;
+  bra join;
+c2:
+  @%q bra c2a, c2b;
+c2a:
+  add.u32 %v, %v, 100;
+  bra join;
+c2b:
+  xor.u32 %v, %v, 1023;
+  bra join;
+join:
+  add.u32 %v, %v, %w;
+  add.u32 %v, %v, %x;
+  add.u32 %v, %v, %y;
+  add.u32 %v, %v, %sel;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  @%p st.global.u32 [%a+64], %v;
+  @!%p st.global.u32 [%a+64], %w;
+  st.global.f32 [%a+192], %g;
+  st.global.s32 [%a+320], %si;
+  ret;
+}
+)";
+
+struct ShapeRun {
+  LaunchStats Stats;
+  std::vector<std::byte> Arena;
+};
+
+ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse) {
+  auto ProgOrErr = Program::compile(ShapeCoverageSrc);
+  EXPECT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  Device Dev(1 << 16);
+  uint64_t Out = Dev.alloc(512);
+  uint64_t Acc = Dev.alloc(16);
+  Dev.memset(Out, 0, 512);
+  Dev.memset(Acc, 0, 16);
+  ParamBuilder Params;
+  Params.addU64(Out);
+  Params.addU64(Acc);
+  LaunchOptions O;
+  O.MaxWarpSize = Width;
+  O.Workers = 1;
+  O.UseOsThreads = false;
+  O.UseReferenceInterp = Reference;
+  O.Superinstructions = Fuse;
+  auto StatsOrErr = (*ProgOrErr)->launch(Dev, "shapes", {2, 1, 1},
+                                         {32, 1, 1}, Params, O);
+  EXPECT_TRUE(static_cast<bool>(StatsOrErr)) << StatsOrErr.status().message();
+  ShapeRun R;
+  if (StatsOrErr)
+    R.Stats = *StatsOrErr;
+  R.Arena.assign(Dev.data(), Dev.data() + Dev.size());
+  return R;
+}
+
+void expectShapeRunsMatch(const ShapeRun &Fast, const ShapeRun &Ref) {
+  ASSERT_EQ(Fast.Arena.size(), Ref.Arena.size());
+  EXPECT_EQ(0, std::memcmp(Fast.Arena.data(), Ref.Arena.data(),
+                           Fast.Arena.size()));
+  EXPECT_EQ(Fast.Stats.Counters.SubkernelCycles,
+            Ref.Stats.Counters.SubkernelCycles);
+  EXPECT_EQ(Fast.Stats.Counters.YieldCycles, Ref.Stats.Counters.YieldCycles);
+  EXPECT_EQ(Fast.Stats.Counters.EMCycles, Ref.Stats.Counters.EMCycles);
+  EXPECT_EQ(Fast.Stats.Counters.Flops, Ref.Stats.Counters.Flops);
+  EXPECT_EQ(Fast.Stats.Counters.InstsExecuted,
+            Ref.Stats.Counters.InstsExecuted);
+  EXPECT_EQ(Fast.Stats.Counters.VectorInsts, Ref.Stats.Counters.VectorInsts);
+  EXPECT_EQ(Fast.Stats.Counters.SpilledValues,
+            Ref.Stats.Counters.SpilledValues);
+  EXPECT_EQ(Fast.Stats.Counters.RestoredValues,
+            Ref.Stats.Counters.RestoredValues);
+  EXPECT_EQ(Fast.Stats.Counters.GlobalAccesses,
+            Ref.Stats.Counters.GlobalAccesses);
+  EXPECT_EQ(Fast.Stats.Counters.GlobalMisses,
+            Ref.Stats.Counters.GlobalMisses);
+  EXPECT_EQ(Fast.Stats.EntriesByWidth, Ref.Stats.EntriesByWidth);
+  EXPECT_EQ(Fast.Stats.WarpEntries, Ref.Stats.WarpEntries);
+  EXPECT_EQ(Fast.Stats.ThreadEntries, Ref.Stats.ThreadEntries);
+  EXPECT_EQ(Fast.Stats.BranchYields, Ref.Stats.BranchYields);
+  EXPECT_EQ(Fast.Stats.BarrierYields, Ref.Stats.BarrierYields);
+  EXPECT_EQ(Fast.Stats.ExitYields, Ref.Stats.ExitYields);
+}
+
+TEST(ShapeExec, GuardedShapesMatchReferenceAtAllWidths) {
+  for (uint32_t Width : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(Width));
+    ShapeRun Ref = runShapeKernel(Width, /*Reference=*/true, /*Fuse=*/true);
+    {
+      SCOPED_TRACE("superinstructions on");
+      expectShapeRunsMatch(runShapeKernel(Width, false, true), Ref);
+    }
+    {
+      SCOPED_TRACE("superinstructions off");
+      expectShapeRunsMatch(runShapeKernel(Width, false, false), Ref);
+    }
+  }
+}
+
+TEST(ShapeExec, FusedAndUnfusedStreamsDifferOnlyInShape) {
+  // Sanity that the fusion pass actually fires on the coverage kernel: the
+  // Superinstructions=off translation must contain no Fused* record, and
+  // the on translation must contain at least one fused head of the
+  // arithmetic, load and store run families.
+  auto ProgOrErr = Program::compile(ShapeCoverageSrc);
+  ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  auto &TC = (*ProgOrErr)->translationCache();
+  auto Fused = TC.get({"shapes", 4, false, false, false, true});
+  auto Plain = TC.get({"shapes", 4, false, false, false, false});
+  ASSERT_TRUE(static_cast<bool>(Fused));
+  ASSERT_TRUE(static_cast<bool>(Plain));
+  unsigned KernelRuns = 0, LdRuns = 0, StRuns = 0;
+  for (const DecodedInst &D : (*Fused)->code()) {
+    KernelRuns += D.Shape == ExecShape::FusedKernelRun;
+    LdRuns += D.Shape == ExecShape::FusedLdRun;
+    StRuns += D.Shape == ExecShape::FusedStRun;
+  }
+  EXPECT_GT(KernelRuns, 0u);
+  EXPECT_GT(LdRuns, 0u);
+  EXPECT_GT(StRuns, 0u);
+  for (const DecodedInst &D : (*Plain)->code())
+    EXPECT_EQ(D.FuseLen, 0u);
 }
 
 } // namespace

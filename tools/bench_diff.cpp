@@ -1,0 +1,145 @@
+//===- tools/bench_diff.cpp - Compare two wallclock trajectories ----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Compares two BENCH_wallclock.json files (as emitted by
+/// bench/wallclock_throughput) and reports the per-(workload, width, workers)
+/// wall-time delta plus the geometric-mean speedup of NEW over OLD.
+///
+/// Usage: bench_diff OLD.json NEW.json
+///
+/// Speedup is OLD seconds / NEW seconds, so values above 1.0 mean NEW is
+/// faster. Cells present in only one file are listed and excluded from the
+/// geomean.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+using CellKey = std::tuple<std::string, unsigned, unsigned>;
+
+/// Pulls the value of `"Key": <...>` out of one result object. Returns the
+/// raw token text (string values without quotes), or an empty string when
+/// the key is absent.
+std::string fieldValue(const std::string &Obj, const char *Key) {
+  std::string Needle = std::string("\"") + Key + "\"";
+  size_t P = Obj.find(Needle);
+  if (P == std::string::npos)
+    return "";
+  P = Obj.find(':', P + Needle.size());
+  if (P == std::string::npos)
+    return "";
+  ++P;
+  while (P < Obj.size() && (Obj[P] == ' ' || Obj[P] == '\t'))
+    ++P;
+  if (P < Obj.size() && Obj[P] == '"') {
+    size_t E = Obj.find('"', P + 1);
+    return E == std::string::npos ? "" : Obj.substr(P + 1, E - P - 1);
+  }
+  size_t E = P;
+  while (E < Obj.size() && Obj[E] != ',' && Obj[E] != '}' && Obj[E] != '\n')
+    ++E;
+  return Obj.substr(P, E - P);
+}
+
+/// Parses the `results` array of a wallclock_throughput JSON file into
+/// (workload, width, workers) -> seconds. The format is the harness's own
+/// fixed emission, so a keyed scan over the result objects suffices.
+bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", Path);
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  const std::string Text = SS.str();
+
+  size_t Results = Text.find("\"results\"");
+  if (Results == std::string::npos) {
+    std::fprintf(stderr, "bench_diff: %s has no \"results\" array\n", Path);
+    return false;
+  }
+  for (size_t P = Text.find('{', Results); P != std::string::npos;
+       P = Text.find('{', P + 1)) {
+    size_t E = Text.find('}', P);
+    if (E == std::string::npos)
+      break;
+    const std::string Obj = Text.substr(P, E - P + 1);
+    P = E;
+    const std::string Workload = fieldValue(Obj, "workload");
+    const std::string Width = fieldValue(Obj, "width");
+    const std::string Workers = fieldValue(Obj, "workers");
+    const std::string Seconds = fieldValue(Obj, "seconds");
+    if (Workload.empty() || Width.empty() || Workers.empty() ||
+        Seconds.empty())
+      continue;
+    Cells[{Workload, static_cast<unsigned>(std::strtoul(Width.c_str(),
+                                                        nullptr, 10)),
+           static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr, 10))}] =
+        std::strtod(Seconds.c_str(), nullptr);
+  }
+  if (Cells.empty()) {
+    std::fprintf(stderr, "bench_diff: %s has no result cells\n", Path);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: bench_diff OLD.json NEW.json\n");
+    return 1;
+  }
+  std::map<CellKey, double> Old, New;
+  if (!parseTrajectory(argv[1], Old) || !parseTrajectory(argv[2], New))
+    return 1;
+
+  std::printf("%-16s %5s %7s  %10s  %10s  %8s\n", "workload", "width",
+              "workers", "old ms", "new ms", "speedup");
+  double LogSum = 0;
+  unsigned Compared = 0;
+  for (const auto &[Key, OldSec] : Old) {
+    auto It = New.find(Key);
+    if (It == New.end()) {
+      std::printf("%-16s %5u %7u  %10.3f  %10s  %8s\n",
+                  std::get<0>(Key).c_str(), std::get<1>(Key),
+                  std::get<2>(Key), OldSec * 1e3, "-", "-");
+      continue;
+    }
+    const double Speedup = OldSec / It->second;
+    std::printf("%-16s %5u %7u  %10.3f  %10.3f  %7.3fx\n",
+                std::get<0>(Key).c_str(), std::get<1>(Key), std::get<2>(Key),
+                OldSec * 1e3, It->second * 1e3, Speedup);
+    LogSum += std::log(Speedup);
+    ++Compared;
+  }
+  for (const auto &[Key, NewSec] : New)
+    if (!Old.count(Key))
+      std::printf("%-16s %5u %7u  %10s  %10.3f  %8s\n",
+                  std::get<0>(Key).c_str(), std::get<1>(Key),
+                  std::get<2>(Key), "-", NewSec * 1e3, "-");
+
+  if (!Compared) {
+    std::fprintf(stderr, "bench_diff: no common cells to compare\n");
+    return 1;
+  }
+  std::printf("geomean speedup over %u cells: %.3fx\n", Compared,
+              std::exp(LogSum / Compared));
+  return 0;
+}
