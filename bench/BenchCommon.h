@@ -51,6 +51,22 @@ inline LaunchStats runOrDie(const Workload &W, uint32_t Scale,
   return StatsOrErr.take();
 }
 
+/// Launches one already-compiled kernel, aborting with a message on any
+/// error. Typed-parameter validation failures surface here too, so a bench
+/// that serializes its Params wrong dies loudly instead of measuring a
+/// misconfigured launch.
+inline LaunchStats launchOrDie(Program &Prog, Device &Dev, const char *Kernel,
+                               Dim3 Grid, Dim3 Block, const Params &P,
+                               const LaunchOptions &Options) {
+  auto StatsOrErr = Prog.launch(Dev, Kernel, Grid, Block, P, Options);
+  if (!StatsOrErr) {
+    std::fprintf(stderr, "bench error (%s): %s\n", Kernel,
+                 StatsOrErr.status().message().c_str());
+    std::exit(1);
+  }
+  return StatsOrErr.take();
+}
+
 /// Modeled runtime used for speedups (the slowest worker's cycles).
 inline double modeledCycles(const LaunchStats &S) {
   return S.MaxWorkerCycles;

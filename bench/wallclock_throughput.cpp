@@ -13,6 +13,16 @@
 ///
 /// Usage: wallclock_throughput [output.json] [scale] [reps]
 ///
+/// Repeated-launch mode: wallclock_throughput --launches N [output.json]
+/// [scale]. Measures launch *overhead* rather than kernel throughput: N
+/// back-to-back launches of each workload on a reduced grid (at most 8
+/// CTAs, so per-launch cost dominates per-thread work), under three
+/// dispatch modes — per-launch OS-thread spawn (`spawn`, the pre-pool
+/// engine), blocking launches on the persistent worker pool (`pool`), and
+/// pipelined asynchronous launches on one stream (`stream`). The emitted
+/// JSON keys each (workload, mode) pair as "Workload+mode" so tools/
+/// bench_diff can compare trajectories cell-by-cell.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -69,9 +79,135 @@ void printHostHeader(FILE *Out) {
                std::thread::hardware_concurrency());
 }
 
+/// Measures N back-to-back launches; returns total wall seconds (best of
+/// 3 batches).
+template <typename LaunchBatch>
+double timeBatches(int Launches, LaunchBatch &&Batch) {
+  double Best = 1e100;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    double T0 = now();
+    Batch(Launches);
+    Best = std::min(Best, now() - T0);
+  }
+  return Best;
+}
+
+int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale) {
+  const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
+                         "BinomialOptions"};
+  MachineModel Machine;
+
+  struct ModeSample {
+    std::string Cell; // "Workload+mode"
+    unsigned Workers;
+    double SecondsPerLaunch;
+    uint64_t Threads;
+  };
+  std::vector<ModeSample> Samples;
+  double BestPoolSpeedup = 0;
+
+  for (const char *Name : Names) {
+    const Workload *W = findWorkload(Name);
+    if (!W) {
+      std::fprintf(stderr, "unknown workload '%s'\n", Name);
+      return 1;
+    }
+    std::unique_ptr<Program> Prog = compileWorkload(*W);
+    auto Inst = W->Make(Scale);
+    // Reduced grid: launch overhead is the quantity under test, so keep
+    // per-launch work small enough that it does not drown the overhead.
+    Dim3 Grid = Inst->Grid;
+    Grid.X = std::min(Grid.X, 8u);
+    Grid.Y = 1;
+    Grid.Z = 1;
+    uint64_t Threads = Grid.count() * Inst->Block.count();
+
+    auto BlockingBatch = [&](const LaunchOptions &O) {
+      return [&, O](int N) {
+        for (int I = 0; I < N; ++I)
+          launchOrDie(*Prog, *Inst->Dev, W->KernelName, Grid, Inst->Block,
+                      Inst->Params, O);
+      };
+    };
+
+    LaunchOptions Spawn = dynamicFormation(4);
+    Spawn.Workers = Machine.Cores;
+    Spawn.UsePersistentPool = false;
+    LaunchOptions Pool = Spawn;
+    Pool.UsePersistentPool = true;
+
+    BlockingBatch(Pool)(1); // warm the translation cache once
+    double SpawnSec = timeBatches(Launches, BlockingBatch(Spawn)) / Launches;
+    double PoolSec = timeBatches(Launches, BlockingBatch(Pool)) / Launches;
+    double StreamSec = timeBatches(Launches, [&](int N) {
+      Stream S;
+      for (int I = 0; I < N; ++I)
+        Prog->launchAsync(S, *Inst->Dev, W->KernelName, Grid, Inst->Block,
+                          Inst->Params, Pool);
+      if (Status E = S.synchronize(); E.isError()) {
+        std::fprintf(stderr, "%s: %s\n", W->Name, E.message().c_str());
+        std::exit(1);
+      }
+    }) / Launches;
+
+    Samples.push_back({std::string(W->Name) + "+spawn", Machine.Cores,
+                       SpawnSec, Threads});
+    Samples.push_back(
+        {std::string(W->Name) + "+pool", Machine.Cores, PoolSec, Threads});
+    Samples.push_back({std::string(W->Name) + "+stream", Machine.Cores,
+                       StreamSec, Threads});
+    double Speedup = SpawnSec / PoolSec;
+    BestPoolSpeedup = std::max(BestPoolSpeedup, Speedup);
+    std::printf("%-16s spawn %8.1f us  pool %8.1f us  stream %8.1f us  "
+                "pool-speedup %.2fx\n",
+                W->Name, SpawnSec * 1e6, PoolSec * 1e6, StreamSec * 1e6,
+                Speedup);
+  }
+  std::printf("best pool-vs-spawn launch speedup: %.2fx\n", BestPoolSpeedup);
+
+  FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot open %s\n", OutPath);
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"wallclock_launches\",\n");
+  printHostHeader(Out);
+  std::fprintf(Out, "  \"scale\": %u,\n  \"launches\": %d,\n  \"results\": [\n",
+               Scale, Launches);
+  for (size_t I = 0; I < Samples.size(); ++I) {
+    const ModeSample &S = Samples[I];
+    std::fprintf(Out,
+                 "    {\"workload\": \"%s\", \"width\": 4, \"workers\": %u, "
+                 "\"seconds\": %.6e, \"threads\": %llu, "
+                 "\"threads_per_sec\": %.6e}%s\n",
+                 S.Cell.c_str(), S.Workers, S.SecondsPerLaunch,
+                 static_cast<unsigned long long>(S.Threads),
+                 static_cast<double>(S.Threads) / S.SecondsPerLaunch,
+                 I + 1 < Samples.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--launches") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: %s --launches N [output.json] [scale]\n", argv[0]);
+      return 1;
+    }
+    int Launches = std::atoi(argv[2]);
+    const char *LaunchOut =
+        argc > 3 ? argv[3] : "BENCH_wallclock_launches.json";
+    uint32_t LaunchScale =
+        argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
+    return runLaunchesMode(Launches, LaunchOut, LaunchScale);
+  }
+
   const char *OutPath = argc > 1 ? argv[1] : "BENCH_wallclock.json";
   const uint32_t Scale =
       argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 1;

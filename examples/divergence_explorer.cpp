@@ -104,7 +104,7 @@ int main() {
       uint64_t DOut = Dev.allocArray<uint32_t>(Threads);
       Dev.upload(DSeeds, Seeds);
       ParamBuilder Params;
-      Params.addU64(DSeeds).addU64(DOut).addU32(Rounds).addU32(Threshold);
+      Params.u64(DSeeds).u64(DOut).u32(Rounds).u32(Threshold);
       LaunchOptions Options;
       Options.MaxWarpSize = MaxWarp;
       return Prog

@@ -5,8 +5,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// The smallest complete program: write a data-parallel kernel in SVIR,
-/// compile it, allocate device memory, launch it over a grid of CTAs at
-/// warp size 4, and read back both the results and the launch statistics.
+/// compile it, allocate device memory with the checked API, queue the
+/// copies and the launch asynchronously on a stream, synchronize, and read
+/// back both the results and the launch statistics.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +63,9 @@ int main() {
   }
   auto &Prog = *ProgOrErr;
 
-  // 2. Set up device memory.
+  // 2. Set up device memory. tryAlloc returns Expected<uint64_t> so
+  //    exhaustion is reportable; the unchecked alloc()/upload() forms abort
+  //    with the same diagnostic instead.
   const uint32_t N = 10000;
   Device Dev;
   std::vector<float> X(N), Y(N);
@@ -70,20 +73,35 @@ int main() {
     X[I] = static_cast<float>(I);
     Y[I] = 1.0f;
   }
-  uint64_t DX = Dev.allocArray<float>(N);
-  uint64_t DY = Dev.allocArray<float>(N);
-  Dev.upload(DX, X);
-  Dev.upload(DY, Y);
+  auto DX = Dev.tryAlloc(N * sizeof(float));
+  auto DY = Dev.tryAlloc(N * sizeof(float));
+  if (!DX || !DY) {
+    std::fprintf(stderr, "alloc error: %s\n",
+                 (!DX ? DX : DY).status().message().c_str());
+    return 1;
+  }
 
-  // 3. Launch over ceil(N/128) CTAs of 128 threads, vectorized up to warp
-  //    size 4 with dynamic warp formation.
-  ParamBuilder Params;
-  Params.addU64(DX).addU64(DY).addF32(2.5f).addU32(N);
+  // 3. Queue the copies and the launch on a stream: they run in submission
+  //    order, asynchronously to this thread, over ceil(N/128) CTAs of 128
+  //    threads, vectorized up to warp size 4 with dynamic warp formation.
+  //    Params records each element's SVIR type, so the launch validates the
+  //    buffer against the kernel's .param signature before running.
+  Params P;
+  P.u64(*DX).u64(*DY).f32(2.5f).u32(N);
   LaunchOptions Options;
   Options.MaxWarpSize = 4;
-  auto StatsOrErr =
-      Prog->launch(Dev, "saxpy", {(N + 127) / 128, 1, 1}, {128, 1, 1},
-                   Params, Options);
+  std::vector<float> Result(N);
+  Stream Strm;
+  Dev.copyToDeviceAsync(Strm, *DX, X.data(), N * sizeof(float));
+  Dev.copyToDeviceAsync(Strm, *DY, Y.data(), N * sizeof(float));
+  LaunchFuture F = Prog->launchAsync(Strm, Dev, "saxpy", {(N + 127) / 128, 1, 1},
+                                     {128, 1, 1}, P, Options);
+  Dev.copyFromDeviceAsync(Strm, Result.data(), *DY, N * sizeof(float));
+  if (Status E = Strm.synchronize(); E.isError()) {
+    std::fprintf(stderr, "stream error: %s\n", E.message().c_str());
+    return 1;
+  }
+  auto StatsOrErr = F.get();
   if (!StatsOrErr) {
     std::fprintf(stderr, "launch error: %s\n",
                  StatsOrErr.status().message().c_str());
@@ -91,7 +109,6 @@ int main() {
   }
 
   // 4. Validate and report.
-  std::vector<float> Result = Dev.download<float>(DY, N);
   for (uint32_t I = 0; I < N; ++I) {
     float Want = 2.5f * X[I] + 1.0f;
     if (Result[I] != Want) {

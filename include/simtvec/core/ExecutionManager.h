@@ -31,6 +31,7 @@
 #include "simtvec/vm/ThreadContext.h"
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -39,6 +40,13 @@ namespace simtvec {
 
 /// How warps are formed from ready threads.
 enum class WarpFormation : uint8_t { Dynamic, Static };
+
+/// Host-side parallel-for hook: runs `Fn(0..N-1)` to completion, typically
+/// on a persistent worker pool. Installed by the runtime layer (core cannot
+/// depend on runtime); when unset, launches fall back to per-launch thread
+/// spawn (`UseOsThreads`) or sequential execution.
+using HostParallelFor =
+    std::function<void(unsigned N, const std::function<void(unsigned)> &Fn)>;
 
 /// Launch-wide configuration.
 struct LaunchConfig {
@@ -70,6 +78,12 @@ struct LaunchConfig {
   /// Run workers on OS threads (true, as in the paper) or sequentially in
   /// the caller (false; deterministic debugging).
   bool UseOsThreads = true;
+
+  /// When set, worker bodies run through this hook instead of spawning
+  /// threads — the runtime installs the persistent WorkerPool here. The
+  /// modeled counters are independent of which dispatch path runs the
+  /// workers (worker IDs and the CTA partition are identical).
+  HostParallelFor ParallelFor;
 
   /// Execute warps on the reference (direct IR-walking) engine instead of
   /// the pre-decoded fast path. Differential testing only: both engines

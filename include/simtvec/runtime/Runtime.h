@@ -7,17 +7,35 @@
 /// \file
 /// The host-facing API, playing the role of the CUDA Runtime front-end in
 /// the paper (§3): register a module, allocate device memory, copy data,
-/// launch kernels, read back statistics.
+/// launch kernels — synchronously or on asynchronous streams — and read
+/// back statistics.
 ///
+/// Blocking usage (validated, checked):
 /// \code
 ///   Device Dev;
 ///   auto Prog = Program::compile(SvirText);
 ///   uint64_t A = Dev.alloc(N * 4);
 ///   Dev.copyToDevice(A, Host.data(), N * 4);
-///   ParamBuilder Params;
-///   Params.addU64(A).addU32(N);
-///   auto Stats = Prog->launch(Dev, "vecadd", {Blocks}, {256}, Params);
+///   Params P;
+///   P.u64(A).u32(N); // element types are validated against .param decls
+///   auto Stats = Prog->launch(Dev, "vecadd", {Blocks}, {256}, P);
 /// \endcode
+///
+/// Asynchronous usage (in-order per stream, concurrent across streams, all
+/// work runs on the persistent process-wide WorkerPool):
+/// \code
+///   Stream S;
+///   Dev.copyToDeviceAsync(S, A, Host.data(), N * 4);
+///   LaunchFuture F = Prog->launchAsync(S, Dev, "vecadd", {Blocks}, {256}, P);
+///   Dev.copyFromDeviceAsync(S, Out.data(), A, N * 4);
+///   if (Status E = S.synchronize(); E.isError())  // first deferred error
+///     report(E.message());
+///   auto Stats = F.get(); // this launch's Expected<LaunchStats>
+/// \endcode
+///
+/// The blocking `launch` is a thin wrapper over `launchAsync` + stream
+/// synchronization and returns bit-identical `LaunchStats` (modeled
+/// counters included) to a direct engine invocation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +44,8 @@
 
 #include "simtvec/core/ExecutionManager.h"
 #include "simtvec/ir/Module.h"
+#include "simtvec/ir/Type.h"
+#include "simtvec/runtime/Stream.h"
 
 #include <cstring>
 #include <memory>
@@ -37,18 +57,42 @@ namespace simtvec {
 /// A device: a flat, bounds-checked global-memory arena. "Device pointers"
 /// are byte offsets into the arena and are passed to kernels as .u64
 /// parameters.
+///
+/// Every memory operation has a checked form (`tryAlloc`, `tryCopyToDevice`,
+/// `tryCopyFromDevice`, `tryMemset`) returning `Expected`/`Status` with
+/// full bounds diagnostics (offset, size, arena size), and a convenience
+/// form that aborts with the same diagnostic on failure — out-of-range host
+/// copies are never silently clamped or compiled away. Allocation is
+/// thread-safe; concurrent copies to disjoint ranges are safe, concurrent
+/// access to overlapping ranges is the caller's responsibility (as on a
+/// real device).
 class Device {
 public:
   /// Creates a device with \p GlobalBytes of global memory.
   explicit Device(size_t GlobalBytes = 64ull << 20);
 
-  /// Allocates \p Bytes (16-byte aligned); returns the device address.
-  /// Address 0 is never returned (it backs null-pointer checks).
-  uint64_t alloc(size_t Bytes);
+  /// Allocates \p Bytes (16-byte aligned); returns the device address or
+  /// an out-of-memory error with the arena accounting. Address 0 is never
+  /// returned (it backs null-pointer checks).
+  Expected<uint64_t> tryAlloc(size_t Bytes);
 
+  Status tryCopyToDevice(uint64_t Dst, const void *Src, size_t Bytes);
+  Status tryCopyFromDevice(void *Dst, uint64_t Src, size_t Bytes) const;
+  Status tryMemset(uint64_t Dst, int Value, size_t Bytes);
+
+  /// Convenience forms: abort with the bounds diagnostic on failure.
+  uint64_t alloc(size_t Bytes);
   void copyToDevice(uint64_t Dst, const void *Src, size_t Bytes);
   void copyFromDevice(void *Dst, uint64_t Src, size_t Bytes) const;
   void memset(uint64_t Dst, int Value, size_t Bytes);
+
+  /// Asynchronous copies: enqueued on \p S, executed in stream order. The
+  /// host buffer must stay valid until the stream reaches the op. Bounds
+  /// errors become the stream's deferred error (see Stream::synchronize).
+  void copyToDeviceAsync(Stream &S, uint64_t Dst, const void *Src,
+                         size_t Bytes);
+  void copyFromDeviceAsync(Stream &S, void *Dst, uint64_t Src,
+                           size_t Bytes) const;
 
   /// Typed helpers.
   template <typename T> uint64_t allocArray(size_t Count) {
@@ -71,31 +115,60 @@ public:
 
 private:
   std::vector<std::byte> Arena;
+  std::mutex AllocM;
   size_t Break = 16; // address 0..15 reserved
   AtomicStripes Atomics;
 };
 
 /// Serializes kernel parameters with the same natural-alignment layout the
-/// kernel's .param declarations use.
-class ParamBuilder {
+/// kernel's .param declarations use, recording each element's SVIR type.
+/// At launch the recorded signature is validated against the kernel's
+/// .param list: arity, per-parameter type compatibility (same size and
+/// numeric family; signedness is interchangeable, as in SVIR registers),
+/// and byte offsets (alignment) — a mismatch is a descriptive Status error
+/// instead of the kernel reading garbage. Elements beyond the declared
+/// signature are permitted: the .param space doubles as constant memory,
+/// and workloads append ld.param-addressed payloads (filter taps, atom
+/// tables) after the named parameters.
+class Params {
 public:
-  ParamBuilder &addU32(uint32_t V) { return add(&V, sizeof(V)); }
-  ParamBuilder &addS32(int32_t V) { return add(&V, sizeof(V)); }
-  ParamBuilder &addU64(uint64_t V) { return add(&V, sizeof(V)); }
-  ParamBuilder &addF32(float V) { return add(&V, sizeof(V)); }
-  ParamBuilder &addF64(double V) { return add(&V, sizeof(V)); }
+  /// One serialized element.
+  struct Element {
+    Type Ty;
+    uint32_t Offset;
+  };
+
+  Params &u32(uint32_t V) { return append(Type::u32(), &V, sizeof(V)); }
+  Params &s32(int32_t V) { return append(Type::s32(), &V, sizeof(V)); }
+  Params &u64(uint64_t V) { return append(Type::u64(), &V, sizeof(V)); }
+  Params &s64(int64_t V) { return append(Type::s64(), &V, sizeof(V)); }
+  Params &f32(float V) { return append(Type::f32(), &V, sizeof(V)); }
+  Params &f64(double V) { return append(Type::f64(), &V, sizeof(V)); }
+
+  /// Deprecated pre-stream-API names; forward to the typed methods.
+  [[deprecated("use u32()")]] Params &addU32(uint32_t V) { return u32(V); }
+  [[deprecated("use s32()")]] Params &addS32(int32_t V) { return s32(V); }
+  [[deprecated("use u64()")]] Params &addU64(uint64_t V) { return u64(V); }
+  [[deprecated("use f32()")]] Params &addF32(float V) { return f32(V); }
+  [[deprecated("use f64()")]] Params &addF64(double V) { return f64(V); }
 
   const std::vector<std::byte> &bytes() const { return Buffer; }
+  const std::vector<Element> &elements() const { return Elements; }
 
 private:
-  ParamBuilder &add(const void *Src, size_t Bytes) {
+  Params &append(Type Ty, const void *Src, size_t Bytes) {
     size_t Offset = (Buffer.size() + Bytes - 1) / Bytes * Bytes;
     Buffer.resize(Offset + Bytes);
     std::memcpy(Buffer.data() + Offset, Src, Bytes);
+    Elements.push_back({Ty, static_cast<uint32_t>(Offset)});
     return *this;
   }
   std::vector<std::byte> Buffer;
+  std::vector<Element> Elements;
 };
+
+/// Pre-stream-API name of the typed builder.
+using ParamBuilder = Params;
 
 /// Launch-time options (the machine model lives in the Program).
 struct LaunchOptions {
@@ -108,6 +181,12 @@ struct LaunchOptions {
   bool Superinstructions = true;
   unsigned Workers = 0;
   bool UseOsThreads = true;
+  /// Dispatch worker bodies on the persistent process-wide WorkerPool
+  /// instead of spawning OS threads per launch. Off reproduces the paper's
+  /// per-launch spawn (and is what `--launches` benches against). Only
+  /// meaningful when UseOsThreads is true; modeled counters are identical
+  /// either way.
+  bool UsePersistentPool = true;
   /// Run on the reference IR-walking engine (differential testing).
   bool UseReferenceInterp = false;
 };
@@ -120,11 +199,21 @@ public:
   static Expected<std::unique_ptr<Program>>
   compile(const std::string &SvirText, const MachineModel &Machine = {});
 
-  /// Launches a kernel; blocks until all CTAs complete.
+  /// Launches a kernel; blocks until all CTAs complete. A thin wrapper
+  /// over launchAsync + synchronize with bit-identical LaunchStats.
   Expected<LaunchStats> launch(Device &Dev, const std::string &KernelName,
-                               Dim3 Grid, Dim3 Block,
-                               const ParamBuilder &Params,
+                               Dim3 Grid, Dim3 Block, const Params &P,
                                const LaunchOptions &Options = {});
+
+  /// Enqueues a launch on \p S and returns immediately. The launch runs in
+  /// stream order on the worker pool; its result arrives through the
+  /// returned future, and a launch error additionally becomes the stream's
+  /// deferred error. Parameter-signature validation happens here, at
+  /// submission (an invalid launch never enqueues).
+  LaunchFuture launchAsync(Stream &S, Device &Dev,
+                           const std::string &KernelName, Dim3 Grid,
+                           Dim3 Block, const Params &P,
+                           const LaunchOptions &Options = {});
 
   TranslationCache &translationCache() { return *TC; }
   const Module &module() const { return *M; }
@@ -132,6 +221,12 @@ public:
 
 private:
   Program() = default;
+
+  /// Validates \p P against the kernel's .param signature (arity, types,
+  /// offsets). Unknown kernels pass — the launch itself reports those.
+  Status validateParams(const std::string &KernelName, const Params &P) const;
+
+  LaunchConfig makeConfig(const LaunchOptions &Options) const;
 
   MachineModel Machine;
   std::unique_ptr<Module> M;

@@ -1,0 +1,199 @@
+//===- simtvec/runtime/Stream.h - Asynchronous streams & events -*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CUDA-style asynchronous execution: a `Stream` is an in-order queue of
+/// host operations (kernel launches, device copies, event records, event
+/// waits) drained by the process-wide `WorkerPool`. Operations on one
+/// stream execute strictly in submission order; operations on different
+/// streams (or from different host threads) run concurrently, sharing the
+/// pool and the program's sharded translation cache.
+///
+/// Ordering / completion rules:
+///  - `Stream::synchronize()` blocks until every previously submitted op
+///    has completed, and returns (then clears) the stream's first deferred
+///    error. The synchronizing thread *helps*: if the stream's drain is
+///    pending, it claims it and runs the ops inline rather than waiting
+///    for a pool thread — this is what makes the blocking `launch` wrapper
+///    as cheap as a direct call.
+///  - `Event::record(stream)` marks a point in a stream;
+///    `Stream::waitEvent(event)` makes a stream wait for that point;
+///    `Event::wait()` blocks the host. A stream waiting on an event does
+///    not occupy a pool thread — its drain task exits and is resubmitted
+///    when the event fires. An `Event` that was never recorded counts as
+///    complete.
+///  - Errors from async ops are *deferred*: the first one is captured and
+///    reported by `synchronize()`; later ops still run (every op is
+///    independent against the flat device arena). Launch errors are also
+///    delivered through that launch's `LaunchFuture`.
+///
+/// A `LaunchFuture` is the handle `Program::launchAsync` returns: `wait()`
+/// blocks until that launch completed, `get()` returns its
+/// `Expected<LaunchStats>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_RUNTIME_STREAM_H
+#define SIMTVEC_RUNTIME_STREAM_H
+
+#include "simtvec/core/ExecutionManager.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+namespace simtvec {
+
+class Stream;
+class Event;
+
+namespace detail {
+
+struct EventState;
+
+/// What a stream op reports back to the drain loop.
+enum class OpOutcome : uint8_t {
+  Done,    ///< completed; pop and continue with the next op
+  Blocked, ///< waiting on an event; the drain loop exits, resume() re-arms
+  Retry    ///< raced with an event firing; re-run the same op
+};
+
+/// Shared state of one stream. Held by shared_ptr: pool drain tasks may
+/// outlive the owning Stream object (they no-op once the queue is empty).
+struct StreamState : std::enable_shared_from_this<StreamState> {
+  /// Who may drain the queue right now. Exactly one thread holds the
+  /// Running token at a time; Scheduled is a claimable token produced by
+  /// op submission and event resume, consumed by either a pool task or a
+  /// helping synchronizer.
+  enum class Drain : uint8_t { Idle, Scheduled, Running, Blocked };
+
+  std::mutex M;
+  std::condition_variable CV; ///< signalled on Idle and Blocked→Scheduled
+  std::deque<std::function<OpOutcome()>> Ops;
+  Drain State = Drain::Idle;
+  /// Set by EventState::fire when it finds the stream Running (the waiting
+  /// op lost the registration race); tells the op to re-check the event.
+  bool ResumeSignal = false;
+  Status Deferred = Status::success(); ///< first async error, sticky
+
+  /// Appends an op; schedules a pool drain task if the stream was idle.
+  void enqueue(std::function<OpOutcome()> Op);
+  /// Runs ops until the queue empties or an op blocks. Caller must hold
+  /// the Running token.
+  void drainLoop();
+  /// Pool-task entry: claims the Scheduled token if still present.
+  void tryClaimAndDrain();
+  /// Event-fire callback: re-arms a Blocked stream (or signals a Running
+  /// op that lost the race).
+  void resume();
+  /// Records the first deferred error.
+  void noteError(const Status &E);
+};
+
+/// Shared state of one event. Fired starts true: an unrecorded event is
+/// complete (matching CUDA's semantics for unused events).
+struct EventState {
+  std::mutex M;
+  std::condition_variable CV; ///< host-side Event::wait
+  bool Fired = true;
+  Status Err = Status::success(); ///< deferred stream error at fire time
+  /// Streams to re-arm when the event fires; each callback runs once.
+  std::vector<std::function<void()>> Continuations;
+
+  void fire(Status StreamErr);
+};
+
+/// Shared state of one asynchronous launch.
+struct LaunchState {
+  std::mutex M;
+  std::condition_variable CV;
+  std::optional<Expected<LaunchStats>> Result;
+
+  void fulfill(Expected<LaunchStats> R);
+};
+
+} // namespace detail
+
+/// Handle to one asynchronous kernel launch.
+class LaunchFuture {
+public:
+  LaunchFuture() = default;
+
+  /// True once the launch has completed (successfully or not).
+  bool ready() const;
+  /// Blocks until the launch completed; returns its status.
+  Status wait() const;
+  /// Blocks until the launch completed; returns the stats or the error.
+  Expected<LaunchStats> get() const;
+
+private:
+  friend class Program;
+  explicit LaunchFuture(std::shared_ptr<detail::LaunchState> S)
+      : S(std::move(S)) {}
+
+  std::shared_ptr<detail::LaunchState> S;
+};
+
+/// An in-order queue of asynchronous host operations.
+class Stream {
+public:
+  Stream();
+  /// Blocks until the stream is idle (pending ops complete or are released
+  /// by their events), then destroys it. Destroying a stream that waits on
+  /// an event nobody will record blocks forever — synchronize first.
+  ~Stream();
+
+  Stream(const Stream &) = delete;
+  Stream &operator=(const Stream &) = delete;
+
+  /// Blocks until all previously submitted ops completed. Returns the
+  /// first deferred error since the last synchronize (and clears it).
+  Status synchronize();
+
+  /// Makes subsequent ops on this stream wait until \p E fires. Does not
+  /// block the host, and a waiting stream does not occupy a pool thread.
+  void waitEvent(Event &E);
+
+  /// True when no submitted op is pending (does not clear deferred errors).
+  bool idle() const;
+
+private:
+  friend class Device;
+  friend class Event;
+  friend class Program;
+
+  std::shared_ptr<detail::StreamState> S;
+};
+
+/// A recordable completion marker.
+class Event {
+public:
+  Event();
+
+  /// Enqueues a marker on \p S: the event fires when every op submitted to
+  /// \p S before this call has completed. Re-recording re-arms the event.
+  void record(Stream &S);
+
+  /// True once the last recorded marker fired (never-recorded events count
+  /// as fired).
+  bool query() const;
+
+  /// Blocks the host until the event fires; returns the stream's deferred
+  /// error as of the firing point (without clearing it on the stream).
+  Status wait() const;
+
+private:
+  friend class Stream;
+
+  std::shared_ptr<detail::EventState> E;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_RUNTIME_STREAM_H

@@ -1,0 +1,105 @@
+//===- simtvec/runtime/WorkerPool.h - Persistent host worker pool -*- C++ -*-//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide pool of long-lived host worker threads. Kernel launches
+/// used to spawn and join a fresh set of OS threads inside every
+/// `Program::launch`; at small kernel sizes or high launch rates that spawn
+/// cost dominates the launch itself. The pool keeps workers parked on a
+/// condition variable and hands them two kinds of work:
+///
+///  - **parallel jobs** (`parallelFor`): run `Fn(0..N-1)` to completion.
+///    The calling thread participates (it claims indices like any worker),
+///    so a job always makes progress even when every pool thread is busy —
+///    which is what makes nested use (a stream drainer running on a pool
+///    thread submits a launch's worker bodies back into the same pool)
+///    deadlock-free by construction.
+///  - **detached tasks** (`submit`): run-once closures, used by `Stream` to
+///    drain its in-order op queue.
+///
+/// Worker threads are also where the execution managers keep their
+/// per-worker arenas (`thread_local` in ExecutionManager.cpp): because the
+/// threads persist across launches, the arenas — CTA-sized context, ready
+/// pool and scratch buffers — are reused instead of reallocated per launch.
+///
+/// The pool honours the `SIMTVEC_POOL_THREADS` environment variable for its
+/// process-wide instance size; otherwise it uses the host's hardware
+/// concurrency (minimum 2, so one blocked drainer can never starve the
+/// process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_RUNTIME_WORKERPOOL_H
+#define SIMTVEC_RUNTIME_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simtvec {
+
+/// A fixed-size pool of persistent worker threads.
+class WorkerPool {
+public:
+  /// Creates a pool with \p ThreadCount workers (0 = hardware concurrency,
+  /// minimum 2).
+  explicit WorkerPool(unsigned ThreadCount = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// The process-wide pool used by `Program::launch*` and `Stream`.
+  /// Created lazily on first use; sized by `SIMTVEC_POOL_THREADS` when set.
+  static WorkerPool &global();
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Runs `Fn(0), ..., Fn(N-1)`, in parallel across pool workers and the
+  /// calling thread, returning once every call has completed. Safe to call
+  /// from inside a pool task (the caller claims indices itself, so progress
+  /// never depends on a free pool thread).
+  void parallelFor(unsigned N, const std::function<void(unsigned)> &Fn);
+
+  /// Enqueues a detached task; runs on some pool worker, after every
+  /// parallel job currently requesting help.
+  void submit(std::function<void()> Task);
+
+  /// Lifetime counters (tests / diagnostics).
+  struct Stats {
+    uint64_t ParallelJobs = 0;
+    uint64_t TasksRun = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Job;
+
+  void workerMain();
+  /// Picks a listed job with unclaimed indices; pool mutex held.
+  Job *pickJobLocked();
+  /// Removes \p J from the active list once fully claimed; pool mutex held.
+  void unlistIfExhausted(Job *J);
+
+  mutable std::mutex M;
+  std::condition_variable WorkCV;
+  std::vector<Job *> Jobs; ///< active parallel jobs (stack-owned by callers)
+  std::deque<std::function<void()>> Tasks;
+  bool ShuttingDown = false;
+  uint64_t JobCount = 0;
+  uint64_t TaskCount = 0;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_RUNTIME_WORKERPOOL_H

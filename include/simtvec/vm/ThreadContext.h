@@ -33,6 +33,7 @@ struct Dim3 {
   uint64_t count() const {
     return static_cast<uint64_t>(X) * Y * Z;
   }
+  friend bool operator==(const Dim3 &, const Dim3 &) = default;
 };
 
 /// One logical (light-weight) thread.

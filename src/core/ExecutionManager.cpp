@@ -44,11 +44,55 @@ struct WorkerResult {
 
 constexpr uint32_t InvalidThread = ~0u;
 
+enum class ThreadState : uint8_t { Ready, Running, Barrier, Exited };
+
+/// One same-entry ready bucket: an intrusive singly-linked list through
+/// NextIdx, in insertion order. Every linked thread is Ready (threads only
+/// leave a bucket by being consumed into a warp), so membership is exact
+/// and Len is the bucket's true size.
+struct BucketRec {
+  uint64_t Key = 0;
+  uint64_t Epoch = 0; ///< a record is empty unless Epoch == current
+  uint32_t Head = InvalidThread;
+  uint32_t Tail = InvalidThread;
+  uint32_t Len = 0;
+};
+
+/// Worker-lifetime buffers an execution manager works in. One arena lives
+/// per host thread (`thread_local` in launchKernel's worker body): with a
+/// persistent worker pool the arena survives across launches, so the
+/// steady-state launch allocates nothing for contexts, ready-pool state, or
+/// the local/shared arenas — they are reinitialized in place. The geometry
+/// fingerprint (LastGrid/LastBlock/LastLocalBytes) detects reuse under a
+/// *different* launch shape, forcing the full thread-context reinit; the
+/// cheap per-CTA reinit only touches fields that vary per CTA.
+struct EMArena {
+  std::vector<std::byte> Shared;
+  std::vector<std::byte> LocalArena;
+  std::byte *LocalBase = nullptr; ///< arena base the Ctx slices point into
+  std::vector<ThreadContext> Ctxs;
+  std::vector<ThreadState> State;
+  std::vector<uint32_t> Seq;
+  std::vector<uint32_t> NextIdx; ///< intrusive bucket links
+  std::vector<std::pair<uint32_t, uint32_t>> Order; ///< (thread, seq)
+  size_t OrderHead = 0;
+  std::vector<BucketRec> Table;
+  uint64_t Epoch = 0;
+  size_t TableUsed = 0;
+  std::vector<ThreadContext *> WarpPtrs;
+
+  /// Geometry the Ctxs were last initialized for.
+  Dim3 LastGrid{0, 0, 0};
+  Dim3 LastBlock{0, 0, 0};
+  uint32_t LastLocalBytes = ~0u;
+};
+
 /// One worker thread's execution manager (paper §5.2). Executes its
 /// assigned CTAs to completion, one at a time. All per-CTA structures
 /// (shared memory, the local-memory arena, thread contexts, the ready pool)
-/// are worker-owned buffers reinitialized — not reallocated — between CTAs,
-/// so the steady state performs no heap allocation per CTA.
+/// live in the caller-provided EMArena and are reinitialized — not
+/// reallocated — between CTAs (and between launches, when the arena is a
+/// pool thread's), so the steady state performs no heap allocation per CTA.
 class ExecutionManager {
 public:
   ExecutionManager(TranslationCache &TC, const std::string &KernelName,
@@ -56,33 +100,25 @@ public:
                    const TranslationCache::KernelLayout &Layout, Dim3 Grid,
                    Dim3 Block, const std::vector<std::byte> &ParamBuf,
                    std::byte *Global, size_t GlobalSize,
-                   AtomicStripes &Atomics)
+                   AtomicStripes &Atomics, EMArena &Arena)
       : TC(TC), KernelName(KernelName), Config(Config), Layout(Layout),
         Grid(Grid), Block(Block), ParamBuf(ParamBuf), Global(Global),
-        GlobalSize(GlobalSize), Atomics(Atomics), Interp(Config.Machine) {
+        GlobalSize(GlobalSize), Atomics(Atomics), Interp(Config.Machine),
+        A(Arena), Shared(Arena.Shared), LocalArena(Arena.LocalArena),
+        LocalBase(Arena.LocalBase), Ctxs(Arena.Ctxs), State(Arena.State),
+        Seq(Arena.Seq), NextIdx(Arena.NextIdx), Order(Arena.Order),
+        OrderHead(Arena.OrderHead), Table(Arena.Table), Epoch(Arena.Epoch),
+        TableUsed(Arena.TableUsed), WarpPtrs(Arena.WarpPtrs) {
     ExecMemo.resize(
         static_cast<size_t>(std::countr_zero(Config.MaxWarpSize)) + 1);
-    Table.resize(64);
+    if (Table.empty())
+      Table.resize(64);
   }
 
   /// Runs CTAs [first, first+stride, ...) to completion.
   WorkerResult run(uint64_t FirstCta, uint64_t Stride);
 
 private:
-  enum class ThreadState : uint8_t { Ready, Running, Barrier, Exited };
-
-  /// One same-entry ready bucket: an intrusive singly-linked list through
-  /// NextIdx, in insertion order. Every linked thread is Ready (threads only
-  /// leave a bucket by being consumed into a warp), so membership is exact
-  /// and Len is the bucket's true size.
-  struct BucketRec {
-    uint64_t Key = 0;
-    uint64_t Epoch = 0; ///< a record is empty unless Epoch == current
-    uint32_t Head = InvalidThread;
-    uint32_t Tail = InvalidThread;
-    uint32_t Len = 0;
-  };
-
   bool runCta(uint64_t LinearCta, WorkerResult &R);
 
   uint64_t bucketKey(const ThreadContext &Ctx) const {
@@ -138,20 +174,22 @@ private:
   AtomicStripes &Atomics;
   Interpreter Interp;
 
-  // Worker-lifetime buffers reused across CTAs.
-  std::vector<std::byte> Shared;
-  std::vector<std::byte> LocalArena;
-  std::byte *LocalBase = nullptr; ///< arena base the Ctx slices point into
-  std::vector<ThreadContext> Ctxs;
-  std::vector<ThreadState> State;
-  std::vector<uint32_t> Seq;
-  std::vector<uint32_t> NextIdx; ///< intrusive bucket links
-  std::vector<std::pair<uint32_t, uint32_t>> Order; ///< (thread, seq)
-  size_t OrderHead = 0;
-  std::vector<BucketRec> Table;
-  uint64_t Epoch = 0;
-  size_t TableUsed = 0;
-  std::vector<ThreadContext *> WarpPtrs;
+  // Worker-lifetime buffers reused across CTAs (and launches); owned by the
+  // host thread's EMArena, bound here by reference.
+  EMArena &A;
+  std::vector<std::byte> &Shared;
+  std::vector<std::byte> &LocalArena;
+  std::byte *&LocalBase;
+  std::vector<ThreadContext> &Ctxs;
+  std::vector<ThreadState> &State;
+  std::vector<uint32_t> &Seq;
+  std::vector<uint32_t> &NextIdx;
+  std::vector<std::pair<uint32_t, uint32_t>> &Order;
+  size_t &OrderHead;
+  std::vector<BucketRec> &Table;
+  uint64_t &Epoch;
+  size_t &TableUsed;
+  std::vector<ThreadContext *> &WarpPtrs;
 
   /// This worker's memo of the translation cache's answer per width
   /// (indexed by log2(width)). Kernel name and options are fixed for the
@@ -179,8 +217,12 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
                                                Grid.Y));
   // Thread ids, dimensions, and local-memory slices are identical for every
   // CTA of the launch; they are computed once and only refreshed if the
-  // arena moved. Per-CTA reinit touches just the varying fields.
-  if (Ctxs.size() != NumThreads || LocalBase != LocalArena.data()) {
+  // arena moved or was last used under a different launch geometry (the
+  // arena outlives the launch on pool threads). Per-CTA reinit touches just
+  // the varying fields.
+  if (Ctxs.size() != NumThreads || LocalBase != LocalArena.data() ||
+      A.LastGrid != Grid || A.LastBlock != Block ||
+      A.LastLocalBytes != Layout.LocalBytes) {
     Ctxs.resize(NumThreads);
     LocalBase = LocalArena.data();
     for (uint32_t T = 0; T < NumThreads; ++T) {
@@ -193,6 +235,9 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
       Ctx.BlockDim = Block;
       Ctx.LocalMem = LocalBase + static_cast<size_t>(T) * Layout.LocalBytes;
     }
+    A.LastGrid = Grid;
+    A.LastBlock = Block;
+    A.LastLocalBytes = Layout.LocalBytes;
   }
   for (uint32_t T = 0; T < NumThreads; ++T) {
     ThreadContext &Ctx = Ctxs[T];
@@ -418,15 +463,23 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
   Workers = static_cast<unsigned>(
       std::min<uint64_t>(Workers, Grid.count()));
 
-  // Kernel launches spawn a set of worker threads, each running a dynamic
-  // execution manager over its statically assigned CTAs (paper §3).
+  // Each worker runs a dynamic execution manager over its statically
+  // assigned CTAs (paper §3). The worker bodies are dispatched through the
+  // installed ParallelFor hook (the runtime's persistent worker pool) when
+  // present; otherwise per-launch OS threads are spawned as in the paper,
+  // or the workers run sequentially in the caller. The per-thread EMArena
+  // persists across launches on pool threads, so steady-state launches
+  // reuse every worker buffer instead of reallocating.
   std::vector<WorkerResult> Results(Workers);
   auto Body = [&](unsigned WorkerId) {
+    static thread_local EMArena Arena;
     ExecutionManager EM(TC, KernelName, Config, *LayoutOrErr, Grid, Block,
-                        ParamBuf, Global, GlobalSize, Atomics);
+                        ParamBuf, Global, GlobalSize, Atomics, Arena);
     Results[WorkerId] = EM.run(WorkerId, Workers);
   };
-  if (Config.UseOsThreads && Workers > 1) {
+  if (Config.ParallelFor && Workers > 1) {
+    Config.ParallelFor(Workers, Body);
+  } else if (Config.UseOsThreads && Workers > 1) {
     std::vector<std::thread> Threads;
     Threads.reserve(Workers);
     for (unsigned WId = 0; WId < Workers; ++WId)

@@ -8,32 +8,86 @@
 
 #include "simtvec/ir/Verifier.h"
 #include "simtvec/parser/Parser.h"
+#include "simtvec/runtime/WorkerPool.h"
 #include "simtvec/support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
 
 using namespace simtvec;
 
 Device::Device(size_t GlobalBytes) : Arena(GlobalBytes) {}
 
-uint64_t Device::alloc(size_t Bytes) {
+Expected<uint64_t> Device::tryAlloc(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(AllocM);
   size_t Offset = (Break + 15) / 16 * 16;
-  assert(Offset + Bytes <= Arena.size() && "device out of memory");
+  if (Bytes > Arena.size() || Offset > Arena.size() - Bytes)
+    return Status::error(formatString(
+        "device out of memory: alloc of %zu bytes at break %zu exceeds the "
+        "%zu-byte arena",
+        Bytes, Offset, Arena.size()));
   Break = Offset + Bytes;
-  return Offset;
+  return static_cast<uint64_t>(Offset);
+}
+
+Status Device::tryCopyToDevice(uint64_t Dst, const void *Src, size_t Bytes) {
+  if (Dst > Arena.size() || Bytes > Arena.size() - Dst)
+    return Status::error(formatString(
+        "copyToDevice out of range: offset %llu + %zu bytes exceeds the "
+        "%zu-byte arena",
+        static_cast<unsigned long long>(Dst), Bytes, Arena.size()));
+  std::memcpy(Arena.data() + Dst, Src, Bytes);
+  return Status::success();
+}
+
+Status Device::tryCopyFromDevice(void *Dst, uint64_t Src,
+                                 size_t Bytes) const {
+  if (Src > Arena.size() || Bytes > Arena.size() - Src)
+    return Status::error(formatString(
+        "copyFromDevice out of range: offset %llu + %zu bytes exceeds the "
+        "%zu-byte arena",
+        static_cast<unsigned long long>(Src), Bytes, Arena.size()));
+  std::memcpy(Dst, Arena.data() + Src, Bytes);
+  return Status::success();
+}
+
+Status Device::tryMemset(uint64_t Dst, int Value, size_t Bytes) {
+  if (Dst > Arena.size() || Bytes > Arena.size() - Dst)
+    return Status::error(formatString(
+        "memset out of range: offset %llu + %zu bytes exceeds the %zu-byte "
+        "arena",
+        static_cast<unsigned long long>(Dst), Bytes, Arena.size()));
+  std::memset(Arena.data() + Dst, Value, Bytes);
+  return Status::success();
+}
+
+namespace {
+[[noreturn]] void dieOnDeviceError(const Status &E) {
+  std::fprintf(stderr, "simtvec: %s\n", E.message().c_str());
+  std::abort();
+}
+} // namespace
+
+uint64_t Device::alloc(size_t Bytes) {
+  auto R = tryAlloc(Bytes);
+  if (!R)
+    dieOnDeviceError(R.status());
+  return *R;
 }
 
 void Device::copyToDevice(uint64_t Dst, const void *Src, size_t Bytes) {
-  assert(Dst + Bytes <= Arena.size() && "copyToDevice out of range");
-  std::memcpy(Arena.data() + Dst, Src, Bytes);
+  if (Status E = tryCopyToDevice(Dst, Src, Bytes); E.isError())
+    dieOnDeviceError(E);
 }
 
 void Device::copyFromDevice(void *Dst, uint64_t Src, size_t Bytes) const {
-  assert(Src + Bytes <= Arena.size() && "copyFromDevice out of range");
-  std::memcpy(Dst, Arena.data() + Src, Bytes);
+  if (Status E = tryCopyFromDevice(Dst, Src, Bytes); E.isError())
+    dieOnDeviceError(E);
 }
 
 void Device::memset(uint64_t Dst, int Value, size_t Bytes) {
-  assert(Dst + Bytes <= Arena.size() && "memset out of range");
-  std::memset(Arena.data() + Dst, Value, Bytes);
+  if (Status E = tryMemset(Dst, Value, Bytes); E.isError())
+    dieOnDeviceError(E);
 }
 
 Expected<std::unique_ptr<Program>>
@@ -52,11 +106,45 @@ Program::compile(const std::string &SvirText, const MachineModel &Machine) {
   return P;
 }
 
-Expected<LaunchStats> Program::launch(Device &Dev,
-                                      const std::string &KernelName,
-                                      Dim3 Grid, Dim3 Block,
-                                      const ParamBuilder &Params,
-                                      const LaunchOptions &Options) {
+Status Program::validateParams(const std::string &KernelName,
+                               const Params &P) const {
+  const Kernel *K = M->findKernel(KernelName);
+  if (!K)
+    return Status::success(); // the launch itself reports unknown kernels
+  // The .param space doubles as constant memory: elements beyond the
+  // declared signature are a legal trailing payload (atom tables, filter
+  // taps) addressed via ld.param — only the declared prefix is validated.
+  const std::vector<Param> &Sig = K->Params;
+  const std::vector<Params::Element> &Got = P.elements();
+  if (Got.size() < Sig.size())
+    return Status::error(formatString(
+        "kernel '%s' expects %zu parameters (%u parameter bytes), launch "
+        "provided %zu (%zu bytes)",
+        KernelName.c_str(), Sig.size(), K->ParamBytes, Got.size(),
+        P.bytes().size()));
+  for (size_t I = 0; I < Sig.size(); ++I) {
+    const Param &Want = Sig[I];
+    const Params::Element &Have = Got[I];
+    // Same size and numeric family; signedness is interchangeable (SVIR
+    // registers are bit patterns — u64 carries pointers, u32/s32 alias).
+    if (Want.Ty.byteSize() != Have.Ty.byteSize() ||
+        Want.Ty.isFloat() != Have.Ty.isFloat())
+      return Status::error(formatString(
+          "parameter %zu ('%s') of kernel '%s' has type %s, launch provided "
+          "%s",
+          I, Want.Name.c_str(), KernelName.c_str(), Want.Ty.str().c_str(),
+          Have.Ty.str().c_str()));
+    if (Want.Offset != Have.Offset)
+      return Status::error(formatString(
+          "parameter %zu ('%s') of kernel '%s' lives at offset %u, launch "
+          "serialized it at offset %u (alignment mismatch)",
+          I, Want.Name.c_str(), KernelName.c_str(), Want.Offset,
+          Have.Offset));
+  }
+  return Status::success();
+}
+
+LaunchConfig Program::makeConfig(const LaunchOptions &Options) const {
   LaunchConfig Config;
   Config.Machine = Machine;
   Config.MaxWarpSize = Options.MaxWarpSize;
@@ -68,6 +156,56 @@ Expected<LaunchStats> Program::launch(Device &Dev,
   Config.Workers = Options.Workers;
   Config.UseOsThreads = Options.UseOsThreads;
   Config.UseReferenceInterp = Options.UseReferenceInterp;
-  return launchKernel(*TC, KernelName, Grid, Block, Params.bytes(),
-                      Dev.data(), Dev.size(), Dev.atomics(), Config);
+  if (Options.UsePersistentPool && Options.UseOsThreads)
+    Config.ParallelFor = [](unsigned N,
+                            const std::function<void(unsigned)> &Fn) {
+      WorkerPool::global().parallelFor(N, Fn);
+    };
+  return Config;
+}
+
+LaunchFuture Program::launchAsync(Stream &S, Device &Dev,
+                                  const std::string &KernelName, Dim3 Grid,
+                                  Dim3 Block, const Params &P,
+                                  const LaunchOptions &Options) {
+  auto LS = std::make_shared<detail::LaunchState>();
+  LaunchFuture F(LS);
+  if (Status E = validateParams(KernelName, P); E.isError()) {
+    // Submission-time failure: never enqueued; reported through both the
+    // future and the stream's deferred error.
+    S.S->noteError(E);
+    LS->fulfill(E);
+    return F;
+  }
+  detail::StreamState *SS = S.S.get();
+  // The op owns copies of everything whose lifetime ends at submission
+  // (the param bytes, the kernel name, the config); the Device and this
+  // Program must outlive the stream's pending work.
+  S.S->enqueue([this, SS, LS, &Dev, KernelName, Grid, Block,
+                Bytes = P.bytes(),
+                Config = makeConfig(Options)]() -> detail::OpOutcome {
+    Expected<LaunchStats> R =
+        launchKernel(*TC, KernelName, Grid, Block, Bytes, Dev.data(),
+                     Dev.size(), Dev.atomics(), Config);
+    if (!R)
+      SS->noteError(R.status());
+    LS->fulfill(std::move(R));
+    return detail::OpOutcome::Done;
+  });
+  return F;
+}
+
+Expected<LaunchStats> Program::launch(Device &Dev,
+                                      const std::string &KernelName,
+                                      Dim3 Grid, Dim3 Block, const Params &P,
+                                      const LaunchOptions &Options) {
+  // A thin wrapper over the asynchronous path: one ephemeral stream, one
+  // launch op, one synchronize. The synchronizing thread claims the drain
+  // and runs the launch inline (see Stream::synchronize), so this costs a
+  // queue round-trip, not a thread hand-off, over calling the engine
+  // directly — and the LaunchStats are bit-identical to a direct call.
+  Stream S;
+  LaunchFuture F = launchAsync(S, Dev, KernelName, Grid, Block, P, Options);
+  S.synchronize();
+  return F.get();
 }

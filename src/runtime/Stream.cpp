@@ -1,0 +1,275 @@
+//===- runtime/Stream.cpp - Asynchronous streams & events -----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Locking discipline: a stream's mutex and an event's mutex are never held
+// at the same time. The event-wait op registers its continuation under the
+// event mutex, releases it, then takes the stream mutex to park; the
+// firing-vs-parking race is resolved by StreamState::ResumeSignal (see
+// resume()). Ops themselves run with no stream lock held; the drain loop's
+// lock/unlock around each op gives consecutive ops of one stream a
+// release/acquire chain, so in-order streams are data-race-free even when
+// every op runs on a different pool thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Stream.h"
+
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/runtime/WorkerPool.h"
+
+using namespace simtvec;
+using namespace simtvec::detail;
+
+//===----------------------------------------------------------------------===//
+// StreamState
+//===----------------------------------------------------------------------===//
+
+void StreamState::enqueue(std::function<OpOutcome()> Op) {
+  bool Submit = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Ops.push_back(std::move(Op));
+    if (State == Drain::Idle) {
+      State = Drain::Scheduled;
+      Submit = true;
+    }
+  }
+  if (Submit) {
+    auto Self = shared_from_this();
+    WorkerPool::global().submit([Self] { Self->tryClaimAndDrain(); });
+  }
+}
+
+void StreamState::tryClaimAndDrain() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (State != Drain::Scheduled)
+      return; // someone else (a helping synchronizer) already claimed it
+    State = Drain::Running;
+  }
+  drainLoop();
+}
+
+void StreamState::drainLoop() {
+  for (;;) {
+    std::function<OpOutcome()> Op;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      assert(State == Drain::Running && "drainLoop without the token");
+      if (Ops.empty()) {
+        State = Drain::Idle;
+        CV.notify_all();
+        return;
+      }
+      // Copied, not popped: a Blocked op stays at the front and re-runs
+      // (now trivially satisfied) when the event re-arms the stream.
+      Op = Ops.front();
+    }
+    OpOutcome R = Op();
+    if (R == OpOutcome::Blocked)
+      return; // the op parked the stream (State == Blocked)
+    if (R == OpOutcome::Done) {
+      std::lock_guard<std::mutex> Lock(M);
+      Ops.pop_front();
+    }
+    // Retry: re-run the same op.
+  }
+}
+
+void StreamState::resume() {
+  std::unique_lock<std::mutex> Lock(M);
+  if (State == Drain::Blocked) {
+    State = Drain::Scheduled;
+    CV.notify_all(); // a synchronizer may claim instead of the pool task
+    Lock.unlock();
+    auto Self = shared_from_this();
+    WorkerPool::global().submit([Self] { Self->tryClaimAndDrain(); });
+    return;
+  }
+  if (State == Drain::Running) {
+    // The waiting op registered its continuation but has not parked yet:
+    // tell it the event already fired.
+    ResumeSignal = true;
+  }
+  // Idle / Scheduled: the next drain will re-run the wait op and observe
+  // the event as fired.
+}
+
+void StreamState::noteError(const Status &E) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Deferred.isError())
+    Deferred = E;
+}
+
+//===----------------------------------------------------------------------===//
+// EventState / LaunchState
+//===----------------------------------------------------------------------===//
+
+void EventState::fire(Status StreamErr) {
+  std::vector<std::function<void()>> Ready;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Fired = true;
+    Err = std::move(StreamErr);
+    Ready.swap(Continuations);
+    CV.notify_all();
+  }
+  for (auto &C : Ready)
+    C(); // takes stream mutexes; the event mutex is already released
+}
+
+void LaunchState::fulfill(Expected<LaunchStats> R) {
+  std::lock_guard<std::mutex> Lock(M);
+  assert(!Result && "launch fulfilled twice");
+  Result.emplace(std::move(R));
+  CV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// LaunchFuture
+//===----------------------------------------------------------------------===//
+
+bool LaunchFuture::ready() const {
+  if (!S)
+    return true;
+  std::lock_guard<std::mutex> Lock(S->M);
+  return S->Result.has_value();
+}
+
+Status LaunchFuture::wait() const {
+  auto R = get();
+  return R ? Status::success() : R.status();
+}
+
+Expected<LaunchStats> LaunchFuture::get() const {
+  if (!S)
+    return Status::error("waiting on an empty LaunchFuture");
+  std::unique_lock<std::mutex> Lock(S->M);
+  S->CV.wait(Lock, [this] { return S->Result.has_value(); });
+  return *S->Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream
+//===----------------------------------------------------------------------===//
+
+Stream::Stream() : S(std::make_shared<StreamState>()) {}
+
+Stream::~Stream() { synchronize(); }
+
+Status Stream::synchronize() {
+  StreamState &SS = *S;
+  std::unique_lock<std::mutex> Lock(SS.M);
+  for (;;) {
+    if (SS.State == StreamState::Drain::Idle && SS.Ops.empty()) {
+      Status E = SS.Deferred;
+      SS.Deferred = Status::success();
+      return E;
+    }
+    if (SS.State == StreamState::Drain::Scheduled) {
+      // Help: claim the drain and run the ops on this thread instead of
+      // waiting for a pool worker (makes blocking launches ~free).
+      SS.State = StreamState::Drain::Running;
+      Lock.unlock();
+      SS.drainLoop();
+      Lock.lock();
+      continue;
+    }
+    // Running on another thread, or Blocked on an event: wait for an Idle
+    // or Blocked→Scheduled transition.
+    SS.CV.wait(Lock);
+  }
+}
+
+bool Stream::idle() const {
+  std::lock_guard<std::mutex> Lock(S->M);
+  return S->State == StreamState::Drain::Idle && S->Ops.empty();
+}
+
+void Stream::waitEvent(Event &Ev) {
+  StreamState *SS = S.get();
+  std::shared_ptr<EventState> ES = Ev.E;
+  S->enqueue([SS, ES]() -> OpOutcome {
+    {
+      std::lock_guard<std::mutex> Lock(ES->M);
+      if (ES->Fired)
+        return OpOutcome::Done;
+      std::weak_ptr<StreamState> W = SS->weak_from_this();
+      ES->Continuations.push_back([W] {
+        if (auto P = W.lock())
+          P->resume();
+      });
+    }
+    std::lock_guard<std::mutex> Lock(SS->M);
+    if (SS->ResumeSignal) {
+      // The event fired between registration and parking; the queued
+      // continuation already ran against the Running state.
+      SS->ResumeSignal = false;
+      return OpOutcome::Retry;
+    }
+    SS->State = StreamState::Drain::Blocked;
+    return OpOutcome::Blocked;
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Event
+//===----------------------------------------------------------------------===//
+
+Event::Event() : E(std::make_shared<EventState>()) {}
+
+void Event::record(Stream &St) {
+  {
+    std::lock_guard<std::mutex> Lock(E->M);
+    E->Fired = false; // re-arm at submission, like cudaEventRecord
+  }
+  StreamState *SS = St.S.get();
+  std::shared_ptr<EventState> ES = E;
+  St.S->enqueue([SS, ES]() -> OpOutcome {
+    Status Err = Status::success();
+    {
+      std::lock_guard<std::mutex> Lock(SS->M);
+      Err = SS->Deferred; // snapshot, not cleared: synchronize() owns it
+    }
+    ES->fire(std::move(Err));
+    return OpOutcome::Done;
+  });
+}
+
+bool Event::query() const {
+  std::lock_guard<std::mutex> Lock(E->M);
+  return E->Fired;
+}
+
+Status Event::wait() const {
+  std::unique_lock<std::mutex> Lock(E->M);
+  E->CV.wait(Lock, [this] { return E->Fired; });
+  return E->Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Device async copies (live here: they need StreamState's definition)
+//===----------------------------------------------------------------------===//
+
+void Device::copyToDeviceAsync(Stream &St, uint64_t Dst, const void *Src,
+                               size_t Bytes) {
+  StreamState *SS = St.S.get();
+  St.S->enqueue([this, SS, Dst, Src, Bytes]() -> OpOutcome {
+    if (Status E = tryCopyToDevice(Dst, Src, Bytes); E.isError())
+      SS->noteError(E);
+    return OpOutcome::Done;
+  });
+}
+
+void Device::copyFromDeviceAsync(Stream &St, void *Dst, uint64_t Src,
+                                 size_t Bytes) const {
+  StreamState *SS = St.S.get();
+  St.S->enqueue([this, SS, Dst, Src, Bytes]() -> OpOutcome {
+    if (Status E = tryCopyFromDevice(Dst, Src, Bytes); E.isError())
+      SS->noteError(E);
+    return OpOutcome::Done;
+  });
+}

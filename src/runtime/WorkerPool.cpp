@@ -1,0 +1,177 @@
+//===- WorkerPool.cpp - Persistent host worker pool -----------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/WorkerPool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace simtvec {
+
+/// One in-flight parallelFor. Lives on the calling thread's stack; the pool
+/// only holds a raw pointer while the job is listed. `Entered`/`Exited`
+/// track how many threads are *inside* `Fn` or about to be, so the owner can
+/// wait until no pool thread can still touch the job before returning (a
+/// late worker may pick the job pointer, find it exhausted, and must finish
+/// unregistering before the stack frame dies).
+struct WorkerPool::Job {
+  const std::function<void(unsigned)> &Fn;
+  const unsigned N;
+  std::atomic<unsigned> Next{0}; ///< next unclaimed index
+  unsigned Done = 0;             ///< completed indices (pool mutex)
+  unsigned Active = 0;           ///< threads currently working on the job
+  bool Listed = true;            ///< still in WorkerPool::Jobs
+  std::condition_variable DoneCV;
+
+  Job(const std::function<void(unsigned)> &Fn, unsigned N) : Fn(Fn), N(N) {}
+};
+
+WorkerPool::WorkerPool(unsigned ThreadCount) {
+  if (ThreadCount == 0) {
+    ThreadCount = std::thread::hardware_concurrency();
+    if (ThreadCount < 2)
+      ThreadCount = 2;
+  }
+  Threads.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Threads.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ShuttingDown = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+  // Any tasks still queued at shutdown are dropped; parallel jobs cannot
+  // outlive their callers, and callers must not outlive the pool.
+}
+
+WorkerPool &WorkerPool::global() {
+  static WorkerPool *Pool = [] {
+    unsigned Count = 0;
+    if (const char *Env = std::getenv("SIMTVEC_POOL_THREADS")) {
+      long V = std::strtol(Env, nullptr, 10);
+      if (V > 0 && V < 1024)
+        Count = static_cast<unsigned>(V);
+    }
+    // Leaked intentionally: worker threads may still be parked when static
+    // destructors run; tearing the pool down then would race with any
+    // thread_local arenas being destroyed on those workers.
+    return new WorkerPool(Count);
+  }();
+  return *Pool;
+}
+
+WorkerPool::Job *WorkerPool::pickJobLocked() {
+  for (Job *J : Jobs)
+    if (J->Next.load(std::memory_order_relaxed) < J->N)
+      return J;
+  return nullptr;
+}
+
+void WorkerPool::unlistIfExhausted(Job *J) {
+  if (!J->Listed)
+    return;
+  if (J->Next.load(std::memory_order_relaxed) < J->N)
+    return;
+  J->Listed = false;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    if (Jobs[I] == J) {
+      Jobs[I] = Jobs.back();
+      Jobs.pop_back();
+      break;
+    }
+  }
+}
+
+void WorkerPool::parallelFor(unsigned N,
+                             const std::function<void(unsigned)> &Fn) {
+  if (N == 0)
+    return;
+  if (N == 1) {
+    Fn(0);
+    return;
+  }
+
+  Job J(Fn, N);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Jobs.push_back(&J);
+    ++JobCount;
+    J.Active = 1; // the caller
+  }
+  // Wake enough workers to cover the remaining indices.
+  WorkCV.notify_all();
+
+  // The caller claims indices too: the job completes even if every pool
+  // thread is occupied (including by the code that called us).
+  unsigned Claimed = 0;
+  for (unsigned I = J.Next.fetch_add(1, std::memory_order_relaxed); I < N;
+       I = J.Next.fetch_add(1, std::memory_order_relaxed)) {
+    Fn(I);
+    ++Claimed;
+  }
+
+  std::unique_lock<std::mutex> Lock(M);
+  J.Done += Claimed;
+  --J.Active;
+  unlistIfExhausted(&J);
+  J.DoneCV.wait(Lock, [&J] { return J.Done == J.N && J.Active == 0; });
+}
+
+void WorkerPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Tasks.push_back(std::move(Task));
+    ++TaskCount;
+  }
+  WorkCV.notify_one();
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return {JobCount, TaskCount};
+}
+
+void WorkerPool::workerMain() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    Job *J = pickJobLocked();
+    if (J) {
+      ++J->Active;
+      Lock.unlock();
+      unsigned Claimed = 0;
+      for (unsigned I = J->Next.fetch_add(1, std::memory_order_relaxed);
+           I < J->N; I = J->Next.fetch_add(1, std::memory_order_relaxed)) {
+        J->Fn(I);
+        ++Claimed;
+      }
+      Lock.lock();
+      J->Done += Claimed;
+      --J->Active;
+      unlistIfExhausted(J);
+      if (J->Done == J->N && J->Active == 0)
+        J->DoneCV.notify_all();
+      continue;
+    }
+    if (!Tasks.empty()) {
+      std::function<void()> Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      Lock.unlock();
+      Task();
+      Lock.lock();
+      continue;
+    }
+    if (ShuttingDown)
+      return;
+    WorkCV.wait(Lock);
+  }
+}
+
+} // namespace simtvec

@@ -157,8 +157,8 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DOut = Inst->Dev->allocArray<float>(Options);
   Inst->Dev->upload(DS, S);
   Inst->Dev->upload(DX, X);
-  Inst->Params.addU64(DS).addU64(DX).addU64(DOut).addF32(T).addF32(R)
-      .addF32(V);
+  Inst->Params.u64(DS).u64(DX).u64(DOut).f32(T).f32(R)
+      .f32(V);
 
   Inst->Check = [=, S = std::move(S),
                  X = std::move(X)](Device &Dev, std::string &Error) {

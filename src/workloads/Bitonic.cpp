@@ -101,7 +101,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
     V = static_cast<uint32_t>(Rng.next());
   uint64_t DData = Inst->Dev->allocArray<uint32_t>(N);
   Inst->Dev->upload(DData, Data);
-  Inst->Params.addU64(DData).addU32(N);
+  Inst->Params.u64(DData).u32(N);
 
   Inst->Check = [=, Data = std::move(Data)](Device &Dev,
                                             std::string &Error) {

@@ -166,8 +166,8 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   Inst->Dev->upload(DS, S);
   Inst->Dev->upload(DX, X);
   Inst->Dev->upload(DT, T);
-  Inst->Params.addU64(DS).addU64(DX).addU64(DT).addU64(DCall).addU64(DPut)
-      .addU32(N).addF32(R).addF32(V);
+  Inst->Params.u64(DS).u64(DX).u64(DT).u64(DCall).u64(DPut)
+      .u32(N).f32(R).f32(V);
 
   Inst->Check = [=, S = std::move(S), X = std::move(X),
                  T = std::move(T)](Device &Dev, std::string &Error) {

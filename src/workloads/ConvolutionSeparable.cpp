@@ -142,10 +142,10 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   Inst->Dev->upload(DIn, In);
   // Taps ride in the parameter buffer (constant memory): scalars occupy
   // 8+8+4 bytes; the u64 below lands at 24, the taps at 32.
-  Inst->Params.addU64(DIn).addU64(DOut).addU32(N);
-  Inst->Params.addU64(32);
+  Inst->Params.u64(DIn).u64(DOut).u32(N);
+  Inst->Params.u64(32);
   for (float T : Taps)
-    Inst->Params.addF32(T);
+    Inst->Params.f32(T);
 
   Inst->Check = [=, In = std::move(In),
                  Taps = std::move(Taps)](Device &Dev, std::string &Error) {

@@ -96,12 +96,12 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
 
   // The atom table rides in the parameter buffer after the declared
   // scalars, mirroring CUDA constant memory.
-  Inst->Params.addU64(DGrid).addU32(Width).addU32(Atoms);
+  Inst->Params.u64(DGrid).u32(Width).u32(Atoms);
   // Placeholder for the table offset: the scalar params occupy 16 bytes so
   // far; the u64 below lands at offset 16, the table at 24.
-  Inst->Params.addU64(24);
+  Inst->Params.u64(24);
   for (float V : AtomTab)
-    Inst->Params.addF32(V);
+    Inst->Params.f32(V);
 
   Inst->Check = [=, AtomTab = std::move(AtomTab)](Device &Dev,
                                                   std::string &Error) {

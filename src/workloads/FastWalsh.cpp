@@ -83,7 +83,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
     V = Rng.nextFloat(-1.0f, 1.0f);
   uint64_t DData = Inst->Dev->allocArray<float>(N);
   Inst->Dev->upload(DData, Data);
-  Inst->Params.addU64(DData).addU32(N);
+  Inst->Params.u64(DData).u32(N);
 
   Inst->Check = [=, Data = std::move(Data)](Device &Dev,
                                             std::string &Error) {

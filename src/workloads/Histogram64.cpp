@@ -69,7 +69,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DBins = Inst->Dev->allocArray<uint32_t>(64);
   Inst->Dev->upload(DData, Data);
   Inst->Dev->memset(DBins, 0, 64 * 4);
-  Inst->Params.addU64(DData).addU64(DBins).addU32(N);
+  Inst->Params.u64(DData).u64(DBins).u32(N);
 
   Inst->Check = [=, Data = std::move(Data)](Device &Dev,
                                             std::string &Error) {

@@ -81,7 +81,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   Inst->Block = {64, 1, 1};
   Inst->Grid = {N / 64, 1, 1};
   uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
-  Inst->Params.addU64(DOut).addU32(Width).addU32(Height);
+  Inst->Params.u64(DOut).u32(Width).u32(Height);
 
   Inst->Check = [=](Device &Dev, std::string &Error) {
     std::vector<uint32_t> Ref(N);

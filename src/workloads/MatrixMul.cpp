@@ -136,7 +136,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DC = Inst->Dev->allocArray<float>(N * N);
   Inst->Dev->upload(DA, A);
   Inst->Dev->upload(DB, B);
-  Inst->Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+  Inst->Params.u64(DA).u64(DB).u64(DC).u32(N);
 
   Inst->Check = [=, A = std::move(A),
                  B = std::move(B)](Device &Dev, std::string &Error) {

@@ -87,7 +87,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DSeeds = Inst->Dev->allocArray<uint32_t>(N);
   uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
   Inst->Dev->upload(DSeeds, Seeds);
-  Inst->Params.addU64(DSeeds).addU64(DOut).addU32(Rounds);
+  Inst->Params.u64(DSeeds).u64(DOut).u32(Rounds);
 
   Inst->Check = [=, Seeds = std::move(Seeds)](Device &Dev,
                                               std::string &Error) {

@@ -101,8 +101,8 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   Inst->Block = {64, 1, 1};
   Inst->Grid = {Threads / 64, 1, 1};
   uint64_t DOut = Inst->Dev->allocArray<float>(Threads);
-  Inst->Params.addU64(DOut).addU32(Paths).addF32(S0).addF32(Strike)
-      .addF32(Drift).addF32(VolSq);
+  Inst->Params.u64(DOut).u32(Paths).f32(S0).f32(Strike)
+      .f32(Drift).f32(VolSq);
 
   Inst->Check = [=](Device &Dev, std::string &Error) {
     std::vector<float> Ref(Threads);

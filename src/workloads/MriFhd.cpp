@@ -116,8 +116,8 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DIm = Inst->Dev->allocArray<float>(NVox);
   Inst->Dev->upload(DX, X);
   Inst->Dev->upload(DK, KTab);
-  Inst->Params.addU64(DX).addU64(DK).addU64(DRe).addU64(DIm).addU32(NVox)
-      .addU32(NK);
+  Inst->Params.u64(DX).u64(DK).u64(DRe).u64(DIm).u32(NVox)
+      .u32(NK);
 
   Inst->Check = [=, X = std::move(X),
                  KTab = std::move(KTab)](Device &Dev, std::string &Error) {

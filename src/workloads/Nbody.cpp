@@ -103,7 +103,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DPos = Inst->Dev->allocArray<float>(N * 4);
   uint64_t DAcc = Inst->Dev->allocArray<float>(N * 4);
   Inst->Dev->upload(DPos, Pos);
-  Inst->Params.addU64(DPos).addU64(DAcc).addU32(N);
+  Inst->Params.u64(DPos).u64(DAcc).u32(N);
 
   Inst->Check = [=, Pos = std::move(Pos)](Device &Dev, std::string &Error) {
     std::vector<float> Got = Dev.download<float>(DAcc, N * 4);

@@ -120,7 +120,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DP = Inst->Dev->allocArray<float>(Ctas);
   Inst->Dev->upload(DA, A);
   Inst->Dev->upload(DB, B);
-  Inst->Params.addU64(DA).addU64(DB).addU64(DP).addU32(N);
+  Inst->Params.u64(DA).u64(DB).u64(DP).u32(N);
 
   Inst->Check = [=, A = std::move(A),
                  B = std::move(B)](Device &Dev, std::string &Error) {

@@ -89,7 +89,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DIn = Inst->Dev->allocArray<float>(N);
   uint64_t DOut = Inst->Dev->allocArray<float>(N);
   Inst->Dev->upload(DIn, In);
-  Inst->Params.addU64(DIn).addU64(DOut).addU32(N);
+  Inst->Params.u64(DIn).u64(DOut).u32(N);
 
   Inst->Check = [=, In = std::move(In)](Device &Dev, std::string &Error) {
     std::vector<float> Ref(N);

@@ -111,7 +111,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   uint64_t DDirs = Inst->Dev->allocArray<uint32_t>(32);
   uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
   Inst->Dev->upload(DDirs, Dirs);
-  Inst->Params.addU64(DDirs).addU64(DOut).addU32(N);
+  Inst->Params.u64(DDirs).u64(DOut).u32(N);
 
   Inst->Check = [=, Dirs = std::move(Dirs)](Device &Dev,
                                             std::string &Error) {

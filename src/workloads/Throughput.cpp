@@ -84,7 +84,7 @@ std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
   Inst->Block = {48, 1, 1};        // 12 CTAs balance over 4 workers
   Inst->Grid = {Threads / 48, 1, 1};
   uint64_t Out = Inst->Dev->allocArray<float>(Threads);
-  Inst->Params.addU64(Out).addU32(Iters);
+  Inst->Params.u64(Out).u32(Iters);
 
   Inst->Check = [Out, Threads, Iters](Device &Dev, std::string &Error) {
     std::vector<float> Ref(Threads);

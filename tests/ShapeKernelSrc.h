@@ -1,0 +1,114 @@
+//===- tests/ShapeKernelSrc.h - Shared exec-shape coverage kernel ---------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// One kernel with a guarded (@%p / @!%p) form of every source-expressible
+/// execution shape: Mov, Binary, Mad, Unary, Setp, Selp, Cvt, Ld, St,
+/// AtomAdd (global and shared), Membar, BarSync, Bra, Ret. The vector-only
+/// shapes (Iota, Broadcast, Insert/ExtractElement, VoteSum), the Switch
+/// dispatchers and the yield intrinsics (Spill, Restore, SetRPoint,
+/// SetRStatus, Yield) are introduced by vectorization and yield-on-diverge
+/// lowering — the divergent guarded branches below force them. Adjacent
+/// same-guard arithmetic, load and store records additionally exercise the
+/// fused superinstruction forms (FusedCmpSel, FusedKernelRun, FusedLdRun,
+/// FusedStRun, spill/restore runs) when Superinstructions is on.
+///
+/// Shared by shapes_test.cpp (engine-differential runs) and
+/// streams_test.cpp (concurrent-stream equivalence runs): it touches every
+/// engine path, so "concurrent streams match serial execution" on this
+/// kernel is a strong statement. The divergence-control logic is a
+/// function of %tid.x so every CTA produces the same warp-formation
+/// shapes, but the global stores are indexed by the *global* thread id —
+/// CTAs write disjoint addresses, keeping multi-worker launches free of
+/// cross-CTA write races (the out buffer needs 64 + 3*256 = 832 bytes for
+/// the 64-thread {2,1,1}x{32,1,1} launch the tests use).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_TESTS_SHAPEKERNELSRC_H
+#define SIMTVEC_TESTS_SHAPEKERNELSRC_H
+
+inline const char *ShapeCoverageSrc = R"(
+.kernel shapes (.param .u64 out, .param .u64 acc)
+{
+  .shared .b8 sm[256];
+  .reg .u32 %t, %gid, %v, %w, %x, %y, %z, %old, %sel;
+  .reg .u64 %a, %b, %off, %sa;
+  .reg .f32 %f, %g;
+  .reg .s32 %si;
+  .reg .pred %p, %q, %np;
+entry:
+  mov.u32 %t, %tid.x;
+  and.u32 %x, %t, 3;
+  setp.lt.u32 %p, %x, 2;
+  @%p setp.eq.u32 %q, %x, 0;
+  @!%p setp.eq.u32 %q, %x, 3;
+  mov.u32 %v, 7;
+  @%p add.u32 %v, %v, %t;
+  @!%p sub.u32 %v, %v, 1;
+  @%p mad.u32 %w, %v, 3, %t;
+  @!%p mov.u32 %w, 11;
+  @%p min.u32 %y, %v, %w;
+  @!%p max.u32 %y, %v, %w;
+  not.pred %np, %q;
+  @%p selp.u32 %z, %v, %w, %q;
+  @!%p selp.u32 %z, %w, %y, %np;
+  cvt.u64.u32 %off, %t;
+  @%p cvt.f32.u32 %f, %v;
+  @!%p cvt.f32.u32 %f, %w;
+  sqrt.f32 %g, %f;
+  @%q abs.f32 %g, %g;
+  cvt.s32.f32 %si, %g;
+  ld.param.u64 %a, [out];
+  ld.param.u64 %b, [acc];
+  @%p ld.global.u32 %x, [%a];
+  @%p ld.global.u32 %y, [%a+4];
+  @%p atom.global.add.u32 %old, [%b], 1;
+  @!%p atom.global.add.u32 %old, [%b+4], 2;
+  membar;
+  shl.u64 %sa, %off, 2;
+  @%p st.shared.u32 [%sa], %v;
+  @!%p st.shared.u32 [%sa], %w;
+  bar.sync;
+  ld.shared.u32 %sel, [%sa];
+  atom.shared.add.u32 %old, [%sa], 1;
+  and.u32 %z, %t, 3;
+  setp.eq.u32 %np, %z, 0;
+  @%np bra c0, n0;
+c0:
+  mul.u32 %v, %v, 2;
+  bra join;
+n0:
+  setp.eq.u32 %np, %z, 1;
+  @%np bra c1, c2;
+c1:
+  mul.u32 %v, %v, 3;
+  bra join;
+c2:
+  @%q bra c2a, c2b;
+c2a:
+  add.u32 %v, %v, 100;
+  bra join;
+c2b:
+  xor.u32 %v, %v, 1023;
+  bra join;
+join:
+  add.u32 %v, %v, %w;
+  add.u32 %v, %v, %x;
+  add.u32 %v, %v, %y;
+  add.u32 %v, %v, %sel;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %t;
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  @%p st.global.u32 [%a+64], %v;
+  @!%p st.global.u32 [%a+64], %w;
+  st.global.f32 [%a+320], %g;
+  st.global.s32 [%a+576], %si;
+  ret;
+}
+)";
+
+#endif // SIMTVEC_TESTS_SHAPEKERNELSRC_H

@@ -1,9 +1,24 @@
 # Smoke-checks the wall-clock bench harness: runs it at the smallest scale
 # with one rep, then feeds the emitted JSON to bench_diff (diffed against
 # itself), which both validates the JSON and must report a 1.000x geomean.
+# The repeated-launch mode is exercised too (2 launches per mode), which
+# drives at least one asynchronous stream launch end to end.
 execute_process(COMMAND ${WALLCLOCK} ${OUT} 1 1 RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "wallclock_throughput exited with ${rc}")
+endif()
+execute_process(COMMAND ${WALLCLOCK} --launches 2 ${OUT}.launches.json 1
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wallclock_throughput --launches exited with ${rc}")
+endif()
+execute_process(COMMAND ${BENCH_DIFF} ${OUT}.launches.json ${OUT}.launches.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE lout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff on launches JSON exited with ${rc}")
+endif()
+if(NOT lout MATCHES "geomean speedup over [0-9]+ cells: 1\\.000x")
+  message(FATAL_ERROR "bench_diff launches self-diff is not 1.000x:\n${lout}")
 endif()
 execute_process(COMMAND ${BENCH_DIFF} ${OUT} ${OUT}
   RESULT_VARIABLE rc OUTPUT_VARIABLE out)

@@ -289,7 +289,7 @@ TEST(LaunchTest, RejectsBadConfigurations) {
   auto Prog = Program::compile(DivergentSrc).take();
   Device Dev(1 << 16);
   ParamBuilder Params;
-  Params.addU64(Dev.allocArray<uint32_t>(64));
+  Params.u64(Dev.allocArray<uint32_t>(64));
 
   LaunchOptions BadWarp;
   BadWarp.MaxWarpSize = 3;
@@ -320,7 +320,7 @@ TEST(LaunchTest, StatsAreConsistent) {
   auto Prog = Program::compile(DivergentSrc).take();
   Device Dev(1 << 16);
   ParamBuilder Params;
-  Params.addU64(Dev.allocArray<uint32_t>(256));
+  Params.u64(Dev.allocArray<uint32_t>(256));
   LaunchOptions O;
   O.MaxWarpSize = 4;
   auto S = Prog->launch(Dev, "dk", {4, 1, 1}, {64, 1, 1}, Params, O).take();
@@ -339,7 +339,7 @@ TEST(LaunchTest, TranslationCacheHitsAfterFirstCta) {
   auto Prog = Program::compile(DivergentSrc).take();
   Device Dev(1 << 16);
   ParamBuilder Params;
-  Params.addU64(Dev.allocArray<uint32_t>(1024));
+  Params.u64(Dev.allocArray<uint32_t>(1024));
   LaunchOptions O;
   O.MaxWarpSize = 4;
   (void)Prog->launch(Dev, "dk", {16, 1, 1}, {64, 1, 1}, Params, O).take();
@@ -390,7 +390,7 @@ TEST(LaunchTest, WorkerCountDoesNotChangeResults) {
     Device Dev(1 << 16);
     uint64_t Out = Dev.allocArray<uint32_t>(256);
     ParamBuilder Params;
-    Params.addU64(Out);
+    Params.u64(Out);
     LaunchOptions O;
     O.MaxWarpSize = 4;
     O.Workers = Workers;
@@ -410,7 +410,7 @@ TEST(LaunchTest, CrossWidthResume) {
   Device Dev(1 << 16);
   uint64_t Out = Dev.allocArray<uint32_t>(64);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   LaunchOptions O;
   O.MaxWarpSize = 4;
   O.Workers = 1;

@@ -232,7 +232,7 @@ TEST(FastPathTest, NearMaxAddressTrapsInsteadOfWrapping) {
         << ProgOrErr.status().message();
     Device Dev(1 << 16);
     ParamBuilder Params;
-    Params.addU64(NearMax);
+    Params.u64(NearMax);
     LaunchOptions Options;
     Options.UseOsThreads = false;
     Options.UseReferenceInterp = Reference;
@@ -251,7 +251,7 @@ TEST(FastPathTest, NearMaxSharedAddressTraps) {
   ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
   Device Dev(1 << 16);
   ParamBuilder Params;
-  Params.addU64(NearMax);
+  Params.u64(NearMax);
   LaunchOptions Options;
   Options.UseOsThreads = false;
   auto Stats = (*ProgOrErr)->launch(Dev, "oobs", {1, 1, 1}, {1, 1, 1},

@@ -278,7 +278,7 @@ RunOutput runUnder(const Module &M, const LaunchConfig &Config,
   std::memcpy(Global.data() + AF, FIn.data(), Threads * 4);
 
   ParamBuilder Params;
-  Params.addU64(AU).addU64(AF).addU64(OU).addU64(OF);
+  Params.u64(AU).u64(AF).u64(OU).u64(OF);
 
   Dim3 Grid{Threads / 64, 1, 1};
   Dim3 Block{64, 1, 1};
@@ -440,7 +440,7 @@ store:
     uint64_t DOut = Dev.allocArray<uint32_t>(Threads);
     Dev.upload(DSeeds, Seeds);
     ParamBuilder Params;
-    Params.addU64(DSeeds).addU64(DOut).addU32(Rounds).addU32(Threshold);
+    Params.u64(DSeeds).u64(DOut).u32(Rounds).u32(Threshold);
     auto S = Prog->launch(Dev, "diverge", {Threads / 64, 1, 1}, {64, 1, 1},
                           Params, Options);
     EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();

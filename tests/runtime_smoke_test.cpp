@@ -66,7 +66,7 @@ void runVecAdd(const LaunchOptions &Options, uint32_t N) {
   Dev.upload(DB, B);
 
   ParamBuilder Params;
-  Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+  Params.u64(DA).u64(DB).u64(DC).u32(N);
 
   Dim3 Block{64, 1, 1};
   Dim3 Grid{(N + 63) / 64, 1, 1};
@@ -115,6 +115,122 @@ TEST(RuntimeSmoke, VecAddSequentialWorkers) {
   runVecAdd(Options, 257);
 }
 
+//===----------------------------------------------------------------------===
+// Typed parameter validation
+//===----------------------------------------------------------------------===
+
+TEST(TypedParams, TooFewParametersIsDescriptive) {
+  Device Dev;
+  auto Prog = Program::compile(VecAddSrc).take();
+  Params P;
+  P.u64(Dev.alloc(64));
+  auto R = Prog->launch(Dev, "vecadd", {1, 1, 1}, {64, 1, 1}, P);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.status().message().find("expects 4 parameters"),
+            std::string::npos)
+      << R.status().message();
+  EXPECT_NE(R.status().message().find("parameter bytes"), std::string::npos);
+}
+
+TEST(TypedParams, TypeMismatchIsDescriptive) {
+  Device Dev;
+  auto Prog = Program::compile(VecAddSrc).take();
+  Params P; // 'a' is declared .u64; a .u32 is neither the size nor family
+  P.u32(7).u64(Dev.alloc(64)).u64(Dev.alloc(64)).u32(4);
+  auto R = Prog->launch(Dev, "vecadd", {1, 1, 1}, {64, 1, 1}, P);
+  ASSERT_FALSE(static_cast<bool>(R));
+  const std::string &Msg = R.status().message();
+  EXPECT_NE(Msg.find("parameter 0 ('a')"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find(".u64"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find(".u32"), std::string::npos) << Msg;
+}
+
+TEST(TypedParams, SignednessIsInterchangeable) {
+  // SVIR registers are bit patterns: .s32 satisfies a .u32 parameter.
+  Device Dev;
+  auto Prog = Program::compile(VecAddSrc).take();
+  uint64_t DA = Dev.allocArray<float>(64), DB = Dev.allocArray<float>(64),
+           DC = Dev.allocArray<float>(64);
+  Params P;
+  P.u64(DA).u64(DB).u64(DC).s32(64);
+  auto R = Prog->launch(Dev, "vecadd", {1, 1, 1}, {64, 1, 1}, P);
+  EXPECT_TRUE(static_cast<bool>(R)) << R.status().message();
+}
+
+TEST(TypedParams, TrailingConstantPayloadIsAllowed) {
+  // The .param space doubles as constant memory: extra elements after the
+  // declared signature (filter taps, atom tables) must pass validation.
+  Device Dev;
+  auto Prog = Program::compile(VecAddSrc).take();
+  uint64_t DA = Dev.allocArray<float>(64), DB = Dev.allocArray<float>(64),
+           DC = Dev.allocArray<float>(64);
+  Params P;
+  P.u64(DA).u64(DB).u64(DC).u32(64);
+  for (int I = 0; I < 9; ++I)
+    P.f32(static_cast<float>(I));
+  auto R = Prog->launch(Dev, "vecadd", {1, 1, 1}, {64, 1, 1}, P);
+  EXPECT_TRUE(static_cast<bool>(R)) << R.status().message();
+}
+
+TEST(TypedParams, DeprecatedBuilderNamesForwardToTypedOnes) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Params Old;
+  Old.addU64(1).addU32(2).addS32(-3).addF32(4.0f).addF64(5.0);
+#pragma GCC diagnostic pop
+  Params New;
+  New.u64(1).u32(2).s32(-3).f32(4.0f).f64(5.0);
+  EXPECT_EQ(Old.bytes(), New.bytes());
+  ASSERT_EQ(Old.elements().size(), New.elements().size());
+  for (size_t I = 0; I < Old.elements().size(); ++I) {
+    EXPECT_EQ(Old.elements()[I].Ty, New.elements()[I].Ty);
+    EXPECT_EQ(Old.elements()[I].Offset, New.elements()[I].Offset);
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Checked device memory operations
+//===----------------------------------------------------------------------===
+
+TEST(DeviceChecked, AllocReportsArenaAccounting) {
+  Device Dev(1024);
+  auto R = Dev.tryAlloc(2048);
+  ASSERT_FALSE(static_cast<bool>(R));
+  const std::string &Msg = R.status().message();
+  EXPECT_NE(Msg.find("out of memory"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("2048"), std::string::npos) << Msg;
+  EXPECT_NE(Msg.find("1024-byte arena"), std::string::npos) << Msg;
+  // The failed alloc must not move the break.
+  auto Ok = Dev.tryAlloc(512);
+  ASSERT_TRUE(static_cast<bool>(Ok));
+  EXPECT_EQ(*Ok, 16u);
+}
+
+TEST(DeviceChecked, CopyAndMemsetBoundsDiagnostics) {
+  Device Dev(1024);
+  std::vector<std::byte> Host(64);
+
+  Status E1 = Dev.tryCopyToDevice(1020, Host.data(), Host.size());
+  ASSERT_TRUE(E1.isError());
+  EXPECT_NE(E1.message().find("copyToDevice out of range"),
+            std::string::npos);
+  EXPECT_NE(E1.message().find("1020"), std::string::npos);
+  EXPECT_NE(E1.message().find("1024-byte arena"), std::string::npos);
+
+  Status E2 = Dev.tryCopyFromDevice(Host.data(), 2000, Host.size());
+  ASSERT_TRUE(E2.isError());
+  EXPECT_NE(E2.message().find("copyFromDevice out of range"),
+            std::string::npos);
+
+  Status E3 = Dev.tryMemset(1000, 0, 64);
+  ASSERT_TRUE(E3.isError());
+  EXPECT_NE(E3.message().find("memset out of range"), std::string::npos);
+
+  // In-range forms succeed and are visible to the unchecked accessors.
+  ASSERT_FALSE(Dev.tryMemset(16, 0x5a, 64).isError());
+  EXPECT_EQ(Dev.data()[16], std::byte{0x5a});
+}
+
 TEST(RuntimeSmoke, ModeledMetricsAreDeterministic) {
   // Two identical launches must produce bit-identical modeled results
   // regardless of host scheduling.
@@ -128,7 +244,7 @@ TEST(RuntimeSmoke, ModeledMetricsAreDeterministic) {
     Dev.upload(DA, A);
     Dev.upload(DB, B);
     ParamBuilder Params;
-    Params.addU64(DA).addU64(DB).addU64(DC).addU32(N);
+    Params.u64(DA).u64(DB).u64(DC).u32(N);
     return Prog->launch(Dev, "vecadd", {8, 1, 1}, {64, 1, 1}, Params).take();
   };
   LaunchStats S1 = RunOnce(), S2 = RunOnce();

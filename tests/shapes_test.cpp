@@ -16,6 +16,8 @@
 #include "simtvec/runtime/Runtime.h"
 #include "simtvec/workloads/Workloads.h"
 
+#include "ShapeKernelSrc.h"
+
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -213,94 +215,8 @@ TEST(ShapeStaticFormation, GroupsNeverSpanAlignmentBoundaries) {
 // ExecShape differential coverage: guarded forms at widths 1/2/4/8
 //===----------------------------------------------------------------------===
 
-// One kernel with a guarded (@%p / @!%p) form of every source-expressible
-// execution shape: Mov, Binary, Mad, Unary, Setp, Selp, Cvt, Ld, St,
-// AtomAdd (global and shared), Membar, BarSync, Bra, Ret. The vector-only
-// shapes (Iota, Broadcast, Insert/ExtractElement, VoteSum), the Switch
-// dispatchers and the yield intrinsics (Spill, Restore, SetRPoint,
-// SetRStatus, Yield) are introduced by vectorization and yield-on-diverge
-// lowering — the divergent guarded branches below force them. Adjacent
-// same-guard arithmetic, load and store records additionally exercise the
-// fused superinstruction forms (FusedCmpSel, FusedKernelRun, FusedLdRun,
-// FusedStRun, spill/restore runs) when Superinstructions is on.
-const char *ShapeCoverageSrc = R"(
-.kernel shapes (.param .u64 out, .param .u64 acc)
-{
-  .shared .b8 sm[256];
-  .reg .u32 %t, %v, %w, %x, %y, %z, %old, %sel;
-  .reg .u64 %a, %b, %off, %sa;
-  .reg .f32 %f, %g;
-  .reg .s32 %si;
-  .reg .pred %p, %q, %np;
-entry:
-  mov.u32 %t, %tid.x;
-  and.u32 %x, %t, 3;
-  setp.lt.u32 %p, %x, 2;
-  @%p setp.eq.u32 %q, %x, 0;
-  @!%p setp.eq.u32 %q, %x, 3;
-  mov.u32 %v, 7;
-  @%p add.u32 %v, %v, %t;
-  @!%p sub.u32 %v, %v, 1;
-  @%p mad.u32 %w, %v, 3, %t;
-  @!%p mov.u32 %w, 11;
-  @%p min.u32 %y, %v, %w;
-  @!%p max.u32 %y, %v, %w;
-  not.pred %np, %q;
-  @%p selp.u32 %z, %v, %w, %q;
-  @!%p selp.u32 %z, %w, %y, %np;
-  cvt.u64.u32 %off, %t;
-  @%p cvt.f32.u32 %f, %v;
-  @!%p cvt.f32.u32 %f, %w;
-  sqrt.f32 %g, %f;
-  @%q abs.f32 %g, %g;
-  cvt.s32.f32 %si, %g;
-  ld.param.u64 %a, [out];
-  ld.param.u64 %b, [acc];
-  @%p ld.global.u32 %x, [%a];
-  @%p ld.global.u32 %y, [%a+4];
-  @%p atom.global.add.u32 %old, [%b], 1;
-  @!%p atom.global.add.u32 %old, [%b+4], 2;
-  membar;
-  shl.u64 %sa, %off, 2;
-  @%p st.shared.u32 [%sa], %v;
-  @!%p st.shared.u32 [%sa], %w;
-  bar.sync;
-  ld.shared.u32 %sel, [%sa];
-  atom.shared.add.u32 %old, [%sa], 1;
-  and.u32 %z, %t, 3;
-  setp.eq.u32 %np, %z, 0;
-  @%np bra c0, n0;
-c0:
-  mul.u32 %v, %v, 2;
-  bra join;
-n0:
-  setp.eq.u32 %np, %z, 1;
-  @%np bra c1, c2;
-c1:
-  mul.u32 %v, %v, 3;
-  bra join;
-c2:
-  @%q bra c2a, c2b;
-c2a:
-  add.u32 %v, %v, 100;
-  bra join;
-c2b:
-  xor.u32 %v, %v, 1023;
-  bra join;
-join:
-  add.u32 %v, %v, %w;
-  add.u32 %v, %v, %x;
-  add.u32 %v, %v, %y;
-  add.u32 %v, %v, %sel;
-  shl.u64 %off, %off, 2;
-  add.u64 %a, %a, %off;
-  @%p st.global.u32 [%a+64], %v;
-  @!%p st.global.u32 [%a+64], %w;
-  st.global.f32 [%a+192], %g;
-  st.global.s32 [%a+320], %si;
-  ret;
-}
-)";
+// The guarded-shape coverage kernel lives in ShapeKernelSrc.h (shared with
+// streams_test.cpp, which launches it concurrently on multiple streams).
 
 struct ShapeRun {
   LaunchStats Stats;
@@ -311,13 +227,13 @@ ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse) {
   auto ProgOrErr = Program::compile(ShapeCoverageSrc);
   EXPECT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
   Device Dev(1 << 16);
-  uint64_t Out = Dev.alloc(512);
+  uint64_t Out = Dev.alloc(1024);
   uint64_t Acc = Dev.alloc(16);
-  Dev.memset(Out, 0, 512);
+  Dev.memset(Out, 0, 1024);
   Dev.memset(Acc, 0, 16);
   ParamBuilder Params;
-  Params.addU64(Out);
-  Params.addU64(Acc);
+  Params.u64(Out);
+  Params.u64(Acc);
   LaunchOptions O;
   O.MaxWarpSize = Width;
   O.Workers = 1;

@@ -1,0 +1,270 @@
+//===- tests/streams_test.cpp - Asynchronous stream execution tests -------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Stream/event subsystem coverage: concurrent streams from concurrent host
+/// threads must produce bit-identical results and settled modeled counters
+/// to serial execution (the guarded-shape kernel touches every engine
+/// path); ops on one stream run in submission order; events order streams
+/// against each other; async errors are deferred to synchronize(); and the
+/// blocking launch wrapper returns bit-identical stats to the async path.
+/// Runs under SIMTVEC_SANITIZE=thread via tools/tsan_check.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Runtime.h"
+
+#include "ShapeKernelSrc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+using namespace simtvec;
+
+namespace {
+
+struct ShapeResult {
+  LaunchStats Stats;
+  std::vector<std::byte> Arena;
+};
+
+constexpr size_t ShapeArenaBytes = 1 << 16;
+
+/// Allocates the shape kernel's buffers on a fresh device; returns (out,
+/// acc) addresses.
+std::pair<uint64_t, uint64_t> allocShapeBuffers(Device &Dev) {
+  uint64_t Out = Dev.alloc(1024);
+  uint64_t Acc = Dev.alloc(16);
+  Dev.memset(Out, 0, 1024);
+  Dev.memset(Acc, 0, 16);
+  return {Out, Acc};
+}
+
+ShapeResult runShapesBlocking(Program &Prog, const LaunchOptions &O) {
+  Device Dev(ShapeArenaBytes);
+  auto [Out, Acc] = allocShapeBuffers(Dev);
+  Params P;
+  P.u64(Out).u64(Acc);
+  auto S = Prog.launch(Dev, "shapes", {2, 1, 1}, {32, 1, 1}, P, O);
+  EXPECT_TRUE(static_cast<bool>(S)) << S.status().message();
+  ShapeResult R;
+  if (S)
+    R.Stats = *S;
+  R.Arena.assign(Dev.data(), Dev.data() + Dev.size());
+  return R;
+}
+
+/// Results and settled modeled counters must be bit-identical regardless of
+/// which streams, pool threads, or host threads ran the launch.
+void expectMatchesReference(const ShapeResult &Got, const ShapeResult &Ref) {
+  ASSERT_EQ(Got.Arena.size(), Ref.Arena.size());
+  EXPECT_EQ(0,
+            std::memcmp(Got.Arena.data(), Ref.Arena.data(), Got.Arena.size()));
+  EXPECT_EQ(Got.Stats.Counters.SubkernelCycles,
+            Ref.Stats.Counters.SubkernelCycles);
+  EXPECT_EQ(Got.Stats.Counters.YieldCycles, Ref.Stats.Counters.YieldCycles);
+  EXPECT_EQ(Got.Stats.Counters.EMCycles, Ref.Stats.Counters.EMCycles);
+  EXPECT_EQ(Got.Stats.Counters.InstsExecuted,
+            Ref.Stats.Counters.InstsExecuted);
+  EXPECT_EQ(Got.Stats.Counters.Flops, Ref.Stats.Counters.Flops);
+  EXPECT_EQ(Got.Stats.MaxWorkerCycles, Ref.Stats.MaxWorkerCycles);
+  EXPECT_EQ(Got.Stats.EntriesByWidth, Ref.Stats.EntriesByWidth);
+  EXPECT_EQ(Got.Stats.WarpEntries, Ref.Stats.WarpEntries);
+  EXPECT_EQ(Got.Stats.ThreadEntries, Ref.Stats.ThreadEntries);
+  EXPECT_EQ(Got.Stats.BranchYields, Ref.Stats.BranchYields);
+  EXPECT_EQ(Got.Stats.BarrierYields, Ref.Stats.BarrierYields);
+  EXPECT_EQ(Got.Stats.ExitYields, Ref.Stats.ExitYields);
+}
+
+TEST(Streams, ConcurrentStreamsMatchSerialExecution) {
+  auto Prog = Program::compile(ShapeCoverageSrc).take();
+  LaunchOptions O; // default: persistent pool, Machine.Cores workers
+  ShapeResult Ref = runShapesBlocking(*Prog, O);
+
+  constexpr int NumStreams = 4;
+  constexpr int Reps = 8;
+  std::vector<std::thread> Hosts;
+  Hosts.reserve(NumStreams);
+  for (int T = 0; T < NumStreams; ++T)
+    Hosts.emplace_back([&] {
+      // Each host thread drives its own stream against its own device; all
+      // of them share the program's sharded translation cache and the
+      // process-wide worker pool.
+      Device Dev(ShapeArenaBytes);
+      Stream S;
+      auto [Out, Acc] = allocShapeBuffers(Dev);
+      Params P;
+      P.u64(Out).u64(Acc);
+      for (int R = 0; R < Reps; ++R) {
+        // Same buffer addresses as the reference run; reset their contents
+        // so every rep reproduces the reference arena byte-for-byte.
+        Dev.memset(Out, 0, 1024);
+        Dev.memset(Acc, 0, 16);
+        LaunchFuture F =
+            Prog->launchAsync(S, Dev, "shapes", {2, 1, 1}, {32, 1, 1}, P, O);
+        Status E = S.synchronize();
+        EXPECT_FALSE(E.isError()) << E.message();
+        auto StatsOrErr = F.get();
+        ASSERT_TRUE(static_cast<bool>(StatsOrErr))
+            << StatsOrErr.status().message();
+        ShapeResult Got;
+        Got.Stats = *StatsOrErr;
+        Got.Arena.assign(Dev.data(), Dev.data() + Dev.size());
+        expectMatchesReference(Got, Ref);
+      }
+    });
+  for (std::thread &H : Hosts)
+    H.join();
+}
+
+const char *ScaleSrc = R"(
+.kernel scale (.param .u64 buf, .param .u32 n)
+{
+  .reg .u32 %i, %n, %v;
+  .reg .u64 %p, %off;
+  .reg .pred %q;
+entry:
+  mov.u32 %i, %tid.x;
+  mov.u32 %n, %ntid.x;
+  mul.u32 %n, %n, %ctaid.x;
+  add.u32 %i, %i, %n;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %q, %i, %n;
+  @%q bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %p, [buf];
+  add.u64 %p, %p, %off;
+  ld.global.u32 %v, [%p];
+  mad.u32 %v, %v, 2, 1;
+  st.global.u32 [%p], %v;
+  bra done;
+done:
+  ret;
+}
+)";
+
+TEST(Streams, OpsOnOneStreamRunInSubmissionOrder) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  constexpr uint32_t N = 1000;
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In(N), Out(N, 0);
+  for (uint32_t I = 0; I < N; ++I)
+    In[I] = I * 3 + 7;
+
+  Params P;
+  P.u64(D).u32(N);
+  Stream S;
+  Dev.copyToDeviceAsync(S, D, In.data(), N * sizeof(uint32_t));
+  LaunchFuture F =
+      Prog->launchAsync(S, Dev, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P);
+  Dev.copyFromDeviceAsync(S, Out.data(), D, N * sizeof(uint32_t));
+  Status E = S.synchronize();
+  ASSERT_FALSE(E.isError()) << E.message();
+  EXPECT_TRUE(F.ready());
+  EXPECT_FALSE(F.wait().isError());
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], In[I] * 2 + 1) << "element " << I;
+}
+
+TEST(Streams, EventsOrderWorkAcrossStreams) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  constexpr uint32_t N = 512;
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In(N, 5), Out(N, 0);
+
+  Params P;
+  P.u64(D).u32(N);
+  Stream A, B;
+  Event Launched;
+  Dev.copyToDeviceAsync(A, D, In.data(), N * sizeof(uint32_t));
+  Prog->launchAsync(A, Dev, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P);
+  Launched.record(A);
+
+  // B's copy must observe A's completed launch, even though B is
+  // synchronized first.
+  B.waitEvent(Launched);
+  Dev.copyFromDeviceAsync(B, Out.data(), D, N * sizeof(uint32_t));
+  Status EB = B.synchronize();
+  ASSERT_FALSE(EB.isError()) << EB.message();
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], 11u) << "element " << I;
+
+  EXPECT_TRUE(Launched.query());
+  EXPECT_FALSE(Launched.wait().isError());
+  EXPECT_FALSE(A.synchronize().isError());
+}
+
+TEST(Streams, UnrecordedEventCountsAsComplete) {
+  Event Never;
+  EXPECT_TRUE(Never.query());
+  EXPECT_FALSE(Never.wait().isError());
+  Stream S;
+  S.waitEvent(Never); // must not wedge the stream
+  EXPECT_FALSE(S.synchronize().isError());
+}
+
+TEST(Streams, AsyncErrorsAreDeferredToSynchronize) {
+  auto Prog = Program::compile(ShapeCoverageSrc).take();
+  Device Dev(ShapeArenaBytes);
+  auto [Out, Acc] = allocShapeBuffers(Dev);
+  Params P;
+  P.u64(Out).u64(Acc);
+
+  Stream S;
+  LaunchOptions Bad;
+  Bad.MaxWarpSize = 3;
+  LaunchFuture F =
+      Prog->launchAsync(S, Dev, "shapes", {2, 1, 1}, {32, 1, 1}, P, Bad);
+  auto R = F.get();
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.status().message().find("power of two"), std::string::npos);
+  Status E = S.synchronize();
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("power of two"), std::string::npos);
+  // The deferred error is cleared once reported.
+  EXPECT_FALSE(S.synchronize().isError());
+
+  // An out-of-range async copy becomes the stream's deferred error too.
+  std::vector<std::byte> Host(64);
+  Dev.copyFromDeviceAsync(S, Host.data(), Dev.size() - 8, Host.size());
+  Status E2 = S.synchronize();
+  ASSERT_TRUE(E2.isError());
+  EXPECT_NE(E2.message().find("out of range"), std::string::npos);
+}
+
+TEST(Streams, BlockingLaunchMatchesAsyncStatsBitIdentically) {
+  auto Prog = Program::compile(ShapeCoverageSrc).take();
+  LaunchOptions O;
+  ShapeResult Blocking = runShapesBlocking(*Prog, O);
+
+  Device Dev(ShapeArenaBytes);
+  auto [Out, Acc] = allocShapeBuffers(Dev);
+  Params P;
+  P.u64(Out).u64(Acc);
+  Stream S;
+  LaunchFuture F =
+      Prog->launchAsync(S, Dev, "shapes", {2, 1, 1}, {32, 1, 1}, P, O);
+  ASSERT_FALSE(S.synchronize().isError());
+  auto StatsOrErr = F.get();
+  ASSERT_TRUE(static_cast<bool>(StatsOrErr));
+  ShapeResult Async;
+  Async.Stats = *StatsOrErr;
+  Async.Arena.assign(Dev.data(), Dev.data() + Dev.size());
+  expectMatchesReference(Async, Blocking);
+
+  // And the per-launch spawn engine (pool off) agrees as well: the modeled
+  // counters are dispatch-invariant.
+  LaunchOptions Spawn;
+  Spawn.UsePersistentPool = false;
+  expectMatchesReference(runShapesBlocking(*Prog, Spawn), Blocking);
+}
+
+} // namespace

@@ -25,7 +25,7 @@ uint32_t run1(const std::string &Body, const std::string &Decls) {
   Device Dev(4096);
   uint64_t Out = Dev.allocArray<uint32_t>(4);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   LaunchOptions O;
   O.MaxWarpSize = 1;
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, O);
@@ -167,7 +167,7 @@ entry:
   Device Dev(4096);
   uint64_t Out = Dev.allocArray<uint32_t>(4);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
   ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
   EXPECT_EQ(Dev.download<uint32_t>(Out, 1)[0], 0xFFu);
@@ -199,7 +199,7 @@ entry:
   Device Dev(4096);
   uint64_t Out = Dev.allocArray<uint32_t>(1);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
   ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
   EXPECT_EQ(Dev.download<uint32_t>(Out, 1)[0], (11u << 8) | 22u);
@@ -231,7 +231,7 @@ entry:
   Device Dev(4096);
   uint64_t Out = Dev.allocArray<uint32_t>(8);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   LaunchOptions O;
   O.MaxWarpSize = 4;
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {8, 1, 1}, Params, O);
@@ -259,7 +259,7 @@ entry:
   auto Prog = Program::compile(Src).take();
   Device Dev(4096);
   ParamBuilder Params;
-  Params.addU64(16);
+  Params.u64(16);
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
   ASSERT_FALSE(static_cast<bool>(S));
   EXPECT_NE(S.status().message().find("out-of-bounds"), std::string::npos);
@@ -279,7 +279,7 @@ entry:
   auto Prog = Program::compile(Src).take();
   Device Dev(4096);
   ParamBuilder Params;
-  Params.addU64(0);
+  Params.u64(0);
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
   ASSERT_FALSE(static_cast<bool>(S));
   EXPECT_NE(S.status().message().find("read-only"), std::string::npos);
@@ -303,7 +303,7 @@ entry:
   uint64_t Out = Dev.allocArray<uint32_t>(1);
   Dev.memset(Out, 0, 4);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   LaunchOptions O;
   O.MaxWarpSize = 4;
   auto S = Prog->launch(Dev, "t", {4, 1, 1}, {64, 1, 1}, Params, O);
@@ -335,7 +335,7 @@ entry:
   Device Dev(4096);
   uint64_t Out = Dev.allocArray<uint32_t>(1);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   LaunchOptions O;
   O.Workers = 1;
   auto S = Prog->launch(Dev, "t", {3, 2, 1}, {5, 1, 2}, Params, O);
@@ -362,7 +362,7 @@ TEST(VMCostModel, FlopsCounted) {
   Device Dev(4096);
   uint64_t Out = Dev.allocArray<uint32_t>(1);
   ParamBuilder Params;
-  Params.addU64(Out);
+  Params.u64(Out);
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {1, 1, 1}, Params, {});
   ASSERT_TRUE(static_cast<bool>(S));
   EXPECT_EQ(S->Counters.Flops, 2u); // one executed mad = 2 flops
@@ -391,7 +391,7 @@ entry:
   Device Dev(8192);
   uint64_t Buf = Dev.allocArray<float>(64);
   ParamBuilder Params;
-  Params.addU64(Buf);
+  Params.u64(Buf);
   LaunchOptions O;
   O.Workers = 1;
   auto S = Prog->launch(Dev, "t", {1, 1, 1}, {64, 1, 1}, Params, O);

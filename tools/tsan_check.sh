@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+#===- tools/tsan_check.sh - ThreadSanitizer gate for concurrency paths ----===#
+#
+# Part of SIMTVec (CGO 2012 reproduction).
+#
+#===----------------------------------------------------------------------===#
+#
+# Configures a ThreadSanitizer build in <repo>/build-tsan and runs the
+# concurrency-sensitive suites under it: the stream/event subsystem and the
+# worker pool (Streams.*), the sharded translation cache fast path
+# (FastPathTest.*), the engine-differential shape runs (ShapeExec.*), and
+# the end-to-end launch smoke tests (RuntimeSmoke.*). Also registrable as a
+# ctest job via -DSIMTVEC_TSAN_CHECK=ON at configure time.
+#
+# Usage: tools/tsan_check.sh [ctest-name-regex]
+#
+#===----------------------------------------------------------------------===#
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-tsan"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke}"
+
+cmake -S "$ROOT" -B "$BUILD" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSIMTVEC_SANITIZE=thread
+cmake --build "$BUILD" -j"$(nproc)" --target simtvec_tests
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD" -R "$FILTER" --output-on-failure
