@@ -11,7 +11,13 @@
 /// machine-readable `BENCH_wallclock.json` so future PRs have a host-perf
 /// trajectory to regress against.
 ///
-/// Usage: wallclock_throughput [output.json] [scale] [reps]
+/// Usage: wallclock_throughput [--metrics] [--trace TRACE.json]
+///        [output.json] [scale] [reps]
+///
+/// `--metrics` prints the process MetricsRegistry snapshot (cache hit/miss
+/// totals, warps formed per width, pool occupancy, ...) after the run;
+/// `--trace` records the whole run as a trace session and writes Chrome
+/// trace-event JSON (validate with tools/trace_dump --check).
 ///
 /// Repeated-launch mode: wallclock_throughput --launches N [output.json]
 /// [scale]. Measures launch *overhead* rather than kernel throughput: N
@@ -26,6 +32,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+
+#include "simtvec/support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -193,7 +201,61 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale) {
 
 } // namespace
 
+namespace {
+
+/// Prints the process-wide metrics snapshot (the `--metrics` report).
+void printMetrics() {
+  MetricsRegistry::Snapshot S = MetricsRegistry::global().snapshot();
+  std::printf("-- metrics --\n");
+  for (const auto &[Name, V] : S.Counters)
+    std::printf("%-24s %20llu\n", Name.c_str(),
+                static_cast<unsigned long long>(V));
+  for (const auto &[Name, V] : S.Gauges)
+    std::printf("%-24s %20.1f\n", Name.c_str(), V);
+  uint64_t Hits = S.counterValue("tc.hits");
+  uint64_t Misses = S.counterValue("tc.misses");
+  if (Hits + Misses)
+    std::printf("%-24s %19.1f%%\n", "tc.hit_rate",
+                100.0 * static_cast<double>(Hits) /
+                    static_cast<double>(Hits + Misses));
+}
+
+/// Ends the trace session and writes it to \p TracePath; returns 1 on a
+/// write failure.
+int finishTrace(const char *TracePath) {
+  trace::endSession();
+  if (Status E = trace::writeJson(TracePath); E.isError()) {
+    std::fprintf(stderr, "%s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("wrote trace %s\n", TracePath);
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
+  // Leading flags; everything after them keeps the historical positional
+  // meaning (bench_smoke and committed trajectories depend on it).
+  bool Metrics = false;
+  const char *TracePath = nullptr;
+  int ArgI = 1;
+  while (ArgI < argc) {
+    if (std::strcmp(argv[ArgI], "--metrics") == 0) {
+      Metrics = true;
+      ++ArgI;
+    } else if (std::strcmp(argv[ArgI], "--trace") == 0 && ArgI + 1 < argc) {
+      TracePath = argv[ArgI + 1];
+      ArgI += 2;
+    } else {
+      break;
+    }
+  }
+  argv += ArgI - 1;
+  argc -= ArgI - 1;
+  if (TracePath)
+    trace::startSession();
+
   if (argc > 1 && std::strcmp(argv[1], "--launches") == 0) {
     if (argc < 3) {
       std::fprintf(stderr,
@@ -205,7 +267,12 @@ int main(int argc, char **argv) {
         argc > 3 ? argv[3] : "BENCH_wallclock_launches.json";
     uint32_t LaunchScale =
         argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
-    return runLaunchesMode(Launches, LaunchOut, LaunchScale);
+    int RC = runLaunchesMode(Launches, LaunchOut, LaunchScale);
+    if (TracePath && RC == 0)
+      RC = finishTrace(TracePath);
+    if (Metrics)
+      printMetrics();
+    return RC;
   }
 
   const char *OutPath = argc > 1 ? argv[1] : "BENCH_wallclock.json";
@@ -286,5 +353,10 @@ int main(int argc, char **argv) {
   std::fprintf(Out, "  ]\n}\n");
   std::fclose(Out);
   std::printf("wrote %s\n", OutPath);
+  if (TracePath)
+    if (int RC = finishTrace(TracePath))
+      return RC;
+  if (Metrics)
+    printMetrics();
   return 0;
 }

@@ -27,6 +27,7 @@
 
 #include "simtvec/core/Vectorizer.h"
 #include "simtvec/support/Status.h"
+#include "simtvec/support/Trace.h"
 #include "simtvec/vm/Executable.h"
 
 #include <atomic>
@@ -96,6 +97,7 @@ public:
   /// path layered above this cache; its hits are still cache hits).
   void noteWarmHits(uint64_t N) {
     Hits.fetch_add(N, std::memory_order_relaxed);
+    RegHits->fetch_add(N, std::memory_order_relaxed);
   }
 
 private:
@@ -139,6 +141,14 @@ private:
   std::atomic<uint64_t> Misses{0};
   mutable std::mutex StatsLock; ///< guards CompileSeconds
   double CompileSeconds = 0;
+
+  /// Process-wide metrics mirrors of Hits/Misses: every bump goes to both,
+  /// so `MetricsRegistry` totals reconcile with stats() (summed over all
+  /// caches in the process).
+  MetricsRegistry::Counter *RegHits =
+      &MetricsRegistry::global().counter("tc.hits");
+  MetricsRegistry::Counter *RegMisses =
+      &MetricsRegistry::global().counter("tc.misses");
 };
 
 } // namespace simtvec

@@ -113,10 +113,22 @@ public:
   size_t size() const { return Arena.size(); }
   AtomicStripes &atomics() { return Atomics; }
 
+  /// Bytes currently allocated out of the arena (bump-pointer position,
+  /// including alignment padding; the 16 reserved null-guard bytes count).
+  size_t used() const;
+
+  /// Releases every allocation: the bump pointer returns to its initial
+  /// position and the live-allocation count to zero. All previously
+  /// returned device addresses become invalid (the arena contents are NOT
+  /// cleared — stale reads see old bytes, as on a real device). The device
+  /// has no free(); long-running hosts reset between independent phases.
+  void reset();
+
 private:
   std::vector<std::byte> Arena;
-  std::mutex AllocM;
-  size_t Break = 16; // address 0..15 reserved
+  mutable std::mutex AllocM;
+  size_t Break = 16;      // address 0..15 reserved
+  size_t AllocCount = 0;  // live allocations (diagnostics)
   AtomicStripes Atomics;
 };
 
@@ -189,6 +201,10 @@ struct LaunchOptions {
   bool UsePersistentPool = true;
   /// Run on the reference IR-walking engine (differential testing).
   bool UseReferenceInterp = false;
+  /// Record trace events for this launch (starts a trace session lazily if
+  /// none is active; see simtvec/support/Trace.h). Purely host-side:
+  /// modeled counters and LaunchStats are unchanged.
+  bool Trace = false;
 };
 
 /// A compiled SVIR module plus its translation cache.
@@ -214,6 +230,17 @@ public:
                            const std::string &KernelName, Dim3 Grid,
                            Dim3 Block, const Params &P,
                            const LaunchOptions &Options = {});
+
+  /// Launches blocking with tracing forced on, then writes the session's
+  /// Chrome trace-event JSON to \p TracePath and ends the session. Stats
+  /// are bit-identical to an untraced launch. Intended for one-off capture
+  /// (`chrome://tracing`, Perfetto, or `tools/trace_dump`); a failure to
+  /// write the trace is reported as the launch error.
+  Expected<LaunchStats> launchTraced(const std::string &TracePath,
+                                     Device &Dev,
+                                     const std::string &KernelName, Dim3 Grid,
+                                     Dim3 Block, const Params &P,
+                                     LaunchOptions Options = {});
 
   TranslationCache &translationCache() { return *TC; }
   const Module &module() const { return *M; }

@@ -28,7 +28,14 @@
 /// The pool honours the `SIMTVEC_POOL_THREADS` environment variable for its
 /// process-wide instance size; otherwise it uses the host's hardware
 /// concurrency (minimum 2, so one blocked drainer can never starve the
-/// process).
+/// process). Accepted values are whole decimal integers in [1, 1024]; a
+/// malformed value (trailing garbage like "8abc", empty, out of range)
+/// is rejected with a one-time stderr warning and the default is used.
+///
+/// Observability: park/wake transitions emit `pool.park`/`pool.wake` trace
+/// events and maintain the `pool.occupancy` metrics gauge; `parallelFor`
+/// and detached tasks are spans (`pool.parallel_for`, `pool.task`). See
+/// simtvec/support/Trace.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,9 +67,7 @@ public:
   /// Created lazily on first use; sized by `SIMTVEC_POOL_THREADS` when set.
   static WorkerPool &global();
 
-  unsigned threadCount() const {
-    return static_cast<unsigned>(Threads.size());
-  }
+  unsigned threadCount() const { return NumThreads; }
 
   /// Runs `Fn(0), ..., Fn(N-1)`, in parallel across pool workers and the
   /// calling thread, returning once every call has completed. Safe to call
@@ -78,6 +83,8 @@ public:
   struct Stats {
     uint64_t ParallelJobs = 0;
     uint64_t TasksRun = 0;
+    uint64_t Parks = 0;     ///< times a worker parked on the work CV
+    unsigned Occupancy = 0; ///< workers currently unparked
   };
   Stats stats() const;
 
@@ -89,6 +96,8 @@ private:
   Job *pickJobLocked();
   /// Removes \p J from the active list once fully claimed; pool mutex held.
   void unlistIfExhausted(Job *J);
+  /// Publishes park/occupancy metrics; pool mutex held.
+  void noteOccupancy();
 
   mutable std::mutex M;
   std::condition_variable WorkCV;
@@ -97,6 +106,12 @@ private:
   bool ShuttingDown = false;
   uint64_t JobCount = 0;
   uint64_t TaskCount = 0;
+  uint64_t ParkCount = 0;
+  unsigned Parked = 0; ///< workers currently waiting on WorkCV
+  /// Fixed at construction *before* any worker spawns: early workers park
+  /// (and report occupancy) while the constructor is still appending to
+  /// Threads, so they must not read Threads.size().
+  unsigned NumThreads = 0;
   std::vector<std::thread> Threads;
 };
 

@@ -1,0 +1,255 @@
+//===- simtvec/support/Trace.h - Structured tracing & metrics ---*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead structured tracing and metrics for the runtime. The paper's
+/// evaluation (Figs. 6-10) is an exercise in attributing warp time to the
+/// subkernel, the yield handlers, and the execution manager; this subsystem
+/// makes that attribution observable *inside* a launch instead of only as
+/// end-of-launch aggregates.
+///
+/// Two facilities:
+///
+///  - **Event tracing** (`trace::*`): instrumented seams (launch/CTA spans
+///    in the execution manager, warp-formation histograms, translation-cache
+///    hit/miss/compile, stream op lifecycle, pool park/wake) record fixed
+///    size events into per-thread single-producer buffers. A session is
+///    exported as Chrome `chrome://tracing` / Perfetto trace-event JSON
+///    (`trace::writeJson`), validated by `tools/trace_dump --check`.
+///
+///  - **Metrics** (`MetricsRegistry`): process-wide named monotonic counters
+///    and gauges (cache hit rate, warps formed per width, barrier waits,
+///    pool occupancy) queryable from the host API and printed by
+///    `wallclock_throughput --metrics`.
+///
+/// Overhead contract: when tracing is disabled every hook is one relaxed
+/// atomic load plus a predicted-untaken branch — no clock read, no buffer
+/// touch (`trace::enabled()`). Recording never takes a lock: each thread
+/// owns its buffer, slots are written once and published with a
+/// release-store of the write index, and overflow drops the new event
+/// (counted in `ThreadEvents::Dropped`) instead of overwriting slots a
+/// reader may be scanning. Tracing is host-side only: it never touches the
+/// modeled counters, so `LaunchStats` are bit-identical with tracing on or
+/// off (asserted by tests/trace_test.cpp).
+///
+/// Session discipline: `startSession()` resets the clock epoch and marks
+/// every buffer for (owner-side) reuse; `collect()`/`writeJson()` must not
+/// run concurrently with a *later* `startSession()` — sessions are
+/// sequential, the traced work inside them is arbitrarily parallel.
+///
+/// Gating: the `SIMTVEC_TRACE` environment variable (non-empty, not "0")
+/// starts a session at process start; `LaunchOptions::Trace` starts one
+/// lazily at the first traced launch; `Program::launchTraced` brackets a
+/// single launch and writes its trace file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_TRACE_H
+#define SIMTVEC_SUPPORT_TRACE_H
+
+#include "simtvec/support/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+namespace trace {
+
+/// Event kinds, mapped to trace-event phases on export: Span -> "X"
+/// (complete event with duration; begin/end derived at export, so pairs are
+/// matched by construction even under drops), Instant -> "i", Counter ->
+/// "C".
+enum class Kind : uint8_t { Span, Instant, Counter };
+
+/// One recorded event. Name/category/argument-key strings must have process
+/// lifetime (string literals, or `trace::intern` for dynamic names).
+struct Event {
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  uint64_t Ts = 0;  ///< nanoseconds since the session epoch
+  uint64_t Dur = 0; ///< Span only
+  Kind Ph = Kind::Instant;
+  uint64_t A0 = 0, A1 = 0;
+  const char *K0 = nullptr, *K1 = nullptr; ///< arg names; null = absent
+  const char *SK = nullptr; ///< string-arg key (null = absent)
+  const char *SV = nullptr; ///< string-arg value (interned)
+};
+
+namespace detail {
+/// Single relaxed load; the branch lives at the call site.
+extern std::atomic<bool> EnabledFlag;
+void record(const Event &E);
+uint64_t sessionNanos(); ///< nanoseconds since the session epoch
+} // namespace detail
+
+/// True when a trace session is active. The disabled-path cost of every
+/// hook: this load plus one branch.
+inline bool enabled() {
+  return detail::EnabledFlag.load(std::memory_order_relaxed);
+}
+
+/// Starts a session: resets the epoch, marks all thread buffers for reuse,
+/// and enables recording. Must not race with a collect() of the previous
+/// session (sessions are sequential).
+void startSession();
+
+/// Disables recording. Already-recorded events stay collectable.
+void endSession();
+
+/// Copies a dynamic string into process-lifetime storage, deduplicated, so
+/// it can be carried by events. Cold paths only (per launch, per compile).
+const char *intern(const std::string &S);
+
+/// Records an instant event (no-op when disabled).
+inline void instant(const char *Name, const char *Cat, uint64_t A0 = 0,
+                    const char *K0 = nullptr, uint64_t A1 = 0,
+                    const char *K1 = nullptr) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ts = detail::sessionNanos();
+  E.Ph = Kind::Instant;
+  E.A0 = A0;
+  E.A1 = A1;
+  E.K0 = K0;
+  E.K1 = K1;
+  detail::record(E);
+}
+
+/// Records a counter sample (rendered as a counter track).
+inline void counter(const char *Name, const char *Cat, uint64_t Value) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ts = detail::sessionNanos();
+  E.Ph = Kind::Counter;
+  E.A0 = Value;
+  E.K0 = "value";
+  detail::record(E);
+}
+
+/// RAII span: captures the start time at construction when tracing is on,
+/// records a complete event at destruction. When tracing is off both ends
+/// are a load + branch. Spans must strictly nest per thread (stack
+/// discipline), which scoped lifetime guarantees.
+class Span {
+public:
+  Span(const char *Name, const char *Cat) : Name(Name), Cat(Cat) {
+    if (enabled())
+      Start = detail::sessionNanos() + 1; // +1: 0 means "not tracing"
+  }
+  ~Span() {
+    if (Start)
+      finish();
+  }
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Optional arguments, attached before destruction.
+  void arg(const char *Key, uint64_t Value) {
+    if (!Start)
+      return;
+    if (!K0) {
+      K0 = Key;
+      A0 = Value;
+    } else {
+      K1 = Key;
+      A1 = Value;
+    }
+  }
+  void strArg(const char *Key, const char *InternedValue) {
+    if (!Start)
+      return;
+    SK = Key;
+    SV = InternedValue;
+  }
+
+private:
+  void finish();
+
+  const char *Name;
+  const char *Cat;
+  uint64_t Start = 0;
+  uint64_t A0 = 0, A1 = 0;
+  const char *K0 = nullptr, *K1 = nullptr;
+  const char *SK = nullptr, *SV = nullptr;
+};
+
+/// Events of one thread, in record order (timestamps nondecreasing).
+struct ThreadEvents {
+  uint32_t Tid = 0;        ///< dense per-process trace thread id
+  uint64_t Dropped = 0;    ///< events lost to buffer overflow
+  std::vector<Event> Events;
+};
+
+/// Snapshots every thread's events for the current session. Safe against
+/// concurrent recording (in-flight events may simply be missed); must not
+/// race with a later startSession().
+std::vector<ThreadEvents> collect();
+
+/// Serializes the current session as Chrome trace-event JSON.
+std::string toJson();
+
+/// Writes toJson() to \p Path.
+Status writeJson(const std::string &Path);
+
+/// Per-thread buffer capacity in events; settable via the
+/// SIMTVEC_TRACE_BUFFER environment variable (default 1<<15). Applies to
+/// buffers created after the change.
+size_t bufferCapacity();
+
+} // namespace trace
+
+/// Process-wide named counters and gauges. Counters are monotonic
+/// uint64 atomics — the registry hands out a stable pointer so hot sites
+/// pay one relaxed fetch_add, not a map lookup. Gauges are last-write-wins
+/// doubles. Lookup/creation is mutex-guarded and intended for cold paths;
+/// cache the returned counter reference.
+class MetricsRegistry {
+public:
+  using Counter = std::atomic<uint64_t>;
+
+  static MetricsRegistry &global();
+
+  /// Finds or creates the counter \p Name. The reference is stable for the
+  /// registry's lifetime.
+  Counter &counter(const std::string &Name);
+
+  /// Convenience: counter(Name) += Delta (cold paths; hot sites should
+  /// cache the counter).
+  void add(const std::string &Name, uint64_t Delta) {
+    counter(Name).fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  /// Sets the gauge \p Name to \p Value (last write wins).
+  void setGauge(const std::string &Name, double Value);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> Counters; ///< sorted
+    std::vector<std::pair<std::string, double>> Gauges;     ///< sorted
+    /// The counter's value, or 0 when absent.
+    uint64_t counterValue(const std::string &Name) const;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every counter and drops every gauge (tests).
+  void reset();
+
+private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_TRACE_H

@@ -7,8 +7,10 @@
 #include "simtvec/core/ExecutionManager.h"
 
 #include "simtvec/support/Format.h"
+#include "simtvec/support/Trace.h"
 #include "simtvec/vm/Interpreter.h"
 
+#include <array>
 #include <bit>
 #include <optional>
 #include <thread>
@@ -16,6 +18,44 @@
 using namespace simtvec;
 
 namespace {
+
+/// Registry counter for warps formed at width 2^Log2, created lazily and
+/// cached so the per-launch metrics flush performs no map lookup in the
+/// steady state.
+MetricsRegistry::Counter &warpWidthCounter(unsigned Log2) {
+  static std::array<std::atomic<MetricsRegistry::Counter *>, 32> Cache{};
+  MetricsRegistry::Counter *C = Cache[Log2].load(std::memory_order_acquire);
+  if (!C) {
+    C = &MetricsRegistry::global().counter(
+        formatString("em.warps.w%u", 1u << Log2));
+    Cache[Log2].store(C, std::memory_order_release);
+  }
+  return *C;
+}
+
+/// Flushes one launch's aggregated stats into the metrics registry (once
+/// per launch — off every hot path).
+void flushLaunchMetrics(const LaunchStats &Stats) {
+  struct Counters {
+    MetricsRegistry::Counter &Launches, &WarpEntries, &ThreadEntries,
+        &BranchYields, &BarrierWaits, &ExitYields;
+  };
+  static Counters C{MetricsRegistry::global().counter("launch.count"),
+                    MetricsRegistry::global().counter("em.warp_entries"),
+                    MetricsRegistry::global().counter("em.thread_entries"),
+                    MetricsRegistry::global().counter("em.branch_yields"),
+                    MetricsRegistry::global().counter("em.barrier_waits"),
+                    MetricsRegistry::global().counter("em.exit_yields")};
+  C.Launches.fetch_add(1, std::memory_order_relaxed);
+  C.WarpEntries.fetch_add(Stats.WarpEntries, std::memory_order_relaxed);
+  C.ThreadEntries.fetch_add(Stats.ThreadEntries, std::memory_order_relaxed);
+  C.BranchYields.fetch_add(Stats.BranchYields, std::memory_order_relaxed);
+  C.BarrierWaits.fetch_add(Stats.BarrierYields, std::memory_order_relaxed);
+  C.ExitYields.fetch_add(Stats.ExitYields, std::memory_order_relaxed);
+  for (const auto &[Width, N] : Stats.EntriesByWidth)
+    warpWidthCounter(static_cast<unsigned>(std::countr_zero(Width)))
+        .fetch_add(N, std::memory_order_relaxed);
+}
 
 /// Largest power of two <= N (N >= 1).
 uint32_t floorPow2(uint32_t N) { return std::bit_floor(N); }
@@ -202,6 +242,19 @@ private:
 bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
   const uint32_t NumThreads = static_cast<uint32_t>(Block.count());
   const MachineModel &Machine = Config.Machine;
+
+  // Per-CTA observability: one span per CTA plus, at CTA end, the warp
+  // formation summary and the entry-point histogram delta this CTA
+  // contributed (paper Fig. 7, but time-resolved). All of it is behind the
+  // one-load enabled() check and none of it touches modeled counters.
+  trace::Span CtaSpan("cta", "em");
+  CtaSpan.arg("cta", LinearCta);
+  const bool Tracing = trace::enabled();
+  uint64_t WarpsBefore = R.WarpEntries;
+  uint64_t HistBefore[32];
+  if (Tracing)
+    std::copy(std::begin(R.EntriesByWidthLog2),
+              std::end(R.EntriesByWidthLog2), std::begin(HistBefore));
 
   // Per-CTA memory structures (paper §5.2): shared memory and a contiguous
   // block partitioned into per-thread local memories. assign() zeroes the
@@ -411,6 +464,14 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
       break;
     }
   }
+  if (Tracing) {
+    trace::instant("warp_formation", "em", R.WarpEntries - WarpsBefore,
+                   "warps", NumThreads, "threads");
+    for (unsigned I = 0; I < 32; ++I)
+      if (uint64_t D = R.EntriesByWidthLog2[I] - HistBefore[I])
+        trace::instant("entries_by_width", "em", 1u << I, "width", D,
+                       "entries");
+  }
   return true;
 }
 
@@ -470,12 +531,34 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
   // or the workers run sequentially in the caller. The per-thread EMArena
   // persists across launches on pool threads, so steady-state launches
   // reuse every worker buffer instead of reallocating.
+  trace::Span LaunchSpan("launch", "em");
+  if (trace::enabled()) {
+    LaunchSpan.strArg("kernel", trace::intern(KernelName));
+    LaunchSpan.arg("ctas", Grid.count());
+    LaunchSpan.arg("workers", Workers);
+  }
+
   std::vector<WorkerResult> Results(Workers);
   auto Body = [&](unsigned WorkerId) {
+    trace::Span WorkerSpan("worker", "em");
+    WorkerSpan.arg("worker", WorkerId);
     static thread_local EMArena Arena;
     ExecutionManager EM(TC, KernelName, Config, *LayoutOrErr, Grid, Block,
                         ParamBuf, Global, GlobalSize, Atomics, Arena);
     Results[WorkerId] = EM.run(WorkerId, Workers);
+    if (trace::enabled()) {
+      // Per-worker CycleCounters snapshot: the interpreter-accumulated
+      // modeled buckets, exported as counter tracks so a timeline shows
+      // where this worker's modeled time went (paper Fig. 9, per launch).
+      const CycleCounters &C = Results[WorkerId].Counters;
+      trace::counter("cycles.subkernel", "counters",
+                     static_cast<uint64_t>(C.SubkernelCycles));
+      trace::counter("cycles.yield", "counters",
+                     static_cast<uint64_t>(C.YieldCycles));
+      trace::counter("cycles.em", "counters",
+                     static_cast<uint64_t>(C.EMCycles));
+      trace::counter("insts", "counters", C.InstsExecuted);
+    }
   };
   if (Config.ParallelFor && Workers > 1) {
     Config.ParallelFor(Workers, Body);
@@ -509,5 +592,6 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
   }
   Stats.ModeledSeconds =
       Stats.MaxWorkerCycles / (Config.Machine.ClockGHz * 1e9);
+  flushLaunchMetrics(Stats);
   return Stats;
 }

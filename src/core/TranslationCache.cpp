@@ -67,6 +67,8 @@ TranslationCache::get(const Key &K) {
     auto It = S.Cache.find(K);
     if (It != S.Cache.end()) {
       Hits.fetch_add(1, std::memory_order_relaxed);
+      RegHits->fetch_add(1, std::memory_order_relaxed);
+      trace::instant("tc.hit", "cache", K.WarpSize, "width");
       return It->second;
     }
   }
@@ -83,6 +85,8 @@ TranslationCache::get(const Key &K) {
       auto It = S.Cache.find(K);
       if (It != S.Cache.end()) {
         Hits.fetch_add(1, std::memory_order_relaxed);
+        RegHits->fetch_add(1, std::memory_order_relaxed);
+        trace::instant("tc.hit", "cache", K.WarpSize, "width");
         return It->second;
       }
     }
@@ -104,12 +108,21 @@ TranslationCache::get(const Key &K) {
     if (Slot->Err.isError())
       return Slot->Err;
     Hits.fetch_add(1, std::memory_order_relaxed);
+    RegHits->fetch_add(1, std::memory_order_relaxed);
+    trace::instant("tc.hit", "cache", K.WarpSize, "width");
     return Slot->Value;
   }
 
   // We own the compile. No cache lock is held while specializing, so other
   // keys (other kernels, other widths) compile and hit concurrently.
   Misses.fetch_add(1, std::memory_order_relaxed);
+  RegMisses->fetch_add(1, std::memory_order_relaxed);
+  trace::instant("tc.miss", "cache", K.WarpSize, "width");
+  trace::Span CompileSpan("tc.compile", "cache");
+  if (trace::enabled()) {
+    CompileSpan.strArg("kernel", trace::intern(K.KernelName));
+    CompileSpan.arg("width", K.WarpSize);
+  }
   auto Start = std::chrono::steady_clock::now();
 
   auto Publish = [&](Status Err,
@@ -163,6 +176,8 @@ TranslationCache::get(const Key &K) {
     std::lock_guard<std::mutex> Guard(StatsLock);
     CompileSeconds += Seconds;
   }
+  MetricsRegistry::global().add("tc.compile_nanos",
+                                static_cast<uint64_t>(Seconds * 1e9));
   return Exec;
 }
 

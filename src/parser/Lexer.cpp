@@ -9,6 +9,8 @@
 #include "simtvec/support/Format.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 using namespace simtvec;
@@ -76,9 +78,18 @@ bool Lexer::lexNumber(std::string &ErrorMessage) {
       return false;
     }
     T.Kind = TokKind::Int;
+    errno = 0;
     T.IntBits = std::strtoull(Text.substr(DigitsStart, Pos - DigitsStart)
                                   .c_str(),
                               nullptr, 16);
+    if (errno == ERANGE) {
+      // strtoull silently saturates to ULLONG_MAX; a 17+-digit hex literal
+      // would otherwise parse as 0xffffffffffffffff.
+      ErrorMessage = formatString(
+          "%u:%u: hex integer literal does not fit in 64 bits", T.Line,
+          T.Col);
+      return false;
+    }
     Tokens.push_back(std::move(T));
     return true;
   }
@@ -114,10 +125,26 @@ bool Lexer::lexNumber(std::string &ErrorMessage) {
   std::string Spelling = Text.substr(Start, Pos - Start);
   if (IsFloat) {
     T.Kind = TokKind::Float;
+    errno = 0;
     T.FloatValue = std::strtod(Spelling.c_str(), nullptr);
+    // ERANGE covers both directions; only overflow (±HUGE_VAL) is an error —
+    // underflow to a denormal or 0.0 is the closest representable value.
+    if (errno == ERANGE && std::abs(T.FloatValue) == HUGE_VAL) {
+      ErrorMessage = formatString(
+          "%u:%u: float literal '%s' overflows a double", T.Line, T.Col,
+          Spelling.c_str());
+      return false;
+    }
   } else {
     T.Kind = TokKind::Int;
+    errno = 0;
     T.IntBits = std::strtoull(Spelling.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      ErrorMessage = formatString(
+          "%u:%u: integer literal '%s' does not fit in 64 bits", T.Line,
+          T.Col, Spelling.c_str());
+      return false;
+    }
   }
   Tokens.push_back(std::move(T));
   return true;

@@ -10,6 +10,7 @@
 #include "simtvec/parser/Parser.h"
 #include "simtvec/runtime/WorkerPool.h"
 #include "simtvec/support/Format.h"
+#include "simtvec/support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +25,23 @@ Expected<uint64_t> Device::tryAlloc(size_t Bytes) {
   if (Bytes > Arena.size() || Offset > Arena.size() - Bytes)
     return Status::error(formatString(
         "device out of memory: alloc of %zu bytes at break %zu exceeds the "
-        "%zu-byte arena",
-        Bytes, Offset, Arena.size()));
+        "%zu-byte arena (%zu live allocations; Device::reset() releases "
+        "them)",
+        Bytes, Offset, Arena.size(), AllocCount));
   Break = Offset + Bytes;
+  ++AllocCount;
   return static_cast<uint64_t>(Offset);
+}
+
+size_t Device::used() const {
+  std::lock_guard<std::mutex> Lock(AllocM);
+  return Break;
+}
+
+void Device::reset() {
+  std::lock_guard<std::mutex> Lock(AllocM);
+  Break = 16; // address 0..15 stays reserved
+  AllocCount = 0;
 }
 
 Status Device::tryCopyToDevice(uint64_t Dst, const void *Src, size_t Bytes) {
@@ -170,6 +184,8 @@ LaunchFuture Program::launchAsync(Stream &S, Device &Dev,
                                   const LaunchOptions &Options) {
   auto LS = std::make_shared<detail::LaunchState>();
   LaunchFuture F(LS);
+  if (Options.Trace && !trace::enabled())
+    trace::startSession();
   if (Status E = validateParams(KernelName, P); E.isError()) {
     // Submission-time failure: never enqueued; reported through both the
     // future and the stream's deferred error.
@@ -208,4 +224,21 @@ Expected<LaunchStats> Program::launch(Device &Dev,
   LaunchFuture F = launchAsync(S, Dev, KernelName, Grid, Block, P, Options);
   S.synchronize();
   return F.get();
+}
+
+Expected<LaunchStats> Program::launchTraced(const std::string &TracePath,
+                                            Device &Dev,
+                                            const std::string &KernelName,
+                                            Dim3 Grid, Dim3 Block,
+                                            const Params &P,
+                                            LaunchOptions Options) {
+  Options.Trace = true;
+  trace::startSession();
+  Expected<LaunchStats> R = launch(Dev, KernelName, Grid, Block, P, Options);
+  // End before export: late stream/pool events can no longer record, so the
+  // write-out races with nothing.
+  trace::endSession();
+  if (Status E = trace::writeJson(TracePath); E.isError() && R)
+    return E;
+  return R;
 }

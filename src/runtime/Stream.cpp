@@ -19,9 +19,18 @@
 
 #include "simtvec/runtime/Runtime.h"
 #include "simtvec/runtime/WorkerPool.h"
+#include "simtvec/support/Trace.h"
 
 using namespace simtvec;
 using namespace simtvec::detail;
+
+namespace {
+/// Stable-ish id for trace events: the state object's address. Good enough
+/// to correlate one stream's submit/run/complete events within a session.
+uint64_t streamId(const StreamState *S) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(S));
+}
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // StreamState
@@ -29,14 +38,18 @@ using namespace simtvec::detail;
 
 void StreamState::enqueue(std::function<OpOutcome()> Op) {
   bool Submit = false;
+  size_t Depth = 0;
   {
     std::lock_guard<std::mutex> Lock(M);
     Ops.push_back(std::move(Op));
+    Depth = Ops.size();
     if (State == Drain::Idle) {
       State = Drain::Scheduled;
       Submit = true;
     }
   }
+  trace::instant("stream.submit", "stream", streamId(this), "stream", Depth,
+                 "depth");
   if (Submit) {
     auto Self = shared_from_this();
     WorkerPool::global().submit([Self] { Self->tryClaimAndDrain(); });
@@ -50,6 +63,10 @@ void StreamState::tryClaimAndDrain() {
       return; // someone else (a helping synchronizer) already claimed it
     State = Drain::Running;
   }
+  // Scheduled -> Running: this pool task took the drain token. (The no-op
+  // path above stays trace-free: a late task must not record into a
+  // session that may have been reset after the stream went idle.)
+  trace::instant("stream.claim", "stream", streamId(this), "stream");
   drainLoop();
 }
 
@@ -62,15 +79,24 @@ void StreamState::drainLoop() {
       if (Ops.empty()) {
         State = Drain::Idle;
         CV.notify_all();
+        trace::instant("stream.idle", "stream", streamId(this), "stream");
         return;
       }
       // Copied, not popped: a Blocked op stays at the front and re-runs
       // (now trivially satisfied) when the event re-arms the stream.
       Op = Ops.front();
     }
-    OpOutcome R = Op();
-    if (R == OpOutcome::Blocked)
+    OpOutcome R;
+    {
+      trace::Span OpSpan("stream.op", "stream");
+      OpSpan.arg("stream", streamId(this));
+      R = Op();
+      OpSpan.arg("outcome", static_cast<uint64_t>(R));
+    }
+    if (R == OpOutcome::Blocked) {
+      trace::instant("stream.blocked", "stream", streamId(this), "stream");
       return; // the op parked the stream (State == Blocked)
+    }
     if (R == OpOutcome::Done) {
       std::lock_guard<std::mutex> Lock(M);
       Ops.pop_front();
@@ -85,6 +111,7 @@ void StreamState::resume() {
     State = Drain::Scheduled;
     CV.notify_all(); // a synchronizer may claim instead of the pool task
     Lock.unlock();
+    trace::instant("stream.resume", "stream", streamId(this), "stream");
     auto Self = shared_from_this();
     WorkerPool::global().submit([Self] { Self->tryClaimAndDrain(); });
     return;
@@ -174,6 +201,7 @@ Status Stream::synchronize() {
       // waiting for a pool worker (makes blocking launches ~free).
       SS.State = StreamState::Drain::Running;
       Lock.unlock();
+      trace::instant("stream.claim", "stream", streamId(&SS), "stream");
       SS.drainLoop();
       Lock.lock();
       continue;

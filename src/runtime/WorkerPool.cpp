@@ -6,7 +6,11 @@
 
 #include "simtvec/runtime/WorkerPool.h"
 
+#include "simtvec/support/Trace.h"
+
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 namespace simtvec {
@@ -35,6 +39,7 @@ WorkerPool::WorkerPool(unsigned ThreadCount) {
     if (ThreadCount < 2)
       ThreadCount = 2;
   }
+  NumThreads = ThreadCount;
   Threads.reserve(ThreadCount);
   for (unsigned I = 0; I < ThreadCount; ++I)
     Threads.emplace_back([this] { workerMain(); });
@@ -56,9 +61,21 @@ WorkerPool &WorkerPool::global() {
   static WorkerPool *Pool = [] {
     unsigned Count = 0;
     if (const char *Env = std::getenv("SIMTVEC_POOL_THREADS")) {
-      long V = std::strtol(Env, nullptr, 10);
-      if (V > 0 && V < 1024)
+      // Full-string validation: strtol alone accepts trailing garbage
+      // ("8abc" parses as 8) and out-of-range values used to be ignored
+      // silently. Accepted range: 1..1024 threads.
+      char *End = nullptr;
+      errno = 0;
+      long V = std::strtol(Env, &End, 10);
+      if (End != Env && *End == '\0' && errno != ERANGE && V >= 1 &&
+          V <= 1024)
         Count = static_cast<unsigned>(V);
+      else
+        std::fprintf(stderr,
+                     "simtvec: ignoring invalid SIMTVEC_POOL_THREADS='%s' "
+                     "(expected an integer in [1, 1024]); using hardware "
+                     "concurrency\n",
+                     Env);
     }
     // Leaked intentionally: worker threads may still be parked when static
     // destructors run; tearing the pool down then would race with any
@@ -99,6 +116,12 @@ void WorkerPool::parallelFor(unsigned N,
     return;
   }
 
+  trace::Span JobSpan("pool.parallel_for", "pool");
+  JobSpan.arg("n", N);
+  static MetricsRegistry::Counter &JobMetric =
+      MetricsRegistry::global().counter("pool.jobs");
+  JobMetric.fetch_add(1, std::memory_order_relaxed);
+
   Job J(Fn, N);
   {
     std::lock_guard<std::mutex> Lock(M);
@@ -131,12 +154,15 @@ void WorkerPool::submit(std::function<void()> Task) {
     Tasks.push_back(std::move(Task));
     ++TaskCount;
   }
+  static MetricsRegistry::Counter &TaskMetric =
+      MetricsRegistry::global().counter("pool.tasks");
+  TaskMetric.fetch_add(1, std::memory_order_relaxed);
   WorkCV.notify_one();
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
   std::lock_guard<std::mutex> Lock(M);
-  return {JobCount, TaskCount};
+  return {JobCount, TaskCount, ParkCount, NumThreads - Parked};
 }
 
 void WorkerPool::workerMain() {
@@ -164,14 +190,36 @@ void WorkerPool::workerMain() {
       std::function<void()> Task = std::move(Tasks.front());
       Tasks.pop_front();
       Lock.unlock();
-      Task();
+      {
+        trace::Span TaskSpan("pool.task", "pool");
+        Task();
+      }
       Lock.lock();
       continue;
     }
     if (ShuttingDown)
       return;
+    // Transition to parked. Park/wake are the pool's occupancy edges, so
+    // this (already-idle) path also maintains the occupancy gauge and the
+    // park/wake counters; none of it runs while the pool is saturated.
+    ++Parked;
+    ++ParkCount;
+    noteOccupancy();
+    trace::instant("pool.park", "pool", NumThreads - Parked, "busy");
     WorkCV.wait(Lock);
+    --Parked;
+    noteOccupancy();
+    trace::instant("pool.wake", "pool", NumThreads - Parked, "busy");
   }
+}
+
+void WorkerPool::noteOccupancy() {
+  static MetricsRegistry::Counter &ParkMetric =
+      MetricsRegistry::global().counter("pool.parks");
+  // Called on every park *and* wake; parks alone are half the calls.
+  ParkMetric.store(ParkCount, std::memory_order_relaxed);
+  MetricsRegistry::global().setGauge(
+      "pool.occupancy", static_cast<double>(NumThreads - Parked));
 }
 
 } // namespace simtvec

@@ -1,0 +1,352 @@
+//===- support/Trace.cpp - Structured tracing & metrics -------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Buffer protocol (the part TSan cares about): each thread owns one
+// ThreadBuffer. Slots are written only by the owner and only once per
+// session (overflow drops the new event rather than recycling a slot), and
+// each write is published by a release-store of the write index; readers
+// acquire the index and touch only slots below it. Session reuse is
+// owner-side: a thread notices the bumped session epoch at its next record
+// and resets its own indices — no foreign thread ever writes a buffer.
+// Buffers are leaked on thread exit (they are few: pool workers persist,
+// and a collector may still read them after the thread died).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Trace.h"
+
+#include "simtvec/support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+using namespace simtvec;
+
+namespace {
+
+uint64_t steadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's event buffer. Single producer (the owning thread); any
+/// thread may read the published prefix.
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t Tid, size_t Cap)
+      : Tid(Tid), Cap(Cap), Slots(new trace::Event[Cap]) {}
+
+  const uint32_t Tid;
+  const size_t Cap;
+  std::unique_ptr<trace::Event[]> Slots;
+  std::atomic<uint64_t> Write{0};   ///< published events this session
+  std::atomic<uint64_t> Dropped{0};
+  std::atomic<uint64_t> Epoch{0};   ///< session the contents belong to
+};
+
+struct TraceGlobals {
+  std::mutex M; ///< guards Buffers, NextTid, Interned
+  std::vector<ThreadBuffer *> Buffers;
+  uint32_t NextTid = 1;
+  std::set<std::string> Interned;
+
+  std::atomic<uint64_t> SessionEpoch{0};
+  std::atomic<uint64_t> SessionStartNs{0};
+  std::atomic<size_t> Capacity{size_t{1} << 15};
+};
+
+TraceGlobals &globals() {
+  // Leaked: collectors and late pool-thread records may run during static
+  // destruction otherwise.
+  static TraceGlobals *G = new TraceGlobals();
+  return *G;
+}
+
+ThreadBuffer &localBuffer() {
+  thread_local ThreadBuffer *TLB = nullptr;
+  if (!TLB) {
+    TraceGlobals &G = globals();
+    std::lock_guard<std::mutex> Lock(G.M);
+    TLB = new ThreadBuffer(G.NextTid++, G.Capacity.load());
+    G.Buffers.push_back(TLB);
+  }
+  return *TLB;
+}
+
+/// Reads SIMTVEC_TRACE / SIMTVEC_TRACE_BUFFER once at process start.
+struct EnvInit {
+  EnvInit() {
+    if (const char *Buf = std::getenv("SIMTVEC_TRACE_BUFFER")) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Buf, &End, 10);
+      if (End != Buf && *End == '\0' && V >= 64 && V <= (1ull << 24))
+        globals().Capacity.store(static_cast<size_t>(V));
+      else
+        std::fprintf(stderr,
+                     "simtvec: ignoring invalid SIMTVEC_TRACE_BUFFER='%s' "
+                     "(expected an event count in [64, 2^24])\n",
+                     Buf);
+    }
+    if (const char *T = std::getenv("SIMTVEC_TRACE"))
+      if (*T != '\0' && std::strcmp(T, "0") != 0)
+        trace::startSession();
+  }
+} TheEnvInit;
+
+void appendEscaped(std::string &Out, const char *S) {
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatString("\\u%04x", C);
+    } else {
+      Out += C;
+    }
+  }
+}
+
+} // namespace
+
+namespace simtvec {
+namespace trace {
+namespace detail {
+
+std::atomic<bool> EnabledFlag{false};
+
+uint64_t sessionNanos() {
+  return steadyNanos() - globals().SessionStartNs.load(std::memory_order_relaxed);
+}
+
+void record(const Event &E) {
+  ThreadBuffer &B = localBuffer();
+  TraceGlobals &G = globals();
+  uint64_t Epoch = G.SessionEpoch.load(std::memory_order_acquire);
+  if (B.Epoch.load(std::memory_order_relaxed) != Epoch) {
+    // New session since this thread last recorded: owner-side reset. The
+    // previous session's collect() has completed (sessions are sequential),
+    // so recycling the slots races with nobody.
+    B.Write.store(0, std::memory_order_relaxed);
+    B.Dropped.store(0, std::memory_order_relaxed);
+    B.Epoch.store(Epoch, std::memory_order_release);
+  }
+  uint64_t Idx = B.Write.load(std::memory_order_relaxed);
+  if (Idx >= B.Cap) {
+    B.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  B.Slots[Idx] = E;
+  B.Write.store(Idx + 1, std::memory_order_release);
+}
+
+} // namespace detail
+
+void startSession() {
+  TraceGlobals &G = globals();
+  G.SessionStartNs.store(steadyNanos(), std::memory_order_relaxed);
+  G.SessionEpoch.fetch_add(1, std::memory_order_release);
+  detail::EnabledFlag.store(true, std::memory_order_release);
+}
+
+void endSession() {
+  detail::EnabledFlag.store(false, std::memory_order_release);
+}
+
+const char *intern(const std::string &S) {
+  TraceGlobals &G = globals();
+  std::lock_guard<std::mutex> Lock(G.M);
+  return G.Interned.insert(S).first->c_str();
+}
+
+size_t bufferCapacity() { return globals().Capacity.load(); }
+
+void Span::finish() {
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Ts = Start - 1;
+  uint64_t End = detail::sessionNanos();
+  E.Dur = End > E.Ts ? End - E.Ts : 0;
+  E.Ph = Kind::Span;
+  E.A0 = A0;
+  E.A1 = A1;
+  E.K0 = K0;
+  E.K1 = K1;
+  E.SK = SK;
+  E.SV = SV;
+  detail::record(E);
+}
+
+std::vector<ThreadEvents> collect() {
+  TraceGlobals &G = globals();
+  std::vector<ThreadBuffer *> Buffers;
+  {
+    std::lock_guard<std::mutex> Lock(G.M);
+    Buffers = G.Buffers;
+  }
+  uint64_t Epoch = G.SessionEpoch.load(std::memory_order_acquire);
+  std::vector<ThreadEvents> Out;
+  for (ThreadBuffer *B : Buffers) {
+    if (B->Epoch.load(std::memory_order_acquire) != Epoch)
+      continue; // never recorded in this session
+    uint64_t N = B->Write.load(std::memory_order_acquire);
+    ThreadEvents TE;
+    TE.Tid = B->Tid;
+    TE.Dropped = B->Dropped.load(std::memory_order_relaxed);
+    TE.Events.assign(B->Slots.get(), B->Slots.get() + N);
+    Out.push_back(std::move(TE));
+  }
+  return Out;
+}
+
+std::string toJson() {
+  std::vector<ThreadEvents> All = collect();
+  std::string Out;
+  Out.reserve(1 << 16);
+  Out += "{\"traceEvents\":[\n";
+  Out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"simtvec\"}}";
+  uint64_t TotalDropped = 0;
+  for (const ThreadEvents &TE : All) {
+    TotalDropped += TE.Dropped;
+    for (const Event &E : TE.Events) {
+      Out += ",\n{\"name\":\"";
+      appendEscaped(Out, E.Name);
+      Out += "\",\"cat\":\"";
+      appendEscaped(Out, E.Cat ? E.Cat : "default");
+      const char *Ph = E.Ph == Kind::Span      ? "X"
+                       : E.Ph == Kind::Counter ? "C"
+                                               : "i";
+      Out += formatString("\",\"ph\":\"%s\",\"ts\":%.3f", Ph,
+                          static_cast<double>(E.Ts) / 1e3);
+      if (E.Ph == Kind::Span)
+        Out += formatString(",\"dur\":%.3f", static_cast<double>(E.Dur) / 1e3);
+      if (E.Ph == Kind::Instant)
+        Out += ",\"s\":\"t\"";
+      Out += formatString(",\"pid\":1,\"tid\":%u", TE.Tid);
+      if (E.K0 || E.SK) {
+        Out += ",\"args\":{";
+        bool First = true;
+        if (E.K0) {
+          Out += formatString("\"%s\":%llu", E.K0,
+                              static_cast<unsigned long long>(E.A0));
+          First = false;
+        }
+        if (E.K1) {
+          if (!First)
+            Out += ",";
+          Out += formatString("\"%s\":%llu", E.K1,
+                              static_cast<unsigned long long>(E.A1));
+          First = false;
+        }
+        if (E.SK) {
+          if (!First)
+            Out += ",";
+          Out += formatString("\"%s\":\"", E.SK);
+          appendEscaped(Out, E.SV ? E.SV : "");
+          Out += "\"";
+        }
+        Out += "}";
+      }
+      Out += "}";
+    }
+  }
+  Out += formatString("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                      "\"tool\":\"simtvec\",\"droppedEvents\":%llu}}\n",
+                      static_cast<unsigned long long>(TotalDropped));
+  return Out;
+}
+
+Status writeJson(const std::string &Path) {
+  std::string Json = toJson();
+  FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return Status::error(
+        formatString("cannot open trace file '%s'", Path.c_str()));
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), Out);
+  if (std::fclose(Out) != 0 || Written != Json.size())
+    return Status::error(
+        formatString("short write to trace file '%s'", Path.c_str()));
+  return Status::success();
+}
+
+} // namespace trace
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex M;
+  // Node-based maps: counter addresses stay valid across inserts.
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> Counters;
+  std::map<std::string, double> Gauges;
+};
+
+MetricsRegistry::Impl &MetricsRegistry::impl() const {
+  static Impl *I = new Impl(); // leaked, like the trace globals
+  return *I;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry R;
+  return R;
+}
+
+MetricsRegistry::Counter &MetricsRegistry::counter(const std::string &Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  auto It = I.Counters.find(Name);
+  if (It == I.Counters.end())
+    It = I.Counters
+             .emplace(Name, std::make_unique<std::atomic<uint64_t>>(0))
+             .first;
+  return *It->second;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  I.Gauges[Name] = Value;
+}
+
+uint64_t MetricsRegistry::Snapshot::counterValue(
+    const std::string &Name) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  Snapshot S;
+  S.Counters.reserve(I.Counters.size());
+  for (const auto &[Name, C] : I.Counters)
+    S.Counters.emplace_back(Name, C->load(std::memory_order_relaxed));
+  S.Gauges.assign(I.Gauges.begin(), I.Gauges.end());
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Lock(I.M);
+  for (auto &[Name, C] : I.Counters)
+    C->store(0, std::memory_order_relaxed);
+  I.Gauges.clear();
+}
+
+} // namespace simtvec

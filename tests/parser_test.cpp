@@ -188,7 +188,21 @@ INSTANTIATE_TEST_SUITE_P(
                        "unexpected end of input"},
         ParseErrorCase{"TwoTargetsUnconditional",
                        ".kernel k () { a: bra b, c; b: ret; c: ret; }",
-                       "unconditional branch with two targets"}),
+                       "unconditional branch with two targets"},
+        // Overflowing literals used to saturate silently (strtoull/strtod
+        // clamp and only report through errno); now they are diagnostics.
+        ParseErrorCase{"DecimalIntOverflow",
+                       ".kernel k () { .reg .u64 %r; entry: "
+                       "mov.u64 %r, 18446744073709551616; ret; }",
+                       "does not fit in 64 bits"},
+        ParseErrorCase{"HexIntOverflow",
+                       ".kernel k () { .reg .u64 %r; entry: "
+                       "mov.u64 %r, 0x1ffffffffffffffff; ret; }",
+                       "hex integer literal does not fit in 64 bits"},
+        ParseErrorCase{"FloatOverflow",
+                       ".kernel k () { .reg .f64 %d; entry: "
+                       "mov.f64 %d, 1.0e999; ret; }",
+                       "overflows a double"}),
     [](const ::testing::TestParamInfo<ParseErrorCase> &Info) {
       return Info.param.Name;
     });
@@ -198,6 +212,30 @@ TEST(ParserTest, DiagnosticsCarryLineAndColumn) {
   ASSERT_FALSE(static_cast<bool>(MOrErr));
   // The error is on line 4.
   EXPECT_EQ(MOrErr.status().message().substr(0, 2), "4:");
+}
+
+TEST(ParserTest, OverflowDiagnosticsCarryLineAndColumn) {
+  auto MOrErr = parseModule(".kernel k ()\n{\n.reg .u64 %r;\nentry:\n"
+                            "  mov.u64 %r, 99999999999999999999;\n  ret;\n"
+                            "}\n");
+  ASSERT_FALSE(static_cast<bool>(MOrErr));
+  // Line 5, column 15: the literal itself, not the statement start.
+  EXPECT_EQ(MOrErr.status().message().substr(0, 5), "5:15:")
+      << MOrErr.status().message();
+  EXPECT_NE(MOrErr.status().message().find("does not fit in 64 bits"),
+            std::string::npos);
+}
+
+TEST(ParserTest, BoundaryLiteralsStillParse) {
+  // The exact 64-bit boundary values must keep parsing (the overflow check
+  // rejects only what strtoull would saturate).
+  auto M = parseModuleOrDie(wrap(R"(
+  .reg .u64 %a, %b;
+entry:
+  mov.u64 %a, 18446744073709551615;
+  mov.u64 %b, 0xffffffffffffffff;
+  ret;)"));
+  EXPECT_NE(M->findKernel("k"), nullptr);
 }
 
 TEST(ParserTest, GuardForms) {

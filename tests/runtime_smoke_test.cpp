@@ -254,4 +254,46 @@ TEST(RuntimeSmoke, ModeledMetricsAreDeterministic) {
   EXPECT_EQ(S1.MaxWorkerCycles, S2.MaxWorkerCycles);
 }
 
+TEST(RuntimeSmoke, DeviceResetReclaimsArena) {
+  // A long-running host that never frees would exhaust the bump allocator;
+  // reset() returns the break to its initial position. Each iteration
+  // allocates more than half the arena, so without the reset the second
+  // iteration would already be out of memory.
+  Device Dev(1 << 20);
+  auto Prog = Program::compile(VecAddSrc).take();
+  const uint32_t N = (1 << 20) / 3 / sizeof(float) - 16;
+  std::vector<float> A(N, 1.0f), B(N, 2.0f);
+  for (int Iter = 0; Iter < 8; ++Iter) {
+    uint64_t DA = Dev.allocArray<float>(N), DB = Dev.allocArray<float>(N),
+             DC = Dev.allocArray<float>(N);
+    EXPECT_GT(Dev.used(), Dev.size() / 2);
+    Dev.upload(DA, A);
+    Dev.upload(DB, B);
+    ParamBuilder P;
+    P.u64(DA).u64(DB).u64(DC).u32(N);
+    auto S = Prog->launch(Dev, "vecadd", {(N + 255) / 256}, {256}, P);
+    ASSERT_TRUE(static_cast<bool>(S))
+        << "iter " << Iter << ": " << S.status().message();
+    auto C = Dev.download<float>(DC, N);
+    EXPECT_EQ(C[N - 1], 3.0f) << "iter " << Iter;
+    Dev.reset();
+    EXPECT_EQ(Dev.used(), 16u); // only the reserved null-guard bytes
+  }
+}
+
+TEST(RuntimeSmoke, OutOfMemoryDiagnosticCountsLiveAllocations) {
+  Device Dev(1024);
+  EXPECT_EQ(Dev.used(), 16u);
+  ASSERT_TRUE(static_cast<bool>(Dev.tryAlloc(400)));
+  ASSERT_TRUE(static_cast<bool>(Dev.tryAlloc(400)));
+  auto R = Dev.tryAlloc(400);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.status().message().find("2 live allocations"),
+            std::string::npos)
+      << R.status().message();
+  EXPECT_NE(R.status().message().find("Device::reset()"), std::string::npos);
+  Dev.reset();
+  EXPECT_TRUE(static_cast<bool>(Dev.tryAlloc(400)));
+}
+
 } // namespace

@@ -1,0 +1,30 @@
+# End-to-end observability smoke: runs the wall-clock bench at the smallest
+# scale with tracing and metrics enabled, then validates the captured Chrome
+# trace with trace_dump --check (structure, required keys, per-tid monotone
+# record times, closed spans) and sanity-checks the --metrics report.
+execute_process(COMMAND ${WALLCLOCK} --metrics --trace ${OUT}.trace.json
+    --launches 2 ${OUT} 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wallclock_throughput --trace exited with ${rc}")
+endif()
+if(NOT out MATCHES "tc\\.hits")
+  message(FATAL_ERROR "--metrics report lacks tc.hits:\n${out}")
+endif()
+if(NOT out MATCHES "launch\\.count")
+  message(FATAL_ERROR "--metrics report lacks launch.count:\n${out}")
+endif()
+execute_process(COMMAND ${TRACE_DUMP} --check ${OUT}.trace.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cout ERROR_VARIABLE cerr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_dump --check failed:\n${cout}${cerr}")
+endif()
+# The summary mode must also parse the same file.
+execute_process(COMMAND ${TRACE_DUMP} ${OUT}.trace.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE dout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_dump summary exited with ${rc}")
+endif()
+if(NOT dout MATCHES "em/X")
+  message(FATAL_ERROR "trace has no execution-manager spans:\n${dout}")
+endif()

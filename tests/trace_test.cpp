@@ -1,0 +1,307 @@
+//===- tests/trace_test.cpp - Tracing & metrics subsystem tests -----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the observability contracts (DESIGN.md §9): trace JSON
+// well-formedness (parseable structure, per-thread monotone record times,
+// spans closed by construction), the presence of the instrumented seams in
+// a traced launch, MetricsRegistry reconciliation against the translation
+// cache's own stats, and — the load-bearing one — LaunchStats being
+// bit-identical with tracing on and off (tracing is host-side only; it must
+// never perturb the modeled machine).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/support/Trace.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <set>
+#include <string>
+
+using namespace simtvec;
+
+namespace {
+
+const char *VecAddSrc = R"(
+.kernel vecadd (.param .u64 a, .param .u64 b, .param .u64 c, .param .u32 n)
+{
+  .reg .u32 %i, %n;
+  .reg .u64 %off, %pa, %pb, %pc;
+  .reg .f32 %x, %y, %z;
+  .reg .pred %p;
+
+entry:
+  mov.u32 %i, %tid.x;
+  mov.u32 %n, %ntid.x;
+  mul.u32 %n, %n, %ctaid.x;
+  add.u32 %i, %i, %n;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %p, %i, %n;
+  @%p bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %pa, [a];
+  ld.param.u64 %pb, [b];
+  ld.param.u64 %pc, [c];
+  add.u64 %pa, %pa, %off;
+  add.u64 %pb, %pb, %off;
+  add.u64 %pc, %pc, %off;
+  ld.global.f32 %x, [%pa];
+  ld.global.f32 %y, [%pb];
+  add.f32 %z, %x, %y;
+  st.global.f32 [%pc], %z;
+  bra done;
+done:
+  ret;
+}
+)";
+
+struct VecAddFixture {
+  Device Dev;
+  std::unique_ptr<Program> Prog;
+  uint64_t A, B, C;
+  uint32_t N;
+  Params P;
+
+  explicit VecAddFixture(uint32_t N = 1024) : N(N) {
+    auto ProgOrErr = Program::compile(VecAddSrc);
+    EXPECT_TRUE(static_cast<bool>(ProgOrErr))
+        << ProgOrErr.status().message();
+    Prog = ProgOrErr.take();
+    std::vector<float> HA(N), HB(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      HA[I] = static_cast<float>(I);
+      HB[I] = 2.0f * static_cast<float>(I);
+    }
+    A = Dev.allocArray<float>(N);
+    B = Dev.allocArray<float>(N);
+    C = Dev.allocArray<float>(N);
+    Dev.upload(A, HA);
+    Dev.upload(B, HB);
+    P.u64(A).u64(B).u64(C).u32(N);
+  }
+
+  Expected<LaunchStats> launch(const LaunchOptions &O = {}) {
+    return Prog->launch(Dev, "vecadd", {N / 256}, {256}, P, O);
+  }
+};
+
+/// Record time of an event: spans hit the buffer at scope exit.
+uint64_t recordTime(const trace::Event &E) {
+  return E.Ph == trace::Kind::Span ? E.Ts + E.Dur : E.Ts;
+}
+
+TEST(TraceTest, SessionGating) {
+  trace::startSession();
+  EXPECT_TRUE(trace::enabled());
+  trace::instant("gate_probe", "test", 7, "k");
+  trace::endSession();
+  EXPECT_FALSE(trace::enabled());
+
+  bool Found = false;
+  for (const trace::ThreadEvents &TE : trace::collect())
+    for (const trace::Event &E : TE.Events)
+      if (std::string(E.Name) == "gate_probe") {
+        Found = true;
+        EXPECT_EQ(E.A0, 7u);
+      }
+  EXPECT_TRUE(Found);
+
+  // Disabled: instants are dropped at the hook.
+  trace::instant("after_end", "test");
+  for (const trace::ThreadEvents &TE : trace::collect())
+    for (const trace::Event &E : TE.Events)
+      EXPECT_NE(std::string(E.Name), "after_end");
+}
+
+TEST(TraceTest, TracedLaunchHasInstrumentedSeams) {
+  VecAddFixture F;
+  trace::startSession();
+  auto Stats = F.launch();
+  trace::endSession();
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.status().message();
+
+  std::set<std::string> Names;
+  for (const trace::ThreadEvents &TE : trace::collect()) {
+    EXPECT_EQ(TE.Dropped, 0u);
+    uint64_t Last = 0;
+    for (const trace::Event &E : TE.Events) {
+      Names.insert(E.Name);
+      // Buffers are in per-thread record order.
+      EXPECT_GE(recordTime(E), Last) << E.Name;
+      Last = recordTime(E);
+      if (E.Ph == trace::Kind::Span)
+        EXPECT_GE(E.Dur, 0u);
+    }
+  }
+  // The seams the tentpole instruments: launch/CTA spans, warp-formation
+  // instants, a translation-cache event (cold miss + compile here), the
+  // stream op the blocking launch runs through, and per-worker counters.
+  EXPECT_TRUE(Names.count("launch"));
+  EXPECT_TRUE(Names.count("cta"));
+  EXPECT_TRUE(Names.count("warp_formation"));
+  EXPECT_TRUE(Names.count("tc.miss") || Names.count("tc.hit"));
+  EXPECT_TRUE(Names.count("tc.compile"));
+  EXPECT_TRUE(Names.count("stream.op"));
+  EXPECT_TRUE(Names.count("cycles.subkernel"));
+}
+
+TEST(TraceTest, JsonWellFormed) {
+  VecAddFixture F;
+  std::string Path = testing::TempDir() + "simtvec_trace_test.json";
+  auto Stats = F.Prog->launchTraced(Path, F.Dev, "vecadd", {F.N / 256},
+                                    {256}, F.P);
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.status().message();
+
+  FILE *In = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(In, nullptr);
+  std::string Text;
+  char Buf[4096];
+  for (size_t N; (N = std::fread(Buf, 1, sizeof(Buf), In)) > 0;)
+    Text.append(Buf, N);
+  std::fclose(In);
+  std::remove(Path.c_str());
+
+  ASSERT_FALSE(Text.empty());
+  EXPECT_NE(Text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Text.find("\"name\":\"launch\""), std::string::npos);
+  EXPECT_NE(Text.find("\"kernel\":\"vecadd\""), std::string::npos);
+  EXPECT_NE(Text.find("\"droppedEvents\""), std::string::npos);
+
+  // Structural sanity: balanced braces/brackets outside strings, and the
+  // document is one object. (tools/trace_dump --check does the deep,
+  // per-event validation in its own ctest job.)
+  long Braces = 0, Brackets = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Text.size(); ++I) {
+    char Ch = Text[I];
+    if (InString) {
+      if (Ch == '\\')
+        ++I;
+      else if (Ch == '"')
+        InString = false;
+      continue;
+    }
+    if (Ch == '"')
+      InString = true;
+    else if (Ch == '{')
+      ++Braces;
+    else if (Ch == '}')
+      --Braces;
+    else if (Ch == '[')
+      ++Brackets;
+    else if (Ch == ']')
+      --Brackets;
+    EXPECT_GE(Braces, 0);
+    EXPECT_GE(Brackets, 0);
+  }
+  EXPECT_FALSE(InString);
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+}
+
+TEST(TraceTest, MetricsReconcileWithCacheAndStats) {
+  MetricsRegistry::global().reset();
+  VecAddFixture F;
+  LaunchOptions O;
+  auto S1 = F.launch(O);
+  ASSERT_TRUE(static_cast<bool>(S1)) << S1.status().message();
+  auto S2 = F.launch(O); // warm: served from the cache / width memo
+  ASSERT_TRUE(static_cast<bool>(S2)) << S2.status().message();
+
+  TranslationCache::Stats TC = F.Prog->translationCache().stats();
+  MetricsRegistry::Snapshot M = MetricsRegistry::global().snapshot();
+
+  // The registry mirrors every Hits/Misses bump of this (sole since the
+  // reset) translation cache, warm-memo hits included.
+  EXPECT_EQ(M.counterValue("tc.hits"), TC.Hits);
+  EXPECT_EQ(M.counterValue("tc.misses"), TC.Misses);
+  EXPECT_GT(TC.Misses, 0u);
+  EXPECT_GT(M.counterValue("tc.compile_nanos"), 0u);
+
+  // Launch-level aggregates flushed by the execution manager.
+  EXPECT_EQ(M.counterValue("launch.count"), 2u);
+  EXPECT_EQ(M.counterValue("em.warp_entries"),
+            S1->WarpEntries + S2->WarpEntries);
+  EXPECT_EQ(M.counterValue("em.thread_entries"),
+            S1->ThreadEntries + S2->ThreadEntries);
+  EXPECT_EQ(M.counterValue("em.barrier_waits"),
+            S1->BarrierYields + S2->BarrierYields);
+
+  // Per-width warp counters sum to the width histogram totals.
+  uint64_t ByWidth = 0;
+  for (const auto &[Name, V] : M.Counters)
+    if (Name.rfind("em.warps.w", 0) == 0)
+      ByWidth += V;
+  uint64_t Expected = 0;
+  for (const auto &[W, N] : S1->EntriesByWidth)
+    Expected += N;
+  for (const auto &[W, N] : S2->EntriesByWidth)
+    Expected += N;
+  EXPECT_EQ(ByWidth, Expected);
+}
+
+TEST(TraceTest, StatsBitIdenticalWithTracingOnAndOff) {
+  // Deterministic configuration (one worker) so two launches are exactly
+  // repeatable; the assertion is that tracing introduces zero perturbation
+  // of the modeled machine, down to the floating-point cycle counts.
+  LaunchOptions O;
+  O.Workers = 1;
+
+  VecAddFixture F1;
+  trace::endSession(); // in case SIMTVEC_TRACE started a session
+  ASSERT_FALSE(trace::enabled());
+  auto Off = F1.launch(O);
+  ASSERT_TRUE(static_cast<bool>(Off)) << Off.status().message();
+
+  VecAddFixture F2;
+  trace::startSession();
+  LaunchOptions OT = O;
+  OT.Trace = true;
+  auto On = F2.launch(OT);
+  trace::endSession();
+  ASSERT_TRUE(static_cast<bool>(On)) << On.status().message();
+
+  EXPECT_EQ(Off->Counters.SubkernelCycles, On->Counters.SubkernelCycles);
+  EXPECT_EQ(Off->Counters.YieldCycles, On->Counters.YieldCycles);
+  EXPECT_EQ(Off->Counters.EMCycles, On->Counters.EMCycles);
+  EXPECT_EQ(Off->Counters.Flops, On->Counters.Flops);
+  EXPECT_EQ(Off->Counters.InstsExecuted, On->Counters.InstsExecuted);
+  EXPECT_EQ(Off->Counters.VectorInsts, On->Counters.VectorInsts);
+  EXPECT_EQ(Off->Counters.RestoredValues, On->Counters.RestoredValues);
+  EXPECT_EQ(Off->Counters.SpilledValues, On->Counters.SpilledValues);
+  EXPECT_EQ(Off->Counters.GlobalAccesses, On->Counters.GlobalAccesses);
+  EXPECT_EQ(Off->Counters.GlobalMisses, On->Counters.GlobalMisses);
+  EXPECT_EQ(Off->MaxWorkerCycles, On->MaxWorkerCycles);
+  EXPECT_EQ(Off->ModeledSeconds, On->ModeledSeconds);
+  EXPECT_EQ(Off->EntriesByWidth, On->EntriesByWidth);
+  EXPECT_EQ(Off->WarpEntries, On->WarpEntries);
+  EXPECT_EQ(Off->ThreadEntries, On->ThreadEntries);
+  EXPECT_EQ(Off->BranchYields, On->BranchYields);
+  EXPECT_EQ(Off->BarrierYields, On->BarrierYields);
+  EXPECT_EQ(Off->ExitYields, On->ExitYields);
+}
+
+TEST(TraceTest, BufferOverflowDropsNewest) {
+  // Tiny sessions still share the process-wide buffers sized at process
+  // start, so overflow is exercised by recording more events than the
+  // configured capacity only when the env var shrank it; here we just
+  // assert the Dropped accounting is exposed and zero under light load.
+  trace::startSession();
+  for (int I = 0; I < 100; ++I)
+    trace::instant("overflow_probe", "test", static_cast<uint64_t>(I), "i");
+  trace::endSession();
+  uint64_t Seen = 0;
+  for (const trace::ThreadEvents &TE : trace::collect())
+    for (const trace::Event &E : TE.Events)
+      if (std::string(E.Name) == "overflow_probe")
+        ++Seen;
+  EXPECT_EQ(Seen, 100u);
+}
+
+} // namespace

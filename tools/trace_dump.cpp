@@ -1,0 +1,285 @@
+//===- tools/trace_dump.cpp - Inspect / validate simtvec trace files ------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reads a Chrome trace-event JSON file (as written by `trace::writeJson` /
+/// `Program::launchTraced` / `wallclock_throughput --trace`) and either
+/// prints a per-category event summary (default) or validates the file
+/// (`--check`):
+///
+///   - the file is structurally parseable JSON with a `traceEvents` array
+///   - every event carries the required keys (name, ph, ts, pid, tid)
+///   - record times are monotonically nondecreasing per tid (events are
+///     emitted in per-thread record order; a span records at its *end*, so
+///     its record time is ts+dur while every other phase records at ts)
+///   - spans (`ph:"X"`) have a nonnegative duration, and no unmatched
+///     begin/end (`ph:"B"`/`"E"`) pairs exist per tid
+///
+/// Exit code 0 on success, 1 on any violation. Usage:
+///
+///   trace_dump [--check] TRACE.json
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Pulls the raw token text of `"Key": <...>` out of one event object
+/// (string values without quotes); empty when the key is absent.
+std::string fieldValue(const std::string &Obj, const char *Key) {
+  std::string Needle = std::string("\"") + Key + "\"";
+  size_t P = 0;
+  while (true) {
+    P = Obj.find(Needle, P);
+    if (P == std::string::npos)
+      return "";
+    // Reject matches inside a *value* (e.g. an args string); keys are
+    // always followed by a colon.
+    size_t Q = P + Needle.size();
+    while (Q < Obj.size() && (Obj[Q] == ' ' || Obj[Q] == '\t'))
+      ++Q;
+    if (Q < Obj.size() && Obj[Q] == ':') {
+      P = Q + 1;
+      break;
+    }
+    P += Needle.size();
+  }
+  while (P < Obj.size() && (Obj[P] == ' ' || Obj[P] == '\t'))
+    ++P;
+  if (P < Obj.size() && Obj[P] == '"') {
+    std::string Out;
+    for (size_t I = P + 1; I < Obj.size(); ++I) {
+      if (Obj[I] == '\\' && I + 1 < Obj.size()) {
+        Out += Obj[++I];
+        continue;
+      }
+      if (Obj[I] == '"')
+        return Out;
+      Out += Obj[I];
+    }
+    return "";
+  }
+  size_t E = P;
+  while (E < Obj.size() && Obj[E] != ',' && Obj[E] != '}' && Obj[E] != '\n')
+    ++E;
+  return Obj.substr(P, E - P);
+}
+
+/// Splits the `traceEvents` array into per-event object strings, respecting
+/// nested braces (the `args` object) and quoted strings. Returns false on a
+/// structural error (unbalanced braces, unterminated string, missing array).
+bool splitEvents(const std::string &Text, std::vector<std::string> &Events,
+                 std::string &Error) {
+  size_t Arr = Text.find("\"traceEvents\"");
+  if (Arr == std::string::npos) {
+    Error = "no \"traceEvents\" key";
+    return false;
+  }
+  Arr = Text.find('[', Arr);
+  if (Arr == std::string::npos) {
+    Error = "\"traceEvents\" is not an array";
+    return false;
+  }
+  size_t I = Arr + 1;
+  while (I < Text.size()) {
+    while (I < Text.size() &&
+           (Text[I] == ',' || Text[I] == '\n' || Text[I] == ' ' ||
+            Text[I] == '\t' || Text[I] == '\r'))
+      ++I;
+    if (I >= Text.size()) {
+      Error = "unterminated traceEvents array";
+      return false;
+    }
+    if (Text[I] == ']')
+      return true;
+    if (Text[I] != '{') {
+      Error = "expected '{' in traceEvents array";
+      return false;
+    }
+    size_t Start = I;
+    int Depth = 0;
+    bool InString = false;
+    for (; I < Text.size(); ++I) {
+      char C = Text[I];
+      if (InString) {
+        if (C == '\\')
+          ++I;
+        else if (C == '"')
+          InString = false;
+        continue;
+      }
+      if (C == '"')
+        InString = true;
+      else if (C == '{')
+        ++Depth;
+      else if (C == '}') {
+        if (--Depth == 0) {
+          Events.push_back(Text.substr(Start, ++I - Start));
+          break;
+        }
+      }
+    }
+    if (Depth != 0 || InString) {
+      Error = "unbalanced event object";
+      return false;
+    }
+  }
+  Error = "unterminated traceEvents array";
+  return false;
+}
+
+int fail(const char *Path, size_t EventIdx, const std::string &Why) {
+  std::fprintf(stderr, "trace_dump: %s: event %zu: %s\n", Path, EventIdx,
+               Why.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Check = false;
+  const char *Path = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--check") == 0)
+      Check = true;
+    else if (!Path)
+      Path = Argv[I];
+    else {
+      std::fprintf(stderr, "usage: trace_dump [--check] TRACE.json\n");
+      return 2;
+    }
+  }
+  if (!Path) {
+    std::fprintf(stderr, "usage: trace_dump [--check] TRACE.json\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "trace_dump: cannot open %s\n", Path);
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  const std::string Text = SS.str();
+
+  std::vector<std::string> Events;
+  std::string Error;
+  if (!splitEvents(Text, Events, Error)) {
+    std::fprintf(stderr, "trace_dump: %s: %s\n", Path, Error.c_str());
+    return 1;
+  }
+
+  // Validation state: per-tid last timestamp and open B/E depth.
+  std::map<std::string, double> LastTs;
+  std::map<std::string, long> OpenBegins;
+  // Summary state: per (category, phase) event count, per-category span ns.
+  std::map<std::string, unsigned long long> CatCount;
+  std::map<std::string, double> CatSpanUs;
+  unsigned long long Spans = 0, Instants = 0, Counters = 0, Meta = 0;
+
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const std::string &E = Events[I];
+    std::string Name = fieldValue(E, "name");
+    std::string Ph = fieldValue(E, "ph");
+    std::string Ts = fieldValue(E, "ts");
+    std::string Pid = fieldValue(E, "pid");
+    std::string Tid = fieldValue(E, "tid");
+    if (Name.empty() || Ph.empty() || Pid.empty() || Tid.empty())
+      return fail(Path, I, "missing required key (name/ph/pid/tid)");
+    if (Ph == "M") { // metadata events carry no timestamp requirements
+      ++Meta;
+      continue;
+    }
+    if (Ts.empty())
+      return fail(Path, I, "missing ts");
+    char *End = nullptr;
+    double TsV = std::strtod(Ts.c_str(), &End);
+    if (End == Ts.c_str() || *End != '\0')
+      return fail(Path, I, "ts is not a number: '" + Ts + "'");
+    if (TsV < 0)
+      return fail(Path, I, "negative ts");
+
+    std::string Cat = fieldValue(E, "cat");
+    if (Cat.empty())
+      Cat = "default";
+    ++CatCount[Cat + "/" + Ph];
+    double RecordTs = TsV; // when the event hit the buffer
+    if (Ph == "X") {
+      ++Spans;
+      std::string Dur = fieldValue(E, "dur");
+      if (Dur.empty())
+        return fail(Path, I, "span (ph:X) without dur");
+      double DurV = std::strtod(Dur.c_str(), nullptr);
+      if (DurV < 0)
+        return fail(Path, I, "span with negative dur");
+      CatSpanUs[Cat] += DurV;
+      RecordTs = TsV + DurV; // spans record at scope exit
+    }
+
+    auto [It, New] = LastTs.emplace(Tid, RecordTs);
+    if (!New) {
+      if (RecordTs < It->second)
+        return fail(Path, I,
+                    "record times not monotonic for tid " + Tid + ": " + Ts +
+                        " after a later earlier-recorded event");
+      It->second = RecordTs;
+    }
+
+    if (Ph == "X") {
+      // counted above
+    } else if (Ph == "B") {
+      ++OpenBegins[Tid];
+    } else if (Ph == "E") {
+      if (--OpenBegins[Tid] < 0)
+        return fail(Path, I, "ph:E without matching ph:B on tid " + Tid);
+    } else if (Ph == "i" || Ph == "I") {
+      ++Instants;
+    } else if (Ph == "C") {
+      ++Counters;
+    } else {
+      return fail(Path, I, "unknown phase '" + Ph + "'");
+    }
+  }
+  for (const auto &[Tid, Open] : OpenBegins)
+    if (Open != 0) {
+      std::fprintf(stderr,
+                   "trace_dump: %s: %ld unclosed ph:B event(s) on tid %s\n",
+                   Path, Open, Tid.c_str());
+      return 1;
+    }
+
+  std::string Dropped = fieldValue(Text, "droppedEvents");
+
+  if (Check) {
+    std::printf("trace_dump: %s: OK (%zu events, %llu spans, %llu instants, "
+                "%llu counters, dropped=%s)\n",
+                Path, Events.size(), Spans, Instants, Counters,
+                Dropped.empty() ? "?" : Dropped.c_str());
+    return 0;
+  }
+
+  std::printf("%s: %zu events (%llu spans, %llu instants, %llu counters, "
+              "%llu metadata), dropped=%s\n",
+              Path, Events.size(), Spans, Instants, Counters, Meta,
+              Dropped.empty() ? "?" : Dropped.c_str());
+  std::printf("%-24s %10s\n", "category/phase", "events");
+  for (const auto &[Key, N] : CatCount)
+    std::printf("%-24s %10llu\n", Key.c_str(), N);
+  if (!CatSpanUs.empty()) {
+    std::printf("%-24s %12s\n", "category", "span-us");
+    for (const auto &[Cat, Us] : CatSpanUs)
+      std::printf("%-24s %12.1f\n", Cat.c_str(), Us);
+  }
+  return 0;
+}

@@ -8,9 +8,10 @@
 # Configures a ThreadSanitizer build in <repo>/build-tsan and runs the
 # concurrency-sensitive suites under it: the stream/event subsystem and the
 # worker pool (Streams.*), the sharded translation cache fast path
-# (FastPathTest.*), the engine-differential shape runs (ShapeExec.*), and
-# the end-to-end launch smoke tests (RuntimeSmoke.*). Also registrable as a
-# ctest job via -DSIMTVEC_TSAN_CHECK=ON at configure time.
+# (FastPathTest.*), the engine-differential shape runs (ShapeExec.*), the
+# end-to-end launch smoke tests (RuntimeSmoke.*), and the lock-free tracing
+# buffers with tracing on (TraceTest.*). Also registrable as a ctest job
+# via -DSIMTVEC_TSAN_CHECK=ON at configure time.
 #
 # Usage: tools/tsan_check.sh [ctest-name-regex]
 #
@@ -19,7 +20,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
