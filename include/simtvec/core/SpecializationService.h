@@ -1,0 +1,225 @@
+//===- simtvec/core/SpecializationService.h - Persistent specialization -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specialization service: two cooperating halves layered behind the
+/// translation cache that turn per-process, fixed-width specialization into
+/// a persistent, self-tuning subsystem.
+///
+///  - **Persistent artifact cache.** Every specialization the translation
+///    cache compiles (the post-vectorization, post-cleanup kernel the VM
+///    executable is built from) is serialized to a versioned binary artifact
+///    under `SIMTVEC_CACHE_DIR`, keyed by the kernel-source hash, the cache
+///    key (width + option flags), and a build fingerprint (service format
+///    version + MachineModel + superinstruction flag). A later process —
+///    or a later TranslationCache in the same process — resolves its cold
+///    misses from disk: deserialize, re-verify, rebuild the pre-decoded
+///    stream (decode-time function pointers cannot persist), and cross-check
+///    the rebuilt executable's layout fingerprint against the recorded one.
+///    A warm process therefore performs zero compiles. Artifacts publish by
+///    atomic rename; CRC-validated payloads make truncated or bit-flipped
+///    entries (and any version/fingerprint drift) plain cache misses, never
+///    errors.
+///
+///  - **Online warp-width autotuner.** The paper fixes MaxWarpSize per
+///    launch, but no single width wins everywhere: streaming kernels want
+///    the machine width while divergence-heavy kernels pay for every extra
+///    lane in yield save/restore traffic. Under `WidthPolicy::Auto` the
+///    service runs an explore/exploit loop per kernel over the candidate
+///    widths {1,2,4,8}: each width is sampled `ExploreSamples` times using
+///    the modeled cycles-per-thread the launch already produces, then the
+///    service commits to the argmin width and answers it from memory — and,
+///    when persistence is on, from a profile file stored next to the
+///    artifacts, so later processes start exploited.
+///
+/// Both halves are observable: `tc.disk_hit` / `tc.disk_miss` /
+/// `tc.disk_write` and `autotune.explore` / `autotune.commit` metrics
+/// counters with matching trace instants. `tools/cache_tool` inspects,
+/// verifies and prunes the on-disk store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_CORE_SPECIALIZATIONSERVICE_H
+#define SIMTVEC_CORE_SPECIALIZATIONSERVICE_H
+
+#include "simtvec/core/TranslationCache.h"
+#include "simtvec/support/Serialize.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+class Kernel;
+class Module;
+
+/// Serializes \p K (all IR fields plus specialization metadata) into \p W.
+/// The encoding round-trips exactly: deserializeKernel produces a kernel
+/// whose executable build is bit-identical to the original's.
+void serializeKernel(ByteWriter &W, const Kernel &K);
+
+/// Decodes a kernel from \p R into \p K. Returns false (leaving \p K
+/// unspecified) on any structural problem: truncation, out-of-range enum
+/// values, or count fields exceeding the remaining payload.
+bool deserializeKernel(ByteReader &R, Kernel &K);
+
+/// Service configuration. `fromEnv()` is what the runtime uses: persistence
+/// is enabled iff SIMTVEC_CACHE_DIR names a directory.
+struct SpecializationOptions {
+  /// Artifact/profile directory; empty disables persistence (the autotuner
+  /// still runs in-memory).
+  std::string CacheDir;
+
+  /// Candidate widths for WidthPolicy::Auto, explored in order. Must be a
+  /// subset of the valid launch widths {1,2,4,8}.
+  std::vector<uint32_t> Widths = {1, 2, 4, 8};
+
+  /// Modeled-cycle samples collected per candidate width before the
+  /// autotuner commits to the argmin.
+  unsigned ExploreSamples = 2;
+
+  static SpecializationOptions fromEnv();
+};
+
+/// The persistent artifact cache + width autotuner (see file comment).
+/// Thread-safe; one instance lives per Program, installed into its
+/// TranslationCache.
+class SpecializationService {
+public:
+  /// On-disk format version; bumped whenever the artifact encoding, the
+  /// kernel serialization, or the decode pipeline changes incompatibly.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// \p M must outlive the service (it supplies kernel sources for
+  /// fingerprinting). \p Machine must match the TranslationCache's model.
+  SpecializationService(const Module &M, const MachineModel &Machine,
+                        SpecializationOptions Opts);
+
+  bool persistent() const { return !Opts.CacheDir.empty(); }
+  const SpecializationOptions &options() const { return Opts; }
+
+  //===--------------------------------------------------------------------===
+  // Artifact cache half (called by TranslationCache on compile misses).
+  //===--------------------------------------------------------------------===
+
+  /// Attempts to resolve \p K from the on-disk store. Returns the rebuilt
+  /// executable, or null on any miss (absent, unreadable, corrupt, stale
+  /// version/fingerprint, failed re-verification, or layout mismatch —
+  /// never an error). Null when persistence is off.
+  std::shared_ptr<const KernelExec>
+  tryLoadArtifact(const TranslationCache::Key &K);
+
+  /// Publishes the freshly compiled \p Exec for key \p K (atomic rename).
+  /// Write failures are swallowed: the store is advisory.
+  void storeArtifact(const TranslationCache::Key &K, const KernelExec &Exec);
+
+  /// Path the artifact for \p K lives at (valid only when persistent()).
+  std::string artifactPath(const TranslationCache::Key &K);
+
+  //===--------------------------------------------------------------------===
+  // Autotuner half (called by the runtime under WidthPolicy::Auto).
+  //===--------------------------------------------------------------------===
+
+  /// Width the next Auto launch of \p KernelName should run at: the
+  /// committed width when converged (memory or persisted profile),
+  /// otherwise the next width needing exploration samples.
+  uint32_t chooseWidth(const std::string &KernelName);
+
+  /// Feeds one launch's modeled outcome back: \p ModeledCycles is the
+  /// slowest worker's cycles (LaunchStats::MaxWorkerCycles), \p Threads the
+  /// launch's logical thread count (normalizing across geometries).
+  void recordSample(const std::string &KernelName, uint32_t Width,
+                    double ModeledCycles, uint64_t Threads);
+
+  /// The converged width for \p KernelName, or 0 while still exploring.
+  uint32_t committedWidth(const std::string &KernelName);
+
+  //===--------------------------------------------------------------------===
+  // Store inspection (cache_tool, tests).
+  //===--------------------------------------------------------------------===
+
+  /// Parsed header + validation result of one artifact file.
+  struct ArtifactInfo {
+    uint32_t Version = 0;
+    uint64_t Fingerprint = 0;
+    uint64_t LayoutFingerprint = 0;
+    uint32_t PayloadBytes = 0;
+    bool CrcValid = false;
+    bool Decodes = false;    ///< payload deserializes into a kernel
+    std::string KernelName;  ///< valid when Decodes
+    uint32_t WarpSize = 0;   ///< valid when Decodes
+  };
+
+  /// Reads and validates \p Path as an artifact file. An unreadable file or
+  /// a bad magic/header is an error; CRC/decode problems are reported in
+  /// the returned info (cache_tool distinguishes "not an artifact" from
+  /// "corrupt artifact").
+  static Expected<ArtifactInfo> inspectArtifact(const std::string &Path);
+
+  /// File extensions of store entries.
+  static constexpr const char *ArtifactExt = ".svca";
+  static constexpr const char *ProfileExt = ".svcp";
+
+  struct Stats {
+    uint64_t DiskHits = 0;
+    uint64_t DiskMisses = 0;
+    uint64_t DiskWrites = 0;
+  };
+  Stats stats() const;
+
+private:
+  /// Build fingerprint for \p K: format version x source hash x machine
+  /// model x key flags.
+  uint64_t fingerprintFor(const TranslationCache::Key &K);
+  /// Profile fingerprint for \p KernelName (key flags excluded: the profile
+  /// spans widths).
+  uint64_t profileFingerprintFor(const std::string &KernelName);
+  uint64_t sourceHash(const std::string &KernelName);
+  std::string profilePath(const std::string &KernelName);
+
+  struct WidthState {
+    uint32_t Width = 0;
+    uint32_t Samples = 0;
+    double SumCyclesPerThread = 0;
+  };
+  struct KernelTune {
+    std::vector<WidthState> Per; ///< one slot per candidate width, in order
+    uint32_t Committed = 0;      ///< 0 while exploring
+    bool ProfileChecked = false; ///< persisted profile load attempted
+  };
+  KernelTune &tuneFor(const std::string &KernelName); ///< TuneLock held
+  void persistProfile(const std::string &KernelName, const KernelTune &T);
+
+  const Module &M;
+  MachineModel Machine;
+  SpecializationOptions Opts;
+
+  std::mutex HashLock;
+  std::map<std::string, uint64_t> SourceHashes;
+
+  std::mutex TuneLock;
+  std::map<std::string, KernelTune> Tune;
+
+  std::atomic<uint64_t> DiskHits{0}, DiskMisses{0}, DiskWrites{0};
+
+  MetricsRegistry::Counter *RegDiskHits =
+      &MetricsRegistry::global().counter("tc.disk_hit");
+  MetricsRegistry::Counter *RegDiskMisses =
+      &MetricsRegistry::global().counter("tc.disk_miss");
+  MetricsRegistry::Counter *RegDiskWrites =
+      &MetricsRegistry::global().counter("tc.disk_write");
+  MetricsRegistry::Counter *RegExplore =
+      &MetricsRegistry::global().counter("autotune.explore");
+  MetricsRegistry::Counter *RegCommit =
+      &MetricsRegistry::global().counter("autotune.commit");
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_CORE_SPECIALIZATIONSERVICE_H

@@ -41,6 +41,7 @@
 namespace simtvec {
 
 class Module;
+class SpecializationService;
 
 /// Lazily specializes kernels per warp size and policy.
 class TranslationCache {
@@ -100,6 +101,13 @@ public:
     RegHits->fetch_add(N, std::memory_order_relaxed);
   }
 
+  /// Installs the specialization service consulted on compile misses: the
+  /// compile owner first tries the service's on-disk artifact store, and
+  /// publishes freshly compiled executables back to it. \p S must outlive
+  /// the cache (the owning Program holds both). Null detaches.
+  void setSpecializationService(SpecializationService *S) { Svc = S; }
+  SpecializationService *specializationService() const { return Svc; }
+
 private:
   /// Prepared scalar form shared by all specializations of a kernel.
   struct PreparedKernel {
@@ -128,6 +136,7 @@ private:
   const Module &M;
   MachineModel Machine;
   bool RunCleanup;
+  SpecializationService *Svc = nullptr;
 
   Shard Shards[NumShards];
 
@@ -149,6 +158,11 @@ private:
       &MetricsRegistry::global().counter("tc.hits");
   MetricsRegistry::Counter *RegMisses =
       &MetricsRegistry::global().counter("tc.misses");
+  /// Actual specializations performed (vectorize + cleanup + build). A miss
+  /// resolved from the artifact store bumps Misses but not this counter —
+  /// "warm process performs zero compiles" is asserted against it.
+  MetricsRegistry::Counter *RegCompiles =
+      &MetricsRegistry::global().counter("tc.compile");
 };
 
 } // namespace simtvec

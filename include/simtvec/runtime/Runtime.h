@@ -43,6 +43,7 @@
 #define SIMTVEC_RUNTIME_RUNTIME_H
 
 #include "simtvec/core/ExecutionManager.h"
+#include "simtvec/core/SpecializationService.h"
 #include "simtvec/ir/Module.h"
 #include "simtvec/ir/Type.h"
 #include "simtvec/runtime/Stream.h"
@@ -184,7 +185,17 @@ using ParamBuilder = Params;
 
 /// Launch-time options (the machine model lives in the Program).
 struct LaunchOptions {
+  /// How the launch's warp width is chosen. `Fixed` uses MaxWarpSize as
+  /// given. `Auto` hands the decision to the Program's specialization
+  /// service: an explore/exploit loop per kernel over the widths {1,2,4,8},
+  /// fed by each launch's modeled cycles, that converges on the width with
+  /// the lowest cycles per thread (and starts exploited in later processes
+  /// when SIMTVEC_CACHE_DIR persists the learned profile). Results are
+  /// bit-identical at every width — Auto only moves modeled time.
+  enum class WidthPolicy : uint8_t { Fixed, Auto };
+
   uint32_t MaxWarpSize = 4;
+  WidthPolicy Policy = WidthPolicy::Fixed;
   WarpFormation Formation = WarpFormation::Dynamic;
   bool ThreadInvariantElim = false;
   bool UniformBranchOpt = false;
@@ -211,9 +222,17 @@ struct LaunchOptions {
 class Program {
 public:
   /// Parses and verifies \p SvirText; specializations are produced lazily
-  /// at launch time by the translation cache.
+  /// at launch time by the translation cache. The program's specialization
+  /// service is configured from the environment (persistent artifact cache
+  /// and autotune profiles under SIMTVEC_CACHE_DIR when set).
   static Expected<std::unique_ptr<Program>>
   compile(const std::string &SvirText, const MachineModel &Machine = {});
+
+  /// As above, with an explicit specialization-service configuration
+  /// (tests point \p Spec.CacheDir at a scratch directory).
+  static Expected<std::unique_ptr<Program>>
+  compile(const std::string &SvirText, const MachineModel &Machine,
+          SpecializationOptions Spec);
 
   /// Launches a kernel; blocks until all CTAs complete. A thin wrapper
   /// over launchAsync + synchronize with bit-identical LaunchStats.
@@ -243,6 +262,7 @@ public:
                                      LaunchOptions Options = {});
 
   TranslationCache &translationCache() { return *TC; }
+  SpecializationService &specialization() { return *Svc; }
   const Module &module() const { return *M; }
   const MachineModel &machine() const { return Machine; }
 
@@ -257,6 +277,9 @@ private:
 
   MachineModel Machine;
   std::unique_ptr<Module> M;
+  // TC holds a raw pointer into Svc; keep Svc declared first so the cache
+  // is destroyed before the service it references.
+  std::unique_ptr<SpecializationService> Svc;
   std::unique_ptr<TranslationCache> TC;
 };
 

@@ -1,0 +1,159 @@
+//===- simtvec/support/Serialize.h - Binary serialization -------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization primitives for the persistent artifact cache: a
+/// little-endian append-only writer, a bounds-checked reader that latches
+/// failure instead of erroring per field (callers check once at the end, so
+/// a truncated or bit-flipped artifact degrades to "invalid", never UB), a
+/// CRC32 for payload integrity, an FNV-1a hash for build fingerprints, and
+/// atomic-rename file publication so concurrent processes sharing one cache
+/// directory never observe a half-written entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_SERIALIZE_H
+#define SIMTVEC_SUPPORT_SERIALIZE_H
+
+#include "simtvec/support/Status.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace simtvec {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of \p Size bytes.
+uint32_t crc32(const void *Data, size_t Size);
+
+/// FNV-1a 64-bit hash, continuable: pass a previous result as \p Seed to
+/// fold multiple fields into one fingerprint.
+uint64_t fnv1a64(const void *Data, size_t Size,
+                 uint64_t Seed = 0xcbf29ce484222325ull);
+inline uint64_t fnv1a64(const std::string &S,
+                        uint64_t Seed = 0xcbf29ce484222325ull) {
+  return fnv1a64(S.data(), S.size(), Seed);
+}
+
+/// Append-only little-endian byte stream writer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) { raw(&V, sizeof(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+  /// Length-prefixed string.
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    raw(S.data(), S.size());
+  }
+  void raw(const void *Data, size_t Size) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    Buf.insert(Buf.end(), P, P + Size);
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian reader over an externally owned buffer.
+/// Any out-of-bounds read latches `failed()` and yields zeros; callers
+/// validate once after decoding (the artifact loader treats failure as a
+/// cache miss).
+class ByteReader {
+public:
+  ByteReader(const void *Data, size_t Size)
+      : P(static_cast<const uint8_t *>(Data)), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : ByteReader(Buf.data(), Buf.size()) {}
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof(V));
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t N = u32();
+    if (N > remaining()) {
+      Failed = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(P + Pos), N);
+    Pos += N;
+    return S;
+  }
+  void raw(void *Out, size_t N) {
+    if (N > remaining()) {
+      Failed = true;
+      std::memset(Out, 0, N);
+      return;
+    }
+    std::memcpy(Out, P + Pos, N);
+    Pos += N;
+  }
+
+  size_t remaining() const { return Size - Pos; }
+  bool failed() const { return Failed; }
+  /// True when the whole buffer was consumed without a bounds violation.
+  bool exhausted() const { return !Failed && Pos == Size; }
+
+private:
+  const uint8_t *P;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// Reads a whole file; an unreadable file is an error (the artifact cache
+/// maps it to a miss).
+Expected<std::vector<uint8_t>> readFileBytes(const std::string &Path);
+
+/// Publishes \p Data at \p Path atomically: writes to a unique temporary in
+/// the same directory, then renames over the target. Readers see the old
+/// content, no content, or the full new content — never a prefix. Parent
+/// directories are created as needed.
+Status writeFileAtomic(const std::string &Path, const void *Data,
+                       size_t Size);
+inline Status writeFileAtomic(const std::string &Path,
+                              const std::vector<uint8_t> &Data) {
+  return writeFileAtomic(Path, Data.data(), Data.size());
+}
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_SERIALIZE_H

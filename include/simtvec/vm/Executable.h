@@ -219,6 +219,17 @@ public:
     return ZeroRanges;
   }
 
+  /// Structural fingerprint of the built executable: register layout, the
+  /// full decoded stream (shapes, resolved slots, folded immediates, fusion
+  /// lengths, costs — everything except the process-local function
+  /// pointers), block summaries, switch tables and zero ranges. Two builds
+  /// of the same kernel under the same machine model and decoder version
+  /// produce the same value; the persistent artifact cache records it at
+  /// store time and cross-checks it after rebuilding from a deserialized
+  /// kernel, so decoder drift degrades to a cache miss instead of silently
+  /// changing execution.
+  uint64_t layoutFingerprint() const;
+
 private:
   friend struct KernelExecBuilder;
 

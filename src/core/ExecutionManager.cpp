@@ -498,9 +498,11 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
                       AtomicStripes &Atomics, const LaunchConfig &Config) {
   if (Grid.count() == 0 || Block.count() == 0)
     return Status::error("empty launch geometry");
-  if (Config.MaxWarpSize == 0 ||
+  if (Config.MaxWarpSize < 1 || Config.MaxWarpSize > 8 ||
       (Config.MaxWarpSize & (Config.MaxWarpSize - 1)) != 0)
-    return Status::error("MaxWarpSize must be a power of two");
+    return Status::error(formatString(
+        "MaxWarpSize must be a power of two in {1,2,4,8}, got %u",
+        Config.MaxWarpSize));
   if (Config.ThreadInvariantElim &&
       Config.Formation != WarpFormation::Static)
     return Status::error(

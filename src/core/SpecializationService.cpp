@@ -1,0 +1,714 @@
+//===- core/SpecializationService.cpp - Persistent specialization ---------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/SpecializationService.h"
+
+#include "simtvec/ir/Module.h"
+#include "simtvec/ir/Printer.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/support/Format.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace simtvec;
+
+//===----------------------------------------------------------------------===//
+// Kernel serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Maxima of the enums a serialized kernel embeds; deserialization rejects
+// anything beyond them so a bit-flipped artifact cannot manufacture an
+// out-of-range enum (every switch downstream assumes validity).
+constexpr uint8_t MaxOpcode = static_cast<uint8_t>(Opcode::Trap);
+constexpr uint8_t MaxCmpOp = static_cast<uint8_t>(CmpOp::Ge);
+constexpr uint8_t MaxSpace = static_cast<uint8_t>(AddressSpace::Param);
+constexpr uint8_t MaxScalarKind = static_cast<uint8_t>(ScalarKind::F64);
+constexpr uint8_t MaxSReg = static_cast<uint8_t>(SReg::EntryId);
+constexpr uint8_t MaxSymKind = static_cast<uint8_t>(SymKind::Local);
+constexpr uint8_t MaxBlockKind = static_cast<uint8_t>(BlockKind::ExitHandler);
+constexpr uint8_t MaxOperandKind = static_cast<uint8_t>(Operand::Kind::Symbol);
+
+void putType(ByteWriter &W, Type Ty) {
+  W.u8(static_cast<uint8_t>(Ty.kind()));
+  W.u16(Ty.lanes());
+}
+
+bool getType(ByteReader &R, Type &Ty) {
+  uint8_t Kind = R.u8();
+  uint16_t Lanes = R.u16();
+  if (Kind > MaxScalarKind)
+    return false;
+  Ty = Type(static_cast<ScalarKind>(Kind), Lanes);
+  return true;
+}
+
+void putOperand(ByteWriter &W, const Operand &O) {
+  W.u8(static_cast<uint8_t>(O.kind()));
+  switch (O.kind()) {
+  case Operand::Kind::None:
+    break;
+  case Operand::Kind::Reg:
+    W.u32(O.regId().Index);
+    break;
+  case Operand::Kind::Imm:
+    putType(W, O.immType());
+    W.u64(O.immBits());
+    break;
+  case Operand::Kind::Special:
+    W.u8(static_cast<uint8_t>(O.specialReg()));
+    break;
+  case Operand::Kind::Symbol:
+    W.u8(static_cast<uint8_t>(O.symKind()));
+    W.u32(O.symIndex());
+    break;
+  }
+}
+
+bool getOperand(ByteReader &R, Operand &O) {
+  uint8_t K = R.u8();
+  if (K > MaxOperandKind)
+    return false;
+  switch (static_cast<Operand::Kind>(K)) {
+  case Operand::Kind::None:
+    O = Operand();
+    return true;
+  case Operand::Kind::Reg:
+    O = Operand::reg(RegId(R.u32()));
+    return true;
+  case Operand::Kind::Imm: {
+    Type Ty;
+    if (!getType(R, Ty))
+      return false;
+    O = Operand::immBits(Ty, R.u64());
+    return true;
+  }
+  case Operand::Kind::Special: {
+    uint8_t S = R.u8();
+    if (S > MaxSReg)
+      return false;
+    O = Operand::special(static_cast<SReg>(S));
+    return true;
+  }
+  case Operand::Kind::Symbol: {
+    uint8_t SK = R.u8();
+    if (SK > MaxSymKind)
+      return false;
+    O = Operand::symbol(static_cast<SymKind>(SK), R.u32());
+    return true;
+  }
+  }
+  return false;
+}
+
+void putInstruction(ByteWriter &W, const Instruction &I) {
+  W.u8(static_cast<uint8_t>(I.Op));
+  putType(W, I.Ty);
+  W.u8(static_cast<uint8_t>(I.Cmp));
+  W.u8(static_cast<uint8_t>(I.Space));
+  W.u32(I.Dst.Index);
+  W.u32(static_cast<uint32_t>(I.Srcs.size()));
+  for (const Operand &O : I.Srcs)
+    putOperand(W, O);
+  W.i64(I.MemOffset);
+  W.u32(I.Guard.Index);
+  W.u8(I.GuardNegated ? 1 : 0);
+  W.u16(I.Lane);
+  W.u32(I.Target);
+  W.u32(I.FalseTarget);
+  W.u32(static_cast<uint32_t>(I.SwitchValues.size()));
+  for (int64_t V : I.SwitchValues)
+    W.i64(V);
+  for (uint32_t T : I.SwitchTargets)
+    W.u32(T);
+  W.u32(I.SwitchDefault);
+}
+
+/// Caps a decoded element count by what the remaining payload could possibly
+/// hold (\p MinElemBytes per element), so a corrupt count cannot drive a
+/// multi-gigabyte allocation before the bounds check latches.
+bool plausibleCount(const ByteReader &R, uint32_t N, size_t MinElemBytes) {
+  return static_cast<uint64_t>(N) * MinElemBytes <= R.remaining();
+}
+
+bool getInstruction(ByteReader &R, Instruction &I) {
+  uint8_t Op = R.u8();
+  if (Op > MaxOpcode)
+    return false;
+  I.Op = static_cast<Opcode>(Op);
+  if (!getType(R, I.Ty))
+    return false;
+  uint8_t Cmp = R.u8();
+  uint8_t Space = R.u8();
+  if (Cmp > MaxCmpOp || Space > MaxSpace)
+    return false;
+  I.Cmp = static_cast<CmpOp>(Cmp);
+  I.Space = static_cast<AddressSpace>(Space);
+  I.Dst = RegId(R.u32());
+  uint32_t NumSrcs = R.u32();
+  if (!plausibleCount(R, NumSrcs, 1))
+    return false;
+  I.Srcs.resize(NumSrcs);
+  for (Operand &O : I.Srcs)
+    if (!getOperand(R, O))
+      return false;
+  I.MemOffset = R.i64();
+  I.Guard = RegId(R.u32());
+  I.GuardNegated = R.u8() != 0;
+  I.Lane = R.u16();
+  I.Target = R.u32();
+  I.FalseTarget = R.u32();
+  uint32_t NumCases = R.u32();
+  if (!plausibleCount(R, NumCases, 12))
+    return false;
+  I.SwitchValues.resize(NumCases);
+  for (int64_t &V : I.SwitchValues)
+    V = R.i64();
+  I.SwitchTargets.resize(NumCases);
+  for (uint32_t &T : I.SwitchTargets)
+    T = R.u32();
+  I.SwitchDefault = R.u32();
+  return !R.failed();
+}
+
+} // namespace
+
+void simtvec::serializeKernel(ByteWriter &W, const Kernel &K) {
+  W.str(K.Name);
+
+  W.u32(static_cast<uint32_t>(K.Params.size()));
+  for (const Param &P : K.Params) {
+    W.str(P.Name);
+    putType(W, P.Ty);
+    W.u32(P.Offset);
+  }
+  W.u32(K.ParamBytes);
+
+  auto putMemVars = [&](const std::vector<MemVar> &Vars, uint32_t Bytes) {
+    W.u32(static_cast<uint32_t>(Vars.size()));
+    for (const MemVar &V : Vars) {
+      W.str(V.Name);
+      W.u32(V.Bytes);
+      W.u32(V.Offset);
+    }
+    W.u32(Bytes);
+  };
+  putMemVars(K.SharedVars, K.SharedBytes);
+  putMemVars(K.LocalVars, K.LocalBytes);
+
+  W.u32(static_cast<uint32_t>(K.Regs.size()));
+  for (const VirtualRegister &Reg : K.Regs) {
+    W.str(Reg.Name);
+    putType(W, Reg.Ty);
+  }
+
+  W.u32(static_cast<uint32_t>(K.Blocks.size()));
+  for (const BasicBlock &B : K.Blocks) {
+    W.str(B.Name);
+    W.u8(static_cast<uint8_t>(B.Kind));
+    W.u32(static_cast<uint32_t>(B.Insts.size()));
+    for (const Instruction &I : B.Insts)
+      putInstruction(W, I);
+  }
+
+  W.u32(K.WarpSize);
+  W.u32(static_cast<uint32_t>(K.EntryBlocks.size()));
+  for (uint32_t E : K.EntryBlocks)
+    W.u32(E);
+  W.u32(K.SpillBytes);
+}
+
+bool simtvec::deserializeKernel(ByteReader &R, Kernel &K) {
+  K = Kernel();
+  K.Name = R.str();
+
+  uint32_t NumParams = R.u32();
+  if (!plausibleCount(R, NumParams, 11))
+    return false;
+  K.Params.resize(NumParams);
+  for (Param &P : K.Params) {
+    P.Name = R.str();
+    if (!getType(R, P.Ty))
+      return false;
+    P.Offset = R.u32();
+  }
+  K.ParamBytes = R.u32();
+
+  auto getMemVars = [&](std::vector<MemVar> &Vars, uint32_t &Bytes) {
+    uint32_t N = R.u32();
+    if (!plausibleCount(R, N, 12))
+      return false;
+    Vars.resize(N);
+    for (MemVar &V : Vars) {
+      V.Name = R.str();
+      V.Bytes = R.u32();
+      V.Offset = R.u32();
+    }
+    Bytes = R.u32();
+    return !R.failed();
+  };
+  if (!getMemVars(K.SharedVars, K.SharedBytes) ||
+      !getMemVars(K.LocalVars, K.LocalBytes))
+    return false;
+
+  uint32_t NumRegs = R.u32();
+  if (!plausibleCount(R, NumRegs, 7))
+    return false;
+  K.Regs.resize(NumRegs);
+  for (VirtualRegister &Reg : K.Regs) {
+    Reg.Name = R.str();
+    if (!getType(R, Reg.Ty))
+      return false;
+  }
+
+  uint32_t NumBlocks = R.u32();
+  if (!plausibleCount(R, NumBlocks, 9))
+    return false;
+  K.Blocks.resize(NumBlocks);
+  for (BasicBlock &B : K.Blocks) {
+    B.Name = R.str();
+    uint8_t Kind = R.u8();
+    if (Kind > MaxBlockKind)
+      return false;
+    B.Kind = static_cast<BlockKind>(Kind);
+    uint32_t NumInsts = R.u32();
+    if (!plausibleCount(R, NumInsts, 40))
+      return false;
+    B.Insts.resize(NumInsts);
+    for (Instruction &I : B.Insts)
+      if (!getInstruction(R, I))
+        return false;
+  }
+
+  K.WarpSize = R.u32();
+  uint32_t NumEntries = R.u32();
+  if (!plausibleCount(R, NumEntries, 4))
+    return false;
+  K.EntryBlocks.resize(NumEntries);
+  for (uint32_t &E : K.EntryBlocks)
+    E = R.u32();
+  K.SpillBytes = R.u32();
+  return !R.failed();
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact and profile files
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char ArtifactMagic[4] = {'S', 'V', 'C', 'A'};
+constexpr char ProfileMagic[4] = {'S', 'V', 'C', 'P'};
+
+/// Fixed-size artifact header preceding the payload.
+struct ArtifactHeader {
+  uint32_t Version = 0;
+  uint64_t Fingerprint = 0;
+  uint64_t LayoutFingerprint = 0;
+  uint32_t PayloadCrc = 0;
+  uint32_t PayloadBytes = 0;
+};
+
+/// Parses magic + header; false on bad magic or truncation.
+bool readHeader(ByteReader &R, ArtifactHeader &H, const char Magic[4]) {
+  char M[4] = {};
+  R.raw(M, 4);
+  if (R.failed() || std::memcmp(M, Magic, 4) != 0)
+    return false;
+  H.Version = R.u32();
+  H.Fingerprint = R.u64();
+  H.LayoutFingerprint = R.u64();
+  H.PayloadCrc = R.u32();
+  H.PayloadBytes = R.u32();
+  return !R.failed();
+}
+
+void writeHeader(ByteWriter &W, const ArtifactHeader &H, const char Magic[4]) {
+  W.raw(Magic, 4);
+  W.u32(H.Version);
+  W.u64(H.Fingerprint);
+  W.u64(H.LayoutFingerprint);
+  W.u32(H.PayloadCrc);
+  W.u32(H.PayloadBytes);
+}
+
+/// Kernel names may contain characters hostile to filenames; keep
+/// [A-Za-z0-9_-] and fold the rest (uniqueness comes from the fingerprint
+/// in the name, not the sanitized prefix).
+std::string sanitizeName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    bool Keep = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == '_' || C == '-';
+    Out.push_back(Keep ? C : '_');
+  }
+  return Out.empty() ? std::string("kernel") : Out;
+}
+
+} // namespace
+
+SpecializationOptions SpecializationOptions::fromEnv() {
+  SpecializationOptions O;
+  if (const char *Dir = std::getenv("SIMTVEC_CACHE_DIR"))
+    if (*Dir)
+      O.CacheDir = Dir;
+  return O;
+}
+
+SpecializationService::SpecializationService(const Module &M,
+                                             const MachineModel &Machine,
+                                             SpecializationOptions Opts)
+    : M(M), Machine(Machine), Opts(std::move(Opts)) {}
+
+uint64_t SpecializationService::sourceHash(const std::string &KernelName) {
+  std::lock_guard<std::mutex> G(HashLock);
+  auto It = SourceHashes.find(KernelName);
+  if (It != SourceHashes.end())
+    return It->second;
+  const Kernel *K = M.findKernel(KernelName);
+  uint64_t H = K ? fnv1a64(printKernel(*K)) : 0;
+  SourceHashes.emplace(KernelName, H);
+  return H;
+}
+
+uint64_t SpecializationService::fingerprintFor(const TranslationCache::Key &K) {
+  // Hash field by field through the writer — raw struct bytes would fold
+  // padding into the fingerprint.
+  ByteWriter W;
+  W.str("simtvec.svc");
+  W.u32(FormatVersion);
+  W.u64(sourceHash(K.KernelName));
+  W.u32(K.WarpSize);
+  W.u8(K.ThreadInvariantElim ? 1 : 0);
+  W.u8(K.UniformBranchOpt ? 1 : 0);
+  W.u8(K.UniformLoadOpt ? 1 : 0);
+  W.u8(K.Superinstructions ? 1 : 0);
+  W.u32(Machine.VectorWidthBytes);
+  W.u32(Machine.NumVecRegs);
+  W.f64(Machine.ClockGHz);
+  W.u32(Machine.Cores);
+  W.f64(Machine.ArithCost);
+  W.f64(Machine.TranscCost);
+  W.f64(Machine.MemCost);
+  W.f64(Machine.MemMissExtra);
+  W.f64(Machine.ParamMemCost);
+  W.u32(Machine.L1LineBytes);
+  W.u32(Machine.L1Sets);
+  W.u32(Machine.L1Ways);
+  W.f64(Machine.AtomCost);
+  W.f64(Machine.PackCost);
+  W.f64(Machine.ControlCost);
+  W.f64(Machine.SpillRestorePerLane);
+  W.u32(Machine.PressureSlackRegs);
+  W.f64(Machine.SpillPenaltyPerExcessReg);
+  W.f64(Machine.EMWarpFormBase);
+  W.f64(Machine.EMPerThreadScan);
+  W.u32(Machine.EMScanWindow);
+  W.f64(Machine.EMYieldUpdatePerThread);
+  W.f64(Machine.EMBarrierRelease);
+  return fnv1a64(W.bytes().data(), W.size());
+}
+
+uint64_t
+SpecializationService::profileFingerprintFor(const std::string &KernelName) {
+  // Width and flags are deliberately absent: one profile spans all widths of
+  // a kernel.
+  ByteWriter W;
+  W.str("simtvec.svc.profile");
+  W.u32(FormatVersion);
+  W.u64(sourceHash(KernelName));
+  return fnv1a64(W.bytes().data(), W.size());
+}
+
+std::string
+SpecializationService::artifactPath(const TranslationCache::Key &K) {
+  return formatString(
+      "%s/%s.w%u.%016llx%s", Opts.CacheDir.c_str(),
+      sanitizeName(K.KernelName).c_str(), K.WarpSize,
+      static_cast<unsigned long long>(fingerprintFor(K)), ArtifactExt);
+}
+
+std::string SpecializationService::profilePath(const std::string &KernelName) {
+  return formatString(
+      "%s/%s.%016llx%s", Opts.CacheDir.c_str(),
+      sanitizeName(KernelName).c_str(),
+      static_cast<unsigned long long>(profileFingerprintFor(KernelName)),
+      ProfileExt);
+}
+
+std::shared_ptr<const KernelExec>
+SpecializationService::tryLoadArtifact(const TranslationCache::Key &K) {
+  if (!persistent())
+    return nullptr;
+  auto Miss = [&]() -> std::shared_ptr<const KernelExec> {
+    DiskMisses.fetch_add(1, std::memory_order_relaxed);
+    RegDiskMisses->fetch_add(1, std::memory_order_relaxed);
+    trace::instant("tc.disk_miss", "cache", K.WarpSize, "width");
+    return nullptr;
+  };
+
+  auto Bytes = readFileBytes(artifactPath(K));
+  if (!Bytes)
+    return Miss();
+
+  ByteReader R(*Bytes);
+  ArtifactHeader H;
+  if (!readHeader(R, H, ArtifactMagic))
+    return Miss();
+  if (H.Version != FormatVersion || H.Fingerprint != fingerprintFor(K))
+    return Miss();
+  if (H.PayloadBytes != R.remaining())
+    return Miss();
+  const uint8_t *Payload = Bytes->data() + (Bytes->size() - R.remaining());
+  if (crc32(Payload, H.PayloadBytes) != H.PayloadCrc)
+    return Miss();
+
+  ByteReader PR(Payload, H.PayloadBytes);
+  auto Kern = std::make_unique<Kernel>();
+  if (!deserializeKernel(PR, *Kern) || !PR.exhausted())
+    return Miss();
+
+  // The payload decoded structurally; now hold it to the same bar a fresh
+  // compile meets. Identity (right kernel, right width), then the verifier,
+  // then a rebuild whose layout must match the recorded fingerprint — any
+  // decoder or cost-model drift the build fingerprint failed to capture
+  // surfaces here as a miss, never as divergent execution. The vectorizer
+  // renames its output "<source>$w<width>..." so accept either the source
+  // name or a specialization of it.
+  bool NameMatches =
+      Kern->Name == K.KernelName ||
+      Kern->Name.compare(0, K.KernelName.size() + 2, K.KernelName + "$w") == 0;
+  if (!NameMatches || Kern->WarpSize != K.WarpSize)
+    return Miss();
+  if (verifyKernel(*Kern).isError())
+    return Miss();
+
+  auto Exec =
+      KernelExec::build(std::move(Kern), Machine, K.Superinstructions);
+  if (!Exec || Exec->layoutFingerprint() != H.LayoutFingerprint)
+    return Miss();
+
+  DiskHits.fetch_add(1, std::memory_order_relaxed);
+  RegDiskHits->fetch_add(1, std::memory_order_relaxed);
+  trace::instant("tc.disk_hit", "cache", K.WarpSize, "width");
+  return Exec;
+}
+
+void SpecializationService::storeArtifact(const TranslationCache::Key &K,
+                                          const KernelExec &Exec) {
+  if (!persistent())
+    return;
+
+  ByteWriter Payload;
+  serializeKernel(Payload, Exec.kernel());
+
+  ArtifactHeader H;
+  H.Version = FormatVersion;
+  H.Fingerprint = fingerprintFor(K);
+  H.LayoutFingerprint = Exec.layoutFingerprint();
+  H.PayloadCrc = crc32(Payload.bytes().data(), Payload.size());
+  H.PayloadBytes = static_cast<uint32_t>(Payload.size());
+
+  ByteWriter W;
+  writeHeader(W, H, ArtifactMagic);
+  W.raw(Payload.bytes().data(), Payload.size());
+
+  if (writeFileAtomic(artifactPath(K), W.bytes()).isError())
+    return; // advisory store; the compile already succeeded
+  DiskWrites.fetch_add(1, std::memory_order_relaxed);
+  RegDiskWrites->fetch_add(1, std::memory_order_relaxed);
+  trace::instant("tc.disk_write", "cache", K.WarpSize, "width");
+}
+
+Expected<SpecializationService::ArtifactInfo>
+SpecializationService::inspectArtifact(const std::string &Path) {
+  auto Bytes = readFileBytes(Path);
+  if (!Bytes)
+    return Bytes.status();
+
+  ByteReader R(*Bytes);
+  ArtifactHeader H;
+  if (!readHeader(R, H, ArtifactMagic))
+    return Status::error(
+        formatString("'%s' is not an artifact file", Path.c_str()));
+
+  ArtifactInfo Info;
+  Info.Version = H.Version;
+  Info.Fingerprint = H.Fingerprint;
+  Info.LayoutFingerprint = H.LayoutFingerprint;
+  Info.PayloadBytes = H.PayloadBytes;
+  if (H.PayloadBytes != R.remaining())
+    return Info; // truncated/padded: CrcValid stays false
+  const uint8_t *Payload = Bytes->data() + (Bytes->size() - R.remaining());
+  Info.CrcValid = crc32(Payload, H.PayloadBytes) == H.PayloadCrc;
+  if (!Info.CrcValid || H.Version != FormatVersion)
+    return Info;
+
+  ByteReader PR(Payload, H.PayloadBytes);
+  Kernel K;
+  if (deserializeKernel(PR, K) && PR.exhausted() &&
+      !verifyKernel(K).isError()) {
+    Info.Decodes = true;
+    Info.KernelName = K.Name;
+    Info.WarpSize = K.WarpSize;
+  }
+  return Info;
+}
+
+SpecializationService::Stats SpecializationService::stats() const {
+  Stats S;
+  S.DiskHits = DiskHits.load(std::memory_order_relaxed);
+  S.DiskMisses = DiskMisses.load(std::memory_order_relaxed);
+  S.DiskWrites = DiskWrites.load(std::memory_order_relaxed);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Warp-width autotuner
+//===----------------------------------------------------------------------===//
+
+SpecializationService::KernelTune &
+SpecializationService::tuneFor(const std::string &KernelName) {
+  KernelTune &T = Tune[KernelName];
+  if (T.Per.empty())
+    for (uint32_t W : Opts.Widths)
+      T.Per.push_back({W, 0, 0});
+
+  if (!T.ProfileChecked) {
+    T.ProfileChecked = true;
+    if (persistent()) {
+      // Adopt a persisted commit so a later process starts exploited. The
+      // profile fingerprint pins source + machine; a stale file is ignored.
+      if (auto Bytes = readFileBytes(profilePath(KernelName))) {
+        ByteReader R(*Bytes);
+        ArtifactHeader H;
+        if (readHeader(R, H, ProfileMagic) && H.Version == FormatVersion &&
+            H.Fingerprint == profileFingerprintFor(KernelName) &&
+            H.PayloadBytes == R.remaining()) {
+          const uint8_t *Payload =
+              Bytes->data() + (Bytes->size() - R.remaining());
+          if (crc32(Payload, H.PayloadBytes) == H.PayloadCrc) {
+            ByteReader PR(Payload, H.PayloadBytes);
+            uint32_t Committed = PR.u32();
+            uint32_t N = PR.u32();
+            std::vector<WidthState> Loaded;
+            if (N <= 64) {
+              for (uint32_t I = 0; I < N && !PR.failed(); ++I) {
+                WidthState WS;
+                WS.Width = PR.u32();
+                WS.Samples = PR.u32();
+                WS.SumCyclesPerThread = PR.f64();
+                Loaded.push_back(WS);
+              }
+            }
+            bool Valid = !PR.failed() && PR.exhausted() && Committed != 0 &&
+                         std::any_of(T.Per.begin(), T.Per.end(),
+                                     [&](const WidthState &WS) {
+                                       return WS.Width == Committed;
+                                     });
+            if (Valid) {
+              T.Committed = Committed;
+              for (const WidthState &L : Loaded)
+                for (WidthState &WS : T.Per)
+                  if (WS.Width == L.Width) {
+                    WS.Samples = L.Samples;
+                    WS.SumCyclesPerThread = L.SumCyclesPerThread;
+                  }
+            }
+          }
+        }
+      }
+    }
+  }
+  return T;
+}
+
+uint32_t SpecializationService::chooseWidth(const std::string &KernelName) {
+  std::lock_guard<std::mutex> G(TuneLock);
+  KernelTune &T = tuneFor(KernelName);
+  if (T.Committed)
+    return T.Committed;
+  for (const WidthState &WS : T.Per)
+    if (WS.Samples < Opts.ExploreSamples) {
+      RegExplore->fetch_add(1, std::memory_order_relaxed);
+      trace::instant("autotune.explore", "autotune", WS.Width, "width");
+      return WS.Width;
+    }
+  // Every candidate is fully sampled but no commit happened (e.g. feedback
+  // was lost); fall back to the current argmin without committing.
+  const WidthState *Best = &T.Per.front();
+  for (const WidthState &WS : T.Per)
+    if (WS.SumCyclesPerThread / WS.Samples <
+        Best->SumCyclesPerThread / Best->Samples)
+      Best = &WS;
+  return Best->Width;
+}
+
+void SpecializationService::recordSample(const std::string &KernelName,
+                                         uint32_t Width, double ModeledCycles,
+                                         uint64_t Threads) {
+  std::lock_guard<std::mutex> G(TuneLock);
+  KernelTune &T = tuneFor(KernelName);
+  if (T.Committed)
+    return;
+  WidthState *Slot = nullptr;
+  for (WidthState &WS : T.Per)
+    if (WS.Width == Width)
+      Slot = &WS;
+  if (!Slot)
+    return; // feedback for a width outside the candidate set
+  Slot->Samples += 1;
+  Slot->SumCyclesPerThread +=
+      ModeledCycles / static_cast<double>(std::max<uint64_t>(1, Threads));
+
+  for (const WidthState &WS : T.Per)
+    if (WS.Samples < Opts.ExploreSamples)
+      return; // still exploring
+
+  const WidthState *Best = &T.Per.front();
+  for (const WidthState &WS : T.Per)
+    if (WS.SumCyclesPerThread / WS.Samples <
+        Best->SumCyclesPerThread / Best->Samples)
+      Best = &WS;
+  T.Committed = Best->Width;
+  RegCommit->fetch_add(1, std::memory_order_relaxed);
+  trace::instant("autotune.commit", "autotune", T.Committed, "width");
+  persistProfile(KernelName, T);
+}
+
+uint32_t SpecializationService::committedWidth(const std::string &KernelName) {
+  std::lock_guard<std::mutex> G(TuneLock);
+  return tuneFor(KernelName).Committed;
+}
+
+void SpecializationService::persistProfile(const std::string &KernelName,
+                                           const KernelTune &T) {
+  if (!persistent())
+    return;
+  ByteWriter Payload;
+  Payload.u32(T.Committed);
+  Payload.u32(static_cast<uint32_t>(T.Per.size()));
+  for (const WidthState &WS : T.Per) {
+    Payload.u32(WS.Width);
+    Payload.u32(WS.Samples);
+    Payload.f64(WS.SumCyclesPerThread);
+  }
+
+  ArtifactHeader H;
+  H.Version = FormatVersion;
+  H.Fingerprint = profileFingerprintFor(KernelName);
+  H.LayoutFingerprint = 0;
+  H.PayloadCrc = crc32(Payload.bytes().data(), Payload.size());
+  H.PayloadBytes = static_cast<uint32_t>(Payload.size());
+
+  ByteWriter W;
+  writeHeader(W, H, ProfileMagic);
+  W.raw(Payload.bytes().data(), Payload.size());
+  (void)writeFileAtomic(profilePath(KernelName), W.bytes());
+}

@@ -6,6 +6,7 @@
 
 #include "simtvec/core/TranslationCache.h"
 
+#include "simtvec/core/SpecializationService.h"
 #include "simtvec/ir/Module.h"
 #include "simtvec/ir/Verifier.h"
 #include "simtvec/support/Format.h"
@@ -118,12 +119,6 @@ TranslationCache::get(const Key &K) {
   Misses.fetch_add(1, std::memory_order_relaxed);
   RegMisses->fetch_add(1, std::memory_order_relaxed);
   trace::instant("tc.miss", "cache", K.WarpSize, "width");
-  trace::Span CompileSpan("tc.compile", "cache");
-  if (trace::enabled()) {
-    CompileSpan.strArg("kernel", trace::intern(K.KernelName));
-    CompileSpan.arg("width", K.WarpSize);
-  }
-  auto Start = std::chrono::steady_clock::now();
 
   auto Publish = [&](Status Err,
                      std::shared_ptr<const KernelExec> Value) {
@@ -137,6 +132,29 @@ TranslationCache::get(const Key &K) {
     std::lock_guard<std::mutex> Guard(InFlightLock);
     InFlight.erase(K);
   };
+
+  // Persistent-store fast path: a memory miss may still be a disk hit (a
+  // prior process — or a prior cache in this one — compiled this exact
+  // specialization). The rebuilt executable is published like a compiled
+  // one, but no compile happens: no tc.compile span, count, or wall time.
+  if (Svc) {
+    if (auto Exec = Svc->tryLoadArtifact(K)) {
+      {
+        std::unique_lock<std::shared_mutex> Guard(S.Lock);
+        S.Cache.emplace(K, Exec);
+      }
+      Publish(Status::success(), Exec);
+      return Exec;
+    }
+  }
+
+  RegCompiles->fetch_add(1, std::memory_order_relaxed);
+  trace::Span CompileSpan("tc.compile", "cache");
+  if (trace::enabled()) {
+    CompileSpan.strArg("kernel", trace::intern(K.KernelName));
+    CompileSpan.arg("width", K.WarpSize);
+  }
+  auto Start = std::chrono::steady_clock::now();
 
   auto POrErr = prepare(K.KernelName);
   if (!POrErr) {
@@ -168,6 +186,8 @@ TranslationCache::get(const Key &K) {
     S.Cache.emplace(K, Exec);
   }
   Publish(Status::success(), Exec);
+  if (Svc)
+    Svc->storeArtifact(K, *Exec);
 
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)

@@ -106,6 +106,12 @@ void Device::memset(uint64_t Dst, int Value, size_t Bytes) {
 
 Expected<std::unique_ptr<Program>>
 Program::compile(const std::string &SvirText, const MachineModel &Machine) {
+  return compile(SvirText, Machine, SpecializationOptions::fromEnv());
+}
+
+Expected<std::unique_ptr<Program>>
+Program::compile(const std::string &SvirText, const MachineModel &Machine,
+                 SpecializationOptions Spec) {
   auto MOrErr = parseModule(SvirText);
   if (!MOrErr)
     return MOrErr.status();
@@ -116,7 +122,10 @@ Program::compile(const std::string &SvirText, const MachineModel &Machine) {
   auto P = std::unique_ptr<Program>(new Program());
   P->Machine = Machine;
   P->M = std::move(M);
+  P->Svc = std::make_unique<SpecializationService>(*P->M, Machine,
+                                                   std::move(Spec));
   P->TC = std::make_unique<TranslationCache>(*P->M, Machine);
+  P->TC->setSpecializationService(P->Svc.get());
   return P;
 }
 
@@ -186,23 +195,42 @@ LaunchFuture Program::launchAsync(Stream &S, Device &Dev,
   LaunchFuture F(LS);
   if (Options.Trace && !trace::enabled())
     trace::startSession();
-  if (Status E = validateParams(KernelName, P); E.isError()) {
+  auto submitError = [&](Status E) {
     // Submission-time failure: never enqueued; reported through both the
     // future and the stream's deferred error.
     S.S->noteError(E);
     LS->fulfill(E);
     return F;
-  }
+  };
+  if (Status E = validateParams(KernelName, P); E.isError())
+    return submitError(E);
+  // Reject bad widths here, at submission, rather than as a deferred
+  // stream error from the engine (which re-checks as defense in depth).
+  // Auto ignores MaxWarpSize: the service only ever picks valid widths.
+  bool Auto = Options.Policy == LaunchOptions::WidthPolicy::Auto;
+  if (!Auto && (Options.MaxWarpSize < 1 || Options.MaxWarpSize > 8 ||
+                (Options.MaxWarpSize & (Options.MaxWarpSize - 1)) != 0))
+    return submitError(Status::error(formatString(
+        "MaxWarpSize must be a power of two in {1,2,4,8}, got %u",
+        Options.MaxWarpSize)));
   detail::StreamState *SS = S.S.get();
   // The op owns copies of everything whose lifetime ends at submission
   // (the param bytes, the kernel name, the config); the Device and this
   // Program must outlive the stream's pending work.
-  S.S->enqueue([this, SS, LS, &Dev, KernelName, Grid, Block,
+  S.S->enqueue([this, SS, LS, &Dev, KernelName, Grid, Block, Auto,
                 Bytes = P.bytes(),
-                Config = makeConfig(Options)]() -> detail::OpOutcome {
+                Config = makeConfig(Options)]() mutable -> detail::OpOutcome {
+    // Width resolution happens at execution time, not submission: the
+    // autotuner sees feedback from every launch ahead of this one in
+    // stream order, so a burst of queued Auto launches still converges.
+    if (Auto)
+      Config.MaxWarpSize = Svc->chooseWidth(KernelName);
     Expected<LaunchStats> R =
         launchKernel(*TC, KernelName, Grid, Block, Bytes, Dev.data(),
                      Dev.size(), Dev.atomics(), Config);
+    if (R && Auto)
+      Svc->recordSample(KernelName, Config.MaxWarpSize, R->MaxWorkerCycles,
+                        static_cast<uint64_t>(Grid.count()) * Block.count());
     if (!R)
       SS->noteError(R.status());
     LS->fulfill(std::move(R));

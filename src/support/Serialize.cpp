@@ -1,0 +1,110 @@
+//===- support/Serialize.cpp - Binary serialization -----------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Serialize.h"
+
+#include "simtvec/support/Format.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <system_error>
+#include <thread>
+
+using namespace simtvec;
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t simtvec::crc32(const void *Data, size_t Size) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = 0xFFFFFFFFu;
+  const auto *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Size; ++I)
+    C = Table[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+uint64_t simtvec::fnv1a64(const void *Data, size_t Size, uint64_t Seed) {
+  uint64_t H = Seed;
+  const auto *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+Expected<std::vector<uint8_t>>
+simtvec::readFileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Status::error(formatString("cannot open '%s'", Path.c_str()));
+  std::vector<uint8_t> Data;
+  uint8_t Chunk[1 << 16];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Data.insert(Data.end(), Chunk, Chunk + N);
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Bad)
+    return Status::error(formatString("read error on '%s'", Path.c_str()));
+  return Data;
+}
+
+Status simtvec::writeFileAtomic(const std::string &Path, const void *Data,
+                                size_t Size) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::path Target(Path);
+  if (Target.has_parent_path()) {
+    fs::create_directories(Target.parent_path(), EC);
+    if (EC)
+      return Status::error(formatString("cannot create directory '%s': %s",
+                                        Target.parent_path().c_str(),
+                                        EC.message().c_str()));
+  }
+
+  // Unique within the process and across processes sharing the directory:
+  // pid + a process-wide counter.
+  static std::atomic<uint64_t> Counter{0};
+  std::string Tmp = formatString(
+      "%s.tmp.%llu.%llu", Path.c_str(),
+      static_cast<unsigned long long>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFFFF),
+      static_cast<unsigned long long>(
+          Counter.fetch_add(1, std::memory_order_relaxed)));
+
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return Status::error(formatString("cannot create '%s'", Tmp.c_str()));
+  size_t Written = Size ? std::fwrite(Data, 1, Size, F) : 0;
+  bool Bad = Written != Size || std::fflush(F) != 0;
+  std::fclose(F);
+  if (Bad) {
+    std::remove(Tmp.c_str());
+    return Status::error(formatString("write error on '%s'", Tmp.c_str()));
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Status::error(formatString("cannot publish '%s'", Path.c_str()));
+  }
+  return Status::success();
+}

@@ -8,6 +8,7 @@
 
 #include "simtvec/analysis/CFG.h"
 #include "simtvec/analysis/Liveness.h"
+#include "simtvec/support/Serialize.h"
 
 #include <algorithm>
 
@@ -627,4 +628,83 @@ KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine,
 
   Exec->K = std::move(K);
   return Exec;
+}
+
+uint64_t KernelExec::layoutFingerprint() const {
+  // Everything decode resolves, minus the process-local function pointers
+  // (Fn/Kern): those are re-derived from the hashed structural fields, so
+  // equal fingerprints imply equal behaviour.
+  ByteWriter W;
+  W.u32(TotalSlots);
+  W.u32(MaxPressure);
+  W.u32(static_cast<uint32_t>(RegOffset.size()));
+  for (uint32_t Off : RegOffset)
+    W.u32(Off);
+  W.u32(static_cast<uint32_t>(BlockPenalty.size()));
+  for (double P : BlockPenalty)
+    W.f64(P);
+
+  W.u32(static_cast<uint32_t>(Code.size()));
+  for (const DecodedInst &D : Code) {
+    W.u8(static_cast<uint8_t>(D.Shape));
+    W.u8(static_cast<uint8_t>(D.Op));
+    W.u8(static_cast<uint8_t>(D.Kind));
+    W.u8(static_cast<uint8_t>(D.CvtSrcKind));
+    W.u8(static_cast<uint8_t>(D.Cmp));
+    W.u8(static_cast<uint8_t>(D.Space));
+    W.u8(D.IsVector ? 1 : 0);
+    W.u8(D.GuardNegated ? 1 : 0);
+    W.u8(D.MemBytes);
+    W.u16(D.N);
+    W.u16(D.Lane);
+    W.u16(D.SrcN);
+    W.u16(D.FuseLen);
+    W.u32(D.AuxLane);
+    W.u32(D.DstSlot);
+    W.u32(D.GuardSlot);
+    W.f64(D.Cost);
+    W.u32(D.Flops);
+    for (const DecodedOp &S : D.Src) {
+      W.u8(static_cast<uint8_t>(S.K));
+      W.u8(static_cast<uint8_t>(S.S));
+      W.u32(S.Slot);
+      W.u64(S.Imm);
+    }
+    W.i64(D.MemOffset);
+    W.u64(D.SpillAddr);
+    W.u32(D.Target);
+    W.u32(D.FalseTarget);
+    W.u32(D.SwitchId);
+    W.u8(static_cast<uint8_t>(D.Ty.kind()));
+    W.u16(D.Ty.lanes());
+  }
+
+  W.u32(static_cast<uint32_t>(DBlocks.size()));
+  for (const DecodedBlock &B : DBlocks) {
+    W.u32(B.First);
+    W.u32(B.Count);
+    W.u8(B.IsBody ? 1 : 0);
+    W.f64(B.CostSum);
+    W.u64(B.FlopsSum);
+    W.u64(B.InstsSum);
+    W.u64(B.VectorSum);
+  }
+
+  W.u32(static_cast<uint32_t>(Switches.size()));
+  for (const DecodedSwitch &S : Switches) {
+    W.u32(static_cast<uint32_t>(S.Values.size()));
+    for (int64_t V : S.Values)
+      W.i64(V);
+    for (uint32_t T : S.Targets)
+      W.u32(T);
+    W.u32(S.Default);
+  }
+
+  W.u32(static_cast<uint32_t>(ZeroRanges.size()));
+  for (const auto &R : ZeroRanges) {
+    W.u32(R.first);
+    W.u32(R.second);
+  }
+
+  return fnv1a64(W.bytes().data(), W.size());
 }

@@ -1,0 +1,97 @@
+//===- workloads/LoopTrip.cpp - Uncorrelated loop-trip divergence ---------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Per-thread loop whose trip count is a hash of the thread id (1..256,
+/// uncorrelated between adjacent lanes): every warp keeps iterating until
+/// its slowest lane finishes, paying a divergent yield on nearly every
+/// iteration. This is the worst case for wide warps — divergence cuts the
+/// width-8-over-width-1 advantage to ~2.8x where streaming kernels see the
+/// full lane-count win (contrast with Mandelbrot, whose divergence is
+/// spatially correlated).
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel looptrip (.param .u64 out, .param .u32 n)
+{
+  .reg .u32 %gid, %n, %h, %trips, %i, %acc;
+  .reg .u64 %addr, %base, %off;
+  .reg .pred %p, %pn;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %n, [n];
+  setp.lt.u32 %pn, %gid, %n;
+  @%pn bra work, done;
+
+work:
+  // Knuth multiplicative hash of the thread id; the top 8 bits give an
+  // uncorrelated trip count in 1..256.
+  mov.u32 %h, %gid;
+  mul.u32 %h, %h, 2654435761;
+  shr.u32 %trips, %h, 24;
+  add.u32 %trips, %trips, 1;
+  mov.u32 %i, 0;
+  mov.u32 %acc, %gid;
+  bra loop;
+
+loop:
+  mul.u32 %acc, %acc, 1664525;
+  add.u32 %acc, %acc, 1013904223;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %trips;
+  @%p bra loop, store;
+
+store:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %acc;
+  bra done;
+
+done:
+  ret;
+}
+)";
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 4096 * Scale;
+  Inst->Dev = std::make_unique<Device>(static_cast<size_t>(N) * 4 + 4096);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {N / 64, 1, 1};
+  uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
+  Inst->Params.u64(DOut).u32(N);
+
+  Inst->Check = [=](Device &Dev, std::string &Error) {
+    std::vector<uint32_t> Ref(N);
+    for (uint32_t G = 0; G < N; ++G) {
+      uint32_t Trips = ((G * 2654435761u) >> 24) + 1;
+      uint32_t Acc = G;
+      for (uint32_t I = 0; I < Trips; ++I)
+        Acc = Acc * 1664525u + 1013904223u;
+      Ref[G] = Acc;
+    }
+    return checkU32Buffer(Dev, DOut, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getLoopTripWorkload() {
+  static const Workload W{"LoopTrip", "looptrip", WorkloadClass::Divergent,
+                          Source, make};
+  return W;
+}

@@ -38,7 +38,7 @@ const std::vector<Workload> &simtvec::allWorkloads() {
       getTransposeWorkload(),     getBitonicWorkload(),
       getFastWalshWorkload(),     getMonteCarloWorkload(),
       getMandelbrotWorkload(),    getConvolutionSeparableWorkload(),
-      getThroughputWorkload(),
+      getLoopTripWorkload(),      getThroughputWorkload(),
   };
   return All;
 }

@@ -38,6 +38,7 @@ const Workload &getFastWalshWorkload();
 const Workload &getMonteCarloWorkload();
 const Workload &getMandelbrotWorkload();
 const Workload &getConvolutionSeparableWorkload();
+const Workload &getLoopTripWorkload();
 
 /// Compares a device f32 buffer against \p Ref with mixed tolerance.
 inline bool checkF32Buffer(Device &Dev, uint64_t Addr,

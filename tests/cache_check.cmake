@@ -1,0 +1,106 @@
+# End-to-end persistence smoke: runs the wall-clock bench twice against a
+# fresh SIMTVEC_CACHE_DIR. The cold run must populate the artifact store;
+# the warm run must resolve every translation from disk (zero compiles) and
+# reproduce bit-identical modeled-execution metrics. Corrupt entries must
+# degrade to recompiles, and cache_tool must agree with the store's health
+# at every step.
+
+set(CACHE_DIR ${OUT}.cache)
+file(REMOVE_RECURSE ${CACHE_DIR})
+file(MAKE_DIRECTORY ${CACHE_DIR})
+
+# --- cold run: compiles, publishes artifacts -------------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_CACHE_DIR=${CACHE_DIR}
+    ${WALLCLOCK} --metrics ${OUT} 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cold)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold wallclock run exited with ${rc}")
+endif()
+if(NOT cold MATCHES "tc\\.compile +[1-9]")
+  message(FATAL_ERROR "cold run reported no compiles:\n${cold}")
+endif()
+if(NOT cold MATCHES "tc\\.disk_write +[1-9]")
+  message(FATAL_ERROR "cold run wrote no artifacts:\n${cold}")
+endif()
+
+# --- warm run: every translation resolves from disk ------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_CACHE_DIR=${CACHE_DIR}
+    ${WALLCLOCK} --metrics ${OUT}.warm 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE warm)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm wallclock run exited with ${rc}")
+endif()
+if(NOT warm MATCHES "tc\\.compile +0[\r\n]")
+  message(FATAL_ERROR "warm run still compiled (expected tc.compile 0):\n${warm}")
+endif()
+if(NOT warm MATCHES "tc\\.disk_hit +[1-9]")
+  message(FATAL_ERROR "warm run had no disk hits:\n${warm}")
+endif()
+if(NOT warm MATCHES "tc\\.disk_miss +0[\r\n]")
+  message(FATAL_ERROR "warm run missed on disk:\n${warm}")
+endif()
+
+# Disk-loaded executables must be bit-identical to fresh compiles: every
+# modeled-execution counter agrees between the two runs.
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" cold_em "${cold}")
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" warm_em "${warm}")
+if(NOT cold_em)
+  message(FATAL_ERROR "cold run reported no em.* metrics:\n${cold}")
+endif()
+if(NOT "${cold_em}" STREQUAL "${warm_em}")
+  message(FATAL_ERROR "modeled metrics differ between cold and warm runs:\n"
+    "cold: ${cold_em}\nwarm: ${warm_em}")
+endif()
+
+# --- cache_tool agrees the populated store is clean -------------------------
+execute_process(COMMAND ${CACHE_TOOL} --dir ${CACHE_DIR} verify
+  RESULT_VARIABLE rc OUTPUT_VARIABLE vout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cache_tool verify failed on a clean store:\n${vout}")
+endif()
+
+# --- corruption degrades to a recompile -------------------------------------
+# CMake cannot write arbitrary binary, so corrupt two artifacts the ways it
+# can: overwrite one with garbage (bad magic) and append trailing bytes to
+# another (payload size mismatch). Bit-flip/truncate cases live in the
+# SpecCache gtest suite.
+file(GLOB artifacts ${CACHE_DIR}/*.svca)
+list(LENGTH artifacts n_artifacts)
+if(n_artifacts LESS 2)
+  message(FATAL_ERROR "expected >= 2 artifacts, found ${n_artifacts}")
+endif()
+list(GET artifacts 0 victim_a)
+list(GET artifacts 1 victim_b)
+file(WRITE ${victim_a} "this is not an artifact")
+file(APPEND ${victim_b} "trailing garbage")
+
+execute_process(COMMAND ${CACHE_TOOL} --dir ${CACHE_DIR} verify
+  RESULT_VARIABLE rc OUTPUT_VARIABLE vout)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "cache_tool verify passed a corrupted store:\n${vout}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_CACHE_DIR=${CACHE_DIR}
+    ${WALLCLOCK} --metrics ${OUT}.corrupt 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE repair)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run over corrupted store exited with ${rc}")
+endif()
+if(NOT repair MATCHES "tc\\.compile +[1-9]")
+  message(FATAL_ERROR "corrupted entries were not recompiled:\n${repair}")
+endif()
+if(NOT repair MATCHES "tc\\.disk_write +[1-9]")
+  message(FATAL_ERROR "recompile did not re-publish artifacts:\n${repair}")
+endif()
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" repair_em "${repair}")
+if(NOT "${cold_em}" STREQUAL "${repair_em}")
+  message(FATAL_ERROR "metrics diverged after corruption recovery:\n"
+    "cold: ${cold_em}\nrepair: ${repair_em}")
+endif()
+
+# The rewrite repaired the store in place.
+execute_process(COMMAND ${CACHE_TOOL} --dir ${CACHE_DIR} verify
+  RESULT_VARIABLE rc OUTPUT_VARIABLE vout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "store still corrupt after repair run:\n${vout}")
+endif()

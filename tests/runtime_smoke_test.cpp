@@ -231,6 +231,34 @@ TEST(DeviceChecked, CopyAndMemsetBoundsDiagnostics) {
   EXPECT_EQ(Dev.data()[16], std::byte{0x5a});
 }
 
+TEST(RuntimeSmoke, InvalidWarpWidthIsRejectedWithValue) {
+  // MaxWarpSize outside {1,2,4,8} must fail cleanly at launch with a Status
+  // naming the offending value — never fall through to the vectorizer.
+  Device Dev;
+  auto Prog = Program::compile(VecAddSrc).take();
+  uint64_t DA = Dev.allocArray<float>(64), DB = Dev.allocArray<float>(64),
+           DC = Dev.allocArray<float>(64);
+  Params P;
+  P.u64(DA).u64(DB).u64(DC).u32(64);
+  for (uint32_t W : {0u, 3u, 5u, 6u, 7u, 9u, 16u}) {
+    LaunchOptions Options;
+    Options.MaxWarpSize = W;
+    auto R = Prog->launch(Dev, "vecadd", {1, 1, 1}, {64, 1, 1}, P, Options);
+    ASSERT_FALSE(static_cast<bool>(R)) << "width " << W << " was accepted";
+    const std::string &Msg = R.status().message();
+    EXPECT_NE(Msg.find("power of two"), std::string::npos) << Msg;
+    EXPECT_NE(Msg.find("got " + std::to_string(W)), std::string::npos) << Msg;
+  }
+  // Every valid width still launches.
+  for (uint32_t W : {1u, 2u, 4u, 8u}) {
+    LaunchOptions Options;
+    Options.MaxWarpSize = W;
+    auto R = Prog->launch(Dev, "vecadd", {1, 1, 1}, {64, 1, 1}, P, Options);
+    EXPECT_TRUE(static_cast<bool>(R))
+        << "width " << W << ": " << R.status().message();
+  }
+}
+
 TEST(RuntimeSmoke, ModeledMetricsAreDeterministic) {
   // Two identical launches must produce bit-identical modeled results
   // regardless of host scheduling.

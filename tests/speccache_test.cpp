@@ -1,0 +1,427 @@
+//===- tests/speccache_test.cpp - Specialization service tests ------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers both halves of the SpecializationService: the persistent artifact
+/// store (round-trip fidelity, warm-process loads without compiling,
+/// corruption degrading to a recompile) and the online warp-width autotuner
+/// (convergence to the best fixed width, profile persistence, bit-identical
+/// results under WidthPolicy::Auto).
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/SpecializationService.h"
+#include "simtvec/core/TranslationCache.h"
+#include "simtvec/ir/Printer.h"
+#include "simtvec/parser/Parser.h"
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/support/Serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+using namespace simtvec;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Streaming kernel: out[gid] = gid * 3. Uniform control flow, exact
+/// integer results.
+const char *ScaleSrc = R"(
+.kernel scale3 (.param .u64 out, .param .u32 n)
+{
+  .reg .u32 %gid, %n, %v;
+  .reg .u64 %a, %b, %o;
+  .reg .pred %p;
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %n, [n];
+  setp.lt.u32 %p, %gid, %n;
+  @%p bra work, done;
+work:
+  mul.u32 %v, %gid, 3;
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %o, %gid;
+  shl.u64 %o, %o, 2;
+  add.u64 %b, %a, %o;
+  st.global.u32 [%b], %v;
+  bra done;
+done:
+  ret;
+}
+)";
+
+/// Divergence-heavy kernel: per-thread loop whose trip count is a hash of
+/// the thread id (same shape as the LoopTrip workload).
+const char *DivSrc = R"(
+.kernel divloop (.param .u64 out, .param .u32 n)
+{
+  .reg .u32 %gid, %n, %h, %trips, %i, %acc;
+  .reg .u64 %addr, %base, %off;
+  .reg .pred %p, %pn;
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %n, [n];
+  setp.lt.u32 %pn, %gid, %n;
+  @%pn bra work, done;
+work:
+  mov.u32 %h, %gid;
+  mul.u32 %h, %h, 2654435761;
+  shr.u32 %trips, %h, 24;
+  add.u32 %trips, %trips, 1;
+  mov.u32 %i, 0;
+  mov.u32 %acc, %gid;
+  bra loop;
+loop:
+  mul.u32 %acc, %acc, 1664525;
+  add.u32 %acc, %acc, 1013904223;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %trips;
+  @%p bra loop, store;
+store:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %acc;
+  bra done;
+done:
+  ret;
+}
+)";
+
+/// Fresh per-test cache directory under the gtest temp root.
+std::string freshCacheDir(const char *Tag) {
+  fs::path P = fs::path(::testing::TempDir()) / (std::string("svc_") + Tag);
+  fs::remove_all(P);
+  fs::create_directories(P);
+  return P.string();
+}
+
+std::vector<std::string> artifactFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  for (const auto &DE : fs::directory_iterator(Dir))
+    if (DE.path().extension() == SpecializationService::ArtifactExt)
+      Files.push_back(DE.path().string());
+  return Files;
+}
+
+struct RunResult {
+  LaunchStats Stats;
+  std::vector<uint32_t> Out;
+  SpecializationService::Stats Disk;
+};
+
+/// Compiles \p Src into a fresh Program (its own TranslationCache and
+/// SpecializationService) and launches \p Kernel once over \p N threads.
+RunResult runOnce(const char *Src, const std::string &Kernel, uint32_t N,
+                  const SpecializationOptions &Spec,
+                  const LaunchOptions &Options) {
+  Device Dev;
+  auto Prog = Program::compile(Src, MachineModel(), Spec).take();
+  uint64_t DOut = Dev.allocArray<uint32_t>(N);
+  Params P;
+  P.u64(DOut).u32(N);
+  RunResult R;
+  R.Stats =
+      Prog->launch(Dev, Kernel, {N / 64, 1, 1}, {64, 1, 1}, P, Options).take();
+  R.Out = Dev.download<uint32_t>(DOut, N);
+  R.Disk = Prog->specialization().stats();
+  return R;
+}
+
+//===----------------------------------------------------------------------===
+// Artifact serialization
+//===----------------------------------------------------------------------===
+
+TEST(SpecCache, SpecializedKernelSerializationRoundTrips) {
+  auto M = parseModule(DivSrc).take();
+  MachineModel Machine;
+  TranslationCache TC(*M, Machine);
+  TranslationCache::Key K;
+  K.KernelName = "divloop";
+  K.WarpSize = 4;
+  auto Exec = TC.get(K).take();
+
+  ByteWriter W;
+  serializeKernel(W, Exec->kernel());
+  ByteReader R(W.bytes());
+  Kernel Out;
+  ASSERT_TRUE(deserializeKernel(R, Out));
+  EXPECT_TRUE(R.exhausted());
+
+  // Textual identity implies every structural field survived, and the
+  // rebuild must land on the same decoded layout the original produced.
+  EXPECT_EQ(printKernel(Exec->kernel()), printKernel(Out));
+  auto Rebuilt = KernelExec::build(std::make_unique<Kernel>(Out), Machine,
+                                   K.Superinstructions);
+  ASSERT_TRUE(Rebuilt);
+  EXPECT_EQ(Rebuilt->layoutFingerprint(), Exec->layoutFingerprint());
+}
+
+TEST(SpecCache, TruncatedPayloadFailsToDecode) {
+  auto M = parseModule(ScaleSrc).take();
+  ByteWriter W;
+  serializeKernel(W, *M->findKernel("scale3"));
+  for (size_t Cut : {W.size() / 4, W.size() / 2, W.size() - 1}) {
+    ByteReader R(W.bytes().data(), Cut);
+    Kernel Out;
+    EXPECT_FALSE(deserializeKernel(R, Out) && R.exhausted())
+        << "decoded from a " << Cut << "-byte prefix";
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Persistent artifact cache
+//===----------------------------------------------------------------------===
+
+TEST(SpecCache, WarmProcessLoadsWithoutCompiling) {
+  SpecializationOptions Spec;
+  Spec.CacheDir = freshCacheDir("warm");
+  LaunchOptions Options;
+  Options.MaxWarpSize = 4;
+
+  // Cold: nothing on disk, so the launch compiles and publishes every
+  // specialization it needs (a width-4 launch also builds the narrower
+  // tail-warp variants).
+  RunResult Cold = runOnce(DivSrc, "divloop", 2048, Spec, Options);
+  EXPECT_EQ(Cold.Disk.DiskHits, 0u);
+  EXPECT_GE(Cold.Disk.DiskMisses, 1u);
+  EXPECT_EQ(Cold.Disk.DiskWrites, Cold.Disk.DiskMisses);
+  EXPECT_EQ(artifactFiles(Spec.CacheDir).size(), Cold.Disk.DiskWrites);
+
+  // Warm: a fresh Program (fresh in-memory cache, simulating a new process)
+  // must resolve every key from disk without compiling; a disk-resolved
+  // miss never writes back.
+  RunResult Warm = runOnce(DivSrc, "divloop", 2048, Spec, Options);
+  EXPECT_EQ(Warm.Disk.DiskHits, Cold.Disk.DiskMisses);
+  EXPECT_EQ(Warm.Disk.DiskMisses, 0u);
+  EXPECT_EQ(Warm.Disk.DiskWrites, 0u);
+
+  // The disk-loaded executable is bit-identical to the fresh compile:
+  // same results, same modeled statistics.
+  EXPECT_EQ(Cold.Out, Warm.Out);
+  EXPECT_EQ(Cold.Stats.Counters.InstsExecuted, Warm.Stats.Counters.InstsExecuted);
+  EXPECT_EQ(Cold.Stats.Counters.totalCycles(), Warm.Stats.Counters.totalCycles());
+  EXPECT_EQ(Cold.Stats.WarpEntries, Warm.Stats.WarpEntries);
+  EXPECT_EQ(Cold.Stats.MaxWorkerCycles, Warm.Stats.MaxWorkerCycles);
+}
+
+TEST(SpecCache, DistinctKeysGetDistinctArtifacts) {
+  SpecializationOptions Spec;
+  Spec.CacheDir = freshCacheDir("keys");
+  for (uint32_t W : {1u, 2u, 4u, 8u}) {
+    LaunchOptions Options;
+    Options.MaxWarpSize = W;
+    runOnce(ScaleSrc, "scale3", 1024, Spec, Options);
+  }
+  EXPECT_EQ(artifactFiles(Spec.CacheDir).size(), 4u);
+}
+
+TEST(SpecCache, CorruptArtifactsDegradeToRecompile) {
+  SpecializationOptions Spec;
+  Spec.CacheDir = freshCacheDir("corrupt");
+  LaunchOptions Options;
+  Options.MaxWarpSize = 4;
+
+  std::vector<uint32_t> Expected;
+  {
+    RunResult Seed = runOnce(DivSrc, "divloop", 1024, Spec, Options);
+    Expected = Seed.Out;
+  }
+  auto Files = artifactFiles(Spec.CacheDir);
+  ASSERT_GE(Files.size(), 1u);
+  const size_t NumArtifacts = Files.size();
+  std::sort(Files.begin(), Files.end());
+  const std::string &Path = Files[0];
+
+  auto ReadAll = [&](const std::string &F) {
+    std::ifstream In(F, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  };
+  auto WriteAll = [&](const std::string &F, const std::vector<char> &B) {
+    std::ofstream Out(F, std::ios::binary | std::ios::trunc);
+    Out.write(B.data(), static_cast<std::streamsize>(B.size()));
+  };
+  const std::vector<char> Good = ReadAll(Path);
+  ASSERT_GT(Good.size(), 64u);
+
+  auto Corrupt = [&](const char *What, auto &&Mutate) {
+    SCOPED_TRACE(What);
+    std::vector<char> Bad = Good;
+    Mutate(Bad);
+    WriteAll(Path, Bad);
+    // The corrupt entry must degrade to a plain miss: the launch recompiles
+    // just that specialization, produces correct results, and re-publishes
+    // a clean artifact; the untouched entries still hit.
+    RunResult R = runOnce(DivSrc, "divloop", 1024, Spec, Options);
+    EXPECT_EQ(R.Disk.DiskHits, NumArtifacts - 1);
+    EXPECT_EQ(R.Disk.DiskMisses, 1u);
+    EXPECT_EQ(R.Disk.DiskWrites, 1u);
+    EXPECT_EQ(R.Out, Expected);
+    // The rewrite repaired the store: the next fresh Program hits fully.
+    RunResult Again = runOnce(DivSrc, "divloop", 1024, Spec, Options);
+    EXPECT_EQ(Again.Disk.DiskHits, NumArtifacts);
+  };
+
+  Corrupt("truncate", [](std::vector<char> &B) { B.resize(B.size() / 2); });
+  Corrupt("bit-flip in payload",
+          [](std::vector<char> &B) { B[B.size() - 8] ^= 0x40; });
+  Corrupt("bad magic", [](std::vector<char> &B) {
+    B[0] = 'X';
+    B[1] = 'X';
+  });
+  Corrupt("header version bump", [](std::vector<char> &B) { B[4] ^= 0x01; });
+}
+
+TEST(SpecCache, InspectReportsHeaderAndHealth) {
+  SpecializationOptions Spec;
+  Spec.CacheDir = freshCacheDir("inspect");
+  LaunchOptions Options;
+  Options.MaxWarpSize = 2;
+  runOnce(ScaleSrc, "scale3", 512, Spec, Options);
+
+  auto Files = artifactFiles(Spec.CacheDir);
+  ASSERT_GE(Files.size(), 1u);
+  bool SawWidth2 = false;
+  for (const std::string &F : Files) {
+    auto Info = SpecializationService::inspectArtifact(F);
+    ASSERT_TRUE(static_cast<bool>(Info)) << F << ": "
+                                         << Info.status().message();
+    EXPECT_EQ(Info->Version, SpecializationService::FormatVersion);
+    EXPECT_TRUE(Info->CrcValid);
+    EXPECT_TRUE(Info->Decodes);
+    // The vectorizer renames its output "<source>$w<width>...".
+    EXPECT_EQ(Info->KernelName.rfind("scale3", 0), 0u) << Info->KernelName;
+    SawWidth2 |= Info->WarpSize == 2;
+  }
+  EXPECT_TRUE(SawWidth2);
+}
+
+//===----------------------------------------------------------------------===
+// Online warp-width autotuner
+//===----------------------------------------------------------------------===
+
+/// Modeled cycles for one fixed-width launch of (Src, Kernel).
+uint64_t fixedWidthCycles(const char *Src, const std::string &Kernel,
+                          uint32_t N, uint32_t Width) {
+  LaunchOptions Options;
+  Options.MaxWarpSize = Width;
+  return runOnce(Src, Kernel, N, SpecializationOptions(), Options)
+      .Stats.MaxWorkerCycles;
+}
+
+void expectAutoConverges(const char *Src, const std::string &Kernel,
+                         uint32_t N, const std::string &Dir) {
+  SpecializationOptions Spec;
+  Spec.CacheDir = Dir;
+
+  uint64_t Best = UINT64_MAX;
+  for (uint32_t W : Spec.Widths)
+    Best = std::min(Best, fixedWidthCycles(Src, Kernel, N, W));
+
+  Device Dev;
+  auto Prog = Program::compile(Src, MachineModel(), Spec).take();
+  uint64_t DOut = Dev.allocArray<uint32_t>(N);
+  Params P;
+  P.u64(DOut).u32(N);
+  LaunchOptions Options;
+  Options.Policy = LaunchOptions::WidthPolicy::Auto;
+
+  // Exploration needs ExploreSamples launches per candidate; run a couple
+  // extra so the committed width is exercised too.
+  const unsigned Launches =
+      static_cast<unsigned>(Spec.Widths.size()) * Spec.ExploreSamples + 2;
+  LaunchStats Last{};
+  for (unsigned I = 0; I < Launches; ++I)
+    Last = Prog->launch(Dev, Kernel, {N / 64, 1, 1}, {64, 1, 1}, P, Options)
+               .take();
+
+  uint32_t Committed = Prog->specialization().committedWidth(Kernel);
+  ASSERT_NE(Committed, 0u) << "autotuner did not commit";
+  // Modeled launches are deterministic, so the committed width's cost must
+  // be within 10% of the best fixed width (in practice it is the argmin).
+  EXPECT_LE(static_cast<double>(Last.MaxWorkerCycles),
+            1.10 * static_cast<double>(Best))
+      << "committed width " << Committed << " costs " << Last.MaxWorkerCycles
+      << " cycles vs best fixed " << Best;
+
+  // The learned profile persists: a fresh Program over the same cache
+  // directory starts out already committed to the same width.
+  auto Prog2 = Program::compile(Src, MachineModel(), Spec).take();
+  EXPECT_EQ(Prog2->specialization().committedWidth(Kernel), Committed);
+}
+
+TEST(SpecCache, AutotunerConvergesOnStreamingKernel) {
+  expectAutoConverges(ScaleSrc, "scale3", 4096, freshCacheDir("tune_stream"));
+}
+
+TEST(SpecCache, AutotunerConvergesOnDivergentKernel) {
+  expectAutoConverges(DivSrc, "divloop", 4096, freshCacheDir("tune_div"));
+}
+
+TEST(SpecCache, AutoResultsBitIdenticalToEveryFixedWidth) {
+  const uint32_t N = 1024;
+  std::vector<uint32_t> Ref;
+  for (uint32_t W : {1u, 2u, 4u, 8u}) {
+    LaunchOptions Options;
+    Options.MaxWarpSize = W;
+    RunResult R = runOnce(DivSrc, "divloop", N, SpecializationOptions(),
+                          Options);
+    if (Ref.empty())
+      Ref = R.Out;
+    EXPECT_EQ(R.Out, Ref) << "width " << W;
+  }
+
+  // Auto explores every width across these launches; each one must match.
+  Device Dev;
+  auto Prog = Program::compile(DivSrc, MachineModel(), SpecializationOptions())
+                  .take();
+  uint64_t DOut = Dev.allocArray<uint32_t>(N);
+  Params P;
+  P.u64(DOut).u32(N);
+  LaunchOptions Options;
+  Options.Policy = LaunchOptions::WidthPolicy::Auto;
+  for (unsigned I = 0; I < 10; ++I) {
+    Dev.memset(DOut, 0, N * sizeof(uint32_t));
+    ASSERT_TRUE(static_cast<bool>(
+        Prog->launch(Dev, "divloop", {N / 64, 1, 1}, {64, 1, 1}, P, Options)));
+    EXPECT_EQ(Dev.download<uint32_t>(DOut, N), Ref) << "auto launch " << I;
+  }
+}
+
+TEST(SpecCache, AutoPolicyWorksOnStreams) {
+  // Queued bursts resolve the width at execution time, so a whole burst
+  // enqueued before any feedback still explores and converges.
+  const uint32_t N = 1024;
+  SpecializationOptions Spec;
+  Spec.CacheDir = freshCacheDir("tune_stream_async");
+  Device Dev;
+  auto Prog = Program::compile(ScaleSrc, MachineModel(), Spec).take();
+  uint64_t DOut = Dev.allocArray<uint32_t>(N);
+  Params P;
+  P.u64(DOut).u32(N);
+  LaunchOptions Options;
+  Options.Policy = LaunchOptions::WidthPolicy::Auto;
+
+  Stream S;
+  for (unsigned I = 0; I < 12; ++I)
+    Prog->launchAsync(S, Dev, "scale3", {N / 64, 1, 1}, {64, 1, 1}, P,
+                      Options);
+  ASSERT_FALSE(S.synchronize().isError());
+  EXPECT_NE(Prog->specialization().committedWidth("scale3"), 0u);
+
+  std::vector<uint32_t> Out = Dev.download<uint32_t>(DOut, N);
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], I * 3) << "element " << I;
+}
+
+} // namespace

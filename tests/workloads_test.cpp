@@ -103,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(WorkloadRegistry, AllWorkloadsRegistered) {
-  EXPECT_EQ(allWorkloads().size(), 22u);
+  EXPECT_EQ(allWorkloads().size(), 23u);
 }
 
 TEST(WorkloadRegistry, NamesAreUnique) {

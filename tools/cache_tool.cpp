@@ -1,0 +1,211 @@
+//===- tools/cache_tool.cpp - Inspect the specialization artifact store ---===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command-line front-end to the on-disk store the SpecializationService
+/// maintains under SIMTVEC_CACHE_DIR (.svca kernel artifacts plus .svcp
+/// autotune profiles):
+///
+///   cache_tool [--dir DIR] ls       list entries with header metadata
+///   cache_tool [--dir DIR] verify   validate every entry (header, CRC,
+///                                   payload decode + re-verification);
+///                                   exit 1 if any entry is corrupt
+///   cache_tool [--dir DIR] prune    delete corrupt/stale-version entries
+///   cache_tool [--dir DIR] stats    entry/byte totals per kind
+///
+/// DIR defaults to $SIMTVEC_CACHE_DIR. The runtime itself never needs this
+/// tool — corrupt entries degrade to cache misses — but CI uses `verify`
+/// to assert a populated store is clean, and long-lived hosts use `prune`
+/// to drop entries a format bump or kernel edit stranded.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/SpecializationService.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace simtvec;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Entry {
+  std::string Path;
+  std::string Name; // filename only
+  uint64_t Bytes = 0;
+  bool IsProfile = false;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dir DIR] {ls|verify|prune|stats}\n"
+               "DIR defaults to $SIMTVEC_CACHE_DIR\n",
+               Argv0);
+  return 2;
+}
+
+std::vector<Entry> listStore(const std::string &Dir) {
+  std::vector<Entry> Entries;
+  std::error_code EC;
+  for (const auto &DE : fs::directory_iterator(Dir, EC)) {
+    if (!DE.is_regular_file(EC))
+      continue;
+    std::string Ext = DE.path().extension().string();
+    if (Ext != SpecializationService::ArtifactExt &&
+        Ext != SpecializationService::ProfileExt)
+      continue;
+    Entry E;
+    E.Path = DE.path().string();
+    E.Name = DE.path().filename().string();
+    E.Bytes = DE.file_size(EC);
+    E.IsProfile = Ext == SpecializationService::ProfileExt;
+    Entries.push_back(std::move(E));
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.Name < B.Name; });
+  return Entries;
+}
+
+/// One artifact's health, as `verify`/`prune` judge it.
+enum class Health { Ok, Stale, Corrupt };
+
+Health artifactHealth(const Entry &E, std::string &Detail) {
+  auto Info = SpecializationService::inspectArtifact(E.Path);
+  if (!Info) {
+    Detail = Info.status().message();
+    return Health::Corrupt;
+  }
+  if (!Info->CrcValid) {
+    Detail = "payload CRC mismatch (truncated or bit-flipped)";
+    return Health::Corrupt;
+  }
+  if (Info->Version != SpecializationService::FormatVersion) {
+    Detail = "format version " + std::to_string(Info->Version) +
+             " (current " +
+             std::to_string(SpecializationService::FormatVersion) + ")";
+    return Health::Stale;
+  }
+  if (!Info->Decodes) {
+    Detail = "payload does not decode to a valid kernel";
+    return Health::Corrupt;
+  }
+  Detail.clear();
+  return Health::Ok;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Dir;
+  if (const char *Env = std::getenv("SIMTVEC_CACHE_DIR"))
+    Dir = Env;
+  int ArgI = 1;
+  if (ArgI + 1 < argc && std::strcmp(argv[ArgI], "--dir") == 0) {
+    Dir = argv[ArgI + 1];
+    ArgI += 2;
+  }
+  if (ArgI >= argc)
+    return usage(argv[0]);
+  std::string Cmd = argv[ArgI];
+  if (Dir.empty()) {
+    std::fprintf(stderr,
+                 "no cache directory: pass --dir or set SIMTVEC_CACHE_DIR\n");
+    return 2;
+  }
+
+  std::vector<Entry> Entries = listStore(Dir);
+
+  if (Cmd == "ls") {
+    for (const Entry &E : Entries) {
+      if (E.IsProfile) {
+        std::printf("%-48s profile  %8llu bytes\n", E.Name.c_str(),
+                    static_cast<unsigned long long>(E.Bytes));
+        continue;
+      }
+      auto Info = SpecializationService::inspectArtifact(E.Path);
+      if (Info && Info->Decodes)
+        std::printf("%-48s kernel=%s width=%u v%u  %8llu bytes\n",
+                    E.Name.c_str(), Info->KernelName.c_str(), Info->WarpSize,
+                    Info->Version,
+                    static_cast<unsigned long long>(E.Bytes));
+      else
+        std::printf("%-48s (unreadable)      %8llu bytes\n", E.Name.c_str(),
+                    static_cast<unsigned long long>(E.Bytes));
+    }
+    std::printf("%zu entries in %s\n", Entries.size(), Dir.c_str());
+    return 0;
+  }
+
+  if (Cmd == "verify") {
+    int Bad = 0;
+    unsigned Checked = 0;
+    for (const Entry &E : Entries) {
+      if (E.IsProfile)
+        continue; // profiles are advisory; the loader re-validates them
+      ++Checked;
+      std::string Detail;
+      switch (artifactHealth(E, Detail)) {
+      case Health::Ok:
+        break;
+      case Health::Stale:
+        std::printf("STALE   %s: %s\n", E.Name.c_str(), Detail.c_str());
+        break;
+      case Health::Corrupt:
+        std::printf("CORRUPT %s: %s\n", E.Name.c_str(), Detail.c_str());
+        ++Bad;
+        break;
+      }
+    }
+    std::printf("verified %u artifacts, %d corrupt\n", Checked, Bad);
+    return Bad ? 1 : 0;
+  }
+
+  if (Cmd == "prune") {
+    unsigned Removed = 0;
+    for (const Entry &E : Entries) {
+      if (E.IsProfile)
+        continue;
+      std::string Detail;
+      if (artifactHealth(E, Detail) == Health::Ok)
+        continue;
+      std::error_code EC;
+      if (fs::remove(E.Path, EC)) {
+        std::printf("removed %s: %s\n", E.Name.c_str(), Detail.c_str());
+        ++Removed;
+      }
+    }
+    std::printf("pruned %u entries\n", Removed);
+    return 0;
+  }
+
+  if (Cmd == "stats") {
+    uint64_t ArtBytes = 0, ProfBytes = 0;
+    unsigned Arts = 0, Profs = 0, Ok = 0, Bad = 0;
+    for (const Entry &E : Entries) {
+      if (E.IsProfile) {
+        ++Profs;
+        ProfBytes += E.Bytes;
+        continue;
+      }
+      ++Arts;
+      ArtBytes += E.Bytes;
+      std::string Detail;
+      (artifactHealth(E, Detail) == Health::Ok ? Ok : Bad) += 1;
+    }
+    std::printf("artifacts: %u (%llu bytes), %u valid, %u stale/corrupt\n",
+                Arts, static_cast<unsigned long long>(ArtBytes), Ok, Bad);
+    std::printf("profiles:  %u (%llu bytes)\n", Profs,
+                static_cast<unsigned long long>(ProfBytes));
+    return 0;
+  }
+
+  return usage(argv[0]);
+}

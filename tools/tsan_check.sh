@@ -9,9 +9,13 @@
 # concurrency-sensitive suites under it: the stream/event subsystem and the
 # worker pool (Streams.*), the sharded translation cache fast path
 # (FastPathTest.*), the engine-differential shape runs (ShapeExec.*), the
-# end-to-end launch smoke tests (RuntimeSmoke.*), and the lock-free tracing
-# buffers with tracing on (TraceTest.*). Also registrable as a ctest job
-# via -DSIMTVEC_TSAN_CHECK=ON at configure time.
+# end-to-end launch smoke tests (RuntimeSmoke.*), the lock-free tracing
+# buffers with tracing on (TraceTest.*), and the specialization service —
+# persistent artifact store plus warp-width autotuner (SpecCache.*). After
+# the suites pass, a burst of concurrent bench processes is aimed at one
+# shared SIMTVEC_CACHE_DIR (atomic rename-on-publish under contention) and
+# the resulting store must survive `cache_tool verify`. Also registrable as
+# a ctest job via -DSIMTVEC_TSAN_CHECK=ON at configure time.
 #
 # Usage: tools/tsan_check.sh [ctest-name-regex]
 #
@@ -20,11 +24,28 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSIMTVEC_SANITIZE=thread
-cmake --build "$BUILD" -j"$(nproc)" --target simtvec_tests
+cmake --build "$BUILD" -j"$(nproc)" --target simtvec_tests wallclock_throughput cache_tool
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   ctest --test-dir "$BUILD" -R "$FILTER" --output-on-failure
+
+# Concurrent processes racing to populate one artifact store: every publish
+# goes through write-to-temp + rename, so the store must come out clean no
+# matter how the processes interleave.
+CACHE_DIR="$BUILD/tsan-cache"
+rm -rf "$CACHE_DIR"
+mkdir -p "$CACHE_DIR"
+pids=()
+for i in 1 2 3 4; do
+  SIMTVEC_CACHE_DIR="$CACHE_DIR" \
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    "$BUILD/bench/wallclock_throughput" "$CACHE_DIR/run$i.json" 1 1 \
+    >/dev/null &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do wait "$pid"; done
+"$BUILD/tools/cache_tool" --dir "$CACHE_DIR" verify
