@@ -7,17 +7,21 @@
 /// Host-side wall-clock throughput harness. Unlike the figure benches,
 /// which report *modeled* cycles, this measures how fast the runtime itself
 /// executes: warm launches of representative workloads across warp widths
-/// {1,2,4} x workers {1,N}, reported as threads/second and emitted as
+/// {1,2,4,8} x workers {1,N}, reported as threads/second and emitted as
 /// machine-readable `BENCH_wallclock.json` so future PRs have a host-perf
 /// trajectory to regress against.
 ///
 /// Usage: wallclock_throughput [--metrics] [--trace TRACE.json]
-///        [output.json] [scale] [reps]
+///        [--simd auto|vector|scalar|both] [output.json] [scale] [reps]
 ///
 /// `--metrics` prints the process MetricsRegistry snapshot (cache hit/miss
 /// totals, warps formed per width, pool occupancy, ...) after the run;
 /// `--trace` records the whole run as a trace session and writes Chrome
-/// trace-event JSON (validate with tools/trace_dump --check).
+/// trace-event JSON (validate with tools/trace_dump --check);
+/// `--simd` pins the lane-kernel path: `vector` and `scalar` force one
+/// path, `both` measures every cell under each path (keyed by the result
+/// objects' "simd" field — tools/bench_diff compares them cell-by-cell),
+/// and the default `auto` follows SIMTVEC_SIMD / host capability.
 ///
 /// Repeated-launch mode: wallclock_throughput --launches N [output.json]
 /// [scale]. Measures launch *overhead* rather than kernel throughput: N
@@ -50,6 +54,7 @@ struct Sample {
   const char *Workload;
   uint32_t Width;
   unsigned Workers;
+  const char *Simd;     // resolved lane-kernel path ("vector" / "scalar")
   double Seconds;       // best-of-reps wall time of one warm launch
   uint64_t Threads;     // logical threads per launch
   double ThreadsPerSec;
@@ -62,8 +67,10 @@ double now() {
 }
 
 /// Host/build provenance for the JSON header, so a committed trajectory
-/// file identifies the configuration it was measured under.
-void printHostHeader(FILE *Out) {
+/// file identifies the configuration it was measured under. \p SimdStr is
+/// the active lane-kernel path ("vector"/"scalar", or "both" when the run
+/// measures each cell under each path).
+void printHostHeader(FILE *Out, const char *SimdStr) {
 #if defined(__clang__)
   std::fprintf(Out, "  \"compiler\": \"clang %d.%d.%d\",\n", __clang_major__,
                __clang_minor__, __clang_patchlevel__);
@@ -83,6 +90,7 @@ void printHostHeader(FILE *Out) {
 #else
   std::fprintf(Out, "  \"native\": false,\n");
 #endif
+  std::fprintf(Out, "  \"simd\": \"%s\",\n", SimdStr);
   std::fprintf(Out, "  \"nproc\": %u,\n",
                std::thread::hardware_concurrency());
 }
@@ -100,7 +108,9 @@ double timeBatches(int Launches, LaunchBatch &&Batch) {
   return Best;
 }
 
-int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale) {
+int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
+                    SimdMode Simd) {
+  const char *SimdStr = simdPathName(resolveSimdPath(Simd));
   const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
                          "BinomialOptions"};
   MachineModel Machine;
@@ -141,6 +151,7 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale) {
     LaunchOptions Spawn = dynamicFormation(4);
     Spawn.Workers = Machine.Cores;
     Spawn.UsePersistentPool = false;
+    Spawn.Simd = Simd;
     LaunchOptions Pool = Spawn;
     Pool.UsePersistentPool = true;
 
@@ -195,16 +206,16 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"bench\": \"wallclock_launches\",\n");
-  printHostHeader(Out);
+  printHostHeader(Out, SimdStr);
   std::fprintf(Out, "  \"scale\": %u,\n  \"launches\": %d,\n  \"results\": [\n",
                Scale, Launches);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const ModeSample &S = Samples[I];
     std::fprintf(Out,
                  "    {\"workload\": \"%s\", \"width\": 4, \"workers\": %u, "
-                 "\"seconds\": %.6e, \"threads\": %llu, "
+                 "\"simd\": \"%s\", \"seconds\": %.6e, \"threads\": %llu, "
                  "\"threads_per_sec\": %.6e}%s\n",
-                 S.Cell.c_str(), S.Workers, S.SecondsPerLaunch,
+                 S.Cell.c_str(), S.Workers, SimdStr, S.SecondsPerLaunch,
                  static_cast<unsigned long long>(S.Threads),
                  static_cast<double>(S.Threads) / S.SecondsPerLaunch,
                  I + 1 < Samples.size() ? "," : "");
@@ -255,6 +266,7 @@ int main(int argc, char **argv) {
   // meaning (bench_smoke and committed trajectories depend on it).
   bool Metrics = false;
   const char *TracePath = nullptr;
+  const char *SimdArg = "auto";
   int ArgI = 1;
   while (ArgI < argc) {
     if (std::strcmp(argv[ArgI], "--metrics") == 0) {
@@ -263,10 +275,33 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[ArgI], "--trace") == 0 && ArgI + 1 < argc) {
       TracePath = argv[ArgI + 1];
       ArgI += 2;
+    } else if (std::strcmp(argv[ArgI], "--simd") == 0 && ArgI + 1 < argc) {
+      SimdArg = argv[ArgI + 1];
+      ArgI += 2;
     } else {
       break;
     }
   }
+  // The lane-kernel paths to measure. "both" runs every cell under the
+  // forced-vector and forced-scalar paths so one file carries the
+  // apples-to-apples comparison; otherwise one path per run.
+  std::vector<SimdMode> SimdModes;
+  if (std::strcmp(SimdArg, "auto") == 0)
+    SimdModes = {SimdMode::Auto};
+  else if (std::strcmp(SimdArg, "vector") == 0)
+    SimdModes = {SimdMode::Vector};
+  else if (std::strcmp(SimdArg, "scalar") == 0)
+    SimdModes = {SimdMode::Scalar};
+  else if (std::strcmp(SimdArg, "both") == 0)
+    SimdModes = {SimdMode::Vector, SimdMode::Scalar};
+  else {
+    std::fprintf(stderr,
+                 "--simd takes auto|vector|scalar|both, got '%s'\n", SimdArg);
+    return 1;
+  }
+  const char *HeaderSimd = SimdModes.size() > 1
+                               ? "both"
+                               : simdPathName(resolveSimdPath(SimdModes[0]));
   argv += ArgI - 1;
   argc -= ArgI - 1;
   if (TracePath)
@@ -283,7 +318,7 @@ int main(int argc, char **argv) {
         argc > 3 ? argv[3] : "BENCH_wallclock_launches.json";
     uint32_t LaunchScale =
         argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
-    int RC = runLaunchesMode(Launches, LaunchOut, LaunchScale);
+    int RC = runLaunchesMode(Launches, LaunchOut, LaunchScale, SimdModes[0]);
     if (TracePath && RC == 0)
       RC = finishTrace(TracePath);
     if (Metrics)
@@ -298,7 +333,7 @@ int main(int argc, char **argv) {
 
   const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
                          "BinomialOptions", "LoopTrip"};
-  const uint32_t Widths[] = {1, 2, 4};
+  const uint32_t Widths[] = {1, 2, 4, 8};
   MachineModel Machine;
   const unsigned WorkerCounts[] = {1, Machine.Cores};
 
@@ -317,32 +352,39 @@ int main(int argc, char **argv) {
     }
     for (uint32_t Width : Widths) {
       for (unsigned Workers : WorkerCounts) {
-        std::unique_ptr<Program> Prog = compileWorkload(*W);
-        auto Inst = W->Make(Scale);
-        LaunchOptions O = dynamicFormation(Width);
-        O.Workers = Workers;
-        auto Launch = [&]() {
-          auto S = Prog->launch(*Inst->Dev, W->KernelName, Inst->Grid,
-                                Inst->Block, Inst->Params, O);
-          if (!S) {
-            std::fprintf(stderr, "%s (w=%u, workers=%u): %s\n", Name, Width,
-                         Workers, S.status().message().c_str());
-            std::exit(1);
+        for (SimdMode Simd : SimdModes) {
+          const char *SimdStr = simdPathName(resolveSimdPath(Simd));
+          std::unique_ptr<Program> Prog = compileWorkload(*W);
+          auto Inst = W->Make(Scale);
+          LaunchOptions O = dynamicFormation(Width);
+          O.Workers = Workers;
+          O.Simd = Simd;
+          auto Launch = [&]() {
+            auto S = Prog->launch(*Inst->Dev, W->KernelName, Inst->Grid,
+                                  Inst->Block, Inst->Params, O);
+            if (!S) {
+              std::fprintf(stderr, "%s (w=%u, workers=%u, simd=%s): %s\n",
+                           Name, Width, Workers, SimdStr,
+                           S.status().message().c_str());
+              std::exit(1);
+            }
+          };
+          Launch(); // warm the translation cache
+          double Best = 1e100;
+          for (int Rep = 0; Rep < Reps; ++Rep) {
+            double T0 = now();
+            Launch();
+            Best = std::min(Best, now() - T0);
           }
-        };
-        Launch(); // warm the translation cache
-        double Best = 1e100;
-        for (int Rep = 0; Rep < Reps; ++Rep) {
-          double T0 = now();
-          Launch();
-          Best = std::min(Best, now() - T0);
+          uint64_t Threads = Inst->Grid.count() * Inst->Block.count();
+          Samples.push_back({W->Name, Width, Workers, SimdStr, Best, Threads,
+                             static_cast<double>(Threads) / Best});
+          std::printf(
+              "%-16s width=%u workers=%u simd=%-6s  %9.3f ms  "
+              "%12.0f threads/s\n",
+              W->Name, Width, Workers, SimdStr, Best * 1e3,
+              static_cast<double>(Threads) / Best);
         }
-        uint64_t Threads = Inst->Grid.count() * Inst->Block.count();
-        Samples.push_back({W->Name, Width, Workers, Best, Threads,
-                           static_cast<double>(Threads) / Best});
-        std::printf("%-16s width=%u workers=%u  %9.3f ms  %12.0f threads/s\n",
-                    W->Name, Width, Workers, Best * 1e3,
-                    static_cast<double>(Threads) / Best);
       }
     }
   }
@@ -353,16 +395,16 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"bench\": \"wallclock_throughput\",\n");
-  printHostHeader(Out);
+  printHostHeader(Out, HeaderSimd);
   std::fprintf(Out, "  \"scale\": %u,\n  \"reps\": %d,\n  \"results\": [\n",
                Scale, Reps);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const Sample &S = Samples[I];
     std::fprintf(Out,
                  "    {\"workload\": \"%s\", \"width\": %u, \"workers\": %u, "
-                 "\"seconds\": %.6e, \"threads\": %llu, "
+                 "\"simd\": \"%s\", \"seconds\": %.6e, \"threads\": %llu, "
                  "\"threads_per_sec\": %.6e}%s\n",
-                 S.Workload, S.Width, S.Workers, S.Seconds,
+                 S.Workload, S.Width, S.Workers, S.Simd, S.Seconds,
                  static_cast<unsigned long long>(S.Threads), S.ThreadsPerSec,
                  I + 1 < Samples.size() ? "," : "");
   }

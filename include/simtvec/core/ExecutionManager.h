@@ -89,6 +89,12 @@ struct LaunchConfig {
   /// the pre-decoded fast path. Differential testing only: both engines
   /// must produce bit-identical outputs and modeled counters.
   bool UseReferenceInterp = false;
+
+  /// Lane-kernel engine path: Auto consults SIMTVEC_SIMD (then defaults to
+  /// the native vector backend when compiled in); Vector/Scalar force one
+  /// path. Scalar keeps the pre-SIMD loops as the differential oracle.
+  /// Results and modeled counters are bit-identical across paths.
+  SimdMode Simd = SimdMode::Auto;
 };
 
 /// Aggregated results of one kernel launch.

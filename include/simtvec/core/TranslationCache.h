@@ -61,13 +61,19 @@ public:
     bool UniformBranchOpt = false;
     bool UniformLoadOpt = false;
     bool Superinstructions = true; ///< decode-time superinstruction fusion
+    /// Lane-kernel engine path (already resolved from the mode knob; the
+    /// cache never consults the environment itself). Distinct paths are
+    /// distinct specializations so forced-scalar oracle runs can coexist
+    /// with vector runs in one process.
+    SimdPath Simd = resolveSimdPath(SimdMode::Auto);
 
     bool operator<(const Key &R) const {
       return std::tie(KernelName, WarpSize, ThreadInvariantElim,
-                      UniformBranchOpt, UniformLoadOpt, Superinstructions) <
+                      UniformBranchOpt, UniformLoadOpt, Superinstructions,
+                      Simd) <
              std::tie(R.KernelName, R.WarpSize, R.ThreadInvariantElim,
                       R.UniformBranchOpt, R.UniformLoadOpt,
-                      R.Superinstructions);
+                      R.Superinstructions, R.Simd);
     }
   };
 

@@ -247,7 +247,10 @@ inline uint64_t intUnary(Opcode Op, uint64_t A, bool &Bad) {
   case Opcode::Neg:
     return toBits<T>(static_cast<T>(0 - std::make_unsigned_t<T>(X)));
   case Opcode::Abs:
-    return toBits<T>(X < 0 ? static_cast<T>(-X) : X);
+    // Negate on the unsigned counterpart: abs(INT_MIN) wraps to INT_MIN
+    // (like Neg below) instead of the signed-overflow UB of -X.
+    return toBits<T>(
+        X < 0 ? static_cast<T>(0 - std::make_unsigned_t<T>(X)) : X);
   case Opcode::Not:
     return toBits<T>(static_cast<T>(~X));
   default:

@@ -212,6 +212,12 @@ struct LaunchOptions {
   bool UsePersistentPool = true;
   /// Run on the reference IR-walking engine (differential testing).
   bool UseReferenceInterp = false;
+  /// Lane-kernel engine path: Auto consults SIMTVEC_SIMD (default: the
+  /// native Simd<T,W> vector kernels when the compiler supports them);
+  /// Vector/Scalar force one path. Scalar keeps the pre-SIMD loops as the
+  /// differential oracle; results and modeled counters are bit-identical
+  /// across paths — only host wall time moves.
+  SimdMode Simd = SimdMode::Auto;
   /// Record trace events for this launch (starts a trace session lazily if
   /// none is active; see simtvec/support/Trace.h). Purely host-side:
   /// modeled counters and LaunchStats are unchanged.

@@ -1,0 +1,407 @@
+//===- simtvec/support/Simd.h - Fixed-width SIMD value class ----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-length SIMD value type `Simd<T, W>` (W in {1,2,4,8}) in the
+/// Kokkos `Vector<SIMD<T>, l>` style, built on the GCC/Clang vector
+/// extensions (`__attribute__((vector_size)))`) with a guaranteed-correct
+/// scalar-loop fallback selected at compile time. The vm lane kernels
+/// (src/vm/ExecKernels.cpp) are written against this class; the paper's JIT
+/// emitted native SSE per specialized kernel, and this is the portable
+/// equivalent — the op is expressed directly on vector registers instead of
+/// hoping the autovectorizer rediscovers it behind the u64 lane-word boxing.
+///
+/// Semantics contract (what makes the vm's bit-identity argument work):
+///  - integer + - * wrap modulo 2^bits (computed on the unsigned
+///    counterpart, exactly like ScalarOpsImpl.h's intBinary — no
+///    signed-overflow UB on either backend);
+///  - comparisons return a mask vector of signed integers the same size as
+///    the element, with all-ones for true and zero for false — the GCC
+///    vector-compare convention, which the Array backend reproduces;
+///  - select() is a pure bit blend (M & A) | (~M & B), so the selected
+///    operand's bit pattern (NaN payloads, -0.0) is preserved exactly;
+///  - convertTo<To>() is the elementwise static_cast (what
+///    __builtin_convertvector does); bitcastTo<To>() is a same-size
+///    reinterpret. Float->int conversions with out-of-range values are NOT
+///    defined here — callers that need saturating semantics (evalConvert's
+///    floatToInt) must keep the scalar path.
+///
+/// Both backends compile everywhere; `Simd<T, W>` defaults to the native
+/// backend when the compiler has the extension. Tests instantiate
+/// `Simd<T, W, SimdBackend::Array>` explicitly to pin the fallback.
+///
+/// The engine-selection knobs live here too: SimdMode is the user-facing
+/// three-state knob (LaunchOptions / SIMTVEC_SIMD env), SimdPath is the
+/// resolved two-state engine path recorded in translation-cache keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_SIMD_H
+#define SIMTVEC_SUPPORT_SIMD_H
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace simtvec {
+
+//===----------------------------------------------------------------------===
+// Engine-path selection knobs
+//===----------------------------------------------------------------------===
+
+/// User-facing knob: Auto defers to the SIMTVEC_SIMD env var, then to the
+/// build default (vector iff the native backend is compiled in).
+enum class SimdMode : uint8_t { Auto = 0, Vector = 1, Scalar = 2 };
+
+/// Resolved engine path. Scalar keeps the pre-SIMD lane loops as the
+/// differential oracle; Vector selects the Simd<T,W>-based kernels.
+enum class SimdPath : uint8_t { Scalar = 0, Vector = 1 };
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SIMTVEC_SIMD_HAVE_NATIVE 1
+#else
+#define SIMTVEC_SIMD_HAVE_NATIVE 0
+#endif
+
+constexpr bool simdNativeAvailable() { return SIMTVEC_SIMD_HAVE_NATIVE != 0; }
+
+/// Parses SIMTVEC_SIMD (full-string match of auto|vector|scalar, cached on
+/// first use; invalid values warn once on stderr and fall back to auto).
+SimdMode simdModeFromEnv();
+
+/// Mode -> path: explicit modes win; Auto consults the env var, then
+/// defaults to Vector iff the native backend is available.
+SimdPath resolveSimdPath(SimdMode Mode);
+
+const char *simdPathName(SimdPath Path); // "scalar" / "vector"
+const char *simdModeName(SimdMode Mode); // "auto" / "vector" / "scalar"
+
+//===----------------------------------------------------------------------===
+// Simd<T, W, Backend>
+//===----------------------------------------------------------------------===
+
+enum class SimdBackend : uint8_t { Array, Native };
+
+inline constexpr SimdBackend SimdDefaultBackend =
+    simdNativeAvailable() ? SimdBackend::Native : SimdBackend::Array;
+
+namespace simd_detail {
+
+template <unsigned Size> struct SignedOfSize;
+template <> struct SignedOfSize<1> { using type = int8_t; };
+template <> struct SignedOfSize<2> { using type = int16_t; };
+template <> struct SignedOfSize<4> { using type = int32_t; };
+template <> struct SignedOfSize<8> { using type = int64_t; };
+
+/// Mask element for T: a signed integer the same size as T.
+template <typename T>
+using MaskEltT = typename SignedOfSize<sizeof(T)>::type;
+
+/// Unsigned integer the same size as T (bit blends, wrap arithmetic).
+template <typename T>
+using UIntOfT = std::make_unsigned_t<MaskEltT<T>>;
+
+#if SIMTVEC_SIMD_HAVE_NATIVE
+template <typename T, unsigned W>
+using NativeVec [[gnu::vector_size(sizeof(T) * W)]] = T;
+#endif
+
+template <typename T, unsigned W, SimdBackend B> struct Storage;
+template <typename T, unsigned W> struct Storage<T, W, SimdBackend::Array> {
+  T Lane[W];
+};
+#if SIMTVEC_SIMD_HAVE_NATIVE
+template <typename T, unsigned W> struct Storage<T, W, SimdBackend::Native> {
+  NativeVec<T, W> V;
+};
+#endif
+
+} // namespace simd_detail
+
+template <typename T, unsigned W, SimdBackend B = SimdDefaultBackend>
+class Simd {
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8,
+                "specialized widths only");
+  static_assert(std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                "lane element must be a (non-bool) arithmetic type");
+
+  simd_detail::Storage<T, W, B> S;
+
+  static constexpr bool IsNative = B == SimdBackend::Native;
+  static constexpr bool IsInt = std::is_integral_v<T>;
+  using UT = simd_detail::UIntOfT<T>;
+
+public:
+  using value_type = T;
+  using MaskElt = simd_detail::MaskEltT<T>;
+  using Mask = Simd<MaskElt, W, B>;
+  static constexpr unsigned Width = W;
+  static constexpr SimdBackend Backend = B;
+
+  Simd() = default;
+
+  static Simd splat(T X) {
+    Simd R;
+    for (unsigned L = 0; L < W; ++L)
+      R.setLane(L, X);
+    return R;
+  }
+
+  // Element order is memory order on both backends, so byte-offset access
+  // is well defined (and sidesteps the vector subscript extension).
+  T lane(unsigned L) const {
+    T X;
+    std::memcpy(&X, reinterpret_cast<const char *>(&S) + L * sizeof(T),
+                sizeof(T));
+    return X;
+  }
+
+  void setLane(unsigned L, T X) {
+    std::memcpy(reinterpret_cast<char *>(&S) + L * sizeof(T), &X, sizeof(T));
+  }
+
+  /// Elementwise load/store of raw T values (unaligned-safe).
+  static Simd load(const T *P) {
+    Simd R;
+    std::memcpy(&R.S, P, sizeof(R.S));
+    return R;
+  }
+  void store(T *P) const { std::memcpy(P, &S, sizeof(S)); }
+
+  //===--------------------------------------------------------------------===
+  // Representation conversions
+  //===--------------------------------------------------------------------===
+
+  /// Elementwise value conversion (static_cast semantics; what
+  /// __builtin_convertvector does). Not defined for float sources with
+  /// values out of the destination's range.
+  template <typename To> Simd<To, W, B> convertTo() const {
+    Simd<To, W, B> R;
+    if constexpr (IsNative) {
+#if SIMTVEC_SIMD_HAVE_NATIVE
+      R.S.V = __builtin_convertvector(S.V, simd_detail::NativeVec<To, W>);
+#endif
+    } else {
+      for (unsigned L = 0; L < W; ++L)
+        R.setLane(L, static_cast<To>(lane(L)));
+    }
+    return R;
+  }
+
+  /// Same-total-size reinterpret (element size must match).
+  template <typename To> Simd<To, W, B> bitcastTo() const {
+    static_assert(sizeof(To) == sizeof(T), "bitcast needs equal element size");
+    Simd<To, W, B> R;
+    std::memcpy(&R, &S, sizeof(S));
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===
+  // u64 lane-word load/store: the vm's stride-1 operand representation
+  // (integers zero-extended, f32 in the low 32 bits, f64 bit pattern).
+  // These reproduce ScalarOpsImpl.h fromBits/toBits elementwise.
+  //===--------------------------------------------------------------------===
+
+  static Simd loadLaneWords(const uint64_t *Words) {
+    using U64 = Simd<uint64_t, W, B>;
+    U64 Raw = U64::load(Words);
+    if constexpr (std::is_same_v<T, uint64_t>)
+      return Raw;
+    else if constexpr (std::is_same_v<T, int64_t>)
+      return Raw.template bitcastTo<int64_t>();
+    else if constexpr (std::is_same_v<T, double>)
+      return Raw.template bitcastTo<double>();
+    else if constexpr (std::is_same_v<T, float>)
+      return Raw.template convertTo<uint32_t>().template bitcastTo<float>();
+    else if constexpr (std::is_signed_v<T>)
+      return Raw.template convertTo<UT>().template bitcastTo<T>();
+    else
+      return Raw.template convertTo<T>();
+  }
+
+  void storeLaneWords(uint64_t *Words) const {
+    using U64 = Simd<uint64_t, W, B>;
+    U64 Out;
+    if constexpr (std::is_same_v<T, uint64_t>)
+      Out = *this;
+    else if constexpr (std::is_same_v<T, int64_t> ||
+                       std::is_same_v<T, double>)
+      Out = bitcastTo<uint64_t>();
+    else if constexpr (std::is_same_v<T, float>)
+      Out = bitcastTo<uint32_t>().template convertTo<uint64_t>();
+    else if constexpr (std::is_signed_v<T>)
+      Out = bitcastTo<UT>().template convertTo<uint64_t>();
+    else
+      Out = convertTo<uint64_t>();
+    Out.store(Words);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Arithmetic
+  //===--------------------------------------------------------------------===
+
+  friend Simd operator+(const Simd &A, const Simd &X) {
+    return arith(A, X, [](const auto &U, const auto &V) { return U + V; });
+  }
+  friend Simd operator-(const Simd &A, const Simd &X) {
+    return arith(A, X, [](const auto &U, const auto &V) { return U - V; });
+  }
+  friend Simd operator*(const Simd &A, const Simd &X) {
+    return arith(A, X, [](const auto &U, const auto &V) { return U * V; });
+  }
+  friend Simd operator/(const Simd &A, const Simd &X) {
+    static_assert(std::is_floating_point_v<T>,
+                  "integer division keeps the scalar path (zero guards)");
+    return arith(A, X, [](const auto &U, const auto &V) { return U / V; });
+  }
+
+  /// 0 - X on the unsigned counterpart (ScalarOpsImpl intUnary Neg); for
+  /// floats the IEEE negation (sign-bit flip, NaN payload preserved).
+  Simd negated() const {
+    if constexpr (IsInt)
+      return Simd::splat(T(0)) - *this;
+    else
+      return arith(*this, *this,
+                   [](const auto &U, const auto &) { return -U; });
+  }
+
+  //===--------------------------------------------------------------------===
+  // Bitwise (integral T)
+  //===--------------------------------------------------------------------===
+
+  friend Simd operator&(const Simd &A, const Simd &X) {
+    static_assert(IsInt, "bitwise op needs an integral element");
+    return arith(A, X, [](const auto &U, const auto &V) { return U & V; });
+  }
+  friend Simd operator|(const Simd &A, const Simd &X) {
+    static_assert(IsInt, "bitwise op needs an integral element");
+    return arith(A, X, [](const auto &U, const auto &V) { return U | V; });
+  }
+  friend Simd operator^(const Simd &A, const Simd &X) {
+    static_assert(IsInt, "bitwise op needs an integral element");
+    return arith(A, X, [](const auto &U, const auto &V) { return U ^ V; });
+  }
+  Simd operator~() const {
+    static_assert(IsInt, "bitwise op needs an integral element");
+    return *this ^ Simd::splat(static_cast<T>(~UT(0)));
+  }
+
+  /// Shifts with the count masked to the element width (ScalarOpsImpl's
+  /// `count & (bits - 1)`), so no out-of-range-shift UB. shl is logical on
+  /// the unsigned counterpart; shr is arithmetic iff T is signed — exactly
+  /// intBinary's Shl/Shr.
+  Simd shlMasked(const Simd &Count) const {
+    static_assert(IsInt, "shift needs an integral element");
+    const Simd C = Count & Simd::splat(static_cast<T>(sizeof(T) * 8 - 1));
+    return arith(*this, C,
+                 [](const auto &U, const auto &V) { return U << V; });
+  }
+
+  Simd shrMasked(const Simd &Count) const {
+    static_assert(IsInt, "shift needs an integral element");
+    const Simd C = Count & Simd::splat(static_cast<T>(sizeof(T) * 8 - 1));
+    Simd R;
+    if constexpr (IsNative) {
+#if SIMTVEC_SIMD_HAVE_NATIVE
+      R.S.V = S.V >> C.S.V; // arithmetic iff T signed, like the scalar op
+#endif
+    } else {
+      for (unsigned L = 0; L < W; ++L)
+        R.setLane(L,
+                  static_cast<T>(lane(L) >> static_cast<unsigned>(C.lane(L))));
+    }
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Comparison -> mask (all-ones / zero lanes of MaskElt), and bit-blend
+  // select. Float compares follow C scalar semantics (NaN unordered).
+  //===--------------------------------------------------------------------===
+
+  Mask cmpEq(const Simd &X) const {
+    return cmp(X, [](const auto &A, const auto &C) { return A == C; });
+  }
+  Mask cmpNe(const Simd &X) const {
+    return cmp(X, [](const auto &A, const auto &C) { return A != C; });
+  }
+  Mask cmpLt(const Simd &X) const {
+    return cmp(X, [](const auto &A, const auto &C) { return A < C; });
+  }
+  Mask cmpLe(const Simd &X) const {
+    return cmp(X, [](const auto &A, const auto &C) { return A <= C; });
+  }
+  Mask cmpGt(const Simd &X) const {
+    return cmp(X, [](const auto &A, const auto &C) { return A > C; });
+  }
+  Mask cmpGe(const Simd &X) const {
+    return cmp(X, [](const auto &A, const auto &C) { return A >= C; });
+  }
+
+  /// Bit blend: lane L of the result is A's lane where M's lane is all-ones,
+  /// X's lane where it is zero. M must come from a compare (no partial
+  /// masks), which makes this exactly the ternary `cond ? A : X` — down to
+  /// NaN payload and signed-zero bits.
+  static Simd select(const Mask &M, const Simd &A, const Simd &X) {
+    using UV = Simd<UT, W, B>;
+    const UV MU = M.template bitcastTo<UT>();
+    const UV R = (MU & A.template bitcastTo<UT>()) |
+                 (~MU & X.template bitcastTo<UT>());
+    return R.template bitcastTo<T>();
+  }
+
+private:
+  /// Elementwise binary op. Integer inputs are rebound to the unsigned
+  /// counterpart before Op and rebound back after, so +,-,*,<< wrap with no
+  /// signed-overflow UB; floats apply Op directly. The native branch hands
+  /// Op whole vectors, the array branch hands it scalars.
+  template <typename F>
+  static Simd arith(const Simd &A, const Simd &X, F Op) {
+    Simd R;
+    if constexpr (IsNative) {
+#if SIMTVEC_SIMD_HAVE_NATIVE
+      if constexpr (IsInt && std::is_signed_v<T>) {
+        using UV = simd_detail::NativeVec<UT, W>;
+        UV UA, UX;
+        std::memcpy(&UA, &A.S.V, sizeof(UA));
+        std::memcpy(&UX, &X.S.V, sizeof(UX));
+        const UV UR = Op(UA, UX);
+        std::memcpy(&R.S.V, &UR, sizeof(UR));
+      } else {
+        R.S.V = Op(A.S.V, X.S.V);
+      }
+#endif
+    } else {
+      for (unsigned L = 0; L < W; ++L) {
+        if constexpr (IsInt)
+          R.setLane(L, static_cast<T>(Op(UT(A.lane(L)), UT(X.lane(L)))));
+        else
+          R.setLane(L, Op(A.lane(L), X.lane(L)));
+      }
+    }
+    return R;
+  }
+
+  template <typename F> Mask cmp(const Simd &X, F Op) const {
+    Mask R;
+    if constexpr (IsNative) {
+#if SIMTVEC_SIMD_HAVE_NATIVE
+      const auto MV = Op(S.V, X.S.V); // GCC: signed int vector, -1/0 lanes
+      static_assert(sizeof(MV) == sizeof(R));
+      std::memcpy(&R, &MV, sizeof(R));
+#endif
+    } else {
+      for (unsigned L = 0; L < W; ++L)
+        R.setLane(L, Op(lane(L), X.lane(L)) ? MaskElt(-1) : MaskElt(0));
+    }
+    return R;
+  }
+
+  template <typename T2, unsigned W2, SimdBackend B2> friend class Simd;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_SIMD_H

@@ -9,23 +9,46 @@
 /// scalar kind, warp width in {1,2,4,8}) a dedicated function executes the
 /// whole lane loop as a fixed trip count over typed values, with the opcode
 /// and kind folded at compile time. This is the stand-in for the paper's
-/// JIT emitting native SSE: the host compiler sees a constant-length loop
-/// of inlined arithmetic (no per-lane indirect calls on boxed words) and
-/// auto-vectorizes it — under the SIMTVEC_NATIVE build, to the full host
-/// SIMD width.
+/// JIT emitting native SSE, and since PR 6 it comes in two engine paths:
 ///
-/// Contract shared by every kernel:
+///  - SimdPath::Vector — kernels written on the Simd<T,W> value class
+///    (support/Simd.h), so the op is expressed directly on vector
+///    registers. Ops whose scalar semantics don't map cleanly (integer
+///    div/rem zero guards, libm unaries, saturating float->int converts)
+///    keep the scalar loop inside the same kernel, so the resolver surface
+///    is path-independent.
+///  - SimdPath::Scalar — the pre-SIMD fixed-trip scalar loops, kept intact
+///    as the differential oracle for the vector path.
+///
+/// Contract shared by every kernel (both paths):
 ///  - all operand arrays are stride-1 and hold exactly W lane words; the
 ///    interpreter materializes scalar/immediate/special operands into
 ///    stack buffers (splat / per-lane evaluation) before the call;
 ///  - inputs are fully read before any output is written, so a destination
 ///    may alias any source array exactly (register slots either coincide
 ///    or are disjoint — partial overlap cannot occur);
-///  - results are bit-identical to the generic eval* path: both instantiate
-///    the same ScalarOpsImpl.h expressions.
+///  - results are bit-identical to the generic eval* path: the scalar path
+///    instantiates the same ScalarOpsImpl.h expressions, and the vector
+///    path reproduces them op for op (wrap arithmetic on the unsigned
+///    counterpart, compare-plus-bit-blend for min/max/select so NaN and
+///    signed-zero bits survive, int->float via the same double
+///    intermediate). Modeled counters cannot differ between paths: kernel
+///    resolution succeeds for exactly the same combinations.
 ///
-/// Resolvers return null when the combination is invalid or the width is
-/// not specialized; the interpreter then uses the generic path.
+/// Resolver nullability (the audited policy — see SimdKernelAudit in
+/// tests/simd_test.cpp):
+///  - a combination has a lane kernel exactly when ScalarOps.cpp has a
+///    scalar thunk for it; every resolver delegates validity to the
+///    generic resolveBinary/resolveUnary/resolveMad/resolveCmp/
+///    resolveConvert gate, on both paths. resolveConvert covers all 8x8
+///    (dst, src) kind pairs, so resolveConvertLanes never yields a null
+///    for a verifier-legal convert at a specialized width; resolveUnary
+///    nulls (e.g. Rcp on an integer kind, Not on a float kind) are
+///    semantically invalid combinations that trap in the generic path too.
+///  - widths outside {1,2,4,8} return null by design: the interpreter
+///    accepts warps up to its 64-lane operand staging, but non-power-of-2
+///    and >8 widths are formation-tail shapes with no steady-state
+///    traffic, so they intentionally ride the generic per-lane path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +57,7 @@
 
 #include "simtvec/ir/Opcode.h"
 #include "simtvec/ir/Type.h"
+#include "simtvec/support/Simd.h"
 
 #include <cstdint>
 
@@ -54,15 +78,36 @@ using CmpSelKernelFn = void (*)(uint64_t *Pred, uint64_t *Sel,
                                 const uint64_t *A, const uint64_t *B,
                                 const uint64_t *C, const uint64_t *E);
 
-LaneKernelFn resolveBinaryLanes(Opcode Op, ScalarKind K, unsigned W);
-LaneKernelFn resolveUnaryLanes(Opcode Op, ScalarKind K, unsigned W);
-LaneKernelFn resolveMadLanes(ScalarKind K, unsigned W);
-LaneKernelFn resolveSetpLanes(CmpOp Cmp, ScalarKind K, unsigned W);
-LaneKernelFn resolveSelpLanes(unsigned W);
-LaneKernelFn resolveMovLanes(unsigned W);
-LaneKernelFn resolveConvertLanes(ScalarKind DstK, ScalarKind SrcK,
-                                 unsigned W);
-CmpSelKernelFn resolveCmpSelLanes(CmpOp Cmp, ScalarKind K, unsigned W);
+/// Whole-run address computation + bounds check for a homogeneous fused
+/// Ld/St run (every member reads address lane J of the same vector slot,
+/// with one shared byte offset / access size):
+///   AddrOut[J] = AddrLanes[J] + Offset   (u64 wrap, like the member loop)
+/// returns true iff every member passes the interpreter's resolveAddr
+/// bounds form `!(Size > Limit || Addr > Limit - Size)`. On false the
+/// caller must re-run the plain member loop so the trapping member is
+/// identified in record order. Resolved only on the vector path; the
+/// scalar oracle always walks members one at a time.
+using RunAddrCheckFn = bool (*)(uint64_t *AddrOut, const uint64_t *AddrLanes,
+                                uint64_t Offset, uint64_t Limit,
+                                uint64_t Size);
+
+LaneKernelFn resolveBinaryLanes(Opcode Op, ScalarKind K, unsigned W,
+                                SimdPath Path);
+LaneKernelFn resolveUnaryLanes(Opcode Op, ScalarKind K, unsigned W,
+                               SimdPath Path);
+LaneKernelFn resolveMadLanes(ScalarKind K, unsigned W, SimdPath Path);
+LaneKernelFn resolveSetpLanes(CmpOp Cmp, ScalarKind K, unsigned W,
+                              SimdPath Path);
+LaneKernelFn resolveSelpLanes(unsigned W, SimdPath Path);
+LaneKernelFn resolveMovLanes(unsigned W, SimdPath Path);
+LaneKernelFn resolveConvertLanes(ScalarKind DstK, ScalarKind SrcK, unsigned W,
+                                 SimdPath Path);
+CmpSelKernelFn resolveCmpSelLanes(CmpOp Cmp, ScalarKind K, unsigned W,
+                                  SimdPath Path);
+
+/// Null unless Path is Vector and Len is a specialized run length
+/// ({2,4,8}).
+RunAddrCheckFn resolveRunAddrCheck(unsigned Len, SimdPath Path);
 
 } // namespace simtvec
 

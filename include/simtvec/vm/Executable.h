@@ -138,12 +138,19 @@ struct DecodedInst {
     ConvertFn Cvt; ///< Cvt
   } Fn = {nullptr};
   /// Decode-time-selected specialized lane kernel for this record's exact
-  /// (shape, opcode, kind, width). Null when the combination or width is not
-  /// specialized — the interpreter then falls back to the generic per-lane
-  /// path above (results are bit-identical either way).
+  /// (shape, opcode, kind, width) under the build's SimdPath. Null when the
+  /// combination or width is not specialized — the interpreter then falls
+  /// back to the generic per-lane path above (results are bit-identical
+  /// either way). Like Fn, this is derived state: it never enters the
+  /// layout fingerprint, and resolution succeeds for the same combinations
+  /// on both engine paths, so the path choice cannot change fusion
+  /// decisions or modeled counters.
   union {
     LaneKernelFn Lanes;   ///< Mov/Binary/Mad/Unary/Setp/Selp/Cvt/FusedIotaBin
     CmpSelKernelFn CmpSel; ///< FusedCmpSel
+    RunAddrCheckFn RunCheck; ///< FusedLd/StRun heads: homogeneous-run
+                             ///< address check (vector path only; null
+                             ///< keeps the plain member loop)
   } Kern = {nullptr};
 };
 
@@ -179,10 +186,14 @@ public:
   /// Takes ownership of the kernel. \p Superinstructions enables the
   /// decode-time fusion pass (setp+selp, iota+binary, spill/restore runs);
   /// disabling it yields a stream with no Fused* shapes but identical
-  /// semantics and counters.
-  static std::shared_ptr<const KernelExec> build(std::unique_ptr<Kernel> K,
-                                                 const MachineModel &Machine,
-                                                 bool Superinstructions = true);
+  /// semantics and counters. \p Simd selects the lane-kernel engine path
+  /// (vector = Simd<T,W> kernels, scalar = the pre-SIMD loops); the path
+  /// changes only which function pointers are resolved, never the decoded
+  /// layout, fusion, or modeled counters.
+  static std::shared_ptr<const KernelExec>
+  build(std::unique_ptr<Kernel> K, const MachineModel &Machine,
+        bool Superinstructions = true,
+        SimdPath Simd = resolveSimdPath(SimdMode::Auto));
 
   const Kernel &kernel() const { return *K; }
 
@@ -230,10 +241,14 @@ public:
   /// changing execution.
   uint64_t layoutFingerprint() const;
 
+  /// The lane-kernel engine path this executable was built with.
+  SimdPath simdPath() const { return Simd; }
+
 private:
   friend struct KernelExecBuilder;
 
   std::unique_ptr<Kernel> K;
+  SimdPath Simd = SimdPath::Scalar;
   std::vector<uint32_t> RegOffset;
   uint32_t TotalSlots = 0;
   std::vector<double> BlockPenalty;

@@ -413,7 +413,8 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
                                 Config.ThreadInvariantElim,
                                 Config.UniformBranchOpt,
                                 Config.UniformLoadOpt,
-                                Config.Superinstructions};
+                                Config.Superinstructions,
+                                resolveSimdPath(Config.Simd)};
       auto ExecOrErr = TC.get(Key);
       if (!ExecOrErr) {
         R.Error = ExecOrErr.status().message();

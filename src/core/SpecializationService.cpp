@@ -389,6 +389,7 @@ uint64_t SpecializationService::fingerprintFor(const TranslationCache::Key &K) {
   W.u8(K.UniformBranchOpt ? 1 : 0);
   W.u8(K.UniformLoadOpt ? 1 : 0);
   W.u8(K.Superinstructions ? 1 : 0);
+  W.u8(static_cast<uint8_t>(K.Simd));
   W.u32(Machine.VectorWidthBytes);
   W.u32(Machine.NumVecRegs);
   W.f64(Machine.ClockGHz);
@@ -489,8 +490,8 @@ SpecializationService::tryLoadArtifact(const TranslationCache::Key &K) {
   if (verifyKernel(*Kern).isError())
     return Miss();
 
-  auto Exec =
-      KernelExec::build(std::move(Kern), Machine, K.Superinstructions);
+  auto Exec = KernelExec::build(std::move(Kern), Machine,
+                                K.Superinstructions, K.Simd);
   if (!Exec || Exec->layoutFingerprint() != H.LayoutFingerprint)
     return Miss();
 

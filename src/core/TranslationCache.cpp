@@ -179,8 +179,8 @@ TranslationCache::get(const Key &K) {
     return Err;
   }
 
-  auto Exec =
-      KernelExec::build(std::move(Specialized), Machine, K.Superinstructions);
+  auto Exec = KernelExec::build(std::move(Specialized), Machine,
+                                K.Superinstructions, K.Simd);
   {
     std::unique_lock<std::shared_mutex> Guard(S.Lock);
     S.Cache.emplace(K, Exec);

@@ -179,6 +179,7 @@ LaunchConfig Program::makeConfig(const LaunchOptions &Options) const {
   Config.Workers = Options.Workers;
   Config.UseOsThreads = Options.UseOsThreads;
   Config.UseReferenceInterp = Options.UseReferenceInterp;
+  Config.Simd = Options.Simd;
   if (Options.UsePersistentPool && Options.UseOsThreads)
     Config.ParallelFor = [](unsigned N,
                             const std::function<void(unsigned)> &Fn) {

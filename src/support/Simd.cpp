@@ -1,0 +1,72 @@
+//===- support/Simd.cpp - SIMD engine-path selection ----------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// SIMTVEC_SIMD env parsing and SimdMode -> SimdPath resolution. The env var
+// follows the SIMTVEC_POOL_THREADS convention: full-string match only, one
+// stderr warning for a rejected value, then the default behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace simtvec;
+
+SimdMode simtvec::simdModeFromEnv() {
+  static const SimdMode Cached = [] {
+    const char *Env = std::getenv("SIMTVEC_SIMD");
+    if (!Env || !*Env)
+      return SimdMode::Auto;
+    if (std::strcmp(Env, "auto") == 0)
+      return SimdMode::Auto;
+    if (std::strcmp(Env, "vector") == 0)
+      return SimdMode::Vector;
+    if (std::strcmp(Env, "scalar") == 0)
+      return SimdMode::Scalar;
+    std::fprintf(stderr,
+                 "simtvec: ignoring invalid SIMTVEC_SIMD='%s' (expected "
+                 "auto|vector|scalar); using auto\n",
+                 Env);
+    return SimdMode::Auto;
+  }();
+  return Cached;
+}
+
+SimdPath simtvec::resolveSimdPath(SimdMode Mode) {
+  if (Mode == SimdMode::Auto)
+    Mode = simdModeFromEnv();
+  switch (Mode) {
+  case SimdMode::Vector:
+    return SimdPath::Vector;
+  case SimdMode::Scalar:
+    return SimdPath::Scalar;
+  case SimdMode::Auto:
+    break;
+  }
+  // Auto default: the Simd kernels only pay off when they compile to real
+  // vector instructions; without the native backend the old loops are the
+  // better-known quantity.
+  return simdNativeAvailable() ? SimdPath::Vector : SimdPath::Scalar;
+}
+
+const char *simtvec::simdPathName(SimdPath Path) {
+  return Path == SimdPath::Vector ? "vector" : "scalar";
+}
+
+const char *simtvec::simdModeName(SimdMode Mode) {
+  switch (Mode) {
+  case SimdMode::Vector:
+    return "vector";
+  case SimdMode::Scalar:
+    return "scalar";
+  case SimdMode::Auto:
+    break;
+  }
+  return "auto";
+}

@@ -4,15 +4,39 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Instantiates the fixed-width lane kernels over ScalarOpsImpl.h. Each
-// kernel stages all W results in locals before storing, which (a) makes the
-// exact-overlap destination alias safe and (b) presents the compiler with a
-// load-compute-store block of constant trip count it can vectorize.
+// Instantiates the fixed-width lane kernels over ScalarOpsImpl.h, in two
+// engine paths selected by a bool template parameter V:
+//
+//  - V = false (SimdPath::Scalar): the original fixed-trip scalar loops.
+//    Each kernel stages all W results in locals before storing, which (a)
+//    makes the exact-overlap destination alias safe and (b) presents the
+//    compiler with a load-compute-store block it can auto-vectorize. This
+//    path is the differential oracle.
+//  - V = true (SimdPath::Vector): the same semantics expressed on the
+//    Simd<T,W> value class, so the u64 lane-word unboxing, the op, and the
+//    reboxing are explicit vector code instead of an autovectorization
+//    gamble. Ops the vector ISA can't express without changing semantics
+//    (integer div/rem zero guards, libm unaries, saturating float->int
+//    converts) fall through to the scalar loop *inside* the kernel, which
+//    keeps resolver nullability — and therefore fusion decisions and
+//    modeled counters — path-independent.
+//
+// Bit-identity notes for the V = true expressions (kept in lockstep with
+// ScalarOpsImpl.h; tests/simd_test.cpp checks every row):
+//  - integer + - * << are computed on the unsigned counterpart, exactly
+//    intBinary's wrap; >> is arithmetic iff the kind is signed.
+//  - min/max compile to compare + bit-blend, reproducing the ternary
+//    `X < Y ? X : Y` — for floats a NaN operand fails the compare and
+//    selects the second operand, and -0.0/+0.0 keep their bit patterns.
+//  - int -> float conversions go through the same double intermediate as
+//    evalConvertImpl (double rounding for F32 destinations and all).
+//  - setp/selp masks are full-width compare masks reduced with `& 1`,
+//    yielding the same canonical 0/1 predicate words.
 //
 // The resolvers mirror the ScalarOps.cpp thunk resolvers one level deeper
-// (width added as a template parameter) and reuse the generic resolvers as
-// the validity gate, so a combination has a lane kernel exactly when it has
-// a scalar thunk.
+// (width and path added) and reuse the generic resolvers as the validity
+// gate, so a combination has a lane kernel exactly when it has a scalar
+// thunk — on either path.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +44,9 @@
 
 #include "simtvec/ir/ScalarOps.h"
 #include "simtvec/ir/ScalarOpsImpl.h"
+#include "simtvec/support/Simd.h"
+
+#include <type_traits>
 
 using namespace simtvec;
 using namespace simtvec::scalarops;
@@ -27,109 +54,443 @@ using namespace simtvec::scalarops;
 namespace {
 
 //===----------------------------------------------------------------------===
-// Kernel templates
+// Kind -> lane element type, and the mapped-op predicates deciding which
+// combinations get a hand-written Simd expression (everything else keeps
+// the scalar loop inside the vector-path kernel).
 //===----------------------------------------------------------------------===
 
-template <Opcode Op, ScalarKind K, unsigned W>
+template <ScalarKind K> struct LaneTypeOf;
+template <> struct LaneTypeOf<ScalarKind::Pred> { using type = uint64_t; };
+template <> struct LaneTypeOf<ScalarKind::U8> { using type = uint8_t; };
+template <> struct LaneTypeOf<ScalarKind::S32> { using type = int32_t; };
+template <> struct LaneTypeOf<ScalarKind::U32> { using type = uint32_t; };
+template <> struct LaneTypeOf<ScalarKind::S64> { using type = int64_t; };
+template <> struct LaneTypeOf<ScalarKind::U64> { using type = uint64_t; };
+template <> struct LaneTypeOf<ScalarKind::F32> { using type = float; };
+template <> struct LaneTypeOf<ScalarKind::F64> { using type = double; };
+
+constexpr bool isFloatKind(ScalarKind K) {
+  return K == ScalarKind::F32 || K == ScalarKind::F64;
+}
+
+constexpr bool simdBinMapped(Opcode Op, ScalarKind K) {
+  if (K == ScalarKind::Pred)
+    return Op == Opcode::And || Op == Opcode::Or || Op == Opcode::Xor;
+  if (isFloatKind(K)) {
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Min:
+    case Opcode::Max:
+      return true;
+    default:
+      return false;
+    }
+  }
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    return true;
+  default: // Div/Rem keep the zero-divisor guard in the scalar loop
+    return false;
+  }
+}
+
+constexpr bool simdUnMapped(Opcode Op, ScalarKind K) {
+  if (K == ScalarKind::Pred)
+    return Op == Opcode::Not;
+  if (isFloatKind(K))
+    return Op == Opcode::Neg || Op == Opcode::Abs || Op == Opcode::Rcp;
+  return Op == Opcode::Neg || Op == Opcode::Abs || Op == Opcode::Not;
+}
+
+constexpr bool simdMadMapped(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::F32:
+  case ScalarKind::F64:
+  case ScalarKind::S32:
+  case ScalarKind::U32:
+  case ScalarKind::S64:
+  case ScalarKind::U64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Float sources need evalConvert's saturating floatToInt for non-float
+/// destinations; integer/predicate sources map everywhere.
+constexpr bool simdCvtMapped(ScalarKind DstK, ScalarKind SrcK) {
+  if (isFloatKind(SrcK))
+    return isFloatKind(DstK);
+  (void)DstK;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Simd expression helpers
+//===----------------------------------------------------------------------===
+
+template <CmpOp Cmp, typename T, unsigned W>
+typename Simd<T, W>::Mask simdCmp(const Simd<T, W> &X, const Simd<T, W> &Y) {
+  if constexpr (Cmp == CmpOp::Eq)
+    return X.cmpEq(Y);
+  else if constexpr (Cmp == CmpOp::Ne)
+    return X.cmpNe(Y);
+  else if constexpr (Cmp == CmpOp::Lt)
+    return X.cmpLt(Y);
+  else if constexpr (Cmp == CmpOp::Le)
+    return X.cmpLe(Y);
+  else if constexpr (Cmp == CmpOp::Gt)
+    return X.cmpGt(Y);
+  else
+    return X.cmpGe(Y);
+}
+
+template <Opcode Op, typename T, unsigned W>
+Simd<T, W> simdBin(const Simd<T, W> &X, const Simd<T, W> &Y) {
+  using S = Simd<T, W>;
+  if constexpr (Op == Opcode::Add)
+    return X + Y;
+  else if constexpr (Op == Opcode::Sub)
+    return X - Y;
+  else if constexpr (Op == Opcode::Mul)
+    return X * Y;
+  else if constexpr (Op == Opcode::Div)
+    return X / Y; // floats only (simdBinMapped gates integers out)
+  else if constexpr (Op == Opcode::Min)
+    return S::select(X.cmpLt(Y), X, Y); // X < Y ? X : Y
+  else if constexpr (Op == Opcode::Max)
+    return S::select(X.cmpGt(Y), X, Y); // X > Y ? X : Y
+  else if constexpr (Op == Opcode::And)
+    return X & Y;
+  else if constexpr (Op == Opcode::Or)
+    return X | Y;
+  else if constexpr (Op == Opcode::Xor)
+    return X ^ Y;
+  else if constexpr (Op == Opcode::Shl)
+    return X.shlMasked(Y);
+  else if constexpr (Op == Opcode::Shr)
+    return X.shrMasked(Y);
+}
+
+/// std::fabs as the bit operation it is on x86: clear the sign bit (NaN
+/// payloads included).
+template <typename T, unsigned W>
+Simd<T, W> simdFabs(const Simd<T, W> &X) {
+  using UI = std::conditional_t<sizeof(T) == 4, uint32_t, uint64_t>;
+  const UI NoSign = static_cast<UI>(~(UI(1) << (sizeof(T) * 8 - 1)));
+  return (X.template bitcastTo<UI>() & Simd<UI, W>::splat(NoSign))
+      .template bitcastTo<T>();
+}
+
+//===----------------------------------------------------------------------===
+// Kernel templates. V selects the engine path; the false branch is the
+// original scalar loop, byte-for-byte.
+//===----------------------------------------------------------------------===
+
+template <Opcode Op, ScalarKind K, unsigned W, bool V>
 void binKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
                const uint64_t *) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L) {
-    bool Bad = false;
-    R[L] = evalBinaryImpl(Op, K, S0[L], S1[L], Bad);
+  if constexpr (V && simdBinMapped(Op, K)) {
+    if constexpr (K == ScalarKind::Pred) {
+      using S = Simd<uint64_t, W>;
+      const S A = S::load(S0), B = S::load(S1);
+      (simdBin<Op>(A, B) & S::splat(1)).store(Dst);
+    } else {
+      using T = typename LaneTypeOf<K>::type;
+      using S = Simd<T, W>;
+      const S X = S::loadLaneWords(S0), Y = S::loadLaneWords(S1);
+      simdBin<Op>(X, Y).storeLaneWords(Dst);
+    }
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L) {
+      bool Bad = false;
+      R[L] = evalBinaryImpl(Op, K, S0[L], S1[L], Bad);
+    }
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
   }
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
 }
 
-template <Opcode Op, ScalarKind K, unsigned W>
+template <Opcode Op, ScalarKind K, unsigned W, bool V>
 void unKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *,
               const uint64_t *) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L) {
-    bool Bad = false;
-    R[L] = evalUnaryImpl(Op, K, S0[L], Bad);
+  if constexpr (V && simdUnMapped(Op, K)) {
+    if constexpr (K == ScalarKind::Pred) {
+      using S = Simd<uint64_t, W>;
+      ((~S::load(S0)) & S::splat(1)).store(Dst); // (~A) & 1
+    } else {
+      using T = typename LaneTypeOf<K>::type;
+      using S = Simd<T, W>;
+      const S X = S::loadLaneWords(S0);
+      S R;
+      if constexpr (Op == Opcode::Neg) {
+        R = X.negated();
+      } else if constexpr (Op == Opcode::Abs) {
+        if constexpr (std::is_floating_point_v<T>)
+          R = simdFabs(X);
+        else
+          R = S::select(X.cmpLt(S::splat(T(0))), X.negated(), X);
+      } else if constexpr (Op == Opcode::Not) {
+        R = ~X;
+      } else { // Rcp
+        R = S::splat(T(1)) / X;
+      }
+      R.storeLaneWords(Dst);
+    }
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L) {
+      bool Bad = false;
+      R[L] = evalUnaryImpl(Op, K, S0[L], Bad);
+    }
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
   }
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
 }
 
-template <ScalarKind K, unsigned W>
+template <ScalarKind K, unsigned W, bool V>
 void madKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
                const uint64_t *S2) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L) {
-    bool Bad = false;
-    R[L] = evalMadImpl(K, S0[L], S1[L], S2[L], Bad);
+  if constexpr (V && simdMadMapped(K)) {
+    // evalMadImpl computes S32 as U32 and S64 as U64 (wrap), so rebind.
+    using T = std::conditional_t<
+        K == ScalarKind::F32, float,
+        std::conditional_t<K == ScalarKind::F64, double,
+                           std::conditional_t<K == ScalarKind::S32 ||
+                                                  K == ScalarKind::U32,
+                                              uint32_t, uint64_t>>>;
+    using S = Simd<T, W>;
+    const S A = S::loadLaneWords(S0), B = S::loadLaneWords(S1),
+            C = S::loadLaneWords(S2);
+    (A * B + C).storeLaneWords(Dst); // two rounded ops (no contraction)
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L) {
+      bool Bad = false;
+      R[L] = evalMadImpl(K, S0[L], S1[L], S2[L], Bad);
+    }
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
   }
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
 }
 
-template <CmpOp Cmp, ScalarKind K, unsigned W>
+template <CmpOp Cmp, ScalarKind K, unsigned W, bool V>
 void setpKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
                 const uint64_t *) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L)
-    R[L] = evalCmpImpl(Cmp, K, S0[L], S1[L]) ? 1 : 0;
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
+  if constexpr (V) {
+    using U = Simd<uint64_t, W>;
+    if constexpr (K == ScalarKind::Pred) {
+      const U A = U::load(S0) & U::splat(1), B = U::load(S1) & U::splat(1);
+      const auto M = simdCmp<Cmp>(A, B);
+      (M.template bitcastTo<uint64_t>() & U::splat(1)).store(Dst);
+    } else {
+      using T = typename LaneTypeOf<K>::type;
+      using S = Simd<T, W>;
+      const S X = S::loadLaneWords(S0), Y = S::loadLaneWords(S1);
+      const Simd<int64_t, W> M64 =
+          simdCmp<Cmp>(X, Y).template convertTo<int64_t>(); // -1/0 lanes
+      (M64.template bitcastTo<uint64_t>() & U::splat(1)).store(Dst);
+    }
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L)
+      R[L] = evalCmpImpl(Cmp, K, S0[L], S1[L]) ? 1 : 0;
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
+  }
 }
 
-template <unsigned W>
+template <unsigned W, bool V>
 void selpKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *S1,
                 const uint64_t *S2) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L)
-    R[L] = (S2[L] & 1) != 0 ? S0[L] : S1[L];
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
+  if constexpr (V) {
+    using U = Simd<uint64_t, W>;
+    const U A = U::load(S0), B = U::load(S1);
+    const auto M = (U::load(S2) & U::splat(1)).cmpNe(U::splat(0));
+    U::select(M, A, B).store(Dst); // (S2 & 1) != 0 ? S0 : S1
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L)
+      R[L] = (S2[L] & 1) != 0 ? S0[L] : S1[L];
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
+  }
 }
 
-template <unsigned W>
+template <unsigned W, bool V>
 void movKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *,
                const uint64_t *) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L)
-    R[L] = S0[L];
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
+  if constexpr (V) {
+    Simd<uint64_t, W>::load(S0).store(Dst);
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L)
+      R[L] = S0[L];
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
+  }
 }
 
+/// Vector-path convert. Mirrors evalConvertImpl's structure: widen the
+/// source losslessly (s64/u64/double), then narrow to the destination
+/// representation. Int -> F32 goes through double exactly like the scalar
+/// path, so the double rounding matches.
 template <ScalarKind DstK, ScalarKind SrcK, unsigned W>
+void cvtSimd(uint64_t *Dst, const uint64_t *S0) {
+  using U = Simd<uint64_t, W>;
+  const U Raw = U::load(S0);
+  if constexpr (isFloatKind(SrcK)) {
+    // Float source, float destination (simdCvtMapped gates the rest out).
+    Simd<double, W> D;
+    if constexpr (SrcK == ScalarKind::F32)
+      D = Raw.template convertTo<uint32_t>()
+              .template bitcastTo<float>()
+              .template convertTo<double>();
+    else
+      D = Raw.template bitcastTo<double>();
+    if constexpr (DstK == ScalarKind::F64)
+      D.storeLaneWords(Dst);
+    else // F32: float(asDouble()) — F32->F32 keeps the double round trip
+      D.template convertTo<float>().storeLaneWords(Dst);
+  } else {
+    constexpr bool SrcSigned =
+        SrcK == ScalarKind::S32 || SrcK == ScalarKind::S64;
+    Simd<int64_t, W> SI{};
+    U UI{};
+    if constexpr (SrcK == ScalarKind::Pred)
+      UI = Raw & U::splat(1);
+    else if constexpr (SrcK == ScalarKind::U8)
+      UI = Raw & U::splat(0xff);
+    else if constexpr (SrcK == ScalarKind::U32)
+      UI = Raw & U::splat(0xffffffff);
+    else if constexpr (SrcK == ScalarKind::U64)
+      UI = Raw;
+    else if constexpr (SrcK == ScalarKind::S32)
+      SI = Raw.template convertTo<uint32_t>()
+               .template bitcastTo<int32_t>()
+               .template convertTo<int64_t>(); // sign-extend low 32 bits
+    else // S64
+      SI = Raw.template bitcastTo<int64_t>();
+
+    U AsU64;
+    if constexpr (SrcSigned)
+      AsU64 = SI.template bitcastTo<uint64_t>();
+    else
+      AsU64 = UI;
+
+    if constexpr (DstK == ScalarKind::F32 || DstK == ScalarKind::F64) {
+      Simd<double, W> D;
+      if constexpr (SrcSigned)
+        D = SI.template convertTo<double>();
+      else
+        D = UI.template convertTo<double>();
+      if constexpr (DstK == ScalarKind::F64)
+        D.storeLaneWords(Dst);
+      else
+        D.template convertTo<float>().storeLaneWords(Dst);
+    } else if constexpr (DstK == ScalarKind::U8) {
+      (AsU64 & U::splat(0xff)).store(Dst);
+    } else if constexpr (DstK == ScalarKind::S32 ||
+                         DstK == ScalarKind::U32) {
+      // toBits<int32_t>(int32_t(asU64())) == asU64() & 0xffffffff
+      (AsU64 & U::splat(0xffffffff)).store(Dst);
+    } else if constexpr (DstK == ScalarKind::Pred) {
+      const auto M = AsU64.cmpNe(U::splat(0));
+      (M.template bitcastTo<uint64_t>() & U::splat(1)).store(Dst);
+    } else { // S64 / U64: asU64()
+      AsU64.store(Dst);
+    }
+  }
+}
+
+template <ScalarKind DstK, ScalarKind SrcK, unsigned W, bool V>
 void cvtKernel(uint64_t *Dst, const uint64_t *S0, const uint64_t *,
                const uint64_t *) {
-  uint64_t R[W];
-  for (unsigned L = 0; L < W; ++L)
-    R[L] = evalConvertImpl(DstK, SrcK, S0[L]);
-  for (unsigned L = 0; L < W; ++L)
-    Dst[L] = R[L];
+  if constexpr (V && simdCvtMapped(DstK, SrcK)) {
+    cvtSimd<DstK, SrcK, W>(Dst, S0);
+  } else {
+    uint64_t R[W];
+    for (unsigned L = 0; L < W; ++L)
+      R[L] = evalConvertImpl(DstK, SrcK, S0[L]);
+    for (unsigned L = 0; L < W; ++L)
+      Dst[L] = R[L];
+  }
 }
 
-template <CmpOp Cmp, ScalarKind K, unsigned W>
+template <CmpOp Cmp, ScalarKind K, unsigned W, bool V>
 void cmpSelKernel(uint64_t *Pred, uint64_t *Sel, const uint64_t *A,
                   const uint64_t *B, const uint64_t *C, const uint64_t *E) {
-  uint64_t P[W], R[W];
+  if constexpr (V) {
+    using U = Simd<uint64_t, W>;
+    Simd<int64_t, W> M64;
+    if constexpr (K == ScalarKind::Pred) {
+      M64 = simdCmp<Cmp>(U::load(A) & U::splat(1), U::load(B) & U::splat(1));
+    } else {
+      using T = typename LaneTypeOf<K>::type;
+      using S = Simd<T, W>;
+      M64 = simdCmp<Cmp>(S::loadLaneWords(A), S::loadLaneWords(B))
+                .template convertTo<int64_t>();
+    }
+    const U P = M64.template bitcastTo<uint64_t>() & U::splat(1);
+    const U R = U::select(M64, U::load(C), U::load(E));
+    P.store(Pred);
+    R.store(Sel);
+  } else {
+    uint64_t P[W], R[W];
+    for (unsigned L = 0; L < W; ++L)
+      P[L] = evalCmpImpl(Cmp, K, A[L], B[L]) ? 1 : 0;
+    for (unsigned L = 0; L < W; ++L)
+      R[L] = P[L] != 0 ? C[L] : E[L];
+    for (unsigned L = 0; L < W; ++L)
+      Pred[L] = P[L];
+    for (unsigned L = 0; L < W; ++L)
+      Sel[L] = R[L];
+  }
+}
+
+/// Whole-run address check for homogeneous fused Ld/St runs: one wrap add
+/// and one compare across all members, reproducing resolveAddr's
+/// `Size > Limit || Addr > Limit - Size` per lane.
+template <unsigned W>
+bool runAddrCheck(uint64_t *AddrOut, const uint64_t *AddrLanes,
+                  uint64_t Offset, uint64_t Limit, uint64_t Size) {
+  using U = Simd<uint64_t, W>;
+  const U A = U::load(AddrLanes) + U::splat(Offset);
+  A.store(AddrOut);
+  if (Size > Limit)
+    return false;
+  const auto Bad = A.cmpGt(U::splat(Limit - Size));
+  uint64_t M[W];
+  Bad.template bitcastTo<uint64_t>().store(M);
+  uint64_t Any = 0;
   for (unsigned L = 0; L < W; ++L)
-    P[L] = evalCmpImpl(Cmp, K, A[L], B[L]) ? 1 : 0;
-  for (unsigned L = 0; L < W; ++L)
-    R[L] = P[L] != 0 ? C[L] : E[L];
-  for (unsigned L = 0; L < W; ++L)
-    Pred[L] = P[L];
-  for (unsigned L = 0; L < W; ++L)
-    Sel[L] = R[L];
+    Any |= M[L];
+  return Any == 0;
 }
 
 //===----------------------------------------------------------------------===
 // Dispatch: kind and operation layers mirror ScalarOps.cpp, with the width
-// folded in as the innermost template parameter.
+// and engine path folded in as the innermost template parameters.
 //===----------------------------------------------------------------------===
 
-template <ScalarKind K, unsigned W> LaneKernelFn binForKind(Opcode Op) {
+template <ScalarKind K, unsigned W, bool V> LaneKernelFn binForKind(Opcode Op) {
   switch (Op) {
 #define SIMTVEC_BIN_CASE(OP)                                                   \
   case Opcode::OP:                                                             \
-    return binKernel<Opcode::OP, K, W>;
+    return binKernel<Opcode::OP, K, W, V>;
     SIMTVEC_BIN_CASE(Add)
     SIMTVEC_BIN_CASE(Sub)
     SIMTVEC_BIN_CASE(Mul)
@@ -148,11 +509,11 @@ template <ScalarKind K, unsigned W> LaneKernelFn binForKind(Opcode Op) {
   }
 }
 
-template <ScalarKind K, unsigned W> LaneKernelFn unForKind(Opcode Op) {
+template <ScalarKind K, unsigned W, bool V> LaneKernelFn unForKind(Opcode Op) {
   switch (Op) {
 #define SIMTVEC_UN_CASE(OP)                                                    \
   case Opcode::OP:                                                             \
-    return unKernel<Opcode::OP, K, W>;
+    return unKernel<Opcode::OP, K, W, V>;
     SIMTVEC_UN_CASE(Neg)
     SIMTVEC_UN_CASE(Abs)
     SIMTVEC_UN_CASE(Not)
@@ -169,47 +530,49 @@ template <ScalarKind K, unsigned W> LaneKernelFn unForKind(Opcode Op) {
   }
 }
 
-template <ScalarKind K, unsigned W> LaneKernelFn setpForKind(CmpOp Cmp) {
+template <ScalarKind K, unsigned W, bool V> LaneKernelFn setpForKind(CmpOp Cmp) {
   switch (Cmp) {
   case CmpOp::Eq:
-    return setpKernel<CmpOp::Eq, K, W>;
+    return setpKernel<CmpOp::Eq, K, W, V>;
   case CmpOp::Ne:
-    return setpKernel<CmpOp::Ne, K, W>;
+    return setpKernel<CmpOp::Ne, K, W, V>;
   case CmpOp::Lt:
-    return setpKernel<CmpOp::Lt, K, W>;
+    return setpKernel<CmpOp::Lt, K, W, V>;
   case CmpOp::Le:
-    return setpKernel<CmpOp::Le, K, W>;
+    return setpKernel<CmpOp::Le, K, W, V>;
   case CmpOp::Gt:
-    return setpKernel<CmpOp::Gt, K, W>;
+    return setpKernel<CmpOp::Gt, K, W, V>;
   case CmpOp::Ge:
-    return setpKernel<CmpOp::Ge, K, W>;
+    return setpKernel<CmpOp::Ge, K, W, V>;
   }
   return nullptr;
 }
 
-template <ScalarKind K, unsigned W> CmpSelKernelFn cmpSelForKind(CmpOp Cmp) {
+template <ScalarKind K, unsigned W, bool V>
+CmpSelKernelFn cmpSelForKind(CmpOp Cmp) {
   switch (Cmp) {
   case CmpOp::Eq:
-    return cmpSelKernel<CmpOp::Eq, K, W>;
+    return cmpSelKernel<CmpOp::Eq, K, W, V>;
   case CmpOp::Ne:
-    return cmpSelKernel<CmpOp::Ne, K, W>;
+    return cmpSelKernel<CmpOp::Ne, K, W, V>;
   case CmpOp::Lt:
-    return cmpSelKernel<CmpOp::Lt, K, W>;
+    return cmpSelKernel<CmpOp::Lt, K, W, V>;
   case CmpOp::Le:
-    return cmpSelKernel<CmpOp::Le, K, W>;
+    return cmpSelKernel<CmpOp::Le, K, W, V>;
   case CmpOp::Gt:
-    return cmpSelKernel<CmpOp::Gt, K, W>;
+    return cmpSelKernel<CmpOp::Gt, K, W, V>;
   case CmpOp::Ge:
-    return cmpSelKernel<CmpOp::Ge, K, W>;
+    return cmpSelKernel<CmpOp::Ge, K, W, V>;
   }
   return nullptr;
 }
 
-template <ScalarKind DstK, unsigned W> LaneKernelFn cvtForDst(ScalarKind SrcK) {
+template <ScalarKind DstK, unsigned W, bool V>
+LaneKernelFn cvtForDst(ScalarKind SrcK) {
   switch (SrcK) {
 #define SIMTVEC_CVT_CASE(SK)                                                   \
   case ScalarKind::SK:                                                         \
-    return cvtKernel<DstK, ScalarKind::SK, W>;
+    return cvtKernel<DstK, ScalarKind::SK, W, V>;
     SIMTVEC_CVT_CASE(Pred)
     SIMTVEC_CVT_CASE(U8)
     SIMTVEC_CVT_CASE(S32)
@@ -223,150 +586,179 @@ template <ScalarKind DstK, unsigned W> LaneKernelFn cvtForDst(ScalarKind SrcK) {
   return nullptr;
 }
 
-/// Expands a switch over every ScalarKind forwarding to FN<Kind, W>(ARG).
+/// Expands a switch over every ScalarKind forwarding to FN<Kind, W, V>(ARG).
 #define SIMTVEC_DISPATCH_KIND_W(K, FN, ARG)                                    \
   switch (K) {                                                                 \
   case ScalarKind::Pred:                                                       \
-    return FN<ScalarKind::Pred, W>(ARG);                                       \
+    return FN<ScalarKind::Pred, W, V>(ARG);                                    \
   case ScalarKind::U8:                                                         \
-    return FN<ScalarKind::U8, W>(ARG);                                         \
+    return FN<ScalarKind::U8, W, V>(ARG);                                      \
   case ScalarKind::S32:                                                        \
-    return FN<ScalarKind::S32, W>(ARG);                                        \
+    return FN<ScalarKind::S32, W, V>(ARG);                                     \
   case ScalarKind::U32:                                                        \
-    return FN<ScalarKind::U32, W>(ARG);                                        \
+    return FN<ScalarKind::U32, W, V>(ARG);                                     \
   case ScalarKind::S64:                                                        \
-    return FN<ScalarKind::S64, W>(ARG);                                        \
+    return FN<ScalarKind::S64, W, V>(ARG);                                     \
   case ScalarKind::U64:                                                        \
-    return FN<ScalarKind::U64, W>(ARG);                                        \
+    return FN<ScalarKind::U64, W, V>(ARG);                                     \
   case ScalarKind::F32:                                                        \
-    return FN<ScalarKind::F32, W>(ARG);                                        \
+    return FN<ScalarKind::F32, W, V>(ARG);                                     \
   case ScalarKind::F64:                                                        \
-    return FN<ScalarKind::F64, W>(ARG);                                        \
+    return FN<ScalarKind::F64, W, V>(ARG);                                     \
   }                                                                            \
   return nullptr;
 
-template <unsigned W> LaneKernelFn binForWidth(Opcode Op, ScalarKind K) {
+template <unsigned W, bool V> LaneKernelFn binForWidth(Opcode Op, ScalarKind K) {
   SIMTVEC_DISPATCH_KIND_W(K, binForKind, Op)
 }
-template <unsigned W> LaneKernelFn unForWidth(Opcode Op, ScalarKind K) {
+template <unsigned W, bool V> LaneKernelFn unForWidth(Opcode Op, ScalarKind K) {
   SIMTVEC_DISPATCH_KIND_W(K, unForKind, Op)
 }
-template <unsigned W> LaneKernelFn setpForWidth(CmpOp Cmp, ScalarKind K) {
+template <unsigned W, bool V> LaneKernelFn setpForWidth(CmpOp Cmp, ScalarKind K) {
   SIMTVEC_DISPATCH_KIND_W(K, setpForKind, Cmp)
 }
-template <unsigned W> CmpSelKernelFn cmpSelForWidth(CmpOp Cmp, ScalarKind K) {
+template <unsigned W, bool V>
+CmpSelKernelFn cmpSelForWidth(CmpOp Cmp, ScalarKind K) {
   SIMTVEC_DISPATCH_KIND_W(K, cmpSelForKind, Cmp)
 }
-template <unsigned W> LaneKernelFn cvtForWidth(ScalarKind DstK,
-                                               ScalarKind SrcK) {
+template <unsigned W, bool V>
+LaneKernelFn cvtForWidth(ScalarKind DstK, ScalarKind SrcK) {
   SIMTVEC_DISPATCH_KIND_W(DstK, cvtForDst, SrcK)
 }
 
 #undef SIMTVEC_DISPATCH_KIND_W
 
-template <unsigned W> LaneKernelFn madForWidth(ScalarKind K) {
+template <unsigned W, bool V> LaneKernelFn madForWidth(ScalarKind K) {
   switch (K) {
   case ScalarKind::F32:
-    return madKernel<ScalarKind::F32, W>;
+    return madKernel<ScalarKind::F32, W, V>;
   case ScalarKind::F64:
-    return madKernel<ScalarKind::F64, W>;
+    return madKernel<ScalarKind::F64, W, V>;
   case ScalarKind::S32:
-    return madKernel<ScalarKind::S32, W>;
+    return madKernel<ScalarKind::S32, W, V>;
   case ScalarKind::U32:
-    return madKernel<ScalarKind::U32, W>;
+    return madKernel<ScalarKind::U32, W, V>;
   case ScalarKind::S64:
-    return madKernel<ScalarKind::S64, W>;
+    return madKernel<ScalarKind::S64, W, V>;
   case ScalarKind::U64:
-    return madKernel<ScalarKind::U64, W>;
+    return madKernel<ScalarKind::U64, W, V>;
   default:
     return nullptr;
   }
 }
 
-/// Expands a switch over the specialized widths forwarding to FN<W>(...).
-#define SIMTVEC_DISPATCH_WIDTH(W, FN, ...)                                     \
+template <unsigned W, bool V> LaneKernelFn selpForWidth() {
+  return selpKernel<W, V>;
+}
+template <unsigned W, bool V> LaneKernelFn movForWidth() {
+  return movKernel<W, V>;
+}
+
+/// Expands a switch over the specialized widths forwarding to
+/// FN<W, VEC>(...).
+#define SIMTVEC_DISPATCH_WIDTH(W, VEC, FN, ...)                                \
   switch (W) {                                                                 \
   case 1:                                                                      \
-    return FN<1>(__VA_ARGS__);                                                 \
+    return FN<1, VEC>(__VA_ARGS__);                                            \
   case 2:                                                                      \
-    return FN<2>(__VA_ARGS__);                                                 \
+    return FN<2, VEC>(__VA_ARGS__);                                            \
   case 4:                                                                      \
-    return FN<4>(__VA_ARGS__);                                                 \
+    return FN<4, VEC>(__VA_ARGS__);                                            \
   case 8:                                                                      \
-    return FN<8>(__VA_ARGS__);                                                 \
+    return FN<8, VEC>(__VA_ARGS__);                                            \
   default:                                                                     \
     return nullptr;                                                            \
   }
 
 } // namespace
 
-LaneKernelFn simtvec::resolveBinaryLanes(Opcode Op, ScalarKind K,
-                                         unsigned W) {
+LaneKernelFn simtvec::resolveBinaryLanes(Opcode Op, ScalarKind K, unsigned W,
+                                         SimdPath Path) {
   if (!resolveBinary(Op, K))
     return nullptr;
-  SIMTVEC_DISPATCH_WIDTH(W, binForWidth, Op, K)
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, binForWidth, Op, K)
+  }
+  SIMTVEC_DISPATCH_WIDTH(W, false, binForWidth, Op, K)
 }
 
-LaneKernelFn simtvec::resolveUnaryLanes(Opcode Op, ScalarKind K, unsigned W) {
+LaneKernelFn simtvec::resolveUnaryLanes(Opcode Op, ScalarKind K, unsigned W,
+                                        SimdPath Path) {
   if (!resolveUnary(Op, K))
     return nullptr;
-  SIMTVEC_DISPATCH_WIDTH(W, unForWidth, Op, K)
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, unForWidth, Op, K)
+  }
+  SIMTVEC_DISPATCH_WIDTH(W, false, unForWidth, Op, K)
 }
 
-LaneKernelFn simtvec::resolveMadLanes(ScalarKind K, unsigned W) {
+LaneKernelFn simtvec::resolveMadLanes(ScalarKind K, unsigned W,
+                                      SimdPath Path) {
   if (!resolveMad(K))
     return nullptr;
-  SIMTVEC_DISPATCH_WIDTH(W, madForWidth, K)
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, madForWidth, K)
+  }
+  SIMTVEC_DISPATCH_WIDTH(W, false, madForWidth, K)
 }
 
-LaneKernelFn simtvec::resolveSetpLanes(CmpOp Cmp, ScalarKind K, unsigned W) {
+LaneKernelFn simtvec::resolveSetpLanes(CmpOp Cmp, ScalarKind K, unsigned W,
+                                       SimdPath Path) {
   if (!resolveCmp(Cmp, K))
     return nullptr;
-  SIMTVEC_DISPATCH_WIDTH(W, setpForWidth, Cmp, K)
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, setpForWidth, Cmp, K)
+  }
+  SIMTVEC_DISPATCH_WIDTH(W, false, setpForWidth, Cmp, K)
 }
 
-LaneKernelFn simtvec::resolveSelpLanes(unsigned W) {
-  switch (W) {
-  case 1:
-    return selpKernel<1>;
-  case 2:
-    return selpKernel<2>;
-  case 4:
-    return selpKernel<4>;
-  case 8:
-    return selpKernel<8>;
-  default:
-    return nullptr;
+LaneKernelFn simtvec::resolveSelpLanes(unsigned W, SimdPath Path) {
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, selpForWidth)
   }
+  SIMTVEC_DISPATCH_WIDTH(W, false, selpForWidth)
 }
 
-LaneKernelFn simtvec::resolveMovLanes(unsigned W) {
-  switch (W) {
-  case 1:
-    return movKernel<1>;
-  case 2:
-    return movKernel<2>;
-  case 4:
-    return movKernel<4>;
-  case 8:
-    return movKernel<8>;
-  default:
-    return nullptr;
+LaneKernelFn simtvec::resolveMovLanes(unsigned W, SimdPath Path) {
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, movForWidth)
   }
+  SIMTVEC_DISPATCH_WIDTH(W, false, movForWidth)
 }
 
 LaneKernelFn simtvec::resolveConvertLanes(ScalarKind DstK, ScalarKind SrcK,
-                                          unsigned W) {
+                                          unsigned W, SimdPath Path) {
   if (!resolveConvert(DstK, SrcK))
     return nullptr;
-  SIMTVEC_DISPATCH_WIDTH(W, cvtForWidth, DstK, SrcK)
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, cvtForWidth, DstK, SrcK)
+  }
+  SIMTVEC_DISPATCH_WIDTH(W, false, cvtForWidth, DstK, SrcK)
 }
 
-CmpSelKernelFn simtvec::resolveCmpSelLanes(CmpOp Cmp, ScalarKind K,
-                                           unsigned W) {
+CmpSelKernelFn simtvec::resolveCmpSelLanes(CmpOp Cmp, ScalarKind K, unsigned W,
+                                           SimdPath Path) {
   if (!resolveCmp(Cmp, K))
     return nullptr;
-  SIMTVEC_DISPATCH_WIDTH(W, cmpSelForWidth, Cmp, K)
+  if (Path == SimdPath::Vector) {
+    SIMTVEC_DISPATCH_WIDTH(W, true, cmpSelForWidth, Cmp, K)
+  }
+  SIMTVEC_DISPATCH_WIDTH(W, false, cmpSelForWidth, Cmp, K)
+}
+
+RunAddrCheckFn simtvec::resolveRunAddrCheck(unsigned Len, SimdPath Path) {
+  if (Path != SimdPath::Vector)
+    return nullptr; // the scalar oracle always walks members one at a time
+  switch (Len) {
+  case 2:
+    return runAddrCheck<2>;
+  case 4:
+    return runAddrCheck<4>;
+  case 8:
+    return runAddrCheck<8>;
+  default:
+    return nullptr;
+  }
 }
 
 #undef SIMTVEC_DISPATCH_WIDTH

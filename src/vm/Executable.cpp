@@ -108,6 +108,7 @@ struct KernelExecBuilder {
   KernelExec &E;
   const Kernel &K;
   const MachineModel &Machine;
+  SimdPath Simd;
 
   DecodedOp decodeOperand(const Operand &O) const {
     DecodedOp D;
@@ -243,30 +244,30 @@ struct KernelExecBuilder {
     switch (D.Shape) {
     case ExecShape::Binary:
       if (D.Fn.Bin)
-        D.Kern.Lanes = resolveBinaryLanes(I.Op, D.Kind, D.N);
+        D.Kern.Lanes = resolveBinaryLanes(I.Op, D.Kind, D.N, Simd);
       break;
     case ExecShape::Unary:
       if (D.Fn.Un)
-        D.Kern.Lanes = resolveUnaryLanes(I.Op, D.Kind, D.N);
+        D.Kern.Lanes = resolveUnaryLanes(I.Op, D.Kind, D.N, Simd);
       break;
     case ExecShape::Mad:
       if (D.Fn.MadF)
-        D.Kern.Lanes = resolveMadLanes(D.Kind, D.N);
+        D.Kern.Lanes = resolveMadLanes(D.Kind, D.N, Simd);
       break;
     case ExecShape::Setp:
       if (D.Fn.CmpF)
-        D.Kern.Lanes = resolveSetpLanes(I.Cmp, D.Kind, D.N);
+        D.Kern.Lanes = resolveSetpLanes(I.Cmp, D.Kind, D.N, Simd);
       break;
     case ExecShape::Selp:
-      D.Kern.Lanes = resolveSelpLanes(D.N);
+      D.Kern.Lanes = resolveSelpLanes(D.N, Simd);
       break;
     case ExecShape::Cvt:
       if (D.Fn.Cvt)
-        D.Kern.Lanes = resolveConvertLanes(D.Kind, D.CvtSrcKind, D.N);
+        D.Kern.Lanes = resolveConvertLanes(D.Kind, D.CvtSrcKind, D.N, Simd);
       break;
     case ExecShape::Mov:
       if (D.IsVector || I.Op == Opcode::Mov)
-        D.Kern.Lanes = resolveMovLanes(D.N);
+        D.Kern.Lanes = resolveMovLanes(D.N, Simd);
       break;
     default:
       break;
@@ -314,7 +315,8 @@ bool readsSlotRange(const DecodedInst &D, const DecodedOp &O, uint32_t First,
 }
 
 /// setp + selp consuming its predicate -> one fused compare-select.
-bool tryFuseCmpSel(DecodedInst &Head, const DecodedInst &Next) {
+bool tryFuseCmpSel(DecodedInst &Head, const DecodedInst &Next,
+                   SimdPath Simd) {
   if (Head.Shape != ExecShape::Setp || Next.Shape != ExecShape::Selp)
     return false;
   if (Head.GuardSlot != InvalidSlot || Next.GuardSlot != InvalidSlot)
@@ -336,7 +338,7 @@ bool tryFuseCmpSel(DecodedInst &Head, const DecodedInst &Next) {
   if (readsSlotRange(Next, Next.Src[0], Head.DstSlot, Head.N) ||
       readsSlotRange(Next, Next.Src[1], Head.DstSlot, Head.N))
     return false;
-  CmpSelKernelFn Kern = resolveCmpSelLanes(Head.Cmp, Head.Kind, Head.N);
+  CmpSelKernelFn Kern = resolveCmpSelLanes(Head.Cmp, Head.Kind, Head.N, Simd);
   if (!Kern)
     return false;
   Head.Shape = ExecShape::FusedCmpSel;
@@ -419,8 +421,8 @@ bool writesSlot(const DecodedInst &D, uint32_t Slot) {
   return Slot >= D.DstSlot && Slot < D.DstSlot + D.N;
 }
 
-void fuseBlock(std::vector<DecodedInst> &Code, uint32_t First,
-               uint32_t Count) {
+void fuseBlock(std::vector<DecodedInst> &Code, uint32_t First, uint32_t Count,
+               SimdPath Simd) {
   const uint32_t End = First + Count;
 
   // Pass 1: targeted pairs. These beat the generic kernel run below (one
@@ -428,7 +430,7 @@ void fuseBlock(std::vector<DecodedInst> &Code, uint32_t First,
   // records first.
   for (uint32_t I = First; I + 1 < End;) {
     DecodedInst &D = Code[I];
-    if (tryFuseCmpSel(D, Code[I + 1]) || tryFuseIotaBin(D, Code[I + 1]))
+    if (tryFuseCmpSel(D, Code[I + 1], Simd) || tryFuseIotaBin(D, Code[I + 1]))
       I += 2;
     else
       ++I;
@@ -521,9 +523,40 @@ void fuseBlock(std::vector<DecodedInst> &Code, uint32_t First,
       ++Len;
     }
     if (Len >= 2) {
-      D.Shape = D.Shape == ExecShape::Ld ? ExecShape::FusedLdRun
-                                         : ExecShape::FusedStRun;
+      const bool IsLd = D.Shape == ExecShape::Ld;
+      // Homogeneous-run detection for the vector fast path: when member J's
+      // address lives in register-file word Base + J (either lane J of one
+      // shared vector slot, or — the common warp-decode shape — consecutive
+      // scalar slots) with one shared offset/size/space, the whole run's
+      // addresses and bounds checks collapse to one Simd computation over
+      // the contiguous words at RF[Base..Base+Len). Local space is excluded
+      // (per-lane base pointers); St-to-Param always traps; Ld runs whose
+      // destinations overlap the address words are excluded because the
+      // fast path reads all address lanes up front, while the member loop
+      // would observe earlier members' loads.
+      bool Homogeneous = (Len == 2 || Len == 4 || Len == 8) &&
+                         D.Space != AddressSpace::Local &&
+                         (IsLd || D.Space != AddressSpace::Param) &&
+                         (D.Src[0].K == DecodedOp::Kind::RegScal ||
+                          D.Src[0].K == DecodedOp::Kind::RegVec);
+      const uint32_t Base = D.Src[0].Slot;
+      for (uint32_t J = 0; Homogeneous && J < Len; ++J) {
+        const DecodedInst &M = Code[I + J];
+        const bool AddrAt = // opVal(M.Src[0], M.Lane) == RF[Base + J]?
+            (M.Src[0].K == DecodedOp::Kind::RegScal &&
+             M.Src[0].Slot == Base + J) ||
+            (M.Src[0].K == DecodedOp::Kind::RegVec &&
+             M.Src[0].Slot == Base && M.Lane == J);
+        Homogeneous = AddrAt && M.Space == D.Space &&
+                      M.MemBytes == D.MemBytes &&
+                      M.MemOffset == D.MemOffset && !M.IsVector && M.N == 1;
+        if (Homogeneous && IsLd && M.DstSlot >= Base && M.DstSlot < Base + Len)
+          Homogeneous = false;
+      }
+      D.Shape = IsLd ? ExecShape::FusedLdRun : ExecShape::FusedStRun;
       D.FuseLen = static_cast<uint16_t>(Len);
+      if (Homogeneous)
+        D.Kern.RunCheck = resolveRunAddrCheck(Len, Simd);
     }
     I += Len;
   }
@@ -533,8 +566,9 @@ void fuseBlock(std::vector<DecodedInst> &Code, uint32_t First,
 
 std::shared_ptr<const KernelExec>
 KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine,
-                  bool Superinstructions) {
+                  bool Superinstructions, SimdPath Simd) {
   auto Exec = std::make_shared<KernelExec>();
+  Exec->Simd = Simd;
 
   // Register-file layout: one 64-bit slot per lane.
   Exec->RegOffset.reserve(K->Regs.size());
@@ -565,7 +599,7 @@ KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine,
   // Lower every instruction into the flat pre-decoded stream. The per-block
   // pressure penalty folds into each record's issue cost (the interpreter
   // adds Cost exactly as the IR walk added issueCost(I) + Penalty).
-  KernelExecBuilder B{*Exec, *K, Machine};
+  KernelExecBuilder B{*Exec, *K, Machine, Simd};
   Exec->DBlocks.resize(K->Blocks.size());
   for (uint32_t Blk = 0; Blk < K->Blocks.size(); ++Blk) {
     const BasicBlock &Block = K->Blocks[Blk];
@@ -576,7 +610,7 @@ KernelExec::build(std::unique_ptr<Kernel> K, const MachineModel &Machine,
     for (const Instruction &I : Block.Insts)
       Exec->Code.push_back(B.decode(I, Exec->BlockPenalty[Blk]));
     if (Superinstructions)
-      fuseBlock(Exec->Code, DB.First, DB.Count);
+      fuseBlock(Exec->Code, DB.First, DB.Count, Simd);
 
     // Solo single-lane records go back to the generic direct path: measured
     // on the wallclock suite, operand materialization plus the indirect

@@ -645,6 +645,42 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
         // A strip of scalar loads under one dispatch; each member resolves
         // its own address and traps at its own record, exactly as unfused.
         const uint32_t Len = D.FuseLen;
+        // Homogeneous runs (decode-time detection) carry a RunCheck: all
+        // member addresses and their combined bounds check collapse into one
+        // Simd computation. The member loop below stays the trap-order
+        // oracle: RunCheck returning false re-runs it so the fault lands on
+        // the exact member record, with identical partial effects (nothing
+        // is written before the first failing member either way).
+        if (D.Kern.RunCheck) {
+          uint64_t A[8];
+          uint64_t Limit;
+          const std::byte *Base;
+          switch (D.Space) {
+          case AddressSpace::Global:
+            Limit = Mem.GlobalSize;
+            Base = Mem.Global;
+            break;
+          case AddressSpace::Shared:
+            Limit = Mem.SharedSize;
+            Base = Mem.Shared;
+            break;
+          default: // Param (Local runs never resolve a RunCheck)
+            Limit = Mem.ParamSize;
+            Base = Mem.ParamBuf;
+            break;
+          }
+          if (D.Kern.RunCheck(A, RF + D.Src[0].Slot,
+                              static_cast<uint64_t>(D.MemOffset), Limit,
+                              D.MemBytes)) {
+            for (uint32_t J = 0; J < Len; ++J) {
+              if (D.Space == AddressSpace::Global)
+                *Bucket += globalAccessExtra(A[J]);
+              RF[Inst[J].DstSlot] = loadBytes(Base + A[J], D.MemBytes);
+            }
+            Inst += Len - 1;
+            break;
+          }
+        }
         for (uint32_t J = 0; J < Len; ++J) {
           const DecodedInst &M = Inst[J];
           uint64_t Addr =
@@ -665,6 +701,26 @@ Interpreter::Result Interpreter::run(const KernelExec &Exec, const Warp &W,
       }
       case ExecShape::FusedStRun: {
         const uint32_t Len = D.FuseLen;
+        // Same homogeneous-run fast path as FusedLdRun (stores never target
+        // Param, so the bases are Global/Shared only).
+        if (D.Kern.RunCheck) {
+          uint64_t A[8];
+          const bool Global = D.Space == AddressSpace::Global;
+          const uint64_t Limit = Global ? Mem.GlobalSize : Mem.SharedSize;
+          std::byte *Base = Global ? Mem.Global : Mem.Shared;
+          if (D.Kern.RunCheck(A, RF + D.Src[0].Slot,
+                              static_cast<uint64_t>(D.MemOffset), Limit,
+                              D.MemBytes)) {
+            for (uint32_t J = 0; J < Len; ++J) {
+              const DecodedInst &M = Inst[J];
+              if (Global)
+                *Bucket += globalAccessExtra(A[J]);
+              storeBytes(Base + A[J], opVal(M.Src[1], M.Lane), D.MemBytes);
+            }
+            Inst += Len - 1;
+            break;
+          }
+        }
         for (uint32_t J = 0; J < Len; ++J) {
           const DecodedInst &M = Inst[J];
           uint64_t Addr =

@@ -359,6 +359,28 @@ TEST_P(RandomKernelEquivalence, AllConfigsMatchScalar) {
     EXPECT_EQ(GotRef.FBits, Got.FBits)
         << "reference-engine f32 outputs differ under " << C.Name << " (seed "
         << Seed << ")";
+
+    // Forced-vector vs forced-scalar lane kernels at the same configuration:
+    // the SIMD fast path and its scalar-loop oracle must be bit-identical on
+    // every random kernel, including the ops the vector branch hands back to
+    // inline scalar loops (div/rem guards, libm unaries, saturating cvt).
+    LaunchConfig VecPath = Config;
+    VecPath.Simd = SimdMode::Vector;
+    RunOutput GotVec = runUnder(M, VecPath, Seed * 33 + 1, Threads);
+    LaunchConfig ScaPath = Config;
+    ScaPath.Simd = SimdMode::Scalar;
+    RunOutput GotSca = runUnder(M, ScaPath, Seed * 33 + 1, Threads);
+    EXPECT_EQ(GotVec.U, GotSca.U)
+        << "simd-vector u32 outputs differ from simd-scalar under " << C.Name
+        << " (seed " << Seed << ")";
+    EXPECT_EQ(GotVec.FBits, GotSca.FBits)
+        << "simd-vector f32 outputs differ from simd-scalar under " << C.Name
+        << " (seed " << Seed << ")";
+    EXPECT_EQ(GotSca.U, Got.U) << "simd-scalar u32 outputs differ under "
+                               << C.Name << " (seed " << Seed << ")";
+    EXPECT_EQ(GotSca.FBits, Got.FBits)
+        << "simd-scalar f32 outputs differ under " << C.Name << " (seed "
+        << Seed << ")";
   }
 }
 
@@ -460,6 +482,11 @@ store:
   StaticTie.Formation = WarpFormation::Static;
   StaticTie.ThreadInvariantElim = true;
   EXPECT_EQ(RunConfig(StaticTie), Ref) << "tie @ " << Percent << "%";
+  LaunchOptions ScalarSimd;
+  ScalarSimd.MaxWarpSize = 4;
+  ScalarSimd.Simd = SimdMode::Scalar;
+  EXPECT_EQ(RunConfig(ScalarSimd), Ref)
+      << "simd-scalar @ " << Percent << "%";
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, DivergenceSweep,

@@ -223,7 +223,8 @@ struct ShapeRun {
   std::vector<std::byte> Arena;
 };
 
-ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse) {
+ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse,
+                        SimdMode Simd = SimdMode::Auto) {
   auto ProgOrErr = Program::compile(ShapeCoverageSrc);
   EXPECT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
   Device Dev(1 << 16);
@@ -240,6 +241,7 @@ ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse) {
   O.UseOsThreads = false;
   O.UseReferenceInterp = Reference;
   O.Superinstructions = Fuse;
+  O.Simd = Simd;
   auto StatsOrErr = (*ProgOrErr)->launch(Dev, "shapes", {2, 1, 1},
                                          {32, 1, 1}, Params, O);
   EXPECT_TRUE(static_cast<bool>(StatsOrErr)) << StatsOrErr.status().message();
@@ -290,6 +292,61 @@ TEST(ShapeExec, GuardedShapesMatchReferenceAtAllWidths) {
       SCOPED_TRACE("superinstructions off");
       expectShapeRunsMatch(runShapeKernel(Width, false, false), Ref);
     }
+  }
+}
+
+TEST(ShapeExec, SimdPathsMatchBitIdenticallyAtAllWidths) {
+  // The PR-6 engine differential: forced-vector and forced-scalar lane
+  // kernels must agree bit for bit on outputs AND modeled counters, at
+  // every width, with and without superinstruction fusion, and both must
+  // match the IR-walking reference engine.
+  for (uint32_t Width : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(Width));
+    for (bool Fuse : {true, false}) {
+      SCOPED_TRACE(Fuse ? "superinstructions on" : "superinstructions off");
+      ShapeRun Ref = runShapeKernel(Width, /*Reference=*/true, Fuse);
+      ShapeRun Vec = runShapeKernel(Width, false, Fuse, SimdMode::Vector);
+      ShapeRun Sca = runShapeKernel(Width, false, Fuse, SimdMode::Scalar);
+      expectShapeRunsMatch(Vec, Sca);
+      expectShapeRunsMatch(Vec, Ref);
+    }
+  }
+}
+
+TEST(ShapeExec, HomogeneousRunCheckResolvesOnVectorPathOnly) {
+  // The fused Ld/St-run fast path: the coverage kernel's replicated warp
+  // loads/stores form homogeneous runs, so the vector-path translation must
+  // carry a RunCheck on at least one fused memory head; the scalar-path
+  // translation never does (the member loop is the oracle). The decoded
+  // layout itself is path-independent.
+  auto ProgOrErr = Program::compile(ShapeCoverageSrc);
+  ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  auto &TC = (*ProgOrErr)->translationCache();
+  auto Vec =
+      TC.get({"shapes", 4, false, false, false, true, SimdPath::Vector});
+  auto Sca =
+      TC.get({"shapes", 4, false, false, false, true, SimdPath::Scalar});
+  ASSERT_TRUE(static_cast<bool>(Vec));
+  ASSERT_TRUE(static_cast<bool>(Sca));
+  EXPECT_EQ((*Vec)->simdPath(), SimdPath::Vector);
+  EXPECT_EQ((*Sca)->simdPath(), SimdPath::Scalar);
+  EXPECT_EQ((*Vec)->layoutFingerprint(), (*Sca)->layoutFingerprint());
+  unsigned VecChecks = 0;
+  for (const DecodedInst &D : (*Vec)->code())
+    if (D.Shape == ExecShape::FusedLdRun || D.Shape == ExecShape::FusedStRun)
+      VecChecks += D.Kern.RunCheck != nullptr;
+  EXPECT_GT(VecChecks, 0u);
+  for (const DecodedInst &D : (*Sca)->code())
+    if (D.Shape == ExecShape::FusedLdRun ||
+        D.Shape == ExecShape::FusedStRun) {
+      EXPECT_EQ(D.Kern.RunCheck, nullptr);
+    }
+  // Same decoded stream otherwise: shapes and fusion lengths line up record
+  // for record.
+  ASSERT_EQ((*Vec)->code().size(), (*Sca)->code().size());
+  for (size_t I = 0; I < (*Vec)->code().size(); ++I) {
+    EXPECT_EQ((*Vec)->code()[I].Shape, (*Sca)->code()[I].Shape);
+    EXPECT_EQ((*Vec)->code()[I].FuseLen, (*Sca)->code()[I].FuseLen);
   }
 }
 

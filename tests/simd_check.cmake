@@ -1,0 +1,71 @@
+# SIMD-path gate: the forced-vector and forced-scalar lane-kernel paths
+# must be observationally identical everywhere the model can see — same
+# em.* modeled-execution metrics (the aggregated LaunchStats) over the full
+# wallclock workload sweep — while the env knob selects the path end to end
+# (the JSON header records which path actually ran). Invalid SIMTVEC_SIMD
+# values must warn on stderr and fall back to auto, never fail the run.
+
+# --- forced-vector sweep ----------------------------------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_SIMD=vector
+    ${WALLCLOCK} --metrics ${OUT}.vec 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE vec)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forced-vector wallclock run exited with ${rc}")
+endif()
+file(READ ${OUT}.vec vec_json)
+if(NOT vec_json MATCHES "\"simd\": \"vector\"")
+  message(FATAL_ERROR
+    "SIMTVEC_SIMD=vector did not select the vector path:\n${vec_json}")
+endif()
+
+# --- forced-scalar sweep ----------------------------------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_SIMD=scalar
+    ${WALLCLOCK} --metrics ${OUT}.sca 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE sca)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forced-scalar wallclock run exited with ${rc}")
+endif()
+file(READ ${OUT}.sca sca_json)
+if(NOT sca_json MATCHES "\"simd\": \"scalar\"")
+  message(FATAL_ERROR
+    "SIMTVEC_SIMD=scalar did not select the scalar path:\n${sca_json}")
+endif()
+
+# Modeled counters are computed from the decoded stream, which the SIMD path
+# must not perturb: every em.* metric agrees bit-for-bit across the paths.
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" vec_em "${vec}")
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" sca_em "${sca}")
+if(NOT vec_em)
+  message(FATAL_ERROR "forced-vector run reported no em.* metrics:\n${vec}")
+endif()
+if(NOT "${vec_em}" STREQUAL "${sca_em}")
+  message(FATAL_ERROR "modeled metrics differ between SIMD paths:\n"
+    "vector: ${vec_em}\nscalar: ${sca_em}")
+endif()
+
+# --- differential gtest suites under each forced path -----------------------
+# The ShapeExec/FastPath suites compare decoded-engine output and counters
+# against the IR-walking reference engine, so running them under each forced
+# path re-proves the whole contract inside the normal test harness.
+foreach(path vector scalar)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_SIMD=${path}
+      ${TESTS} --gtest_brief=1
+      --gtest_filter=ShapeExec.*:FastPathTest.*:SimdKernelDiff.*
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "differential suites failed under SIMTVEC_SIMD=${path}:\n${out}${err}")
+  endif()
+endforeach()
+
+# --- invalid values warn and fall back to auto ------------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_SIMD=bogus
+    ${WALLCLOCK} ${OUT}.bogus 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run with invalid SIMTVEC_SIMD exited with ${rc}")
+endif()
+if(NOT err MATCHES "ignoring invalid SIMTVEC_SIMD='bogus'")
+  message(FATAL_ERROR
+    "invalid SIMTVEC_SIMD did not produce the stderr warning:\n${err}")
+endif()

@@ -1,0 +1,790 @@
+//===- tests/simd_test.cpp - Simd<T,W> and lane-kernel differentials ------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Three layers of coverage for the PR-6 SIMD engine path:
+//  1. the Simd<T,W,Backend> value class itself, Array vs Native backend,
+//     against plain scalar expressions (wrap arithmetic, masked shifts,
+//     compare masks, bit-blend select, lane-word round trips) on edge
+//     values (NaN, signed zero, infinities, INT_MIN, shift-by-width);
+//  2. the resolved lane kernels: SimdPath::Vector vs SimdPath::Scalar vs
+//     the generic eval* thunks, exhaustively over (op, kind, width) and an
+//     edge-value operand pool, including the destination-aliases-source
+//     contract and the fused CmpSel / run-address-check kernels;
+//  3. the audited resolver-nullability policy: a combination has a lane
+//     kernel on either path exactly when ScalarOps has a scalar thunk for
+//     it, and unspecialized widths resolve to null on both paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/ir/ScalarOps.h"
+#include "simtvec/support/Simd.h"
+#include "simtvec/vm/ExecKernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+using namespace simtvec;
+
+namespace {
+
+constexpr unsigned Widths[] = {1, 2, 4, 8};
+constexpr ScalarKind AllKinds[] = {ScalarKind::Pred, ScalarKind::U8,
+                                   ScalarKind::S32,  ScalarKind::U32,
+                                   ScalarKind::S64,  ScalarKind::U64,
+                                   ScalarKind::F32,  ScalarKind::F64};
+
+uint64_t f32Word(float F) {
+  uint32_t B;
+  std::memcpy(&B, &F, 4);
+  return B;
+}
+uint64_t f64Word(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, 8);
+  return B;
+}
+
+/// Edge-value operand pool per kind, in the vm's u64 lane-word
+/// representation. Includes the values most likely to expose a divergence
+/// between the Simd expressions and the ScalarOpsImpl ones: NaN, both
+/// signed zeros, infinities, INT_MIN/INT_MAX, all-ones, and shift counts
+/// at/past the element width.
+std::vector<uint64_t> edgeWords(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Pred:
+    // 0/1 are canonical; 2/3 exercise the &1 normalization both engines
+    // apply to predicate sources.
+    return {0, 1, 2, 3};
+  case ScalarKind::U8:
+    return {0, 1, 2, 7, 8, 9, 0x7f, 0x80, 0xfe, 0xff};
+  case ScalarKind::S32:
+  case ScalarKind::U32:
+    return {0,          1,          2,          5,         31,
+            32,         33,         0x7fffffff, 0x80000000, 0xfffffffe,
+            0xffffffff};
+  case ScalarKind::S64:
+  case ScalarKind::U64:
+    return {0,
+            1,
+            2,
+            63,
+            64,
+            65,
+            0x7fffffffffffffffull,
+            0x8000000000000000ull,
+            0xfffffffffffffffeull,
+            0xffffffffffffffffull};
+  case ScalarKind::F32:
+    return {f32Word(0.0f),
+            f32Word(-0.0f),
+            f32Word(1.0f),
+            f32Word(-1.5f),
+            f32Word(3.25f),
+            f32Word(3e9f), // out of s32/u32 range (saturating converts)
+            f32Word(-3e9f),
+            f32Word(std::numeric_limits<float>::quiet_NaN()),
+            f32Word(std::numeric_limits<float>::infinity()),
+            f32Word(-std::numeric_limits<float>::infinity()),
+            f32Word(std::numeric_limits<float>::max()),
+            f32Word(std::numeric_limits<float>::denorm_min())};
+  case ScalarKind::F64:
+    return {f64Word(0.0),
+            f64Word(-0.0),
+            f64Word(1.0),
+            f64Word(-1.5),
+            f64Word(3.25),
+            f64Word(1e300),
+            f64Word(-1e300),
+            f64Word(std::numeric_limits<double>::quiet_NaN()),
+            f64Word(std::numeric_limits<double>::infinity()),
+            f64Word(-std::numeric_limits<double>::infinity()),
+            f64Word(std::numeric_limits<double>::max()),
+            f64Word(std::numeric_limits<double>::denorm_min())};
+  }
+  return {0};
+}
+
+/// Lane L of the buffer gets pool[(Base + L * Stride) % size]: rotating the
+/// pool through the lanes gives every lane a distinct value so cross-lane
+/// mixups (wrong shuffle, wrong width) cannot cancel out.
+void fillLanes(uint64_t *Buf, unsigned W, const std::vector<uint64_t> &Pool,
+               size_t Base, size_t Stride) {
+  for (unsigned L = 0; L < W; ++L)
+    Buf[L] = Pool[(Base + L * Stride) % Pool.size()];
+}
+
+//===----------------------------------------------------------------------===
+// Layer 1: the Simd value class, Array and Native backends.
+//===----------------------------------------------------------------------===
+
+template <typename T> std::vector<T> typedPool() {
+  if constexpr (std::is_floating_point_v<T>)
+    return {T(0.0),
+            T(-0.0),
+            T(1.0),
+            T(-1.5),
+            T(3.25),
+            std::numeric_limits<T>::quiet_NaN(),
+            std::numeric_limits<T>::infinity(),
+            -std::numeric_limits<T>::infinity(),
+            std::numeric_limits<T>::max(),
+            std::numeric_limits<T>::denorm_min()};
+  else
+    return {T(0),
+            T(1),
+            T(2),
+            T(sizeof(T) * 8 - 1),
+            T(sizeof(T) * 8),
+            T(sizeof(T) * 8 + 1),
+            std::numeric_limits<T>::max(),
+            std::numeric_limits<T>::min(),
+            T(-1)};
+}
+
+template <typename T> bool bitsEqual(T A, T B) {
+  return std::memcmp(&A, &B, sizeof(T)) == 0;
+}
+
+/// Integer + - * << >> ~ & | ^ neg against the ScalarOpsImpl formulas
+/// (everything on the unsigned counterpart, shift counts masked).
+template <typename T, unsigned W, SimdBackend B> void checkIntOps() {
+  using S = Simd<T, W, B>;
+  using U = std::make_unsigned_t<T>;
+  const std::vector<T> Pool = typedPool<T>();
+  const unsigned Mask = sizeof(T) * 8 - 1;
+  for (size_t I = 0; I < Pool.size(); ++I)
+    for (size_t J = 0; J < Pool.size(); ++J) {
+      S A, X;
+      for (unsigned L = 0; L < W; ++L) {
+        A.setLane(L, Pool[(I + L) % Pool.size()]);
+        X.setLane(L, Pool[(J + 3 * L) % Pool.size()]);
+      }
+      for (unsigned L = 0; L < W; ++L) {
+        const U UA = static_cast<U>(A.lane(L));
+        const U UX = static_cast<U>(X.lane(L));
+        EXPECT_EQ((A + X).lane(L), static_cast<T>(UA + UX));
+        EXPECT_EQ((A - X).lane(L), static_cast<T>(UA - UX));
+        EXPECT_EQ((A * X).lane(L), static_cast<T>(UA * UX));
+        EXPECT_EQ((A & X).lane(L), static_cast<T>(UA & UX));
+        EXPECT_EQ((A | X).lane(L), static_cast<T>(UA | UX));
+        EXPECT_EQ((A ^ X).lane(L), static_cast<T>(UA ^ UX));
+        EXPECT_EQ((~A).lane(L), static_cast<T>(~UA));
+        EXPECT_EQ(A.negated().lane(L), static_cast<T>(U(0) - UA));
+        EXPECT_EQ(A.shlMasked(X).lane(L),
+                  static_cast<T>(UA << (UX & Mask)));
+        EXPECT_EQ(A.shrMasked(X).lane(L),
+                  static_cast<T>(A.lane(L) >> (UX & Mask)));
+      }
+    }
+}
+
+/// Float + - * /, negation and compare-blend min/max, bit-compared so NaN
+/// payloads and signed zeros count.
+template <typename T, unsigned W, SimdBackend B> void checkFloatOps() {
+  using S = Simd<T, W, B>;
+  const std::vector<T> Pool = typedPool<T>();
+  for (size_t I = 0; I < Pool.size(); ++I)
+    for (size_t J = 0; J < Pool.size(); ++J) {
+      S A, X;
+      for (unsigned L = 0; L < W; ++L) {
+        A.setLane(L, Pool[(I + L) % Pool.size()]);
+        X.setLane(L, Pool[(J + 3 * L) % Pool.size()]);
+      }
+      const S Min = S::select(A.cmpLt(X), A, X);
+      const S Max = S::select(A.cmpGt(X), A, X);
+      for (unsigned L = 0; L < W; ++L) {
+        const T FA = A.lane(L), FX = X.lane(L);
+        EXPECT_TRUE(bitsEqual((A + X).lane(L), T(FA + FX)));
+        EXPECT_TRUE(bitsEqual((A - X).lane(L), T(FA - FX)));
+        EXPECT_TRUE(bitsEqual((A * X).lane(L), T(FA * FX)));
+        EXPECT_TRUE(bitsEqual((A / X).lane(L), T(FA / FX)));
+        EXPECT_TRUE(bitsEqual(A.negated().lane(L), T(-FA)));
+        // ScalarOpsImpl min/max are the plain ternaries.
+        EXPECT_TRUE(bitsEqual(Min.lane(L), FA < FX ? FA : FX));
+        EXPECT_TRUE(bitsEqual(Max.lane(L), FA > FX ? FA : FX));
+      }
+    }
+}
+
+/// Compare masks are all-ones/zero; select() is an exact bit blend.
+template <typename T, unsigned W, SimdBackend B> void checkCmpSelect() {
+  using S = Simd<T, W, B>;
+  using M = typename S::MaskElt;
+  const std::vector<T> Pool = typedPool<T>();
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    S A, X;
+    for (unsigned L = 0; L < W; ++L) {
+      A.setLane(L, Pool[(I + L) % Pool.size()]);
+      X.setLane(L, Pool[(I + 2 * L + 1) % Pool.size()]);
+    }
+    const auto Cases = {A.cmpEq(X), A.cmpNe(X), A.cmpLt(X),
+                        A.cmpLe(X), A.cmpGt(X), A.cmpGe(X)};
+    unsigned C = 0;
+    for (const auto &Mask : Cases) {
+      for (unsigned L = 0; L < W; ++L) {
+        const T FA = A.lane(L), FX = X.lane(L);
+        bool Exp = false;
+        switch (C) {
+        case 0: Exp = FA == FX; break;
+        case 1: Exp = FA != FX; break;
+        case 2: Exp = FA < FX; break;
+        case 3: Exp = FA <= FX; break;
+        case 4: Exp = FA > FX; break;
+        case 5: Exp = FA >= FX; break;
+        }
+        EXPECT_EQ(Mask.lane(L), Exp ? M(-1) : M(0));
+      }
+      ++C;
+    }
+    const S Sel = S::select(A.cmpLt(X), A, X);
+    for (unsigned L = 0; L < W; ++L)
+      EXPECT_TRUE(bitsEqual(Sel.lane(L),
+                            A.lane(L) < X.lane(L) ? A.lane(L) : X.lane(L)));
+  }
+}
+
+/// u64 lane-word load/store round trip: loadLaneWords truncates/bitcasts to
+/// the element exactly like fromBits, storeLaneWords zero-extends like
+/// toBits.
+template <typename T, unsigned W, SimdBackend B> void checkLaneWords() {
+  using S = Simd<T, W, B>;
+  const std::vector<uint64_t> Pool = {0,
+                                      1,
+                                      0x7f,
+                                      0x80,
+                                      0xff,
+                                      0x7fffffff,
+                                      0x80000000,
+                                      0xffffffff,
+                                      0x123456789abcdef0ull,
+                                      ~0ull,
+                                      f32Word(-1.5f),
+                                      f64Word(-1.5)};
+  uint64_t In[8], Out[8];
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    fillLanes(In, W, Pool, I, 1);
+    const S V = S::loadLaneWords(In);
+    V.storeLaneWords(Out);
+    for (unsigned L = 0; L < W; ++L) {
+      // Reference: the scalar fromBits/toBits pair.
+      T Elem;
+      if constexpr (std::is_same_v<T, float>) {
+        uint32_t Low = static_cast<uint32_t>(In[L]);
+        std::memcpy(&Elem, &Low, 4);
+      } else if constexpr (std::is_same_v<T, double>) {
+        std::memcpy(&Elem, &In[L], 8);
+      } else {
+        Elem = static_cast<T>(In[L]);
+      }
+      EXPECT_TRUE(bitsEqual(V.lane(L), Elem));
+      uint64_t Word;
+      if constexpr (std::is_same_v<T, float>) {
+        uint32_t Low;
+        std::memcpy(&Low, &Elem, 4);
+        Word = Low;
+      } else if constexpr (std::is_same_v<T, double>) {
+        std::memcpy(&Word, &Elem, 8);
+      } else {
+        Word = static_cast<uint64_t>(
+            static_cast<std::make_unsigned_t<T>>(Elem));
+      }
+      EXPECT_EQ(Out[L], Word);
+    }
+  }
+}
+
+template <template <typename, unsigned, SimdBackend> class Fn>
+struct ForAllWidths {
+  template <typename T, SimdBackend B> static void run() {
+    Fn<T, 1, B>::run();
+    Fn<T, 2, B>::run();
+    Fn<T, 4, B>::run();
+    Fn<T, 8, B>::run();
+  }
+};
+
+// Wrap the function templates in classes so they can be passed around.
+template <typename T, unsigned W, SimdBackend B> struct IntOpsT {
+  static void run() { checkIntOps<T, W, B>(); }
+};
+template <typename T, unsigned W, SimdBackend B> struct FloatOpsT {
+  static void run() { checkFloatOps<T, W, B>(); }
+};
+template <typename T, unsigned W, SimdBackend B> struct CmpSelT {
+  static void run() { checkCmpSelect<T, W, B>(); }
+};
+template <typename T, unsigned W, SimdBackend B> struct LaneWordsT {
+  static void run() { checkLaneWords<T, W, B>(); }
+};
+
+template <SimdBackend B> void runValueClassSuite() {
+  ForAllWidths<IntOpsT>::run<uint8_t, B>();
+  ForAllWidths<IntOpsT>::run<int32_t, B>();
+  ForAllWidths<IntOpsT>::run<uint32_t, B>();
+  ForAllWidths<IntOpsT>::run<int64_t, B>();
+  ForAllWidths<IntOpsT>::run<uint64_t, B>();
+  ForAllWidths<FloatOpsT>::run<float, B>();
+  ForAllWidths<FloatOpsT>::run<double, B>();
+  ForAllWidths<CmpSelT>::run<int32_t, B>();
+  ForAllWidths<CmpSelT>::run<uint64_t, B>();
+  ForAllWidths<CmpSelT>::run<float, B>();
+  ForAllWidths<CmpSelT>::run<double, B>();
+  ForAllWidths<LaneWordsT>::run<uint8_t, B>();
+  ForAllWidths<LaneWordsT>::run<int32_t, B>();
+  ForAllWidths<LaneWordsT>::run<uint32_t, B>();
+  ForAllWidths<LaneWordsT>::run<int64_t, B>();
+  ForAllWidths<LaneWordsT>::run<uint64_t, B>();
+  ForAllWidths<LaneWordsT>::run<float, B>();
+  ForAllWidths<LaneWordsT>::run<double, B>();
+}
+
+TEST(SimdClass, ArrayBackend) { runValueClassSuite<SimdBackend::Array>(); }
+
+#if SIMTVEC_SIMD_HAVE_NATIVE
+TEST(SimdClass, NativeBackend) { runValueClassSuite<SimdBackend::Native>(); }
+
+/// The two backends agree bit for bit (the Array backend is itself checked
+/// against the scalar formulas above, so this pins Native == Array ==
+/// scalar).
+template <typename T, unsigned W> void checkBackendAgreement() {
+  using SA = Simd<T, W, SimdBackend::Array>;
+  using SN = Simd<T, W, SimdBackend::Native>;
+  const std::vector<T> Pool = typedPool<T>();
+  T BufA[8], BufN[8], In0[8], In1[8];
+  for (size_t I = 0; I < Pool.size(); ++I)
+    for (size_t J = 0; J < Pool.size(); ++J) {
+      for (unsigned L = 0; L < W; ++L) {
+        In0[L] = Pool[(I + L) % Pool.size()];
+        In1[L] = Pool[(J + 3 * L) % Pool.size()];
+      }
+      const SA A0 = SA::load(In0), A1 = SA::load(In1);
+      const SN N0 = SN::load(In0), N1 = SN::load(In1);
+      (A0 + A1).store(BufA);
+      (N0 + N1).store(BufN);
+      EXPECT_EQ(std::memcmp(BufA, BufN, W * sizeof(T)), 0);
+      (A0 * A1).store(BufA);
+      (N0 * N1).store(BufN);
+      EXPECT_EQ(std::memcmp(BufA, BufN, W * sizeof(T)), 0);
+      SA::select(A0.cmpLt(A1), A0, A1).store(BufA);
+      SN::select(N0.cmpLt(N1), N0, N1).store(BufN);
+      EXPECT_EQ(std::memcmp(BufA, BufN, W * sizeof(T)), 0);
+    }
+}
+
+TEST(SimdClass, BackendsAgree) {
+  checkBackendAgreement<int32_t, 4>();
+  checkBackendAgreement<uint64_t, 8>();
+  checkBackendAgreement<float, 8>();
+  checkBackendAgreement<double, 2>();
+  checkBackendAgreement<uint8_t, 8>();
+  checkBackendAgreement<int64_t, 1>();
+}
+#endif // SIMTVEC_SIMD_HAVE_NATIVE
+
+//===----------------------------------------------------------------------===
+// Layer 2: resolved lane kernels, Vector vs Scalar vs eval* thunks.
+//===----------------------------------------------------------------------===
+
+/// Signed INT_MIN / -1 overflows in the generic engine too (ScalarOpsImpl
+/// guards only division by zero), so the differential must not feed it.
+bool divOverflows(Opcode Op, ScalarKind K, uint64_t A, uint64_t B) {
+  if (Op != Opcode::Div && Op != Opcode::Rem)
+    return false;
+  if (K == ScalarKind::S32)
+    return static_cast<uint32_t>(A) == 0x80000000u &&
+           static_cast<uint32_t>(B) == 0xffffffffu;
+  if (K == ScalarKind::S64)
+    return A == 0x8000000000000000ull && B == ~0ull;
+  return false;
+}
+
+TEST(SimdKernelDiff, Binary) {
+  const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div,
+                        Opcode::Rem, Opcode::Min, Opcode::Max, Opcode::And,
+                        Opcode::Or,  Opcode::Xor, Opcode::Shl, Opcode::Shr};
+  for (Opcode Op : Ops)
+    for (ScalarKind K : AllKinds) {
+      const BinaryFn Thunk = resolveBinary(Op, K);
+      if (!Thunk)
+        continue;
+      const std::vector<uint64_t> Pool = edgeWords(K);
+      for (unsigned W : Widths) {
+        const LaneKernelFn V = resolveBinaryLanes(Op, K, W, SimdPath::Vector);
+        const LaneKernelFn S = resolveBinaryLanes(Op, K, W, SimdPath::Scalar);
+        ASSERT_NE(V, nullptr);
+        ASSERT_NE(S, nullptr);
+        uint64_t A[8], B[8], DV[8], DS[8];
+        for (size_t I = 0; I < Pool.size(); ++I)
+          for (size_t J = 0; J < Pool.size(); ++J) {
+            fillLanes(A, W, Pool, I, 1);
+            fillLanes(B, W, Pool, J, 3);
+            bool Skip = false;
+            for (unsigned L = 0; L < W; ++L)
+              Skip = Skip || divOverflows(Op, K, A[L], B[L]);
+            if (Skip)
+              continue;
+            V(DV, A, B, nullptr);
+            S(DS, A, B, nullptr);
+            for (unsigned L = 0; L < W; ++L) {
+              ASSERT_EQ(DV[L], DS[L])
+                  << opcodeName(Op) << " " << Type::kindName(K) << " w" << W
+                  << " lane " << L;
+              ASSERT_EQ(DS[L], Thunk(A[L], B[L]))
+                  << opcodeName(Op) << " " << Type::kindName(K) << " w" << W;
+            }
+            // Aliasing contract: Dst may be exactly S0 (inputs fully read
+            // before any store).
+            uint64_t InPlace[8];
+            std::memcpy(InPlace, A, sizeof(InPlace));
+            V(InPlace, InPlace, B, nullptr);
+            for (unsigned L = 0; L < W; ++L)
+              ASSERT_EQ(InPlace[L], DS[L]);
+          }
+      }
+    }
+}
+
+TEST(SimdKernelDiff, Unary) {
+  const Opcode Ops[] = {Opcode::Neg,   Opcode::Abs, Opcode::Not,
+                        Opcode::Rcp,   Opcode::Sqrt, Opcode::Rsqrt,
+                        Opcode::Sin,   Opcode::Cos,  Opcode::Lg2,
+                        Opcode::Ex2};
+  for (Opcode Op : Ops)
+    for (ScalarKind K : AllKinds) {
+      const UnaryFn Thunk = resolveUnary(Op, K);
+      if (!Thunk)
+        continue;
+      const std::vector<uint64_t> Pool = edgeWords(K);
+      for (unsigned W : Widths) {
+        const LaneKernelFn V = resolveUnaryLanes(Op, K, W, SimdPath::Vector);
+        const LaneKernelFn S = resolveUnaryLanes(Op, K, W, SimdPath::Scalar);
+        ASSERT_NE(V, nullptr);
+        ASSERT_NE(S, nullptr);
+        uint64_t A[8], DV[8], DS[8];
+        for (size_t I = 0; I < Pool.size(); ++I) {
+          fillLanes(A, W, Pool, I, 1);
+          V(DV, A, nullptr, nullptr);
+          S(DS, A, nullptr, nullptr);
+          for (unsigned L = 0; L < W; ++L) {
+            ASSERT_EQ(DV[L], DS[L])
+                << opcodeName(Op) << " " << Type::kindName(K) << " w" << W;
+            ASSERT_EQ(DS[L], Thunk(A[L]));
+          }
+        }
+      }
+    }
+}
+
+/// NaN-equivalent comparison for the mad-vs-thunk check: `a*b + c` has two
+/// NaN sources (a propagated input payload vs the x86 "real indefinite"
+/// from inf*0 / inf-inf), and which one the add returns depends on operand
+/// order — which the compiler may commute differently in different
+/// instantiations of the same evalMadImpl expression. Payloads of
+/// *generated* NaNs are therefore not stable across instantiations (this
+/// predates the SIMD path); the hard bit-identity contract is between the
+/// two engine paths, which is asserted strictly.
+bool sameOrBothNaN(ScalarKind K, uint64_t A, uint64_t B) {
+  if (A == B)
+    return true;
+  if (K == ScalarKind::F32) {
+    const auto IsNaN = [](uint64_t W) {
+      return (W & 0x7f800000u) == 0x7f800000u && (W & 0x007fffffu) != 0;
+    };
+    return IsNaN(A) && IsNaN(B);
+  }
+  if (K == ScalarKind::F64) {
+    const auto IsNaN = [](uint64_t W) {
+      return (W & 0x7ff0000000000000ull) == 0x7ff0000000000000ull &&
+             (W & 0x000fffffffffffffull) != 0;
+    };
+    return IsNaN(A) && IsNaN(B);
+  }
+  return false;
+}
+
+TEST(SimdKernelDiff, Mad) {
+  for (ScalarKind K : AllKinds) {
+    const MadFn Thunk = resolveMad(K);
+    if (!Thunk)
+      continue;
+    const std::vector<uint64_t> Pool = edgeWords(K);
+    for (unsigned W : Widths) {
+      const LaneKernelFn V = resolveMadLanes(K, W, SimdPath::Vector);
+      const LaneKernelFn S = resolveMadLanes(K, W, SimdPath::Scalar);
+      ASSERT_NE(V, nullptr);
+      ASSERT_NE(S, nullptr);
+      uint64_t A[8], B[8], C[8], DV[8], DS[8];
+      for (size_t I = 0; I < Pool.size(); ++I)
+        for (size_t J = 0; J < Pool.size(); ++J)
+          for (size_t M = 0; M < Pool.size(); M += 2) {
+            fillLanes(A, W, Pool, I, 1);
+            fillLanes(B, W, Pool, J, 3);
+            fillLanes(C, W, Pool, M, 5);
+            V(DV, A, B, C);
+            S(DS, A, B, C);
+            for (unsigned L = 0; L < W; ++L) {
+              ASSERT_EQ(DV[L], DS[L])
+                  << "mad " << Type::kindName(K) << " w" << W;
+              ASSERT_TRUE(sameOrBothNaN(K, DS[L], Thunk(A[L], B[L], C[L])))
+                  << "mad " << Type::kindName(K) << " w" << W;
+            }
+          }
+    }
+  }
+}
+
+TEST(SimdKernelDiff, Setp) {
+  const CmpOp Cmps[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                        CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+  for (CmpOp C : Cmps)
+    for (ScalarKind K : AllKinds) {
+      const CmpFn Thunk = resolveCmp(C, K);
+      if (!Thunk)
+        continue;
+      const std::vector<uint64_t> Pool = edgeWords(K);
+      for (unsigned W : Widths) {
+        const LaneKernelFn V = resolveSetpLanes(C, K, W, SimdPath::Vector);
+        const LaneKernelFn S = resolveSetpLanes(C, K, W, SimdPath::Scalar);
+        ASSERT_NE(V, nullptr);
+        ASSERT_NE(S, nullptr);
+        uint64_t A[8], B[8], DV[8], DS[8];
+        for (size_t I = 0; I < Pool.size(); ++I)
+          for (size_t J = 0; J < Pool.size(); ++J) {
+            fillLanes(A, W, Pool, I, 1);
+            fillLanes(B, W, Pool, J, 3);
+            V(DV, A, B, nullptr);
+            S(DS, A, B, nullptr);
+            for (unsigned L = 0; L < W; ++L) {
+              ASSERT_EQ(DV[L], DS[L]) << cmpOpName(C) << " "
+                                      << Type::kindName(K) << " w" << W;
+              ASSERT_EQ(DS[L], Thunk(A[L], B[L]) ? 1u : 0u);
+            }
+          }
+      }
+    }
+}
+
+TEST(SimdKernelDiff, SelpAndMov) {
+  const std::vector<uint64_t> Vals = edgeWords(ScalarKind::U64);
+  const std::vector<uint64_t> Preds = edgeWords(ScalarKind::Pred);
+  for (unsigned W : Widths) {
+    const LaneKernelFn SelV = resolveSelpLanes(W, SimdPath::Vector);
+    const LaneKernelFn SelS = resolveSelpLanes(W, SimdPath::Scalar);
+    const LaneKernelFn MovV = resolveMovLanes(W, SimdPath::Vector);
+    const LaneKernelFn MovS = resolveMovLanes(W, SimdPath::Scalar);
+    ASSERT_TRUE(SelV && SelS && MovV && MovS);
+    uint64_t A[8], B[8], P[8], DV[8], DS[8];
+    for (size_t I = 0; I < Vals.size(); ++I)
+      for (size_t J = 0; J < Preds.size(); ++J) {
+        fillLanes(A, W, Vals, I, 1);
+        fillLanes(B, W, Vals, I + 4, 3);
+        fillLanes(P, W, Preds, J, 1);
+        SelV(DV, A, B, P);
+        SelS(DS, A, B, P);
+        for (unsigned L = 0; L < W; ++L) {
+          ASSERT_EQ(DV[L], DS[L]) << "selp w" << W;
+          ASSERT_EQ(DS[L], (P[L] & 1) ? A[L] : B[L]);
+        }
+        MovV(DV, A, nullptr, nullptr);
+        MovS(DS, A, nullptr, nullptr);
+        for (unsigned L = 0; L < W; ++L) {
+          ASSERT_EQ(DV[L], A[L]);
+          ASSERT_EQ(DS[L], A[L]);
+        }
+      }
+  }
+}
+
+TEST(SimdKernelDiff, Convert) {
+  for (ScalarKind DstK : AllKinds)
+    for (ScalarKind SrcK : AllKinds) {
+      const ConvertFn Thunk = resolveConvert(DstK, SrcK);
+      if (!Thunk)
+        continue;
+      const std::vector<uint64_t> Pool = edgeWords(SrcK);
+      for (unsigned W : Widths) {
+        const LaneKernelFn V =
+            resolveConvertLanes(DstK, SrcK, W, SimdPath::Vector);
+        const LaneKernelFn S =
+            resolveConvertLanes(DstK, SrcK, W, SimdPath::Scalar);
+        ASSERT_NE(V, nullptr);
+        ASSERT_NE(S, nullptr);
+        uint64_t A[8], DV[8], DS[8];
+        for (size_t I = 0; I < Pool.size(); ++I) {
+          fillLanes(A, W, Pool, I, 1);
+          V(DV, A, nullptr, nullptr);
+          S(DS, A, nullptr, nullptr);
+          for (unsigned L = 0; L < W; ++L) {
+            ASSERT_EQ(DV[L], DS[L])
+                << "cvt " << Type::kindName(DstK) << " <- "
+                << Type::kindName(SrcK) << " w" << W;
+            ASSERT_EQ(DS[L], Thunk(A[L]));
+          }
+        }
+      }
+    }
+}
+
+TEST(SimdKernelDiff, CmpSel) {
+  const CmpOp Cmps[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                        CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+  const std::vector<uint64_t> Vals = edgeWords(ScalarKind::U64);
+  for (CmpOp C : Cmps)
+    for (ScalarKind K : AllKinds) {
+      if (!resolveCmp(C, K))
+        continue;
+      const std::vector<uint64_t> Pool = edgeWords(K);
+      for (unsigned W : Widths) {
+        const CmpSelKernelFn V = resolveCmpSelLanes(C, K, W, SimdPath::Vector);
+        const CmpSelKernelFn S = resolveCmpSelLanes(C, K, W, SimdPath::Scalar);
+        ASSERT_NE(V, nullptr);
+        ASSERT_NE(S, nullptr);
+        uint64_t A[8], B[8], Cv[8], E[8];
+        uint64_t PV[8], SelV[8], PS[8], SelS[8];
+        for (size_t I = 0; I < Pool.size(); ++I)
+          for (size_t J = 0; J < Pool.size(); ++J) {
+            fillLanes(A, W, Pool, I, 1);
+            fillLanes(B, W, Pool, J, 3);
+            fillLanes(Cv, W, Vals, I, 1);
+            fillLanes(E, W, Vals, J + 2, 3);
+            V(PV, SelV, A, B, Cv, E);
+            S(PS, SelS, A, B, Cv, E);
+            const CmpFn Thunk = resolveCmp(C, K);
+            for (unsigned L = 0; L < W; ++L) {
+              ASSERT_EQ(PV[L], PS[L]) << "cmpsel pred " << cmpOpName(C) << " "
+                                      << Type::kindName(K) << " w" << W;
+              ASSERT_EQ(SelV[L], SelS[L]) << "cmpsel sel " << cmpOpName(C)
+                                          << " " << Type::kindName(K);
+              const bool P = Thunk(A[L], B[L]);
+              ASSERT_EQ(PS[L], P ? 1u : 0u);
+              ASSERT_EQ(SelS[L], P ? Cv[L] : E[L]);
+            }
+          }
+      }
+    }
+}
+
+TEST(SimdKernelDiff, RunAddrCheck) {
+  // Reference: the interpreter's resolveAddr bounds form per member, with
+  // the u64 wrap add.
+  const auto Ref = [](uint64_t Lane, uint64_t Offset, uint64_t Limit,
+                      uint64_t Size, uint64_t &Addr) {
+    Addr = Lane + Offset; // wraps
+    return !(Size > Limit || Addr > Limit - Size);
+  };
+  const uint64_t Lanes[8] = {0,  4,       8,    12,
+                             16, 1 << 20, ~0ull, 0x7fffffffffffffffull};
+  const uint64_t Offsets[] = {0, 4, 16, ~0ull, 0x8000000000000000ull};
+  const uint64_t Limits[] = {0, 3, 64, 1 << 20, ~0ull};
+  const uint64_t Sizes[] = {1, 4, 8};
+  for (unsigned Len : {2u, 4u, 8u}) {
+    const RunAddrCheckFn Fn = resolveRunAddrCheck(Len, SimdPath::Vector);
+    ASSERT_NE(Fn, nullptr);
+    for (uint64_t Off : Offsets)
+      for (uint64_t Limit : Limits)
+        for (uint64_t Size : Sizes) {
+          uint64_t Out[8] = {0};
+          const bool Got = Fn(Out, Lanes, Off, Limit, Size);
+          bool Want = true;
+          for (unsigned J = 0; J < Len; ++J) {
+            uint64_t Addr;
+            Want = Ref(Lanes[J], Off, Limit, Size, Addr) && Want;
+            EXPECT_EQ(Out[J], Addr);
+          }
+          EXPECT_EQ(Got, Want)
+              << "len " << Len << " off " << Off << " limit " << Limit;
+        }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Layer 3: the audited resolver-nullability policy (ISSUE 6 satellite):
+// kernel-iff-thunk on both paths, null outside the specialized widths.
+//===----------------------------------------------------------------------===
+
+TEST(SimdKernelAudit, KernelIffThunk) {
+  const Opcode BinOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul, Opcode::Div,
+                           Opcode::Rem, Opcode::Min, Opcode::Max, Opcode::And,
+                           Opcode::Or,  Opcode::Xor, Opcode::Shl, Opcode::Shr};
+  const Opcode UnOps[] = {Opcode::Neg,  Opcode::Abs,  Opcode::Not,
+                          Opcode::Rcp,  Opcode::Sqrt, Opcode::Rsqrt,
+                          Opcode::Sin,  Opcode::Cos,  Opcode::Lg2,
+                          Opcode::Ex2};
+  const CmpOp Cmps[] = {CmpOp::Eq, CmpOp::Ne, CmpOp::Lt,
+                        CmpOp::Le, CmpOp::Gt, CmpOp::Ge};
+  for (SimdPath P : {SimdPath::Scalar, SimdPath::Vector})
+    for (unsigned W : Widths)
+      for (ScalarKind K : AllKinds) {
+        for (Opcode Op : BinOps)
+          EXPECT_EQ(resolveBinaryLanes(Op, K, W, P) != nullptr,
+                    resolveBinary(Op, K) != nullptr)
+              << simdPathName(P) << " " << opcodeName(Op) << " "
+              << Type::kindName(K) << " w" << W;
+        for (Opcode Op : UnOps)
+          EXPECT_EQ(resolveUnaryLanes(Op, K, W, P) != nullptr,
+                    resolveUnary(Op, K) != nullptr)
+              << simdPathName(P) << " " << opcodeName(Op) << " "
+              << Type::kindName(K) << " w" << W;
+        EXPECT_EQ(resolveMadLanes(K, W, P) != nullptr,
+                  resolveMad(K) != nullptr);
+        for (CmpOp C : Cmps) {
+          EXPECT_EQ(resolveSetpLanes(C, K, W, P) != nullptr,
+                    resolveCmp(C, K) != nullptr);
+          EXPECT_EQ(resolveCmpSelLanes(C, K, W, P) != nullptr,
+                    resolveCmp(C, K) != nullptr);
+        }
+        for (ScalarKind SrcK : AllKinds)
+          EXPECT_EQ(resolveConvertLanes(K, SrcK, W, P) != nullptr,
+                    resolveConvert(K, SrcK) != nullptr)
+              << simdPathName(P) << " cvt " << Type::kindName(K) << " <- "
+              << Type::kindName(SrcK) << " w" << W;
+        EXPECT_NE(resolveSelpLanes(W, P), nullptr);
+        EXPECT_NE(resolveMovLanes(W, P), nullptr);
+      }
+}
+
+TEST(SimdKernelAudit, UnspecializedWidthsAreNull) {
+  for (SimdPath P : {SimdPath::Scalar, SimdPath::Vector})
+    for (unsigned W : {0u, 3u, 5u, 6u, 7u, 9u, 16u, 64u}) {
+      EXPECT_EQ(resolveBinaryLanes(Opcode::Add, ScalarKind::F32, W, P),
+                nullptr);
+      EXPECT_EQ(resolveUnaryLanes(Opcode::Neg, ScalarKind::S32, W, P),
+                nullptr);
+      EXPECT_EQ(resolveMadLanes(ScalarKind::F32, W, P), nullptr);
+      EXPECT_EQ(resolveSetpLanes(CmpOp::Lt, ScalarKind::U32, W, P), nullptr);
+      EXPECT_EQ(resolveSelpLanes(W, P), nullptr);
+      EXPECT_EQ(resolveMovLanes(W, P), nullptr);
+      EXPECT_EQ(
+          resolveConvertLanes(ScalarKind::F32, ScalarKind::S32, W, P),
+          nullptr);
+      EXPECT_EQ(resolveCmpSelLanes(CmpOp::Lt, ScalarKind::F32, W, P),
+                nullptr);
+      EXPECT_EQ(resolveRunAddrCheck(W, P), nullptr);
+    }
+  // The run address check is vector-path-only by design: the scalar oracle
+  // always walks the member loop.
+  for (unsigned Len : {1u, 2u, 3u, 4u, 8u})
+    EXPECT_EQ(resolveRunAddrCheck(Len, SimdPath::Scalar), nullptr);
+  for (unsigned Len : {1u, 3u, 5u, 16u})
+    EXPECT_EQ(resolveRunAddrCheck(Len, SimdPath::Vector), nullptr);
+}
+
+TEST(SimdKnobs, PathAndModeNames) {
+  EXPECT_STREQ(simdPathName(SimdPath::Vector), "vector");
+  EXPECT_STREQ(simdPathName(SimdPath::Scalar), "scalar");
+  EXPECT_STREQ(simdModeName(SimdMode::Auto), "auto");
+  EXPECT_STREQ(simdModeName(SimdMode::Vector), "vector");
+  EXPECT_STREQ(simdModeName(SimdMode::Scalar), "scalar");
+  // Explicit modes win regardless of the environment.
+  EXPECT_EQ(resolveSimdPath(SimdMode::Vector), SimdPath::Vector);
+  EXPECT_EQ(resolveSimdPath(SimdMode::Scalar), SimdPath::Scalar);
+}
+
+} // namespace

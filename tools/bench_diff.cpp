@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Compares two BENCH_wallclock.json files (as emitted by
-/// bench/wallclock_throughput) and reports the per-(workload, width, workers)
-/// wall-time delta plus the geometric-mean speedup of NEW over OLD.
+/// bench/wallclock_throughput) and reports the per-(workload, width,
+/// workers, simd-path) wall-time delta plus the geometric-mean speedup of
+/// NEW over OLD. Results emitted before the simd field existed key as
+/// "scalar" (the pre-SIMD engine ran the scalar lane loops).
 ///
 /// Usage: bench_diff OLD.json NEW.json
 ///
@@ -29,7 +31,7 @@
 
 namespace {
 
-using CellKey = std::tuple<std::string, unsigned, unsigned>;
+using CellKey = std::tuple<std::string, unsigned, unsigned, std::string>;
 
 /// Pulls the value of `"Key": <...>` out of one result object. Returns the
 /// raw token text (string values without quotes), or an empty string when
@@ -56,8 +58,8 @@ std::string fieldValue(const std::string &Obj, const char *Key) {
 }
 
 /// Parses the `results` array of a wallclock_throughput JSON file into
-/// (workload, width, workers) -> seconds. The format is the harness's own
-/// fixed emission, so a keyed scan over the result objects suffices.
+/// (workload, width, workers, simd) -> seconds. The format is the harness's
+/// own fixed emission, so a keyed scan over the result objects suffices.
 bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
   std::ifstream In(Path);
   if (!In) {
@@ -84,13 +86,16 @@ bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
     const std::string Width = fieldValue(Obj, "width");
     const std::string Workers = fieldValue(Obj, "workers");
     const std::string Seconds = fieldValue(Obj, "seconds");
+    std::string Simd = fieldValue(Obj, "simd");
+    if (Simd.empty())
+      Simd = "scalar"; // trajectories from before the SIMD lane kernels
     if (Workload.empty() || Width.empty() || Workers.empty() ||
         Seconds.empty())
       continue;
     Cells[{Workload, static_cast<unsigned>(std::strtoul(Width.c_str(),
                                                         nullptr, 10)),
-           static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr, 10))}] =
-        std::strtod(Seconds.c_str(), nullptr);
+           static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr, 10)),
+           Simd}] = std::strtod(Seconds.c_str(), nullptr);
   }
   if (Cells.empty()) {
     std::fprintf(stderr, "bench_diff: %s has no result cells\n", Path);
@@ -110,30 +115,33 @@ int main(int argc, char **argv) {
   if (!parseTrajectory(argv[1], Old) || !parseTrajectory(argv[2], New))
     return 1;
 
-  std::printf("%-16s %5s %7s  %10s  %10s  %8s\n", "workload", "width",
-              "workers", "old ms", "new ms", "speedup");
+  std::printf("%-16s %5s %7s %7s  %10s  %10s  %8s\n", "workload", "width",
+              "workers", "simd", "old ms", "new ms", "speedup");
   double LogSum = 0;
   unsigned Compared = 0;
   for (const auto &[Key, OldSec] : Old) {
     auto It = New.find(Key);
     if (It == New.end()) {
-      std::printf("%-16s %5u %7u  %10.3f  %10s  %8s\n",
+      std::printf("%-16s %5u %7u %7s  %10.3f  %10s  %8s\n",
                   std::get<0>(Key).c_str(), std::get<1>(Key),
-                  std::get<2>(Key), OldSec * 1e3, "-", "-");
+                  std::get<2>(Key), std::get<3>(Key).c_str(), OldSec * 1e3,
+                  "-", "-");
       continue;
     }
     const double Speedup = OldSec / It->second;
-    std::printf("%-16s %5u %7u  %10.3f  %10.3f  %7.3fx\n",
+    std::printf("%-16s %5u %7u %7s  %10.3f  %10.3f  %7.3fx\n",
                 std::get<0>(Key).c_str(), std::get<1>(Key), std::get<2>(Key),
-                OldSec * 1e3, It->second * 1e3, Speedup);
+                std::get<3>(Key).c_str(), OldSec * 1e3, It->second * 1e3,
+                Speedup);
     LogSum += std::log(Speedup);
     ++Compared;
   }
   for (const auto &[Key, NewSec] : New)
     if (!Old.count(Key))
-      std::printf("%-16s %5u %7u  %10s  %10.3f  %8s\n",
+      std::printf("%-16s %5u %7u %7s  %10s  %10.3f  %8s\n",
                   std::get<0>(Key).c_str(), std::get<1>(Key),
-                  std::get<2>(Key), "-", NewSec * 1e3, "-");
+                  std::get<2>(Key), std::get<3>(Key).c_str(), "-",
+                  NewSec * 1e3, "-");
 
   if (!Compared) {
     std::fprintf(stderr, "bench_diff: no common cells to compare\n");

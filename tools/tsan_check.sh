@@ -10,8 +10,11 @@
 # worker pool (Streams.*), the sharded translation cache fast path
 # (FastPathTest.*), the engine-differential shape runs (ShapeExec.*), the
 # end-to-end launch smoke tests (RuntimeSmoke.*), the lock-free tracing
-# buffers with tracing on (TraceTest.*), and the specialization service —
-# persistent artifact store plus warp-width autotuner (SpecCache.*). After
+# buffers with tracing on (TraceTest.*), the specialization service —
+# persistent artifact store plus warp-width autotuner (SpecCache.*) — and
+# the SIMD lane-kernel suites: the Simd<T,W> value class plus the
+# vector-vs-scalar kernel differentials and resolver audit (SimdClass.*,
+# SimdKernelDiff.*, SimdKernelAudit.*, SimdKnobs.*). After
 # the suites pass, a burst of concurrent bench processes is aimed at one
 # shared SIMTVEC_CACHE_DIR (atomic rename-on-publish under contention) and
 # the resulting store must survive `cache_tool verify`. Also registrable as
@@ -24,7 +27,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
