@@ -12,7 +12,8 @@
 /// trajectory to regress against.
 ///
 /// Usage: wallclock_throughput [--metrics] [--trace TRACE.json]
-///        [--simd auto|vector|scalar|both] [output.json] [scale] [reps]
+///        [--simd auto|vector|scalar|both] [--jit auto|native|interp|both]
+///        [output.json] [scale] [reps]
 ///
 /// `--metrics` prints the process MetricsRegistry snapshot (cache hit/miss
 /// totals, warps formed per width, pool occupancy, ...) after the run;
@@ -21,7 +22,11 @@
 /// `--simd` pins the lane-kernel path: `vector` and `scalar` force one
 /// path, `both` measures every cell under each path (keyed by the result
 /// objects' "simd" field — tools/bench_diff compares them cell-by-cell),
-/// and the default `auto` follows SIMTVEC_SIMD / host capability.
+/// and the default `auto` follows SIMTVEC_SIMD / host capability;
+/// `--jit` picks the execution tier the same way: `native` forces the
+/// synchronously compiled native tier, `interp` pins the interpreter,
+/// `both` measures each cell under both tiers (keyed by the "jit" field),
+/// and `auto` follows SIMTVEC_JIT / the default tiered behaviour.
 ///
 /// Repeated-launch mode: wallclock_throughput --launches N [output.json]
 /// [scale]. Measures launch *overhead* rather than kernel throughput: N
@@ -55,6 +60,7 @@ struct Sample {
   uint32_t Width;
   unsigned Workers;
   const char *Simd;     // resolved lane-kernel path ("vector" / "scalar")
+  const char *Jit;      // resolved execution tier ("auto"/"native"/"interp")
   double Seconds;       // best-of-reps wall time of one warm launch
   uint64_t Threads;     // logical threads per launch
   double ThreadsPerSec;
@@ -70,7 +76,7 @@ double now() {
 /// file identifies the configuration it was measured under. \p SimdStr is
 /// the active lane-kernel path ("vector"/"scalar", or "both" when the run
 /// measures each cell under each path).
-void printHostHeader(FILE *Out, const char *SimdStr) {
+void printHostHeader(FILE *Out, const char *SimdStr, const char *JitStr) {
 #if defined(__clang__)
   std::fprintf(Out, "  \"compiler\": \"clang %d.%d.%d\",\n", __clang_major__,
                __clang_minor__, __clang_patchlevel__);
@@ -91,6 +97,7 @@ void printHostHeader(FILE *Out, const char *SimdStr) {
   std::fprintf(Out, "  \"native\": false,\n");
 #endif
   std::fprintf(Out, "  \"simd\": \"%s\",\n", SimdStr);
+  std::fprintf(Out, "  \"jit\": \"%s\",\n", JitStr);
   std::fprintf(Out, "  \"nproc\": %u,\n",
                std::thread::hardware_concurrency());
 }
@@ -109,8 +116,9 @@ double timeBatches(int Launches, LaunchBatch &&Batch) {
 }
 
 int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
-                    SimdMode Simd) {
+                    SimdMode Simd, JitMode Jit) {
   const char *SimdStr = simdPathName(resolveSimdPath(Simd));
+  const char *JitStr = jitModeName(resolveJitMode(Jit));
   const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
                          "BinomialOptions"};
   MachineModel Machine;
@@ -152,8 +160,14 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     Spawn.Workers = Machine.Cores;
     Spawn.UsePersistentPool = false;
     Spawn.Simd = Simd;
+    Spawn.Jit = Jit;
     LaunchOptions Pool = Spawn;
     Pool.UsePersistentPool = true;
+    // Native-tier launch overhead: the first forced-native launch compiles
+    // synchronously and publishes the entry point; the timed batches then
+    // measure warm launches that dispatch straight into the native tier.
+    LaunchOptions JitWarm = Pool;
+    JitWarm.Jit = JitMode::Native;
 
     // Cold-launch latency: a fresh Program's first launch, which includes
     // the specialization. With SIMTVEC_CACHE_DIR set this is the disk-warm
@@ -172,6 +186,9 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     BlockingBatch(Pool)(1); // warm the translation cache once
     double SpawnSec = timeBatches(Launches, BlockingBatch(Spawn)) / Launches;
     double PoolSec = timeBatches(Launches, BlockingBatch(Pool)) / Launches;
+    BlockingBatch(JitWarm)(1); // claim + compile + publish the native tier
+    double JitWarmSec =
+        timeBatches(Launches, BlockingBatch(JitWarm)) / Launches;
     double StreamSec = timeBatches(Launches, [&](int N) {
       Stream S;
       for (int I = 0; I < N; ++I)
@@ -191,12 +208,14 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
                        StreamSec, Threads});
     Samples.push_back(
         {std::string(W->Name) + "+cold", Machine.Cores, ColdSec, Threads});
+    Samples.push_back({std::string(W->Name) + "+jitwarm", Machine.Cores,
+                       JitWarmSec, Threads});
     double Speedup = SpawnSec / PoolSec;
     BestPoolSpeedup = std::max(BestPoolSpeedup, Speedup);
     std::printf("%-16s cold %8.1f us  spawn %8.1f us  pool %8.1f us  "
-                "stream %8.1f us  pool-speedup %.2fx\n",
+                "stream %8.1f us  jit-warm %8.1f us  pool-speedup %.2fx\n",
                 W->Name, ColdSec * 1e6, SpawnSec * 1e6, PoolSec * 1e6,
-                StreamSec * 1e6, Speedup);
+                StreamSec * 1e6, JitWarmSec * 1e6, Speedup);
   }
   std::printf("best pool-vs-spawn launch speedup: %.2fx\n", BestPoolSpeedup);
 
@@ -206,16 +225,16 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     return 1;
   }
   std::fprintf(Out, "{\n  \"bench\": \"wallclock_launches\",\n");
-  printHostHeader(Out, SimdStr);
+  printHostHeader(Out, SimdStr, JitStr);
   std::fprintf(Out, "  \"scale\": %u,\n  \"launches\": %d,\n  \"results\": [\n",
                Scale, Launches);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const ModeSample &S = Samples[I];
     std::fprintf(Out,
                  "    {\"workload\": \"%s\", \"width\": 4, \"workers\": %u, "
-                 "\"simd\": \"%s\", \"seconds\": %.6e, \"threads\": %llu, "
-                 "\"threads_per_sec\": %.6e}%s\n",
-                 S.Cell.c_str(), S.Workers, SimdStr, S.SecondsPerLaunch,
+                 "\"simd\": \"%s\", \"jit\": \"%s\", \"seconds\": %.6e, "
+                 "\"threads\": %llu, \"threads_per_sec\": %.6e}%s\n",
+                 S.Cell.c_str(), S.Workers, SimdStr, JitStr, S.SecondsPerLaunch,
                  static_cast<unsigned long long>(S.Threads),
                  static_cast<double>(S.Threads) / S.SecondsPerLaunch,
                  I + 1 < Samples.size() ? "," : "");
@@ -267,6 +286,7 @@ int main(int argc, char **argv) {
   bool Metrics = false;
   const char *TracePath = nullptr;
   const char *SimdArg = "auto";
+  const char *JitArg = "auto";
   int ArgI = 1;
   while (ArgI < argc) {
     if (std::strcmp(argv[ArgI], "--metrics") == 0) {
@@ -277,6 +297,9 @@ int main(int argc, char **argv) {
       ArgI += 2;
     } else if (std::strcmp(argv[ArgI], "--simd") == 0 && ArgI + 1 < argc) {
       SimdArg = argv[ArgI + 1];
+      ArgI += 2;
+    } else if (std::strcmp(argv[ArgI], "--jit") == 0 && ArgI + 1 < argc) {
+      JitArg = argv[ArgI + 1];
       ArgI += 2;
     } else {
       break;
@@ -302,6 +325,26 @@ int main(int argc, char **argv) {
   const char *HeaderSimd = SimdModes.size() > 1
                                ? "both"
                                : simdPathName(resolveSimdPath(SimdModes[0]));
+  // The execution tiers to measure, mirroring --simd: "both" runs every
+  // cell under the forced-native tier and the pinned interpreter so one
+  // file carries the tier comparison.
+  std::vector<JitMode> JitModes;
+  if (std::strcmp(JitArg, "auto") == 0)
+    JitModes = {JitMode::Auto};
+  else if (std::strcmp(JitArg, "native") == 0)
+    JitModes = {JitMode::Native};
+  else if (std::strcmp(JitArg, "interp") == 0)
+    JitModes = {JitMode::Interp};
+  else if (std::strcmp(JitArg, "both") == 0)
+    JitModes = {JitMode::Native, JitMode::Interp};
+  else {
+    std::fprintf(stderr,
+                 "--jit takes auto|native|interp|both, got '%s'\n", JitArg);
+    return 1;
+  }
+  const char *HeaderJit = JitModes.size() > 1
+                              ? "both"
+                              : jitModeName(resolveJitMode(JitModes[0]));
   argv += ArgI - 1;
   argc -= ArgI - 1;
   if (TracePath)
@@ -318,7 +361,8 @@ int main(int argc, char **argv) {
         argc > 3 ? argv[3] : "BENCH_wallclock_launches.json";
     uint32_t LaunchScale =
         argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
-    int RC = runLaunchesMode(Launches, LaunchOut, LaunchScale, SimdModes[0]);
+    int RC = runLaunchesMode(Launches, LaunchOut, LaunchScale, SimdModes[0],
+                             JitModes[0]);
     if (TracePath && RC == 0)
       RC = finishTrace(TracePath);
     if (Metrics)
@@ -353,23 +397,30 @@ int main(int argc, char **argv) {
     for (uint32_t Width : Widths) {
       for (unsigned Workers : WorkerCounts) {
         for (SimdMode Simd : SimdModes) {
+         for (JitMode Jit : JitModes) {
           const char *SimdStr = simdPathName(resolveSimdPath(Simd));
+          const char *JitStr = jitModeName(resolveJitMode(Jit));
           std::unique_ptr<Program> Prog = compileWorkload(*W);
           auto Inst = W->Make(Scale);
           LaunchOptions O = dynamicFormation(Width);
           O.Workers = Workers;
           O.Simd = Simd;
+          O.Jit = Jit;
           auto Launch = [&]() {
             auto S = Prog->launch(*Inst->Dev, W->KernelName, Inst->Grid,
                                   Inst->Block, Inst->Params, O);
             if (!S) {
-              std::fprintf(stderr, "%s (w=%u, workers=%u, simd=%s): %s\n",
-                           Name, Width, Workers, SimdStr,
+              std::fprintf(stderr,
+                           "%s (w=%u, workers=%u, simd=%s, jit=%s): %s\n",
+                           Name, Width, Workers, SimdStr, JitStr,
                            S.status().message().c_str());
               std::exit(1);
             }
           };
-          Launch(); // warm the translation cache
+          // Warm the translation cache; a forced-native warm launch also
+          // compiles synchronously, so the timed reps below run the tier
+          // the cell claims to measure.
+          Launch();
           double Best = 1e100;
           for (int Rep = 0; Rep < Reps; ++Rep) {
             double T0 = now();
@@ -377,13 +428,14 @@ int main(int argc, char **argv) {
             Best = std::min(Best, now() - T0);
           }
           uint64_t Threads = Inst->Grid.count() * Inst->Block.count();
-          Samples.push_back({W->Name, Width, Workers, SimdStr, Best, Threads,
-                             static_cast<double>(Threads) / Best});
+          Samples.push_back({W->Name, Width, Workers, SimdStr, JitStr, Best,
+                             Threads, static_cast<double>(Threads) / Best});
           std::printf(
-              "%-16s width=%u workers=%u simd=%-6s  %9.3f ms  "
+              "%-16s width=%u workers=%u simd=%-6s jit=%-6s  %9.3f ms  "
               "%12.0f threads/s\n",
-              W->Name, Width, Workers, SimdStr, Best * 1e3,
+              W->Name, Width, Workers, SimdStr, JitStr, Best * 1e3,
               static_cast<double>(Threads) / Best);
+         }
         }
       }
     }
@@ -395,16 +447,16 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"bench\": \"wallclock_throughput\",\n");
-  printHostHeader(Out, HeaderSimd);
+  printHostHeader(Out, HeaderSimd, HeaderJit);
   std::fprintf(Out, "  \"scale\": %u,\n  \"reps\": %d,\n  \"results\": [\n",
                Scale, Reps);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const Sample &S = Samples[I];
     std::fprintf(Out,
                  "    {\"workload\": \"%s\", \"width\": %u, \"workers\": %u, "
-                 "\"simd\": \"%s\", \"seconds\": %.6e, \"threads\": %llu, "
-                 "\"threads_per_sec\": %.6e}%s\n",
-                 S.Workload, S.Width, S.Workers, S.Simd, S.Seconds,
+                 "\"simd\": \"%s\", \"jit\": \"%s\", \"seconds\": %.6e, "
+                 "\"threads\": %llu, \"threads_per_sec\": %.6e}%s\n",
+                 S.Workload, S.Width, S.Workers, S.Simd, S.Jit, S.Seconds,
                  static_cast<unsigned long long>(S.Threads), S.ThreadsPerSec,
                  I + 1 < Samples.size() ? "," : "");
   }

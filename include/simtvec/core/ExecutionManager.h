@@ -27,6 +27,7 @@
 #define SIMTVEC_CORE_EXECUTIONMANAGER_H
 
 #include "simtvec/core/TranslationCache.h"
+#include "simtvec/support/Jit.h"
 #include "simtvec/vm/Counters.h"
 #include "simtvec/vm/ThreadContext.h"
 
@@ -95,6 +96,14 @@ struct LaunchConfig {
   /// path. Scalar keeps the pre-SIMD loops as the differential oracle.
   /// Results and modeled counters are bit-identical across paths.
   SimdMode Simd = SimdMode::Auto;
+
+  /// Execution-tier knob: Auto interprets on first use and hot-swaps to the
+  /// background-compiled native tier when it lands; Native compiles
+  /// synchronously before the first warp entry; Interp pins the
+  /// interpreter (the differential oracle for the native tier). Auto
+  /// defers to SIMTVEC_JIT. Outputs and modeled counters are bit-identical
+  /// across tiers.
+  JitMode Jit = JitMode::Auto;
 };
 
 /// Aggregated results of one kernel launch.

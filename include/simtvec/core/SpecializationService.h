@@ -48,6 +48,8 @@
 #include "simtvec/core/TranslationCache.h"
 #include "simtvec/support/Serialize.h"
 
+#include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -141,6 +143,38 @@ public:
   uint32_t committedWidth(const std::string &KernelName);
 
   //===--------------------------------------------------------------------===
+  // Native JIT tier (second execution tier behind the cache).
+  //
+  // The service emits specialized C++ for a decoded executable, invokes the
+  // system toolchain off the launch's critical path, dlopens the result and
+  // publishes the entry point into the (already dispatched) KernelExec —
+  // launches interpret on first use and go native when the object is ready.
+  // When persistence is on, the `.so` joins the artifact store keyed by the
+  // build fingerprint plus the discovered compiler identity, so a warm
+  // process dlopens without recompiling and a compiler upgrade recompiles
+  // instead of trusting stale code. Every failure (no toolchain, emission
+  // refusal, compile error, load/verify mismatch) silently leaves the
+  // executable on the interpreter tier.
+  //===--------------------------------------------------------------------===
+
+  /// Installs the executor used for background compiles (normally the
+  /// process worker pool). Without one, requests run on the calling thread.
+  void setAsyncSubmit(std::function<void(std::function<void()>)> Submit);
+
+  /// Requests the native tier for \p Exec (the translation of key \p K).
+  /// Claims the executable's single compile slot, so repeated calls are
+  /// free. \p Sync runs the job before returning (forced
+  /// `SIMTVEC_JIT=native`); otherwise it runs on the async executor.
+  void requestNative(const TranslationCache::Key &K,
+                     std::shared_ptr<const KernelExec> Exec, bool Sync);
+
+  /// Path the native object for \p K publishes at, or "" when persistence
+  /// is off / no toolchain is discoverable.
+  std::string nativeObjectPath(const TranslationCache::Key &K);
+
+  static constexpr const char *NativeExt = ".so";
+
+  //===--------------------------------------------------------------------===
   // Store inspection (cache_tool, tests).
   //===--------------------------------------------------------------------===
 
@@ -170,6 +204,9 @@ public:
     uint64_t DiskHits = 0;
     uint64_t DiskMisses = 0;
     uint64_t DiskWrites = 0;
+    uint64_t JitCompiles = 0; ///< toolchain invocations
+    uint64_t JitHits = 0;     ///< warm `.so` loads (no compile)
+    uint64_t JitSwaps = 0;    ///< native entry points published
   };
   Stats stats() const;
 
@@ -207,6 +244,18 @@ private:
   std::map<std::string, KernelTune> Tune;
 
   std::atomic<uint64_t> DiskHits{0}, DiskMisses{0}, DiskWrites{0};
+
+  /// JIT-half stats live behind a shared_ptr: compile jobs may outlive the
+  /// service (they run detached on the async executor holding only
+  /// by-value state), so they update this block, never `this`.
+  struct JitSharedStats {
+    std::atomic<uint64_t> Compiles{0}, Hits{0}, Swaps{0};
+  };
+  std::shared_ptr<JitSharedStats> JitStats =
+      std::make_shared<JitSharedStats>();
+
+  std::mutex JitLock; ///< guards AsyncSubmit
+  std::function<void(std::function<void()>)> AsyncSubmit;
 
   MetricsRegistry::Counter *RegDiskHits =
       &MetricsRegistry::global().counter("tc.disk_hit");

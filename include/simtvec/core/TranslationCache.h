@@ -81,6 +81,13 @@ public:
   /// Thread-safe; warm queries take only a shared (reader) lock.
   Expected<std::shared_ptr<const KernelExec>> get(const Key &K);
 
+  /// Returns the already-compiled specialization for \p K, or null —
+  /// never compiles, never counts a hit or miss. The native tier uses
+  /// this as its hotness probe at launch start: an entry that already
+  /// exists was created by an earlier launch, so the probe fires on the
+  /// second launch of a specialization and never perturbs the first.
+  std::shared_ptr<const KernelExec> peek(const Key &K);
+
   /// Memory footprint the execution manager must provision per kernel.
   struct KernelLayout {
     uint32_t LocalBytes = 0;  ///< per thread: user .local plus spill area

@@ -218,6 +218,13 @@ struct LaunchOptions {
   /// differential oracle; results and modeled counters are bit-identical
   /// across paths — only host wall time moves.
   SimdMode Simd = SimdMode::Auto;
+  /// Execution-tier knob: Auto interprets on first use and hot-swaps to
+  /// the background native tier when its compile lands; Native forces a
+  /// synchronous native compile before the first warp entry; Interp pins
+  /// the interpreter (the differential oracle). Auto defers to the
+  /// SIMTVEC_JIT env var. Outputs and modeled counters are bit-identical
+  /// across tiers; only host wall time moves.
+  JitMode Jit = JitMode::Auto;
   /// Record trace events for this launch (starts a trace session lazily if
   /// none is active; see simtvec/support/Trace.h). Purely host-side:
   /// modeled counters and LaunchStats are unchanged.

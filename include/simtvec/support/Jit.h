@@ -1,0 +1,43 @@
+//===- simtvec/support/Jit.h - Execution-tier selection knob ----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tiered-execution knob: Auto interprets on first use and hot-swaps to
+/// the background-compiled native tier when it is ready, Native forces a
+/// synchronous native compile (deterministic tests, benchmarking the tier),
+/// Interp pins the interpreter — the differential oracle for the JIT exactly
+/// as SIMTVEC_SIMD=scalar is for the SIMD lane kernels. Resolution follows
+/// the Simd.h convention: the explicit LaunchOptions value wins, Auto defers
+/// to the SIMTVEC_JIT env var.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_JIT_H
+#define SIMTVEC_SUPPORT_JIT_H
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// User-facing knob: Auto defers to the SIMTVEC_JIT env var, then to the
+/// default tiered behaviour (interpret now, go native when the background
+/// compile lands).
+enum class JitMode : uint8_t { Auto = 0, Native = 1, Interp = 2 };
+
+/// Parses SIMTVEC_JIT (full-string match of auto|native|interp, cached on
+/// first use; invalid values warn once on stderr and fall back to auto).
+JitMode jitModeFromEnv();
+
+/// Collapses Auto to the env var's answer; explicit modes win. The result
+/// is never Auto unless both the option and the env var say Auto — i.e. the
+/// default tiered behaviour.
+JitMode resolveJitMode(JitMode Mode);
+
+const char *jitModeName(JitMode Mode); // "auto" / "native" / "interp"
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_JIT_H

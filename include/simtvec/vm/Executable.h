@@ -23,11 +23,20 @@
 #include "simtvec/ir/ScalarOps.h"
 #include "simtvec/vm/ExecKernels.h"
 #include "simtvec/vm/MachineModel.h"
+#include "simtvec/vm/NativeABI.h"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 namespace simtvec {
+
+class NativeModule; // RAII owner of one dlopen'd specialization (NativeModule.h)
+
+/// Native-tier progress of one executable. None -> Queued is claimed with a
+/// CAS so exactly one compile runs per executable; Ready/Failed are
+/// terminal.
+enum class JitState : uint8_t { None = 0, Queued = 1, Ready = 2, Failed = 3 };
 
 /// One pre-decoded operand. Register operands carry their resolved
 /// register-file slot; immediates and address symbols are folded to raw
@@ -244,6 +253,43 @@ public:
   /// The lane-kernel engine path this executable was built with.
   SimdPath simdPath() const { return Simd; }
 
+  //===--------------------------------------------------------------------===
+  // Native tier (mutable derived state). The hot-swap is published in
+  // place — per-worker memos hold shared_ptrs to this executable, so a new
+  // cache entry would never reach warps already dispatching — with a
+  // release store the dispatch loop pairs with an acquire load. Both tiers
+  // are bit-identical in outputs and modeled counters, so a swap at any
+  // warp-entry boundary is invisible.
+  //===--------------------------------------------------------------------===
+
+  /// The native entry point, or null while (or for as long as) this
+  /// executable runs on the interpreter tier.
+  SimtvecNativeEntryFn nativeEntry() const {
+    return NativeEntry.load(std::memory_order_acquire);
+  }
+
+  JitState jitState() const { return Jit.load(std::memory_order_acquire); }
+
+  /// Claims the (single) native compile for this executable. Returns true
+  /// exactly once.
+  bool claimJit() const {
+    JitState Expected = JitState::None;
+    return Jit.compare_exchange_strong(Expected, JitState::Queued,
+                                       std::memory_order_acq_rel);
+  }
+
+  /// Publishes a verified native module: the executable keeps the module
+  /// (and thus the dlopen handle) alive, then release-stores the entry
+  /// point so in-flight dispatch loops pick it up. Claimant-only.
+  void publishNative(std::shared_ptr<NativeModule> Module,
+                     SimtvecNativeEntryFn Entry) const;
+
+  /// Marks the native compile failed (terminal; the executable stays on
+  /// the interpreter tier). Claimant-only.
+  void failJit() const {
+    Jit.store(JitState::Failed, std::memory_order_release);
+  }
+
 private:
   friend struct KernelExecBuilder;
 
@@ -258,6 +304,12 @@ private:
   std::vector<DecodedBlock> DBlocks;
   std::vector<DecodedSwitch> Switches;
   std::vector<std::pair<uint32_t, uint32_t>> ZeroRanges;
+
+  // Native tier. Only the claimant thread writes Native / stores into
+  // NativeEntry; readers touch nothing but the atomics.
+  mutable std::atomic<SimtvecNativeEntryFn> NativeEntry{nullptr};
+  mutable std::shared_ptr<NativeModule> Native;
+  mutable std::atomic<JitState> Jit{JitState::None};
 };
 
 } // namespace simtvec

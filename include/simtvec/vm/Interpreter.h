@@ -60,6 +60,14 @@ public:
   Result runReference(const KernelExec &Exec, const Warp &W, ExecMemory &Mem,
                       CycleCounters &Counters);
 
+  /// Native tier: same contract as run(), executing \p Exec's dlopen'd
+  /// entry point \p Fn. The host side owns the register file, the modeled
+  /// L1 arrays and the counters — exactly the state run() uses — so warp
+  /// entries may alternate freely between tiers with bit-identical memory
+  /// effects and counters.
+  Result runNative(SimtvecNativeEntryFn Fn, const KernelExec &Exec,
+                   const Warp &W, ExecMemory &Mem, CycleCounters &Counters);
+
 private:
   void ensureL1();
 

@@ -1,0 +1,133 @@
+//===- simtvec/vm/NativeABI.h - dlopen boundary for the native tier -*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plain-C ABI between the host VM and a natively compiled kernel
+/// specialization (a `.so` produced by the SpecializationService's JIT
+/// tier). Nothing from the repo's C++ object model crosses the dlopen
+/// boundary: the host marshals one POD argument block per warp entry, the
+/// generated code reads/writes it, and a meta symbol lets the host verify
+/// at load time that the object was built against the same ABI revision,
+/// argument-block layout, kernel layout fingerprint and warp size before a
+/// single instruction runs. Any mismatch degrades silently to the
+/// interpreter tier.
+///
+/// This header is included both by the host VM and by every generated
+/// translation unit, so it must stay self-contained (C++ standard headers
+/// only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_NATIVEABI_H
+#define SIMTVEC_VM_NATIVEABI_H
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// Bumped whenever SimtvecNativeArgs / SimtvecNativeMeta / the entry-point
+/// contract changes. Stale on-disk `.so` artifacts fail the load-time meta
+/// check and are recompiled.
+inline constexpr uint32_t NativeAbiVersion = 1;
+
+/// Maximum warp width the VM specializes for (launchKernel validates
+/// widths in {1,2,4,8}).
+inline constexpr uint32_t NativeMaxWarp = 8;
+
+/// Return codes of the generated entry point. 0..2 mirror ResumeStatus
+/// (Branch/Barrier/Exit); 3 reports a trap whose message is in TrapMsg.
+inline constexpr int32_t NativeRetBranch = 0;
+inline constexpr int32_t NativeRetBarrier = 1;
+inline constexpr int32_t NativeRetExit = 2;
+inline constexpr int32_t NativeRetTrap = 3;
+
+/// One warp entry's worth of state, marshalled by Interpreter::runNative.
+/// Lanes beyond the warp size are unspecified. CTA/grid/block geometry is
+/// warp-uniform by construction (the execution manager forms warps within
+/// one CTA), so those fields are scalars.
+struct SimtvecNativeArgs {
+  /// The interpreter's register file for this warp (totalSlots u64 words,
+  /// zero ranges already cleared by the host).
+  uint64_t *RF;
+
+  // Per-lane thread identity.
+  uint32_t TidX[NativeMaxWarp];
+  uint32_t TidY[NativeMaxWarp];
+  uint32_t TidZ[NativeMaxWarp];
+
+  // Warp-uniform geometry.
+  uint32_t BlockDimX, BlockDimY, BlockDimZ;
+  uint32_t GridDimX, GridDimY, GridDimZ;
+  uint32_t CtaIdX, CtaIdY, CtaIdZ;
+  /// Linear tid of lane 0 (SReg::WarpBaseTid).
+  uint32_t WarpBaseTid;
+
+  /// Per-lane resume points: read live by SReg::EntryId (lane 0), written
+  /// by SetRPoint, copied back by the host after the entry returns.
+  uint32_t ResumePoint[NativeMaxWarp];
+
+  /// Per-lane thread-local memory bases (user .local vars + spill area).
+  unsigned char *LocalMem[NativeMaxWarp];
+
+  // Memory spaces (byte pointers + sizes, mirroring ExecMemory).
+  unsigned char *Global;
+  uint64_t GlobalSize;
+  unsigned char *Shared;
+  uint64_t SharedSize;
+  const unsigned char *ParamBuf;
+  uint64_t ParamSize;
+  uint64_t LocalSize;
+
+  /// Opaque AtomicStripes (may be null). When non-null the generated code
+  /// brackets each AtomAdd with AtomLock/AtomUnlock on the access address.
+  void *Atomics;
+  void (*AtomLock)(void *Atomics, uint64_t Addr);
+  void (*AtomUnlock)(void *Atomics, uint64_t Addr);
+
+  // Modeled-counter sinks (the worker's CycleCounters fields).
+  double *EMBody;  ///< &CycleCounters::SubkernelCycles
+  double *EMYield; ///< &CycleCounters::YieldCycles
+  uint64_t *Flops;
+  uint64_t *InstsExecuted;
+  uint64_t *VectorInsts;
+  uint64_t *RestoredValues;
+  uint64_t *SpilledValues;
+  uint64_t *GlobalAccesses;
+  uint64_t *GlobalMisses;
+
+  // Modeled L1 state (the interpreter's arrays, sized Sets*Ways / Sets).
+  uint64_t *L1Tags;
+  uint8_t *L1NextWay;
+  uint8_t *L1MRU;
+
+  /// Trap message written by the generated code before returning
+  /// NativeRetTrap (always NUL-terminated).
+  char TrapMsg[256];
+};
+
+/// Load-time identification exported by every generated object as the
+/// symbol "simtvec_native_meta". The host refuses (silently, degrading to
+/// the interpreter) any object whose meta does not match exactly.
+struct SimtvecNativeMeta {
+  uint32_t AbiVersion;        ///< NativeAbiVersion at build time
+  uint32_t ArgsSize;          ///< sizeof(SimtvecNativeArgs) at build time
+  uint64_t LayoutFingerprint; ///< KernelExec::layoutFingerprint()
+  uint64_t BuildFingerprint;  ///< SpecializationService build fingerprint
+  uint32_t WarpSize;          ///< specialized warp width
+  uint32_t Reserved = 0;
+};
+
+/// Entry-point signature: the symbol "simtvec_native_entry" in every
+/// generated object. Runs the warp from ResumePoint[0] to the next yield
+/// and returns a NativeRet* code.
+using SimtvecNativeEntryFn = int32_t (*)(SimtvecNativeArgs *);
+
+inline constexpr const char *NativeEntrySymbol = "simtvec_native_entry";
+inline constexpr const char *NativeMetaSymbol = "simtvec_native_meta";
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_NATIVEABI_H

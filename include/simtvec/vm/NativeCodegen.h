@@ -1,0 +1,44 @@
+//===- simtvec/vm/NativeCodegen.h - C++ emission for the JIT ----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits one self-contained C++ translation unit for a prepared executable:
+/// the straight-line lane loops of the pre-decoded instruction stream with
+/// every decode-time constant (register-file slots, folded immediates,
+/// issue-cost sums, L1 geometry, trap-refund tails) baked in as literals.
+/// The generated TU includes `simtvec/ir/ScalarOpsImpl.h` — the same inline
+/// semantics both interpreter engines are compiled from — so a system
+/// toolchain at -O2 produces a native tier whose outputs *and* modeled
+/// `em.*` counters are bit-identical to the interpreter's.
+///
+/// Codegen is best-effort: any construct outside the supported envelope
+/// (warp width beyond the ABI maximum, malformed stream) yields an empty
+/// string and the caller stays on the interpreter tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_NATIVECODEGEN_H
+#define SIMTVEC_VM_NATIVECODEGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace simtvec {
+
+class KernelExec;
+struct MachineModel;
+
+/// Emits the native-tier C++ source for \p Exec under \p Machine.
+/// \p BuildFingerprint is recorded in the exported meta symbol and verified
+/// again at dlopen time. Returns "" when \p Exec cannot be compiled (the
+/// caller degrades silently to the interpreter).
+std::string emitNativeSource(const KernelExec &Exec,
+                             const MachineModel &Machine,
+                             uint64_t BuildFingerprint);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_NATIVECODEGEN_H

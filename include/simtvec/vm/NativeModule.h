@@ -1,0 +1,58 @@
+//===- simtvec/vm/NativeModule.h - dlopen'd specialization ------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII ownership of one dlopen'd native kernel specialization plus the
+/// load-time verification gate: before an object's entry point is ever
+/// published, its exported meta symbol must match the host's ABI revision,
+/// argument-block size, the executable's layout fingerprint, the expected
+/// build fingerprint and warp size. Any mismatch — or a platform without
+/// dlopen — returns null and the caller degrades to the interpreter tier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_VM_NATIVEMODULE_H
+#define SIMTVEC_VM_NATIVEMODULE_H
+
+#include "simtvec/vm/NativeABI.h"
+
+#include <memory>
+#include <string>
+
+namespace simtvec {
+
+/// One loaded `.so`. The handle is dlclose'd on destruction, so whoever
+/// publishes an entry point must keep the module alive for as long as the
+/// entry may run (KernelExec::publishNative does).
+class NativeModule {
+public:
+  ~NativeModule();
+  NativeModule(const NativeModule &) = delete;
+  NativeModule &operator=(const NativeModule &) = delete;
+
+  /// dlopens \p Path (RTLD_NOW | RTLD_LOCAL), resolves the entry and meta
+  /// symbols, and verifies the meta block against the expectations. Returns
+  /// null on any failure — unresolvable symbols, ABI/layout/fingerprint/
+  /// warp-size mismatch, or no dlopen support.
+  static std::shared_ptr<NativeModule>
+  loadAndVerify(const std::string &Path, uint64_t LayoutFingerprint,
+                uint64_t BuildFingerprint, uint32_t WarpSize);
+
+  SimtvecNativeEntryFn entry() const { return Entry; }
+  const std::string &path() const { return Path; }
+
+private:
+  NativeModule(void *Handle, SimtvecNativeEntryFn Entry, std::string Path)
+      : Handle(Handle), Entry(Entry), Path(std::move(Path)) {}
+
+  void *Handle = nullptr;
+  SimtvecNativeEntryFn Entry = nullptr;
+  std::string Path;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_VM_NATIVEMODULE_H

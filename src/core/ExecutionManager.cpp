@@ -6,6 +6,7 @@
 
 #include "simtvec/core/ExecutionManager.h"
 
+#include "simtvec/core/SpecializationService.h"
 #include "simtvec/support/Format.h"
 #include "simtvec/support/Trace.h"
 #include "simtvec/vm/Interpreter.h"
@@ -242,6 +243,10 @@ private:
 bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
   const uint32_t NumThreads = static_cast<uint32_t>(Block.count());
   const MachineModel &Machine = Config.Machine;
+  // Native-tier resolution for this CTA: Interp pins the interpreter, the
+  // reference engine never mixes with the native tier (it is the oracle).
+  const JitMode JitTier =
+      Config.UseReferenceInterp ? JitMode::Interp : resolveJitMode(Config.Jit);
 
   // Per-CTA observability: one span per CTA plus, at CTA end, the warp
   // formation summary and the entry-point histogram delta this CTA
@@ -421,6 +426,15 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
         return false;
       }
       Exec = *ExecOrErr;
+      // Forced native compiles synchronously at the memo miss so even the
+      // first warp entry runs native. The tiered (Auto) trigger lives in
+      // launchKernel instead: it fires on the second launch of a
+      // specialization, keeping the first launch free of any compile
+      // contention (the executable's single claimJit() slot makes
+      // duplicate requests free either way).
+      if (JitTier == JitMode::Native)
+        if (SpecializationService *Svc = TC.specializationService())
+          Svc->requestNative(Key, Exec, /*Sync=*/true);
     } else {
       ++MemoHits;
     }
@@ -428,10 +442,15 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
     Warp W;
     W.Threads = WarpPtrs.data();
     W.Size = Width;
-    Interpreter::Result Run =
-        Config.UseReferenceInterp
-            ? Interp.runReference(*Exec, W, Mem, R.Counters)
-            : Interp.run(*Exec, W, Mem, R.Counters);
+    Interpreter::Result Run;
+    if (Config.UseReferenceInterp)
+      Run = Interp.runReference(*Exec, W, Mem, R.Counters);
+    else if (SimtvecNativeEntryFn Fn = JitTier != JitMode::Interp
+                                           ? Exec->nativeEntry()
+                                           : nullptr)
+      Run = Interp.runNative(Fn, *Exec, W, Mem, R.Counters);
+    else
+      Run = Interp.run(*Exec, W, Mem, R.Counters);
     if (Run.Trap) {
       R.Error = formatString("kernel '%s' trapped: %s", KernelName.c_str(),
                              Run.Trap->c_str());
@@ -526,6 +545,27 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
   unsigned Workers = Config.Workers ? Config.Workers : Config.Machine.Cores;
   Workers = static_cast<unsigned>(
       std::min<uint64_t>(Workers, Grid.count()));
+
+  // Tiered-native hotness trigger: in Auto mode the background compile is
+  // requested only for specializations the cache already holds — i.e. on
+  // the second launch, never the first. A cold launch therefore pays no
+  // compile contention at all (on narrow hosts even a niced background
+  // compiler visibly steals cycles from the launch that triggered it),
+  // and a one-shot kernel never compiles. Forced Native instead compiles
+  // synchronously at the worker memo miss above.
+  if (!Config.UseReferenceInterp &&
+      resolveJitMode(Config.Jit) == JitMode::Auto)
+    if (SpecializationService *Svc = TC.specializationService())
+      for (uint32_t W = 1; W <= Config.MaxWarpSize; W *= 2) {
+        TranslationCache::Key Key{KernelName, W,
+                                  Config.ThreadInvariantElim,
+                                  Config.UniformBranchOpt,
+                                  Config.UniformLoadOpt,
+                                  Config.Superinstructions,
+                                  resolveSimdPath(Config.Simd)};
+        if (std::shared_ptr<const KernelExec> Exec = TC.peek(Key))
+          Svc->requestNative(Key, Exec, /*Sync=*/false);
+      }
 
   // Each worker runs a dynamic execution manager over its statically
   // assigned CTAs (paper §3). The worker bodies are dispatched through the

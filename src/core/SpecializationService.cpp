@@ -10,9 +10,22 @@
 #include "simtvec/ir/Printer.h"
 #include "simtvec/ir/Verifier.h"
 #include "simtvec/support/Format.h"
+#include "simtvec/vm/NativeABI.h"
+#include "simtvec/vm/NativeCodegen.h"
+#include "simtvec/vm/NativeModule.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <stdlib.h> // mkdtemp
+#include <unistd.h> // rmdir
+#define SIMTVEC_JIT_HOST 1
+#else
+#define SIMTVEC_JIT_HOST 0
+#endif
 
 using namespace simtvec;
 
@@ -567,6 +580,9 @@ SpecializationService::Stats SpecializationService::stats() const {
   S.DiskHits = DiskHits.load(std::memory_order_relaxed);
   S.DiskMisses = DiskMisses.load(std::memory_order_relaxed);
   S.DiskWrites = DiskWrites.load(std::memory_order_relaxed);
+  S.JitCompiles = JitStats->Compiles.load(std::memory_order_relaxed);
+  S.JitHits = JitStats->Hits.load(std::memory_order_relaxed);
+  S.JitSwaps = JitStats->Swaps.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -712,4 +728,304 @@ void SpecializationService::persistProfile(const std::string &KernelName,
   writeHeader(W, H, ProfileMagic);
   W.raw(Payload.bytes().data(), Payload.size());
   (void)writeFileAtomic(profilePath(KernelName), W.bytes());
+}
+
+//===----------------------------------------------------------------------===//
+// Native JIT tier
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Flags the background compile uses. -ffp-contract=off keeps the generated
+/// float math bit-identical to the interpreter build (no surprise FMA
+/// contraction); everything else is the plainest shared-object recipe the
+/// system toolchain understands.
+const char *jitFlags() {
+  return "-std=c++20 -O2 -fPIC -shared -ffp-contract=off";
+}
+
+/// First line of `<cmd> --version`, or "" when the command is absent. Used
+/// both as the discovery probe and as the compiler-identity input.
+std::string toolVersionLine(const std::string &Cmd) {
+#if SIMTVEC_JIT_HOST
+  std::string Out;
+  std::string Probe = Cmd + " --version 2>/dev/null";
+  FILE *P = popen(Probe.c_str(), "r");
+  if (!P)
+    return Out;
+  char Buf[512];
+  if (fgets(Buf, sizeof(Buf), P))
+    Out = Buf;
+  pclose(P);
+  while (!Out.empty() && (Out.back() == '\n' || Out.back() == '\r'))
+    Out.pop_back();
+  return Out;
+#else
+  (void)Cmd;
+  return std::string();
+#endif
+}
+
+/// The discovered host toolchain. Identity folds the version banner and the
+/// flag set: upgrading the compiler (or changing the recipe) changes every
+/// native-object filename, so a warm store recompiles instead of trusting
+/// stale code.
+struct Toolchain {
+  bool OK = false;
+  std::string Cxx;
+  uint64_t Id = 0;
+};
+
+const Toolchain &hostToolchain() {
+  static const Toolchain TC = [] {
+    Toolchain T;
+    std::vector<std::string> Candidates;
+    if (const char *Env = std::getenv("SIMTVEC_JIT_CXX")) {
+      if (*Env)
+        Candidates.push_back(Env);
+    }
+    if (Candidates.empty())
+      Candidates = {"c++", "g++", "clang++"};
+    for (const std::string &C : Candidates) {
+      std::string V = toolVersionLine(C);
+      if (V.empty())
+        continue;
+      T.OK = true;
+      T.Cxx = C;
+      T.Id = fnv1a64(V + "|" + jitFlags());
+      break;
+    }
+    return T;
+  }();
+  return TC;
+}
+
+/// Include root the generated TU resolves simtvec headers from.
+std::string jitIncludeDir() {
+  if (const char *Env = std::getenv("SIMTVEC_JIT_INCLUDE"))
+    if (*Env)
+      return Env;
+#ifdef SIMTVEC_JIT_INCLUDE_DIR
+  return SIMTVEC_JIT_INCLUDE_DIR;
+#else
+  return std::string();
+#endif
+}
+
+bool keepJitTemps() {
+  const char *E = std::getenv("SIMTVEC_JIT_KEEP");
+  return E && *E && std::strcmp(E, "0") != 0;
+}
+
+/// POSIX-shell single-quote. Paths reach std::system inside these.
+std::string shellQuote(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out.push_back('\'');
+  for (char C : S) {
+    if (C == '\'')
+      Out += "'\\''";
+    else
+      Out.push_back(C);
+  }
+  Out.push_back('\'');
+  return Out;
+}
+
+std::string scratchBaseDir(bool Persistent, const std::string &CacheDir) {
+  if (Persistent)
+    return CacheDir; // same filesystem as the publish target → atomic rename
+  if (const char *T = std::getenv("TMPDIR"))
+    if (*T)
+      return T;
+  return "/tmp";
+}
+
+} // namespace
+
+void SpecializationService::setAsyncSubmit(
+    std::function<void(std::function<void()>)> Submit) {
+  std::lock_guard<std::mutex> G(JitLock);
+  AsyncSubmit = std::move(Submit);
+}
+
+std::string
+SpecializationService::nativeObjectPath(const TranslationCache::Key &K) {
+  if (!persistent())
+    return std::string();
+  const Toolchain &TC = hostToolchain();
+  if (!TC.OK)
+    return std::string();
+  return formatString(
+      "%s/%s.w%u.%016llx.%016llx%s", Opts.CacheDir.c_str(),
+      sanitizeName(K.KernelName).c_str(), K.WarpSize,
+      static_cast<unsigned long long>(fingerprintFor(K)),
+      static_cast<unsigned long long>(TC.Id), NativeExt);
+}
+
+void SpecializationService::requestNative(
+    const TranslationCache::Key &K, std::shared_ptr<const KernelExec> Exec,
+    bool Sync) {
+#if !SIMTVEC_JIT_HOST
+  (void)K;
+  (void)Exec;
+  (void)Sync;
+  return;
+#else
+  if (!Exec)
+    return;
+  // Cheap pre-check; claimJit() below is the authoritative single-compile
+  // gate (exactly one caller wins the None -> Queued transition).
+  if (Exec->jitState() != JitState::None)
+    return;
+  const Toolchain &TC = hostToolchain();
+  if (!TC.OK)
+    return; // leave unclaimed: discovery is static, nothing to retry
+  if (!Exec->claimJit())
+    return;
+
+  // The job owns everything it touches by value (plus shared_ptrs): it may
+  // run detached on the worker pool after this service is destroyed, so it
+  // must never dereference `this`.
+  struct JobCtx {
+    std::string SoPath;     ///< publish target; "" when not persistent
+    std::string ScratchBase;
+    std::string IncludeDir;
+    std::string Cxx;
+    uint64_t BuildFp = 0;
+    MachineModel Machine;
+    uint32_t WarpSize = 1;
+    bool Persist = false;
+    bool Keep = false;
+    bool Background = false;
+    std::shared_ptr<const KernelExec> Exec;
+    std::shared_ptr<JitSharedStats> Stats;
+  };
+  auto J = std::make_shared<JobCtx>();
+  J->SoPath = nativeObjectPath(K);
+  J->ScratchBase = scratchBaseDir(persistent(), Opts.CacheDir);
+  J->IncludeDir = jitIncludeDir();
+  J->Cxx = TC.Cxx;
+  J->BuildFp = fingerprintFor(K);
+  J->Machine = Machine;
+  J->WarpSize = Exec->kernel().WarpSize ? Exec->kernel().WarpSize : 1;
+  J->Persist = persistent();
+  J->Keep = keepJitTemps();
+  J->Background = !Sync;
+  J->Exec = std::move(Exec);
+  J->Stats = JitStats;
+
+  auto Run = [J] {
+    const uint64_t LayoutFp = J->Exec->layoutFingerprint();
+    auto &Reg = MetricsRegistry::global();
+
+    auto Publish = [&](std::shared_ptr<NativeModule> M) {
+      SimtvecNativeEntryFn E = M->entry();
+      J->Exec->publishNative(std::move(M), E);
+      J->Stats->Swaps.fetch_add(1, std::memory_order_relaxed);
+      Reg.counter("tc.jit_swap").fetch_add(1, std::memory_order_relaxed);
+      trace::instant("tc.jit_swap", "cache", J->WarpSize, "width");
+    };
+    auto Fail = [&] { J->Exec->failJit(); };
+
+    // Warm path: an earlier process (same fingerprint, same compiler)
+    // already published the object — dlopen without recompiling.
+    if (J->Persist && !J->SoPath.empty()) {
+      if (auto M = NativeModule::loadAndVerify(J->SoPath, LayoutFp,
+                                               J->BuildFp, J->WarpSize)) {
+        J->Stats->Hits.fetch_add(1, std::memory_order_relaxed);
+        Reg.counter("tc.jit_hit").fetch_add(1, std::memory_order_relaxed);
+        trace::instant("tc.jit_hit", "cache", J->WarpSize, "width");
+        Publish(std::move(M));
+        return;
+      }
+      // Stale or corrupt object: fall through and recompile over it.
+    }
+
+    std::string Src = emitNativeSource(*J->Exec, J->Machine, J->BuildFp);
+    if (Src.empty() || J->IncludeDir.empty())
+      return Fail();
+
+    // Private scratch directory; avoids predictable temp names and keeps
+    // concurrent compiles of different executables apart.
+    std::string Templ = J->ScratchBase + "/simtvec-jit-XXXXXX";
+    std::vector<char> Buf(Templ.begin(), Templ.end());
+    Buf.push_back('\0');
+    if (!mkdtemp(Buf.data()))
+      return Fail();
+    const std::string Dir = Buf.data();
+    const std::string CppPath = Dir + "/kernel.cpp";
+    const std::string SoTmp = Dir + "/kernel.so";
+    const std::string LogPath = Dir + "/compile.log";
+    auto Cleanup = [&] {
+      if (J->Keep)
+        return;
+      std::remove(CppPath.c_str());
+      std::remove(SoTmp.c_str());
+      std::remove(LogPath.c_str());
+      rmdir(Dir.c_str());
+    };
+
+    if (writeFileAtomic(CppPath, Src.data(), Src.size()).isError()) {
+      Cleanup();
+      return Fail();
+    }
+
+    // Background compiles run at reduced scheduling priority: the tier is
+    // an optimization, and on narrow hosts an un-niced compiler subprocess
+    // visibly steals cycles from the launches it is trying to speed up.
+    // nice 10 (~10% share under full contention) rather than 19 (~1.5%):
+    // a fully saturated single-core host must still finish the compile in
+    // seconds, not starve it forever. Forced-synchronous compiles
+    // (SIMTVEC_JIT=native) run at full priority — the caller is waiting.
+    std::string Cmd = (J->Background ? "nice -n 10 " : "") +
+                      shellQuote(J->Cxx) + " " + jitFlags() + " -I" +
+                      shellQuote(J->IncludeDir) + " -o " + shellQuote(SoTmp) +
+                      " " + shellQuote(CppPath) + " -lm 2> " +
+                      shellQuote(LogPath);
+    int Rc;
+    {
+      trace::Span S("tc.jit_compile", "cache");
+      S.arg("width", J->WarpSize);
+      J->Stats->Compiles.fetch_add(1, std::memory_order_relaxed);
+      Reg.counter("tc.jit_compile").fetch_add(1, std::memory_order_relaxed);
+      Rc = std::system(Cmd.c_str());
+    }
+    if (Rc != 0) {
+      Cleanup();
+      return Fail();
+    }
+
+    // Publish into the store by rename (same filesystem); on any rename
+    // problem just load the scratch copy — the unlink during Cleanup is
+    // safe, the mapping stays valid after dlopen.
+    std::string LoadPath = SoTmp;
+    if (J->Persist && !J->SoPath.empty() &&
+        std::rename(SoTmp.c_str(), J->SoPath.c_str()) == 0)
+      LoadPath = J->SoPath;
+
+    auto M = NativeModule::loadAndVerify(LoadPath, LayoutFp, J->BuildFp,
+                                         J->WarpSize);
+    if (!M) {
+      Cleanup();
+      return Fail();
+    }
+    Publish(std::move(M));
+    Cleanup();
+  };
+
+  if (Sync) {
+    Run();
+    return;
+  }
+  std::function<void(std::function<void()>)> Submit;
+  {
+    std::lock_guard<std::mutex> G(JitLock);
+    Submit = AsyncSubmit;
+  }
+  if (Submit)
+    Submit(std::move(Run));
+  else
+    Run();
+#endif
 }

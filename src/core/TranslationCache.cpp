@@ -56,6 +56,13 @@ TranslationCache::prepare(const std::string &KernelName) {
   return &Inserted->second;
 }
 
+std::shared_ptr<const KernelExec> TranslationCache::peek(const Key &K) {
+  Shard &S = shardFor(K);
+  std::shared_lock<std::shared_mutex> Guard(S.Lock);
+  auto It = S.Cache.find(K);
+  return It == S.Cache.end() ? nullptr : It->second;
+}
+
 Expected<std::shared_ptr<const KernelExec>>
 TranslationCache::get(const Key &K) {
   Shard &S = shardFor(K);

@@ -126,6 +126,12 @@ Program::compile(const std::string &SvirText, const MachineModel &Machine,
                                                    std::move(Spec));
   P->TC = std::make_unique<TranslationCache>(*P->M, Machine);
   P->TC->setSpecializationService(P->Svc.get());
+  // Background JIT compiles run detached on the process worker pool, off
+  // every launch's critical path (forced SIMTVEC_JIT=native bypasses this
+  // and compiles synchronously in the service).
+  P->Svc->setAsyncSubmit([](std::function<void()> F) {
+    WorkerPool::global().submit(std::move(F));
+  });
   return P;
 }
 
@@ -180,6 +186,7 @@ LaunchConfig Program::makeConfig(const LaunchOptions &Options) const {
   Config.UseOsThreads = Options.UseOsThreads;
   Config.UseReferenceInterp = Options.UseReferenceInterp;
   Config.Simd = Options.Simd;
+  Config.Jit = Options.Jit;
   if (Options.UsePersistentPool && Options.UseOsThreads)
     Config.ParallelFor = [](unsigned N,
                             const std::function<void(unsigned)> &Fn) {

@@ -1,0 +1,57 @@
+//===- support/Jit.cpp - Execution-tier selection -------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// SIMTVEC_JIT env parsing and JitMode resolution. The env var follows the
+// SIMTVEC_SIMD convention: full-string match only, one stderr warning for a
+// rejected value, then the default behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Jit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace simtvec;
+
+JitMode simtvec::jitModeFromEnv() {
+  static const JitMode Cached = [] {
+    const char *Env = std::getenv("SIMTVEC_JIT");
+    if (!Env || !*Env)
+      return JitMode::Auto;
+    if (std::strcmp(Env, "auto") == 0)
+      return JitMode::Auto;
+    if (std::strcmp(Env, "native") == 0)
+      return JitMode::Native;
+    if (std::strcmp(Env, "interp") == 0)
+      return JitMode::Interp;
+    std::fprintf(stderr,
+                 "simtvec: ignoring invalid SIMTVEC_JIT='%s' (expected "
+                 "auto|native|interp); using auto\n",
+                 Env);
+    return JitMode::Auto;
+  }();
+  return Cached;
+}
+
+JitMode simtvec::resolveJitMode(JitMode Mode) {
+  if (Mode == JitMode::Auto)
+    Mode = jitModeFromEnv();
+  return Mode;
+}
+
+const char *simtvec::jitModeName(JitMode Mode) {
+  switch (Mode) {
+  case JitMode::Native:
+    return "native";
+  case JitMode::Interp:
+    return "interp";
+  case JitMode::Auto:
+    break;
+  }
+  return "auto";
+}

@@ -1402,3 +1402,115 @@ Interpreter::Result Interpreter::runReference(const KernelExec &Exec,
     Block = NextBlock;
   }
 }
+
+//===----------------------------------------------------------------------===
+// Native tier: marshal one warp entry across the dlopen ABI and map the
+// result back. The host keeps ownership of exactly the state run() uses —
+// register file, modeled L1 arrays, counters — so a warp entry can run on
+// either tier with bit-identical memory effects and counters.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+void nativeAtomLock(void *Atomics, uint64_t Addr) {
+  static_cast<AtomicStripes *>(Atomics)->lockFor(Addr).lock();
+}
+
+void nativeAtomUnlock(void *Atomics, uint64_t Addr) {
+  static_cast<AtomicStripes *>(Atomics)->lockFor(Addr).unlock();
+}
+
+} // namespace
+
+Interpreter::Result Interpreter::runNative(SimtvecNativeEntryFn Fn,
+                                           const KernelExec &Exec,
+                                           const Warp &W, ExecMemory &Mem,
+                                           CycleCounters &Counters) {
+#ifndef NDEBUG
+  const uint32_t Width =
+      Exec.kernel().WarpSize ? Exec.kernel().WarpSize : 1;
+  assert(W.Size == Width && "warp size must match the specialization");
+  assert(W.Size <= NativeMaxWarp && "warp exceeds the native ABI");
+  for (uint32_t L = 1; L < W.Size; ++L)
+    assert(W.lane(L).ResumePoint == W.lane(0).ResumePoint &&
+           "warp lanes must share one entry point");
+#endif
+
+  // Register-file preparation identical to run().
+  if (RegFile.size() < Exec.totalSlots())
+    RegFile.resize(Exec.totalSlots(), 0);
+  uint64_t *RF = RegFile.data();
+  for (const auto &[First, Len] : Exec.zeroRanges())
+    std::memset(RF + First, 0, static_cast<size_t>(Len) * sizeof(uint64_t));
+  ensureL1();
+
+  SimtvecNativeArgs A;
+  std::memset(&A, 0, sizeof A);
+  A.RF = RF;
+  for (uint32_t L = 0; L < W.Size; ++L) {
+    const ThreadContext &Ctx = W.lane(L);
+    A.TidX[L] = Ctx.TidX;
+    A.TidY[L] = Ctx.TidY;
+    A.TidZ[L] = Ctx.TidZ;
+    A.ResumePoint[L] = Ctx.ResumePoint;
+    A.LocalMem[L] = reinterpret_cast<unsigned char *>(Ctx.LocalMem);
+  }
+  const ThreadContext &C0 = W.lane(0);
+  A.BlockDimX = C0.BlockDim.X;
+  A.BlockDimY = C0.BlockDim.Y;
+  A.BlockDimZ = C0.BlockDim.Z;
+  A.GridDimX = C0.GridDim.X;
+  A.GridDimY = C0.GridDim.Y;
+  A.GridDimZ = C0.GridDim.Z;
+  A.CtaIdX = C0.CtaId.X;
+  A.CtaIdY = C0.CtaId.Y;
+  A.CtaIdZ = C0.CtaId.Z;
+  A.WarpBaseTid = C0.LinearTid;
+  A.Global = reinterpret_cast<unsigned char *>(Mem.Global);
+  A.GlobalSize = Mem.GlobalSize;
+  A.Shared = reinterpret_cast<unsigned char *>(Mem.Shared);
+  A.SharedSize = Mem.SharedSize;
+  A.ParamBuf = reinterpret_cast<const unsigned char *>(Mem.ParamBuf);
+  A.ParamSize = Mem.ParamSize;
+  A.LocalSize = Mem.LocalSize;
+  A.Atomics = Mem.Atomics;
+  A.AtomLock = nativeAtomLock;
+  A.AtomUnlock = nativeAtomUnlock;
+  A.EMBody = &Counters.SubkernelCycles;
+  A.EMYield = &Counters.YieldCycles;
+  A.Flops = &Counters.Flops;
+  A.InstsExecuted = &Counters.InstsExecuted;
+  A.VectorInsts = &Counters.VectorInsts;
+  A.RestoredValues = &Counters.RestoredValues;
+  A.SpilledValues = &Counters.SpilledValues;
+  A.GlobalAccesses = &Counters.GlobalAccesses;
+  A.GlobalMisses = &Counters.GlobalMisses;
+  A.L1Tags = L1Tags.data();
+  A.L1NextWay = L1NextWay.data();
+  A.L1MRU = L1MRU.data();
+
+  const int32_t Code = Fn(&A);
+
+  // SetRPoint writes resume points through the args block; copy them back
+  // (a no-op when the kernel never rewrote them).
+  for (uint32_t L = 0; L < W.Size; ++L)
+    W.lane(L).ResumePoint = A.ResumePoint[L];
+
+  Result R;
+  if (Code == NativeRetTrap) {
+    A.TrapMsg[sizeof A.TrapMsg - 1] = '\0';
+    R.Trap = std::string(A.TrapMsg);
+    // Trap paths leave lane Status untouched, exactly like run()'s trap().
+    R.Status = ResumeStatus::Exit;
+    return R;
+  }
+  ResumeStatus S = ResumeStatus::Exit;
+  if (Code == NativeRetBranch)
+    S = ResumeStatus::Branch;
+  else if (Code == NativeRetBarrier)
+    S = ResumeStatus::Barrier;
+  for (uint32_t L = 0; L < W.Size; ++L)
+    W.lane(L).Status = S;
+  R.Status = S;
+  return R;
+}

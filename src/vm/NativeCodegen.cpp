@@ -1,0 +1,889 @@
+//===- vm/NativeCodegen.cpp - C++ emission for the native tier ------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Translates one pre-decoded executable into a standalone C++ TU. The
+// strategy for bit-identity is to generate *calls into the same inline
+// semantics the interpreter is compiled from* (ScalarOpsImpl.h) with the
+// opcode/kind arguments emitted as integer-cast constants, then let the
+// system compiler fold the dispatch switches at -O2 — the generated object
+// performs the identical sequence of rounded operations, bounds checks and
+// counter updates as Interpreter::run, with all decode-time constants
+// (slots, immediates, cost sums, trap-refund tails, L1 geometry) baked in.
+//
+// Counter fidelity notes:
+//  * Block cost sums and trap-refund tails are doubles folded left-to-right
+//    in stream order. We fold them at emit time with the same order and emit
+//    them as hexfloat literals, which round-trip exactly.
+//  * The modeled L1 is shared state across tiers (the worker's arrays are
+//    passed in), and the emitted probe replicates the fast engine's
+//    MRU-first scan so hit/miss outcomes *and* replacement state evolve
+//    identically whether a warp entry ran native or interpreted.
+//
+// Fused superinstructions are emitted member-by-member in stream order —
+// the decode contract guarantees a fused group's architectural effects are
+// exactly those of its unfused records, and the block counter sums already
+// include the members, so unfused emission is bit-identical.
+//
+// Anything outside the supported envelope returns "" and the caller stays
+// on the interpreter: this is a performance tier, not a completeness tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/vm/NativeCodegen.h"
+
+#include "simtvec/support/Format.h"
+#include "simtvec/vm/Executable.h"
+#include "simtvec/vm/MachineModel.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdarg>
+
+using namespace simtvec;
+
+namespace {
+
+std::string hexU64(uint64_t V) {
+  return formatString("0x%llxull", static_cast<unsigned long long>(V));
+}
+
+/// Hexfloat literals round-trip doubles exactly (printf %a prints full
+/// precision). Parenthesized so negative values compose into expressions.
+std::string dblLit(double V) { return formatString("(%a)", V); }
+
+/// Escapes a string into a C string literal (quotes included).
+std::string cstr(const std::string &S) {
+  std::string R = "\"";
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '\\' || C == '"') {
+      R += '\\';
+      R += C;
+    } else if (U < 32 || U > 126) {
+      R += formatString("\\%03o", U);
+    } else {
+      R += C;
+    }
+  }
+  R += '"';
+  return R;
+}
+
+class NativeEmitter {
+public:
+  NativeEmitter(const KernelExec &Exec, const MachineModel &Machine,
+                uint64_t BuildFp)
+      : Exec(Exec), Machine(Machine), BuildFp(BuildFp),
+        Code(Exec.code().data()),
+        WS(Exec.kernel().WarpSize ? Exec.kernel().WarpSize : 1) {}
+
+  std::string emit();
+
+private:
+  const KernelExec &Exec;
+  const MachineModel &Machine;
+  const uint64_t BuildFp;
+  const DecodedInst *Code;
+  const uint32_t WS;
+
+  std::string O;
+  bool OK = true;
+  uint32_t CurBlock = 0;
+  std::string Bucket; ///< "A->EMBody" or "A->EMYield" for the current block
+
+  void refuse() { OK = false; }
+
+  [[gnu::format(printf, 2, 3)]] void add(const char *Fmt, ...) {
+    va_list Args;
+    va_start(Args, Fmt);
+    O += formatStringV(Fmt, Args);
+    va_end(Args);
+  }
+
+  bool validTarget(uint32_t B) const {
+    return B != InvalidBlock && B < Exec.decodedBlocks().size();
+  }
+
+  std::string specialExpr(SReg S, uint32_t Lane);
+  std::string opExpr(const DecodedOp &Op, uint32_t Lane);
+  std::string baseExpr(AddressSpace Space, uint32_t Lane);
+  std::string limitExpr(AddressSpace Space);
+
+  std::string settleStr(uint32_t AbsIdx);
+  void emitTrapConst(const std::string &Msg, uint32_t AbsIdx);
+  bool emitBounds(uint32_t AbsIdx, AddressSpace Space, bool Write,
+                  unsigned Bytes);
+
+  void emitPrelude();
+  void emitBlock(uint32_t BlockIdx);
+  void emitRecord(uint32_t AbsIdx, const DecodedInst &D, ExecShape S);
+  void emitTerminator(uint32_t AbsIdx, const DecodedInst &D);
+  void emitMemAccess(uint32_t AbsIdx, const DecodedInst &D, ExecShape S);
+  void emitSpillRestore(uint32_t AbsIdx, const DecodedInst &D, bool IsSpill);
+
+  /// The semantic (unfused) shape a record executes with. Fused heads map
+  /// back to the shape of their original opcode; ordinary records keep
+  /// their own.
+  ExecShape semanticShape(const DecodedInst &D);
+};
+
+ExecShape NativeEmitter::semanticShape(const DecodedInst &D) {
+  switch (D.Shape) {
+  case ExecShape::FusedCmpSel:
+    return ExecShape::Setp;
+  case ExecShape::FusedIotaBin:
+    return ExecShape::Iota;
+  case ExecShape::FusedSpillRun:
+    return ExecShape::Spill;
+  case ExecShape::FusedRestoreRun:
+    return ExecShape::Restore;
+  case ExecShape::FusedLdRun:
+    return ExecShape::Ld;
+  case ExecShape::FusedStRun:
+    return ExecShape::St;
+  case ExecShape::FusedKernelRun:
+    // The head's own operation; recover its shape from the opcode.
+    switch (D.Op) {
+    case Opcode::Mov:
+    case Opcode::Broadcast:
+      return ExecShape::Mov;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::Min:
+    case Opcode::Max:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      return ExecShape::Binary;
+    case Opcode::Mad:
+      return ExecShape::Mad;
+    case Opcode::Neg:
+    case Opcode::Abs:
+    case Opcode::Not:
+    case Opcode::Rcp:
+    case Opcode::Sqrt:
+    case Opcode::Rsqrt:
+    case Opcode::Sin:
+    case Opcode::Cos:
+    case Opcode::Lg2:
+    case Opcode::Ex2:
+      return ExecShape::Unary;
+    case Opcode::Setp:
+      return ExecShape::Setp;
+    case Opcode::Selp:
+      return ExecShape::Selp;
+    case Opcode::Cvt:
+      return ExecShape::Cvt;
+    case Opcode::Iota:
+      return ExecShape::Iota;
+    default:
+      refuse();
+      return ExecShape::Nop;
+    }
+  default:
+    return D.Shape;
+  }
+}
+
+std::string NativeEmitter::specialExpr(SReg S, uint32_t Lane) {
+  if (Lane >= NativeMaxWarp) {
+    refuse();
+    return "0ull";
+  }
+  switch (S) {
+  case SReg::TidX:
+    return formatString("(uint64_t)A->TidX[%u]", Lane);
+  case SReg::TidY:
+    return formatString("(uint64_t)A->TidY[%u]", Lane);
+  case SReg::TidZ:
+    return formatString("(uint64_t)A->TidZ[%u]", Lane);
+  case SReg::NTidX:
+    return "(uint64_t)A->BlockDimX";
+  case SReg::NTidY:
+    return "(uint64_t)A->BlockDimY";
+  case SReg::NTidZ:
+    return "(uint64_t)A->BlockDimZ";
+  case SReg::CTAIdX:
+    return "(uint64_t)A->CtaIdX";
+  case SReg::CTAIdY:
+    return "(uint64_t)A->CtaIdY";
+  case SReg::CTAIdZ:
+    return "(uint64_t)A->CtaIdZ";
+  case SReg::NCTAIdX:
+    return "(uint64_t)A->GridDimX";
+  case SReg::NCTAIdY:
+    return "(uint64_t)A->GridDimY";
+  case SReg::NCTAIdZ:
+    return "(uint64_t)A->GridDimZ";
+  case SReg::LaneId:
+    return formatString("%uull", Lane);
+  case SReg::WarpBaseTid:
+    return "(uint64_t)A->WarpBaseTid";
+  case SReg::WarpWidth:
+    return formatString("%uull", WS);
+  case SReg::EntryId:
+    // Read live: SetRPoint may rewrite the resume points mid-run before
+    // the resume-dispatch switch reads this (lane 0, like the interpreter).
+    return "(uint64_t)A->ResumePoint[0]";
+  }
+  refuse();
+  return "0ull";
+}
+
+std::string NativeEmitter::opExpr(const DecodedOp &Op, uint32_t Lane) {
+  switch (Op.K) {
+  case DecodedOp::Kind::RegVec:
+    return formatString("RF[%uu]", Op.Slot + Lane);
+  case DecodedOp::Kind::RegScal:
+    return formatString("RF[%uu]", Op.Slot);
+  case DecodedOp::Kind::Imm:
+    return hexU64(Op.Imm);
+  case DecodedOp::Kind::Special:
+    return specialExpr(Op.S, Lane);
+  case DecodedOp::Kind::None:
+    break;
+  }
+  refuse();
+  return "0ull";
+}
+
+std::string NativeEmitter::baseExpr(AddressSpace Space, uint32_t Lane) {
+  switch (Space) {
+  case AddressSpace::Global:
+    return "A->Global";
+  case AddressSpace::Shared:
+    return "A->Shared";
+  case AddressSpace::Local:
+    if (Lane >= NativeMaxWarp) {
+      refuse();
+      return "A->Global";
+    }
+    return formatString("A->LocalMem[%u]", Lane);
+  case AddressSpace::Param:
+    return "A->ParamBuf";
+  }
+  refuse();
+  return "A->Global";
+}
+
+std::string NativeEmitter::limitExpr(AddressSpace Space) {
+  switch (Space) {
+  case AddressSpace::Global:
+    return "A->GlobalSize";
+  case AddressSpace::Shared:
+    return "A->SharedSize";
+  case AddressSpace::Local:
+    return "A->LocalSize";
+  case AddressSpace::Param:
+    return "A->ParamSize";
+  }
+  refuse();
+  return "A->GlobalSize";
+}
+
+std::string NativeEmitter::settleStr(uint32_t AbsIdx) {
+  // Refund the records strictly after the trapping one, folded in stream
+  // order from 0.0 exactly like Interpreter::run's settleTrap.
+  const DecodedBlock &B = Exec.decodedBlocks()[CurBlock];
+  double TailCost = 0;
+  uint64_t TailInsts = 0, TailVec = 0, TailFlops = 0;
+  for (uint32_t P = AbsIdx + 1; P < B.First + B.Count; ++P) {
+    const DecodedInst &D = Code[P];
+    TailCost += D.Cost;
+    ++TailInsts;
+    TailVec += D.IsVector ? 1 : 0;
+    TailFlops += D.Flops;
+  }
+  if (!std::isfinite(TailCost))
+    refuse();
+  return formatString("      *%s -= %s;\n"
+                      "      *A->InstsExecuted -= %lluull;\n"
+                      "      *A->VectorInsts -= %lluull;\n"
+                      "      *A->Flops -= %lluull;\n"
+                      "      return 3;\n",
+                      Bucket.c_str(), dblLit(TailCost).c_str(),
+                      static_cast<unsigned long long>(TailInsts),
+                      static_cast<unsigned long long>(TailVec),
+                      static_cast<unsigned long long>(TailFlops));
+}
+
+void NativeEmitter::emitTrapConst(const std::string &Msg, uint32_t AbsIdx) {
+  add("      std::snprintf(A->TrapMsg, sizeof A->TrapMsg, \"%%s\", %s);\n",
+      cstr(Msg).c_str());
+  O += settleStr(AbsIdx);
+}
+
+/// Emits the overflow-proof bounds check (and, on failure, the trap path)
+/// for one access of \p Bytes at the in-scope `Addr`. Returns false when
+/// the access unconditionally traps (Param writes) — the caller must not
+/// emit the access body.
+bool NativeEmitter::emitBounds(uint32_t AbsIdx, AddressSpace Space,
+                               bool Write, unsigned Bytes) {
+  if (Space == AddressSpace::Param && Write) {
+    emitTrapConst("store to the read-only parameter space", AbsIdx);
+    return false;
+  }
+  std::string Limit = limitExpr(Space);
+  add("      if ((uint64_t)%uu > %s || Addr > %s - (uint64_t)%uu) {\n", Bytes,
+      Limit.c_str(), Limit.c_str(), Bytes);
+  switch (Space) {
+  case AddressSpace::Global:
+    add("        std::snprintf(A->TrapMsg, sizeof A->TrapMsg,\n"
+        "            \"out-of-bounds global access at 0x%%llx (+%%zu)\",\n"
+        "            (unsigned long long)Addr, (size_t)%uu);\n",
+        Bytes);
+    break;
+  case AddressSpace::Shared:
+    add("        std::snprintf(A->TrapMsg, sizeof A->TrapMsg,\n"
+        "            \"out-of-bounds shared access at 0x%%llx\",\n"
+        "            (unsigned long long)Addr);\n");
+    break;
+  case AddressSpace::Local:
+    add("        std::snprintf(A->TrapMsg, sizeof A->TrapMsg,\n"
+        "            \"out-of-bounds local access at 0x%%llx\",\n"
+        "            (unsigned long long)Addr);\n");
+    break;
+  case AddressSpace::Param:
+    add("        std::snprintf(A->TrapMsg, sizeof A->TrapMsg,\n"
+        "            \"out-of-bounds param access at 0x%%llx\",\n"
+        "            (unsigned long long)Addr);\n");
+    break;
+  }
+  O += "  " + settleStr(AbsIdx); // extra indent inside the if
+  add("      }\n");
+  return true;
+}
+
+void NativeEmitter::emitPrelude() {
+  add("// Generated by the SIMTVec native tier; do not edit.\n"
+      "// kernel '%s'  warp %u  layout %s  build %s\n\n",
+      Exec.kernel().Name.c_str(), WS,
+      formatString("%016llx",
+                   (unsigned long long)Exec.layoutFingerprint())
+          .c_str(),
+      formatString("%016llx", (unsigned long long)BuildFp).c_str());
+  O += "#include \"simtvec/ir/ScalarOpsImpl.h\"\n"
+       "#include \"simtvec/vm/NativeABI.h\"\n\n"
+       "#include <cstdint>\n"
+       "#include <cstdio>\n"
+       "#include <cstring>\n\n"
+       "namespace {\n\n"
+       "inline uint64_t ldN(const unsigned char *P, unsigned Bytes) {\n"
+       "  switch (Bytes) {\n"
+       "  case 1: { uint8_t V; std::memcpy(&V, P, sizeof V); return V; }\n"
+       "  case 2: { uint16_t V; std::memcpy(&V, P, sizeof V); return V; }\n"
+       "  case 4: { uint32_t V; std::memcpy(&V, P, sizeof V); return V; }\n"
+       "  case 8: { uint64_t V; std::memcpy(&V, P, sizeof V); return V; }\n"
+       "  default: { uint64_t V = 0; std::memcpy(&V, P, Bytes); return V; }\n"
+       "  }\n"
+       "}\n\n"
+       "inline void stN(unsigned char *P, uint64_t V, unsigned Bytes) {\n"
+       "  switch (Bytes) {\n"
+       "  case 1: { uint8_t T = (uint8_t)V; std::memcpy(P, &T, sizeof T); "
+       "break; }\n"
+       "  case 2: { uint16_t T = (uint16_t)V; std::memcpy(P, &T, sizeof T); "
+       "break; }\n"
+       "  case 4: { uint32_t T = (uint32_t)V; std::memcpy(P, &T, sizeof T); "
+       "break; }\n"
+       "  case 8: std::memcpy(P, &V, sizeof V); break;\n"
+       "  default: std::memcpy(P, &V, Bytes); break;\n"
+       "  }\n"
+       "}\n\n";
+
+  // Modeled-L1 probe with the machine geometry folded in. Must evolve the
+  // shared tag/MRU/FIFO arrays exactly like the fast engine's
+  // globalAccessExtra (MRU-first probe, membership scan, FIFO victim).
+  const bool Pow2 = std::has_single_bit(Machine.L1LineBytes) &&
+                    std::has_single_bit(Machine.L1Sets);
+  std::string LineExpr =
+      Pow2 ? formatString("Addr >> %u",
+                          (unsigned)std::countr_zero(Machine.L1LineBytes))
+           : formatString("Addr / %uull", Machine.L1LineBytes);
+  std::string SetExpr = Pow2 ? formatString("Line & %uull", Machine.L1Sets - 1)
+                             : formatString("Line %% %uull", Machine.L1Sets);
+  if (!std::isfinite(Machine.MemMissExtra))
+    refuse();
+  add("inline double l1x(simtvec::SimtvecNativeArgs *A, uint64_t Addr) {\n"
+      "  uint64_t Line = %s;\n"
+      "  uint64_t Set = %s;\n"
+      "  uint64_t *Ways = A->L1Tags + Set * %uull;\n"
+      "  ++*A->GlobalAccesses;\n"
+      "  if (Ways[A->L1MRU[Set]] == Line)\n"
+      "    return 0;\n"
+      "  for (unsigned Way = 0; Way < %uu; ++Way)\n"
+      "    if (Ways[Way] == Line) {\n"
+      "      A->L1MRU[Set] = (uint8_t)Way;\n"
+      "      return 0;\n"
+      "    }\n"
+      "  uint8_t Victim = A->L1NextWay[Set];\n"
+      "  Ways[Victim] = Line;\n"
+      "  A->L1MRU[Set] = Victim;\n"
+      "  A->L1NextWay[Set] = (uint8_t)((Victim + 1u) %% %uu);\n"
+      "  ++*A->GlobalMisses;\n"
+      "  return %s;\n"
+      "}\n\n"
+      "} // namespace\n\n",
+      LineExpr.c_str(), SetExpr.c_str(), Machine.L1Ways, Machine.L1Ways,
+      Machine.L1Ways, dblLit(Machine.MemMissExtra).c_str());
+
+  add("extern \"C\" const simtvec::SimtvecNativeMeta simtvec_native_meta = "
+      "{\n    %uu, (uint32_t)sizeof(simtvec::SimtvecNativeArgs), %s, %s, "
+      "%uu, 0u};\n\n",
+      NativeAbiVersion, hexU64(Exec.layoutFingerprint()).c_str(),
+      hexU64(BuildFp).c_str(), WS);
+
+  O += "extern \"C\" int32_t simtvec_native_entry("
+       "simtvec::SimtvecNativeArgs *A) {\n"
+       "  using namespace simtvec;\n"
+       "  using namespace simtvec::scalarops;\n"
+       "  uint64_t *RF = A->RF;\n"
+       "  int32_t PendingStatus = 2;\n"
+       "  uint64_t Scr[8];\n"
+       "  bool Bad = false;\n"
+       "  (void)RF; (void)PendingStatus; (void)Scr; (void)Bad;\n";
+}
+
+void NativeEmitter::emitMemAccess(uint32_t AbsIdx, const DecodedInst &D,
+                                  ExecShape S) {
+  const bool Write = S != ExecShape::Ld;
+  add("    {\n"
+      "      uint64_t Addr = %s + %s;\n",
+      opExpr(D.Src[0], D.Lane).c_str(),
+      hexU64(static_cast<uint64_t>(D.MemOffset)).c_str());
+  if (!emitBounds(AbsIdx, D.Space, Write, D.MemBytes)) {
+    add("    }\n");
+    return;
+  }
+  if (D.Space == AddressSpace::Global)
+    add("      *%s += l1x(A, Addr);\n", Bucket.c_str());
+  std::string Base = baseExpr(D.Space, D.Lane);
+  switch (S) {
+  case ExecShape::Ld:
+    if (D.DstSlot == InvalidSlot) {
+      refuse();
+      break;
+    }
+    add("      RF[%uu] = ldN(%s + Addr, %uu);\n", D.DstSlot, Base.c_str(),
+        D.MemBytes);
+    break;
+  case ExecShape::St:
+    add("      stN(%s + Addr, %s, %uu);\n", Base.c_str(),
+        opExpr(D.Src[1], D.Lane).c_str(), D.MemBytes);
+    break;
+  case ExecShape::AtomAdd:
+    // Lock -> read-modify-write -> result writeback -> unlock, matching the
+    // interpreter's unique_lock scope (released after the RF write).
+    add("      if (A->Atomics) A->AtomLock(A->Atomics, Addr);\n"
+        "      { uint64_t Old = ldN(%s + Addr, %uu);\n"
+        "        bool BadA = false; (void)BadA;\n"
+        "        uint64_t New = evalBinaryImpl((Opcode)%uu, (ScalarKind)%uu, "
+        "Old, %s, BadA);\n"
+        "        stN(%s + Addr, New, %uu);\n",
+        Base.c_str(), D.MemBytes,
+        static_cast<unsigned>(Opcode::Add), static_cast<unsigned>(D.Kind),
+        opExpr(D.Src[1], D.Lane).c_str(), Base.c_str(), D.MemBytes);
+    if (D.DstSlot != InvalidSlot)
+      add("        RF[%uu] = Old;\n", D.DstSlot);
+    add("      }\n"
+        "      if (A->Atomics) A->AtomUnlock(A->Atomics, Addr);\n");
+    break;
+  default:
+    refuse();
+    break;
+  }
+  add("    }\n");
+}
+
+void NativeEmitter::emitSpillRestore(uint32_t AbsIdx, const DecodedInst &D,
+                                     bool IsSpill) {
+  // The local-space bounds check does not depend on the lane, so one check
+  // covers the whole lane loop; a failure traps before any architectural
+  // effect, exactly like the interpreter faulting at lane 0.
+  if (!IsSpill && D.DstSlot == InvalidSlot) {
+    refuse();
+    return;
+  }
+  add("    {\n"
+      "      if ((uint64_t)%uu > A->LocalSize || %s > A->LocalSize - "
+      "(uint64_t)%uu) {\n",
+      D.MemBytes, hexU64(D.SpillAddr).c_str(), D.MemBytes);
+  emitTrapConst(formatString("out-of-bounds local access at 0x%llx",
+                             static_cast<unsigned long long>(D.SpillAddr)),
+                AbsIdx);
+  add("      }\n");
+  for (uint32_t L = 0; L < D.N; ++L) {
+    uint32_t T = D.IsVector ? L : D.Lane;
+    if (T >= NativeMaxWarp) {
+      refuse();
+      return;
+    }
+    if (IsSpill)
+      add("      stN(A->LocalMem[%u] + %s, %s, %uu);\n", T,
+          hexU64(D.SpillAddr).c_str(), opExpr(D.Src[0], T).c_str(),
+          D.MemBytes);
+    else
+      add("      RF[%uu] = ldN(A->LocalMem[%u] + %s, %uu);\n", D.DstSlot + L,
+          T, hexU64(D.SpillAddr).c_str(), D.MemBytes);
+  }
+  add("      *A->%s += %uull;\n"
+      "    }\n",
+      IsSpill ? "SpilledValues" : "RestoredValues", D.N);
+}
+
+void NativeEmitter::emitRecord(uint32_t AbsIdx, const DecodedInst &D,
+                               ExecShape S) {
+  const uint32_t N = D.N;
+  if (N > NativeMaxWarp || D.SrcN > NativeMaxWarp) {
+    refuse();
+    return;
+  }
+
+  auto ctxLane = [&](uint32_t L) { return D.IsVector ? L : D.Lane; };
+  auto invalidTrap = [&](const std::string &Msg) {
+    // The generic path zeroes every destination lane before trapping.
+    add("    {\n");
+    for (uint32_t L = 0; L < N; ++L)
+      add("      RF[%uu] = 0;\n", D.DstSlot + L);
+    emitTrapConst(Msg, AbsIdx);
+    add("    }\n");
+  };
+
+  switch (S) {
+  case ExecShape::Mov: {
+    const bool PerLane = D.Op == Opcode::Broadcast || D.IsVector;
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = %s;\n", D.DstSlot + L,
+          opExpr(D.Src[0], PerLane ? L : D.Lane).c_str());
+    break;
+  }
+  case ExecShape::Binary: {
+    if (!D.Fn.Bin && !D.Kern.Lanes) {
+      invalidTrap(formatString("invalid %s on %s", opcodeName(D.Op),
+                               D.Ty.str().c_str()));
+      break;
+    }
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = evalBinaryImpl((Opcode)%uu, (ScalarKind)%uu, %s, "
+          "%s, Bad);\n",
+          D.DstSlot + L, static_cast<unsigned>(D.Op),
+          static_cast<unsigned>(D.Kind),
+          opExpr(D.Src[0], ctxLane(L)).c_str(),
+          opExpr(D.Src[1], ctxLane(L)).c_str());
+    break;
+  }
+  case ExecShape::Mad: {
+    if (!D.Fn.MadF && !D.Kern.Lanes) {
+      invalidTrap("invalid mad type");
+      break;
+    }
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = evalMadImpl((ScalarKind)%uu, %s, %s, %s, Bad);\n",
+          D.DstSlot + L, static_cast<unsigned>(D.Kind),
+          opExpr(D.Src[0], ctxLane(L)).c_str(),
+          opExpr(D.Src[1], ctxLane(L)).c_str(),
+          opExpr(D.Src[2], ctxLane(L)).c_str());
+    break;
+  }
+  case ExecShape::Unary: {
+    if (!D.Fn.Un && !D.Kern.Lanes) {
+      invalidTrap(formatString("invalid %s on %s", opcodeName(D.Op),
+                               D.Ty.str().c_str()));
+      break;
+    }
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = evalUnaryImpl((Opcode)%uu, (ScalarKind)%uu, %s, "
+          "Bad);\n",
+          D.DstSlot + L, static_cast<unsigned>(D.Op),
+          static_cast<unsigned>(D.Kind),
+          opExpr(D.Src[0], ctxLane(L)).c_str());
+    break;
+  }
+  case ExecShape::Setp: {
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = evalCmpImpl((CmpOp)%uu, (ScalarKind)%uu, %s, %s) ? "
+          "1ull : 0ull;\n",
+          D.DstSlot + L, static_cast<unsigned>(D.Cmp),
+          static_cast<unsigned>(D.Kind),
+          opExpr(D.Src[0], ctxLane(L)).c_str(),
+          opExpr(D.Src[1], ctxLane(L)).c_str());
+    break;
+  }
+  case ExecShape::Selp: {
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = ((%s & 1) != 0) ? %s : %s;\n", D.DstSlot + L,
+          opExpr(D.Src[2], ctxLane(L)).c_str(),
+          opExpr(D.Src[0], ctxLane(L)).c_str(),
+          opExpr(D.Src[1], ctxLane(L)).c_str());
+    break;
+  }
+  case ExecShape::Cvt: {
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = evalConvertImpl((ScalarKind)%uu, (ScalarKind)%uu, "
+          "%s);\n",
+          D.DstSlot + L, static_cast<unsigned>(D.Kind),
+          static_cast<unsigned>(D.CvtSrcKind),
+          opExpr(D.Src[0], ctxLane(L)).c_str());
+    break;
+  }
+
+  case ExecShape::Ld:
+  case ExecShape::St:
+  case ExecShape::AtomAdd:
+    emitMemAccess(AbsIdx, D, S);
+    break;
+
+  case ExecShape::InsertElement: {
+    if (D.AuxLane >= N) {
+      refuse();
+      break;
+    }
+    add("    {\n");
+    for (uint32_t L = 0; L < N; ++L)
+      add("      Scr[%u] = %s;\n", L, opExpr(D.Src[0], L).c_str());
+    add("      Scr[%u] = %s;\n", D.AuxLane,
+        opExpr(D.Src[1], D.Lane).c_str());
+    for (uint32_t L = 0; L < N; ++L)
+      add("      RF[%uu] = Scr[%u];\n", D.DstSlot + L, L);
+    add("    }\n");
+    break;
+  }
+  case ExecShape::ExtractElement:
+    add("    RF[%uu] = %s;\n", D.DstSlot,
+        opExpr(D.Src[0], D.AuxLane).c_str());
+    break;
+  case ExecShape::Iota:
+    for (uint32_t L = 0; L < N; ++L)
+      add("    RF[%uu] = %uull;\n", D.DstSlot + L, L);
+    break;
+  case ExecShape::VoteSum: {
+    std::string Sum;
+    for (uint32_t L = 0; L < D.SrcN; ++L) {
+      if (L)
+        Sum += " + ";
+      Sum += formatString("((%s) & 1)", opExpr(D.Src[0], L).c_str());
+    }
+    if (Sum.empty())
+      Sum = "0ull";
+    add("    RF[%uu] = %s;\n", D.DstSlot, Sum.c_str());
+    break;
+  }
+
+  case ExecShape::Spill:
+    emitSpillRestore(AbsIdx, D, /*IsSpill=*/true);
+    break;
+  case ExecShape::Restore:
+    emitSpillRestore(AbsIdx, D, /*IsSpill=*/false);
+    break;
+
+  case ExecShape::SetRPoint:
+    for (uint32_t L = 0; L < WS; ++L)
+      add("    A->ResumePoint[%u] = (uint32_t)%s;\n", L,
+          opExpr(D.Src[0], L).c_str());
+    break;
+  case ExecShape::SetRStatus:
+    add("    PendingStatus = %d;\n", static_cast<int>(D.Src[0].Imm));
+    break;
+  case ExecShape::Nop:
+    break;
+
+  case ExecShape::BarSync:
+    add("    {\n");
+    emitTrapConst("bar.sync executed directly; barriers must be lowered to "
+                  "yields before execution",
+                  AbsIdx);
+    add("    }\n");
+    break;
+  case ExecShape::Trap:
+    add("    {\n");
+    emitTrapConst("trap instruction executed", AbsIdx);
+    add("    }\n");
+    break;
+
+  case ExecShape::Ret:
+    add("    return 2;\n");
+    break;
+  case ExecShape::Yield:
+    add("    return PendingStatus;\n");
+    break;
+
+  case ExecShape::Bra:
+  case ExecShape::Switch:
+    // A non-final branch only assigns NextBlock, which the block's real
+    // terminator overwrites before it is consulted: no effect to emit.
+    add("    // non-final %s: overwritten by the block terminator\n",
+        S == ExecShape::Bra ? "bra" : "switch");
+    break;
+
+  default:
+    refuse();
+    break;
+  }
+}
+
+void NativeEmitter::emitTerminator(uint32_t AbsIdx, const DecodedInst &D) {
+  switch (D.Shape) {
+  case ExecShape::Bra:
+    if (D.GuardSlot != InvalidSlot) {
+      if (!validTarget(D.Target) || !validTarget(D.FalseTarget)) {
+        refuse();
+        return;
+      }
+      add("    if ((RF[%uu] & 1) %s 0)\n"
+          "      goto B%u;\n"
+          "    goto B%u;\n",
+          D.GuardSlot, D.GuardNegated ? "==" : "!=", D.Target, D.FalseTarget);
+    } else {
+      if (!validTarget(D.Target)) {
+        refuse();
+        return;
+      }
+      add("    goto B%u;\n", D.Target);
+    }
+    return;
+  case ExecShape::Switch: {
+    if (D.GuardSlot != InvalidSlot) {
+      refuse();
+      return;
+    }
+    const DecodedSwitch &SW = Exec.switchTable(D.SwitchId);
+    if (!validTarget(SW.Default)) {
+      refuse();
+      return;
+    }
+    add("    {\n"
+        "      uint64_t V = %s;\n"
+        "      (void)V;\n",
+        opExpr(D.Src[0], 0).c_str());
+    for (size_t Case = 0; Case < SW.Values.size(); ++Case) {
+      if (!validTarget(SW.Targets[Case])) {
+        refuse();
+        return;
+      }
+      add("      if (V == %s) goto B%u;\n",
+          hexU64(static_cast<uint64_t>(SW.Values[Case])).c_str(),
+          SW.Targets[Case]);
+    }
+    add("      goto B%u;\n"
+        "    }\n",
+        SW.Default);
+    return;
+  }
+  case ExecShape::Ret:
+  case ExecShape::Yield:
+  case ExecShape::Trap:
+  case ExecShape::BarSync:
+    if (D.GuardSlot != InvalidSlot) {
+      // A guarded final non-branch could fall off the block end (the
+      // interpreter asserts); refuse rather than guess.
+      refuse();
+      return;
+    }
+    emitRecord(AbsIdx, D, D.Shape);
+    return;
+  default:
+    refuse();
+    return;
+  }
+}
+
+void NativeEmitter::emitBlock(uint32_t BlockIdx) {
+  const DecodedBlock &B = Exec.decodedBlocks()[BlockIdx];
+  CurBlock = BlockIdx;
+  Bucket = B.IsBody ? "A->EMBody" : "A->EMYield";
+  if (B.Count == 0) {
+    refuse();
+    return;
+  }
+  if (!std::isfinite(B.CostSum)) {
+    refuse();
+    return;
+  }
+
+  add("\nB%u: {\n", BlockIdx);
+  // Block-batched counters, added unconditionally on entry (trap paths
+  // refund their tails) — same contract as both interpreter engines.
+  add("  *%s += %s;\n"
+      "  *A->InstsExecuted += %lluull;\n"
+      "  *A->VectorInsts += %lluull;\n"
+      "  *A->Flops += %lluull;\n",
+      Bucket.c_str(), dblLit(B.CostSum).c_str(),
+      static_cast<unsigned long long>(B.InstsSum),
+      static_cast<unsigned long long>(B.VectorSum),
+      static_cast<unsigned long long>(B.FlopsSum));
+
+  const uint32_t End = B.First + B.Count;
+  const uint32_t TermIdx = End - 1;
+  uint32_t I = B.First;
+  // Body records (everything before the terminator).
+  while (I < TermIdx && OK) {
+    const DecodedInst &D = Code[I];
+    const uint32_t Len = D.FuseLen ? D.FuseLen : 1;
+    if (I + Len > TermIdx) {
+      // A fused group may not absorb the block terminator.
+      refuse();
+      return;
+    }
+    const bool Guarded =
+        D.GuardSlot != InvalidSlot && D.Shape != ExecShape::Bra;
+    if (Guarded)
+      add("  if ((RF[%uu] & 1) %s 0) {\n", D.GuardSlot,
+          D.GuardNegated ? "==" : "!=");
+    for (uint32_t J = 0; J < Len && OK; ++J) {
+      const DecodedInst &M = Code[I + J];
+      if (J > 0 && M.FuseLen) {
+        refuse();
+        break;
+      }
+      add("  // inst %u\n", I + J);
+      emitRecord(I + J, M, J == 0 ? semanticShape(M) : M.Shape);
+    }
+    if (Guarded)
+      add("  }\n");
+    I += Len;
+  }
+  if (!OK)
+    return;
+
+  // Terminator.
+  const DecodedInst &Last = Code[End - 1];
+  if (Last.FuseLen) {
+    refuse();
+    return;
+  }
+  add("  // inst %u (terminator)\n", End - 1);
+  emitTerminator(End - 1, Last);
+  add("}\n");
+}
+
+std::string NativeEmitter::emit() {
+  if (WS < 1 || WS > NativeMaxWarp)
+    return "";
+  if (Machine.L1LineBytes == 0 || Machine.L1Sets == 0 || Machine.L1Ways == 0)
+    return "";
+  if (Exec.decodedBlocks().empty())
+    return "";
+
+  emitPrelude();
+  for (uint32_t BI = 0; BI < Exec.decodedBlocks().size() && OK; ++BI)
+    emitBlock(BI);
+  // Unreachable (every block ends in a goto or return), but keeps the
+  // function well-formed for flow-sensitive diagnostics.
+  O += "  return 2;\n}\n";
+  return OK ? O : std::string();
+}
+
+} // namespace
+
+std::string simtvec::emitNativeSource(const KernelExec &Exec,
+                                      const MachineModel &Machine,
+                                      uint64_t BuildFingerprint) {
+  return NativeEmitter(Exec, Machine, BuildFingerprint).emit();
+}

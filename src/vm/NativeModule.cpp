@@ -1,0 +1,82 @@
+//===- vm/NativeModule.cpp - dlopen + verify + hot-swap publish -----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Loading side of the native tier: dlopen the generated object, verify its
+// exported meta block, and (in KernelExec::publishNative) release-publish
+// the entry point so dispatch loops already holding the executable pick the
+// native tier up at their next warp entry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/vm/NativeModule.h"
+
+#include "simtvec/vm/Executable.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#define SIMTVEC_HAVE_DLOPEN 1
+#else
+#define SIMTVEC_HAVE_DLOPEN 0
+#endif
+
+using namespace simtvec;
+
+NativeModule::~NativeModule() {
+#if SIMTVEC_HAVE_DLOPEN
+  if (Handle)
+    dlclose(Handle);
+#endif
+}
+
+std::shared_ptr<NativeModule>
+NativeModule::loadAndVerify(const std::string &Path,
+                            uint64_t LayoutFingerprint,
+                            uint64_t BuildFingerprint, uint32_t WarpSize) {
+#if SIMTVEC_HAVE_DLOPEN
+  void *Handle = dlopen(Path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle)
+    return nullptr;
+
+  auto Fail = [&] {
+    dlclose(Handle);
+    return nullptr;
+  };
+
+  const auto *Meta = reinterpret_cast<const SimtvecNativeMeta *>(
+      dlsym(Handle, NativeMetaSymbol));
+  if (!Meta)
+    return Fail();
+  if (Meta->AbiVersion != NativeAbiVersion ||
+      Meta->ArgsSize != sizeof(SimtvecNativeArgs) ||
+      Meta->LayoutFingerprint != LayoutFingerprint ||
+      Meta->BuildFingerprint != BuildFingerprint ||
+      Meta->WarpSize != WarpSize)
+    return Fail();
+
+  auto Entry = reinterpret_cast<SimtvecNativeEntryFn>(
+      dlsym(Handle, NativeEntrySymbol));
+  if (!Entry)
+    return Fail();
+
+  return std::shared_ptr<NativeModule>(
+      new NativeModule(Handle, Entry, Path));
+#else
+  (void)Path;
+  (void)LayoutFingerprint;
+  (void)BuildFingerprint;
+  (void)WarpSize;
+  return nullptr;
+#endif
+}
+
+void KernelExec::publishNative(std::shared_ptr<NativeModule> Module,
+                               SimtvecNativeEntryFn Entry) const {
+  // Order matters: the module (keeping the .so mapped) must be owned before
+  // any thread can observe the entry pointer.
+  Native = std::move(Module);
+  NativeEntry.store(Entry, std::memory_order_release);
+  Jit.store(JitState::Ready, std::memory_order_release);
+}

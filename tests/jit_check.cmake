@@ -1,0 +1,114 @@
+# Native-tier gate: the background-compiled native tier and the pinned
+# interpreter must be observationally identical everywhere the model can
+# see — same em.* modeled-execution metrics over the full wallclock
+# workload sweep — while the SIMTVEC_JIT env knob selects the tier end to
+# end (the JSON header records which tier actually ran). A warm process
+# must dlopen published .so artifacts without recompiling anything, the
+# differential gtest suites must pass under each forced tier, and invalid
+# SIMTVEC_JIT values must warn on stderr and fall back to auto.
+
+# The tier shells out to the system C++ toolchain; without one every
+# launch silently degrades to the interpreter, so there is nothing this
+# gate can assert — skip cleanly.
+find_program(JIT_CXX NAMES c++ g++ clang++)
+if(NOT JIT_CXX)
+  message(STATUS "jit_check: no host C++ toolchain found; skipping")
+  return()
+endif()
+
+set(CACHE_DIR ${OUT}.cache)
+file(REMOVE_RECURSE ${CACHE_DIR})
+file(MAKE_DIRECTORY ${CACHE_DIR})
+
+# --- forced-native sweep (cold: compiles and publishes .so artifacts) -------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=native
+    SIMTVEC_CACHE_DIR=${CACHE_DIR} ${WALLCLOCK} --metrics ${OUT}.nat 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE nat)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forced-native wallclock run exited with ${rc}")
+endif()
+file(READ ${OUT}.nat nat_json)
+if(NOT nat_json MATCHES "\"jit\": \"native\"")
+  message(FATAL_ERROR
+    "SIMTVEC_JIT=native did not select the native tier:\n${nat_json}")
+endif()
+if(NOT nat MATCHES "tc\\.jit_compile +[1-9]")
+  message(FATAL_ERROR "forced-native run compiled nothing (toolchain at "
+    "${JIT_CXX} was found, so the tier must engage):\n${nat}")
+endif()
+if(NOT nat MATCHES "tc\\.jit_swap +[1-9]")
+  message(FATAL_ERROR "forced-native run published no native entries:\n${nat}")
+endif()
+
+# --- forced-interpreter sweep ----------------------------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=interp
+    SIMTVEC_CACHE_DIR=${CACHE_DIR} ${WALLCLOCK} --metrics ${OUT}.int 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE int)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forced-interp wallclock run exited with ${rc}")
+endif()
+file(READ ${OUT}.int int_json)
+if(NOT int_json MATCHES "\"jit\": \"interp\"")
+  message(FATAL_ERROR
+    "SIMTVEC_JIT=interp did not pin the interpreter:\n${int_json}")
+endif()
+
+# Modeled counters are computed from the decoded stream, which the native
+# tier replays faithfully: every em.* metric agrees bit-for-bit.
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" nat_em "${nat}")
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" int_em "${int}")
+if(NOT nat_em)
+  message(FATAL_ERROR "forced-native run reported no em.* metrics:\n${nat}")
+endif()
+if(NOT "${nat_em}" STREQUAL "${int_em}")
+  message(FATAL_ERROR "modeled metrics differ between execution tiers:\n"
+    "native: ${nat_em}\ninterp: ${int_em}")
+endif()
+
+# --- warm process: .so artifacts resolve from disk, zero recompiles ---------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=native
+    SIMTVEC_CACHE_DIR=${CACHE_DIR} ${WALLCLOCK} --metrics ${OUT}.warm 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE warm)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm forced-native run exited with ${rc}")
+endif()
+if(warm MATCHES "tc\\.jit_compile +[1-9]")
+  message(FATAL_ERROR
+    "warm process recompiled native objects (expected dlopen hits):\n${warm}")
+endif()
+if(NOT warm MATCHES "tc\\.jit_hit +[1-9]")
+  message(FATAL_ERROR "warm process had no native-artifact hits:\n${warm}")
+endif()
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" warm_em "${warm}")
+if(NOT "${nat_em}" STREQUAL "${warm_em}")
+  message(FATAL_ERROR "metrics diverged between cold and warm native runs:\n"
+    "cold: ${nat_em}\nwarm: ${warm_em}")
+endif()
+
+# --- differential gtest suites under each forced tier -----------------------
+# ShapeExec compares engine output and counters against the IR-walking
+# reference across every control-flow shape, and JitHotSwap races the
+# background publish against four concurrent streams; running both under
+# each forced tier re-proves the contract inside the normal test harness.
+foreach(tier native interp)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=${tier}
+      SIMTVEC_CACHE_DIR=${CACHE_DIR} ${TESTS} --gtest_brief=1
+      --gtest_filter=ShapeExec.*:FastPathTest.*:JitHotSwap.*
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "differential suites failed under SIMTVEC_JIT=${tier}:\n${out}${err}")
+  endif()
+endforeach()
+
+# --- invalid values warn and fall back to auto ------------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=bogus
+    ${WALLCLOCK} ${OUT}.bogus 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run with invalid SIMTVEC_JIT exited with ${rc}")
+endif()
+if(NOT err MATCHES "ignoring invalid SIMTVEC_JIT='bogus'")
+  message(FATAL_ERROR
+    "invalid SIMTVEC_JIT did not produce the stderr warning:\n${err}")
+endif()

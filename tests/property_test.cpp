@@ -261,7 +261,15 @@ struct RunOutput {
 
 RunOutput runUnder(const Module &M, const LaunchConfig &Config,
                    uint64_t DataSeed, uint32_t Threads) {
+  // A forced-native launch needs a SpecializationService behind the cache
+  // (it owns the background/synchronous JIT); keep it non-persistent and
+  // attach it only when the config asks for the native tier, so the other
+  // differential configs measure exactly the engines they always did. The
+  // service must outlive the cache.
+  SpecializationService Svc(M, Config.Machine, SpecializationOptions{});
   TranslationCache TC(M, Config.Machine);
+  if (Config.Jit == JitMode::Native)
+    TC.setSpecializationService(&Svc);
   std::vector<std::byte> Global(1 << 20);
   AtomicStripes Atomics;
 
@@ -382,6 +390,33 @@ TEST_P(RandomKernelEquivalence, AllConfigsMatchScalar) {
         << "simd-scalar f32 outputs differ under " << C.Name << " (seed "
         << Seed << ")";
   }
+
+  // Forced-native vs forced-interpreter tier on the same random kernel:
+  // the dlopen'd code the JIT emits must be bit-identical to the
+  // interpreter on outputs. Without a host toolchain (or when codegen
+  // refuses the kernel) the forced-native launch degrades silently to the
+  // interpreter, leaving the comparison trivially true — tests/jit_check
+  // is the job that insists the native tier actually engaged.
+  LaunchConfig NativeTier;
+  NativeTier.MaxWarpSize = 4;
+  NativeTier.UseOsThreads = false;
+  NativeTier.Jit = JitMode::Native;
+  RunOutput GotNative = runUnder(M, NativeTier, Seed * 33 + 1, Threads);
+  LaunchConfig InterpTier = NativeTier;
+  InterpTier.Jit = JitMode::Interp;
+  RunOutput GotInterp = runUnder(M, InterpTier, Seed * 33 + 1, Threads);
+  EXPECT_EQ(GotNative.U, GotInterp.U)
+      << "native-tier u32 outputs differ from interpreter (seed " << Seed
+      << ")";
+  EXPECT_EQ(GotNative.FBits, GotInterp.FBits)
+      << "native-tier f32 outputs differ from interpreter (seed " << Seed
+      << ")";
+  EXPECT_EQ(GotInterp.U, Ref.U)
+      << "forced-interp u32 outputs differ from scalar baseline (seed "
+      << Seed << ")";
+  EXPECT_EQ(GotInterp.FBits, Ref.FBits)
+      << "forced-interp f32 outputs differ from scalar baseline (seed "
+      << Seed << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, RandomKernelEquivalence,

@@ -224,7 +224,8 @@ struct ShapeRun {
 };
 
 ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse,
-                        SimdMode Simd = SimdMode::Auto) {
+                        SimdMode Simd = SimdMode::Auto,
+                        JitMode Jit = JitMode::Auto) {
   auto ProgOrErr = Program::compile(ShapeCoverageSrc);
   EXPECT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
   Device Dev(1 << 16);
@@ -242,6 +243,7 @@ ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse,
   O.UseReferenceInterp = Reference;
   O.Superinstructions = Fuse;
   O.Simd = Simd;
+  O.Jit = Jit;
   auto StatsOrErr = (*ProgOrErr)->launch(Dev, "shapes", {2, 1, 1},
                                          {32, 1, 1}, Params, O);
   EXPECT_TRUE(static_cast<bool>(StatsOrErr)) << StatsOrErr.status().message();
@@ -309,6 +311,33 @@ TEST(ShapeExec, SimdPathsMatchBitIdenticallyAtAllWidths) {
       ShapeRun Sca = runShapeKernel(Width, false, Fuse, SimdMode::Scalar);
       expectShapeRunsMatch(Vec, Sca);
       expectShapeRunsMatch(Vec, Ref);
+    }
+  }
+}
+
+TEST(ShapeExec, JitTiersMatchBitIdenticallyAtAllWidths) {
+  // The native-tier differential: LaunchStats — outputs, modeled cycle
+  // counters, entry histograms, yield counts — must be bit-identical
+  // across all three Jit modes at every width. Forced native compiles
+  // synchronously before the first warp entry; forced interp pins the
+  // oracle; Auto is the production tiered path (whatever mix of tiers it
+  // runs, the stats may not move). Without a host toolchain forced native
+  // degrades to the interpreter and the comparison is trivially true.
+  for (uint32_t Width : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(Width));
+    ShapeRun Interp =
+        runShapeKernel(Width, false, true, SimdMode::Auto, JitMode::Interp);
+    ShapeRun Native =
+        runShapeKernel(Width, false, true, SimdMode::Auto, JitMode::Native);
+    ShapeRun Tiered =
+        runShapeKernel(Width, false, true, SimdMode::Auto, JitMode::Auto);
+    {
+      SCOPED_TRACE("forced native vs forced interp");
+      expectShapeRunsMatch(Native, Interp);
+    }
+    {
+      SCOPED_TRACE("tiered auto vs forced interp");
+      expectShapeRunsMatch(Tiered, Interp);
     }
   }
 }

@@ -121,6 +121,53 @@ TEST(Streams, ConcurrentStreamsMatchSerialExecution) {
     H.join();
 }
 
+TEST(JitHotSwap, SwapUnderConcurrentStreamsMatchesInterpreter) {
+  // Tiered-auto launches on four concurrent streams while the background
+  // JIT compiles and hot-swaps the shared executables' entry points:
+  // in-flight dispatch loops pick the native tier up mid-run through the
+  // release/acquire entry-pointer publication, and every launch's outputs
+  // and modeled stats must still match the pinned-interpreter reference
+  // bit for bit. The TSan gate runs this suite to prove the swap is clean
+  // under concurrency; without a host toolchain the compile never lands
+  // and the test degenerates to the plain concurrent-streams check.
+  auto Prog = Program::compile(ShapeCoverageSrc).take();
+  LaunchOptions Interp;
+  Interp.Jit = JitMode::Interp;
+  ShapeResult Ref = runShapesBlocking(*Prog, Interp);
+
+  LaunchOptions O;
+  O.Jit = JitMode::Auto; // interpret now, hot-swap when the compile lands
+  constexpr int NumStreams = 4;
+  constexpr int Reps = 8;
+  std::vector<std::thread> Hosts;
+  Hosts.reserve(NumStreams);
+  for (int T = 0; T < NumStreams; ++T)
+    Hosts.emplace_back([&] {
+      Device Dev(ShapeArenaBytes);
+      Stream S;
+      auto [Out, Acc] = allocShapeBuffers(Dev);
+      Params P;
+      P.u64(Out).u64(Acc);
+      for (int R = 0; R < Reps; ++R) {
+        Dev.memset(Out, 0, 1024);
+        Dev.memset(Acc, 0, 16);
+        LaunchFuture F =
+            Prog->launchAsync(S, Dev, "shapes", {2, 1, 1}, {32, 1, 1}, P, O);
+        Status E = S.synchronize();
+        EXPECT_FALSE(E.isError()) << E.message();
+        auto StatsOrErr = F.get();
+        ASSERT_TRUE(static_cast<bool>(StatsOrErr))
+            << StatsOrErr.status().message();
+        ShapeResult Got;
+        Got.Stats = *StatsOrErr;
+        Got.Arena.assign(Dev.data(), Dev.data() + Dev.size());
+        expectMatchesReference(Got, Ref);
+      }
+    });
+  for (std::thread &H : Hosts)
+    H.join();
+}
+
 const char *ScaleSrc = R"(
 .kernel scale (.param .u64 buf, .param .u32 n)
 {

@@ -6,11 +6,17 @@
 ///
 /// Compares two BENCH_wallclock.json files (as emitted by
 /// bench/wallclock_throughput) and reports the per-(workload, width,
-/// workers, simd-path) wall-time delta plus the geometric-mean speedup of
-/// NEW over OLD. Results emitted before the simd field existed key as
-/// "scalar" (the pre-SIMD engine ran the scalar lane loops).
+/// workers, simd-path, jit-tier) wall-time delta plus the geometric-mean
+/// speedup of NEW over OLD. Results emitted before the simd field existed
+/// key as "scalar" (the pre-SIMD engine ran the scalar lane loops);
+/// results from before the native tier key as "interp".
 ///
-/// Usage: bench_diff OLD.json NEW.json
+/// Usage: bench_diff [--force] OLD.json NEW.json
+///
+/// The two files must have been measured under the same configuration:
+/// when the headers disagree on "compiler", "flags" or "native" the
+/// comparison is apples-to-oranges and bench_diff refuses (exit 1).
+/// `--force` downgrades the refusal to a loud warning.
 ///
 /// Speedup is OLD seconds / NEW seconds, so values above 1.0 mean NEW is
 /// faster. Cells present in only one file are listed and excluded from the
@@ -31,7 +37,16 @@
 
 namespace {
 
-using CellKey = std::tuple<std::string, unsigned, unsigned, std::string>;
+using CellKey =
+    std::tuple<std::string, unsigned, unsigned, std::string, std::string>;
+
+/// Header fields that pin the measurement configuration. Two trajectories
+/// are only comparable when all three match.
+struct Header {
+  std::string Compiler;
+  std::string Flags;
+  std::string Native;
+};
 
 /// Pulls the value of `"Key": <...>` out of one result object. Returns the
 /// raw token text (string values without quotes), or an empty string when
@@ -58,9 +73,11 @@ std::string fieldValue(const std::string &Obj, const char *Key) {
 }
 
 /// Parses the `results` array of a wallclock_throughput JSON file into
-/// (workload, width, workers, simd) -> seconds. The format is the harness's
-/// own fixed emission, so a keyed scan over the result objects suffices.
-bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
+/// (workload, width, workers, simd, jit) -> seconds, and the provenance
+/// header into \p H. The format is the harness's own fixed emission, so a
+/// keyed scan over the result objects suffices.
+bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells,
+                     Header &H) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "bench_diff: cannot open %s\n", Path);
@@ -75,6 +92,10 @@ bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
     std::fprintf(stderr, "bench_diff: %s has no \"results\" array\n", Path);
     return false;
   }
+  const std::string Head = Text.substr(0, Results);
+  H.Compiler = fieldValue(Head, "compiler");
+  H.Flags = fieldValue(Head, "flags");
+  H.Native = fieldValue(Head, "native");
   for (size_t P = Text.find('{', Results); P != std::string::npos;
        P = Text.find('{', P + 1)) {
     size_t E = Text.find('}', P);
@@ -89,13 +110,16 @@ bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
     std::string Simd = fieldValue(Obj, "simd");
     if (Simd.empty())
       Simd = "scalar"; // trajectories from before the SIMD lane kernels
+    std::string Jit = fieldValue(Obj, "jit");
+    if (Jit.empty())
+      Jit = "interp"; // trajectories from before the native tier
     if (Workload.empty() || Width.empty() || Workers.empty() ||
         Seconds.empty())
       continue;
     Cells[{Workload, static_cast<unsigned>(std::strtoul(Width.c_str(),
                                                         nullptr, 10)),
            static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr, 10)),
-           Simd}] = std::strtod(Seconds.c_str(), nullptr);
+           Simd, Jit}] = std::strtod(Seconds.c_str(), nullptr);
   }
   if (Cells.empty()) {
     std::fprintf(stderr, "bench_diff: %s has no result cells\n", Path);
@@ -104,44 +128,92 @@ bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells) {
   return true;
 }
 
+/// Compares the provenance headers; returns the list of mismatched fields
+/// as "name (old vs new)" strings.
+std::vector<std::string> headerMismatches(const Header &A, const Header &B) {
+  std::vector<std::string> Out;
+  auto Check = [&](const char *Name, const std::string &X,
+                   const std::string &Y) {
+    if (X != Y)
+      Out.push_back(std::string(Name) + " ('" + X + "' vs '" + Y + "')");
+  };
+  Check("compiler", A.Compiler, B.Compiler);
+  Check("flags", A.Flags, B.Flags);
+  Check("native", A.Native, B.Native);
+  return Out;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: bench_diff OLD.json NEW.json\n");
+  bool Force = false;
+  int ArgI = 1;
+  if (ArgI < argc && std::strcmp(argv[ArgI], "--force") == 0) {
+    Force = true;
+    ++ArgI;
+  }
+  if (argc - ArgI != 2) {
+    std::fprintf(stderr, "usage: bench_diff [--force] OLD.json NEW.json\n");
     return 1;
   }
+  const char *OldPath = argv[ArgI];
+  const char *NewPath = argv[ArgI + 1];
   std::map<CellKey, double> Old, New;
-  if (!parseTrajectory(argv[1], Old) || !parseTrajectory(argv[2], New))
+  Header OldH, NewH;
+  if (!parseTrajectory(OldPath, Old, OldH) ||
+      !parseTrajectory(NewPath, New, NewH))
     return 1;
 
-  std::printf("%-16s %5s %7s %7s  %10s  %10s  %8s\n", "workload", "width",
-              "workers", "simd", "old ms", "new ms", "speedup");
+  // Refuse apples-to-oranges comparisons: a trajectory measured under a
+  // different compiler, flag set, or -march=native setting moves every
+  // cell for reasons that have nothing to do with the code under test.
+  if (auto Bad = headerMismatches(OldH, NewH); !Bad.empty()) {
+    FILE *Sink = Force ? stdout : stderr;
+    std::fprintf(Sink,
+                 "bench_diff: %s and %s were measured under different "
+                 "configurations:\n",
+                 OldPath, NewPath);
+    for (const std::string &B : Bad)
+      std::fprintf(Sink, "bench_diff:   mismatched %s\n", B.c_str());
+    if (!Force) {
+      std::fprintf(stderr,
+                   "bench_diff: refusing to compare; rerun with --force to "
+                   "override\n");
+      return 1;
+    }
+    std::fprintf(Sink, "bench_diff: WARNING: --force given, comparing "
+                       "anyway — speedups below conflate configuration and "
+                       "code changes\n");
+  }
+
+  std::printf("%-16s %5s %7s %7s %7s  %10s  %10s  %8s\n", "workload",
+              "width", "workers", "simd", "jit", "old ms", "new ms",
+              "speedup");
   double LogSum = 0;
   unsigned Compared = 0;
   for (const auto &[Key, OldSec] : Old) {
     auto It = New.find(Key);
     if (It == New.end()) {
-      std::printf("%-16s %5u %7u %7s  %10.3f  %10s  %8s\n",
+      std::printf("%-16s %5u %7u %7s %7s  %10.3f  %10s  %8s\n",
                   std::get<0>(Key).c_str(), std::get<1>(Key),
-                  std::get<2>(Key), std::get<3>(Key).c_str(), OldSec * 1e3,
-                  "-", "-");
+                  std::get<2>(Key), std::get<3>(Key).c_str(),
+                  std::get<4>(Key).c_str(), OldSec * 1e3, "-", "-");
       continue;
     }
     const double Speedup = OldSec / It->second;
-    std::printf("%-16s %5u %7u %7s  %10.3f  %10.3f  %7.3fx\n",
+    std::printf("%-16s %5u %7u %7s %7s  %10.3f  %10.3f  %7.3fx\n",
                 std::get<0>(Key).c_str(), std::get<1>(Key), std::get<2>(Key),
-                std::get<3>(Key).c_str(), OldSec * 1e3, It->second * 1e3,
-                Speedup);
+                std::get<3>(Key).c_str(), std::get<4>(Key).c_str(),
+                OldSec * 1e3, It->second * 1e3, Speedup);
     LogSum += std::log(Speedup);
     ++Compared;
   }
   for (const auto &[Key, NewSec] : New)
     if (!Old.count(Key))
-      std::printf("%-16s %5u %7u %7s  %10s  %10.3f  %8s\n",
+      std::printf("%-16s %5u %7u %7s %7s  %10s  %10.3f  %8s\n",
                   std::get<0>(Key).c_str(), std::get<1>(Key),
-                  std::get<2>(Key), std::get<3>(Key).c_str(), "-",
-                  NewSec * 1e3, "-");
+                  std::get<2>(Key), std::get<3>(Key).c_str(),
+                  std::get<4>(Key).c_str(), "-", NewSec * 1e3, "-");
 
   if (!Compared) {
     std::fprintf(stderr, "bench_diff: no common cells to compare\n");

@@ -5,15 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// Command-line front-end to the on-disk store the SpecializationService
-/// maintains under SIMTVEC_CACHE_DIR (.svca kernel artifacts plus .svcp
-/// autotune profiles):
+/// maintains under SIMTVEC_CACHE_DIR (.svca kernel artifacts, .svcp
+/// autotune profiles, and .so native-tier objects):
 ///
 ///   cache_tool [--dir DIR] ls       list entries with header metadata
 ///   cache_tool [--dir DIR] verify   validate every entry (header, CRC,
 ///                                   payload decode + re-verification);
 ///                                   exit 1 if any entry is corrupt
-///   cache_tool [--dir DIR] prune    delete corrupt/stale-version entries
-///   cache_tool [--dir DIR] stats    entry/byte totals per kind
+///   cache_tool [--dir DIR] prune [--max-bytes N]
+///                                   delete corrupt/stale-version entries;
+///                                   with --max-bytes, additionally evict
+///                                   least-recently-used entries (by file
+///                                   mtime, oldest first) until the store
+///                                   fits in N bytes
+///   cache_tool [--dir DIR] stats    entry/byte totals per artifact kind
 ///
 /// DIR defaults to $SIMTVEC_CACHE_DIR. The runtime itself never needs this
 /// tool — corrupt entries degrade to cache misses — but CI uses `verify`
@@ -37,16 +42,32 @@ namespace fs = std::filesystem;
 
 namespace {
 
+enum class EntryKind { Artifact, Profile, Native };
+
+const char *kindName(EntryKind K) {
+  switch (K) {
+  case EntryKind::Artifact:
+    return "artifact";
+  case EntryKind::Profile:
+    return "profile";
+  case EntryKind::Native:
+    return "native";
+  }
+  return "?";
+}
+
 struct Entry {
   std::string Path;
   std::string Name; // filename only
   uint64_t Bytes = 0;
-  bool IsProfile = false;
+  EntryKind Kind = EntryKind::Artifact;
+  fs::file_time_type MTime; ///< LRU order for the size-cap policy
 };
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--dir DIR] {ls|verify|prune|stats}\n"
+               "usage: %s [--dir DIR] {ls|verify|prune [--max-bytes N]|"
+               "stats}\n"
                "DIR defaults to $SIMTVEC_CACHE_DIR\n",
                Argv0);
   return 2;
@@ -59,14 +80,19 @@ std::vector<Entry> listStore(const std::string &Dir) {
     if (!DE.is_regular_file(EC))
       continue;
     std::string Ext = DE.path().extension().string();
-    if (Ext != SpecializationService::ArtifactExt &&
-        Ext != SpecializationService::ProfileExt)
-      continue;
     Entry E;
+    if (Ext == SpecializationService::ArtifactExt)
+      E.Kind = EntryKind::Artifact;
+    else if (Ext == SpecializationService::ProfileExt)
+      E.Kind = EntryKind::Profile;
+    else if (Ext == SpecializationService::NativeExt)
+      E.Kind = EntryKind::Native;
+    else
+      continue;
     E.Path = DE.path().string();
     E.Name = DE.path().filename().string();
     E.Bytes = DE.file_size(EC);
-    E.IsProfile = Ext == SpecializationService::ProfileExt;
+    E.MTime = DE.last_write_time(EC);
     Entries.push_back(std::move(E));
   }
   std::sort(Entries.begin(), Entries.end(),
@@ -125,8 +151,9 @@ int main(int argc, char **argv) {
 
   if (Cmd == "ls") {
     for (const Entry &E : Entries) {
-      if (E.IsProfile) {
-        std::printf("%-48s profile  %8llu bytes\n", E.Name.c_str(),
+      if (E.Kind != EntryKind::Artifact) {
+        std::printf("%-48s %-8s %8llu bytes\n", E.Name.c_str(),
+                    kindName(E.Kind),
                     static_cast<unsigned long long>(E.Bytes));
         continue;
       }
@@ -148,8 +175,8 @@ int main(int argc, char **argv) {
     int Bad = 0;
     unsigned Checked = 0;
     for (const Entry &E : Entries) {
-      if (E.IsProfile)
-        continue; // profiles are advisory; the loader re-validates them
+      if (E.Kind != EntryKind::Artifact)
+        continue; // profiles are advisory, native objects verify at dlopen
       ++Checked;
       std::string Detail;
       switch (artifactHealth(E, Detail)) {
@@ -169,41 +196,98 @@ int main(int argc, char **argv) {
   }
 
   if (Cmd == "prune") {
+    // Optional size cap: prune [--max-bytes N].
+    bool HaveCap = false;
+    uint64_t MaxBytes = 0;
+    if (ArgI + 1 < argc && std::strcmp(argv[ArgI + 1], "--max-bytes") == 0) {
+      if (ArgI + 2 >= argc)
+        return usage(argv[0]);
+      char *End = nullptr;
+      MaxBytes = std::strtoull(argv[ArgI + 2], &End, 10);
+      if (!End || *End != '\0') {
+        std::fprintf(stderr, "prune: --max-bytes takes a byte count, got "
+                             "'%s'\n",
+                     argv[ArgI + 2]);
+        return 2;
+      }
+      HaveCap = true;
+    }
+
     unsigned Removed = 0;
+    std::vector<Entry> Kept;
     for (const Entry &E : Entries) {
-      if (E.IsProfile)
+      if (E.Kind != EntryKind::Artifact) {
+        Kept.push_back(E);
         continue;
+      }
       std::string Detail;
-      if (artifactHealth(E, Detail) == Health::Ok)
+      if (artifactHealth(E, Detail) == Health::Ok) {
+        Kept.push_back(E);
         continue;
+      }
       std::error_code EC;
       if (fs::remove(E.Path, EC)) {
         std::printf("removed %s: %s\n", E.Name.c_str(), Detail.c_str());
         ++Removed;
       }
     }
+
+    // Size-cap policy: evict least-recently-used entries (file mtime,
+    // oldest first, across every kind) until the store fits.
+    if (HaveCap) {
+      uint64_t Total = 0;
+      for (const Entry &E : Kept)
+        Total += E.Bytes;
+      std::sort(Kept.begin(), Kept.end(), [](const Entry &A, const Entry &B) {
+        return A.MTime < B.MTime;
+      });
+      for (const Entry &E : Kept) {
+        if (Total <= MaxBytes)
+          break;
+        std::error_code EC;
+        if (fs::remove(E.Path, EC)) {
+          std::printf("evicted %s (%s, %llu bytes, LRU)\n", E.Name.c_str(),
+                      kindName(E.Kind),
+                      static_cast<unsigned long long>(E.Bytes));
+          Total -= E.Bytes;
+          ++Removed;
+        }
+      }
+      std::printf("store now %llu bytes (cap %llu)\n",
+                  static_cast<unsigned long long>(Total),
+                  static_cast<unsigned long long>(MaxBytes));
+    }
     std::printf("pruned %u entries\n", Removed);
     return 0;
   }
 
   if (Cmd == "stats") {
-    uint64_t ArtBytes = 0, ProfBytes = 0;
-    unsigned Arts = 0, Profs = 0, Ok = 0, Bad = 0;
+    uint64_t Bytes[3] = {0, 0, 0};
+    unsigned Count[3] = {0, 0, 0};
+    unsigned Ok = 0, Bad = 0;
     for (const Entry &E : Entries) {
-      if (E.IsProfile) {
-        ++Profs;
-        ProfBytes += E.Bytes;
-        continue;
+      const size_t K = static_cast<size_t>(E.Kind);
+      ++Count[K];
+      Bytes[K] += E.Bytes;
+      if (E.Kind == EntryKind::Artifact) {
+        std::string Detail;
+        (artifactHealth(E, Detail) == Health::Ok ? Ok : Bad) += 1;
       }
-      ++Arts;
-      ArtBytes += E.Bytes;
-      std::string Detail;
-      (artifactHealth(E, Detail) == Health::Ok ? Ok : Bad) += 1;
     }
-    std::printf("artifacts: %u (%llu bytes), %u valid, %u stale/corrupt\n",
-                Arts, static_cast<unsigned long long>(ArtBytes), Ok, Bad);
-    std::printf("profiles:  %u (%llu bytes)\n", Profs,
-                static_cast<unsigned long long>(ProfBytes));
+    uint64_t Total = Bytes[0] + Bytes[1] + Bytes[2];
+    std::printf("artifacts (%s): %u (%llu bytes), %u valid, "
+                "%u stale/corrupt\n",
+                SpecializationService::ArtifactExt,
+                Count[0], static_cast<unsigned long long>(Bytes[0]), Ok, Bad);
+    std::printf("profiles  (%s): %u (%llu bytes)\n",
+                SpecializationService::ProfileExt, Count[1],
+                static_cast<unsigned long long>(Bytes[1]));
+    std::printf("native    (%s):   %u (%llu bytes)\n",
+                SpecializationService::NativeExt, Count[2],
+                static_cast<unsigned long long>(Bytes[2]));
+    std::printf("total: %u entries, %llu bytes\n",
+                Count[0] + Count[1] + Count[2],
+                static_cast<unsigned long long>(Total));
     return 0;
   }
 

@@ -14,7 +14,9 @@
 # persistent artifact store plus warp-width autotuner (SpecCache.*) — and
 # the SIMD lane-kernel suites: the Simd<T,W> value class plus the
 # vector-vs-scalar kernel differentials and resolver audit (SimdClass.*,
-# SimdKernelDiff.*, SimdKernelAudit.*, SimdKnobs.*). After
+# SimdKernelDiff.*, SimdKernelAudit.*, SimdKnobs.*) — and the native-JIT
+# hot-swap race, where the background compile publishes entry pointers
+# into four concurrently dispatching streams (JitHotSwap.*). After
 # the suites pass, a burst of concurrent bench processes is aimed at one
 # shared SIMTVEC_CACHE_DIR (atomic rename-on-publish under contention) and
 # the resulting store must survive `cache_tool verify`. Also registrable as
@@ -27,7 +29,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
