@@ -30,11 +30,14 @@
 ///
 /// Repeated-launch mode: wallclock_throughput --launches N [output.json]
 /// [scale]. Measures launch *overhead* rather than kernel throughput: N
-/// back-to-back launches of each workload on a reduced grid (at most 8
-/// CTAs, so per-launch cost dominates per-thread work), under three
-/// dispatch modes — per-launch OS-thread spawn (`spawn`, the pre-pool
-/// engine), blocking launches on the persistent worker pool (`pool`), and
-/// pipelined asynchronous launches on one stream (`stream`). The emitted
+/// back-to-back launches of each workload on a tiny serving shape (one
+/// CTA of at most 4 threads, so per-launch cost dominates per-thread
+/// work), under several dispatch modes — per-launch OS-thread spawn
+/// (`spawn`, the pre-pool engine), blocking launches on the persistent
+/// worker pool (`pool`), pipelined asynchronous launches on one stream
+/// (`stream`), and replay of a pre-instantiated kernel graph (`graph`: an
+/// 8-launch chain captured once, instantiated once, then replayed N/8
+/// times — the amortized dispatch path graphs exist for). The emitted
 /// JSON keys each (workload, mode) pair as "Workload+mode" so tools/
 /// bench_diff can compare trajectories cell-by-cell.
 ///
@@ -42,6 +45,7 @@
 
 #include "BenchCommon.h"
 
+#include "simtvec/runtime/Graph.h"
 #include "simtvec/support/Trace.h"
 
 #include <algorithm>
@@ -131,6 +135,7 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
   };
   std::vector<ModeSample> Samples;
   double BestPoolSpeedup = 0;
+  double BestGraphSpeedup = 0;
 
   for (const char *Name : Names) {
     const Workload *W = findWorkload(Name);
@@ -140,18 +145,20 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     }
     std::unique_ptr<Program> Prog = compileWorkload(*W);
     auto Inst = W->Make(Scale);
-    // Reduced grid: launch overhead is the quantity under test, so keep
-    // per-launch work small enough that it does not drown the overhead.
-    Dim3 Grid = Inst->Grid;
-    Grid.X = std::min(Grid.X, 8u);
-    Grid.Y = 1;
-    Grid.Z = 1;
-    uint64_t Threads = Grid.count() * Inst->Block.count();
+    // Tiny serving shape: launch overhead is the quantity under test, so
+    // keep per-launch work small enough that it does not drown the
+    // overhead (one CTA, one warp-width of threads).
+    Dim3 Grid = {1, 1, 1};
+    Dim3 Block = Inst->Block;
+    Block.X = std::min(Block.X, 4u);
+    Block.Y = 1;
+    Block.Z = 1;
+    uint64_t Threads = Grid.count() * Block.count();
 
     auto BlockingBatch = [&](const LaunchOptions &O) {
       return [&, O](int N) {
         for (int I = 0; I < N; ++I)
-          launchOrDie(*Prog, *Inst->Dev, W->KernelName, Grid, Inst->Block,
+          launchOrDie(*Prog, *Inst->Dev, W->KernelName, Grid, Block,
                       Inst->Params, O);
       };
     };
@@ -178,7 +185,7 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     {
       std::unique_ptr<Program> ColdProg = compileWorkload(*W);
       double T0 = now();
-      launchOrDie(*ColdProg, *Inst->Dev, W->KernelName, Grid, Inst->Block,
+      launchOrDie(*ColdProg, *Inst->Dev, W->KernelName, Grid, Block,
                   Inst->Params, Pool);
       ColdSec = now() - T0;
     }
@@ -192,13 +199,53 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     double StreamSec = timeBatches(Launches, [&](int N) {
       Stream S;
       for (int I = 0; I < N; ++I)
-        Prog->launchAsync(S, *Inst->Dev, W->KernelName, Grid, Inst->Block,
+        Prog->launchAsync(S, *Inst->Dev, W->KernelName, Grid, Block,
                           Inst->Params, Pool);
       if (Status E = S.synchronize(); E.isError()) {
         std::fprintf(stderr, "%s: %s\n", W->Name, E.message().c_str());
         std::exit(1);
       }
     }) / Launches;
+
+    // Graph replay: capture an 8-launch chain once, instantiate once
+    // (resolving every specialization eagerly, native tier included), then
+    // replay the whole chain per submission. Per-launch cost drops to an
+    // atomic dependency countdown plus the prepared dispatch.
+    constexpr int GraphChain = 8;
+    Graph G;
+    {
+      Stream Cap;
+      if (Status E = Cap.beginCapture(G); E.isError()) {
+        std::fprintf(stderr, "%s: %s\n", W->Name, E.message().c_str());
+        return 1;
+      }
+      for (int I = 0; I < GraphChain; ++I)
+        Prog->launchAsync(Cap, *Inst->Dev, W->KernelName, Grid, Block,
+                          Inst->Params, Pool);
+      if (Status E = Cap.endCapture(); E.isError()) {
+        std::fprintf(stderr, "%s: %s\n", W->Name, E.message().c_str());
+        return 1;
+      }
+    }
+    GraphInstantiateOptions IO;
+    IO.SyncNative = true; // replays must measure the settled tier
+    auto ExecOrErr = G.instantiate(*Prog, IO);
+    if (!ExecOrErr) {
+      std::fprintf(stderr, "%s: %s\n", W->Name,
+                   ExecOrErr.status().message().c_str());
+      return 1;
+    }
+    GraphExec Exec = *ExecOrErr;
+    const int Replays = (Launches + GraphChain - 1) / GraphChain;
+    double GraphSec = timeBatches(Replays, [&](int N) {
+      Stream S;
+      for (int I = 0; I < N; ++I)
+        Exec.launch(S);
+      if (Status E = S.synchronize(); E.isError()) {
+        std::fprintf(stderr, "%s: %s\n", W->Name, E.message().c_str());
+        std::exit(1);
+      }
+    }) / (static_cast<double>(Replays) * GraphChain);
 
     Samples.push_back({std::string(W->Name) + "+spawn", Machine.Cores,
                        SpawnSec, Threads});
@@ -210,14 +257,22 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
         {std::string(W->Name) + "+cold", Machine.Cores, ColdSec, Threads});
     Samples.push_back({std::string(W->Name) + "+jitwarm", Machine.Cores,
                        JitWarmSec, Threads});
+    Samples.push_back(
+        {std::string(W->Name) + "+graph", Machine.Cores, GraphSec, Threads});
     double Speedup = SpawnSec / PoolSec;
     BestPoolSpeedup = std::max(BestPoolSpeedup, Speedup);
+    double GraphSpeedup = StreamSec / GraphSec;
+    BestGraphSpeedup = std::max(BestGraphSpeedup, GraphSpeedup);
     std::printf("%-16s cold %8.1f us  spawn %8.1f us  pool %8.1f us  "
-                "stream %8.1f us  jit-warm %8.1f us  pool-speedup %.2fx\n",
+                "stream %8.1f us  jit-warm %8.1f us  graph %8.1f us  "
+                "pool-speedup %.2fx  graph-speedup %.2fx\n",
                 W->Name, ColdSec * 1e6, SpawnSec * 1e6, PoolSec * 1e6,
-                StreamSec * 1e6, JitWarmSec * 1e6, Speedup);
+                StreamSec * 1e6, JitWarmSec * 1e6, GraphSec * 1e6, Speedup,
+                GraphSpeedup);
   }
   std::printf("best pool-vs-spawn launch speedup: %.2fx\n", BestPoolSpeedup);
+  std::printf("best graph-vs-stream replay speedup: %.2fx\n",
+              BestGraphSpeedup);
 
   FILE *Out = std::fopen(OutPath, "w");
   if (!Out) {

@@ -156,6 +156,12 @@ struct LaunchStats {
   }
 };
 
+/// Validates the geometry/configuration invariants every launch must
+/// satisfy — shared by eager launches (`launchKernel`) and graph
+/// instantiation, so both reject the same shapes with the same messages.
+Status validateLaunchGeometry(const LaunchConfig &Config, Dim3 Grid,
+                              Dim3 Block);
+
 /// Launches \p KernelName over \p Grid x \p Block with the serialized
 /// parameter buffer \p ParamBuf against the global-memory arena
 /// [\p Global, \p Global + \p GlobalSize). Returns the launch statistics or
@@ -166,6 +172,33 @@ launchKernel(TranslationCache &TC, const std::string &KernelName, Dim3 Grid,
              Dim3 Block, const std::vector<std::byte> &ParamBuf,
              std::byte *Global, size_t GlobalSize, AtomicStripes &Atomics,
              const LaunchConfig &Config);
+
+/// A fully resolved launch: geometry validated, kernel layout resolved, and
+/// one executable per warp width fetched from the translation cache — all
+/// ahead of time. Graph instantiation builds one of these per launch node
+/// so that replay performs no validation, no layout lookup, and no
+/// translation-cache get.
+struct PreparedLaunch {
+  std::string KernelName;
+  Dim3 Grid, Block;
+  std::vector<std::byte> ParamBuf;
+  LaunchConfig Config;
+  TranslationCache::KernelLayout Layout;
+  unsigned Workers = 1;
+  /// Executables indexed by log2(width); non-null for every power of two
+  /// up to Config.MaxWarpSize.
+  std::vector<std::shared_ptr<const KernelExec>> Execs;
+};
+
+/// Replays a prepared launch. Semantics, LaunchStats, and em.* metrics are
+/// bit-identical to `launchKernel` over the same arguments; the difference
+/// is purely where the resolution work happened (once, at preparation).
+/// Worker ExecMemos are seeded from \p PL.Execs, so every warp entry is a
+/// memo hit reported via `TranslationCache::noteWarmHits`.
+Expected<LaunchStats> launchPrepared(TranslationCache &TC,
+                                     const PreparedLaunch &PL,
+                                     std::byte *Global, size_t GlobalSize,
+                                     AtomicStripes &Atomics);
 
 } // namespace simtvec
 

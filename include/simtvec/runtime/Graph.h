@@ -1,0 +1,191 @@
+//===- simtvec/runtime/Graph.h - Kernel launch graphs -----------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CUDA-graph-style capture/instantiate/replay: a `Graph` records a DAG of
+/// kernel launches, async device copies, and dependencies; instantiation
+/// resolves every node once (parameter validation, translation-cache gets,
+/// native-tier warmup, width commitment, topological schedule); the
+/// resulting immutable `GraphExec` replays the whole DAG as one stream op
+/// with per-node overhead reduced to an atomic dependency countdown.
+///
+/// Two ways to build a graph:
+///
+/// Explicit builder:
+/// \code
+///   Graph G;
+///   auto A = G.addCopyToDevice(Dev, Buf, Host.data(), Bytes);
+///   auto B = G.addLaunch(Dev, "scale", {8}, {128}, P);
+///   G.addDependency(A, B);
+///   auto Exec = G.instantiate(*Prog);
+/// \endcode
+///
+/// Stream capture (the `launchAsync`/`copy*Async` calls record instead of
+/// executing; cross-stream event record/wait becomes a graph edge):
+/// \code
+///   Graph G;
+///   S.beginCapture(G);
+///   Dev.copyToDeviceAsync(S, Buf, Host.data(), Bytes);
+///   Prog->launchAsync(S, Dev, "scale", {8}, {128}, P);
+///   S.endCapture();
+///   auto Exec = G.instantiate(*Prog);
+/// \endcode
+///
+/// Replay semantics match the equivalent eager stream-op sequence exactly:
+/// `LaunchStats` and the `em.*` metrics are bit-identical, errors are
+/// deferred to `Stream::synchronize` (and the per-launch futures), and
+/// later nodes still run after an earlier node failed. What replay does
+/// *not* repeat is the per-launch resolution work — no parameter
+/// re-validation, no translation-cache misses, no width decisions.
+///
+/// Lifetimes: a GraphExec holds raw pointers to the Program and the Devices
+/// named by its nodes, and to the host buffers of its copy nodes; all must
+/// outlive every replay. A GraphExec is immutable and safe to replay from
+/// several streams concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_RUNTIME_GRAPH_H
+#define SIMTVEC_RUNTIME_GRAPH_H
+
+#include "simtvec/runtime/Runtime.h"
+
+#include <memory>
+#include <vector>
+
+namespace simtvec {
+
+class Graph;
+class GraphExec;
+
+namespace detail {
+
+/// One recorded graph node, as captured or built (unresolved).
+struct GraphNode {
+  enum class Kind : uint8_t { Launch, CopyToDevice, CopyFromDevice };
+  Kind K = Kind::Launch;
+  Device *Dev = nullptr;
+
+  // Launch nodes.
+  std::string KernelName;
+  Dim3 Grid{1, 1, 1}, Block{1, 1, 1};
+  Params P;
+  LaunchOptions Options;
+
+  // Copy nodes.
+  uint64_t DevAddr = 0;
+  const void *HostSrc = nullptr; ///< CopyToDevice source
+  void *HostDst = nullptr;       ///< CopyFromDevice destination
+  size_t Bytes = 0;
+
+  /// Node ids this node waits on (stream order and explicit edges alike).
+  std::vector<size_t> Deps;
+};
+
+/// Shared mutable state of a Graph under construction. Held by shared_ptr:
+/// capturing streams and recorded events reference it while the Graph
+/// object lives elsewhere.
+struct GraphState {
+  std::mutex M;
+  std::vector<GraphNode> Nodes;
+  /// First capture/builder error; sticky — instantiation refuses an
+  /// invalidated graph.
+  Status Err = Status::success();
+  unsigned ActiveCaptures = 0;
+};
+
+/// If \p SS is capturing, appends \p N to the captured graph (with the
+/// stream-order and pending event-wait dependencies) and returns true; the
+/// caller must then skip the eager op. Returns false when not capturing.
+bool captureAppend(StreamState &SS, GraphNode N);
+
+/// If \p SS is capturing, marks \p ES as recorded at the capture's current
+/// tail node and returns true (nothing is enqueued).
+bool captureMarkEvent(StreamState &SS, EventState &ES);
+
+/// If \p SS is capturing, turns a wait on \p ES into a graph edge (or a
+/// sticky capture error when the event was not recorded in the same
+/// capture) and returns true (nothing is enqueued).
+bool captureWaitEvent(StreamState &SS, EventState &ES);
+
+struct GraphExecImpl;
+
+} // namespace detail
+
+/// Instantiation knobs.
+struct GraphInstantiateOptions {
+  /// Compile the native tier synchronously for every node during
+  /// instantiation, so even the first replay runs the JIT tier warm. By
+  /// default warmup is requested asynchronously (forced `Jit = Native`
+  /// nodes always compile synchronously, as in eager launches).
+  bool SyncNative = false;
+};
+
+/// An immutable, fully resolved graph: replayable, copyable (shared
+/// ownership of the schedule), and safe to replay concurrently.
+class GraphExec {
+public:
+  GraphExec() = default;
+
+  /// Enqueues one replay of the whole DAG on \p S as a single stream op.
+  /// Returns one future per launch node, in node order (copy nodes have no
+  /// future; their errors defer to `S.synchronize()`). Node errors do not
+  /// stop the replay — independent later nodes still run, exactly as the
+  /// eager stream sequence would behave.
+  std::vector<LaunchFuture> launch(Stream &S) const;
+
+  /// Number of nodes in the instantiated schedule.
+  size_t size() const;
+
+private:
+  friend class Graph;
+  explicit GraphExec(std::shared_ptr<const detail::GraphExecImpl> I)
+      : I(std::move(I)) {}
+
+  std::shared_ptr<const detail::GraphExecImpl> I;
+};
+
+/// A DAG of kernel launches and async copies under construction.
+class Graph {
+public:
+  using NodeId = size_t;
+
+  Graph();
+
+  /// Builder API: appends an unordered node (dependencies are explicit via
+  /// addDependency). The Params are copied; the Device pointer and, for
+  /// copies, the host buffer must outlive every replay.
+  NodeId addLaunch(Device &Dev, std::string KernelName, Dim3 Grid, Dim3 Block,
+                   Params P, LaunchOptions Options = {});
+  NodeId addCopyToDevice(Device &Dev, uint64_t Dst, const void *Src,
+                         size_t Bytes);
+  NodeId addCopyFromDevice(Device &Dev, void *Dst, uint64_t Src, size_t Bytes);
+
+  /// Makes \p After wait for \p Before. Rejects unknown ids and self-edges;
+  /// cycles are detected at instantiation.
+  Status addDependency(NodeId Before, NodeId After);
+
+  /// Recorded nodes so far (builder plus capture).
+  size_t size() const;
+
+  /// Resolves every node against \p Prog: validates parameters and
+  /// geometry, commits `WidthPolicy::Auto` widths, performs the
+  /// translation-cache gets, requests native-tier compiles, and computes
+  /// the topological schedule. Fails on capture-invalidated graphs, graphs
+  /// with an active capture, cycles, and anything an eager submission of
+  /// the same ops would have rejected.
+  Expected<GraphExec> instantiate(Program &Prog,
+                                  const GraphInstantiateOptions &O = {}) const;
+
+private:
+  friend class Stream;
+
+  std::shared_ptr<detail::GraphState> G;
+};
+
+} // namespace simtvec
+
+#endif // SIMTVEC_RUNTIME_GRAPH_H

@@ -158,13 +158,6 @@ public:
   Params &f32(float V) { return append(Type::f32(), &V, sizeof(V)); }
   Params &f64(double V) { return append(Type::f64(), &V, sizeof(V)); }
 
-  /// Deprecated pre-stream-API names; forward to the typed methods.
-  [[deprecated("use u32()")]] Params &addU32(uint32_t V) { return u32(V); }
-  [[deprecated("use s32()")]] Params &addS32(int32_t V) { return s32(V); }
-  [[deprecated("use u64()")]] Params &addU64(uint64_t V) { return u64(V); }
-  [[deprecated("use f32()")]] Params &addF32(float V) { return f32(V); }
-  [[deprecated("use f64()")]] Params &addF64(double V) { return f64(V); }
-
   const std::vector<std::byte> &bytes() const { return Buffer; }
   const std::vector<Element> &elements() const { return Elements; }
 
@@ -281,6 +274,10 @@ public:
 
 private:
   Program() = default;
+
+  /// Graph instantiation resolves nodes through the same private
+  /// validation/config paths a stream submission uses.
+  friend class Graph;
 
   /// Validates \p P against the kernel's .param signature (arity, types,
   /// offsets). Unknown kernels pass — the launch itself reports those.

@@ -52,10 +52,13 @@ namespace simtvec {
 
 class Stream;
 class Event;
+class Graph;
+class GraphExec;
 
 namespace detail {
 
 struct EventState;
+struct GraphState;
 
 /// What a stream op reports back to the drain loop.
 enum class OpOutcome : uint8_t {
@@ -82,6 +85,15 @@ struct StreamState : std::enable_shared_from_this<StreamState> {
   bool ResumeSignal = false;
   Status Deferred = Status::success(); ///< first async error, sticky
 
+  /// Capture mode (runtime/Graph.h): while set, submissions append graph
+  /// nodes instead of enqueueing ops. CaptureTail is the id of the last
+  /// node this stream captured (SIZE_MAX before the first); PendingWaits
+  /// holds node ids the next captured node must additionally depend on
+  /// (from waitEvent on events recorded in the same capture).
+  std::shared_ptr<GraphState> Capture;
+  size_t CaptureTail = static_cast<size_t>(-1);
+  std::vector<size_t> PendingWaits;
+
   /// Appends an op; schedules a pool drain task if the stream was idle.
   void enqueue(std::function<OpOutcome()> Op);
   /// Runs ops until the queue empties or an op blocks. Caller must hold
@@ -105,6 +117,12 @@ struct EventState {
   Status Err = Status::success(); ///< deferred stream error at fire time
   /// Streams to re-arm when the event fires; each callback runs once.
   std::vector<std::function<void()>> Continuations;
+
+  /// When the event was last recorded on a capturing stream: the capture
+  /// it belongs to and the node id it marks (SIZE_MAX = start of stream).
+  /// waitEvent on a stream capturing the *same* graph turns into an edge.
+  std::weak_ptr<GraphState> CaptureGraph;
+  size_t CaptureNode = static_cast<size_t>(-1);
 
   void fire(Status StreamErr);
 };
@@ -134,6 +152,7 @@ public:
 
 private:
   friend class Program;
+  friend class GraphExec;
   explicit LaunchFuture(std::shared_ptr<detail::LaunchState> S)
       : S(std::move(S)) {}
 
@@ -163,10 +182,26 @@ public:
   /// True when no submitted op is pending (does not clear deferred errors).
   bool idle() const;
 
+  /// Starts capturing into \p G: until endCapture, launches and async
+  /// copies submitted to this stream are recorded as graph nodes (in
+  /// stream order) instead of executing, and event record/wait become
+  /// graph edges. Several streams may capture into one graph (fork/join
+  /// via events). Fails if this stream is already capturing.
+  Status beginCapture(Graph &G);
+
+  /// Ends this stream's capture. Returns the capture's sticky error, if
+  /// any (e.g. a cross-graph event wait) — the graph stays invalidated
+  /// either way. Fails if the stream was not capturing.
+  Status endCapture();
+
+  /// True while this stream is capturing into a graph.
+  bool capturing() const;
+
 private:
   friend class Device;
   friend class Event;
   friend class Program;
+  friend class GraphExec;
 
   std::shared_ptr<detail::StreamState> S;
 };

@@ -1,0 +1,61 @@
+//===- simtvec/support/Env.h - Environment knob parsing ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one shared parser behind every `SIMTVEC_*` environment knob
+/// (`SIMTVEC_SIMD`, `SIMTVEC_JIT`, `SIMTVEC_POOL_THREADS`,
+/// `SIMTVEC_TRACE`, `SIMTVEC_TRACE_BUFFER`, ...). All knobs follow one
+/// contract:
+///
+///  - unset and empty values mean "use the default", silently;
+///  - a set value is validated against the *full* string — trailing
+///    garbage ("8abc"), out-of-range numbers, and unknown enumerators are
+///    rejected, never truncated or partially accepted;
+///  - a rejected value produces exactly one stderr warning of the form
+///    `simtvec: ignoring invalid NAME='value' (expected ...); using ...`
+///    and falls back to the default (a bad knob must never abort a run).
+///
+/// Callers keep their own defaults: the parsers return `std::nullopt` for
+/// "unset / empty / rejected" so the call site's fallback applies in one
+/// place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_ENV_H
+#define SIMTVEC_SUPPORT_ENV_H
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace simtvec {
+namespace env {
+
+/// Reads the integer knob \p Name. Returns the value when it parses as a
+/// full-string integer in [\p Min, \p Max]; returns std::nullopt silently
+/// when the variable is unset or empty, and with the one-line stderr
+/// warning (naming \p FallbackDesc as what will be used instead) when the
+/// value is malformed or out of range.
+std::optional<long long> intKnob(const char *Name, long long Min,
+                                 long long Max, const char *FallbackDesc);
+
+/// Reads the enumerated knob \p Name. Returns the index of the matching
+/// entry of \p Choices (exact, case-sensitive, full-string match); returns
+/// std::nullopt silently when unset or empty, and with the stderr warning
+/// (listing the choices as `a|b|c`) when the value matches none.
+std::optional<size_t> choiceKnob(const char *Name,
+                                 const std::vector<const char *> &Choices,
+                                 const char *FallbackDesc);
+
+/// Reads the boolean knob \p Name: true when the variable is set to
+/// anything other than the empty string or "0". Never warns — every value
+/// is a valid boolean.
+bool boolKnob(const char *Name);
+
+} // namespace env
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_ENV_H

@@ -141,7 +141,9 @@ public:
                    const TranslationCache::KernelLayout &Layout, Dim3 Grid,
                    Dim3 Block, const std::vector<std::byte> &ParamBuf,
                    std::byte *Global, size_t GlobalSize,
-                   AtomicStripes &Atomics, EMArena &Arena)
+                   AtomicStripes &Atomics, EMArena &Arena,
+                   const std::vector<std::shared_ptr<const KernelExec>>
+                       *Prefill = nullptr)
       : TC(TC), KernelName(KernelName), Config(Config), Layout(Layout),
         Grid(Grid), Block(Block), ParamBuf(ParamBuf), Global(Global),
         GlobalSize(GlobalSize), Atomics(Atomics), Interp(Config.Machine),
@@ -152,6 +154,11 @@ public:
         TableUsed(Arena.TableUsed), WarpPtrs(Arena.WarpPtrs) {
     ExecMemo.resize(
         static_cast<size_t>(std::countr_zero(Config.MaxWarpSize)) + 1);
+    // A prepared launch seeds the memo, so every warp entry — including the
+    // first per width — is a memo hit and replay touches no cache lock.
+    if (Prefill)
+      for (size_t I = 0; I < ExecMemo.size() && I < Prefill->size(); ++I)
+        ExecMemo[I] = (*Prefill)[I];
     if (Table.empty())
       Table.resize(64);
   }
@@ -508,65 +515,17 @@ WorkerResult ExecutionManager::run(uint64_t FirstCta, uint64_t Stride) {
   return R;
 }
 
-} // namespace
-
-Expected<LaunchStats>
-simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
-                      Dim3 Grid, Dim3 Block,
-                      const std::vector<std::byte> &ParamBuf,
-                      std::byte *Global, size_t GlobalSize,
-                      AtomicStripes &Atomics, const LaunchConfig &Config) {
-  if (Grid.count() == 0 || Block.count() == 0)
-    return Status::error("empty launch geometry");
-  if (Config.MaxWarpSize < 1 || Config.MaxWarpSize > 8 ||
-      (Config.MaxWarpSize & (Config.MaxWarpSize - 1)) != 0)
-    return Status::error(formatString(
-        "MaxWarpSize must be a power of two in {1,2,4,8}, got %u",
-        Config.MaxWarpSize));
-  if (Config.ThreadInvariantElim &&
-      Config.Formation != WarpFormation::Static)
-    return Status::error(
-        "thread-invariant elimination requires static warp formation");
-  if (Config.ThreadInvariantElim && Block.Y * Block.Z > 1 &&
-      Block.X % Config.MaxWarpSize != 0)
-    return Status::error("thread-invariant elimination requires the CTA "
-                         "x-extent to be a multiple of the warp size");
-  if (Block.count() > (1u << 20))
-    return Status::error("CTA too large");
-
-  auto LayoutOrErr = TC.layoutFor(KernelName);
-  if (!LayoutOrErr)
-    return LayoutOrErr.status();
-  if (LayoutOrErr->ParamBytes > ParamBuf.size())
-    return Status::error(formatString(
-        "kernel '%s' expects %u parameter bytes, launch provided %zu",
-        KernelName.c_str(), LayoutOrErr->ParamBytes, ParamBuf.size()));
-
-  unsigned Workers = Config.Workers ? Config.Workers : Config.Machine.Cores;
-  Workers = static_cast<unsigned>(
-      std::min<uint64_t>(Workers, Grid.count()));
-
-  // Tiered-native hotness trigger: in Auto mode the background compile is
-  // requested only for specializations the cache already holds — i.e. on
-  // the second launch, never the first. A cold launch therefore pays no
-  // compile contention at all (on narrow hosts even a niced background
-  // compiler visibly steals cycles from the launch that triggered it),
-  // and a one-shot kernel never compiles. Forced Native instead compiles
-  // synchronously at the worker memo miss above.
-  if (!Config.UseReferenceInterp &&
-      resolveJitMode(Config.Jit) == JitMode::Auto)
-    if (SpecializationService *Svc = TC.specializationService())
-      for (uint32_t W = 1; W <= Config.MaxWarpSize; W *= 2) {
-        TranslationCache::Key Key{KernelName, W,
-                                  Config.ThreadInvariantElim,
-                                  Config.UniformBranchOpt,
-                                  Config.UniformLoadOpt,
-                                  Config.Superinstructions,
-                                  resolveSimdPath(Config.Simd)};
-        if (std::shared_ptr<const KernelExec> Exec = TC.peek(Key))
-          Svc->requestNative(Key, Exec, /*Sync=*/false);
-      }
-
+/// Dispatches per-worker execution managers over the CTA partition and
+/// aggregates their results — the half of a launch shared verbatim between
+/// eager `launchKernel` and prepared-graph replay, so LaunchStats and em.*
+/// metrics are bit-identical across the two entry points by construction.
+Expected<LaunchStats> runLaunchWorkers(
+    TranslationCache &TC, const std::string &KernelName,
+    const LaunchConfig &Config, const TranslationCache::KernelLayout &Layout,
+    Dim3 Grid, Dim3 Block, const std::vector<std::byte> &ParamBuf,
+    std::byte *Global, size_t GlobalSize, AtomicStripes &Atomics,
+    unsigned Workers,
+    const std::vector<std::shared_ptr<const KernelExec>> *Prefill) {
   // Each worker runs a dynamic execution manager over its statically
   // assigned CTAs (paper §3). The worker bodies are dispatched through the
   // installed ParallelFor hook (the runtime's persistent worker pool) when
@@ -586,8 +545,9 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
     trace::Span WorkerSpan("worker", "em");
     WorkerSpan.arg("worker", WorkerId);
     static thread_local EMArena Arena;
-    ExecutionManager EM(TC, KernelName, Config, *LayoutOrErr, Grid, Block,
-                        ParamBuf, Global, GlobalSize, Atomics, Arena);
+    ExecutionManager EM(TC, KernelName, Config, Layout, Grid, Block,
+                        ParamBuf, Global, GlobalSize, Atomics, Arena,
+                        Prefill);
     Results[WorkerId] = EM.run(WorkerId, Workers);
     if (trace::enabled()) {
       // Per-worker CycleCounters snapshot: the interpreter-accumulated
@@ -637,4 +597,84 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
       Stats.MaxWorkerCycles / (Config.Machine.ClockGHz * 1e9);
   flushLaunchMetrics(Stats);
   return Stats;
+}
+
+} // namespace
+
+Status simtvec::validateLaunchGeometry(const LaunchConfig &Config, Dim3 Grid,
+                                       Dim3 Block) {
+  if (Grid.count() == 0 || Block.count() == 0)
+    return Status::error("empty launch geometry");
+  if (Config.MaxWarpSize < 1 || Config.MaxWarpSize > 8 ||
+      (Config.MaxWarpSize & (Config.MaxWarpSize - 1)) != 0)
+    return Status::error(formatString(
+        "MaxWarpSize must be a power of two in {1,2,4,8}, got %u",
+        Config.MaxWarpSize));
+  if (Config.ThreadInvariantElim &&
+      Config.Formation != WarpFormation::Static)
+    return Status::error(
+        "thread-invariant elimination requires static warp formation");
+  if (Config.ThreadInvariantElim && Block.Y * Block.Z > 1 &&
+      Block.X % Config.MaxWarpSize != 0)
+    return Status::error("thread-invariant elimination requires the CTA "
+                         "x-extent to be a multiple of the warp size");
+  if (Block.count() > (1u << 20))
+    return Status::error("CTA too large");
+  return Status::success();
+}
+
+Expected<LaunchStats>
+simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
+                      Dim3 Grid, Dim3 Block,
+                      const std::vector<std::byte> &ParamBuf,
+                      std::byte *Global, size_t GlobalSize,
+                      AtomicStripes &Atomics, const LaunchConfig &Config) {
+  if (Status E = validateLaunchGeometry(Config, Grid, Block); E.isError())
+    return E;
+
+  auto LayoutOrErr = TC.layoutFor(KernelName);
+  if (!LayoutOrErr)
+    return LayoutOrErr.status();
+  if (LayoutOrErr->ParamBytes > ParamBuf.size())
+    return Status::error(formatString(
+        "kernel '%s' expects %u parameter bytes, launch provided %zu",
+        KernelName.c_str(), LayoutOrErr->ParamBytes, ParamBuf.size()));
+
+  unsigned Workers = Config.Workers ? Config.Workers : Config.Machine.Cores;
+  Workers = static_cast<unsigned>(
+      std::min<uint64_t>(Workers, Grid.count()));
+
+  // Tiered-native hotness trigger: in Auto mode the background compile is
+  // requested only for specializations the cache already holds — i.e. on
+  // the second launch, never the first. A cold launch therefore pays no
+  // compile contention at all (on narrow hosts even a niced background
+  // compiler visibly steals cycles from the launch that triggered it),
+  // and a one-shot kernel never compiles. Forced Native instead compiles
+  // synchronously at the worker memo miss above.
+  if (!Config.UseReferenceInterp &&
+      resolveJitMode(Config.Jit) == JitMode::Auto)
+    if (SpecializationService *Svc = TC.specializationService())
+      for (uint32_t W = 1; W <= Config.MaxWarpSize; W *= 2) {
+        TranslationCache::Key Key{KernelName, W,
+                                  Config.ThreadInvariantElim,
+                                  Config.UniformBranchOpt,
+                                  Config.UniformLoadOpt,
+                                  Config.Superinstructions,
+                                  resolveSimdPath(Config.Simd)};
+        if (std::shared_ptr<const KernelExec> Exec = TC.peek(Key))
+          Svc->requestNative(Key, Exec, /*Sync=*/false);
+      }
+
+  return runLaunchWorkers(TC, KernelName, Config, *LayoutOrErr, Grid, Block,
+                          ParamBuf, Global, GlobalSize, Atomics, Workers,
+                          /*Prefill=*/nullptr);
+}
+
+Expected<LaunchStats>
+simtvec::launchPrepared(TranslationCache &TC, const PreparedLaunch &PL,
+                        std::byte *Global, size_t GlobalSize,
+                        AtomicStripes &Atomics) {
+  return runLaunchWorkers(TC, PL.KernelName, PL.Config, PL.Layout, PL.Grid,
+                          PL.Block, PL.ParamBuf, Global, GlobalSize, Atomics,
+                          PL.Workers, &PL.Execs);
 }

@@ -1,0 +1,501 @@
+//===- runtime/Graph.cpp - Kernel launch graphs ---------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Instantiation is where every per-launch cost a stream pays on each
+// submission is paid exactly once: parameter validation, width commitment,
+// geometry checks, layout lookup, translation-cache gets, native-tier
+// compile requests, and the topological schedule. Replay then walks the
+// precomputed schedule inside a single stream op; the only per-node
+// bookkeeping left is an atomic dependency countdown.
+//
+// Locking: the graph mutex is taken only after any stream mutex is
+// released (mirroring the stream/event discipline in Stream.cpp); a stream
+// mutex and an event mutex are still never held together.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Graph.h"
+
+#include "simtvec/support/Format.h"
+#include "simtvec/support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+using namespace simtvec;
+using namespace simtvec::detail;
+
+//===----------------------------------------------------------------------===//
+// Capture hooks (called from Stream.cpp / Runtime.cpp submission paths)
+//===----------------------------------------------------------------------===//
+
+bool simtvec::detail::captureAppend(StreamState &SS, GraphNode N) {
+  std::shared_ptr<GraphState> G;
+  size_t Tail;
+  std::vector<size_t> Waits;
+  {
+    std::lock_guard<std::mutex> Lock(SS.M);
+    if (!SS.Capture)
+      return false;
+    G = SS.Capture;
+    Tail = SS.CaptureTail;
+    Waits.swap(SS.PendingWaits);
+  }
+  if (Tail != static_cast<size_t>(-1))
+    N.Deps.push_back(Tail);
+  for (size_t W : Waits)
+    N.Deps.push_back(W);
+  size_t Id;
+  {
+    std::lock_guard<std::mutex> Lock(G->M);
+    Id = G->Nodes.size();
+    G->Nodes.push_back(std::move(N));
+  }
+  std::lock_guard<std::mutex> Lock(SS.M);
+  SS.CaptureTail = Id;
+  return true;
+}
+
+bool simtvec::detail::captureMarkEvent(StreamState &SS, EventState &ES) {
+  std::shared_ptr<GraphState> G;
+  size_t Tail;
+  {
+    std::lock_guard<std::mutex> Lock(SS.M);
+    if (!SS.Capture)
+      return false;
+    G = SS.Capture;
+    Tail = SS.CaptureTail;
+  }
+  std::lock_guard<std::mutex> Lock(ES.M);
+  ES.CaptureGraph = G;
+  ES.CaptureNode = Tail;
+  return true;
+}
+
+bool simtvec::detail::captureWaitEvent(StreamState &SS, EventState &ES) {
+  std::shared_ptr<GraphState> G;
+  {
+    std::lock_guard<std::mutex> Lock(SS.M);
+    if (!SS.Capture)
+      return false;
+    G = SS.Capture;
+  }
+  std::shared_ptr<GraphState> EvGraph;
+  size_t EvNode;
+  {
+    std::lock_guard<std::mutex> Lock(ES.M);
+    EvGraph = ES.CaptureGraph.lock();
+    EvNode = ES.CaptureNode;
+  }
+  if (EvGraph != G) {
+    // A captured stream may only join on points recorded in the same
+    // capture; anything else has no meaning inside a graph.
+    std::lock_guard<std::mutex> Lock(G->M);
+    if (!G->Err.isError())
+      G->Err = Status::error(
+          "waitEvent during capture on an event not recorded in this "
+          "capture");
+    return true;
+  }
+  if (EvNode != static_cast<size_t>(-1)) {
+    std::lock_guard<std::mutex> Lock(SS.M);
+    SS.PendingWaits.push_back(EvNode);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream capture entry points
+//===----------------------------------------------------------------------===//
+
+Status Stream::beginCapture(Graph &G) {
+  {
+    std::lock_guard<std::mutex> Lock(S->M);
+    if (S->Capture)
+      return Status::error("stream is already capturing");
+    S->Capture = G.G;
+    S->CaptureTail = static_cast<size_t>(-1);
+    S->PendingWaits.clear();
+  }
+  std::lock_guard<std::mutex> Lock(G.G->M);
+  ++G.G->ActiveCaptures;
+  return Status::success();
+}
+
+Status Stream::endCapture() {
+  std::shared_ptr<GraphState> G;
+  {
+    std::lock_guard<std::mutex> Lock(S->M);
+    if (!S->Capture)
+      return Status::error("endCapture without an active capture");
+    G = std::move(S->Capture);
+    S->Capture = nullptr;
+    S->CaptureTail = static_cast<size_t>(-1);
+    S->PendingWaits.clear();
+  }
+  std::lock_guard<std::mutex> Lock(G->M);
+  --G->ActiveCaptures;
+  return G->Err;
+}
+
+bool Stream::capturing() const {
+  std::lock_guard<std::mutex> Lock(S->M);
+  return S->Capture != nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Graph builder
+//===----------------------------------------------------------------------===//
+
+Graph::Graph() : G(std::make_shared<GraphState>()) {}
+
+Graph::NodeId Graph::addLaunch(Device &Dev, std::string KernelName, Dim3 Grid,
+                               Dim3 Block, Params P, LaunchOptions Options) {
+  GraphNode N;
+  N.K = GraphNode::Kind::Launch;
+  N.Dev = &Dev;
+  N.KernelName = std::move(KernelName);
+  N.Grid = Grid;
+  N.Block = Block;
+  N.P = std::move(P);
+  N.Options = Options;
+  std::lock_guard<std::mutex> Lock(G->M);
+  G->Nodes.push_back(std::move(N));
+  return G->Nodes.size() - 1;
+}
+
+Graph::NodeId Graph::addCopyToDevice(Device &Dev, uint64_t Dst,
+                                     const void *Src, size_t Bytes) {
+  GraphNode N;
+  N.K = GraphNode::Kind::CopyToDevice;
+  N.Dev = &Dev;
+  N.DevAddr = Dst;
+  N.HostSrc = Src;
+  N.Bytes = Bytes;
+  std::lock_guard<std::mutex> Lock(G->M);
+  G->Nodes.push_back(std::move(N));
+  return G->Nodes.size() - 1;
+}
+
+Graph::NodeId Graph::addCopyFromDevice(Device &Dev, void *Dst, uint64_t Src,
+                                       size_t Bytes) {
+  GraphNode N;
+  N.K = GraphNode::Kind::CopyFromDevice;
+  N.Dev = &Dev;
+  N.DevAddr = Src;
+  N.HostDst = Dst;
+  N.Bytes = Bytes;
+  std::lock_guard<std::mutex> Lock(G->M);
+  G->Nodes.push_back(std::move(N));
+  return G->Nodes.size() - 1;
+}
+
+Status Graph::addDependency(NodeId Before, NodeId After) {
+  std::lock_guard<std::mutex> Lock(G->M);
+  if (Before >= G->Nodes.size() || After >= G->Nodes.size())
+    return Status::error(formatString(
+        "addDependency(%zu, %zu): graph has %zu nodes", Before, After,
+        G->Nodes.size()));
+  if (Before == After)
+    return Status::error(
+        formatString("addDependency(%zu, %zu): a node cannot depend on "
+                     "itself",
+                     Before, After));
+  G->Nodes[After].Deps.push_back(Before);
+  return Status::success();
+}
+
+size_t Graph::size() const {
+  std::lock_guard<std::mutex> Lock(G->M);
+  return G->Nodes.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Instantiation
+//===----------------------------------------------------------------------===//
+
+namespace simtvec {
+namespace detail {
+
+/// One fully resolved node of an instantiated graph.
+struct GraphExecNode {
+  GraphNode::Kind K = GraphNode::Kind::Launch;
+  Device *Dev = nullptr;
+
+  PreparedLaunch PL; ///< launch nodes only
+
+  uint64_t DevAddr = 0;
+  const void *HostSrc = nullptr;
+  void *HostDst = nullptr;
+  size_t Bytes = 0;
+
+  std::vector<uint32_t> Succs;
+  uint32_t InitialDeps = 0;
+  /// Index into the per-replay futures vector (launch nodes only).
+  size_t LaunchIndex = static_cast<size_t>(-1);
+};
+
+struct GraphExecImpl {
+  Program *Prog = nullptr;
+  std::vector<GraphExecNode> Nodes;
+  std::vector<uint32_t> Roots; ///< InitialDeps == 0, ascending
+  size_t NumLaunches = 0;
+  MetricsRegistry::Counter *Replays = nullptr;
+};
+
+} // namespace detail
+} // namespace simtvec
+
+Expected<GraphExec> Graph::instantiate(Program &Prog,
+                                       const GraphInstantiateOptions &O) const {
+  trace::Span InstSpan("graph.instantiate", "graph");
+
+  std::vector<GraphNode> Nodes;
+  {
+    std::lock_guard<std::mutex> Lock(G->M);
+    if (G->ActiveCaptures > 0)
+      return Status::error(
+          "cannot instantiate a graph while a stream capture into it is "
+          "active");
+    if (G->Err.isError())
+      return G->Err;
+    Nodes = G->Nodes;
+  }
+  InstSpan.arg("nodes", Nodes.size());
+
+  auto Impl = std::make_shared<GraphExecImpl>();
+  Impl->Prog = &Prog;
+  Impl->Nodes.resize(Nodes.size());
+
+  for (size_t Id = 0; Id < Nodes.size(); ++Id) {
+    const GraphNode &N = Nodes[Id];
+    GraphExecNode &E = Impl->Nodes[Id];
+    E.K = N.K;
+    E.Dev = N.Dev;
+    if (N.K != GraphNode::Kind::Launch) {
+      E.DevAddr = N.DevAddr;
+      E.HostSrc = N.HostSrc;
+      E.HostDst = N.HostDst;
+      E.Bytes = N.Bytes;
+      continue;
+    }
+
+    // Everything an eager submission checks, checked here — with the same
+    // diagnostics — so a graph never accepts a launch a stream would
+    // reject.
+    if (Status S = Prog.validateParams(N.KernelName, N.P); S.isError())
+      return S;
+    LaunchOptions Opt = N.Options;
+    bool Auto = Opt.Policy == LaunchOptions::WidthPolicy::Auto;
+    if (Auto) {
+      // WidthPolicy::Auto commitment: the autotuner's current answer is
+      // frozen into the executable. Replays are deliberately not fed back
+      // as samples — a replayed graph must stay bit-identical run over
+      // run, and exploration belongs to eager launches.
+      Opt.MaxWarpSize = Prog.specialization().chooseWidth(N.KernelName);
+      Opt.Policy = LaunchOptions::WidthPolicy::Fixed;
+    } else if (Opt.MaxWarpSize < 1 || Opt.MaxWarpSize > 8 ||
+               (Opt.MaxWarpSize & (Opt.MaxWarpSize - 1)) != 0) {
+      return Status::error(formatString(
+          "MaxWarpSize must be a power of two in {1,2,4,8}, got %u",
+          Opt.MaxWarpSize));
+    }
+    LaunchConfig Config = Prog.makeConfig(Opt);
+    if (Status S = validateLaunchGeometry(Config, N.Grid, N.Block);
+        S.isError())
+      return S;
+
+    TranslationCache &TC = Prog.translationCache();
+    auto LayoutOrErr = TC.layoutFor(N.KernelName);
+    if (!LayoutOrErr)
+      return LayoutOrErr.status();
+    if (LayoutOrErr->ParamBytes > N.P.bytes().size())
+      return Status::error(formatString(
+          "kernel '%s' expects %u parameter bytes, launch provided %zu",
+          N.KernelName.c_str(), LayoutOrErr->ParamBytes, N.P.bytes().size()));
+
+    PreparedLaunch &PL = E.PL;
+    PL.KernelName = N.KernelName;
+    PL.Grid = N.Grid;
+    PL.Block = N.Block;
+    PL.ParamBuf = N.P.bytes();
+    PL.Config = Config;
+    PL.Layout = *LayoutOrErr;
+    PL.Workers = Config.Workers ? Config.Workers : Config.Machine.Cores;
+    PL.Workers = static_cast<unsigned>(
+        std::min<uint64_t>(PL.Workers, N.Grid.count()));
+
+    // Resolve one executable per warp width now; replay's worker memos are
+    // seeded from these, so a replay performs zero translation-cache
+    // misses. The native tier is requested here too — forced-Native
+    // compiles synchronously (as the eager memo miss would), Auto/tiered
+    // warms in the background unless the instantiation asks for
+    // synchronous warmup.
+    const JitMode JitTier = Config.UseReferenceInterp
+                                ? JitMode::Interp
+                                : resolveJitMode(Config.Jit);
+    PL.Execs.resize(
+        static_cast<size_t>(std::countr_zero(Config.MaxWarpSize)) + 1);
+    for (uint32_t W = 1; W <= Config.MaxWarpSize; W *= 2) {
+      TranslationCache::Key Key{N.KernelName, W,
+                                Config.ThreadInvariantElim,
+                                Config.UniformBranchOpt,
+                                Config.UniformLoadOpt,
+                                Config.Superinstructions,
+                                resolveSimdPath(Config.Simd)};
+      auto ExecOrErr = TC.get(Key);
+      if (!ExecOrErr)
+        return ExecOrErr.status();
+      PL.Execs[std::countr_zero(W)] = *ExecOrErr;
+      if (JitTier != JitMode::Interp)
+        if (SpecializationService *Svc = TC.specializationService())
+          Svc->requestNative(Key, *ExecOrErr,
+                             /*Sync=*/JitTier == JitMode::Native ||
+                                 O.SyncNative);
+    }
+    E.LaunchIndex = Impl->NumLaunches++;
+  }
+
+  // Dependency edges: dedup, then build successor lists and ready counts.
+  for (size_t Id = 0; Id < Nodes.size(); ++Id) {
+    std::vector<size_t> &Deps = Nodes[Id].Deps;
+    std::sort(Deps.begin(), Deps.end());
+    Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
+    for (size_t D : Deps) {
+      if (D >= Nodes.size())
+        return Status::error(
+            formatString("node %zu depends on unknown node %zu", Id, D));
+      Impl->Nodes[D].Succs.push_back(static_cast<uint32_t>(Id));
+    }
+    Impl->Nodes[Id].InitialDeps = static_cast<uint32_t>(Deps.size());
+  }
+
+  // Kahn's algorithm: schedulability check (captured graphs are acyclic by
+  // construction; builder graphs can express cycles via addDependency).
+  {
+    std::vector<uint32_t> Pending(Impl->Nodes.size());
+    std::vector<uint32_t> Ready;
+    for (size_t Id = 0; Id < Impl->Nodes.size(); ++Id) {
+      Pending[Id] = Impl->Nodes[Id].InitialDeps;
+      if (Pending[Id] == 0)
+        Ready.push_back(static_cast<uint32_t>(Id));
+    }
+    Impl->Roots = Ready;
+    size_t Seen = 0;
+    for (size_t Head = 0; Head < Ready.size(); ++Head) {
+      ++Seen;
+      for (uint32_t Succ : Impl->Nodes[Ready[Head]].Succs)
+        if (--Pending[Succ] == 0)
+          Ready.push_back(Succ);
+    }
+    if (Seen != Impl->Nodes.size())
+      return Status::error(formatString(
+          "graph contains a dependency cycle (%zu of %zu nodes "
+          "schedulable)",
+          Seen, Impl->Nodes.size()));
+  }
+
+  Impl->Replays = &MetricsRegistry::global().counter("graph.replays");
+  return GraphExec(std::move(Impl));
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+size_t GraphExec::size() const { return I ? I->Nodes.size() : 0; }
+
+namespace {
+
+/// Executes the whole DAG inside one stream op. Single-threaded walk of the
+/// precomputed schedule: a FIFO ready queue seeded with the roots, each
+/// completed node decrementing its successors' pending counts. Node errors
+/// defer exactly like eager stream ops — noted on the stream, delivered
+/// through the node's future, and the remaining nodes still run.
+void replayGraph(const GraphExecImpl &Impl, StreamState &SS,
+                 const std::vector<std::shared_ptr<LaunchState>> &States) {
+  trace::Span ReplaySpan("graph.replay", "graph");
+  ReplaySpan.arg("nodes", Impl.Nodes.size());
+  Impl.Replays->fetch_add(1, std::memory_order_relaxed);
+
+  const size_t N = Impl.Nodes.size();
+  auto Pending = std::make_unique<std::atomic<uint32_t>[]>(N);
+  for (size_t Id = 0; Id < N; ++Id)
+    Pending[Id].store(Impl.Nodes[Id].InitialDeps, std::memory_order_relaxed);
+
+  std::vector<uint32_t> Ready;
+  Ready.reserve(N);
+  Ready.assign(Impl.Roots.begin(), Impl.Roots.end());
+  for (size_t Head = 0; Head < Ready.size(); ++Head) {
+    const GraphExecNode &Node = Impl.Nodes[Ready[Head]];
+    switch (Node.K) {
+    case GraphNode::Kind::Launch: {
+      Expected<LaunchStats> R =
+          launchPrepared(Impl.Prog->translationCache(), Node.PL,
+                         Node.Dev->data(), Node.Dev->size(),
+                         Node.Dev->atomics());
+      if (!R)
+        SS.noteError(R.status());
+      States[Node.LaunchIndex]->fulfill(std::move(R));
+      break;
+    }
+    case GraphNode::Kind::CopyToDevice:
+      if (Status E =
+              Node.Dev->tryCopyToDevice(Node.DevAddr, Node.HostSrc,
+                                        Node.Bytes);
+          E.isError())
+        SS.noteError(E);
+      break;
+    case GraphNode::Kind::CopyFromDevice:
+      if (Status E = static_cast<const Device *>(Node.Dev)
+                         ->tryCopyFromDevice(Node.HostDst, Node.DevAddr,
+                                             Node.Bytes);
+          E.isError())
+        SS.noteError(E);
+      break;
+    }
+    for (uint32_t Succ : Node.Succs)
+      if (Pending[Succ].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        Ready.push_back(Succ);
+  }
+}
+
+} // namespace
+
+std::vector<LaunchFuture> GraphExec::launch(Stream &St) const {
+  std::vector<LaunchFuture> Futures;
+  if (!I)
+    return Futures;
+  // Replaying into a capture is not supported (a graph is already the
+  // captured form); invalidate the capture rather than silently nesting.
+  {
+    std::lock_guard<std::mutex> Lock(St.S->M);
+    if (St.S->Capture) {
+      std::shared_ptr<GraphState> G = St.S->Capture;
+      std::lock_guard<std::mutex> GLock(G->M);
+      if (!G->Err.isError())
+        G->Err = Status::error(
+            "GraphExec::launch on a capturing stream is not supported");
+      return Futures;
+    }
+  }
+  auto States =
+      std::make_shared<std::vector<std::shared_ptr<detail::LaunchState>>>();
+  States->reserve(I->NumLaunches);
+  Futures.reserve(I->NumLaunches);
+  for (size_t K = 0; K < I->NumLaunches; ++K) {
+    auto LS = std::make_shared<detail::LaunchState>();
+    States->push_back(LS);
+    Futures.push_back(LaunchFuture(LS));
+  }
+  detail::StreamState *SS = St.S.get();
+  St.S->enqueue([Impl = I, SS, States]() -> detail::OpOutcome {
+    replayGraph(*Impl, *SS, *States);
+    return detail::OpOutcome::Done;
+  });
+  return Futures;
+}

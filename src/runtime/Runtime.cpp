@@ -8,6 +8,7 @@
 
 #include "simtvec/ir/Verifier.h"
 #include "simtvec/parser/Parser.h"
+#include "simtvec/runtime/Graph.h"
 #include "simtvec/runtime/WorkerPool.h"
 #include "simtvec/support/Format.h"
 #include "simtvec/support/Trace.h"
@@ -137,6 +138,11 @@ Program::compile(const std::string &SvirText, const MachineModel &Machine,
 
 Status Program::validateParams(const std::string &KernelName,
                                const Params &P) const {
+  // rt.param_validate counts validation passes so graph tests can assert
+  // that replays skip re-validation entirely (it runs once at instantiate).
+  static MetricsRegistry::Counter &ValidateMetric =
+      MetricsRegistry::global().counter("rt.param_validate");
+  ValidateMetric.fetch_add(1, std::memory_order_relaxed);
   const Kernel *K = M->findKernel(KernelName);
   if (!K)
     return Status::success(); // the launch itself reports unknown kernels
@@ -199,6 +205,22 @@ LaunchFuture Program::launchAsync(Stream &S, Device &Dev,
                                   const std::string &KernelName, Dim3 Grid,
                                   Dim3 Block, const Params &P,
                                   const LaunchOptions &Options) {
+  {
+    // Stream capture: record the launch as a graph node instead of
+    // executing it. Validation (and the width decision) happen at
+    // Graph::instantiate; the returned future is empty — the launch's
+    // result belongs to the replays, not the capture.
+    detail::GraphNode N;
+    N.K = detail::GraphNode::Kind::Launch;
+    N.Dev = &Dev;
+    N.KernelName = KernelName;
+    N.Grid = Grid;
+    N.Block = Block;
+    N.P = P;
+    N.Options = Options;
+    if (detail::captureAppend(*S.S, std::move(N)))
+      return LaunchFuture();
+  }
   auto LS = std::make_shared<detail::LaunchState>();
   LaunchFuture F(LS);
   if (Options.Trace && !trace::enabled())

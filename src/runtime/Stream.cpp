@@ -17,6 +17,7 @@
 
 #include "simtvec/runtime/Stream.h"
 
+#include "simtvec/runtime/Graph.h"
 #include "simtvec/runtime/Runtime.h"
 #include "simtvec/runtime/WorkerPool.h"
 #include "simtvec/support/Trace.h"
@@ -190,6 +191,26 @@ Stream::~Stream() { synchronize(); }
 Status Stream::synchronize() {
   StreamState &SS = *S;
   std::unique_lock<std::mutex> Lock(SS.M);
+  if (SS.Capture) {
+    // Synchronizing a capturing stream is a capture error (there is
+    // nothing to wait for — nothing was enqueued); it invalidates the
+    // capture so a later instantiate fails rather than silently missing
+    // the ops submitted so far.
+    std::shared_ptr<GraphState> G = std::move(SS.Capture);
+    SS.Capture = nullptr;
+    SS.CaptureTail = static_cast<size_t>(-1);
+    SS.PendingWaits.clear();
+    Lock.unlock();
+    Status E = Status::error("synchronize on a capturing stream "
+                             "invalidates the capture");
+    {
+      std::lock_guard<std::mutex> GLock(G->M);
+      --G->ActiveCaptures;
+      if (!G->Err.isError())
+        G->Err = E;
+    }
+    return E;
+  }
   for (;;) {
     if (SS.State == StreamState::Drain::Idle && SS.Ops.empty()) {
       Status E = SS.Deferred;
@@ -218,6 +239,8 @@ bool Stream::idle() const {
 }
 
 void Stream::waitEvent(Event &Ev) {
+  if (captureWaitEvent(*S, *Ev.E))
+    return; // recorded as a graph edge (or a sticky capture error)
   StreamState *SS = S.get();
   std::shared_ptr<EventState> ES = Ev.E;
   S->enqueue([SS, ES]() -> OpOutcome {
@@ -250,6 +273,8 @@ void Stream::waitEvent(Event &Ev) {
 Event::Event() : E(std::make_shared<EventState>()) {}
 
 void Event::record(Stream &St) {
+  if (captureMarkEvent(*St.S, *E))
+    return; // the event marks a capture point; nothing is enqueued
   {
     std::lock_guard<std::mutex> Lock(E->M);
     E->Fired = false; // re-arm at submission, like cudaEventRecord
@@ -284,6 +309,16 @@ Status Event::wait() const {
 
 void Device::copyToDeviceAsync(Stream &St, uint64_t Dst, const void *Src,
                                size_t Bytes) {
+  {
+    GraphNode N;
+    N.K = GraphNode::Kind::CopyToDevice;
+    N.Dev = this;
+    N.DevAddr = Dst;
+    N.HostSrc = Src;
+    N.Bytes = Bytes;
+    if (captureAppend(*St.S, std::move(N)))
+      return;
+  }
   StreamState *SS = St.S.get();
   St.S->enqueue([this, SS, Dst, Src, Bytes]() -> OpOutcome {
     if (Status E = tryCopyToDevice(Dst, Src, Bytes); E.isError())
@@ -294,6 +329,18 @@ void Device::copyToDeviceAsync(Stream &St, uint64_t Dst, const void *Src,
 
 void Device::copyFromDeviceAsync(Stream &St, void *Dst, uint64_t Src,
                                  size_t Bytes) const {
+  {
+    GraphNode N;
+    N.K = GraphNode::Kind::CopyFromDevice;
+    // Replay only ever calls the const tryCopyFromDevice through this
+    // pointer; GraphNode stores one Device* for all node kinds.
+    N.Dev = const_cast<Device *>(this);
+    N.DevAddr = Src;
+    N.HostDst = Dst;
+    N.Bytes = Bytes;
+    if (captureAppend(*St.S, std::move(N)))
+      return;
+  }
   StreamState *SS = St.S.get();
   St.S->enqueue([this, SS, Dst, Src, Bytes]() -> OpOutcome {
     if (Status E = tryCopyFromDevice(Dst, Src, Bytes); E.isError())

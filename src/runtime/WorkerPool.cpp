@@ -6,12 +6,10 @@
 
 #include "simtvec/runtime/WorkerPool.h"
 
+#include "simtvec/support/Env.h"
 #include "simtvec/support/Trace.h"
 
 #include <atomic>
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
 
 namespace simtvec {
 
@@ -60,23 +58,9 @@ WorkerPool::~WorkerPool() {
 WorkerPool &WorkerPool::global() {
   static WorkerPool *Pool = [] {
     unsigned Count = 0;
-    if (const char *Env = std::getenv("SIMTVEC_POOL_THREADS")) {
-      // Full-string validation: strtol alone accepts trailing garbage
-      // ("8abc" parses as 8) and out-of-range values used to be ignored
-      // silently. Accepted range: 1..1024 threads.
-      char *End = nullptr;
-      errno = 0;
-      long V = std::strtol(Env, &End, 10);
-      if (End != Env && *End == '\0' && errno != ERANGE && V >= 1 &&
-          V <= 1024)
-        Count = static_cast<unsigned>(V);
-      else
-        std::fprintf(stderr,
-                     "simtvec: ignoring invalid SIMTVEC_POOL_THREADS='%s' "
-                     "(expected an integer in [1, 1024]); using hardware "
-                     "concurrency\n",
-                     Env);
-    }
+    if (auto V = env::intKnob("SIMTVEC_POOL_THREADS", 1, 1024,
+                              "hardware concurrency"))
+      Count = static_cast<unsigned>(*V);
     // Leaked intentionally: worker threads may still be parked when static
     // destructors run; tearing the pool down then would race with any
     // thread_local arenas being destroyed on those workers.

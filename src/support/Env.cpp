@@ -1,0 +1,59 @@
+//===- support/Env.cpp - Environment knob parsing -------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace simtvec;
+
+std::optional<long long> env::intKnob(const char *Name, long long Min,
+                                      long long Max,
+                                      const char *FallbackDesc) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  long long X = std::strtoll(V, &End, 10);
+  if (End != V && *End == '\0' && errno != ERANGE && X >= Min && X <= Max)
+    return X;
+  std::fprintf(stderr,
+               "simtvec: ignoring invalid %s='%s' (expected an integer in "
+               "[%lld, %lld]); using %s\n",
+               Name, V, Min, Max, FallbackDesc);
+  return std::nullopt;
+}
+
+std::optional<size_t> env::choiceKnob(const char *Name,
+                                      const std::vector<const char *> &Choices,
+                                      const char *FallbackDesc) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return std::nullopt;
+  for (size_t I = 0; I < Choices.size(); ++I)
+    if (std::strcmp(V, Choices[I]) == 0)
+      return I;
+  std::string Expected;
+  for (size_t I = 0; I < Choices.size(); ++I) {
+    if (I)
+      Expected += '|';
+    Expected += Choices[I];
+  }
+  std::fprintf(stderr,
+               "simtvec: ignoring invalid %s='%s' (expected %s); using %s\n",
+               Name, V, Expected.c_str(), FallbackDesc);
+  return std::nullopt;
+}
+
+bool env::boolKnob(const char *Name) {
+  const char *V = std::getenv(Name);
+  return V && *V && std::strcmp(V, "0") != 0;
+}

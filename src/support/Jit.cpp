@@ -4,35 +4,25 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// SIMTVEC_JIT env parsing and JitMode resolution. The env var follows the
-// SIMTVEC_SIMD convention: full-string match only, one stderr warning for a
-// rejected value, then the default behaviour.
+// SIMTVEC_JIT parsing and JitMode resolution, on the shared support/Env.h
+// knob parser (full-string match, one stderr warning for a rejected value,
+// then the default behaviour).
 //
 //===----------------------------------------------------------------------===//
 
 #include "simtvec/support/Jit.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include "simtvec/support/Env.h"
 
 using namespace simtvec;
 
 JitMode simtvec::jitModeFromEnv() {
   static const JitMode Cached = [] {
-    const char *Env = std::getenv("SIMTVEC_JIT");
-    if (!Env || !*Env)
-      return JitMode::Auto;
-    if (std::strcmp(Env, "auto") == 0)
-      return JitMode::Auto;
-    if (std::strcmp(Env, "native") == 0)
-      return JitMode::Native;
-    if (std::strcmp(Env, "interp") == 0)
-      return JitMode::Interp;
-    std::fprintf(stderr,
-                 "simtvec: ignoring invalid SIMTVEC_JIT='%s' (expected "
-                 "auto|native|interp); using auto\n",
-                 Env);
+    static constexpr JitMode Modes[] = {JitMode::Auto, JitMode::Native,
+                                        JitMode::Interp};
+    if (auto I = env::choiceKnob("SIMTVEC_JIT", {"auto", "native", "interp"},
+                                 "auto"))
+      return Modes[*I];
     return JitMode::Auto;
   }();
   return Cached;

@@ -4,35 +4,25 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// SIMTVEC_SIMD env parsing and SimdMode -> SimdPath resolution. The env var
-// follows the SIMTVEC_POOL_THREADS convention: full-string match only, one
-// stderr warning for a rejected value, then the default behaviour.
+// SIMTVEC_SIMD parsing and SimdMode -> SimdPath resolution, on the shared
+// support/Env.h knob parser (full-string match, one stderr warning for a
+// rejected value, then the default behaviour).
 //
 //===----------------------------------------------------------------------===//
 
 #include "simtvec/support/Simd.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include "simtvec/support/Env.h"
 
 using namespace simtvec;
 
 SimdMode simtvec::simdModeFromEnv() {
   static const SimdMode Cached = [] {
-    const char *Env = std::getenv("SIMTVEC_SIMD");
-    if (!Env || !*Env)
-      return SimdMode::Auto;
-    if (std::strcmp(Env, "auto") == 0)
-      return SimdMode::Auto;
-    if (std::strcmp(Env, "vector") == 0)
-      return SimdMode::Vector;
-    if (std::strcmp(Env, "scalar") == 0)
-      return SimdMode::Scalar;
-    std::fprintf(stderr,
-                 "simtvec: ignoring invalid SIMTVEC_SIMD='%s' (expected "
-                 "auto|vector|scalar); using auto\n",
-                 Env);
+    static constexpr SimdMode Modes[] = {SimdMode::Auto, SimdMode::Vector,
+                                         SimdMode::Scalar};
+    if (auto I = env::choiceKnob("SIMTVEC_SIMD",
+                                 {"auto", "vector", "scalar"}, "auto"))
+      return Modes[*I];
     return SimdMode::Auto;
   }();
   return Cached;

@@ -18,6 +18,7 @@
 
 #include "simtvec/support/Trace.h"
 
+#include "simtvec/support/Env.h"
 #include "simtvec/support/Format.h"
 
 #include <chrono>
@@ -84,23 +85,15 @@ ThreadBuffer &localBuffer() {
   return *TLB;
 }
 
-/// Reads SIMTVEC_TRACE / SIMTVEC_TRACE_BUFFER once at process start.
+/// Reads SIMTVEC_TRACE / SIMTVEC_TRACE_BUFFER once at process start, via
+/// the shared support/Env.h knob parser.
 struct EnvInit {
   EnvInit() {
-    if (const char *Buf = std::getenv("SIMTVEC_TRACE_BUFFER")) {
-      char *End = nullptr;
-      unsigned long long V = std::strtoull(Buf, &End, 10);
-      if (End != Buf && *End == '\0' && V >= 64 && V <= (1ull << 24))
-        globals().Capacity.store(static_cast<size_t>(V));
-      else
-        std::fprintf(stderr,
-                     "simtvec: ignoring invalid SIMTVEC_TRACE_BUFFER='%s' "
-                     "(expected an event count in [64, 2^24])\n",
-                     Buf);
-    }
-    if (const char *T = std::getenv("SIMTVEC_TRACE"))
-      if (*T != '\0' && std::strcmp(T, "0") != 0)
-        trace::startSession();
+    if (auto V = env::intKnob("SIMTVEC_TRACE_BUFFER", 64, 1ll << 24,
+                              "the default capacity"))
+      globals().Capacity.store(static_cast<size_t>(*V));
+    if (env::boolKnob("SIMTVEC_TRACE"))
+      trace::startSession();
   }
 } TheEnvInit;
 

@@ -1,0 +1,552 @@
+//===- tests/graph_test.cpp - Kernel graph capture/instantiate/replay -----===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Differential suite for runtime/Graph.h: a captured (or built) graph's
+/// replay must be indistinguishable from the equivalent eager stream-op
+/// sequence — same outputs, bit-identical LaunchStats, same deferred-error
+/// behaviour — while performing none of the per-launch resolution work
+/// (zero translation-cache misses, zero parameter re-validation; asserted
+/// via the tc.* / rt.* metrics). The concurrent-replay test runs under
+/// SIMTVEC_SANITIZE=thread via tools/tsan_check.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/runtime/Graph.h"
+
+#include "simtvec/support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace simtvec;
+
+namespace {
+
+const char *ScaleSrc = R"(
+.kernel scale (.param .u64 buf, .param .u32 n)
+{
+  .reg .u32 %i, %n, %v;
+  .reg .u64 %p, %off;
+  .reg .pred %q;
+entry:
+  mov.u32 %i, %tid.x;
+  mov.u32 %n, %ntid.x;
+  mul.u32 %n, %n, %ctaid.x;
+  add.u32 %i, %i, %n;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %q, %i, %n;
+  @%q bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %p, [buf];
+  add.u64 %p, %p, %off;
+  ld.global.u32 %v, [%p];
+  mad.u32 %v, %v, 2, 1;
+  st.global.u32 [%p], %v;
+  bra done;
+done:
+  ret;
+}
+)";
+
+/// Every thread increments one global counter — the only global-memory
+/// traffic is atom.global.add (mutex-striped on the host), so concurrent
+/// replays of one graph against one device are data-race-free by design.
+const char *AccumSrc = R"(
+.kernel accum (.param .u64 acc)
+{
+  .reg .u32 %old;
+  .reg .u64 %p;
+entry:
+  ld.param.u64 %p, [acc];
+  atom.global.add.u32 %old, [%p], 1;
+  ret;
+}
+)";
+
+uint64_t counterNow(const char *Name) {
+  return MetricsRegistry::global().snapshot().counterValue(Name);
+}
+
+/// Bit-identity over every LaunchStats field the eager path settles.
+void expectStatsIdentical(const LaunchStats &Got, const LaunchStats &Ref) {
+  EXPECT_EQ(Got.Counters.SubkernelCycles, Ref.Counters.SubkernelCycles);
+  EXPECT_EQ(Got.Counters.YieldCycles, Ref.Counters.YieldCycles);
+  EXPECT_EQ(Got.Counters.EMCycles, Ref.Counters.EMCycles);
+  EXPECT_EQ(Got.Counters.InstsExecuted, Ref.Counters.InstsExecuted);
+  EXPECT_EQ(Got.Counters.Flops, Ref.Counters.Flops);
+  EXPECT_EQ(Got.MaxWorkerCycles, Ref.MaxWorkerCycles);
+  EXPECT_EQ(Got.EntriesByWidth, Ref.EntriesByWidth);
+  EXPECT_EQ(Got.WarpEntries, Ref.WarpEntries);
+  EXPECT_EQ(Got.ThreadEntries, Ref.ThreadEntries);
+  EXPECT_EQ(Got.BranchYields, Ref.BranchYields);
+  EXPECT_EQ(Got.BarrierYields, Ref.BarrierYields);
+  EXPECT_EQ(Got.ExitYields, Ref.ExitYields);
+}
+
+constexpr uint32_t N = 1000;
+constexpr Dim3 ScaleGrid{(N + 63) / 64, 1, 1};
+constexpr Dim3 ScaleBlock{64, 1, 1};
+
+std::vector<uint32_t> scaleInput() {
+  std::vector<uint32_t> In(N);
+  for (uint32_t I = 0; I < N; ++I)
+    In[I] = I * 3 + 7;
+  return In;
+}
+
+/// The eager reference: copy-in, two chained launches, copy-out on one
+/// stream. Returns the two launches' stats and the output vector.
+struct EagerRef {
+  LaunchStats S1, S2;
+  std::vector<uint32_t> Out;
+};
+
+EagerRef runEagerReference(Program &Prog, Device &Dev, uint64_t D,
+                           const std::vector<uint32_t> &In) {
+  Params P;
+  P.u64(D).u32(N);
+  std::vector<uint32_t> Out(N, 0);
+  Stream S;
+  Dev.copyToDeviceAsync(S, D, In.data(), N * sizeof(uint32_t));
+  LaunchFuture F1 = Prog.launchAsync(S, Dev, "scale", ScaleGrid, ScaleBlock, P);
+  LaunchFuture F2 = Prog.launchAsync(S, Dev, "scale", ScaleGrid, ScaleBlock, P);
+  Dev.copyFromDeviceAsync(S, Out.data(), D, N * sizeof(uint32_t));
+  Status E = S.synchronize();
+  EXPECT_FALSE(E.isError()) << E.message();
+  EagerRef R;
+  auto R1 = F1.get(), R2 = F2.get();
+  EXPECT_TRUE(static_cast<bool>(R1)) << R1.status().message();
+  EXPECT_TRUE(static_cast<bool>(R2)) << R2.status().message();
+  if (R1)
+    R.S1 = *R1;
+  if (R2)
+    R.S2 = *R2;
+  R.Out = std::move(Out);
+  return R;
+}
+
+TEST(Graph, BuilderReplayMatchesEagerStreams) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In = scaleInput();
+  EagerRef Ref = runEagerReference(*Prog, Dev, D, In);
+
+  // The same DAG, built explicitly: copy-in -> launch -> launch -> copy-out.
+  Params P;
+  P.u64(D).u32(N);
+  std::vector<uint32_t> Out(N, 0);
+  Graph G;
+  auto CIn = G.addCopyToDevice(Dev, D, In.data(), N * sizeof(uint32_t));
+  auto L1 = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+  auto L2 = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+  auto COut = G.addCopyFromDevice(Dev, Out.data(), D, N * sizeof(uint32_t));
+  ASSERT_FALSE(G.addDependency(CIn, L1).isError());
+  ASSERT_FALSE(G.addDependency(L1, L2).isError());
+  ASSERT_FALSE(G.addDependency(L2, COut).isError());
+  EXPECT_EQ(G.size(), 4u);
+
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+  GraphExec Exec = *ExecOrErr;
+  EXPECT_EQ(Exec.size(), 4u);
+
+  Stream S;
+  std::vector<LaunchFuture> Futures = Exec.launch(S);
+  ASSERT_EQ(Futures.size(), 2u);
+  Status E = S.synchronize();
+  ASSERT_FALSE(E.isError()) << E.message();
+  auto R1 = Futures[0].get(), R2 = Futures[1].get();
+  ASSERT_TRUE(static_cast<bool>(R1)) << R1.status().message();
+  ASSERT_TRUE(static_cast<bool>(R2)) << R2.status().message();
+  expectStatsIdentical(*R1, Ref.S1);
+  expectStatsIdentical(*R2, Ref.S2);
+  EXPECT_EQ(Out, Ref.Out);
+}
+
+TEST(Graph, CaptureReplayMatchesEagerStreams) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In = scaleInput();
+  EagerRef Ref = runEagerReference(*Prog, Dev, D, In);
+
+  // Capture the identical submission sequence; stream order becomes the
+  // node chain.
+  Params P;
+  P.u64(D).u32(N);
+  std::vector<uint32_t> Out(N, 0);
+  Graph G;
+  Stream Cap;
+  ASSERT_FALSE(Cap.beginCapture(G).isError());
+  EXPECT_TRUE(Cap.capturing());
+  Dev.copyToDeviceAsync(Cap, D, In.data(), N * sizeof(uint32_t));
+  LaunchFuture Captured =
+      Prog->launchAsync(Cap, Dev, "scale", ScaleGrid, ScaleBlock, P);
+  Prog->launchAsync(Cap, Dev, "scale", ScaleGrid, ScaleBlock, P);
+  Dev.copyFromDeviceAsync(Cap, Out.data(), D, N * sizeof(uint32_t));
+  ASSERT_FALSE(Cap.endCapture().isError());
+  EXPECT_FALSE(Cap.capturing());
+  EXPECT_EQ(G.size(), 4u);
+
+  // A captured launch executes nothing and owns no result: its future is
+  // empty, and waiting on it is an error, not a hang.
+  Status CapE = Captured.get().status();
+  ASSERT_TRUE(CapE.isError());
+  EXPECT_NE(CapE.message().find("empty LaunchFuture"), std::string::npos);
+
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+
+  Stream S;
+  std::vector<LaunchFuture> Futures = ExecOrErr->launch(S);
+  ASSERT_EQ(Futures.size(), 2u);
+  ASSERT_FALSE(S.synchronize().isError());
+  auto R1 = Futures[0].get(), R2 = Futures[1].get();
+  ASSERT_TRUE(static_cast<bool>(R1)) << R1.status().message();
+  ASSERT_TRUE(static_cast<bool>(R2)) << R2.status().message();
+  expectStatsIdentical(*R1, Ref.S1);
+  expectStatsIdentical(*R2, Ref.S2);
+  EXPECT_EQ(Out, Ref.Out);
+}
+
+TEST(Graph, RepeatedReplaysAreWarmAndBitIdentical) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In = scaleInput();
+
+  Params P;
+  P.u64(D).u32(N);
+  std::vector<uint32_t> Out(N, 0);
+  Graph G;
+  auto CIn = G.addCopyToDevice(Dev, D, In.data(), N * sizeof(uint32_t));
+  auto L = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+  auto COut = G.addCopyFromDevice(Dev, Out.data(), D, N * sizeof(uint32_t));
+  ASSERT_FALSE(G.addDependency(CIn, L).isError());
+  ASSERT_FALSE(G.addDependency(L, COut).isError());
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+  GraphExec Exec = *ExecOrErr;
+
+  // Instantiation already resolved everything; from here on the
+  // translation cache must see no misses or compiles and the runtime no
+  // parameter validation, no matter how many times the graph replays.
+  uint64_t Misses0 = counterNow("tc.misses");
+  uint64_t Compiles0 = counterNow("tc.compile");
+  uint64_t Validate0 = counterNow("rt.param_validate");
+  uint64_t Replays0 = counterNow("graph.replays");
+
+  constexpr int Reps = 5;
+  LaunchStats First;
+  std::vector<uint32_t> FirstOut;
+  for (int R = 0; R < Reps; ++R) {
+    Stream S;
+    std::vector<LaunchFuture> F = Exec.launch(S);
+    ASSERT_EQ(F.size(), 1u);
+    ASSERT_FALSE(S.synchronize().isError());
+    auto Stats = F[0].get();
+    ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.status().message();
+    if (R == 0) {
+      First = *Stats;
+      FirstOut = Out;
+    } else {
+      // The copy-in node resets the buffer, so replays are bit-identical
+      // in outputs as well as stats.
+      expectStatsIdentical(*Stats, First);
+      EXPECT_EQ(Out, FirstOut);
+    }
+  }
+
+  EXPECT_EQ(counterNow("tc.misses"), Misses0);
+  EXPECT_EQ(counterNow("tc.compile"), Compiles0);
+  EXPECT_EQ(counterNow("rt.param_validate"), Validate0);
+  EXPECT_EQ(counterNow("graph.replays"), Replays0 + Reps);
+}
+
+TEST(Graph, DeferredErrorsMatchStreamSemantics) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In = scaleInput();
+
+  // An out-of-range copy node plus an *independent* launch chain: the bad
+  // node becomes the stream's deferred error, and the rest of the graph
+  // still runs — exactly like eager stream ops.
+  Params P;
+  P.u64(D).u32(N);
+  std::vector<uint32_t> Out(N, 0);
+  std::vector<std::byte> BadHost(64);
+  Graph G;
+  G.addCopyFromDevice(Dev, BadHost.data(), Dev.size() - 8, BadHost.size());
+  auto CIn = G.addCopyToDevice(Dev, D, In.data(), N * sizeof(uint32_t));
+  auto L = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+  auto COut = G.addCopyFromDevice(Dev, Out.data(), D, N * sizeof(uint32_t));
+  G.addDependency(CIn, L);
+  G.addDependency(L, COut);
+
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+  Stream S;
+  std::vector<LaunchFuture> F = ExecOrErr->launch(S);
+  ASSERT_EQ(F.size(), 1u);
+  Status E = S.synchronize();
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("out of range"), std::string::npos);
+  // The deferred error is cleared once reported, and the independent chain
+  // completed regardless.
+  EXPECT_FALSE(S.synchronize().isError());
+  EXPECT_FALSE(F[0].wait().isError());
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], In[I] * 2 + 1) << "element " << I;
+}
+
+TEST(Graph, InstantiateRejectsWhatEagerSubmissionRejects) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  Params P;
+  P.u64(D).u32(N);
+
+  {
+    // Bad warp width: same diagnostic as launchAsync's submission check.
+    Graph G;
+    LaunchOptions Bad;
+    Bad.MaxWarpSize = 3;
+    G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P, Bad);
+    auto E = G.instantiate(*Prog);
+    ASSERT_FALSE(static_cast<bool>(E));
+    EXPECT_NE(E.status().message().find("power of two"), std::string::npos);
+  }
+  {
+    // Parameter-signature mismatch: validated once, at instantiate.
+    Graph G;
+    Params Wrong;
+    Wrong.u32(7);
+    G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, Wrong);
+    auto E = G.instantiate(*Prog);
+    ASSERT_FALSE(static_cast<bool>(E));
+    EXPECT_NE(E.status().message().find("parameter"), std::string::npos);
+  }
+  {
+    // Unknown kernel.
+    Graph G;
+    G.addLaunch(Dev, "nope", ScaleGrid, ScaleBlock, P);
+    EXPECT_FALSE(static_cast<bool>(G.instantiate(*Prog)));
+  }
+  {
+    // Dependency cycle (only expressible through the builder).
+    Graph G;
+    auto A = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+    auto B = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+    ASSERT_FALSE(G.addDependency(A, B).isError());
+    ASSERT_FALSE(G.addDependency(B, A).isError());
+    auto E = G.instantiate(*Prog);
+    ASSERT_FALSE(static_cast<bool>(E));
+    EXPECT_NE(E.status().message().find("cycle"), std::string::npos);
+  }
+  {
+    // Bad builder edges.
+    Graph G;
+    auto A = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P);
+    EXPECT_TRUE(G.addDependency(A, A).isError());
+    EXPECT_TRUE(G.addDependency(A, 99).isError());
+  }
+}
+
+TEST(Graph, CaptureMisuseIsReported) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  Params P;
+  P.u64(D).u32(N);
+
+  {
+    // endCapture without beginCapture.
+    Stream S;
+    EXPECT_TRUE(S.endCapture().isError());
+  }
+  {
+    // Double beginCapture on one stream.
+    Graph G1, G2;
+    Stream S;
+    ASSERT_FALSE(S.beginCapture(G1).isError());
+    EXPECT_TRUE(S.beginCapture(G2).isError());
+    EXPECT_FALSE(S.endCapture().isError());
+  }
+  {
+    // synchronize during capture invalidates it.
+    Graph G;
+    Stream S;
+    ASSERT_FALSE(S.beginCapture(G).isError());
+    Prog->launchAsync(S, Dev, "scale", ScaleGrid, ScaleBlock, P);
+    EXPECT_TRUE(S.synchronize().isError());
+    EXPECT_FALSE(S.capturing()); // the capture ended with the error
+    auto E = G.instantiate(*Prog);
+    ASSERT_FALSE(static_cast<bool>(E));
+    EXPECT_NE(E.status().message().find("synchronize"), std::string::npos);
+  }
+  {
+    // Instantiating while a capture is still active.
+    Graph G;
+    Stream S;
+    ASSERT_FALSE(S.beginCapture(G).isError());
+    Prog->launchAsync(S, Dev, "scale", ScaleGrid, ScaleBlock, P);
+    auto E = G.instantiate(*Prog);
+    ASSERT_FALSE(static_cast<bool>(E));
+    EXPECT_NE(E.status().message().find("capture"), std::string::npos);
+    EXPECT_FALSE(S.endCapture().isError());
+    // After endCapture the same graph instantiates fine.
+    EXPECT_TRUE(static_cast<bool>(G.instantiate(*Prog)));
+  }
+  {
+    // Waiting on an event that was not recorded in this capture.
+    Graph G;
+    Stream S;
+    Event Foreign;
+    ASSERT_FALSE(S.beginCapture(G).isError());
+    S.waitEvent(Foreign);
+    Status E = S.endCapture();
+    ASSERT_TRUE(E.isError());
+    EXPECT_NE(E.message().find("not recorded"), std::string::npos);
+    EXPECT_FALSE(static_cast<bool>(G.instantiate(*Prog)));
+  }
+}
+
+TEST(Graph, MultiStreamCaptureJoinsThroughEvents) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In = scaleInput();
+  Params P;
+  P.u64(D).u32(N);
+  std::vector<uint32_t> Out(N, 0);
+
+  // Fork/join across two capturing streams: A copies in and launches,
+  // records an event; B joins on the event, launches again, copies out.
+  // The event becomes a graph edge, so replay must order B's launch after
+  // A's — observable as out = (in*2+1)*2+1.
+  Graph G;
+  Stream A, B;
+  Event Join;
+  ASSERT_FALSE(A.beginCapture(G).isError());
+  ASSERT_FALSE(B.beginCapture(G).isError());
+  Dev.copyToDeviceAsync(A, D, In.data(), N * sizeof(uint32_t));
+  Prog->launchAsync(A, Dev, "scale", ScaleGrid, ScaleBlock, P);
+  Join.record(A);
+  B.waitEvent(Join);
+  Prog->launchAsync(B, Dev, "scale", ScaleGrid, ScaleBlock, P);
+  Dev.copyFromDeviceAsync(B, Out.data(), D, N * sizeof(uint32_t));
+  ASSERT_FALSE(A.endCapture().isError());
+  ASSERT_FALSE(B.endCapture().isError());
+  EXPECT_EQ(G.size(), 4u);
+
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+  for (int R = 0; R < 3; ++R) {
+    Stream S;
+    std::vector<LaunchFuture> F = ExecOrErr->launch(S);
+    ASSERT_EQ(F.size(), 2u);
+    ASSERT_FALSE(S.synchronize().isError());
+    ASSERT_FALSE(F[0].wait().isError());
+    ASSERT_FALSE(F[1].wait().isError());
+    for (uint32_t I = 0; I < N; ++I)
+      ASSERT_EQ(Out[I], (In[I] * 2 + 1) * 2 + 1) << "element " << I;
+  }
+}
+
+TEST(Graph, AutoWidthCommitsAtInstantiate) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> In = scaleInput();
+  Params P;
+  P.u64(D).u32(N);
+
+  LaunchOptions Auto;
+  Auto.Policy = LaunchOptions::WidthPolicy::Auto;
+  Graph G;
+  auto CIn = G.addCopyToDevice(Dev, D, In.data(), N * sizeof(uint32_t));
+  auto L = G.addLaunch(Dev, "scale", ScaleGrid, ScaleBlock, P, Auto);
+  ASSERT_FALSE(G.addDependency(CIn, L).isError());
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+
+  // The width was committed once at instantiation: every replay runs the
+  // same frozen specialization and reports bit-identical stats (eager Auto
+  // launches may move between widths as the autotuner explores).
+  LaunchStats First;
+  for (int R = 0; R < 4; ++R) {
+    Stream S;
+    std::vector<LaunchFuture> F = ExecOrErr->launch(S);
+    ASSERT_FALSE(S.synchronize().isError());
+    auto Stats = F[0].get();
+    ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.status().message();
+    EXPECT_EQ(Stats->EntriesByWidth.size(), 1u)
+        << "a committed width forms warps at one width only";
+    if (R == 0)
+      First = *Stats;
+    else
+      expectStatsIdentical(*Stats, First);
+  }
+}
+
+TEST(Graph, ConcurrentReplaysOnFourStreams) {
+  auto Prog = Program::compile(AccumSrc).take();
+  Device Dev(1 << 16);
+  uint64_t Acc = Dev.alloc(16);
+  Dev.memset(Acc, 0, 16);
+  Params P;
+  P.u64(Acc);
+
+  // One GraphExec, three chained launches, replayed concurrently from four
+  // host threads on four streams against one device. All global-memory
+  // traffic is atomic, so the replays are free to interleave; the final
+  // counter value proves every node of every replay ran exactly once.
+  constexpr Dim3 Grid{2, 1, 1};
+  constexpr Dim3 Block{32, 1, 1};
+  constexpr int Chain = 3;
+  Graph G;
+  Graph::NodeId Prev = 0;
+  for (int I = 0; I < Chain; ++I) {
+    Graph::NodeId Id = G.addLaunch(Dev, "accum", Grid, Block, P);
+    if (I > 0) {
+      ASSERT_FALSE(G.addDependency(Prev, Id).isError());
+    }
+    Prev = Id;
+  }
+  auto ExecOrErr = G.instantiate(*Prog);
+  ASSERT_TRUE(static_cast<bool>(ExecOrErr)) << ExecOrErr.status().message();
+  GraphExec Exec = *ExecOrErr;
+
+  constexpr int NumStreams = 4;
+  constexpr int Reps = 8;
+  std::vector<std::thread> Hosts;
+  Hosts.reserve(NumStreams);
+  for (int T = 0; T < NumStreams; ++T)
+    Hosts.emplace_back([&] {
+      Stream S;
+      for (int R = 0; R < Reps; ++R) {
+        std::vector<LaunchFuture> F = Exec.launch(S);
+        ASSERT_EQ(F.size(), static_cast<size_t>(Chain));
+        Status E = S.synchronize();
+        EXPECT_FALSE(E.isError()) << E.message();
+        for (const LaunchFuture &LF : F)
+          EXPECT_FALSE(LF.wait().isError());
+      }
+    });
+  for (std::thread &H : Hosts)
+    H.join();
+
+  uint32_t Final = Dev.download<uint32_t>(Acc, 1)[0];
+  EXPECT_EQ(Final, static_cast<uint32_t>(NumStreams * Reps * Chain) *
+                       Grid.count() * Block.count());
+}
+
+} // namespace

@@ -172,20 +172,21 @@ TEST(TypedParams, TrailingConstantPayloadIsAllowed) {
   EXPECT_TRUE(static_cast<bool>(R)) << R.status().message();
 }
 
-TEST(TypedParams, DeprecatedBuilderNamesForwardToTypedOnes) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  Params Old;
-  Old.addU64(1).addU32(2).addS32(-3).addF32(4.0f).addF64(5.0);
-#pragma GCC diagnostic pop
-  Params New;
-  New.u64(1).u32(2).s32(-3).f32(4.0f).f64(5.0);
-  EXPECT_EQ(Old.bytes(), New.bytes());
-  ASSERT_EQ(Old.elements().size(), New.elements().size());
-  for (size_t I = 0; I < Old.elements().size(); ++I) {
-    EXPECT_EQ(Old.elements()[I].Ty, New.elements()[I].Ty);
-    EXPECT_EQ(Old.elements()[I].Offset, New.elements()[I].Offset);
-  }
+TEST(TypedParams, BuilderSerializesNaturallyAlignedElements) {
+  // The .param layout rule: each element lands at the next multiple of its
+  // own size (natural alignment), so a u32 after a u64 packs at 8 and the
+  // following s32 at 12, while the f64 skips up to 24.
+  Params P;
+  P.u64(1).u32(2).s32(-3).f32(4.0f).f64(5.0);
+  ASSERT_EQ(P.elements().size(), 5u);
+  EXPECT_EQ(P.elements()[0].Offset, 0u);
+  EXPECT_EQ(P.elements()[1].Offset, 8u);
+  EXPECT_EQ(P.elements()[2].Offset, 12u);
+  EXPECT_EQ(P.elements()[3].Offset, 16u);
+  EXPECT_EQ(P.elements()[4].Offset, 24u);
+  EXPECT_EQ(P.bytes().size(), 32u);
+  EXPECT_EQ(P.elements()[0].Ty, Type::u64());
+  EXPECT_EQ(P.elements()[4].Ty, Type::f64());
 }
 
 //===----------------------------------------------------------------------===

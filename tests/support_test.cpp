@@ -6,11 +6,15 @@
 
 #include "simtvec/support/BitSet.h"
 #include "simtvec/support/Casting.h"
+#include "simtvec/support/Env.h"
 #include "simtvec/support/Format.h"
 #include "simtvec/support/RNG.h"
 #include "simtvec/support/Status.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
 
 using namespace simtvec;
 
@@ -145,6 +149,115 @@ struct Dog : Animal {
   Dog() : Animal(Kind::Dog) {}
   static bool classof(const Animal *A) { return A->K == Kind::Dog; }
 };
+
+/// Sets an environment variable for one test and restores the previous
+/// value (or unset state) on destruction.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    if (const char *Old = getenv(Name))
+      Saved = Old;
+    if (Value)
+      setenv(Name, Value, 1);
+    else
+      unsetenv(Name);
+  }
+  ~ScopedEnv() {
+    if (Saved)
+      setenv(Name, Saved->c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  std::optional<std::string> Saved;
+};
+
+// The knob under test here is a scratch name (no subsystem caches it), so
+// each case sees exactly the value ScopedEnv set. The production knobs
+// (SIMTVEC_JIT, SIMTVEC_SIMD, SIMTVEC_POOL_THREADS, SIMTVEC_TRACE*) all sit
+// on these three parsers, so the valid/invalid/empty matrix below covers
+// their shared behaviour: full-string validation, silent unset/empty, one
+// warning-then-default for rejected values.
+TEST(EnvKnobTest, IntKnobAcceptsFullStringInRange) {
+  ScopedEnv E("SIMTVEC_TEST_KNOB", "8");
+  auto V = env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, 8);
+  ScopedEnv E2("SIMTVEC_TEST_KNOB", "1024");
+  EXPECT_EQ(env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default"), 1024);
+}
+
+TEST(EnvKnobTest, IntKnobRejectsTrailingGarbage) {
+  ScopedEnv E("SIMTVEC_TEST_KNOB", "8abc");
+  EXPECT_FALSE(
+      env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default").has_value());
+}
+
+TEST(EnvKnobTest, IntKnobRejectsOutOfRange) {
+  ScopedEnv Lo("SIMTVEC_TEST_KNOB", "0");
+  EXPECT_FALSE(
+      env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default").has_value());
+  ScopedEnv Hi("SIMTVEC_TEST_KNOB", "1025");
+  EXPECT_FALSE(
+      env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default").has_value());
+  ScopedEnv Huge("SIMTVEC_TEST_KNOB", "99999999999999999999999999");
+  EXPECT_FALSE(
+      env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default").has_value());
+}
+
+TEST(EnvKnobTest, IntKnobSilentOnUnsetOrEmpty) {
+  ScopedEnv Unset("SIMTVEC_TEST_KNOB", nullptr);
+  EXPECT_FALSE(
+      env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default").has_value());
+  ScopedEnv Empty("SIMTVEC_TEST_KNOB", "");
+  EXPECT_FALSE(
+      env::intKnob("SIMTVEC_TEST_KNOB", 1, 1024, "the default").has_value());
+}
+
+TEST(EnvKnobTest, ChoiceKnobMapsEachChoiceToItsIndex) {
+  const std::vector<const char *> Choices = {"auto", "native", "interp"};
+  for (size_t I = 0; I < Choices.size(); ++I) {
+    ScopedEnv E("SIMTVEC_TEST_KNOB", Choices[I]);
+    auto V = env::choiceKnob("SIMTVEC_TEST_KNOB", Choices, "auto");
+    ASSERT_TRUE(V.has_value()) << Choices[I];
+    EXPECT_EQ(*V, I);
+  }
+}
+
+TEST(EnvKnobTest, ChoiceKnobRejectsUnknownAndPartialMatches) {
+  const std::vector<const char *> Choices = {"auto", "native", "interp"};
+  for (const char *Bad : {"bogus", "nativex", "nativ", "NATIVE"}) {
+    ScopedEnv E("SIMTVEC_TEST_KNOB", Bad);
+    EXPECT_FALSE(env::choiceKnob("SIMTVEC_TEST_KNOB", Choices, "auto")
+                     .has_value())
+        << Bad;
+  }
+}
+
+TEST(EnvKnobTest, ChoiceKnobSilentOnUnsetOrEmpty) {
+  const std::vector<const char *> Choices = {"auto", "vector", "scalar"};
+  ScopedEnv Unset("SIMTVEC_TEST_KNOB", nullptr);
+  EXPECT_FALSE(
+      env::choiceKnob("SIMTVEC_TEST_KNOB", Choices, "auto").has_value());
+  ScopedEnv Empty("SIMTVEC_TEST_KNOB", "");
+  EXPECT_FALSE(
+      env::choiceKnob("SIMTVEC_TEST_KNOB", Choices, "auto").has_value());
+}
+
+TEST(EnvKnobTest, BoolKnobTruthTable) {
+  struct Case {
+    const char *Value; // nullptr = unset
+    bool Expected;
+  } Cases[] = {{nullptr, false}, {"", false},    {"0", false},
+               {"1", true},      {"yes", true},  {"00", true}};
+  for (const Case &C : Cases) {
+    ScopedEnv E("SIMTVEC_TEST_KNOB", C.Value);
+    EXPECT_EQ(env::boolKnob("SIMTVEC_TEST_KNOB"), C.Expected)
+        << (C.Value ? C.Value : "<unset>");
+  }
+}
 
 TEST(CastingTest, IsaCastDynCast) {
   Cat C;

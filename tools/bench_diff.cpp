@@ -9,7 +9,11 @@
 /// workers, simd-path, jit-tier) wall-time delta plus the geometric-mean
 /// speedup of NEW over OLD. Results emitted before the simd field existed
 /// key as "scalar" (the pre-SIMD engine ran the scalar lane loops);
-/// results from before the native tier key as "interp".
+/// results from before the native tier key as "interp". Launch-overhead
+/// trajectories (BENCH_wallclock_launches.json) key their dispatch mode
+/// into the workload string — "VectorAdd+spawn", "+pool", "+stream",
+/// "+cold", "+jitwarm", and "+graph" (pre-instantiated kernel-graph
+/// replay) — so every mode column diffs as its own cell.
 ///
 /// Usage: bench_diff [--force] OLD.json NEW.json
 ///

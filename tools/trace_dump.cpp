@@ -16,6 +16,10 @@
 ///     its record time is ts+dur while every other phase records at ts)
 ///   - spans (`ph:"X"`) have a nonnegative duration, and no unmatched
 ///     begin/end (`ph:"B"`/`"E"`) pairs exist per tid
+///   - kernel-graph spans nest correctly: every `graph.replay` span is
+///     contained within a `stream.op` span on the same tid (a replay only
+///     ever runs as a stream op; a bare replay span means the graph
+///     bypassed the stream drain loop)
 ///
 /// Exit code 0 on success, 1 on any violation. Usage:
 ///
@@ -183,6 +187,14 @@ int main(int Argc, char **Argv) {
   // Validation state: per-tid last timestamp and open B/E depth.
   std::map<std::string, double> LastTs;
   std::map<std::string, long> OpenBegins;
+  // Kernel-graph nesting state: complete spans per tid, by [start, end].
+  struct SpanRec {
+    double B, E;
+    size_t Idx;
+  };
+  std::map<std::string, std::vector<SpanRec>> GraphReplaySpans;
+  std::map<std::string, std::vector<SpanRec>> StreamOpSpans;
+  unsigned long long GraphSpans = 0;
   // Summary state: per (category, phase) event count, per-category span ns.
   std::map<std::string, unsigned long long> CatCount;
   std::map<std::string, double> CatSpanUs;
@@ -225,6 +237,12 @@ int main(int Argc, char **Argv) {
         return fail(Path, I, "span with negative dur");
       CatSpanUs[Cat] += DurV;
       RecordTs = TsV + DurV; // spans record at scope exit
+      if (Name.rfind("graph.", 0) == 0)
+        ++GraphSpans;
+      if (Name == "graph.replay")
+        GraphReplaySpans[Tid].push_back({TsV, TsV + DurV, I});
+      else if (Name == "stream.op")
+        StreamOpSpans[Tid].push_back({TsV, TsV + DurV, I});
     }
 
     auto [It, New] = LastTs.emplace(Tid, RecordTs);
@@ -258,13 +276,30 @@ int main(int Argc, char **Argv) {
                    Path, Open, Tid.c_str());
       return 1;
     }
+  for (const auto &[Tid, Replays] : GraphReplaySpans) {
+    auto It = StreamOpSpans.find(Tid);
+    for (const SpanRec &R : Replays) {
+      bool Contained = false;
+      if (It != StreamOpSpans.end())
+        for (const SpanRec &O : It->second)
+          if (O.B <= R.B && R.E <= O.E) {
+            Contained = true;
+            break;
+          }
+      if (!Contained)
+        return fail(Path, R.Idx,
+                    "graph.replay span not nested inside a stream.op span "
+                    "on tid " +
+                        Tid);
+    }
+  }
 
   std::string Dropped = fieldValue(Text, "droppedEvents");
 
   if (Check) {
     std::printf("trace_dump: %s: OK (%zu events, %llu spans, %llu instants, "
-                "%llu counters, dropped=%s)\n",
-                Path, Events.size(), Spans, Instants, Counters,
+                "%llu counters, %llu graph spans, dropped=%s)\n",
+                Path, Events.size(), Spans, Instants, Counters, GraphSpans,
                 Dropped.empty() ? "?" : Dropped.c_str());
     return 0;
   }

@@ -16,7 +16,9 @@
 # vector-vs-scalar kernel differentials and resolver audit (SimdClass.*,
 # SimdKernelDiff.*, SimdKernelAudit.*, SimdKnobs.*) — and the native-JIT
 # hot-swap race, where the background compile publishes entry pointers
-# into four concurrently dispatching streams (JitHotSwap.*). After
+# into four concurrently dispatching streams (JitHotSwap.*) — and the
+# kernel-graph suites (Graph.*), whose concurrent-replay test replays one
+# immutable GraphExec from four host threads on four streams. After
 # the suites pass, a burst of concurrent bench processes is aimed at one
 # shared SIMTVEC_CACHE_DIR (atomic rename-on-publish under contention) and
 # the resulting store must survive `cache_tool verify`. Also registrable as
@@ -29,7 +31,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit|Graph}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
