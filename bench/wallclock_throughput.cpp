@@ -13,6 +13,7 @@
 ///
 /// Usage: wallclock_throughput [--metrics] [--trace TRACE.json]
 ///        [--simd auto|vector|scalar|both] [--jit auto|native|interp|both]
+///        [--branch auto|meld|predicate|yield|both]
 ///        [output.json] [scale] [reps]
 ///
 /// `--metrics` prints the process MetricsRegistry snapshot (cache hit/miss
@@ -26,7 +27,12 @@
 /// `--jit` picks the execution tier the same way: `native` forces the
 /// synchronously compiled native tier, `interp` pins the interpreter,
 /// `both` measures each cell under both tiers (keyed by the "jit" field),
-/// and `auto` follows SIMTVEC_JIT / the default tiered behaviour.
+/// and `auto` follows SIMTVEC_JIT / the default tiered behaviour;
+/// `--branch` pins the divergent-branch policy: `meld`/`predicate`/`yield`
+/// force one policy, `both` measures every cell under forced-meld and
+/// forced-yield (keyed by the "branch" field — the outputs must agree
+/// bit-for-bit, only the wall time moves), and `auto` follows
+/// SIMTVEC_BRANCH, whose unset default is the historical yield policy.
 ///
 /// Repeated-launch mode: wallclock_throughput --launches N [output.json]
 /// [scale]. Measures launch *overhead* rather than kernel throughput: N
@@ -46,6 +52,7 @@
 #include "BenchCommon.h"
 
 #include "simtvec/runtime/Graph.h"
+#include "simtvec/support/Branch.h"
 #include "simtvec/support/Trace.h"
 
 #include <algorithm>
@@ -65,6 +72,7 @@ struct Sample {
   unsigned Workers;
   const char *Simd;     // resolved lane-kernel path ("vector" / "scalar")
   const char *Jit;      // resolved execution tier ("auto"/"native"/"interp")
+  const char *Branch;   // resolved branch policy ("yield"/"predicate"/...)
   double Seconds;       // best-of-reps wall time of one warm launch
   uint64_t Threads;     // logical threads per launch
   double ThreadsPerSec;
@@ -80,7 +88,8 @@ double now() {
 /// file identifies the configuration it was measured under. \p SimdStr is
 /// the active lane-kernel path ("vector"/"scalar", or "both" when the run
 /// measures each cell under each path).
-void printHostHeader(FILE *Out, const char *SimdStr, const char *JitStr) {
+void printHostHeader(FILE *Out, const char *SimdStr, const char *JitStr,
+                     const char *BranchStr) {
 #if defined(__clang__)
   std::fprintf(Out, "  \"compiler\": \"clang %d.%d.%d\",\n", __clang_major__,
                __clang_minor__, __clang_patchlevel__);
@@ -102,6 +111,7 @@ void printHostHeader(FILE *Out, const char *SimdStr, const char *JitStr) {
 #endif
   std::fprintf(Out, "  \"simd\": \"%s\",\n", SimdStr);
   std::fprintf(Out, "  \"jit\": \"%s\",\n", JitStr);
+  std::fprintf(Out, "  \"branch\": \"%s\",\n", BranchStr);
   std::fprintf(Out, "  \"nproc\": %u,\n",
                std::thread::hardware_concurrency());
 }
@@ -120,9 +130,10 @@ double timeBatches(int Launches, LaunchBatch &&Batch) {
 }
 
 int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
-                    SimdMode Simd, JitMode Jit) {
+                    SimdMode Simd, JitMode Jit, BranchMode Branch) {
   const char *SimdStr = simdPathName(resolveSimdPath(Simd));
   const char *JitStr = jitModeName(resolveJitMode(Jit));
+  const char *BranchStr = branchModeName(resolveBranchMode(Branch));
   const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
                          "BinomialOptions"};
   MachineModel Machine;
@@ -168,6 +179,7 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     Spawn.UsePersistentPool = false;
     Spawn.Simd = Simd;
     Spawn.Jit = Jit;
+    Spawn.Branch = Branch;
     LaunchOptions Pool = Spawn;
     Pool.UsePersistentPool = true;
     // Native-tier launch overhead: the first forced-native launch compiles
@@ -280,16 +292,18 @@ int runLaunchesMode(int Launches, const char *OutPath, uint32_t Scale,
     return 1;
   }
   std::fprintf(Out, "{\n  \"bench\": \"wallclock_launches\",\n");
-  printHostHeader(Out, SimdStr, JitStr);
+  printHostHeader(Out, SimdStr, JitStr, BranchStr);
   std::fprintf(Out, "  \"scale\": %u,\n  \"launches\": %d,\n  \"results\": [\n",
                Scale, Launches);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const ModeSample &S = Samples[I];
     std::fprintf(Out,
                  "    {\"workload\": \"%s\", \"width\": 4, \"workers\": %u, "
-                 "\"simd\": \"%s\", \"jit\": \"%s\", \"seconds\": %.6e, "
+                 "\"simd\": \"%s\", \"jit\": \"%s\", \"branch\": \"%s\", "
+                 "\"seconds\": %.6e, "
                  "\"threads\": %llu, \"threads_per_sec\": %.6e}%s\n",
-                 S.Cell.c_str(), S.Workers, SimdStr, JitStr, S.SecondsPerLaunch,
+                 S.Cell.c_str(), S.Workers, SimdStr, JitStr, BranchStr,
+                 S.SecondsPerLaunch,
                  static_cast<unsigned long long>(S.Threads),
                  static_cast<double>(S.Threads) / S.SecondsPerLaunch,
                  I + 1 < Samples.size() ? "," : "");
@@ -342,6 +356,7 @@ int main(int argc, char **argv) {
   const char *TracePath = nullptr;
   const char *SimdArg = "auto";
   const char *JitArg = "auto";
+  const char *BranchArg = "auto";
   int ArgI = 1;
   while (ArgI < argc) {
     if (std::strcmp(argv[ArgI], "--metrics") == 0) {
@@ -355,6 +370,9 @@ int main(int argc, char **argv) {
       ArgI += 2;
     } else if (std::strcmp(argv[ArgI], "--jit") == 0 && ArgI + 1 < argc) {
       JitArg = argv[ArgI + 1];
+      ArgI += 2;
+    } else if (std::strcmp(argv[ArgI], "--branch") == 0 && ArgI + 1 < argc) {
+      BranchArg = argv[ArgI + 1];
       ArgI += 2;
     } else {
       break;
@@ -400,6 +418,31 @@ int main(int argc, char **argv) {
   const char *HeaderJit = JitModes.size() > 1
                               ? "both"
                               : jitModeName(resolveJitMode(JitModes[0]));
+  // The divergent-branch policies to measure. "both" runs every cell under
+  // forced-meld and forced-yield so one file carries the policy comparison
+  // (the outputs are bit-identical by contract; the wall time is the
+  // experiment). "auto" follows SIMTVEC_BRANCH, defaulting to yield.
+  std::vector<BranchMode> BranchModes;
+  if (std::strcmp(BranchArg, "auto") == 0)
+    BranchModes = {BranchMode::Auto};
+  else if (std::strcmp(BranchArg, "meld") == 0)
+    BranchModes = {BranchMode::Meld};
+  else if (std::strcmp(BranchArg, "predicate") == 0)
+    BranchModes = {BranchMode::Predicate};
+  else if (std::strcmp(BranchArg, "yield") == 0)
+    BranchModes = {BranchMode::Yield};
+  else if (std::strcmp(BranchArg, "both") == 0)
+    BranchModes = {BranchMode::Meld, BranchMode::Yield};
+  else {
+    std::fprintf(
+        stderr, "--branch takes auto|meld|predicate|yield|both, got '%s'\n",
+        BranchArg);
+    return 1;
+  }
+  const char *HeaderBranch =
+      BranchModes.size() > 1
+          ? "both"
+          : branchModeName(resolveBranchMode(BranchModes[0]));
   argv += ArgI - 1;
   argc -= ArgI - 1;
   if (TracePath)
@@ -417,7 +460,7 @@ int main(int argc, char **argv) {
     uint32_t LaunchScale =
         argc > 4 ? static_cast<uint32_t>(std::atoi(argv[4])) : 1;
     int RC = runLaunchesMode(Launches, LaunchOut, LaunchScale, SimdModes[0],
-                             JitModes[0]);
+                             JitModes[0], BranchModes[0]);
     if (TracePath && RC == 0)
       RC = finishTrace(TracePath);
     if (Metrics)
@@ -431,7 +474,7 @@ int main(int argc, char **argv) {
   const int Reps = argc > 3 ? std::atoi(argv[3]) : 5;
 
   const char *Names[] = {"VectorAdd", "Mandelbrot", "Histogram64",
-                         "BinomialOptions", "LoopTrip"};
+                         "BinomialOptions", "LoopTrip", "Bfs", "Spmv"};
   const uint32_t Widths[] = {1, 2, 4, 8};
   MachineModel Machine;
   const unsigned WorkerCounts[] = {1, Machine.Cores};
@@ -453,22 +496,26 @@ int main(int argc, char **argv) {
       for (unsigned Workers : WorkerCounts) {
         for (SimdMode Simd : SimdModes) {
          for (JitMode Jit : JitModes) {
+          for (BranchMode Branch : BranchModes) {
           const char *SimdStr = simdPathName(resolveSimdPath(Simd));
           const char *JitStr = jitModeName(resolveJitMode(Jit));
+          const char *BranchStr = branchModeName(resolveBranchMode(Branch));
           std::unique_ptr<Program> Prog = compileWorkload(*W);
           auto Inst = W->Make(Scale);
           LaunchOptions O = dynamicFormation(Width);
           O.Workers = Workers;
           O.Simd = Simd;
           O.Jit = Jit;
+          O.Branch = Branch;
           auto Launch = [&]() {
             auto S = Prog->launch(*Inst->Dev, W->KernelName, Inst->Grid,
                                   Inst->Block, Inst->Params, O);
             if (!S) {
-              std::fprintf(stderr,
-                           "%s (w=%u, workers=%u, simd=%s, jit=%s): %s\n",
-                           Name, Width, Workers, SimdStr, JitStr,
-                           S.status().message().c_str());
+              std::fprintf(
+                  stderr,
+                  "%s (w=%u, workers=%u, simd=%s, jit=%s, branch=%s): %s\n",
+                  Name, Width, Workers, SimdStr, JitStr, BranchStr,
+                  S.status().message().c_str());
               std::exit(1);
             }
           };
@@ -483,13 +530,15 @@ int main(int argc, char **argv) {
             Best = std::min(Best, now() - T0);
           }
           uint64_t Threads = Inst->Grid.count() * Inst->Block.count();
-          Samples.push_back({W->Name, Width, Workers, SimdStr, JitStr, Best,
-                             Threads, static_cast<double>(Threads) / Best});
+          Samples.push_back({W->Name, Width, Workers, SimdStr, JitStr,
+                             BranchStr, Best, Threads,
+                             static_cast<double>(Threads) / Best});
           std::printf(
-              "%-16s width=%u workers=%u simd=%-6s jit=%-6s  %9.3f ms  "
-              "%12.0f threads/s\n",
-              W->Name, Width, Workers, SimdStr, JitStr, Best * 1e3,
+              "%-16s width=%u workers=%u simd=%-6s jit=%-6s branch=%-9s "
+              "%9.3f ms  %12.0f threads/s\n",
+              W->Name, Width, Workers, SimdStr, JitStr, BranchStr, Best * 1e3,
               static_cast<double>(Threads) / Best);
+          }
          }
         }
       }
@@ -502,18 +551,19 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::fprintf(Out, "{\n  \"bench\": \"wallclock_throughput\",\n");
-  printHostHeader(Out, HeaderSimd, HeaderJit);
+  printHostHeader(Out, HeaderSimd, HeaderJit, HeaderBranch);
   std::fprintf(Out, "  \"scale\": %u,\n  \"reps\": %d,\n  \"results\": [\n",
                Scale, Reps);
   for (size_t I = 0; I < Samples.size(); ++I) {
     const Sample &S = Samples[I];
     std::fprintf(Out,
                  "    {\"workload\": \"%s\", \"width\": %u, \"workers\": %u, "
-                 "\"simd\": \"%s\", \"jit\": \"%s\", \"seconds\": %.6e, "
+                 "\"simd\": \"%s\", \"jit\": \"%s\", \"branch\": \"%s\", "
+                 "\"seconds\": %.6e, "
                  "\"threads\": %llu, \"threads_per_sec\": %.6e}%s\n",
-                 S.Workload, S.Width, S.Workers, S.Simd, S.Jit, S.Seconds,
-                 static_cast<unsigned long long>(S.Threads), S.ThreadsPerSec,
-                 I + 1 < Samples.size() ? "," : "");
+                 S.Workload, S.Width, S.Workers, S.Simd, S.Jit, S.Branch,
+                 S.Seconds, static_cast<unsigned long long>(S.Threads),
+                 S.ThreadsPerSec, I + 1 < Samples.size() ? "," : "");
   }
   std::fprintf(Out, "  ]\n}\n");
   std::fclose(Out);

@@ -104,6 +104,12 @@ struct LaunchConfig {
   /// defers to SIMTVEC_JIT. Outputs and modeled counters are bit-identical
   /// across tiers.
   JitMode Jit = JitMode::Auto;
+
+  /// Resolved per-site branch policy plan (ControlFlowMeld chars; "" is
+  /// the legacy all-yield pipeline). The runtime resolves LaunchOptions'
+  /// BranchMode — possibly via the PGO profile — into this string before
+  /// the launch runs; it keys every translation-cache query.
+  std::string BranchPlan;
 };
 
 /// Aggregated results of one kernel launch.
@@ -122,6 +128,11 @@ struct LaunchStats {
   uint64_t BranchYields = 0;
   uint64_t BarrierYields = 0;
   uint64_t ExitYields = 0;
+
+  /// Divergence yields attributed to their pre-meld branch site (index =
+  /// ControlFlowMeld site id). Sums to BranchYields when every yield is
+  /// attributable; feeds the divergence-PGO profile.
+  std::vector<uint64_t> SiteBranchYields;
 
   /// Average threads per kernel entry (paper Fig. 7).
   double avgWarpSize() const {

@@ -86,6 +86,11 @@ struct SpecializationOptions {
   /// autotuner commits to the argmin.
   unsigned ExploreSamples = 2;
 
+  /// Launches observed under the legacy all-yield plan before the
+  /// divergence PGO commits a per-site branch plan ('m' where the site
+  /// yielded at least once, 'y' elsewhere).
+  unsigned BranchExploreLaunches = 3;
+
   static SpecializationOptions fromEnv();
 };
 
@@ -96,7 +101,9 @@ class SpecializationService {
 public:
   /// On-disk format version; bumped whenever the artifact encoding, the
   /// kernel serialization, or the decode pipeline changes incompatibly.
-  static constexpr uint32_t FormatVersion = 1;
+  /// v2: branch plan joined the artifact fingerprint; profiles carry the
+  /// divergence-PGO section.
+  static constexpr uint32_t FormatVersion = 2;
 
   /// \p M must outlive the service (it supplies kernel sources for
   /// fingerprinting). \p Machine must match the TranslationCache's model.
@@ -141,6 +148,49 @@ public:
 
   /// The converged width for \p KernelName, or 0 while still exploring.
   uint32_t committedWidth(const std::string &KernelName);
+
+  //===--------------------------------------------------------------------===
+  // Divergence PGO (called by the runtime under BranchMode::Pgo).
+  //
+  // Per (kernel, width) — the profitable policy is width-dependent — the
+  // service runs an A/B/N trial on *measured wall time*: candidate plans
+  // ("" legacy all-yield, "p" flatten, "m" flatten+meld+masked-loops)
+  // round-robin across `3 * BranchExploreLaunches` launches, each scored
+  // by its per-candidate minimum seconds (the minimum discards the
+  // first-launch artifact compile and one-off machine stalls; a mean
+  // would fold them in and bury real wins on short kernels), and the
+  // argmin commits — with "" defended by a >2% noise margin, so wall
+  // jitter cannot flip a kernel off the legacy artifacts. A kernel whose
+  // first "" launch saw no divergence commits "" immediately (divergence
+  // is shape-deterministic). Wall time, not modeled cycles, is the
+  // fitness: melding trades modeled yield round-trips for real guarded
+  // over-execution, and the two disagree on irregular kernels. Committed
+  // plans persist in the `.svcp` profile, so a warm process launches
+  // under the winner immediately. Width-1 launches never participate (a
+  // 1-wide warp cannot diverge).
+  //===--------------------------------------------------------------------===
+
+  /// Branch plan the next Pgo launch of \p KernelName at \p Width should
+  /// run under: the committed plan when converged (memory or persisted
+  /// profile), otherwise the plan the trial currently measures.
+  std::string chooseBranchPlan(const std::string &KernelName,
+                               uint32_t Width);
+
+  /// Feeds one launch's outcome back: per-site divergence yields plus the
+  /// measured wall seconds. Launches whose \p PlanUsed does not match the
+  /// trial slot under measurement are ignored (stale in-flight plans).
+  void recordBranchSample(const std::string &KernelName, uint32_t Width,
+                          const std::string &PlanUsed,
+                          const std::vector<uint64_t> &SiteYields,
+                          double Seconds);
+
+  /// The committed branch plan, or "" while exploring (indistinguishable
+  /// from a committed all-yield plan; see branchPlanCommitted).
+  std::string committedBranchPlan(const std::string &KernelName,
+                                  uint32_t Width);
+
+  /// Whether the (kernel, width) trial has converged on a plan.
+  bool branchPlanCommitted(const std::string &KernelName, uint32_t Width);
 
   //===--------------------------------------------------------------------===
   // Native JIT tier (second execution tier behind the cache).
@@ -225,13 +275,27 @@ private:
     uint32_t Samples = 0;
     double SumCyclesPerThread = 0;
   };
+  /// Divergence-PGO trial state for one (kernel, width).
+  struct BranchState {
+    bool Committed = false;
+    std::string Plan;            ///< valid when Committed
+    uint32_t Launches = 0;       ///< trial launches recorded so far
+    std::vector<double> CandMinSecs;    ///< per-candidate best wall seconds
+    std::vector<uint32_t> CandLaunches; ///< per-candidate launches recorded
+    uint64_t ExploreYields = 0;  ///< total divergence yields under ""
+    std::vector<uint64_t> SiteYields; ///< per-site yields (observability)
+  };
   struct KernelTune {
     std::vector<WidthState> Per; ///< one slot per candidate width, in order
     uint32_t Committed = 0;      ///< 0 while exploring
     bool ProfileChecked = false; ///< persisted profile load attempted
+    std::map<uint32_t, BranchState> Branch; ///< divergence PGO, per width
   };
   KernelTune &tuneFor(const std::string &KernelName); ///< TuneLock held
   void persistProfile(const std::string &KernelName, const KernelTune &T);
+  /// Seals one (kernel, width) trial on its best plan. TuneLock held.
+  void commitBranchPlan(const std::string &KernelName, KernelTune &T,
+                        BranchState &B);
 
   const Module &M;
   MachineModel Machine;
@@ -267,6 +331,10 @@ private:
       &MetricsRegistry::global().counter("autotune.explore");
   MetricsRegistry::Counter *RegCommit =
       &MetricsRegistry::global().counter("autotune.commit");
+  MetricsRegistry::Counter *RegBranchExplore =
+      &MetricsRegistry::global().counter("autotune.branch_explore");
+  MetricsRegistry::Counter *RegBranchCommit =
+      &MetricsRegistry::global().counter("autotune.branch_commit");
 };
 
 } // namespace simtvec

@@ -66,14 +66,19 @@ public:
     /// distinct specializations so forced-scalar oracle runs can coexist
     /// with vector runs in one process.
     SimdPath Simd = resolveSimdPath(SimdMode::Auto);
+    /// Resolved per-site branch policy chars (ControlFlowMeld plan
+    /// string); "" is the legacy all-yield pipeline. Distinct plans are
+    /// distinct specializations — melded and yielding code for one kernel
+    /// coexist in cache, on disk and in the native tier.
+    std::string BranchPlan;
 
     bool operator<(const Key &R) const {
       return std::tie(KernelName, WarpSize, ThreadInvariantElim,
                       UniformBranchOpt, UniformLoadOpt, Superinstructions,
-                      Simd) <
+                      Simd, BranchPlan) <
              std::tie(R.KernelName, R.WarpSize, R.ThreadInvariantElim,
                       R.UniformBranchOpt, R.UniformLoadOpt,
-                      R.Superinstructions, R.Simd);
+                      R.Superinstructions, R.Simd, R.BranchPlan);
     }
   };
 
@@ -95,8 +100,18 @@ public:
     uint32_t ParamBytes = 0;
   };
 
-  /// Layout of \p KernelName (prepares the scalar form if necessary).
-  Expected<KernelLayout> layoutFor(const std::string &KernelName);
+  /// Layout of \p KernelName under branch plan \p BranchPlan (prepares the
+  /// scalar form if necessary). The layout is plan-dependent: melding
+  /// changes the register set and therefore the spill area.
+  Expected<KernelLayout> layoutFor(const std::string &KernelName,
+                                   const std::string &BranchPlan = "");
+
+  /// The specialization plan of \p KernelName under \p BranchPlan
+  /// (prepares the scalar form if necessary). Pointer stays valid for the
+  /// cache's lifetime; the execution manager uses it to attribute
+  /// divergence yields to their pre-meld sites.
+  Expected<const SpecializationPlan *>
+  planFor(const std::string &KernelName, const std::string &BranchPlan = "");
 
   /// Cache behaviour counters.
   struct Stats {
@@ -122,9 +137,10 @@ public:
   SpecializationService *specializationService() const { return Svc; }
 
 private:
-  /// Prepared scalar form shared by all specializations of a kernel.
+  /// Prepared scalar form shared by all warp-size specializations of a
+  /// (kernel, branch plan) pair.
   struct PreparedKernel {
-    Kernel Scalar; ///< after PredicateToSelect + BarrierSplit
+    Kernel Scalar; ///< after PredicateToSelect + BarrierSplit + Meld
     SpecializationPlan Plan;
   };
 
@@ -144,7 +160,8 @@ private:
   };
 
   Shard &shardFor(const Key &K);
-  Expected<const PreparedKernel *> prepare(const std::string &KernelName);
+  Expected<const PreparedKernel *> prepare(const std::string &KernelName,
+                                           const std::string &BranchPlan);
 
   const Module &M;
   MachineModel Machine;
@@ -154,7 +171,7 @@ private:
   Shard Shards[NumShards];
 
   std::mutex PrepareLock; ///< guards Prepared
-  std::map<std::string, PreparedKernel> Prepared;
+  std::map<std::pair<std::string, std::string>, PreparedKernel> Prepared;
 
   std::mutex InFlightLock; ///< guards InFlight
   std::map<Key, std::shared_ptr<CompileSlot>> InFlight;

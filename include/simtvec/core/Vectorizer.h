@@ -39,6 +39,7 @@
 #define SIMTVEC_CORE_VECTORIZER_H
 
 #include "simtvec/ir/Kernel.h"
+#include "simtvec/transforms/Passes.h"
 
 #include <memory>
 #include <vector>
@@ -80,9 +81,25 @@ struct SpecializationPlan {
   /// total spill area per thread.
   uint32_t SpillBytes = 0;
 
-  /// Derives the plan from a prepared scalar kernel (predicate-to-select
-  /// and barrier splitting must already have run).
-  static SpecializationPlan build(const Kernel &ScalarKernel);
+  /// Number of divergence sites in the pre-meld kernel (ControlFlowMeld's
+  /// numbering; stable across branch plans so PGO profiles line up).
+  uint32_t NumSites = 0;
+  /// entry id -> pre-meld divergence site whose branch created it (~0u for
+  /// the kernel entry and barrier continuations). Attributes a divergence
+  /// yield back to its site for the per-branch profile.
+  std::vector<uint32_t> SiteOfEntry;
+  /// scalar block index -> 1 when its guarded Bra is a masked-loop
+  /// backedge: the vectorizer loops while any lane's mask is set instead
+  /// of yielding on divergence.
+  std::vector<uint8_t> MaskedBlock;
+
+  /// Derives the plan from a prepared scalar kernel (predicate-to-select,
+  /// barrier splitting and — when a branch plan is active — control-flow
+  /// melding must already have run). \p Meld, when given, carries the
+  /// melder's site numbering and masked-backedge set; without it sites are
+  /// renumbered from the kernel as-is (correct for the all-yield plan).
+  static SpecializationPlan build(const Kernel &ScalarKernel,
+                                  const MeldResult *Meld = nullptr);
 };
 
 /// Produces the warp-size-\p Opts.WarpSize specialization of

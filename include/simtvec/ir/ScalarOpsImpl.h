@@ -106,9 +106,21 @@ inline uint64_t intBinary(Opcode Op, uint64_t A, uint64_t B, bool &Bad) {
   case Opcode::Mul:
     return toBits<T>(static_cast<T>(static_cast<U>(X) * static_cast<U>(Y)));
   case Opcode::Div:
-    return toBits<T>(Y == 0 ? T(0) : static_cast<T>(X / Y));
+    // Division never traps: /0 yields 0, and signed T_MIN/-1 (UB and a
+    // SIGFPE on x86) wraps to T_MIN like the hardware negate it equals.
+    if (Y == 0)
+      return toBits<T>(T(0));
+    if constexpr (std::is_signed_v<T>)
+      if (Y == T(-1))
+        return toBits<T>(static_cast<T>(U(0) - static_cast<U>(X)));
+    return toBits<T>(static_cast<T>(X / Y));
   case Opcode::Rem:
-    return toBits<T>(Y == 0 ? T(0) : static_cast<T>(X % Y));
+    if (Y == 0)
+      return toBits<T>(T(0));
+    if constexpr (std::is_signed_v<T>)
+      if (Y == T(-1))
+        return toBits<T>(T(0)); // X % -1 == 0, without the T_MIN trap
+    return toBits<T>(static_cast<T>(X % Y));
   case Opcode::Min:
     return toBits<T>(X < Y ? X : Y);
   case Opcode::Max:

@@ -47,6 +47,7 @@
 #include "simtvec/ir/Module.h"
 #include "simtvec/ir/Type.h"
 #include "simtvec/runtime/Stream.h"
+#include "simtvec/support/Branch.h"
 
 #include <cstring>
 #include <memory>
@@ -218,6 +219,13 @@ struct LaunchOptions {
   /// SIMTVEC_JIT env var. Outputs and modeled counters are bit-identical
   /// across tiers; only host wall time moves.
   JitMode Jit = JitMode::Auto;
+  /// Divergent-branch policy: Auto defers to the SIMTVEC_BRANCH env var
+  /// (unset keeps the legacy yield-on-diverge pipeline; "auto" enables the
+  /// divergence PGO). Meld/Predicate/Yield force one policy for every
+  /// divergence site; Pgo explores under the yield plan and commits a
+  /// per-site plan from the observed divergence profile. Outputs are
+  /// bit-identical across policies — only yields and wall time move.
+  BranchMode Branch = BranchMode::Auto;
   /// Record trace events for this launch (starts a trace session lazily if
   /// none is active; see simtvec/support/Trace.h). Purely host-side:
   /// modeled counters and LaunchStats are unchanged.

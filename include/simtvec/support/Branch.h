@@ -1,0 +1,53 @@
+//===- simtvec/support/Branch.h - Divergent-branch policy knob --*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The divergence-reduction knob: what the specializer does at a divergent
+/// branch site. Yield is the engine's historical behaviour (vote the
+/// predicate, yield the warp back to the scheduler on disagreement);
+/// Predicate flattens acyclic if/else diamonds so both sides execute
+/// guarded in one warp; Meld adds DARM-style alignment of structurally
+/// similar half-regions plus masked execution of divergent self-loops; Pgo
+/// explores with yields first, measures per-site divergence, and commits a
+/// per-site plan persisted with the autotune profile. Resolution follows
+/// the Jit.h convention: the explicit LaunchOptions value wins, Auto defers
+/// to the SIMTVEC_BRANCH env var, and an unset env var means Yield so the
+/// default pipeline is bit-stable against earlier releases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SUPPORT_BRANCH_H
+#define SIMTVEC_SUPPORT_BRANCH_H
+
+#include <cstdint>
+
+namespace simtvec {
+
+/// User-facing knob: Auto defers to SIMTVEC_BRANCH, then to Yield. Pgo is
+/// what SIMTVEC_BRANCH=auto selects — measure, then commit per site.
+enum class BranchMode : uint8_t {
+  Auto = 0,
+  Pgo = 1,
+  Meld = 2,
+  Predicate = 3,
+  Yield = 4,
+};
+
+/// Parses SIMTVEC_BRANCH (full-string match of auto|meld|predicate|yield,
+/// cached on first use; invalid values warn once on stderr and fall back to
+/// yield). "auto" means Pgo. Unset means Yield.
+BranchMode branchModeFromEnv();
+
+/// Collapses Auto to the env var's answer; explicit modes win. Never
+/// returns Auto.
+BranchMode resolveBranchMode(BranchMode Mode);
+
+/// "auto" / "meld" / "predicate" / "yield" (Pgo prints as "auto").
+const char *branchModeName(BranchMode Mode);
+
+} // namespace simtvec
+
+#endif // SIMTVEC_SUPPORT_BRANCH_H

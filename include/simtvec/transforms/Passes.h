@@ -18,6 +18,9 @@
 
 #include "simtvec/ir/Kernel.h"
 
+#include <string>
+#include <vector>
+
 namespace simtvec {
 
 /// Replaces guarded pure instructions with an unguarded compute into a
@@ -25,6 +28,49 @@ namespace simtvec {
 /// operations keep their guards (a select cannot express a suppressed side
 /// effect).
 bool runPredicateToSelect(Kernel &K);
+
+/// What runControlFlowMeld did at each divergence site, for the
+/// specialization plan and the per-site divergence profile. Sites are the
+/// guarded `bra` terminators of the *input* kernel, numbered in block
+/// order before any transformation; the block mappings below are in terms
+/// of the *output* kernel (melding removes and fuses blocks).
+struct MeldResult {
+  /// Number of divergence sites in the input kernel.
+  uint32_t NumSites = 0;
+
+  /// One policy char per site after legality clamping: 'y' yield (site
+  /// still diverges), 'p' flattened predicated diamond/triangle, 'm'
+  /// melded (flattened with DARM-style alignment, or masked self-loop).
+  std::string EffectivePlan;
+
+  /// Output block index -> site id of its surviving guarded-Bra
+  /// terminator, ~0u when the block has none. This is what attributes a
+  /// divergence yield back to its site for the PGO profile.
+  std::vector<uint32_t> SiteOfBlockTerm;
+
+  /// Output block indices whose guarded Bra is a masked loop backedge:
+  /// the vectorizer keeps the warp looping while *any* lane's mask is
+  /// live instead of yielding on disagreement.
+  std::vector<uint32_t> MaskedBlocks;
+};
+
+/// Divergence reduction (DARM-style control-flow melding). \p Plan gives a
+/// requested policy char per site ('y' / 'p' / 'm'); the empty string means
+/// all-yield (the pass only numbers sites and changes nothing), a single
+/// char applies to every site, and missing/invalid chars clamp to 'y'.
+/// Sites whose shape or contents cannot legally meld clamp to 'y'
+/// deterministically — the requested plan is a cache key, the effective
+/// plan is what actually happened.
+///
+/// 'p' flattens acyclic diamonds and triangles: both halves execute in the
+/// branch block predicated on a snapshot of the branch condition. 'm'
+/// additionally aligns structurally identical instructions of the two
+/// halves into one unguarded instruction over `selp`-selected operands
+/// (profitable for expensive ops: memory, div/rem, transcendentals), fuses
+/// the resulting straight-line chains, and converts divergent self-loops
+/// into masked loops (every iteration runs under a lane mask that starts
+/// true and is ANDed with the backedge condition).
+MeldResult runControlFlowMeld(Kernel &K, const std::string &Plan);
 
 /// Splits basic blocks so every `bar.sync` ends its block, followed by an
 /// unconditional branch to the continuation (the yield lowering turns these

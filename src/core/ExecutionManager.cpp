@@ -34,6 +34,19 @@ MetricsRegistry::Counter &warpWidthCounter(unsigned Log2) {
   return *C;
 }
 
+/// Registry counter for divergence yields attributed to branch site
+/// \p Site, created lazily and cached (site counts are tiny).
+MetricsRegistry::Counter &siteYieldCounter(uint32_t Site) {
+  static std::mutex Lock;
+  static std::map<uint32_t, MetricsRegistry::Counter *> Cache;
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto [It, Inserted] = Cache.emplace(Site, nullptr);
+  if (Inserted)
+    It->second = &MetricsRegistry::global().counter(
+        formatString("em.branch_yields.s%u", Site));
+  return *It->second;
+}
+
 /// Flushes one launch's aggregated stats into the metrics registry (once
 /// per launch — off every hot path).
 void flushLaunchMetrics(const LaunchStats &Stats) {
@@ -56,6 +69,9 @@ void flushLaunchMetrics(const LaunchStats &Stats) {
   for (const auto &[Width, N] : Stats.EntriesByWidth)
     warpWidthCounter(static_cast<unsigned>(std::countr_zero(Width)))
         .fetch_add(N, std::memory_order_relaxed);
+  for (uint32_t S = 0; S < Stats.SiteBranchYields.size(); ++S)
+    if (uint64_t N = Stats.SiteBranchYields[S])
+      siteYieldCounter(S).fetch_add(N, std::memory_order_relaxed);
 }
 
 /// Largest power of two <= N (N >= 1).
@@ -80,6 +96,8 @@ struct WorkerResult {
   uint64_t BranchYields = 0;
   uint64_t BarrierYields = 0;
   uint64_t ExitYields = 0;
+  /// Divergence yields by pre-meld branch site (index = site id).
+  std::vector<uint64_t> SiteYields;
   std::optional<std::string> Error;
 };
 
@@ -142,9 +160,11 @@ public:
                    Dim3 Block, const std::vector<std::byte> &ParamBuf,
                    std::byte *Global, size_t GlobalSize,
                    AtomicStripes &Atomics, EMArena &Arena,
+                   const SpecializationPlan &Plan,
                    const std::vector<std::shared_ptr<const KernelExec>>
                        *Prefill = nullptr)
       : TC(TC), KernelName(KernelName), Config(Config), Layout(Layout),
+        Plan(Plan),
         Grid(Grid), Block(Block), ParamBuf(ParamBuf), Global(Global),
         GlobalSize(GlobalSize), Atomics(Atomics), Interp(Config.Machine),
         A(Arena), Shared(Arena.Shared), LocalArena(Arena.LocalArena),
@@ -215,6 +235,9 @@ private:
   const std::string &KernelName;
   const LaunchConfig &Config;
   TranslationCache::KernelLayout Layout;
+  /// The kernel's specialization plan, used to attribute divergence yields
+  /// to their pre-meld branch sites (divergence-PGO profile input).
+  const SpecializationPlan &Plan;
   Dim3 Grid, Block;
   const std::vector<std::byte> &ParamBuf;
   std::byte *Global;
@@ -426,7 +449,8 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
                                 Config.UniformBranchOpt,
                                 Config.UniformLoadOpt,
                                 Config.Superinstructions,
-                                resolveSimdPath(Config.Simd)};
+                                resolveSimdPath(Config.Simd),
+                                Config.BranchPlan};
       auto ExecOrErr = TC.get(Key);
       if (!ExecOrErr) {
         R.Error = ExecOrErr.status().message();
@@ -470,11 +494,24 @@ bool ExecutionManager::runCta(uint64_t LinearCta, WorkerResult &R) {
     R.Counters.EMCycles += Machine.EMYieldUpdatePerThread * Width;
 
     switch (Run.Status) {
-    case ResumeStatus::Branch:
+    case ResumeStatus::Branch: {
       ++R.BranchYields;
+      // Attribute the yield to the divergence site whose branch created the
+      // entry point lane 0 resumes at (entry 0 / barrier continuations map
+      // to no site — e.g. the synthetic first entry of every thread).
+      uint32_t E = WarpPtrs[0]->ResumePoint;
+      if (E < Plan.SiteOfEntry.size()) {
+        uint32_t Site = Plan.SiteOfEntry[E];
+        if (Site != ~0u) {
+          if (R.SiteYields.size() < Plan.NumSites)
+            R.SiteYields.resize(Plan.NumSites, 0);
+          ++R.SiteYields[Site];
+        }
+      }
       for (uint32_t L = 0; L < Width; ++L)
         makeReady(static_cast<uint32_t>(WarpPtrs[L] - Ctxs.data()));
       break;
+    }
     case ResumeStatus::Barrier:
       ++R.BarrierYields;
       for (uint32_t L = 0; L < Width; ++L)
@@ -540,13 +577,20 @@ Expected<LaunchStats> runLaunchWorkers(
     LaunchSpan.arg("workers", Workers);
   }
 
+  // The plan pointer stays valid for the cache's lifetime; workers use it
+  // to attribute divergence yields to their pre-meld branch sites.
+  auto PlanOrErr = TC.planFor(KernelName, Config.BranchPlan);
+  if (!PlanOrErr)
+    return PlanOrErr.status();
+  const SpecializationPlan &Plan = **PlanOrErr;
+
   std::vector<WorkerResult> Results(Workers);
   auto Body = [&](unsigned WorkerId) {
     trace::Span WorkerSpan("worker", "em");
     WorkerSpan.arg("worker", WorkerId);
     static thread_local EMArena Arena;
     ExecutionManager EM(TC, KernelName, Config, Layout, Grid, Block,
-                        ParamBuf, Global, GlobalSize, Atomics, Arena,
+                        ParamBuf, Global, GlobalSize, Atomics, Arena, Plan,
                         Prefill);
     Results[WorkerId] = EM.run(WorkerId, Workers);
     if (trace::enabled()) {
@@ -592,6 +636,12 @@ Expected<LaunchStats> runLaunchWorkers(
     Stats.BranchYields += R.BranchYields;
     Stats.BarrierYields += R.BarrierYields;
     Stats.ExitYields += R.ExitYields;
+    if (!R.SiteYields.empty()) {
+      if (Stats.SiteBranchYields.size() < R.SiteYields.size())
+        Stats.SiteBranchYields.resize(R.SiteYields.size(), 0);
+      for (size_t S = 0; S < R.SiteYields.size(); ++S)
+        Stats.SiteBranchYields[S] += R.SiteYields[S];
+    }
   }
   Stats.ModeledSeconds =
       Stats.MaxWorkerCycles / (Config.Machine.ClockGHz * 1e9);
@@ -632,7 +682,7 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
   if (Status E = validateLaunchGeometry(Config, Grid, Block); E.isError())
     return E;
 
-  auto LayoutOrErr = TC.layoutFor(KernelName);
+  auto LayoutOrErr = TC.layoutFor(KernelName, Config.BranchPlan);
   if (!LayoutOrErr)
     return LayoutOrErr.status();
   if (LayoutOrErr->ParamBytes > ParamBuf.size())
@@ -660,7 +710,8 @@ simtvec::launchKernel(TranslationCache &TC, const std::string &KernelName,
                                   Config.UniformBranchOpt,
                                   Config.UniformLoadOpt,
                                   Config.Superinstructions,
-                                  resolveSimdPath(Config.Simd)};
+                                  resolveSimdPath(Config.Simd),
+                                  Config.BranchPlan};
         if (std::shared_ptr<const KernelExec> Exec = TC.peek(Key))
           Svc->requestNative(Key, Exec, /*Sync=*/false);
       }

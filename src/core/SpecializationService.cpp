@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <stdlib.h> // mkdtemp
@@ -403,6 +404,7 @@ uint64_t SpecializationService::fingerprintFor(const TranslationCache::Key &K) {
   W.u8(K.UniformLoadOpt ? 1 : 0);
   W.u8(K.Superinstructions ? 1 : 0);
   W.u8(static_cast<uint8_t>(K.Simd));
+  W.str(K.BranchPlan);
   W.u32(Machine.VectorWidthBytes);
   W.u32(Machine.NumVecRegs);
   W.f64(Machine.ClockGHz);
@@ -624,12 +626,26 @@ SpecializationService::tuneFor(const std::string &KernelName) {
                 Loaded.push_back(WS);
               }
             }
-            bool Valid = !PR.failed() && PR.exhausted() && Committed != 0 &&
-                         std::any_of(T.Per.begin(), T.Per.end(),
-                                     [&](const WidthState &WS) {
-                                       return WS.Width == Committed;
-                                     });
-            if (Valid) {
+            // Divergence-PGO section (always present since v2): the
+            // committed (width, plan) pairs. In-flight trial state is
+            // never persisted — wall seconds measured by one process are
+            // not comparable to another's.
+            uint32_t NBranch = PR.u32();
+            std::vector<std::pair<uint32_t, std::string>> BLoaded;
+            if (NBranch <= 64)
+              for (uint32_t I = 0; I < NBranch && !PR.failed(); ++I) {
+                uint32_t BW = PR.u32();
+                std::string BPlan = PR.str();
+                BLoaded.emplace_back(BW, std::move(BPlan));
+              }
+            bool Structural = !PR.failed() && PR.exhausted();
+            // Width commit and branch commit adopt independently: either
+            // half of the autotuner may converge (and persist) first.
+            if (Structural && Committed != 0 &&
+                std::any_of(T.Per.begin(), T.Per.end(),
+                            [&](const WidthState &WS) {
+                              return WS.Width == Committed;
+                            })) {
               T.Committed = Committed;
               for (const WidthState &L : Loaded)
                 for (WidthState &WS : T.Per)
@@ -638,6 +654,12 @@ SpecializationService::tuneFor(const std::string &KernelName) {
                     WS.SumCyclesPerThread = L.SumCyclesPerThread;
                   }
             }
+            if (Structural)
+              for (auto &WP : BLoaded) {
+                BranchState &B = T.Branch[WP.first];
+                B.Committed = true;
+                B.Plan = std::move(WP.second);
+              }
           }
         }
       }
@@ -704,6 +726,127 @@ uint32_t SpecializationService::committedWidth(const std::string &KernelName) {
   return tuneFor(KernelName).Committed;
 }
 
+//===----------------------------------------------------------------------===//
+// Divergence PGO
+//===----------------------------------------------------------------------===//
+
+// The trial candidates. "" (legacy all-yield) leads every round: its
+// very first launch reveals whether the kernel diverges at all at this
+// width (divergence is shape-deterministic — if the first launch saw no
+// yields, none will), and a never-diverging kernel commits "" without
+// ever building a transformed artifact. "p" (flatten only) removes
+// inner-branch divergence but keeps loop backedges yielding; "m" adds
+// melding and masked self-loops.
+static const char *const BranchCandidates[] = {"", "p", "m"};
+static constexpr size_t NumBranchCandidates =
+    sizeof(BranchCandidates) / sizeof(BranchCandidates[0]);
+// A challenger must beat the reigning candidate's best wall seconds by
+// >2%. Ties and noise stay with the earlier candidate, so "" keeps the
+// kernel on the legacy artifacts unless a transform wins clearly.
+static constexpr double BranchNoiseMargin = 0.98;
+
+std::string
+SpecializationService::chooseBranchPlan(const std::string &KernelName,
+                                        uint32_t Width) {
+  if (Width <= 1)
+    return std::string(); // a 1-wide warp cannot diverge
+  std::lock_guard<std::mutex> G(TuneLock);
+  KernelTune &T = tuneFor(KernelName);
+  BranchState &B = T.Branch[Width];
+  if (B.Committed)
+    return B.Plan;
+  RegBranchExplore->fetch_add(1, std::memory_order_relaxed);
+  trace::instant("autotune.branch_explore", "autotune", B.Launches,
+                 "launches");
+  // Round-robin, not consecutive stages: interleaving spreads machine
+  // drift (background JIT swaps, frequency ramps) across all candidates
+  // instead of letting it bias whichever candidate ran last.
+  return BranchCandidates[B.Launches % NumBranchCandidates];
+}
+
+void SpecializationService::recordBranchSample(
+    const std::string &KernelName, uint32_t Width,
+    const std::string &PlanUsed, const std::vector<uint64_t> &SiteYields,
+    double Seconds) {
+  if (Width <= 1)
+    return;
+  std::lock_guard<std::mutex> G(TuneLock);
+  KernelTune &T = tuneFor(KernelName);
+  BranchState &B = T.Branch[Width];
+  if (B.Committed)
+    return;
+  const size_t Cand = B.Launches % NumBranchCandidates;
+  if (PlanUsed != BranchCandidates[Cand])
+    return; // stale in-flight launch from an earlier trial slot
+  if (B.CandMinSecs.empty()) {
+    B.CandMinSecs.assign(NumBranchCandidates,
+                         std::numeric_limits<double>::infinity());
+    B.CandLaunches.assign(NumBranchCandidates, 0);
+  }
+  if (B.SiteYields.size() < SiteYields.size())
+    B.SiteYields.resize(SiteYields.size(), 0);
+  for (size_t S = 0; S < SiteYields.size(); ++S)
+    B.SiteYields[S] += SiteYields[S];
+  if (Cand == 0)
+    for (uint64_t Y : SiteYields)
+      B.ExploreYields += Y;
+  // Per-candidate minimum, not mean: a candidate's first launch pays its
+  // artifact compile, and on kernels whose launch time is comparable to a
+  // compile, folding that stall into a mean would make every transformed
+  // plan look slower than it runs (exactly how SpMV once lost a 1.5x
+  // win). The minimum is the steady-state cost.
+  B.CandMinSecs[Cand] = std::min(B.CandMinSecs[Cand], Seconds);
+  B.CandLaunches[Cand] += 1;
+  B.Launches += 1;
+  if (Cand == 0 && B.ExploreYields == 0) {
+    // The legacy plan never diverged at this width: the transformed plans
+    // have nothing to remove, so stay on the legacy artifacts without
+    // trialing them.
+    B.Plan.clear();
+    commitBranchPlan(KernelName, T, B);
+    return;
+  }
+  if (B.Launches < NumBranchCandidates * Opts.BranchExploreLaunches)
+    return;
+
+  // Trial complete: commit the wall-argmin, with "" defended by the
+  // noise margin (and each later candidate needing a >2% win over the
+  // reigning one).
+  size_t Best = 0;
+  for (size_t C = 1; C < NumBranchCandidates; ++C)
+    if (B.CandMinSecs[C] < BranchNoiseMargin * B.CandMinSecs[Best])
+      Best = C;
+  B.Plan = BranchCandidates[Best];
+  commitBranchPlan(KernelName, T, B);
+}
+
+void SpecializationService::commitBranchPlan(const std::string &KernelName,
+                                             KernelTune &T, BranchState &B) {
+  B.Committed = true;
+  RegBranchCommit->fetch_add(1, std::memory_order_relaxed);
+  trace::instant("autotune.branch_commit", "autotune",
+                 static_cast<uint64_t>(B.Plan.size()), "sites");
+  persistProfile(KernelName, T);
+}
+
+std::string
+SpecializationService::committedBranchPlan(const std::string &KernelName,
+                                           uint32_t Width) {
+  std::lock_guard<std::mutex> G(TuneLock);
+  KernelTune &T = tuneFor(KernelName);
+  auto It = T.Branch.find(Width);
+  return It != T.Branch.end() && It->second.Committed ? It->second.Plan
+                                                      : std::string();
+}
+
+bool SpecializationService::branchPlanCommitted(const std::string &KernelName,
+                                                uint32_t Width) {
+  std::lock_guard<std::mutex> G(TuneLock);
+  KernelTune &T = tuneFor(KernelName);
+  auto It = T.Branch.find(Width);
+  return It != T.Branch.end() && It->second.Committed;
+}
+
 void SpecializationService::persistProfile(const std::string &KernelName,
                                            const KernelTune &T) {
   if (!persistent())
@@ -716,6 +859,17 @@ void SpecializationService::persistProfile(const std::string &KernelName,
     Payload.u32(WS.Samples);
     Payload.f64(WS.SumCyclesPerThread);
   }
+  // Divergence-PGO section (v2): committed (width, plan) pairs only.
+  uint32_t NBranch = 0;
+  for (const auto &KV : T.Branch)
+    if (KV.second.Committed)
+      ++NBranch;
+  Payload.u32(NBranch);
+  for (const auto &KV : T.Branch)
+    if (KV.second.Committed) {
+      Payload.u32(KV.first);
+      Payload.str(KV.second.Plan);
+    }
 
   ArtifactHeader H;
   H.Version = FormatVersion;

@@ -25,9 +25,11 @@ TranslationCache::Shard &TranslationCache::shardFor(const Key &K) {
 }
 
 Expected<const TranslationCache::PreparedKernel *>
-TranslationCache::prepare(const std::string &KernelName) {
+TranslationCache::prepare(const std::string &KernelName,
+                          const std::string &BranchPlan) {
   std::lock_guard<std::mutex> Guard(PrepareLock);
-  auto It = Prepared.find(KernelName);
+  auto MapKey = std::make_pair(KernelName, BranchPlan);
+  auto It = Prepared.find(MapKey);
   if (It != Prepared.end())
     return &It->second;
 
@@ -44,15 +46,19 @@ TranslationCache::prepare(const std::string &KernelName) {
   PreparedKernel P;
   P.Scalar = *Source; // deep copy
   // PTX-to-PTX preparation (paper §5.1): replace non-branch predicated
-  // instructions with selects and split blocks at barriers.
+  // instructions with selects, split blocks at barriers, then apply the
+  // branch plan's divergence melding. Melding happens at the scalar level
+  // so every warp width — and the interpreter and native tier alike —
+  // executes the same melded program.
   runPredicateToSelect(P.Scalar);
   runBarrierSplit(P.Scalar);
+  MeldResult Meld = runControlFlowMeld(P.Scalar, BranchPlan);
   if (Status E = verifyKernel(P.Scalar))
     return Status::error("preparation broke the kernel: " + E.message());
-  P.Plan = SpecializationPlan::build(P.Scalar);
+  P.Plan = SpecializationPlan::build(P.Scalar, &Meld);
 
   // std::map nodes are stable: the pointer survives later insertions.
-  auto [Inserted, _] = Prepared.emplace(KernelName, std::move(P));
+  auto [Inserted, _] = Prepared.emplace(std::move(MapKey), std::move(P));
   return &Inserted->second;
 }
 
@@ -163,7 +169,7 @@ TranslationCache::get(const Key &K) {
   }
   auto Start = std::chrono::steady_clock::now();
 
-  auto POrErr = prepare(K.KernelName);
+  auto POrErr = prepare(K.KernelName, K.BranchPlan);
   if (!POrErr) {
     Publish(POrErr.status(), nullptr);
     return POrErr.status();
@@ -209,8 +215,9 @@ TranslationCache::get(const Key &K) {
 }
 
 Expected<TranslationCache::KernelLayout>
-TranslationCache::layoutFor(const std::string &KernelName) {
-  auto POrErr = prepare(KernelName);
+TranslationCache::layoutFor(const std::string &KernelName,
+                            const std::string &BranchPlan) {
+  auto POrErr = prepare(KernelName, BranchPlan);
   if (!POrErr)
     return POrErr.status();
   const PreparedKernel *P = *POrErr;
@@ -219,6 +226,15 @@ TranslationCache::layoutFor(const std::string &KernelName) {
   Layout.SharedBytes = P->Scalar.SharedBytes;
   Layout.ParamBytes = P->Scalar.ParamBytes;
   return Layout;
+}
+
+Expected<const SpecializationPlan *>
+TranslationCache::planFor(const std::string &KernelName,
+                          const std::string &BranchPlan) {
+  auto POrErr = prepare(KernelName, BranchPlan);
+  if (!POrErr)
+    return POrErr.status();
+  return &(*POrErr)->Plan;
 }
 
 TranslationCache::Stats TranslationCache::stats() const {

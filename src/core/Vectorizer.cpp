@@ -17,7 +17,8 @@
 
 using namespace simtvec;
 
-SpecializationPlan SpecializationPlan::build(const Kernel &S) {
+SpecializationPlan SpecializationPlan::build(const Kernel &S,
+                                             const MeldResult *Meld) {
   SpecializationPlan Plan;
   Plan.EntryIdOf.assign(S.Blocks.size(), ~0u);
   Plan.EntryScalarBlocks.push_back(0); // entry 0: the initial kernel entry
@@ -58,6 +59,38 @@ SpecializationPlan SpecializationPlan::build(const Kernel &S) {
     Offset += Bytes;
   }
   Plan.SpillBytes = (Offset + 15) / 16 * 16;
+
+  // Divergence-site bookkeeping for the branch-policy layer. With a
+  // MeldResult the melder's pre-transform numbering and masked-backedge
+  // set carry over; without one (legacy callers, all-yield plan) sites are
+  // numbered from the kernel as-is — identical to what the melder reports
+  // for the empty plan.
+  Plan.MaskedBlock.assign(S.Blocks.size(), 0);
+  std::vector<uint32_t> SiteOfBlock(S.Blocks.size(), ~0u);
+  if (Meld) {
+    Plan.NumSites = Meld->NumSites;
+    SiteOfBlock = Meld->SiteOfBlockTerm;
+    for (uint32_t B : Meld->MaskedBlocks)
+      Plan.MaskedBlock[B] = 1;
+  } else {
+    uint32_t N = 0;
+    for (uint32_t B = 0; B < S.Blocks.size(); ++B)
+      if (S.Blocks[B].hasTerminator() &&
+          S.Blocks[B].terminator().isConditionalBranch())
+        SiteOfBlock[B] = N++;
+    Plan.NumSites = N;
+  }
+  Plan.SiteOfEntry.assign(Plan.EntryScalarBlocks.size(), ~0u);
+  for (uint32_t B = 0; B < S.Blocks.size(); ++B) {
+    if (SiteOfBlock[B] == ~0u || Plan.MaskedBlock[B])
+      continue;
+    const Instruction &T = S.Blocks[B].terminator();
+    for (uint32_t Succ : {T.Target, T.FalseTarget}) {
+      uint32_t E = Plan.EntryIdOf[Succ];
+      if (E != ~0u && Plan.SiteOfEntry[E] == ~0u)
+        Plan.SiteOfEntry[E] = SiteOfBlock[B]; // first site wins on shares
+    }
+  }
   return Plan;
 }
 
@@ -570,6 +603,23 @@ void VectorizerImpl::emitTerminator(uint32_t ScalarBlock, bool HasBarrier) {
       BI.Target = BodyBlock[T.Target];
       BI.FalseTarget = BodyBlock[T.FalseTarget];
       B->append(std::move(BI));
+      return;
+    }
+
+    // Masked loop backedge (ControlFlowMeld): any live lane keeps the
+    // whole warp iterating; only a zero vote falls through to the exit.
+    // Finished lanes idle under a false mask, so there is no divergence
+    // to yield on and no exit handler at this site.
+    if (ScalarBlock < Plan.MaskedBlock.size() &&
+        Plan.MaskedBlock[ScalarBlock]) {
+      Operand MaskVec = vectorValue(Pred);
+      uint32_t Stay = T.Target, Done = T.FalseTarget;
+      if (T.GuardNegated)
+        std::swap(Stay, Done);
+      RegId MSum = newTemp(Type::u32(), "msum");
+      B->voteSum(MSum, MaskVec);
+      B->makeSwitch(Operand::reg(MSum), {0}, {BodyBlock[Done]},
+                    BodyBlock[Stay]);
       return;
     }
 

@@ -305,12 +305,31 @@ Expected<GraphExec> Graph::instantiate(Program &Prog,
           Opt.MaxWarpSize));
     }
     LaunchConfig Config = Prog.makeConfig(Opt);
+    // Branch-plan commitment mirrors the width commitment above: the
+    // resolved plan freezes into the prepared launch, and replays are
+    // never fed back into the divergence profile (a Pgo node still
+    // exploring instantiates the legacy plan — its commitment belongs to
+    // eager launches).
+    switch (resolveBranchMode(Opt.Branch)) {
+    case BranchMode::Meld:
+      Config.BranchPlan = "m";
+      break;
+    case BranchMode::Predicate:
+      Config.BranchPlan = "p";
+      break;
+    case BranchMode::Pgo:
+      Config.BranchPlan = Prog.specialization().committedBranchPlan(
+          N.KernelName, Config.MaxWarpSize);
+      break;
+    default:
+      break; // Yield: the legacy "" plan
+    }
     if (Status S = validateLaunchGeometry(Config, N.Grid, N.Block);
         S.isError())
       return S;
 
     TranslationCache &TC = Prog.translationCache();
-    auto LayoutOrErr = TC.layoutFor(N.KernelName);
+    auto LayoutOrErr = TC.layoutFor(N.KernelName, Config.BranchPlan);
     if (!LayoutOrErr)
       return LayoutOrErr.status();
     if (LayoutOrErr->ParamBytes > N.P.bytes().size())
@@ -346,7 +365,8 @@ Expected<GraphExec> Graph::instantiate(Program &Prog,
                                 Config.UniformBranchOpt,
                                 Config.UniformLoadOpt,
                                 Config.Superinstructions,
-                                resolveSimdPath(Config.Simd)};
+                                resolveSimdPath(Config.Simd),
+                                Config.BranchPlan};
       auto ExecOrErr = TC.get(Key);
       if (!ExecOrErr)
         return ExecOrErr.status();

@@ -13,6 +13,7 @@
 #include "simtvec/support/Format.h"
 #include "simtvec/support/Trace.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -248,19 +249,49 @@ LaunchFuture Program::launchAsync(Stream &S, Device &Dev,
   // (the param bytes, the kernel name, the config); the Device and this
   // Program must outlive the stream's pending work.
   S.S->enqueue([this, SS, LS, &Dev, KernelName, Grid, Block, Auto,
-                Bytes = P.bytes(),
+                BM = resolveBranchMode(Options.Branch), Bytes = P.bytes(),
                 Config = makeConfig(Options)]() mutable -> detail::OpOutcome {
     // Width resolution happens at execution time, not submission: the
     // autotuner sees feedback from every launch ahead of this one in
     // stream order, so a burst of queued Auto launches still converges.
     if (Auto)
       Config.MaxWarpSize = Svc->chooseWidth(KernelName);
+    // Branch-plan resolution mirrors the width decision: forced modes pin
+    // every site, Pgo asks the service (explore under "" until committed).
+    switch (BM) {
+    case BranchMode::Meld:
+      Config.BranchPlan = "m";
+      break;
+    case BranchMode::Predicate:
+      Config.BranchPlan = "p";
+      break;
+    case BranchMode::Pgo:
+      Config.BranchPlan =
+          Svc->chooseBranchPlan(KernelName, Config.MaxWarpSize);
+      break;
+    default:
+      break; // Yield: the legacy "" plan
+    }
+    // The PGO trial scores candidate plans on measured wall seconds, not
+    // modeled cycles: melding trades modeled yield round-trips for real
+    // guarded over-execution, and the two disagree on irregular kernels.
+    const auto T0 = std::chrono::steady_clock::now();
     Expected<LaunchStats> R =
         launchKernel(*TC, KernelName, Grid, Block, Bytes, Dev.data(),
                      Dev.size(), Dev.atomics(), Config);
+    const double Secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
     if (R && Auto)
       Svc->recordSample(KernelName, Config.MaxWarpSize, R->MaxWorkerCycles,
                         static_cast<uint64_t>(Grid.count()) * Block.count());
+    // Width-1 warps cannot diverge, so their launches carry no evidence
+    // about branch behaviour; feeding them to the profile would burn
+    // trial launches on blind samples and commit an all-yield plan for
+    // kernels that diverge at every real width (the service re-checks).
+    if (R && BM == BranchMode::Pgo && Config.MaxWarpSize > 1)
+      Svc->recordBranchSample(KernelName, Config.MaxWarpSize,
+                              Config.BranchPlan, R->SiteBranchYields, Secs);
     if (!R)
       SS->noteError(R.status());
     LS->fulfill(std::move(R));

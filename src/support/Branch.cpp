@@ -1,0 +1,53 @@
+//===- support/Branch.cpp - Divergent-branch policy selection -------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// SIMTVEC_BRANCH parsing and BranchMode resolution, on the shared
+// support/Env.h knob parser (full-string match, one stderr warning for a
+// rejected value, then the default behaviour).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Branch.h"
+
+#include "simtvec/support/Env.h"
+
+using namespace simtvec;
+
+BranchMode simtvec::branchModeFromEnv() {
+  static const BranchMode Cached = [] {
+    static constexpr BranchMode Modes[] = {BranchMode::Pgo, BranchMode::Meld,
+                                           BranchMode::Predicate,
+                                           BranchMode::Yield};
+    if (auto I = env::choiceKnob("SIMTVEC_BRANCH",
+                                 {"auto", "meld", "predicate", "yield"},
+                                 "yield"))
+      return Modes[*I];
+    return BranchMode::Yield;
+  }();
+  return Cached;
+}
+
+BranchMode simtvec::resolveBranchMode(BranchMode Mode) {
+  if (Mode == BranchMode::Auto)
+    Mode = branchModeFromEnv();
+  return Mode;
+}
+
+const char *simtvec::branchModeName(BranchMode Mode) {
+  switch (Mode) {
+  case BranchMode::Pgo:
+    return "auto";
+  case BranchMode::Meld:
+    return "meld";
+  case BranchMode::Predicate:
+    return "predicate";
+  case BranchMode::Yield:
+    return "yield";
+  case BranchMode::Auto:
+    break;
+  }
+  return "auto";
+}

@@ -1,0 +1,621 @@
+//===- transforms/ControlFlowMeld.cpp - Divergence-site melding -----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// DARM-style control-flow melding over the prepared scalar kernel. The
+/// yield-on-diverge lowering (Vectorizer.cpp, Algorithm 2) makes every
+/// divergent branch a warp round-trip through the scheduler; this pass
+/// removes the branch instead, so both sides execute predicated in one
+/// warp:
+///
+///   - Diamonds/triangles flatten into the branch block: each half's
+///     instructions run guarded by a snapshot of the branch condition
+///     ('p' and 'm' policies).
+///   - Under 'm', structurally identical instructions from the two halves
+///     meld into a single unguarded instruction whose differing operands
+///     are `selp`-selected by the then-predicate (DARM's alignment) —
+///     one load instead of two guarded per-lane loads.
+///   - Under 'm', a divergent self-loop becomes a masked loop: a fresh
+///     lane mask starts true on entry, every body instruction is guarded
+///     by it, and the backedge ANDs the loop condition into it. The warp
+///     keeps iterating while any lane is live; finished lanes idle under
+///     a false mask instead of yielding the whole warp.
+///
+/// Everything here preserves single-thread semantics exactly (guarded-off
+/// instructions have no architectural effect), so the interpreter and the
+/// native tier agree by construction and outputs stay bit-identical across
+/// the three policies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/support/Format.h"
+#include "simtvec/transforms/Passes.h"
+
+#include <algorithm>
+#include <cstddef>
+
+using namespace simtvec;
+
+namespace {
+
+constexpr uint32_t NoSite = ~0u;
+
+/// Structural operand equality (same register, same immediate bits, same
+/// special / symbol).
+bool sameOperand(const Operand &A, const Operand &B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case Operand::Kind::Reg:
+    return A.regId() == B.regId();
+  case Operand::Kind::Imm:
+    return A.immType() == B.immType() && A.immBits() == B.immBits();
+  case Operand::Kind::Special:
+    return A.specialReg() == B.specialReg();
+  case Operand::Kind::Symbol:
+    return A.symKind() == B.symKind() && A.symIndex() == B.symIndex();
+  case Operand::Kind::None:
+    return true;
+  }
+  return false;
+}
+
+/// True when guarding \p Op by a lane predicate has defined semantics: any
+/// non-terminator except a barrier (a guarded bar.sync would deadlock the
+/// unguarded lanes) or the specialization-only scheduler ops.
+bool isPredicable(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::BarSync:
+  case Opcode::Trap:
+  case Opcode::Spill:
+  case Opcode::Restore:
+  case Opcode::SetRPoint:
+  case Opcode::SetRStatus:
+  case Opcode::Yield:
+    return false;
+  default:
+    return !I.isTerminator();
+  }
+}
+
+/// Ops worth melding even when the operand selects cost more than the
+/// saved instruction: memory traffic and the expensive arithmetic.
+bool isExpensive(Opcode Op) {
+  switch (Op) {
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Rcp:
+  case Opcode::Sqrt:
+  case Opcode::Rsqrt:
+  case Opcode::Sin:
+  case Opcode::Cos:
+  case Opcode::Lg2:
+  case Opcode::Ex2:
+  case Opcode::Ld:
+  case Opcode::St:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class Melder {
+public:
+  Melder(Kernel &K, const std::string &Plan) : K(K), Plan(Plan) {}
+
+  MeldResult run();
+
+private:
+  char planChar(uint32_t Site) const {
+    if (Plan.empty())
+      return 'y';
+    char C = Plan.size() == 1 ? Plan[0]
+                              : (Site < Plan.size() ? Plan[Site] : 'y');
+    return (C == 'p' || C == 'm') ? C : 'y';
+  }
+
+  std::vector<std::vector<uint32_t>> predecessors() const;
+  bool regionPredicable(const BasicBlock &B) const;
+
+  RegId freshPred(const char *Tag) {
+    return K.addReg(formatString("%%_meld_%s%u", Tag, FreshCount++),
+                    Type::pred());
+  }
+
+  /// Appends a copy of \p I to \p Out with \p Act ANDed into its guard.
+  void appendGuarded(std::vector<Instruction> &Out, Instruction I,
+                     RegId Act);
+
+  bool flattenOnce(const std::vector<std::vector<uint32_t>> &Preds);
+  bool fuseOnce(const std::vector<std::vector<uint32_t>> &Preds);
+  bool maskLoop(uint32_t L, const std::vector<std::vector<uint32_t>> &Preds);
+  void meldHalves(std::vector<Instruction> &ThenI,
+                  std::vector<Instruction> &ElseI, RegId ActT, RegId ActF,
+                  std::vector<Instruction> &Out);
+  void sweepUnreachable();
+
+  Kernel &K;
+  const std::string &Plan;
+  std::vector<uint32_t> TermSite; ///< block -> site id of its guarded Bra
+  std::vector<char> Policy;      ///< per-site requested (legal-char) policy
+  std::string Effective;         ///< per-site effective policy
+  std::vector<uint8_t> Masked;   ///< block -> is a masked loop backedge
+  unsigned FreshCount = 0;
+};
+
+std::vector<std::vector<uint32_t>> Melder::predecessors() const {
+  std::vector<std::vector<uint32_t>> Preds(K.Blocks.size());
+  for (uint32_t B = 0; B < K.Blocks.size(); ++B)
+    for (uint32_t S : K.successors(B))
+      if (std::find(Preds[S].begin(), Preds[S].end(), B) == Preds[S].end())
+        Preds[S].push_back(B);
+  return Preds;
+}
+
+bool Melder::regionPredicable(const BasicBlock &B) const {
+  if (!B.hasTerminator())
+    return false;
+  for (size_t I = 0; I + 1 < B.Insts.size(); ++I)
+    if (!isPredicable(B.Insts[I]))
+      return false;
+  return true;
+}
+
+void Melder::appendGuarded(std::vector<Instruction> &Out, Instruction I,
+                           RegId Act) {
+  if (!I.Guard.isValid()) {
+    I.Guard = Act;
+    I.GuardNegated = false;
+    Out.push_back(std::move(I));
+    return;
+  }
+  // Compose: combined = Act && (Guard ^ Negated). The helpers write fresh
+  // temporaries, so they can run unguarded on every lane.
+  RegId Q = I.Guard;
+  if (I.GuardNegated) {
+    RegId NQ = freshPred("nq");
+    Instruction Inv(Opcode::Xor, Type::pred());
+    Inv.Dst = NQ;
+    Inv.Srcs = {Operand::reg(Q), Operand::immInt(Type::pred(), 1)};
+    Out.push_back(std::move(Inv));
+    Q = NQ;
+  }
+  RegId Comb = freshPred("g");
+  Instruction And(Opcode::And, Type::pred());
+  And.Dst = Comb;
+  And.Srcs = {Operand::reg(Act), Operand::reg(Q)};
+  Out.push_back(std::move(And));
+  I.Guard = Comb;
+  I.GuardNegated = false;
+  Out.push_back(std::move(I));
+}
+
+/// DARM alignment: greedy in-order matching of structurally identical
+/// instructions between the two raw halves, then emission — unmatched
+/// then-slots guarded by \p ActT, unmatched else-slots by \p ActF, matched
+/// pairs melded into one unguarded instruction at the else position with
+/// differing operands `selp`-selected by \p ActT. Originally-guarded
+/// instructions never match (they just get their guards composed).
+void Melder::meldHalves(std::vector<Instruction> &ThenI,
+                        std::vector<Instruction> &ElseI, RegId ActT,
+                        RegId ActF, std::vector<Instruction> &Out) {
+  const size_t NT = ThenI.size(), NE = ElseI.size();
+  std::vector<int> MatchOfElse(NE, -1);
+  std::vector<uint8_t> ThenMatched(NT, 0);
+  size_t JFloor = 0;
+  for (size_t I = 0; I < NT; ++I) {
+    const Instruction &A = ThenI[I];
+    if (A.Guard.isValid() || !isPredicable(A) || A.Op == Opcode::AtomAdd)
+      continue;
+    for (size_t J = JFloor; J < NE; ++J) {
+      const Instruction &B = ElseI[J];
+      if (MatchOfElse[J] >= 0 || B.Guard.isValid())
+        continue;
+      if (A.Op != B.Op || !(A.Ty == B.Ty) || A.Cmp != B.Cmp ||
+          A.Space != B.Space || A.MemOffset != B.MemOffset ||
+          A.Srcs.size() != B.Srcs.size() || A.hasResult() != B.hasResult())
+        continue;
+      // Operand pairs must be identical or selectable (same-typed regs or
+      // same-typed immediates).
+      bool Selectable = true;
+      unsigned Sels = 0;
+      for (size_t S = 0; S < A.Srcs.size() && Selectable; ++S) {
+        const Operand &X = A.Srcs[S], &Y = B.Srcs[S];
+        if (sameOperand(X, Y))
+          continue;
+        ++Sels;
+        if (X.isReg() && Y.isReg())
+          Selectable = K.regType(X.regId()) == K.regType(Y.regId());
+        else if (X.isImm() && Y.isImm())
+          Selectable = X.immType() == Y.immType();
+        else
+          Selectable = false;
+      }
+      if (!Selectable)
+        continue;
+      bool SameDst = !A.hasResult() || A.Dst == B.Dst;
+      unsigned Cost = 1 + Sels + (SameDst ? 0 : 2);
+      if (Cost > 2 && !isExpensive(A.Op))
+        continue;
+      // Placement safety: the melded op executes at the else position, so
+      // nothing between the two originals may touch A's operands or (when
+      // its write is deferred) A's destination.
+      auto Touches = [&](const Instruction &M) {
+        bool Hit = false;
+        M.forEachUse([&](RegId R) {
+          if (!SameDst && A.hasResult() && R == A.Dst)
+            Hit = true;
+        });
+        if (M.hasResult()) {
+          for (const Operand &O : A.Srcs)
+            if (O.isReg() && O.regId() == M.Dst)
+              Hit = true;
+          if (A.hasResult() && M.Dst == A.Dst)
+            Hit = true;
+        }
+        return Hit;
+      };
+      bool Safe = true;
+      for (size_t T = I + 1; T < NT && Safe; ++T)
+        Safe = !Touches(ThenI[T]);
+      for (size_t E = 0; E < J && Safe; ++E)
+        Safe = !Touches(ElseI[E]);
+      if (!Safe)
+        continue;
+      MatchOfElse[J] = static_cast<int>(I);
+      ThenMatched[I] = 1;
+      JFloor = J + 1; // keep relative order on both sides
+      break;
+    }
+  }
+
+  // Emit: unmatched then-half guarded by ActT, then the else-half with
+  // matched slots melded (operands selected by ActT, which is exactly
+  // "came from the then side").
+  for (size_t I = 0; I < NT; ++I)
+    if (!ThenMatched[I])
+      appendGuarded(Out, ThenI[I], ActT);
+  for (size_t J = 0; J < NE; ++J) {
+    if (MatchOfElse[J] < 0) {
+      appendGuarded(Out, ElseI[J], ActF);
+      continue;
+    }
+    Instruction A = ThenI[static_cast<size_t>(MatchOfElse[J])];
+    Instruction B = ElseI[J];
+    Instruction M = B; // melded op inherits the else slot's shape
+    for (size_t S = 0; S < A.Srcs.size(); ++S) {
+      if (sameOperand(A.Srcs[S], B.Srcs[S]))
+        continue;
+      Type OTy = A.Srcs[S].isReg() ? K.regType(A.Srcs[S].regId())
+                                   : A.Srcs[S].immType();
+      RegId Sel = K.addReg(formatString("%%_meld_o%u", FreshCount++), OTy);
+      Instruction SI(Opcode::Selp, OTy);
+      SI.Dst = Sel;
+      SI.Srcs = {A.Srcs[S], B.Srcs[S], Operand::reg(ActT)};
+      Out.push_back(std::move(SI));
+      M.Srcs[S] = Operand::reg(Sel);
+    }
+    M.Guard = RegId();
+    M.GuardNegated = false;
+    if (A.hasResult() && A.Dst != B.Dst) {
+      Type DTy = K.regType(A.Dst);
+      RegId DM = K.addReg(formatString("%%_meld_d%u", FreshCount++), DTy);
+      M.Dst = DM;
+      Out.push_back(M);
+      Instruction SA(Opcode::Selp, DTy);
+      SA.Dst = A.Dst;
+      SA.Srcs = {Operand::reg(DM), Operand::reg(A.Dst), Operand::reg(ActT)};
+      Out.push_back(std::move(SA));
+      Instruction SB(Opcode::Selp, DTy);
+      SB.Dst = B.Dst;
+      SB.Srcs = {Operand::reg(B.Dst), Operand::reg(DM), Operand::reg(ActT)};
+      Out.push_back(std::move(SB));
+    } else {
+      Out.push_back(std::move(M));
+    }
+  }
+}
+
+bool Melder::flattenOnce(const std::vector<std::vector<uint32_t>> &Preds) {
+  for (uint32_t BI = 0; BI < K.Blocks.size(); ++BI) {
+    if (TermSite[BI] == NoSite)
+      continue;
+    char C = Policy[TermSite[BI]];
+    if (C == 'y')
+      continue;
+    BasicBlock &B = K.Blocks[BI];
+    const Instruction &T = B.terminator();
+    uint32_t TB = T.Target, FB = T.FalseTarget;
+    if (TB == BI || FB == BI || TB == FB)
+      continue; // self-loops are maskLoop's job
+    auto SoleArm = [&](uint32_t Arm) {
+      return Arm != 0 && Preds[Arm].size() == 1 && Preds[Arm][0] == BI &&
+             TermSite[Arm] == NoSite && regionPredicable(K.Blocks[Arm]) &&
+             K.Blocks[Arm].terminator().Op == Opcode::Bra &&
+             !K.Blocks[Arm].terminator().Guard.isValid();
+    };
+    uint32_t Join = InvalidBlock;
+    bool HasThen = false, HasElse = false;
+    if (SoleArm(TB) && SoleArm(FB) &&
+        K.Blocks[TB].terminator().Target ==
+            K.Blocks[FB].terminator().Target) {
+      Join = K.Blocks[TB].terminator().Target;
+      HasThen = HasElse = true;
+    } else if (SoleArm(TB) && K.Blocks[TB].terminator().Target == FB) {
+      Join = FB; // then-triangle
+      HasThen = true;
+    } else if (SoleArm(FB) && K.Blocks[FB].terminator().Target == TB) {
+      Join = TB; // else-triangle
+      HasElse = true;
+    }
+    // Reject degenerate overlaps: the join must be distinct from the
+    // branch block and from every *consumed* arm (in a triangle the join
+    // legitimately IS the untaken successor).
+    if (Join == InvalidBlock || Join == BI || (HasThen && Join == TB) ||
+        (HasElse && Join == FB))
+      continue;
+
+    // Materialize the per-side activity predicates before dropping the
+    // branch. actT is true exactly when this thread would have taken the
+    // branch; both are immune to redefinition inside the halves.
+    RegId P = T.Guard;
+    bool Neg = T.GuardNegated;
+    B.Insts.pop_back();
+    RegId ActT, ActF;
+    auto Materialize = [&](bool Negate, const char *Tag) {
+      RegId R = freshPred(Tag);
+      Instruction I(Negate ? Opcode::Xor : Opcode::Mov, Type::pred());
+      I.Dst = R;
+      I.Srcs = Negate ? std::vector<Operand>{Operand::reg(P),
+                                             Operand::immInt(Type::pred(), 1)}
+                      : std::vector<Operand>{Operand::reg(P)};
+      B.Insts.push_back(std::move(I));
+      return R;
+    };
+    if (HasThen)
+      ActT = Materialize(Neg, "t");
+    if (HasElse)
+      ActF = Materialize(!Neg, "f");
+
+    auto Half = [&](uint32_t Arm) {
+      std::vector<Instruction> V(K.Blocks[Arm].Insts.begin(),
+                                 K.Blocks[Arm].Insts.end() - 1);
+      return V;
+    };
+    if (HasThen && HasElse && C == 'm') {
+      std::vector<Instruction> ThenI = Half(TB), ElseI = Half(FB);
+      meldHalves(ThenI, ElseI, ActT, ActF, B.Insts);
+    } else {
+      if (HasThen)
+        for (Instruction &I : Half(TB))
+          appendGuarded(B.Insts, std::move(I), ActT);
+      if (HasElse)
+        for (Instruction &I : Half(FB))
+          appendGuarded(B.Insts, std::move(I), ActF);
+    }
+    // The consumed arms are unreachable now; clear them so predecessor
+    // recomputation no longer sees their stale edges into the join (block
+    // fusion depends on the join dropping to a single predecessor).
+    if (HasThen)
+      K.Blocks[TB].Insts.clear();
+    if (HasElse)
+      K.Blocks[FB].Insts.clear();
+    Instruction Br(Opcode::Bra);
+    Br.Target = Join;
+    B.Insts.push_back(std::move(Br));
+    Effective[TermSite[BI]] = C;
+    TermSite[BI] = NoSite;
+    return true; // predecessor sets changed; caller recomputes
+  }
+  return false;
+}
+
+/// Merges single-predecessor straight-line successors into their
+/// predecessor ("basic block fusion", paper §5.1). This is what collapses
+/// a flattened loop body + latch into a single block so the masked-loop
+/// transform can see the self-loop.
+bool Melder::fuseOnce(const std::vector<std::vector<uint32_t>> &Preds) {
+  for (uint32_t HI = 0; HI < K.Blocks.size(); ++HI) {
+    BasicBlock &H = K.Blocks[HI];
+    if (!H.hasTerminator())
+      continue;
+    const Instruction &T = H.terminator();
+    if (T.Op != Opcode::Bra || T.Guard.isValid())
+      continue;
+    uint32_t JI = T.Target;
+    if (JI == HI || JI == 0 || Preds[JI].size() != 1)
+      continue;
+    // Barrier continuations must stay distinct blocks: the bar.sync +
+    // unconditional-bra shape is what the divergence lowering keys on.
+    if (H.Insts.size() >= 2 &&
+        H.Insts[H.Insts.size() - 2].Op == Opcode::BarSync)
+      continue;
+    BasicBlock &J = K.Blocks[JI];
+    if (!J.hasTerminator())
+      continue;
+    H.Insts.pop_back();
+    for (Instruction &I : J.Insts)
+      H.Insts.push_back(std::move(I));
+    J.Insts.clear(); // unreachable; the sweep removes it
+    TermSite[HI] = TermSite[JI];
+    TermSite[JI] = NoSite;
+    return true;
+  }
+  return false;
+}
+
+/// Masked-loop conversion of a divergent self-loop: a fresh lane mask is
+/// set true in every external predecessor, every body instruction runs
+/// guarded by it, and the backedge ANDs the stay condition into it before
+/// branching on the mask. First iteration: external entry wrote true, the
+/// body runs. Later iterations: exactly the lanes whose condition held.
+/// Finished lanes idle under a false mask — annihilated by the AND — until
+/// the whole warp's vote drops to zero and control falls through, so the
+/// vectorizer never needs to yield at this site.
+bool Melder::maskLoop(uint32_t L,
+                      const std::vector<std::vector<uint32_t>> &Preds) {
+  BasicBlock &B = K.Blocks[L];
+  const Instruction T = B.terminator(); // copy: B.Insts is rebuilt below
+  uint32_t Cont = T.Target == L ? T.FalseTarget : T.Target;
+  // The thread stays in the loop iff the branch condition selects the L
+  // side: (guard ^ negated) when Target == L, its complement otherwise.
+  bool StayWhenTrue = (T.Target == L) != T.GuardNegated;
+  std::vector<uint32_t> Ext;
+  for (uint32_t P : Preds[L])
+    if (P != L)
+      Ext.push_back(P);
+  if (L == 0 || Ext.empty())
+    return false;
+  for (size_t I = 0; I + 1 < B.Insts.size(); ++I)
+    if (!isPredicable(B.Insts[I]))
+      return false;
+
+  RegId Mask = freshPred("mask");
+  for (uint32_t PI : Ext) {
+    BasicBlock &PB = K.Blocks[PI];
+    size_t Pos = PB.Insts.size() - 1; // before the terminator...
+    if (Pos > 0 && PB.Insts[Pos - 1].Op == Opcode::BarSync)
+      --Pos; // ...and before a block-ending bar.sync, which must stay one
+    Instruction MI(Opcode::Mov, Type::pred());
+    MI.Dst = Mask;
+    MI.Srcs = {Operand::immInt(Type::pred(), 1)};
+    PB.Insts.insert(PB.Insts.begin() + static_cast<ptrdiff_t>(Pos),
+                    std::move(MI));
+  }
+
+  std::vector<Instruction> Body(B.Insts.begin(), B.Insts.end() - 1);
+  std::vector<Instruction> Out;
+  for (Instruction &I : Body)
+    appendGuarded(Out, std::move(I), Mask);
+  // mask &= stay; computed after the body so a redefined condition counts,
+  // and unguarded — dead lanes' stale condition is annihilated by mask=0.
+  RegId Stay = T.Guard;
+  if (!StayWhenTrue) {
+    RegId NP = freshPred("stay");
+    Instruction Inv(Opcode::Xor, Type::pred());
+    Inv.Dst = NP;
+    Inv.Srcs = {Operand::reg(T.Guard), Operand::immInt(Type::pred(), 1)};
+    Out.push_back(std::move(Inv));
+    Stay = NP;
+  }
+  Instruction And(Opcode::And, Type::pred());
+  And.Dst = Mask;
+  And.Srcs = {Operand::reg(Mask), Operand::reg(Stay)};
+  Out.push_back(std::move(And));
+  Instruction Br(Opcode::Bra);
+  Br.Guard = Mask;
+  Br.GuardNegated = false;
+  Br.Target = L;
+  Br.FalseTarget = Cont;
+  Out.push_back(std::move(Br));
+  B.Insts = std::move(Out);
+  Masked[L] = 1;
+  Effective[TermSite[L]] = 'm';
+  return true;
+}
+
+void Melder::sweepUnreachable() {
+  const uint32_t NB = static_cast<uint32_t>(K.Blocks.size());
+  std::vector<uint8_t> Reach(NB, 0);
+  std::vector<uint32_t> Work{0};
+  Reach[0] = 1;
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    for (uint32_t S : K.successors(B))
+      if (!Reach[S]) {
+        Reach[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  std::vector<uint32_t> Remap(NB, InvalidBlock);
+  uint32_t Next = 0;
+  for (uint32_t B = 0; B < NB; ++B)
+    if (Reach[B])
+      Remap[B] = Next++;
+  if (Next == NB)
+    return;
+  std::vector<BasicBlock> NewBlocks;
+  NewBlocks.reserve(Next);
+  std::vector<uint32_t> NewSite(Next, NoSite);
+  std::vector<uint8_t> NewMasked(Next, 0);
+  for (uint32_t B = 0; B < NB; ++B) {
+    if (!Reach[B])
+      continue;
+    NewSite[Remap[B]] = TermSite[B];
+    NewMasked[Remap[B]] = Masked[B];
+    NewBlocks.push_back(std::move(K.Blocks[B]));
+  }
+  for (BasicBlock &B : NewBlocks)
+    for (Instruction &I : B.Insts) {
+      if (I.Target != InvalidBlock)
+        I.Target = Remap[I.Target];
+      if (I.FalseTarget != InvalidBlock)
+        I.FalseTarget = Remap[I.FalseTarget];
+      for (uint32_t &Tgt : I.SwitchTargets)
+        Tgt = Remap[Tgt];
+      if (I.SwitchDefault != InvalidBlock)
+        I.SwitchDefault = Remap[I.SwitchDefault];
+    }
+  K.Blocks = std::move(NewBlocks);
+  TermSite = std::move(NewSite);
+  Masked = std::move(NewMasked);
+}
+
+MeldResult Melder::run() {
+  TermSite.assign(K.Blocks.size(), NoSite);
+  uint32_t N = 0;
+  for (uint32_t B = 0; B < K.Blocks.size(); ++B)
+    if (K.Blocks[B].hasTerminator() &&
+        K.Blocks[B].terminator().isConditionalBranch())
+      TermSite[B] = N++;
+  Policy.resize(N);
+  Effective.assign(N, 'y');
+  Masked.assign(K.Blocks.size(), 0);
+  bool Any = false;
+  for (uint32_t S = 0; S < N; ++S) {
+    Policy[S] = planChar(S);
+    Any |= Policy[S] != 'y';
+  }
+  if (Any) {
+    // Flatten + fuse to a fixed point: a nested diamond's outer site only
+    // becomes a diamond once the inner one has flattened and fused into a
+    // straight line.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      while (flattenOnce(predecessors()))
+        Changed = true;
+      while (fuseOnce(predecessors()))
+        Changed = true;
+    }
+    // Masked loops on the fused CFG: 'm' sites whose surviving branch is a
+    // divergent self-loop backedge.
+    auto Preds = predecessors();
+    for (uint32_t B = 0; B < K.Blocks.size(); ++B) {
+      if (TermSite[B] == NoSite || Policy[TermSite[B]] != 'm')
+        continue;
+      const Instruction &T = K.Blocks[B].terminator();
+      if ((T.Target == B) != (T.FalseTarget == B))
+        maskLoop(B, Preds);
+    }
+    sweepUnreachable();
+  }
+
+  MeldResult R;
+  R.NumSites = N;
+  R.EffectivePlan = Effective;
+  R.SiteOfBlockTerm = TermSite;
+  for (uint32_t B = 0; B < K.Blocks.size(); ++B)
+    if (Masked[B])
+      R.MaskedBlocks.push_back(B);
+  return R;
+}
+
+} // namespace
+
+MeldResult simtvec::runControlFlowMeld(Kernel &K, const std::string &Plan) {
+  return Melder(K, Plan).run();
+}

@@ -10,6 +10,31 @@
 
 using namespace simtvec;
 
+namespace {
+
+/// True when executing \p I unconditionally could fault on a lane where its
+/// guard is false: loads (the address on an inactive lane can point
+/// anywhere), integer div/rem (divide-by-zero / T_MIN÷-1 on real vector
+/// hardware), and float-to-int conversions (out-of-range is a trap on
+/// machines without saturation). These keep their guards; the interpreter
+/// and the vectorizer's replicated form both honour them.
+bool mayTrapUnguarded(const Kernel &K, const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Ld:
+    return true;
+  case Opcode::Div:
+  case Opcode::Rem:
+    return I.Ty.isInteger();
+  case Opcode::Cvt:
+    return I.Ty.isInteger() && !I.Srcs.empty() && I.Srcs[0].isReg() &&
+           K.regType(I.Srcs[0].regId()).isFloat();
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
 bool simtvec::runPredicateToSelect(Kernel &K) {
   bool Changed = false;
   for (BasicBlock &B : K.Blocks) {
@@ -18,8 +43,10 @@ bool simtvec::runPredicateToSelect(Kernel &K) {
       if (!I.Guard.isValid() || I.Op == Opcode::Bra)
         continue;
       // Side-effecting or result-less guarded instructions must keep their
-      // guards; a select cannot suppress a store.
-      if (hasSideEffects(I.Op) || !I.hasResult())
+      // guards; a select cannot suppress a store. Potentially-trapping ops
+      // keep theirs too: `d = @p div a, b` must not divide on lanes where
+      // p is false.
+      if (hasSideEffects(I.Op) || !I.hasResult() || mayTrapUnguarded(K, I))
         continue;
       // d = @p op(...)   becomes   t = op(...); d = selp(t, d, p)
       Type DstTy = K.regType(I.Dst);

@@ -1,0 +1,154 @@
+//===- workloads/Bfs.cpp - BFS-style irregular relaxation -----------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// One BFS relaxation step over a synthetic CSR graph: each thread owns a
+/// vertex, walks its adjacency list (degree 0..31, hashed from the vertex id
+/// so adjacent lanes disagree), and keeps the minimum tentative distance of
+/// its neighbours plus one. Two nested divergence sites — the variable-trip
+/// neighbour loop and the `cand < best` improvement test inside it — make
+/// this the canonical target for control-flow melding: the inner diamond
+/// flattens into the loop body, the loop becomes a masked self-loop, and the
+/// per-iteration divergent yield disappears.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel bfs_relax (.param .u64 rowptr, .param .u64 cols, .param .u64 dist, .param .u64 out, .param .u32 n)
+{
+  .reg .u32 %gid, %n, %start, %end, %best, %i, %c, %cand;
+  .reg .u64 %rp, %cl, %ds, %base, %off, %addr;
+  .reg .pred %pn, %pd, %pc, %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %n, [n];
+  setp.lt.u32 %pn, %gid, %n;
+  @%pn bra work, done;
+
+work:
+  ld.param.u64 %rp, [rowptr];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %rp, %off;
+  ld.global.u32 %start, [%addr];
+  add.u64 %addr, %addr, 4;
+  ld.global.u32 %end, [%addr];
+  ld.param.u64 %ds, [dist];
+  add.u64 %addr, %ds, %off;
+  ld.global.u32 %best, [%addr];
+  mov.u32 %i, %start;
+  setp.lt.u32 %pd, %i, %end;
+  @%pd bra loop, store;
+
+loop:
+  ld.param.u64 %cl, [cols];
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %cl, %off;
+  ld.global.u32 %c, [%addr];
+  ld.param.u64 %ds, [dist];
+  cvt.u64.u32 %off, %c;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %ds, %off;
+  ld.global.u32 %cand, [%addr];
+  add.u32 %cand, %cand, 1;
+  setp.lt.u32 %pc, %cand, %best;
+  @%pc bra take, next;
+
+take:
+  mov.u32 %best, %cand;
+  bra next;
+
+next:
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %end;
+  @%p bra loop, store;
+
+store:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %best;
+  bra done;
+
+done:
+  ret;
+}
+)";
+
+uint32_t hashU32(uint32_t X) {
+  X ^= X >> 16;
+  X *= 0x7feb352du;
+  X ^= X >> 15;
+  X *= 0x846ca68bu;
+  X ^= X >> 16;
+  return X;
+}
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 4096 * Scale;
+
+  // Synthetic CSR: degree(v) = hash(v) & 31, cols drawn from a second hash.
+  std::vector<uint32_t> RowPtr(N + 1);
+  uint32_t Nnz = 0;
+  for (uint32_t V = 0; V < N; ++V) {
+    RowPtr[V] = Nnz;
+    Nnz += hashU32(V) & 31u;
+  }
+  RowPtr[N] = Nnz;
+  std::vector<uint32_t> Cols(Nnz);
+  for (uint32_t V = 0; V < N; ++V)
+    for (uint32_t K = RowPtr[V]; K < RowPtr[V + 1]; ++K)
+      Cols[K] = hashU32(V * 2654435761u + K) % N;
+  std::vector<uint32_t> Dist(N);
+  for (uint32_t V = 0; V < N; ++V)
+    Dist[V] = hashU32(V + 0x9e3779b9u) & 0xffffu;
+
+  size_t Bytes = (static_cast<size_t>(N) * 3 + Nnz + 1) * 4 + 4096;
+  Inst->Dev = std::make_unique<Device>(Bytes);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {N / 64, 1, 1};
+  uint64_t DRowPtr = Inst->Dev->allocArray<uint32_t>(N + 1);
+  uint64_t DCols = Inst->Dev->allocArray<uint32_t>(Nnz ? Nnz : 1);
+  uint64_t DDist = Inst->Dev->allocArray<uint32_t>(N);
+  uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
+  Inst->Dev->upload(DRowPtr, RowPtr);
+  Inst->Dev->upload(DCols, Cols);
+  Inst->Dev->upload(DDist, Dist);
+  Inst->Params.u64(DRowPtr).u64(DCols).u64(DDist).u64(DOut).u32(N);
+
+  Inst->Check = [=](Device &Dev, std::string &Error) {
+    std::vector<uint32_t> Ref(N);
+    for (uint32_t V = 0; V < N; ++V) {
+      uint32_t Best = Dist[V];
+      for (uint32_t K = RowPtr[V]; K < RowPtr[V + 1]; ++K) {
+        uint32_t Cand = Dist[Cols[K]] + 1;
+        if (Cand < Best)
+          Best = Cand;
+      }
+      Ref[V] = Best;
+    }
+    return checkU32Buffer(Dev, DOut, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getBfsWorkload() {
+  static const Workload W{"Bfs", "bfs_relax", WorkloadClass::Divergent, Source,
+                          make};
+  return W;
+}

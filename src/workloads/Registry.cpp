@@ -38,7 +38,8 @@ const std::vector<Workload> &simtvec::allWorkloads() {
       getTransposeWorkload(),     getBitonicWorkload(),
       getFastWalshWorkload(),     getMonteCarloWorkload(),
       getMandelbrotWorkload(),    getConvolutionSeparableWorkload(),
-      getLoopTripWorkload(),      getThroughputWorkload(),
+      getLoopTripWorkload(),      getBfsWorkload(),
+      getSpmvWorkload(),          getThroughputWorkload(),
   };
   return All;
 }

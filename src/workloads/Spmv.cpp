@@ -1,0 +1,162 @@
+//===- workloads/Spmv.cpp - SpMV-style irregular accumulation -------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sparse matrix-vector product over a synthetic CSR matrix with 0..15
+/// non-zeros per row (hashed from the row id) and a parity-dependent weight
+/// on every element: even columns contribute 2*v*x[c], odd columns 3*v*x[c].
+/// The weight diamond has structurally identical arms that differ only in an
+/// immediate — the textbook melding case, where the two `mul`s collapse to a
+/// single instruction plus an operand select — and the variable-trip row
+/// loop turns into a masked self-loop once the diamond is flattened.
+///
+//===----------------------------------------------------------------------===//
+
+#include "WorkloadsInternal.h"
+
+using namespace simtvec;
+
+namespace {
+
+const char *Source = R"(
+.kernel spmv_cond (.param .u64 rowptr, .param .u64 cols, .param .u64 vals, .param .u64 x, .param .u32 n, .param .u64 out)
+{
+  .reg .u32 %gid, %n, %start, %end, %i, %c, %v, %xv, %w, %par, %acc;
+  .reg .u64 %rp, %cl, %vl, %xp, %base, %off, %addr;
+  .reg .pred %pn, %pd, %pc, %p;
+
+entry:
+  mov.u32 %gid, %tid.x;
+  mad.u32 %gid, %ntid.x, %ctaid.x, %gid;
+  ld.param.u32 %n, [n];
+  setp.lt.u32 %pn, %gid, %n;
+  @%pn bra work, done;
+
+work:
+  ld.param.u64 %rp, [rowptr];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %rp, %off;
+  ld.global.u32 %start, [%addr];
+  add.u64 %addr, %addr, 4;
+  ld.global.u32 %end, [%addr];
+  mov.u32 %acc, 0;
+  mov.u32 %i, %start;
+  setp.lt.u32 %pd, %i, %end;
+  @%pd bra loop, store;
+
+loop:
+  ld.param.u64 %cl, [cols];
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %cl, %off;
+  ld.global.u32 %c, [%addr];
+  ld.param.u64 %vl, [vals];
+  add.u64 %addr, %vl, %off;
+  ld.global.u32 %v, [%addr];
+  ld.param.u64 %xp, [x];
+  cvt.u64.u32 %off, %c;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %xp, %off;
+  ld.global.u32 %xv, [%addr];
+  and.u32 %par, %c, 1;
+  setp.eq.u32 %pc, %par, 0;
+  @%pc bra even, odd;
+
+even:
+  mul.u32 %w, %v, 2;
+  bra acc;
+
+odd:
+  mul.u32 %w, %v, 3;
+  bra acc;
+
+acc:
+  mad.u32 %acc, %w, %xv, %acc;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %end;
+  @%p bra loop, store;
+
+store:
+  ld.param.u64 %base, [out];
+  cvt.u64.u32 %off, %gid;
+  shl.u64 %off, %off, 2;
+  add.u64 %addr, %base, %off;
+  st.global.u32 [%addr], %acc;
+  bra done;
+
+done:
+  ret;
+}
+)";
+
+uint32_t hashU32(uint32_t X) {
+  X ^= X >> 16;
+  X *= 0x7feb352du;
+  X ^= X >> 15;
+  X *= 0x846ca68bu;
+  X ^= X >> 16;
+  return X;
+}
+
+std::unique_ptr<WorkloadInstance> make(uint32_t Scale) {
+  auto Inst = std::make_unique<WorkloadInstance>();
+  const uint32_t N = 4096 * Scale;
+
+  // Synthetic CSR: nnz(row) = hash(row) & 15; u32 values, wrap-around math.
+  std::vector<uint32_t> RowPtr(N + 1);
+  uint32_t Nnz = 0;
+  for (uint32_t R = 0; R < N; ++R) {
+    RowPtr[R] = Nnz;
+    Nnz += hashU32(R ^ 0x5bd1e995u) & 15u;
+  }
+  RowPtr[N] = Nnz;
+  std::vector<uint32_t> Cols(Nnz), Vals(Nnz);
+  for (uint32_t R = 0; R < N; ++R)
+    for (uint32_t K = RowPtr[R]; K < RowPtr[R + 1]; ++K) {
+      Cols[K] = hashU32(R * 40503u + K) % N;
+      Vals[K] = hashU32(K + 0x27d4eb2fu) & 0xffu;
+    }
+  std::vector<uint32_t> X(N);
+  for (uint32_t I = 0; I < N; ++I)
+    X[I] = hashU32(I + 0x165667b1u) & 0xffu;
+
+  size_t Bytes = (static_cast<size_t>(N) * 3 + Nnz * 2 + 1) * 4 + 4096;
+  Inst->Dev = std::make_unique<Device>(Bytes);
+  Inst->Block = {64, 1, 1};
+  Inst->Grid = {N / 64, 1, 1};
+  uint64_t DRowPtr = Inst->Dev->allocArray<uint32_t>(N + 1);
+  uint64_t DCols = Inst->Dev->allocArray<uint32_t>(Nnz ? Nnz : 1);
+  uint64_t DVals = Inst->Dev->allocArray<uint32_t>(Nnz ? Nnz : 1);
+  uint64_t DX = Inst->Dev->allocArray<uint32_t>(N);
+  uint64_t DOut = Inst->Dev->allocArray<uint32_t>(N);
+  Inst->Dev->upload(DRowPtr, RowPtr);
+  Inst->Dev->upload(DCols, Cols);
+  Inst->Dev->upload(DVals, Vals);
+  Inst->Dev->upload(DX, X);
+  Inst->Params.u64(DRowPtr).u64(DCols).u64(DVals).u64(DX).u32(N).u64(DOut);
+
+  Inst->Check = [=](Device &Dev, std::string &Error) {
+    std::vector<uint32_t> Ref(N);
+    for (uint32_t R = 0; R < N; ++R) {
+      uint32_t Acc = 0;
+      for (uint32_t K = RowPtr[R]; K < RowPtr[R + 1]; ++K) {
+        uint32_t W = Vals[K] * ((Cols[K] & 1u) ? 3u : 2u);
+        Acc += W * X[Cols[K]];
+      }
+      Ref[R] = Acc;
+    }
+    return checkU32Buffer(Dev, DOut, Ref, Error);
+  };
+  return Inst;
+}
+
+} // namespace
+
+const Workload &simtvec::getSpmvWorkload() {
+  static const Workload W{"Spmv", "spmv_cond", WorkloadClass::Divergent,
+                          Source, make};
+  return W;
+}

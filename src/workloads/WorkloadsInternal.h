@@ -39,6 +39,8 @@ const Workload &getMonteCarloWorkload();
 const Workload &getMandelbrotWorkload();
 const Workload &getConvolutionSeparableWorkload();
 const Workload &getLoopTripWorkload();
+const Workload &getBfsWorkload();
+const Workload &getSpmvWorkload();
 
 /// Compares a device f32 buffer against \p Ref with mixed tolerance.
 inline bool checkF32Buffer(Device &Dev, uint64_t Addr,

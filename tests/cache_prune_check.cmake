@@ -1,0 +1,129 @@
+# Prune-order gate for `cache_tool prune --max-bytes`: the size-cap pass
+# must evict by *recency of use* (atime), not by write time, and must fall
+# back to mtime ordering on stores where the filesystem never advances
+# atimes (noatime / settled relatime), where atime carries no signal.
+#
+# Cases A/B drive the policy with synthetic .svcp profiles (profiles are
+# never content-inspected by prune, so their bytes and times are fully
+# under test control). Case C exercises the real artifact path: a
+# wallclock-populated store where the health checks READ every .svca —
+# cache_tool must capture the LRU timestamps before those reads bump them.
+
+find_program(TOUCH touch REQUIRED)
+
+# --- case A: live atimes -> evict the least-recently-USED entry -------------
+# Three 100-byte profiles. b has the OLDEST mtime but the NEWEST atime (it
+# was written long ago and read yesterday); c is the least recently used.
+# The pre-fix mtime ordering would evict b. Correct LRU evicts c.
+set(DIR_A ${OUT}.prune_a)
+file(REMOVE_RECURSE ${DIR_A})
+file(MAKE_DIRECTORY ${DIR_A})
+string(REPEAT "x" 100 blob)
+foreach(name a b c)
+  file(WRITE ${DIR_A}/${name}.svcp "${blob}")
+endforeach()
+execute_process(COMMAND ${TOUCH} -d "2020-01-03 00:00:00" ${DIR_A}/a.svcp)
+execute_process(COMMAND ${TOUCH} -d "2020-01-01 00:00:00" ${DIR_A}/b.svcp)
+execute_process(COMMAND ${TOUCH} -d "2020-01-02 00:00:00" ${DIR_A}/c.svcp)
+execute_process(COMMAND ${TOUCH} -a -d "2020-01-05 00:00:00" ${DIR_A}/b.svcp)
+
+execute_process(COMMAND ${CACHE_TOOL} --dir ${DIR_A} prune --max-bytes 250
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "prune (case A) exited with ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "evicted c\\.svcp")
+  message(FATAL_ERROR "case A: expected c.svcp (LRU by atime) evicted:\n${out}")
+endif()
+if(NOT EXISTS ${DIR_A}/b.svcp)
+  message(FATAL_ERROR "case A: b.svcp (oldest mtime, newest atime) was "
+    "evicted — prune ignored access recency:\n${out}")
+endif()
+if(NOT EXISTS ${DIR_A}/a.svcp)
+  message(FATAL_ERROR "case A: a.svcp should have survived:\n${out}")
+endif()
+
+# --- case B: frozen atimes -> fall back to mtime order ----------------------
+# Every atime equals its mtime (as on a noatime mount): recency is
+# unobservable, so eviction must degrade to oldest-write-first.
+set(DIR_B ${OUT}.prune_b)
+file(REMOVE_RECURSE ${DIR_B})
+file(MAKE_DIRECTORY ${DIR_B})
+foreach(name a b c)
+  file(WRITE ${DIR_B}/${name}.svcp "${blob}")
+endforeach()
+execute_process(COMMAND ${TOUCH} -d "2020-01-05 00:00:00" ${DIR_B}/a.svcp)
+execute_process(COMMAND ${TOUCH} -d "2020-01-01 00:00:00" ${DIR_B}/b.svcp)
+execute_process(COMMAND ${TOUCH} -d "2020-01-03 00:00:00" ${DIR_B}/c.svcp)
+
+execute_process(COMMAND ${CACHE_TOOL} --dir ${DIR_B} prune --max-bytes 250
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "prune (case B) exited with ${rc}:\n${out}")
+endif()
+if(NOT out MATCHES "evicted b\\.svcp")
+  message(FATAL_ERROR "case B: expected b.svcp (oldest mtime) evicted under "
+    "the mtime fallback:\n${out}")
+endif()
+if(NOT EXISTS ${DIR_B}/a.svcp OR NOT EXISTS ${DIR_B}/c.svcp)
+  message(FATAL_ERROR "case B: wrong survivors:\n${out}")
+endif()
+
+# --- case C: real store — timestamps captured before the health reads -------
+# Populate via the bench harness, mark one artifact cold (both times deep in
+# the past) and the rest freshly used (future atime, so the store clearly
+# tracks atimes). prune's health pass reads every artifact; if cache_tool
+# stat()ed after inspecting, every atime would be "now" and the eviction
+# order would collapse to name order instead of hitting the cold file.
+set(DIR_C ${OUT}.prune_c)
+file(REMOVE_RECURSE ${DIR_C})
+file(MAKE_DIRECTORY ${DIR_C})
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_CACHE_DIR=${DIR_C}
+    ${WALLCLOCK} --metrics ${OUT}.prune_cold.json 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cold)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wallclock populate run exited with ${rc}")
+endif()
+file(GLOB artifacts ${DIR_C}/*.svca)
+list(LENGTH artifacts n_artifacts)
+if(n_artifacts LESS 2)
+  message(FATAL_ERROR "expected >= 2 artifacts, found ${n_artifacts}")
+endif()
+list(SORT artifacts)
+list(GET artifacts 0 cold_artifact)
+get_filename_component(cold_name ${cold_artifact} NAME)
+execute_process(COMMAND ${TOUCH} -d "2001-01-01 00:00:00" ${cold_artifact})
+foreach(a ${artifacts})
+  if(NOT a STREQUAL cold_artifact)
+    execute_process(COMMAND ${TOUCH} -a -d "2030-01-01 00:00:00" ${a})
+  endif()
+endforeach()
+# Cap = store size - 1: exactly one eviction needed, and it must be the
+# cold artifact regardless of its position in name order.
+set(total 0)
+file(GLOB everything ${DIR_C}/*.svca ${DIR_C}/*.svcp ${DIR_C}/*.so)
+foreach(f ${everything})
+  file(SIZE ${f} sz)
+  math(EXPR total "${total} + ${sz}")
+endforeach()
+math(EXPR cap "${total} - 1")
+execute_process(COMMAND ${CACHE_TOOL} --dir ${DIR_C} prune --max-bytes ${cap}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "prune (case C) exited with ${rc}:\n${out}")
+endif()
+if(EXISTS ${cold_artifact})
+  message(FATAL_ERROR "case C: cold artifact ${cold_name} survived the cap "
+    "— LRU timestamps were read after the health inspection:\n${out}")
+endif()
+if(NOT out MATCHES "evicted ")
+  message(FATAL_ERROR "case C: prune reported no eviction:\n${out}")
+endif()
+
+# The store stays healthy after eviction, and a warm run simply recompiles
+# the evicted translation.
+execute_process(COMMAND ${CACHE_TOOL} --dir ${DIR_C} verify
+  RESULT_VARIABLE rc OUTPUT_VARIABLE vout)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "store corrupt after prune:\n${vout}")
+endif()

@@ -1,0 +1,167 @@
+# Divergence-reduction gate. Forced branch policies must select end to end
+# (JSON header + per-cell "branch" field), every workload must validate
+# under each policy, modeled em.* metrics must be reproducible *within* a
+# policy (across repeat runs and across execution tiers — across policies
+# they legitimately move: that is the whole point of melding), the
+# SIMTVEC_BRANCH=auto PGO path must persist its committed branch plans in
+# the .svcp profile and reload them warm with zero recompiles, invalid
+# knob values must warn and fall back, and bench_diff must key the new
+# branch dimension (including --strip-branch for cross-policy diffs).
+
+# --- forced-yield and forced-meld sweeps ------------------------------------
+execute_process(COMMAND ${WALLCLOCK} --metrics --branch yield ${OUT}.yield 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE yield_run)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forced-yield wallclock run exited with ${rc}")
+endif()
+file(READ ${OUT}.yield yield_json)
+if(NOT yield_json MATCHES "\"branch\": \"yield\"")
+  message(FATAL_ERROR "--branch yield not recorded in JSON:\n${yield_json}")
+endif()
+
+execute_process(COMMAND ${WALLCLOCK} --metrics --branch meld ${OUT}.meld 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE meld_run)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "forced-meld wallclock run exited with ${rc} "
+    "(workload validation fails the run, so melded outputs were wrong)")
+endif()
+file(READ ${OUT}.meld meld_json)
+if(NOT meld_json MATCHES "\"branch\": \"meld\"")
+  message(FATAL_ERROR "--branch meld not recorded in JSON:\n${meld_json}")
+endif()
+
+# The divergent workloads must attribute their yields: the forced-yield
+# sweep reports per-site branch-yield counters the PGO policy consumes.
+if(NOT yield_run MATCHES "em\\.branch_yields")
+  message(FATAL_ERROR
+    "forced-yield run reported no em.branch_yields counters:\n${yield_run}")
+endif()
+
+# --- within-policy reproducibility ------------------------------------------
+# Two forced-meld sweeps must agree on every em.* counter bit-for-bit.
+execute_process(COMMAND ${WALLCLOCK} --metrics --branch meld ${OUT}.meld2 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE meld_run2)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "second forced-meld run exited with ${rc}")
+endif()
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" meld_em "${meld_run}")
+string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" meld_em2 "${meld_run2}")
+if(NOT meld_em)
+  message(FATAL_ERROR "forced-meld run reported no em.* metrics:\n${meld_run}")
+endif()
+if(NOT "${meld_em}" STREQUAL "${meld_em2}")
+  message(FATAL_ERROR "forced-meld em.* metrics not reproducible:\n"
+    "run1: ${meld_em}\nrun2: ${meld_em2}")
+endif()
+
+# ... and the native tier must replay the melded kernels with identical
+# modeled metrics (skipped when the host has no C++ toolchain — the tier
+# degrades to the interpreter there and the comparison is vacuous).
+find_program(JIT_CXX NAMES c++ g++ clang++)
+if(JIT_CXX)
+  foreach(policy yield meld)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=native
+        ${WALLCLOCK} --metrics --branch ${policy} ${OUT}.${policy}.nat 1 1
+      RESULT_VARIABLE rc OUTPUT_VARIABLE nat_run)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "forced-${policy} native-tier run exited with ${rc}")
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_JIT=interp
+        ${WALLCLOCK} --metrics --branch ${policy} ${OUT}.${policy}.int 1 1
+      RESULT_VARIABLE rc OUTPUT_VARIABLE int_run)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "forced-${policy} interp-tier run exited with ${rc}")
+    endif()
+    string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" nat_em "${nat_run}")
+    string(REGEX MATCHALL "em\\.[a-z_.0-9]+ +[0-9]+" int_em "${int_run}")
+    if(NOT "${nat_em}" STREQUAL "${int_em}")
+      message(FATAL_ERROR "em.* metrics differ between tiers under forced "
+        "${policy}:\nnative: ${nat_em}\ninterp: ${int_em}")
+    endif()
+  endforeach()
+else()
+  message(STATUS "meld_check: no host C++ toolchain; skipping tier check")
+endif()
+
+# --- PGO: branch plans persist in the profile and reload warm ---------------
+set(CACHE_DIR ${OUT}.cache)
+file(REMOVE_RECURSE ${CACHE_DIR})
+file(MAKE_DIRECTORY ${CACHE_DIR})
+# reps=9 so each cell's Program performs enough width>1 launches to finish
+# the round-robin trial (3 candidates x BranchExploreLaunches=3) and commit
+# the wall-argmin plan for its width.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_BRANCH=auto
+    SIMTVEC_CACHE_DIR=${CACHE_DIR} ${WALLCLOCK} --metrics ${OUT}.pgo_cold 1 9
+  RESULT_VARIABLE rc OUTPUT_VARIABLE cold)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "PGO cold run exited with ${rc}")
+endif()
+if(NOT cold MATCHES "tc\\.compile +[1-9]")
+  message(FATAL_ERROR "PGO cold run reported no compiles:\n${cold}")
+endif()
+file(GLOB profiles ${CACHE_DIR}/*.svcp)
+if(NOT profiles)
+  message(FATAL_ERROR "PGO cold run persisted no .svcp profiles")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_BRANCH=auto
+    SIMTVEC_CACHE_DIR=${CACHE_DIR} ${WALLCLOCK} --metrics ${OUT}.pgo_warm 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE warm)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "PGO warm run exited with ${rc}")
+endif()
+# Zero compiles warm is only possible if the committed branch plans were
+# reloaded from the profile: a forgotten plan would re-explore, commit a
+# plan whose translation key has no artifact, and compile it.
+if(NOT warm MATCHES "tc\\.compile +0[\r\n]")
+  message(FATAL_ERROR "PGO warm run recompiled — committed branch plans "
+    "were not reloaded from the .svcp profile:\n${warm}")
+endif()
+if(NOT warm MATCHES "tc\\.disk_hit +[1-9]")
+  message(FATAL_ERROR "PGO warm run had no disk hits:\n${warm}")
+endif()
+
+# --- invalid SIMTVEC_BRANCH warns once and falls back ------------------------
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_BRANCH=bogus
+    ${WALLCLOCK} ${OUT}.bogus 1 1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run with invalid SIMTVEC_BRANCH exited with ${rc}")
+endif()
+if(NOT err MATCHES "ignoring invalid SIMTVEC_BRANCH='bogus'")
+  message(FATAL_ERROR
+    "invalid SIMTVEC_BRANCH did not produce the stderr warning:\n${err}")
+endif()
+
+# --- bench_diff keys the branch dimension -----------------------------------
+# Same-policy diff: cells key as (workload, width, workers, simd, jit,
+# branch) and every cell matches.
+execute_process(COMMAND ${BENCH_DIFF} ${OUT}.meld ${OUT}.meld2
+  RESULT_VARIABLE rc OUTPUT_VARIABLE diff_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_diff failed on same-policy files:\n${diff_out}")
+endif()
+if(NOT diff_out MATCHES "geomean speedup")
+  message(FATAL_ERROR "bench_diff reported no geomean:\n${diff_out}")
+endif()
+# Cross-policy diff: without --strip-branch the cells share no key (yield
+# vs meld) and bench_diff must refuse for want of common cells; with it,
+# the policy becomes the experiment and every cell compares.
+execute_process(COMMAND ${BENCH_DIFF} ${OUT}.yield ${OUT}.meld
+  RESULT_VARIABLE rc OUTPUT_VARIABLE diff_out)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_diff compared disjoint branch policies as if keyed:\n${diff_out}")
+endif()
+execute_process(COMMAND ${BENCH_DIFF} --strip-branch ${OUT}.yield ${OUT}.meld
+  RESULT_VARIABLE rc OUTPUT_VARIABLE diff_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "bench_diff --strip-branch failed on cross-policy files:\n${diff_out}")
+endif()
+if(NOT diff_out MATCHES "geomean speedup")
+  message(FATAL_ERROR
+    "bench_diff --strip-branch reported no geomean:\n${diff_out}")
+endif()

@@ -1,0 +1,680 @@
+//===- tests/meld_test.cpp - Divergence-reduction tests -------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The PR-9 divergence-reduction stack, bottom to top: ControlFlowMeld
+/// structural unit tests (flattening, DARM-style melding, masked self-
+/// loops, legality clamping), trap-safety regressions for predicated
+/// execution (guarded division and loads must stay guarded through every
+/// policy), end-to-end workload differentials (all branch policies x warp
+/// widths x execution tiers must validate bit-exactly against the golden
+/// references, and melding must actually remove divergence yields), and
+/// the divergence-PGO explore/commit protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/core/SpecializationService.h"
+#include "simtvec/ir/Verifier.h"
+#include "simtvec/parser/Parser.h"
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/transforms/Passes.h"
+#include "simtvec/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace simtvec;
+
+namespace {
+
+Kernel &parseK(std::unique_ptr<Module> &Keep, const std::string &Src) {
+  Keep = parseModuleOrDie(Src);
+  return *Keep->kernels().front();
+}
+
+size_t countOpcode(const Kernel &K, Opcode Op) {
+  size_t N = 0;
+  for (const BasicBlock &B : K.Blocks)
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Op;
+  return N;
+}
+
+size_t countGuardedBranches(const Kernel &K) {
+  size_t N = 0;
+  for (const BasicBlock &B : K.Blocks)
+    for (const Instruction &I : B.Insts)
+      N += I.Op == Opcode::Bra && I.Guard.isValid();
+  return N;
+}
+
+//===----------------------------------------------------------------------===
+// ControlFlowMeld structure
+//===----------------------------------------------------------------------===
+
+const char *DiamondSrc = R"(
+.kernel k (.param .u64 out)
+{
+  .reg .u32 %t, %v, %w;
+  .reg .u64 %a, %off;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  setp.eq.u32 %p, %t, 0;
+  mov.u32 %v, 7;
+  @%p bra then, else;
+then:
+  mul.u32 %w, %v, 2;
+  bra join;
+else:
+  mul.u32 %w, %v, 3;
+  bra join;
+join:
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %w;
+  ret;
+}
+)";
+
+TEST(MeldTransform, EmptyPlanOnlyNumbersSites) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, DiamondSrc);
+  size_t BlocksBefore = K.Blocks.size();
+  MeldResult R = runControlFlowMeld(K, "");
+  EXPECT_EQ(R.NumSites, 1u);
+  EXPECT_EQ(R.EffectivePlan, "y");
+  EXPECT_EQ(K.Blocks.size(), BlocksBefore);
+  EXPECT_EQ(countGuardedBranches(K), 1u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, DiamondFlattensUnderPredicatePlan) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, DiamondSrc);
+  MeldResult R = runControlFlowMeld(K, "p");
+  EXPECT_EQ(R.EffectivePlan, "p");
+  EXPECT_EQ(countGuardedBranches(K), 0u);
+  // Both arm multiplies survive, guarded by the materialized activation
+  // predicates (predication without melding duplicates the arm bodies).
+  EXPECT_EQ(countOpcode(K, Opcode::Mul), 2u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, DiamondMeldsStructurallySimilarArms) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, DiamondSrc);
+  MeldResult R = runControlFlowMeld(K, "m");
+  EXPECT_EQ(R.EffectivePlan, "m");
+  EXPECT_EQ(countGuardedBranches(K), 0u);
+  // DARM alignment: the two `mul`s differ only in an immediate operand, so
+  // they meld into ONE unguarded multiply fed by an operand select.
+  EXPECT_EQ(countOpcode(K, Opcode::Mul), 1u);
+  EXPECT_GE(countOpcode(K, Opcode::Selp), 1u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, TriangleFlattens) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k (.param .u64 out)
+{
+  .reg .u32 %t, %v;
+  .reg .u64 %a, %off;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  mov.u32 %v, 1;
+  setp.eq.u32 %p, %t, 0;
+  @%p bra take, join;
+take:
+  add.u32 %v, %v, 41;
+  bra join;
+join:
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %v;
+  ret;
+}
+)");
+  MeldResult R = runControlFlowMeld(K, "m");
+  EXPECT_EQ(R.EffectivePlan, "m");
+  EXPECT_EQ(countGuardedBranches(K), 0u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, SelfLoopBecomesMaskedBackedge) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k (.param .u64 out)
+{
+  .reg .u32 %t, %i, %acc, %n;
+  .reg .u64 %a, %off;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  add.u32 %n, %t, 1;
+  mov.u32 %i, 0;
+  mov.u32 %acc, 0;
+  bra loop;
+loop:
+  add.u32 %acc, %acc, %i;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %n;
+  @%p bra loop, store;
+store:
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %acc;
+  ret;
+}
+)");
+  MeldResult R = runControlFlowMeld(K, "m");
+  EXPECT_EQ(R.EffectivePlan, "m");
+  // The self-loop survives as a guarded backedge, but flagged masked: the
+  // vectorizer keeps the warp looping while any lane is live instead of
+  // yielding on every divergent iteration.
+  EXPECT_EQ(R.MaskedBlocks.size(), 1u);
+  EXPECT_EQ(countGuardedBranches(K), 1u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, LoopWithInnerDiamondCollapsesToMaskedLoop) {
+  // The BFS/SpMV shape: a variable-trip loop whose body contains a
+  // diamond. The diamond must flatten, the tail block must fuse back into
+  // the loop head (the flattened arms may not keep contributing stale
+  // predecessor edges), and the resulting self-loop must mask.
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k (.param .u64 out)
+{
+  .reg .u32 %t, %i, %acc, %n, %par, %w;
+  .reg .u64 %a, %off;
+  .reg .pred %p, %pc;
+entry:
+  mov.u32 %t, %tid.x;
+  add.u32 %n, %t, 1;
+  mov.u32 %i, 0;
+  mov.u32 %acc, 0;
+  bra loop;
+loop:
+  and.u32 %par, %i, 1;
+  setp.eq.u32 %pc, %par, 0;
+  @%pc bra even, odd;
+even:
+  mul.u32 %w, %i, 2;
+  bra next;
+odd:
+  mul.u32 %w, %i, 3;
+  bra next;
+next:
+  add.u32 %acc, %acc, %w;
+  add.u32 %i, %i, 1;
+  setp.lt.u32 %p, %i, %n;
+  @%p bra loop, store;
+store:
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %acc;
+  ret;
+}
+)");
+  MeldResult R = runControlFlowMeld(K, "m");
+  ASSERT_EQ(R.NumSites, 2u);
+  EXPECT_EQ(R.EffectivePlan, "mm");
+  // Exactly the masked backedge remains; the diamond is gone.
+  EXPECT_EQ(R.MaskedBlocks.size(), 1u);
+  EXPECT_EQ(countGuardedBranches(K), 1u);
+  // The two arm multiplies melded into one.
+  EXPECT_EQ(countOpcode(K, Opcode::Mul), 1u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, BarrierArmsClampToYield) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k (.param .u64 out)
+{
+  .reg .u32 %t, %v;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  setp.eq.u32 %p, %t, 0;
+  @%p bra then, join;
+then:
+  bar.sync;
+  bra join;
+join:
+  ret;
+}
+)");
+  size_t BlocksBefore = K.Blocks.size();
+  MeldResult R = runControlFlowMeld(K, "m");
+  // A guarded bar.sync would deadlock the unguarded lanes: the site clamps
+  // back to yield and the region is untouched.
+  EXPECT_EQ(R.EffectivePlan, "y");
+  EXPECT_EQ(K.Blocks.size(), BlocksBefore);
+  EXPECT_EQ(countGuardedBranches(K), 1u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, AtomicArmsFlattenGuardedButNeverMeld) {
+  // Guarded atomics are a supported engine construct (inactive lanes skip
+  // them), so an atomic arm may flatten — but two atomics must never meld
+  // into one op, whatever their structural similarity: the lane-activity
+  // sets differ and a single melded atomic would double-count.
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k (.param .u64 out)
+{
+  .reg .u32 %t, %old;
+  .reg .u64 %a;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  setp.eq.u32 %p, %t, 0;
+  ld.param.u64 %a, [out];
+  @%p bra then, else;
+then:
+  atom.global.add.u32 %old, [%a], 1;
+  bra join;
+else:
+  atom.global.add.u32 %old, [%a], 2;
+  bra join;
+join:
+  ret;
+}
+)");
+  MeldResult R = runControlFlowMeld(K, "m");
+  EXPECT_EQ(R.EffectivePlan, "m");
+  EXPECT_EQ(countGuardedBranches(K), 0u);
+  size_t Atomics = 0, GuardedAtomics = 0;
+  for (const BasicBlock &B : K.Blocks)
+    for (const Instruction &I : B.Insts)
+      if (I.Op == Opcode::AtomAdd) {
+        ++Atomics;
+        GuardedAtomics += I.Guard.isValid();
+      }
+  EXPECT_EQ(Atomics, 2u);
+  EXPECT_EQ(GuardedAtomics, 2u);
+  EXPECT_FALSE(verifyKernel(K).isError());
+}
+
+TEST(MeldTransform, InvalidPlanCharactersClampToYield) {
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, DiamondSrc);
+  MeldResult R = runControlFlowMeld(K, "z");
+  EXPECT_EQ(R.EffectivePlan, "y");
+  EXPECT_EQ(countGuardedBranches(K), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Trap safety under predication (the PredicateToSelect bugfix)
+//===----------------------------------------------------------------------===
+
+/// out[i] = d != 0 ? n / d : 0xdead, where d is zero for odd threads. Under
+/// the predicate/meld plans the division executes in a flattened region; if
+/// any pass strips its guard (the historical PredicateToSelect bug turned
+/// guarded instructions into unguarded op + select), the odd lanes divide
+/// by zero — a SIGFPE in the native tier.
+const char *GuardedDivSrc = R"(
+.kernel gdiv (.param .u64 out, .param .u32 n)
+{
+  .reg .u32 %t, %nv, %d, %q;
+  .reg .u64 %a, %off;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  mad.u32 %t, %ntid.x, %ctaid.x, %t;
+  ld.param.u32 %nv, [n];
+  and.u32 %d, %t, 1;
+  setp.eq.u32 %p, %d, 0;
+  mov.u32 %q, 57005;
+  @%p bra divide, store;
+divide:
+  add.u32 %d, %t, 2;
+  div.u32 %q, %nv, %d;
+  bra store;
+store:
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %q;
+  ret;
+}
+)";
+
+class MeldGuard : public ::testing::TestWithParam<BranchMode> {};
+
+TEST_P(MeldGuard, GuardedDivisionByZeroNeverTraps) {
+  auto ProgOrErr = Program::compile(GuardedDivSrc);
+  ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  const uint32_t N = 128;
+  Device Dev(1 << 16);
+  uint64_t Out = Dev.allocArray<uint32_t>(N);
+  ParamBuilder Params;
+  Params.u64(Out).u32(N);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Branch = GetParam();
+  auto S = (*ProgOrErr)->launch(Dev, "gdiv", {2, 1, 1}, {64, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  std::vector<uint32_t> Got = Dev.download<uint32_t>(Out, N);
+  for (uint32_t T = 0; T < N; ++T) {
+    uint32_t Want = (T & 1u) ? 57005u : N / (T + 2);
+    ASSERT_EQ(Got[T], Want) << "thread " << T;
+  }
+}
+
+TEST_P(MeldGuard, GuardedOutOfBoundsLoadNeverFires) {
+  // out[i] = i < 4 ? a[i] : 7. The else lanes' load index is 2^29 words —
+  // far past the device arena, so an unguarded load faults the launch.
+  const char *Src = R"(
+.kernel gld (.param .u64 in, .param .u64 out)
+{
+  .reg .u32 %t, %v, %idx;
+  .reg .u64 %a, %off;
+  .reg .pred %p;
+entry:
+  mov.u32 %t, %tid.x;
+  setp.lt.u32 %p, %t, 4;
+  mov.u32 %v, 7;
+  mov.u32 %idx, 536870912;
+  @%p bra inb, store;
+inb:
+  ld.param.u64 %a, [in];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  ld.global.u32 %v, [%a];
+  bra store;
+store:
+  ld.param.u64 %a, [out];
+  cvt.u64.u32 %off, %t;
+  shl.u64 %off, %off, 2;
+  add.u64 %a, %a, %off;
+  st.global.u32 [%a], %v;
+  ret;
+}
+)";
+  auto ProgOrErr = Program::compile(Src);
+  ASSERT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
+  const uint32_t N = 32;
+  Device Dev(1 << 12);
+  uint64_t In = Dev.allocArray<uint32_t>(N);
+  uint64_t Out = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> Input(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Input[I] = 1000 + I;
+  Dev.upload(In, Input);
+  ParamBuilder Params;
+  Params.u64(In).u64(Out);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Branch = GetParam();
+  auto S =
+      (*ProgOrErr)->launch(Dev, "gld", {1, 1, 1}, {N, 1, 1}, Params, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  std::vector<uint32_t> Got = Dev.download<uint32_t>(Out, N);
+  for (uint32_t T = 0; T < N; ++T)
+    ASSERT_EQ(Got[T], T < 4 ? 1000 + T : 7u) << "thread " << T;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MeldGuard,
+                         ::testing::Values(BranchMode::Yield,
+                                           BranchMode::Predicate,
+                                           BranchMode::Meld),
+                         [](const auto &Info) {
+                           return std::string(branchModeName(Info.param));
+                         });
+
+//===----------------------------------------------------------------------===
+// Workload differential: policies x widths x tiers
+//===----------------------------------------------------------------------===
+
+struct DiffCase {
+  const char *WorkloadName;
+  uint32_t Width;
+  BranchMode Branch;
+  JitMode Jit;
+};
+
+class MeldDiff : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(MeldDiff, ValidatesAgainstGoldenReference) {
+  const DiffCase &C = GetParam();
+  const Workload *W = findWorkload(C.WorkloadName);
+  ASSERT_NE(W, nullptr);
+  LaunchOptions O;
+  O.MaxWarpSize = C.Width;
+  O.Branch = C.Branch;
+  O.Jit = C.Jit;
+  auto S = runWorkload(*W, 1, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  EXPECT_GT(S->ExitYields, 0u); // every launch fully retires its threads
+}
+
+std::vector<DiffCase> makeDiffCases() {
+  std::vector<DiffCase> Cases;
+  for (const char *Name : {"LoopTrip", "Bfs", "Spmv"})
+    for (uint32_t Width : {1u, 2u, 4u, 8u})
+      for (BranchMode B :
+           {BranchMode::Yield, BranchMode::Predicate, BranchMode::Meld})
+        for (JitMode J : {JitMode::Interp, JitMode::Native})
+          Cases.push_back({Name, Width, B, J});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MeldDiff, ::testing::ValuesIn(makeDiffCases()),
+    [](const auto &Info) {
+      const DiffCase &C = Info.param;
+      return std::string(C.WorkloadName) + "_w" + std::to_string(C.Width) +
+             "_" + branchModeName(C.Branch) + "_" + jitModeName(C.Jit);
+    });
+
+TEST(MeldEffect, MeldingRemovesDivergenceYields) {
+  // The pass must actually fire on the irregular workloads: at width 4 the
+  // forced-meld plan turns the per-iteration divergent backedge into a
+  // masked loop, so branch yields must drop well below the forced-yield
+  // run's. (Outputs are validated by runWorkload either way.)
+  for (const char *Name : {"LoopTrip", "Bfs", "Spmv"}) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr);
+    LaunchOptions Yield;
+    Yield.MaxWarpSize = 4;
+    Yield.Branch = BranchMode::Yield;
+    auto YS = runWorkload(*W, 1, Yield);
+    ASSERT_TRUE(static_cast<bool>(YS)) << YS.status().message();
+    LaunchOptions Meld = Yield;
+    Meld.Branch = BranchMode::Meld;
+    auto MS = runWorkload(*W, 1, Meld);
+    ASSERT_TRUE(static_cast<bool>(MS)) << MS.status().message();
+    EXPECT_GT(YS->BranchYields, 0u) << Name;
+    EXPECT_LT(MS->BranchYields, YS->BranchYields / 2) << Name;
+  }
+}
+
+TEST(MeldEffect, YieldsAreAttributedToSites) {
+  // Per-site attribution feeds the PGO profile: under the all-yield plan
+  // the divergent workloads must report site-resolved yields that account
+  // for (nearly) all branch yields.
+  const Workload *W = findWorkload("LoopTrip");
+  ASSERT_NE(W, nullptr);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Branch = BranchMode::Yield;
+  auto S = runWorkload(*W, 1, O);
+  ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+  ASSERT_GT(S->BranchYields, 0u);
+  ASSERT_FALSE(S->SiteBranchYields.empty());
+  uint64_t Attributed = 0;
+  for (uint64_t Y : S->SiteBranchYields)
+    Attributed += Y;
+  EXPECT_EQ(Attributed, S->BranchYields);
+}
+
+//===----------------------------------------------------------------------===
+// Divergence PGO: explore, commit, exploit
+//===----------------------------------------------------------------------===
+
+// Drives one (kernel, width) trial launch: asks the chooser for the
+// current slot's plan and reports back \p Secs for it, with divergence
+// yields attributed to "" launches only (the transformed plans remove
+// them — that is their point).
+static std::string driveLaunch(SpecializationService &Svc, uint32_t Width,
+                               const std::vector<uint64_t> &YieldsUnderLegacy,
+                               double SecsLegacy, double SecsP,
+                               double SecsM) {
+  std::string Plan = Svc.chooseBranchPlan("k", Width);
+  double Secs = Plan == "p" ? SecsP : Plan == "m" ? SecsM : SecsLegacy;
+  Svc.recordBranchSample("k", Width, Plan,
+                         Plan.empty() ? YieldsUnderLegacy
+                                      : std::vector<uint64_t>{0, 0},
+                         Secs);
+  return Plan;
+}
+
+TEST(MeldPgo, ServiceCommitsWallArgminPlan) {
+  auto M = parseModuleOrDie(DiamondSrc);
+  SpecializationOptions Opts;
+  Opts.BranchExploreLaunches = 3;
+  SpecializationService Svc(*M, MachineModel{}, Opts);
+  EXPECT_EQ(Svc.chooseBranchPlan("k", 4), "");
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "");
+  // A stale in-flight launch from another plan must not pollute the slot.
+  Svc.recordBranchSample("k", 4, "m", {99, 99}, 0.001);
+  // "" diverges and costs 1.0s; "p" halves it; "m" lands in between. The
+  // trial round-robins ""/"p"/"m" and must commit the argmin, "p".
+  std::vector<std::string> Seen;
+  for (int I = 0; I < 9; ++I)
+    Seen.push_back(driveLaunch(Svc, 4, {5, 0}, 1.0, 0.5, 0.7));
+  EXPECT_EQ(Seen[0], "");
+  EXPECT_EQ(Seen[1], "p");
+  EXPECT_EQ(Seen[2], "m");
+  EXPECT_EQ(Seen[3], ""); // round-robin, not consecutive stages
+  EXPECT_TRUE(Svc.branchPlanCommitted("k", 4));
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "p");
+  EXPECT_EQ(Svc.chooseBranchPlan("k", 4), "p");
+}
+
+TEST(MeldPgo, ArgminScoresMinimumNotMean) {
+  // A candidate's first launch pays its artifact compile; the trial must
+  // score steady-state (minimum) seconds or short kernels would never
+  // adopt a transform. "p" stalls to 10.0s once, then runs at 0.5s.
+  auto M = parseModuleOrDie(DiamondSrc);
+  SpecializationOptions Opts;
+  Opts.BranchExploreLaunches = 3;
+  SpecializationService Svc(*M, MachineModel{}, Opts);
+  bool FirstP = true;
+  for (int I = 0; I < 9; ++I) {
+    std::string Plan = Svc.chooseBranchPlan("k", 4);
+    double Secs = Plan == "p" ? (FirstP ? 10.0 : 0.5) : Plan == "m" ? 2.0
+                                                                    : 1.0;
+    if (Plan == "p")
+      FirstP = false;
+    Svc.recordBranchSample("k", 4, Plan,
+                           Plan.empty() ? std::vector<uint64_t>{5, 0}
+                                        : std::vector<uint64_t>{0, 0},
+                           Secs);
+  }
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "p");
+}
+
+TEST(MeldPgo, NoiseDoesNotUnseatTheLegacyPlan) {
+  // A challenger must beat the reigning candidate by >2% of best wall
+  // seconds; within-noise wins stay with "" so the kernel keeps sharing
+  // the pre-PGO artifacts.
+  auto M = parseModuleOrDie(DiamondSrc);
+  SpecializationOptions Opts;
+  Opts.BranchExploreLaunches = 2;
+  SpecializationService Svc(*M, MachineModel{}, Opts);
+  for (int I = 0; I < 6; ++I)
+    driveLaunch(Svc, 4, {5, 0}, 1.0, 0.99, 0.995); // both within 2%
+  EXPECT_TRUE(Svc.branchPlanCommitted("k", 4));
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "");
+}
+
+TEST(MeldPgo, AllConvergentKernelCommitsLegacyPlanWithoutTrials) {
+  auto M = parseModuleOrDie(DiamondSrc);
+  SpecializationOptions Opts;
+  Opts.BranchExploreLaunches = 2;
+  SpecializationService Svc(*M, MachineModel{}, Opts);
+  // No divergence under the very first "" launch: divergence is
+  // shape-deterministic, so the trial commits "" immediately instead of
+  // burning launches on plans with nothing to remove.
+  driveLaunch(Svc, 4, {0, 0}, 1.0, 1.0, 1.0);
+  EXPECT_TRUE(Svc.branchPlanCommitted("k", 4));
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "");
+  EXPECT_EQ(Svc.chooseBranchPlan("k", 4), "");
+}
+
+TEST(MeldPgo, TrialsArePerWidth) {
+  // The profitable policy is width-dependent (wider warps over-execute
+  // more under masks), so each width runs its own trial.
+  auto M = parseModuleOrDie(DiamondSrc);
+  SpecializationOptions Opts;
+  Opts.BranchExploreLaunches = 1;
+  SpecializationService Svc(*M, MachineModel{}, Opts);
+  for (int I = 0; I < 3; ++I)
+    driveLaunch(Svc, 4, {7, 0}, 1.0, 0.4, 0.2); // "m" wins at width 4
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "m");
+  EXPECT_FALSE(Svc.branchPlanCommitted("k", 8));
+  for (int I = 0; I < 3; ++I)
+    driveLaunch(Svc, 8, {7, 0}, 1.0, 2.0, 3.0); // transforms regress
+  EXPECT_EQ(Svc.committedBranchPlan("k", 8), "");
+  EXPECT_TRUE(Svc.branchPlanCommitted("k", 8));
+  EXPECT_EQ(Svc.committedBranchPlan("k", 4), "m"); // unchanged
+}
+
+TEST(MeldPgo, WidthOneNeverTrials) {
+  // A 1-wide warp cannot diverge: no plan, no trial, no commitment.
+  auto M = parseModuleOrDie(DiamondSrc);
+  SpecializationOptions Opts;
+  Opts.BranchExploreLaunches = 1;
+  SpecializationService Svc(*M, MachineModel{}, Opts);
+  for (int I = 0; I < 8; ++I) {
+    EXPECT_EQ(Svc.chooseBranchPlan("k", 1), "");
+    Svc.recordBranchSample("k", 1, "", {0, 0}, 1.0);
+  }
+  EXPECT_FALSE(Svc.branchPlanCommitted("k", 1));
+}
+
+TEST(MeldPgo, AutoPolicyCommitsPlanEndToEnd) {
+  // Launch the divergent LoopTrip workload repeatedly under BranchMode::
+  // Pgo against one Program: the trial walks the candidate ladder on real
+  // wall measurements and must converge on *some* plan (which one is the
+  // machine's business), after which every launch runs the committed plan
+  // and outputs keep validating.
+  const Workload *W = findWorkload("LoopTrip");
+  ASSERT_NE(W, nullptr);
+  std::unique_ptr<Program> Prog = compileWorkload(*W);
+  auto Inst = W->Make(1);
+  LaunchOptions O;
+  O.MaxWarpSize = 4;
+  O.Branch = BranchMode::Pgo;
+  // 3 candidates x BranchExploreLaunches(3) = 9 launches to converge; a
+  // couple more exercise the exploit path.
+  for (int I = 0; I < 11; ++I) {
+    auto S = Prog->launch(*Inst->Dev, W->KernelName, Inst->Grid, Inst->Block,
+                          Inst->Params, O);
+    ASSERT_TRUE(static_cast<bool>(S)) << S.status().message();
+    std::string Error;
+    ASSERT_TRUE(Inst->Check(*Inst->Dev, Error)) << Error;
+  }
+  EXPECT_TRUE(Prog->specialization().branchPlanCommitted(W->KernelName, 4));
+  // Width 8 never launched: its trial must not have been touched.
+  EXPECT_FALSE(Prog->specialization().branchPlanCommitted(W->KernelName, 8));
+}
+
+} // namespace

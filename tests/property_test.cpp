@@ -368,6 +368,23 @@ TEST_P(RandomKernelEquivalence, AllConfigsMatchScalar) {
         << "reference-engine f32 outputs differ under " << C.Name << " (seed "
         << Seed << ")";
 
+    // Divergence-reduction differential: the forced-meld and forced-
+    // predicate branch plans rewrite the scalar program (flattened
+    // diamonds, melded half-regions, masked self-loops) but must leave
+    // outputs bit-identical to the legacy yield plan on every random
+    // kernel — illegal sites clamp back to yield rather than miscompile.
+    for (const char *PlanStr : {"m", "p"}) {
+      LaunchConfig Melded = Config;
+      Melded.BranchPlan = PlanStr;
+      RunOutput GotMeld = runUnder(M, Melded, Seed * 33 + 1, Threads);
+      EXPECT_EQ(GotMeld.U, Got.U)
+          << "branch-plan '" << PlanStr << "' u32 outputs differ under "
+          << C.Name << " (seed " << Seed << ")";
+      EXPECT_EQ(GotMeld.FBits, Got.FBits)
+          << "branch-plan '" << PlanStr << "' f32 outputs differ under "
+          << C.Name << " (seed " << Seed << ")";
+    }
+
     // Forced-vector vs forced-scalar lane kernels at the same configuration:
     // the SIMD fast path and its scalar-loop oracle must be bit-identical on
     // every random kernel, including the ops the vector branch hands back to

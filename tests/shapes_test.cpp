@@ -225,7 +225,8 @@ struct ShapeRun {
 
 ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse,
                         SimdMode Simd = SimdMode::Auto,
-                        JitMode Jit = JitMode::Auto) {
+                        JitMode Jit = JitMode::Auto,
+                        BranchMode Branch = BranchMode::Auto) {
   auto ProgOrErr = Program::compile(ShapeCoverageSrc);
   EXPECT_TRUE(static_cast<bool>(ProgOrErr)) << ProgOrErr.status().message();
   Device Dev(1 << 16);
@@ -244,6 +245,7 @@ ShapeRun runShapeKernel(uint32_t Width, bool Reference, bool Fuse,
   O.Superinstructions = Fuse;
   O.Simd = Simd;
   O.Jit = Jit;
+  O.Branch = Branch;
   auto StatsOrErr = (*ProgOrErr)->launch(Dev, "shapes", {2, 1, 1},
                                          {32, 1, 1}, Params, O);
   EXPECT_TRUE(static_cast<bool>(StatsOrErr)) << StatsOrErr.status().message();
@@ -339,6 +341,34 @@ TEST(ShapeExec, JitTiersMatchBitIdenticallyAtAllWidths) {
       SCOPED_TRACE("tiered auto vs forced interp");
       expectShapeRunsMatch(Tiered, Interp);
     }
+  }
+}
+
+TEST(ShapeExec, BranchPoliciesMatchOutputsBitIdenticallyAtAllWidths) {
+  // The divergence-reduction differential: forced-yield, forced-predicate
+  // and forced-meld runs of the shape-coverage kernel (guarded atomics,
+  // barriers, diamonds) must leave bit-identical device arenas at every
+  // width. Only outputs are compared — moving the modeled counters is the
+  // entire point of the optimization, so em.* identity is only required
+  // *within* one policy (tests/meld_check.cmake holds that line).
+  for (uint32_t Width : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(Width));
+    ShapeRun Yield = runShapeKernel(Width, false, true, SimdMode::Auto,
+                                    JitMode::Auto, BranchMode::Yield);
+    ShapeRun Pred = runShapeKernel(Width, false, true, SimdMode::Auto,
+                                   JitMode::Auto, BranchMode::Predicate);
+    ShapeRun Meld = runShapeKernel(Width, false, true, SimdMode::Auto,
+                                   JitMode::Auto, BranchMode::Meld);
+    ASSERT_EQ(Pred.Arena.size(), Yield.Arena.size());
+    EXPECT_EQ(0, std::memcmp(Pred.Arena.data(), Yield.Arena.data(),
+                             Yield.Arena.size()))
+        << "forced-predicate outputs differ from forced-yield";
+    ASSERT_EQ(Meld.Arena.size(), Yield.Arena.size());
+    EXPECT_EQ(0, std::memcmp(Meld.Arena.data(), Yield.Arena.data(),
+                             Yield.Arena.size()))
+        << "forced-meld outputs differ from forced-yield";
+    // All policies retire every thread.
+    EXPECT_EQ(Meld.Stats.ThreadEntries > 0, true);
   }
 }
 

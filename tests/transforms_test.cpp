@@ -86,6 +86,67 @@ entry:
   EXPECT_EQ(countOpcode(K, Opcode::Selp), 0u);
 }
 
+TEST(PredicateToSelectTest, GuardedDivisionKeepsGuard) {
+  // The trap-safety rule: op-then-select would execute the division on
+  // EVERY lane, including ones whose guard exists precisely because their
+  // divisor is zero. Guarded div/rem must survive the pass untouched.
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k ()
+{
+  .reg .u32 %x, %t, %d;
+  .reg .pred %c;
+entry:
+  mov.u32 %x, 1;
+  mov.u32 %t, %tid.x;
+  mov.u32 %d, %t;
+  setp.ne.u32 %c, %d, 0;
+  @%c div.u32 %x, %t, %d;
+  @%c rem.u32 %x, %t, %d;
+  ret;
+}
+)");
+  runPredicateToSelect(K);
+  EXPECT_FALSE(verifyKernel(K).isError());
+  EXPECT_EQ(countOpcode(K, Opcode::Selp), 0u);
+  size_t GuardedTrapping = 0;
+  for (const BasicBlock &B : K.Blocks)
+    for (const Instruction &I : B.Insts)
+      if ((I.Op == Opcode::Div || I.Op == Opcode::Rem) && I.Guard.isValid())
+        ++GuardedTrapping;
+  EXPECT_EQ(GuardedTrapping, 2u);
+}
+
+TEST(PredicateToSelectTest, GuardedLoadKeepsGuard) {
+  // Same rule for loads: the guard often encodes a bounds check, and an
+  // unconditional load from the untaken lanes' address can fault.
+  std::unique_ptr<Module> M;
+  Kernel &K = parseK(M, R"(
+.kernel k (.param .u64 p)
+{
+  .reg .u32 %t, %v;
+  .reg .u64 %a;
+  .reg .pred %c;
+entry:
+  mov.u32 %t, %tid.x;
+  mov.u32 %v, 0;
+  setp.lt.u32 %c, %t, 4;
+  ld.param.u64 %a, [p];
+  @%c ld.global.u32 %v, [%a];
+  ret;
+}
+)");
+  runPredicateToSelect(K);
+  EXPECT_FALSE(verifyKernel(K).isError());
+  EXPECT_EQ(countOpcode(K, Opcode::Selp), 0u);
+  bool FoundGuardedLoad = false;
+  for (const BasicBlock &B : K.Blocks)
+    for (const Instruction &I : B.Insts)
+      if (I.Op == Opcode::Ld && I.Guard.isValid())
+        FoundGuardedLoad = true;
+  EXPECT_TRUE(FoundGuardedLoad);
+}
+
 TEST(PredicateToSelectTest, NegatedGuardSwapsSelectArms) {
   std::unique_ptr<Module> M;
   Kernel &K = parseK(M, R"(

@@ -103,7 +103,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(WorkloadRegistry, AllWorkloadsRegistered) {
-  EXPECT_EQ(allWorkloads().size(), 23u);
+  EXPECT_EQ(allWorkloads().size(), 25u); // PR 9 added Bfs and Spmv
 }
 
 TEST(WorkloadRegistry, NamesAreUnique) {

@@ -15,7 +15,14 @@
 /// "+cold", "+jitwarm", and "+graph" (pre-instantiated kernel-graph
 /// replay) — so every mode column diffs as its own cell.
 ///
-/// Usage: bench_diff [--force] OLD.json NEW.json
+/// Results carry a sixth dimension since the divergence-reduction work:
+/// the branch policy ("yield"/"predicate"/"meld"/"auto"); trajectories
+/// from before that knob key as "yield" (the only behaviour the engine
+/// had). `--strip-branch` collapses the dimension on both sides — useful
+/// for diffing a forced-policy file against an older trajectory, where the
+/// policy is the experiment rather than a configuration to hold fixed.
+///
+/// Usage: bench_diff [--force] [--strip-branch] OLD.json NEW.json
 ///
 /// The two files must have been measured under the same configuration:
 /// when the headers disagree on "compiler", "flags" or "native" the
@@ -41,8 +48,8 @@
 
 namespace {
 
-using CellKey =
-    std::tuple<std::string, unsigned, unsigned, std::string, std::string>;
+using CellKey = std::tuple<std::string, unsigned, unsigned, std::string,
+                           std::string, std::string>;
 
 /// Header fields that pin the measurement configuration. Two trajectories
 /// are only comparable when all three match.
@@ -77,11 +84,12 @@ std::string fieldValue(const std::string &Obj, const char *Key) {
 }
 
 /// Parses the `results` array of a wallclock_throughput JSON file into
-/// (workload, width, workers, simd, jit) -> seconds, and the provenance
-/// header into \p H. The format is the harness's own fixed emission, so a
-/// keyed scan over the result objects suffices.
+/// (workload, width, workers, simd, jit, branch) -> seconds, and the
+/// provenance header into \p H. The format is the harness's own fixed
+/// emission, so a keyed scan over the result objects suffices. With
+/// \p StripBranch the branch dimension is collapsed to "-" on every cell.
 bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells,
-                     Header &H) {
+                     Header &H, bool StripBranch) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "bench_diff: cannot open %s\n", Path);
@@ -117,13 +125,18 @@ bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells,
     std::string Jit = fieldValue(Obj, "jit");
     if (Jit.empty())
       Jit = "interp"; // trajectories from before the native tier
+    std::string Branch = fieldValue(Obj, "branch");
+    if (Branch.empty())
+      Branch = "yield"; // trajectories from before divergence reduction
+    if (StripBranch)
+      Branch = "-";
     if (Workload.empty() || Width.empty() || Workers.empty() ||
         Seconds.empty())
       continue;
     Cells[{Workload, static_cast<unsigned>(std::strtoul(Width.c_str(),
                                                         nullptr, 10)),
            static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr, 10)),
-           Simd, Jit}] = std::strtod(Seconds.c_str(), nullptr);
+           Simd, Jit, Branch}] = std::strtod(Seconds.c_str(), nullptr);
   }
   if (Cells.empty()) {
     std::fprintf(stderr, "bench_diff: %s has no result cells\n", Path);
@@ -151,21 +164,31 @@ std::vector<std::string> headerMismatches(const Header &A, const Header &B) {
 
 int main(int argc, char **argv) {
   bool Force = false;
+  bool StripBranch = false;
   int ArgI = 1;
-  if (ArgI < argc && std::strcmp(argv[ArgI], "--force") == 0) {
-    Force = true;
-    ++ArgI;
+  while (ArgI < argc) {
+    if (std::strcmp(argv[ArgI], "--force") == 0) {
+      Force = true;
+      ++ArgI;
+    } else if (std::strcmp(argv[ArgI], "--strip-branch") == 0) {
+      StripBranch = true;
+      ++ArgI;
+    } else {
+      break;
+    }
   }
   if (argc - ArgI != 2) {
-    std::fprintf(stderr, "usage: bench_diff [--force] OLD.json NEW.json\n");
+    std::fprintf(
+        stderr,
+        "usage: bench_diff [--force] [--strip-branch] OLD.json NEW.json\n");
     return 1;
   }
   const char *OldPath = argv[ArgI];
   const char *NewPath = argv[ArgI + 1];
   std::map<CellKey, double> Old, New;
   Header OldH, NewH;
-  if (!parseTrajectory(OldPath, Old, OldH) ||
-      !parseTrajectory(NewPath, New, NewH))
+  if (!parseTrajectory(OldPath, Old, OldH, StripBranch) ||
+      !parseTrajectory(NewPath, New, NewH, StripBranch))
     return 1;
 
   // Refuse apples-to-oranges comparisons: a trajectory measured under a
@@ -190,34 +213,37 @@ int main(int argc, char **argv) {
                        "code changes\n");
   }
 
-  std::printf("%-16s %5s %7s %7s %7s  %10s  %10s  %8s\n", "workload",
-              "width", "workers", "simd", "jit", "old ms", "new ms",
-              "speedup");
+  std::printf("%-16s %5s %7s %7s %7s %9s  %10s  %10s  %8s\n", "workload",
+              "width", "workers", "simd", "jit", "branch", "old ms",
+              "new ms", "speedup");
   double LogSum = 0;
   unsigned Compared = 0;
   for (const auto &[Key, OldSec] : Old) {
     auto It = New.find(Key);
     if (It == New.end()) {
-      std::printf("%-16s %5u %7u %7s %7s  %10.3f  %10s  %8s\n",
+      std::printf("%-16s %5u %7u %7s %7s %9s  %10.3f  %10s  %8s\n",
                   std::get<0>(Key).c_str(), std::get<1>(Key),
                   std::get<2>(Key), std::get<3>(Key).c_str(),
-                  std::get<4>(Key).c_str(), OldSec * 1e3, "-", "-");
+                  std::get<4>(Key).c_str(), std::get<5>(Key).c_str(),
+                  OldSec * 1e3, "-", "-");
       continue;
     }
     const double Speedup = OldSec / It->second;
-    std::printf("%-16s %5u %7u %7s %7s  %10.3f  %10.3f  %7.3fx\n",
+    std::printf("%-16s %5u %7u %7s %7s %9s  %10.3f  %10.3f  %7.3fx\n",
                 std::get<0>(Key).c_str(), std::get<1>(Key), std::get<2>(Key),
                 std::get<3>(Key).c_str(), std::get<4>(Key).c_str(),
-                OldSec * 1e3, It->second * 1e3, Speedup);
+                std::get<5>(Key).c_str(), OldSec * 1e3, It->second * 1e3,
+                Speedup);
     LogSum += std::log(Speedup);
     ++Compared;
   }
   for (const auto &[Key, NewSec] : New)
     if (!Old.count(Key))
-      std::printf("%-16s %5u %7u %7s %7s  %10s  %10.3f  %8s\n",
+      std::printf("%-16s %5u %7u %7s %7s %9s  %10s  %10.3f  %8s\n",
                   std::get<0>(Key).c_str(), std::get<1>(Key),
                   std::get<2>(Key), std::get<3>(Key).c_str(),
-                  std::get<4>(Key).c_str(), "-", NewSec * 1e3, "-");
+                  std::get<4>(Key).c_str(), std::get<5>(Key).c_str(), "-",
+                  NewSec * 1e3, "-");
 
   if (!Compared) {
     std::fprintf(stderr, "bench_diff: no common cells to compare\n");

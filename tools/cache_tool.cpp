@@ -16,8 +16,10 @@
 ///                                   delete corrupt/stale-version entries;
 ///                                   with --max-bytes, additionally evict
 ///                                   least-recently-used entries (by file
-///                                   mtime, oldest first) until the store
-///                                   fits in N bytes
+///                                   atime, oldest first; falls back to
+///                                   mtime on mounts that never update
+///                                   atimes) until the store fits in N
+///                                   bytes
 ///   cache_tool [--dir DIR] stats    entry/byte totals per artifact kind
 ///
 /// DIR defaults to $SIMTVEC_CACHE_DIR. The runtime itself never needs this
@@ -35,7 +37,10 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include <sys/stat.h>
 
 using namespace simtvec;
 namespace fs = std::filesystem;
@@ -56,12 +61,19 @@ const char *kindName(EntryKind K) {
   return "?";
 }
 
+/// (seconds, nanoseconds) timestamp; ordered lexicographically.
+using FileTime = std::pair<int64_t, int64_t>;
+
 struct Entry {
   std::string Path;
   std::string Name; // filename only
   uint64_t Bytes = 0;
   EntryKind Kind = EntryKind::Artifact;
-  fs::file_time_type MTime; ///< LRU order for the size-cap policy
+  /// LRU inputs for the size-cap policy. Captured at listing time — BEFORE
+  /// the health checks read every artifact, which would bump each atime to
+  /// "now" and erase the very recency signal eviction needs.
+  FileTime ATime{};
+  FileTime MTime{};
 };
 
 int usage(const char *Argv0) {
@@ -92,7 +104,13 @@ std::vector<Entry> listStore(const std::string &Dir) {
     E.Path = DE.path().string();
     E.Name = DE.path().filename().string();
     E.Bytes = DE.file_size(EC);
-    E.MTime = DE.last_write_time(EC);
+    struct stat St;
+    if (::stat(E.Path.c_str(), &St) == 0) {
+      E.ATime = {static_cast<int64_t>(St.st_atim.tv_sec),
+                 static_cast<int64_t>(St.st_atim.tv_nsec)};
+      E.MTime = {static_cast<int64_t>(St.st_mtim.tv_sec),
+                 static_cast<int64_t>(St.st_mtim.tv_nsec)};
+    }
     Entries.push_back(std::move(E));
   }
   std::sort(Entries.begin(), Entries.end(),
@@ -232,15 +250,32 @@ int main(int argc, char **argv) {
       }
     }
 
-    // Size-cap policy: evict least-recently-used entries (file mtime,
-    // oldest first, across every kind) until the store fits.
+    // Size-cap policy: evict least-recently-USED entries (file atime,
+    // oldest first, across every kind) until the store fits. On mounts
+    // that never advance atimes (noatime, or relatime once atime caught up
+    // to mtime) every atime equals its mtime and the "recency" signal is
+    // really just the write clock — detect that (no entry anywhere in the
+    // store with atime > mtime) and order by mtime explicitly, so the
+    // historical mtime-LRU behaviour is the fallback rather than an
+    // accident of frozen atimes. Name-ordered tie-break keeps eviction
+    // deterministic either way.
     if (HaveCap) {
       uint64_t Total = 0;
       for (const Entry &E : Kept)
         Total += E.Bytes;
-      std::sort(Kept.begin(), Kept.end(), [](const Entry &A, const Entry &B) {
-        return A.MTime < B.MTime;
-      });
+      bool AtimeTracked = false;
+      for (const Entry &E : Entries)
+        AtimeTracked |= E.ATime > E.MTime;
+      std::sort(Kept.begin(), Kept.end(),
+                [AtimeTracked](const Entry &A, const Entry &B) {
+                  FileTime TA = AtimeTracked ? std::max(A.ATime, A.MTime)
+                                             : A.MTime;
+                  FileTime TB = AtimeTracked ? std::max(B.ATime, B.MTime)
+                                             : B.MTime;
+                  if (TA != TB)
+                    return TA < TB;
+                  return A.Name < B.Name;
+                });
       for (const Entry &E : Kept) {
         if (Total <= MaxBytes)
           break;

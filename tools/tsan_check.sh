@@ -18,7 +18,10 @@
 # hot-swap race, where the background compile publishes entry pointers
 # into four concurrently dispatching streams (JitHotSwap.*) — and the
 # kernel-graph suites (Graph.*), whose concurrent-replay test replays one
-# immutable GraphExec from four host threads on four streams. After
+# immutable GraphExec from four host threads on four streams — and the
+# divergence-reduction suites (MeldTransform/MeldGuard/MeldDiff/MeldEffect/
+# MeldPgo), whose PGO tests race branch-plan commits from the worker pool
+# against concurrent chooseBranchPlan readers. After
 # the suites pass, a burst of concurrent bench processes is aimed at one
 # shared SIMTVEC_CACHE_DIR (atomic rename-on-publish under contention) and
 # the resulting store must survive `cache_tool verify`. Also registrable as
@@ -31,7 +34,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit|Graph}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit|Graph|Meld}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
