@@ -1,0 +1,539 @@
+//===- bench/serve_soak.cpp - Multi-tenant serving soak bench --------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Soak-tests the serving daemon under multi-process tenant load and
+/// measures what serving buys: N real client *processes* run M
+/// launch+synchronize round-trips each against one warm in-process daemon,
+/// then the same N processes run the same M launches each as isolated
+/// cold processes (own compile, own cache-less runtime). Reported per
+/// mode: p50/p95/p99 completed-launch latency, mean latency, and the
+/// aggregate launch throughput of the whole process group (wall clock from
+/// first spawn to last exit — the isolated group pays its N cold compiles,
+/// the served group shares the daemon's single warm Program).
+///
+/// Usage: serve_soak [--clients N] [--launches M] [--elems E]
+///                   [--out PATH] [--require-warm]
+///
+///   --clients N       tenant processes per mode (default 4)
+///   --launches M      measured launches per tenant (default 64)
+///   --elems E         elements the kernel scales per launch (default 8192
+///                     — heavy enough that the daemon's warm native tier,
+///                     not socket round-trips, dominates the comparison)
+///   --out PATH        JSON trajectory (default BENCH_wallclock_serve.json)
+///   --require-warm    exit 1 unless the daemon served the entire measured
+///                     phase with zero compiles (tc.compile and
+///                     tc.jit_compile deltas both 0)
+///
+/// The daemon is warmed before measurement: the parent drives launches and
+/// drains the WorkerPool until the compile counters stop moving, so the
+/// measured phase exercises the steady serving state the daemon exists
+/// for. Children are this same binary re-exec'd with a hidden mode flag
+/// (--client-child / --isolated-child); each writes its raw per-launch
+/// latencies to a file the parent aggregates.
+///
+/// JSON cells keep the standard wallclock shape — "seconds" is the mean
+/// per-launch completed latency, keyed "Scale+serve" / "Scale+isolated" —
+/// plus p50/p95/p99 and the aggregate group throughput, which
+/// tools/bench_diff reports when present.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/serve/Client.h"
+#include "simtvec/serve/Server.h"
+
+#include "simtvec/runtime/WorkerPool.h"
+#include "simtvec/support/Format.h"
+#include "simtvec/support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <spawn.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+extern char **environ;
+
+using namespace simtvec;
+using namespace simtvec::serve;
+
+namespace {
+
+const char *ScaleSrc = R"(
+.kernel scale (.param .u64 buf, .param .u32 n, .param .u32 k)
+{
+  .reg .u32 %i, %n, %v, %k;
+  .reg .u64 %p, %off;
+  .reg .pred %q;
+entry:
+  mov.u32 %i, %tid.x;
+  mov.u32 %n, %ntid.x;
+  mul.u32 %n, %n, %ctaid.x;
+  add.u32 %i, %i, %n;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %q, %i, %n;
+  @%q bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %p, [buf];
+  add.u64 %p, %p, %off;
+  ld.param.u32 %k, [k];
+  ld.global.u32 %v, [%p];
+  mad.u32 %v, %v, %k, 1;
+  st.global.u32 [%p], %v;
+  bra done;
+done:
+  ret;
+}
+)";
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Dim3 gridFor(uint32_t Elems) { return {(Elems + 63) / 64, 1, 1}; }
+
+void writeLatencies(const char *Path, const std::vector<double> &L) {
+  FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "serve_soak: cannot write %s\n", Path);
+    std::exit(1);
+  }
+  for (double S : L)
+    std::fprintf(F, "%.9e\n", S);
+  std::fclose(F);
+}
+
+/// Tenant process body: M measured launch+synchronize round-trips against
+/// the daemon at \p Socket.
+int clientChild(const char *Socket, unsigned Launches, uint32_t Elems,
+                const char *LatFile) {
+  ServeClient C;
+  if (Status E = C.connect(Socket, "soak"); E.isError()) {
+    std::fprintf(stderr, "serve_soak client: %s\n", E.message().c_str());
+    return 1;
+  }
+  auto Prog = C.loadProgram(ScaleSrc);
+  if (!Prog) {
+    std::fprintf(stderr, "serve_soak client: %s\n",
+                 Prog.status().message().c_str());
+    return 1;
+  }
+  auto Addr = C.alloc(Elems * sizeof(uint32_t));
+  if (!Addr)
+    return 1;
+  std::vector<uint32_t> Host(Elems, 3);
+  if (C.copyIn(*Addr, Host.data(), Elems * sizeof(uint32_t)).isError())
+    return 1;
+  Params P;
+  P.u64(*Addr).u32(Elems).u32(2);
+
+  std::vector<double> Lat;
+  Lat.reserve(Launches);
+  for (unsigned I = 0; I < Launches; ++I) {
+    double T0 = now();
+    if (!C.launch(*Prog, "scale", gridFor(Elems), {64, 1, 1}, P))
+      return 1;
+    if (C.synchronize().isError())
+      return 1;
+    Lat.push_back(now() - T0);
+  }
+  writeLatencies(LatFile, Lat);
+  return 0;
+}
+
+/// The isolated baseline: a cold process that compiles its own Program
+/// (no shared daemon, no artifact store) and runs the same M launches.
+int isolatedChild(unsigned Launches, uint32_t Elems, const char *LatFile) {
+  auto Compiled =
+      Program::compile(ScaleSrc, MachineModel{}, SpecializationOptions());
+  if (!Compiled) {
+    std::fprintf(stderr, "serve_soak isolated: %s\n",
+                 Compiled.status().message().c_str());
+    return 1;
+  }
+  auto Prog = Compiled.take();
+  Device Dev(1 << 20);
+  uint64_t Addr = Dev.allocArray<uint32_t>(Elems);
+  std::vector<uint32_t> Host(Elems, 3);
+  Stream S;
+  Dev.copyToDeviceAsync(S, Addr, Host.data(), Elems * sizeof(uint32_t));
+  if (S.synchronize().isError())
+    return 1;
+  Params P;
+  P.u64(Addr).u32(Elems).u32(2);
+
+  std::vector<double> Lat;
+  Lat.reserve(Launches);
+  for (unsigned I = 0; I < Launches; ++I) {
+    double T0 = now();
+    Prog->launchAsync(S, Dev, "scale", gridFor(Elems), {64, 1, 1}, P);
+    if (S.synchronize().isError())
+      return 1;
+    Lat.push_back(now() - T0);
+  }
+  writeLatencies(LatFile, Lat);
+  return 0;
+}
+
+/// One measured process group: spawns \p Argvs children, waits for all,
+/// returns the group wall time. Any child failure is fatal.
+double runGroup(const std::vector<std::vector<std::string>> &Argvs) {
+  double T0 = now();
+  std::vector<pid_t> Pids;
+  for (const auto &Args : Argvs) {
+    std::vector<char *> Argv;
+    Argv.reserve(Args.size() + 1);
+    for (const auto &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    pid_t Pid = 0;
+    int RC = ::posix_spawn(&Pid, Argv[0], nullptr, nullptr, Argv.data(),
+                           environ);
+    if (RC != 0) {
+      std::fprintf(stderr, "serve_soak: posix_spawn: %s\n",
+                   std::strerror(RC));
+      std::exit(1);
+    }
+    Pids.push_back(Pid);
+  }
+  for (pid_t Pid : Pids) {
+    int St = 0;
+    if (::waitpid(Pid, &St, 0) != Pid || !WIFEXITED(St) ||
+        WEXITSTATUS(St) != 0) {
+      std::fprintf(stderr, "serve_soak: child %d failed\n",
+                   static_cast<int>(Pid));
+      std::exit(1);
+    }
+  }
+  return now() - T0;
+}
+
+struct LatSummary {
+  double Mean = 0, P50 = 0, P95 = 0, P99 = 0;
+  size_t Count = 0;
+};
+
+LatSummary summarize(std::vector<double> &L) {
+  LatSummary S;
+  S.Count = L.size();
+  if (L.empty())
+    return S;
+  std::sort(L.begin(), L.end());
+  double Sum = 0;
+  for (double V : L)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(L.size());
+  auto Pct = [&](double P) {
+    size_t I = static_cast<size_t>(P * static_cast<double>(L.size() - 1));
+    return L[I];
+  };
+  S.P50 = Pct(0.50);
+  S.P95 = Pct(0.95);
+  S.P99 = Pct(0.99);
+  return S;
+}
+
+std::vector<double> readLatencies(const std::vector<std::string> &Files) {
+  std::vector<double> All;
+  for (const auto &Path : Files) {
+    FILE *F = std::fopen(Path.c_str(), "r");
+    if (!F) {
+      std::fprintf(stderr, "serve_soak: missing %s\n", Path.c_str());
+      std::exit(1);
+    }
+    double V;
+    while (std::fscanf(F, "%lf", &V) == 1)
+      All.push_back(V);
+    std::fclose(F);
+    ::unlink(Path.c_str());
+  }
+  return All;
+}
+
+std::string selfExe() {
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0) {
+    std::fprintf(stderr, "serve_soak: cannot resolve /proc/self/exe\n");
+    std::exit(1);
+  }
+  Buf[N] = '\0';
+  return Buf;
+}
+
+void printHostHeader(FILE *Out) {
+#if defined(__clang__)
+  std::fprintf(Out, "  \"compiler\": \"clang %d.%d.%d\",\n", __clang_major__,
+               __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  std::fprintf(Out, "  \"compiler\": \"gcc %d.%d.%d\",\n", __GNUC__,
+               __GNUC_MINOR__, __GNUC_PATCHLEVEL__);
+#else
+  std::fprintf(Out, "  \"compiler\": \"unknown\",\n");
+#endif
+#ifdef SIMTVEC_BENCH_FLAGS
+  std::fprintf(Out, "  \"flags\": \"%s\",\n", SIMTVEC_BENCH_FLAGS);
+#else
+  std::fprintf(Out, "  \"flags\": \"\",\n");
+#endif
+#ifdef SIMTVEC_NATIVE_BUILD
+  std::fprintf(Out, "  \"native\": true,\n");
+#else
+  std::fprintf(Out, "  \"native\": false,\n");
+#endif
+  std::fprintf(Out, "  \"simd\": \"auto\",\n  \"jit\": \"auto\",\n");
+  std::fprintf(Out, "  \"branch\": \"auto\",\n");
+  std::fprintf(Out, "  \"nproc\": %u,\n",
+               std::thread::hardware_concurrency());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Hidden child modes (the self-exec targets) come first.
+  if (argc >= 6 && std::strcmp(argv[1], "--client-child") == 0)
+    return clientChild(argv[2],
+                       static_cast<unsigned>(std::strtoul(argv[3], nullptr,
+                                                          10)),
+                       static_cast<uint32_t>(std::strtoul(argv[4], nullptr,
+                                                          10)),
+                       argv[5]);
+  if (argc >= 5 && std::strcmp(argv[1], "--isolated-child") == 0)
+    return isolatedChild(
+        static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)),
+        static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10)), argv[4]);
+
+  unsigned Clients = 4;
+  unsigned Launches = 64;
+  uint32_t Elems = 8192;
+  std::string OutPath = "BENCH_wallclock_serve.json";
+  bool RequireWarm = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--clients" && I + 1 < argc)
+      Clients = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (Arg == "--launches" && I + 1 < argc)
+      Launches =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (Arg == "--elems" && I + 1 < argc)
+      Elems = static_cast<uint32_t>(std::strtoul(argv[++I], nullptr, 10));
+    else if (Arg == "--out" && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (Arg == "--require-warm")
+      RequireWarm = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: serve_soak [--clients N] [--launches M] "
+                   "[--elems E] [--out PATH] [--require-warm]\n");
+      return 2;
+    }
+  }
+  if (!Clients || !Launches || !Elems)
+    return 2;
+
+  const std::string Exe = selfExe();
+  const std::string Sock =
+      formatString("/tmp/serve_soak_%d.sock", static_cast<int>(::getpid()));
+  const std::string CacheDir =
+      formatString("/tmp/serve_soak_%d.cache", static_cast<int>(::getpid()));
+  (void)::mkdir(CacheDir.c_str(), 0755);
+
+  ServeOptions Opts;
+  Opts.SocketPath = Sock;
+  Opts.DeviceBytes = 8ull << 20;
+  Opts.Spec = SpecializationOptions();
+  Opts.Spec.CacheDir = CacheDir; // warm JIT/artifact store for the daemon
+  // The governor cap rides the environment like any SIMTVec process, so a
+  // capped soak (SIMTVEC_CACHE_MAX_BYTES=N serve_soak ...) exercises the
+  // CacheGovernor under real multi-tenant load while keeping the scratch
+  // store hermetic. The post-drain cap check below enforces it.
+  Opts.Spec.CacheMaxBytes = SpecializationOptions::fromEnv().CacheMaxBytes;
+  ServeDaemon Daemon(Opts);
+  if (Status E = Daemon.start(); E.isError()) {
+    std::fprintf(stderr, "serve_soak: %s\n", E.message().c_str());
+    return 1;
+  }
+
+  // Warm the daemon until its compile counters stop moving: the measured
+  // phase must run entirely from the shared warm Program and native tier.
+  {
+    ServeClient C;
+    if (Status E = C.connect(Sock, "warmup"); E.isError()) {
+      std::fprintf(stderr, "serve_soak: %s\n", E.message().c_str());
+      return 1;
+    }
+    auto Prog = C.loadProgram(ScaleSrc);
+    if (!Prog)
+      return 1;
+    auto Addr = C.alloc(Elems * sizeof(uint32_t));
+    if (!Addr)
+      return 1;
+    std::vector<uint32_t> Host(Elems, 3);
+    (void)C.copyIn(*Addr, Host.data(), Elems * sizeof(uint32_t));
+    Params P;
+    P.u64(*Addr).u32(Elems).u32(2);
+    uint64_t PrevCompile = ~0ull, PrevJit = ~0ull;
+    for (int Round = 0; Round < 50; ++Round) {
+      for (int I = 0; I < 8; ++I)
+        (void)C.launch(*Prog, "scale", gridFor(Elems), {64, 1, 1}, P);
+      if (C.synchronize().isError())
+        return 1;
+      // Background JIT compiles and governor passes are pool tasks; wait
+      // them out before sampling the counters.
+      WorkerPool::global().drain();
+      auto Snap = MetricsRegistry::global().snapshot();
+      uint64_t Compile = Snap.counterValue("tc.compile");
+      uint64_t Jit = Snap.counterValue("tc.jit_compile");
+      if (Compile == PrevCompile && Jit == PrevJit)
+        break;
+      PrevCompile = Compile;
+      PrevJit = Jit;
+    }
+  }
+
+  auto Baseline = MetricsRegistry::global().snapshot();
+  const uint64_t Compile0 = Baseline.counterValue("tc.compile");
+  const uint64_t Jit0 = Baseline.counterValue("tc.jit_compile");
+
+  // Served group: N tenant processes against the warm daemon.
+  std::vector<std::vector<std::string>> ServeArgs;
+  std::vector<std::string> ServeLatFiles;
+  for (unsigned I = 0; I < Clients; ++I) {
+    ServeLatFiles.push_back(formatString(
+        "/tmp/serve_soak_%d_s%u.lat", static_cast<int>(::getpid()), I));
+    ServeArgs.push_back({Exe, "--client-child", Sock,
+                         std::to_string(Launches), std::to_string(Elems),
+                         ServeLatFiles.back()});
+  }
+  double ServeWall = runGroup(ServeArgs);
+  std::vector<double> ServeLat = readLatencies(ServeLatFiles);
+  LatSummary ServeSum = summarize(ServeLat);
+
+  auto After = MetricsRegistry::global().snapshot();
+  const uint64_t CompileDelta = After.counterValue("tc.compile") - Compile0;
+  const uint64_t JitDelta = After.counterValue("tc.jit_compile") - Jit0;
+
+  Daemon.requestStop();
+  ::unlink(Sock.c_str());
+
+  // Governor evidence for capped soaks: after the drain every prune pass
+  // has retired, so the store must fit the cap and the prune counters show
+  // the work. (pruneStoreToBytes with an unreachable cap is the shared
+  // store-size accounting — it evicts nothing.)
+  bool OverCap = false;
+  if (Opts.Spec.CacheMaxBytes) {
+    auto Gov = MetricsRegistry::global().snapshot();
+    const uint64_t StoreBytes =
+        SpecializationService::pruneStoreToBytes(CacheDir, ~0ull).StoreBytes;
+    OverCap = StoreBytes > Opts.Spec.CacheMaxBytes;
+    std::printf("  governor: store %llu bytes / cap %llu bytes%s  "
+                "(cache.prune_runs %llu, evicted %llu, freed %llu bytes)\n",
+                static_cast<unsigned long long>(StoreBytes),
+                static_cast<unsigned long long>(Opts.Spec.CacheMaxBytes),
+                OverCap ? "  OVER CAP" : "",
+                static_cast<unsigned long long>(
+                    Gov.counterValue("cache.prune_runs")),
+                static_cast<unsigned long long>(
+                    Gov.counterValue("cache.prune_evicted")),
+                static_cast<unsigned long long>(
+                    Gov.counterValue("cache.prune_bytes")));
+  }
+
+  // Isolated baseline: the same N processes, each cold (own compile, no
+  // store) — what tenants pay without a daemon.
+  std::vector<std::vector<std::string>> IsoArgs;
+  std::vector<std::string> IsoLatFiles;
+  for (unsigned I = 0; I < Clients; ++I) {
+    IsoLatFiles.push_back(formatString(
+        "/tmp/serve_soak_%d_i%u.lat", static_cast<int>(::getpid()), I));
+    IsoArgs.push_back({Exe, "--isolated-child", std::to_string(Launches),
+                       std::to_string(Elems), IsoLatFiles.back()});
+  }
+  double IsoWall = runGroup(IsoArgs);
+  std::vector<double> IsoLat = readLatencies(IsoLatFiles);
+  LatSummary IsoSum = summarize(IsoLat);
+
+  const double TotalLaunches =
+      static_cast<double>(Clients) * static_cast<double>(Launches);
+  const double ServeTput = TotalLaunches / ServeWall;
+  const double IsoTput = TotalLaunches / IsoWall;
+  const uint64_t ThreadsPerLaunch = gridFor(Elems).count() * 64;
+
+  std::printf("serve_soak: %u clients x %u launches (%u elems)\n", Clients,
+              Launches, Elems);
+  std::printf("  serve:    p50 %8.1fus  p95 %8.1fus  p99 %8.1fus  "
+              "mean %8.1fus  aggregate %9.0f launches/s\n",
+              ServeSum.P50 * 1e6, ServeSum.P95 * 1e6, ServeSum.P99 * 1e6,
+              ServeSum.Mean * 1e6, ServeTput);
+  std::printf("  isolated: p50 %8.1fus  p95 %8.1fus  p99 %8.1fus  "
+              "mean %8.1fus  aggregate %9.0f launches/s\n",
+              IsoSum.P50 * 1e6, IsoSum.P95 * 1e6, IsoSum.P99 * 1e6,
+              IsoSum.Mean * 1e6, IsoTput);
+  std::printf("  aggregate speedup (serve/isolated): %.2fx\n",
+              ServeTput / IsoTput);
+  std::printf("  measured-phase compiles: tc.compile +%llu, "
+              "tc.jit_compile +%llu%s\n",
+              static_cast<unsigned long long>(CompileDelta),
+              static_cast<unsigned long long>(JitDelta),
+              (CompileDelta || JitDelta) ? "  (NOT WARM)" : "  (warm)");
+
+  FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "serve_soak: cannot open %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"bench\": \"wallclock_serve\",\n");
+  printHostHeader(Out);
+  std::fprintf(Out, "  \"clients\": %u,\n  \"launches\": %u,\n", Clients,
+               Launches);
+  auto EmitCell = [&](const char *Mode, const LatSummary &S, double Tput,
+                      bool Last) {
+    std::fprintf(
+        Out,
+        "    {\"workload\": \"Scale+%s\", \"width\": 4, \"workers\": %u, "
+        "\"simd\": \"auto\", \"jit\": \"auto\", \"branch\": \"auto\", "
+        "\"seconds\": %.6e, \"threads\": %llu, \"threads_per_sec\": %.6e, "
+        "\"p50_seconds\": %.6e, \"p95_seconds\": %.6e, "
+        "\"p99_seconds\": %.6e, \"aggregate_launches_per_sec\": %.6e}%s\n",
+        Mode, Clients, S.Mean,
+        static_cast<unsigned long long>(ThreadsPerLaunch),
+        static_cast<double>(ThreadsPerLaunch) / S.Mean, S.P50, S.P95, S.P99,
+        Tput, Last ? "" : ",");
+  };
+  std::fprintf(Out, "  \"results\": [\n");
+  EmitCell("serve", ServeSum, ServeTput, false);
+  EmitCell("isolated", IsoSum, IsoTput, true);
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  std::printf("wrote %s\n", OutPath.c_str());
+
+  // Scrub the scratch store.
+  (void)std::system(("rm -rf " + CacheDir).c_str());
+
+  if (RequireWarm && (CompileDelta || JitDelta)) {
+    std::fprintf(stderr,
+                 "serve_soak: --require-warm: daemon compiled during the "
+                 "measured phase\n");
+    return 1;
+  }
+  if (OverCap) {
+    std::fprintf(stderr, "serve_soak: store exceeds SIMTVEC_CACHE_MAX_BYTES "
+                         "after the drain\n");
+    return 1;
+  }
+  return 0;
+}

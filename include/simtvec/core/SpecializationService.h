@@ -91,6 +91,13 @@ struct SpecializationOptions {
   /// yielded at least once, 'y' elsewhere).
   unsigned BranchExploreLaunches = 3;
 
+  /// Store size cap in bytes (0 = uncapped). When set and persistence is
+  /// on, the CacheGovernor prunes least-recently-used entries after each
+  /// artifact/native publish that leaves the store over the cap — the same
+  /// LRU policy `cache_tool prune --max-bytes` applies, run in-process on
+  /// the async executor. `fromEnv()` reads SIMTVEC_CACHE_MAX_BYTES.
+  uint64_t CacheMaxBytes = 0;
+
   static SpecializationOptions fromEnv();
 };
 
@@ -250,6 +257,26 @@ public:
   static constexpr const char *ArtifactExt = ".svca";
   static constexpr const char *ProfileExt = ".svcp";
 
+  /// Outcome of one LRU size-cap pass over a store directory.
+  struct PruneResult {
+    unsigned Evicted = 0;      ///< entries removed
+    uint64_t BytesFreed = 0;   ///< bytes those entries held
+    uint64_t StoreBytes = 0;   ///< store size after the pass
+  };
+
+  /// Evicts least-recently-used store entries (`.svca`/`.svcp`/`.so`) from
+  /// \p Dir until the store's total size fits in \p MaxBytes. Recency is
+  /// file atime when the mount tracks atimes (any entry with atime > mtime)
+  /// and mtime otherwise, with a filename tie-break for determinism —
+  /// exactly the `cache_tool prune --max-bytes` policy, shared so the
+  /// in-process CacheGovernor and the CLI cannot drift. \p OnEvict (may be
+  /// null) observes each removal. Timestamps are captured before any entry
+  /// is opened, so the scan itself cannot bump the recency it sorts by.
+  static PruneResult
+  pruneStoreToBytes(const std::string &Dir, uint64_t MaxBytes,
+                    const std::function<void(const std::string &Name,
+                                             uint64_t Bytes)> &OnEvict = {});
+
   struct Stats {
     uint64_t DiskHits = 0;
     uint64_t DiskMisses = 0;
@@ -291,6 +318,11 @@ private:
     bool ProfileChecked = false; ///< persisted profile load attempted
     std::map<uint32_t, BranchState> Branch; ///< divergence PGO, per width
   };
+  /// CacheGovernor: schedules one size-cap pass on the async executor when
+  /// the store may have outgrown Opts.CacheMaxBytes (no-op when uncapped,
+  /// not persistent, or a pass is already in flight).
+  void governStore();
+
   KernelTune &tuneFor(const std::string &KernelName); ///< TuneLock held
   void persistProfile(const std::string &KernelName, const KernelTune &T);
   /// Seals one (kernel, width) trial on its best plan. TuneLock held.
@@ -320,6 +352,12 @@ private:
 
   std::mutex JitLock; ///< guards AsyncSubmit
   std::function<void(std::function<void()>)> AsyncSubmit;
+
+  /// Single-flight latch for the CacheGovernor: at most one prune pass per
+  /// service at a time. Behind a shared_ptr for the same reason JitStats
+  /// is — governor tasks run detached and may outlive the service.
+  std::shared_ptr<std::atomic<bool>> GovernorBusy =
+      std::make_shared<std::atomic<bool>>(false);
 
   MetricsRegistry::Counter *RegDiskHits =
       &MetricsRegistry::global().counter("tc.disk_hit");

@@ -182,6 +182,18 @@ public:
   /// True when no submitted op is pending (does not clear deferred errors).
   bool idle() const;
 
+  /// Enqueues a host callback: \p Fn runs (on whichever thread drains the
+  /// stream) once every previously submitted op completed, receiving a
+  /// snapshot of the stream's deferred error at that point — the snapshot
+  /// is not cleared; `synchronize()` still owns it. The callback must not
+  /// submit work to or synchronize this same stream (it runs inside the
+  /// drain loop). This is the serving scheduler's completion hook: it is
+  /// how per-session in-flight launch counts are retired in stream order.
+  /// Callbacks are not capturable: on a capturing stream the capture is
+  /// invalidated (sticky graph error) and \p Fn runs immediately with that
+  /// error.
+  void addCallback(std::function<void(const Status &)> Fn);
+
   /// Starts capturing into \p G: until endCapture, launches and async
   /// copies submitted to this stream are recorded as graph nodes (in
   /// stream order) instead of executing, and event record/wait become

@@ -79,6 +79,16 @@ public:
   /// parallel job currently requesting help.
   void submit(std::function<void()> Task);
 
+  /// Blocks until the pool is quiescent: no listed parallel job, no queued
+  /// task, and every worker parked. This is the daemon-shutdown barrier —
+  /// the process-wide pool is intentionally leaked at exit, so a service
+  /// that is about to return from `main` must drain first or in-flight
+  /// `parallelFor` bodies and stream drain tasks would be torn down
+  /// mid-launch by process teardown. Must be called from a thread that is
+  /// *not* a pool worker (a worker can never observe itself parked), and
+  /// new work submitted after drain() returns is not covered.
+  void drain();
+
   /// Lifetime counters (tests / diagnostics).
   struct Stats {
     uint64_t ParallelJobs = 0;
@@ -99,8 +109,13 @@ private:
   /// Publishes park/occupancy metrics; pool mutex held.
   void noteOccupancy();
 
+  /// True iff no job is listed, no task is queued, and every worker is
+  /// parked; pool mutex held.
+  bool idleLocked() const;
+
   mutable std::mutex M;
   std::condition_variable WorkCV;
+  std::condition_variable IdleCV; ///< signalled when the pool goes idle
   std::vector<Job *> Jobs; ///< active parallel jobs (stack-owned by callers)
   std::deque<std::function<void()>> Tasks;
   bool ShuttingDown = false;

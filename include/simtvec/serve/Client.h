@@ -1,0 +1,117 @@
+//===- simtvec/serve/Client.h - Serving daemon client -----------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ServeClient` — the tenant-side library for the serving daemon. One
+/// instance is one session: connect() performs the Hello handshake, and
+/// each method is one protocol round-trip (serve/Protocol.h documents the
+/// frames). The API deliberately mirrors the in-process runtime —
+/// loadProgram/alloc/copyIn/launch/copyOut/synchronize — so a workload
+/// ports to the daemon by swapping the object it talks to.
+///
+/// Semantics carried over from the Stream model: launch() is
+/// fire-and-forget (a LaunchOk only acknowledges queueing; launch errors
+/// are deferred and reported by the session's next synchronize()), while
+/// copyOut() is stream-ordered and blocks until every previously submitted
+/// op completed. A client is NOT thread-safe — one session, one user
+/// thread, matching the one-stream-per-session model on the server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SERVE_CLIENT_H
+#define SIMTVEC_SERVE_CLIENT_H
+
+#include "simtvec/serve/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace simtvec {
+namespace serve {
+
+class ServeClient {
+public:
+  ServeClient() = default;
+  /// Closes the connection (best-effort Bye) if still open.
+  ~ServeClient();
+
+  ServeClient(const ServeClient &) = delete;
+  ServeClient &operator=(const ServeClient &) = delete;
+
+  /// Connects to the daemon at \p SocketPath and performs the Hello
+  /// handshake. \p ClientName is a diagnostic label the daemon keeps.
+  Status connect(const std::string &SocketPath,
+                 const std::string &ClientName = "client");
+
+  bool connected() const { return Fd >= 0; }
+  /// Daemon-assigned session id (valid after connect()).
+  uint64_t sessionId() const { return SessionId; }
+  /// Per-session device arena size the daemon granted.
+  uint64_t deviceBytes() const { return DevBytes; }
+  /// The daemon's per-session launch admission window.
+  unsigned maxInFlight() const { return MaxInFlight; }
+
+  /// Compiles (or dedups against another tenant's compile of) \p Svir and
+  /// returns the program handle for launch().
+  Expected<uint64_t> loadProgram(const std::string &Svir);
+
+  /// Allocates \p Bytes in the session's device arena.
+  Expected<uint64_t> alloc(uint64_t Bytes);
+
+  /// Stream-ordered host-to-device copy; chunks transparently when \p N
+  /// exceeds one frame. Returns once the daemon queued every chunk (not
+  /// once the copy ran — that is synchronize()/copyOut() ordering).
+  Status copyIn(uint64_t Dst, const void *Src, size_t N);
+
+  /// Stream-ordered device-to-host read-back: blocks until every
+  /// previously submitted op of this session completed, then fills \p Dst.
+  Status copyOut(void *Dst, uint64_t Src, size_t N);
+
+  /// Queues a launch; returns the session-local submission sequence
+  /// number. Launch errors are deferred to synchronize(), exactly like
+  /// Program::launchAsync on a Stream.
+  Expected<uint64_t> launch(uint64_t ProgramId, const std::string &Kernel,
+                            Dim3 Grid, Dim3 Block, const Params &P,
+                            const LaunchOptions &O = LaunchOptions());
+
+  /// Drains the session's stream on the daemon and returns its deferred
+  /// error (success when clean) — the serving twin of Stream::synchronize.
+  Status synchronize();
+
+  /// launches_completed reported by the most recent synchronize().
+  uint64_t launchesCompleted() const { return LaunchesDone; }
+
+  /// Fetches the daemon's stats rows: per-session counters plus a global
+  /// MetricsRegistry snapshot (names like "tc.compile", "cache.prune_runs").
+  Expected<std::vector<std::pair<std::string, uint64_t>>> stats();
+
+  /// One stats row by name; NotFound error when the daemon did not report
+  /// it. Convenience for tests asserting e.g. a warm daemon's "tc.compile".
+  Expected<uint64_t> statValue(const std::string &Name);
+
+  /// Polite shutdown: Bye handshake, then closes the socket. Idempotent.
+  void close();
+
+private:
+  /// Sends one request frame and reads the reply; maps an Error frame to a
+  /// Status and enforces \p Expect on the reply type. Any transport or
+  /// framing failure closes the connection.
+  Expected<Frame> roundTrip(MsgType Type, const ByteWriter &W,
+                            MsgType Expect);
+
+  int Fd = -1;
+  uint64_t SessionId = 0;
+  uint64_t DevBytes = 0;
+  unsigned MaxInFlight = 0;
+  uint64_t LaunchesDone = 0;
+};
+
+} // namespace serve
+} // namespace simtvec
+
+#endif // SIMTVEC_SERVE_CLIENT_H

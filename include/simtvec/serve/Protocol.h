@@ -1,0 +1,156 @@
+//===- simtvec/serve/Protocol.h - Serving wire protocol ---------*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed wire protocol between `ServeClient` and the serving daemon
+/// (`tools/svcd`), spoken over a Unix-domain stream socket.
+///
+/// Every message is one frame:
+///
+///     +--------+--------+--------+----------------------+
+///     | magic  | type   | length | payload (length B)   |
+///     | u32 LE | u32 LE | u32 LE |                      |
+///     +--------+--------+--------+----------------------+
+///
+/// Payloads are encoded with the same little-endian ByteWriter/ByteReader
+/// the artifact cache uses (support/Serialize.h), so truncated or
+/// bit-flipped payloads latch the reader's failure flag instead of reading
+/// out of bounds. The magic word rejects non-protocol peers at the first
+/// frame; a length above `MaxFrameBytes` rejects the frame without
+/// allocating — both produce a descriptive `Error` frame and a closed
+/// connection, never a crash (the protocol-fuzz tests hold this to it).
+///
+/// Session verbs (client -> server, each answered by exactly one reply):
+///
+///   Hello        u32 version, str client_name
+///                -> HelloOk: u32 version, u64 session_id, u32 max_inflight,
+///                            u64 device_bytes
+///   LoadProgram  str svir_text
+///                -> ProgramOk: u64 program_id   (dedup'd by source hash:
+///                   sessions loading identical source share one Program,
+///                   hence one TranslationCache and one warm artifact store)
+///   Alloc        u64 bytes              -> AllocOk: u64 device_addr
+///   CopyIn       u64 dst, u32 n, raw    -> Ok      (stream-ordered)
+///   CopyOut      u64 src, u64 n         -> Data: raw bytes (runs after all
+///                                          previously submitted ops)
+///   Launch       u64 program_id, str kernel, u32 grid[3], u32 block[3],
+///                u8 width_auto, u32 max_warp, params
+///                -> LaunchOk: u64 seq   (fire-and-forget: launch errors are
+///                   deferred to Synchronize, exactly like Stream semantics)
+///   Synchronize  (empty)  -> SyncOk: str deferred_error ("" = clean),
+///                            u64 launches_completed
+///   Stats        (empty)  -> StatsOk: u32 n, n x (str name, u64 value) —
+///                            per-session counters plus a global
+///                            MetricsRegistry snapshot
+///   Bye          (empty)  -> Ok, then the server closes the session
+///
+/// Any client error the server can attribute (unknown program id, device
+/// OOM, out-of-bounds copy, compile failure) is an `Error` frame with a
+/// descriptive message; the session survives. Malformed *framing* (bad
+/// magic, oversized length, truncated payload) is an `Error` frame followed
+/// by connection close — a peer that cannot frame cannot be resynced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SERVE_PROTOCOL_H
+#define SIMTVEC_SERVE_PROTOCOL_H
+
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/support/Serialize.h"
+#include "simtvec/support/Status.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simtvec {
+namespace serve {
+
+/// First word of every frame ("SVSP" little-endian).
+constexpr uint32_t ProtocolMagic = 0x50535653u;
+
+/// Protocol revision; Hello/HelloOk negotiate equality (no back-compat
+/// shimming at this size — a mismatch is a descriptive rejection).
+constexpr uint32_t ProtocolVersion = 1;
+
+/// Hard cap on one frame's payload. Large device buffers move as multiple
+/// CopyIn/CopyOut frames below this size.
+constexpr uint32_t MaxFrameBytes = 64u << 20;
+
+/// Bytes of the fixed frame header (magic + type + length).
+constexpr size_t FrameHeaderBytes = 12;
+
+enum class MsgType : uint32_t {
+  // Client -> server.
+  Hello = 1,
+  LoadProgram = 2,
+  Alloc = 3,
+  CopyIn = 4,
+  CopyOut = 5,
+  Launch = 6,
+  Synchronize = 7,
+  Stats = 8,
+  Bye = 9,
+  // Server -> client.
+  HelloOk = 100,
+  ProgramOk = 101,
+  AllocOk = 102,
+  Ok = 103,
+  Data = 104,
+  LaunchOk = 105,
+  SyncOk = 106,
+  StatsOk = 107,
+  Error = 199,
+};
+
+/// One decoded frame.
+struct Frame {
+  MsgType Type = MsgType::Error;
+  std::vector<uint8_t> Payload;
+};
+
+/// Serializes the fixed header into \p Out.
+void encodeFrameHeader(uint8_t Out[FrameHeaderBytes], MsgType Type,
+                       uint32_t Len);
+
+/// Decodes the fixed header; false on a magic mismatch (\p Type and \p Len
+/// are still filled for diagnostics).
+bool decodeFrameHeader(const uint8_t In[FrameHeaderBytes], uint32_t &Type,
+                       uint32_t &Len);
+
+/// Writes one full frame to the socket \p Fd (loops over partial writes,
+/// suppresses SIGPIPE). An error means the connection is unusable.
+Status sendFrame(int Fd, MsgType Type, const void *Payload, size_t Len);
+inline Status sendFrame(int Fd, MsgType Type, const ByteWriter &W) {
+  return sendFrame(Fd, Type, W.bytes().data(), W.size());
+}
+inline Status sendFrame(int Fd, MsgType Type) {
+  return sendFrame(Fd, Type, nullptr, 0);
+}
+
+/// Reads one full frame from \p Fd. Errors on garbage magic, an oversized
+/// length, a short read, or a closed peer; when \p AtEof is non-null it is
+/// set iff the peer closed cleanly *between* frames (the one non-error way
+/// a session ends without Bye).
+Expected<Frame> recvFrame(int Fd, bool *AtEof = nullptr);
+
+/// Convenience: an Error frame carrying \p Message.
+Status sendError(int Fd, const std::string &Message);
+
+/// Wire encoding of a launch's Params: u32 count, then per element a u8
+/// type code and the value as u64 bits (f32 in the low 32). Returns false
+/// on a Params element the wire cannot carry (vector-typed elements).
+bool encodeParams(ByteWriter &W, const Params &P);
+
+/// Decodes what encodeParams wrote, rebuilding the typed builder (offsets
+/// are recomputed by the same natural-alignment appends the client used,
+/// so the server-side layout is bit-identical). False on any structural
+/// problem; \p R's failure flag also covers truncation.
+bool decodeParams(ByteReader &R, Params &P);
+
+} // namespace serve
+} // namespace simtvec
+
+#endif // SIMTVEC_SERVE_PROTOCOL_H

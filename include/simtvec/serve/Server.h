@@ -1,0 +1,215 @@
+//===- simtvec/serve/Server.h - Multi-tenant serving daemon -----*- C++ -*-===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving daemon core: a `ServeDaemon` listens on a Unix-domain
+/// socket and turns each connection into a per-tenant *session* — its own
+/// bounds-checked `Device` arena and its own in-order `Stream`, mapped
+/// onto the process-shared machinery: one WorkerPool runs every session's
+/// launches, and sessions that load identical SVIR source share one
+/// `Program` (hence one TranslationCache, one SpecializationService, one
+/// warm artifact/JIT store). That sharing is the whole point: the second
+/// tenant to ask for a kernel gets the first tenant's compile, and a warm
+/// store means *no* tenant compiles at all.
+///
+/// Isolation is per-session by construction: a tenant's traps, bad
+/// parameters, and out-of-bounds copies land in its own stream's deferred
+/// error (reported by its own Synchronize) and its own arena; no shared
+/// mutable state carries one tenant's failure into another's results.
+///
+/// Fairness: every session op (copies and launches alike, to preserve the
+/// session's submission order) flows through one `FairScheduler`, which
+/// drains session queues round-robin and admits a launch only while the
+/// session has fewer than `MaxInFlight` launches unretired — a tenant
+/// spraying launches fills its own window and its own backlog (backpressure
+/// blocks its connection thread at `MaxQueued`), while other tenants keep
+/// getting one op per round. Launch retirement rides the stream layer:
+/// `Stream::addCallback` enqueued directly behind each launch decrements
+/// the window in stream order.
+///
+/// Shutdown (`requestStop`, wired to SIGTERM in tools/svcd) is a drain,
+/// not an abort: stop accepting, wake the session threads, let each flush
+/// its queue and synchronize its stream, then quiesce the WorkerPool
+/// (`WorkerPool::drain`) so process exit never tears down an in-flight
+/// `parallelFor` under a launch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMTVEC_SERVE_SERVER_H
+#define SIMTVEC_SERVE_SERVER_H
+
+#include "simtvec/runtime/Runtime.h"
+#include "simtvec/serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace simtvec {
+namespace serve {
+
+/// Daemon configuration.
+struct ServeOptions {
+  /// Unix-domain socket path to bind (required; unlinked on shutdown).
+  std::string SocketPath;
+  /// Per-session launches admitted into the stream before admission control
+  /// holds the next one back.
+  unsigned MaxInFlight = 8;
+  /// Per-session scheduler backlog; enqueue (hence the tenant's connection)
+  /// blocks at this depth.
+  unsigned MaxQueued = 64;
+  /// Per-session device arena size.
+  size_t DeviceBytes = 64ull << 20;
+  /// Machine model every session's programs compile against.
+  MachineModel Machine{};
+  /// Shared artifact-store configuration. Defaults to the environment
+  /// (SIMTVEC_CACHE_DIR persistence, SIMTVEC_CACHE_MAX_BYTES governor cap).
+  SpecializationOptions Spec = SpecializationOptions::fromEnv();
+};
+
+/// Round-robin fair scheduler over per-session FIFO op queues (see the
+/// file comment). Separately constructible so tests can drive the policy
+/// without sockets.
+class FairScheduler {
+public:
+  FairScheduler(unsigned MaxInFlight, unsigned MaxQueued);
+  ~FairScheduler();
+
+  FairScheduler(const FairScheduler &) = delete;
+  FairScheduler &operator=(const FairScheduler &) = delete;
+
+  /// Registers a session queue under \p Id (caller-chosen, unique).
+  void addSession(uint64_t Id);
+  /// Flushes then removes the session queue. In-flight launches may still
+  /// retire afterwards; late onLaunchRetired calls are ignored.
+  void removeSession(uint64_t Id);
+
+  /// Appends an op to the session's queue. \p Submit runs on the dispatcher
+  /// thread and must only *enqueue* stream work (never wait for it).
+  /// Launch ops (\p IsLaunch) are admission-controlled. Blocks while the
+  /// session's backlog is at MaxQueued. Returns false (op dropped, Submit
+  /// never runs) when the session is unknown or the scheduler is stopping —
+  /// callers waiting on a completion the op would deliver must check.
+  bool enqueue(uint64_t Id, bool IsLaunch, std::function<void()> Submit);
+
+  /// Retires one launch of session \p Id (called from the stream-ordered
+  /// completion callback); may admit that session's next queued launch.
+  void onLaunchRetired(uint64_t Id);
+
+  /// Blocks until every op the session enqueued has been *submitted* to its
+  /// stream (not completed — pair with Stream::synchronize for that).
+  void flush(uint64_t Id);
+
+  /// Stops the dispatcher. Queued-but-unsubmitted ops are dropped; callers
+  /// drain sessions first for a graceful stop.
+  void stop();
+
+  struct Stats {
+    uint64_t Dispatched = 0; ///< ops handed to Submit
+    uint64_t Deferred = 0;   ///< head-of-queue launches held back by the window
+  };
+  Stats stats() const;
+
+private:
+  struct SessionQ {
+    std::deque<std::pair<bool, std::function<void()>>> Items;
+    unsigned InFlight = 0;   ///< launches submitted but not retired
+    bool Submitting = false; ///< dispatcher is inside this queue's Submit
+    std::condition_variable CV; ///< backpressure + flush waiters
+  };
+
+  void dispatchLoop();
+
+  const unsigned MaxInFlight;
+  const unsigned MaxQueued;
+
+  mutable std::mutex M;
+  std::condition_variable WorkCV;
+  std::map<uint64_t, std::unique_ptr<SessionQ>> Sessions;
+  std::vector<uint64_t> Order; ///< round-robin rotation, insertion order
+  size_t Cursor = 0;
+  bool Stopping = false;
+  uint64_t Dispatched = 0;
+  uint64_t DeferredCount = 0;
+  std::thread Dispatcher;
+};
+
+/// The daemon (see the file comment). tools/svcd wraps this in a process;
+/// tests and the soak bench embed it in-process.
+class ServeDaemon {
+public:
+  explicit ServeDaemon(ServeOptions Opts);
+  /// Stops (drains) the daemon if still running.
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon &) = delete;
+  ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+  /// Binds the socket and starts the accept loop. Error if the path is
+  /// unbindable (too long, directory missing, address in use by a live
+  /// daemon); a stale socket file from a dead daemon is replaced.
+  Status start();
+
+  /// Graceful drain: stop accepting, wake every session thread, let each
+  /// flush its scheduler queue and synchronize its stream, stop the
+  /// scheduler, then quiesce the process WorkerPool. Idempotent; returns
+  /// once the daemon is fully stopped.
+  void requestStop();
+
+  const ServeOptions &options() const { return Opts; }
+
+  /// Daemon-lifetime counters (diagnostics, svcd --metrics).
+  struct Counters {
+    uint64_t SessionsAccepted = 0;
+    uint64_t SessionsActive = 0;
+    uint64_t FramesServed = 0;   ///< request frames handled
+    uint64_t ProtocolErrors = 0; ///< malformed frames (connection dropped)
+    uint64_t Launches = 0;       ///< launch verbs accepted across sessions
+  };
+  Counters counters() const;
+
+private:
+  struct Session;
+
+  void acceptLoop();
+  void serveSession(std::shared_ptr<Session> S);
+  /// Handles one request frame; false when the session should close.
+  bool handleFrame(Session &S, const Frame &F);
+
+  ServeOptions Opts;
+  FairScheduler Sched;
+
+  mutable std::mutex M;
+  int ListenFd = -1;
+  bool Running = false;
+  bool Stopping = false;
+  uint64_t NextSessionId = 1;
+  std::thread Acceptor;
+  std::vector<std::thread> SessionThreads;
+  std::vector<std::shared_ptr<Session>> ActiveSessions;
+
+  /// Programs dedup'd by SVIR source hash — the cross-tenant sharing point.
+  std::mutex ProgM;
+  std::map<uint64_t, std::shared_ptr<Program>> ProgramsBySource;
+
+  std::atomic<uint64_t> SessionsAccepted{0};
+  std::atomic<uint64_t> FramesServed{0};
+  std::atomic<uint64_t> ProtocolErrors{0};
+  std::atomic<uint64_t> LaunchCount{0};
+};
+
+} // namespace serve
+} // namespace simtvec
+
+#endif // SIMTVEC_SERVE_SERVER_H

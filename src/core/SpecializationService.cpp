@@ -9,6 +9,7 @@
 #include "simtvec/ir/Module.h"
 #include "simtvec/ir/Printer.h"
 #include "simtvec/ir/Verifier.h"
+#include "simtvec/support/Env.h"
 #include "simtvec/support/Format.h"
 #include "simtvec/vm/NativeABI.h"
 #include "simtvec/vm/NativeCodegen.h"
@@ -18,7 +19,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
+
+#include <sys/stat.h>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <stdlib.h> // mkdtemp
@@ -372,6 +376,10 @@ SpecializationOptions SpecializationOptions::fromEnv() {
   if (const char *Dir = std::getenv("SIMTVEC_CACHE_DIR"))
     if (*Dir)
       O.CacheDir = Dir;
+  if (auto V = env::intKnob("SIMTVEC_CACHE_MAX_BYTES", 1,
+                            std::numeric_limits<long long>::max(),
+                            "no cache size cap"))
+    O.CacheMaxBytes = static_cast<uint64_t>(*V);
   return O;
 }
 
@@ -540,6 +548,150 @@ void SpecializationService::storeArtifact(const TranslationCache::Key &K,
   DiskWrites.fetch_add(1, std::memory_order_relaxed);
   RegDiskWrites->fetch_add(1, std::memory_order_relaxed);
   trace::instant("tc.disk_write", "cache", K.WarpSize, "width");
+  governStore();
+}
+
+//===----------------------------------------------------------------------===//
+// CacheGovernor: in-process LRU size cap over the store directory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// (seconds, nanoseconds) timestamp; ordered lexicographically.
+using FileTime = std::pair<int64_t, int64_t>;
+
+struct StoreEntry {
+  std::string Path;
+  std::string Name;
+  uint64_t Bytes = 0;
+  FileTime ATime{};
+  FileTime MTime{};
+};
+
+/// One governor pass, shared between SpecializationService::governStore
+/// and the native-JIT publish job (which must not touch the service).
+/// Evicts only when the store is over cap; every pass that evicts is one
+/// `cache.prune` span and a `cache.prune_runs` increment.
+void runGovernorPass(const std::string &Dir, uint64_t MaxBytes,
+                     const std::shared_ptr<std::atomic<bool>> &Busy) {
+  auto R = SpecializationService::pruneStoreToBytes(
+      Dir, MaxBytes, [](const std::string &Name, uint64_t Bytes) {
+        trace::instant("cache.prune_evict", "cache", Bytes, "bytes");
+        (void)Name;
+      });
+  if (R.Evicted) {
+    auto &Reg = MetricsRegistry::global();
+    Reg.counter("cache.prune_runs").fetch_add(1, std::memory_order_relaxed);
+    Reg.counter("cache.prune_evicted")
+        .fetch_add(R.Evicted, std::memory_order_relaxed);
+    Reg.counter("cache.prune_bytes")
+        .fetch_add(R.BytesFreed, std::memory_order_relaxed);
+  }
+  Busy->store(false, std::memory_order_release);
+}
+
+} // namespace
+
+SpecializationService::PruneResult SpecializationService::pruneStoreToBytes(
+    const std::string &Dir, uint64_t MaxBytes,
+    const std::function<void(const std::string &, uint64_t)> &OnEvict) {
+  namespace fs = std::filesystem;
+  PruneResult Res;
+
+  // Scan first, and capture every timestamp during the scan: recency must
+  // reflect the runtime's own reads/writes, not this pass.
+  std::vector<StoreEntry> Entries;
+  std::error_code EC;
+  for (const auto &DE : fs::directory_iterator(Dir, EC)) {
+    if (!DE.is_regular_file(EC))
+      continue;
+    std::string Ext = DE.path().extension().string();
+    if (Ext != ArtifactExt && Ext != ProfileExt && Ext != NativeExt)
+      continue;
+    StoreEntry E;
+    E.Path = DE.path().string();
+    E.Name = DE.path().filename().string();
+    E.Bytes = DE.file_size(EC);
+    struct stat St;
+    if (::stat(E.Path.c_str(), &St) == 0) {
+      E.ATime = {static_cast<int64_t>(St.st_atim.tv_sec),
+                 static_cast<int64_t>(St.st_atim.tv_nsec)};
+      E.MTime = {static_cast<int64_t>(St.st_mtim.tv_sec),
+                 static_cast<int64_t>(St.st_mtim.tv_nsec)};
+    }
+    Res.StoreBytes += E.Bytes;
+    Entries.push_back(std::move(E));
+  }
+  if (Res.StoreBytes <= MaxBytes)
+    return Res;
+
+  trace::Span S("cache.prune", "cache");
+  S.arg("store_bytes", Res.StoreBytes);
+  S.arg("cap", MaxBytes);
+
+  // Least-recently-USED first (file atime). On mounts that never advance
+  // atimes (noatime, or relatime once atime caught up to mtime) every
+  // atime equals its mtime and the "recency" signal is really the write
+  // clock — detect that (no entry anywhere with atime > mtime) and order
+  // by mtime explicitly, so mtime-LRU is the deliberate fallback rather
+  // than an accident of frozen atimes. Name tie-break keeps eviction
+  // deterministic either way.
+  bool AtimeTracked = false;
+  for (const StoreEntry &E : Entries)
+    AtimeTracked |= E.ATime > E.MTime;
+  std::sort(Entries.begin(), Entries.end(),
+            [AtimeTracked](const StoreEntry &A, const StoreEntry &B) {
+              FileTime TA =
+                  AtimeTracked ? std::max(A.ATime, A.MTime) : A.MTime;
+              FileTime TB =
+                  AtimeTracked ? std::max(B.ATime, B.MTime) : B.MTime;
+              if (TA != TB)
+                return TA < TB;
+              return A.Name < B.Name;
+            });
+  for (const StoreEntry &E : Entries) {
+    if (Res.StoreBytes <= MaxBytes)
+      break;
+    std::error_code RemoveEC;
+    if (!fs::remove(E.Path, RemoveEC))
+      continue; // raced with another pruner, or permission — skip
+    Res.StoreBytes -= E.Bytes;
+    Res.BytesFreed += E.Bytes;
+    ++Res.Evicted;
+    if (OnEvict)
+      OnEvict(E.Name, E.Bytes);
+  }
+  S.arg("evicted", Res.Evicted);
+  return Res;
+}
+
+void SpecializationService::governStore() {
+  if (!persistent() || Opts.CacheMaxBytes == 0)
+    return;
+  // Single-flight: one pass at a time per service. The pass itself decides
+  // whether the store is actually over cap, so a lost race just means the
+  // in-flight pass will see (and account for) this publish too — the next
+  // over-cap publish re-arms it.
+  bool Expected = false;
+  if (!GovernorBusy->compare_exchange_strong(Expected, true,
+                                             std::memory_order_acq_rel))
+    return;
+  auto Busy = GovernorBusy;
+  std::string Dir = Opts.CacheDir;
+  uint64_t Cap = Opts.CacheMaxBytes;
+  auto Pass = [Dir, Cap, Busy] { runGovernorPass(Dir, Cap, Busy); };
+  std::function<void(std::function<void()>)> Submit;
+  {
+    std::lock_guard<std::mutex> G(JitLock);
+    Submit = AsyncSubmit;
+  }
+  // The pool runs detached tasks after every parallel job requesting help,
+  // so a governor pass never preempts launch bodies — the "low priority"
+  // the policy wants.
+  if (Submit)
+    Submit(std::move(Pass));
+  else
+    Pass();
 }
 
 Expected<SpecializationService::ArtifactInfo>
@@ -882,6 +1034,9 @@ void SpecializationService::persistProfile(const std::string &KernelName,
   writeHeader(W, H, ProfileMagic);
   W.raw(Payload.bytes().data(), Payload.size());
   (void)writeFileAtomic(profilePath(KernelName), W.bytes());
+  // Profiles count against SIMTVEC_CACHE_MAX_BYTES like any other store
+  // entry, so every write path arms the governor.
+  governStore();
 }
 
 //===----------------------------------------------------------------------===//
@@ -1054,9 +1209,18 @@ void SpecializationService::requestNative(
     bool Background = false;
     std::shared_ptr<const KernelExec> Exec;
     std::shared_ptr<JitSharedStats> Stats;
+    /// CacheGovernor inputs: a published `.so` can push the store over its
+    /// cap just like an artifact write, and the job cannot call back into
+    /// the (possibly destroyed) service.
+    std::string CacheDir;
+    uint64_t CacheMaxBytes = 0;
+    std::shared_ptr<std::atomic<bool>> GovernorBusy;
   };
   auto J = std::make_shared<JobCtx>();
   J->SoPath = nativeObjectPath(K);
+  J->CacheDir = Opts.CacheDir;
+  J->CacheMaxBytes = Opts.CacheMaxBytes;
+  J->GovernorBusy = GovernorBusy;
   J->ScratchBase = scratchBaseDir(persistent(), Opts.CacheDir);
   J->IncludeDir = jitIncludeDir();
   J->Cxx = TC.Cxx;
@@ -1154,9 +1318,12 @@ void SpecializationService::requestNative(
     // problem just load the scratch copy — the unlink during Cleanup is
     // safe, the mapping stays valid after dlopen.
     std::string LoadPath = SoTmp;
+    bool StoreGrew = false;
     if (J->Persist && !J->SoPath.empty() &&
-        std::rename(SoTmp.c_str(), J->SoPath.c_str()) == 0)
+        std::rename(SoTmp.c_str(), J->SoPath.c_str()) == 0) {
       LoadPath = J->SoPath;
+      StoreGrew = true;
+    }
 
     auto M = NativeModule::loadAndVerify(LoadPath, LayoutFp, J->BuildFp,
                                          J->WarpSize);
@@ -1166,6 +1333,16 @@ void SpecializationService::requestNative(
     }
     Publish(std::move(M));
     Cleanup();
+
+    // The store just grew by one object; give the governor a chance to
+    // re-fit it. Runs after the dlopen (an evicted mapping stays valid)
+    // and inline — this is already a background task.
+    if (StoreGrew && J->CacheMaxBytes) {
+      bool Expected = false;
+      if (J->GovernorBusy->compare_exchange_strong(
+              Expected, true, std::memory_order_acq_rel))
+        runGovernorPass(J->CacheDir, J->CacheMaxBytes, J->GovernorBusy);
+    }
   };
 
   if (Sync) {

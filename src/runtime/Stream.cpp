@@ -238,6 +238,44 @@ bool Stream::idle() const {
   return S->State == StreamState::Drain::Idle && S->Ops.empty();
 }
 
+void Stream::addCallback(std::function<void(const Status &)> Fn) {
+  StreamState &SS = *S;
+  {
+    std::unique_lock<std::mutex> Lock(SS.M);
+    if (SS.Capture) {
+      // Host callbacks have no graph-node representation; trying to record
+      // one is a capture error. Mirror synchronize(): detach and poison the
+      // capture, then run the callback immediately so completion accounting
+      // built on it can never hang on a misused stream.
+      std::shared_ptr<GraphState> G = std::move(SS.Capture);
+      SS.Capture = nullptr;
+      SS.CaptureTail = static_cast<size_t>(-1);
+      SS.PendingWaits.clear();
+      Lock.unlock();
+      Status E = Status::error("addCallback on a capturing stream "
+                               "invalidates the capture");
+      {
+        std::lock_guard<std::mutex> GLock(G->M);
+        --G->ActiveCaptures;
+        if (!G->Err.isError())
+          G->Err = E;
+      }
+      Fn(E);
+      return;
+    }
+  }
+  StreamState *SP = S.get();
+  S->enqueue([SP, Fn = std::move(Fn)]() -> OpOutcome {
+    Status Err = Status::success();
+    {
+      std::lock_guard<std::mutex> Lock(SP->M);
+      Err = SP->Deferred; // snapshot, not cleared: synchronize() owns it
+    }
+    Fn(Err);
+    return OpOutcome::Done;
+  });
+}
+
 void Stream::waitEvent(Event &Ev) {
   if (captureWaitEvent(*S, *Ev.E))
     return; // recorded as a graph edge (or a sticky capture error)

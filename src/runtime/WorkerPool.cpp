@@ -144,6 +144,16 @@ void WorkerPool::submit(std::function<void()> Task) {
   WorkCV.notify_one();
 }
 
+bool WorkerPool::idleLocked() const {
+  return Jobs.empty() && Tasks.empty() && Parked == NumThreads;
+}
+
+void WorkerPool::drain() {
+  trace::Span DrainSpan("pool.drain", "pool");
+  std::unique_lock<std::mutex> Lock(M);
+  IdleCV.wait(Lock, [this] { return idleLocked(); });
+}
+
 WorkerPool::Stats WorkerPool::stats() const {
   std::lock_guard<std::mutex> Lock(M);
   return {JobCount, TaskCount, ParkCount, NumThreads - Parked};
@@ -189,6 +199,8 @@ void WorkerPool::workerMain() {
     ++Parked;
     ++ParkCount;
     noteOccupancy();
+    if (idleLocked())
+      IdleCV.notify_all(); // a drain() may be waiting for full quiescence
     trace::instant("pool.park", "pool", NumThreads - Parked, "busy");
     WorkCV.wait(Lock);
     --Parked;

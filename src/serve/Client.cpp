@@ -1,0 +1,255 @@
+//===- serve/Client.cpp - Serving daemon client -----------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/serve/Client.h"
+
+#include "simtvec/support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtvec;
+using namespace simtvec::serve;
+
+ServeClient::~ServeClient() { close(); }
+
+Status ServeClient::connect(const std::string &SocketPath,
+                            const std::string &ClientName) {
+  if (Fd >= 0)
+    return Status::error("serve: client is already connected");
+
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::error(formatString(
+        "serve: socket path '%s' is empty or longer than %zu bytes",
+        SocketPath.c_str(), sizeof(Addr.sun_path) - 1));
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0)
+    return Status::error(
+        formatString("serve: socket(): %s", std::strerror(errno)));
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status E = Status::error(formatString("serve: connect('%s'): %s",
+                                          SocketPath.c_str(),
+                                          std::strerror(errno)));
+    ::close(S);
+    return E;
+  }
+  Fd = S;
+
+  ByteWriter W;
+  W.u32(ProtocolVersion);
+  W.str(ClientName);
+  auto Reply = roundTrip(MsgType::Hello, W, MsgType::HelloOk);
+  if (!Reply)
+    return Reply.status(); // roundTrip already closed the socket
+
+  ByteReader R(Reply->Payload);
+  uint32_t Version = R.u32();
+  SessionId = R.u64();
+  MaxInFlight = R.u32();
+  DevBytes = R.u64();
+  if (R.failed() || Version != ProtocolVersion) {
+    close();
+    return Status::error("serve: malformed HelloOk from daemon");
+  }
+  return Status::success();
+}
+
+void ServeClient::close() {
+  if (Fd < 0)
+    return;
+  // Best-effort Bye so the daemon logs a polite close; EOF works too.
+  if (!sendFrame(Fd, MsgType::Bye).isError())
+    (void)recvFrame(Fd);
+  ::close(Fd);
+  Fd = -1;
+}
+
+Expected<Frame> ServeClient::roundTrip(MsgType Type, const ByteWriter &W,
+                                       MsgType Expect) {
+  if (Fd < 0)
+    return Status::error("serve: client is not connected");
+  if (Status E = sendFrame(Fd, Type, W); E.isError()) {
+    ::close(Fd);
+    Fd = -1;
+    return E;
+  }
+  auto Reply = recvFrame(Fd);
+  if (!Reply) {
+    ::close(Fd);
+    Fd = -1;
+    return Reply.status();
+  }
+  if (Reply->Type == MsgType::Error) {
+    // Server-attributed rejection: the session survives; surface the
+    // message. (If the server is about to hang up — framing errors,
+    // version mismatch — the *next* round-trip reports the dead socket.)
+    ByteReader R(Reply->Payload);
+    std::string Msg = R.str();
+    return Status::error(R.failed() ? "serve: daemon rejected the request"
+                                    : Msg);
+  }
+  if (Reply->Type != Expect) {
+    ::close(Fd);
+    Fd = -1;
+    return Status::error(formatString(
+        "serve: expected reply type %u, got %u",
+        static_cast<uint32_t>(Expect), static_cast<uint32_t>(Reply->Type)));
+  }
+  return Reply;
+}
+
+Expected<uint64_t> ServeClient::loadProgram(const std::string &Svir) {
+  ByteWriter W;
+  W.str(Svir);
+  auto Reply = roundTrip(MsgType::LoadProgram, W, MsgType::ProgramOk);
+  if (!Reply)
+    return Reply.status();
+  ByteReader R(Reply->Payload);
+  uint64_t Id = R.u64();
+  if (R.failed())
+    return Status::error("serve: malformed ProgramOk");
+  return Id;
+}
+
+Expected<uint64_t> ServeClient::alloc(uint64_t Bytes) {
+  ByteWriter W;
+  W.u64(Bytes);
+  auto Reply = roundTrip(MsgType::Alloc, W, MsgType::AllocOk);
+  if (!Reply)
+    return Reply.status();
+  ByteReader R(Reply->Payload);
+  uint64_t Addr = R.u64();
+  if (R.failed())
+    return Status::error("serve: malformed AllocOk");
+  return Addr;
+}
+
+Status ServeClient::copyIn(uint64_t Dst, const void *Src, size_t N) {
+  const auto *P = static_cast<const uint8_t *>(Src);
+  // Keep whole frames comfortably under the cap (header fields + payload).
+  const size_t Chunk = MaxFrameBytes - 64;
+  while (N) {
+    const size_t This = N < Chunk ? N : Chunk;
+    ByteWriter W;
+    W.u64(Dst);
+    W.u32(static_cast<uint32_t>(This));
+    W.raw(P, This);
+    auto Reply = roundTrip(MsgType::CopyIn, W, MsgType::Ok);
+    if (!Reply)
+      return Reply.status();
+    P += This;
+    Dst += This;
+    N -= This;
+  }
+  return Status::success();
+}
+
+Status ServeClient::copyOut(void *Dst, uint64_t Src, size_t N) {
+  auto *P = static_cast<uint8_t *>(Dst);
+  const size_t Chunk = MaxFrameBytes - 64;
+  while (N) {
+    const size_t This = N < Chunk ? N : Chunk;
+    ByteWriter W;
+    W.u64(Src);
+    W.u64(This);
+    auto Reply = roundTrip(MsgType::CopyOut, W, MsgType::Data);
+    if (!Reply)
+      return Reply.status();
+    if (Reply->Payload.size() != This) {
+      ::close(Fd);
+      Fd = -1;
+      return Status::error(formatString(
+          "serve: CopyOut returned %zu bytes, wanted %zu",
+          Reply->Payload.size(), This));
+    }
+    std::memcpy(P, Reply->Payload.data(), This);
+    P += This;
+    Src += This;
+    N -= This;
+  }
+  return Status::success();
+}
+
+Expected<uint64_t> ServeClient::launch(uint64_t ProgramId,
+                                       const std::string &Kernel, Dim3 Grid,
+                                       Dim3 Block, const Params &P,
+                                       const LaunchOptions &O) {
+  ByteWriter W;
+  W.u64(ProgramId);
+  W.str(Kernel);
+  W.u32(Grid.X);
+  W.u32(Grid.Y);
+  W.u32(Grid.Z);
+  W.u32(Block.X);
+  W.u32(Block.Y);
+  W.u32(Block.Z);
+  W.u8(O.Policy == LaunchOptions::WidthPolicy::Auto ? 1 : 0);
+  W.u32(O.MaxWarpSize);
+  if (!encodeParams(W, P))
+    return Status::error(
+        "serve: launch Params contain a type the wire cannot carry");
+  auto Reply = roundTrip(MsgType::Launch, W, MsgType::LaunchOk);
+  if (!Reply)
+    return Reply.status();
+  ByteReader R(Reply->Payload);
+  uint64_t Seq = R.u64();
+  if (R.failed())
+    return Status::error("serve: malformed LaunchOk");
+  return Seq;
+}
+
+Status ServeClient::synchronize() {
+  ByteWriter W;
+  auto Reply = roundTrip(MsgType::Synchronize, W, MsgType::SyncOk);
+  if (!Reply)
+    return Reply.status();
+  ByteReader R(Reply->Payload);
+  std::string Deferred = R.str();
+  LaunchesDone = R.u64();
+  if (R.failed())
+    return Status::error("serve: malformed SyncOk");
+  if (!Deferred.empty())
+    return Status::error(Deferred);
+  return Status::success();
+}
+
+Expected<std::vector<std::pair<std::string, uint64_t>>>
+ServeClient::stats() {
+  ByteWriter W;
+  auto Reply = roundTrip(MsgType::Stats, W, MsgType::StatsOk);
+  if (!Reply)
+    return Reply.status();
+  ByteReader R(Reply->Payload);
+  uint32_t N = R.u32();
+  std::vector<std::pair<std::string, uint64_t>> Rows;
+  for (uint32_t I = 0; I < N && !R.failed(); ++I) {
+    std::string Name = R.str();
+    uint64_t Value = R.u64();
+    Rows.emplace_back(std::move(Name), Value);
+  }
+  if (R.failed())
+    return Status::error("serve: malformed StatsOk");
+  return Rows;
+}
+
+Expected<uint64_t> ServeClient::statValue(const std::string &Name) {
+  auto Rows = stats();
+  if (!Rows)
+    return Rows.status();
+  for (const auto &KV : *Rows)
+    if (KV.first == Name)
+      return KV.second;
+  return Status::error(
+      formatString("serve: no stats row named '%s'", Name.c_str()));
+}

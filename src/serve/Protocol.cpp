@@ -1,0 +1,242 @@
+//===- serve/Protocol.cpp - Serving wire protocol --------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/serve/Protocol.h"
+
+#include "simtvec/support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace simtvec;
+using namespace simtvec::serve;
+
+namespace {
+
+void putU32(uint8_t *Out, uint32_t V) {
+  Out[0] = static_cast<uint8_t>(V);
+  Out[1] = static_cast<uint8_t>(V >> 8);
+  Out[2] = static_cast<uint8_t>(V >> 16);
+  Out[3] = static_cast<uint8_t>(V >> 24);
+}
+
+uint32_t getU32(const uint8_t *In) {
+  return static_cast<uint32_t>(In[0]) | (static_cast<uint32_t>(In[1]) << 8) |
+         (static_cast<uint32_t>(In[2]) << 16) |
+         (static_cast<uint32_t>(In[3]) << 24);
+}
+
+/// Writes all \p Len bytes, riding out partial writes and EINTR. MSG_NOSIGNAL
+/// turns a dead peer into EPIPE instead of a process-wide SIGPIPE — a client
+/// that vanishes mid-reply must never take the daemon down.
+Status writeAll(int Fd, const void *Data, size_t Len) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  while (Len) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(
+          formatString("serve: send failed: %s", std::strerror(errno)));
+    }
+    P += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return Status::success();
+}
+
+/// Reads exactly \p Len bytes. \p SawEof reports a clean close at offset 0
+/// (between frames); a close mid-buffer is a truncation error.
+Status readAll(int Fd, void *Data, size_t Len, bool *SawEof) {
+  auto *P = static_cast<uint8_t *>(Data);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Status::error(
+          formatString("serve: recv failed: %s", std::strerror(errno)));
+    }
+    if (N == 0) {
+      if (Got == 0 && SawEof)
+        *SawEof = true;
+      return Status::error(Got == 0
+                               ? "serve: connection closed"
+                               : "serve: connection closed mid-frame");
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return Status::success();
+}
+
+} // namespace
+
+namespace simtvec {
+namespace serve {
+
+void encodeFrameHeader(uint8_t Out[FrameHeaderBytes], MsgType Type,
+                       uint32_t Len) {
+  putU32(Out, ProtocolMagic);
+  putU32(Out + 4, static_cast<uint32_t>(Type));
+  putU32(Out + 8, Len);
+}
+
+bool decodeFrameHeader(const uint8_t In[FrameHeaderBytes], uint32_t &Type,
+                       uint32_t &Len) {
+  uint32_t Magic = getU32(In);
+  Type = getU32(In + 4);
+  Len = getU32(In + 8);
+  return Magic == ProtocolMagic;
+}
+
+Status sendFrame(int Fd, MsgType Type, const void *Payload, size_t Len) {
+  if (Len > MaxFrameBytes)
+    return Status::error(formatString(
+        "serve: refusing to send %zu-byte frame (max %u)", Len,
+        MaxFrameBytes));
+  uint8_t Header[FrameHeaderBytes];
+  encodeFrameHeader(Header, Type, static_cast<uint32_t>(Len));
+  if (Status E = writeAll(Fd, Header, sizeof(Header)); E.isError())
+    return E;
+  if (Len)
+    return writeAll(Fd, Payload, Len);
+  return Status::success();
+}
+
+Expected<Frame> recvFrame(int Fd, bool *AtEof) {
+  if (AtEof)
+    *AtEof = false;
+  uint8_t Header[FrameHeaderBytes];
+  if (Status E = readAll(Fd, Header, sizeof(Header), AtEof); E.isError())
+    return E;
+  uint32_t Type = 0, Len = 0;
+  if (!decodeFrameHeader(Header, Type, Len))
+    return Status::error(formatString(
+        "serve: bad frame magic 0x%08x (not a simtvec serve peer?)",
+        getU32(Header)));
+  if (Len > MaxFrameBytes)
+    return Status::error(formatString(
+        "serve: frame length %u exceeds the %u-byte cap", Len,
+        MaxFrameBytes));
+  Frame F;
+  F.Type = static_cast<MsgType>(Type);
+  F.Payload.resize(Len);
+  if (Len)
+    if (Status E = readAll(Fd, F.Payload.data(), Len, nullptr); E.isError())
+      return E;
+  return F;
+}
+
+Status sendError(int Fd, const std::string &Message) {
+  ByteWriter W;
+  W.str(Message);
+  return sendFrame(Fd, MsgType::Error, W);
+}
+
+bool encodeParams(ByteWriter &W, const Params &P) {
+  const auto &Elems = P.elements();
+  const auto &Bytes = P.bytes();
+  W.u32(static_cast<uint32_t>(Elems.size()));
+  for (const Params::Element &E : Elems) {
+    uint8_t Code;
+    uint64_t Bits = 0;
+    const std::byte *Src = Bytes.data() + E.Offset;
+    switch (E.Ty.kind()) {
+    case ScalarKind::U32: {
+      Code = 0;
+      uint32_t V;
+      std::memcpy(&V, Src, sizeof(V));
+      Bits = V;
+      break;
+    }
+    case ScalarKind::S32: {
+      Code = 1;
+      uint32_t V;
+      std::memcpy(&V, Src, sizeof(V));
+      Bits = V;
+      break;
+    }
+    case ScalarKind::U64:
+      Code = 2;
+      std::memcpy(&Bits, Src, sizeof(Bits));
+      break;
+    case ScalarKind::S64:
+      Code = 3;
+      std::memcpy(&Bits, Src, sizeof(Bits));
+      break;
+    case ScalarKind::F32: {
+      Code = 4;
+      uint32_t V;
+      std::memcpy(&V, Src, sizeof(V));
+      Bits = V;
+      break;
+    }
+    case ScalarKind::F64:
+      Code = 5;
+      std::memcpy(&Bits, Src, sizeof(Bits));
+      break;
+    default:
+      return false; // Pred/U8/vector elements never appear in Params
+    }
+    if (E.Ty.lanes() != 1)
+      return false;
+    W.u8(Code);
+    W.u64(Bits);
+  }
+  return true;
+}
+
+bool decodeParams(ByteReader &R, Params &P) {
+  uint32_t N = R.u32();
+  // A count an attacker inflates past the payload fails the per-element
+  // reads below (the reader latches), but bound it anyway so a hostile
+  // frame cannot make this loop spin 4 billion times.
+  if (N > MaxFrameBytes / 9)
+    return false;
+  for (uint32_t I = 0; I < N; ++I) {
+    uint8_t Code = R.u8();
+    uint64_t Bits = R.u64();
+    if (R.failed())
+      return false;
+    switch (Code) {
+    case 0:
+      P.u32(static_cast<uint32_t>(Bits));
+      break;
+    case 1:
+      P.s32(static_cast<int32_t>(static_cast<uint32_t>(Bits)));
+      break;
+    case 2:
+      P.u64(Bits);
+      break;
+    case 3:
+      P.s64(static_cast<int64_t>(Bits));
+      break;
+    case 4: {
+      uint32_t V = static_cast<uint32_t>(Bits);
+      float F;
+      std::memcpy(&F, &V, sizeof(F));
+      P.f32(F);
+      break;
+    }
+    case 5: {
+      double D;
+      std::memcpy(&D, &Bits, sizeof(D));
+      P.f64(D);
+      break;
+    }
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace serve
+} // namespace simtvec

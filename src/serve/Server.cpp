@@ -1,0 +1,647 @@
+//===- serve/Server.cpp - Multi-tenant serving daemon ----------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Threading model:
+//  - one acceptor thread (acceptLoop);
+//  - one connection thread per session (serveSession) — the only thread
+//    that reads from or writes to that session's socket;
+//  - one FairScheduler dispatcher thread, which performs every stream
+//    submission for every session (so admission control and round-robin
+//    ordering are decided in one place);
+//  - the process WorkerPool, which drains the streams and runs the
+//    launches themselves.
+//
+// A session's connection thread never touches another session's state, and
+// cross-session state (the program registry, daemon counters) is mutex- or
+// atomic-guarded. Replies are written only from the connection thread:
+// fire-and-forget verbs (CopyIn, Launch) reply as soon as the op is
+// queued, CopyOut parks the connection thread on a promise the stream
+// fulfils, and Synchronize flushes the scheduler queue before helping
+// drain the stream.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/serve/Server.h"
+
+#include "simtvec/runtime/WorkerPool.h"
+#include "simtvec/support/Format.h"
+#include "simtvec/support/Trace.h"
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtvec;
+using namespace simtvec::serve;
+
+//===----------------------------------------------------------------------===//
+// FairScheduler
+//===----------------------------------------------------------------------===//
+
+FairScheduler::FairScheduler(unsigned MaxInFlight, unsigned MaxQueued)
+    : MaxInFlight(MaxInFlight ? MaxInFlight : 1),
+      MaxQueued(MaxQueued ? MaxQueued : 1) {
+  Dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+FairScheduler::~FairScheduler() { stop(); }
+
+void FairScheduler::addSession(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  Sessions.emplace(Id, std::make_unique<SessionQ>());
+  Order.push_back(Id);
+}
+
+void FairScheduler::removeSession(uint64_t Id) {
+  flush(Id);
+  std::lock_guard<std::mutex> Lock(M);
+  Sessions.erase(Id);
+  for (size_t I = 0; I < Order.size(); ++I) {
+    if (Order[I] == Id) {
+      Order.erase(Order.begin() + static_cast<ptrdiff_t>(I));
+      if (Cursor > I)
+        --Cursor;
+      break;
+    }
+  }
+  if (!Order.empty())
+    Cursor %= Order.size();
+  else
+    Cursor = 0;
+}
+
+bool FairScheduler::enqueue(uint64_t Id, bool IsLaunch,
+                            std::function<void()> Submit) {
+  std::unique_lock<std::mutex> Lock(M);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end() || Stopping)
+    return false; // session already gone / scheduler stopping: dropped
+  SessionQ &Q = *It->second;
+  // Backpressure: the tenant's own connection thread waits here, so a
+  // flooding client throttles itself without consuming daemon memory.
+  Q.CV.wait(Lock, [&] { return Q.Items.size() < MaxQueued || Stopping; });
+  if (Stopping)
+    return false;
+  Q.Items.emplace_back(IsLaunch, std::move(Submit));
+  WorkCV.notify_one();
+  return true;
+}
+
+void FairScheduler::onLaunchRetired(uint64_t Id) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return; // session removed with launches still in flight
+  SessionQ &Q = *It->second;
+  if (Q.InFlight)
+    --Q.InFlight;
+  WorkCV.notify_one(); // the freed window slot may admit a queued launch
+}
+
+void FairScheduler::flush(uint64_t Id) {
+  std::unique_lock<std::mutex> Lock(M);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return;
+  SessionQ &Q = *It->second;
+  // Wait out an in-progress Submit too: removeSession destroys the queue
+  // right after flush, and the dispatcher still holds a reference while
+  // Submitting is set.
+  Q.CV.wait(Lock,
+            [&] { return (Q.Items.empty() && !Q.Submitting) || Stopping; });
+}
+
+void FairScheduler::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Stopping)
+      return;
+    Stopping = true;
+    for (auto &KV : Sessions)
+      KV.second->CV.notify_all();
+  }
+  WorkCV.notify_all();
+  if (Dispatcher.joinable())
+    Dispatcher.join();
+}
+
+FairScheduler::Stats FairScheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return {Dispatched, DeferredCount};
+}
+
+void FairScheduler::dispatchLoop() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (!Stopping) {
+    // One rotation: visit every session once starting at the cursor,
+    // submitting at most one op each — a deep backlog in one session
+    // cannot delay another session's head op by more than one submission.
+    bool Progress = false;
+    const size_t N = Order.size();
+    for (size_t Step = 0; Step < N; ++Step) {
+      const size_t Slot = (Cursor + Step) % N;
+      auto It = Sessions.find(Order[Slot]);
+      if (It == Sessions.end())
+        continue;
+      SessionQ &Q = *It->second;
+      if (Q.Items.empty())
+        continue;
+      auto &[IsLaunch, Submit] = Q.Items.front();
+      if (IsLaunch && Q.InFlight >= MaxInFlight) {
+        ++DeferredCount; // admission control held this one back
+        continue;
+      }
+      std::function<void()> Run = std::move(Submit);
+      if (IsLaunch)
+        ++Q.InFlight;
+      Q.Items.pop_front();
+      ++Dispatched;
+      Q.Submitting = true; // keeps removeSession from freeing Q under us
+      // Submit with the lock dropped: it enqueues stream ops (cheap but
+      // takes the stream mutex) and must not serialize against enqueue().
+      Lock.unlock();
+      Run();
+      Lock.lock();
+      Q.Submitting = false;
+      Q.CV.notify_all(); // backpressure / flush waiters
+      Progress = true;
+      Cursor = (Slot + 1) % N;
+      break; // restart the rotation: sessions may have come or gone
+    }
+    if (!Progress && !Stopping)
+      WorkCV.wait(Lock);
+  }
+  // Unblock any flush()/enqueue() waiters observing Stopping.
+  for (auto &KV : Sessions)
+    KV.second->CV.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// ServeDaemon::Session
+//===----------------------------------------------------------------------===//
+
+struct ServeDaemon::Session {
+  uint64_t Id = 0;
+  int Fd = -1;
+  std::string ClientName;
+  bool SaidHello = false;
+
+  // Dev before Strm: the stream synchronizes (and so releases every op
+  // referencing the arena) before the arena dies.
+  Device Dev;
+  Stream Strm;
+
+  /// Program ids this session was granted (LoadProgram replies); launches
+  /// resolve only through here, so a tenant cannot guess another tenant's
+  /// handles into its own session.
+  std::map<uint64_t, std::shared_ptr<Program>> Programs;
+
+  std::atomic<uint64_t> LaunchesSubmitted{0};
+  std::atomic<uint64_t> LaunchesCompleted{0};
+  std::atomic<uint64_t> BytesIn{0};
+  std::atomic<uint64_t> BytesOut{0};
+
+  explicit Session(size_t DeviceBytes) : Dev(DeviceBytes) {}
+};
+
+//===----------------------------------------------------------------------===//
+// ServeDaemon
+//===----------------------------------------------------------------------===//
+
+ServeDaemon::ServeDaemon(ServeOptions O)
+    : Opts(std::move(O)), Sched(Opts.MaxInFlight, Opts.MaxQueued) {}
+
+ServeDaemon::~ServeDaemon() { requestStop(); }
+
+Status ServeDaemon::start() {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path))
+    return Status::error(formatString(
+        "serve: socket path '%s' is empty or longer than %zu bytes",
+        Opts.SocketPath.c_str(), sizeof(Addr.sun_path) - 1));
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Status::error(
+        formatString("serve: socket(): %s", std::strerror(errno)));
+
+  // Replace a stale socket file from a dead daemon; a *live* daemon still
+  // holds its listen fd, and connect() would have succeeded — kick the
+  // decision to connect(): if someone answers, the address is taken.
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+      0) {
+    ::close(Fd);
+    return Status::error(formatString(
+        "serve: '%s' already has a live daemon", Opts.SocketPath.c_str()));
+  }
+  ::unlink(Opts.SocketPath.c_str());
+
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Status E = Status::error(formatString("serve: bind('%s'): %s",
+                                          Opts.SocketPath.c_str(),
+                                          std::strerror(errno)));
+    ::close(Fd);
+    return E;
+  }
+  if (::listen(Fd, 64) != 0) {
+    Status E = Status::error(
+        formatString("serve: listen(): %s", std::strerror(errno)));
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return E;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ListenFd = Fd;
+    Running = true;
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+  trace::instant("serve.start", "serve");
+  return Status::success();
+}
+
+void ServeDaemon::acceptLoop() {
+  for (;;) {
+    int LFd;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Stopping)
+        return;
+      LFd = ListenFd;
+    }
+    int Fd = ::accept(LFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // requestStop closed the listen fd out from under us (or something
+      // fatal happened to it); either way accepting is over.
+      return;
+    }
+    auto S = std::make_shared<Session>(Opts.DeviceBytes);
+    S->Fd = Fd;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Stopping) {
+        ::close(Fd);
+        return;
+      }
+      S->Id = NextSessionId++;
+      ActiveSessions.push_back(S);
+      SessionThreads.emplace_back([this, S] { serveSession(S); });
+    }
+    SessionsAccepted.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().add("serve.sessions", 1);
+  }
+}
+
+void ServeDaemon::serveSession(std::shared_ptr<Session> S) {
+  trace::Span SessSpan("serve.session", "serve");
+  SessSpan.arg("session", S->Id);
+  Sched.addSession(S->Id);
+
+  for (;;) {
+    bool AtEof = false;
+    auto F = recvFrame(S->Fd, &AtEof);
+    if (!F) {
+      if (!AtEof) {
+        // Garbage framing: tell the peer why (best-effort) and hang up.
+        ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+        MetricsRegistry::global().add("serve.protocol_errors", 1);
+        (void)sendError(S->Fd, F.status().message());
+      }
+      break;
+    }
+    FramesServed.fetch_add(1, std::memory_order_relaxed);
+    if (!handleFrame(*S, *F))
+      break;
+  }
+
+  // Drain the session: every queued op submitted, every submitted op
+  // complete — only then may the Device arena and the Stream die.
+  Sched.flush(S->Id);
+  (void)S->Strm.synchronize();
+  Sched.removeSession(S->Id);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    // Close under the daemon mutex: requestStop reads S->Fd under M to
+    // shutdown() lingering sessions, and must never race a concurrent
+    // close/reuse of the descriptor.
+    ::close(S->Fd);
+    S->Fd = -1;
+    for (size_t I = 0; I < ActiveSessions.size(); ++I) {
+      if (ActiveSessions[I].get() == S.get()) {
+        ActiveSessions[I] = ActiveSessions.back();
+        ActiveSessions.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool ServeDaemon::handleFrame(Session &S, const Frame &F) {
+  ByteReader R(F.Payload);
+  auto Reject = [&](const std::string &Msg) {
+    // Client-attributable mistake: report it, keep the session.
+    return !sendError(S.Fd, Msg).isError();
+  };
+  auto Malformed = [&](const char *Verb) {
+    // Structurally bad payload: report and close (framing is suspect).
+    ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().add("serve.protocol_errors", 1);
+    (void)sendError(S.Fd, formatString("serve: malformed %s payload", Verb));
+    return false;
+  };
+
+  if (!S.SaidHello && F.Type != MsgType::Hello) {
+    (void)sendError(S.Fd, "serve: expected Hello as the first frame");
+    return false;
+  }
+
+  switch (F.Type) {
+  case MsgType::Hello: {
+    uint32_t Version = R.u32();
+    std::string Name = R.str();
+    if (R.failed() || !R.exhausted())
+      return Malformed("Hello");
+    if (Version != ProtocolVersion) {
+      (void)sendError(
+          S.Fd, formatString("serve: protocol version %u, server speaks %u",
+                             Version, ProtocolVersion));
+      return false;
+    }
+    S.SaidHello = true;
+    S.ClientName = Name.substr(0, 256);
+    ByteWriter W;
+    W.u32(ProtocolVersion);
+    W.u64(S.Id);
+    W.u32(Opts.MaxInFlight);
+    W.u64(Opts.DeviceBytes);
+    return !sendFrame(S.Fd, MsgType::HelloOk, W).isError();
+  }
+
+  case MsgType::LoadProgram: {
+    std::string Svir = R.str();
+    if (R.failed() || !R.exhausted())
+      return Malformed("LoadProgram");
+    const uint64_t SrcHash = fnv1a64(Svir);
+    std::shared_ptr<Program> Prog;
+    {
+      // One compile per distinct source across every tenant: the registry
+      // lookup is the moment two sessions start sharing a TranslationCache
+      // and the warm artifact store behind it.
+      std::lock_guard<std::mutex> Lock(ProgM);
+      auto It = ProgramsBySource.find(SrcHash);
+      if (It != ProgramsBySource.end())
+        Prog = It->second;
+    }
+    if (!Prog) {
+      auto Compiled = Program::compile(Svir, Opts.Machine, Opts.Spec);
+      if (!Compiled)
+        return Reject(formatString("serve: program rejected: %s",
+                                   Compiled.status().message().c_str()));
+      Prog = std::shared_ptr<Program>(std::move(Compiled.take()));
+      std::lock_guard<std::mutex> Lock(ProgM);
+      auto [It, Inserted] = ProgramsBySource.emplace(SrcHash, Prog);
+      if (!Inserted)
+        Prog = It->second; // another tenant won the compile race
+    }
+    S.Programs[SrcHash] = Prog;
+    ByteWriter W;
+    W.u64(SrcHash);
+    return !sendFrame(S.Fd, MsgType::ProgramOk, W).isError();
+  }
+
+  case MsgType::Alloc: {
+    uint64_t Bytes = R.u64();
+    if (R.failed() || !R.exhausted())
+      return Malformed("Alloc");
+    auto Addr = S.Dev.tryAlloc(Bytes);
+    if (!Addr)
+      return Reject(Addr.status().message());
+    ByteWriter W;
+    W.u64(*Addr);
+    return !sendFrame(S.Fd, MsgType::AllocOk, W).isError();
+  }
+
+  case MsgType::CopyIn: {
+    uint64_t Dst = R.u64();
+    uint32_t N = R.u32();
+    if (R.failed() || R.remaining() != N)
+      return Malformed("CopyIn");
+    if (Dst > S.Dev.size() || N > S.Dev.size() - Dst)
+      return Reject(formatString(
+          "serve: CopyIn [%llu, +%u) outside the %zu-byte arena",
+          static_cast<unsigned long long>(Dst), N, S.Dev.size()));
+    // Stream-ordered: the buffer (one heap copy of the frame tail) stays
+    // alive inside the op closure until the copy has run.
+    auto Buf = std::make_shared<std::vector<uint8_t>>(
+        F.Payload.end() - static_cast<ptrdiff_t>(N), F.Payload.end());
+    if (!Sched.enqueue(S.Id, /*IsLaunch=*/false, [&S, Dst, N, Buf] {
+          S.Dev.copyToDeviceAsync(S.Strm, Dst, Buf->data(), N);
+          S.Strm.addCallback([Buf](const Status &) {});
+        }))
+      return Reject("serve: daemon is shutting down");
+    S.BytesIn.fetch_add(N, std::memory_order_relaxed);
+    MetricsRegistry::global().add("serve.bytes_in", N);
+    return !sendFrame(S.Fd, MsgType::Ok).isError();
+  }
+
+  case MsgType::CopyOut: {
+    uint64_t Src = R.u64();
+    uint64_t N = R.u64();
+    if (R.failed() || !R.exhausted())
+      return Malformed("CopyOut");
+    if (N > MaxFrameBytes)
+      return Reject(formatString(
+          "serve: CopyOut of %llu bytes exceeds the %u-byte frame cap",
+          static_cast<unsigned long long>(N), MaxFrameBytes));
+    if (Src > S.Dev.size() || N > S.Dev.size() - Src)
+      return Reject(formatString(
+          "serve: CopyOut [%llu, +%llu) outside the %zu-byte arena",
+          static_cast<unsigned long long>(Src),
+          static_cast<unsigned long long>(N), S.Dev.size()));
+    auto Buf = std::make_shared<std::vector<uint8_t>>(N);
+    auto Done = std::make_shared<std::promise<void>>();
+    std::future<void> Ready = Done->get_future();
+    if (!Sched.enqueue(S.Id, /*IsLaunch=*/false, [&S, Src, N, Buf, Done] {
+          S.Dev.copyFromDeviceAsync(S.Strm, Buf->data(), Src, N);
+          S.Strm.addCallback(
+              [Buf, Done](const Status &) { Done->set_value(); });
+        }))
+      return Reject("serve: daemon is shutting down");
+    // Stream-ordered read-back: every op this session submitted before the
+    // CopyOut has completed by the time the callback fulfils the promise.
+    Ready.wait();
+    S.BytesOut.fetch_add(N, std::memory_order_relaxed);
+    MetricsRegistry::global().add("serve.bytes_out", N);
+    return !sendFrame(S.Fd, MsgType::Data, Buf->data(), Buf->size())
+                .isError();
+  }
+
+  case MsgType::Launch: {
+    uint64_t ProgId = R.u64();
+    std::string Kernel = R.str();
+    Dim3 Grid{R.u32(), R.u32(), R.u32()};
+    Dim3 Block{R.u32(), R.u32(), R.u32()};
+    uint8_t WidthAuto = R.u8();
+    uint32_t MaxWarp = R.u32();
+    auto P = std::make_shared<Params>();
+    if (!decodeParams(R, *P) || R.failed() || !R.exhausted())
+      return Malformed("Launch");
+    auto It = S.Programs.find(ProgId);
+    if (It == S.Programs.end())
+      return Reject(formatString("serve: unknown program id %016llx",
+                                 static_cast<unsigned long long>(ProgId)));
+    std::shared_ptr<Program> Prog = It->second;
+    LaunchOptions O;
+    O.Policy = WidthAuto ? LaunchOptions::WidthPolicy::Auto
+                         : LaunchOptions::WidthPolicy::Fixed;
+    if (!WidthAuto)
+      O.MaxWarpSize = MaxWarp;
+    const uint64_t Seq =
+        S.LaunchesSubmitted.fetch_add(1, std::memory_order_relaxed) + 1;
+    LaunchCount.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().add("serve.launches", 1);
+    FairScheduler *Sch = &Sched;
+    const uint64_t Sid = S.Id;
+    Session *SP = &S;
+    if (!Sched.enqueue(
+            S.Id, /*IsLaunch=*/true,
+            [SP, Sch, Sid, Prog, Kernel, Grid, Block, P, O] {
+              // A submission-time rejection (bad params, bad width) still
+              // lands in the stream's deferred error, so the tenant sees
+              // it at its next Synchronize; the callback below retires the
+              // window slot either way — launchAsync never enqueues for
+              // rejected launches, making the callback the very next
+              // stream op.
+              (void)Prog->launchAsync(SP->Strm, SP->Dev, Kernel, Grid,
+                                      Block, *P, O);
+              SP->Strm.addCallback([SP, Sch, Sid](const Status &) {
+                SP->LaunchesCompleted.fetch_add(1,
+                                                std::memory_order_relaxed);
+                Sch->onLaunchRetired(Sid);
+              });
+            }))
+      return Reject("serve: daemon is shutting down");
+    ByteWriter W;
+    W.u64(Seq);
+    return !sendFrame(S.Fd, MsgType::LaunchOk, W).isError();
+  }
+
+  case MsgType::Synchronize: {
+    if (!R.exhausted())
+      return Malformed("Synchronize");
+    Sched.flush(S.Id); // every queued op is in the stream...
+    Status E = S.Strm.synchronize(); // ...and the stream is drained
+    ByteWriter W;
+    W.str(E.isError() ? E.message() : std::string());
+    W.u64(S.LaunchesCompleted.load(std::memory_order_relaxed));
+    return !sendFrame(S.Fd, MsgType::SyncOk, W).isError();
+  }
+
+  case MsgType::Stats: {
+    if (!R.exhausted())
+      return Malformed("Stats");
+    ByteWriter W;
+    std::vector<std::pair<std::string, uint64_t>> Rows;
+    Rows.emplace_back("session.launches",
+                      S.LaunchesSubmitted.load(std::memory_order_relaxed));
+    Rows.emplace_back("session.launches_completed",
+                      S.LaunchesCompleted.load(std::memory_order_relaxed));
+    Rows.emplace_back("session.bytes_in",
+                      S.BytesIn.load(std::memory_order_relaxed));
+    Rows.emplace_back("session.bytes_out",
+                      S.BytesOut.load(std::memory_order_relaxed));
+    Rows.emplace_back("session.programs", S.Programs.size());
+    auto Snap = MetricsRegistry::global().snapshot();
+    for (auto &KV : Snap.Counters)
+      Rows.emplace_back(KV.first, KV.second);
+    W.u32(static_cast<uint32_t>(Rows.size()));
+    for (auto &KV : Rows) {
+      W.str(KV.first);
+      W.u64(KV.second);
+    }
+    return !sendFrame(S.Fd, MsgType::StatsOk, W).isError();
+  }
+
+  case MsgType::Bye: {
+    (void)sendFrame(S.Fd, MsgType::Ok);
+    return false;
+  }
+
+  default:
+    ProtocolErrors.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().add("serve.protocol_errors", 1);
+    (void)sendError(S.Fd, formatString("serve: unknown message type %u",
+                                       static_cast<uint32_t>(F.Type)));
+    return false;
+  }
+}
+
+void ServeDaemon::requestStop() {
+  std::thread AcceptorToJoin;
+  std::vector<std::thread> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Running || Stopping)
+      return;
+    Stopping = true;
+    if (ListenFd >= 0) {
+      // Closing the fd makes the blocked accept() fail and the loop exit
+      // (it re-checks Stopping); shutdown first for portability.
+      ::shutdown(ListenFd, SHUT_RDWR);
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    // Wake session threads blocked in recv: a read-side shutdown delivers
+    // EOF, and each session then drains (flush + synchronize) on its own
+    // thread — this is what makes SIGTERM a drain, not an abort.
+    for (auto &S : ActiveSessions)
+      if (S->Fd >= 0)
+        ::shutdown(S->Fd, SHUT_RD);
+    AcceptorToJoin = std::move(Acceptor);
+    ToJoin = std::move(SessionThreads);
+  }
+  if (AcceptorToJoin.joinable())
+    AcceptorToJoin.join();
+  for (std::thread &T : ToJoin)
+    if (T.joinable())
+      T.join();
+  Sched.stop();
+  // Every session synchronized its stream, but stream drain tasks and
+  // background work (JIT compiles, governor prunes) may still be on pool
+  // threads. Quiesce before the caller returns toward process exit — the
+  // leaked global pool must not tear work down mid-flight.
+  WorkerPool::global().drain();
+  ::unlink(Opts.SocketPath.c_str());
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Running = false;
+  }
+  trace::instant("serve.stop", "serve");
+}
+
+ServeDaemon::Counters ServeDaemon::counters() const {
+  Counters C;
+  C.SessionsAccepted = SessionsAccepted.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    C.SessionsActive = ActiveSessions.size();
+  }
+  C.FramesServed = FramesServed.load(std::memory_order_relaxed);
+  C.ProtocolErrors = ProtocolErrors.load(std::memory_order_relaxed);
+  C.Launches = LaunchCount.load(std::memory_order_relaxed);
+  return C;
+}

@@ -1,0 +1,144 @@
+# Serving gate: the real svcd daemon, end to end. Four daemon lifecycles
+# against one artifact store prove the serving contract the subsystem
+# exists for:
+#
+#   cold    a fresh daemon compiles its tenants' kernels and publishes the
+#           artifacts (tc.compile > 0, tc.disk_write > 0)
+#   warm    a second daemon over the same store serves the same tenants
+#           with ZERO compiles (tc.compile 0, tc.jit_compile 0, disk hits)
+#   capped  a daemon armed with SIMTVEC_CACHE_MAX_BYTES=1 lets the
+#           in-process CacheGovernor prune the store (cache.prune_*
+#           metrics fire, cache_tool stats agrees the store fits the cap)
+#           while every client still exits clean
+#   repair  a daemon over the pruned store recompiles transparently
+#           (tc.compile > 0 again, clients clean)
+#
+# Each lifecycle runs two concurrent client *processes* (serve_soak's
+# hidden --client-child mode), then SIGTERMs the daemon and waits for the
+# graceful drain; the daemon's --metrics dump on stdout is what the
+# assertions read. Protocol-fuzz and session-isolation cases live in the
+# Serve gtest suites — this script is the multi-process operator view.
+
+set(CLIENT_LAUNCHES 8)
+set(CLIENT_ELEMS 256)
+
+# Runs one daemon lifecycle under the environment given in ARGN
+# (VAR=VALUE strings): start svcd, wait for the socket to bind, drive two
+# concurrent client sessions, SIGTERM, wait for the drain. The --metrics
+# dump lands in ${metrics_var}; any client or daemon failure is fatal.
+function(run_daemon tag metrics_var)
+  set(sock ${OUT}.${tag}.sock)
+  file(REMOVE ${sock})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env ${ARGN} sh -c "
+      '${SVCD}' --socket '${sock}' --metrics 2>'${OUT}.${tag}.log' &
+      pid=$!
+      while [ ! -S '${sock}' ]; do
+        kill -0 $pid 2>/dev/null || exit 9
+        sleep 0.1
+      done
+      '${SOAK}' --client-child '${sock}' ${CLIENT_LAUNCHES} ${CLIENT_ELEMS} '${OUT}.${tag}.lat1' &
+      c1=$!
+      '${SOAK}' --client-child '${sock}' ${CLIENT_LAUNCHES} ${CLIENT_ELEMS} '${OUT}.${tag}.lat2' &
+      c2=$!
+      rc=0
+      wait $c1 || rc=3
+      wait $c2 || rc=3
+      kill -TERM $pid
+      wait $pid || rc=4
+      exit $rc"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE mout ERROR_VARIABLE merr)
+  if(NOT rc EQUAL 0)
+    set(daemon_log "<missing>")
+    if(EXISTS ${OUT}.${tag}.log)
+      file(READ ${OUT}.${tag}.log daemon_log)
+    endif()
+    message(FATAL_ERROR "serve_check ${tag}: lifecycle exited ${rc} "
+      "(9=no bind, 3=client failed, 4=daemon failed)\n${merr}\n"
+      "daemon log:\n${daemon_log}")
+  endif()
+  set(${metrics_var} "${mout}" PARENT_SCOPE)
+endfunction()
+
+set(STORE ${OUT}.cache)
+file(REMOVE_RECURSE ${STORE})
+file(MAKE_DIRECTORY ${STORE})
+
+# --- cold: first daemon compiles and publishes ------------------------------
+run_daemon(cold cold_metrics SIMTVEC_CACHE_DIR=${STORE})
+if(NOT cold_metrics MATCHES "tc\\.compile +[1-9]")
+  message(FATAL_ERROR "cold daemon reported no compiles:\n${cold_metrics}")
+endif()
+if(NOT cold_metrics MATCHES "tc\\.disk_write +[1-9]")
+  message(FATAL_ERROR "cold daemon published no artifacts:\n${cold_metrics}")
+endif()
+
+# --- warm: second daemon over the same store compiles NOTHING ---------------
+run_daemon(warm warm_metrics SIMTVEC_CACHE_DIR=${STORE})
+if(NOT warm_metrics MATCHES "tc\\.compile +0")
+  message(FATAL_ERROR "warm daemon compiled (expected tc.compile 0):\n"
+    "${warm_metrics}")
+endif()
+if(warm_metrics MATCHES "tc\\.jit_compile +[1-9]")
+  message(FATAL_ERROR "warm daemon re-ran the native JIT (expected "
+    "tc.jit_compile 0):\n${warm_metrics}")
+endif()
+if(NOT warm_metrics MATCHES "tc\\.disk_hit +[1-9]")
+  message(FATAL_ERROR "warm daemon resolved nothing from disk:\n"
+    "${warm_metrics}")
+endif()
+
+# --- capped: the CacheGovernor prunes in-process ----------------------------
+# A 1-byte cap can never be satisfied by keeping entries, so every publish
+# is followed by a governor pass that evicts the store down to nothing —
+# the strongest form of "prune fires end-to-end" — while the sessions,
+# which run from memory, never see an error (client exits are enforced by
+# run_daemon).
+set(STORE2 ${OUT}.cache_capped)
+file(REMOVE_RECURSE ${STORE2})
+file(MAKE_DIRECTORY ${STORE2})
+run_daemon(capped capped_metrics
+  SIMTVEC_CACHE_DIR=${STORE2} SIMTVEC_CACHE_MAX_BYTES=1)
+if(NOT capped_metrics MATCHES "cache\\.prune_runs +[1-9]")
+  message(FATAL_ERROR "capped daemon never ran the governor:\n"
+    "${capped_metrics}")
+endif()
+if(NOT capped_metrics MATCHES "cache\\.prune_evicted +[1-9]")
+  message(FATAL_ERROR "governor ran but evicted nothing:\n${capped_metrics}")
+endif()
+
+# The store must actually fit the cap once the daemon drained...
+file(GLOB leftover ${STORE2}/*.svca ${STORE2}/*.svcp ${STORE2}/*.so)
+set(total 0)
+foreach(f ${leftover})
+  file(SIZE ${f} sz)
+  math(EXPR total "${total} + ${sz}")
+endforeach()
+if(total GREATER 1)
+  message(FATAL_ERROR "store holds ${total} bytes after the capped run "
+    "(cap 1): ${leftover}")
+endif()
+
+# ...and cache_tool stats must report the configured cap + utilization.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env SIMTVEC_CACHE_MAX_BYTES=1
+    ${CACHE_TOOL} --dir ${STORE2} stats
+  RESULT_VARIABLE rc OUTPUT_VARIABLE stats_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cache_tool stats exited with ${rc}:\n${stats_out}")
+endif()
+if(NOT stats_out MATCHES "cap: 1 bytes \\(SIMTVEC_CACHE_MAX_BYTES\\)")
+  message(FATAL_ERROR "cache_tool stats did not print the configured cap:\n"
+    "${stats_out}")
+endif()
+if(stats_out MATCHES "OVER CAP")
+  message(FATAL_ERROR "cache_tool stats says the governed store is over "
+    "cap:\n${stats_out}")
+endif()
+
+# --- repair: a daemon over the pruned store recompiles transparently --------
+run_daemon(repair repair_metrics
+  SIMTVEC_CACHE_DIR=${STORE2} SIMTVEC_CACHE_MAX_BYTES=1)
+if(NOT repair_metrics MATCHES "tc\\.compile +[1-9]")
+  message(FATAL_ERROR "daemon over the pruned store did not recompile:\n"
+    "${repair_metrics}")
+endif()

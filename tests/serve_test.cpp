@@ -1,0 +1,681 @@
+//===- tests/serve_test.cpp - Multi-tenant serving daemon tests -----------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Serving-daemon coverage, all against an in-process `ServeDaemon` on a
+/// per-test socket:
+///
+///  - concurrent tenant sessions with disjoint outputs reproduce the eager
+///    single-process results bit-identically;
+///  - a session whose launch traps (out-of-bounds access) receives its own
+///    deferred error at Synchronize while a concurrent healthy session
+///    completes cleanly — per-session error isolation;
+///  - protocol fuzz: truncated frames, bad magic, hostile lengths, garbage
+///    payloads and protocol-order violations never crash the daemon; each
+///    is rejected with a descriptive Error frame and the daemon keeps
+///    serving new clients;
+///  - the FairScheduler's admission window and round-robin rotation,
+///    driven directly (no sockets);
+///  - the CacheGovernor keeps a capped artifact store under its byte cap
+///    and publishes cache.prune_* metrics;
+///  - WorkerPool::drain() quiesces the pool and is safe against concurrent
+///    parallelFor/submit traffic (the daemon-shutdown ordering fix).
+///
+/// The Serve* suites run under SIMTVEC_SANITIZE=thread via
+/// tools/tsan_check.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/serve/Client.h"
+#include "simtvec/serve/Server.h"
+
+#include "simtvec/core/SpecializationService.h"
+#include "simtvec/runtime/WorkerPool.h"
+#include "simtvec/support/Format.h"
+#include "simtvec/support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace simtvec;
+using namespace simtvec::serve;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-test socket path, short enough for sun_path.
+std::string tempSocketPath(const char *Tag) {
+  static std::atomic<unsigned> Seq{0};
+  return formatString("/tmp/svt_%d_%s_%u.sock", static_cast<int>(::getpid()),
+                      Tag, Seq.fetch_add(1));
+}
+
+const char *ScaleSrc = R"(
+.kernel scale (.param .u64 buf, .param .u32 n, .param .u32 k)
+{
+  .reg .u32 %i, %n, %v, %k;
+  .reg .u64 %p, %off;
+  .reg .pred %q;
+entry:
+  mov.u32 %i, %tid.x;
+  mov.u32 %n, %ntid.x;
+  mul.u32 %n, %n, %ctaid.x;
+  add.u32 %i, %i, %n;
+  ld.param.u32 %n, [n];
+  setp.ge.u32 %q, %i, %n;
+  @%q bra done, body;
+body:
+  cvt.u64.u32 %off, %i;
+  shl.u64 %off, %off, 2;
+  ld.param.u64 %p, [buf];
+  add.u64 %p, %p, %off;
+  ld.param.u32 %k, [k];
+  ld.global.u32 %v, [%p];
+  mad.u32 %v, %v, %k, 1;
+  st.global.u32 [%p], %v;
+  bra done;
+done:
+  ret;
+}
+)";
+
+/// Faults deterministically: an out-of-bounds global load.
+const char *TrapSrc = R"(
+.kernel boom (.param .u64 out)
+{
+  .reg .u32 %r;
+  .reg .u64 %a, %o;
+entry:
+  mov.u64 %a, 0xFFFFFFF0;
+  ld.global.u32 %r, [%a];
+  ld.param.u64 %o, [out];
+  st.global.u32 [%o], %r;
+  ret;
+}
+)";
+
+/// What one tenant computes, run eagerly in-process: the bit-exact
+/// reference the served session must reproduce.
+std::vector<uint32_t> eagerScaleReference(uint32_t N, uint32_t K,
+                                          uint32_t Salt) {
+  auto Prog = Program::compile(ScaleSrc).take();
+  Device Dev(1 << 20);
+  uint64_t D = Dev.allocArray<uint32_t>(N);
+  std::vector<uint32_t> Host(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Host[I] = I * 3 + Salt;
+  Stream S;
+  Dev.copyToDeviceAsync(S, D, Host.data(), N * sizeof(uint32_t));
+  Params P;
+  P.u64(D).u32(N).u32(K);
+  Prog->launchAsync(S, Dev, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P);
+  Dev.copyFromDeviceAsync(S, Host.data(), D, N * sizeof(uint32_t));
+  EXPECT_FALSE(S.synchronize().isError());
+  return Host;
+}
+
+/// RAII daemon on a temp socket.
+struct DaemonFixture {
+  ServeOptions Opts;
+  std::unique_ptr<ServeDaemon> Daemon;
+  explicit DaemonFixture(const char *Tag, unsigned MaxInFlight = 8) {
+    Opts.SocketPath = tempSocketPath(Tag);
+    Opts.MaxInFlight = MaxInFlight;
+    Opts.DeviceBytes = 1 << 20;
+    Opts.Spec = SpecializationOptions(); // hermetic: no env cache dir
+    Daemon = std::make_unique<ServeDaemon>(Opts);
+    Status E = Daemon->start();
+    EXPECT_FALSE(E.isError()) << E.message();
+  }
+  ~DaemonFixture() {
+    Daemon->requestStop();
+    ::unlink(Opts.SocketPath.c_str());
+  }
+};
+
+TEST(ServeProtocol, ParamsRoundTripBitIdentical) {
+  Params P;
+  P.u64(0x1122334455667788ull)
+      .u32(42)
+      .s32(-7)
+      .f32(1.5f)
+      .f64(-2.25)
+      .s64(-12345678901234ll);
+  ByteWriter W;
+  ASSERT_TRUE(encodeParams(W, P));
+  ByteReader R(W.bytes());
+  Params Q;
+  ASSERT_TRUE(decodeParams(R, Q));
+  EXPECT_TRUE(R.exhausted());
+  ASSERT_EQ(P.bytes().size(), Q.bytes().size());
+  EXPECT_EQ(0, std::memcmp(P.bytes().data(), Q.bytes().data(),
+                           P.bytes().size()));
+  ASSERT_EQ(P.elements().size(), Q.elements().size());
+  for (size_t I = 0; I < P.elements().size(); ++I) {
+    EXPECT_EQ(P.elements()[I].Ty, Q.elements()[I].Ty);
+    EXPECT_EQ(P.elements()[I].Offset, Q.elements()[I].Offset);
+  }
+}
+
+TEST(ServeProtocol, FrameHeaderRejectsBadMagic) {
+  uint8_t H[FrameHeaderBytes];
+  encodeFrameHeader(H, MsgType::Hello, 12);
+  uint32_t Type = 0, Len = 0;
+  EXPECT_TRUE(decodeFrameHeader(H, Type, Len));
+  EXPECT_EQ(Type, static_cast<uint32_t>(MsgType::Hello));
+  EXPECT_EQ(Len, 12u);
+  H[0] ^= 0xFF;
+  EXPECT_FALSE(decodeFrameHeader(H, Type, Len));
+}
+
+TEST(Serve, HandshakeLoadLaunchCopyOut) {
+  DaemonFixture D("basic");
+  ServeClient C;
+  Status E = C.connect(D.Opts.SocketPath, "t0");
+  ASSERT_FALSE(E.isError()) << E.message();
+  EXPECT_NE(C.sessionId(), 0u);
+  EXPECT_EQ(C.deviceBytes(), D.Opts.DeviceBytes);
+
+  auto Prog = C.loadProgram(ScaleSrc);
+  ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.status().message();
+
+  constexpr uint32_t N = 777;
+  auto Addr = C.alloc(N * sizeof(uint32_t));
+  ASSERT_TRUE(static_cast<bool>(Addr)) << Addr.status().message();
+
+  std::vector<uint32_t> In(N), Out(N, 0);
+  for (uint32_t I = 0; I < N; ++I)
+    In[I] = I * 3 + 1;
+  ASSERT_FALSE(C.copyIn(*Addr, In.data(), N * sizeof(uint32_t)).isError());
+
+  Params P;
+  P.u64(*Addr).u32(N).u32(2);
+  auto Seq = C.launch(*Prog, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P);
+  ASSERT_TRUE(static_cast<bool>(Seq)) << Seq.status().message();
+  EXPECT_EQ(*Seq, 1u);
+
+  ASSERT_FALSE(C.copyOut(Out.data(), *Addr, N * sizeof(uint32_t)).isError());
+  std::vector<uint32_t> Ref = eagerScaleReference(N, 2, 1);
+  EXPECT_EQ(0, std::memcmp(Out.data(), Ref.data(), N * sizeof(uint32_t)));
+
+  ASSERT_FALSE(C.synchronize().isError());
+  EXPECT_EQ(C.launchesCompleted(), 1u);
+
+  // Stats surface both session counters and the global registry.
+  auto SV = C.statValue("session.launches");
+  ASSERT_TRUE(static_cast<bool>(SV));
+  EXPECT_EQ(*SV, 1u);
+  C.close();
+}
+
+TEST(Serve, ConcurrentSessionsMatchEagerExecution) {
+  DaemonFixture D("conc");
+  constexpr int Tenants = 4;
+  constexpr uint32_t N = 1024;
+  std::vector<std::thread> Hosts;
+  Hosts.reserve(Tenants);
+  for (int T = 0; T < Tenants; ++T)
+    Hosts.emplace_back([&, T] {
+      const uint32_t Salt = static_cast<uint32_t>(T) * 101 + 5;
+      const uint32_t K = static_cast<uint32_t>(T % 3) + 2;
+      ServeClient C;
+      Status E = C.connect(D.Opts.SocketPath, formatString("tenant%d", T));
+      ASSERT_FALSE(E.isError()) << E.message();
+      auto Prog = C.loadProgram(ScaleSrc);
+      ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.status().message();
+      auto Addr = C.alloc(N * sizeof(uint32_t));
+      ASSERT_TRUE(static_cast<bool>(Addr));
+      std::vector<uint32_t> In(N), Out(N, 0);
+      for (uint32_t I = 0; I < N; ++I)
+        In[I] = I * 3 + Salt;
+      for (int Rep = 0; Rep < 4; ++Rep) {
+        ASSERT_FALSE(
+            C.copyIn(*Addr, In.data(), N * sizeof(uint32_t)).isError());
+        Params P;
+        P.u64(*Addr).u32(N).u32(K);
+        auto Seq =
+            C.launch(*Prog, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P);
+        ASSERT_TRUE(static_cast<bool>(Seq)) << Seq.status().message();
+        ASSERT_FALSE(
+            C.copyOut(Out.data(), *Addr, N * sizeof(uint32_t)).isError());
+        std::vector<uint32_t> Ref = eagerScaleReference(N, K, Salt);
+        ASSERT_EQ(0,
+                  std::memcmp(Out.data(), Ref.data(), N * sizeof(uint32_t)))
+            << "tenant " << T << " rep " << Rep;
+      }
+      Status SE = C.synchronize();
+      EXPECT_FALSE(SE.isError()) << SE.message();
+    });
+  for (std::thread &H : Hosts)
+    H.join();
+  // Every tenant loaded identical source: the daemon compiled one Program.
+  EXPECT_EQ(D.Daemon->counters().SessionsAccepted,
+            static_cast<uint64_t>(Tenants));
+}
+
+TEST(Serve, TrappingSessionIsIsolatedFromHealthyOne) {
+  DaemonFixture D("trap");
+
+  std::atomic<bool> TrapDone{false};
+  std::thread Trapper([&] {
+    ServeClient C;
+    ASSERT_FALSE(C.connect(D.Opts.SocketPath, "trapper").isError());
+    auto Prog = C.loadProgram(TrapSrc);
+    ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.status().message();
+    auto Addr = C.alloc(64);
+    ASSERT_TRUE(static_cast<bool>(Addr));
+    Params P;
+    P.u64(*Addr);
+    auto Seq = C.launch(*Prog, "boom", {1, 1, 1}, {1, 1, 1}, P);
+    ASSERT_TRUE(static_cast<bool>(Seq)); // fire-and-forget: queueing is OK
+    Status E = C.synchronize();          // ...the trap lands here
+    ASSERT_TRUE(E.isError());
+    EXPECT_NE(E.message().find("out-of-bounds"), std::string::npos)
+        << E.message();
+    // Sticky-until-reported, then clear: the session is usable again.
+    EXPECT_FALSE(C.synchronize().isError());
+    TrapDone.store(true);
+  });
+
+  // Healthy tenant runs concurrently and must be untouched by the trap.
+  ServeClient C;
+  ASSERT_FALSE(C.connect(D.Opts.SocketPath, "healthy").isError());
+  auto Prog = C.loadProgram(ScaleSrc);
+  ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.status().message();
+  constexpr uint32_t N = 512;
+  auto Addr = C.alloc(N * sizeof(uint32_t));
+  ASSERT_TRUE(static_cast<bool>(Addr));
+  std::vector<uint32_t> In(N), Out(N, 0);
+  for (uint32_t I = 0; I < N; ++I)
+    In[I] = I * 3 + 9;
+  for (int Rep = 0; Rep < 8; ++Rep) {
+    ASSERT_FALSE(C.copyIn(*Addr, In.data(), N * sizeof(uint32_t)).isError());
+    Params P;
+    P.u64(*Addr).u32(N).u32(3);
+    ASSERT_TRUE(static_cast<bool>(
+        C.launch(*Prog, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P)));
+    ASSERT_FALSE(
+        C.copyOut(Out.data(), *Addr, N * sizeof(uint32_t)).isError());
+  }
+  Status E = C.synchronize();
+  EXPECT_FALSE(E.isError()) << E.message();
+  std::vector<uint32_t> Ref = eagerScaleReference(N, 3, 9);
+  EXPECT_EQ(0, std::memcmp(Out.data(), Ref.data(), N * sizeof(uint32_t)));
+
+  Trapper.join();
+  EXPECT_TRUE(TrapDone.load());
+}
+
+TEST(Serve, RejectedRequestsKeepTheSessionAlive) {
+  DaemonFixture D("reject");
+  ServeClient C;
+  ASSERT_FALSE(C.connect(D.Opts.SocketPath).isError());
+
+  // Unknown program handle.
+  Params Empty;
+  auto Seq = C.launch(0xdeadbeef, "nope", {1, 1, 1}, {1, 1, 1}, Empty);
+  ASSERT_FALSE(static_cast<bool>(Seq));
+  EXPECT_NE(Seq.status().message().find("unknown program"),
+            std::string::npos);
+
+  // Arena exhaustion.
+  auto Big = C.alloc(D.Opts.DeviceBytes * 2);
+  ASSERT_FALSE(static_cast<bool>(Big));
+
+  // Out-of-arena copies, both directions.
+  uint8_t Byte = 0;
+  ASSERT_TRUE(C.copyIn(D.Opts.DeviceBytes + 16, &Byte, 1).isError());
+  ASSERT_TRUE(C.copyOut(&Byte, D.Opts.DeviceBytes + 16, 1).isError());
+
+  // Compile rejection surfaces the parser message.
+  auto BadProg = C.loadProgram(".kernel broken {");
+  ASSERT_FALSE(static_cast<bool>(BadProg));
+
+  // After all of the above the very same session still serves real work.
+  auto Prog = C.loadProgram(ScaleSrc);
+  ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.status().message();
+  constexpr uint32_t N = 64;
+  auto Addr = C.alloc(N * sizeof(uint32_t));
+  ASSERT_TRUE(static_cast<bool>(Addr));
+  std::vector<uint32_t> In(N, 5), Out(N, 0);
+  ASSERT_FALSE(C.copyIn(*Addr, In.data(), N * sizeof(uint32_t)).isError());
+  Params P;
+  P.u64(*Addr).u32(N).u32(2);
+  ASSERT_TRUE(static_cast<bool>(
+      C.launch(*Prog, "scale", {1, 1, 1}, {64, 1, 1}, P)));
+  ASSERT_FALSE(C.copyOut(Out.data(), *Addr, N * sizeof(uint32_t)).isError());
+  for (uint32_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], 11u);
+  EXPECT_FALSE(C.synchronize().isError());
+}
+
+/// Raw-socket helper for the fuzz tests: connect without the client
+/// library so malformed bytes can go on the wire.
+int rawConnect(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  EXPECT_EQ(0,
+            ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)));
+  return Fd;
+}
+
+/// Reads whatever the daemon sends until EOF; returns the raw bytes.
+std::vector<uint8_t> drainToEof(int Fd) {
+  std::vector<uint8_t> All;
+  uint8_t Buf[512];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    All.insert(All.end(), Buf, Buf + N);
+  }
+  return All;
+}
+
+TEST(ServeFuzz, MalformedFramesNeverCrashTheDaemon) {
+  DaemonFixture D("fuzz");
+
+  { // Garbage that is not even a header.
+    int Fd = rawConnect(D.Opts.SocketPath);
+    const char *Junk = "GET / HTTP/1.1\r\n\r\n";
+    ASSERT_GT(::send(Fd, Junk, std::strlen(Junk), MSG_NOSIGNAL), 0);
+    std::vector<uint8_t> Reply = drainToEof(Fd); // Error frame, then close
+    EXPECT_FALSE(Reply.empty());
+    ::close(Fd);
+  }
+
+  { // Valid magic, hostile length (4 GiB-ish): must reject, not allocate.
+    int Fd = rawConnect(D.Opts.SocketPath);
+    uint8_t H[FrameHeaderBytes];
+    encodeFrameHeader(H, MsgType::Hello, 0xFFFFFF00u);
+    ASSERT_GT(::send(Fd, H, sizeof(H), MSG_NOSIGNAL), 0);
+    std::vector<uint8_t> Reply = drainToEof(Fd);
+    EXPECT_FALSE(Reply.empty());
+    ::close(Fd);
+  }
+
+  { // Header promising more payload than is ever sent (truncated frame).
+    int Fd = rawConnect(D.Opts.SocketPath);
+    uint8_t H[FrameHeaderBytes];
+    encodeFrameHeader(H, MsgType::Hello, 64);
+    ASSERT_GT(::send(Fd, H, sizeof(H), MSG_NOSIGNAL), 0);
+    ::shutdown(Fd, SHUT_WR); // close mid-frame
+    (void)drainToEof(Fd);
+    ::close(Fd);
+  }
+
+  { // Correctly framed, but a verb before Hello.
+    int Fd = rawConnect(D.Opts.SocketPath);
+    ByteWriter W;
+    W.u64(64);
+    ASSERT_FALSE(sendFrame(Fd, MsgType::Alloc, W).isError());
+    std::vector<uint8_t> Reply = drainToEof(Fd);
+    EXPECT_FALSE(Reply.empty());
+    ::close(Fd);
+  }
+
+  { // Unknown message type.
+    int Fd = rawConnect(D.Opts.SocketPath);
+    ByteWriter Hello;
+    Hello.u32(ProtocolVersion);
+    Hello.str("fuzz");
+    ASSERT_FALSE(sendFrame(Fd, MsgType::Hello, Hello).isError());
+    auto Ok = recvFrame(Fd);
+    ASSERT_TRUE(static_cast<bool>(Ok));
+    ASSERT_FALSE(
+        sendFrame(Fd, static_cast<MsgType>(777), nullptr, 0).isError());
+    (void)drainToEof(Fd);
+    ::close(Fd);
+  }
+
+  { // Wrong protocol version.
+    int Fd = rawConnect(D.Opts.SocketPath);
+    ByteWriter Hello;
+    Hello.u32(ProtocolVersion + 9);
+    Hello.str("fuzz");
+    ASSERT_FALSE(sendFrame(Fd, MsgType::Hello, Hello).isError());
+    (void)drainToEof(Fd);
+    ::close(Fd);
+  }
+
+  { // Truncated verb payload behind a valid session (Launch cut short).
+    int Fd = rawConnect(D.Opts.SocketPath);
+    ByteWriter Hello;
+    Hello.u32(ProtocolVersion);
+    Hello.str("fuzz");
+    ASSERT_FALSE(sendFrame(Fd, MsgType::Hello, Hello).isError());
+    auto Ok = recvFrame(Fd);
+    ASSERT_TRUE(static_cast<bool>(Ok));
+    ByteWriter Short;
+    Short.u64(1); // Launch wants far more than a program id
+    ASSERT_FALSE(sendFrame(Fd, MsgType::Launch, Short).isError());
+    (void)drainToEof(Fd);
+    ::close(Fd);
+  }
+
+  // The daemon survived all of it and still serves a healthy client.
+  ServeClient C;
+  ASSERT_FALSE(C.connect(D.Opts.SocketPath, "after-fuzz").isError());
+  auto Prog = C.loadProgram(ScaleSrc);
+  ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.status().message();
+  EXPECT_FALSE(C.synchronize().isError());
+  EXPECT_GE(D.Daemon->counters().ProtocolErrors, 4u);
+}
+
+TEST(ServeSched, WindowAdmissionAndRoundRobinRotation) {
+  FairScheduler Sched(/*MaxInFlight=*/1, /*MaxQueued=*/16);
+  Sched.addSession(1);
+  Sched.addSession(2);
+
+  std::mutex M;
+  std::vector<std::pair<uint64_t, int>> Submitted; // (session, op#)
+  auto Submit = [&](uint64_t Sid, int Op) {
+    return [&, Sid, Op] {
+      std::lock_guard<std::mutex> Lock(M);
+      Submitted.emplace_back(Sid, Op);
+    };
+  };
+
+  // Session 1 floods launches; session 2 trickles non-launch ops. With a
+  // window of 1, session 1's second launch must wait for retirement while
+  // session 2's ops keep flowing.
+  ASSERT_TRUE(Sched.enqueue(1, true, Submit(1, 0)));
+  ASSERT_TRUE(Sched.enqueue(1, true, Submit(1, 1)));
+  ASSERT_TRUE(Sched.enqueue(2, false, Submit(2, 0)));
+  ASSERT_TRUE(Sched.enqueue(2, false, Submit(2, 1)));
+  Sched.flush(2); // both of session 2's ops submitted...
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    int S1 = 0, S2 = 0;
+    for (auto &KV : Submitted)
+      (KV.first == 1 ? S1 : S2)++;
+    EXPECT_EQ(S2, 2);
+    EXPECT_EQ(S1, 1) << "window of 1 must hold back the second launch";
+  }
+  Sched.onLaunchRetired(1); // ...which is admitted on retirement
+  Sched.flush(1);
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ASSERT_EQ(Submitted.size(), 4u);
+  }
+  FairScheduler::Stats St = Sched.stats();
+  EXPECT_EQ(St.Dispatched, 4u);
+  EXPECT_GE(St.Deferred, 1u);
+
+  // Unknown sessions and post-removal enqueues are dropped, not crashed.
+  Sched.removeSession(1);
+  EXPECT_FALSE(Sched.enqueue(1, false, [] {}));
+  EXPECT_FALSE(Sched.enqueue(99, false, [] {}));
+  Sched.onLaunchRetired(99); // ignored
+  Sched.removeSession(2);
+  Sched.stop();
+}
+
+TEST(ServeGovernor, CapKeepsStoreUnderByteBudget) {
+  fs::path Dir =
+      fs::temp_directory_path() /
+      formatString("svt_gov_%d_%u", static_cast<int>(::getpid()),
+                   static_cast<unsigned>(
+                       std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+                       0xFFFF));
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+
+  MetricsRegistry::global().reset();
+  SpecializationOptions Spec;
+  Spec.CacheDir = Dir.string();
+  Spec.CacheMaxBytes = 1; // everything the store gains must be pruned away
+
+  // Two distinct programs -> at least two artifact publishes, each leaving
+  // the store over the 1-byte cap, each triggering a governor pass.
+  for (const char *Src : {ScaleSrc, TrapSrc}) {
+    auto Prog = Program::compile(Src, MachineModel{}, Spec).take();
+    Device Dev(1 << 16);
+    uint64_t Addr = Dev.alloc(4096);
+    Params P;
+    if (Src == ScaleSrc) {
+      P.u64(Addr).u32(16).u32(2);
+      (void)Prog->launch(Dev, "scale", {1, 1, 1}, {16, 1, 1}, P, {});
+    } else {
+      P.u64(Addr);
+      (void)Prog->launch(Dev, "boom", {1, 1, 1}, {1, 1, 1}, P, {});
+    }
+  }
+  // Governor passes run as detached pool tasks; quiesce before asserting.
+  WorkerPool::global().drain();
+
+  uint64_t StoreBytes = 0;
+  unsigned Files = 0;
+  for (const auto &DE : fs::directory_iterator(Dir)) {
+    if (!DE.is_regular_file())
+      continue;
+    ++Files;
+    StoreBytes += DE.file_size();
+  }
+  EXPECT_LE(StoreBytes, Spec.CacheMaxBytes)
+      << Files << " files survived the cap";
+
+  auto Snap = MetricsRegistry::global().snapshot();
+  EXPECT_GE(Snap.counterValue("cache.prune_runs"), 1u);
+  EXPECT_GE(Snap.counterValue("cache.prune_evicted"), 1u);
+  EXPECT_GE(Snap.counterValue("cache.prune_bytes"), 1u);
+  fs::remove_all(Dir);
+}
+
+TEST(ServeGovernor, PruneStoreToBytesEvictsOldestFirst) {
+  fs::path Dir = fs::temp_directory_path() /
+                 formatString("svt_lru_%d", static_cast<int>(::getpid()));
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  auto Put = [&](const char *Name, size_t Bytes) {
+    std::ofstream F(Dir / Name, std::ios::binary);
+    std::vector<char> Z(Bytes, 'x');
+    F.write(Z.data(), static_cast<std::streamsize>(Z.size()));
+  };
+  Put("a.svca", 100);
+  Put("b.svca", 100);
+  Put("c.svcp", 100);
+  Put("ignored.txt", 1000); // non-store files are never touched
+
+  std::vector<std::string> Evicted;
+  auto R = SpecializationService::pruneStoreToBytes(
+      Dir.string(), 150,
+      [&](const std::string &Name, uint64_t) { Evicted.push_back(Name); });
+  EXPECT_EQ(R.Evicted, 2u);
+  EXPECT_EQ(R.BytesFreed, 200u);
+  EXPECT_LE(R.StoreBytes, 150u);
+  EXPECT_EQ(Evicted.size(), 2u);
+  EXPECT_TRUE(fs::exists(Dir / "ignored.txt"));
+
+  // Under the cap: a no-op that reports the store size.
+  auto R2 = SpecializationService::pruneStoreToBytes(Dir.string(), 1 << 20);
+  EXPECT_EQ(R2.Evicted, 0u);
+  fs::remove_all(Dir);
+}
+
+TEST(ServePool, DrainQuiescesAgainstConcurrentTraffic) {
+  WorkerPool &Pool = WorkerPool::global();
+
+  // Producer keeps the pool busy with parallel jobs and detached tasks
+  // while another thread drains — the daemon-shutdown race. drain() must
+  // return only at true quiescence and must never tear down running work.
+  std::atomic<uint64_t> Bodies{0}, TasksRun{0};
+  std::thread Producer([&] {
+    for (int Rep = 0; Rep < 50; ++Rep) {
+      Pool.parallelFor(8, [&](unsigned) {
+        Bodies.fetch_add(1, std::memory_order_relaxed);
+      });
+      Pool.submit(
+          [&] { TasksRun.fetch_add(1, std::memory_order_relaxed); });
+    }
+  });
+  for (int I = 0; I < 10; ++I)
+    Pool.drain(); // interleaves with live traffic; must not wedge or race
+  Producer.join();
+  Pool.drain(); // the barrier the daemon relies on at SIGTERM
+
+  // Quiescent: every submitted task ran, every body ran.
+  EXPECT_EQ(Bodies.load(), 50u * 8u);
+  EXPECT_EQ(TasksRun.load(), 50u);
+  // And the pool is still usable afterwards.
+  std::atomic<unsigned> After{0};
+  Pool.parallelFor(4, [&](unsigned) { After.fetch_add(1); });
+  EXPECT_EQ(After.load(), 4u);
+}
+
+TEST(Serve, GracefulStopDrainsActiveSessions) {
+  auto D = std::make_unique<DaemonFixture>("stop");
+  ServeClient C;
+  ASSERT_FALSE(C.connect(D->Opts.SocketPath, "drainee").isError());
+  auto Prog = C.loadProgram(ScaleSrc);
+  ASSERT_TRUE(static_cast<bool>(Prog));
+  constexpr uint32_t N = 4096;
+  auto Addr = C.alloc(N * sizeof(uint32_t));
+  ASSERT_TRUE(static_cast<bool>(Addr));
+  std::vector<uint32_t> In(N, 3);
+  ASSERT_FALSE(C.copyIn(*Addr, In.data(), N * sizeof(uint32_t)).isError());
+  Params P;
+  P.u64(*Addr).u32(N).u32(2);
+  for (int I = 0; I < 16; ++I)
+    ASSERT_TRUE(static_cast<bool>(
+        C.launch(*Prog, "scale", {(N + 63) / 64, 1, 1}, {64, 1, 1}, P)));
+
+  // Stop with launches still in flight: requestStop must drain them (the
+  // session flushes its queue and synchronizes its stream) and return only
+  // once the WorkerPool is quiescent — never abort mid-launch.
+  D->Daemon->requestStop();
+  ServeDaemon::Counters Cnt = D->Daemon->counters();
+  EXPECT_EQ(Cnt.Launches, 16u);
+  EXPECT_EQ(Cnt.SessionsActive, 0u);
+
+  // The socket is unlinked; the client observes a dead peer, not a hang.
+  EXPECT_TRUE(C.synchronize().isError());
+  D.reset();
+}
+
+TEST(Serve, SecondDaemonOnALiveSocketIsRejected) {
+  DaemonFixture D("dup");
+  ServeDaemon Second(D.Opts);
+  Status E = Second.start();
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("live daemon"), std::string::npos);
+}
+
+} // namespace

@@ -22,6 +22,11 @@
 /// for diffing a forced-policy file against an older trajectory, where the
 /// policy is the experiment rather than a configuration to hold fixed.
 ///
+/// Serving trajectories (BENCH_wallclock_serve.json, from bench/
+/// serve_soak) key their mode as "Scale+serve" / "Scale+isolated" and
+/// carry tail-latency fields; when either file has "p99_seconds" cells a
+/// second table diffs the p99 per-launch latency alongside the mean.
+///
 /// Usage: bench_diff [--force] [--strip-branch] OLD.json NEW.json
 ///
 /// The two files must have been measured under the same configuration:
@@ -89,7 +94,8 @@ std::string fieldValue(const std::string &Obj, const char *Key) {
 /// emission, so a keyed scan over the result objects suffices. With
 /// \p StripBranch the branch dimension is collapsed to "-" on every cell.
 bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells,
-                     Header &H, bool StripBranch) {
+                     std::map<CellKey, double> &P99, Header &H,
+                     bool StripBranch) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "bench_diff: cannot open %s\n", Path);
@@ -133,10 +139,16 @@ bool parseTrajectory(const char *Path, std::map<CellKey, double> &Cells,
     if (Workload.empty() || Width.empty() || Workers.empty() ||
         Seconds.empty())
       continue;
-    Cells[{Workload, static_cast<unsigned>(std::strtoul(Width.c_str(),
-                                                        nullptr, 10)),
-           static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr, 10)),
-           Simd, Jit, Branch}] = std::strtod(Seconds.c_str(), nullptr);
+    CellKey Key{Workload,
+                static_cast<unsigned>(std::strtoul(Width.c_str(), nullptr,
+                                                   10)),
+                static_cast<unsigned>(std::strtoul(Workers.c_str(), nullptr,
+                                                   10)),
+                Simd, Jit, Branch};
+    Cells[Key] = std::strtod(Seconds.c_str(), nullptr);
+    // Serving cells carry tail latency; diffed in their own table.
+    if (std::string P99S = fieldValue(Obj, "p99_seconds"); !P99S.empty())
+      P99[Key] = std::strtod(P99S.c_str(), nullptr);
   }
   if (Cells.empty()) {
     std::fprintf(stderr, "bench_diff: %s has no result cells\n", Path);
@@ -185,10 +197,10 @@ int main(int argc, char **argv) {
   }
   const char *OldPath = argv[ArgI];
   const char *NewPath = argv[ArgI + 1];
-  std::map<CellKey, double> Old, New;
+  std::map<CellKey, double> Old, New, OldP99, NewP99;
   Header OldH, NewH;
-  if (!parseTrajectory(OldPath, Old, OldH, StripBranch) ||
-      !parseTrajectory(NewPath, New, NewH, StripBranch))
+  if (!parseTrajectory(OldPath, Old, OldP99, OldH, StripBranch) ||
+      !parseTrajectory(NewPath, New, NewP99, NewH, StripBranch))
     return 1;
 
   // Refuse apples-to-oranges comparisons: a trajectory measured under a
@@ -251,5 +263,30 @@ int main(int argc, char **argv) {
   }
   std::printf("geomean speedup over %u cells: %.3fx\n", Compared,
               std::exp(LogSum / Compared));
+
+  // Tail-latency table for serving trajectories: any cell with a
+  // p99_seconds field diffs its p99 alongside the mean above.
+  if (!OldP99.empty() || !NewP99.empty()) {
+    std::printf("\n%-16s %5s %7s  %12s  %12s  %8s\n", "workload", "width",
+                "workers", "old p99 ms", "new p99 ms", "speedup");
+    for (const auto &[Key, OldMs] : OldP99) {
+      auto It = NewP99.find(Key);
+      if (It == NewP99.end()) {
+        std::printf("%-16s %5u %7u  %12.3f  %12s  %8s\n",
+                    std::get<0>(Key).c_str(), std::get<1>(Key),
+                    std::get<2>(Key), OldMs * 1e3, "-", "-");
+        continue;
+      }
+      std::printf("%-16s %5u %7u  %12.3f  %12.3f  %7.3fx\n",
+                  std::get<0>(Key).c_str(), std::get<1>(Key),
+                  std::get<2>(Key), OldMs * 1e3, It->second * 1e3,
+                  OldMs / It->second);
+    }
+    for (const auto &[Key, NewMs] : NewP99)
+      if (!OldP99.count(Key))
+        std::printf("%-16s %5u %7u  %12s  %12.3f  %8s\n",
+                    std::get<0>(Key).c_str(), std::get<1>(Key),
+                    std::get<2>(Key), "-", NewMs * 1e3, "-");
+  }
   return 0;
 }

@@ -20,7 +20,10 @@
 ///                                   mtime on mounts that never update
 ///                                   atimes) until the store fits in N
 ///                                   bytes
-///   cache_tool [--dir DIR] stats    entry/byte totals per artifact kind
+///   cache_tool [--dir DIR] stats    entry/byte totals per artifact kind,
+///                                   plus the configured governor cap
+///                                   (SIMTVEC_CACHE_MAX_BYTES) and current
+///                                   utilization against it
 ///
 /// DIR defaults to $SIMTVEC_CACHE_DIR. The runtime itself never needs this
 /// tool — corrupt entries degrade to cache misses — but CI uses `verify`
@@ -250,46 +253,21 @@ int main(int argc, char **argv) {
       }
     }
 
-    // Size-cap policy: evict least-recently-USED entries (file atime,
-    // oldest first, across every kind) until the store fits. On mounts
-    // that never advance atimes (noatime, or relatime once atime caught up
-    // to mtime) every atime equals its mtime and the "recency" signal is
-    // really just the write clock — detect that (no entry anywhere in the
-    // store with atime > mtime) and order by mtime explicitly, so the
-    // historical mtime-LRU behaviour is the fallback rather than an
-    // accident of frozen atimes. Name-ordered tie-break keeps eviction
-    // deterministic either way.
+    // Size-cap policy: evict least-recently-used entries until the store
+    // fits. The policy itself (atime-LRU with the mtime fallback on
+    // noatime mounts, name tie-break) lives in
+    // SpecializationService::pruneStoreToBytes, shared with the in-process
+    // CacheGovernor so the CLI and the runtime can never drift. It rescans
+    // the directory, so the health removals above are already reflected.
     if (HaveCap) {
-      uint64_t Total = 0;
-      for (const Entry &E : Kept)
-        Total += E.Bytes;
-      bool AtimeTracked = false;
-      for (const Entry &E : Entries)
-        AtimeTracked |= E.ATime > E.MTime;
-      std::sort(Kept.begin(), Kept.end(),
-                [AtimeTracked](const Entry &A, const Entry &B) {
-                  FileTime TA = AtimeTracked ? std::max(A.ATime, A.MTime)
-                                             : A.MTime;
-                  FileTime TB = AtimeTracked ? std::max(B.ATime, B.MTime)
-                                             : B.MTime;
-                  if (TA != TB)
-                    return TA < TB;
-                  return A.Name < B.Name;
-                });
-      for (const Entry &E : Kept) {
-        if (Total <= MaxBytes)
-          break;
-        std::error_code EC;
-        if (fs::remove(E.Path, EC)) {
-          std::printf("evicted %s (%s, %llu bytes, LRU)\n", E.Name.c_str(),
-                      kindName(E.Kind),
-                      static_cast<unsigned long long>(E.Bytes));
-          Total -= E.Bytes;
-          ++Removed;
-        }
-      }
+      auto R = SpecializationService::pruneStoreToBytes(
+          Dir, MaxBytes, [](const std::string &Name, uint64_t Bytes) {
+            std::printf("evicted %s (%llu bytes, LRU)\n", Name.c_str(),
+                        static_cast<unsigned long long>(Bytes));
+          });
+      Removed += R.Evicted;
       std::printf("store now %llu bytes (cap %llu)\n",
-                  static_cast<unsigned long long>(Total),
+                  static_cast<unsigned long long>(R.StoreBytes),
                   static_cast<unsigned long long>(MaxBytes));
     }
     std::printf("pruned %u entries\n", Removed);
@@ -323,6 +301,20 @@ int main(int argc, char **argv) {
     std::printf("total: %u entries, %llu bytes\n",
                 Count[0] + Count[1] + Count[2],
                 static_cast<unsigned long long>(Total));
+    // Configured governor cap (SIMTVEC_CACHE_MAX_BYTES) and how full the
+    // store is against it — the operator-facing view of the policy the
+    // runtime's CacheGovernor enforces on its own.
+    uint64_t Cap = SpecializationOptions::fromEnv().CacheMaxBytes;
+    if (Cap) {
+      double Pct = 100.0 * static_cast<double>(Total) /
+                   static_cast<double>(Cap);
+      std::printf("cap: %llu bytes (SIMTVEC_CACHE_MAX_BYTES), "
+                  "utilization %.1f%%%s\n",
+                  static_cast<unsigned long long>(Cap), Pct,
+                  Total > Cap ? " OVER CAP" : "");
+    } else {
+      std::printf("cap: none (SIMTVEC_CACHE_MAX_BYTES unset)\n");
+    }
     return 0;
   }
 

@@ -1,0 +1,143 @@
+//===- tools/svcd.cpp - SIMTVec serving daemon ------------------------------===//
+//
+// Part of SIMTVec (CGO 2012 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The multi-tenant serving daemon: binds a Unix-domain socket, serves
+/// `ServeClient` sessions (see simtvec/serve/Server.h), and drains
+/// gracefully on SIGTERM/SIGINT — in-flight launches finish, session
+/// streams synchronize, the WorkerPool quiesces, and only then does the
+/// process exit.
+///
+///   svcd --socket PATH [--max-inflight N] [--max-queued N]
+///        [--device-bytes N] [--metrics]
+///
+///   --socket PATH       Unix-domain socket to bind (required).
+///   --max-inflight N    per-session launch admission window (default 8).
+///   --max-queued N      per-session scheduler backlog (default 64).
+///   --device-bytes N    per-session arena size in bytes (default 64 MiB).
+///   --metrics           on shutdown, dump the global MetricsRegistry
+///                       snapshot to stdout (name/value per line) — the
+///                       operator view of tc.compile, cache.prune_*, and
+///                       the serve.* counters.
+///
+/// The artifact store is configured from the environment exactly like any
+/// SIMTVec process: SIMTVEC_CACHE_DIR enables persistence, and
+/// SIMTVEC_CACHE_MAX_BYTES arms the in-process CacheGovernor.
+///
+//===----------------------------------------------------------------------===//
+
+#include "simtvec/serve/Server.h"
+#include "simtvec/support/Trace.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+using namespace simtvec;
+using namespace simtvec::serve;
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte, main blocks in read().
+// This keeps the handler async-signal-safe while the actual shutdown (a
+// multi-thread drain) runs on the main thread.
+int StopPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  uint8_t B = 1;
+  ssize_t N = ::write(StopPipe[1], &B, 1);
+  (void)N;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--max-inflight N] [--max-queued N]"
+               " [--device-bytes N] [--metrics]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServeOptions Opts;
+  bool DumpMetrics = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextU64 = [&](uint64_t &Out) {
+      return I + 1 < argc && parseU64(argv[++I], Out);
+    };
+    uint64_t V = 0;
+    if (Arg == "--socket" && I + 1 < argc) {
+      Opts.SocketPath = argv[++I];
+    } else if (Arg == "--max-inflight" && NextU64(V) && V) {
+      Opts.MaxInFlight = static_cast<unsigned>(V);
+    } else if (Arg == "--max-queued" && NextU64(V) && V) {
+      Opts.MaxQueued = static_cast<unsigned>(V);
+    } else if (Arg == "--device-bytes" && NextU64(V) && V) {
+      Opts.DeviceBytes = static_cast<size_t>(V);
+    } else if (Arg == "--metrics") {
+      DumpMetrics = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (Opts.SocketPath.empty())
+    return usage(argv[0]);
+
+  if (::pipe(StopPipe) != 0) {
+    std::fprintf(stderr, "svcd: pipe(): %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction SA{};
+  SA.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+
+  ServeDaemon Daemon(Opts);
+  if (Status E = Daemon.start(); E.isError()) {
+    std::fprintf(stderr, "svcd: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "svcd: serving on %s (pid %d)\n",
+               Opts.SocketPath.c_str(), static_cast<int>(::getpid()));
+
+  // Park until a signal arrives, riding out EINTR.
+  uint8_t B;
+  while (::read(StopPipe[0], &B, 1) < 0 && errno == EINTR)
+    ;
+
+  std::fprintf(stderr, "svcd: draining...\n");
+  Daemon.requestStop();
+
+  ServeDaemon::Counters C = Daemon.counters();
+  std::fprintf(stderr,
+               "svcd: stopped (%llu sessions, %llu frames, %llu launches, "
+               "%llu protocol errors)\n",
+               static_cast<unsigned long long>(C.SessionsAccepted),
+               static_cast<unsigned long long>(C.FramesServed),
+               static_cast<unsigned long long>(C.Launches),
+               static_cast<unsigned long long>(C.ProtocolErrors));
+
+  if (DumpMetrics) {
+    auto Snap = MetricsRegistry::global().snapshot();
+    for (const auto &KV : Snap.Counters)
+      std::printf("%-24s %20llu\n", KV.first.c_str(),
+                  static_cast<unsigned long long>(KV.second));
+  }
+  return 0;
+}

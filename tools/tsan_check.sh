@@ -21,7 +21,11 @@
 # immutable GraphExec from four host threads on four streams — and the
 # divergence-reduction suites (MeldTransform/MeldGuard/MeldDiff/MeldEffect/
 # MeldPgo), whose PGO tests race branch-plan commits from the worker pool
-# against concurrent chooseBranchPlan readers. After
+# against concurrent chooseBranchPlan readers — and the serving-daemon
+# suites (Serve/ServeProtocol/ServeFuzz/ServeSched/ServeGovernor/
+# ServePool), whose sessions run concurrent client threads against one
+# in-process daemon sharing a WorkerPool, scheduler, and artifact store,
+# including the drain-vs-traffic quiescence race. After
 # the suites pass, a burst of concurrent bench processes is aimed at one
 # shared SIMTVEC_CACHE_DIR (atomic rename-on-publish under contention) and
 # the resulting store must survive `cache_tool verify`. Also registrable as
@@ -34,7 +38,7 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="$ROOT/build-tsan"
-FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit|Graph|Meld}"
+FILTER="${1:-Streams|FastPathTest|ShapeExec|RuntimeSmoke|Trace|SpecCache|Simd|Jit|Graph|Meld|Serve}"
 
 cmake -S "$ROOT" -B "$BUILD" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
